@@ -1,0 +1,147 @@
+// Ablation: chain-verification scaling — anchor-set size, chain depth, and
+// the greedy coverage ordering used by Figure 3 — plus device-store
+// assembly throughput (the population generator's hot loop).
+#include <benchmark/benchmark.h>
+
+#include "device/assembler.h"
+#include "notary/census.h"
+#include "pki/hierarchy.h"
+#include "rootstore/catalog.h"
+
+namespace {
+
+using namespace tangled;
+
+const rootstore::StoreUniverse& universe() {
+  static const rootstore::StoreUniverse u = rootstore::StoreUniverse::build(1402);
+  return u;
+}
+
+/// Verifies a 3-cert chain against anchor sets of growing size.
+void BM_ChainVerifyVsAnchorCount(benchmark::State& state) {
+  const std::size_t n_anchors = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(10);
+  pki::TrustAnchors anchors;
+  for (std::size_t i = 0; i < std::min(n_anchors, universe().aosp_cas().size());
+       ++i) {
+    anchors.add(universe().aosp_cas()[i].cert);
+  }
+  // A leaf under anchor #1 (skipping the expired root at 0).
+  auto inter_key = crypto::generate_sim_keypair(rng);
+  auto inter = pki::make_intermediate(
+      crypto::sim_sig_scheme(), universe().aosp_cas()[1], inter_key,
+      pki::ca_name("Bench", "Bench Intermediate"),
+      {asn1::make_time(2010, 1, 1), asn1::make_time(2026, 1, 1)}, 1);
+  auto leaf_key = crypto::generate_sim_keypair(rng);
+  auto leaf = pki::make_leaf(crypto::sim_sig_scheme(), inter.value(), leaf_key,
+                             "bench.example.com",
+                             {asn1::make_time(2013, 6, 1),
+                              asn1::make_time(2015, 6, 1)},
+                             2);
+  pki::ChainVerifier verifier(anchors);
+  const std::vector<x509::Certificate> inters{inter.value().cert};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.verify(leaf.value(), inters));
+  }
+}
+BENCHMARK(BM_ChainVerifyVsAnchorCount)->Arg(10)->Arg(50)->Arg(150);
+
+/// Chain depth scaling: leaf behind `depth` intermediates.
+void BM_ChainVerifyVsDepth(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(11);
+  const auto root_key = crypto::generate_sim_keypair(rng);
+  auto root = pki::make_root(crypto::sim_sig_scheme(), root_key,
+                             pki::ca_name("Deep", "Deep Root"),
+                             {asn1::make_time(2010, 1, 1),
+                              asn1::make_time(2030, 1, 1)},
+                             1);
+  pki::TrustAnchors anchors;
+  anchors.add(root.value().cert);
+
+  std::vector<x509::Certificate> inters;
+  pki::CaNode parent = root.value();
+  for (std::size_t i = 0; i < depth; ++i) {
+    auto key = crypto::generate_sim_keypair(rng);
+    auto inter = pki::make_intermediate(
+        crypto::sim_sig_scheme(), parent, key,
+        pki::ca_name("Deep", "Deep Intermediate " + std::to_string(i)),
+        {asn1::make_time(2010, 1, 1), asn1::make_time(2030, 1, 1)}, 10 + i);
+    inters.push_back(inter.value().cert);
+    parent = std::move(inter).value();
+  }
+  auto leaf_key = crypto::generate_sim_keypair(rng);
+  auto leaf = pki::make_leaf(crypto::sim_sig_scheme(), parent, leaf_key,
+                             "deep.example.com",
+                             {asn1::make_time(2013, 6, 1),
+                              asn1::make_time(2015, 6, 1)},
+                             99);
+  pki::VerifyOptions options;
+  options.max_depth = depth + 2;
+  pki::ChainVerifier verifier(anchors, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.verify(leaf.value(), inters));
+  }
+}
+BENCHMARK(BM_ChainVerifyVsDepth)->Arg(1)->Arg(3)->Arg(6);
+
+/// Device root-store assembly: the per-handset cost in the population loop.
+void BM_DeviceStoreAssembly(benchmark::State& state) {
+  device::DeviceStoreAssembler assembler(universe());
+  device::Device dev;
+  dev.model = "Samsung Galaxy SIV";
+  dev.manufacturer = device::Manufacturer::kSamsung;
+  dev.op = device::Operator::kVerizonUs;
+  dev.version = rootstore::AndroidVersion::k44;
+  device::AssemblyFlags flags;
+  flags.vendor_pack = true;
+  flags.operator_pack = true;
+  Xoshiro256 rng(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assembler.assemble(dev, flags, rng));
+  }
+}
+BENCHMARK(BM_DeviceStoreAssembly)->Unit(benchmark::kMicrosecond);
+
+/// Figure 3's coverage ordering: greedy running-sum vs a naive O(n²)
+/// re-count per step.
+void BM_CoverageGreedy(benchmark::State& state) {
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(state.range(0)));
+  Xoshiro256 rng(13);
+  for (auto& c : counts) c = rng.below(100000);
+  for (auto _ : state) {
+    auto sorted = counts;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    std::uint64_t running = 0;
+    for (auto& c : sorted) {
+      running += c;
+      c = running;
+    }
+    benchmark::DoNotOptimize(sorted);
+  }
+}
+BENCHMARK(BM_CoverageGreedy)->Arg(150)->Arg(1000);
+
+void BM_CoverageNaive(benchmark::State& state) {
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(state.range(0)));
+  Xoshiro256 rng(14);
+  for (auto& c : counts) c = rng.below(100000);
+  for (auto _ : state) {
+    // Re-scan for the max at every step (what the greedy sort avoids).
+    auto pool = counts;
+    std::vector<std::uint64_t> coverage;
+    std::uint64_t running = 0;
+    while (!pool.empty()) {
+      auto best = std::max_element(pool.begin(), pool.end());
+      running += *best;
+      coverage.push_back(running);
+      pool.erase(best);
+    }
+    benchmark::DoNotOptimize(coverage);
+  }
+}
+BENCHMARK(BM_CoverageNaive)->Arg(150)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Ablation: crypto primitive scaling — hash throughput (the identity/
+// fingerprint machinery is hash-bound) and BigNum modexp cost vs operand
+// size (why RSA key size dominates corpus-generation economics).
+#include <benchmark/benchmark.h>
+
+#include "crypto/bignum.h"
+#include "crypto/hash.h"
+
+namespace {
+
+using namespace tangled;
+using namespace tangled::crypto;
+
+void BM_Sha256Throughput(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256Throughput)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Sha1Throughput(benchmark::State& state) {
+  Xoshiro256 rng(2);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1Throughput)->Arg(1024);
+
+void BM_Md5Throughput(benchmark::State& state) {
+  Xoshiro256 rng(3);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Md5::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Md5Throughput)->Arg(1024);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Xoshiro256 rng(4);
+  const Bytes key = rng.bytes(32);
+  const Bytes data = rng.bytes(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_HmacSha256);
+
+/// Modexp with matching base/exponent/modulus widths: the RSA private
+/// operation's core. Expect ~cubic growth in the bit width.
+void BM_ModExp(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(5);
+  const BigNum base = BigNum::random_with_bits(rng, bits);
+  const BigNum exponent = BigNum::random_with_bits(rng, bits);
+  const BigNum modulus = BigNum::random_with_bits(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.modexp(exponent, modulus));
+  }
+}
+BENCHMARK(BM_ModExp)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Public-exponent modexp (e = 65537): the verify-side cost.
+void BM_ModExpPublic(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(6);
+  const BigNum base = BigNum::random_with_bits(rng, bits);
+  const BigNum e(65537);
+  const BigNum modulus = BigNum::random_with_bits(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.modexp(e, modulus));
+  }
+}
+BENCHMARK(BM_ModExpPublic)->Arg(1024)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+void BM_BigNumMul(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(7);
+  const BigNum a = BigNum::random_with_bits(rng, bits);
+  const BigNum b = BigNum::random_with_bits(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigNumMul)->Arg(512)->Arg(2048);
+
+void BM_BigNumDivMod(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(8);
+  const BigNum a = BigNum::random_with_bits(rng, bits * 2);
+  const BigNum b = BigNum::random_with_bits(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.divmod(b));
+  }
+}
+BENCHMARK(BM_BigNumDivMod)->Arg(512)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

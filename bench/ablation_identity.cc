@@ -1,0 +1,100 @@
+// Ablation: cost of the paper's two certificate-identity notions (identity
+// = modulus+signature, equivalence = subject+modulus) vs the plain SHA-256
+// fingerprint, plus DER parse and store-diff throughput — the operations
+// the whole measurement pipeline is built from.
+#include <benchmark/benchmark.h>
+
+#include "rootstore/catalog.h"
+#include "rootstore/rootstore.h"
+
+namespace {
+
+using namespace tangled;
+
+const rootstore::StoreUniverse& universe() {
+  static const rootstore::StoreUniverse u = rootstore::StoreUniverse::build(1402);
+  return u;
+}
+
+void BM_IdentityKey(benchmark::State& state) {
+  const auto& cert = universe().aosp_cas()[5].cert;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cert.identity_key());
+  }
+}
+BENCHMARK(BM_IdentityKey);
+
+void BM_EquivalenceKey(benchmark::State& state) {
+  const auto& cert = universe().aosp_cas()[5].cert;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cert.equivalence_key());
+  }
+}
+BENCHMARK(BM_EquivalenceKey);
+
+void BM_FingerprintSha256(benchmark::State& state) {
+  const auto& cert = universe().aosp_cas()[5].cert;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cert.fingerprint_sha256());
+  }
+}
+BENCHMARK(BM_FingerprintSha256);
+
+void BM_SubjectTag(benchmark::State& state) {
+  const auto& cert = universe().aosp_cas()[5].cert;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cert.subject_tag());
+  }
+}
+BENCHMARK(BM_SubjectTag);
+
+void BM_CertificateParse(benchmark::State& state) {
+  const Bytes der = universe().aosp_cas()[5].cert.der();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x509::Certificate::from_der(der));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(der.size()));
+}
+BENCHMARK(BM_CertificateParse);
+
+void BM_StoreLookupIndexed(benchmark::State& state) {
+  const auto& store = universe().aosp(rootstore::AndroidVersion::k44);
+  const auto& hit = universe().aosp_cas()[77].cert;
+  const auto& miss = universe().nonaosp_cas()[3].cert;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.contains(hit));
+    benchmark::DoNotOptimize(store.contains(miss));
+  }
+}
+BENCHMARK(BM_StoreLookupIndexed);
+
+void BM_StoreLookupLinear(benchmark::State& state) {
+  // The naive alternative the index replaces.
+  const auto& store = universe().aosp(rootstore::AndroidVersion::k44);
+  const Bytes probe = universe().nonaosp_cas()[3].cert.identity_key();
+  for (auto _ : state) {
+    bool found = false;
+    for (const auto& cert : store.certificates()) {
+      if (bytes_equal(cert.identity_key(), probe)) {
+        found = true;
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(found);
+  }
+}
+BENCHMARK(BM_StoreLookupLinear);
+
+void BM_StoreDiffFull(benchmark::State& state) {
+  const auto& device = universe().ios7();  // biggest store as "device"
+  const auto& baseline = universe().aosp(rootstore::AndroidVersion::k44);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rootstore::diff(device, baseline));
+  }
+}
+BENCHMARK(BM_StoreDiffFull)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

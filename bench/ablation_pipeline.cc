@@ -1,0 +1,93 @@
+// Ablation: end-to-end pipeline throughput — how long the survey-scale
+// operations take (population generation, corpus generation + census
+// ingestion, full-population analyses). These bound how far the
+// TANGLED_BENCH_CERTS / session-count knobs can be pushed.
+#include <benchmark/benchmark.h>
+
+#include "analysis/analysis.h"
+#include "notary/census.h"
+#include "synth/notary_corpus.h"
+#include "synth/population.h"
+
+namespace {
+
+using namespace tangled;
+
+const rootstore::StoreUniverse& universe() {
+  static const rootstore::StoreUniverse u = rootstore::StoreUniverse::build(1402);
+  return u;
+}
+
+void BM_UniverseBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rootstore::StoreUniverse::build(1402));
+  }
+}
+BENCHMARK(BM_UniverseBuild)->Unit(benchmark::kMillisecond);
+
+void BM_PopulationGenerate(benchmark::State& state) {
+  synth::PopulationConfig config;
+  config.n_sessions = static_cast<std::size_t>(state.range(0));
+  config.n_handsets = config.n_sessions / 4;
+  config.n_models = 120;
+  config.crazy_house_handsets = std::max<std::size_t>(2, config.n_handsets / 60);
+  synth::PopulationGenerator generator(universe(), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.generate());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PopulationGenerate)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CorpusGenerateAndCensus(benchmark::State& state) {
+  pki::TrustAnchors anchors;
+  for (const auto& ca : universe().aosp_cas()) anchors.add(ca.cert);
+  for (const auto& ca : universe().nonaosp_cas()) anchors.add(ca.cert);
+  synth::NotaryCorpusConfig config;
+  config.n_certs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    notary::ValidationCensus census(anchors);
+    synth::NotaryCorpusGenerator generator(universe(), config);
+    generator.generate(
+        [&census](const notary::Observation& o) { census.ingest(o); });
+    benchmark::DoNotOptimize(census.total_validated());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CorpusGenerateAndCensus)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Figure1Analysis(benchmark::State& state) {
+  synth::PopulationConfig config;
+  config.n_sessions = 4000;
+  config.n_handsets = 1000;
+  config.n_models = 120;
+  config.crazy_house_handsets = 10;
+  synth::PopulationGenerator generator(universe(), config);
+  const auto population = generator.generate();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::figure1(population));
+  }
+}
+BENCHMARK(BM_Figure1Analysis)->Unit(benchmark::kMillisecond);
+
+void BM_Figure2Analysis(benchmark::State& state) {
+  synth::PopulationConfig config;
+  config.n_sessions = 4000;
+  config.n_handsets = 1000;
+  config.n_models = 120;
+  config.crazy_house_handsets = 10;
+  synth::PopulationGenerator generator(universe(), config);
+  const auto population = generator.generate();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::figure2(population));
+  }
+}
+BENCHMARK(BM_Figure2Analysis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

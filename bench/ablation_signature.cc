@@ -1,0 +1,92 @@
+// Ablation: real RSA (sha256WithRSAEncryption) vs the SimSig simulation
+// scheme — quantifies the throughput gap that justifies using SimSig for
+// bulk corpus generation (DESIGN.md substitution table).
+#include <benchmark/benchmark.h>
+
+#include "crypto/signature.h"
+#include "pki/hierarchy.h"
+
+namespace {
+
+using namespace tangled;
+
+void BM_SimKeygen(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::generate_sim_keypair(rng));
+  }
+}
+BENCHMARK(BM_SimKeygen);
+
+void BM_RsaKeygen512(benchmark::State& state) {
+  Xoshiro256 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::generate_rsa_keypair(rng, 512));
+  }
+}
+BENCHMARK(BM_RsaKeygen512)->Unit(benchmark::kMillisecond);
+
+void BM_RsaKeygen1024(benchmark::State& state) {
+  Xoshiro256 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::generate_rsa_keypair(rng, 1024));
+  }
+}
+BENCHMARK(BM_RsaKeygen1024)->Unit(benchmark::kMillisecond);
+
+void BM_SimSigSign(benchmark::State& state) {
+  Xoshiro256 rng(4);
+  const auto key = crypto::generate_sim_keypair(rng);
+  const Bytes tbs = rng.bytes(600);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sim_sig_scheme().sign(key, tbs));
+  }
+}
+BENCHMARK(BM_SimSigSign);
+
+void BM_RsaSign1024(benchmark::State& state) {
+  Xoshiro256 rng(5);
+  const auto key = crypto::generate_rsa_keypair(rng, 1024);
+  const Bytes tbs = rng.bytes(600);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_sha256_scheme().sign(key, tbs));
+  }
+}
+BENCHMARK(BM_RsaSign1024)->Unit(benchmark::kMicrosecond);
+
+void BM_SimSigVerify(benchmark::State& state) {
+  Xoshiro256 rng(6);
+  const auto key = crypto::generate_sim_keypair(rng);
+  const Bytes tbs = rng.bytes(600);
+  const auto sig = crypto::sim_sig_scheme().sign(key, tbs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::sim_sig_scheme().verify(key.pub, tbs, sig.value()));
+  }
+}
+BENCHMARK(BM_SimSigVerify);
+
+void BM_RsaVerify1024(benchmark::State& state) {
+  Xoshiro256 rng(7);
+  const auto key = crypto::generate_rsa_keypair(rng, 1024);
+  const Bytes tbs = rng.bytes(600);
+  const auto sig = crypto::rsa_sha256_scheme().sign(key, tbs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::rsa_sha256_scheme().verify(key.pub, tbs, sig.value()));
+  }
+}
+BENCHMARK(BM_RsaVerify1024)->Unit(benchmark::kMicrosecond);
+
+void BM_IssueLeafSim(benchmark::State& state) {
+  Xoshiro256 rng(8);
+  auto h = pki::CaHierarchy::build(rng, "Bench", 1, /*sim_keys=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.value().issue(rng, "bench.example.com", 0));
+  }
+}
+BENCHMARK(BM_IssueLeafSim);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Ablation: TLS wire-format throughput — the passive extractor's hot path
+// (what bounds a Notary watching 66 G sessions) and the proxy's rewrite
+// cost per connection.
+#include <benchmark/benchmark.h>
+
+#include "pki/hierarchy.h"
+#include "tlswire/extractor.h"
+#include "tlswire/rewrite.h"
+
+namespace {
+
+using namespace tangled;
+
+struct WireFixture {
+  std::vector<x509::Certificate> chain;
+  Bytes flight;
+  std::vector<x509::Certificate> forged;
+
+  WireFixture() {
+    Xoshiro256 rng(100);
+    auto h = pki::CaHierarchy::build(rng, "WireBench", 1, true);
+    auto leaf = h.value().issue(rng, "bench.example.com", 0);
+    chain = h.value().presented_chain(leaf.value(), 0);
+    flight = tlswire::encode_server_flight(tlswire::ServerHello{}, chain).value();
+    auto evil = pki::CaHierarchy::build(rng, "Forge", 1, true);
+    auto forged_leaf = evil.value().issue(rng, "bench.example.com", 0);
+    forged = evil.value().presented_chain(forged_leaf.value(), 0);
+  }
+};
+
+const WireFixture& fixture() {
+  static const WireFixture f;
+  return f;
+}
+
+void BM_EncodeServerFlight(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tlswire::encode_server_flight(tlswire::ServerHello{}, fixture().chain));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fixture().flight.size()));
+}
+BENCHMARK(BM_EncodeServerFlight);
+
+void BM_ExtractCertificates(benchmark::State& state) {
+  for (auto _ : state) {
+    tlswire::CertificateExtractor extractor;
+    benchmark::DoNotOptimize(extractor.feed(fixture().flight));
+    benchmark::DoNotOptimize(extractor.has_chain());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fixture().flight.size()));
+}
+BENCHMARK(BM_ExtractCertificates);
+
+void BM_RecordFramingOnly(benchmark::State& state) {
+  for (auto _ : state) {
+    tlswire::RecordReader reader;
+    reader.feed(fixture().flight);
+    benchmark::DoNotOptimize(reader.drain());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fixture().flight.size()));
+}
+BENCHMARK(BM_RecordFramingOnly);
+
+void BM_MitmRewrite(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tlswire::substitute_chain(fixture().flight, fixture().forged));
+  }
+}
+BENCHMARK(BM_MitmRewrite)->Unit(benchmark::kMicrosecond);
+
+/// Chunked delivery: same flight fed in MTU-sized pieces (TCP realism).
+void BM_ExtractChunked(benchmark::State& state) {
+  const std::size_t chunk = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    tlswire::CertificateExtractor extractor;
+    const Bytes& flight = fixture().flight;
+    for (std::size_t off = 0; off < flight.size(); off += chunk) {
+      const std::size_t take = std::min(chunk, flight.size() - off);
+      benchmark::DoNotOptimize(
+          extractor.feed(ByteView(flight.data() + off, take)));
+    }
+    benchmark::DoNotOptimize(extractor.has_chain());
+  }
+}
+BENCHMARK(BM_ExtractChunked)->Arg(64)->Arg(512)->Arg(1460);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Shared setup for the table/figure reproduction binaries: builds the store
+// universe, the Netalyzr population, and the Notary corpus + census at a
+// scale controlled by TANGLED_BENCH_CERTS (default 30000 unique certs;
+// the paper's Notary held 1.9 M).
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "analysis/report.h"
+#include "notary/census.h"
+#include "notary/notary.h"
+#include "rootstore/catalog.h"
+#include "synth/notary_corpus.h"
+#include "synth/population.h"
+
+namespace tangled::bench {
+
+inline std::size_t corpus_scale() {
+  if (const char* env = std::getenv("TANGLED_BENCH_CERTS")) {
+    const long v = std::atol(env);
+    if (v > 1000) return static_cast<std::size_t>(v);
+  }
+  return 30000;
+}
+
+inline const rootstore::StoreUniverse& universe() {
+  static const rootstore::StoreUniverse u = rootstore::StoreUniverse::build(1402);
+  return u;
+}
+
+inline const synth::Population& population() {
+  static const synth::Population pop = [] {
+    synth::PopulationGenerator generator(universe());
+    return generator.generate();
+  }();
+  return pop;
+}
+
+/// TrustAnchors over every known root (used by the census).
+inline const pki::TrustAnchors& all_anchors() {
+  static const pki::TrustAnchors anchors = [] {
+    pki::TrustAnchors a;
+    for (const auto& ca : universe().aosp_cas()) a.add(ca.cert);
+    for (const auto& ca : universe().mozilla_only_cas()) a.add(ca.cert);
+    for (const auto& ca : universe().ios7_only_cas()) a.add(ca.cert);
+    for (const auto& ca : universe().nonaosp_cas()) a.add(ca.cert);
+    return a;
+  }();
+  return anchors;
+}
+
+struct NotaryRun {
+  notary::NotaryDb db;
+  notary::ValidationCensus census;
+
+  NotaryRun() : db(), census(all_anchors()) {
+    synth::NotaryCorpusConfig config;
+    config.n_certs = corpus_scale();
+    synth::NotaryCorpusGenerator generator(universe(), config);
+    generator.generate([this](const notary::Observation& obs) {
+      db.observe(obs);
+      census.ingest(obs);
+    });
+  }
+};
+
+inline const NotaryRun& notary_run() {
+  static const NotaryRun run;
+  return run;
+}
+
+/// Scales a measured count to the paper's per-million-unexpired frame so it
+/// can be compared against Table 3's absolute numbers.
+inline double per_million(std::uint64_t count) {
+  const auto total = notary_run().census.total_unexpired();
+  return total == 0 ? 0.0
+                    : static_cast<double>(count) * 1e6 /
+                          static_cast<double>(total);
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::string rule(title.size() + paper_ref.size() + 5, '=');
+  std::printf("%s\n%s  [%s]\n%s\n", rule.c_str(), title.c_str(),
+              paper_ref.c_str(), rule.c_str());
+}
+
+}  // namespace tangled::bench

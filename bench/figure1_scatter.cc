@@ -1,0 +1,79 @@
+// Regenerates Figure 1: the scatter of (AOSP certs, additional certs) per
+// manufacturer and Android version. Prints the aggregated grid as CSV-like
+// series plus the headline statistics the figure's caption and §5 state.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "analysis/analysis.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace tangled;
+
+  bench::print_header("Figure 1 — AOSP vs additional certificates",
+                      "CoNEXT'14 §5, Figure 1");
+
+  const auto result = analysis::figure1(bench::population());
+
+  std::printf("headline statistics:\n");
+  std::printf("  sessions with extended stores : %s (paper: 39%%)\n",
+              analysis::percent(result.extended_fraction()).c_str());
+  std::printf("  handsets missing AOSP certs   : %zu (paper: 5)\n",
+              result.missing_cert_handsets);
+  std::printf("  4.1/4.2 sessions w/ >40 extra : %s (paper: >10%%)\n\n",
+              analysis::percent(result.large_expansion_41_42).c_str());
+
+  // Per (manufacturer, version): session-weighted summary of the band the
+  // points occupy — the readable form of the scatter.
+  struct Band {
+    std::uint64_t sessions = 0;
+    std::uint64_t extended = 0;
+    std::size_t max_additions = 0;
+    double weighted_additions = 0;
+  };
+  std::map<std::pair<int, int>, Band> bands;
+  for (const auto& point : result.points) {
+    auto& band = bands[{static_cast<int>(point.manufacturer),
+                        static_cast<int>(point.version)}];
+    band.sessions += point.sessions;
+    if (point.additional_certs > 0) band.extended += point.sessions;
+    band.max_additions = std::max(band.max_additions, point.additional_certs);
+    band.weighted_additions +=
+        static_cast<double>(point.additional_certs) * point.sessions;
+  }
+
+  analysis::AsciiTable table({"Manufacturer", "Version", "Sessions",
+                              "Extended", "Mean adds", "Max adds"});
+  for (const auto& [key, band] : bands) {
+    const auto manufacturer = static_cast<device::Manufacturer>(key.first);
+    const auto version = static_cast<rootstore::AndroidVersion>(key.second);
+    if (band.sessions < 25) continue;  // keep the table readable
+    table.add_row(
+        {std::string(device::to_string(manufacturer)),
+         std::string(rootstore::to_string(version)),
+         std::to_string(band.sessions),
+         analysis::percent(static_cast<double>(band.extended) / band.sessions),
+         std::to_string(
+             static_cast<int>(band.weighted_additions / band.sessions)),
+         std::to_string(band.max_additions)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  // Raw scatter series (x=aosp, y=additional, weight=sessions) for plotting.
+  std::printf("\nscatter series (manufacturer,version,aosp,extra,sessions):\n");
+  std::uint64_t printed = 0;
+  for (const auto& point : result.points) {
+    if (point.sessions < 8) continue;  // figure's smallest visible markers
+    std::printf("  %s,%s,%zu,%zu,%llu\n",
+                std::string(device::to_string(point.manufacturer)).c_str(),
+                std::string(rootstore::to_string(point.version)).c_str(),
+                point.aosp_certs, point.additional_certs,
+                static_cast<unsigned long long>(point.sessions));
+    ++printed;
+  }
+  std::printf("  (%llu aggregated points over %llu sessions)\n",
+              static_cast<unsigned long long>(printed),
+              static_cast<unsigned long long>(result.total_sessions));
+  return 0;
+}

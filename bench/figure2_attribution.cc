@@ -1,0 +1,108 @@
+// Regenerates Figure 2: the certificate × (manufacturer/operator) frequency
+// grid with store-membership classes, plus the class-mix fractions
+// (paper: 6.7% Mozilla+iOS7, 16.2% iOS7 only, 37.1% Android-only, 40.0%
+// never recorded by the Notary).
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/analysis.h"
+#include "analysis/attribution.h"
+#include "bench_common.h"
+
+namespace {
+
+const char* class_label(tangled::rootstore::NotaryClass c) {
+  using NC = tangled::rootstore::NotaryClass;
+  switch (c) {
+    case NC::kMozillaAndIos7: return "Mozilla+iOS7";
+    case NC::kIos7Only: return "iOS7";
+    case NC::kAndroidOnly: return "Android-only";
+    case NC::kNotRecorded: return "not-recorded";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  using namespace tangled;
+
+  bench::print_header("Figure 2 — non-AOSP certificate attribution",
+                      "CoNEXT'14 §5.1, Figure 2");
+
+  const auto result = analysis::figure2(bench::population());
+  const auto& db = bench::notary_run().db;
+  const auto catalog = rootstore::nonaosp_catalog();
+
+  // Class mix over the distinct certificates the population surfaced.
+  const auto mix =
+      analysis::class_mix(bench::population(), bench::universe(), db);
+  const double n = static_cast<double>(mix.total());
+  std::printf("store-membership class mix over %zu observed certificates:\n",
+              mix.total());
+  std::printf("  Mozilla and iOS7 : %s (paper: 6.7%%)\n",
+              analysis::percent(mix.mozilla_and_ios7 / n).c_str());
+  std::printf("  iOS7 exclusively : %s (paper: 16.2%%)\n",
+              analysis::percent(mix.ios7_only / n).c_str());
+  std::printf("  Android-specific : %s (paper: 37.1%%)\n",
+              analysis::percent(mix.android_only / n).c_str());
+  std::printf("  not recorded     : %s (paper: 40.0%%)\n\n",
+              analysis::percent(mix.not_recorded / n).c_str());
+
+  // The strongest markers per row — the readable form of the grid.
+  std::printf("top certificates per row (freq = share of modified sessions):\n");
+  std::map<rootstore::PlacementRow, std::vector<const analysis::Figure2Cell*>>
+      by_row;
+  for (const auto& cell : result.cells) by_row[cell.row].push_back(&cell);
+  for (auto& [row, cells] : by_row) {
+    std::sort(cells.begin(), cells.end(), [](const auto* a, const auto* b) {
+      return a->frequency > b->frequency;
+    });
+    std::printf("  %-13s (%llu modified sessions):\n",
+                std::string(rootstore::row_label(row)).c_str(),
+                static_cast<unsigned long long>(
+                    result.modified_sessions.at(row)));
+    const std::size_t show = std::min<std::size_t>(4, cells.size());
+    for (std::size_t i = 0; i < show; ++i) {
+      const auto& spec = catalog[cells[i]->catalog_index];
+      std::printf("      %-46s (%s)  freq=%.2f  class=%s\n",
+                  std::string(spec.display_name).c_str(),
+                  std::string(spec.paper_tag).c_str(), cells[i]->frequency,
+                  class_label(analysis::measured_class(
+                      bench::universe(), db, cells[i]->catalog_index)));
+    }
+  }
+
+  // §5.1 spot checks.
+  auto freq = [&](std::string_view tag, rootstore::PlacementRow row) {
+    for (const auto& cell : result.cells) {
+      if (cell.row == row && catalog[cell.catalog_index].paper_tag == tag) {
+        return cell.frequency;
+      }
+    }
+    return 0.0;
+  };
+  std::printf("\n§5.1 spot checks:\n");
+  std::printf("  CertiSign on MOTOROLA 4.1     : %.2f (paper: 0.60-0.70)\n",
+              freq("b0c095eb", rootstore::PlacementRow::kMotorola41));
+  std::printf("  CertiSign on SAMSUNG 4.2      : %.2f (paper: absent)\n",
+              freq("b0c095eb", rootstore::PlacementRow::kSamsung42));
+  std::printf("  AddTrust C1 on SAMSUNG 4.3    : %.2f (paper: vendor-wide, high)\n",
+              freq("9696d421", rootstore::PlacementRow::kSamsung43));
+  std::printf("  Motorola FOTA on MOTOROLA 4.1 : %.2f (paper: firmware, high)\n",
+              freq("bae1df7c", rootstore::PlacementRow::kMotorola41));
+  std::printf("  MSFT Secure Server on AT&T    : %.2f (paper: AT&T-specific)\n",
+              freq("ea9f5f91", rootstore::PlacementRow::kAttUs));
+
+  // §5.1/§5.2 origin attribution across all additions in the population.
+  const auto attribution = analysis::attribute_additions(bench::population());
+  std::printf("\naddition origins (installations across handsets / distinct certs):\n");
+  for (const auto& [origin, count] : attribution.installations) {
+    std::printf("  %-26s %6llu / %llu\n",
+                std::string(analysis::to_string(origin)).c_str(),
+                static_cast<unsigned long long>(count),
+                static_cast<unsigned long long>(
+                    attribution.distinct_certs.at(origin)));
+  }
+  return 0;
+}

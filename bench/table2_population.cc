@@ -1,0 +1,73 @@
+// Regenerates Table 2: "Top 5 mobile devices and manufacturers in our
+// Android dataset", plus the §4.1 dataset headline numbers.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "netalyzr/netalyzr.h"
+
+int main() {
+  using namespace tangled;
+
+  bench::print_header("Table 2 — top devices & manufacturers",
+                      "CoNEXT'14 §4.1, Table 2");
+
+  const netalyzr::SessionDb db(bench::population());
+
+  struct Target {
+    const char* name;
+    std::uint64_t paper;
+  };
+  const Target model_targets[] = {
+      {"Samsung Galaxy SIV", 2762}, {"Samsung Galaxy SIII", 2108},
+      {"LG Nexus 4", 1331},         {"LG Nexus 5", 1010},
+      {"Asus Nexus 7", 832},
+  };
+  const Target mfr_targets[] = {
+      {"SAMSUNG", 7709}, {"LG", 2908}, {"ASUS", 1876},
+      {"HTC", 963},      {"MOTOROLA", 837},
+  };
+
+  const auto by_model = db.sessions_by_model();
+  const auto by_mfr = db.sessions_by_manufacturer();
+  auto lookup = [](const auto& list, const char* name) -> std::uint64_t {
+    for (const auto& [key, count] : list) {
+      if (key == name) return count;
+    }
+    return 0;
+  };
+
+  analysis::AsciiTable models({"Device model", "Paper", "Measured", "Error"});
+  for (const auto& target : model_targets) {
+    const auto measured = lookup(by_model, target.name);
+    models.add_row({target.name, std::to_string(target.paper),
+                    std::to_string(measured),
+                    analysis::relative_error(static_cast<double>(measured),
+                                             static_cast<double>(target.paper))});
+  }
+  std::fputs(models.to_string().c_str(), stdout);
+  std::printf("\n");
+
+  analysis::AsciiTable mfrs({"Manufacturer", "Paper", "Measured", "Error"});
+  for (const auto& target : mfr_targets) {
+    const auto measured = lookup(by_mfr, target.name);
+    mfrs.add_row({target.name, std::to_string(target.paper),
+                  std::to_string(measured),
+                  analysis::relative_error(static_cast<double>(measured),
+                                           static_cast<double>(target.paper))});
+  }
+  std::fputs(mfrs.to_string().c_str(), stdout);
+
+  const auto stats = db.stats();
+  std::printf("\nDataset headline numbers (§4.1):\n");
+  std::printf("  sessions                 : %llu (paper: 15,970)\n",
+              static_cast<unsigned long long>(stats.sessions));
+  std::printf("  estimated handsets       : %zu (paper: >= 3,835)\n",
+              db.estimate_handsets());
+  std::printf("  distinct device models   : %zu (paper: 435)\n",
+              db.distinct_models());
+  std::printf("  root certs collected     : %s (paper: ~2.3 M)\n",
+              analysis::with_commas(db.total_certificates_collected()).c_str());
+  std::printf("  unique root certs        : %zu (paper: 314)\n",
+              db.unique_certificates_estimate());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Regenerates Table 3: "Number of certificates validated by Mozilla and
+// AOSP root stores." The paper's counts are out of ~1 M unexpired Notary
+// certificates; the synthetic corpus is scaled (TANGLED_BENCH_CERTS), so
+// measured counts are re-expressed per million unexpired certificates.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace tangled;
+  using rootstore::AndroidVersion;
+
+  bench::print_header("Table 3 — certificates validated per store",
+                      "CoNEXT'14 §5.3, Table 3");
+
+  const auto& run = bench::notary_run();
+  std::printf("corpus: %s unique certs, %s unexpired (scale with TANGLED_BENCH_CERTS)\n\n",
+              analysis::with_commas(run.db.unique_cert_count()).c_str(),
+              analysis::with_commas(run.census.total_unexpired()).c_str());
+
+  struct Row {
+    const char* name;
+    double paper_per_million;
+    const rootstore::RootStore& store;
+  };
+  const Row rows[] = {
+      {"Mozilla", 744069, bench::universe().mozilla()},
+      {"iOS 7", 745736, bench::universe().ios7()},
+      {"AOSP 4.1", 744350, bench::universe().aosp(AndroidVersion::k41)},
+      {"AOSP 4.2", 744350, bench::universe().aosp(AndroidVersion::k42)},
+      {"AOSP 4.3", 744384, bench::universe().aosp(AndroidVersion::k43)},
+      {"AOSP 4.4", 744398, bench::universe().aosp(AndroidVersion::k44)},
+  };
+
+  analysis::AsciiTable table(
+      {"Root store", "Paper (/1M)", "Measured (/1M)", "Measured (raw)", "Error"});
+  for (const Row& row : rows) {
+    const auto raw = run.census.validated_by_store(row.store);
+    const double scaled = bench::per_million(raw);
+    table.add_row({row.name,
+                   analysis::with_commas(
+                       static_cast<std::uint64_t>(row.paper_per_million)),
+                   analysis::with_commas(static_cast<std::uint64_t>(scaled)),
+                   analysis::with_commas(raw),
+                   analysis::relative_error(scaled, row.paper_per_million)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  // Shape checks the paper emphasizes.
+  const auto moz = run.census.validated_by_store(bench::universe().mozilla());
+  const auto a41 = run.census.validated_by_store(bench::universe().aosp(AndroidVersion::k41));
+  const auto a42 = run.census.validated_by_store(bench::universe().aosp(AndroidVersion::k42));
+  const auto a44 = run.census.validated_by_store(bench::universe().aosp(AndroidVersion::k44));
+  const auto ios = run.census.validated_by_store(bench::universe().ios7());
+  std::printf("\nshape: AOSP4.1 == AOSP4.2 : %s\n", a41 == a42 ? "yes" : "NO");
+  std::printf("shape: iOS7 largest       : %s\n",
+              (ios > a44 && ios > moz) ? "yes" : "NO");
+  std::printf("shape: differences tiny   : %s (max spread %.3f%% of total)\n",
+              "see rows",
+              100.0 * static_cast<double>(ios - std::min(moz, a41)) /
+                  static_cast<double>(run.census.total_unexpired()));
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Regenerates Table 5: "List of CAs and user self-signed certificates found
+// more frequently on rooted devices", plus the §6 rooted-session numbers.
+#include <cstdio>
+
+#include "analysis/analysis.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace tangled;
+
+  bench::print_header("Table 5 — rooted-device certificates",
+                      "CoNEXT'14 §6, Table 5");
+
+  const auto result = analysis::rooted_analysis(bench::population());
+
+  struct Target {
+    const char* issuer;
+    std::uint64_t paper;
+  };
+  const Target targets[] = {
+      {"CRAZY HOUSE", 70},      {"MIND OVERFLOW", 1},
+      {"USER_X", 1},            {"CDA/EMAILADDRESS", 1},
+      {"CIRRUS, PRIVATE", 1},
+  };
+
+  analysis::AsciiTable table({"Certificate authority", "Paper devices",
+                              "Measured devices", "Exclusively rooted"});
+  for (const Target& target : targets) {
+    std::uint64_t measured = 0;
+    bool exclusive = false;
+    for (const auto& finding : result.findings) {
+      if (finding.issuer == target.issuer) {
+        measured = finding.devices;
+        exclusive = finding.exclusively_rooted;
+      }
+    }
+    table.add_row({target.issuer, std::to_string(target.paper),
+                   std::to_string(measured), exclusive ? "yes" : "NO"});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  const auto catalog = device::rooted_cert_catalog();
+  std::printf("\nAttributions (§6):\n");
+  for (const auto& spec : catalog) {
+    std::printf("  %-18s %s\n", std::string(spec.issuer_name).c_str(),
+                std::string(spec.origin).c_str());
+  }
+
+  std::printf("\nRooted-session statistics:\n");
+  std::printf("  rooted sessions            : %s (paper: 24%%)\n",
+              analysis::percent(result.rooted_fraction()).c_str());
+  std::printf("  rooted-exclusive certs in  : %s of rooted sessions (paper: ~6%%)\n",
+              analysis::percent(result.exclusive_fraction_of_rooted()).c_str());
+  return 0;
+}

@@ -1,0 +1,114 @@
+// minimize_store: the paper's §8 recommendations, applied.
+//
+//   1. Measure which AOSP 4.4 roots never validate observed traffic
+//      (Perl et al.-style pruning) and write the minimized store to disk
+//      in Android's /system/etc/security/cacerts layout.
+//   2. Show Mozilla-style trust scoping: a code-signing-only root stops
+//      anchoring TLS chains once purposes are enforced.
+//
+// Run: ./build/examples/minimize_store [outdir]
+#include <cstdio>
+#include <filesystem>
+
+#include "analysis/minimize.h"
+#include "analysis/report.h"
+#include "notary/census.h"
+#include "rootstore/cacerts.h"
+#include "rootstore/catalog.h"
+#include "synth/notary_corpus.h"
+#include "x509/text.h"
+
+int main(int argc, char** argv) {
+  using namespace tangled;
+  using rootstore::AndroidVersion;
+
+  const std::filesystem::path outdir =
+      argc > 1 ? argv[1]
+               : std::filesystem::temp_directory_path() / "tangled-cacerts";
+
+  const auto universe = rootstore::StoreUniverse::build(1402);
+
+  // --- Observe traffic -----------------------------------------------------
+  pki::TrustAnchors anchors;
+  for (const auto& ca : universe.aosp_cas()) anchors.add(ca.cert);
+  for (const auto& ca : universe.nonaosp_cas()) anchors.add(ca.cert);
+  notary::ValidationCensus census(anchors);
+  synth::NotaryCorpusConfig config;
+  config.n_certs = 12000;
+  synth::NotaryCorpusGenerator corpus(universe, config);
+  corpus.generate([&census](const notary::Observation& o) { census.ingest(o); });
+  std::printf("observed %s unexpired certificates\n\n",
+              analysis::with_commas(census.total_unexpired()).c_str());
+
+  // --- 1. Prune -------------------------------------------------------------
+  const auto& store = universe.aosp(AndroidVersion::k44);
+  const auto result = analysis::minimize_store(store, census);
+  std::printf("AOSP 4.4: %zu roots, %zu validate nothing (%s)\n",
+              result.size_before, result.removable.size(),
+              analysis::percent(result.removable_fraction()).c_str());
+  std::printf("examples of removable roots:\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, result.removable.size());
+       ++i) {
+    std::printf("  - %s\n", x509::summarize(*result.removable[i]).c_str());
+  }
+
+  rootstore::RootStore minimized("AOSP 4.4 minimized");
+  for (const auto& cert : store.certificates()) {
+    bool removable = false;
+    for (const auto* r : result.removable) removable |= (r == &cert);
+    if (!removable) minimized.add(cert);
+  }
+  std::printf("\nminimized store: %zu roots, retains %s of validations\n",
+              minimized.size(),
+              analysis::percent(
+                  static_cast<double>(census.validated_by_store(minimized)) /
+                  static_cast<double>(census.validated_by_store(store)))
+                  .c_str());
+
+  if (auto saved = rootstore::save_cacerts(minimized, outdir); !saved.ok()) {
+    std::fprintf(stderr, "save: %s\n", to_string(saved.error()).c_str());
+    return 1;
+  }
+  std::printf("written to %s (Android cacerts layout, one PEM per root)\n\n",
+              outdir.string().c_str());
+
+  // --- 2. Trust scoping -------------------------------------------------------
+  // The GeoTrust-CA-for-UTI scenario from §5.1: a code-signing root should
+  // not anchor TLS. Android's flat model lets it; scoping does not.
+  const auto catalog = rootstore::nonaosp_catalog();
+  std::size_t uti_index = 0;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (catalog[i].paper_tag == "b94b8f0a") uti_index = i;  // GeoTrust UTI
+  }
+  const auto& uti = universe.nonaosp_cas()[uti_index];
+
+  Xoshiro256 rng(12);
+  auto leaf_key = crypto::generate_sim_keypair(rng);
+  auto tls_leaf = pki::make_leaf(crypto::sim_sig_scheme(), uti, leaf_key,
+                                 "sneaky.example.com",
+                                 {asn1::make_time(2013, 6, 1),
+                                  asn1::make_time(2015, 6, 1)},
+                                 1);
+
+  pki::TrustAnchors android_style;
+  android_style.add(uti.cert);  // trusted for everything, Android-style
+  pki::TrustAnchors scoped;
+  scoped.add(uti.cert, pki::trust_flag(pki::TrustPurpose::kCodeSigning));
+
+  pki::VerifyOptions tls;
+  tls.purpose = pki::TrustPurpose::kServerAuth;
+  const bool android_accepts =
+      pki::ChainVerifier(android_style, tls).verify(tls_leaf.value(), {}).ok();
+  const bool scoped_accepts =
+      pki::ChainVerifier(scoped, tls).verify(tls_leaf.value(), {}).ok();
+
+  std::printf("TLS chain signed by '%s' (a code-signing root):\n",
+              std::string(catalog[uti_index].display_name).c_str());
+  std::printf("  Android-style flat trust  : %s\n",
+              android_accepts ? "ACCEPTED — any root works for any purpose"
+                              : "rejected");
+  std::printf("  Mozilla-style scoped trust: %s\n",
+              scoped_accepts ? "accepted (unexpected)"
+                             : "rejected — not trusted for serverAuth");
+  return android_accepts && !scoped_accepts ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// Quickstart: the core libtangled workflow in one file.
+//
+//   1. Generate keys and issue a small CA hierarchy (root → intermediate →
+//      TLS leaf) with real DER-encoded X.509v3 certificates.
+//   2. Round-trip a certificate through PEM and the DER parser.
+//   3. Verify the chain against a trust-anchor set.
+//   4. Build two root stores and diff them the way the paper diffs device
+//      stores against AOSP (identity vs equivalence).
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "pki/hierarchy.h"
+#include "pki/verify.h"
+#include "rootstore/rootstore.h"
+#include "x509/pem.h"
+
+int main() {
+  using namespace tangled;
+
+  // --- 1. Issue a hierarchy -------------------------------------------
+  // SimSig keys make this instant; flip `sim_keys` to false for real RSA.
+  Xoshiro256 rng(7);
+  auto hierarchy = pki::CaHierarchy::build(rng, "Quickstart Org",
+                                           /*n_intermediates=*/1,
+                                           /*sim_keys=*/true);
+  if (!hierarchy.ok()) {
+    std::fprintf(stderr, "hierarchy: %s\n", to_string(hierarchy.error()).c_str());
+    return 1;
+  }
+  auto leaf = hierarchy.value().issue(rng, "www.example.com");
+  if (!leaf.ok()) {
+    std::fprintf(stderr, "issue: %s\n", to_string(leaf.error()).c_str());
+    return 1;
+  }
+  std::printf("issued leaf : %s\n", leaf.value().subject().to_string().c_str());
+  std::printf("issuer      : %s\n", leaf.value().issuer().to_string().c_str());
+  std::printf("serial      : %s\n", to_hex(leaf.value().serial()).c_str());
+  std::printf("valid       : %s .. %s\n",
+              leaf.value().validity().not_before.to_iso8601().c_str(),
+              leaf.value().validity().not_after.to_iso8601().c_str());
+  std::printf("subject tag : %s  (the paper's bracketed 32-bit tag)\n\n",
+              leaf.value().subject_tag().c_str());
+
+  // --- 2. PEM round trip ------------------------------------------------
+  const std::string pem = x509::to_pem(leaf.value());
+  std::printf("%s", pem.substr(0, 120).c_str());
+  std::printf("...\n\n");
+  auto reparsed = x509::certificate_from_pem(pem);
+  if (!reparsed.ok() || !(reparsed.value() == leaf.value())) {
+    std::fprintf(stderr, "PEM round trip failed\n");
+    return 1;
+  }
+  std::printf("PEM -> DER -> parse round trip: ok\n\n");
+
+  // --- 3. Chain verification -------------------------------------------
+  pki::TrustAnchors anchors;
+  anchors.add(hierarchy.value().root().cert);
+  pki::ChainVerifier verifier(anchors);
+  auto chain = verifier.verify_presented(
+      hierarchy.value().presented_chain(leaf.value()));
+  if (!chain.ok()) {
+    std::fprintf(stderr, "verify: %s\n", to_string(chain.error()).c_str());
+    return 1;
+  }
+  std::printf("chain verified, length %zu, anchor: %s\n\n",
+              chain.value().length(),
+              chain.value().anchor().subject().to_string().c_str());
+
+  // --- 4. Root-store diffing --------------------------------------------
+  rootstore::RootStore device("device");
+  rootstore::RootStore baseline("baseline");
+  baseline.add(hierarchy.value().root().cert);
+  device.add(hierarchy.value().root().cert);        // identical
+  device.add(hierarchy.value().intermediates()[0].cert);  // an "addition"
+
+  const auto d = rootstore::diff(device, baseline);
+  std::printf("store diff vs baseline: %zu identical, %zu additions, %zu missing\n",
+              d.identical, d.additions(), d.missing());
+  for (const auto* added : d.only_in_a) {
+    std::printf("  + %s\n", added->subject().to_string().c_str());
+  }
+  return 0;
+}

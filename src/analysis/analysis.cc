@@ -1,0 +1,221 @@
+#include "analysis/analysis.h"
+
+#include <algorithm>
+#include <set>
+
+namespace tangled::analysis {
+
+using device::Manufacturer;
+using rootstore::AndroidVersion;
+using rootstore::NotaryClass;
+using rootstore::PlacementRow;
+
+// ---------------------------------------------------------------------------
+// Figure 1
+// ---------------------------------------------------------------------------
+
+Figure1Result figure1(const synth::Population& population) {
+  Figure1Result result;
+  // Key: (manufacturer, version, aosp, additions) -> session count.
+  std::map<std::tuple<int, int, std::size_t, std::size_t>, std::uint64_t> grid;
+  std::set<std::uint32_t> missing_handsets;
+  std::uint64_t sessions_41_42 = 0;
+  std::uint64_t large_41_42 = 0;
+
+  for (const auto& session : population.sessions) {
+    const auto& handset = population.handset_of(session);
+    ++result.total_sessions;
+    if (handset.extended()) ++result.extended_sessions;
+    if (handset.missing_aosp > 0) {
+      missing_handsets.insert(handset.device.handset_id);
+    }
+    const bool v41_42 = handset.device.version == AndroidVersion::k41 ||
+                        handset.device.version == AndroidVersion::k42;
+    if (v41_42) {
+      ++sessions_41_42;
+      if (handset.additions() > 40) ++large_41_42;
+    }
+    ++grid[{static_cast<int>(handset.device.manufacturer),
+            static_cast<int>(handset.device.version), handset.aosp_present,
+            handset.additions()}];
+  }
+
+  result.missing_cert_handsets = missing_handsets.size();
+  result.large_expansion_41_42 =
+      sessions_41_42 == 0
+          ? 0.0
+          : static_cast<double>(large_41_42) / static_cast<double>(sessions_41_42);
+
+  for (const auto& [key, sessions] : grid) {
+    Figure1Point point;
+    point.manufacturer = static_cast<Manufacturer>(std::get<0>(key));
+    point.version = static_cast<AndroidVersion>(std::get<1>(key));
+    point.aosp_certs = std::get<2>(key);
+    point.additional_certs = std::get<3>(key);
+    point.sessions = sessions;
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2
+// ---------------------------------------------------------------------------
+
+NotaryClass measured_class(const rootstore::StoreUniverse& universe,
+                           const notary::NotaryDb& db,
+                           std::size_t catalog_index) {
+  const auto& cert = universe.nonaosp_cas()[catalog_index].cert;
+  if (!db.recorded(cert)) return NotaryClass::kNotRecorded;
+  const bool mozilla = universe.mozilla().contains_equivalent(cert);
+  const bool ios7 = universe.ios7().contains_equivalent(cert);
+  if (mozilla && ios7) return NotaryClass::kMozillaAndIos7;
+  if (ios7) return NotaryClass::kIos7Only;
+  return NotaryClass::kAndroidOnly;
+}
+
+Figure2Result figure2(const synth::Population& population,
+                      std::uint64_t min_sessions) {
+  Figure2Result result;
+
+  // Per row: modified-session denominator and per-cert counts.
+  std::map<PlacementRow, std::map<std::size_t, std::uint64_t>> counts;
+
+  auto account = [&](PlacementRow row, const synth::HandsetRecord& handset) {
+    if (!handset.extended()) return;
+    ++result.modified_sessions[row];
+    for (const std::size_t idx : handset.nonaosp_indices) {
+      ++counts[row][idx];
+    }
+  };
+
+  for (const auto& session : population.sessions) {
+    const auto& handset = population.handset_of(session);
+    const auto vendor = device::manufacturer_row(handset.device.manufacturer,
+                                                 handset.device.version);
+    if (vendor.has_value()) account(*vendor, handset);
+    const auto oper = device::operator_row(handset.device.op);
+    if (oper.has_value()) account(*oper, handset);
+  }
+
+  for (const auto& [row, denominator] : result.modified_sessions) {
+    if (denominator < min_sessions) {
+      result.suppressed_rows.push_back(row);
+      continue;
+    }
+    const auto it = counts.find(row);
+    if (it == counts.end()) continue;
+    for (const auto& [idx, n] : it->second) {
+      Figure2Cell cell;
+      cell.row = row;
+      cell.catalog_index = idx;
+      cell.sessions = n;
+      cell.frequency = static_cast<double>(n) / static_cast<double>(denominator);
+      result.cells.push_back(cell);
+    }
+  }
+  return result;
+}
+
+ClassMix class_mix(const synth::Population& population,
+                   const rootstore::StoreUniverse& universe,
+                   const notary::NotaryDb& db) {
+  std::set<std::size_t> distinct;
+  for (const auto& handset : population.handsets) {
+    distinct.insert(handset.nonaosp_indices.begin(),
+                    handset.nonaosp_indices.end());
+  }
+  ClassMix mix;
+  for (const std::size_t idx : distinct) {
+    switch (measured_class(universe, db, idx)) {
+      case NotaryClass::kMozillaAndIos7: ++mix.mozilla_and_ios7; break;
+      case NotaryClass::kIos7Only: ++mix.ios7_only; break;
+      case NotaryClass::kAndroidOnly: ++mix.android_only; break;
+      case NotaryClass::kNotRecorded: ++mix.not_recorded; break;
+    }
+  }
+  return mix;
+}
+
+// ---------------------------------------------------------------------------
+// §6 / Table 5
+// ---------------------------------------------------------------------------
+
+RootedAnalysis rooted_analysis(const synth::Population& population) {
+  RootedAnalysis result;
+  const auto catalog = device::rooted_cert_catalog();
+
+  struct PerCert {
+    std::set<std::uint32_t> devices;
+    std::set<std::uint32_t> rooted_devices;
+  };
+  std::vector<PerCert> per_cert(catalog.size());
+
+  for (const auto& handset : population.handsets) {
+    for (const std::size_t idx : handset.rooted_cert_indices) {
+      per_cert[idx].devices.insert(handset.device.handset_id);
+      if (handset.device.rooted) {
+        per_cert[idx].rooted_devices.insert(handset.device.handset_id);
+      }
+    }
+  }
+
+  std::set<std::uint32_t> exclusive_handsets;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (per_cert[i].devices.empty()) continue;
+    RootedCertFinding finding;
+    finding.issuer = std::string(catalog[i].issuer_name);
+    finding.devices = per_cert[i].devices.size();
+    finding.rooted_devices = per_cert[i].rooted_devices.size();
+    finding.exclusively_rooted =
+        per_cert[i].devices == per_cert[i].rooted_devices;
+    result.findings.push_back(std::move(finding));
+    if (per_cert[i].devices == per_cert[i].rooted_devices) {
+      exclusive_handsets.insert(per_cert[i].rooted_devices.begin(),
+                                per_cert[i].rooted_devices.end());
+    }
+  }
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const auto& a, const auto& b) {
+              if (a.devices != b.devices) return a.devices > b.devices;
+              return a.issuer < b.issuer;
+            });
+
+  for (const auto& session : population.sessions) {
+    const auto& handset = population.handset_of(session);
+    ++result.total_sessions;
+    if (handset.device.rooted) {
+      ++result.rooted_sessions;
+      if (exclusive_handsets.contains(handset.device.handset_id)) {
+        ++result.rooted_exclusive_sessions;
+      }
+    }
+  }
+  return result;
+}
+
+RoamingObservations roaming_observations(const synth::Population& population) {
+  RoamingObservations result;
+  const auto catalog = rootstore::nonaosp_catalog();
+  for (const auto& session : population.sessions) {
+    ++result.total_sessions;
+    if (session.roaming) ++result.roaming_sessions;
+    const auto& handset = population.handset_of(session);
+    // Does this handset carry an operator-placed cert while the session's
+    // network operator differs from the handset's subscription?
+    if (session.network_operator == handset.device.op) continue;
+    for (const std::size_t idx : handset.nonaosp_indices) {
+      bool operator_placed = false;
+      for (const auto& placement : catalog[idx].placements) {
+        operator_placed |= rootstore::is_operator_row(placement.row);
+      }
+      if (operator_placed) {
+        ++result.foreign_operator_cert_sessions;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tangled::analysis

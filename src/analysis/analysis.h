@@ -1,0 +1,146 @@
+// The §5/§6 analyses over a Netalyzr population:
+//
+//  * Figure 1 — per (manufacturer, OS version): the distribution of
+//    (AOSP-cert count, additional-cert count) points with session weights;
+//  * Figure 2 — per Figure 2 row: for each non-AOSP certificate, the ratio
+//    of modified-store sessions exhibiting it, plus its store-membership
+//    class as *measured* against the Notary and the Mozilla/iOS7 stores;
+//  * §6 / Table 5 — certificates appearing exclusively on rooted handsets.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "notary/notary.h"
+#include "rootstore/catalog.h"
+#include "synth/population.h"
+
+namespace tangled::analysis {
+
+// ---------------------------------------------------------------------------
+// Figure 1
+// ---------------------------------------------------------------------------
+
+struct Figure1Point {
+  device::Manufacturer manufacturer;
+  rootstore::AndroidVersion version;
+  std::size_t aosp_certs;        // x-axis
+  std::size_t additional_certs;  // y-axis
+  std::uint64_t sessions;        // marker size
+};
+
+struct Figure1Result {
+  std::vector<Figure1Point> points;
+  std::uint64_t total_sessions = 0;
+  std::uint64_t extended_sessions = 0;   // §5: 39%
+  std::size_t missing_cert_handsets = 0; // §5: 5 handsets
+  /// Fraction of 4.1+4.2 sessions with > 40 additional certs (§5: >10%).
+  double large_expansion_41_42 = 0.0;
+
+  double extended_fraction() const {
+    return total_sessions == 0
+               ? 0.0
+               : static_cast<double>(extended_sessions) / total_sessions;
+  }
+};
+
+Figure1Result figure1(const synth::Population& population);
+
+// ---------------------------------------------------------------------------
+// Figure 2
+// ---------------------------------------------------------------------------
+
+/// Measured store-membership class of a certificate (Figure 2 marker
+/// shape), derived from the Notary DB plus the Mozilla/iOS7 stores.
+rootstore::NotaryClass measured_class(const rootstore::StoreUniverse& universe,
+                                      const notary::NotaryDb& db,
+                                      std::size_t catalog_index);
+
+struct Figure2Cell {
+  rootstore::PlacementRow row;
+  std::size_t catalog_index;
+  double frequency;            // sessions with cert / modified sessions in row
+  std::uint64_t sessions = 0;  // absolute count
+};
+
+struct Figure2Result {
+  std::vector<Figure2Cell> cells;
+  /// Modified-store session count per row (the normalization denominators).
+  std::map<rootstore::PlacementRow, std::uint64_t> modified_sessions;
+  /// Rows suppressed for having < min_sessions modified sessions (the paper
+  /// omits rows with fewer than 10).
+  std::vector<rootstore::PlacementRow> suppressed_rows;
+};
+
+Figure2Result figure2(const synth::Population& population,
+                      std::uint64_t min_sessions = 10);
+
+/// Aggregate class mix over distinct certificates observed in the
+/// population (the paper's 6.7 / 16.2 / 37.1 / 40.0% split).
+struct ClassMix {
+  std::size_t mozilla_and_ios7 = 0;
+  std::size_t ios7_only = 0;
+  std::size_t android_only = 0;
+  std::size_t not_recorded = 0;
+
+  std::size_t total() const {
+    return mozilla_and_ios7 + ios7_only + android_only + not_recorded;
+  }
+};
+
+ClassMix class_mix(const synth::Population& population,
+                   const rootstore::StoreUniverse& universe,
+                   const notary::NotaryDb& db);
+
+// ---------------------------------------------------------------------------
+// §6 / Table 5
+// ---------------------------------------------------------------------------
+
+struct RootedCertFinding {
+  std::string issuer;
+  std::uint64_t devices = 0;           // distinct handsets carrying it
+  std::uint64_t rooted_devices = 0;    // of which rooted (should be all)
+  bool exclusively_rooted = false;
+};
+
+struct RootedAnalysis {
+  std::vector<RootedCertFinding> findings;  // descending by devices
+  std::uint64_t rooted_sessions = 0;
+  std::uint64_t total_sessions = 0;
+  /// Sessions on rooted handsets that carry rooted-exclusive certs.
+  std::uint64_t rooted_exclusive_sessions = 0;
+
+  double rooted_fraction() const {
+    return total_sessions == 0
+               ? 0.0
+               : static_cast<double>(rooted_sessions) / total_sessions;
+  }
+  double exclusive_fraction_of_rooted() const {
+    return rooted_sessions == 0 ? 0.0
+                                : static_cast<double>(rooted_exclusive_sessions) /
+                                      rooted_sessions;
+  }
+};
+
+RootedAnalysis rooted_analysis(const synth::Population& population);
+
+// ---------------------------------------------------------------------------
+// §5.2 — additional observations
+// ---------------------------------------------------------------------------
+
+/// The roaming signature §5.2 describes: "the appearance of a root
+/// certificate issued by an operator different than the operator providing
+/// the network access suggests a user roaming or traveling abroad".
+struct RoamingObservations {
+  /// Sessions where an operator-pack certificate is present while the
+  /// session's network belongs to a different operator.
+  std::uint64_t foreign_operator_cert_sessions = 0;
+  std::uint64_t roaming_sessions = 0;
+  std::uint64_t total_sessions = 0;
+};
+
+RoamingObservations roaming_observations(const synth::Population& population);
+
+}  // namespace tangled::analysis

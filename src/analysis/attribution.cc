@@ -1,0 +1,80 @@
+#include "analysis/attribution.h"
+
+#include <set>
+
+#include "rootstore/nonaosp_catalog.h"
+
+namespace tangled::analysis {
+
+std::string_view to_string(AdditionOrigin origin) {
+  switch (origin) {
+    case AdditionOrigin::kVendor: return "vendor firmware";
+    case AdditionOrigin::kOperator: return "operator pack";
+    case AdditionOrigin::kCarrierVariant: return "carrier-variant firmware";
+    case AdditionOrigin::kUser: return "user-installed";
+    case AdditionOrigin::kRooted: return "rooted-device injection";
+    case AdditionOrigin::kFutureAosp: return "newer-AOSP root";
+  }
+  return "?";
+}
+
+std::uint64_t AttributionResult::total_installations() const {
+  std::uint64_t total = 0;
+  for (const auto& [origin, count] : installations) total += count;
+  return total;
+}
+
+namespace {
+
+/// Classifies a catalog certificate's origin from its placement rows —
+/// the same structural reading the paper applies to Figure 2.
+AdditionOrigin classify_catalog(const rootstore::NonAospCertSpec& spec) {
+  bool vendor_rows = false;
+  bool operator_rows = false;
+  for (const auto& placement : spec.placements) {
+    if (rootstore::is_operator_row(placement.row)) operator_rows = true;
+    else vendor_rows = true;
+  }
+  if (vendor_rows && operator_rows) return AdditionOrigin::kCarrierVariant;
+  if (operator_rows) return AdditionOrigin::kOperator;
+  return AdditionOrigin::kVendor;
+}
+
+}  // namespace
+
+AttributionResult attribute_additions(const synth::Population& population) {
+  AttributionResult result;
+  const auto catalog = rootstore::nonaosp_catalog();
+
+  std::map<AdditionOrigin, std::set<std::string>> distinct;
+  auto record = [&](AdditionOrigin origin, const std::string& cert_id) {
+    ++result.installations[origin];
+    distinct[origin].insert(cert_id);
+  };
+
+  for (const auto& handset : population.handsets) {
+    for (const std::size_t idx : handset.nonaosp_indices) {
+      record(classify_catalog(catalog[idx]),
+             std::string(catalog[idx].paper_tag));
+    }
+    for (const std::size_t idx : handset.rooted_cert_indices) {
+      record(AdditionOrigin::kRooted,
+             std::string(device::rooted_cert_catalog()[idx].issuer_name));
+    }
+    for (std::size_t u = 0; u < handset.user_added; ++u) {
+      // User certs are unique per handset by construction (§5.2).
+      record(AdditionOrigin::kUser,
+             "user-" + std::to_string(handset.device.handset_id));
+    }
+    if (handset.future_aosp > 0) {
+      record(AdditionOrigin::kFutureAosp, "future-aosp-root");
+    }
+  }
+
+  for (const auto& [origin, certs] : distinct) {
+    result.distinct_certs[origin] = certs.size();
+  }
+  return result;
+}
+
+}  // namespace tangled::analysis

@@ -1,0 +1,42 @@
+// §5.1/§5.2 attribution: who put each additional certificate on the
+// device? The paper distinguishes hardware-vendor firmware additions,
+// operator-subsidized firmware additions, carrier-variant certs (vendor ∧
+// operator, like CertiSign on Motorola-Verizon), user-installed VPN certs,
+// and rooted-device injections.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "synth/population.h"
+
+namespace tangled::analysis {
+
+enum class AdditionOrigin : std::uint8_t {
+  kVendor,          // manufacturer firmware (AddTrust on HTC/Samsung, …)
+  kOperator,        // operator pack (Sprint, Cingular, Vodafone, …)
+  kCarrierVariant,  // vendor ∧ operator firmware (CertiSign, MSFT/AT&T)
+  kUser,            // manually installed self-signed certs (§5.2)
+  kRooted,          // rooted-device injections (§6, Table 5)
+  kFutureAosp,      // newer-AOSP roots on older devices (Sony 4.1 quirk)
+};
+
+std::string_view to_string(AdditionOrigin origin);
+
+struct AttributionResult {
+  /// Distinct (handset, certificate) installations per origin.
+  std::map<AdditionOrigin, std::uint64_t> installations;
+  /// Distinct certificates per origin (a cert counts once per origin).
+  std::map<AdditionOrigin, std::uint64_t> distinct_certs;
+
+  std::uint64_t total_installations() const;
+};
+
+/// Classifies every addition in the population. Catalog placements drive
+/// the vendor/operator/carrier-variant split; user, rooted, and
+/// future-AOSP additions are recognized from the handset record.
+AttributionResult attribute_additions(const synth::Population& population);
+
+}  // namespace tangled::analysis

@@ -1,0 +1,42 @@
+#include "analysis/minimize.h"
+
+#include <algorithm>
+
+namespace tangled::analysis {
+
+MinimizeResult minimize_store(const rootstore::RootStore& store,
+                              const notary::ValidationCensus& census) {
+  MinimizeResult result;
+  result.size_before = store.size();
+
+  std::vector<std::uint64_t> counts;
+  counts.reserve(store.size());
+  for (const auto& cert : store.certificates()) {
+    const std::uint64_t n = census.validated_by(cert);
+    counts.push_back(n);
+    if (n == 0) result.removable.push_back(&cert);
+    result.validated += n;
+  }
+  result.size_after = result.size_before - result.removable.size();
+
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  result.retention_curve.reserve(counts.size());
+  std::uint64_t running = 0;
+  for (const std::uint64_t c : counts) {
+    running += c;
+    result.retention_curve.push_back(
+        result.validated == 0
+            ? 1.0
+            : static_cast<double>(running) / static_cast<double>(result.validated));
+  }
+  return result;
+}
+
+std::size_t MinimizeResult::roots_needed_for(double target) const {
+  for (std::size_t k = 0; k < retention_curve.size(); ++k) {
+    if (retention_curve[k] >= target) return k + 1;
+  }
+  return retention_curve.size();
+}
+
+}  // namespace tangled::analysis

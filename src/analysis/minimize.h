@@ -1,0 +1,45 @@
+// Root-store minimization — the experiment the paper gestures at in §5.3
+// ("One could seemingly disable these certificates with little negative
+// effect on the user experience or TLS functionality") and attributes to
+// Perl et al. [26] ("You Won't Be Needing These Any More").
+//
+// Given a validation census, ranks a store's roots by how many observed
+// certificates they validate, identifies the zero-validators, and computes
+// the retention curve: how much validation coverage survives if only the
+// top-k roots are kept.
+#pragma once
+
+#include <vector>
+
+#include "notary/census.h"
+#include "rootstore/rootstore.h"
+
+namespace tangled::analysis {
+
+struct MinimizeResult {
+  /// Roots validating nothing in the census — removable "for free".
+  std::vector<const x509::Certificate*> removable;
+  /// Store size before/after free removal.
+  std::size_t size_before = 0;
+  std::size_t size_after = 0;
+  /// Total census certificates the store validates (unchanged by free
+  /// removal; the invariant is asserted in tests).
+  std::uint64_t validated = 0;
+  /// retention_curve[k] = fraction of `validated` still covered when only
+  /// the k+1 highest-validating roots are kept.
+  std::vector<double> retention_curve;
+
+  double removable_fraction() const {
+    return size_before == 0
+               ? 0.0
+               : static_cast<double>(removable.size()) / size_before;
+  }
+  /// Smallest k with retention_curve[k-1] >= target (store size needed to
+  /// keep `target` of current coverage).
+  std::size_t roots_needed_for(double target) const;
+};
+
+MinimizeResult minimize_store(const rootstore::RootStore& store,
+                              const notary::ValidationCensus& census);
+
+}  // namespace tangled::analysis

@@ -1,0 +1,98 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace tangled::analysis {
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += cells[c];
+      if (c + 1 < cells.size()) {
+        out.append(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    out.push_back('\n');
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+std::string AsciiTable::to_csv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find(',') == std::string::npos &&
+        cell.find('"') == std::string::npos) {
+      return cell;
+    }
+    std::string quoted = "\"";
+    for (char c : cell) {
+      if (c == '"') quoted += "\"\"";
+      else quoted.push_back(c);
+    }
+    quoted.push_back('"');
+    return quoted;
+  };
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) out.push_back(',');
+    out += quote(headers_[c]);
+  }
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out.push_back(',');
+      out += quote(row[c]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string percent(double fraction, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string relative_error(double measured, double reference) {
+  if (reference == 0.0) return "n/a";
+  const double err = (measured - reference) / reference * 100.0;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", err);
+  return buf;
+}
+
+}  // namespace tangled::analysis

@@ -1,0 +1,38 @@
+// Plain-text table rendering for benches and examples: fixed-width ASCII
+// tables plus CSV output, so every paper table can be printed side by side
+// with its reproduction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tangled::analysis {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule, columns padded to the widest cell.
+  std::string to_string() const;
+  /// Comma-separated with a header line; cells containing commas are quoted.
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a ratio as "12.3%".
+std::string percent(double fraction, int decimals = 1);
+/// Formats with thousands separators: 744069 -> "744,069".
+std::string with_commas(std::uint64_t value);
+/// Relative error between measured and reference, as "+1.2%" / "-0.4%".
+std::string relative_error(double measured, double reference);
+
+}  // namespace tangled::analysis

@@ -1,0 +1,279 @@
+#include "asn1/der.h"
+
+#include <cassert>
+
+namespace tangled::asn1 {
+
+namespace {
+
+/// Number of octets a definite-form length needs.
+std::size_t length_octets(std::size_t len) {
+  if (len < 0x80) return 1;
+  std::size_t n = 0;
+  while (len > 0) {
+    ++n;
+    len >>= 8;
+  }
+  return 1 + n;
+}
+
+void encode_length(Bytes& out, std::size_t len) {
+  if (len < 0x80) {
+    out.push_back(static_cast<std::uint8_t>(len));
+    return;
+  }
+  std::uint8_t tmp[sizeof(std::size_t)];
+  std::size_t n = 0;
+  while (len > 0) {
+    tmp[n++] = static_cast<std::uint8_t>(len & 0xff);
+    len >>= 8;
+  }
+  out.push_back(static_cast<std::uint8_t>(0x80 | n));
+  for (std::size_t i = n; i > 0; --i) out.push_back(tmp[i - 1]);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DerWriter
+// ---------------------------------------------------------------------------
+
+void DerWriter::begin(std::uint8_t raw_tag) {
+  open_.push_back(buffer_.size());
+  buffer_.push_back(raw_tag);
+  // Placeholder single-octet length; end() re-encodes when the body is known.
+  buffer_.push_back(0x00);
+}
+
+void DerWriter::end() {
+  assert(!open_.empty() && "end() without begin()");
+  const std::size_t tag_pos = open_.back();
+  open_.pop_back();
+  const std::size_t body_start = tag_pos + 2;
+  const std::size_t body_len = buffer_.size() - body_start;
+  const std::size_t need = length_octets(body_len);
+  if (need > 1) {
+    // Grow the length field in place, shifting the body right.
+    Bytes len_bytes;
+    encode_length(len_bytes, body_len);
+    buffer_.insert(buffer_.begin() + static_cast<std::ptrdiff_t>(tag_pos + 1),
+                   len_bytes.size() - 1, 0);
+    std::copy(len_bytes.begin(), len_bytes.end(),
+              buffer_.begin() + static_cast<std::ptrdiff_t>(tag_pos + 1));
+  } else {
+    buffer_[tag_pos + 1] = static_cast<std::uint8_t>(body_len);
+  }
+}
+
+void DerWriter::primitive(std::uint8_t raw_tag, ByteView body) {
+  buffer_.push_back(raw_tag);
+  encode_length(buffer_, body.size());
+  append(buffer_, body);
+}
+
+void DerWriter::write_boolean(bool value) {
+  const std::uint8_t body = value ? 0xff : 0x00;
+  primitive(Tag::kBoolean, ByteView(&body, 1));
+}
+
+void DerWriter::write_integer_unsigned(ByteView magnitude) {
+  std::size_t start = 0;
+  while (start + 1 < magnitude.size() && magnitude[start] == 0) ++start;
+  Bytes body;
+  if (magnitude.empty() || (magnitude.size() - start == 1 && magnitude[start] == 0)) {
+    body.push_back(0x00);
+  } else {
+    if (magnitude[start] & 0x80) body.push_back(0x00);
+    append(body, magnitude.subspan(start));
+  }
+  primitive(Tag::kInteger, body);
+}
+
+void DerWriter::write_integer(std::int64_t value) {
+  // Two's-complement minimal encoding.
+  Bytes body;
+  bool more = true;
+  while (more) {
+    const auto octet = static_cast<std::uint8_t>(value & 0xff);
+    value >>= 8;
+    body.insert(body.begin(), octet);
+    const bool sign_bit = (octet & 0x80) != 0;
+    more = !((value == 0 && !sign_bit) || (value == -1 && sign_bit));
+  }
+  primitive(Tag::kInteger, body);
+}
+
+void DerWriter::write_null() {
+  primitive(Tag::kNull, {});
+}
+
+void DerWriter::write_oid(const Oid& oid) {
+  auto body = oid.to_der_body();
+  assert(body.ok() && "writing malformed OID");
+  primitive(Tag::kOid, body.value());
+}
+
+void DerWriter::write_octet_string(ByteView body) {
+  primitive(Tag::kOctetString, body);
+}
+
+void DerWriter::write_bit_string(ByteView body) {
+  Bytes b;
+  b.reserve(body.size() + 1);
+  b.push_back(0x00);  // unused bits
+  append(b, body);
+  primitive(Tag::kBitString, b);
+}
+
+void DerWriter::write_utf8_string(std::string_view s) {
+  primitive(Tag::kUtf8String, to_bytes(s));
+}
+
+void DerWriter::write_printable_string(std::string_view s) {
+  primitive(Tag::kPrintableString, to_bytes(s));
+}
+
+void DerWriter::write_ia5_string(std::string_view s) {
+  primitive(Tag::kIa5String, to_bytes(s));
+}
+
+void DerWriter::write_raw(ByteView der) {
+  append(buffer_, der);
+}
+
+Bytes DerWriter::take() {
+  assert(open_.empty() && "take() with open containers");
+  return std::move(buffer_);
+}
+
+// ---------------------------------------------------------------------------
+// DerReader
+// ---------------------------------------------------------------------------
+
+Result<std::uint8_t> DerReader::peek_tag() const {
+  if (at_end()) return parse_error("peek past end of DER window");
+  return data_[pos_];
+}
+
+Result<Tlv> DerReader::read_tlv(ByteView* tlv_der) {
+  const std::size_t start = pos_;
+  if (at_end()) return parse_error("read past end of DER window");
+  const std::uint8_t raw_tag = data_[pos_++];
+  if ((raw_tag & 0x1f) == 0x1f) {
+    return unsupported_error("multi-byte tags not used by X.509");
+  }
+  if (at_end()) return parse_error("truncated DER length");
+  const std::uint8_t first = data_[pos_++];
+  std::size_t len = 0;
+  if (first < 0x80) {
+    len = first;
+  } else if (first == 0x80) {
+    return parse_error("indefinite length forbidden in DER");
+  } else {
+    const std::size_t n = first & 0x7f;
+    if (n > sizeof(std::size_t)) return parse_error("DER length too large");
+    if (remaining() < n) return parse_error("truncated DER length octets");
+    for (std::size_t i = 0; i < n; ++i) {
+      len = (len << 8) | data_[pos_++];
+    }
+    // DER: shortest possible length form, no leading zero octets.
+    if (len < 0x80 || (n > 1 && data_[start + 2] == 0x00)) {
+      return parse_error("non-minimal DER length");
+    }
+  }
+  if (remaining() < len) return parse_error("truncated DER body");
+  Tlv tlv;
+  tlv.raw_tag = raw_tag;
+  tlv.body = data_.subspan(pos_, len);
+  pos_ += len;
+  if (tlv_der != nullptr) *tlv_der = data_.subspan(start, pos_ - start);
+  return tlv;
+}
+
+Result<Tlv> DerReader::expect(Tag tag, ByteView* tlv_der) {
+  return expect_raw(static_cast<std::uint8_t>(tag), tlv_der);
+}
+
+Result<Tlv> DerReader::expect_raw(std::uint8_t raw_tag, ByteView* tlv_der) {
+  auto tlv = read_tlv(tlv_der);
+  if (!tlv.ok()) return tlv;
+  if (tlv.value().raw_tag != raw_tag) {
+    return parse_error("unexpected DER tag " + std::to_string(tlv.value().raw_tag) +
+                       ", wanted " + std::to_string(raw_tag));
+  }
+  return tlv;
+}
+
+Result<bool> DerReader::read_boolean() {
+  auto tlv = expect(Tag::kBoolean);
+  if (!tlv.ok()) return tlv.error();
+  const ByteView body = tlv.value().body;
+  if (body.size() != 1) return parse_error("BOOLEAN must be one octet");
+  if (body[0] != 0x00 && body[0] != 0xff) {
+    return parse_error("DER BOOLEAN must be 0x00 or 0xff");
+  }
+  return body[0] == 0xff;
+}
+
+Result<Bytes> DerReader::read_integer_unsigned() {
+  auto tlv = expect(Tag::kInteger);
+  if (!tlv.ok()) return tlv.error();
+  ByteView body = tlv.value().body;
+  if (body.empty()) return parse_error("empty INTEGER");
+  if (body[0] & 0x80) return parse_error("negative INTEGER where unsigned expected");
+  if (body.size() >= 2 && body[0] == 0x00 && !(body[1] & 0x80)) {
+    return parse_error("non-minimal INTEGER encoding");
+  }
+  if (body.size() > 1 && body[0] == 0x00) body = body.subspan(1);
+  return Bytes(body.begin(), body.end());
+}
+
+Result<std::int64_t> DerReader::read_small_integer() {
+  auto tlv = expect(Tag::kInteger);
+  if (!tlv.ok()) return tlv.error();
+  const ByteView body = tlv.value().body;
+  if (body.empty()) return parse_error("empty INTEGER");
+  if (body.size() > 8) return range_error("INTEGER too large for int64");
+  std::int64_t value = (body[0] & 0x80) ? -1 : 0;
+  for (std::uint8_t b : body) value = (value << 8) | b;
+  return value;
+}
+
+Result<Oid> DerReader::read_oid() {
+  auto tlv = expect(Tag::kOid);
+  if (!tlv.ok()) return tlv.error();
+  return Oid::from_der_body(tlv.value().body);
+}
+
+Result<Bytes> DerReader::read_octet_string() {
+  auto tlv = expect(Tag::kOctetString);
+  if (!tlv.ok()) return tlv.error();
+  return Bytes(tlv.value().body.begin(), tlv.value().body.end());
+}
+
+Result<Bytes> DerReader::read_bit_string() {
+  auto tlv = expect(Tag::kBitString);
+  if (!tlv.ok()) return tlv.error();
+  const ByteView body = tlv.value().body;
+  if (body.empty()) return parse_error("empty BIT STRING");
+  if (body[0] != 0) return unsupported_error("BIT STRING with unused bits");
+  return Bytes(body.begin() + 1, body.end());
+}
+
+Result<std::string> DerReader::read_string() {
+  auto tlv = read_tlv();
+  if (!tlv.ok()) return tlv.error();
+  const auto& t = tlv.value();
+  if (!t.is(Tag::kUtf8String) && !t.is(Tag::kPrintableString) &&
+      !t.is(Tag::kIa5String)) {
+    return parse_error("expected a string type");
+  }
+  return to_string(t.body);
+}
+
+Result<void> DerReader::expect_end() const {
+  if (!at_end()) return parse_error("trailing bytes after DER value");
+  return {};
+}
+
+}  // namespace tangled::asn1

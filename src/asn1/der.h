@@ -1,0 +1,144 @@
+// DER (Distinguished Encoding Rules) reader and writer.
+//
+// The writer builds nested TLVs with definite lengths by back-patching
+// container lengths on end_*(). The reader is a bounds-checked cursor over a
+// byte span; it never throws and never reads past its window, so it is safe
+// on hostile input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asn1/oid.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tangled::asn1 {
+
+/// Universal-class tag numbers used by X.509.
+enum class Tag : std::uint8_t {
+  kBoolean = 0x01,
+  kInteger = 0x02,
+  kBitString = 0x03,
+  kOctetString = 0x04,
+  kNull = 0x05,
+  kOid = 0x06,
+  kUtf8String = 0x0c,
+  kPrintableString = 0x13,
+  kIa5String = 0x16,
+  kUtcTime = 0x17,
+  kGeneralizedTime = 0x18,
+  kSequence = 0x30,  // constructed bit already set
+  kSet = 0x31,       // constructed bit already set
+};
+
+/// Raw identifier octet for a context-specific tag, e.g. [0] EXPLICIT.
+constexpr std::uint8_t context_tag(std::uint8_t number, bool constructed) {
+  return static_cast<std::uint8_t>(0x80 | (constructed ? 0x20 : 0x00) | number);
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Appends DER TLVs to an internal buffer. Containers nest via
+/// begin(tag)/end(); lengths are patched when the container closes.
+class DerWriter {
+ public:
+  /// Opens a constructed TLV with the given identifier octet.
+  void begin(std::uint8_t raw_tag);
+  void begin(Tag tag) { begin(static_cast<std::uint8_t>(tag)); }
+  /// Closes the innermost open container.
+  void end();
+
+  /// Writes a complete primitive TLV.
+  void primitive(std::uint8_t raw_tag, ByteView body);
+  void primitive(Tag tag, ByteView body) {
+    primitive(static_cast<std::uint8_t>(tag), body);
+  }
+
+  void write_boolean(bool value);
+  /// INTEGER from a big-endian unsigned magnitude; prepends 0x00 when the
+  /// leading bit is set, strips redundant leading zeros.
+  void write_integer_unsigned(ByteView magnitude);
+  void write_integer(std::int64_t value);
+  void write_null();
+  void write_oid(const Oid& oid);
+  void write_octet_string(ByteView body);
+  /// BIT STRING with zero unused bits (the only form X.509 needs here).
+  void write_bit_string(ByteView body);
+  void write_utf8_string(std::string_view s);
+  void write_printable_string(std::string_view s);
+  void write_ia5_string(std::string_view s);
+  /// Writes pre-encoded DER verbatim (a complete TLV produced elsewhere).
+  void write_raw(ByteView der);
+
+  /// Finishes and returns the buffer. All containers must be closed.
+  Bytes take();
+
+  /// Current encoded size (useful for assertions in tests).
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+  std::vector<std::size_t> open_;  // offsets of container *tag* bytes
+};
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// One decoded TLV: identifier octet plus its contents window.
+struct Tlv {
+  std::uint8_t raw_tag = 0;
+  ByteView body;
+
+  bool is(Tag tag) const { return raw_tag == static_cast<std::uint8_t>(tag); }
+  bool is_context(std::uint8_t number) const {
+    return (raw_tag & 0xc0) == 0x80 && (raw_tag & 0x1f) == number;
+  }
+};
+
+/// Bounds-checked cursor over a DER-encoded window.
+class DerReader {
+ public:
+  explicit DerReader(ByteView data) : data_(data) {}
+
+  bool at_end() const { return pos_ >= data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// Peeks the next identifier octet without consuming.
+  Result<std::uint8_t> peek_tag() const;
+
+  /// Reads the next TLV (header + body), advancing past it. Also returns the
+  /// full encoding window via `tlv_der` when non-null (used for signatures
+  /// over raw TBS bytes).
+  Result<Tlv> read_tlv(ByteView* tlv_der = nullptr);
+
+  /// Reads a TLV and checks its tag.
+  Result<Tlv> expect(Tag tag, ByteView* tlv_der = nullptr);
+  Result<Tlv> expect_raw(std::uint8_t raw_tag, ByteView* tlv_der = nullptr);
+
+  /// Typed convenience readers.
+  Result<bool> read_boolean();
+  /// INTEGER as big-endian magnitude (rejects negatives; strips sign octet).
+  Result<Bytes> read_integer_unsigned();
+  Result<std::int64_t> read_small_integer();
+  Result<Oid> read_oid();
+  Result<Bytes> read_octet_string();
+  /// BIT STRING; requires zero unused bits.
+  Result<Bytes> read_bit_string();
+  /// Any of UTF8String/PrintableString/IA5String as text.
+  Result<std::string> read_string();
+
+  /// Fails unless the whole window was consumed (DER forbids trailing bytes).
+  Result<void> expect_end() const;
+
+ private:
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tangled::asn1

@@ -1,0 +1,151 @@
+#include "asn1/oid.h"
+
+#include <charconv>
+
+namespace tangled::asn1 {
+
+Result<Oid> Oid::from_dotted(std::string_view text) {
+  std::vector<std::uint32_t> arcs;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t dot = text.find('.', pos);
+    const std::string_view piece =
+        text.substr(pos, dot == std::string_view::npos ? text.size() - pos : dot - pos);
+    std::uint32_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(piece.data(), piece.data() + piece.size(), value);
+    if (ec != std::errc{} || ptr != piece.data() + piece.size() || piece.empty()) {
+      return parse_error("bad OID component in '" + std::string(text) + "'");
+    }
+    arcs.push_back(value);
+    if (dot == std::string_view::npos) break;
+    pos = dot + 1;
+  }
+  if (arcs.size() < 2) return parse_error("OID needs at least two arcs");
+  if (arcs[0] > 2 || (arcs[0] < 2 && arcs[1] > 39)) {
+    return parse_error("invalid leading OID arcs");
+  }
+  return Oid(std::move(arcs));
+}
+
+Result<Oid> Oid::from_der_body(ByteView body) {
+  if (body.empty()) return parse_error("empty OID body");
+  std::vector<std::uint32_t> arcs;
+  std::size_t i = 0;
+  bool first = true;
+  while (i < body.size()) {
+    std::uint64_t value = 0;
+    bool done = false;
+    std::size_t len = 0;
+    while (i < body.size()) {
+      const std::uint8_t b = body[i++];
+      ++len;
+      if (len == 1 && b == 0x80) return parse_error("non-minimal OID arc encoding");
+      if (len > 5) return parse_error("OID arc too large");
+      value = (value << 7) | (b & 0x7f);
+      if ((b & 0x80) == 0) {
+        done = true;
+        break;
+      }
+    }
+    if (!done) return parse_error("truncated OID arc");
+    if (first) {
+      // First subidentifier packs the first two arcs: 40*a0 + a1.
+      const auto a0 = static_cast<std::uint32_t>(value >= 80 ? 2 : value / 40);
+      const std::uint64_t a1 = value - 40ull * a0;
+      if (a1 > 0xffffffffull) return range_error("OID arc exceeds 32 bits");
+      arcs.push_back(a0);
+      arcs.push_back(static_cast<std::uint32_t>(a1));
+      first = false;
+    } else {
+      if (value > 0xffffffffull) return range_error("OID arc exceeds 32 bits");
+      arcs.push_back(static_cast<std::uint32_t>(value));
+    }
+  }
+  return Oid(std::move(arcs));
+}
+
+Result<Bytes> Oid::to_der_body() const {
+  if (arcs_.size() < 2) return state_error("OID needs at least two arcs");
+  if (arcs_[0] > 2 || (arcs_[0] < 2 && arcs_[1] > 39)) {
+    return state_error("invalid leading OID arcs");
+  }
+  Bytes out;
+  auto emit = [&out](std::uint64_t value) {
+    std::uint8_t tmp[10];
+    int n = 0;
+    do {
+      tmp[n++] = static_cast<std::uint8_t>(value & 0x7f);
+      value >>= 7;
+    } while (value != 0);
+    for (int i = n - 1; i >= 0; --i) {
+      out.push_back(static_cast<std::uint8_t>(tmp[i] | (i > 0 ? 0x80 : 0x00)));
+    }
+  };
+  emit(40ull * arcs_[0] + arcs_[1]);
+  for (std::size_t i = 2; i < arcs_.size(); ++i) emit(arcs_[i]);
+  return out;
+}
+
+std::string Oid::to_dotted() const {
+  std::string out;
+  for (std::size_t i = 0; i < arcs_.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(arcs_[i]);
+  }
+  return out;
+}
+
+namespace oids {
+
+#define TANGLED_DEFINE_OID(fn, ...)         \
+  const Oid& fn() {                         \
+    static const Oid oid{__VA_ARGS__};      \
+    return oid;                             \
+  }
+
+TANGLED_DEFINE_OID(common_name, 2, 5, 4, 3)
+TANGLED_DEFINE_OID(country, 2, 5, 4, 6)
+TANGLED_DEFINE_OID(locality, 2, 5, 4, 7)
+TANGLED_DEFINE_OID(state, 2, 5, 4, 8)
+TANGLED_DEFINE_OID(organization, 2, 5, 4, 10)
+TANGLED_DEFINE_OID(organizational_unit, 2, 5, 4, 11)
+TANGLED_DEFINE_OID(email_address, 1, 2, 840, 113549, 1, 9, 1)
+
+TANGLED_DEFINE_OID(rsa_encryption, 1, 2, 840, 113549, 1, 1, 1)
+TANGLED_DEFINE_OID(sha256_with_rsa, 1, 2, 840, 113549, 1, 1, 11)
+TANGLED_DEFINE_OID(sha1_with_rsa, 1, 2, 840, 113549, 1, 1, 5)
+TANGLED_DEFINE_OID(sim_sig, 1, 3, 6, 1, 4, 1, 55555, 1, 1)
+
+TANGLED_DEFINE_OID(sha1, 1, 3, 14, 3, 2, 26)
+TANGLED_DEFINE_OID(sha256, 2, 16, 840, 1, 101, 3, 4, 2, 1)
+
+TANGLED_DEFINE_OID(basic_constraints, 2, 5, 29, 19)
+TANGLED_DEFINE_OID(key_usage, 2, 5, 29, 15)
+TANGLED_DEFINE_OID(subject_key_id, 2, 5, 29, 14)
+TANGLED_DEFINE_OID(authority_key_id, 2, 5, 29, 35)
+TANGLED_DEFINE_OID(ext_key_usage, 2, 5, 29, 37)
+TANGLED_DEFINE_OID(subject_alt_name, 2, 5, 29, 17)
+
+TANGLED_DEFINE_OID(eku_server_auth, 1, 3, 6, 1, 5, 5, 7, 3, 1)
+TANGLED_DEFINE_OID(eku_client_auth, 1, 3, 6, 1, 5, 5, 7, 3, 2)
+TANGLED_DEFINE_OID(eku_code_signing, 1, 3, 6, 1, 5, 5, 7, 3, 3)
+TANGLED_DEFINE_OID(eku_email_protection, 1, 3, 6, 1, 5, 5, 7, 3, 4)
+TANGLED_DEFINE_OID(eku_time_stamping, 1, 3, 6, 1, 5, 5, 7, 3, 8)
+
+#undef TANGLED_DEFINE_OID
+
+std::string_view attribute_short_name(const Oid& oid) {
+  if (oid == common_name()) return "CN";
+  if (oid == country()) return "C";
+  if (oid == locality()) return "L";
+  if (oid == state()) return "ST";
+  if (oid == organization()) return "O";
+  if (oid == organizational_unit()) return "OU";
+  if (oid == email_address()) return "emailAddress";
+  return {};
+}
+
+}  // namespace oids
+
+}  // namespace tangled::asn1

@@ -1,0 +1,87 @@
+// ASN.1 OBJECT IDENTIFIER type plus the registry of PKIX OIDs libtangled
+// understands (attribute types, signature algorithms, extensions).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tangled::asn1 {
+
+/// An OBJECT IDENTIFIER as a sequence of arcs, e.g. {2,5,4,3} for id-at-cn.
+class Oid {
+ public:
+  Oid() = default;
+  Oid(std::initializer_list<std::uint32_t> arcs) : arcs_(arcs) {}
+  explicit Oid(std::vector<std::uint32_t> arcs) : arcs_(std::move(arcs)) {}
+
+  /// Parses dotted-decimal notation ("2.5.4.3").
+  static Result<Oid> from_dotted(std::string_view text);
+
+  /// Decodes the *contents* octets of an OID TLV (not including tag/length).
+  static Result<Oid> from_der_body(ByteView body);
+
+  /// Encodes to contents octets (base-128 arcs, first two packed).
+  Result<Bytes> to_der_body() const;
+
+  std::string to_dotted() const;
+
+  const std::vector<std::uint32_t>& arcs() const { return arcs_; }
+  bool empty() const { return arcs_.empty(); }
+
+  friend bool operator==(const Oid&, const Oid&) = default;
+  friend auto operator<=>(const Oid&, const Oid&) = default;
+
+ private:
+  std::vector<std::uint32_t> arcs_;
+};
+
+/// Well-known OIDs. Kept as functions returning const refs so the objects
+/// are constructed once and header inclusion stays cheap.
+namespace oids {
+
+// X.520 attribute types (subject/issuer RDNs).
+const Oid& common_name();             // 2.5.4.3
+const Oid& country();                 // 2.5.4.6
+const Oid& locality();                // 2.5.4.7
+const Oid& state();                   // 2.5.4.8
+const Oid& organization();            // 2.5.4.10
+const Oid& organizational_unit();     // 2.5.4.11
+const Oid& email_address();           // 1.2.840.113549.1.9.1
+
+// Public-key and signature algorithms.
+const Oid& rsa_encryption();          // 1.2.840.113549.1.1.1
+const Oid& sha256_with_rsa();         // 1.2.840.113549.1.1.11
+const Oid& sha1_with_rsa();           // 1.2.840.113549.1.1.5
+const Oid& sim_sig();                 // 1.3.6.1.4.1.55555.1.1 (simulation-only)
+
+// Digests (for DigestInfo).
+const Oid& sha1();                    // 1.3.14.3.2.26
+const Oid& sha256();                  // 2.16.840.1.101.3.4.2.1
+
+// Certificate extensions.
+const Oid& basic_constraints();       // 2.5.29.19
+const Oid& key_usage();               // 2.5.29.15
+const Oid& subject_key_id();          // 2.5.29.14
+const Oid& authority_key_id();        // 2.5.29.35
+const Oid& ext_key_usage();           // 2.5.29.37
+const Oid& subject_alt_name();        // 2.5.29.17
+
+// Extended key usage purposes.
+const Oid& eku_server_auth();         // 1.3.6.1.5.5.7.3.1
+const Oid& eku_client_auth();         // 1.3.6.1.5.5.7.3.2
+const Oid& eku_code_signing();        // 1.3.6.1.5.5.7.3.3
+const Oid& eku_email_protection();    // 1.3.6.1.5.5.7.3.4
+const Oid& eku_time_stamping();       // 1.3.6.1.5.5.7.3.8
+
+/// Short display name ("CN", "O", …) for DN rendering; empty if unknown.
+std::string_view attribute_short_name(const Oid& oid);
+
+}  // namespace oids
+
+}  // namespace tangled::asn1

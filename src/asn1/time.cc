@@ -1,0 +1,171 @@
+#include "asn1/time.h"
+
+#include <array>
+#include <cstdio>
+
+namespace tangled::asn1 {
+
+namespace {
+
+bool is_leap(int y) {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+int days_in_month(int y, int m) {
+  static constexpr std::array<int, 12> kDays = {31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  if (m == 2 && is_leap(y)) return 29;
+  return kDays[m - 1];
+}
+
+// Howard Hinnant's days_from_civil: days since 1970-01-01.
+std::int64_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+                       static_cast<unsigned>(d) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+void civil_from_days(std::int64_t z, int& y, int& m, int& d) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t yy = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp < 10 ? mp + 3 : mp - 9);
+  y = static_cast<int>(yy + (m <= 2));
+}
+
+Result<int> parse_digits(std::string_view s, std::size_t pos, std::size_t n) {
+  int value = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = s[pos + i];
+    if (c < '0' || c > '9') return parse_error("non-digit in ASN.1 time");
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+Result<Time> parse_time_fields(std::string_view s, int year, std::size_t pos) {
+  Time t;
+  t.year = year;
+  auto get = [&s, &pos](std::size_t n) { return parse_digits(s, pos, n); };
+  auto mo = get(2);
+  if (!mo.ok()) return mo.error();
+  t.month = mo.value();
+  pos += 2;
+  auto da = parse_digits(s, pos, 2);
+  if (!da.ok()) return da.error();
+  t.day = da.value();
+  pos += 2;
+  auto ho = parse_digits(s, pos, 2);
+  if (!ho.ok()) return ho.error();
+  t.hour = ho.value();
+  pos += 2;
+  auto mi = parse_digits(s, pos, 2);
+  if (!mi.ok()) return mi.error();
+  t.minute = mi.value();
+  pos += 2;
+  auto se = parse_digits(s, pos, 2);
+  if (!se.ok()) return se.error();
+  t.second = se.value();
+  if (!t.valid()) return range_error("ASN.1 time fields out of range");
+  return t;
+}
+
+}  // namespace
+
+std::int64_t Time::to_unix() const {
+  return days_from_civil(year, month, day) * 86400 + hour * 3600 + minute * 60 +
+         second;
+}
+
+Time Time::from_unix(std::int64_t seconds) {
+  std::int64_t days = seconds / 86400;
+  std::int64_t rem = seconds % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    --days;
+  }
+  Time t;
+  civil_from_days(days, t.year, t.month, t.day);
+  t.hour = static_cast<int>(rem / 3600);
+  t.minute = static_cast<int>((rem % 3600) / 60);
+  t.second = static_cast<int>(rem % 60);
+  return t;
+}
+
+Result<Time> Time::parse_utc(std::string_view body) {
+  // YYMMDDHHMMSSZ — 13 chars, DER requires seconds and Zulu.
+  if (body.size() != 13 || body.back() != 'Z') {
+    return parse_error("UTCTime must be YYMMDDHHMMSSZ");
+  }
+  auto yy = parse_digits(body, 0, 2);
+  if (!yy.ok()) return yy.error();
+  const int year = yy.value() >= 50 ? 1900 + yy.value() : 2000 + yy.value();
+  return parse_time_fields(body, year, 2);
+}
+
+Result<Time> Time::parse_generalized(std::string_view body) {
+  // YYYYMMDDHHMMSSZ — 15 chars.
+  if (body.size() != 15 || body.back() != 'Z') {
+    return parse_error("GeneralizedTime must be YYYYMMDDHHMMSSZ");
+  }
+  auto yyyy = parse_digits(body, 0, 4);
+  if (!yyyy.ok()) return yyyy.error();
+  return parse_time_fields(body, yyyy.value(), 4);
+}
+
+std::string Time::encode_utc() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%02d%02d%02d%02d%02d%02dZ", year % 100, month,
+                day, hour, minute, second);
+  return buf;
+}
+
+std::string Time::encode_generalized() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%04d%02d%02d%02d%02d%02dZ", year, month, day,
+                hour, minute, second);
+  return buf;
+}
+
+std::string Time::to_iso8601() const {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02dZ", year, month,
+                day, hour, minute, second);
+  return buf;
+}
+
+bool Time::valid() const {
+  if (month < 1 || month > 12) return false;
+  if (day < 1 || day > days_in_month(year, month)) return false;
+  if (hour < 0 || hour > 23) return false;
+  if (minute < 0 || minute > 59) return false;
+  if (second < 0 || second > 59) return false;
+  return true;
+}
+
+bool operator<(const Time& a, const Time& b) { return a.to_unix() < b.to_unix(); }
+bool operator<=(const Time& a, const Time& b) { return a.to_unix() <= b.to_unix(); }
+bool operator>(const Time& a, const Time& b) { return b < a; }
+bool operator>=(const Time& a, const Time& b) { return b <= a; }
+
+Time make_time(int year, int month, int day, int hour, int minute, int second) {
+  Time t;
+  t.year = year;
+  t.month = month;
+  t.day = day;
+  t.hour = hour;
+  t.minute = minute;
+  t.second = second;
+  return t;
+}
+
+}  // namespace tangled::asn1

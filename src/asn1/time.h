@@ -1,0 +1,57 @@
+// ASN.1 time: UTCTime / GeneralizedTime parsing and encoding, plus the small
+// amount of civil-calendar arithmetic the validity checks need.
+//
+// X.509 (RFC 5280) rules: dates through 2049 use UTCTime (YYMMDDHHMMSSZ,
+// years 50-99 -> 19xx, 00-49 -> 20xx); 2050 onward uses GeneralizedTime
+// (YYYYMMDDHHMMSSZ). Only the Zulu forms are valid in DER certificates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+
+namespace tangled::asn1 {
+
+/// A civil UTC timestamp with second resolution.
+struct Time {
+  int year = 1970;   // full year, e.g. 2014
+  int month = 1;     // 1-12
+  int day = 1;       // 1-31
+  int hour = 0;      // 0-23
+  int minute = 0;    // 0-59
+  int second = 0;    // 0-59 (leap seconds not modeled)
+
+  /// Seconds since the Unix epoch (proleptic Gregorian, days-from-civil).
+  std::int64_t to_unix() const;
+  static Time from_unix(std::int64_t seconds);
+
+  /// Parses either UTCTime or GeneralizedTime contents ("140101000000Z").
+  static Result<Time> parse_utc(std::string_view body);
+  static Result<Time> parse_generalized(std::string_view body);
+
+  /// Encodes per the RFC 5280 rule (UTCTime before 2050, else Generalized).
+  /// Returns the contents string; the caller wraps it in the right tag.
+  std::string encode_utc() const;          // "YYMMDDHHMMSSZ"
+  std::string encode_generalized() const;  // "YYYYMMDDHHMMSSZ"
+  bool needs_generalized() const { return year >= 2050; }
+
+  /// ISO 8601 rendering for reports: "2014-12-02T00:00:00Z".
+  std::string to_iso8601() const;
+
+  bool valid() const;
+
+  friend bool operator==(const Time&, const Time&) = default;
+};
+
+/// Ordering via Unix conversion.
+bool operator<(const Time& a, const Time& b);
+bool operator<=(const Time& a, const Time& b);
+bool operator>(const Time& a, const Time& b);
+bool operator>=(const Time& a, const Time& b);
+
+/// Convenience constructor.
+Time make_time(int year, int month, int day, int hour = 0, int minute = 0,
+               int second = 0);
+
+}  // namespace tangled::asn1

@@ -1,0 +1,440 @@
+#include "crypto/bignum.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace tangled::crypto {
+
+namespace {
+
+constexpr std::uint64_t kBase = 1ull << 32;
+
+// Small primes for trial division ahead of Miller-Rabin.
+constexpr std::uint32_t kSmallPrimes[] = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+}  // namespace
+
+BigNum::BigNum(std::uint64_t value) {
+  if (value != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(value & 0xffffffff));
+    if (value >> 32) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+  }
+}
+
+void BigNum::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigNum BigNum::from_bytes(ByteView be) {
+  BigNum out;
+  out.limbs_.reserve((be.size() + 3) / 4);
+  std::uint32_t limb = 0;
+  int shift = 0;
+  for (std::size_t i = be.size(); i > 0; --i) {
+    limb |= static_cast<std::uint32_t>(be[i - 1]) << shift;
+    shift += 8;
+    if (shift == 32) {
+      out.limbs_.push_back(limb);
+      limb = 0;
+      shift = 0;
+    }
+  }
+  if (shift != 0) out.limbs_.push_back(limb);
+  out.trim();
+  return out;
+}
+
+Bytes BigNum::to_bytes() const {
+  if (limbs_.empty()) return Bytes{0x00};
+  Bytes out;
+  out.reserve(limbs_.size() * 4);
+  for (std::size_t i = limbs_.size(); i > 0; --i) {
+    const std::uint32_t limb = limbs_[i - 1];
+    out.push_back(static_cast<std::uint8_t>(limb >> 24));
+    out.push_back(static_cast<std::uint8_t>(limb >> 16));
+    out.push_back(static_cast<std::uint8_t>(limb >> 8));
+    out.push_back(static_cast<std::uint8_t>(limb));
+  }
+  // Strip leading zeros but keep at least one byte.
+  std::size_t start = 0;
+  while (start + 1 < out.size() && out[start] == 0) ++start;
+  return Bytes(out.begin() + static_cast<std::ptrdiff_t>(start), out.end());
+}
+
+Bytes BigNum::to_bytes_padded(std::size_t width) const {
+  Bytes raw = to_bytes();
+  if (raw.size() == 1 && raw[0] == 0) raw.clear();
+  assert(raw.size() <= width && "value does not fit the requested width");
+  Bytes out(width - raw.size(), 0x00);
+  append(out, raw);
+  return out;
+}
+
+BigNum BigNum::from_hex(std::string_view hex) {
+  std::string padded(hex);
+  if (padded.size() % 2 != 0) padded.insert(padded.begin(), '0');
+  const auto bytes = tangled::from_hex(padded);
+  assert(bytes.has_value() && "invalid hex literal");
+  return from_bytes(*bytes);
+}
+
+std::string BigNum::to_hex() const {
+  const Bytes b = to_bytes();
+  std::string h = tangled::to_hex(b);
+  // Strip a single leading zero nibble for canonical form.
+  std::size_t start = 0;
+  while (start + 1 < h.size() && h[start] == '0') ++start;
+  return h.substr(start);
+}
+
+std::size_t BigNum::bit_length() const {
+  if (limbs_.empty()) return 0;
+  const std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  return bits + (32 - static_cast<std::size_t>(std::countl_zero(top)));
+}
+
+bool BigNum::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+std::strong_ordering BigNum::operator<=>(const BigNum& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() <=> other.limbs_.size();
+  }
+  for (std::size_t i = limbs_.size(); i > 0; --i) {
+    if (limbs_[i - 1] != other.limbs_[i - 1]) {
+      return limbs_[i - 1] <=> other.limbs_[i - 1];
+    }
+  }
+  return std::strong_ordering::equal;
+}
+
+BigNum BigNum::operator+(const BigNum& other) const {
+  BigNum out;
+  const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.reserve(n + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < other.limbs_.size()) sum += other.limbs_[i];
+    out.limbs_.push_back(static_cast<std::uint32_t>(sum & 0xffffffff));
+    carry = sum >> 32;
+  }
+  if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+BigNum BigNum::operator-(const BigNum& other) const {
+  assert(*this >= other && "unsigned subtraction underflow");
+  BigNum out;
+  out.limbs_.reserve(limbs_.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < other.limbs_.size()) diff -= other.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_.push_back(static_cast<std::uint32_t>(diff));
+  }
+  assert(borrow == 0);
+  out.trim();
+  return out;
+}
+
+BigNum BigNum::operator*(const BigNum& other) const {
+  if (is_zero() || other.is_zero()) return BigNum();
+  BigNum out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t a = limbs_[i];
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(out.limbs_[i + j]) + a * other.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur & 0xffffffff);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + other.limbs_.size();
+    while (carry) {
+      const std::uint64_t cur = static_cast<std::uint64_t>(out.limbs_[k]) + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur & 0xffffffff);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigNum BigNum::operator<<(std::size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigNum out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v & 0xffffffff);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigNum BigNum::operator>>(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) return BigNum();
+  const std::size_t bit_shift = bits % 32;
+  BigNum out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.trim();
+  return out;
+}
+
+BigNum::DivMod BigNum::divmod(const BigNum& divisor) const {
+  assert(!divisor.is_zero() && "division by zero");
+  if (*this < divisor) return {BigNum(), *this};
+  if (divisor.limbs_.size() == 1) {
+    // Fast path: single-limb divisor.
+    const std::uint64_t d = divisor.limbs_[0];
+    BigNum q;
+    q.limbs_.assign(limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = limbs_.size(); i > 0; --i) {
+      const std::uint64_t cur = (rem << 32) | limbs_[i - 1];
+      q.limbs_[i - 1] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.trim();
+    return {std::move(q), BigNum(rem)};
+  }
+
+  // Knuth Algorithm D with base 2^32. Normalize so the divisor's top limb
+  // has its high bit set.
+  const int shift = std::countl_zero(divisor.limbs_.back());
+  const BigNum u = *this << static_cast<std::size_t>(shift);
+  const BigNum v = divisor << static_cast<std::size_t>(shift);
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() - n;
+
+  std::vector<std::uint32_t> un(u.limbs_);
+  un.push_back(0);  // u has m+n+1 limbs during the loop
+  const std::vector<std::uint32_t>& vn = v.limbs_;
+
+  BigNum q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j > 0; --j) {
+    const std::size_t jj = j - 1;
+    // Estimate q̂ = (un[jj+n]*B + un[jj+n-1]) / vn[n-1].
+    const std::uint64_t numerator =
+        (static_cast<std::uint64_t>(un[jj + n]) << 32) | un[jj + n - 1];
+    std::uint64_t qhat = numerator / vn[n - 1];
+    std::uint64_t rhat = numerator % vn[n - 1];
+    while (qhat >= kBase ||
+           qhat * vn[n - 2] > ((rhat << 32) | un[jj + n - 2])) {
+      --qhat;
+      rhat += vn[n - 1];
+      if (rhat >= kBase) break;
+    }
+    // Multiply and subtract: un[jj..jj+n] -= qhat * vn.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * vn[i] + carry;
+      carry = p >> 32;
+      const std::int64_t t = static_cast<std::int64_t>(un[jj + i]) -
+                             static_cast<std::int64_t>(p & 0xffffffff) - borrow;
+      un[jj + i] = static_cast<std::uint32_t>(t & 0xffffffff);
+      borrow = t < 0 ? 1 : 0;
+    }
+    const std::int64_t t = static_cast<std::int64_t>(un[jj + n]) -
+                           static_cast<std::int64_t>(carry) - borrow;
+    un[jj + n] = static_cast<std::uint32_t>(t & 0xffffffff);
+
+    if (t < 0) {
+      // q̂ was one too large: add back.
+      --qhat;
+      std::uint64_t c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t s =
+            static_cast<std::uint64_t>(un[jj + i]) + vn[i] + c;
+        un[jj + i] = static_cast<std::uint32_t>(s & 0xffffffff);
+        c = s >> 32;
+      }
+      un[jj + n] = static_cast<std::uint32_t>(un[jj + n] + c);
+    }
+    q.limbs_[jj] = static_cast<std::uint32_t>(qhat);
+  }
+  q.trim();
+
+  BigNum r;
+  r.limbs_.assign(un.begin(), un.begin() + static_cast<std::ptrdiff_t>(n));
+  r.trim();
+  r = r >> static_cast<std::size_t>(shift);
+  return {std::move(q), std::move(r)};
+}
+
+BigNum BigNum::modexp(const BigNum& exponent, const BigNum& modulus) const {
+  assert(modulus > BigNum(1));
+  BigNum base = *this % modulus;
+  BigNum result(1);
+  const std::size_t bits = exponent.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exponent.bit(i)) result = (result * base) % modulus;
+    base = (base * base) % modulus;
+  }
+  return result;
+}
+
+BigNum BigNum::gcd(BigNum a, BigNum b) {
+  while (!b.is_zero()) {
+    BigNum r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigNum BigNum::modinv(const BigNum& m) const {
+  // Extended Euclid tracking only the Bezout coefficient of *this, with
+  // signs managed explicitly (unsigned storage).
+  if (m <= BigNum(1)) return BigNum();
+  BigNum r0 = m;
+  BigNum r1 = *this % m;
+  BigNum t0;        // 0
+  BigNum t1(1);
+  bool t0_neg = false;
+  bool t1_neg = false;
+  while (!r1.is_zero()) {
+    const auto dm = r0.divmod(r1);
+    // t2 = t0 - q*t1 with sign tracking.
+    const BigNum qt1 = dm.quotient * t1;
+    BigNum t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      // Same sign: subtract magnitudes.
+      if (t0 >= qt1) {
+        t2 = t0 - qt1;
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt1 - t0;
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = t0 + qt1;
+      t2_neg = t0_neg;
+    }
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(t2);
+    t1_neg = t2_neg;
+    r0 = std::move(r1);
+    r1 = dm.remainder;
+  }
+  if (!(r0 == BigNum(1))) return BigNum();  // not coprime
+  if (t0_neg) {
+    const BigNum reduced = t0 % m;
+    return reduced.is_zero() ? BigNum() : m - reduced;
+  }
+  return t0 % m;
+}
+
+BigNum BigNum::random_with_bits(Xoshiro256& rng, std::size_t bits) {
+  assert(bits > 0);
+  const std::size_t n_bytes = (bits + 7) / 8;
+  Bytes raw = rng.bytes(n_bytes);
+  // Clear excess bits, then force the top bit so bit_length() == bits.
+  const std::size_t excess = n_bytes * 8 - bits;
+  raw[0] &= static_cast<std::uint8_t>(0xff >> excess);
+  raw[0] |= static_cast<std::uint8_t>(0x80 >> excess);
+  return from_bytes(raw);
+}
+
+BigNum BigNum::random_below(Xoshiro256& rng, const BigNum& bound) {
+  assert(!bound.is_zero());
+  const std::size_t bits = bound.bit_length();
+  const std::size_t n_bytes = (bits + 7) / 8;
+  const std::size_t excess = n_bytes * 8 - bits;
+  // Rejection sampling over [0, 2^bits); succeeds with probability > 1/2.
+  while (true) {
+    Bytes raw = rng.bytes(n_bytes);
+    raw[0] &= static_cast<std::uint8_t>(0xff >> excess);
+    BigNum candidate = from_bytes(raw);
+    if (candidate < bound) return candidate;
+  }
+}
+
+bool BigNum::is_probable_prime(Xoshiro256& rng, int rounds) const {
+  if (*this < BigNum(2)) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    const BigNum bp(p);
+    if (*this == bp) return true;
+    if ((*this % bp).is_zero()) return false;
+  }
+  // Write n-1 = d * 2^r with d odd.
+  const BigNum n_minus_1 = *this - BigNum(1);
+  std::size_t r = 0;
+  BigNum d = n_minus_1;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++r;
+  }
+  for (int round = 0; round < rounds; ++round) {
+    // Base in [2, n-2].
+    const BigNum span = *this - BigNum(4);
+    const BigNum a = BigNum(2) + random_below(rng, span + BigNum(1));
+    BigNum x = a.modexp(d, *this);
+    if (x == BigNum(1) || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 1; i < r; ++i) {
+      x = (x * x) % *this;
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigNum BigNum::generate_prime(Xoshiro256& rng, std::size_t bits) {
+  assert(bits >= 16);
+  while (true) {
+    BigNum candidate = random_with_bits(rng, bits);
+    if (!candidate.is_odd()) candidate = candidate + BigNum(1);
+    if (candidate.is_probable_prime(rng, 12)) return candidate;
+  }
+}
+
+std::uint64_t BigNum::to_u64() const {
+  assert(limbs_.size() <= 2);
+  std::uint64_t v = 0;
+  if (limbs_.size() >= 2) v = static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (!limbs_.empty()) v |= limbs_[0];
+  return v;
+}
+
+}  // namespace tangled::crypto

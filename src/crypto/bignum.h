@@ -1,0 +1,100 @@
+// Arbitrary-precision unsigned integers, sized for RSA (≤ 4096 bits).
+//
+// Representation: little-endian vector of 32-bit limbs, no leading zero
+// limbs (zero is an empty vector). Unsigned only — RSA needs no negatives;
+// subtraction requires a >= b and asserts otherwise.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace tangled::crypto {
+
+class BigNum;
+
+/// Quotient/remainder pair returned by BigNum::divmod.
+struct BigNumDivMod;
+
+class BigNum {
+ public:
+  BigNum() = default;
+  explicit BigNum(std::uint64_t value);
+
+  /// Big-endian byte import/export (the DER INTEGER magnitude convention).
+  static BigNum from_bytes(ByteView be);
+  Bytes to_bytes() const;
+  /// Fixed-width big-endian export, left-padded with zeros. Asserts that the
+  /// value fits.
+  Bytes to_bytes_padded(std::size_t width) const;
+
+  static BigNum from_hex(std::string_view hex);
+  std::string to_hex() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  std::size_t bit_length() const;
+  bool bit(std::size_t i) const;
+
+  std::strong_ordering operator<=>(const BigNum& other) const;
+  bool operator==(const BigNum& other) const = default;
+
+  BigNum operator+(const BigNum& other) const;
+  /// Requires *this >= other.
+  BigNum operator-(const BigNum& other) const;
+  BigNum operator*(const BigNum& other) const;
+  BigNum operator<<(std::size_t bits) const;
+  BigNum operator>>(std::size_t bits) const;
+
+  using DivMod = BigNumDivMod;
+  /// Knuth Algorithm D. Asserts divisor != 0.
+  DivMod divmod(const BigNum& divisor) const;
+  BigNum operator/(const BigNum& other) const;
+  BigNum operator%(const BigNum& other) const;
+
+  /// (this ^ exponent) mod modulus; modulus must be > 1.
+  BigNum modexp(const BigNum& exponent, const BigNum& modulus) const;
+
+  /// Greatest common divisor (binary-free, Euclid with divmod).
+  static BigNum gcd(BigNum a, BigNum b);
+
+  /// Modular inverse of *this mod m; returns zero BigNum if not invertible.
+  BigNum modinv(const BigNum& m) const;
+
+  /// Uniform random value with exactly `bits` bits (top bit set).
+  static BigNum random_with_bits(Xoshiro256& rng, std::size_t bits);
+  /// Uniform random value in [0, bound).
+  static BigNum random_below(Xoshiro256& rng, const BigNum& bound);
+
+  /// Miller-Rabin with `rounds` random bases (plus deterministic small-prime
+  /// trial division). Probabilistic but with error < 4^-rounds.
+  bool is_probable_prime(Xoshiro256& rng, int rounds = 20) const;
+
+  /// Generates a random prime with exactly `bits` bits.
+  static BigNum generate_prime(Xoshiro256& rng, std::size_t bits);
+
+  std::uint64_t to_u64() const;  // asserts the value fits
+
+ private:
+  void trim();
+
+  std::vector<std::uint32_t> limbs_;  // little-endian, no trailing zeros
+};
+
+struct BigNumDivMod {
+  BigNum quotient;
+  BigNum remainder;
+};
+
+inline BigNum BigNum::operator/(const BigNum& other) const {
+  return divmod(other).quotient;
+}
+inline BigNum BigNum::operator%(const BigNum& other) const {
+  return divmod(other).remainder;
+}
+
+}  // namespace tangled::crypto

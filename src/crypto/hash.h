@@ -1,0 +1,85 @@
+// Message digests implemented from scratch: SHA-256 (FIPS 180-4),
+// SHA-1 (FIPS 180-4, legacy chains), MD5 (RFC 1321, only for fingerprint
+// compatibility), and HMAC over any of them.
+//
+// All hashers share the streaming interface: update() any number of times,
+// then digest() (which finalizes a copy, so the hasher stays reusable for
+// further updates if desired — matching common digest APIs).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace tangled::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+
+  void update(ByteView data);
+  /// Finalizes a copy of the state; `this` remains valid for more updates.
+  std::array<std::uint8_t, kDigestSize> digest() const;
+
+  /// One-shot convenience.
+  static Bytes hash(ByteView data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t total_ = 0;  // bytes processed
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha1();
+
+  void update(ByteView data);
+  std::array<std::uint8_t, kDigestSize> digest() const;
+
+  static Bytes hash(ByteView data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_;
+  std::uint64_t total_ = 0;
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+class Md5 {
+ public:
+  static constexpr std::size_t kDigestSize = 16;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Md5();
+
+  void update(ByteView data);
+  std::array<std::uint8_t, kDigestSize> digest() const;
+
+  static Bytes hash(ByteView data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_;
+  std::uint64_t total_ = 0;
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+/// HMAC-SHA-256 (RFC 2104). Key of any length.
+Bytes hmac_sha256(ByteView key, ByteView message);
+
+}  // namespace tangled::crypto

@@ -1,0 +1,157 @@
+#include "crypto/key_io.h"
+
+#include "asn1/der.h"
+#include "util/base64.h"
+
+namespace tangled::crypto {
+
+namespace {
+
+constexpr std::string_view kPublicLabel = "RSA PUBLIC KEY";
+constexpr std::string_view kPrivateLabel = "RSA PRIVATE KEY";
+
+std::string pem_wrap(ByteView der, std::string_view label) {
+  std::string out = "-----BEGIN " + std::string(label) + "-----\n";
+  out += base64_encode_wrapped(der, 64);
+  out += "-----END " + std::string(label) + "-----\n";
+  return out;
+}
+
+Result<Bytes> pem_unwrap(std::string_view text, std::string_view label) {
+  const std::string begin = "-----BEGIN " + std::string(label) + "-----";
+  const std::string end = "-----END " + std::string(label) + "-----";
+  const std::size_t b = text.find(begin);
+  if (b == std::string_view::npos) {
+    return not_found_error("no PEM block with label " + std::string(label));
+  }
+  const std::size_t body_start = b + begin.size();
+  const std::size_t e = text.find(end, body_start);
+  if (e == std::string_view::npos) return parse_error("PEM BEGIN without END");
+  auto der = base64_decode(text.substr(body_start, e - body_start));
+  if (!der.has_value()) return parse_error("invalid base64 in PEM body");
+  return *der;
+}
+
+void write_bignum(asn1::DerWriter& w, const BigNum& value) {
+  w.write_integer_unsigned(value.to_bytes());
+}
+
+Result<BigNum> read_bignum(asn1::DerReader& r) {
+  auto bytes = r.read_integer_unsigned();
+  if (!bytes.ok()) return bytes.error();
+  return BigNum::from_bytes(bytes.value());
+}
+
+}  // namespace
+
+Bytes encode_rsa_public(const RsaPublicKey& key) {
+  asn1::DerWriter w;
+  w.begin(asn1::Tag::kSequence);
+  write_bignum(w, key.n);
+  write_bignum(w, key.e);
+  w.end();
+  return w.take();
+}
+
+Result<RsaPublicKey> decode_rsa_public(ByteView der) {
+  asn1::DerReader r(der);
+  auto seq = r.expect(asn1::Tag::kSequence);
+  if (!seq.ok()) return seq.error();
+  if (auto end = r.expect_end(); !end.ok()) return end.error();
+  asn1::DerReader body(seq.value().body);
+  RsaPublicKey key;
+  auto n = read_bignum(body);
+  if (!n.ok()) return n.error();
+  key.n = std::move(n).value();
+  auto e = read_bignum(body);
+  if (!e.ok()) return e.error();
+  key.e = std::move(e).value();
+  if (auto end = body.expect_end(); !end.ok()) return end.error();
+  if (key.n.is_zero() || key.e.is_zero()) {
+    return parse_error("degenerate RSA public key");
+  }
+  return key;
+}
+
+Bytes encode_rsa_private(const RsaPrivateKey& key) {
+  // CRT parameters per RFC 8017: dP = d mod (p-1), dQ = d mod (q-1),
+  // qInv = q^-1 mod p.
+  const BigNum p_1 = key.p - BigNum(1);
+  const BigNum q_1 = key.q - BigNum(1);
+  const BigNum dp = key.d % p_1;
+  const BigNum dq = key.d % q_1;
+  const BigNum qinv = key.q.modinv(key.p);
+
+  asn1::DerWriter w;
+  w.begin(asn1::Tag::kSequence);
+  w.write_integer(0);  // two-prime version
+  write_bignum(w, key.pub.n);
+  write_bignum(w, key.pub.e);
+  write_bignum(w, key.d);
+  write_bignum(w, key.p);
+  write_bignum(w, key.q);
+  write_bignum(w, dp);
+  write_bignum(w, dq);
+  write_bignum(w, qinv);
+  w.end();
+  return w.take();
+}
+
+Result<RsaPrivateKey> decode_rsa_private(ByteView der) {
+  asn1::DerReader r(der);
+  auto seq = r.expect(asn1::Tag::kSequence);
+  if (!seq.ok()) return seq.error();
+  if (auto end = r.expect_end(); !end.ok()) return end.error();
+  asn1::DerReader body(seq.value().body);
+
+  auto version = body.read_small_integer();
+  if (!version.ok()) return version.error();
+  if (version.value() != 0) {
+    return unsupported_error("only two-prime RSA keys supported");
+  }
+  RsaPrivateKey key;
+  BigNum dp, dq, qinv;
+  BigNum* fields[] = {&key.pub.n, &key.pub.e, &key.d, &key.p,
+                      &key.q,     &dp,        &dq,    &qinv};
+  for (BigNum* dst : fields) {
+    auto value = read_bignum(body);
+    if (!value.ok()) return value.error();
+    *dst = std::move(value).value();
+  }
+  if (auto end = body.expect_end(); !end.ok()) return end.error();
+
+  // Structural validation: n = p*q and the CRT parameters are consistent.
+  if (!(key.p * key.q == key.pub.n)) {
+    return parse_error("RSA private key: n != p*q");
+  }
+  if (!(key.d % (key.p - BigNum(1)) == dp) ||
+      !(key.d % (key.q - BigNum(1)) == dq)) {
+    return parse_error("RSA private key: inconsistent CRT exponents");
+  }
+  if (!((key.q * qinv) % key.p == BigNum(1))) {
+    return parse_error("RSA private key: inconsistent CRT coefficient");
+  }
+  return key;
+}
+
+std::string rsa_public_to_pem(const RsaPublicKey& key) {
+  return pem_wrap(encode_rsa_public(key), kPublicLabel);
+}
+
+Result<RsaPublicKey> rsa_public_from_pem(std::string_view pem) {
+  auto der = pem_unwrap(pem, kPublicLabel);
+  if (!der.ok()) return der.error();
+  return decode_rsa_public(der.value());
+}
+
+std::string rsa_private_to_pem(const RsaPrivateKey& key) {
+  return pem_wrap(encode_rsa_private(key), kPrivateLabel);
+}
+
+Result<RsaPrivateKey> rsa_private_from_pem(std::string_view pem) {
+  auto der = pem_unwrap(pem, kPrivateLabel);
+  if (!der.ok()) return der.error();
+  return decode_rsa_private(der.value());
+}
+
+}  // namespace tangled::crypto

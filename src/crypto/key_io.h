@@ -1,0 +1,28 @@
+// RSA key serialization: PKCS#1 (RFC 8017 appendix A) DER structures with
+// PEM encapsulation — what a measurement tool needs to persist the CA
+// material that signs its synthetic corpora.
+#pragma once
+
+#include <string>
+
+#include "crypto/rsa.h"
+#include "util/result.h"
+
+namespace tangled::crypto {
+
+/// RSAPublicKey ::= SEQUENCE { modulus INTEGER, publicExponent INTEGER }
+Bytes encode_rsa_public(const RsaPublicKey& key);
+Result<RsaPublicKey> decode_rsa_public(ByteView der);
+
+/// RSAPrivateKey ::= SEQUENCE { version(0), n, e, d, p, q, dP, dQ, qInv }.
+/// The CRT parameters are recomputed on encode, validated on decode.
+Bytes encode_rsa_private(const RsaPrivateKey& key);
+Result<RsaPrivateKey> decode_rsa_private(ByteView der);
+
+/// PEM wrappers ("RSA PUBLIC KEY" / "RSA PRIVATE KEY" labels).
+std::string rsa_public_to_pem(const RsaPublicKey& key);
+Result<RsaPublicKey> rsa_public_from_pem(std::string_view pem);
+std::string rsa_private_to_pem(const RsaPrivateKey& key);
+Result<RsaPrivateKey> rsa_private_from_pem(std::string_view pem);
+
+}  // namespace tangled::crypto

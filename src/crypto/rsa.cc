@@ -1,0 +1,108 @@
+#include "crypto/rsa.h"
+
+#include "asn1/der.h"
+#include "crypto/hash.h"
+
+namespace tangled::crypto {
+
+namespace {
+
+Bytes digest_message(DigestAlg alg, ByteView message) {
+  switch (alg) {
+    case DigestAlg::kSha1: return Sha1::hash(message);
+    case DigestAlg::kSha256: return Sha256::hash(message);
+  }
+  return {};
+}
+
+const asn1::Oid& digest_oid(DigestAlg alg) {
+  switch (alg) {
+    case DigestAlg::kSha1: return asn1::oids::sha1();
+    case DigestAlg::kSha256: return asn1::oids::sha256();
+  }
+  return asn1::oids::sha256();
+}
+
+/// DigestInfo ::= SEQUENCE { digestAlgorithm AlgorithmIdentifier, digest OCTET STRING }
+Bytes digest_info(DigestAlg alg, ByteView digest) {
+  asn1::DerWriter w;
+  w.begin(asn1::Tag::kSequence);
+  w.begin(asn1::Tag::kSequence);
+  w.write_oid(digest_oid(alg));
+  w.write_null();
+  w.end();
+  w.write_octet_string(digest);
+  w.end();
+  return w.take();
+}
+
+}  // namespace
+
+RsaPrivateKey rsa_generate(Xoshiro256& rng, std::size_t bits) {
+  const BigNum e(65537);
+  while (true) {
+    const std::size_t half = bits / 2;
+    const BigNum p = BigNum::generate_prime(rng, half);
+    const BigNum q = BigNum::generate_prime(rng, bits - half);
+    if (p == q) continue;
+    const BigNum n = p * q;
+    if (n.bit_length() != bits) continue;
+    const BigNum phi = (p - BigNum(1)) * (q - BigNum(1));
+    const BigNum d = e.modinv(phi);
+    if (d.is_zero()) continue;  // e not coprime with phi; re-draw
+    RsaPrivateKey key;
+    key.pub.n = n;
+    key.pub.e = e;
+    key.d = d;
+    key.p = p;
+    key.q = q;
+    return key;
+  }
+}
+
+Result<Bytes> pkcs1_v15_encode(DigestAlg alg, ByteView message,
+                               std::size_t em_len) {
+  const Bytes digest = digest_message(alg, message);
+  const Bytes t = digest_info(alg, digest);
+  if (em_len < t.size() + 11) {
+    return range_error("RSA modulus too small for DigestInfo");
+  }
+  Bytes em;
+  em.reserve(em_len);
+  em.push_back(0x00);
+  em.push_back(0x01);
+  em.insert(em.end(), em_len - t.size() - 3, 0xff);
+  em.push_back(0x00);
+  append(em, t);
+  return em;
+}
+
+Result<Bytes> rsa_sign(const RsaPrivateKey& key, DigestAlg alg,
+                       ByteView message) {
+  const std::size_t k = key.pub.modulus_bytes();
+  auto em = pkcs1_v15_encode(alg, message, k);
+  if (!em.ok()) return em;
+  const BigNum m = BigNum::from_bytes(em.value());
+  const BigNum s = m.modexp(key.d, key.pub.n);
+  return s.to_bytes_padded(k);
+}
+
+Result<void> rsa_verify(const RsaPublicKey& key, DigestAlg alg, ByteView message,
+                        ByteView signature) {
+  const std::size_t k = key.modulus_bytes();
+  if (signature.size() != k) {
+    return verify_error("signature length does not match modulus");
+  }
+  const BigNum s = BigNum::from_bytes(signature);
+  if (s >= key.n) return verify_error("signature value out of range");
+  const BigNum m = s.modexp(key.e, key.n);
+  const Bytes em = m.to_bytes_padded(k);
+  auto expected = pkcs1_v15_encode(alg, message, k);
+  if (!expected.ok()) return expected.error();
+  if (!bytes_equal(em, expected.value())) {
+    return verify_error("PKCS#1 v1.5 padding mismatch");
+  }
+  return {};
+}
+
+}  // namespace tangled::crypto

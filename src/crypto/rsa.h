@@ -1,0 +1,49 @@
+// RSA with PKCS#1 v1.5 signatures (RFC 8017 §8.2), built on BigNum.
+//
+// Key sizes are simulation-scale (512–2048 bits); this is a measurement
+// toolkit, not a production TLS stack, and the README says so too.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/bignum.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace tangled::crypto {
+
+struct RsaPublicKey {
+  BigNum n;  // modulus
+  BigNum e;  // public exponent
+
+  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+
+  friend bool operator==(const RsaPublicKey&, const RsaPublicKey&) = default;
+};
+
+struct RsaPrivateKey {
+  RsaPublicKey pub;
+  BigNum d;  // private exponent
+  BigNum p;
+  BigNum q;
+};
+
+/// Generates an RSA keypair with an n of exactly `bits` bits and e = 65537.
+RsaPrivateKey rsa_generate(Xoshiro256& rng, std::size_t bits);
+
+/// Supported digests for DigestInfo.
+enum class DigestAlg { kSha1, kSha256 };
+
+/// PKCS#1 v1.5 signature over `message` (hashes internally).
+Result<Bytes> rsa_sign(const RsaPrivateKey& key, DigestAlg alg, ByteView message);
+
+/// Verifies a PKCS#1 v1.5 signature. Ok() on success, error otherwise.
+Result<void> rsa_verify(const RsaPublicKey& key, DigestAlg alg, ByteView message,
+                        ByteView signature);
+
+/// EMSA-PKCS1-v1_5 encoding (exposed for tests): DigestInfo DER wrapped in
+/// 0x00 0x01 FF.. 0x00 padding to `em_len` bytes.
+Result<Bytes> pkcs1_v15_encode(DigestAlg alg, ByteView message, std::size_t em_len);
+
+}  // namespace tangled::crypto

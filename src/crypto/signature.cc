@@ -1,0 +1,123 @@
+#include "crypto/signature.h"
+
+#include "crypto/hash.h"
+
+namespace tangled::crypto {
+
+KeyPair generate_rsa_keypair(Xoshiro256& rng, std::size_t bits) {
+  KeyPair kp;
+  RsaPrivateKey priv = rsa_generate(rng, bits);
+  kp.pub = priv.pub;
+  kp.priv = std::move(priv);
+  return kp;
+}
+
+KeyPair generate_sim_keypair(Xoshiro256& rng, std::size_t bits) {
+  KeyPair kp;
+  kp.pub.n = BigNum::random_with_bits(rng, bits);
+  kp.pub.e = BigNum(65537);
+  return kp;
+}
+
+namespace {
+
+class RsaSha256Scheme final : public SignatureScheme {
+ public:
+  const asn1::Oid& algorithm_oid() const override {
+    return asn1::oids::sha256_with_rsa();
+  }
+
+  Result<Bytes> sign(const KeyPair& signer, ByteView tbs) const override {
+    if (!signer.can_rsa_sign()) {
+      return state_error("RSA signing requires a private key");
+    }
+    return rsa_sign(*signer.priv, DigestAlg::kSha256, tbs);
+  }
+
+  Result<void> verify(const RsaPublicKey& issuer, ByteView tbs,
+                      ByteView signature) const override {
+    return rsa_verify(issuer, DigestAlg::kSha256, tbs, signature);
+  }
+};
+
+class RsaSha1Scheme final : public SignatureScheme {
+ public:
+  const asn1::Oid& algorithm_oid() const override {
+    return asn1::oids::sha1_with_rsa();
+  }
+
+  Result<Bytes> sign(const KeyPair& signer, ByteView tbs) const override {
+    if (!signer.can_rsa_sign()) {
+      return state_error("RSA signing requires a private key");
+    }
+    return rsa_sign(*signer.priv, DigestAlg::kSha1, tbs);
+  }
+
+  Result<void> verify(const RsaPublicKey& issuer, ByteView tbs,
+                      ByteView signature) const override {
+    return rsa_verify(issuer, DigestAlg::kSha1, tbs, signature);
+  }
+};
+
+class SimSigScheme final : public SignatureScheme {
+ public:
+  const asn1::Oid& algorithm_oid() const override {
+    return asn1::oids::sim_sig();
+  }
+
+  Result<Bytes> sign(const KeyPair& signer, ByteView tbs) const override {
+    return compute(signer.pub, tbs);
+  }
+
+  Result<void> verify(const RsaPublicKey& issuer, ByteView tbs,
+                      ByteView signature) const override {
+    const Bytes expected = compute(issuer, tbs);
+    if (!bytes_equal(expected, signature)) {
+      return verify_error("SimSig mismatch");
+    }
+    return {};
+  }
+
+ private:
+  static Bytes compute(const RsaPublicKey& key, ByteView tbs) {
+    Sha256 h;
+    const Bytes n = key.n.to_bytes();
+    h.update(n);
+    h.update(tbs);
+    const auto d = h.digest();
+    return Bytes(d.begin(), d.end());
+  }
+};
+
+}  // namespace
+
+const SignatureScheme& rsa_sha256_scheme() {
+  static const RsaSha256Scheme scheme;
+  return scheme;
+}
+
+const SignatureScheme& sim_sig_scheme() {
+  static const SimSigScheme scheme;
+  return scheme;
+}
+
+const SignatureScheme* scheme_for_oid(const asn1::Oid& oid) {
+  if (oid == asn1::oids::sha256_with_rsa()) return &rsa_sha256_scheme();
+  if (oid == asn1::oids::sim_sig()) return &sim_sig_scheme();
+  if (oid == asn1::oids::sha1_with_rsa()) {
+    static const RsaSha1Scheme scheme;
+    return &scheme;
+  }
+  return nullptr;
+}
+
+Result<void> verify_signature(const asn1::Oid& oid, const RsaPublicKey& issuer,
+                              ByteView tbs, ByteView signature) {
+  const SignatureScheme* scheme = scheme_for_oid(oid);
+  if (scheme == nullptr) {
+    return unsupported_error("unknown signature algorithm " + oid.to_dotted());
+  }
+  return scheme->verify(issuer, tbs, signature);
+}
+
+}  // namespace tangled::crypto

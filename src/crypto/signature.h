@@ -1,0 +1,69 @@
+// Pluggable certificate-signature schemes.
+//
+// Two schemes back the toolkit:
+//  * RsaSha256 — real sha256WithRSAEncryption over the TBS bytes. Used in
+//    unit-scale paths (tests, examples, handshake demos).
+//  * SimSig — SHA-256 of (issuer modulus || TBS). Structurally verifiable
+//    with the issuer's public key but trivially forgeable; it exists so the
+//    notary corpus generator can issue hundreds of thousands of certs in
+//    seconds. DESIGN.md documents this substitution; the ablation bench
+//    quantifies the throughput gap.
+//
+// Verification dispatches on the certificate's AlgorithmIdentifier OID, so
+// mixed corpora (some RSA, some SimSig) verify transparently.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "asn1/oid.h"
+#include "crypto/rsa.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace tangled::crypto {
+
+/// A signing identity. The public half always carries an RSA-shaped
+/// (modulus, exponent) pair because the paper keys certificate identity on
+/// the RSA modulus; SimSig keys simply have no usable private exponent.
+struct KeyPair {
+  RsaPublicKey pub;
+  std::optional<RsaPrivateKey> priv;  // present only for real RSA keys
+
+  bool can_rsa_sign() const { return priv.has_value(); }
+};
+
+/// Real RSA keypair (slow: prime generation).
+KeyPair generate_rsa_keypair(Xoshiro256& rng, std::size_t bits);
+
+/// Simulation keypair: random modulus, no private key. Fast.
+KeyPair generate_sim_keypair(Xoshiro256& rng, std::size_t bits = 2048);
+
+/// Scheme interface; stateless implementations.
+class SignatureScheme {
+ public:
+  virtual ~SignatureScheme() = default;
+
+  /// AlgorithmIdentifier OID stamped into issued certificates.
+  virtual const asn1::Oid& algorithm_oid() const = 0;
+
+  virtual Result<Bytes> sign(const KeyPair& signer, ByteView tbs) const = 0;
+  virtual Result<void> verify(const RsaPublicKey& issuer, ByteView tbs,
+                              ByteView signature) const = 0;
+};
+
+/// sha256WithRSAEncryption.
+const SignatureScheme& rsa_sha256_scheme();
+/// The simulation scheme (private OID 1.3.6.1.4.1.55555.1.1).
+const SignatureScheme& sim_sig_scheme();
+
+/// Looks up the scheme for an AlgorithmIdentifier OID; nullptr if unknown.
+/// sha1WithRSAEncryption verifies via the RSA scheme with SHA-1.
+const SignatureScheme* scheme_for_oid(const asn1::Oid& oid);
+
+/// Verifies `signature` over `tbs` under whichever scheme `oid` names.
+Result<void> verify_signature(const asn1::Oid& oid, const RsaPublicKey& issuer,
+                              ByteView tbs, ByteView signature);
+
+}  // namespace tangled::crypto

@@ -1,0 +1,157 @@
+#include "device/assembler.h"
+
+#include <cassert>
+
+#include "crypto/signature.h"
+#include "pki/hierarchy.h"
+
+namespace tangled::device {
+
+namespace {
+
+using rootstore::NonAospCertSpec;
+
+/// A self-signed user certificate (VPN endpoints and the like). Unique per
+/// handset, mirroring §5.2's "recorded exclusively on a single device".
+x509::Certificate make_user_cert(Xoshiro256& rng, std::uint32_t handset_id) {
+  auto key = crypto::generate_sim_keypair(rng);
+  x509::Name name;
+  name.add_organization("User VPN")
+      .add_common_name("user-vpn-" + std::to_string(handset_id));
+  auto cert = pki::make_root(crypto::sim_sig_scheme(), std::move(key), name,
+                             {asn1::make_time(2013, 1, 1),
+                              asn1::make_time(2023, 1, 1)},
+                             handset_id);
+  assert(cert.ok());
+  return std::move(cert).value().cert;
+}
+
+}  // namespace
+
+x509::Certificate make_rooted_cert(const rootstore::StoreUniverse& /*universe*/,
+                                   std::size_t catalog_index) {
+  const auto catalog = rooted_cert_catalog();
+  assert(catalog_index < catalog.size());
+  const RootedCertSpec& spec = catalog[catalog_index];
+  // Deterministic key per issuer so every affected handset carries the same
+  // certificate (the Freedom app installs one CRAZY HOUSE cert everywhere).
+  Xoshiro256 rng(fnv1a64(to_bytes(spec.issuer_name)));
+  auto key = crypto::generate_sim_keypair(rng);
+  x509::Name name;
+  name.add_organization(std::string(spec.issuer_name))
+      .add_common_name(std::string(spec.issuer_name));
+  auto cert = pki::make_root(crypto::sim_sig_scheme(), std::move(key), name,
+                             {asn1::make_time(2013, 6, 1),
+                              asn1::make_time(2023, 6, 1)},
+                             333 + catalog_index);
+  assert(cert.ok());
+  return std::move(cert).value().cert;
+}
+
+AssembledStore DeviceStoreAssembler::assemble(const Device& device,
+                                              const AssemblyFlags& flags,
+                                              Xoshiro256& rng) const {
+  AssembledStore out;
+  out.store =
+      rootstore::RootStore("device-" + std::to_string(device.handset_id));
+
+  // AOSP base, possibly with 1-3 certificates removed.
+  const auto& base_cas = universe_.aosp_cas();
+  const std::size_t base_size = rootstore::aosp_store_size(device.version);
+  const std::size_t remove_target = flags.missing_certs ? 1 + rng.below(3) : 0;
+  std::vector<std::size_t> removed_idx;
+  if (remove_target > 0) {
+    removed_idx = sample_without_replacement(rng, base_size, remove_target);
+  }
+  for (std::size_t i = 0; i < base_size; ++i) {
+    bool skip = false;
+    for (const std::size_t r : removed_idx) skip |= (r == i);
+    if (skip) continue;
+    out.store.add(base_cas[i].cert);
+  }
+  out.missing_aosp = remove_target;
+  out.aosp_present = base_size - remove_target;
+
+  // Vendor + operator packs from the catalog placements. The placement
+  // frequency is conditioned on the pack applying (Fig. 2 normalizes by
+  // sessions with modified stores).
+  const auto vendor =
+      flags.vendor_pack ? manufacturer_row(device.manufacturer, device.version)
+                        : std::nullopt;
+  const auto oper = flags.operator_pack ? operator_row(device.op) : std::nullopt;
+  // Carrier-variant firmware certs (manufacturer AND operator placements,
+  // like CertiSign on Motorola-4.1-Verizon) key on the device's actual
+  // subscription, not on whether the operator shipped extra packs.
+  const auto subscribed = operator_row(device.op);
+  const auto catalog = rootstore::nonaosp_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const NonAospCertSpec& spec = catalog[i];
+    // Placement semantics: a spec with only manufacturer rows (or only
+    // operator rows) installs when any row matches. A spec with BOTH kinds
+    // requires both to match — e.g. CertiSign appears exclusively on
+    // Motorola 4.1 handsets subscribed to Verizon (§5.1), never on other
+    // Verizon handsets.
+    bool spec_has_vendor_rows = false;
+    bool spec_has_operator_rows = false;
+    double vendor_freq = 0.0;
+    double operator_freq = 0.0;
+    double subscribed_freq = 0.0;
+    for (const auto& placement : spec.placements) {
+      if (rootstore::is_operator_row(placement.row)) {
+        spec_has_operator_rows = true;
+        if (oper.has_value() && placement.row == *oper) {
+          operator_freq = std::max(operator_freq, placement.frequency);
+        }
+        if (subscribed.has_value() && placement.row == *subscribed) {
+          subscribed_freq = std::max(subscribed_freq, placement.frequency);
+        }
+      } else {
+        spec_has_vendor_rows = true;
+        if (vendor.has_value() && placement.row == *vendor) {
+          vendor_freq = std::max(vendor_freq, placement.frequency);
+        }
+      }
+    }
+    double p = 0.0;
+    if (spec_has_vendor_rows && spec_has_operator_rows) {
+      // Carrier-variant firmware: requires customized vendor firmware AND
+      // the matching subscription.
+      if (vendor_freq > 0.0 && subscribed_freq > 0.0) {
+        p = std::min(vendor_freq, subscribed_freq);
+      }
+    } else {
+      p = std::max(vendor_freq, operator_freq);
+    }
+    if (p > 0.0 && rng.chance(p)) {
+      out.store.add(universe_.nonaosp_cas()[i].cert);
+      out.nonaosp_indices.push_back(i);
+    }
+  }
+
+  // Sony 4.1 quirk: a root from a newer AOSP release (§5).
+  if (flags.sony41_future_cert &&
+      device.manufacturer == Manufacturer::kSony &&
+      device.version == rootstore::AndroidVersion::k41) {
+    const auto future = universe_.aosp_added_in(rootstore::AndroidVersion::k43);
+    if (out.store.add(universe_.aosp_cas()[future.front()].cert)) {
+      ++out.aosp_present;
+    }
+  }
+
+  // Rooted-only certificate (Table 5); only reachable with root access.
+  if (flags.rooted_cert.has_value()) {
+    assert(device.rooted && "rooted certs require a rooted handset");
+    out.store.add(make_rooted_cert(universe_, *flags.rooted_cert));
+    out.rooted_cert_indices.push_back(*flags.rooted_cert);
+  }
+
+  // User-added self-signed certificate.
+  if (flags.user_cert) {
+    out.store.add(make_user_cert(rng, device.handset_id));
+    out.user_added = 1;
+  }
+
+  return out;
+}
+
+}  // namespace tangled::device

@@ -1,0 +1,80 @@
+// Builds the root store a concrete device ships with: the AOSP base for its
+// Android version, plus vendor-pack and operator-pack additions drawn from
+// the non-AOSP catalog placements, plus (optionally) user-added and
+// rooted-only certificates.
+//
+// The caller (normally synth::PopulationGenerator) decides the discrete
+// facts about a handset — is its firmware vendor-customized, is it one of
+// the 5 missing-cert handsets, does it carry a Table 5 rooted cert — via
+// AssemblyFlags; the assembler turns those facts plus the catalog placement
+// frequencies into an actual RootStore.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "device/device.h"
+#include "rootstore/catalog.h"
+#include "rootstore/rootstore.h"
+#include "util/rng.h"
+
+namespace tangled::device {
+
+/// Per-handset assembly decisions.
+struct AssemblyFlags {
+  /// Vendor customized firmware: the manufacturer's Figure 2 row applies.
+  bool vendor_pack = false;
+  /// Operator-subsidized firmware: the operator's Figure 2 row applies.
+  bool operator_pack = false;
+  /// One of the rare handsets with AOSP certificates removed (Figure 1
+  /// found exactly 5).
+  bool missing_certs = false;
+  /// User manually added a self-signed certificate (§5.2 singletons).
+  bool user_cert = false;
+  /// Index into rooted_cert_catalog() when a rooted-only certificate is
+  /// installed (Table 5); requires device.rooted.
+  std::optional<std::size_t> rooted_cert;
+  /// Sony 4.1 quirk (§5): a root from a newer AOSP release.
+  bool sony41_future_cert = false;
+};
+
+/// What ended up in an assembled device store, with provenance.
+struct AssembledStore {
+  rootstore::RootStore store;
+  /// nonaosp_catalog() indices installed by vendor/operator packs.
+  std::vector<std::size_t> nonaosp_indices;
+  /// rooted_cert_catalog() indices installed.
+  std::vector<std::size_t> rooted_cert_indices;
+  /// Number of user-added self-signed certificates.
+  std::size_t user_added = 0;
+  /// AOSP certificates removed from the base.
+  std::size_t missing_aosp = 0;
+  /// AOSP certificates present (base size - missing + any future-version
+  /// extras).
+  std::size_t aosp_present = 0;
+
+  std::size_t additions() const {
+    return nonaosp_indices.size() + rooted_cert_indices.size() + user_added;
+  }
+};
+
+class DeviceStoreAssembler {
+ public:
+  explicit DeviceStoreAssembler(const rootstore::StoreUniverse& universe)
+      : universe_(universe) {}
+
+  AssembledStore assemble(const Device& device, const AssemblyFlags& flags,
+                          Xoshiro256& rng) const;
+
+  const rootstore::StoreUniverse& universe() const { return universe_; }
+
+ private:
+  const rootstore::StoreUniverse& universe_;
+};
+
+/// Builds the certificate for a Table 5 rooted-only CA (deterministic per
+/// catalog index and seed).
+x509::Certificate make_rooted_cert(const rootstore::StoreUniverse& universe,
+                                   std::size_t catalog_index);
+
+}  // namespace tangled::device

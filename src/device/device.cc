@@ -1,0 +1,114 @@
+#include "device/device.h"
+
+#include <array>
+
+namespace tangled::device {
+
+using rootstore::AndroidVersion;
+using rootstore::PlacementRow;
+
+std::string_view to_string(Manufacturer m) {
+  switch (m) {
+    case Manufacturer::kSamsung: return "SAMSUNG";
+    case Manufacturer::kLg: return "LG";
+    case Manufacturer::kAsus: return "ASUS";
+    case Manufacturer::kHtc: return "HTC";
+    case Manufacturer::kMotorola: return "MOTOROLA";
+    case Manufacturer::kSony: return "SONY";
+    case Manufacturer::kHuawei: return "HUAWEI";
+    case Manufacturer::kLenovo: return "LENOVO";
+    case Manufacturer::kPantech: return "PANTECH";
+    case Manufacturer::kCompal: return "COMPAL";
+    case Manufacturer::kOther: return "OTHER";
+  }
+  return "?";
+}
+
+std::string_view to_string(Operator op) {
+  switch (op) {
+    case Operator::kThreeUk: return "3(UK)";
+    case Operator::kAttUs: return "AT&T(US)";
+    case Operator::kBouyguesFr: return "BOUYGUES(FR)";
+    case Operator::kEeUk: return "EE(UK)";
+    case Operator::kFreeFr: return "FREE(FR)";
+    case Operator::kOrangeFr: return "ORANGE(FR)";
+    case Operator::kSfrFr: return "SFR(FR)";
+    case Operator::kSprintUs: return "SPRINT(US)";
+    case Operator::kTmobileUs: return "T-MOBILE(US)";
+    case Operator::kTelstraAu: return "TELSTRA(AU)";
+    case Operator::kVerizonUs: return "VERIZON(US)";
+    case Operator::kVodafoneDe: return "VODAFONE(DE)";
+    case Operator::kMovistarAr: return "MOVISTAR(AR)";
+    case Operator::kClaroCo: return "CLARO(CO)";
+    case Operator::kMeditelMa: return "MEDITEL(MA)";
+    case Operator::kOtherOperator: return "OTHER";
+    case Operator::kWifiOnly: return "WIFI-ONLY";
+  }
+  return "?";
+}
+
+std::optional<PlacementRow> manufacturer_row(Manufacturer m, AndroidVersion v) {
+  switch (m) {
+    case Manufacturer::kHtc:
+      switch (v) {
+        case AndroidVersion::k41: return PlacementRow::kHtc41;
+        case AndroidVersion::k42: return PlacementRow::kHtc42;
+        case AndroidVersion::k43: return PlacementRow::kHtc43;
+        case AndroidVersion::k44: return PlacementRow::kHtc44;
+      }
+      break;
+    case Manufacturer::kSamsung:
+      switch (v) {
+        case AndroidVersion::k41: return PlacementRow::kSamsung41;
+        case AndroidVersion::k42: return PlacementRow::kSamsung42;
+        case AndroidVersion::k43: return PlacementRow::kSamsung43;
+        case AndroidVersion::k44: return PlacementRow::kSamsung44;
+      }
+      break;
+    case Manufacturer::kMotorola:
+      if (v == AndroidVersion::k41) return PlacementRow::kMotorola41;
+      break;
+    case Manufacturer::kSony:
+      if (v == AndroidVersion::k43) return PlacementRow::kSony43;
+      break;
+    default:
+      break;
+  }
+  return std::nullopt;
+}
+
+std::optional<PlacementRow> operator_row(Operator op) {
+  switch (op) {
+    case Operator::kThreeUk: return PlacementRow::kThreeUk;
+    case Operator::kAttUs: return PlacementRow::kAttUs;
+    case Operator::kBouyguesFr: return PlacementRow::kBouyguesFr;
+    case Operator::kEeUk: return PlacementRow::kEeUk;
+    case Operator::kFreeFr: return PlacementRow::kFreeFr;
+    case Operator::kOrangeFr: return PlacementRow::kOrangeFr;
+    case Operator::kSfrFr: return PlacementRow::kSfrFr;
+    case Operator::kSprintUs: return PlacementRow::kSprintUs;
+    case Operator::kTmobileUs: return PlacementRow::kTmobileUs;
+    case Operator::kTelstraAu: return PlacementRow::kTelstraAu;
+    case Operator::kVerizonUs: return PlacementRow::kVerizonUs;
+    case Operator::kVodafoneDe: return PlacementRow::kVodafoneDe;
+    default: return std::nullopt;
+  }
+}
+
+std::span<const RootedCertSpec> rooted_cert_catalog() {
+  // Table 5 verbatim, with §6's attributions.
+  static constexpr std::array<RootedCertSpec, 5> kCatalog{{
+      {"CRAZY HOUSE", 70,
+       "Madkit-Crazy House (Ukraine); installed by the Freedom app, which "
+       "bypasses Google Play in-app purchases and requires root"},
+      {"MIND OVERFLOW", 1, "unidentified; collected from a single device"},
+      {"USER_X", 1, "user self-signed certificate (anonymized)"},
+      {"CDA/EMAILADDRESS", 1,
+       "Chaine de Distribution Alimentaire, Senegal; rooted Nexus 7 on a "
+       "Senegalese WiFi AP"},
+      {"CIRRUS, PRIVATE", 1, "private/self-signed, single device"},
+  }};
+  return kCatalog;
+}
+
+}  // namespace tangled::device

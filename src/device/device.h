@@ -1,0 +1,59 @@
+// The device model: manufacturers, operators, and handset models from the
+// paper's dataset (Table 2), with the mapping onto Figure 2's rows.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "rootstore/android_version.h"
+#include "rootstore/nonaosp_catalog.h"
+
+namespace tangled::device {
+
+enum class Manufacturer : std::uint8_t {
+  kSamsung, kLg, kAsus, kHtc, kMotorola, kSony, kHuawei, kLenovo,
+  kPantech, kCompal, kOther,
+};
+
+std::string_view to_string(Manufacturer m);
+
+enum class Operator : std::uint8_t {
+  kThreeUk, kAttUs, kBouyguesFr, kEeUk, kFreeFr, kOrangeFr, kSfrFr,
+  kSprintUs, kTmobileUs, kTelstraAu, kVerizonUs, kVodafoneDe,
+  kMovistarAr, kClaroCo, kMeditelMa, kOtherOperator, kWifiOnly,
+};
+
+std::string_view to_string(Operator op);
+
+/// Figure 2 row for a manufacturer at an Android version; nullopt when the
+/// paper shows no row (e.g. LG, or HTC has rows for every version but
+/// Motorola only for 4.1).
+std::optional<rootstore::PlacementRow> manufacturer_row(
+    Manufacturer m, rootstore::AndroidVersion v);
+
+/// Figure 2 row for an operator; nullopt for operators outside the figure.
+std::optional<rootstore::PlacementRow> operator_row(Operator op);
+
+/// One handset in the population.
+struct Device {
+  std::uint32_t handset_id = 0;  // stable pseudo-identity (the §4.1 tuple)
+  std::string model;             // "Samsung Galaxy SIV"
+  Manufacturer manufacturer = Manufacturer::kOther;
+  Operator op = Operator::kWifiOnly;
+  rootstore::AndroidVersion version = rootstore::AndroidVersion::k44;
+  bool rooted = false;
+};
+
+/// Certificates appearing more frequently on rooted devices (Table 5),
+/// with the §6 attribution facts.
+struct RootedCertSpec {
+  std::string_view issuer_name;   // "CRAZY HOUSE"
+  std::size_t device_count;       // paper's "Total devices" column
+  std::string_view origin;        // e.g. "Freedom app (in-app purchase bypass)"
+};
+
+std::span<const RootedCertSpec> rooted_cert_catalog();
+
+}  // namespace tangled::device

@@ -1,0 +1,79 @@
+#include "intercept/detector.h"
+
+namespace tangled::intercept {
+
+InterceptionDetector::InterceptionDetector(
+    const rootstore::RootStore& device_store, const OriginNetwork& reference,
+    pki::VerifyOptions options)
+    : reference_(reference), options_(options) {
+  for (const auto& cert : device_store.certificates()) {
+    device_anchors_.add(cert);
+  }
+}
+
+DetectionResult InterceptionDetector::probe(const ChainSource& network,
+                                            const Endpoint& endpoint) const {
+  DetectionResult result;
+  result.endpoint = endpoint;
+
+  auto presented = network.fetch(endpoint);
+  if (!presented.ok() || presented.value().chain.empty()) {
+    result.verdict = EndpointVerdict::kUnreachable;
+    return result;
+  }
+  const auto& chain = presented.value().chain;
+  result.observed_issuer = chain.front().issuer().to_string();
+
+  // Does the device's own store validate it? (Only when the interceptor's
+  // root was installed on the handset.)
+  pki::ChainVerifier device_verifier(device_anchors_, options_);
+  result.validates_on_device = device_verifier.verify_presented(chain).ok();
+
+  // Compare against the publicly known anchor for this endpoint.
+  const x509::Certificate* expected = reference_.expected_anchor(endpoint);
+  if (expected == nullptr) {
+    // No reference knowledge: all we can say is whether the chain anchors
+    // on-device; an unvalidatable chain is suspicious.
+    result.verdict = result.validates_on_device ? EndpointVerdict::kUntouched
+                                                : EndpointVerdict::kIntercepted;
+    return result;
+  }
+
+  // Walk the presented chain: if the expected anchor's key signed its tail,
+  // the path is the genuine one.
+  const x509::Certificate& tail = chain.back();
+  const bool genuine_tail =
+      bytes_equal(tail.equivalence_key(), expected->equivalence_key()) ||
+      tail.check_signature_from(expected->public_key()).ok();
+  result.verdict =
+      genuine_tail ? EndpointVerdict::kUntouched : EndpointVerdict::kIntercepted;
+  return result;
+}
+
+std::vector<DetectionResult> InterceptionDetector::probe_all(
+    const ChainSource& network, const std::vector<Endpoint>& endpoints) const {
+  std::vector<DetectionResult> results;
+  results.reserve(endpoints.size());
+  for (const auto& endpoint : endpoints) {
+    results.push_back(probe(network, endpoint));
+  }
+  return results;
+}
+
+bool PinningClient::connect(const ChainSource& network,
+                            std::uint16_t port) const {
+  auto presented = network.fetch(Endpoint{domain_, port});
+  if (!presented.ok() || presented.value().chain.empty()) return false;
+  const auto& chain = presented.value().chain;
+  // The pin holds when some certificate in the chain is the pinned anchor
+  // (by key) or was signed by it.
+  for (const auto& cert : chain) {
+    if (bytes_equal(cert.equivalence_key(), pinned_.equivalence_key())) {
+      return true;
+    }
+    if (cert.check_signature_from(pinned_.public_key()).ok()) return true;
+  }
+  return false;
+}
+
+}  // namespace tangled::intercept

@@ -1,0 +1,76 @@
+// Netalyzr's §7 interception detection: probe a list of endpoints through
+// the (possibly proxied) network, validate each presented chain against the
+// device root store, compare anchors with the publicly known ones, and
+// classify endpoints as intercepted / untouched / unreachable. Also the
+// pinning-client model: apps pinning their anchor (Facebook, Twitter,
+// Google) hard-fail under interception — which is exactly why the proxy
+// whitelists them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "intercept/network.h"
+#include "intercept/proxy.h"
+#include "pki/verify.h"
+#include "rootstore/rootstore.h"
+
+namespace tangled::intercept {
+
+enum class EndpointVerdict {
+  kUntouched,     // chain matches the expected public-PKI anchor
+  kIntercepted,   // chain anchored somewhere else (or not validatable)
+  kUnreachable,   // no server / connection failed
+};
+
+struct DetectionResult {
+  Endpoint endpoint;
+  EndpointVerdict verdict = EndpointVerdict::kUnreachable;
+  /// Subject of whatever signed the presented leaf's chain head.
+  std::string observed_issuer;
+  /// Whether the device store validates the presented chain (true when the
+  /// proxy's root was installed on the device; Reality Mine's was not).
+  bool validates_on_device = false;
+};
+
+class InterceptionDetector {
+ public:
+  /// `device_store` is the handset's root store; `reference` knows the
+  /// expected anchors (the ICSI Notary's role in §7).
+  InterceptionDetector(const rootstore::RootStore& device_store,
+                       const OriginNetwork& reference,
+                       pki::VerifyOptions options = {});
+
+  /// Probes one endpoint through `network` (proxied or not).
+  DetectionResult probe(const ChainSource& network,
+                        const Endpoint& endpoint) const;
+
+  /// Probes many endpoints; summary helpers for the §7 table.
+  std::vector<DetectionResult> probe_all(
+      const ChainSource& network, const std::vector<Endpoint>& endpoints) const;
+
+ private:
+  pki::TrustAnchors device_anchors_;
+  const OriginNetwork& reference_;
+  pki::VerifyOptions options_;
+};
+
+/// A certificate-pinning client (Facebook/Twitter-style): the TLS handshake
+/// succeeds only when the presented chain's head is signed under the pinned
+/// anchor's key.
+class PinningClient {
+ public:
+  PinningClient(std::string domain, x509::Certificate pinned_anchor)
+      : domain_(std::move(domain)), pinned_(std::move(pinned_anchor)) {}
+
+  /// True when the connection would succeed (pin matches).
+  bool connect(const ChainSource& network, std::uint16_t port = 443) const;
+
+  const std::string& domain() const { return domain_; }
+
+ private:
+  std::string domain_;
+  x509::Certificate pinned_;
+};
+
+}  // namespace tangled::intercept

@@ -1,0 +1,63 @@
+#include "intercept/network.h"
+
+#include "crypto/signature.h"
+
+namespace tangled::intercept {
+
+void OriginNetwork::add_server(const Endpoint& endpoint, PresentedChain chain,
+                               x509::Certificate anchor) {
+  servers_.insert_or_assign(endpoint.key(),
+                            Server{std::move(chain), std::move(anchor)});
+}
+
+Result<PresentedChain> OriginNetwork::fetch(const Endpoint& endpoint) const {
+  const auto it = servers_.find(endpoint.key());
+  if (it == servers_.end()) {
+    return not_found_error("no server at " + endpoint.key());
+  }
+  return it->second.chain;
+}
+
+const x509::Certificate* OriginNetwork::expected_anchor(
+    const Endpoint& endpoint) const {
+  const auto it = servers_.find(endpoint.key());
+  if (it == servers_.end()) return nullptr;
+  return &it->second.anchor;
+}
+
+Result<std::unique_ptr<OriginNetwork>> build_origin_network(
+    const std::vector<Endpoint>& endpoints,
+    const std::vector<pki::CaNode>& roots, Xoshiro256& rng) {
+  if (roots.empty()) return state_error("origin network needs roots");
+  auto network = std::make_unique<OriginNetwork>();
+  std::uint64_t serial = 42000;
+  const x509::Validity validity{asn1::make_time(2013, 6, 1),
+                                asn1::make_time(2015, 6, 1)};
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    const pki::CaNode& root = roots[i % roots.size()];
+    // One intermediate per server keeps chains realistic (leaf,inter).
+    auto inter_key = crypto::generate_sim_keypair(rng);
+    x509::Name inter_name;
+    inter_name.add_organization(root.cert.subject().organization())
+        .add_common_name("Issuing CA for " + endpoints[i].domain);
+    auto inter = pki::make_intermediate(crypto::sim_sig_scheme(), root,
+                                        std::move(inter_key), inter_name,
+                                        validity, serial++);
+    if (!inter.ok()) return inter.error();
+
+    auto leaf_key = crypto::generate_sim_keypair(rng);
+    auto leaf =
+        pki::make_leaf(crypto::sim_sig_scheme(), inter.value(),
+                       std::move(leaf_key), endpoints[i].domain, validity,
+                       serial++);
+    if (!leaf.ok()) return leaf.error();
+
+    PresentedChain chain;
+    chain.chain.push_back(std::move(leaf).value());
+    chain.chain.push_back(inter.value().cert);
+    network->add_server(endpoints[i], std::move(chain), root.cert);
+  }
+  return network;
+}
+
+}  // namespace tangled::intercept

@@ -1,0 +1,71 @@
+// A miniature TLS "network": origin servers that present certificate chains,
+// and a client-side fetch interface. A socket layer is deliberately absent —
+// §7's analysis is entirely about the chain the client sees, so the
+// simulated handshake exchanges exactly that artifact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pki/hierarchy.h"
+#include "util/result.h"
+#include "x509/certificate.h"
+
+namespace tangled::intercept {
+
+/// domain:port endpoint key.
+struct Endpoint {
+  std::string domain;
+  std::uint16_t port = 443;
+
+  std::string key() const { return domain + ":" + std::to_string(port); }
+};
+
+/// What a server hands the client during the handshake.
+struct PresentedChain {
+  std::vector<x509::Certificate> chain;  // leaf first
+};
+
+/// Anything a client can fetch a chain from (an origin network or a proxy).
+class ChainSource {
+ public:
+  virtual ~ChainSource() = default;
+  /// Returns the presented chain, or kNotFound for unknown endpoints.
+  virtual Result<PresentedChain> fetch(const Endpoint& endpoint) const = 0;
+};
+
+/// The real, un-intercepted web: origin servers with legitimate chains.
+class OriginNetwork final : public ChainSource {
+ public:
+  /// Registers a server; the chain is what its TLS stack presents.
+  void add_server(const Endpoint& endpoint, PresentedChain chain,
+                  x509::Certificate anchor);
+
+  Result<PresentedChain> fetch(const Endpoint& endpoint) const override;
+
+  /// The publicly known anchor for an endpoint (what the Notary would
+  /// report); nullptr when unknown.
+  const x509::Certificate* expected_anchor(const Endpoint& endpoint) const;
+
+  std::size_t size() const { return servers_.size(); }
+
+ private:
+  struct Server {
+    PresentedChain chain;
+    x509::Certificate anchor;
+  };
+  std::unordered_map<std::string, Server> servers_;
+};
+
+/// Builds an origin network hosting `domains`, each with a leaf chained
+/// through an intermediate to a trusted root drawn from `roots`
+/// (round-robin). Returns the network; all chains verify against `roots`.
+Result<std::unique_ptr<OriginNetwork>> build_origin_network(
+    const std::vector<Endpoint>& endpoints,
+    const std::vector<pki::CaNode>& roots, Xoshiro256& rng);
+
+}  // namespace tangled::intercept

@@ -1,0 +1,120 @@
+#include "intercept/proxy.h"
+
+#include <cassert>
+
+#include "crypto/signature.h"
+
+namespace tangled::intercept {
+
+namespace {
+
+/// Table 6, left column: domains the Reality Mine proxy intercepted.
+constexpr std::pair<const char*, std::uint16_t> kIntercepted[] = {
+    {"gmail.com", 443},
+    {"mail.google.com", 443},
+    {"mail.yahoo.com", 443},
+    {"orcart.facebook.com", 443},
+    {"www.bankofamerica.com", 443},
+    {"www.chase.com", 443},
+    {"www.hsbc.com", 443},
+    {"www.icsi.berkeley.edu", 443},
+    {"www.outlook.com", 443},
+    {"www.skype.com", 443},
+    {"www.viber.com", 443},
+    {"www.yahoo.com", 443},
+};
+
+/// Table 6, right column: whitelisted endpoints.
+constexpr std::pair<const char*, std::uint16_t> kWhitelisted[] = {
+    {"google-analytics.com", 443},
+    {"maps.google.com", 443},
+    {"orcart.facebook.com", 8883},  // Facebook chat
+    {"play.google.com", 443},
+    {"supl.google.com", 7275},      // Google SUPL
+    {"www.facebook.com", 443},
+    {"www.google.com", 443},
+    {"www.google.co.uk", 443},
+    {"www.twitter.com", 443},
+};
+
+}  // namespace
+
+ProxyPolicy reality_mine_policy() {
+  ProxyPolicy policy;
+  policy.intercept_ports = {80, 443};
+  for (const auto& [domain, port] : kWhitelisted) {
+    policy.whitelist.insert(Endpoint{domain, port}.key());
+  }
+  return policy;
+}
+
+std::vector<Endpoint> reality_mine_intercepted_endpoints() {
+  std::vector<Endpoint> out;
+  for (const auto& [domain, port] : kIntercepted) out.push_back({domain, port});
+  return out;
+}
+
+std::vector<Endpoint> reality_mine_whitelisted_endpoints() {
+  std::vector<Endpoint> out;
+  for (const auto& [domain, port] : kWhitelisted) out.push_back({domain, port});
+  return out;
+}
+
+MitmProxy::MitmProxy(const ChainSource& upstream, ProxyPolicy policy,
+                     std::string operator_name, std::uint64_t seed)
+    : upstream_(upstream),
+      policy_(std::move(policy)),
+      operator_name_(std::move(operator_name)),
+      rng_(seed) {
+  auto key = crypto::generate_sim_keypair(rng_);
+  x509::Name name;
+  name.add_organization(operator_name_)
+      .add_common_name(operator_name_ + " Interception Root");
+  auto root = pki::make_root(crypto::sim_sig_scheme(), std::move(key), name,
+                             {asn1::make_time(2013, 1, 1),
+                              asn1::make_time(2018, 1, 1)},
+                             1);
+  assert(root.ok());
+  root_ = std::move(root).value();
+}
+
+Result<PresentedChain> MitmProxy::fetch(const Endpoint& endpoint) const {
+  // Whitelisted or non-intercepted ports tunnel through untouched.
+  if (!policy_.intercepts(endpoint)) return upstream_.fetch(endpoint);
+
+  // The proxy only regenerates certificates for endpoints that exist.
+  auto origin = upstream_.fetch(endpoint);
+  if (!origin.ok()) return origin;
+
+  const auto cached = cache_.find(endpoint.key());
+  if (cached != cache_.end()) return cached->second;
+
+  // Regenerate root→intermediate→leaf on the fly (§7: "intercepting and
+  // re-generating both root and intermediate certificates on-the-fly").
+  const x509::Validity validity{asn1::make_time(2013, 6, 1),
+                                asn1::make_time(2015, 6, 1)};
+  auto inter_key = crypto::generate_sim_keypair(rng_);
+  x509::Name inter_name;
+  inter_name.add_organization(operator_name_)
+      .add_common_name(operator_name_ + " MITM CA for " + endpoint.domain);
+  auto inter = pki::make_intermediate(crypto::sim_sig_scheme(), root_,
+                                      std::move(inter_key), inter_name,
+                                      validity, serial_++);
+  if (!inter.ok()) return inter.error();
+
+  auto leaf_key = crypto::generate_sim_keypair(rng_);
+  auto leaf = pki::make_leaf(crypto::sim_sig_scheme(), inter.value(),
+                             std::move(leaf_key), endpoint.domain, validity,
+                             serial_++);
+  if (!leaf.ok()) return leaf.error();
+
+  PresentedChain chain;
+  chain.chain.push_back(std::move(leaf).value());
+  chain.chain.push_back(inter.value().cert);
+  chain.chain.push_back(root_.cert);
+  const auto [it, inserted] = cache_.emplace(endpoint.key(), std::move(chain));
+  assert(inserted);
+  return it->second;
+}
+
+}  // namespace tangled::intercept

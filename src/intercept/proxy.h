@@ -1,0 +1,67 @@
+// The Reality-Mine-style TLS-intercepting HTTPS proxy (§7): all client
+// traffic is tunneled through the proxy (the app creates a tun interface);
+// on intercepted ports the proxy re-generates root and intermediate
+// certificates on the fly per domain, while whitelisted endpoints (pinned
+// apps: Facebook, Twitter, Google services, SUPL 7275, Facebook chat 8883)
+// pass through untouched. Table 6 lists the observed policy; this module
+// ships it as `reality_mine_policy()`.
+#pragma once
+
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "intercept/network.h"
+
+namespace tangled::intercept {
+
+struct ProxyPolicy {
+  /// Ports the proxy listens on and intercepts (80 and 443 in §7).
+  std::set<std::uint16_t> intercept_ports{80, 443};
+  /// Endpoints excluded from interception even on intercepted ports, plus
+  /// endpoints on other ports (which are never intercepted anyway).
+  std::set<std::string> whitelist;  // "domain:port" keys
+
+  bool intercepts(const Endpoint& endpoint) const {
+    return intercept_ports.contains(endpoint.port) &&
+           !whitelist.contains(endpoint.key());
+  }
+};
+
+/// The §7 proxy policy exactly as Table 6 reports it.
+ProxyPolicy reality_mine_policy();
+/// Table 6's two columns, for the bench that regenerates the table.
+std::vector<Endpoint> reality_mine_intercepted_endpoints();
+std::vector<Endpoint> reality_mine_whitelisted_endpoints();
+
+/// A man-in-the-middle proxy in front of an upstream ChainSource.
+class MitmProxy final : public ChainSource {
+ public:
+  /// `operator_name` appears in the regenerated certificates' issuer, as
+  /// Reality Mine's name appeared in the observed roots.
+  MitmProxy(const ChainSource& upstream, ProxyPolicy policy,
+            std::string operator_name, std::uint64_t seed);
+
+  /// Fetch through the proxy: passthrough or regenerated chain.
+  Result<PresentedChain> fetch(const Endpoint& endpoint) const override;
+
+  /// The proxy's root CA certificate (what a cooperating client would need
+  /// to install for silent interception — Netalyzr flags it otherwise).
+  const x509::Certificate& proxy_root() const { return root_.cert; }
+
+  const ProxyPolicy& policy() const { return policy_; }
+
+  /// Number of distinct per-domain certificates minted so far.
+  std::size_t minted() const { return cache_.size(); }
+
+ private:
+  const ChainSource& upstream_;
+  ProxyPolicy policy_;
+  std::string operator_name_;
+  pki::CaNode root_;
+  mutable Xoshiro256 rng_;
+  mutable std::uint64_t serial_ = 77000;
+  mutable std::unordered_map<std::string, PresentedChain> cache_;
+};
+
+}  // namespace tangled::intercept

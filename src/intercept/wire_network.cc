@@ -1,0 +1,25 @@
+#include "intercept/wire_network.h"
+
+#include "tlswire/handshake.h"
+
+namespace tangled::intercept {
+
+Result<Bytes> WireNetwork::fetch_flight(const Endpoint& endpoint) const {
+  auto presented = upstream_.fetch(endpoint);
+  if (!presented.ok()) return presented.error();
+  return tlswire::encode_server_flight(tlswire::ServerHello{},
+                                       presented.value().chain);
+}
+
+Result<PresentedChain> chain_from_flight(ByteView flight) {
+  tlswire::CertificateExtractor extractor;
+  if (auto fed = extractor.feed(flight); !fed.ok()) return fed.error();
+  if (!extractor.has_chain()) {
+    return not_found_error("no Certificate message in flight");
+  }
+  PresentedChain chain;
+  chain.chain = extractor.session().chain;
+  return chain;
+}
+
+}  // namespace tangled::intercept

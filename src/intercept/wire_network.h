@@ -1,0 +1,30 @@
+// Wire-level views of a ChainSource: servers answer with actual TLS
+// handshake bytes (ServerHello + Certificate records), and the MITM proxy
+// variant rewrites the Certificate message inside the byte stream — the
+// §7 proxy as it would look to a packet capture.
+#pragma once
+
+#include "intercept/network.h"
+#include "intercept/proxy.h"
+#include "tlswire/extractor.h"
+
+namespace tangled::intercept {
+
+/// Serves the handshake flight a client (or passive observer) would see
+/// for an endpoint of `upstream`.
+class WireNetwork {
+ public:
+  explicit WireNetwork(const ChainSource& upstream) : upstream_(upstream) {}
+
+  /// TLS records: ServerHello + Certificate carrying the upstream chain.
+  Result<Bytes> fetch_flight(const Endpoint& endpoint) const;
+
+ private:
+  const ChainSource& upstream_;
+};
+
+/// Parses a captured flight back into the presented chain (client side /
+/// Notary side of the wire).
+Result<PresentedChain> chain_from_flight(ByteView flight);
+
+}  // namespace tangled::intercept

@@ -1,0 +1,50 @@
+#include "netalyzr/domain_probe.h"
+
+#include "intercept/proxy.h"
+
+namespace tangled::netalyzr {
+
+std::vector<intercept::Endpoint> popular_probe_endpoints() {
+  // Table 6 endpoints (both columns) plus the era's popular services.
+  std::vector<intercept::Endpoint> endpoints =
+      intercept::reality_mine_intercepted_endpoints();
+  const auto whitelisted = intercept::reality_mine_whitelisted_endpoints();
+  endpoints.insert(endpoints.end(), whitelisted.begin(), whitelisted.end());
+  for (const char* domain :
+       {"www.youtube.com", "www.amazon.com", "www.wikipedia.org",
+        "www.linkedin.com", "www.instagram.com", "www.paypal.com",
+        "www.netflix.com", "www.dropbox.com", "m.whatsapp.net"}) {
+    endpoints.push_back({domain, 443});
+  }
+  return endpoints;
+}
+
+DomainProbeReport probe_domains(const rootstore::RootStore& device_store,
+                                const intercept::ChainSource& network,
+                                const intercept::OriginNetwork& reference,
+                                pki::VerifyOptions options) {
+  const TrustChainProbe probe(device_store, options);
+  DomainProbeReport report;
+  for (const auto& endpoint : popular_probe_endpoints()) {
+    ++report.probed;
+    auto presented = network.fetch(endpoint);
+    if (!presented.ok()) {
+      ++report.unreachable;
+      report.failed_domains.push_back(endpoint.key());
+      continue;
+    }
+    const auto result =
+        probe.check(endpoint.domain, endpoint.port, presented.value().chain,
+                    reference.expected_anchor(endpoint));
+    if (!result.valid) {
+      ++report.invalid;
+      report.failed_domains.push_back(endpoint.key());
+      continue;
+    }
+    ++report.valid;
+    if (result.unexpected_anchor) ++report.unexpected_anchor;
+  }
+  return report;
+}
+
+}  // namespace tangled::netalyzr

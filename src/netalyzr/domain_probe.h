@@ -1,0 +1,38 @@
+// §4.1 (ii): Netalyzr for Android measures "the full trust chain for a
+// collection of popular domains and mobile-services", validating each
+// against the device's own root store. A device with a missing or
+// tampered store fails exactly the domains whose anchors it lacks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "intercept/network.h"
+#include "netalyzr/netalyzr.h"
+#include "rootstore/rootstore.h"
+
+namespace tangled::netalyzr {
+
+/// The probe target list: the paper's Table 6 domains plus the popular
+/// web/mobile services Netalyzr checked in 2013/14.
+std::vector<intercept::Endpoint> popular_probe_endpoints();
+
+struct DomainProbeReport {
+  std::size_t probed = 0;
+  std::size_t valid = 0;
+  std::size_t invalid = 0;       // reachable but not validatable on-device
+  std::size_t unreachable = 0;
+  std::size_t unexpected_anchor = 0;  // §7 interception signal
+  std::vector<std::string> failed_domains;
+
+  bool all_valid() const { return probed > 0 && valid == probed; }
+};
+
+/// Probes every endpoint through `network`, validating with
+/// `device_store`; `reference` supplies the publicly expected anchors.
+DomainProbeReport probe_domains(const rootstore::RootStore& device_store,
+                                const intercept::ChainSource& network,
+                                const intercept::OriginNetwork& reference,
+                                pki::VerifyOptions options = {});
+
+}  // namespace tangled::netalyzr

@@ -1,0 +1,55 @@
+#include "netalyzr/interception_survey.h"
+
+#include "intercept/proxy.h"
+
+namespace tangled::netalyzr {
+
+InterceptionSurveyResult survey_interception(
+    const synth::Population& population,
+    const rootstore::StoreUniverse& universe, std::uint64_t seed) {
+  using namespace tangled::intercept;
+
+  // The probed web: every Table 6 endpoint on live public roots.
+  Xoshiro256 rng(seed);
+  std::vector<Endpoint> endpoints = reality_mine_intercepted_endpoints();
+  const auto whitelisted = reality_mine_whitelisted_endpoints();
+  endpoints.insert(endpoints.end(), whitelisted.begin(), whitelisted.end());
+  std::vector<pki::CaNode> roots(universe.aosp_cas().begin() + 1,
+                                 universe.aosp_cas().begin() + 9);
+  auto origin = build_origin_network(endpoints, roots, rng);
+  // Endpoint construction from fixed catalogs cannot fail.
+  const OriginNetwork& clean = *origin.value();
+  MitmProxy proxy(clean, reality_mine_policy(), "Reality Mine", seed ^ 0x5eed);
+
+  // One detector per distinct store shape would be ideal; since the verdict
+  // depends only on the reference anchors (not the device store) for the
+  // interception comparison, a single stock-store detector suffices for
+  // the survey and keeps the full-population run fast.
+  InterceptionDetector detector(universe.aosp(rootstore::AndroidVersion::k44),
+                                clean);
+
+  InterceptionSurveyResult result;
+  for (const auto& handset : population.handsets) {
+    ++result.handsets_probed;
+    const ChainSource& network =
+        handset.behind_proxy ? static_cast<const ChainSource&>(proxy) : clean;
+    // Cheap pre-screen: probe one intercepted-by-policy endpoint first;
+    // only flagged handsets get the full endpoint sweep (what a real
+    // measurement tool does to bound its traffic).
+    const auto first = detector.probe(network, endpoints.front());
+    if (first.verdict != EndpointVerdict::kIntercepted) continue;
+
+    result.flagged_handsets.push_back(handset.device.handset_id);
+    for (const auto& endpoint : endpoints) {
+      const auto r = detector.probe(network, endpoint);
+      if (r.verdict == EndpointVerdict::kIntercepted) {
+        ++result.intercepted_endpoints[endpoint.key()];
+      } else if (r.verdict == EndpointVerdict::kUntouched) {
+        ++result.whitelisted_endpoints[endpoint.key()];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tangled::netalyzr

@@ -1,0 +1,36 @@
+// The §7 discovery pipeline over a whole population: Netalyzr probes the
+// trust chains of popular domains from every handset; handsets behind an
+// intercepting proxy present regenerated chains, which the Notary-backed
+// anchor comparison flags. The paper found exactly one such user among
+// 15K sessions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "intercept/detector.h"
+#include "synth/population.h"
+
+namespace tangled::netalyzr {
+
+struct InterceptionSurveyResult {
+  std::size_t handsets_probed = 0;
+  /// Handsets with at least one intercepted endpoint.
+  std::vector<std::uint32_t> flagged_handsets;
+  /// Per-endpoint interception counts across flagged handsets.
+  std::map<std::string, std::size_t> intercepted_endpoints;
+  /// Endpoints that passed untouched on flagged handsets (the whitelist).
+  std::map<std::string, std::size_t> whitelisted_endpoints;
+};
+
+/// Probes every handset in the population against the Table 6 endpoint
+/// list. Handsets with `behind_proxy` are routed through a Reality-Mine
+/// proxy; everyone else reaches the origin directly. Deterministic in
+/// `seed`.
+InterceptionSurveyResult survey_interception(
+    const synth::Population& population,
+    const rootstore::StoreUniverse& universe, std::uint64_t seed = 2014);
+
+}  // namespace tangled::netalyzr

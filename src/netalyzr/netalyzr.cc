@@ -1,0 +1,183 @@
+#include "netalyzr/netalyzr.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "x509/hostname.h"
+
+namespace tangled::netalyzr {
+
+SessionStats SessionDb::stats() const {
+  SessionStats s;
+  for (const auto& session : population_.sessions) {
+    const auto& handset = population_.handset_of(session);
+    ++s.sessions;
+    if (handset.device.rooted) ++s.rooted_sessions;
+    if (handset.extended()) ++s.extended_sessions;
+    if (handset.missing_aosp > 0) ++s.sessions_missing_certs;
+  }
+  return s;
+}
+
+std::size_t SessionDb::estimate_handsets() const {
+  std::set<std::tuple<std::string, int, std::uint64_t, std::uint64_t>> tuples;
+  for (const auto& session : population_.sessions) {
+    const auto& handset = population_.handset_of(session);
+    tuples.emplace(handset.device.model,
+                   static_cast<int>(handset.device.version),
+                   session.network_id, session.public_ip_id);
+  }
+  // Each handset contributes one tuple per distinct (network, IP) it was
+  // seen on; collapsing by the handset's *home* tuple de-inflates roamers.
+  std::set<std::tuple<std::string, int, std::uint64_t, std::uint64_t>> homes;
+  for (const auto& session : population_.sessions) {
+    const auto& handset = population_.handset_of(session);
+    homes.emplace(handset.device.model,
+                  static_cast<int>(handset.device.version),
+                  handset.home_network_id, handset.public_ip_id);
+  }
+  return std::min(tuples.size(), homes.size());
+}
+
+std::size_t SessionDb::distinct_models() const {
+  std::unordered_set<std::string> models;
+  for (const auto& session : population_.sessions) {
+    models.insert(population_.handset_of(session).device.model);
+  }
+  return models.size();
+}
+
+namespace {
+
+std::vector<std::pair<std::string, std::uint64_t>> sorted_counts(
+    std::map<std::string, std::uint64_t> counts) {
+  std::vector<std::pair<std::string, std::uint64_t>> out(counts.begin(),
+                                                         counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::uint64_t>> SessionDb::sessions_by_model()
+    const {
+  std::map<std::string, std::uint64_t> counts;
+  for (const auto& session : population_.sessions) {
+    ++counts[population_.handset_of(session).device.model];
+  }
+  return sorted_counts(std::move(counts));
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+SessionDb::sessions_by_manufacturer() const {
+  std::map<std::string, std::uint64_t> counts;
+  for (const auto& session : population_.sessions) {
+    ++counts[std::string(
+        to_string(population_.handset_of(session).device.manufacturer))];
+  }
+  return sorted_counts(std::move(counts));
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+SessionDb::sessions_by_version() const {
+  std::map<std::string, std::uint64_t> counts;
+  for (const auto& session : population_.sessions) {
+    ++counts[std::string(
+        rootstore::to_string(population_.handset_of(session).device.version))];
+  }
+  return sorted_counts(std::move(counts));
+}
+
+std::uint64_t SessionDb::total_certificates_collected() const {
+  std::uint64_t total = 0;
+  for (const auto& session : population_.sessions) {
+    const auto& handset = population_.handset_of(session);
+    total += handset.aosp_present + handset.additions();
+  }
+  return total;
+}
+
+std::size_t SessionDb::unique_certificates_estimate() const {
+  // AOSP roots present anywhere + distinct non-AOSP catalog certs seen +
+  // rooted-cert catalog entries seen + one per user-added singleton.
+  std::unordered_set<std::size_t> nonaosp;
+  std::unordered_set<std::size_t> rooted;
+  std::size_t user_added = 0;
+  std::size_t max_aosp = 0;
+  for (const auto& handset : population_.handsets) {
+    for (const std::size_t i : handset.nonaosp_indices) nonaosp.insert(i);
+    for (const std::size_t i : handset.rooted_cert_indices) rooted.insert(i);
+    user_added += handset.user_added;
+    // The Sony future-AOSP cert is inside the 4.4 set, so max_aosp covers it.
+    max_aosp = std::max(
+        max_aosp, rootstore::aosp_store_size(handset.device.version));
+  }
+  return max_aosp + nonaosp.size() + rooted.size() + user_added;
+}
+
+std::string SessionDb::sessions_csv() const {
+  std::string out =
+      "model,manufacturer,os,operator,network_operator,roaming,rooted,"
+      "aosp_certs,additions,missing,network_hash,ip_hash\n";
+  char buf[64];
+  for (const auto& session : population_.sessions) {
+    const auto& handset = population_.handset_of(session);
+    out += handset.device.model;
+    out.push_back(',');
+    out += to_string(handset.device.manufacturer);
+    out.push_back(',');
+    out += rootstore::to_string(handset.device.version);
+    out.push_back(',');
+    out += to_string(handset.device.op);
+    out.push_back(',');
+    out += to_string(session.network_operator);
+    out.push_back(',');
+    out += session.roaming ? "1" : "0";
+    out.push_back(',');
+    out += handset.device.rooted ? "1" : "0";
+    std::snprintf(buf, sizeof buf, ",%zu,%zu,%zu,%08llx,%08llx\n",
+                  handset.aosp_present, handset.additions(),
+                  handset.missing_aosp,
+                  static_cast<unsigned long long>(session.network_id & 0xffffffff),
+                  static_cast<unsigned long long>(session.public_ip_id & 0xffffffff));
+    out += buf;
+  }
+  return out;
+}
+
+TrustChainProbe::TrustChainProbe(const rootstore::RootStore& device_store,
+                                 pki::VerifyOptions options)
+    : options_(options) {
+  for (const auto& cert : device_store.certificates()) anchors_.add(cert);
+}
+
+ProbeResult TrustChainProbe::check(
+    const std::string& domain, std::uint16_t port,
+    const std::vector<x509::Certificate>& presented,
+    const x509::Certificate* expected_anchor) const {
+  ProbeResult result;
+  result.domain = domain;
+  result.port = port;
+  if (presented.empty()) return result;
+  result.reachable = true;
+  result.hostname_match =
+      x509::certificate_matches_hostname(presented.front(), domain);
+
+  pki::ChainVerifier verifier(anchors_, options_);
+  auto chain = verifier.verify_presented(presented);
+  if (!chain.ok()) return result;
+  result.valid = true;
+  result.anchor_subject = chain.value().anchor().subject().to_string();
+  if (expected_anchor != nullptr) {
+    result.unexpected_anchor =
+        !bytes_equal(chain.value().anchor().equivalence_key(),
+                     expected_anchor->equivalence_key());
+  }
+  return result;
+}
+
+}  // namespace tangled::netalyzr

@@ -1,0 +1,102 @@
+// Netalyzr-for-Android measurement logic (§4.1):
+//
+//  * SessionDb — the uploaded session corpus with per-session root-store
+//    summaries (built from a synth::Population);
+//  * device-identity estimation — the paper cannot see IMEIs, so it counts
+//    unique (networks, public IP, handset model, OS version) tuples as a
+//    lower bound on distinct handsets;
+//  * TrustChainProbe — fetches the presented chain for a list of popular
+//    domains through a (possibly intercepted) network and validates it
+//    against the device's own root store. This is the §7 detection path.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pki/verify.h"
+#include "synth/population.h"
+
+namespace tangled::netalyzr {
+
+/// Summary statistics over the session corpus (Table 2 inputs).
+struct SessionStats {
+  std::uint64_t sessions = 0;
+  std::uint64_t rooted_sessions = 0;
+  std::uint64_t extended_sessions = 0;  // stores with ≥1 addition
+  std::uint64_t sessions_missing_certs = 0;
+};
+
+class SessionDb {
+ public:
+  explicit SessionDb(const synth::Population& population)
+      : population_(population) {}
+
+  const synth::Population& population() const { return population_; }
+
+  SessionStats stats() const;
+
+  /// §4.1 device-identity estimate: unique (model, OS version, network,
+  /// public IP) tuples. A lower bound on the number of handsets.
+  std::size_t estimate_handsets() const;
+
+  /// Unique device-model count over the corpus.
+  std::size_t distinct_models() const;
+
+  /// Session counts grouped by model / manufacturer, descending (Table 2).
+  std::vector<std::pair<std::string, std::uint64_t>> sessions_by_model() const;
+  std::vector<std::pair<std::string, std::uint64_t>> sessions_by_manufacturer()
+      const;
+  /// Session counts per Android version (Figure 1's panel populations).
+  std::vector<std::pair<std::string, std::uint64_t>> sessions_by_version() const;
+
+  /// Total root certificates collected across sessions and the number of
+  /// unique ones (§4.1: "2.3 million root certificates ... only 314 unique").
+  std::uint64_t total_certificates_collected() const;
+  std::size_t unique_certificates_estimate() const;
+
+  /// The anonymized per-session data release: one CSV row per session with
+  /// the fields the paper's analyses consume (no device identifiers beyond
+  /// the §4.1 tuple, mirroring the paper's privacy posture).
+  std::string sessions_csv() const;
+
+ private:
+  const synth::Population& population_;
+};
+
+/// Result of probing one domain's trust chain from a device.
+struct ProbeResult {
+  std::string domain;
+  std::uint16_t port = 443;
+  bool reachable = false;
+  /// Chain validated against the device store.
+  bool valid = false;
+  /// Leaf certificate names the probed domain (RFC 6125 SAN/CN match).
+  bool hostname_match = false;
+  /// The anchor differs from the expected public-PKI anchor for the domain
+  /// — the §7 interception signal.
+  bool unexpected_anchor = false;
+  std::string anchor_subject;
+};
+
+/// Validates presented chains against a device root store and compares the
+/// anchor with an expected-issuer registry.
+class TrustChainProbe {
+ public:
+  /// `device_store` is the store Netalyzr collected from the handset.
+  explicit TrustChainProbe(const rootstore::RootStore& device_store,
+                           pki::VerifyOptions options = {});
+
+  /// Checks one presented chain for `domain`; `expected_anchor` is the
+  /// publicly known anchor (nullptr when unknown).
+  ProbeResult check(const std::string& domain, std::uint16_t port,
+                    const std::vector<x509::Certificate>& presented,
+                    const x509::Certificate* expected_anchor) const;
+
+ private:
+  pki::TrustAnchors anchors_;
+  pki::VerifyOptions options_;
+};
+
+}  // namespace tangled::netalyzr

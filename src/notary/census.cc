@@ -1,0 +1,86 @@
+#include "notary/census.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace tangled::notary {
+
+ValidationCensus::ValidationCensus(const pki::TrustAnchors& anchors,
+                                   pki::VerifyOptions options)
+    : anchors_(anchors), verifier_(anchors, options), now_(options.at) {}
+
+void ValidationCensus::ingest(const Observation& observation) {
+  if (observation.chain.empty()) return;
+  const x509::Certificate& leaf = observation.chain.front();
+  if (leaf.expired_at(now_)) return;  // census covers unexpired certs only
+  const std::string fp = to_hex(leaf.fingerprint_sha256());
+  if (!seen_leaves_.insert(fp).second) return;  // already counted
+  ++total_unexpired_;
+
+  const std::vector<x509::Certificate> intermediates(
+      observation.chain.begin() + 1, observation.chain.end());
+  auto chain = verifier_.verify(leaf, intermediates);
+  if (!chain.ok()) return;
+  ++total_validated_;
+  const std::string anchor_key =
+      to_hex(chain.value().anchor().equivalence_key());
+  ++by_root_[anchor_key];
+}
+
+std::uint64_t ValidationCensus::validated_by(
+    const x509::Certificate& root) const {
+  const auto it = by_root_.find(to_hex(root.equivalence_key()));
+  return it == by_root_.end() ? 0 : it->second;
+}
+
+std::uint64_t ValidationCensus::validated_by_store(
+    const rootstore::RootStore& store) const {
+  std::uint64_t total = 0;
+  std::unordered_set<std::string> counted;  // guard against equivalent pairs
+  for (const auto& cert : store.certificates()) {
+    const std::string key = to_hex(cert.equivalence_key());
+    if (!counted.insert(key).second) continue;
+    const auto it = by_root_.find(key);
+    if (it != by_root_.end()) total += it->second;
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> ValidationCensus::per_root_counts(
+    const std::vector<x509::Certificate>& roots) const {
+  std::vector<std::uint64_t> out;
+  out.reserve(roots.size());
+  for (const auto& root : roots) out.push_back(validated_by(root));
+  return out;
+}
+
+double ValidationCensus::zero_fraction(
+    const std::vector<x509::Certificate>& roots) const {
+  if (roots.empty()) return 0.0;
+  std::size_t zero = 0;
+  for (const auto& root : roots) {
+    if (validated_by(root) == 0) ++zero;
+  }
+  return static_cast<double>(zero) / static_cast<double>(roots.size());
+}
+
+std::vector<std::uint64_t> ValidationCensus::ecdf_counts(
+    const std::vector<x509::Certificate>& roots) const {
+  std::vector<std::uint64_t> counts = per_root_counts(roots);
+  std::sort(counts.begin(), counts.end());
+  return counts;
+}
+
+std::vector<std::uint64_t> ValidationCensus::cumulative_coverage(
+    const std::vector<x509::Certificate>& roots) const {
+  std::vector<std::uint64_t> counts = per_root_counts(roots);
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  std::uint64_t running = 0;
+  for (auto& c : counts) {
+    running += c;
+    c = running;
+  }
+  return counts;
+}
+
+}  // namespace tangled::notary

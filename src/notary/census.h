@@ -1,0 +1,78 @@
+// The §5.3 validation census: for every observed unexpired leaf certificate,
+// build and verify its chain against the universe of known roots; record
+// which root anchors it. From the per-root counts the census answers:
+//
+//  * Table 3 — how many Notary certificates each root *store* validates
+//    (store membership by equivalence, so a Mozilla re-issue of an AOSP
+//    root counts for Mozilla);
+//  * Table 4 — per category, how many roots validate nothing;
+//  * Figure 3 — the ECDF of per-root validated counts, plus the greedy
+//    cumulative-coverage curve.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "notary/notary.h"
+#include "pki/verify.h"
+#include "rootstore/rootstore.h"
+
+namespace tangled::notary {
+
+class ValidationCensus {
+ public:
+  /// `anchors` must contain every root that could legitimately anchor a
+  /// chain (AOSP + Mozilla-only + iOS7-only + non-AOSP catalog roots).
+  explicit ValidationCensus(const pki::TrustAnchors& anchors,
+                            pki::VerifyOptions options = {});
+
+  /// Ingests one observation. Expired leaves are deduplicated/recorded but
+  /// not counted toward validation (Table 3 counts unexpired certs only).
+  void ingest(const Observation& observation);
+
+  // --- Per-root results ---------------------------------------------------
+  /// Number of distinct unexpired leaves this root validates (by the root's
+  /// identity key, hex).
+  std::uint64_t validated_by(const x509::Certificate& root) const;
+
+  /// Total distinct unexpired leaves that some anchor validated.
+  std::uint64_t total_validated() const { return total_validated_; }
+  /// Distinct unexpired leaves seen (validated or not).
+  std::uint64_t total_unexpired() const { return total_unexpired_; }
+
+  // --- Per-store / per-category results -----------------------------------
+  /// Table 3: leaves whose anchor is in `store` (by equivalence).
+  std::uint64_t validated_by_store(const rootstore::RootStore& store) const;
+
+  /// Per-root counts for an explicit set of roots (a Table 4 / Figure 3
+  /// category), one entry per root, same order.
+  std::vector<std::uint64_t> per_root_counts(
+      const std::vector<x509::Certificate>& roots) const;
+
+  /// Fraction of `roots` validating zero leaves (Table 4 right column).
+  double zero_fraction(const std::vector<x509::Certificate>& roots) const;
+
+  /// ECDF over per-root counts: sorted ascending counts; the caller plots
+  /// (count, (i+1)/n). Figure 3's y-offset is zero_fraction().
+  std::vector<std::uint64_t> ecdf_counts(
+      const std::vector<x509::Certificate>& roots) const;
+
+  /// Greedy cumulative coverage: roots sorted by validated count
+  /// descending; entry i = total leaves validated by the first i+1 roots.
+  /// With single-anchor chains this is the running sum of sorted counts.
+  std::vector<std::uint64_t> cumulative_coverage(
+      const std::vector<x509::Certificate>& roots) const;
+
+ private:
+  const pki::TrustAnchors& anchors_;
+  pki::ChainVerifier verifier_;
+  asn1::Time now_;
+  std::unordered_set<std::string> seen_leaves_;          // fingerprint hex
+  std::unordered_map<std::string, std::uint64_t> by_root_;  // anchor equivalence-key hex
+  std::uint64_t total_validated_ = 0;
+  std::uint64_t total_unexpired_ = 0;
+};
+
+}  // namespace tangled::notary

@@ -1,0 +1,25 @@
+#include "notary/notary.h"
+
+namespace tangled::notary {
+
+void NotaryDb::observe(const Observation& observation) {
+  ++sessions_;
+  ++by_port_[observation.port];
+  for (const x509::Certificate& cert : observation.chain) {
+    const std::string fp = to_hex(cert.fingerprint_sha256());
+    if (unique_certs_.insert(fp).second) {
+      if (!cert.expired_at(now_)) ++unexpired_;
+    }
+    identities_.insert(to_hex(cert.identity_key()));
+  }
+}
+
+bool NotaryDb::recorded(const x509::Certificate& cert) const {
+  return identities_.contains(to_hex(cert.identity_key()));
+}
+
+bool NotaryDb::recorded_identity(ByteView identity_key) const {
+  return identities_.contains(to_hex(identity_key));
+}
+
+}  // namespace tangled::notary

@@ -1,0 +1,59 @@
+// The ICSI-Certificate-Notary-style passive observation store (§4.2): it
+// ingests presented certificate chains from "live traffic" (the synthetic
+// corpus), deduplicates certificates, tracks which certificates (including
+// which *root* certificates) have ever been seen on the wire, and counts
+// sessions per port.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "asn1/time.h"
+#include "util/bytes.h"
+#include "x509/certificate.h"
+
+namespace tangled::notary {
+
+/// One presented chain, leaf first (as a TLS server would send it).
+struct Observation {
+  std::vector<x509::Certificate> chain;
+  std::uint16_t port = 443;
+};
+
+class NotaryDb {
+ public:
+  explicit NotaryDb(asn1::Time now = asn1::make_time(2014, 4, 1)) : now_(now) {}
+
+  /// Ingests one observed session's chain.
+  void observe(const Observation& observation);
+
+  // --- Aggregates --------------------------------------------------------
+  std::uint64_t session_count() const { return sessions_; }
+  std::size_t unique_cert_count() const { return unique_certs_.size(); }
+  std::size_t unexpired_unique_cert_count() const { return unexpired_; }
+
+  /// Whether a certificate with this identity key was ever observed —
+  /// the paper's "recorded by the ICSI Notary" notion (Figure 2 legend).
+  bool recorded(const x509::Certificate& cert) const;
+  bool recorded_identity(ByteView identity_key) const;
+
+  /// Sessions per port (the Notary watches all ports, §4.2).
+  const std::map<std::uint16_t, std::uint64_t>& sessions_by_port() const {
+    return by_port_;
+  }
+
+  const asn1::Time& now() const { return now_; }
+
+ private:
+  asn1::Time now_;
+  std::uint64_t sessions_ = 0;
+  std::size_t unexpired_ = 0;
+  std::unordered_set<std::string> unique_certs_;  // fingerprint hex
+  std::unordered_set<std::string> identities_;    // identity-key hex
+  std::map<std::uint16_t, std::uint64_t> by_port_;
+};
+
+}  // namespace tangled::notary

@@ -1,0 +1,23 @@
+#include "notary/wire_ingest.h"
+
+namespace tangled::notary {
+
+Result<WireIngestResult> ingest_capture(NotaryDb& db, ValidationCensus* census,
+                                        ByteView capture, std::uint16_t port) {
+  tlswire::CertificateExtractor extractor;
+  if (auto fed = extractor.feed(capture); !fed.ok()) return fed.error();
+
+  WireIngestResult result;
+  result.sni = extractor.session().sni;
+  if (!extractor.has_chain()) return result;
+
+  Observation observation;
+  observation.chain = extractor.session().chain;
+  observation.port = port;
+  db.observe(observation);
+  if (census != nullptr) census->ingest(observation);
+  result.chain_observed = true;
+  return result;
+}
+
+}  // namespace tangled::notary

@@ -1,0 +1,22 @@
+// Bridges raw TLS captures into the Notary: run the passive certificate
+// extractor over a capture and, when a chain surfaces, record it as an
+// Observation — the full "live upstream traffic" pipeline of §4.2.
+#pragma once
+
+#include "notary/census.h"
+#include "notary/notary.h"
+#include "tlswire/extractor.h"
+
+namespace tangled::notary {
+
+struct WireIngestResult {
+  bool chain_observed = false;
+  std::optional<std::string> sni;
+};
+
+/// Parses `capture` (one connection's plaintext handshake bytes) and, on
+/// success, feeds the presented chain into `db` and optionally `census`.
+Result<WireIngestResult> ingest_capture(NotaryDb& db, ValidationCensus* census,
+                                        ByteView capture, std::uint16_t port);
+
+}  // namespace tangled::notary

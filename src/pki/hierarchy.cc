@@ -1,0 +1,144 @@
+#include "pki/hierarchy.h"
+
+namespace tangled::pki {
+
+x509::Name ca_name(const std::string& organization,
+                   const std::string& common_name) {
+  x509::Name name;
+  name.add_country("US").add_organization(organization).add_common_name(
+      common_name);
+  return name;
+}
+
+x509::Name server_name(const std::string& dns_name) {
+  x509::Name name;
+  name.add_common_name(dns_name);
+  return name;
+}
+
+Result<CaNode> make_root(const crypto::SignatureScheme& scheme,
+                         crypto::KeyPair key, const x509::Name& subject,
+                         const x509::Validity& validity, std::uint64_t serial,
+                         bool legacy_v1) {
+  x509::CertificateBuilder builder;
+  builder.serial(serial)
+      .subject(subject)
+      .issuer(subject)
+      .not_before(validity.not_before)
+      .not_after(validity.not_after)
+      .public_key(key.pub);
+  if (legacy_v1) {
+    builder.legacy_v1();
+  } else {
+    x509::KeyUsage usage;
+    usage.key_cert_sign = true;
+    usage.crl_sign = true;
+    builder.ca(true).key_usage(usage).key_ids(key.pub, key.pub);
+  }
+  auto cert = builder.sign(scheme, key);
+  if (!cert.ok()) return cert.error();
+  return CaNode{std::move(cert).value(), std::move(key)};
+}
+
+Result<CaNode> make_intermediate(const crypto::SignatureScheme& scheme,
+                                 const CaNode& parent, crypto::KeyPair key,
+                                 const x509::Name& subject,
+                                 const x509::Validity& validity,
+                                 std::uint64_t serial,
+                                 std::optional<int> path_len) {
+  x509::KeyUsage usage;
+  usage.key_cert_sign = true;
+  usage.crl_sign = true;
+  auto cert = x509::CertificateBuilder()
+                  .serial(serial)
+                  .subject(subject)
+                  .issuer(parent.cert.subject())
+                  .not_before(validity.not_before)
+                  .not_after(validity.not_after)
+                  .public_key(key.pub)
+                  .ca(true, path_len)
+                  .key_usage(usage)
+                  .key_ids(key.pub, parent.key.pub)
+                  .sign(scheme, parent.key);
+  if (!cert.ok()) return cert.error();
+  return CaNode{std::move(cert).value(), std::move(key)};
+}
+
+Result<x509::Certificate> make_leaf(const crypto::SignatureScheme& scheme,
+                                    const CaNode& parent, crypto::KeyPair key,
+                                    const std::string& dns_name,
+                                    const x509::Validity& validity,
+                                    std::uint64_t serial) {
+  x509::KeyUsage usage;
+  usage.digital_signature = true;
+  usage.key_encipherment = true;
+  x509::ExtendedKeyUsage eku;
+  eku.purposes.push_back(asn1::oids::eku_server_auth());
+  return x509::CertificateBuilder()
+      .serial(serial)
+      .subject(server_name(dns_name))
+      .issuer(parent.cert.subject())
+      .not_before(validity.not_before)
+      .not_after(validity.not_after)
+      .public_key(key.pub)
+      .key_usage(usage)
+      .extended_key_usage(eku)
+      .dns_names({dns_name})
+      .key_ids(key.pub, parent.key.pub)
+      .sign(scheme, parent.key);
+}
+
+Result<CaHierarchy> CaHierarchy::build(Xoshiro256& rng, const std::string& org,
+                                       std::size_t n_intermediates,
+                                       bool sim_keys) {
+  CaHierarchy h;
+  h.sim_keys_ = sim_keys;
+  h.scheme_ = sim_keys ? &crypto::sim_sig_scheme() : &crypto::rsa_sha256_scheme();
+
+  auto make_key = [&rng, sim_keys]() {
+    return sim_keys ? crypto::generate_sim_keypair(rng)
+                    : crypto::generate_rsa_keypair(rng, 1024);
+  };
+
+  const x509::Validity validity{asn1::make_time(2010, 1, 1),
+                                asn1::make_time(2030, 1, 1)};
+  auto root = make_root(*h.scheme_, make_key(), ca_name(org, org + " Root CA"),
+                        validity, 1);
+  if (!root.ok()) return root.error();
+  h.root_ = std::move(root).value();
+
+  for (std::size_t i = 0; i < n_intermediates; ++i) {
+    auto inter = make_intermediate(
+        *h.scheme_, h.root_, make_key(),
+        ca_name(org, org + " Intermediate CA " + std::to_string(i + 1)),
+        validity, 100 + i);
+    if (!inter.ok()) return inter.error();
+    h.intermediates_.push_back(std::move(inter).value());
+  }
+  return h;
+}
+
+Result<x509::Certificate> CaHierarchy::issue(Xoshiro256& rng,
+                                             const std::string& dns_name,
+                                             std::size_t intermediate_index) {
+  const CaNode& parent = intermediates_.empty()
+                             ? root_
+                             : intermediates_.at(intermediate_index);
+  auto key = sim_keys_ ? crypto::generate_sim_keypair(rng)
+                       : crypto::generate_rsa_keypair(rng, 1024);
+  const x509::Validity validity{asn1::make_time(2013, 1, 1),
+                                asn1::make_time(2016, 1, 1)};
+  return make_leaf(*scheme_, parent, std::move(key), dns_name, validity,
+                   next_serial_++);
+}
+
+std::vector<x509::Certificate> CaHierarchy::presented_chain(
+    const x509::Certificate& leaf, std::size_t intermediate_index) const {
+  std::vector<x509::Certificate> chain{leaf};
+  if (!intermediates_.empty()) {
+    chain.push_back(intermediates_.at(intermediate_index).cert);
+  }
+  return chain;
+}
+
+}  // namespace tangled::pki

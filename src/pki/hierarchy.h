@@ -1,0 +1,82 @@
+// CA hierarchy generation: self-signed roots, intermediates, and leaf
+// (server) certificates, using any SignatureScheme. The root-store catalogs
+// and the notary corpus generator are both built on this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crypto/signature.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "x509/builder.h"
+#include "x509/certificate.h"
+
+namespace tangled::pki {
+
+/// A CA: its certificate plus the keypair that signs children.
+struct CaNode {
+  x509::Certificate cert;
+  crypto::KeyPair key;
+};
+
+/// Issues a self-signed root CA certificate. `legacy_v1` emits a 1990s-era
+/// v1 root (no extensions — the form many of Figure 2's VeriSign/Thawte
+/// roots still had in 2014).
+Result<CaNode> make_root(const crypto::SignatureScheme& scheme,
+                         crypto::KeyPair key, const x509::Name& subject,
+                         const x509::Validity& validity, std::uint64_t serial,
+                         bool legacy_v1 = false);
+
+/// Issues an intermediate CA under `parent`. `path_len` becomes its
+/// BasicConstraints pathLenConstraint (nullopt = unbounded).
+Result<CaNode> make_intermediate(const crypto::SignatureScheme& scheme,
+                                 const CaNode& parent, crypto::KeyPair key,
+                                 const x509::Name& subject,
+                                 const x509::Validity& validity,
+                                 std::uint64_t serial,
+                                 std::optional<int> path_len = std::nullopt);
+
+/// Issues a TLS server (leaf) certificate for `dns_name` under `parent`.
+Result<x509::Certificate> make_leaf(const crypto::SignatureScheme& scheme,
+                                    const CaNode& parent, crypto::KeyPair key,
+                                    const std::string& dns_name,
+                                    const x509::Validity& validity,
+                                    std::uint64_t serial);
+
+/// Convenience Name factories.
+x509::Name ca_name(const std::string& organization, const std::string& common_name);
+x509::Name server_name(const std::string& dns_name);
+
+/// A ready-made three-tier test hierarchy (1 root, n intermediates, leaves
+/// on demand). Used by unit tests and examples.
+class CaHierarchy {
+ public:
+  /// Builds root and intermediates with fresh keys from `rng`.
+  /// `sim_keys` selects fast SimSig keys + scheme; otherwise real RSA
+  /// (1024-bit) + sha256WithRSAEncryption.
+  static Result<CaHierarchy> build(Xoshiro256& rng, const std::string& org,
+                                   std::size_t n_intermediates, bool sim_keys);
+
+  const CaNode& root() const { return root_; }
+  const std::vector<CaNode>& intermediates() const { return intermediates_; }
+  const crypto::SignatureScheme& scheme() const { return *scheme_; }
+
+  /// Issues a leaf under intermediate `i` (or directly under the root when
+  /// no intermediates exist).
+  Result<x509::Certificate> issue(Xoshiro256& rng, const std::string& dns_name,
+                                  std::size_t intermediate_index = 0);
+
+  /// The presented chain for a leaf from `issue` (leaf + intermediate).
+  std::vector<x509::Certificate> presented_chain(
+      const x509::Certificate& leaf, std::size_t intermediate_index = 0) const;
+
+ private:
+  CaNode root_;
+  std::vector<CaNode> intermediates_;
+  const crypto::SignatureScheme* scheme_ = nullptr;
+  bool sim_keys_ = true;
+  std::uint64_t next_serial_ = 1000;
+};
+
+}  // namespace tangled::pki

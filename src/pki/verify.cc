@@ -1,0 +1,262 @@
+#include "pki/verify.h"
+
+#include <unordered_set>
+
+#include "x509/pem.h"
+
+namespace tangled::pki {
+
+std::string Chain::to_pem_bundle() const {
+  std::string out;
+  for (const auto& cert : certificates) out += x509::to_pem(cert);
+  return out;
+}
+
+std::uint64_t name_hash(const x509::Name& name) {
+  return fnv1a64(name.to_der());
+}
+
+// ---------------------------------------------------------------------------
+// TrustAnchors
+// ---------------------------------------------------------------------------
+
+TrustAnchors::TrustAnchors(const std::vector<x509::Certificate>& roots) {
+  for (const auto& root : roots) add(root);
+}
+
+void TrustAnchors::add(const x509::Certificate& root, TrustFlags flags) {
+  const std::size_t idx = anchors_.size();
+  anchors_.push_back(root);
+  flags_.push_back(flags);
+  subject_index_.emplace(name_hash(root.subject()), idx);
+  if (const auto ski = root.extensions().subject_key_id(); ski.has_value()) {
+    key_id_index_.emplace(fnv1a64(*ski), idx);
+  }
+}
+
+bool TrustAnchors::trusted_for(const x509::Certificate& anchor,
+                               TrustPurpose purpose) const {
+  const auto [begin, end] = subject_index_.equal_range(name_hash(anchor.subject()));
+  for (auto it = begin; it != end; ++it) {
+    if (anchors_[it->second].der() == anchor.der()) {
+      return (flags_[it->second] & trust_flag(purpose)) != 0;
+    }
+  }
+  return false;
+}
+
+std::vector<const x509::Certificate*> TrustAnchors::by_subject(
+    const x509::Name& issuer_name) const {
+  std::vector<const x509::Certificate*> out;
+  const auto [begin, end] = subject_index_.equal_range(name_hash(issuer_name));
+  for (auto it = begin; it != end; ++it) {
+    const x509::Certificate& cand = anchors_[it->second];
+    if (cand.subject() == issuer_name) out.push_back(&cand);
+  }
+  return out;
+}
+
+std::vector<const x509::Certificate*> TrustAnchors::by_key_id(
+    ByteView key_id) const {
+  std::vector<const x509::Certificate*> out;
+  const auto [begin, end] = key_id_index_.equal_range(fnv1a64(key_id));
+  for (auto it = begin; it != end; ++it) {
+    const x509::Certificate& cand = anchors_[it->second];
+    const auto ski = cand.extensions().subject_key_id();
+    if (ski.has_value() && bytes_equal(*ski, key_id)) out.push_back(&cand);
+  }
+  return out;
+}
+
+bool TrustAnchors::contains(const x509::Certificate& cert) const {
+  const auto [begin, end] = subject_index_.equal_range(name_hash(cert.subject()));
+  for (auto it = begin; it != end; ++it) {
+    if (anchors_[it->second].der() == cert.der()) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// ChainVerifier
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per-certificate checks that do not involve its issuer.
+Result<void> check_cert(const x509::Certificate& cert, bool must_be_ca,
+                        const VerifyOptions& options) {
+  if (options.check_validity && !cert.validity().contains(options.at)) {
+    return expired_error("certificate outside validity window: " +
+                         cert.subject().to_string());
+  }
+  if (options.require_ca_bit && must_be_ca && !cert.is_ca()) {
+    return verify_error("issuer is not a CA: " + cert.subject().to_string());
+  }
+  return {};
+}
+
+struct SearchContext {
+  const TrustAnchors& anchors;
+  const VerifyOptions& options;
+  std::unordered_multimap<std::uint64_t, const x509::Certificate*> inter_index;
+
+  std::vector<const x509::Certificate*> intermediates_for(
+      const x509::Name& issuer_name) const {
+    std::vector<const x509::Certificate*> out;
+    const auto [begin, end] = inter_index.equal_range(name_hash(issuer_name));
+    for (auto it = begin; it != end; ++it) {
+      if (it->second->subject() == issuer_name) out.push_back(it->second);
+    }
+    return out;
+  }
+};
+
+Result<void> check_link(const x509::Certificate& child,
+                        const x509::Certificate& issuer,
+                        const VerifyOptions& options) {
+  if (options.check_signatures) {
+    if (auto sig = child.check_signature_from(issuer.public_key()); !sig.ok()) {
+      return sig;
+    }
+  }
+  return {};
+}
+
+/// Depth-first path extension. `path` holds certs from leaf to current tip.
+bool extend(const x509::Certificate& tip, std::vector<x509::Certificate>& path,
+            std::unordered_set<std::uint64_t>& on_path, const SearchContext& ctx,
+            Error& last_error) {
+  if (path.size() >= ctx.options.max_depth) {
+    last_error = verify_error("maximum chain depth exceeded");
+    return false;
+  }
+
+  // Scoped trust (§8 recommendation): an anchor terminates the chain only
+  // when it is trusted for the requested purpose.
+  auto purpose_ok = [&ctx, &last_error](const x509::Certificate& anchor) {
+    if (!ctx.options.purpose.has_value()) return true;
+    if (ctx.anchors.trusted_for(anchor, *ctx.options.purpose)) return true;
+    last_error = verify_error("anchor not trusted for requested purpose: " +
+                              anchor.subject().to_string());
+    return false;
+  };
+
+  // A self-signed tip that is itself an anchor terminates immediately
+  // (a root presented as its own chain).
+  if (tip.is_self_issued() && ctx.anchors.contains(tip) && purpose_ok(tip)) {
+    return true;
+  }
+
+  // Anchors first: prefer terminating the chain over growing it.
+  for (const x509::Certificate* anchor : ctx.anchors.by_subject(tip.issuer())) {
+    if (anchor->der() == tip.der()) continue;
+    if (!purpose_ok(*anchor)) continue;
+    if (auto ok = check_cert(*anchor, /*must_be_ca=*/true, ctx.options); !ok.ok()) {
+      last_error = ok.error();
+      continue;
+    }
+    if (auto ok = check_link(tip, *anchor, ctx.options); !ok.ok()) {
+      last_error = ok.error();
+      continue;
+    }
+    path.push_back(*anchor);
+    return true;
+  }
+
+  for (const x509::Certificate* inter : ctx.intermediates_for(tip.issuer())) {
+    const std::uint64_t id = fnv1a64(inter->der());
+    if (on_path.contains(id)) continue;  // loop guard
+    if (inter->der() == tip.der()) continue;
+    if (auto ok = check_cert(*inter, /*must_be_ca=*/true, ctx.options); !ok.ok()) {
+      last_error = ok.error();
+      continue;
+    }
+    if (auto ok = check_link(tip, *inter, ctx.options); !ok.ok()) {
+      last_error = ok.error();
+      continue;
+    }
+    path.push_back(*inter);
+    on_path.insert(id);
+    if (extend(*inter, path, on_path, ctx, last_error)) return true;
+    on_path.erase(id);
+    path.pop_back();
+  }
+  return false;
+}
+
+}  // namespace
+
+namespace {
+
+/// The ExtendedKeyUsage OID a TrustPurpose corresponds to.
+const asn1::Oid& eku_oid_for(TrustPurpose purpose) {
+  switch (purpose) {
+    case TrustPurpose::kServerAuth: return asn1::oids::eku_server_auth();
+    case TrustPurpose::kClientAuth: return asn1::oids::eku_client_auth();
+    case TrustPurpose::kCodeSigning: return asn1::oids::eku_code_signing();
+    case TrustPurpose::kEmail: return asn1::oids::eku_email_protection();
+    case TrustPurpose::kTimestamping: return asn1::oids::eku_time_stamping();
+  }
+  return asn1::oids::eku_server_auth();
+}
+
+/// RFC 5280 §6.1.4: a CA's pathLenConstraint bounds how many non-leaf
+/// certificates may follow it toward the leaf. Chain order: leaf first,
+/// anchor last; the CA at index i has i-1 intermediates below it.
+Result<void> check_path_lengths(const std::vector<x509::Certificate>& path) {
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const auto bc = path[i].extensions().basic_constraints();
+    if (!bc.has_value() || !bc->path_len.has_value()) continue;
+    const std::size_t below = i - 1;  // intermediates between it and leaf
+    if (below > static_cast<std::size_t>(*bc->path_len)) {
+      return verify_error("pathLenConstraint violated at " +
+                          path[i].subject().to_string());
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Result<Chain> ChainVerifier::verify(
+    const x509::Certificate& leaf,
+    const std::vector<x509::Certificate>& intermediates) const {
+  if (auto ok = check_cert(leaf, /*must_be_ca=*/false, options_); !ok.ok()) {
+    return ok.error();
+  }
+  // A leaf restricted by EKU must allow the requested purpose.
+  if (options_.purpose.has_value()) {
+    const auto eku = leaf.extensions().extended_key_usage();
+    if (eku.has_value() && !eku->allows(eku_oid_for(*options_.purpose))) {
+      return verify_error("leaf ExtendedKeyUsage forbids requested purpose");
+    }
+  }
+
+  SearchContext ctx{anchors_, options_, {}};
+  for (const auto& inter : intermediates) {
+    ctx.inter_index.emplace(name_hash(inter.subject()), &inter);
+  }
+
+  std::vector<x509::Certificate> path{leaf};
+  std::unordered_set<std::uint64_t> on_path{fnv1a64(leaf.der())};
+  Error last_error =
+      not_found_error("no path to a trust anchor for issuer " +
+                      leaf.issuer().to_string());
+  if (extend(leaf, path, on_path, ctx, last_error)) {
+    if (options_.check_path_length) {
+      if (auto ok = check_path_lengths(path); !ok.ok()) return ok.error();
+    }
+    return Chain{std::move(path)};
+  }
+  return last_error;
+}
+
+Result<Chain> ChainVerifier::verify_presented(
+    const std::vector<x509::Certificate>& presented) const {
+  if (presented.empty()) return parse_error("empty presented chain");
+  const std::vector<x509::Certificate> intermediates(presented.begin() + 1,
+                                                     presented.end());
+  return verify(presented.front(), intermediates);
+}
+
+}  // namespace tangled::pki

@@ -1,0 +1,128 @@
+// Certification-path building and validation.
+//
+// TrustAnchors indexes root certificates by subject DN and by key id;
+// ChainVerifier builds a path from a leaf through supplied intermediates to
+// an anchor, checking signatures, validity windows, basic constraints, and
+// guarding against loops. This is the engine behind the paper's §5.3
+// validation census ("number of TLS certificates that each root certificate
+// can validate").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "asn1/time.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "x509/certificate.h"
+
+namespace tangled::pki {
+
+/// Trust purposes, modeled on Mozilla's trust bits. §8 faults Android for
+/// lacking exactly this: an AOSP root "can be used for any operation from
+/// TLS server verification to code signing". Anchors added without flags
+/// behave Android-style (trusted for everything); scoped anchors behave
+/// Mozilla-style.
+enum class TrustPurpose : std::uint8_t {
+  kServerAuth = 1 << 0,
+  kClientAuth = 1 << 1,
+  kCodeSigning = 1 << 2,
+  kEmail = 1 << 3,
+  kTimestamping = 1 << 4,
+};
+
+using TrustFlags = std::uint8_t;
+inline constexpr TrustFlags kTrustAll = 0xff;
+
+constexpr TrustFlags trust_flag(TrustPurpose purpose) {
+  return static_cast<TrustFlags>(purpose);
+}
+
+/// A set of trusted roots with issuer-lookup indexes and optional
+/// per-anchor trust scoping.
+class TrustAnchors {
+ public:
+  TrustAnchors() = default;
+  explicit TrustAnchors(const std::vector<x509::Certificate>& roots);
+
+  void add(const x509::Certificate& root, TrustFlags flags = kTrustAll);
+
+  /// Whether `anchor` (a member) is trusted for `purpose`. Unknown certs
+  /// are trusted for nothing.
+  bool trusted_for(const x509::Certificate& anchor, TrustPurpose purpose) const;
+  std::size_t size() const { return anchors_.size(); }
+  bool empty() const { return anchors_.empty(); }
+  const std::vector<x509::Certificate>& all() const { return anchors_; }
+
+  /// Anchors whose subject matches `issuer_name` (hash-indexed).
+  std::vector<const x509::Certificate*> by_subject(const x509::Name& issuer_name) const;
+  /// Anchors whose subject key id matches (when present).
+  std::vector<const x509::Certificate*> by_key_id(ByteView key_id) const;
+
+  /// True if a byte-identical anchor is present.
+  bool contains(const x509::Certificate& cert) const;
+
+ private:
+  std::vector<x509::Certificate> anchors_;
+  std::vector<TrustFlags> flags_;
+  std::unordered_multimap<std::uint64_t, std::size_t> subject_index_;
+  std::unordered_multimap<std::uint64_t, std::size_t> key_id_index_;
+};
+
+/// Validation policy knobs.
+struct VerifyOptions {
+  asn1::Time at = asn1::make_time(2014, 4, 1);  // paper's measurement window
+  bool check_validity = true;
+  bool check_signatures = true;
+  bool require_ca_bit = true;   // intermediates/roots must be CAs
+  std::size_t max_depth = 8;    // leaf + intermediates + root
+  /// When set, the chain must terminate at an anchor trusted for this
+  /// purpose (Mozilla-style scoping; unset = Android-style "any use"), and
+  /// a leaf carrying an ExtendedKeyUsage extension must allow the matching
+  /// purpose OID.
+  std::optional<TrustPurpose> purpose;
+  /// Enforce BasicConstraints pathLenConstraint (RFC 5280 §6.1.4).
+  bool check_path_length = true;
+};
+
+/// A validated path, leaf first, anchor last.
+struct Chain {
+  std::vector<x509::Certificate> certificates;
+
+  const x509::Certificate& leaf() const { return certificates.front(); }
+  const x509::Certificate& anchor() const { return certificates.back(); }
+  std::size_t length() const { return certificates.size(); }
+
+  /// Multi-block PEM bundle in presentation order (leaf first) — the usual
+  /// fullchain.pem layout.
+  std::string to_pem_bundle() const;
+};
+
+class ChainVerifier {
+ public:
+  explicit ChainVerifier(const TrustAnchors& anchors, VerifyOptions options = {})
+      : anchors_(anchors), options_(options) {}
+
+  /// Builds and validates a path for `leaf` given untrusted `intermediates`
+  /// (any order, duplicates tolerated). Returns the first valid chain found
+  /// (shortest-first search).
+  Result<Chain> verify(const x509::Certificate& leaf,
+                       const std::vector<x509::Certificate>& intermediates) const;
+
+  /// Convenience for pre-ordered chains as presented in a TLS handshake:
+  /// presented[0] is the leaf, the rest are its intermediates.
+  Result<Chain> verify_presented(const std::vector<x509::Certificate>& presented) const;
+
+  const VerifyOptions& options() const { return options_; }
+
+ private:
+  const TrustAnchors& anchors_;
+  VerifyOptions options_;
+};
+
+/// Hash of a DN's DER used by the lookup indexes.
+std::uint64_t name_hash(const x509::Name& name);
+
+}  // namespace tangled::pki

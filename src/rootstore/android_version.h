@@ -1,0 +1,48 @@
+// The Android releases the paper studies, with their official AOSP root
+// store sizes (Table 1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace tangled::rootstore {
+
+enum class AndroidVersion : std::uint8_t { k41 = 0, k42 = 1, k43 = 2, k44 = 3 };
+
+inline constexpr std::array<AndroidVersion, 4> kAllAndroidVersions{
+    AndroidVersion::k41, AndroidVersion::k42, AndroidVersion::k43,
+    AndroidVersion::k44};
+
+/// Official AOSP root-store size for the version (Table 1: 139/140/146/150).
+constexpr std::size_t aosp_store_size(AndroidVersion v) {
+  switch (v) {
+    case AndroidVersion::k41: return 139;
+    case AndroidVersion::k42: return 140;
+    case AndroidVersion::k43: return 146;
+    case AndroidVersion::k44: return 150;
+  }
+  return 0;
+}
+
+constexpr std::string_view to_string(AndroidVersion v) {
+  switch (v) {
+    case AndroidVersion::k41: return "4.1";
+    case AndroidVersion::k42: return "4.2";
+    case AndroidVersion::k43: return "4.3";
+    case AndroidVersion::k44: return "4.4";
+  }
+  return "?";
+}
+
+/// Table 1 comparison stores.
+inline constexpr std::size_t kIos7StoreSize = 227;
+inline constexpr std::size_t kMozillaStoreSize = 153;
+/// §2: "117 of AOSP 4.4's 150 certificates also exist in Mozilla's root
+/// store" (byte-identical).
+inline constexpr std::size_t kAospMozillaIdentical = 117;
+/// Table 4 counts AOSP4.4 ∩ Mozilla as 130 — the extra 13 are re-issues
+/// that are equivalent (same subject + modulus) but not byte-identical.
+inline constexpr std::size_t kAospMozillaEquivalent = 130;
+
+}  // namespace tangled::rootstore

@@ -1,0 +1,67 @@
+#include "rootstore/cacerts.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "x509/pem.h"
+
+namespace tangled::rootstore {
+
+namespace fs = std::filesystem;
+
+std::string cacerts_basename(const x509::Certificate& cert) {
+  return cert.subject_tag();
+}
+
+Result<void> save_cacerts(const RootStore& store, const fs::path& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return state_error("cannot create " + dir.string() + ": " + ec.message());
+
+  // Count per-hash files for the `.N` suffix.
+  std::unordered_map<std::string, int> suffix;
+  for (const auto& cert : store.certificates()) {
+    const std::string base = cacerts_basename(cert);
+    const int n = suffix[base]++;
+    const fs::path file = dir / (base + "." + std::to_string(n));
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    if (!out) return state_error("cannot write " + file.string());
+    out << x509::to_pem(cert);
+    if (!out.good()) return state_error("short write to " + file.string());
+  }
+  return {};
+}
+
+Result<LoadReport> load_cacerts(std::string name, const fs::path& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return not_found_error("not a directory: " + dir.string());
+  }
+  LoadReport report;
+  report.store = RootStore(std::move(name));
+
+  // Deterministic order regardless of directory iteration order.
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto certs = x509::certificates_from_pem(buffer.str());
+    if (!certs.ok() || certs.value().empty()) {
+      report.skipped_files.push_back(file.filename().string());
+      continue;
+    }
+    for (auto& cert : certs.value()) {
+      report.store.add(std::move(cert));
+    }
+  }
+  return report;
+}
+
+}  // namespace tangled::rootstore

@@ -1,0 +1,40 @@
+// On-disk root-store layout matching Android's
+// /system/etc/security/cacerts (paper §2, footnote 2): one PEM file per
+// root certificate, named `<subject-hash>.<n>` where the 8-hex-digit
+// subject hash is the same 32-bit tag the paper prints in Figure 2, and
+// `<n>` disambiguates hash collisions (OpenSSL c_rehash convention).
+//
+// This is what a rooted app manipulates when it "adds and removes
+// certificates in the root store without any user awareness" (§6), so the
+// loader is deliberately forgiving: non-certificate files are skipped and
+// reported rather than failing the whole store.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "rootstore/rootstore.h"
+#include "util/result.h"
+
+namespace tangled::rootstore {
+
+/// Writes every certificate in `store` into `dir` (created if needed),
+/// one PEM file each, Android naming. Existing entries are overwritten.
+Result<void> save_cacerts(const RootStore& store,
+                          const std::filesystem::path& dir);
+
+struct LoadReport {
+  RootStore store;
+  /// Files skipped because they did not parse as certificates.
+  std::vector<std::string> skipped_files;
+};
+
+/// Reads a cacerts directory back into a store named `name`.
+Result<LoadReport> load_cacerts(std::string name,
+                                const std::filesystem::path& dir);
+
+/// The filename (without the dedup suffix) Android would use.
+std::string cacerts_basename(const x509::Certificate& cert);
+
+}  // namespace tangled::rootstore

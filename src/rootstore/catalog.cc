@@ -1,0 +1,220 @@
+#include "rootstore/catalog.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace tangled::rootstore {
+
+namespace {
+
+using crypto::KeyPair;
+using crypto::sim_sig_scheme;
+
+/// Well-known CA names for the head of the AOSP store (§2 mentions
+/// Firmaprofesional, Comodo, and Türktrust explicitly). The remainder get
+/// synthetic-but-stable names.
+constexpr std::string_view kRealAospNames[] = {
+    "Autoridad de Certificacion Firmaprofesional CIF A62634068",
+    "COMODO Certification Authority",
+    "TURKTRUST Elektronik Sertifika Hizmet Saglayicisi",
+    "VeriSign Class 3 Public Primary Certification Authority - G5",
+    "GeoTrust Global CA",
+    "DigiCert High Assurance EV Root CA",
+    "thawte Primary Root CA",
+    "GlobalSign Root CA - R2",
+    "Entrust Root Certification Authority",
+    "Baltimore CyberTrust Root",
+    "AddTrust External CA Root",
+    "Equifax Secure Certificate Authority",
+    "StartCom Certification Authority",
+    "UTN-USERFirst-Hardware",
+    "Go Daddy Class 2 Certification Authority",
+    "Starfield Class 2 Certification Authority",
+    "DST Root CA X3",
+    "SwissSign Gold CA - G2",
+    "QuoVadis Root CA 2",
+    "Certum CA",
+    "T-TeleSec GlobalRoot Class 2",
+    "Buypass Class 3 Root CA",
+    "Chambers of Commerce Root",
+    "XRamp Global Certification Authority",
+    "Secure Global CA",
+    "GeoTrust Primary Certification Authority",
+    "Network Solutions Certificate Authority",
+    "Cybertrust Global Root",
+    "GTE CyberTrust Global Root",
+    "America Online Root Certification Authority 1",
+};
+
+constexpr std::size_t kFirmaprofesionalIndex = 0;
+
+x509::Name root_name(std::string_view cn) {
+  x509::Name name;
+  name.add_country("US").add_organization(std::string(cn)).add_common_name(
+      std::string(cn));
+  return name;
+}
+
+std::string synthetic_name(const char* prefix, std::size_t index) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s %03zu", prefix, index);
+  return buf;
+}
+
+pki::CaNode make_sim_root(Xoshiro256& rng, const x509::Name& subject,
+                          const x509::Validity& validity,
+                          std::uint64_t serial, bool legacy_v1 = false) {
+  KeyPair key = crypto::generate_sim_keypair(rng);
+  auto node = pki::make_root(sim_sig_scheme(), std::move(key), subject,
+                             validity, serial, legacy_v1);
+  assert(node.ok() && "root issuance cannot fail with valid inputs");
+  return std::move(node).value();
+}
+
+/// Roots from the 1990s CA generation that were still shipped as X.509 v1
+/// in 2014 (no extensions). Matching by issuer family keeps the 104-entry
+/// spec table untouched.
+bool is_legacy_v1_family(std::string_view display_name) {
+  for (std::string_view prefix :
+       {"VeriSign", "Thawte", "RSA Data Security", "ABA.ECOM", "EUnet"}) {
+    if (display_name.substr(0, prefix.size()) == prefix) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+AospGroup StoreUniverse::aosp_group(std::size_t aosp_index) {
+  if (aosp_index < kAospMozillaIdentical) return AospGroup::kMozillaIdentical;
+  if (aosp_index < kAospMozillaEquivalent) return AospGroup::kMozillaEquivalent;
+  return AospGroup::kAospOnly;
+}
+
+std::vector<std::size_t> StoreUniverse::aosp_added_in(AndroidVersion v) const {
+  const std::size_t hi = aosp_store_size(v);
+  const std::size_t lo =
+      v == AndroidVersion::k41
+          ? 0
+          : aosp_store_size(static_cast<AndroidVersion>(
+                static_cast<std::size_t>(v) - 1));
+  std::vector<std::size_t> out;
+  out.reserve(hi - lo);
+  for (std::size_t i = lo; i < hi; ++i) out.push_back(i);
+  return out;
+}
+
+StoreUniverse StoreUniverse::build(std::uint64_t seed) {
+  StoreUniverse u;
+  Xoshiro256 rng(seed);
+
+  const x509::Validity standard{asn1::make_time(2000, 5, 30),
+                                asn1::make_time(2028, 8, 1)};
+  // §2: the Firmaprofesional root in AOSP expired in Oct 2013 — inside the
+  // paper's Nov 2013 – Apr 2014 measurement window.
+  const x509::Validity expired{asn1::make_time(2001, 10, 24),
+                               asn1::make_time(2013, 10, 24)};
+
+  // --- AOSP roots -------------------------------------------------------
+  const std::size_t n_aosp = aosp_store_size(AndroidVersion::k44);
+  u.aosp_cas_.reserve(n_aosp);
+  for (std::size_t i = 0; i < n_aosp; ++i) {
+    const std::string cn =
+        i < std::size(kRealAospNames)
+            ? std::string(kRealAospNames[i])
+            : synthetic_name("AOSP Synthetic Root CA", i);
+    const x509::Validity& validity =
+        i == kFirmaprofesionalIndex ? expired : standard;
+    u.aosp_cas_.push_back(make_sim_root(rng, root_name(cn), validity, 10 + i));
+  }
+  u.expired_index_ = kFirmaprofesionalIndex;
+
+  for (const AndroidVersion v : kAllAndroidVersions) {
+    RootStore store("AOSP " + std::string(to_string(v)));
+    for (std::size_t i = 0; i < aosp_store_size(v); ++i) {
+      store.add(u.aosp_cas_[i].cert);
+    }
+    u.aosp_stores_[static_cast<std::size_t>(v)] = std::move(store);
+  }
+
+  // --- Mozilla ----------------------------------------------------------
+  // 117 identical + 13 equivalent re-issues + 23 Mozilla-only = 153.
+  u.mozilla_ = RootStore("Mozilla");
+  for (std::size_t i = 0; i < kAospMozillaIdentical; ++i) {
+    u.mozilla_.add(u.aosp_cas_[i].cert);
+  }
+  for (std::size_t i = kAospMozillaIdentical; i < kAospMozillaEquivalent; ++i) {
+    // Re-issue with the same key and subject but a later validity window —
+    // §4.2: "in most cases, only the expiration date change[s]".
+    const pki::CaNode& original = u.aosp_cas_[i];
+    const x509::Validity extended{asn1::make_time(2006, 1, 1),
+                                  asn1::make_time(2036, 1, 1)};
+    KeyPair same_key;
+    same_key.pub = original.key.pub;
+    auto reissue = pki::make_root(sim_sig_scheme(), std::move(same_key),
+                                  original.cert.subject(), extended,
+                                  5000 + i);
+    assert(reissue.ok());
+    u.mozilla_reissues_.push_back(std::move(reissue).value());
+    u.mozilla_.add(u.mozilla_reissues_.back().cert);
+  }
+  // --- Non-AOSP catalog roots (members of Mozilla/iOS7 are counted inside
+  // those stores' Table 1 sizes) ----------------------------------------
+  for (const NonAospCertSpec& spec : nonaosp_catalog()) {
+    x509::Name name;
+    name.add_organization(std::string(spec.display_name))
+        .add_common_name(std::string(spec.display_name) + " [" +
+                         std::string(spec.paper_tag) + "]");
+    u.nonaosp_cas_.push_back(
+        make_sim_root(rng, name, standard, 7000 + u.nonaosp_cas_.size(),
+                      is_legacy_v1_family(spec.display_name)));
+  }
+  const auto catalog = nonaosp_catalog();
+  std::size_t mozilla_members = kAospMozillaEquivalent;  // 130 so far
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (catalog[i].in_mozilla) {
+      u.mozilla_.add(u.nonaosp_cas_[i].cert);
+      ++mozilla_members;  // Table 4: 16 of these
+    }
+  }
+  while (mozilla_members < kMozillaStoreSize) {  // 7 Mozilla-only fillers
+    u.mozilla_only_cas_.push_back(make_sim_root(
+        rng,
+        root_name(synthetic_name("Mozilla Program Root CA",
+                                 u.mozilla_only_cas_.size())),
+        standard, 6000 + u.mozilla_only_cas_.size()));
+    u.mozilla_.add(u.mozilla_only_cas_.back().cert);
+    ++mozilla_members;
+  }
+
+  // --- iOS7 ---------------------------------------------------------------
+  // 130 shared with AOSP 4.4, the catalog's 23 iOS7 members, and iOS7-only
+  // filler up to 227.
+  u.ios7_ = RootStore("iOS7");
+  // iOS7 shares the whole AOSP∩Mozilla band [0..130): that way every leaf
+  // that Mozilla validates, iOS7 validates too, and iOS7's surplus comes
+  // only from its own extra roots (Table 3: iOS7 > AOSP 4.4 > Mozilla).
+  constexpr std::size_t kIosAospShared = 130;
+  for (std::size_t i = 0; i < kIosAospShared; ++i) {
+    u.ios7_.add(u.aosp_cas_[i].cert);
+  }
+  std::size_t ios7_members = kIosAospShared;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (catalog[i].in_ios7) {
+      u.ios7_.add(u.nonaosp_cas_[i].cert);
+      ++ios7_members;
+    }
+  }
+  while (ios7_members < kIos7StoreSize) {
+    u.ios7_only_cas_.push_back(make_sim_root(
+        rng,
+        root_name(synthetic_name("iOS7 Program Root CA",
+                                 u.ios7_only_cas_.size())),
+        standard, 8000 + u.ios7_only_cas_.size()));
+    u.ios7_.add(u.ios7_only_cas_.back().cert);
+    ++ios7_members;
+  }
+
+  return u;
+}
+
+}  // namespace tangled::rootstore

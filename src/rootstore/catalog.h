@@ -1,0 +1,80 @@
+// StoreUniverse: the synthetic reconstruction of every root store the paper
+// compares (Table 1), with the published sizes and overlap structure:
+//
+//   AOSP 4.1 ⊂ 4.2 ⊂ 4.3 ⊂ 4.4 (139/140/146/150),
+//   |AOSP4.4 ∩ Mozilla| = 117 byte-identical + 13 equivalent re-issues
+//     (subject+modulus match, validity differs) = 130 equivalent (Table 4),
+//   |Mozilla| = 153 (117 + 13 + 23 Mozilla-only),
+//   |iOS7| = 227 (130 shared with AOSP + 23 non-AOSP catalog members
+//     + 74 iOS7-only),
+//   one expired AOSP root (Autoridad de Certificacion Firmaprofesional,
+//     expired Oct 2013 — §2),
+// plus a signing-capable CaNode for every catalog certificate so the notary
+// corpus can issue leaves under any of them.
+//
+// All keys are SimSig (fast random moduli); certificate bytes are real DER
+// that round-trips through the parser. Everything is deterministic in the
+// seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pki/hierarchy.h"
+#include "rootstore/android_version.h"
+#include "rootstore/nonaosp_catalog.h"
+#include "rootstore/rootstore.h"
+
+namespace tangled::rootstore {
+
+/// Which structural group an AOSP root belongs to (drives the Table 4
+/// category census and the notary issuance model).
+enum class AospGroup {
+  kMozillaIdentical,   // indexes [0, 117): byte-identical in Mozilla
+  kMozillaEquivalent,  // indexes [117, 130): Mozilla holds a re-issue
+  kAospOnly,           // indexes [130, 150): in no other store
+};
+
+class StoreUniverse {
+ public:
+  /// Builds the whole universe. Seed 1402 is the project default (CoNEXT'14
+  /// was in December 2014; 14-02 nods to the Notary's Feb-2012 start).
+  static StoreUniverse build(std::uint64_t seed = 1402);
+
+  // --- The six stores of Table 1 ---------------------------------------
+  const RootStore& aosp(AndroidVersion v) const { return aosp_stores_[static_cast<std::size_t>(v)]; }
+  const RootStore& mozilla() const { return mozilla_; }
+  const RootStore& ios7() const { return ios7_; }
+
+  // --- Signing-capable CA material --------------------------------------
+  /// AOSP roots in store order; index < aosp_store_size(v) ⇒ in version v.
+  const std::vector<pki::CaNode>& aosp_cas() const { return aosp_cas_; }
+  /// Mozilla's re-issues of AOSP roots [117, 130) (same key, new cert).
+  const std::vector<pki::CaNode>& mozilla_reissues() const { return mozilla_reissues_; }
+  const std::vector<pki::CaNode>& mozilla_only_cas() const { return mozilla_only_cas_; }
+  const std::vector<pki::CaNode>& ios7_only_cas() const { return ios7_only_cas_; }
+  /// One CaNode per nonaosp_catalog() entry, same order.
+  const std::vector<pki::CaNode>& nonaosp_cas() const { return nonaosp_cas_; }
+
+  static AospGroup aosp_group(std::size_t aosp_index);
+
+  /// Index of the expired Firmaprofesional root within aosp_cas().
+  std::size_t expired_aosp_index() const { return expired_index_; }
+
+  /// Indexes of AOSP roots first shipped in exactly version `v` (i.e. in v
+  /// but not in the previous release); for 4.1 that is the whole base set.
+  std::vector<std::size_t> aosp_added_in(AndroidVersion v) const;
+
+ private:
+  std::array<RootStore, 4> aosp_stores_;
+  RootStore mozilla_{"Mozilla"};
+  RootStore ios7_{"iOS7"};
+  std::vector<pki::CaNode> aosp_cas_;
+  std::vector<pki::CaNode> mozilla_reissues_;
+  std::vector<pki::CaNode> mozilla_only_cas_;
+  std::vector<pki::CaNode> ios7_only_cas_;
+  std::vector<pki::CaNode> nonaosp_cas_;
+  std::size_t expired_index_ = 0;
+};
+
+}  // namespace tangled::rootstore

@@ -1,0 +1,267 @@
+#include "rootstore/nonaosp_catalog.h"
+
+#include <array>
+
+namespace tangled::rootstore {
+
+std::string_view row_label(PlacementRow row) {
+  switch (row) {
+    case PlacementRow::kHtc41: return "HTC 4.1";
+    case PlacementRow::kHtc42: return "HTC 4.2";
+    case PlacementRow::kHtc43: return "HTC 4.3";
+    case PlacementRow::kHtc44: return "HTC 4.4";
+    case PlacementRow::kMotorola41: return "MOTOROLA 4.1";
+    case PlacementRow::kSamsung41: return "SAMSUNG 4.1";
+    case PlacementRow::kSamsung42: return "SAMSUNG 4.2";
+    case PlacementRow::kSamsung43: return "SAMSUNG 4.3";
+    case PlacementRow::kSamsung44: return "SAMSUNG 4.4";
+    case PlacementRow::kSony43: return "SONY 4.3";
+    case PlacementRow::kThreeUk: return "3(UK)";
+    case PlacementRow::kAttUs: return "AT&T(US)";
+    case PlacementRow::kBouyguesFr: return "BOUYGUES(FR)";
+    case PlacementRow::kEeUk: return "EE(UK)";
+    case PlacementRow::kFreeFr: return "FREE(FR)";
+    case PlacementRow::kOrangeFr: return "ORANGE(FR)";
+    case PlacementRow::kSfrFr: return "SFR(FR)";
+    case PlacementRow::kSprintUs: return "SPRINT(US)";
+    case PlacementRow::kTmobileUs: return "T-MOBILE(US)";
+    case PlacementRow::kTelstraAu: return "TELSTRA(AU)";
+    case PlacementRow::kVerizonUs: return "VERIZON(US)";
+    case PlacementRow::kVodafoneDe: return "VODAFONE(DE)";
+  }
+  return "?";
+}
+
+namespace {
+
+using R = PlacementRow;
+
+// §5.1: "Mobile manufacturers such as HTC and Samsung have alike additional
+// certificates on their root store (e.g., AddTrust, Deutsche Telekom, Sonera
+// and U.S. Department of Defense) independently of the mobile operator."
+constexpr std::array kVendorWide{
+    Placement{R::kHtc41, 0.90}, Placement{R::kHtc42, 0.90},
+    Placement{R::kHtc43, 0.85}, Placement{R::kHtc44, 0.85},
+    Placement{R::kSamsung41, 0.85}, Placement{R::kSamsung42, 0.85},
+    Placement{R::kSamsung43, 0.90}, Placement{R::kSamsung44, 0.90},
+};
+
+// The legacy VeriSign/Thawte/Entrust pile that makes >40-cert expansions on
+// HTC and Samsung 4.1/4.2 devices (Figure 1 discussion).
+constexpr std::array kVendorLegacy{
+    Placement{R::kHtc41, 0.70}, Placement{R::kHtc42, 0.65},
+    Placement{R::kSamsung41, 0.55}, Placement{R::kSamsung42, 0.55},
+    Placement{R::kSamsung44, 0.55},
+};
+
+// §5.1: CertiSign and ptt-post.nl "exclusively on 60 to 70% of Motorola 4.1
+// devices, all of them subscribed to Verizon Wireless".
+constexpr std::array kMoto41Verizon{
+    Placement{R::kMotorola41, 0.65}, Placement{R::kVerizonUs, 0.65},
+};
+
+// §5.1: "potential AT&T-specific inclusions on Motorola handsets, such as a
+// Microsoft Secure Server certificate".
+constexpr std::array kMoto41Att{
+    Placement{R::kMotorola41, 0.50}, Placement{R::kAttUs, 0.50},
+};
+
+// Motorola FOTA / SUPL roots ship on the Motorola firmware itself.
+constexpr std::array kMoto41Only{
+    Placement{R::kMotorola41, 0.95},
+};
+
+// §5.1: GeoTrust CA for UTI "installed on Samsung 4.2 and 4.3 devices".
+constexpr std::array kSamsung4243{
+    Placement{R::kSamsung42, 0.80}, Placement{R::kSamsung43, 0.80},
+};
+
+constexpr std::array kSprintOnly{
+    Placement{R::kSprintUs, 0.90},
+};
+
+// Cingular became AT&T; its roots persist on AT&T-branded firmware.
+constexpr std::array kAttOnly{
+    Placement{R::kAttUs, 0.80},
+};
+
+constexpr std::array kVodafoneOnly{
+    Placement{R::kVodafoneDe, 0.85},
+};
+
+constexpr std::array kSonyOnly{
+    Placement{R::kSony43, 0.70},
+};
+
+// eSign/Gatekeeper are Australian-government CAs -> Telstra firmware.
+constexpr std::array kTelstraOnly{
+    Placement{R::kTelstraAu, 0.60},
+};
+
+// Certplus is a French CA: French operator customizations.
+constexpr std::array kFrenchOperators{
+    Placement{R::kOrangeFr, 0.55}, Placement{R::kSfrFr, 0.45},
+    Placement{R::kBouyguesFr, 0.40}, Placement{R::kFreeFr, 0.35},
+};
+
+constexpr std::array kUkOperators{
+    Placement{R::kEeUk, 0.45}, Placement{R::kThreeUk, 0.40},
+};
+
+constexpr std::array kTmobileOnly{
+    Placement{R::kTmobileUs, 0.55},
+};
+
+constexpr std::array kUsCarriers{
+    Placement{R::kVerizonUs, 0.45}, Placement{R::kTmobileUs, 0.40},
+    Placement{R::kAttUs, 0.35},
+};
+
+constexpr std::array kHtcOnly{
+    Placement{R::kHtc41, 0.60}, Placement{R::kHtc42, 0.55},
+};
+
+constexpr std::array kSamsungWide{
+    Placement{R::kSamsung41, 0.60}, Placement{R::kSamsung42, 0.60},
+    Placement{R::kSamsung43, 0.55}, Placement{R::kSamsung44, 0.55},
+};
+
+using NC = NotaryClass;
+using UC = UsageCategory;
+
+// One initializer per Figure 2 x-axis label, in axis order. Fields:
+// {name, tag, notary class, in_mozilla, in_ios7, usage, excluded, placements}.
+constexpr std::array<NonAospCertSpec, 104> kCatalog{{
+    {"Sprint Nextel Root Authority", "979eb027", NC::kAndroidOnly, false, false, UC::kTls, false, kSprintOnly},
+    {"ABA.ECOM Root CA", "b1d311e0", NC::kNotRecorded, false, false, UC::kTls, true, kUsCarriers},
+    {"AddTrust Class 1 CA Root", "9696d421", NC::kMozillaAndIos7, true, true, UC::kTls, false, kVendorWide},
+    {"AddTrust Public CA Root", "e91a308f", NC::kMozillaAndIos7, true, true, UC::kTls, false, kVendorWide},
+    {"AddTrust Qualified CA Root", "e41e9afe", NC::kMozillaAndIos7, true, true, UC::kTls, false, kVendorWide},
+    {"AOL Time Warner Root CA 1", "99de8fc3", NC::kNotRecorded, false, false, UC::kTls, false, kTmobileOnly},
+    {"AOL Time Warner Root CA 2", "b4375a08", NC::kNotRecorded, false, false, UC::kTls, false, kTmobileOnly},
+    {"Baltimore EZ by DST", "bcccb33d", NC::kNotRecorded, false, false, UC::kTls, false, kVendorLegacy},
+    {"Certisign AC1S", "b0c095eb", NC::kNotRecorded, false, false, UC::kTls, false, kMoto41Verizon},
+    {"Certisign AC2", "b930cca5", NC::kNotRecorded, false, false, UC::kTls, false, kMoto41Verizon},
+    {"Certisign AC3S", "ce644ed6", NC::kNotRecorded, false, false, UC::kTls, false, kMoto41Verizon},
+    {"Certisign AC4", "ec83d4cc", NC::kNotRecorded, false, false, UC::kTls, false, kMoto41Verizon},
+    {"Certplus Class 1 Primary CA", "c36b29c8", NC::kNotRecorded, true, false, UC::kTls, false, kFrenchOperators},
+    {"Certplus Class 3 Primary CA", "b794306e", NC::kNotRecorded, true, false, UC::kTls, false, kFrenchOperators},
+    {"Certplus Class 3P Primary CA", "ab37ffeb", NC::kNotRecorded, true, false, UC::kTls, false, kFrenchOperators},
+    {"Certplus Class 3TS Primary CA", "bd659a23", NC::kNotRecorded, true, false, UC::kTimestamping, false, kFrenchOperators},
+    {"CFCA Root CA", "c107f487", NC::kNotRecorded, false, false, UC::kTls, false, kHtcOnly},
+    {"Cingular Preferred Root CA", "db7f0a90", NC::kAndroidOnly, false, false, UC::kOperatorApi, false, kAttOnly},
+    {"Cingular Trusted Root CA", "eaaa66b1", NC::kAndroidOnly, false, false, UC::kOperatorApi, false, kAttOnly},
+    {"COMODO RSA CA", "91e85492", NC::kIos7Only, false, true, UC::kTls, false, kVendorLegacy},
+    {"COMODO Secure Certificate Services", "c0713382", NC::kMozillaAndIos7, true, true, UC::kTls, false, kVendorWide},
+    {"COMODO Trusted Certificate Services", "df716f36", NC::kIos7Only, false, true, UC::kTls, false, kVendorLegacy},
+    {"Deutsche Telekom Root CA 1", "d0dd9b0c", NC::kMozillaAndIos7, true, true, UC::kTls, false, kVendorWide},
+    {"DoD CLASS 3 Root CA", "b530fe64", NC::kIos7Only, false, true, UC::kTls, false, kVendorWide},
+    {"DST (ANX Network) CA", "b4481180", NC::kNotRecorded, false, false, UC::kTls, false, kUsCarriers},
+    {"DST (NRF) RootCA", "d9ac9b77", NC::kNotRecorded, false, false, UC::kTls, false, kUsCarriers},
+    {"DST (UPS) RootCA", "ef17ecaf", NC::kNotRecorded, false, false, UC::kTls, false, kUsCarriers},
+    {"DST Root CA X1", "d2c626b6", NC::kAndroidOnly, false, false, UC::kTls, false, kVendorLegacy},
+    {"DST RootCA X2", "dc75f08c", NC::kNotRecorded, false, false, UC::kTls, false, kVendorLegacy},
+    {"DST-Entrust GTI CA", "b61df74b", NC::kNotRecorded, false, false, UC::kTls, false, kUsCarriers},
+    {"Entrust CA - L1B", "dc21f568", NC::kAndroidOnly, false, false, UC::kTls, false, kVendorLegacy},
+    {"Entrust.net CA", "ad4d4ba9", NC::kAndroidOnly, false, false, UC::kTls, false, kVendorLegacy},
+    {"Entrust.net Client CA", "9374b4b6", NC::kAndroidOnly, false, false, UC::kEmail, false, kVendorLegacy},
+    {"Entrust.net Client CA", "c83a995e", NC::kAndroidOnly, false, false, UC::kEmail, false, kVendorLegacy},
+    {"Entrust.net Secure Server CA", "c7c15f4e", NC::kAndroidOnly, false, false, UC::kTls, false, kVendorLegacy},
+    {"eSign Imperito Primary Root CA", "b6d352ea", NC::kNotRecorded, false, false, UC::kTls, false, kTelstraOnly},
+    {"eSign. Gatekeeper Root CA", "bdfaf7c6", NC::kNotRecorded, false, false, UC::kTls, false, kTelstraOnly},
+    {"eSign. Primary Utility Root CA", "a46daef2", NC::kNotRecorded, false, false, UC::kTls, false, kTelstraOnly},
+    {"EUnet International Root CA", "9e413bd9", NC::kNotRecorded, false, false, UC::kTls, false, kUkOperators},
+    {"FESTE Public Notary Certs", "e183f39b", NC::kNotRecorded, false, false, UC::kTls, false, kFrenchOperators},
+    {"FESTE Verified Certs", "ea639f1f", NC::kNotRecorded, false, false, UC::kTls, false, kFrenchOperators},
+    {"First Data Digital CA", "df1c141e", NC::kNotRecorded, false, false, UC::kPayment, true, kUsCarriers},
+    {"Free SSL CA", "ed846000", NC::kNotRecorded, false, false, UC::kTls, true, kSamsungWide},
+    {"GeoTrust CA for Adobe", "a7e577e0", NC::kIos7Only, false, true, UC::kCodeSigning, false, kVendorLegacy},
+    {"GeoTrust CA for UTI", "b94b8f0a", NC::kNotRecorded, false, false, UC::kCodeSigning, false, kSamsung4243},
+    {"GeoTrust Mobile Device Root - Privileged", "bbec6559", NC::kNotRecorded, false, false, UC::kCodeSigning, false, kVendorLegacy},
+    {"GeoTrust Mobile Device Root", "8fb1a7ee", NC::kNotRecorded, false, false, UC::kCodeSigning, false, kVendorLegacy},
+    {"GeoTrust True Credentials CA 2", "b2972ca5", NC::kAndroidOnly, false, false, UC::kTls, false, kVendorLegacy},
+    {"GlobalSign Root CA", "da0ee699", NC::kMozillaAndIos7, true, true, UC::kTls, false, kVendorWide},
+    {"GoDaddy Inc", "c42dd515", NC::kIos7Only, false, true, UC::kTls, false, kVendorLegacy},
+    {"IPS CA CLASE1", "e05127a7", NC::kNotRecorded, true, false, UC::kTls, false, kVendorLegacy},
+    {"IPS CA CLASE3 CA", "ab17fe0e", NC::kNotRecorded, true, false, UC::kTls, false, kVendorLegacy},
+    {"IPS CA CLASEA1 CA", "bb30d7dc", NC::kNotRecorded, true, false, UC::kTls, false, kVendorLegacy},
+    {"IPS CA CLASEA3", "ee8000f6", NC::kNotRecorded, true, false, UC::kTls, false, kVendorLegacy},
+    {"IPS CA Timestamping CA", "bcb8ee56", NC::kNotRecorded, true, false, UC::kTimestamping, false, kVendorLegacy},
+    {"IPS Chained CAs", "dc569249", NC::kNotRecorded, false, false, UC::kTls, false, kVendorLegacy},
+    {"Microsoft Secure Server Authority", "ea9f5f91", NC::kAndroidOnly, false, false, UC::kTls, false, kMoto41Att},
+    {"Motorola FOTA Root CA", "bae1df7c", NC::kNotRecorded, false, false, UC::kFota, false, kMoto41Only},
+    {"Motorola SUPL Server Root CA", "caf7a0d5", NC::kNotRecorded, false, false, UC::kSupl, false, kMoto41Only},
+    {"PTT Post Root CA. KeyMail", "b07ee23a", NC::kNotRecorded, false, false, UC::kEmail, false, kMoto41Verizon},
+    {"RSA Data Security CA", "92ce7ac1", NC::kAndroidOnly, false, false, UC::kTls, false, kVendorLegacy},
+    {"SecureSign Root CA2. Japan", "967b9223", NC::kIos7Only, false, true, UC::kTls, false, kVendorLegacy},
+    {"SecureSign Root CA3. Japan", "995e1e80", NC::kIos7Only, false, true, UC::kTls, false, kVendorLegacy},
+    {"SEVEN Open Channel Primary CA", "cc2479ed", NC::kNotRecorded, false, false, UC::kOperatorApi, false, kSprintOnly},
+    {"SIA Secure Client CA", "d2fcb040", NC::kNotRecorded, false, false, UC::kEmail, false, kVendorLegacy},
+    {"SIA Secure Server CA", "dbc10bcc", NC::kNotRecorded, false, false, UC::kTls, false, kVendorLegacy},
+    {"Sonera Class1 CA", "b5891f2b", NC::kMozillaAndIos7, true, true, UC::kTls, false, kVendorWide},
+    {"Sony Computer DNAS Root 05", "d98f7b36", NC::kNotRecorded, false, false, UC::kOperatorApi, false, kSonyOnly},
+    {"Sony Ericsson Secure E2E", "ed849d0f", NC::kNotRecorded, false, false, UC::kOperatorApi, false, kSonyOnly},
+    {"Sprint XCA01", "c65c80d1", NC::kAndroidOnly, false, false, UC::kOperatorApi, false, kSprintOnly},
+    {"Starfield Services Root CA", "f2cc562a", NC::kIos7Only, false, true, UC::kTls, false, kVendorLegacy},
+    {"TC TrustCenter Class 1 CA", "b029ebb4", NC::kIos7Only, false, true, UC::kTls, false, kVendorLegacy},
+    {"Thawte Personal Basic CA", "bcbc9353", NC::kAndroidOnly, false, false, UC::kEmail, false, kVendorLegacy},
+    {"Thawte Personal Freemail CA", "d469d7d4", NC::kAndroidOnly, false, false, UC::kEmail, false, kVendorLegacy},
+    {"Thawte Personal Premium CA", "c966d9f8", NC::kAndroidOnly, false, false, UC::kEmail, false, kVendorLegacy},
+    {"Thawte Premium Server CA", "d236366a", NC::kIos7Only, false, true, UC::kTls, false, kVendorLegacy},
+    {"Thawte Server CA", "d3a4506e", NC::kIos7Only, false, true, UC::kTls, false, kVendorLegacy},
+    {"Thawte Timestamping CA", "d62b5878", NC::kAndroidOnly, false, false, UC::kTimestamping, false, kVendorLegacy},
+    {"TrustCenter Class 2 CA", "da38e8ed", NC::kAndroidOnly, false, false, UC::kTls, false, kVendorLegacy},
+    {"TrustCenter Class 3 CA", "b6b4c135", NC::kAndroidOnly, false, false, UC::kTls, false, kVendorLegacy},
+    {"UserTrust Client Auth. and Email", "b23985a4", NC::kAndroidOnly, false, false, UC::kEmail, false, kVendorLegacy},
+    {"UserTrust RSA Extended Val. Sec. Server CA", "949c238c", NC::kAndroidOnly, false, false, UC::kTls, false, kVendorLegacy},
+    {"UserTrust UTN-USERFirst", "ceaa813f", NC::kIos7Only, false, true, UC::kTls, false, kVendorLegacy},
+    {"VeriSign", "d32e20f0", NC::kAndroidOnly, false, false, UC::kTls, false, kVendorLegacy},
+    {"VeriSign Class 1 Public Primary CA", "dd84d4b9", NC::kIos7Only, false, true, UC::kTls, false, kVendorLegacy},
+    {"VeriSign Class 1 Public Primary CA", "e519bf6d", NC::kAndroidOnly, false, false, UC::kTls, false, kVendorLegacy},
+    {"VeriSign Class 2 Public Primary CA", "af0a0dc2", NC::kIos7Only, false, true, UC::kTls, false, kVendorLegacy},
+    {"VeriSign Class 2 Public Primary CA", "b65a8ba3", NC::kAndroidOnly, false, false, UC::kTls, false, kVendorLegacy},
+    {"VeriSign Class 3 Extended Validation SSL SGC CA", "bd5688ba", NC::kAndroidOnly, false, false, UC::kTls, false, kVendorLegacy},
+    {"VeriSign Class 3 International Server CA - G3", "99d69c62", NC::kAndroidOnly, false, false, UC::kTls, false, kVendorLegacy},
+    {"VeriSign Class 3 Public Primary CA", "c95c599e", NC::kIos7Only, false, true, UC::kTls, false, kVendorLegacy},
+    {"VeriSign Class 3 Secure Server CA - G3", "b187841f", NC::kAndroidOnly, false, false, UC::kTls, false, kVendorLegacy},
+    {"VeriSign Class 3 Secure Server CA", "95c32112", NC::kAndroidOnly, false, false, UC::kTls, false, kVendorLegacy},
+    {"VeriSign Commercial Software Publishers CA", "c3d36965", NC::kAndroidOnly, false, false, UC::kCodeSigning, false, kVendorLegacy},
+    {"VeriSign CPS", "d88280e8", NC::kAndroidOnly, false, false, UC::kTls, false, kVendorLegacy},
+    {"VeriSign Individual Software Publishers CA", "c17aca65", NC::kAndroidOnly, false, false, UC::kCodeSigning, false, kVendorLegacy},
+    {"VeriSign Trust Network", "a7880121", NC::kAndroidOnly, false, false, UC::kTls, false, kVendorLegacy},
+    {"VeriSign Trust Network", "aad0babe", NC::kAndroidOnly, false, false, UC::kTls, false, kVendorLegacy},
+    {"VeriSign Trust Network", "cc5ed111", NC::kAndroidOnly, false, false, UC::kTls, false, kVendorLegacy},
+    {"Visa Information Delivery Root CA", "c91100e1", NC::kIos7Only, false, true, UC::kPayment, false, kVendorLegacy},
+    {"Vodafone (Operator Domain)", "c148b339", NC::kAndroidOnly, false, false, UC::kOperatorApi, false, kVodafoneOnly},
+    {"Vodafone (Widget Operator Domain)", "941c5d68", NC::kAndroidOnly, false, false, UC::kOperatorApi, false, kVodafoneOnly},
+    {"Wells Fargo CA 01", "9d29d5b9", NC::kAndroidOnly, false, false, UC::kTls, false, kUsCarriers},
+    {"Xcert EZ by DST", "ad5418de", NC::kNotRecorded, false, false, UC::kTls, false, kVendorLegacy},
+}};
+
+}  // namespace
+
+std::span<const NonAospCertSpec> nonaosp_catalog() {
+  return kCatalog;
+}
+
+std::size_t count_census_entries() {
+  std::size_t n = 0;
+  for (const auto& spec : kCatalog) {
+    if (!spec.census_excluded) ++n;
+  }
+  return n;
+}
+
+std::size_t count_census_in_mozilla() {
+  std::size_t n = 0;
+  for (const auto& spec : kCatalog) {
+    if (!spec.census_excluded && spec.in_mozilla) ++n;
+  }
+  return n;
+}
+
+std::size_t count_census_not_in_mozilla() {
+  return count_census_entries() - count_census_in_mozilla();
+}
+
+}  // namespace tangled::rootstore

@@ -1,0 +1,90 @@
+// The catalog of non-AOSP root certificates observed on Android devices,
+// transcribed from the paper's Figure 2 (all 104 x-axis entries, with the
+// bracketed 32-bit subject tags as printed) plus the attribution facts
+// stated in §5.1/§5.2:
+//
+//  * membership class (marker shape in Fig. 2): recorded by the Notary and
+//    present in Mozilla+iOS7 / iOS7 only / Android only, or never recorded;
+//  * store membership flags (Mozilla / iOS7) independent of Notary
+//    observation — Table 4 needs |non-AOSP ∩ Mozilla| = 16;
+//  * usage category (TLS vs code-signing/FOTA/SUPL/payment, §5.1);
+//  * placements: which manufacturer×version or operator rows install the
+//    certificate, with the session-frequency the marker size encodes.
+//
+// Three entries are flagged census_excluded: they model the §5.2 user-added
+// singleton certificates that the Table 4 category census leaves out,
+// keeping the non-AOSP census at the paper's 101 = 85 + 16 split.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace tangled::rootstore {
+
+/// Fig. 2 marker shape: how the Notary classified the certificate.
+enum class NotaryClass : std::uint8_t {
+  kMozillaAndIos7,  // recorded; in both Mozilla and iOS7 stores (6.7%)
+  kIos7Only,        // recorded; in iOS7 only (16.2%)
+  kAndroidOnly,     // recorded; Android-specific (37.1%)
+  kNotRecorded,     // never seen by the Notary (40.0%)
+};
+
+/// What the certificate is for (§5.1 discusses non-TLS roots).
+enum class UsageCategory : std::uint8_t {
+  kTls,          // ordinary server authentication
+  kCodeSigning,  // e.g. GeoTrust CA for UTI (Java Verified Program)
+  kFota,         // firmware-over-the-air (Motorola FOTA)
+  kSupl,         // secure user-plane location (Motorola SUPL)
+  kPayment,      // e.g. Visa Information Delivery
+  kEmail,        // S/MIME-ish client certs
+  kTimestamping,
+  kOperatorApi,  // operator service APIs (Vodafone widget domain, ...)
+};
+
+/// A row of Figure 2 the certificate appears in.
+enum class PlacementRow : std::uint8_t {
+  // Manufacturer × Android version rows.
+  kHtc41, kHtc42, kHtc43, kHtc44,
+  kMotorola41,
+  kSamsung41, kSamsung42, kSamsung43, kSamsung44,
+  kSony43,
+  // Operator rows.
+  kThreeUk, kAttUs, kBouyguesFr, kEeUk, kFreeFr, kOrangeFr, kSfrFr,
+  kSprintUs, kTmobileUs, kTelstraAu, kVerizonUs, kVodafoneDe,
+};
+
+constexpr bool is_operator_row(PlacementRow row) {
+  return row >= PlacementRow::kThreeUk;
+}
+
+/// Human-readable row label matching the paper's axis ("SAMSUNG 4.2",
+/// "VERIZON(US)").
+std::string_view row_label(PlacementRow row);
+
+/// One marker: the certificate appears in `row` with this session ratio.
+struct Placement {
+  PlacementRow row;
+  double frequency;  // ratio of modified-store sessions exhibiting the cert
+};
+
+struct NonAospCertSpec {
+  std::string_view display_name;  // x-axis label
+  std::string_view paper_tag;     // bracketed 8-hex-digit tag as printed
+  NotaryClass notary_class;
+  bool in_mozilla;     // store membership irrespective of Notary sightings
+  bool in_ios7;
+  UsageCategory usage;
+  bool census_excluded;  // §5.2 user-added singleton, out of Table 4 scope
+  std::span<const Placement> placements;
+};
+
+/// All Figure 2 certificates, in x-axis order.
+std::span<const NonAospCertSpec> nonaosp_catalog();
+
+/// Census helpers (entries with census_excluded filtered out).
+std::size_t count_census_entries();                 // paper: 101
+std::size_t count_census_in_mozilla();              // paper: 16
+std::size_t count_census_not_in_mozilla();          // paper: 85
+
+}  // namespace tangled::rootstore

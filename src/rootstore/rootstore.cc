@@ -1,0 +1,91 @@
+#include "rootstore/rootstore.h"
+
+namespace tangled::rootstore {
+
+namespace {
+
+std::string identity_hex(const x509::Certificate& cert) {
+  return to_hex(cert.identity_key());
+}
+
+std::string equivalence_hex(const x509::Certificate& cert) {
+  return to_hex(cert.equivalence_key());
+}
+
+}  // namespace
+
+bool RootStore::add(x509::Certificate cert) {
+  const std::string id = identity_hex(cert);
+  if (identity_index_.contains(id)) return false;
+  const std::size_t idx = certs_.size();
+  identity_index_.emplace(id, idx);
+  // First equivalent wins in the equivalence index; later equivalents are
+  // still stored and counted but looked up via the first.
+  equivalence_index_.try_emplace(equivalence_hex(cert), idx);
+  certs_.push_back(std::move(cert));
+  return true;
+}
+
+bool RootStore::remove(ByteView identity_key) {
+  const std::string id = to_hex(identity_key);
+  const auto it = identity_index_.find(id);
+  if (it == identity_index_.end()) return false;
+  certs_.erase(certs_.begin() + static_cast<std::ptrdiff_t>(it->second));
+  rebuild_indexes();
+  return true;
+}
+
+void RootStore::rebuild_indexes() {
+  identity_index_.clear();
+  equivalence_index_.clear();
+  for (std::size_t i = 0; i < certs_.size(); ++i) {
+    identity_index_.emplace(identity_hex(certs_[i]), i);
+    equivalence_index_.try_emplace(equivalence_hex(certs_[i]), i);
+  }
+}
+
+bool RootStore::contains(const x509::Certificate& cert) const {
+  return identity_index_.contains(identity_hex(cert));
+}
+
+bool RootStore::contains_identity(ByteView identity_key) const {
+  return identity_index_.contains(to_hex(identity_key));
+}
+
+bool RootStore::contains_equivalent(const x509::Certificate& cert) const {
+  return equivalence_index_.contains(equivalence_hex(cert));
+}
+
+const x509::Certificate* RootStore::find_equivalent(
+    const x509::Certificate& cert) const {
+  const auto it = equivalence_index_.find(equivalence_hex(cert));
+  if (it == equivalence_index_.end()) return nullptr;
+  return &certs_[it->second];
+}
+
+const x509::Certificate* RootStore::find_identity(ByteView identity_key) const {
+  const auto it = identity_index_.find(to_hex(identity_key));
+  if (it == identity_index_.end()) return nullptr;
+  return &certs_[it->second];
+}
+
+StoreDiff diff(const RootStore& a, const RootStore& b) {
+  StoreDiff d;
+  for (const auto& cert : a.certificates()) {
+    if (b.contains(cert)) {
+      ++d.identical;
+    } else if (b.contains_equivalent(cert)) {
+      ++d.equivalent_not_identical;
+    } else {
+      d.only_in_a.push_back(&cert);
+    }
+  }
+  for (const auto& cert : b.certificates()) {
+    if (!a.contains(cert) && !a.contains_equivalent(cert)) {
+      d.only_in_b.push_back(&cert);
+    }
+  }
+  return d;
+}
+
+}  // namespace tangled::rootstore

@@ -1,0 +1,72 @@
+// Root-store model: a named set of trusted root certificates with the two
+// membership notions from the paper — identity (RSA modulus + signature,
+// §4.1) and equivalence (subject + modulus, §4.2) — plus set diffing used by
+// every §5 analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bytes.h"
+#include "x509/certificate.h"
+
+namespace tangled::rootstore {
+
+class RootStore {
+ public:
+  RootStore() = default;
+  explicit RootStore(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return certs_.size(); }
+  bool empty() const { return certs_.empty(); }
+  const std::vector<x509::Certificate>& certificates() const { return certs_; }
+
+  /// Adds a certificate; duplicates (same identity) are ignored and
+  /// reported by returning false.
+  bool add(x509::Certificate cert);
+
+  /// Removes the certificate with this identity key; false if absent.
+  bool remove(ByteView identity_key);
+
+  /// Identity membership (modulus + signature).
+  bool contains(const x509::Certificate& cert) const;
+  bool contains_identity(ByteView identity_key) const;
+
+  /// Equivalence membership (subject + modulus): true when some member can
+  /// validate the same children even if bytes differ.
+  bool contains_equivalent(const x509::Certificate& cert) const;
+  const x509::Certificate* find_equivalent(const x509::Certificate& cert) const;
+
+  const x509::Certificate* find_identity(ByteView identity_key) const;
+
+ private:
+  std::string name_;
+  std::vector<x509::Certificate> certs_;
+  std::unordered_map<std::string, std::size_t> identity_index_;     // hex key
+  std::unordered_map<std::string, std::size_t> equivalence_index_;  // hex key
+  void rebuild_indexes();
+};
+
+/// Outcome of comparing a device/store pair (paper §5, Figure 1 inputs).
+struct StoreDiff {
+  /// In `a` only (not even equivalent in `b`).
+  std::vector<const x509::Certificate*> only_in_a;
+  /// In `b` only.
+  std::vector<const x509::Certificate*> only_in_b;
+  /// Present in both with the same identity.
+  std::size_t identical = 0;
+  /// Equivalent (subject+modulus) but different identity — typically
+  /// re-issues where "only the expiration date changed" (§4.2).
+  std::size_t equivalent_not_identical = 0;
+
+  std::size_t additions() const { return only_in_a.size(); }
+  std::size_t missing() const { return only_in_b.size(); }
+};
+
+/// Diffs `a` against baseline `b` (a = device store, b = AOSP store).
+StoreDiff diff(const RootStore& a, const RootStore& b);
+
+}  // namespace tangled::rootstore

@@ -1,0 +1,302 @@
+#include "synth/notary_corpus.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "crypto/signature.h"
+
+namespace tangled::synth {
+
+namespace {
+
+using crypto::sim_sig_scheme;
+using rootstore::NotaryClass;
+
+constexpr std::size_t kSharedEnd = 130;    // AOSP ∩ Mozilla (identical+equiv)
+constexpr std::size_t kAosp41End = 139;
+constexpr std::size_t kAosp42End = 140;
+constexpr std::size_t kAosp43End = 146;
+constexpr std::size_t kAosp44End = 150;
+
+/// Marks `n_dead` entries of flags[lo, hi) dead (false), chosen uniformly.
+void kill_range(std::vector<bool>& alive, Xoshiro256& rng, std::size_t lo,
+                std::size_t hi, std::size_t n_dead) {
+  assert(hi >= lo && n_dead <= hi - lo);
+  const auto picks = sample_without_replacement(rng, hi - lo, n_dead);
+  for (const std::size_t p : picks) alive[lo + p] = false;
+}
+
+pki::CaNode make_intermediate_for(Xoshiro256& rng, const pki::CaNode& root) {
+  auto key = crypto::generate_sim_keypair(rng);
+  x509::Name subject;
+  subject.add_organization(root.cert.subject().organization())
+      .add_common_name(root.cert.subject().common_name() + " Intermediate");
+  auto node = pki::make_intermediate(
+      sim_sig_scheme(), root, std::move(key), subject,
+      {asn1::make_time(2008, 1, 1), asn1::make_time(2026, 1, 1)},
+      fnv1a64(root.cert.identity_key()) & 0xffffff);
+  assert(node.ok());
+  return std::move(node).value();
+}
+
+}  // namespace
+
+NotaryCorpusGenerator::NotaryCorpusGenerator(
+    const rootstore::StoreUniverse& universe, NotaryCorpusConfig config)
+    : universe_(universe), config_(config), rng_(config.seed) {
+  assign_alive();
+  build_slots();
+}
+
+void NotaryCorpusGenerator::assign_alive() {
+  const auto catalog = rootstore::nonaosp_catalog();
+
+  // --- AOSP roots: exact dead counts per structural group (see header). ---
+  alive_aosp_.assign(universe_.aosp_cas().size(), true);
+  // [0..130): 20 dead — the expired Firmaprofesional root plus 17 more in
+  // the Mozilla-identical prefix and 2 in the equivalent band.
+  alive_aosp_[universe_.expired_aosp_index()] = false;
+  kill_range(alive_aosp_, rng_, 1, 117, 17);
+  kill_range(alive_aosp_, rng_, 117, kSharedEnd, 2);
+  // [130..139): 7 of 9 dead; the 4.2 addition (139) dead (Table 3 shows
+  // AOSP 4.2 validating exactly as many certs as 4.1).
+  kill_range(alive_aosp_, rng_, kSharedEnd, kAosp41End, 7);
+  alive_aosp_[kAosp41End] = false;
+  // [140..146): 4 of 6 dead; [146..150): 3 of 4 dead.
+  kill_range(alive_aosp_, rng_, kAosp42End, kAosp43End, 4);
+  kill_range(alive_aosp_, rng_, kAosp43End, kAosp44End, 3);
+
+  // --- Fillers ------------------------------------------------------------
+  alive_moz_filler_.assign(universe_.mozilla_only_cas().size(), false);  // all dead
+  alive_ios7_filler_.assign(universe_.ios7_only_cas().size(), true);
+  kill_range(alive_ios7_filler_, rng_, 0, alive_ios7_filler_.size(),
+             alive_ios7_filler_.size() - 13);  // 13 alive
+
+  // --- Catalog roots: exact dead counts per Figure 2 class. ---------------
+  alive_catalog_.assign(catalog.size(), true);
+  std::vector<std::size_t> both, ios7only, androidonly, notrec_moz,
+      notrec_nonmoz;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (catalog[i].census_excluded) {
+      alive_catalog_[i] = false;  // §5.2 singletons: no Notary traffic
+      continue;
+    }
+    switch (catalog[i].notary_class) {
+      case NotaryClass::kMozillaAndIos7: both.push_back(i); break;
+      case NotaryClass::kIos7Only: ios7only.push_back(i); break;
+      case NotaryClass::kAndroidOnly: androidonly.push_back(i); break;
+      case NotaryClass::kNotRecorded:
+        (catalog[i].in_mozilla ? notrec_moz : notrec_nonmoz).push_back(i);
+        break;
+    }
+  }
+  auto kill_subset = [this](const std::vector<std::size_t>& idx,
+                            std::size_t n_dead) {
+    const auto picks = sample_without_replacement(rng_, idx.size(), n_dead);
+    for (const std::size_t p : picks) alive_catalog_[idx[p]] = false;
+  };
+  kill_subset(both, 2);            // 7 -> 5 alive
+  kill_subset(ios7only, 10);       // 16 -> 6 alive
+  kill_subset(androidonly, 19);    // 37 -> 18 alive
+  kill_subset(notrec_moz, 4);      // 9 -> 5 alive
+  for (const std::size_t i : notrec_nonmoz) alive_catalog_[i] = false;
+}
+
+std::size_t NotaryCorpusGenerator::dead_aosp_count() const {
+  std::size_t dead = 0;
+  for (const bool alive : alive_aosp_) dead += alive ? 0 : 1;
+  return dead;
+}
+
+void NotaryCorpusGenerator::build_slots() {
+  const auto catalog = rootstore::nonaosp_catalog();
+
+  // Zipf weights within a group of alive roots summing to `mass`.
+  auto add_group = [this](const std::vector<const pki::CaNode*>& roots,
+                          double mass, bool present_root, IssuerGroup group) {
+    if (roots.empty() || mass <= 0.0) return;
+    std::vector<double> weights(roots.size());
+    double sum = 0.0;
+    for (std::size_t r = 0; r < roots.size(); ++r) {
+      weights[r] = std::pow(static_cast<double>(r + 1), -config_.zipf_s);
+      sum += weights[r];
+    }
+    for (std::size_t r = 0; r < roots.size(); ++r) {
+      IssuerSlot slot{roots[r], make_intermediate_for(rng_, *roots[r]),
+                      mass * weights[r] / sum, 0.0, present_root, group};
+      slots_.push_back(std::move(slot));
+    }
+  };
+
+  auto collect_aosp = [this](std::size_t lo, std::size_t hi) {
+    std::vector<const pki::CaNode*> out;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (alive_aosp_[i]) out.push_back(&universe_.aosp_cas()[i]);
+    }
+    return out;
+  };
+
+  add_group(collect_aosp(0, kSharedEnd), config_.mass_shared, true,
+            IssuerGroup::kAospShared);
+  add_group(collect_aosp(kSharedEnd, kAosp41End), config_.mass_aosp_only_41,
+            true, IssuerGroup::kAospOnly);
+  add_group(collect_aosp(kAosp42End, kAosp43End), config_.mass_aosp_added_43,
+            true, IssuerGroup::kAospOnly);
+  add_group(collect_aosp(kAosp43End, kAosp44End), config_.mass_aosp_added_44,
+            true, IssuerGroup::kAospOnly);
+
+  auto collect_catalog = [this, catalog](auto&& predicate) {
+    std::vector<const pki::CaNode*> out;
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+      if (alive_catalog_[i] && predicate(catalog[i])) {
+        out.push_back(&universe_.nonaosp_cas()[i]);
+      }
+    }
+    return out;
+  };
+  using Spec = rootstore::NonAospCertSpec;
+  add_group(collect_catalog([](const Spec& s) {
+              return s.notary_class == NotaryClass::kMozillaAndIos7;
+            }),
+            config_.mass_catalog_both, true, IssuerGroup::kCatalog);
+  add_group(collect_catalog([](const Spec& s) {
+              return s.notary_class == NotaryClass::kNotRecorded && s.in_mozilla;
+            }),
+            config_.mass_catalog_notrec_moz, /*present_root=*/false,
+            IssuerGroup::kCatalog);
+  add_group(collect_catalog([](const Spec& s) {
+              return s.notary_class == NotaryClass::kIos7Only;
+            }),
+            config_.mass_catalog_ios7only, true, IssuerGroup::kCatalog);
+  add_group(collect_catalog([](const Spec& s) {
+              return s.notary_class == NotaryClass::kAndroidOnly;
+            }),
+            config_.mass_catalog_androidonly, true, IssuerGroup::kCatalog);
+
+  {
+    std::vector<const pki::CaNode*> ios7_fillers;
+    for (std::size_t i = 0; i < universe_.ios7_only_cas().size(); ++i) {
+      if (alive_ios7_filler_[i]) {
+        ios7_fillers.push_back(&universe_.ios7_only_cas()[i]);
+      }
+    }
+    add_group(ios7_fillers, config_.mass_ios7_filler, true,
+              IssuerGroup::kIos7Filler);
+  }
+
+  // Unknown/private CAs soak up the remaining unexpired mass.
+  double assigned = 0.0;
+  for (const auto& slot : slots_) assigned += slot.weight_unexpired;
+  const double unknown_mass = std::max(0.0, 1.0 - assigned);
+  unknown_roots_.reserve(config_.unknown_ca_count);
+  for (std::size_t i = 0; i < config_.unknown_ca_count; ++i) {
+    auto key = crypto::generate_sim_keypair(rng_);
+    x509::Name name;
+    name.add_organization("Private CA " + std::to_string(i))
+        .add_common_name("Private Enterprise Root " + std::to_string(i));
+    auto node = pki::make_root(sim_sig_scheme(), std::move(key), name,
+                               {asn1::make_time(2009, 1, 1),
+                                asn1::make_time(2029, 1, 1)},
+                               90000 + i);
+    assert(node.ok());
+    unknown_roots_.push_back(std::move(node).value());
+  }
+  {
+    std::vector<const pki::CaNode*> unknowns;
+    for (const auto& node : unknown_roots_) unknowns.push_back(&node);
+    add_group(unknowns, unknown_mass, /*present_root=*/false,
+              IssuerGroup::kUnknown);
+  }
+
+  // Expired-leaf mass: mostly old certs under big public CAs and private
+  // CAs, plus a trickle under recorded-but-dead catalog roots so those
+  // roots are "recorded by the Notary" without validating anything current.
+  std::vector<const pki::CaNode*> recorded_dead;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (!alive_catalog_[i] && !catalog[i].census_excluded &&
+        catalog[i].notary_class != NotaryClass::kNotRecorded) {
+      recorded_dead.push_back(&universe_.nonaosp_cas()[i]);
+    }
+  }
+  for (auto& slot : slots_) {
+    switch (slot.group) {
+      case IssuerGroup::kAospShared: slot.weight_expired = slot.weight_unexpired * 0.8; break;
+      case IssuerGroup::kUnknown: slot.weight_expired = slot.weight_unexpired * 1.0; break;
+      default: slot.weight_expired = slot.weight_unexpired * 0.2; break;
+    }
+  }
+  for (const pki::CaNode* root : recorded_dead) {
+    IssuerSlot slot{root, make_intermediate_for(rng_, *root), 0.0,
+                    0.002,  // small, equal trickle of expired-only traffic
+                    /*present_root=*/true, IssuerGroup::kCatalog};
+    slots_.push_back(std::move(slot));
+  }
+}
+
+void NotaryCorpusGenerator::generate(
+    const std::function<void(const notary::Observation&)>& sink) {
+  std::vector<double> w_unexpired;
+  std::vector<double> w_expired;
+  for (const auto& slot : slots_) {
+    w_unexpired.push_back(slot.weight_unexpired);
+    w_expired.push_back(slot.weight_expired);
+  }
+  WeightedSampler unexpired_sampler(w_unexpired);
+  WeightedSampler expired_sampler(w_expired);
+
+  const x509::Validity current{asn1::make_time(2013, 6, 1),
+                               asn1::make_time(2015, 6, 1)};
+  const x509::Validity stale{asn1::make_time(2011, 6, 1),
+                             asn1::make_time(2013, 6, 1)};
+
+  constexpr std::uint16_t kPorts[] = {443, 993, 465, 995, 8883, 8443};
+  constexpr double kPortWeights[] = {0.85, 0.05, 0.03, 0.03, 0.02, 0.02};
+  WeightedSampler port_sampler(kPortWeights);
+
+  std::uint64_t serial = 1;
+  std::size_t host = 0;
+  auto emit = [&](const IssuerSlot& slot, bool expired) {
+    auto key = crypto::generate_sim_keypair(rng_);
+    auto leaf = pki::make_leaf(sim_sig_scheme(), slot.intermediate,
+                               std::move(key),
+                               "host" + std::to_string(host++) + ".example.com",
+                               expired ? stale : current, serial++);
+    assert(leaf.ok());
+    notary::Observation obs;
+    obs.chain.push_back(std::move(leaf).value());
+    obs.chain.push_back(slot.intermediate.cert);
+    if (slot.present_root && slot.root != nullptr) {
+      obs.chain.push_back(slot.root->cert);
+    }
+    obs.port = kPorts[port_sampler.sample(rng_)];
+    sink(obs);
+  };
+
+  // Deterministic floor so scale does not distort Table 4: every alive root
+  // validates at least one unexpired leaf (it is alive at any corpus size),
+  // and every recorded-class catalog root appears on the wire at least once
+  // (via an expired chain, which the census ignores).
+  std::size_t floored = 0;
+  for (const IssuerSlot& slot : slots_) {
+    if (slot.weight_unexpired > 0.0) {
+      emit(slot, /*expired=*/false);
+      ++floored;
+    }
+    if (slot.group == IssuerGroup::kCatalog && slot.present_root) {
+      emit(slot, /*expired=*/true);
+      ++floored;
+    }
+  }
+
+  const std::size_t remaining =
+      config_.n_certs > floored ? config_.n_certs - floored : 0;
+  for (std::size_t i = 0; i < remaining; ++i) {
+    const bool expired = rng_.chance(config_.expired_fraction);
+    const IssuerSlot& slot =
+        slots_[expired ? expired_sampler.sample(rng_)
+                       : unexpired_sampler.sample(rng_)];
+    emit(slot, expired);
+  }
+}
+
+}  // namespace tangled::synth

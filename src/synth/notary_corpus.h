@@ -1,0 +1,99 @@
+// Synthetic ICSI-Notary traffic corpus (§4.2), calibrated so the validation
+// census reproduces Tables 3/4 and Figure 3:
+//
+//  * ~47% of unique certificates are expired (1.9 M total vs ~1 M unexpired);
+//  * per-root "alive/dead" assignment hits Table 4's validate-nothing
+//    percentages per category (72/38/15/22/23/40/22/41%), with exact dead
+//    counts per structural group;
+//  * unexpired leaf mass is split so the per-store validated totals land on
+//    Table 3 (Mozilla 744,069 : AOSP4.x 744,350-744,398 : iOS7 745,736 per
+//    million unexpired certs), with the remainder under private/unknown CAs;
+//  * "recorded" roots appear inside presented chains (so NotaryDb marks
+//    them), unrecorded ones never do — the Figure 2 marker classes.
+//
+// Leaves are signed through one intermediate per alive root, so the census
+// exercises real chain building, not bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "notary/notary.h"
+#include "pki/hierarchy.h"
+#include "rootstore/catalog.h"
+#include "util/rng.h"
+
+namespace tangled::synth {
+
+struct NotaryCorpusConfig {
+  std::uint64_t seed = 2012;      // the Notary's collection started Feb 2012
+  std::size_t n_certs = 20000;    // unique certs; paper scale is 1.9 M
+  double expired_fraction = 0.47;
+  asn1::Time now = asn1::make_time(2014, 4, 1);
+
+  // Unexpired leaf mass per million, straight from Table 3 arithmetic.
+  double mass_shared = 743929e-6;        // alive AOSP[0..130) roots
+  double mass_aosp_only_41 = 421e-6;     // alive AOSP[130..139)
+  double mass_aosp_added_43 = 34e-6;     // alive AOSP[140..146)
+  double mass_aosp_added_44 = 14e-6;     // alive AOSP[146..150)
+  double mass_catalog_both = 70e-6;      // alive Mozilla+iOS7 catalog roots
+  double mass_catalog_notrec_moz = 70e-6;
+  double mass_catalog_ios7only = 437e-6;
+  double mass_ios7_filler = 1300e-6;
+  double mass_catalog_androidonly = 500e-6;
+  // Remainder (~25.3%) goes to private/unknown CAs validated by no store.
+  std::size_t unknown_ca_count = 150;
+  double zipf_s = 1.05;
+};
+
+/// Structural issuer groups (exposed for tests and the Table 4 bench).
+enum class IssuerGroup : std::uint8_t {
+  kAospShared,        // AOSP[0..130): identical/equivalent with Mozilla
+  kAospOnly,          // AOSP[130..150)
+  kMozillaFiller,     // Mozilla-only program roots
+  kIos7Filler,        // iOS7-only program roots
+  kCatalog,           // non-AOSP Figure 2 roots
+  kUnknown,           // private CAs outside every store
+};
+
+class NotaryCorpusGenerator {
+ public:
+  NotaryCorpusGenerator(const rootstore::StoreUniverse& universe,
+                        NotaryCorpusConfig config = {});
+
+  /// Streams observations into `sink` (typically NotaryDb::observe +
+  /// ValidationCensus::ingest). Deterministic in the seed.
+  void generate(const std::function<void(const notary::Observation&)>& sink);
+
+  /// Whether a given root was assigned leaf mass (exposed so tests can
+  /// check the dead-fraction calibration independently of the census).
+  bool alive_aosp(std::size_t index) const { return alive_aosp_[index]; }
+  bool alive_catalog(std::size_t index) const { return alive_catalog_[index]; }
+  std::size_t dead_aosp_count() const;
+
+ private:
+  struct IssuerSlot {
+    const pki::CaNode* root;       // null for unknown CAs (owned below)
+    pki::CaNode intermediate;
+    double weight_unexpired;
+    double weight_expired;
+    bool present_root;             // include the root cert in chains
+    IssuerGroup group;
+  };
+
+  void assign_alive();
+  void build_slots();
+
+  const rootstore::StoreUniverse& universe_;
+  NotaryCorpusConfig config_;
+  Xoshiro256 rng_;
+  std::vector<bool> alive_aosp_;      // per aosp_cas() index
+  std::vector<bool> alive_catalog_;   // per nonaosp_cas() index
+  std::vector<bool> alive_moz_filler_;
+  std::vector<bool> alive_ios7_filler_;
+  std::vector<pki::CaNode> unknown_roots_;
+  std::vector<IssuerSlot> slots_;
+};
+
+}  // namespace tangled::synth

@@ -1,0 +1,313 @@
+#include "synth/population.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tangled::synth {
+
+namespace {
+
+using device::Device;
+using device::Manufacturer;
+using device::Operator;
+using rootstore::AndroidVersion;
+
+/// Session-share targets from Table 2 (fractions of 15,970 sessions).
+struct ModelSpec {
+  std::string_view name;
+  Manufacturer manufacturer;
+  bool stock;  // Nexus-class: ships the plain AOSP store
+  double share;
+};
+
+constexpr ModelSpec kNamedModels[] = {
+    {"Samsung Galaxy SIV", Manufacturer::kSamsung, false, 0.1729},
+    {"Samsung Galaxy SIII", Manufacturer::kSamsung, false, 0.1320},
+    {"LG Nexus 4", Manufacturer::kLg, true, 0.0833},
+    {"LG Nexus 5", Manufacturer::kLg, true, 0.0632},
+    {"Asus Nexus 7", Manufacturer::kAsus, true, 0.0521},
+};
+
+/// Residual manufacturer shares once the named models are taken out,
+/// normalized so Table 2's per-manufacturer totals hold.
+struct ManufacturerShare {
+  Manufacturer manufacturer;
+  double share;
+};
+
+constexpr ManufacturerShare kResidualShares[] = {
+    {Manufacturer::kSamsung, 0.1778},  // 0.4827 total
+    {Manufacturer::kLg, 0.0356},       // 0.1821 total
+    {Manufacturer::kAsus, 0.0654},     // 0.1175 total
+    {Manufacturer::kHtc, 0.0603},
+    {Manufacturer::kMotorola, 0.0524},
+    {Manufacturer::kSony, 0.0400},
+    {Manufacturer::kHuawei, 0.0200},
+    {Manufacturer::kLenovo, 0.0100},
+    {Manufacturer::kPantech, 0.0050},
+    {Manufacturer::kCompal, 0.0030},
+    {Manufacturer::kOther, 0.0271},
+};
+
+struct OperatorShare {
+  Operator op;
+  double share;
+};
+
+constexpr OperatorShare kOperatorShares[] = {
+    {Operator::kVerizonUs, 0.09}, {Operator::kAttUs, 0.08},
+    {Operator::kTmobileUs, 0.05}, {Operator::kSprintUs, 0.04},
+    {Operator::kVodafoneDe, 0.05}, {Operator::kOrangeFr, 0.04},
+    {Operator::kSfrFr, 0.03}, {Operator::kBouyguesFr, 0.02},
+    {Operator::kFreeFr, 0.02}, {Operator::kEeUk, 0.03},
+    {Operator::kThreeUk, 0.02}, {Operator::kTelstraAu, 0.02},
+    {Operator::kMovistarAr, 0.01}, {Operator::kClaroCo, 0.01},
+    {Operator::kMeditelMa, 0.005}, {Operator::kOtherOperator, 0.315},
+    {Operator::kWifiOnly, 0.20},
+};
+
+/// Late-2013 Android version mix.
+constexpr double kVersionShares[] = {0.30, 0.25, 0.20, 0.25};  // 4.1..4.4
+
+double vendor_custom_rate(const PopulationConfig& cfg, Manufacturer m) {
+  switch (m) {
+    case Manufacturer::kSamsung: return cfg.vendor_custom_samsung;
+    case Manufacturer::kHtc: return cfg.vendor_custom_htc;
+    case Manufacturer::kMotorola: return cfg.vendor_custom_motorola;
+    case Manufacturer::kSony: return cfg.vendor_custom_sony;
+    default: return 0.0;  // no Figure 2 vendor row
+  }
+}
+
+}  // namespace
+
+device::AssembledStore materialize_store(
+    const rootstore::StoreUniverse& universe, const HandsetRecord& handset) {
+  device::DeviceStoreAssembler assembler(universe);
+  Xoshiro256 rng(handset.assembly_seed);
+  return assembler.assemble(handset.device, handset.flags, rng);
+}
+
+Population PopulationGenerator::generate() const {
+  Population pop;
+  Xoshiro256 rng(config_.seed);
+  device::DeviceStoreAssembler assembler(universe_);
+
+  // --- Model table ------------------------------------------------------
+  struct Model {
+    std::string name;
+    Manufacturer manufacturer;
+    bool stock;
+    double weight;
+  };
+  std::vector<Model> models;
+  models.reserve(config_.n_models);
+  for (const ModelSpec& spec : kNamedModels) {
+    models.push_back({std::string(spec.name), spec.manufacturer, spec.stock,
+                      spec.share});
+  }
+  // Synthetic tail models: each manufacturer gets a model count
+  // proportional to its residual session share, with Zipf weights inside
+  // the manufacturer normalized to exactly that share — so the Table 2
+  // per-manufacturer totals hold by construction.
+  const std::size_t n_tail = config_.n_models - std::size(kNamedModels);
+  double residual_total = 0.0;
+  for (const auto& ms : kResidualShares) residual_total += ms.share;
+  std::size_t allocated = 0;
+  for (std::size_t m = 0; m < std::size(kResidualShares); ++m) {
+    const auto& ms = kResidualShares[m];
+    std::size_t n_m = m + 1 == std::size(kResidualShares)
+                          ? n_tail - allocated
+                          : std::max<std::size_t>(
+                                1, static_cast<std::size_t>(
+                                       static_cast<double>(n_tail) * ms.share /
+                                       residual_total));
+    n_m = std::min(n_m, n_tail - allocated);
+    allocated += n_m;
+    double zipf_sum = 0.0;
+    for (std::size_t j = 0; j < n_m; ++j) zipf_sum += 1.0 / (j + 1.0);
+    for (std::size_t j = 0; j < n_m; ++j) {
+      models.push_back({std::string(to_string(ms.manufacturer)) + " Model " +
+                            std::to_string(j + 1),
+                        ms.manufacturer, false,
+                        ms.share * (1.0 / (j + 1.0)) / zipf_sum});
+    }
+  }
+
+  // The coverage pass below hands every model one handset up front; the
+  // weighted pass must target share*n_handsets - 1 so the final handset
+  // counts still match the Table 2 session shares.
+  std::vector<double> model_weights;
+  model_weights.reserve(models.size());
+  for (const auto& m : models) {
+    const double target = m.weight * static_cast<double>(config_.n_handsets);
+    model_weights.push_back(std::max(target - 1.0, 0.02));
+  }
+  WeightedSampler model_sampler(model_weights);
+
+  std::vector<double> operator_weights;
+  for (const auto& os : kOperatorShares) operator_weights.push_back(os.share);
+  WeightedSampler operator_sampler(operator_weights);
+
+  WeightedSampler version_sampler(kVersionShares);
+
+  // Operator mix is manufacturer-correlated for Motorola and Pantech —
+  // both sold (almost) exclusively through US carriers in this period,
+  // which is what makes the §5.1 Verizon/AT&T attributions detectable.
+  constexpr OperatorShare kUsCarrierShares[] = {
+      {Operator::kVerizonUs, 0.50},
+      {Operator::kAttUs, 0.25},
+      {Operator::kSprintUs, 0.12},
+      {Operator::kTmobileUs, 0.13},
+  };
+  std::vector<double> us_carrier_weights;
+  for (const auto& os : kUsCarrierShares) us_carrier_weights.push_back(os.share);
+  WeightedSampler us_carrier_sampler(us_carrier_weights);
+
+  // --- Handsets ---------------------------------------------------------
+  pop.handsets.reserve(config_.n_handsets);
+  for (std::size_t h = 0; h < config_.n_handsets; ++h) {
+    // The first pass walks every model once so all configured models are
+    // observed (the paper saw 435 distinct models); later handsets follow
+    // the session-share weights.
+    const Model& model = h < models.size()
+                             ? models[h]
+                             : models[model_sampler.sample(rng)];
+    HandsetRecord rec;
+    rec.device.handset_id = static_cast<std::uint32_t>(h);
+    rec.device.model = model.name;
+    rec.device.manufacturer = model.manufacturer;
+    rec.device.op =
+        (model.manufacturer == Manufacturer::kMotorola ||
+         model.manufacturer == Manufacturer::kPantech)
+            ? kUsCarrierShares[us_carrier_sampler.sample(rng)].op
+            : kOperatorShares[operator_sampler.sample(rng)].op;
+    rec.device.version =
+        static_cast<AndroidVersion>(version_sampler.sample(rng));
+    rec.device.rooted = rng.chance(config_.rooted_handset_rate);
+
+    rec.flags.vendor_pack =
+        !model.stock &&
+        rng.chance(vendor_custom_rate(config_, model.manufacturer));
+    rec.flags.operator_pack =
+        !model.stock &&
+        device::operator_row(rec.device.op).has_value() &&
+        rng.chance(config_.operator_custom_rate);
+    rec.flags.user_cert = rng.chance(config_.user_cert_handset_rate);
+    rec.flags.sony41_future_cert =
+        rec.device.manufacturer == Manufacturer::kSony &&
+        rec.device.version == AndroidVersion::k41 &&
+        rng.chance(config_.sony41_future_cert_rate);
+
+    rec.home_network_id = rng.next();
+    rec.public_ip_id = rng.next();
+    rec.assembly_seed = rng.next();
+    pop.handsets.push_back(std::move(rec));
+  }
+
+  // Exactly `missing_cert_handsets` handsets with removed AOSP certs.
+  {
+    const auto picks = sample_without_replacement(
+        rng, pop.handsets.size(), config_.missing_cert_handsets);
+    for (const std::size_t idx : picks) {
+      pop.handsets[idx].flags.missing_certs = true;
+    }
+  }
+
+  // Table 5 rooted-only certificates. CRAZY HOUSE goes on `crazy_house`
+  // rooted handsets; each other catalog entry on exactly one.
+  {
+    std::vector<std::size_t> rooted_idx;
+    for (std::size_t i = 0; i < pop.handsets.size(); ++i) {
+      if (pop.handsets[i].device.rooted) rooted_idx.push_back(i);
+    }
+    const auto rooted_catalog = device::rooted_cert_catalog();
+    // CRAZY HOUSE's device count is configurable so small test populations
+    // can scale Table 5 down; the singleton entries stay at one device.
+    auto devices_for = [this, rooted_catalog](std::size_t c) {
+      return c == 0 ? config_.crazy_house_handsets
+                    : rooted_catalog[c].device_count;
+    };
+    std::size_t need = 0;
+    for (std::size_t c = 0; c < rooted_catalog.size(); ++c) {
+      need += devices_for(c);
+    }
+    assert(rooted_idx.size() >= need && "rooted rate too low for Table 5");
+    const auto picks =
+        sample_without_replacement(rng, rooted_idx.size(), need);
+    std::size_t cursor = 0;
+    for (std::size_t c = 0; c < rooted_catalog.size(); ++c) {
+      for (std::size_t k = 0; k < devices_for(c); ++k) {
+        pop.handsets[rooted_idx[picks[cursor++]]].flags.rooted_cert = c;
+      }
+    }
+  }
+
+  // §7: designate the proxied handsets — Nexus 7 devices on Android 4.4,
+  // matching the paper's single observed interception case.
+  {
+    std::vector<std::size_t> nexus7;
+    for (std::size_t i = 0; i < pop.handsets.size(); ++i) {
+      if (pop.handsets[i].device.model == "Asus Nexus 7") nexus7.push_back(i);
+    }
+    const std::size_t n =
+        std::min(config_.proxied_handsets, nexus7.size());
+    const auto picks = sample_without_replacement(rng, nexus7.size(), n);
+    for (std::size_t k = 0; k < n; ++k) {
+      HandsetRecord& rec = pop.handsets[nexus7[picks[k]]];
+      rec.behind_proxy = true;
+      rec.device.version = AndroidVersion::k44;
+    }
+  }
+
+  // --- Assemble stores and summarize -------------------------------------
+  for (HandsetRecord& rec : pop.handsets) {
+    Xoshiro256 assembly_rng(rec.assembly_seed);
+    device::AssembledStore assembled =
+        assembler.assemble(rec.device, rec.flags, assembly_rng);
+    rec.aosp_present = assembled.aosp_present;
+    rec.missing_aosp = assembled.missing_aosp;
+    rec.nonaosp_indices = std::move(assembled.nonaosp_indices);
+    rec.rooted_cert_indices = std::move(assembled.rooted_cert_indices);
+    rec.user_added = assembled.user_added;
+    // The Sony 4.1 future-AOSP root counts as an addition relative to the
+    // device's own AOSP baseline.
+    const std::size_t base = rootstore::aosp_store_size(rec.device.version);
+    rec.future_aosp = assembled.aosp_present > base - assembled.missing_aosp
+                          ? assembled.aosp_present - (base - assembled.missing_aosp)
+                          : 0;
+    rec.aosp_present -= rec.future_aosp;
+  }
+
+  // --- Sessions -----------------------------------------------------------
+  // Every handset produces at least one session (a handset exists in the
+  // dataset only because it ran Netalyzr); the rest are uniform repeats.
+  pop.sessions.reserve(config_.n_sessions);
+  for (std::size_t s = 0; s < config_.n_sessions; ++s) {
+    SessionRecord session;
+    session.handset_index =
+        s < pop.handsets.size()
+            ? static_cast<std::uint32_t>(s)
+            : static_cast<std::uint32_t>(rng.below(pop.handsets.size()));
+    const HandsetRecord& handset = pop.handsets[session.handset_index];
+    // Most sessions run from the handset's home network; some roam onto
+    // foreign networks (and foreign operators).
+    if (rng.chance(0.8)) {
+      session.network_id = handset.home_network_id;
+      session.public_ip_id = handset.public_ip_id;
+      session.network_operator = handset.device.op;
+      session.roaming = false;
+    } else {
+      session.network_id = rng.next();
+      session.public_ip_id = rng.next();
+      session.network_operator =
+          kOperatorShares[operator_sampler.sample(rng)].op;
+      session.roaming = session.network_operator != handset.device.op;
+    }
+    pop.sessions.push_back(session);
+  }
+
+  return pop;
+}
+
+}  // namespace tangled::synth

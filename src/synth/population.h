@@ -1,0 +1,127 @@
+// Synthetic Netalyzr-for-Android population, calibrated to §4.1 and Table 2:
+// 15,970 sessions across ≥3,835 handsets and 435 device models, with the
+// published manufacturer/model session shares, a 24% rooted-handset rate
+// (§6), ~39% of sessions showing extended root stores (§5), exactly 5
+// missing-cert handsets (Figure 1), and the Table 5 rooted-only certificate
+// injections.
+//
+// Each handset's root store is assembled once (device::DeviceStoreAssembler)
+// and summarized; sessions reference handsets so repeat measurements of one
+// device report one store, as in the real dataset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "device/assembler.h"
+#include "device/device.h"
+#include "rootstore/catalog.h"
+#include "util/rng.h"
+
+namespace tangled::synth {
+
+struct PopulationConfig {
+  std::uint64_t seed = 1402;
+  std::size_t n_sessions = 15970;   // §4.1
+  std::size_t n_handsets = 3835;    // §4.1 lower-bound estimate
+  std::size_t n_models = 435;       // §4.1
+  double rooted_handset_rate = 0.24;          // §6: 24% of sessions rooted
+  std::size_t missing_cert_handsets = 5;      // Figure 1
+  std::size_t crazy_house_handsets = 70;      // Table 5
+  double user_cert_handset_rate = 0.015;      // §5.2 singleton VPN certs
+
+  /// Probability that a non-stock handset of each manufacturer runs
+  /// vendor-customized firmware (drives the 39% extended-store rate).
+  double vendor_custom_samsung = 0.47;
+  double vendor_custom_htc = 0.90;
+  double vendor_custom_motorola = 0.85;
+  double vendor_custom_sony = 0.50;
+
+  /// Probability that a handset on a Figure 2 operator runs
+  /// operator-subsidized firmware.
+  double operator_custom_rate = 0.25;
+
+  /// Sony 4.1 devices carrying a newer-AOSP root (§5).
+  double sony41_future_cert_rate = 0.5;
+
+  /// §7: handsets whose traffic flows through a Reality-Mine-style HTTPS
+  /// proxy. The paper found exactly one — "a Nexus 7 device on Android
+  /// 4.4, communicating with an HTTPS-proxied WiFi access point".
+  std::size_t proxied_handsets = 1;
+};
+
+/// A handset plus the summary of its assembled root store.
+struct HandsetRecord {
+  device::Device device;
+  device::AssemblyFlags flags;
+  /// RNG seed the store was assembled with; materialize_store() replays it.
+  std::uint64_t assembly_seed = 0;
+
+  // Store summary (computed from a real RootStore assembly, then the store
+  // itself is dropped to keep the population compact).
+  std::size_t aosp_present = 0;   // AOSP-baseline certs present
+  std::size_t missing_aosp = 0;
+  std::size_t future_aosp = 0;    // newer-AOSP roots (count as additions)
+  std::vector<std::size_t> nonaosp_indices;      // nonaosp_catalog() indices
+  std::vector<std::size_t> rooted_cert_indices;  // rooted_cert_catalog() idx
+  std::size_t user_added = 0;
+
+  /// Netalyzr device-identity tuple ingredients (§4.1).
+  std::uint64_t home_network_id = 0;
+  std::uint64_t public_ip_id = 0;
+
+  /// §7: this handset's WiFi AP tunnels traffic through a TLS-intercepting
+  /// proxy (discoverable only by probing, as in the paper).
+  bool behind_proxy = false;
+
+  std::size_t additions() const {
+    return nonaosp_indices.size() + rooted_cert_indices.size() + user_added +
+           future_aosp;
+  }
+  bool extended() const { return additions() > 0; }
+};
+
+/// One Netalyzr execution.
+struct SessionRecord {
+  std::uint32_t handset_index = 0;
+  std::uint64_t network_id = 0;  // network observed during this session
+  std::uint64_t public_ip_id = 0;
+  /// Operator providing network access during this session; differs from
+  /// the handset's subscription when the user roams (§5.2's Telefonica-
+  /// certs-on-Claro-networks observation).
+  device::Operator network_operator = device::Operator::kWifiOnly;
+  bool roaming = false;
+};
+
+struct Population {
+  std::vector<HandsetRecord> handsets;
+  std::vector<SessionRecord> sessions;
+
+  const HandsetRecord& handset_of(const SessionRecord& s) const {
+    return handsets[s.handset_index];
+  }
+};
+
+class PopulationGenerator {
+ public:
+  PopulationGenerator(const rootstore::StoreUniverse& universe,
+                      PopulationConfig config = {})
+      : universe_(universe), config_(config) {}
+
+  Population generate() const;
+
+  const PopulationConfig& config() const { return config_; }
+
+ private:
+  const rootstore::StoreUniverse& universe_;
+  PopulationConfig config_;
+};
+
+/// Re-assembles the full RootStore for one handset (deterministic: the same
+/// flags and per-handset seed the generator used). For examples and probes
+/// that need actual certificates rather than summaries.
+device::AssembledStore materialize_store(const rootstore::StoreUniverse& universe,
+                                         const HandsetRecord& handset);
+
+}  // namespace tangled::synth

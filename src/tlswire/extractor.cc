@@ -1,0 +1,49 @@
+#include "tlswire/extractor.h"
+
+namespace tangled::tlswire {
+
+Result<void> CertificateExtractor::feed(ByteView capture) {
+  records_.feed(capture);
+  auto records = records_.drain();
+  if (!records.ok()) return records.error();
+
+  for (const Record& record : records.value()) {
+    if (record.type == ContentType::kAlert) {
+      auto alert = parse_alert(record.fragment);
+      if (!alert.ok()) return alert.error();
+      session_.alerts.push_back(alert.value());
+      continue;
+    }
+    if (record.type != ContentType::kHandshake) continue;  // observer skips
+    handshakes_.feed(record.fragment);
+  }
+  auto messages = handshakes_.drain();
+  if (!messages.ok()) return messages.error();
+
+  for (const HandshakeMessage& message : messages.value()) {
+    switch (message.type) {
+      case HandshakeType::kClientHello: {
+        auto hello = ClientHello::parse_body(message.body);
+        if (!hello.ok()) return hello.error();
+        session_.saw_client_hello = true;
+        if (!hello.value().sni.empty()) session_.sni = hello.value().sni;
+        break;
+      }
+      case HandshakeType::kServerHello: {
+        auto hello = ServerHello::parse_body(message.body);
+        if (!hello.ok()) return hello.error();
+        session_.saw_server_hello = true;
+        break;
+      }
+      case HandshakeType::kCertificate: {
+        auto chain = parse_certificate_body(message.body);
+        if (!chain.ok()) return chain.error();
+        session_.chain = std::move(chain).value();
+        break;
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace tangled::tlswire

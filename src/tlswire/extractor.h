@@ -1,0 +1,43 @@
+// The passive side: "Extracting Certificates from Live Traffic" [17].
+// Feed captured bytes of one TLS connection; the extractor reassembles
+// records and handshake messages, remembers the ClientHello's SNI, and
+// surfaces the presented certificate chain — exactly what the ICSI Notary
+// stores per session.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "tlswire/handshake.h"
+
+namespace tangled::tlswire {
+
+struct ExtractedSession {
+  std::optional<std::string> sni;
+  std::vector<x509::Certificate> chain;  // leaf first, as presented
+  bool saw_client_hello = false;
+  bool saw_server_hello = false;
+  /// Alerts observed on the wire (a burst of fatal bad_certificate alerts
+  /// right after Certificate is the pinning-failure signature §7 leans on).
+  std::vector<Alert> alerts;
+};
+
+class CertificateExtractor {
+ public:
+  /// Feeds captured bytes (either direction; the caller may interleave).
+  /// Malformed data poisons the session with an error state.
+  Result<void> feed(ByteView capture);
+
+  /// The session as understood so far.
+  const ExtractedSession& session() const { return session_; }
+
+  /// True once a complete Certificate message has been seen.
+  bool has_chain() const { return !session_.chain.empty(); }
+
+ private:
+  RecordReader records_;
+  HandshakeReassembler handshakes_;
+  ExtractedSession session_;
+};
+
+}  // namespace tangled::tlswire

@@ -1,0 +1,293 @@
+#include "tlswire/handshake.h"
+
+namespace tangled::tlswire {
+
+namespace {
+
+void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void put_u24(Bytes& out, std::size_t v) {
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+/// Bounds-checked big-endian cursor.
+class Cursor {
+ public:
+  explicit Cursor(ByteView data) : data_(data) {}
+
+  bool at_end() const { return pos_ >= data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  Result<std::uint8_t> u8() {
+    if (remaining() < 1) return parse_error("truncated handshake field");
+    return data_[pos_++];
+  }
+  Result<std::uint16_t> u16() {
+    if (remaining() < 2) return parse_error("truncated handshake field");
+    const std::uint16_t v =
+        static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  Result<std::uint32_t> u24() {
+    if (remaining() < 3) return parse_error("truncated handshake field");
+    const std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 16) |
+                            (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
+                            data_[pos_ + 2];
+    pos_ += 3;
+    return v;
+  }
+  Result<ByteView> take(std::size_t n) {
+    if (remaining() < n) return parse_error("truncated handshake field");
+    ByteView out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+ private:
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+constexpr std::uint16_t kSniExtension = 0;
+constexpr std::uint8_t kSniHostName = 0;
+
+}  // namespace
+
+Bytes encode_handshake(const HandshakeMessage& message) {
+  Bytes out;
+  out.reserve(message.body.size() + 4);
+  out.push_back(static_cast<std::uint8_t>(message.type));
+  put_u24(out, message.body.size());
+  append(out, message.body);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ClientHello
+// ---------------------------------------------------------------------------
+
+Bytes ClientHello::encode_body() const {
+  Bytes out;
+  put_u16(out, version);
+  out.insert(out.end(), random.begin(), random.end());
+  out.push_back(0);  // empty session_id
+  put_u16(out, static_cast<std::uint16_t>(cipher_suites.size() * 2));
+  for (const std::uint16_t suite : cipher_suites) put_u16(out, suite);
+  out.push_back(1);  // compression_methods length
+  out.push_back(0);  // null compression
+
+  Bytes extensions;
+  if (!sni.empty()) {
+    // server_name extension (RFC 6066 §3).
+    Bytes entry;
+    entry.push_back(kSniHostName);
+    put_u16(entry, static_cast<std::uint16_t>(sni.size()));
+    append(entry, to_bytes(sni));
+    Bytes list;
+    put_u16(list, static_cast<std::uint16_t>(entry.size()));
+    append(list, entry);
+    put_u16(extensions, kSniExtension);
+    put_u16(extensions, static_cast<std::uint16_t>(list.size()));
+    append(extensions, list);
+  }
+  put_u16(out, static_cast<std::uint16_t>(extensions.size()));
+  append(out, extensions);
+  return out;
+}
+
+Result<ClientHello> ClientHello::parse_body(ByteView body) {
+  Cursor c(body);
+  ClientHello hello;
+  auto version = c.u16();
+  if (!version.ok()) return version.error();
+  hello.version = version.value();
+
+  auto random = c.take(32);
+  if (!random.ok()) return random.error();
+  std::copy(random.value().begin(), random.value().end(), hello.random.begin());
+
+  auto session_len = c.u8();
+  if (!session_len.ok()) return session_len.error();
+  if (auto skip = c.take(session_len.value()); !skip.ok()) return skip.error();
+
+  auto suites_len = c.u16();
+  if (!suites_len.ok()) return suites_len.error();
+  if (suites_len.value() % 2 != 0) return parse_error("odd cipher_suites length");
+  hello.cipher_suites.clear();
+  for (std::size_t i = 0; i < suites_len.value() / 2; ++i) {
+    auto suite = c.u16();
+    if (!suite.ok()) return suite.error();
+    hello.cipher_suites.push_back(suite.value());
+  }
+
+  auto compression_len = c.u8();
+  if (!compression_len.ok()) return compression_len.error();
+  if (auto skip = c.take(compression_len.value()); !skip.ok()) return skip.error();
+
+  hello.sni.clear();
+  if (!c.at_end()) {
+    auto ext_total = c.u16();
+    if (!ext_total.ok()) return ext_total.error();
+    auto ext_bytes = c.take(ext_total.value());
+    if (!ext_bytes.ok()) return ext_bytes.error();
+    Cursor e(ext_bytes.value());
+    while (!e.at_end()) {
+      auto ext_type = e.u16();
+      if (!ext_type.ok()) return ext_type.error();
+      auto ext_len = e.u16();
+      if (!ext_len.ok()) return ext_len.error();
+      auto ext_data = e.take(ext_len.value());
+      if (!ext_data.ok()) return ext_data.error();
+      if (ext_type.value() == kSniExtension) {
+        Cursor s(ext_data.value());
+        auto list_len = s.u16();
+        if (!list_len.ok()) return list_len.error();
+        while (!s.at_end()) {
+          auto name_type = s.u8();
+          if (!name_type.ok()) return name_type.error();
+          auto name_len = s.u16();
+          if (!name_len.ok()) return name_len.error();
+          auto name = s.take(name_len.value());
+          if (!name.ok()) return name.error();
+          if (name_type.value() == kSniHostName) {
+            hello.sni = to_string(name.value());
+          }
+        }
+      }
+    }
+  }
+  if (!c.at_end()) return parse_error("trailing bytes after ClientHello");
+  return hello;
+}
+
+// ---------------------------------------------------------------------------
+// ServerHello
+// ---------------------------------------------------------------------------
+
+Bytes ServerHello::encode_body() const {
+  Bytes out;
+  put_u16(out, version);
+  out.insert(out.end(), random.begin(), random.end());
+  out.push_back(0);  // empty session_id
+  put_u16(out, cipher_suite);
+  out.push_back(0);  // null compression
+  put_u16(out, 0);   // no extensions
+  return out;
+}
+
+Result<ServerHello> ServerHello::parse_body(ByteView body) {
+  Cursor c(body);
+  ServerHello hello;
+  auto version = c.u16();
+  if (!version.ok()) return version.error();
+  hello.version = version.value();
+  auto random = c.take(32);
+  if (!random.ok()) return random.error();
+  std::copy(random.value().begin(), random.value().end(), hello.random.begin());
+  auto session_len = c.u8();
+  if (!session_len.ok()) return session_len.error();
+  if (auto skip = c.take(session_len.value()); !skip.ok()) return skip.error();
+  auto suite = c.u16();
+  if (!suite.ok()) return suite.error();
+  hello.cipher_suite = suite.value();
+  auto compression = c.u8();
+  if (!compression.ok()) return compression.error();
+  // Optional extensions block; ignore its contents.
+  if (!c.at_end()) {
+    auto ext_total = c.u16();
+    if (!ext_total.ok()) return ext_total.error();
+    if (auto skip = c.take(ext_total.value()); !skip.ok()) return skip.error();
+  }
+  if (!c.at_end()) return parse_error("trailing bytes after ServerHello");
+  return hello;
+}
+
+// ---------------------------------------------------------------------------
+// Certificate
+// ---------------------------------------------------------------------------
+
+Bytes encode_certificate_body(const std::vector<x509::Certificate>& chain) {
+  Bytes list;
+  for (const auto& cert : chain) {
+    put_u24(list, cert.der().size());
+    append(list, cert.der());
+  }
+  Bytes out;
+  put_u24(out, list.size());
+  append(out, list);
+  return out;
+}
+
+Result<std::vector<x509::Certificate>> parse_certificate_body(ByteView body) {
+  Cursor c(body);
+  auto list_len = c.u24();
+  if (!list_len.ok()) return list_len.error();
+  auto list_bytes = c.take(list_len.value());
+  if (!list_bytes.ok()) return list_bytes.error();
+  if (!c.at_end()) return parse_error("trailing bytes after certificate_list");
+
+  std::vector<x509::Certificate> chain;
+  Cursor l(list_bytes.value());
+  while (!l.at_end()) {
+    auto cert_len = l.u24();
+    if (!cert_len.ok()) return cert_len.error();
+    if (cert_len.value() == 0) return parse_error("zero-length ASN.1Cert");
+    auto der = l.take(cert_len.value());
+    if (!der.ok()) return der.error();
+    auto cert = x509::Certificate::from_der(der.value());
+    if (!cert.ok()) return cert.error();
+    chain.push_back(std::move(cert).value());
+  }
+  return chain;
+}
+
+// ---------------------------------------------------------------------------
+// Reassembly and flights
+// ---------------------------------------------------------------------------
+
+void HandshakeReassembler::feed(ByteView fragment) {
+  append(buffer_, fragment);
+}
+
+Result<std::vector<HandshakeMessage>> HandshakeReassembler::drain() {
+  std::vector<HandshakeMessage> messages;
+  std::size_t pos = 0;
+  while (buffer_.size() - pos >= 4) {
+    const std::uint8_t type = buffer_[pos];
+    if (type != 1 && type != 2 && type != 11) {
+      return unsupported_error("unhandled handshake type " + std::to_string(type));
+    }
+    const std::size_t length = (static_cast<std::size_t>(buffer_[pos + 1]) << 16) |
+                               (static_cast<std::size_t>(buffer_[pos + 2]) << 8) |
+                               buffer_[pos + 3];
+    if (buffer_.size() - pos - 4 < length) break;
+    HandshakeMessage message;
+    message.type = static_cast<HandshakeType>(type);
+    message.body.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(pos + 4),
+                        buffer_.begin() +
+                            static_cast<std::ptrdiff_t>(pos + 4 + length));
+    messages.push_back(std::move(message));
+    pos += 4 + length;
+  }
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(pos));
+  return messages;
+}
+
+Result<Bytes> encode_server_flight(const ServerHello& hello,
+                                   const std::vector<x509::Certificate>& chain) {
+  Bytes handshakes;
+  append(handshakes, encode_handshake({HandshakeType::kServerHello,
+                                       hello.encode_body()}));
+  append(handshakes,
+         encode_handshake({HandshakeType::kCertificate,
+                           encode_certificate_body(chain)}));
+  return encode_records(ContentType::kHandshake, handshakes);
+}
+
+}  // namespace tangled::tlswire

@@ -1,0 +1,89 @@
+// TLS 1.2 handshake messages (RFC 5246 §7.4) — the subset a certificate
+// observer needs:
+//
+//  * ClientHello with the server_name (SNI) extension (RFC 6066) — how the
+//    Notary knows which domain a chain was presented for;
+//  * ServerHello (minimal);
+//  * Certificate — the 3-byte-length-prefixed DER chain, leaf first, that
+//    both the Notary and the Reality-Mine proxy operate on.
+//
+// Handshake messages may span records; HandshakeReassembler coalesces.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tlswire/record.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "x509/certificate.h"
+
+namespace tangled::tlswire {
+
+enum class HandshakeType : std::uint8_t {
+  kClientHello = 1,
+  kServerHello = 2,
+  kCertificate = 11,
+};
+
+struct HandshakeMessage {
+  HandshakeType type = HandshakeType::kClientHello;
+  Bytes body;
+};
+
+/// msg_type(1) || length(3) || body.
+Bytes encode_handshake(const HandshakeMessage& message);
+
+// --- ClientHello ----------------------------------------------------------
+
+struct ClientHello {
+  std::uint16_t version = kTls12;
+  std::array<std::uint8_t, 32> random{};
+  std::vector<std::uint16_t> cipher_suites{0x002f, 0xc013, 0xc02f};
+  std::string sni;  // empty = no server_name extension
+
+  Bytes encode_body() const;
+  static Result<ClientHello> parse_body(ByteView body);
+};
+
+// --- ServerHello ------------------------------------------------------------
+
+struct ServerHello {
+  std::uint16_t version = kTls12;
+  std::array<std::uint8_t, 32> random{};
+  std::uint16_t cipher_suite = 0xc02f;
+
+  Bytes encode_body() const;
+  static Result<ServerHello> parse_body(ByteView body);
+};
+
+// --- Certificate -------------------------------------------------------------
+
+/// Encodes a chain (leaf first) as a Certificate message body:
+/// certificate_list<3..2^24-1> of opaque ASN.1Cert<1..2^24-1>.
+Bytes encode_certificate_body(const std::vector<x509::Certificate>& chain);
+
+/// Parses the body back into parsed certificates. Individual certs that
+/// fail to parse abort with an error (the Notary logs such streams).
+Result<std::vector<x509::Certificate>> parse_certificate_body(ByteView body);
+
+// --- Reassembly ----------------------------------------------------------------
+
+/// Feed handshake-record fragments, pull whole handshake messages
+/// (messages may span multiple records; multiple messages may share one).
+class HandshakeReassembler {
+ public:
+  void feed(ByteView fragment);
+  Result<std::vector<HandshakeMessage>> drain();
+
+ private:
+  Bytes buffer_;
+};
+
+/// Convenience: serialize a full server flight (ServerHello + Certificate)
+/// into TLS records, as captured on the wire.
+Result<Bytes> encode_server_flight(const ServerHello& hello,
+                                   const std::vector<x509::Certificate>& chain);
+
+}  // namespace tangled::tlswire

@@ -1,0 +1,106 @@
+#include "tlswire/record.h"
+
+namespace tangled::tlswire {
+
+namespace {
+
+bool known_content_type(std::uint8_t t) {
+  return t >= 20 && t <= 23;
+}
+
+}  // namespace
+
+Result<Bytes> encode_record(const Record& record) {
+  if (record.fragment.size() > kMaxFragment) {
+    return range_error("TLS record fragment exceeds 2^14 bytes");
+  }
+  if (record.fragment.empty()) {
+    return range_error("TLS record fragment must be non-empty");
+  }
+  Bytes out;
+  out.reserve(record.fragment.size() + 5);
+  out.push_back(static_cast<std::uint8_t>(record.type));
+  out.push_back(static_cast<std::uint8_t>(record.version >> 8));
+  out.push_back(static_cast<std::uint8_t>(record.version & 0xff));
+  out.push_back(static_cast<std::uint8_t>(record.fragment.size() >> 8));
+  out.push_back(static_cast<std::uint8_t>(record.fragment.size() & 0xff));
+  append(out, record.fragment);
+  return out;
+}
+
+Result<Bytes> encode_records(ContentType type, ByteView payload) {
+  if (payload.empty()) return range_error("empty TLS payload");
+  Bytes out;
+  std::size_t offset = 0;
+  while (offset < payload.size()) {
+    const std::size_t take = std::min(kMaxFragment, payload.size() - offset);
+    Record record;
+    record.type = type;
+    record.fragment.assign(payload.begin() + static_cast<std::ptrdiff_t>(offset),
+                           payload.begin() + static_cast<std::ptrdiff_t>(offset + take));
+    auto encoded = encode_record(record);
+    if (!encoded.ok()) return encoded;
+    append(out, encoded.value());
+    offset += take;
+  }
+  return out;
+}
+
+Result<Bytes> encode_alert(const Alert& alert) {
+  Record record;
+  record.type = ContentType::kAlert;
+  record.fragment = {static_cast<std::uint8_t>(alert.level),
+                     static_cast<std::uint8_t>(alert.description)};
+  return encode_record(record);
+}
+
+Result<Alert> parse_alert(ByteView fragment) {
+  if (fragment.size() != 2) return parse_error("alert must be two bytes");
+  if (fragment[0] != 1 && fragment[0] != 2) {
+    return parse_error("unknown alert level");
+  }
+  Alert alert;
+  alert.level = static_cast<AlertLevel>(fragment[0]);
+  alert.description = static_cast<AlertDescription>(fragment[1]);
+  return alert;
+}
+
+void RecordReader::feed(ByteView data) {
+  append(buffer_, data);
+}
+
+Result<std::vector<Record>> RecordReader::drain() {
+  std::vector<Record> records;
+  std::size_t pos = 0;
+  while (buffer_.size() - pos >= 5) {
+    const std::uint8_t type = buffer_[pos];
+    if (!known_content_type(type)) {
+      return parse_error("unknown TLS content type " + std::to_string(type));
+    }
+    const std::uint16_t version =
+        static_cast<std::uint16_t>((buffer_[pos + 1] << 8) | buffer_[pos + 2]);
+    // Accept SSL3.0 .. TLS1.2 version stamps (0x0300-0x0303), as a passive
+    // observer must.
+    if ((version >> 8) != 0x03 || (version & 0xff) > 0x03) {
+      return parse_error("implausible TLS record version");
+    }
+    const std::size_t length =
+        static_cast<std::size_t>((buffer_[pos + 3] << 8) | buffer_[pos + 4]);
+    if (length == 0 || length > kMaxFragment) {
+      return parse_error("TLS record length out of range");
+    }
+    if (buffer_.size() - pos - 5 < length) break;  // need more bytes
+    Record record;
+    record.type = static_cast<ContentType>(type);
+    record.version = version;
+    record.fragment.assign(
+        buffer_.begin() + static_cast<std::ptrdiff_t>(pos + 5),
+        buffer_.begin() + static_cast<std::ptrdiff_t>(pos + 5 + length));
+    records.push_back(std::move(record));
+    pos += 5 + length;
+  }
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(pos));
+  return records;
+}
+
+}  // namespace tangled::tlswire

@@ -1,0 +1,86 @@
+// TLS 1.2 record layer (RFC 5246 §6.2): the outermost framing the ICSI
+// Certificate Notary's passive extractor [17] parses from live traffic.
+//
+//   struct {
+//     ContentType type;          // 1 byte
+//     ProtocolVersion version;   // 2 bytes
+//     uint16 length;             // <= 2^14
+//     opaque fragment[length];
+//   } TLSPlaintext;
+//
+// Only plaintext handshake records matter here — certificates travel
+// before encryption starts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tangled::tlswire {
+
+enum class ContentType : std::uint8_t {
+  kChangeCipherSpec = 20,
+  kAlert = 21,
+  kHandshake = 22,
+  kApplicationData = 23,
+};
+
+/// TLS 1.2 on the wire.
+inline constexpr std::uint16_t kTls12 = 0x0303;
+/// RFC 5246: records carry at most 2^14 bytes of fragment.
+inline constexpr std::size_t kMaxFragment = 1 << 14;
+
+struct Record {
+  ContentType type = ContentType::kHandshake;
+  std::uint16_t version = kTls12;
+  Bytes fragment;
+};
+
+/// Serializes one record (fragment must fit kMaxFragment).
+Result<Bytes> encode_record(const Record& record);
+
+/// Splits a payload across as many records as needed.
+Result<Bytes> encode_records(ContentType type, ByteView payload);
+
+/// TLS alert payloads (RFC 5246 §7.2) — two bytes: level + description.
+/// A pinning client that rejects a chain sends bad_certificate(42) fatal(2).
+enum class AlertLevel : std::uint8_t { kWarning = 1, kFatal = 2 };
+enum class AlertDescription : std::uint8_t {
+  kCloseNotify = 0,
+  kBadCertificate = 42,
+  kUnknownCa = 48,
+  kCertificateExpired = 45,
+  kHandshakeFailure = 40,
+};
+
+struct Alert {
+  AlertLevel level = AlertLevel::kFatal;
+  AlertDescription description = AlertDescription::kBadCertificate;
+};
+
+/// One alert record on the wire.
+Result<Bytes> encode_alert(const Alert& alert);
+/// Parses an alert record fragment (exactly two bytes).
+Result<Alert> parse_alert(ByteView fragment);
+
+/// Incremental record parser: feed arbitrary byte chunks, pull complete
+/// records. Tolerates fragments split at any boundary (TCP semantics).
+class RecordReader {
+ public:
+  /// Appends raw bytes from the stream.
+  void feed(ByteView data);
+
+  /// Extracts the next complete record; std::nullopt when more bytes are
+  /// needed. Malformed framing yields an error and poisons the stream.
+  Result<std::vector<Record>> drain();
+
+  /// Bytes buffered but not yet consumed.
+  std::size_t pending() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+}  // namespace tangled::tlswire

@@ -1,0 +1,44 @@
+#include "tlswire/rewrite.h"
+
+#include "tlswire/record.h"
+
+namespace tangled::tlswire {
+
+Result<Bytes> substitute_chain(ByteView server_flight,
+                               const std::vector<x509::Certificate>& new_chain) {
+  RecordReader records;
+  records.feed(server_flight);
+  auto parsed_records = records.drain();
+  if (!parsed_records.ok()) return parsed_records.error();
+  if (records.pending() != 0) {
+    return parse_error("trailing partial record in captured flight");
+  }
+
+  HandshakeReassembler reassembler;
+  for (const Record& record : parsed_records.value()) {
+    if (record.type != ContentType::kHandshake) {
+      return unsupported_error("non-handshake record in server flight");
+    }
+    reassembler.feed(record.fragment);
+  }
+  auto messages = reassembler.drain();
+  if (!messages.ok()) return messages.error();
+
+  Bytes rebuilt;
+  bool substituted = false;
+  for (const HandshakeMessage& message : messages.value()) {
+    if (message.type == HandshakeType::kCertificate) {
+      append(rebuilt, encode_handshake({HandshakeType::kCertificate,
+                                        encode_certificate_body(new_chain)}));
+      substituted = true;
+    } else {
+      append(rebuilt, encode_handshake(message));
+    }
+  }
+  if (!substituted) {
+    return not_found_error("no Certificate message in captured flight");
+  }
+  return encode_records(ContentType::kHandshake, rebuilt);
+}
+
+}  // namespace tangled::tlswire

@@ -1,0 +1,17 @@
+// Wire-level chain substitution — what the Reality Mine proxy does to the
+// byte stream (§7: it terminates TLS and re-emits a handshake whose
+// Certificate message carries freshly minted certificates).
+#pragma once
+
+#include "tlswire/handshake.h"
+
+namespace tangled::tlswire {
+
+/// Parses a captured server flight, replaces the Certificate message's
+/// chain with `new_chain`, and re-encodes the flight. Non-certificate
+/// handshake messages pass through untouched. Fails if the capture holds
+/// no Certificate message.
+Result<Bytes> substitute_chain(ByteView server_flight,
+                               const std::vector<x509::Certificate>& new_chain);
+
+}  // namespace tangled::tlswire

@@ -1,0 +1,102 @@
+#include "util/base64.h"
+
+#include <array>
+#include <cctype>
+
+namespace tangled {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<std::int8_t, 256> build_reverse_table() {
+  std::array<std::int8_t, 256> table{};
+  table.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    table[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  }
+  return table;
+}
+
+const std::array<std::int8_t, 256> kReverse = build_reverse_table();
+
+}  // namespace
+
+std::string base64_encode(ByteView data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                            data[i + 2];
+    out.push_back(kAlphabet[(v >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 6) & 0x3f]);
+    out.push_back(kAlphabet[v & 0x3f]);
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    const std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kAlphabet[(v >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3f]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kAlphabet[(v >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 6) & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::string base64_encode_wrapped(ByteView data, std::size_t line_width) {
+  const std::string flat = base64_encode(data);
+  if (line_width == 0) return flat;
+  std::string out;
+  out.reserve(flat.size() + flat.size() / line_width + 1);
+  for (std::size_t i = 0; i < flat.size(); i += line_width) {
+    out.append(flat, i, std::min(line_width, flat.size() - i));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::optional<Bytes> base64_decode(std::string_view text) {
+  Bytes out;
+  out.reserve(text.size() / 4 * 3);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  int pads = 0;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (c == '=') {
+      ++pads;
+      if (pads > 2) return std::nullopt;
+      continue;
+    }
+    if (pads > 0) return std::nullopt;  // data after padding
+    const std::int8_t v = kReverse[static_cast<unsigned char>(c)];
+    if (v < 0) return std::nullopt;
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((acc >> bits) & 0xff));
+    }
+  }
+  // Leftover bits must be zero-padding of a final partial group.
+  if (bits >= 6) return std::nullopt;
+  if ((acc & ((1u << bits) - 1)) != 0) return std::nullopt;
+  // Padding must complete a 4-character group: 4 leftover bits mean the
+  // final group had 2 data chars (2 pads); 2 leftover bits mean 3 (1 pad).
+  const int expected_pads = bits == 0 ? 0 : (bits == 4 ? 2 : 1);
+  if (pads != 0 && pads != expected_pads) return std::nullopt;
+  return out;
+}
+
+}  // namespace tangled

@@ -1,0 +1,23 @@
+// RFC 4648 Base64 codec (standard alphabet, '=' padding). Used by the PEM
+// layer and anywhere certificates are serialized for text transport.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace tangled {
+
+/// Encodes without line wrapping.
+std::string base64_encode(ByteView data);
+
+/// Encodes wrapped at `line_width` characters (PEM uses 64).
+std::string base64_encode_wrapped(ByteView data, std::size_t line_width);
+
+/// Decodes; accepts and skips ASCII whitespace. Returns std::nullopt on any
+/// other non-alphabet character, bad padding, or trailing garbage.
+std::optional<Bytes> base64_decode(std::string_view text);
+
+}  // namespace tangled

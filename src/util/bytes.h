@@ -1,0 +1,45 @@
+// Byte-buffer primitives shared by every module.
+//
+// `Bytes` is the single owning byte-sequence type used across libtangled;
+// `ByteView` is its non-owning counterpart. Hex helpers convert between
+// buffers and lowercase hex strings (certificate fingerprints, subject tags).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tangled {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Encodes `data` as lowercase hex, two characters per byte.
+std::string to_hex(ByteView data);
+
+/// Decodes a hex string (upper or lower case, no separators).
+/// Returns std::nullopt on odd length or non-hex characters.
+std::optional<Bytes> from_hex(std::string_view hex);
+
+/// Builds a Bytes from a string's raw characters.
+Bytes to_bytes(std::string_view s);
+
+/// Interprets a byte buffer as a string (lossless round-trip of to_bytes).
+std::string to_string(ByteView data);
+
+/// Lexicographic comparison suitable for ordered containers.
+bool bytes_less(ByteView a, ByteView b);
+
+/// Structural equality for spans (std::span has no operator==).
+bool bytes_equal(ByteView a, ByteView b);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, ByteView src);
+
+/// FNV-1a 64-bit hash, used for non-cryptographic indexing of DER blobs.
+std::uint64_t fnv1a64(ByteView data);
+
+}  // namespace tangled

@@ -1,0 +1,25 @@
+#include "util/result.h"
+
+namespace tangled {
+
+std::string_view to_string(Errc code) {
+  switch (code) {
+    case Errc::kParse: return "parse";
+    case Errc::kRange: return "range";
+    case Errc::kUnsupported: return "unsupported";
+    case Errc::kNotFound: return "not-found";
+    case Errc::kVerifyFailed: return "verify-failed";
+    case Errc::kExpired: return "expired";
+    case Errc::kInvalidState: return "invalid-state";
+  }
+  return "unknown";
+}
+
+std::string to_string(const Error& error) {
+  std::string out{to_string(error.code)};
+  out += ": ";
+  out += error.message;
+  return out;
+}
+
+}  // namespace tangled

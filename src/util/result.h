@@ -1,0 +1,118 @@
+// Minimal expected-style error handling used across library boundaries.
+//
+// Expected failures (malformed DER, broken chains, unknown OIDs…) travel as
+// `Result<T>`; programming errors are assertions. This keeps parsers usable
+// on hostile input without exceptions in hot paths.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace tangled {
+
+/// Broad failure categories; the message carries specifics.
+enum class Errc {
+  kParse,          // malformed input (DER, PEM, hex, ...)
+  kRange,          // value outside the representable/allowed range
+  kUnsupported,    // recognized but deliberately unimplemented construct
+  kNotFound,       // lookup miss (issuer, anchor, domain, ...)
+  kVerifyFailed,   // signature or chain validation failure
+  kExpired,        // validity-period failure
+  kInvalidState,   // API misuse detectable only at runtime
+};
+
+/// What went wrong, with a human-readable message.
+struct Error {
+  Errc code;
+  std::string message;
+};
+
+/// Renders "parse: truncated length" style strings for logs and tests.
+std::string to_string(const Error& error);
+std::string_view to_string(Errc code);
+
+/// A value or an Error. Deliberately tiny: exactly the operations the
+/// codebase needs, nothing speculative.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(storage_);
+  }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Result<void>: success carries no payload.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)) {}        // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Convenience factories so call sites read as prose.
+inline Error parse_error(std::string message) {
+  return Error{Errc::kParse, std::move(message)};
+}
+inline Error range_error(std::string message) {
+  return Error{Errc::kRange, std::move(message)};
+}
+inline Error unsupported_error(std::string message) {
+  return Error{Errc::kUnsupported, std::move(message)};
+}
+inline Error not_found_error(std::string message) {
+  return Error{Errc::kNotFound, std::move(message)};
+}
+inline Error verify_error(std::string message) {
+  return Error{Errc::kVerifyFailed, std::move(message)};
+}
+inline Error expired_error(std::string message) {
+  return Error{Errc::kExpired, std::move(message)};
+}
+inline Error state_error(std::string message) {
+  return Error{Errc::kInvalidState, std::move(message)};
+}
+
+}  // namespace tangled

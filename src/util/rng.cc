@@ -1,0 +1,148 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace tangled {
+
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t SplitMix64::next() {
+  state_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+  // An all-zero state would be absorbing; SplitMix64 cannot emit four zeros
+  // from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's method: multiply-shift with a rejection step that removes bias.
+  std::uint64_t x = next();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = next();
+      m = static_cast<unsigned __int128>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Xoshiro256::between(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Xoshiro256::unit() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Xoshiro256::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return unit() < p;
+}
+
+Bytes Xoshiro256::bytes(std::size_t n) {
+  Bytes out(n);
+  std::size_t i = 0;
+  while (i + 8 <= n) {
+    const std::uint64_t v = next();
+    for (int b = 0; b < 8; ++b) out[i + b] = static_cast<std::uint8_t>(v >> (8 * b));
+    i += 8;
+  }
+  if (i < n) {
+    const std::uint64_t v = next();
+    for (int b = 0; i < n; ++i, ++b) out[i] = static_cast<std::uint8_t>(v >> (8 * b));
+  }
+  return out;
+}
+
+Xoshiro256 Xoshiro256::fork() {
+  return Xoshiro256(next());
+}
+
+WeightedSampler::WeightedSampler(std::span<const double> weights) {
+  assert(!weights.empty());
+  cumulative_.reserve(weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+    cumulative_.push_back(total);
+  }
+  assert(total > 0.0);
+}
+
+std::size_t WeightedSampler::sample(Xoshiro256& rng) const {
+  const double target = rng.unit() * cumulative_.back();
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+  const auto idx = static_cast<std::size_t>(it - cumulative_.begin());
+  return std::min(idx, cumulative_.size() - 1);
+}
+
+namespace {
+
+std::vector<double> zipf_weights(std::size_t n, double s) {
+  assert(n > 0);
+  std::vector<double> w(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    w[k] = std::pow(static_cast<double>(k + 1), -s);
+  }
+  return w;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::size_t n, double s)
+    : sampler_(zipf_weights(n, s)) {}
+
+std::vector<std::size_t> sample_without_replacement(Xoshiro256& rng,
+                                                    std::size_t n,
+                                                    std::size_t k) {
+  assert(k <= n);
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + rng.below(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace tangled

@@ -1,0 +1,100 @@
+// Deterministic randomness for reproducible experiments.
+//
+// Every synthetic corpus in libtangled is generated from an explicit seed so
+// that each table and figure regenerates bit-identically. Engines: SplitMix64
+// (seeding / cheap streams) and Xoshiro256** (bulk sampling). Distributions:
+// uniform ranges, Bernoulli, weighted choice, and a bounded Zipf sampler for
+// the heavy-tailed CA-issuance model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace tangled {
+
+/// SplitMix64: tiny, fast, passes BigCrush as a 64-bit mixer. Used to expand
+/// one user seed into independent engine states.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: the workhorse engine. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// nearly-divisionless method.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double unit();
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Fills a fresh buffer with `n` random bytes.
+  Bytes bytes(std::size_t n);
+
+  /// Forks an independent engine (jump via reseed-from-output, adequate for
+  /// simulation purposes).
+  Xoshiro256 fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Samples indices proportionally to fixed non-negative weights, O(log n)
+/// per draw via a prefix-sum table.
+class WeightedSampler {
+ public:
+  explicit WeightedSampler(std::span<const double> weights);
+
+  std::size_t sample(Xoshiro256& rng) const;
+  std::size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;  // strictly increasing, last = total
+};
+
+/// Bounded Zipf(s) over ranks 1..n: P(k) ∝ k^-s. Implemented as a
+/// WeightedSampler; n is bounded (≤ a few million), so the table is fine.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  /// Returns a rank in [0, n).
+  std::size_t sample(Xoshiro256& rng) const { return sampler_.sample(rng); }
+  std::size_t size() const { return sampler_.size(); }
+
+ private:
+  WeightedSampler sampler_;
+};
+
+/// Draws `k` distinct indices from [0, n) without replacement
+/// (partial Fisher-Yates). Requires k <= n.
+std::vector<std::size_t> sample_without_replacement(Xoshiro256& rng,
+                                                    std::size_t n,
+                                                    std::size_t k);
+
+}  // namespace tangled

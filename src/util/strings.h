@@ -1,0 +1,28 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tangled {
+
+/// Splits on a single-character separator; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins pieces with `sep`.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b);
+
+}  // namespace tangled

@@ -1,0 +1,173 @@
+#include "x509/builder.h"
+
+#include "crypto/hash.h"
+
+namespace tangled::x509 {
+
+Bytes key_id_for(const crypto::RsaPublicKey& key) {
+  return crypto::Sha1::hash(key.n.to_bytes());
+}
+
+CertificateBuilder::CertificateBuilder() {
+  serial_ = Bytes{0x01};
+  validity_.not_before = asn1::make_time(2012, 1, 1);
+  validity_.not_after = asn1::make_time(2032, 1, 1);
+}
+
+CertificateBuilder& CertificateBuilder::serial(std::uint64_t serial) {
+  serial_ = crypto::BigNum(serial).to_bytes();
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::serial_bytes(Bytes serial) {
+  serial_ = std::move(serial);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::subject(Name name) {
+  subject_ = std::move(name);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::issuer(Name name) {
+  issuer_ = std::move(name);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::not_before(asn1::Time t) {
+  validity_.not_before = t;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::not_after(asn1::Time t) {
+  validity_.not_after = t;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::public_key(crypto::RsaPublicKey key) {
+  public_key_ = std::move(key);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::ca(bool is_ca,
+                                           std::optional<int> path_len) {
+  BasicConstraints bc;
+  bc.is_ca = is_ca;
+  bc.path_len = path_len;
+  extensions_.add(Extension{asn1::oids::basic_constraints(), true, bc.to_der()});
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::key_usage(KeyUsage usage) {
+  extensions_.add(Extension{asn1::oids::key_usage(), true, usage.to_der()});
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::extended_key_usage(ExtendedKeyUsage eku) {
+  extensions_.add(Extension{asn1::oids::ext_key_usage(), false, eku.to_der()});
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::dns_names(std::vector<std::string> names) {
+  SubjectAltName san;
+  san.dns_names = std::move(names);
+  extensions_.add(Extension{asn1::oids::subject_alt_name(), false, san.to_der()});
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::key_ids(
+    const crypto::RsaPublicKey& subject_key,
+    const crypto::RsaPublicKey& issuer_key) {
+  extensions_.add(Extension{asn1::oids::subject_key_id(), false,
+                            encode_key_id_extension(key_id_for(subject_key),
+                                                    /*authority=*/false)});
+  extensions_.add(Extension{asn1::oids::authority_key_id(), false,
+                            encode_key_id_extension(key_id_for(issuer_key),
+                                                    /*authority=*/true)});
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::extension(Extension ext) {
+  extensions_.add(std::move(ext));
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::legacy_v1(bool v1) {
+  v1_ = v1;
+  return *this;
+}
+
+Bytes CertificateBuilder::build_tbs(const asn1::Oid& sig_alg) const {
+  asn1::DerWriter w;
+  w.begin(asn1::Tag::kSequence);
+
+  if (!v1_) {
+    // version [0] EXPLICIT v3(2); v1 omits the field entirely (DEFAULT).
+    w.begin(asn1::context_tag(0, /*constructed=*/true));
+    w.write_integer(2);
+    w.end();
+  }
+
+  w.write_integer_unsigned(serial_);
+  write_algorithm_identifier(w, sig_alg);
+  w.write_raw(issuer_.to_der());
+
+  w.begin(asn1::Tag::kSequence);
+  auto write_time = [&w](const asn1::Time& t) {
+    if (t.needs_generalized()) {
+      w.primitive(asn1::Tag::kGeneralizedTime, to_bytes(t.encode_generalized()));
+    } else {
+      w.primitive(asn1::Tag::kUtcTime, to_bytes(t.encode_utc()));
+    }
+  };
+  write_time(validity_.not_before);
+  write_time(validity_.not_after);
+  w.end();
+
+  w.write_raw(subject_.to_der());
+  w.write_raw(encode_spki(public_key_));
+
+  if (!extensions_.empty() && !v1_) {
+    w.begin(asn1::context_tag(3, /*constructed=*/true));
+    w.begin(asn1::Tag::kSequence);
+    for (const Extension& ext : extensions_.all()) {
+      w.begin(asn1::Tag::kSequence);
+      w.write_oid(ext.oid);
+      if (ext.critical) w.write_boolean(true);
+      w.write_octet_string(ext.value);
+      w.end();
+    }
+    w.end();
+    w.end();
+  }
+
+  w.end();
+  return w.take();
+}
+
+Result<Certificate> CertificateBuilder::sign(
+    const crypto::SignatureScheme& scheme,
+    const crypto::KeyPair& issuer_key) const {
+  if (subject_.empty() || issuer_.empty()) {
+    return state_error("certificate needs subject and issuer names");
+  }
+  if (public_key_.n.is_zero()) {
+    return state_error("certificate needs a subject public key");
+  }
+  const Bytes tbs = build_tbs(scheme.algorithm_oid());
+  auto signature = scheme.sign(issuer_key, tbs);
+  if (!signature.ok()) return signature.error();
+
+  asn1::DerWriter w;
+  w.begin(asn1::Tag::kSequence);
+  w.write_raw(tbs);
+  write_algorithm_identifier(w, scheme.algorithm_oid());
+  w.write_bit_string(signature.value());
+  w.end();
+
+  // Re-parse so the returned value is exactly what a consumer would see on
+  // the wire — and so the builder cannot emit anything the parser rejects.
+  return Certificate::from_der(w.take());
+}
+
+}  // namespace tangled::x509

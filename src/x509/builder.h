@@ -1,0 +1,65 @@
+// Fluent certificate issuance. Builds the TBSCertificate, signs it with a
+// SignatureScheme, and returns a fully re-parsed Certificate so every cert
+// in the system has round-tripped through the DER codec.
+#pragma once
+
+#include <cstdint>
+
+#include "asn1/time.h"
+#include "crypto/signature.h"
+#include "util/result.h"
+#include "x509/certificate.h"
+
+namespace tangled::x509 {
+
+class CertificateBuilder {
+ public:
+  CertificateBuilder();
+
+  CertificateBuilder& serial(std::uint64_t serial);
+  CertificateBuilder& serial_bytes(Bytes serial);
+  CertificateBuilder& subject(Name name);
+  CertificateBuilder& issuer(Name name);
+  CertificateBuilder& not_before(asn1::Time t);
+  CertificateBuilder& not_after(asn1::Time t);
+  CertificateBuilder& public_key(crypto::RsaPublicKey key);
+  /// Marks the subject as a CA (BasicConstraints critical, optional path len).
+  CertificateBuilder& ca(bool is_ca, std::optional<int> path_len = std::nullopt);
+  CertificateBuilder& key_usage(KeyUsage usage);
+  CertificateBuilder& extended_key_usage(ExtendedKeyUsage eku);
+  CertificateBuilder& dns_names(std::vector<std::string> names);
+  /// Adds SKI (hash of subject key) and AKI (hash of issuer key) extensions.
+  CertificateBuilder& key_ids(const crypto::RsaPublicKey& subject_key,
+                              const crypto::RsaPublicKey& issuer_key);
+  /// Raw escape hatch for odd extensions.
+  CertificateBuilder& extension(Extension ext);
+
+  /// Emits an X.509 v1 certificate: no version field, no extensions (any
+  /// added so far are discarded at sign time). Legacy roots from the
+  /// 1990s-era CAs in the paper's Figure 2 (VeriSign/Thawte/RSA Data
+  /// Security) shipped as v1.
+  CertificateBuilder& legacy_v1(bool v1 = true);
+
+  /// Signs with `scheme` using `issuer_key` and returns the parsed result.
+  /// Self-signed roots pass their own keypair and issuer == subject.
+  Result<Certificate> sign(const crypto::SignatureScheme& scheme,
+                           const crypto::KeyPair& issuer_key) const;
+
+ private:
+  Bytes build_tbs(const asn1::Oid& sig_alg) const;
+
+  Bytes serial_;
+  Name subject_;
+  Name issuer_;
+  Validity validity_;
+  crypto::RsaPublicKey public_key_;
+  ExtensionSet extensions_;
+  bool v1_ = false;
+};
+
+/// The key-identifier convention used throughout the toolkit: SHA-1 of the
+/// modulus bytes (matching RFC 5280 method (1) closely enough for chain
+/// building).
+Bytes key_id_for(const crypto::RsaPublicKey& key);
+
+}  // namespace tangled::x509

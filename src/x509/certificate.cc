@@ -1,0 +1,262 @@
+#include "x509/certificate.h"
+
+#include "crypto/hash.h"
+#include "crypto/signature.h"
+
+namespace tangled::x509 {
+
+namespace {
+
+Result<asn1::Time> read_time(asn1::DerReader& r) {
+  auto tlv = r.read_tlv();
+  if (!tlv.ok()) return tlv.error();
+  const std::string body = to_string(tlv.value().body);
+  if (tlv.value().is(asn1::Tag::kUtcTime)) return asn1::Time::parse_utc(body);
+  if (tlv.value().is(asn1::Tag::kGeneralizedTime)) {
+    return asn1::Time::parse_generalized(body);
+  }
+  return parse_error("expected UTCTime or GeneralizedTime");
+}
+
+Result<crypto::RsaPublicKey> parse_spki(ByteView spki_body) {
+  asn1::DerReader r(spki_body);
+  auto alg = read_algorithm_identifier(r);
+  if (!alg.ok()) return alg.error();
+  if (!(alg.value() == asn1::oids::rsa_encryption())) {
+    return unsupported_error("only RSA subject keys are supported");
+  }
+  auto key_bits = r.read_bit_string();
+  if (!key_bits.ok()) return key_bits.error();
+  if (auto end = r.expect_end(); !end.ok()) return end.error();
+  // RSAPublicKey ::= SEQUENCE { modulus INTEGER, publicExponent INTEGER }
+  asn1::DerReader key_reader(key_bits.value());
+  auto key_seq = key_reader.expect(asn1::Tag::kSequence);
+  if (!key_seq.ok()) return key_seq.error();
+  if (auto end = key_reader.expect_end(); !end.ok()) return end.error();
+  asn1::DerReader fields(key_seq.value().body);
+  auto modulus = fields.read_integer_unsigned();
+  if (!modulus.ok()) return modulus.error();
+  auto exponent = fields.read_integer_unsigned();
+  if (!exponent.ok()) return exponent.error();
+  if (auto end = fields.expect_end(); !end.ok()) return end.error();
+  crypto::RsaPublicKey key;
+  key.n = crypto::BigNum::from_bytes(modulus.value());
+  key.e = crypto::BigNum::from_bytes(exponent.value());
+  if (key.n.is_zero() || key.e.is_zero()) {
+    return parse_error("degenerate RSA public key");
+  }
+  return key;
+}
+
+Result<ExtensionSet> parse_extensions(ByteView exts_explicit_body) {
+  // [3] EXPLICIT wraps SEQUENCE OF Extension.
+  asn1::DerReader outer(exts_explicit_body);
+  auto seq = outer.expect(asn1::Tag::kSequence);
+  if (!seq.ok()) return seq.error();
+  if (auto end = outer.expect_end(); !end.ok()) return end.error();
+  ExtensionSet set;
+  asn1::DerReader list(seq.value().body);
+  while (!list.at_end()) {
+    auto ext_seq = list.expect(asn1::Tag::kSequence);
+    if (!ext_seq.ok()) return ext_seq.error();
+    asn1::DerReader fields(ext_seq.value().body);
+    Extension ext;
+    auto oid = fields.read_oid();
+    if (!oid.ok()) return oid.error();
+    ext.oid = std::move(oid).value();
+    auto tag = fields.peek_tag();
+    if (tag.ok() && tag.value() == static_cast<std::uint8_t>(asn1::Tag::kBoolean)) {
+      auto critical = fields.read_boolean();
+      if (!critical.ok()) return critical.error();
+      ext.critical = critical.value();
+    }
+    auto value = fields.read_octet_string();
+    if (!value.ok()) return value.error();
+    ext.value = std::move(value).value();
+    if (auto end = fields.expect_end(); !end.ok()) return end.error();
+    set.add(std::move(ext));
+  }
+  return set;
+}
+
+}  // namespace
+
+void write_algorithm_identifier(asn1::DerWriter& w, const asn1::Oid& oid) {
+  w.begin(asn1::Tag::kSequence);
+  w.write_oid(oid);
+  w.write_null();
+  w.end();
+}
+
+Bytes encode_spki(const crypto::RsaPublicKey& key) {
+  asn1::DerWriter inner;
+  inner.begin(asn1::Tag::kSequence);
+  inner.write_integer_unsigned(key.n.to_bytes());
+  inner.write_integer_unsigned(key.e.to_bytes());
+  inner.end();
+  const Bytes rsa_key = inner.take();
+
+  asn1::DerWriter w;
+  w.begin(asn1::Tag::kSequence);
+  write_algorithm_identifier(w, asn1::oids::rsa_encryption());
+  w.write_bit_string(rsa_key);
+  w.end();
+  return w.take();
+}
+
+Result<asn1::Oid> read_algorithm_identifier(asn1::DerReader& r) {
+  auto seq = r.expect(asn1::Tag::kSequence);
+  if (!seq.ok()) return seq.error();
+  asn1::DerReader body(seq.value().body);
+  auto oid = body.read_oid();
+  if (!oid.ok()) return oid;
+  // Parameters (NULL or absent) are tolerated and ignored.
+  return oid;
+}
+
+Result<Certificate> Certificate::from_der(ByteView der) {
+  Certificate cert;
+  cert.der_.assign(der.begin(), der.end());
+
+  asn1::DerReader top(der);
+  auto outer = top.expect(asn1::Tag::kSequence);
+  if (!outer.ok()) return outer.error();
+  if (auto end = top.expect_end(); !end.ok()) return end.error();
+
+  asn1::DerReader fields(outer.value().body);
+  ByteView tbs_window;
+  auto tbs = fields.expect(asn1::Tag::kSequence, &tbs_window);
+  if (!tbs.ok()) return tbs.error();
+  cert.tbs_der_.assign(tbs_window.begin(), tbs_window.end());
+
+  auto outer_alg = read_algorithm_identifier(fields);
+  if (!outer_alg.ok()) return outer_alg.error();
+  auto signature = fields.read_bit_string();
+  if (!signature.ok()) return signature.error();
+  cert.signature_ = std::move(signature).value();
+  if (auto end = fields.expect_end(); !end.ok()) return end.error();
+
+  // --- TBSCertificate --------------------------------------------------
+  asn1::DerReader t(tbs.value().body);
+
+  // version [0] EXPLICIT INTEGER DEFAULT v1(0).
+  cert.version_ = 1;
+  {
+    auto tag = t.peek_tag();
+    if (tag.ok() && tag.value() == asn1::context_tag(0, true)) {
+      auto wrapper = t.read_tlv();
+      if (!wrapper.ok()) return wrapper.error();
+      asn1::DerReader version_reader(wrapper.value().body);
+      auto version = version_reader.read_small_integer();
+      if (!version.ok()) return version.error();
+      if (auto end = version_reader.expect_end(); !end.ok()) return end.error();
+      if (version.value() < 0 || version.value() > 2) {
+        return parse_error("certificate version out of range");
+      }
+      cert.version_ = static_cast<int>(version.value()) + 1;
+    }
+  }
+
+  auto serial = t.read_integer_unsigned();
+  if (!serial.ok()) return serial.error();
+  cert.serial_ = std::move(serial).value();
+
+  auto inner_alg = read_algorithm_identifier(t);
+  if (!inner_alg.ok()) return inner_alg.error();
+  cert.sig_alg_ = inner_alg.value();
+  if (!(outer_alg.value() == inner_alg.value())) {
+    return parse_error("TBS and outer signature algorithms disagree");
+  }
+
+  auto issuer_seq = t.expect(asn1::Tag::kSequence);
+  if (!issuer_seq.ok()) return issuer_seq.error();
+  auto issuer = Name::from_der_body(issuer_seq.value().body);
+  if (!issuer.ok()) return issuer.error();
+  cert.issuer_ = std::move(issuer).value();
+
+  auto validity_seq = t.expect(asn1::Tag::kSequence);
+  if (!validity_seq.ok()) return validity_seq.error();
+  {
+    asn1::DerReader v(validity_seq.value().body);
+    auto not_before = read_time(v);
+    if (!not_before.ok()) return not_before.error();
+    auto not_after = read_time(v);
+    if (!not_after.ok()) return not_after.error();
+    if (auto end = v.expect_end(); !end.ok()) return end.error();
+    cert.validity_ = Validity{not_before.value(), not_after.value()};
+  }
+
+  auto subject_seq = t.expect(asn1::Tag::kSequence);
+  if (!subject_seq.ok()) return subject_seq.error();
+  auto subject = Name::from_der_body(subject_seq.value().body);
+  if (!subject.ok()) return subject.error();
+  cert.subject_ = std::move(subject).value();
+
+  auto spki_seq = t.expect(asn1::Tag::kSequence);
+  if (!spki_seq.ok()) return spki_seq.error();
+  auto key = parse_spki(spki_seq.value().body);
+  if (!key.ok()) return key.error();
+  cert.public_key_ = std::move(key).value();
+
+  // Optional [3] EXPLICIT extensions (v3 only).
+  if (!t.at_end()) {
+    auto tag = t.peek_tag();
+    if (tag.ok() && tag.value() == asn1::context_tag(3, true)) {
+      if (cert.version_ != 3) {
+        return parse_error("extensions present in a pre-v3 certificate");
+      }
+      auto wrapper = t.read_tlv();
+      if (!wrapper.ok()) return wrapper.error();
+      auto exts = parse_extensions(wrapper.value().body);
+      if (!exts.ok()) return exts.error();
+      cert.extensions_ = std::move(exts).value();
+    }
+  }
+  if (auto end = t.expect_end(); !end.ok()) return end.error();
+
+  return cert;
+}
+
+bool Certificate::is_ca() const {
+  const auto bc = extensions_.basic_constraints();
+  // v1 self-issued certs (old roots) carry no BasicConstraints; treat
+  // self-issued as CA in that legacy case, matching Android's behaviour of
+  // trusting whatever sits in /system/etc/security/cacerts.
+  if (!bc.has_value()) return version_ == 1 && is_self_issued();
+  return bc->is_ca;
+}
+
+Bytes Certificate::fingerprint_sha256() const {
+  return crypto::Sha256::hash(der_);
+}
+
+Bytes Certificate::identity_key() const {
+  crypto::Sha256 h;
+  const Bytes n = public_key_.n.to_bytes();
+  h.update(n);
+  h.update(signature_);
+  const auto d = h.digest();
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes Certificate::equivalence_key() const {
+  crypto::Sha256 h;
+  const Bytes subject_der = subject_.to_der();
+  h.update(subject_der);
+  const Bytes n = public_key_.n.to_bytes();
+  h.update(n);
+  const auto d = h.digest();
+  return Bytes(d.begin(), d.end());
+}
+
+std::string Certificate::subject_tag() const {
+  const Bytes digest = crypto::Sha1::hash(subject_.to_der());
+  return to_hex(ByteView(digest.data(), 4));
+}
+
+Result<void> Certificate::check_signature_from(
+    const crypto::RsaPublicKey& issuer_key) const {
+  return crypto::verify_signature(sig_alg_, issuer_key, tbs_der_, signature_);
+}
+
+}  // namespace tangled::x509

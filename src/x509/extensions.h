@@ -1,0 +1,100 @@
+// X.509v3 extensions: the raw Extension container plus typed views for the
+// extensions the toolkit interprets (BasicConstraints, KeyUsage, SKI/AKI,
+// ExtendedKeyUsage, SubjectAltName dNSNames).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asn1/oid.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tangled::x509 {
+
+/// Raw extension as carried in the certificate.
+struct Extension {
+  asn1::Oid oid;
+  bool critical = false;
+  Bytes value;  // contents of the extnValue OCTET STRING
+
+  friend bool operator==(const Extension&, const Extension&) = default;
+};
+
+/// BasicConstraints ::= SEQUENCE { cA BOOLEAN DEFAULT FALSE,
+///                                 pathLenConstraint INTEGER OPTIONAL }
+struct BasicConstraints {
+  bool is_ca = false;
+  std::optional<int> path_len;
+
+  Bytes to_der() const;
+  static Result<BasicConstraints> from_der(ByteView der);
+
+  friend bool operator==(const BasicConstraints&, const BasicConstraints&) = default;
+};
+
+/// KeyUsage bits (RFC 5280 §4.2.1.3); a subset relevant to root stores.
+struct KeyUsage {
+  bool digital_signature = false;
+  bool key_encipherment = false;
+  bool key_cert_sign = false;
+  bool crl_sign = false;
+
+  Bytes to_der() const;
+  static Result<KeyUsage> from_der(ByteView der);
+
+  friend bool operator==(const KeyUsage&, const KeyUsage&) = default;
+};
+
+/// ExtendedKeyUsage: list of purpose OIDs.
+struct ExtendedKeyUsage {
+  std::vector<asn1::Oid> purposes;
+
+  bool allows(const asn1::Oid& purpose) const;
+
+  Bytes to_der() const;
+  static Result<ExtendedKeyUsage> from_der(ByteView der);
+
+  friend bool operator==(const ExtendedKeyUsage&, const ExtendedKeyUsage&) = default;
+};
+
+/// SubjectAltName restricted to dNSName entries (all this toolkit needs).
+struct SubjectAltName {
+  std::vector<std::string> dns_names;
+
+  Bytes to_der() const;
+  static Result<SubjectAltName> from_der(ByteView der);
+
+  friend bool operator==(const SubjectAltName&, const SubjectAltName&) = default;
+};
+
+/// SubjectKeyIdentifier / AuthorityKeyIdentifier (keyIdentifier form only).
+Bytes encode_key_id_extension(ByteView key_id, bool authority);
+Result<Bytes> decode_subject_key_id(ByteView der);
+Result<Bytes> decode_authority_key_id(ByteView der);
+
+/// An ordered extension list with typed accessors.
+class ExtensionSet {
+ public:
+  void add(Extension ext) { extensions_.push_back(std::move(ext)); }
+  const std::vector<Extension>& all() const { return extensions_; }
+  bool empty() const { return extensions_.empty(); }
+
+  const Extension* find(const asn1::Oid& oid) const;
+
+  std::optional<BasicConstraints> basic_constraints() const;
+  std::optional<KeyUsage> key_usage() const;
+  std::optional<ExtendedKeyUsage> extended_key_usage() const;
+  std::optional<SubjectAltName> subject_alt_name() const;
+  std::optional<Bytes> subject_key_id() const;
+  std::optional<Bytes> authority_key_id() const;
+
+  friend bool operator==(const ExtensionSet&, const ExtensionSet&) = default;
+
+ private:
+  std::vector<Extension> extensions_;
+};
+
+}  // namespace tangled::x509

@@ -1,0 +1,40 @@
+#include "x509/hostname.h"
+
+#include "util/strings.h"
+
+namespace tangled::x509 {
+
+bool hostname_matches_pattern(std::string_view host, std::string_view pattern) {
+  if (host.empty() || pattern.empty()) return false;
+  // Trailing-dot normalization (absolute names).
+  if (host.back() == '.') host.remove_suffix(1);
+  if (pattern.back() == '.') pattern.remove_suffix(1);
+
+  if (!starts_with(pattern, "*.")) return iequals(host, pattern);
+
+  // Wildcard: "*.rest" matches "<one-label>.rest" only.
+  const std::string_view rest = pattern.substr(2);
+  if (rest.empty() || rest.find('*') != std::string_view::npos) return false;
+  const std::size_t dot = host.find('.');
+  if (dot == std::string_view::npos || dot == 0) return false;
+  const std::string_view host_rest = host.substr(dot + 1);
+  // The matched label must be non-empty and the suffix must have at least
+  // two labels ("*.com" is rejected as over-broad).
+  if (rest.find('.') == std::string_view::npos) return false;
+  return iequals(host_rest, rest);
+}
+
+bool certificate_matches_hostname(const Certificate& cert,
+                                  std::string_view host) {
+  const auto san = cert.extensions().subject_alt_name();
+  if (san.has_value() && !san->dns_names.empty()) {
+    for (const auto& pattern : san->dns_names) {
+      if (hostname_matches_pattern(host, pattern)) return true;
+    }
+    return false;  // SAN present: CN is not consulted (RFC 6125 §6.4.4)
+  }
+  const std::string cn = cert.subject().common_name();
+  return !cn.empty() && hostname_matches_pattern(host, cn);
+}
+
+}  // namespace tangled::x509

@@ -1,0 +1,21 @@
+// RFC 6125-style hostname verification: match a presented certificate
+// against the reference identifier the client intended to reach. SAN
+// dNSNames take precedence; the subject CN is the legacy fallback.
+// Wildcards match exactly one left-most label ("*.example.com" covers
+// "www.example.com" but not "example.com" or "a.b.example.com").
+#pragma once
+
+#include <string_view>
+
+#include "x509/certificate.h"
+
+namespace tangled::x509 {
+
+/// Case-insensitive single-pattern match with left-most-label wildcard.
+bool hostname_matches_pattern(std::string_view host, std::string_view pattern);
+
+/// Full certificate check: SAN dNSNames if present (exclusively), else CN.
+bool certificate_matches_hostname(const Certificate& cert,
+                                  std::string_view host);
+
+}  // namespace tangled::x509

@@ -1,0 +1,132 @@
+#include "x509/name.h"
+
+namespace tangled::x509 {
+
+namespace {
+
+/// PrintableString charset per X.680; anything else is emitted as UTF8String.
+bool is_printable(std::string_view s) {
+  for (char c : s) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == ' ' || c == '\'' ||
+                    c == '(' || c == ')' || c == '+' || c == ',' || c == '-' ||
+                    c == '.' || c == '/' || c == ':' || c == '=' || c == '?';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Escapes RFC 4514 special characters for display.
+void escape_into(std::string& out, std::string_view value) {
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    const char c = value[i];
+    const bool leading_or_trailing =
+        (i == 0 && (c == ' ' || c == '#')) || (i + 1 == value.size() && c == ' ');
+    if (c == ',' || c == '+' || c == '"' || c == '\\' || c == '<' || c == '>' ||
+        c == ';' || leading_or_trailing) {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+Name& Name::add(const asn1::Oid& type, std::string value) {
+  Rdn rdn;
+  rdn.attributes.push_back(Attribute{type, std::move(value)});
+  rdns_.push_back(std::move(rdn));
+  return *this;
+}
+
+std::string Name::find(const asn1::Oid& type) const {
+  for (const Rdn& rdn : rdns_) {
+    for (const Attribute& attr : rdn.attributes) {
+      if (attr.type == type) return attr.value;
+    }
+  }
+  return {};
+}
+
+Bytes Name::to_der() const {
+  asn1::DerWriter w;
+  w.begin(asn1::Tag::kSequence);
+  for (const Rdn& rdn : rdns_) {
+    w.begin(asn1::Tag::kSet);
+    for (const Attribute& attr : rdn.attributes) {
+      w.begin(asn1::Tag::kSequence);
+      w.write_oid(attr.type);
+      // emailAddress is IA5String by PKCS#9; otherwise prefer PrintableString.
+      if (attr.type == asn1::oids::email_address()) {
+        w.write_ia5_string(attr.value);
+      } else if (is_printable(attr.value)) {
+        w.write_printable_string(attr.value);
+      } else {
+        w.write_utf8_string(attr.value);
+      }
+      w.end();
+    }
+    w.end();
+  }
+  w.end();
+  return w.take();
+}
+
+Result<Name> Name::from_der(ByteView der) {
+  asn1::DerReader r(der);
+  auto seq = r.expect(asn1::Tag::kSequence);
+  if (!seq.ok()) return seq.error();
+  if (auto end = r.expect_end(); !end.ok()) return end.error();
+  return from_der_body(seq.value().body);
+}
+
+Result<Name> Name::from_der_body(ByteView body) {
+  Name name;
+  asn1::DerReader rdns(body);
+  while (!rdns.at_end()) {
+    auto set = rdns.expect(asn1::Tag::kSet);
+    if (!set.ok()) return set.error();
+    Rdn rdn;
+    asn1::DerReader attrs(set.value().body);
+    while (!attrs.at_end()) {
+      auto seq = attrs.expect(asn1::Tag::kSequence);
+      if (!seq.ok()) return seq.error();
+      asn1::DerReader attr_reader(seq.value().body);
+      auto type = attr_reader.read_oid();
+      if (!type.ok()) return type.error();
+      auto value = attr_reader.read_string();
+      if (!value.ok()) return value.error();
+      if (auto end = attr_reader.expect_end(); !end.ok()) return end.error();
+      rdn.attributes.push_back(
+          Attribute{std::move(type).value(), std::move(value).value()});
+    }
+    if (rdn.attributes.empty()) return parse_error("empty RDN set");
+    name.rdns_.push_back(std::move(rdn));
+  }
+  return name;
+}
+
+std::string Name::to_string() const {
+  std::string out;
+  // RFC 4514 renders most-specific-first, i.e. reverse of wire order.
+  for (std::size_t i = rdns_.size(); i > 0; --i) {
+    if (!out.empty()) out.push_back(',');
+    const Rdn& rdn = rdns_[i - 1];
+    for (std::size_t j = 0; j < rdn.attributes.size(); ++j) {
+      if (j > 0) out.push_back('+');
+      const Attribute& attr = rdn.attributes[j];
+      const std::string_view short_name =
+          asn1::oids::attribute_short_name(attr.type);
+      if (short_name.empty()) {
+        out += attr.type.to_dotted();
+      } else {
+        out += short_name;
+      }
+      out.push_back('=');
+      escape_into(out, attr.value);
+    }
+  }
+  return out;
+}
+
+}  // namespace tangled::x509

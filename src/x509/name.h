@@ -1,0 +1,77 @@
+// X.501 distinguished names: RDNSequence model, DER codec, RFC 4514-style
+// rendering ("CN=DoD CLASS 3 Root CA,OU=PKI,O=U.S. Government,C=US").
+//
+// The model is deliberately simple — one attribute per RDN is what every
+// certificate in this toolkit (and the overwhelming majority in the wild)
+// uses, but multi-attribute RDNs still parse and re-encode faithfully.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asn1/der.h"
+#include "asn1/oid.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tangled::x509 {
+
+/// One AttributeTypeAndValue, e.g. (id-at-cn, "DoD CLASS 3 Root CA").
+struct Attribute {
+  asn1::Oid type;
+  std::string value;
+
+  friend bool operator==(const Attribute&, const Attribute&) = default;
+  friend auto operator<=>(const Attribute&, const Attribute&) = default;
+};
+
+/// One RelativeDistinguishedName (SET of attributes; usually a single one).
+struct Rdn {
+  std::vector<Attribute> attributes;
+
+  friend bool operator==(const Rdn&, const Rdn&) = default;
+};
+
+/// A distinguished name: SEQUENCE of RDNs, outermost (usually C) first.
+class Name {
+ public:
+  Name() = default;
+
+  /// Appends one single-attribute RDN in wire order. Conventional names are
+  /// built country-first: add_country("US").add_organization(...).add_common_name(...).
+  Name& add(const asn1::Oid& type, std::string value);
+  Name& add_country(std::string value) { return add(asn1::oids::country(), std::move(value)); }
+  Name& add_state(std::string value) { return add(asn1::oids::state(), std::move(value)); }
+  Name& add_locality(std::string value) { return add(asn1::oids::locality(), std::move(value)); }
+  Name& add_organization(std::string value) { return add(asn1::oids::organization(), std::move(value)); }
+  Name& add_organizational_unit(std::string value) { return add(asn1::oids::organizational_unit(), std::move(value)); }
+  Name& add_common_name(std::string value) { return add(asn1::oids::common_name(), std::move(value)); }
+  Name& add_email(std::string value) { return add(asn1::oids::email_address(), std::move(value)); }
+
+  const std::vector<Rdn>& rdns() const { return rdns_; }
+  bool empty() const { return rdns_.empty(); }
+
+  /// First value for `type`, or empty string.
+  std::string find(const asn1::Oid& type) const;
+  std::string common_name() const { return find(asn1::oids::common_name()); }
+  std::string organization() const { return find(asn1::oids::organization()); }
+  std::string country() const { return find(asn1::oids::country()); }
+
+  /// DER: Name ::= SEQUENCE OF RelativeDistinguishedName.
+  Bytes to_der() const;
+  static Result<Name> from_der(ByteView der);
+  /// Parses the *contents* of the outer SEQUENCE (used by the cert parser,
+  /// which has already consumed the TLV).
+  static Result<Name> from_der_body(ByteView body);
+
+  /// RFC 4514-flavoured single-line rendering, most-specific (CN) first,
+  /// e.g. "CN=DoD CLASS 3 Root CA,OU=PKI,OU=DoD,O=U.S. Government,C=US".
+  std::string to_string() const;
+
+  friend bool operator==(const Name&, const Name&) = default;
+
+ private:
+  std::vector<Rdn> rdns_;
+};
+
+}  // namespace tangled::x509

@@ -1,0 +1,85 @@
+#include "x509/pem.h"
+
+#include "util/base64.h"
+#include "util/strings.h"
+
+namespace tangled::x509 {
+
+namespace {
+
+std::string begin_marker(std::string_view label) {
+  return "-----BEGIN " + std::string(label) + "-----";
+}
+
+std::string end_marker(std::string_view label) {
+  return "-----END " + std::string(label) + "-----";
+}
+
+}  // namespace
+
+std::string pem_encode(ByteView der, std::string_view label) {
+  std::string out = begin_marker(label);
+  out.push_back('\n');
+  out += base64_encode_wrapped(der, 64);
+  out += end_marker(label);
+  out.push_back('\n');
+  return out;
+}
+
+Result<std::vector<Bytes>> pem_decode_all(std::string_view text,
+                                          std::string_view label) {
+  const std::string begin = begin_marker(label);
+  const std::string end = end_marker(label);
+  std::vector<Bytes> blocks;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t b = text.find(begin, pos);
+    if (b == std::string_view::npos) break;
+    const std::size_t body_start = b + begin.size();
+    const std::size_t e = text.find(end, body_start);
+    if (e == std::string_view::npos) {
+      return parse_error("PEM BEGIN without matching END");
+    }
+    const std::string_view body = text.substr(body_start, e - body_start);
+    auto der = base64_decode(body);
+    if (!der.has_value()) return parse_error("invalid base64 in PEM body");
+    if (der->empty()) return parse_error("empty PEM body");
+    blocks.push_back(std::move(*der));
+    pos = e + end.size();
+  }
+  return blocks;
+}
+
+Result<Bytes> pem_decode(std::string_view text, std::string_view label) {
+  auto blocks = pem_decode_all(text, label);
+  if (!blocks.ok()) return blocks.error();
+  if (blocks.value().empty()) {
+    return not_found_error("no PEM block with label " + std::string(label));
+  }
+  return std::move(blocks).value().front();
+}
+
+std::string to_pem(const Certificate& cert) {
+  return pem_encode(cert.der());
+}
+
+Result<Certificate> certificate_from_pem(std::string_view text) {
+  auto der = pem_decode(text);
+  if (!der.ok()) return der.error();
+  return Certificate::from_der(der.value());
+}
+
+Result<std::vector<Certificate>> certificates_from_pem(std::string_view text) {
+  auto blocks = pem_decode_all(text);
+  if (!blocks.ok()) return blocks.error();
+  std::vector<Certificate> certs;
+  certs.reserve(blocks.value().size());
+  for (const Bytes& der : blocks.value()) {
+    auto cert = Certificate::from_der(der);
+    if (!cert.ok()) return cert.error();
+    certs.push_back(std::move(cert).value());
+  }
+  return certs;
+}
+
+}  // namespace tangled::x509

@@ -1,0 +1,31 @@
+// PEM (RFC 7468) encapsulation for certificates: "-----BEGIN CERTIFICATE-----"
+// blocks with base64 body, multi-block files (the on-disk layout of
+// /system/etc/security/cacerts is one PEM file per root).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+#include "x509/certificate.h"
+
+namespace tangled::x509 {
+
+/// Encodes DER as a single PEM block with the given label.
+std::string pem_encode(ByteView der, std::string_view label = "CERTIFICATE");
+
+/// Decodes the first PEM block with the given label; fails if absent.
+Result<Bytes> pem_decode(std::string_view text,
+                         std::string_view label = "CERTIFICATE");
+
+/// Decodes every PEM block with the given label (multi-cert bundles).
+Result<std::vector<Bytes>> pem_decode_all(std::string_view text,
+                                          std::string_view label = "CERTIFICATE");
+
+/// Convenience: certificate -> PEM and PEM -> certificate.
+std::string to_pem(const Certificate& cert);
+Result<Certificate> certificate_from_pem(std::string_view text);
+Result<std::vector<Certificate>> certificates_from_pem(std::string_view text);
+
+}  // namespace tangled::x509

@@ -1,0 +1,112 @@
+#include "x509/text.h"
+
+#include <cstdio>
+
+namespace tangled::x509 {
+
+namespace {
+
+std::string algorithm_name(const asn1::Oid& oid) {
+  if (oid == asn1::oids::sha256_with_rsa()) return "sha256WithRSAEncryption";
+  if (oid == asn1::oids::sha1_with_rsa()) return "sha1WithRSAEncryption";
+  if (oid == asn1::oids::sim_sig()) return "simSig (simulation scheme)";
+  return oid.to_dotted();
+}
+
+void append_line(std::string& out, const char* label, const std::string& value) {
+  out += "  ";
+  out += label;
+  out += ": ";
+  out += value;
+  out += "\n";
+}
+
+}  // namespace
+
+std::string summarize(const Certificate& cert) {
+  std::string out = cert.subject().to_string();
+  if (!cert.is_self_issued()) {
+    out += " <- ";
+    out += cert.issuer().to_string();
+  } else {
+    out += " (self-signed)";
+  }
+  out += " [serial " + to_hex(cert.serial()) + ", " +
+         cert.validity().not_before.to_iso8601() + " .. " +
+         cert.validity().not_after.to_iso8601() + "]";
+  return out;
+}
+
+std::string describe(const Certificate& cert) {
+  std::string out = "Certificate:\n";
+  append_line(out, "version", "v" + std::to_string(cert.version()));
+  append_line(out, "serial", to_hex(cert.serial()));
+  append_line(out, "signature algorithm",
+              algorithm_name(cert.signature_algorithm()));
+  append_line(out, "issuer", cert.issuer().to_string());
+  append_line(out, "subject", cert.subject().to_string());
+  append_line(out, "not before", cert.validity().not_before.to_iso8601());
+  append_line(out, "not after", cert.validity().not_after.to_iso8601());
+  append_line(out, "public key",
+              "RSA " + std::to_string(cert.public_key().n.bit_length()) +
+                  " bit, e=" + cert.public_key().e.to_hex());
+
+  if (!cert.extensions().empty()) {
+    out += "  extensions:\n";
+    if (const auto bc = cert.extensions().basic_constraints(); bc.has_value()) {
+      std::string line = bc->is_ca ? "CA:TRUE" : "CA:FALSE";
+      if (bc->path_len.has_value()) {
+        line += ", pathlen:" + std::to_string(*bc->path_len);
+      }
+      append_line(out, "  basicConstraints", line);
+    }
+    if (const auto ku = cert.extensions().key_usage(); ku.has_value()) {
+      std::string line;
+      auto add = [&line](bool set, const char* name) {
+        if (!set) return;
+        if (!line.empty()) line += ", ";
+        line += name;
+      };
+      add(ku->digital_signature, "digitalSignature");
+      add(ku->key_encipherment, "keyEncipherment");
+      add(ku->key_cert_sign, "keyCertSign");
+      add(ku->crl_sign, "cRLSign");
+      append_line(out, "  keyUsage", line.empty() ? "(none)" : line);
+    }
+    if (const auto eku = cert.extensions().extended_key_usage();
+        eku.has_value()) {
+      std::string line;
+      for (const auto& purpose : eku->purposes) {
+        if (!line.empty()) line += ", ";
+        if (purpose == asn1::oids::eku_server_auth()) line += "serverAuth";
+        else if (purpose == asn1::oids::eku_client_auth()) line += "clientAuth";
+        else if (purpose == asn1::oids::eku_code_signing()) line += "codeSigning";
+        else line += purpose.to_dotted();
+      }
+      append_line(out, "  extendedKeyUsage", line);
+    }
+    if (const auto san = cert.extensions().subject_alt_name(); san.has_value()) {
+      std::string line;
+      for (const auto& dns : san->dns_names) {
+        if (!line.empty()) line += ", ";
+        line += "DNS:" + dns;
+      }
+      append_line(out, "  subjectAltName", line);
+    }
+    if (const auto ski = cert.extensions().subject_key_id(); ski.has_value()) {
+      append_line(out, "  subjectKeyIdentifier", to_hex(*ski));
+    }
+    if (const auto aki = cert.extensions().authority_key_id(); aki.has_value()) {
+      append_line(out, "  authorityKeyIdentifier", to_hex(*aki));
+    }
+  }
+
+  append_line(out, "sha256 fingerprint", to_hex(cert.fingerprint_sha256()));
+  append_line(out, "identity key (modulus+signature)", to_hex(cert.identity_key()));
+  append_line(out, "equivalence key (subject+modulus)",
+              to_hex(cert.equivalence_key()));
+  append_line(out, "subject tag (paper Fig.2)", cert.subject_tag());
+  return out;
+}
+
+}  // namespace tangled::x509

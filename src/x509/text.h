@@ -1,0 +1,19 @@
+// Human-readable certificate rendering in the spirit of
+// `openssl x509 -text`: every TBS field, extensions, fingerprints, and the
+// paper's identity/equivalence keys. Used by the examples and handy when
+// debugging catalog certificates.
+#pragma once
+
+#include <string>
+
+#include "x509/certificate.h"
+
+namespace tangled::x509 {
+
+/// Multi-line description of a certificate.
+std::string describe(const Certificate& cert);
+
+/// One-line summary: "subject <- issuer [serial, validity]".
+std::string summarize(const Certificate& cert);
+
+}  // namespace tangled::x509

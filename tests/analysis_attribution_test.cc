@@ -1,0 +1,73 @@
+#include "analysis/attribution.h"
+
+#include <gtest/gtest.h>
+
+namespace tangled::analysis {
+namespace {
+
+const rootstore::StoreUniverse& universe() {
+  static const rootstore::StoreUniverse u = rootstore::StoreUniverse::build(1402);
+  return u;
+}
+
+const synth::Population& population() {
+  static const synth::Population pop = [] {
+    synth::PopulationGenerator generator(universe());
+    return generator.generate();
+  }();
+  return pop;
+}
+
+TEST(AttributionTest, EveryOriginObserved) {
+  const auto result = attribute_additions(population());
+  for (const AdditionOrigin origin :
+       {AdditionOrigin::kVendor, AdditionOrigin::kOperator,
+        AdditionOrigin::kCarrierVariant, AdditionOrigin::kUser,
+        AdditionOrigin::kRooted, AdditionOrigin::kFutureAosp}) {
+    EXPECT_GT(result.installations.count(origin), 0u)
+        << to_string(origin);
+  }
+}
+
+TEST(AttributionTest, VendorFirmwareDominates) {
+  // §5.1: the HTC/Samsung vendor packs carry most of the bloat.
+  const auto result = attribute_additions(population());
+  const auto vendor = result.installations.at(AdditionOrigin::kVendor);
+  for (const auto& [origin, count] : result.installations) {
+    if (origin == AdditionOrigin::kVendor) continue;
+    EXPECT_GT(vendor, count) << to_string(origin);
+  }
+  EXPECT_GT(vendor, result.total_installations() / 2);
+}
+
+TEST(AttributionTest, RootedDistinctCertsMatchTable5) {
+  const auto result = attribute_additions(population());
+  EXPECT_EQ(result.distinct_certs.at(AdditionOrigin::kRooted), 5u);
+  // Rooted installations = 70 CRAZY HOUSE devices + 4 singletons.
+  EXPECT_EQ(result.installations.at(AdditionOrigin::kRooted), 74u);
+}
+
+TEST(AttributionTest, UserCertsAreSingletons) {
+  // §5.2: each user cert is recorded on exactly one device, so the
+  // distinct count equals the installation count.
+  const auto result = attribute_additions(population());
+  EXPECT_EQ(result.distinct_certs.at(AdditionOrigin::kUser),
+            result.installations.at(AdditionOrigin::kUser));
+}
+
+TEST(AttributionTest, CarrierVariantCertsAreTheAndSemanticsOnes) {
+  // CertiSign x4, ptt-post, Microsoft Secure Server: 6 carrier-variant
+  // certs are defined by the catalog (vendor AND operator placements).
+  const auto result = attribute_additions(population());
+  const auto distinct = result.distinct_certs.at(AdditionOrigin::kCarrierVariant);
+  EXPECT_GE(distinct, 4u);
+  EXPECT_LE(distinct, 6u);
+}
+
+TEST(AttributionTest, NamesAreHumanReadable) {
+  EXPECT_EQ(to_string(AdditionOrigin::kVendor), "vendor firmware");
+  EXPECT_EQ(to_string(AdditionOrigin::kRooted), "rooted-device injection");
+}
+
+}  // namespace
+}  // namespace tangled::analysis

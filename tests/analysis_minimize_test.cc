@@ -1,0 +1,116 @@
+#include "analysis/minimize.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/notary_corpus.h"
+
+namespace tangled::analysis {
+namespace {
+
+const rootstore::StoreUniverse& universe() {
+  static const rootstore::StoreUniverse u = rootstore::StoreUniverse::build(1402);
+  return u;
+}
+
+struct Fixture {
+  pki::TrustAnchors anchors;
+  notary::ValidationCensus census;
+
+  Fixture() : census(build_anchors()) {
+    synth::NotaryCorpusConfig config;
+    config.n_certs = 8000;
+    synth::NotaryCorpusGenerator generator(universe(), config);
+    generator.generate(
+        [this](const notary::Observation& o) { census.ingest(o); });
+  }
+
+  const pki::TrustAnchors& build_anchors() {
+    for (const auto& ca : universe().aosp_cas()) anchors.add(ca.cert);
+    for (const auto& ca : universe().mozilla_only_cas()) anchors.add(ca.cert);
+    for (const auto& ca : universe().ios7_only_cas()) anchors.add(ca.cert);
+    for (const auto& ca : universe().nonaosp_cas()) anchors.add(ca.cert);
+    return anchors;
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+TEST(MinimizeTest, Aosp44RemovableMatchesTable4) {
+  const auto result = minimize_store(
+      universe().aosp(rootstore::AndroidVersion::k44), fixture().census);
+  EXPECT_EQ(result.size_before, 150u);
+  // Table 4: 23% of AOSP 4.4 roots validate nothing -> removable for free.
+  EXPECT_NEAR(result.removable_fraction(), 0.23, 0.04);
+  EXPECT_EQ(result.size_after, result.size_before - result.removable.size());
+}
+
+TEST(MinimizeTest, FreeRemovalKeepsAllValidation) {
+  // The defining property: dropping zero-validators loses nothing.
+  const auto& store = universe().aosp(rootstore::AndroidVersion::k44);
+  const auto result = minimize_store(store, fixture().census);
+
+  rootstore::RootStore pruned("pruned");
+  for (const auto& cert : store.certificates()) {
+    bool removable = false;
+    for (const auto* r : result.removable) removable |= (&cert == r);
+    if (!removable) pruned.add(cert);
+  }
+  EXPECT_EQ(pruned.size(), result.size_after);
+  EXPECT_EQ(fixture().census.validated_by_store(pruned),
+            fixture().census.validated_by_store(store));
+}
+
+TEST(MinimizeTest, RetentionCurveIsMonotoneTo1) {
+  const auto result = minimize_store(
+      universe().aosp(rootstore::AndroidVersion::k44), fixture().census);
+  ASSERT_EQ(result.retention_curve.size(), 150u);
+  double prev = 0.0;
+  for (const double r : result.retention_curve) {
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+  EXPECT_DOUBLE_EQ(result.retention_curve.back(), 1.0);
+}
+
+TEST(MinimizeTest, FewRootsCoverMostValidation) {
+  // Zipf issuance => a handful of roots dominate (the Perl et al. point).
+  const auto result = minimize_store(
+      universe().aosp(rootstore::AndroidVersion::k44), fixture().census);
+  const std::size_t for_90 = result.roots_needed_for(0.90);
+  // At this corpus scale the per-root floor flattens the Zipf head a bit;
+  // the qualitative claim is that far fewer than the 150 shipped (or the
+  // ~115 alive) roots carry 90% of validations.
+  EXPECT_LT(for_90, 95u);
+  EXPECT_GE(for_90, 1u);
+  // And full coverage needs no more roots than the alive count.
+  EXPECT_LE(result.roots_needed_for(1.0), result.size_after);
+}
+
+TEST(MinimizeTest, EmptyStoreIsTrivial) {
+  rootstore::RootStore empty("empty");
+  const auto result = minimize_store(empty, fixture().census);
+  EXPECT_EQ(result.size_before, 0u);
+  EXPECT_EQ(result.removable.size(), 0u);
+  EXPECT_DOUBLE_EQ(result.removable_fraction(), 0.0);
+  EXPECT_TRUE(result.retention_curve.empty());
+  EXPECT_EQ(result.roots_needed_for(0.5), 0u);
+}
+
+TEST(MinimizeTest, NonAospNonMozillaMostlyRemovable) {
+  // Table 4's 72% row as a pruning statement.
+  rootstore::RootStore store("nonaosp-nonmoz");
+  const auto catalog = rootstore::nonaosp_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (!catalog[i].census_excluded && !catalog[i].in_mozilla) {
+      store.add(universe().nonaosp_cas()[i].cert);
+    }
+  }
+  const auto result = minimize_store(store, fixture().census);
+  EXPECT_NEAR(result.removable_fraction(), 0.72, 0.05);
+}
+
+}  // namespace
+}  // namespace tangled::analysis

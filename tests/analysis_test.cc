@@ -1,0 +1,236 @@
+#include "analysis/analysis.h"
+#include "analysis/report.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/notary_corpus.h"
+
+namespace tangled::analysis {
+namespace {
+
+const rootstore::StoreUniverse& universe() {
+  static const rootstore::StoreUniverse u = rootstore::StoreUniverse::build(1402);
+  return u;
+}
+
+const synth::Population& population() {
+  static const synth::Population pop = [] {
+    synth::PopulationGenerator generator(universe());
+    return generator.generate();
+  }();
+  return pop;
+}
+
+const notary::NotaryDb& notary_db() {
+  static const notary::NotaryDb db = [] {
+    notary::NotaryDb d;
+    synth::NotaryCorpusConfig config;
+    config.n_certs = 5000;
+    synth::NotaryCorpusGenerator generator(universe(), config);
+    generator.generate([&d](const notary::Observation& o) { d.observe(o); });
+    return d;
+  }();
+  return db;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1
+// ---------------------------------------------------------------------------
+
+TEST(Figure1Test, HeadlineNumbers) {
+  const auto result = figure1(population());
+  EXPECT_EQ(result.total_sessions, 15970u);
+  EXPECT_NEAR(result.extended_fraction(), 0.39, 0.06);
+  EXPECT_EQ(result.missing_cert_handsets, 5u);
+  // §5: >10% of 4.1/4.2 devices expand by more than 40 certificates.
+  EXPECT_GT(result.large_expansion_41_42, 0.05);
+}
+
+TEST(Figure1Test, PointsPartitionSessions) {
+  const auto result = figure1(population());
+  std::uint64_t sum = 0;
+  for (const auto& point : result.points) sum += point.sessions;
+  EXPECT_EQ(sum, result.total_sessions);
+}
+
+TEST(Figure1Test, StockPointsSitOnAospBaseline) {
+  const auto result = figure1(population());
+  bool found_stock_44 = false;
+  for (const auto& point : result.points) {
+    if (point.version == rootstore::AndroidVersion::k44 &&
+        point.additional_certs == 0 && point.aosp_certs == 150) {
+      found_stock_44 = true;
+    }
+    // AOSP count never exceeds the version's store size (+0: future certs
+    // are counted as additions).
+    EXPECT_LE(point.aosp_certs, rootstore::aosp_store_size(point.version));
+  }
+  EXPECT_TRUE(found_stock_44);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2
+// ---------------------------------------------------------------------------
+
+TEST(Figure2Test, KnownPlacementsShowUp) {
+  const auto result = figure2(population());
+  const auto catalog = rootstore::nonaosp_catalog();
+
+  auto frequency_of = [&](std::string_view tag, rootstore::PlacementRow row) {
+    for (const auto& cell : result.cells) {
+      if (cell.row == row && catalog[cell.catalog_index].paper_tag == tag) {
+        return cell.frequency;
+      }
+    }
+    return 0.0;
+  };
+
+  // AddTrust Class 1 (9696d421) on Samsung rows at high frequency.
+  EXPECT_GT(frequency_of("9696d421", rootstore::PlacementRow::kSamsung42), 0.4);
+  // Motorola FOTA on the Motorola 4.1 row.
+  EXPECT_GT(frequency_of("bae1df7c", rootstore::PlacementRow::kMotorola41), 0.4);
+  // CertiSign on Motorola 4.1 and Verizon rows (the §5.1 exclusivity).
+  EXPECT_GT(frequency_of("b0c095eb", rootstore::PlacementRow::kMotorola41), 0.1);
+  EXPECT_GT(frequency_of("b0c095eb", rootstore::PlacementRow::kVerizonUs), 0.005);
+  // ...and never on Samsung rows.
+  EXPECT_DOUBLE_EQ(
+      frequency_of("b0c095eb", rootstore::PlacementRow::kSamsung42), 0.0);
+}
+
+TEST(Figure2Test, FrequenciesAreRatios) {
+  const auto result = figure2(population());
+  for (const auto& cell : result.cells) {
+    EXPECT_GT(cell.frequency, 0.0);
+    EXPECT_LE(cell.frequency, 1.0);
+    ASSERT_TRUE(result.modified_sessions.contains(cell.row));
+    EXPECT_GE(result.modified_sessions.at(cell.row), 10u);
+  }
+}
+
+TEST(Figure2Test, MeasuredClassesMatchCatalogForObservedCerts) {
+  const auto catalog = rootstore::nonaosp_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (catalog[i].census_excluded) continue;
+    EXPECT_EQ(measured_class(universe(), notary_db(), i),
+              catalog[i].notary_class)
+        << catalog[i].display_name;
+  }
+}
+
+TEST(Figure2Test, ClassMixNearPaperFractions) {
+  const auto mix = class_mix(population(), universe(), notary_db());
+  ASSERT_GT(mix.total(), 50u);
+  const double n = static_cast<double>(mix.total());
+  // 6.7% / 16.2% / 37.1% / 40.0% with slack for which certs the population
+  // actually surfaced.
+  EXPECT_NEAR(mix.mozilla_and_ios7 / n, 0.067, 0.05);
+  EXPECT_NEAR(mix.ios7_only / n, 0.162, 0.07);
+  EXPECT_NEAR(mix.android_only / n, 0.371, 0.08);
+  EXPECT_NEAR(mix.not_recorded / n, 0.400, 0.08);
+}
+
+// ---------------------------------------------------------------------------
+// Table 5 / §6
+// ---------------------------------------------------------------------------
+
+TEST(RootedAnalysisTest, Table5Reproduced) {
+  const auto result = rooted_analysis(population());
+  ASSERT_GE(result.findings.size(), 5u);
+  EXPECT_EQ(result.findings[0].issuer, "CRAZY HOUSE");
+  EXPECT_EQ(result.findings[0].devices, 70u);
+  EXPECT_TRUE(result.findings[0].exclusively_rooted);
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_EQ(result.findings[i].devices, 1u);
+    EXPECT_TRUE(result.findings[i].exclusively_rooted);
+  }
+}
+
+TEST(RootedAnalysisTest, SessionFractions) {
+  const auto result = rooted_analysis(population());
+  EXPECT_NEAR(result.rooted_fraction(), 0.24, 0.03);
+  // §6: rooted-exclusive certs appear in ~6% of rooted sessions (our
+  // population, with Table 5's 74 affected handsets, lands near 8%).
+  EXPECT_GT(result.exclusive_fraction_of_rooted(), 0.03);
+  EXPECT_LT(result.exclusive_fraction_of_rooted(), 0.15);
+}
+
+TEST(Figure2Test, RowsBelowThresholdSuppressed) {
+  // With an absurdly high threshold every row is suppressed; with zero,
+  // none are. Mirrors the paper's "fewer than 10 sessions" filter.
+  const auto all_suppressed = figure2(population(), 1u << 30);
+  EXPECT_TRUE(all_suppressed.cells.empty());
+  EXPECT_FALSE(all_suppressed.suppressed_rows.empty());
+
+  const auto none_suppressed = figure2(population(), 0);
+  EXPECT_TRUE(none_suppressed.suppressed_rows.empty());
+  EXPECT_FALSE(none_suppressed.cells.empty());
+  // Default threshold keeps at least the big manufacturer rows.
+  const auto standard = figure2(population());
+  EXPECT_TRUE(standard.modified_sessions.contains(
+      rootstore::PlacementRow::kSamsung42));
+}
+
+// ---------------------------------------------------------------------------
+// §5.2 roaming observations
+// ---------------------------------------------------------------------------
+
+TEST(RoamingTest, RoamingSessionsExistAndCarryForeignOperatorCerts) {
+  const auto result = roaming_observations(population());
+  EXPECT_EQ(result.total_sessions, 15970u);
+  // 20% of sessions leave the home network; most land on a different
+  // operator.
+  EXPECT_NEAR(static_cast<double>(result.roaming_sessions) /
+                  result.total_sessions,
+              0.19, 0.04);
+  // The §5.2 signature occurs: operator-issued certs observed on foreign
+  // networks — rare but present (the paper saw a handful of cases).
+  EXPECT_GT(result.foreign_operator_cert_sessions, 0u);
+  EXPECT_LT(result.foreign_operator_cert_sessions, result.roaming_sessions);
+}
+
+TEST(RoamingTest, HomeSessionsAreNotRoaming) {
+  for (const auto& session : population().sessions) {
+    const auto& handset = population().handset_of(session);
+    if (session.network_id == handset.home_network_id) {
+      EXPECT_FALSE(session.roaming);
+      EXPECT_EQ(session.network_operator, handset.device.op);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Report formatting
+// ---------------------------------------------------------------------------
+
+TEST(ReportTest, AsciiTableLayout) {
+  AsciiTable table({"Store", "Certs"});
+  table.add_row({"AOSP 4.4", "150"});
+  table.add_row({"Mozilla", "153"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("Store"), std::string::npos);
+  EXPECT_NE(out.find("AOSP 4.4"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(ReportTest, CsvEscaping) {
+  AsciiTable table({"Name", "Value"});
+  table.add_row({"has,comma", "has\"quote"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(ReportTest, Formatters) {
+  EXPECT_EQ(percent(0.39), "39.0%");
+  EXPECT_EQ(percent(0.067, 1), "6.7%");
+  EXPECT_EQ(with_commas(744069), "744,069");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(relative_error(103.0, 100.0), "+3.0%");
+  EXPECT_EQ(relative_error(97.0, 100.0), "-3.0%");
+  EXPECT_EQ(relative_error(5.0, 0.0), "n/a");
+}
+
+}  // namespace
+}  // namespace tangled::analysis

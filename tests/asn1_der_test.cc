@@ -1,0 +1,251 @@
+#include "asn1/der.h"
+
+#include <gtest/gtest.h>
+
+namespace tangled::asn1 {
+namespace {
+
+TEST(DerWriter, ShortFormLength) {
+  DerWriter w;
+  w.write_octet_string(Bytes{0xaa, 0xbb});
+  const Bytes der = w.take();
+  EXPECT_EQ(der, (Bytes{0x04, 0x02, 0xaa, 0xbb}));
+}
+
+TEST(DerWriter, LongFormLength) {
+  DerWriter w;
+  const Bytes body(200, 0x11);
+  w.write_octet_string(body);
+  const Bytes der = w.take();
+  ASSERT_GE(der.size(), 3u);
+  EXPECT_EQ(der[0], 0x04);
+  EXPECT_EQ(der[1], 0x81);  // one length octet follows
+  EXPECT_EQ(der[2], 200);
+}
+
+TEST(DerWriter, NestedContainersBackpatch) {
+  DerWriter w;
+  w.begin(Tag::kSequence);
+  w.write_integer(5);
+  w.begin(Tag::kSequence);
+  w.write_boolean(true);
+  w.end();
+  w.end();
+  const Bytes der = w.take();
+  // SEQUENCE { INTEGER 5, SEQUENCE { BOOLEAN true } }
+  EXPECT_EQ(der, (Bytes{0x30, 0x08, 0x02, 0x01, 0x05, 0x30, 0x03, 0x01, 0x01, 0xff}));
+}
+
+TEST(DerWriter, ContainerGrowingPast127Bytes) {
+  DerWriter w;
+  w.begin(Tag::kSequence);
+  for (int i = 0; i < 50; ++i) w.write_integer(i);  // 3 bytes each => 150
+  w.end();
+  const Bytes der = w.take();
+  EXPECT_EQ(der[0], 0x30);
+  EXPECT_EQ(der[1], 0x81);
+  EXPECT_EQ(der[2], 150);
+  EXPECT_EQ(der.size(), 153u);
+}
+
+TEST(DerWriter, IntegerTwosComplementMinimal) {
+  {
+    DerWriter w;
+    w.write_integer(0);
+    EXPECT_EQ(w.take(), (Bytes{0x02, 0x01, 0x00}));
+  }
+  {
+    DerWriter w;
+    w.write_integer(127);
+    EXPECT_EQ(w.take(), (Bytes{0x02, 0x01, 0x7f}));
+  }
+  {
+    DerWriter w;
+    w.write_integer(128);  // needs a sign octet
+    EXPECT_EQ(w.take(), (Bytes{0x02, 0x02, 0x00, 0x80}));
+  }
+  {
+    DerWriter w;
+    w.write_integer(-1);
+    EXPECT_EQ(w.take(), (Bytes{0x02, 0x01, 0xff}));
+  }
+  {
+    DerWriter w;
+    w.write_integer(-129);
+    EXPECT_EQ(w.take(), (Bytes{0x02, 0x02, 0xff, 0x7f}));
+  }
+}
+
+TEST(DerWriter, UnsignedIntegerAddsSignOctet) {
+  DerWriter w;
+  w.write_integer_unsigned(Bytes{0x80});
+  EXPECT_EQ(w.take(), (Bytes{0x02, 0x02, 0x00, 0x80}));
+}
+
+TEST(DerWriter, UnsignedIntegerStripsRedundantZeros) {
+  DerWriter w;
+  w.write_integer_unsigned(Bytes{0x00, 0x00, 0x01});
+  EXPECT_EQ(w.take(), (Bytes{0x02, 0x01, 0x01}));
+}
+
+TEST(DerWriter, BitStringPrependsUnusedBitsOctet) {
+  DerWriter w;
+  w.write_bit_string(Bytes{0xaa});
+  EXPECT_EQ(w.take(), (Bytes{0x03, 0x02, 0x00, 0xaa}));
+}
+
+TEST(DerReader, ReadsWhatWriterWrites) {
+  DerWriter w;
+  w.begin(Tag::kSequence);
+  w.write_integer(42);
+  w.write_utf8_string("hello");
+  w.write_boolean(false);
+  w.end();
+  const Bytes der = w.take();
+
+  DerReader top(der);
+  auto seq = top.expect(Tag::kSequence);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(top.expect_end().ok());
+
+  DerReader inner(seq.value().body);
+  auto i = inner.read_small_integer();
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i.value(), 42);
+  auto s = inner.read_string();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value(), "hello");
+  auto b = inner.read_boolean();
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(b.value());
+  EXPECT_TRUE(inner.at_end());
+}
+
+TEST(DerReader, RejectsIndefiniteLength) {
+  const Bytes der{0x30, 0x80, 0x00, 0x00};
+  DerReader r(der);
+  EXPECT_FALSE(r.read_tlv().ok());
+}
+
+TEST(DerReader, RejectsNonMinimalLength) {
+  // 0x81 0x05: long form used for a length < 128.
+  const Bytes der{0x04, 0x81, 0x05, 1, 2, 3, 4, 5};
+  DerReader r(der);
+  EXPECT_FALSE(r.read_tlv().ok());
+}
+
+TEST(DerReader, RejectsLeadingZeroLengthOctet) {
+  Bytes der{0x04, 0x82, 0x00, 0x80};
+  der.insert(der.end(), 128, 0xcc);
+  DerReader r(der);
+  EXPECT_FALSE(r.read_tlv().ok());
+}
+
+TEST(DerReader, RejectsTruncatedBody) {
+  const Bytes der{0x04, 0x05, 0x01, 0x02};
+  DerReader r(der);
+  EXPECT_FALSE(r.read_tlv().ok());
+}
+
+TEST(DerReader, RejectsTruncatedLength) {
+  const Bytes der{0x04};
+  DerReader r(der);
+  EXPECT_FALSE(r.read_tlv().ok());
+}
+
+TEST(DerReader, RejectsNonCanonicalBoolean) {
+  const Bytes der{0x01, 0x01, 0x42};
+  DerReader r(der);
+  EXPECT_FALSE(r.read_boolean().ok());
+}
+
+TEST(DerReader, RejectsNonMinimalInteger) {
+  const Bytes der{0x02, 0x02, 0x00, 0x05};
+  DerReader r(der);
+  EXPECT_FALSE(r.read_integer_unsigned().ok());
+}
+
+TEST(DerReader, RejectsNegativeWhereUnsignedExpected) {
+  const Bytes der{0x02, 0x01, 0xff};
+  DerReader r(der);
+  EXPECT_FALSE(r.read_integer_unsigned().ok());
+}
+
+TEST(DerReader, AcceptsSignOctetForHighBitMagnitude) {
+  const Bytes der{0x02, 0x02, 0x00, 0x80};
+  DerReader r(der);
+  auto v = r.read_integer_unsigned();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), Bytes{0x80});
+}
+
+TEST(DerReader, ExpectEndFailsOnTrailingBytes) {
+  const Bytes der{0x05, 0x00, 0xff};
+  DerReader r(der);
+  ASSERT_TRUE(r.read_tlv().ok());
+  EXPECT_FALSE(r.expect_end().ok());
+}
+
+TEST(DerReader, TlvDerWindowCoversWholeEncoding) {
+  DerWriter w;
+  w.begin(Tag::kSequence);
+  w.write_integer(7);
+  w.end();
+  const Bytes der = w.take();
+  DerReader r(der);
+  ByteView window;
+  auto tlv = r.read_tlv(&window);
+  ASSERT_TRUE(tlv.ok());
+  EXPECT_TRUE(tangled::bytes_equal(window, der));
+}
+
+TEST(DerReader, ContextTagRecognition) {
+  const std::uint8_t raw = context_tag(3, /*constructed=*/true);
+  EXPECT_EQ(raw, 0xa3);
+  const Bytes der{0xa3, 0x00};
+  DerReader r(der);
+  auto tlv = r.read_tlv();
+  ASSERT_TRUE(tlv.ok());
+  EXPECT_TRUE(tlv.value().is_context(3));
+  EXPECT_FALSE(tlv.value().is_context(0));
+}
+
+TEST(DerReader, PeekDoesNotConsume) {
+  const Bytes der{0x05, 0x00};
+  DerReader r(der);
+  auto t1 = r.peek_tag();
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ(t1.value(), 0x05);
+  EXPECT_TRUE(r.read_tlv().ok());
+  EXPECT_FALSE(r.peek_tag().ok());
+}
+
+TEST(DerReader, SmallIntegerSignExtension) {
+  const Bytes der{0x02, 0x01, 0xff};
+  DerReader r(der);
+  auto v = r.read_small_integer();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), -1);
+}
+
+// Property sweep: write_integer/read_small_integer round-trip.
+class DerIntegerRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(DerIntegerRoundTrip, RoundTrips) {
+  DerWriter w;
+  w.write_integer(GetParam());
+  const Bytes der = w.take();
+  DerReader r(der);
+  auto v = r.read_small_integer();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, DerIntegerRoundTrip,
+    ::testing::Values(0, 1, -1, 127, 128, -128, -129, 255, 256, 65535, -65536,
+                      (1ll << 31) - 1, -(1ll << 31), (1ll << 62),
+                      -(1ll << 62)));
+
+}  // namespace
+}  // namespace tangled::asn1

@@ -1,0 +1,112 @@
+#include "asn1/oid.h"
+
+#include <gtest/gtest.h>
+
+namespace tangled::asn1 {
+namespace {
+
+TEST(Oid, DottedRoundTrip) {
+  auto oid = Oid::from_dotted("1.2.840.113549.1.1.11");
+  ASSERT_TRUE(oid.ok());
+  EXPECT_EQ(oid.value().to_dotted(), "1.2.840.113549.1.1.11");
+  EXPECT_EQ(oid.value(), oids::sha256_with_rsa());
+}
+
+TEST(Oid, RejectsSingleArc) {
+  EXPECT_FALSE(Oid::from_dotted("1").ok());
+}
+
+TEST(Oid, RejectsGarbage) {
+  EXPECT_FALSE(Oid::from_dotted("").ok());
+  EXPECT_FALSE(Oid::from_dotted("1..2").ok());
+  EXPECT_FALSE(Oid::from_dotted("a.b").ok());
+  EXPECT_FALSE(Oid::from_dotted("1.2.x").ok());
+}
+
+TEST(Oid, RejectsInvalidLeadingArcs) {
+  EXPECT_FALSE(Oid::from_dotted("3.1").ok());   // first arc <= 2
+  EXPECT_FALSE(Oid::from_dotted("0.40").ok());  // second arc <= 39 for roots 0/1
+  EXPECT_TRUE(Oid::from_dotted("2.999").ok());  // root 2 allows large arcs
+}
+
+TEST(Oid, DerBodyKnownEncoding) {
+  // id-sha256: 2.16.840.1.101.3.4.2.1 -> 60 86 48 01 65 03 04 02 01
+  auto body = oids::sha256().to_der_body();
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(tangled::to_hex(body.value()), "608648016503040201");
+}
+
+TEST(Oid, DerBodyCommonName) {
+  // 2.5.4.3 -> 55 04 03
+  auto body = oids::common_name().to_der_body();
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(tangled::to_hex(body.value()), "550403");
+}
+
+TEST(Oid, DerRoundTrip) {
+  const Oid original = oids::sha256_with_rsa();
+  auto body = original.to_der_body();
+  ASSERT_TRUE(body.ok());
+  auto decoded = Oid::from_der_body(body.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), original);
+}
+
+TEST(Oid, FromDerRejectsEmpty) {
+  EXPECT_FALSE(Oid::from_der_body(Bytes{}).ok());
+}
+
+TEST(Oid, FromDerRejectsTruncatedArc) {
+  const Bytes body{0x55, 0x84};  // continuation bit set but no next byte
+  EXPECT_FALSE(Oid::from_der_body(body).ok());
+}
+
+TEST(Oid, FromDerRejectsNonMinimalArc) {
+  const Bytes body{0x55, 0x80, 0x03};  // 0x80 leading pad
+  EXPECT_FALSE(Oid::from_der_body(body).ok());
+}
+
+TEST(Oid, FirstTwoArcsPackingBoundaries) {
+  // 2.x packs as 80+x, which decodes back to arcs {2, x}.
+  auto oid = Oid::from_dotted("2.100");
+  ASSERT_TRUE(oid.ok());
+  auto body = oid.value().to_der_body();
+  ASSERT_TRUE(body.ok());
+  auto decoded = Oid::from_der_body(body.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().to_dotted(), "2.100");
+}
+
+TEST(Oid, Ordering) {
+  EXPECT_LT(Oid({1, 2}), Oid({1, 3}));
+  EXPECT_LT(Oid({1, 2}), Oid({1, 2, 0}));
+}
+
+TEST(OidNames, AttributeShortNames) {
+  EXPECT_EQ(oids::attribute_short_name(oids::common_name()), "CN");
+  EXPECT_EQ(oids::attribute_short_name(oids::organization()), "O");
+  EXPECT_EQ(oids::attribute_short_name(oids::country()), "C");
+  EXPECT_EQ(oids::attribute_short_name(Oid({1, 2, 3})), "");
+}
+
+class OidRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OidRoundTrip, DottedDerDotted) {
+  auto oid = Oid::from_dotted(GetParam());
+  ASSERT_TRUE(oid.ok());
+  auto body = oid.value().to_der_body();
+  ASSERT_TRUE(body.ok());
+  auto decoded = Oid::from_der_body(body.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().to_dotted(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Various, OidRoundTrip,
+    ::testing::Values("0.0", "0.39", "1.0", "1.39", "2.0", "2.40", "2.999",
+                      "1.2.840.113549.1.1.1", "2.5.29.35",
+                      "1.3.6.1.4.1.55555.1.1", "2.16.840.1.101.3.4.2.1",
+                      "1.3.6.1.4.1.4294967295"));
+
+}  // namespace
+}  // namespace tangled::asn1

@@ -1,0 +1,135 @@
+#include "asn1/time.h"
+
+#include <gtest/gtest.h>
+
+namespace tangled::asn1 {
+namespace {
+
+TEST(Time, UnixEpochRoundTrip) {
+  const Time epoch = make_time(1970, 1, 1);
+  EXPECT_EQ(epoch.to_unix(), 0);
+  EXPECT_EQ(Time::from_unix(0), epoch);
+}
+
+TEST(Time, KnownUnixTimestamps) {
+  // 2014-12-02 00:00:00 UTC (the CoNEXT'14 conference start).
+  EXPECT_EQ(make_time(2014, 12, 2).to_unix(), 1417478400);
+  // 2000-01-01.
+  EXPECT_EQ(make_time(2000, 1, 1).to_unix(), 946684800);
+}
+
+TEST(Time, NegativeTimestampsBeforeEpoch) {
+  const Time t = make_time(1969, 12, 31, 23, 59, 59);
+  EXPECT_EQ(t.to_unix(), -1);
+  EXPECT_EQ(Time::from_unix(-1), t);
+}
+
+TEST(Time, LeapYearHandling) {
+  EXPECT_TRUE(make_time(2012, 2, 29).valid());
+  EXPECT_FALSE(make_time(2013, 2, 29).valid());
+  EXPECT_TRUE(make_time(2000, 2, 29).valid());   // divisible by 400
+  EXPECT_FALSE(make_time(1900, 2, 29).valid());  // divisible by 100 only
+}
+
+TEST(Time, FieldValidation) {
+  EXPECT_FALSE(make_time(2014, 0, 1).valid());
+  EXPECT_FALSE(make_time(2014, 13, 1).valid());
+  EXPECT_FALSE(make_time(2014, 1, 0).valid());
+  EXPECT_FALSE(make_time(2014, 1, 32).valid());
+  EXPECT_FALSE(make_time(2014, 4, 31).valid());
+  EXPECT_FALSE(make_time(2014, 1, 1, 24).valid());
+  EXPECT_FALSE(make_time(2014, 1, 1, 0, 60).valid());
+  EXPECT_FALSE(make_time(2014, 1, 1, 0, 0, 60).valid());
+}
+
+TEST(Time, UtcTimeParsing) {
+  auto t = Time::parse_utc("141202093045Z");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value(), make_time(2014, 12, 2, 9, 30, 45));
+}
+
+TEST(Time, UtcTimeCenturyPivot) {
+  // 50-99 -> 19xx; 00-49 -> 20xx (RFC 5280).
+  auto t1950 = Time::parse_utc("500101000000Z");
+  ASSERT_TRUE(t1950.ok());
+  EXPECT_EQ(t1950.value().year, 1950);
+  auto t2049 = Time::parse_utc("491231235959Z");
+  ASSERT_TRUE(t2049.ok());
+  EXPECT_EQ(t2049.value().year, 2049);
+}
+
+TEST(Time, UtcTimeRejectsMalformed) {
+  EXPECT_FALSE(Time::parse_utc("1412020930Z").ok());     // no seconds
+  EXPECT_FALSE(Time::parse_utc("141202093045").ok());    // no Z
+  EXPECT_FALSE(Time::parse_utc("1412020930450").ok());   // wrong terminator
+  EXPECT_FALSE(Time::parse_utc("14120209304xZ").ok());   // non-digit
+  EXPECT_FALSE(Time::parse_utc("141302093045Z").ok());   // month 13
+  EXPECT_FALSE(Time::parse_utc("140230093045Z").ok());   // Feb 30
+}
+
+TEST(Time, GeneralizedTimeParsing) {
+  auto t = Time::parse_generalized("20501202093045Z");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value(), make_time(2050, 12, 2, 9, 30, 45));
+}
+
+TEST(Time, GeneralizedTimeRejectsMalformed) {
+  EXPECT_FALSE(Time::parse_generalized("205012020930Z").ok());
+  EXPECT_FALSE(Time::parse_generalized("20501202093045").ok());
+  EXPECT_FALSE(Time::parse_generalized("2050120209304aZ").ok());
+}
+
+TEST(Time, EncodeUtc) {
+  EXPECT_EQ(make_time(2014, 12, 2, 9, 30, 45).encode_utc(), "141202093045Z");
+  EXPECT_EQ(make_time(1999, 1, 2, 3, 4, 5).encode_utc(), "990102030405Z");
+}
+
+TEST(Time, EncodeGeneralized) {
+  EXPECT_EQ(make_time(2050, 1, 2, 3, 4, 5).encode_generalized(),
+            "20500102030405Z");
+}
+
+TEST(Time, NeedsGeneralizedSwitchesAt2050) {
+  EXPECT_FALSE(make_time(2049, 12, 31, 23, 59, 59).needs_generalized());
+  EXPECT_TRUE(make_time(2050, 1, 1).needs_generalized());
+}
+
+TEST(Time, Iso8601Rendering) {
+  EXPECT_EQ(make_time(2014, 12, 2, 9, 30, 45).to_iso8601(),
+            "2014-12-02T09:30:45Z");
+}
+
+TEST(Time, OrderingOperators) {
+  const Time a = make_time(2013, 10, 1);
+  const Time b = make_time(2014, 4, 30);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a <= b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(b >= a);
+  EXPECT_TRUE(a <= a);
+  EXPECT_FALSE(a < a);
+}
+
+class TimeRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(TimeRoundTrip, UnixCivilUnix) {
+  const Time t = Time::from_unix(GetParam());
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.to_unix(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Timestamps, TimeRoundTrip,
+                         ::testing::Values(0, 1, -1, 86399, 86400, -86400,
+                                           946684800, 1417478400, 4102444800,
+                                           951782399, 951782400,  // Feb 29 2000
+                                           68169600));
+
+TEST(TimeRoundTrip, UtcStringRoundTrip) {
+  const Time t = make_time(2014, 6, 15, 12, 0, 1);
+  auto parsed = Time::parse_utc(t.encode_utc());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), t);
+}
+
+}  // namespace
+}  // namespace tangled::asn1

@@ -1,0 +1,123 @@
+// Property sweep over BigNum's algebra: ring axioms, shift/divmod duality,
+// and modular-arithmetic identities on randomized operands of many widths.
+#include <gtest/gtest.h>
+
+#include "crypto/bignum.h"
+
+namespace tangled::crypto {
+namespace {
+
+class BigNumAlgebra : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  BigNum random_value(Xoshiro256& rng) const {
+    // Mixed widths around the parameter, including degenerate small ones.
+    const std::size_t bits = 1 + rng.below(GetParam());
+    return BigNum::random_with_bits(rng, bits);
+  }
+};
+
+TEST_P(BigNumAlgebra, AdditionCommutesAndAssociates) {
+  Xoshiro256 rng(GetParam() * 31 + 1);
+  for (int i = 0; i < 40; ++i) {
+    const BigNum a = random_value(rng);
+    const BigNum b = random_value(rng);
+    const BigNum c = random_value(rng);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a + BigNum(0), a);
+  }
+}
+
+TEST_P(BigNumAlgebra, MultiplicationDistributesOverAddition) {
+  Xoshiro256 rng(GetParam() * 31 + 2);
+  for (int i = 0; i < 40; ++i) {
+    const BigNum a = random_value(rng);
+    const BigNum b = random_value(rng);
+    const BigNum c = random_value(rng);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * BigNum(1), a);
+    EXPECT_EQ(a * BigNum(0), BigNum(0));
+  }
+}
+
+TEST_P(BigNumAlgebra, SubtractionInvertsAddition) {
+  Xoshiro256 rng(GetParam() * 31 + 3);
+  for (int i = 0; i < 40; ++i) {
+    const BigNum a = random_value(rng);
+    const BigNum b = random_value(rng);
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a + b) - a, b);
+  }
+}
+
+TEST_P(BigNumAlgebra, ShiftsAreMulDivByPowersOfTwo) {
+  Xoshiro256 rng(GetParam() * 31 + 4);
+  for (int i = 0; i < 40; ++i) {
+    const BigNum a = random_value(rng);
+    const std::size_t k = rng.below(70);
+    const BigNum pow2 = BigNum(1) << k;
+    EXPECT_EQ(a << k, a * pow2);
+    EXPECT_EQ(a >> k, a / pow2);
+  }
+}
+
+TEST_P(BigNumAlgebra, DivModEuclideanInvariant) {
+  Xoshiro256 rng(GetParam() * 31 + 5);
+  for (int i = 0; i < 40; ++i) {
+    const BigNum a = random_value(rng);
+    BigNum b = random_value(rng);
+    if (b.is_zero()) b = BigNum(1);
+    const auto dm = a.divmod(b);
+    EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+    EXPECT_LT(dm.remainder, b);
+  }
+}
+
+TEST_P(BigNumAlgebra, ModularIdentities) {
+  Xoshiro256 rng(GetParam() * 31 + 6);
+  for (int i = 0; i < 25; ++i) {
+    const BigNum a = random_value(rng);
+    const BigNum b = random_value(rng);
+    BigNum m = random_value(rng);
+    if (m <= BigNum(1)) m = BigNum(97);
+    // (a mod m + b mod m) mod m == (a + b) mod m.
+    EXPECT_EQ(((a % m) + (b % m)) % m, (a + b) % m);
+    // (a mod m) * (b mod m) mod m == a*b mod m.
+    EXPECT_EQ(((a % m) * (b % m)) % m, (a * b) % m);
+  }
+}
+
+TEST_P(BigNumAlgebra, ModExpMatchesRepeatedSquaring) {
+  Xoshiro256 rng(GetParam() * 31 + 7);
+  for (int i = 0; i < 10; ++i) {
+    const BigNum a = random_value(rng);
+    BigNum m = random_value(rng);
+    if (m <= BigNum(1)) m = BigNum(101);
+    // a^8 mod m by three squarings vs modexp.
+    const BigNum sq1 = (a * a) % m;
+    const BigNum sq2 = (sq1 * sq1) % m;
+    const BigNum sq3 = (sq2 * sq2) % m;
+    EXPECT_EQ(a.modexp(BigNum(8), m), sq3);
+    // a^(x+y) == a^x * a^y mod m.
+    const BigNum x(3 + rng.below(50));
+    const BigNum y(2 + rng.below(50));
+    EXPECT_EQ(a.modexp(x + y, m),
+              (a.modexp(x, m) * a.modexp(y, m)) % m);
+  }
+}
+
+TEST_P(BigNumAlgebra, BytesRoundTripAnyWidth) {
+  Xoshiro256 rng(GetParam() * 31 + 8);
+  for (int i = 0; i < 40; ++i) {
+    const BigNum a = random_value(rng);
+    EXPECT_EQ(BigNum::from_bytes(a.to_bytes()), a);
+    EXPECT_EQ(BigNum::from_hex(a.to_hex()), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BigNumAlgebra,
+                         ::testing::Values(8, 32, 64, 128, 257, 512, 1024));
+
+}  // namespace
+}  // namespace tangled::crypto

@@ -1,0 +1,256 @@
+#include "crypto/bignum.h"
+
+#include <gtest/gtest.h>
+
+namespace tangled::crypto {
+namespace {
+
+TEST(BigNum, ZeroProperties) {
+  const BigNum zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_FALSE(zero.is_odd());
+  EXPECT_EQ(zero.bit_length(), 0u);
+  EXPECT_EQ(zero, BigNum(0));
+  EXPECT_EQ(zero.to_bytes(), Bytes{0x00});
+}
+
+TEST(BigNum, U64Construction) {
+  const BigNum v(0x123456789abcdef0ull);
+  EXPECT_EQ(v.to_u64(), 0x123456789abcdef0ull);
+  EXPECT_EQ(v.bit_length(), 61u);
+  EXPECT_EQ(v.to_hex(), "123456789abcdef0");
+}
+
+TEST(BigNum, BytesRoundTrip) {
+  const Bytes be{0x01, 0x02, 0x03, 0x04, 0x05};
+  const BigNum v = BigNum::from_bytes(be);
+  EXPECT_EQ(v.to_bytes(), be);
+}
+
+TEST(BigNum, FromBytesStripsLeadingZeros) {
+  const Bytes be{0x00, 0x00, 0x12, 0x34};
+  const BigNum v = BigNum::from_bytes(be);
+  EXPECT_EQ(v.to_bytes(), (Bytes{0x12, 0x34}));
+  EXPECT_EQ(v.to_u64(), 0x1234u);
+}
+
+TEST(BigNum, PaddedExport) {
+  const BigNum v(0xabcd);
+  EXPECT_EQ(v.to_bytes_padded(4), (Bytes{0x00, 0x00, 0xab, 0xcd}));
+  EXPECT_EQ(BigNum().to_bytes_padded(2), (Bytes{0x00, 0x00}));
+}
+
+TEST(BigNum, HexRoundTrip) {
+  const BigNum v = BigNum::from_hex("deadbeefcafebabe0123456789");
+  EXPECT_EQ(v.to_hex(), "deadbeefcafebabe0123456789");
+  EXPECT_EQ(BigNum::from_hex("0"), BigNum(0));
+  EXPECT_EQ(BigNum::from_hex("f"), BigNum(15));
+}
+
+TEST(BigNum, AdditionWithCarryChains) {
+  const BigNum a = BigNum::from_hex("ffffffffffffffffffffffff");
+  const BigNum one(1);
+  EXPECT_EQ((a + one).to_hex(), "1000000000000000000000000");
+  EXPECT_EQ(BigNum(0) + BigNum(0), BigNum(0));
+}
+
+TEST(BigNum, SubtractionWithBorrow) {
+  const BigNum a = BigNum::from_hex("10000000000000000");
+  const BigNum b(1);
+  EXPECT_EQ((a - b).to_hex(), "ffffffffffffffff");
+  EXPECT_EQ(a - a, BigNum(0));
+}
+
+TEST(BigNum, MultiplicationKnownProduct) {
+  const BigNum a = BigNum::from_hex("ffffffffffffffff");
+  const BigNum b = BigNum::from_hex("ffffffffffffffff");
+  EXPECT_EQ((a * b).to_hex(), "fffffffffffffffe0000000000000001");
+  EXPECT_EQ(a * BigNum(0), BigNum(0));
+  EXPECT_EQ(a * BigNum(1), a);
+}
+
+TEST(BigNum, ShiftLeftRightInverse) {
+  const BigNum v = BigNum::from_hex("123456789abcdef");
+  EXPECT_EQ((v << 68) >> 68, v);
+  EXPECT_EQ((v << 1).to_hex(), "2468acf13579bde");
+  EXPECT_EQ(v >> 200, BigNum(0));
+  EXPECT_EQ(v << 0, v);
+}
+
+TEST(BigNum, DivModSingleLimb) {
+  const BigNum a = BigNum::from_hex("123456789abcdef0123456789");
+  const auto dm = a.divmod(BigNum(1000));
+  EXPECT_EQ(dm.quotient * BigNum(1000) + dm.remainder, a);
+  EXPECT_LT(dm.remainder, BigNum(1000));
+}
+
+TEST(BigNum, DivModMultiLimbInvariant) {
+  const BigNum a = BigNum::from_hex(
+      "e9a3b1c24d5f60718293a4b5c6d7e8f9a0b1c2d3e4f5061728394a5b6c7d8e9f");
+  const BigNum b = BigNum::from_hex("fedcba9876543210fedcba98");
+  const auto dm = a.divmod(b);
+  EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+  EXPECT_LT(dm.remainder, b);
+  EXPECT_FALSE(dm.quotient.is_zero());
+}
+
+TEST(BigNum, DivModDividendSmallerThanDivisor) {
+  const BigNum a(5);
+  const BigNum b(7);
+  const auto dm = a.divmod(b);
+  EXPECT_EQ(dm.quotient, BigNum(0));
+  EXPECT_EQ(dm.remainder, a);
+}
+
+TEST(BigNum, DivModExactDivision) {
+  const BigNum b = BigNum::from_hex("abcdef0123456789");
+  const BigNum a = b * BigNum(123456);
+  const auto dm = a.divmod(b);
+  EXPECT_EQ(dm.quotient, BigNum(123456));
+  EXPECT_TRUE(dm.remainder.is_zero());
+}
+
+TEST(BigNum, KnuthD6AddBackCase) {
+  // Divisor crafted so the qhat estimate overshoots (exercises the rare
+  // add-back branch): u = B^2/2, v = B/2 + 1 patterns.
+  const BigNum u = BigNum::from_hex("80000000000000000000000000000000");
+  const BigNum v = BigNum::from_hex("800000000000000000000001");
+  const auto dm = u.divmod(v);
+  EXPECT_EQ(dm.quotient * v + dm.remainder, u);
+  EXPECT_LT(dm.remainder, v);
+}
+
+TEST(BigNum, Comparisons) {
+  EXPECT_LT(BigNum(1), BigNum(2));
+  EXPECT_GT(BigNum::from_hex("100000000"), BigNum::from_hex("ffffffff"));
+  EXPECT_EQ(BigNum(42), BigNum(42));
+  EXPECT_LE(BigNum(0), BigNum(0));
+}
+
+TEST(BigNum, BitAccess) {
+  const BigNum v(0b1010);
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(2));
+  EXPECT_TRUE(v.bit(3));
+  EXPECT_FALSE(v.bit(64));
+}
+
+TEST(BigNum, ModExpSmallKnownValues) {
+  // 3^7 mod 11 = 2187 mod 11 = 9.
+  EXPECT_EQ(BigNum(3).modexp(BigNum(7), BigNum(11)), BigNum(9));
+  // Fermat: a^(p-1) = 1 mod p.
+  EXPECT_EQ(BigNum(5).modexp(BigNum(12), BigNum(13)), BigNum(1));
+  // Exponent zero.
+  EXPECT_EQ(BigNum(99).modexp(BigNum(0), BigNum(7)), BigNum(1));
+}
+
+TEST(BigNum, ModExpLargeOperands) {
+  const BigNum base = BigNum::from_hex("123456789abcdef123456789abcdef");
+  const BigNum mod = BigNum::from_hex("fedcba987654321fedcba987654321");
+  // (base^2)^2 == base^4.
+  const BigNum two(2);
+  const BigNum four(4);
+  const BigNum sq = base.modexp(two, mod);
+  EXPECT_EQ(sq.modexp(two, mod), base.modexp(four, mod));
+}
+
+TEST(BigNum, Gcd) {
+  EXPECT_EQ(BigNum::gcd(BigNum(12), BigNum(18)), BigNum(6));
+  EXPECT_EQ(BigNum::gcd(BigNum(17), BigNum(5)), BigNum(1));
+  EXPECT_EQ(BigNum::gcd(BigNum(0), BigNum(5)), BigNum(5));
+  EXPECT_EQ(BigNum::gcd(BigNum(5), BigNum(0)), BigNum(5));
+}
+
+TEST(BigNum, ModInvSmall) {
+  // 3 * 4 = 12 = 1 mod 11.
+  EXPECT_EQ(BigNum(3).modinv(BigNum(11)), BigNum(4));
+  // Not invertible: gcd(4, 8) != 1.
+  EXPECT_TRUE(BigNum(4).modinv(BigNum(8)).is_zero());
+}
+
+TEST(BigNum, ModInvLargeRoundTrip) {
+  Xoshiro256 rng(77);
+  const BigNum m = BigNum::generate_prime(rng, 128);
+  for (int i = 0; i < 10; ++i) {
+    const BigNum a = BigNum::random_below(rng, m);
+    if (a.is_zero()) continue;
+    const BigNum inv = a.modinv(m);
+    ASSERT_FALSE(inv.is_zero());
+    EXPECT_EQ((a * inv) % m, BigNum(1));
+  }
+}
+
+TEST(BigNum, RandomWithBitsHasExactBitLength) {
+  Xoshiro256 rng(88);
+  for (std::size_t bits : {16u, 17u, 31u, 32u, 33u, 64u, 100u, 256u}) {
+    const BigNum v = BigNum::random_with_bits(rng, bits);
+    EXPECT_EQ(v.bit_length(), bits);
+  }
+}
+
+TEST(BigNum, RandomBelowIsBelow) {
+  Xoshiro256 rng(99);
+  const BigNum bound = BigNum::from_hex("1000000000000");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(BigNum::random_below(rng, bound), bound);
+  }
+}
+
+TEST(BigNum, PrimalityKnownPrimes) {
+  Xoshiro256 rng(111);
+  EXPECT_TRUE(BigNum(2).is_probable_prime(rng));
+  EXPECT_TRUE(BigNum(3).is_probable_prime(rng));
+  EXPECT_TRUE(BigNum(65537).is_probable_prime(rng));
+  // 2^61 - 1 is a Mersenne prime.
+  EXPECT_TRUE(BigNum((1ull << 61) - 1).is_probable_prime(rng));
+}
+
+TEST(BigNum, PrimalityKnownComposites) {
+  Xoshiro256 rng(112);
+  EXPECT_FALSE(BigNum(0).is_probable_prime(rng));
+  EXPECT_FALSE(BigNum(1).is_probable_prime(rng));
+  EXPECT_FALSE(BigNum(4).is_probable_prime(rng));
+  EXPECT_FALSE(BigNum(561).is_probable_prime(rng));    // Carmichael
+  EXPECT_FALSE(BigNum(65536).is_probable_prime(rng));
+  // Product of two 32-bit primes.
+  EXPECT_FALSE((BigNum(4294967291ull) * BigNum(4294967279ull))
+                   .is_probable_prime(rng));
+}
+
+TEST(BigNum, GeneratePrimeHasRequestedSize) {
+  Xoshiro256 rng(113);
+  const BigNum p = BigNum::generate_prime(rng, 64);
+  EXPECT_EQ(p.bit_length(), 64u);
+  EXPECT_TRUE(p.is_odd());
+  EXPECT_TRUE(p.is_probable_prime(rng));
+}
+
+// Property sweep: divmod invariant on random operand sizes.
+struct DivModCase {
+  std::size_t dividend_bits;
+  std::size_t divisor_bits;
+};
+
+class BigNumDivModSweep : public ::testing::TestWithParam<DivModCase> {};
+
+TEST_P(BigNumDivModSweep, QuotientTimesDivisorPlusRemainder) {
+  Xoshiro256 rng(1000 + GetParam().dividend_bits);
+  for (int i = 0; i < 25; ++i) {
+    const BigNum a = BigNum::random_with_bits(rng, GetParam().dividend_bits);
+    const BigNum b = BigNum::random_with_bits(rng, GetParam().divisor_bits);
+    const auto dm = a.divmod(b);
+    EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+    EXPECT_LT(dm.remainder, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BigNumDivModSweep,
+    ::testing::Values(DivModCase{64, 32}, DivModCase{128, 64},
+                      DivModCase{256, 96}, DivModCase{512, 256},
+                      DivModCase{1024, 512}, DivModCase{333, 97},
+                      DivModCase{65, 64}, DivModCase{96, 96}));
+
+}  // namespace
+}  // namespace tangled::crypto

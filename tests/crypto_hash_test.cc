@@ -1,0 +1,132 @@
+#include "crypto/hash.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+
+namespace tangled::crypto {
+namespace {
+
+TEST(Sha256, Fips180Vectors) {
+  EXPECT_EQ(to_hex(Sha256::hash(to_bytes(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(to_hex(Sha256::hash(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(to_hex(Sha256::hash(to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const auto d = h.digest();
+  EXPECT_EQ(to_hex(Bytes(d.begin(), d.end())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingEqualsOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  for (char c : msg) h.update(to_bytes(std::string(1, c)));
+  const auto d = h.digest();
+  EXPECT_EQ(Bytes(d.begin(), d.end()), Sha256::hash(to_bytes(msg)));
+}
+
+TEST(Sha256, DigestIsNonDestructive) {
+  Sha256 h;
+  h.update(to_bytes("ab"));
+  const auto d1 = h.digest();
+  h.update(to_bytes("c"));
+  const auto d2 = h.digest();
+  EXPECT_EQ(Bytes(d2.begin(), d2.end()), Sha256::hash(to_bytes("abc")));
+  EXPECT_EQ(Bytes(d1.begin(), d1.end()), Sha256::hash(to_bytes("ab")));
+}
+
+TEST(Sha1, Fips180Vectors) {
+  EXPECT_EQ(to_hex(Sha1::hash(to_bytes(""))),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(to_hex(Sha1::hash(to_bytes("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(to_hex(Sha1::hash(to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(to_hex(Md5::hash(to_bytes(""))),
+            "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(to_hex(Md5::hash(to_bytes("a"))),
+            "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(to_hex(Md5::hash(to_bytes("abc"))),
+            "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(to_hex(Md5::hash(to_bytes("message digest"))),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(to_hex(Md5::hash(to_bytes(
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"))),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+}
+
+TEST(HmacSha256, Rfc4231Vectors) {
+  // Test case 1.
+  const Bytes key1(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key1, to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  // Test case 2: key = "Jefe".
+  EXPECT_EQ(to_hex(hmac_sha256(to_bytes("Jefe"),
+                               to_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  // Test case 3: 20x 0xaa key, 50x 0xdd message.
+  const Bytes key3(20, 0xaa);
+  const Bytes msg3(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key3, msg3)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+  // RFC 4231 test case 6: 131-byte key.
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(to_hex(hmac_sha256(
+                key, to_bytes("Test Using Larger Than Block-Size Key - Hash "
+                              "Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// Block-boundary sweep: messages of every length near the 64-byte block edge
+// must produce the same digest streamed vs one-shot.
+class HashBoundarySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HashBoundarySweep, StreamedEqualsOneShotAllHashes) {
+  Bytes msg(GetParam());
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<std::uint8_t>(i * 131 + 17);
+  }
+  {
+    Sha256 h;
+    std::size_t half = msg.size() / 2;
+    h.update(ByteView(msg.data(), half));
+    h.update(ByteView(msg.data() + half, msg.size() - half));
+    const auto d = h.digest();
+    EXPECT_EQ(Bytes(d.begin(), d.end()), Sha256::hash(msg));
+  }
+  {
+    Sha1 h;
+    for (const auto b : msg) h.update(ByteView(&b, 1));
+    const auto d = h.digest();
+    EXPECT_EQ(Bytes(d.begin(), d.end()), Sha1::hash(msg));
+  }
+  {
+    Md5 h;
+    for (const auto b : msg) h.update(ByteView(&b, 1));
+    const auto d = h.digest();
+    EXPECT_EQ(Bytes(d.begin(), d.end()), Md5::hash(msg));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, HashBoundarySweep,
+                         ::testing::Values(0, 1, 55, 56, 57, 63, 64, 65, 119,
+                                           120, 121, 127, 128, 129, 1000));
+
+}  // namespace
+}  // namespace tangled::crypto

@@ -1,0 +1,154 @@
+#include "crypto/rsa.h"
+
+#include <gtest/gtest.h>
+
+namespace tangled::crypto {
+namespace {
+
+// Key generation is slow; share one key across the suite.
+class RsaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Xoshiro256 rng(4242);
+    key_ = new RsaPrivateKey(rsa_generate(rng, 1024));
+  }
+  static void TearDownTestSuite() {
+    delete key_;
+    key_ = nullptr;
+  }
+
+  static RsaPrivateKey* key_;
+};
+
+RsaPrivateKey* RsaTest::key_ = nullptr;
+
+TEST_F(RsaTest, KeyShape) {
+  EXPECT_EQ(key_->pub.n.bit_length(), 1024u);
+  EXPECT_EQ(key_->pub.e, BigNum(65537));
+  EXPECT_EQ(key_->p * key_->q, key_->pub.n);
+  // d*e = 1 mod phi.
+  const BigNum phi = (key_->p - BigNum(1)) * (key_->q - BigNum(1));
+  EXPECT_EQ((key_->d * key_->pub.e) % phi, BigNum(1));
+}
+
+TEST_F(RsaTest, SignVerifySha256) {
+  const Bytes msg = to_bytes("a tangled mass");
+  auto sig = rsa_sign(*key_, DigestAlg::kSha256, msg);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_EQ(sig.value().size(), key_->pub.modulus_bytes());
+  EXPECT_TRUE(rsa_verify(key_->pub, DigestAlg::kSha256, msg, sig.value()).ok());
+}
+
+TEST_F(RsaTest, SignVerifySha1) {
+  const Bytes msg = to_bytes("legacy chains still use sha1WithRSA");
+  auto sig = rsa_sign(*key_, DigestAlg::kSha1, msg);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(rsa_verify(key_->pub, DigestAlg::kSha1, msg, sig.value()).ok());
+}
+
+TEST_F(RsaTest, VerifyRejectsTamperedMessage) {
+  const Bytes msg = to_bytes("original");
+  auto sig = rsa_sign(*key_, DigestAlg::kSha256, msg);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_FALSE(
+      rsa_verify(key_->pub, DigestAlg::kSha256, to_bytes("tampered"), sig.value())
+          .ok());
+}
+
+TEST_F(RsaTest, VerifyRejectsTamperedSignature) {
+  const Bytes msg = to_bytes("original");
+  auto sig = rsa_sign(*key_, DigestAlg::kSha256, msg);
+  ASSERT_TRUE(sig.ok());
+  Bytes bad = sig.value();
+  bad[bad.size() / 2] ^= 0x01;
+  EXPECT_FALSE(rsa_verify(key_->pub, DigestAlg::kSha256, msg, bad).ok());
+}
+
+TEST_F(RsaTest, VerifyRejectsWrongDigestAlgorithm) {
+  const Bytes msg = to_bytes("alg confusion");
+  auto sig = rsa_sign(*key_, DigestAlg::kSha256, msg);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_FALSE(rsa_verify(key_->pub, DigestAlg::kSha1, msg, sig.value()).ok());
+}
+
+TEST_F(RsaTest, VerifyRejectsWrongLengthSignature) {
+  const Bytes msg = to_bytes("short");
+  Bytes sig(key_->pub.modulus_bytes() - 1, 0x00);
+  EXPECT_FALSE(rsa_verify(key_->pub, DigestAlg::kSha256, msg, sig).ok());
+}
+
+TEST_F(RsaTest, VerifyRejectsSignatureValueAboveModulus) {
+  const Bytes msg = to_bytes("range");
+  // modulus + small delta is >= n but same byte length.
+  const Bytes sig = (key_->pub.n + BigNum(1)).to_bytes_padded(
+      key_->pub.modulus_bytes());
+  EXPECT_FALSE(rsa_verify(key_->pub, DigestAlg::kSha256, msg, sig).ok());
+}
+
+TEST_F(RsaTest, VerifyRejectsSignatureFromDifferentKey) {
+  Xoshiro256 rng(5151);
+  const RsaPrivateKey other = rsa_generate(rng, 1024);
+  const Bytes msg = to_bytes("cross key");
+  auto sig = rsa_sign(other, DigestAlg::kSha256, msg);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_FALSE(rsa_verify(key_->pub, DigestAlg::kSha256, msg, sig.value()).ok());
+}
+
+TEST_F(RsaTest, EmptyMessageSigns) {
+  auto sig = rsa_sign(*key_, DigestAlg::kSha256, Bytes{});
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(rsa_verify(key_->pub, DigestAlg::kSha256, Bytes{}, sig.value()).ok());
+}
+
+TEST_F(RsaTest, DeterministicSignature) {
+  // PKCS#1 v1.5 is deterministic: same key + message => same signature.
+  const Bytes msg = to_bytes("determinism");
+  auto s1 = rsa_sign(*key_, DigestAlg::kSha256, msg);
+  auto s2 = rsa_sign(*key_, DigestAlg::kSha256, msg);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1.value(), s2.value());
+}
+
+TEST(Pkcs1Encode, StructureIsCorrect) {
+  auto em = pkcs1_v15_encode(DigestAlg::kSha256, to_bytes("x"), 128);
+  ASSERT_TRUE(em.ok());
+  const Bytes& e = em.value();
+  ASSERT_EQ(e.size(), 128u);
+  EXPECT_EQ(e[0], 0x00);
+  EXPECT_EQ(e[1], 0x01);
+  // PS of 0xff until the 0x00 separator.
+  std::size_t i = 2;
+  while (i < e.size() && e[i] == 0xff) ++i;
+  ASSERT_LT(i, e.size());
+  EXPECT_EQ(e[i], 0x00);
+  EXPECT_GE(i - 2, 8u);  // at least 8 padding bytes
+  // The remainder is the DigestInfo DER (SEQUENCE tag).
+  EXPECT_EQ(e[i + 1], 0x30);
+}
+
+TEST(Pkcs1Encode, RejectsTooSmallModulus) {
+  EXPECT_FALSE(pkcs1_v15_encode(DigestAlg::kSha256, to_bytes("x"), 32).ok());
+}
+
+TEST(RsaKeygen, SmallKeysWork) {
+  Xoshiro256 rng(31337);
+  const RsaPrivateKey key = rsa_generate(rng, 512);
+  EXPECT_EQ(key.pub.n.bit_length(), 512u);
+  const Bytes msg = to_bytes("small key");
+  auto sig = rsa_sign(key, DigestAlg::kSha256, msg);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(rsa_verify(key.pub, DigestAlg::kSha256, msg, sig.value()).ok());
+}
+
+TEST(RsaKeygen, RawRoundTripViaCrtFactors) {
+  Xoshiro256 rng(808);
+  const RsaPrivateKey key = rsa_generate(rng, 512);
+  // m^(e*d) = m mod n for random m < n.
+  const BigNum m = BigNum::random_below(rng, key.pub.n);
+  const BigNum c = m.modexp(key.pub.e, key.pub.n);
+  EXPECT_EQ(c.modexp(key.d, key.pub.n), m);
+}
+
+}  // namespace
+}  // namespace tangled::crypto

@@ -1,0 +1,98 @@
+#include "crypto/signature.h"
+
+#include <gtest/gtest.h>
+
+namespace tangled::crypto {
+namespace {
+
+TEST(SimKeypair, FastAndShaped) {
+  Xoshiro256 rng(1);
+  const KeyPair kp = generate_sim_keypair(rng);
+  EXPECT_EQ(kp.pub.n.bit_length(), 2048u);
+  EXPECT_EQ(kp.pub.e, BigNum(65537));
+  EXPECT_FALSE(kp.can_rsa_sign());
+}
+
+TEST(SimKeypair, DistinctModuli) {
+  Xoshiro256 rng(2);
+  const KeyPair a = generate_sim_keypair(rng);
+  const KeyPair b = generate_sim_keypair(rng);
+  EXPECT_NE(a.pub.n, b.pub.n);
+}
+
+TEST(SimSig, SignVerifyRoundTrip) {
+  Xoshiro256 rng(3);
+  const KeyPair kp = generate_sim_keypair(rng);
+  const Bytes tbs = to_bytes("tbs certificate bytes");
+  auto sig = sim_sig_scheme().sign(kp, tbs);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(sim_sig_scheme().verify(kp.pub, tbs, sig.value()).ok());
+}
+
+TEST(SimSig, RejectsWrongIssuer) {
+  Xoshiro256 rng(4);
+  const KeyPair a = generate_sim_keypair(rng);
+  const KeyPair b = generate_sim_keypair(rng);
+  const Bytes tbs = to_bytes("tbs");
+  auto sig = sim_sig_scheme().sign(a, tbs);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_FALSE(sim_sig_scheme().verify(b.pub, tbs, sig.value()).ok());
+}
+
+TEST(SimSig, RejectsTamperedTbs) {
+  Xoshiro256 rng(5);
+  const KeyPair kp = generate_sim_keypair(rng);
+  auto sig = sim_sig_scheme().sign(kp, to_bytes("tbs"));
+  ASSERT_TRUE(sig.ok());
+  EXPECT_FALSE(sim_sig_scheme().verify(kp.pub, to_bytes("sbt"), sig.value()).ok());
+}
+
+TEST(RsaScheme, SignVerifyRoundTrip) {
+  Xoshiro256 rng(6);
+  const KeyPair kp = generate_rsa_keypair(rng, 512);
+  const Bytes tbs = to_bytes("real rsa tbs");
+  auto sig = rsa_sha256_scheme().sign(kp, tbs);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(rsa_sha256_scheme().verify(kp.pub, tbs, sig.value()).ok());
+}
+
+TEST(RsaScheme, SimKeyCannotRsaSign) {
+  Xoshiro256 rng(7);
+  const KeyPair kp = generate_sim_keypair(rng);
+  EXPECT_FALSE(rsa_sha256_scheme().sign(kp, to_bytes("x")).ok());
+}
+
+TEST(SchemeRegistry, DispatchByOid) {
+  EXPECT_EQ(scheme_for_oid(asn1::oids::sha256_with_rsa()),
+            &rsa_sha256_scheme());
+  EXPECT_EQ(scheme_for_oid(asn1::oids::sim_sig()), &sim_sig_scheme());
+  EXPECT_NE(scheme_for_oid(asn1::oids::sha1_with_rsa()), nullptr);
+  EXPECT_EQ(scheme_for_oid(asn1::Oid({1, 2, 3})), nullptr);
+}
+
+TEST(SchemeRegistry, VerifySignatureDispatches) {
+  Xoshiro256 rng(8);
+  const KeyPair kp = generate_sim_keypair(rng);
+  const Bytes tbs = to_bytes("dispatch");
+  auto sig = sim_sig_scheme().sign(kp, tbs);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(
+      verify_signature(asn1::oids::sim_sig(), kp.pub, tbs, sig.value()).ok());
+  // Wrong algorithm OID must fail even with the right bytes.
+  EXPECT_FALSE(
+      verify_signature(asn1::oids::sha256_with_rsa(), kp.pub, tbs, sig.value())
+          .ok());
+  // Unknown OID is an explicit unsupported error.
+  const auto unknown =
+      verify_signature(asn1::Oid({1, 2, 3}), kp.pub, tbs, sig.value());
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.error().code, Errc::kUnsupported);
+}
+
+TEST(SchemeOids, MatchRegistry) {
+  EXPECT_EQ(rsa_sha256_scheme().algorithm_oid(), asn1::oids::sha256_with_rsa());
+  EXPECT_EQ(sim_sig_scheme().algorithm_oid(), asn1::oids::sim_sig());
+}
+
+}  // namespace
+}  // namespace tangled::crypto

@@ -1,0 +1,231 @@
+#include "device/assembler.h"
+#include "device/device.h"
+
+#include <gtest/gtest.h>
+
+namespace tangled::device {
+namespace {
+
+using rootstore::AndroidVersion;
+using rootstore::PlacementRow;
+
+const rootstore::StoreUniverse& universe() {
+  static const rootstore::StoreUniverse u = rootstore::StoreUniverse::build(1402);
+  return u;
+}
+
+TEST(DeviceMeta, ManufacturerRowsMatchFigure2) {
+  EXPECT_EQ(manufacturer_row(Manufacturer::kHtc, AndroidVersion::k41),
+            PlacementRow::kHtc41);
+  EXPECT_EQ(manufacturer_row(Manufacturer::kHtc, AndroidVersion::k44),
+            PlacementRow::kHtc44);
+  EXPECT_EQ(manufacturer_row(Manufacturer::kSamsung, AndroidVersion::k42),
+            PlacementRow::kSamsung42);
+  EXPECT_EQ(manufacturer_row(Manufacturer::kMotorola, AndroidVersion::k41),
+            PlacementRow::kMotorola41);
+  // Motorola has no row beyond 4.1 (its 4.3/4.4 stores are near-AOSP).
+  EXPECT_FALSE(
+      manufacturer_row(Manufacturer::kMotorola, AndroidVersion::k43).has_value());
+  EXPECT_EQ(manufacturer_row(Manufacturer::kSony, AndroidVersion::k43),
+            PlacementRow::kSony43);
+  EXPECT_FALSE(
+      manufacturer_row(Manufacturer::kSony, AndroidVersion::k44).has_value());
+  EXPECT_FALSE(
+      manufacturer_row(Manufacturer::kLg, AndroidVersion::k41).has_value());
+}
+
+TEST(DeviceMeta, OperatorRows) {
+  EXPECT_EQ(operator_row(Operator::kVerizonUs), PlacementRow::kVerizonUs);
+  EXPECT_EQ(operator_row(Operator::kVodafoneDe), PlacementRow::kVodafoneDe);
+  EXPECT_FALSE(operator_row(Operator::kWifiOnly).has_value());
+  EXPECT_FALSE(operator_row(Operator::kMeditelMa).has_value());
+}
+
+TEST(RootedCatalog, MatchesTable5) {
+  const auto catalog = rooted_cert_catalog();
+  ASSERT_EQ(catalog.size(), 5u);
+  EXPECT_EQ(catalog[0].issuer_name, "CRAZY HOUSE");
+  EXPECT_EQ(catalog[0].device_count, 70u);
+  std::size_t singletons = 0;
+  for (const auto& spec : catalog) {
+    if (spec.device_count == 1) ++singletons;
+  }
+  EXPECT_EQ(singletons, 4u);
+}
+
+TEST(RootedCert, DeterministicPerIssuer) {
+  const auto a = make_rooted_cert(universe(), 0);
+  const auto b = make_rooted_cert(universe(), 0);
+  EXPECT_EQ(a.der(), b.der());
+  const auto c = make_rooted_cert(universe(), 1);
+  EXPECT_NE(a.der(), c.der());
+  EXPECT_EQ(a.subject().common_name(), "CRAZY HOUSE");
+}
+
+class AssemblerTest : public ::testing::Test {
+ protected:
+  Device samsung42() const {
+    Device d;
+    d.handset_id = 7;
+    d.model = "Samsung Galaxy SIII";
+    d.manufacturer = Manufacturer::kSamsung;
+    d.op = Operator::kVerizonUs;
+    d.version = AndroidVersion::k42;
+    return d;
+  }
+};
+
+TEST_F(AssemblerTest, StockDeviceMatchesAospExactly) {
+  DeviceStoreAssembler assembler(universe());
+  Xoshiro256 rng(1);
+  Device nexus;
+  nexus.handset_id = 1;
+  nexus.model = "LG Nexus 4";
+  nexus.manufacturer = Manufacturer::kLg;
+  nexus.version = AndroidVersion::k42;
+  const auto assembled = assembler.assemble(nexus, AssemblyFlags{}, rng);
+  EXPECT_EQ(assembled.store.size(), 140u);
+  EXPECT_EQ(assembled.additions(), 0u);
+  EXPECT_EQ(assembled.missing_aosp, 0u);
+  EXPECT_EQ(assembled.aosp_present, 140u);
+  // Every cert is the AOSP one.
+  const auto d = rootstore::diff(assembled.store,
+                                 universe().aosp(AndroidVersion::k42));
+  EXPECT_EQ(d.identical, 140u);
+  EXPECT_EQ(d.additions(), 0u);
+  EXPECT_EQ(d.missing(), 0u);
+}
+
+TEST_F(AssemblerTest, VendorPackAddsCatalogCerts) {
+  DeviceStoreAssembler assembler(universe());
+  Xoshiro256 rng(2);
+  AssemblyFlags flags;
+  flags.vendor_pack = true;
+  const auto assembled = assembler.assemble(samsung42(), flags, rng);
+  EXPECT_GT(assembled.nonaosp_indices.size(), 10u);
+  EXPECT_EQ(assembled.store.size(),
+            140u + assembled.nonaosp_indices.size());
+  // Installed certs must have a Samsung 4.2 placement (vendor row only; no
+  // operator pack was enabled).
+  const auto catalog = rootstore::nonaosp_catalog();
+  for (const std::size_t idx : assembled.nonaosp_indices) {
+    bool has_samsung42 = false;
+    bool has_operator = false;
+    for (const auto& p : catalog[idx].placements) {
+      has_samsung42 |= p.row == PlacementRow::kSamsung42;
+      has_operator |= rootstore::is_operator_row(p.row);
+    }
+    // Entries with both manufacturer and operator placements require both
+    // packs; with only the vendor pack enabled they must not appear unless
+    // the vendor row alone justifies it.
+    EXPECT_TRUE(has_samsung42) << catalog[idx].display_name;
+    if (has_operator) {
+      // AND semantics: vendor+operator entries need the operator too.
+      bool has_vendor_row = false;
+      for (const auto& p : catalog[idx].placements) {
+        has_vendor_row |= !rootstore::is_operator_row(p.row);
+      }
+      EXPECT_TRUE(has_vendor_row);
+    }
+  }
+}
+
+TEST_F(AssemblerTest, OperatorPackRequiresOperatorRow) {
+  DeviceStoreAssembler assembler(universe());
+  Xoshiro256 rng(3);
+  AssemblyFlags flags;
+  flags.operator_pack = true;
+  Device d = samsung42();
+  d.op = Operator::kSprintUs;
+  const auto assembled = assembler.assemble(d, flags, rng);
+  // Sprint-only certs are plausible; Motorola-Verizon AND-certs are not.
+  const auto catalog = rootstore::nonaosp_catalog();
+  for (const std::size_t idx : assembled.nonaosp_indices) {
+    bool sprint = false;
+    for (const auto& p : catalog[idx].placements) {
+      sprint |= p.row == PlacementRow::kSprintUs;
+    }
+    EXPECT_TRUE(sprint) << catalog[idx].display_name;
+  }
+}
+
+TEST_F(AssemblerTest, MissingCertsRemovesOneToThree) {
+  DeviceStoreAssembler assembler(universe());
+  Xoshiro256 rng(4);
+  AssemblyFlags flags;
+  flags.missing_certs = true;
+  const auto assembled = assembler.assemble(samsung42(), flags, rng);
+  EXPECT_GE(assembled.missing_aosp, 1u);
+  EXPECT_LE(assembled.missing_aosp, 3u);
+  EXPECT_EQ(assembled.aosp_present, 140u - assembled.missing_aosp);
+  const auto d = rootstore::diff(assembled.store,
+                                 universe().aosp(AndroidVersion::k42));
+  EXPECT_EQ(d.missing(), assembled.missing_aosp);
+}
+
+TEST_F(AssemblerTest, Sony41GetsFutureCert) {
+  DeviceStoreAssembler assembler(universe());
+  Xoshiro256 rng(5);
+  Device sony;
+  sony.handset_id = 9;
+  sony.model = "Sony Xperia Z";
+  sony.manufacturer = Manufacturer::kSony;
+  sony.version = AndroidVersion::k41;
+  AssemblyFlags flags;
+  flags.sony41_future_cert = true;
+  const auto assembled = assembler.assemble(sony, flags, rng);
+  EXPECT_EQ(assembled.aosp_present, 140u);  // 139 base + 1 future
+  // The future cert is an AOSP 4.3 cert, so diffing against 4.3 shows it
+  // as identical, while against 4.1 it is an (equivalent-free) addition.
+  const auto d41 = rootstore::diff(assembled.store,
+                                   universe().aosp(AndroidVersion::k41));
+  EXPECT_EQ(d41.additions(), 1u);
+}
+
+TEST_F(AssemblerTest, RootedCertInstalled) {
+  DeviceStoreAssembler assembler(universe());
+  Xoshiro256 rng(6);
+  Device d = samsung42();
+  d.rooted = true;
+  AssemblyFlags flags;
+  flags.rooted_cert = 0;  // CRAZY HOUSE
+  const auto assembled = assembler.assemble(d, flags, rng);
+  ASSERT_EQ(assembled.rooted_cert_indices.size(), 1u);
+  EXPECT_TRUE(assembled.store.contains(make_rooted_cert(universe(), 0)));
+}
+
+TEST_F(AssemblerTest, UserCertUniquePerHandset) {
+  DeviceStoreAssembler assembler(universe());
+  Xoshiro256 rng_a(7);
+  Xoshiro256 rng_b(8);
+  AssemblyFlags flags;
+  flags.user_cert = true;
+  Device a = samsung42();
+  a.handset_id = 100;
+  Device b = samsung42();
+  b.handset_id = 200;
+  const auto sa = assembler.assemble(a, flags, rng_a);
+  const auto sb = assembler.assemble(b, flags, rng_b);
+  EXPECT_EQ(sa.user_added, 1u);
+  EXPECT_EQ(sb.user_added, 1u);
+  // The two user certs differ (unique per device).
+  const auto da = rootstore::diff(sa.store, universe().aosp(AndroidVersion::k42));
+  for (const auto* cert : da.only_in_a) {
+    EXPECT_FALSE(sb.store.contains(*cert));
+  }
+}
+
+TEST_F(AssemblerTest, DeterministicForSameSeed) {
+  DeviceStoreAssembler assembler(universe());
+  AssemblyFlags flags;
+  flags.vendor_pack = true;
+  Xoshiro256 rng_a(42);
+  Xoshiro256 rng_b(42);
+  const auto sa = assembler.assemble(samsung42(), flags, rng_a);
+  const auto sb = assembler.assemble(samsung42(), flags, rng_b);
+  EXPECT_EQ(sa.nonaosp_indices, sb.nonaosp_indices);
+  EXPECT_EQ(sa.store.size(), sb.store.size());
+}
+
+}  // namespace
+}  // namespace tangled::device

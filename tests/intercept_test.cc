@@ -1,0 +1,183 @@
+#include "intercept/detector.h"
+#include "intercept/network.h"
+#include "intercept/proxy.h"
+
+#include <gtest/gtest.h>
+
+#include "rootstore/catalog.h"
+
+namespace tangled::intercept {
+namespace {
+
+const rootstore::StoreUniverse& universe() {
+  static const rootstore::StoreUniverse u = rootstore::StoreUniverse::build(1402);
+  return u;
+}
+
+class InterceptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Xoshiro256 rng(2014);
+    // Host every Table 6 endpoint on roots from the AOSP∩Mozilla prefix.
+    std::vector<Endpoint> endpoints = reality_mine_intercepted_endpoints();
+    const auto whitelisted = reality_mine_whitelisted_endpoints();
+    endpoints.insert(endpoints.end(), whitelisted.begin(), whitelisted.end());
+    // Skip index 0: that is the expired Firmaprofesional root, which can't
+    // anchor valid chains during the measurement window.
+    std::vector<pki::CaNode> roots(universe().aosp_cas().begin() + 1,
+                                   universe().aosp_cas().begin() + 13);
+    auto network = build_origin_network(endpoints, roots, rng);
+    ASSERT_TRUE(network.ok());
+    origin_ = std::move(network).value();
+
+    proxy_ = std::make_unique<MitmProxy>(*origin_, reality_mine_policy(),
+                                         "Reality Mine", 99);
+
+    // A stock Android 4.4 device store.
+    device_store_ = &universe().aosp(rootstore::AndroidVersion::k44);
+  }
+
+  std::unique_ptr<OriginNetwork> origin_;
+  std::unique_ptr<MitmProxy> proxy_;
+  const rootstore::RootStore* device_store_ = nullptr;
+};
+
+TEST_F(InterceptTest, PolicyMatchesTable6) {
+  const auto policy = reality_mine_policy();
+  EXPECT_EQ(reality_mine_intercepted_endpoints().size(), 12u);
+  EXPECT_EQ(reality_mine_whitelisted_endpoints().size(), 9u);
+  EXPECT_TRUE(policy.intercepts({"www.bankofamerica.com", 443}));
+  EXPECT_TRUE(policy.intercepts({"gmail.com", 443}));
+  EXPECT_FALSE(policy.intercepts({"www.facebook.com", 443}));   // whitelisted
+  EXPECT_FALSE(policy.intercepts({"supl.google.com", 7275}));   // other port
+  EXPECT_FALSE(policy.intercepts({"orcart.facebook.com", 8883}));
+  EXPECT_TRUE(policy.intercepts({"orcart.facebook.com", 443}));
+}
+
+TEST_F(InterceptTest, OriginChainsVerifyAgainstDeviceStore) {
+  pki::TrustAnchors anchors;
+  for (const auto& cert : device_store_->certificates()) anchors.add(cert);
+  pki::ChainVerifier verifier(anchors);
+  for (const auto& endpoint : reality_mine_intercepted_endpoints()) {
+    auto presented = origin_->fetch(endpoint);
+    ASSERT_TRUE(presented.ok());
+    EXPECT_TRUE(verifier.verify_presented(presented.value().chain).ok())
+        << endpoint.key();
+  }
+}
+
+TEST_F(InterceptTest, ProxyRegeneratesChainsForInterceptedDomains) {
+  const Endpoint bank{"www.bankofamerica.com", 443};
+  auto direct = origin_->fetch(bank);
+  auto proxied = proxy_->fetch(bank);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(proxied.ok());
+  EXPECT_NE(direct.value().chain.front().der(),
+            proxied.value().chain.front().der());
+  // The proxied chain roots at the Reality Mine CA.
+  EXPECT_EQ(proxied.value().chain.back().subject().organization(),
+            "Reality Mine");
+  // Same leaf domain though.
+  const auto san =
+      proxied.value().chain.front().extensions().subject_alt_name();
+  ASSERT_TRUE(san.has_value());
+  EXPECT_EQ(san->dns_names.front(), "www.bankofamerica.com");
+}
+
+TEST_F(InterceptTest, ProxyPassesThroughWhitelistedDomains) {
+  const Endpoint fb{"www.facebook.com", 443};
+  auto direct = origin_->fetch(fb);
+  auto proxied = proxy_->fetch(fb);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(proxied.ok());
+  EXPECT_EQ(direct.value().chain.front().der(),
+            proxied.value().chain.front().der());
+}
+
+TEST_F(InterceptTest, ProxyCachesMintedCerts) {
+  const Endpoint bank{"www.bankofamerica.com", 443};
+  auto first = proxy_->fetch(bank);
+  auto second = proxy_->fetch(bank);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().chain.front().der(),
+            second.value().chain.front().der());
+  EXPECT_EQ(proxy_->minted(), 1u);
+}
+
+TEST_F(InterceptTest, ProxyReturnsNotFoundForUnknownEndpoints) {
+  EXPECT_FALSE(proxy_->fetch({"nonexistent.example", 443}).ok());
+}
+
+TEST_F(InterceptTest, DetectorFlagsInterceptedEndpoints) {
+  InterceptionDetector detector(*device_store_, *origin_);
+  const auto through_proxy =
+      detector.probe_all(*proxy_, reality_mine_intercepted_endpoints());
+  for (const auto& result : through_proxy) {
+    EXPECT_EQ(result.verdict, EndpointVerdict::kIntercepted)
+        << result.endpoint.key();
+    // Reality Mine's root is NOT in the device store, so the regenerated
+    // chain does not validate on-device.
+    EXPECT_FALSE(result.validates_on_device) << result.endpoint.key();
+  }
+}
+
+TEST_F(InterceptTest, DetectorPassesWhitelistedEndpoints) {
+  InterceptionDetector detector(*device_store_, *origin_);
+  const auto results =
+      detector.probe_all(*proxy_, reality_mine_whitelisted_endpoints());
+  for (const auto& result : results) {
+    EXPECT_EQ(result.verdict, EndpointVerdict::kUntouched)
+        << result.endpoint.key();
+    EXPECT_TRUE(result.validates_on_device) << result.endpoint.key();
+  }
+}
+
+TEST_F(InterceptTest, DetectorCleanOnUnproxiedNetwork) {
+  InterceptionDetector detector(*device_store_, *origin_);
+  for (const auto& endpoint : reality_mine_intercepted_endpoints()) {
+    const auto result = detector.probe(*origin_, endpoint);
+    EXPECT_EQ(result.verdict, EndpointVerdict::kUntouched) << endpoint.key();
+  }
+}
+
+TEST_F(InterceptTest, DetectorReportsUnreachable) {
+  InterceptionDetector detector(*device_store_, *origin_);
+  const auto result = detector.probe(*origin_, {"gone.example", 443});
+  EXPECT_EQ(result.verdict, EndpointVerdict::kUnreachable);
+}
+
+TEST_F(InterceptTest, InstalledProxyRootMakesInterceptionSilent) {
+  // If the proxy root IS in the device store (a cooperating/compromised
+  // device), the chain validates on-device — but the anchor comparison
+  // still flags it. This is why Netalyzr's Notary cross-check matters.
+  rootstore::RootStore compromised("compromised");
+  for (const auto& cert : device_store_->certificates()) compromised.add(cert);
+  compromised.add(proxy_->proxy_root());
+  InterceptionDetector detector(compromised, *origin_);
+  const auto result = detector.probe(*proxy_, {"www.chase.com", 443});
+  EXPECT_TRUE(result.validates_on_device);
+  EXPECT_EQ(result.verdict, EndpointVerdict::kIntercepted);
+}
+
+TEST_F(InterceptTest, PinningClientBreaksUnderInterception) {
+  const Endpoint bank{"www.bankofamerica.com", 443};
+  const x509::Certificate* anchor = origin_->expected_anchor(bank);
+  ASSERT_NE(anchor, nullptr);
+  PinningClient client(bank.domain, *anchor);
+  EXPECT_TRUE(client.connect(*origin_));
+  EXPECT_FALSE(client.connect(*proxy_));
+}
+
+TEST_F(InterceptTest, PinnedWhitelistedAppsKeepWorkingThroughProxy) {
+  // §7: the proxy whitelists pinned apps (Facebook, Twitter, Google) so
+  // they keep working.
+  const Endpoint fb{"www.facebook.com", 443};
+  const x509::Certificate* anchor = origin_->expected_anchor(fb);
+  ASSERT_NE(anchor, nullptr);
+  PinningClient client(fb.domain, *anchor);
+  EXPECT_TRUE(client.connect(*proxy_));
+}
+
+}  // namespace
+}  // namespace tangled::intercept

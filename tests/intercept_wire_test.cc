@@ -1,0 +1,81 @@
+// The §7 scenario end-to-end at the byte level: origin flights, proxied
+// flights with rewritten Certificate messages, and chain recovery on the
+// far side — all through real TLS 1.2 framing.
+#include <gtest/gtest.h>
+
+#include "intercept/wire_network.h"
+#include "pki/verify.h"
+#include "rootstore/catalog.h"
+
+namespace tangled::intercept {
+namespace {
+
+const rootstore::StoreUniverse& universe() {
+  static const rootstore::StoreUniverse u = rootstore::StoreUniverse::build(1402);
+  return u;
+}
+
+class WireNetworkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Xoshiro256 rng(7777);
+    std::vector<Endpoint> endpoints = reality_mine_intercepted_endpoints();
+    std::vector<pki::CaNode> roots(universe().aosp_cas().begin() + 1,
+                                   universe().aosp_cas().begin() + 5);
+    auto origin = build_origin_network(endpoints, roots, rng);
+    ASSERT_TRUE(origin.ok());
+    origin_ = std::move(origin).value();
+    proxy_ = std::make_unique<MitmProxy>(*origin_, reality_mine_policy(),
+                                         "Reality Mine", 321);
+  }
+
+  std::unique_ptr<OriginNetwork> origin_;
+  std::unique_ptr<MitmProxy> proxy_;
+};
+
+TEST_F(WireNetworkTest, FlightCarriesTheSameChainAsDirectFetch) {
+  const Endpoint bank{"www.bankofamerica.com", 443};
+  WireNetwork wire(*origin_);
+  auto flight = wire.fetch_flight(bank);
+  ASSERT_TRUE(flight.ok());
+  auto recovered = chain_from_flight(flight.value());
+  ASSERT_TRUE(recovered.ok());
+  auto direct = origin_->fetch(bank);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(recovered.value().chain.size(), direct.value().chain.size());
+  for (std::size_t i = 0; i < direct.value().chain.size(); ++i) {
+    EXPECT_EQ(recovered.value().chain[i], direct.value().chain[i]);
+  }
+}
+
+TEST_F(WireNetworkTest, ProxiedFlightCarriesForgedChain) {
+  const Endpoint bank{"www.bankofamerica.com", 443};
+  WireNetwork proxied_wire(*proxy_);
+  auto flight = proxied_wire.fetch_flight(bank);
+  ASSERT_TRUE(flight.ok());
+  auto recovered = chain_from_flight(flight.value());
+  ASSERT_TRUE(recovered.ok());
+  // Roots at the Reality Mine CA, not the genuine one.
+  EXPECT_EQ(recovered.value().chain.back().subject().organization(),
+            "Reality Mine");
+  // The genuine store rejects it.
+  pki::TrustAnchors anchors;
+  for (const auto& cert :
+       universe().aosp(rootstore::AndroidVersion::k44).certificates()) {
+    anchors.add(cert);
+  }
+  pki::ChainVerifier verifier(anchors);
+  EXPECT_FALSE(verifier.verify_presented(recovered.value().chain).ok());
+}
+
+TEST_F(WireNetworkTest, UnknownEndpointPropagatesError) {
+  WireNetwork wire(*origin_);
+  EXPECT_FALSE(wire.fetch_flight({"missing.example", 443}).ok());
+}
+
+TEST_F(WireNetworkTest, ChainFromGarbageFlightFails) {
+  EXPECT_FALSE(chain_from_flight(to_bytes("nope")).ok());
+}
+
+}  // namespace
+}  // namespace tangled::intercept

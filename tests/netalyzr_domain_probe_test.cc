@@ -1,0 +1,93 @@
+#include "netalyzr/domain_probe.h"
+
+#include <gtest/gtest.h>
+
+#include "intercept/proxy.h"
+
+namespace tangled::netalyzr {
+namespace {
+
+const rootstore::StoreUniverse& universe() {
+  static const rootstore::StoreUniverse u = rootstore::StoreUniverse::build(1402);
+  return u;
+}
+
+class DomainProbeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Xoshiro256 rng(8282);
+    // Host every probe endpoint, round-robin over 8 live AOSP roots
+    // (skipping the expired Firmaprofesional at index 0).
+    roots_.assign(universe().aosp_cas().begin() + 1,
+                  universe().aosp_cas().begin() + 9);
+    auto network =
+        intercept::build_origin_network(popular_probe_endpoints(), roots_, rng);
+    ASSERT_TRUE(network.ok());
+    origin_ = std::move(network).value();
+  }
+
+  std::vector<pki::CaNode> roots_;
+  std::unique_ptr<intercept::OriginNetwork> origin_;
+};
+
+TEST_F(DomainProbeTest, EndpointListShape) {
+  const auto endpoints = popular_probe_endpoints();
+  EXPECT_EQ(endpoints.size(), 30u);  // 12 + 9 Table 6 + 9 popular services
+  // Includes non-443 mobile-service ports (§4.1 probes services too).
+  bool has_supl = false;
+  for (const auto& e : endpoints) has_supl |= (e.port == 7275);
+  EXPECT_TRUE(has_supl);
+}
+
+TEST_F(DomainProbeTest, StockStoreValidatesEverything) {
+  const auto report =
+      probe_domains(universe().aosp(rootstore::AndroidVersion::k44), *origin_,
+                    *origin_);
+  EXPECT_TRUE(report.all_valid());
+  EXPECT_EQ(report.invalid, 0u);
+  EXPECT_EQ(report.unreachable, 0u);
+  EXPECT_EQ(report.unexpected_anchor, 0u);
+}
+
+TEST_F(DomainProbeTest, MissingRootFailsExactlyItsDomains) {
+  // Remove one hosting root from the device store: domains anchored there
+  // (every 8th endpoint) must fail, everything else still validates.
+  rootstore::RootStore damaged("damaged");
+  for (const auto& cert :
+       universe().aosp(rootstore::AndroidVersion::k44).certificates()) {
+    if (cert == roots_[3].cert) continue;
+    damaged.add(cert);
+  }
+  const auto report = probe_domains(damaged, *origin_, *origin_);
+  const auto endpoints = popular_probe_endpoints();
+  std::size_t expected_failures = 0;
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    if (i % roots_.size() == 3) ++expected_failures;
+  }
+  EXPECT_EQ(report.invalid, expected_failures);
+  EXPECT_EQ(report.valid, report.probed - expected_failures);
+  EXPECT_EQ(report.failed_domains.size(), expected_failures);
+}
+
+TEST_F(DomainProbeTest, ProxiedNetworkShowsInvalidChains) {
+  intercept::MitmProxy proxy(*origin_, intercept::reality_mine_policy(),
+                             "Reality Mine", 12);
+  const auto report =
+      probe_domains(universe().aosp(rootstore::AndroidVersion::k44), proxy,
+                    *origin_);
+  // Intercepted endpoints fail device validation (proxy root not in store);
+  // whitelisted + extra-popular ones still validate.
+  EXPECT_GE(report.invalid, 12u);
+  EXPECT_GT(report.valid, 0u);
+  EXPECT_FALSE(report.all_valid());
+}
+
+TEST_F(DomainProbeTest, EmptyStoreFailsEverything) {
+  rootstore::RootStore empty("empty");
+  const auto report = probe_domains(empty, *origin_, *origin_);
+  EXPECT_EQ(report.valid, 0u);
+  EXPECT_EQ(report.invalid, report.probed);
+}
+
+}  // namespace
+}  // namespace tangled::netalyzr

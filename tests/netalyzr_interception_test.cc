@@ -1,0 +1,80 @@
+#include "netalyzr/interception_survey.h"
+
+#include <gtest/gtest.h>
+
+namespace tangled::netalyzr {
+namespace {
+
+const rootstore::StoreUniverse& universe() {
+  static const rootstore::StoreUniverse u = rootstore::StoreUniverse::build(1402);
+  return u;
+}
+
+// A small population keeps the sweep fast; proxied_handsets defaults to 1.
+const synth::Population& population() {
+  static const synth::Population pop = [] {
+    synth::PopulationConfig config;
+    config.n_sessions = 2000;
+    config.n_handsets = 500;
+    config.n_models = 60;
+    config.crazy_house_handsets = 3;
+    synth::PopulationGenerator generator(universe(), config);
+    return generator.generate();
+  }();
+  return pop;
+}
+
+TEST(InterceptionSurveyTest, ExactlyOneProxiedHandsetDesignated) {
+  std::size_t proxied = 0;
+  for (const auto& h : population().handsets) {
+    if (h.behind_proxy) {
+      ++proxied;
+      // §7: a Nexus 7 on Android 4.4.
+      EXPECT_EQ(h.device.model, "Asus Nexus 7");
+      EXPECT_EQ(h.device.version, rootstore::AndroidVersion::k44);
+    }
+  }
+  EXPECT_EQ(proxied, 1u);
+}
+
+TEST(InterceptionSurveyTest, SurveyFindsExactlyTheProxiedHandset) {
+  const auto result = survey_interception(population(), universe());
+  EXPECT_EQ(result.handsets_probed, population().handsets.size());
+  ASSERT_EQ(result.flagged_handsets.size(), 1u);
+  const auto& flagged = population().handsets[result.flagged_handsets[0]];
+  EXPECT_TRUE(flagged.behind_proxy);
+}
+
+TEST(InterceptionSurveyTest, FlaggedHandsetShowsTable6Policy) {
+  const auto result = survey_interception(population(), universe());
+  // 12 intercepted, 9 whitelisted endpoints from the one flagged handset.
+  EXPECT_EQ(result.intercepted_endpoints.size(), 12u);
+  EXPECT_EQ(result.whitelisted_endpoints.size(), 9u);
+  EXPECT_TRUE(result.intercepted_endpoints.contains("www.bankofamerica.com:443"));
+  EXPECT_TRUE(result.whitelisted_endpoints.contains("www.facebook.com:443"));
+  EXPECT_TRUE(result.whitelisted_endpoints.contains("supl.google.com:7275"));
+}
+
+TEST(InterceptionSurveyTest, NoProxyNoFindings) {
+  synth::PopulationConfig config;
+  config.n_sessions = 400;
+  config.n_handsets = 100;
+  config.n_models = 20;
+  config.crazy_house_handsets = 2;
+  config.proxied_handsets = 0;
+  synth::PopulationGenerator generator(universe(), config);
+  const auto pop = generator.generate();
+  const auto result = survey_interception(pop, universe());
+  EXPECT_TRUE(result.flagged_handsets.empty());
+  EXPECT_TRUE(result.intercepted_endpoints.empty());
+}
+
+TEST(InterceptionSurveyTest, DeterministicAcrossRuns) {
+  const auto a = survey_interception(population(), universe(), 2014);
+  const auto b = survey_interception(population(), universe(), 2014);
+  EXPECT_EQ(a.flagged_handsets, b.flagged_handsets);
+  EXPECT_EQ(a.intercepted_endpoints, b.intercepted_endpoints);
+}
+
+}  // namespace
+}  // namespace tangled::netalyzr

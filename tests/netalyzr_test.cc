@@ -1,0 +1,152 @@
+#include "netalyzr/netalyzr.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "intercept/network.h"
+
+namespace tangled::netalyzr {
+namespace {
+
+const rootstore::StoreUniverse& universe() {
+  static const rootstore::StoreUniverse u = rootstore::StoreUniverse::build(1402);
+  return u;
+}
+
+const synth::Population& population() {
+  static const synth::Population pop = [] {
+    synth::PopulationGenerator generator(universe());
+    return generator.generate();
+  }();
+  return pop;
+}
+
+const SessionDb& db() {
+  static const SessionDb d(population());
+  return d;
+}
+
+TEST(SessionDbTest, StatsMatchPopulation) {
+  const auto stats = db().stats();
+  EXPECT_EQ(stats.sessions, 15970u);
+  EXPECT_NEAR(static_cast<double>(stats.rooted_sessions) / stats.sessions,
+              0.24, 0.03);
+  EXPECT_NEAR(static_cast<double>(stats.extended_sessions) / stats.sessions,
+              0.39, 0.06);
+  EXPECT_GT(stats.sessions_missing_certs, 0u);
+}
+
+TEST(SessionDbTest, HandsetEstimateIsLowerBoundNearTruth) {
+  const std::size_t estimate = db().estimate_handsets();
+  // §4.1: "at least 3,835 different handsets". The estimator collapses
+  // same-tuple devices, so it must not exceed the true count by much and
+  // should get close from below.
+  EXPECT_LE(estimate, population().handsets.size());
+  EXPECT_GT(estimate, population().handsets.size() * 9 / 10);
+}
+
+TEST(SessionDbTest, ModelTableTopEntries) {
+  const auto by_model = db().sessions_by_model();
+  ASSERT_GE(by_model.size(), 5u);
+  EXPECT_EQ(by_model[0].first, "Samsung Galaxy SIV");
+  EXPECT_EQ(by_model[1].first, "Samsung Galaxy SIII");
+  // Table 2's named Nexus models are in the top 5.
+  std::set<std::string> top5;
+  for (std::size_t i = 0; i < 5; ++i) top5.insert(by_model[i].first);
+  EXPECT_TRUE(top5.contains("LG Nexus 4"));
+  EXPECT_TRUE(top5.contains("Asus Nexus 7"));
+}
+
+TEST(SessionDbTest, ManufacturerTableOrdering) {
+  const auto by_mfr = db().sessions_by_manufacturer();
+  ASSERT_GE(by_mfr.size(), 4u);
+  EXPECT_EQ(by_mfr[0].first, "SAMSUNG");
+  EXPECT_EQ(by_mfr[1].first, "LG");
+}
+
+TEST(SessionDbTest, CertificateVolumeScalesWithSessions) {
+  // §4.1: 2.3 M root certs over 15,970 executions ≈ 144 per session.
+  const auto total = db().total_certificates_collected();
+  const double per_session =
+      static_cast<double>(total) / db().stats().sessions;
+  EXPECT_GT(per_session, 135.0);
+  EXPECT_LT(per_session, 175.0);
+  // §4.1: only 314 unique certificates across all sessions.
+  const auto unique = db().unique_certificates_estimate();
+  EXPECT_GT(unique, 200u);
+  EXPECT_LT(unique, 330u);
+}
+
+TEST(SessionDbTest, VersionMixMatchesConfiguredShares) {
+  const auto by_version = db().sessions_by_version();
+  ASSERT_EQ(by_version.size(), 4u);
+  std::uint64_t total = 0;
+  for (const auto& [version, count] : by_version) total += count;
+  EXPECT_EQ(total, db().stats().sessions);
+  // Late-2013 mix: 4.1 is the largest cohort (30%).
+  EXPECT_EQ(by_version[0].first, "4.1");
+  EXPECT_NEAR(static_cast<double>(by_version[0].second) / total, 0.30, 0.04);
+}
+
+TEST(SessionDbTest, CsvExportShape) {
+  const std::string csv = db().sessions_csv();
+  // Header + one row per session.
+  std::size_t lines = 0;
+  for (const char c : csv) lines += (c == '\n') ? 1 : 0;
+  EXPECT_EQ(lines, db().stats().sessions + 1);
+  EXPECT_EQ(csv.find("model,manufacturer,os,operator"), 0u);
+  // Spot-check a known model appears.
+  EXPECT_NE(csv.find("Samsung Galaxy SIV,SAMSUNG,4."), std::string::npos);
+}
+
+TEST(TrustChainProbeTest, ValidatesAgainstDeviceStore) {
+  // Build a tiny origin and probe it with a stock device store.
+  Xoshiro256 rng(31337);
+  // Start past the expired Firmaprofesional root at index 0.
+  std::vector<pki::CaNode> roots(universe().aosp_cas().begin() + 1,
+                                 universe().aosp_cas().begin() + 4);
+  auto network = intercept::build_origin_network(
+      {{"www.example.com", 443}}, roots, rng);
+  ASSERT_TRUE(network.ok());
+  auto presented = network.value()->fetch({"www.example.com", 443});
+  ASSERT_TRUE(presented.ok());
+
+  TrustChainProbe probe(universe().aosp(rootstore::AndroidVersion::k44));
+  const auto result =
+      probe.check("www.example.com", 443, presented.value().chain,
+                  network.value()->expected_anchor({"www.example.com", 443}));
+  EXPECT_TRUE(result.reachable);
+  EXPECT_TRUE(result.valid);
+  EXPECT_FALSE(result.unexpected_anchor);
+  EXPECT_FALSE(result.anchor_subject.empty());
+}
+
+TEST(TrustChainProbeTest, FlagsUnexpectedAnchor) {
+  Xoshiro256 rng(31338);
+  std::vector<pki::CaNode> roots(universe().aosp_cas().begin() + 1,
+                                 universe().aosp_cas().begin() + 3);
+  auto network = intercept::build_origin_network(
+      {{"www.example.com", 443}}, roots, rng);
+  ASSERT_TRUE(network.ok());
+  auto presented = network.value()->fetch({"www.example.com", 443});
+  ASSERT_TRUE(presented.ok());
+
+  TrustChainProbe probe(universe().aosp(rootstore::AndroidVersion::k44));
+  // Claim a different expected anchor.
+  const auto result = probe.check("www.example.com", 443,
+                                  presented.value().chain,
+                                  &universe().aosp_cas()[50].cert);
+  EXPECT_TRUE(result.valid);
+  EXPECT_TRUE(result.unexpected_anchor);
+}
+
+TEST(TrustChainProbeTest, EmptyChainUnreachable) {
+  TrustChainProbe probe(universe().aosp(rootstore::AndroidVersion::k44));
+  const auto result = probe.check("gone.example", 443, {}, nullptr);
+  EXPECT_FALSE(result.reachable);
+  EXPECT_FALSE(result.valid);
+}
+
+}  // namespace
+}  // namespace tangled::netalyzr

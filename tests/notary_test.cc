@@ -1,0 +1,184 @@
+#include "notary/census.h"
+#include "notary/notary.h"
+
+#include <gtest/gtest.h>
+
+#include "pki/hierarchy.h"
+
+namespace tangled::notary {
+namespace {
+
+class NotaryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Xoshiro256 rng(555);
+    auto h = pki::CaHierarchy::build(rng, "NotaryCA", 1, /*sim_keys=*/true);
+    ASSERT_TRUE(h.ok());
+    hierarchy_ = std::make_unique<pki::CaHierarchy>(std::move(h).value());
+    rng_ = std::make_unique<Xoshiro256>(rng.fork());
+  }
+
+  Observation make_observation(const std::string& domain,
+                               std::uint16_t port = 443) {
+    auto leaf = hierarchy_->issue(*rng_, domain, 0);
+    EXPECT_TRUE(leaf.ok());
+    Observation obs;
+    obs.chain = hierarchy_->presented_chain(leaf.value(), 0);
+    obs.port = port;
+    return obs;
+  }
+
+  std::unique_ptr<pki::CaHierarchy> hierarchy_;
+  std::unique_ptr<Xoshiro256> rng_;
+};
+
+TEST_F(NotaryTest, CountsSessionsAndUniqueCerts) {
+  NotaryDb db;
+  const auto obs = make_observation("a.example.com");
+  db.observe(obs);
+  db.observe(obs);  // same chain seen twice
+  EXPECT_EQ(db.session_count(), 2u);
+  // leaf + intermediate unique certs.
+  EXPECT_EQ(db.unique_cert_count(), 2u);
+  db.observe(make_observation("b.example.com"));
+  EXPECT_EQ(db.session_count(), 3u);
+  EXPECT_EQ(db.unique_cert_count(), 3u);  // new leaf, same intermediate
+}
+
+TEST_F(NotaryTest, TracksExpiredUniqueCerts) {
+  NotaryDb db(asn1::make_time(2020, 1, 1));  // leaves expire 2016
+  db.observe(make_observation("a.example.com"));
+  EXPECT_EQ(db.unique_cert_count(), 2u);
+  // Both leaf (2016) and intermediate (2026) judged against 2020: only the
+  // intermediate is unexpired.
+  EXPECT_EQ(db.unexpired_unique_cert_count(), 1u);
+}
+
+TEST_F(NotaryTest, RecordedByIdentity) {
+  NotaryDb db;
+  const auto obs = make_observation("a.example.com");
+  db.observe(obs);
+  EXPECT_TRUE(db.recorded(obs.chain[0]));
+  EXPECT_TRUE(db.recorded(obs.chain[1]));
+  // The root was not in the presented chain.
+  EXPECT_FALSE(db.recorded(hierarchy_->root().cert));
+}
+
+TEST_F(NotaryTest, SessionsByPort) {
+  NotaryDb db;
+  db.observe(make_observation("a.example.com", 443));
+  db.observe(make_observation("b.example.com", 443));
+  db.observe(make_observation("c.example.com", 993));
+  EXPECT_EQ(db.sessions_by_port().at(443), 2u);
+  EXPECT_EQ(db.sessions_by_port().at(993), 1u);
+}
+
+class CensusTest : public NotaryTest {
+ protected:
+  void SetUp() override {
+    NotaryTest::SetUp();
+    anchors_.add(hierarchy_->root().cert);
+  }
+  pki::TrustAnchors anchors_;
+};
+
+TEST_F(CensusTest, CountsValidatedLeaves) {
+  ValidationCensus census(anchors_);
+  census.ingest(make_observation("a.example.com"));
+  census.ingest(make_observation("b.example.com"));
+  EXPECT_EQ(census.total_unexpired(), 2u);
+  EXPECT_EQ(census.total_validated(), 2u);
+  EXPECT_EQ(census.validated_by(hierarchy_->root().cert), 2u);
+}
+
+TEST_F(CensusTest, DeduplicatesRepeatedLeaves) {
+  ValidationCensus census(anchors_);
+  const auto obs = make_observation("a.example.com");
+  census.ingest(obs);
+  census.ingest(obs);
+  EXPECT_EQ(census.total_unexpired(), 1u);
+  EXPECT_EQ(census.validated_by(hierarchy_->root().cert), 1u);
+}
+
+TEST_F(CensusTest, SkipsExpiredLeaves) {
+  pki::VerifyOptions options;
+  options.at = asn1::make_time(2020, 1, 1);  // leaves (exp 2016) are stale
+  ValidationCensus census(anchors_, options);
+  census.ingest(make_observation("a.example.com"));
+  EXPECT_EQ(census.total_unexpired(), 0u);
+  EXPECT_EQ(census.total_validated(), 0u);
+}
+
+TEST_F(CensusTest, UnvalidatableLeavesCounted) {
+  Xoshiro256 rng(777);
+  auto other = pki::CaHierarchy::build(rng, "Unknown", 1, true);
+  ASSERT_TRUE(other.ok());
+  auto leaf = other.value().issue(rng, "x.example.com", 0);
+  ASSERT_TRUE(leaf.ok());
+  Observation obs;
+  obs.chain = other.value().presented_chain(leaf.value(), 0);
+
+  ValidationCensus census(anchors_);
+  census.ingest(obs);
+  EXPECT_EQ(census.total_unexpired(), 1u);
+  EXPECT_EQ(census.total_validated(), 0u);
+}
+
+TEST_F(CensusTest, PerStoreCountsWithEquivalence) {
+  ValidationCensus census(anchors_);
+  census.ingest(make_observation("a.example.com"));
+
+  rootstore::RootStore with_root("with");
+  with_root.add(hierarchy_->root().cert);
+  EXPECT_EQ(census.validated_by_store(with_root), 1u);
+
+  rootstore::RootStore without("without");
+  EXPECT_EQ(census.validated_by_store(without), 0u);
+
+  // A store holding only an equivalent re-issue of the root still counts.
+  crypto::KeyPair same_key;
+  same_key.pub = hierarchy_->root().key.pub;
+  auto reissue = pki::make_root(
+      crypto::sim_sig_scheme(), same_key, hierarchy_->root().cert.subject(),
+      {asn1::make_time(2012, 1, 1), asn1::make_time(2040, 1, 1)}, 42);
+  ASSERT_TRUE(reissue.ok());
+  rootstore::RootStore equivalent("equivalent");
+  equivalent.add(reissue.value().cert);
+  EXPECT_EQ(census.validated_by_store(equivalent), 1u);
+}
+
+TEST_F(CensusTest, ZeroFractionAndEcdf) {
+  ValidationCensus census(anchors_);
+  census.ingest(make_observation("a.example.com"));
+  census.ingest(make_observation("b.example.com"));
+
+  Xoshiro256 rng(888);
+  auto dead_key = crypto::generate_sim_keypair(rng);
+  auto dead = pki::make_root(crypto::sim_sig_scheme(), dead_key,
+                             pki::ca_name("Dead", "Dead Root"),
+                             {asn1::make_time(2010, 1, 1),
+                              asn1::make_time(2030, 1, 1)},
+                             1);
+  ASSERT_TRUE(dead.ok());
+
+  std::vector<x509::Certificate> roots{hierarchy_->root().cert,
+                                       dead.value().cert};
+  EXPECT_DOUBLE_EQ(census.zero_fraction(roots), 0.5);
+  const auto ecdf = census.ecdf_counts(roots);
+  ASSERT_EQ(ecdf.size(), 2u);
+  EXPECT_EQ(ecdf[0], 0u);
+  EXPECT_EQ(ecdf[1], 2u);
+  const auto coverage = census.cumulative_coverage(roots);
+  ASSERT_EQ(coverage.size(), 2u);
+  EXPECT_EQ(coverage[0], 2u);
+  EXPECT_EQ(coverage[1], 2u);
+}
+
+TEST_F(CensusTest, EmptyObservationIgnored) {
+  ValidationCensus census(anchors_);
+  census.ingest(Observation{});
+  EXPECT_EQ(census.total_unexpired(), 0u);
+}
+
+}  // namespace
+}  // namespace tangled::notary

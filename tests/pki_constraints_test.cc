@@ -1,0 +1,162 @@
+// Path-length and leaf-EKU enforcement in the chain verifier.
+#include <gtest/gtest.h>
+
+#include "pki/hierarchy.h"
+#include "pki/verify.h"
+
+namespace tangled::pki {
+namespace {
+
+using crypto::sim_sig_scheme;
+
+const x509::Validity kValidity{asn1::make_time(2010, 1, 1),
+                               asn1::make_time(2030, 1, 1)};
+
+struct DeepChain {
+  CaNode root;
+  std::vector<CaNode> intermediates;  // top-down
+  x509::Certificate leaf;
+
+  std::vector<x509::Certificate> presented_intermediates() const {
+    std::vector<x509::Certificate> out;
+    for (const auto& node : intermediates) out.push_back(node.cert);
+    return out;
+  }
+};
+
+/// Builds root -> N intermediates -> leaf, with a chosen pathLen on the
+/// FIRST intermediate under the root.
+DeepChain build_chain(std::uint64_t seed, std::size_t n_intermediates,
+                      std::optional<int> first_inter_path_len) {
+  Xoshiro256 rng(seed);
+  DeepChain chain{
+      pki::make_root(sim_sig_scheme(), crypto::generate_sim_keypair(rng),
+                     ca_name("Deep", "Deep Root"), kValidity, 1)
+          .value(),
+      {},
+      {}};
+  const CaNode* parent = &chain.root;
+  for (std::size_t i = 0; i < n_intermediates; ++i) {
+    const std::optional<int> path_len =
+        i == 0 ? first_inter_path_len : std::nullopt;
+    chain.intermediates.push_back(
+        make_intermediate(sim_sig_scheme(), *parent,
+                          crypto::generate_sim_keypair(rng),
+                          ca_name("Deep", "Inter " + std::to_string(i)),
+                          kValidity, 10 + i, path_len)
+            .value());
+    parent = &chain.intermediates.back();
+  }
+  chain.leaf = make_leaf(sim_sig_scheme(), *parent,
+                         crypto::generate_sim_keypair(rng), "deep.example.com",
+                         {asn1::make_time(2013, 6, 1),
+                          asn1::make_time(2015, 6, 1)},
+                         99)
+                   .value();
+  return chain;
+}
+
+TEST(PathLength, UnboundedIntermediatesAllowDeepChains) {
+  const auto chain = build_chain(1, 4, std::nullopt);
+  TrustAnchors anchors;
+  anchors.add(chain.root.cert);
+  VerifyOptions options;
+  options.max_depth = 8;
+  ChainVerifier verifier(anchors, options);
+  EXPECT_TRUE(
+      verifier.verify(chain.leaf, chain.presented_intermediates()).ok());
+}
+
+TEST(PathLength, ZeroPathLenForbidsSubCa) {
+  // First intermediate has pathLen 0, yet another CA hangs below it.
+  const auto chain = build_chain(2, 2, 0);
+  TrustAnchors anchors;
+  anchors.add(chain.root.cert);
+  ChainVerifier verifier(anchors);
+  const auto result =
+      verifier.verify(chain.leaf, chain.presented_intermediates());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::kVerifyFailed);
+}
+
+TEST(PathLength, ZeroPathLenAllowsDirectLeaf) {
+  const auto chain = build_chain(3, 1, 0);
+  TrustAnchors anchors;
+  anchors.add(chain.root.cert);
+  ChainVerifier verifier(anchors);
+  EXPECT_TRUE(
+      verifier.verify(chain.leaf, chain.presented_intermediates()).ok());
+}
+
+TEST(PathLength, ExactBudgetAccepted) {
+  // pathLen 1 permits exactly one more CA below.
+  const auto chain = build_chain(4, 2, 1);
+  TrustAnchors anchors;
+  anchors.add(chain.root.cert);
+  ChainVerifier verifier(anchors);
+  EXPECT_TRUE(
+      verifier.verify(chain.leaf, chain.presented_intermediates()).ok());
+}
+
+TEST(PathLength, EnforcementCanBeDisabled) {
+  const auto chain = build_chain(5, 2, 0);
+  TrustAnchors anchors;
+  anchors.add(chain.root.cert);
+  VerifyOptions lax;
+  lax.check_path_length = false;
+  ChainVerifier verifier(anchors, lax);
+  EXPECT_TRUE(
+      verifier.verify(chain.leaf, chain.presented_intermediates()).ok());
+}
+
+TEST(LeafEku, ServerAuthLeafPassesServerAuthPurpose) {
+  const auto chain = build_chain(6, 1, std::nullopt);
+  TrustAnchors anchors;
+  anchors.add(chain.root.cert);  // trusted for everything
+  VerifyOptions options;
+  options.purpose = TrustPurpose::kServerAuth;
+  ChainVerifier verifier(anchors, options);
+  // make_leaf stamps EKU serverAuth.
+  EXPECT_TRUE(
+      verifier.verify(chain.leaf, chain.presented_intermediates()).ok());
+}
+
+TEST(LeafEku, ServerAuthLeafFailsCodeSigningPurpose) {
+  const auto chain = build_chain(7, 1, std::nullopt);
+  TrustAnchors anchors;
+  anchors.add(chain.root.cert);
+  VerifyOptions options;
+  options.purpose = TrustPurpose::kCodeSigning;
+  ChainVerifier verifier(anchors, options);
+  const auto result =
+      verifier.verify(chain.leaf, chain.presented_intermediates());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("ExtendedKeyUsage"), std::string::npos);
+}
+
+TEST(LeafEku, LeafWithoutEkuIsUnrestricted) {
+  Xoshiro256 rng(8);
+  auto root = pki::make_root(sim_sig_scheme(),
+                             crypto::generate_sim_keypair(rng),
+                             ca_name("NoEku", "NoEku Root"), kValidity, 1)
+                  .value();
+  auto kp = crypto::generate_sim_keypair(rng);
+  auto leaf = x509::CertificateBuilder()
+                  .serial(2)
+                  .subject(server_name("free.example.com"))
+                  .issuer(root.cert.subject())
+                  .not_before(asn1::make_time(2013, 6, 1))
+                  .not_after(asn1::make_time(2015, 6, 1))
+                  .public_key(kp.pub)
+                  .sign(sim_sig_scheme(), root.key);
+  ASSERT_TRUE(leaf.ok());
+  TrustAnchors anchors;
+  anchors.add(root.cert);
+  VerifyOptions options;
+  options.purpose = TrustPurpose::kCodeSigning;
+  ChainVerifier verifier(anchors, options);
+  EXPECT_TRUE(verifier.verify(leaf.value(), {}).ok());
+}
+
+}  // namespace
+}  // namespace tangled::pki

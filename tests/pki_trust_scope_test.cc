@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "pki/hierarchy.h"
+#include "pki/verify.h"
+
+namespace tangled::pki {
+namespace {
+
+// §8: Android trusts every root for every purpose; Mozilla scopes trust.
+// These tests exercise the scoped-verification path the paper recommends.
+class TrustScopeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Xoshiro256 rng(808);
+    auto h = CaHierarchy::build(rng, "ScopeCA", 1, /*sim_keys=*/true);
+    ASSERT_TRUE(h.ok());
+    hierarchy_ = std::make_unique<CaHierarchy>(std::move(h).value());
+    // Issue a leaf WITHOUT an EKU extension so these tests isolate anchor
+    // scoping (leaf-EKU gating is covered by pki_constraints_test).
+    auto leaf_key = crypto::generate_sim_keypair(rng);
+    auto leaf = x509::CertificateBuilder()
+                    .serial(7)
+                    .subject(server_name("scope.example.com"))
+                    .issuer(hierarchy_->intermediates()[0].cert.subject())
+                    .not_before(asn1::make_time(2013, 6, 1))
+                    .not_after(asn1::make_time(2015, 6, 1))
+                    .public_key(leaf_key.pub)
+                    .sign(crypto::sim_sig_scheme(),
+                          hierarchy_->intermediates()[0].key);
+    ASSERT_TRUE(leaf.ok());
+    leaf_ = std::move(leaf).value();
+    intermediates_ = {hierarchy_->intermediates()[0].cert};
+  }
+
+  VerifyOptions with_purpose(TrustPurpose purpose) const {
+    VerifyOptions options;
+    options.purpose = purpose;
+    return options;
+  }
+
+  std::unique_ptr<CaHierarchy> hierarchy_;
+  x509::Certificate leaf_;
+  std::vector<x509::Certificate> intermediates_;
+};
+
+TEST_F(TrustScopeTest, UnscopedAnchorTrustedForEverything) {
+  TrustAnchors anchors;
+  anchors.add(hierarchy_->root().cert);  // Android-style: kTrustAll
+  for (const TrustPurpose purpose :
+       {TrustPurpose::kServerAuth, TrustPurpose::kCodeSigning,
+        TrustPurpose::kEmail, TrustPurpose::kTimestamping}) {
+    ChainVerifier verifier(anchors, with_purpose(purpose));
+    EXPECT_TRUE(verifier.verify(leaf_, intermediates_).ok());
+  }
+}
+
+TEST_F(TrustScopeTest, ScopedAnchorRejectsOtherPurposes) {
+  TrustAnchors anchors;
+  anchors.add(hierarchy_->root().cert,
+              trust_flag(TrustPurpose::kServerAuth));  // Mozilla-style
+  ChainVerifier server(anchors, with_purpose(TrustPurpose::kServerAuth));
+  EXPECT_TRUE(server.verify(leaf_, intermediates_).ok());
+
+  ChainVerifier code(anchors, with_purpose(TrustPurpose::kCodeSigning));
+  const auto chain = code.verify(leaf_, intermediates_);
+  ASSERT_FALSE(chain.ok());
+  EXPECT_EQ(chain.error().code, Errc::kVerifyFailed);
+}
+
+TEST_F(TrustScopeTest, MultiPurposeFlagsCombine) {
+  TrustAnchors anchors;
+  anchors.add(hierarchy_->root().cert,
+              static_cast<TrustFlags>(trust_flag(TrustPurpose::kServerAuth) |
+                                      trust_flag(TrustPurpose::kEmail)));
+  EXPECT_TRUE(ChainVerifier(anchors, with_purpose(TrustPurpose::kServerAuth))
+                  .verify(leaf_, intermediates_)
+                  .ok());
+  EXPECT_TRUE(ChainVerifier(anchors, with_purpose(TrustPurpose::kEmail))
+                  .verify(leaf_, intermediates_)
+                  .ok());
+  EXPECT_FALSE(ChainVerifier(anchors, with_purpose(TrustPurpose::kCodeSigning))
+                   .verify(leaf_, intermediates_)
+                   .ok());
+}
+
+TEST_F(TrustScopeTest, NoPurposeRequestedIgnoresScoping) {
+  TrustAnchors anchors;
+  anchors.add(hierarchy_->root().cert, trust_flag(TrustPurpose::kEmail));
+  ChainVerifier verifier(anchors);  // no purpose in options
+  EXPECT_TRUE(verifier.verify(leaf_, intermediates_).ok());
+}
+
+TEST_F(TrustScopeTest, SelfSignedAnchorLeafHonorsScope) {
+  TrustAnchors anchors;
+  anchors.add(hierarchy_->root().cert, trust_flag(TrustPurpose::kServerAuth));
+  EXPECT_TRUE(ChainVerifier(anchors, with_purpose(TrustPurpose::kServerAuth))
+                  .verify(hierarchy_->root().cert, {})
+                  .ok());
+  EXPECT_FALSE(ChainVerifier(anchors, with_purpose(TrustPurpose::kCodeSigning))
+                   .verify(hierarchy_->root().cert, {})
+                   .ok());
+}
+
+TEST_F(TrustScopeTest, TrustedForQueriesMembership) {
+  TrustAnchors anchors;
+  anchors.add(hierarchy_->root().cert, trust_flag(TrustPurpose::kServerAuth));
+  EXPECT_TRUE(
+      anchors.trusted_for(hierarchy_->root().cert, TrustPurpose::kServerAuth));
+  EXPECT_FALSE(
+      anchors.trusted_for(hierarchy_->root().cert, TrustPurpose::kCodeSigning));
+  // Unknown cert: trusted for nothing.
+  EXPECT_FALSE(anchors.trusted_for(hierarchy_->intermediates()[0].cert,
+                                   TrustPurpose::kServerAuth));
+}
+
+// The paper's §5.1 example made concrete: a code-signing-only root (like
+// GeoTrust CA for UTI) cannot anchor TLS server chains under scoping, but
+// can under Android's flat model.
+TEST_F(TrustScopeTest, UtiStyleRootScenario) {
+  TrustAnchors android_style;
+  android_style.add(hierarchy_->root().cert);  // flat trust
+  TrustAnchors mozilla_style;
+  mozilla_style.add(hierarchy_->root().cert,
+                    trust_flag(TrustPurpose::kCodeSigning));
+
+  const auto tls = with_purpose(TrustPurpose::kServerAuth);
+  EXPECT_TRUE(ChainVerifier(android_style, tls).verify(leaf_, intermediates_).ok());
+  EXPECT_FALSE(
+      ChainVerifier(mozilla_style, tls).verify(leaf_, intermediates_).ok());
+}
+
+}  // namespace
+}  // namespace tangled::pki

@@ -1,0 +1,143 @@
+// The end-to-end reproduction test: one world (universe + population +
+// Notary corpus), every paper headline asserted. This is the integration
+// test the bench binaries narrate; if it is green, the tables and figures
+// regenerate with the documented fidelity.
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.h"
+#include "analysis/minimize.h"
+#include "netalyzr/interception_survey.h"
+#include "netalyzr/netalyzr.h"
+#include "notary/census.h"
+#include "synth/notary_corpus.h"
+
+namespace tangled {
+namespace {
+
+using rootstore::AndroidVersion;
+
+struct World {
+  rootstore::StoreUniverse universe = rootstore::StoreUniverse::build(1402);
+  synth::Population population;
+  pki::TrustAnchors anchors;
+  notary::NotaryDb db;
+  std::unique_ptr<notary::ValidationCensus> census;
+
+  World() {
+    synth::PopulationGenerator pop_gen(universe);
+    population = pop_gen.generate();
+    for (const auto& ca : universe.aosp_cas()) anchors.add(ca.cert);
+    for (const auto& ca : universe.mozilla_only_cas()) anchors.add(ca.cert);
+    for (const auto& ca : universe.ios7_only_cas()) anchors.add(ca.cert);
+    for (const auto& ca : universe.nonaosp_cas()) anchors.add(ca.cert);
+    census = std::make_unique<notary::ValidationCensus>(anchors);
+    synth::NotaryCorpusConfig config;
+    config.n_certs = 15000;
+    synth::NotaryCorpusGenerator corpus(universe, config);
+    corpus.generate([this](const notary::Observation& o) {
+      db.observe(o);
+      census->ingest(o);
+    });
+  }
+};
+
+const World& world() {
+  static const World w;
+  return w;
+}
+
+TEST(Reproduction, Table1StoreSizes) {
+  const auto& u = world().universe;
+  EXPECT_EQ(u.aosp(AndroidVersion::k41).size(), 139u);
+  EXPECT_EQ(u.aosp(AndroidVersion::k42).size(), 140u);
+  EXPECT_EQ(u.aosp(AndroidVersion::k43).size(), 146u);
+  EXPECT_EQ(u.aosp(AndroidVersion::k44).size(), 150u);
+  EXPECT_EQ(u.ios7().size(), 227u);
+  EXPECT_EQ(u.mozilla().size(), 153u);
+}
+
+TEST(Reproduction, Table2TopRows) {
+  const netalyzr::SessionDb sessions(world().population);
+  const auto by_model = sessions.sessions_by_model();
+  const auto by_mfr = sessions.sessions_by_manufacturer();
+  EXPECT_EQ(by_model[0].first, "Samsung Galaxy SIV");
+  EXPECT_NEAR(static_cast<double>(by_model[0].second), 2762.0, 2762.0 * 0.12);
+  EXPECT_EQ(by_mfr[0].first, "SAMSUNG");
+  EXPECT_NEAR(static_cast<double>(by_mfr[0].second), 7709.0, 7709.0 * 0.08);
+}
+
+TEST(Reproduction, Table3OrderingAndMagnitude) {
+  const auto& c = *world().census;
+  const auto& u = world().universe;
+  const auto moz = c.validated_by_store(u.mozilla());
+  const auto a41 = c.validated_by_store(u.aosp(AndroidVersion::k41));
+  const auto a42 = c.validated_by_store(u.aosp(AndroidVersion::k42));
+  const auto a43 = c.validated_by_store(u.aosp(AndroidVersion::k43));
+  const auto a44 = c.validated_by_store(u.aosp(AndroidVersion::k44));
+  const auto ios = c.validated_by_store(u.ios7());
+  EXPECT_EQ(a41, a42);
+  EXPECT_LE(a42, a43);
+  EXPECT_LE(a43, a44);
+  EXPECT_GT(ios, a44);
+  const double total = static_cast<double>(c.total_unexpired());
+  for (const auto v : {moz, a41, a44, ios}) {
+    EXPECT_NEAR(v / total, 0.744, 0.02);
+  }
+}
+
+TEST(Reproduction, Table4ZeroFractions) {
+  const auto& c = *world().census;
+  const auto& u = world().universe;
+  EXPECT_NEAR(c.zero_fraction(u.aosp(AndroidVersion::k44).certificates()),
+              0.23, 0.03);
+  EXPECT_NEAR(c.zero_fraction(u.mozilla().certificates()), 0.22, 0.03);
+  EXPECT_NEAR(c.zero_fraction(u.ios7().certificates()), 0.41, 0.03);
+}
+
+TEST(Reproduction, Section5Headlines) {
+  const auto fig1 = analysis::figure1(world().population);
+  EXPECT_NEAR(fig1.extended_fraction(), 0.39, 0.05);
+  EXPECT_EQ(fig1.missing_cert_handsets, 5u);
+  EXPECT_GT(fig1.large_expansion_41_42, 0.10);
+}
+
+TEST(Reproduction, Figure2ClassMix) {
+  const auto mix =
+      analysis::class_mix(world().population, world().universe, world().db);
+  const double n = static_cast<double>(mix.total());
+  EXPECT_NEAR(mix.mozilla_and_ios7 / n, 0.067, 0.03);
+  EXPECT_NEAR(mix.ios7_only / n, 0.162, 0.05);
+  EXPECT_NEAR(mix.android_only / n, 0.371, 0.06);
+  EXPECT_NEAR(mix.not_recorded / n, 0.400, 0.06);
+}
+
+TEST(Reproduction, Section6Table5) {
+  const auto rooted = analysis::rooted_analysis(world().population);
+  EXPECT_NEAR(rooted.rooted_fraction(), 0.24, 0.02);
+  ASSERT_FALSE(rooted.findings.empty());
+  EXPECT_EQ(rooted.findings[0].issuer, "CRAZY HOUSE");
+  EXPECT_EQ(rooted.findings[0].devices, 70u);
+}
+
+TEST(Reproduction, Section7SingleInterceptedNexus7) {
+  const auto survey =
+      netalyzr::survey_interception(world().population, world().universe);
+  ASSERT_EQ(survey.flagged_handsets.size(), 1u);
+  const auto& flagged =
+      world().population.handsets[survey.flagged_handsets[0]];
+  EXPECT_EQ(flagged.device.model, "Asus Nexus 7");
+  EXPECT_EQ(flagged.device.version, AndroidVersion::k44);
+  EXPECT_EQ(survey.intercepted_endpoints.size(), 12u);
+  EXPECT_EQ(survey.whitelisted_endpoints.size(), 9u);
+}
+
+TEST(Reproduction, Section8MinimizationKeepsCoverage) {
+  const auto& u = world().universe;
+  const auto result =
+      analysis::minimize_store(u.aosp(AndroidVersion::k44), *world().census);
+  EXPECT_GT(result.removable.size(), 25u);
+  EXPECT_DOUBLE_EQ(result.retention_curve.back(), 1.0);
+}
+
+}  // namespace
+}  // namespace tangled

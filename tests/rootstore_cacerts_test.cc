@@ -1,0 +1,150 @@
+#include "rootstore/cacerts.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "crypto/signature.h"
+#include "pki/hierarchy.h"
+#include "x509/pem.h"
+
+namespace tangled::rootstore {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CacertsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("tangled-cacerts-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+
+    Xoshiro256 rng(4040);
+    store_ = RootStore("test-store");
+    for (int i = 0; i < 5; ++i) {
+      auto key = crypto::generate_sim_keypair(rng);
+      auto node = pki::make_root(
+          crypto::sim_sig_scheme(), key,
+          pki::ca_name("Cacerts", "Cacerts Root " + std::to_string(i)),
+          {asn1::make_time(2010, 1, 1), asn1::make_time(2030, 1, 1)}, i + 1);
+      ASSERT_TRUE(node.ok());
+      store_.add(node.value().cert);
+    }
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  RootStore store_;
+};
+
+TEST_F(CacertsTest, SaveCreatesAndroidStyleFiles) {
+  ASSERT_TRUE(save_cacerts(store_, dir_).ok());
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    ++files;
+    const std::string name = entry.path().filename().string();
+    // "<8 hex digits>.<n>"
+    ASSERT_GE(name.size(), 10u) << name;
+    EXPECT_EQ(name[8], '.') << name;
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_TRUE((name[i] >= '0' && name[i] <= '9') ||
+                  (name[i] >= 'a' && name[i] <= 'f'))
+          << name;
+    }
+  }
+  EXPECT_EQ(files, store_.size());
+}
+
+TEST_F(CacertsTest, RoundTripPreservesStore) {
+  ASSERT_TRUE(save_cacerts(store_, dir_).ok());
+  auto loaded = load_cacerts("reloaded", dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().skipped_files.empty());
+  EXPECT_EQ(loaded.value().store.size(), store_.size());
+  for (const auto& cert : store_.certificates()) {
+    EXPECT_TRUE(loaded.value().store.contains(cert))
+        << cert.subject().to_string();
+  }
+}
+
+TEST_F(CacertsTest, BasenameIsSubjectTag) {
+  const auto& cert = store_.certificates().front();
+  EXPECT_EQ(cacerts_basename(cert), cert.subject_tag());
+}
+
+TEST_F(CacertsTest, DuplicateSubjectHashGetsSuffixes) {
+  // Two equivalent re-issues share the subject => same hash, suffixes .0/.1.
+  Xoshiro256 rng(4141);
+  auto key = crypto::generate_sim_keypair(rng);
+  const auto subject = pki::ca_name("Dup", "Dup Root");
+  auto a = pki::make_root(crypto::sim_sig_scheme(), key, subject,
+                          {asn1::make_time(2010, 1, 1),
+                           asn1::make_time(2030, 1, 1)},
+                          1);
+  auto b = pki::make_root(crypto::sim_sig_scheme(), key, subject,
+                          {asn1::make_time(2012, 1, 1),
+                           asn1::make_time(2040, 1, 1)},
+                          2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  RootStore dup("dup");
+  dup.add(a.value().cert);
+  dup.add(b.value().cert);
+  ASSERT_TRUE(save_cacerts(dup, dir_).ok());
+  const std::string base = a.value().cert.subject_tag();
+  EXPECT_TRUE(fs::exists(dir_ / (base + ".0")));
+  EXPECT_TRUE(fs::exists(dir_ / (base + ".1")));
+  auto loaded = load_cacerts("dup2", dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().store.size(), 2u);
+}
+
+TEST_F(CacertsTest, LoadSkipsGarbageFiles) {
+  ASSERT_TRUE(save_cacerts(store_, dir_).ok());
+  {
+    std::ofstream junk(dir_ / "deadbeef.0");
+    junk << "this is not a certificate\n";
+  }
+  auto loaded = load_cacerts("mixed", dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().store.size(), store_.size());
+  ASSERT_EQ(loaded.value().skipped_files.size(), 1u);
+  EXPECT_EQ(loaded.value().skipped_files[0], "deadbeef.0");
+}
+
+TEST_F(CacertsTest, LoadMissingDirectoryFails) {
+  auto loaded = load_cacerts("missing", dir_ / "nope");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, Errc::kNotFound);
+}
+
+TEST_F(CacertsTest, RootedTamperingScenario) {
+  // §6 made concrete: save a stock store, "root the device" by dropping in
+  // an attacker cert file, reload, and watch the diff flag it.
+  ASSERT_TRUE(save_cacerts(store_, dir_).ok());
+  Xoshiro256 rng(4242);
+  auto key = crypto::generate_sim_keypair(rng);
+  auto evil = pki::make_root(crypto::sim_sig_scheme(), key,
+                             pki::ca_name("CRAZY HOUSE", "CRAZY HOUSE"),
+                             {asn1::make_time(2013, 1, 1),
+                              asn1::make_time(2023, 1, 1)},
+                             666);
+  ASSERT_TRUE(evil.ok());
+  {
+    std::ofstream out(dir_ / (evil.value().cert.subject_tag() + ".0"));
+    out << x509::to_pem(evil.value().cert);
+  }
+  auto tampered = load_cacerts("tampered", dir_);
+  ASSERT_TRUE(tampered.ok());
+  const auto d = diff(tampered.value().store, store_);
+  ASSERT_EQ(d.additions(), 1u);
+  EXPECT_EQ(d.only_in_a[0]->subject().common_name(), "CRAZY HOUSE");
+  EXPECT_EQ(d.missing(), 0u);
+}
+
+}  // namespace
+}  // namespace tangled::rootstore

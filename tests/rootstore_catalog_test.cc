@@ -1,0 +1,282 @@
+#include "rootstore/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rootstore/nonaosp_catalog.h"
+
+namespace tangled::rootstore {
+namespace {
+
+// Build once; the universe is immutable and deterministic.
+const StoreUniverse& universe() {
+  static const StoreUniverse u = StoreUniverse::build(1402);
+  return u;
+}
+
+TEST(AndroidVersionMeta, Table1StoreSizes) {
+  EXPECT_EQ(aosp_store_size(AndroidVersion::k41), 139u);
+  EXPECT_EQ(aosp_store_size(AndroidVersion::k42), 140u);
+  EXPECT_EQ(aosp_store_size(AndroidVersion::k43), 146u);
+  EXPECT_EQ(aosp_store_size(AndroidVersion::k44), 150u);
+  EXPECT_EQ(kIos7StoreSize, 227u);
+  EXPECT_EQ(kMozillaStoreSize, 153u);
+}
+
+TEST(StoreUniverseTest, StoreSizesMatchTable1) {
+  const auto& u = universe();
+  EXPECT_EQ(u.aosp(AndroidVersion::k41).size(), 139u);
+  EXPECT_EQ(u.aosp(AndroidVersion::k42).size(), 140u);
+  EXPECT_EQ(u.aosp(AndroidVersion::k43).size(), 146u);
+  EXPECT_EQ(u.aosp(AndroidVersion::k44).size(), 150u);
+  EXPECT_EQ(u.mozilla().size(), 153u);
+  EXPECT_EQ(u.ios7().size(), 227u);
+}
+
+TEST(StoreUniverseTest, AospVersionsAreNested) {
+  const auto& u = universe();
+  for (const auto& cert : u.aosp(AndroidVersion::k41).certificates()) {
+    EXPECT_TRUE(u.aosp(AndroidVersion::k42).contains(cert));
+    EXPECT_TRUE(u.aosp(AndroidVersion::k44).contains(cert));
+  }
+  for (const auto& cert : u.aosp(AndroidVersion::k43).certificates()) {
+    EXPECT_TRUE(u.aosp(AndroidVersion::k44).contains(cert));
+  }
+}
+
+TEST(StoreUniverseTest, MozillaOverlapMatchesPaper) {
+  const auto& u = universe();
+  const auto& aosp44 = u.aosp(AndroidVersion::k44);
+  std::size_t identical = 0;
+  std::size_t equivalent_only = 0;
+  for (const auto& cert : aosp44.certificates()) {
+    if (u.mozilla().contains(cert)) {
+      ++identical;
+    } else if (u.mozilla().contains_equivalent(cert)) {
+      ++equivalent_only;
+    }
+  }
+  EXPECT_EQ(identical, 117u);            // §2
+  EXPECT_EQ(equivalent_only, 13u);       // Table 4: 130 equivalent total
+  EXPECT_EQ(identical + equivalent_only, 130u);
+}
+
+TEST(StoreUniverseTest, ExpiredFirmaprofesionalRoot) {
+  const auto& u = universe();
+  const auto& cert = u.aosp_cas()[u.expired_aosp_index()].cert;
+  EXPECT_NE(cert.subject().common_name().find("Firmaprofesional"),
+            std::string::npos);
+  // Expired Oct 2013, i.e. during the paper's measurement window.
+  EXPECT_TRUE(cert.expired_at(asn1::make_time(2014, 4, 1)));
+  EXPECT_FALSE(cert.expired_at(asn1::make_time(2013, 10, 1)));
+  // Still shipped in every AOSP version.
+  EXPECT_TRUE(u.aosp(AndroidVersion::k41).contains(cert));
+  EXPECT_TRUE(u.aosp(AndroidVersion::k44).contains(cert));
+}
+
+TEST(StoreUniverseTest, AospGroupBoundaries) {
+  EXPECT_EQ(StoreUniverse::aosp_group(0), AospGroup::kMozillaIdentical);
+  EXPECT_EQ(StoreUniverse::aosp_group(116), AospGroup::kMozillaIdentical);
+  EXPECT_EQ(StoreUniverse::aosp_group(117), AospGroup::kMozillaEquivalent);
+  EXPECT_EQ(StoreUniverse::aosp_group(129), AospGroup::kMozillaEquivalent);
+  EXPECT_EQ(StoreUniverse::aosp_group(130), AospGroup::kAospOnly);
+  EXPECT_EQ(StoreUniverse::aosp_group(149), AospGroup::kAospOnly);
+}
+
+TEST(StoreUniverseTest, AddedInVersions) {
+  const auto& u = universe();
+  EXPECT_EQ(u.aosp_added_in(AndroidVersion::k41).size(), 139u);
+  EXPECT_EQ(u.aosp_added_in(AndroidVersion::k42).size(), 1u);
+  EXPECT_EQ(u.aosp_added_in(AndroidVersion::k43).size(), 6u);
+  EXPECT_EQ(u.aosp_added_in(AndroidVersion::k44).size(), 4u);
+}
+
+TEST(StoreUniverseTest, DeterministicAcrossBuilds) {
+  const StoreUniverse a = StoreUniverse::build(77);
+  const StoreUniverse b = StoreUniverse::build(77);
+  ASSERT_EQ(a.aosp_cas().size(), b.aosp_cas().size());
+  for (std::size_t i = 0; i < a.aosp_cas().size(); ++i) {
+    EXPECT_EQ(a.aosp_cas()[i].cert.der(), b.aosp_cas()[i].cert.der());
+  }
+  // Different seed, different bytes.
+  const StoreUniverse c = StoreUniverse::build(78);
+  EXPECT_NE(a.aosp_cas()[0].cert.der(), c.aosp_cas()[0].cert.der());
+}
+
+TEST(StoreUniverseTest, AllSubjectNamesDistinctWithinAosp) {
+  const auto& u = universe();
+  std::set<std::string> names;
+  for (const auto& ca : u.aosp_cas()) {
+    names.insert(ca.cert.subject().to_string());
+  }
+  EXPECT_EQ(names.size(), u.aosp_cas().size());
+}
+
+TEST(StoreUniverseTest, NonAospCasMatchCatalogOrder) {
+  const auto& u = universe();
+  const auto catalog = nonaosp_catalog();
+  ASSERT_EQ(u.nonaosp_cas().size(), catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const std::string cn = u.nonaosp_cas()[i].cert.subject().common_name();
+    EXPECT_NE(cn.find(catalog[i].paper_tag), std::string::npos) << cn;
+  }
+}
+
+TEST(StoreUniverseTest, LegacyFamiliesAreV1Certificates) {
+  const auto& u = universe();
+  const auto catalog = nonaosp_catalog();
+  std::size_t v1_count = 0;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const auto& cert = u.nonaosp_cas()[i].cert;
+    const bool verisign_family =
+        catalog[i].display_name.substr(0, 8) == "VeriSign" ||
+        catalog[i].display_name.substr(0, 6) == "Thawte";
+    if (verisign_family) {
+      EXPECT_EQ(cert.version(), 1) << catalog[i].display_name;
+      EXPECT_TRUE(cert.extensions().empty()) << catalog[i].display_name;
+      EXPECT_TRUE(cert.is_ca()) << catalog[i].display_name;  // legacy rule
+      ++v1_count;
+    }
+  }
+  EXPECT_GE(v1_count, 20u);  // the VeriSign/Thawte pile is large
+  // Modern entries stay v3.
+  EXPECT_EQ(u.nonaosp_cas()[2].cert.version(), 3);  // AddTrust Class 1
+}
+
+TEST(StoreUniverseTest, CatalogMembershipReflectedInStores) {
+  const auto& u = universe();
+  const auto catalog = nonaosp_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const auto& cert = u.nonaosp_cas()[i].cert;
+    EXPECT_EQ(u.mozilla().contains(cert), catalog[i].in_mozilla)
+        << catalog[i].display_name;
+    EXPECT_EQ(u.ios7().contains(cert), catalog[i].in_ios7)
+        << catalog[i].display_name;
+    // Never part of any AOSP store: that is what makes them "non-AOSP".
+    EXPECT_FALSE(u.aosp(AndroidVersion::k44).contains(cert));
+  }
+}
+
+// --- Non-AOSP catalog invariants (paper numbers) --------------------------
+
+TEST(NonAospCatalogTest, EntryCountMatchesFigure2) {
+  EXPECT_EQ(nonaosp_catalog().size(), 104u);
+}
+
+TEST(NonAospCatalogTest, CensusSplitMatchesTable4) {
+  EXPECT_EQ(count_census_entries(), 101u);
+  EXPECT_EQ(count_census_in_mozilla(), 16u);
+  EXPECT_EQ(count_census_not_in_mozilla(), 85u);
+}
+
+TEST(NonAospCatalogTest, NotaryClassFractionsMatchFigure2) {
+  std::size_t both = 0, ios7 = 0, android_only = 0, unseen = 0;
+  for (const auto& spec : nonaosp_catalog()) {
+    if (spec.census_excluded) continue;
+    switch (spec.notary_class) {
+      case NotaryClass::kMozillaAndIos7: ++both; break;
+      case NotaryClass::kIos7Only: ++ios7; break;
+      case NotaryClass::kAndroidOnly: ++android_only; break;
+      case NotaryClass::kNotRecorded: ++unseen; break;
+    }
+  }
+  // Paper fractions: 6.7% / 16.2% / 37.1% / 40.0% of the census set.
+  EXPECT_EQ(both, 7u);
+  EXPECT_EQ(ios7, 16u);
+  EXPECT_EQ(android_only, 37u);
+  EXPECT_EQ(unseen, 41u);
+  const double n = 101.0;
+  EXPECT_NEAR(both / n, 0.067, 0.01);
+  EXPECT_NEAR(ios7 / n, 0.162, 0.01);
+  EXPECT_NEAR(android_only / n, 0.371, 0.01);
+  EXPECT_NEAR(unseen / n, 0.400, 0.01);
+}
+
+TEST(NonAospCatalogTest, ClassConsistentWithStoreFlags) {
+  for (const auto& spec : nonaosp_catalog()) {
+    switch (spec.notary_class) {
+      case NotaryClass::kMozillaAndIos7:
+        EXPECT_TRUE(spec.in_mozilla && spec.in_ios7) << spec.display_name;
+        break;
+      case NotaryClass::kIos7Only:
+        EXPECT_TRUE(spec.in_ios7) << spec.display_name;
+        EXPECT_FALSE(spec.in_mozilla) << spec.display_name;
+        break;
+      case NotaryClass::kAndroidOnly:
+        EXPECT_FALSE(spec.in_mozilla) << spec.display_name;
+        EXPECT_FALSE(spec.in_ios7) << spec.display_name;
+        break;
+      case NotaryClass::kNotRecorded:
+        // May or may not be a Mozilla member (9 of them are).
+        EXPECT_FALSE(spec.in_ios7) << spec.display_name;
+        break;
+    }
+  }
+}
+
+TEST(NonAospCatalogTest, TagsAreUniqueEightHexDigits) {
+  std::set<std::string_view> tags;
+  for (const auto& spec : nonaosp_catalog()) {
+    EXPECT_EQ(spec.paper_tag.size(), 8u) << spec.display_name;
+    for (char c : spec.paper_tag) {
+      EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+          << spec.display_name;
+    }
+    EXPECT_TRUE(tags.insert(spec.paper_tag).second)
+        << "duplicate tag " << spec.paper_tag;
+  }
+}
+
+TEST(NonAospCatalogTest, EveryEntryHasAtLeastOnePlacement) {
+  for (const auto& spec : nonaosp_catalog()) {
+    EXPECT_FALSE(spec.placements.empty()) << spec.display_name;
+    for (const auto& p : spec.placements) {
+      EXPECT_GT(p.frequency, 0.0) << spec.display_name;
+      EXPECT_LE(p.frequency, 1.0) << spec.display_name;
+    }
+  }
+}
+
+TEST(NonAospCatalogTest, PaperCallouts) {
+  // Spot-check facts stated verbatim in §5.1.
+  const auto catalog = nonaosp_catalog();
+  auto find = [&](std::string_view tag) -> const NonAospCertSpec* {
+    for (const auto& spec : catalog) {
+      if (spec.paper_tag == tag) return &spec;
+    }
+    return nullptr;
+  };
+  // DoD CLASS 3 (b530fe64): in iOS7 by default, not in Mozilla (footnote 4).
+  const auto* dod = find("b530fe64");
+  ASSERT_NE(dod, nullptr);
+  EXPECT_TRUE(dod->in_ios7);
+  EXPECT_FALSE(dod->in_mozilla);
+  // Motorola FOTA (bae1df7c) and SUPL (caf7a0d5) are non-TLS.
+  EXPECT_EQ(find("bae1df7c")->usage, UsageCategory::kFota);
+  EXPECT_EQ(find("caf7a0d5")->usage, UsageCategory::kSupl);
+  // GeoTrust CA for UTI (b94b8f0a): code signing, Samsung 4.2/4.3.
+  const auto* uti = find("b94b8f0a");
+  EXPECT_EQ(uti->usage, UsageCategory::kCodeSigning);
+  bool on_samsung42 = false;
+  for (const auto& p : uti->placements) {
+    if (p.row == PlacementRow::kSamsung42) on_samsung42 = true;
+  }
+  EXPECT_TRUE(on_samsung42);
+  // CertiSign (b0c095eb): Motorola 4.1 + Verizon at 60-70%.
+  const auto* certisign = find("b0c095eb");
+  ASSERT_EQ(certisign->placements.size(), 2u);
+  EXPECT_GE(certisign->placements[0].frequency, 0.6);
+  EXPECT_LE(certisign->placements[0].frequency, 0.7);
+}
+
+TEST(NonAospCatalogTest, RowLabelsMatchPaperAxis) {
+  EXPECT_EQ(row_label(PlacementRow::kSamsung42), "SAMSUNG 4.2");
+  EXPECT_EQ(row_label(PlacementRow::kVerizonUs), "VERIZON(US)");
+  EXPECT_EQ(row_label(PlacementRow::kThreeUk), "3(UK)");
+  EXPECT_FALSE(is_operator_row(PlacementRow::kHtc44));
+  EXPECT_TRUE(is_operator_row(PlacementRow::kVodafoneDe));
+}
+
+}  // namespace
+}  // namespace tangled::rootstore

@@ -1,0 +1,89 @@
+// RootStore vs a reference model: random add/remove/query sequences must
+// behave exactly like a plain map keyed by identity, with the equivalence
+// index as a derived view. Catches index-maintenance bugs (stale entries
+// after removal, duplicate handling).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "crypto/signature.h"
+#include "pki/hierarchy.h"
+#include "rootstore/rootstore.h"
+
+namespace tangled::rootstore {
+namespace {
+
+/// A pool of certificates with deliberate equivalence collisions: several
+/// re-issues per key/subject.
+std::vector<x509::Certificate> make_pool(std::size_t n_keys,
+                                         std::size_t reissues_per_key) {
+  Xoshiro256 rng(515);
+  std::vector<x509::Certificate> pool;
+  for (std::size_t k = 0; k < n_keys; ++k) {
+    auto key = crypto::generate_sim_keypair(rng);
+    const auto subject =
+        pki::ca_name("PropCA", "Prop Root " + std::to_string(k));
+    for (std::size_t r = 0; r < reissues_per_key; ++r) {
+      auto node = pki::make_root(
+          crypto::sim_sig_scheme(), key, subject,
+          {asn1::make_time(2005 + static_cast<int>(r), 1, 1),
+           asn1::make_time(2030 + static_cast<int>(r), 1, 1)},
+          1000 * k + r);
+      EXPECT_TRUE(node.ok());
+      pool.push_back(node.value().cert);
+    }
+  }
+  return pool;
+}
+
+class RootStoreOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RootStoreOps, MatchesReferenceModelUnderRandomOps) {
+  const auto pool = make_pool(8, 3);  // 24 certs, heavy equivalence overlap
+  Xoshiro256 rng(GetParam());
+
+  RootStore store("sut");
+  std::map<std::string, const x509::Certificate*> reference;  // identity hex
+
+  for (int op = 0; op < 600; ++op) {
+    const auto& cert = pool[rng.below(pool.size())];
+    const std::string id = to_hex(cert.identity_key());
+    switch (rng.below(3)) {
+      case 0: {  // add
+        const bool added = store.add(cert);
+        const bool expected = !reference.contains(id);
+        EXPECT_EQ(added, expected);
+        reference.emplace(id, &cert);
+        break;
+      }
+      case 1: {  // remove
+        const bool removed = store.remove(cert.identity_key());
+        EXPECT_EQ(removed, reference.erase(id) > 0);
+        break;
+      }
+      default: {  // query
+        EXPECT_EQ(store.contains(cert), reference.contains(id));
+        // Equivalence: true iff some stored cert shares subject+modulus.
+        bool expected_equivalent = false;
+        const std::string eq = to_hex(cert.equivalence_key());
+        for (const auto& [rid, rcert] : reference) {
+          expected_equivalent |= to_hex(rcert->equivalence_key()) == eq;
+        }
+        EXPECT_EQ(store.contains_equivalent(cert), expected_equivalent);
+        break;
+      }
+    }
+    EXPECT_EQ(store.size(), reference.size());
+  }
+
+  // Final state: every reference member is present, nothing more.
+  for (const auto& [id, cert] : reference) {
+    EXPECT_TRUE(store.contains(*cert));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RootStoreOps,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 99u, 1402u));
+
+}  // namespace
+}  // namespace tangled::rootstore

@@ -1,0 +1,175 @@
+#include "rootstore/rootstore.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/signature.h"
+#include "pki/hierarchy.h"
+#include "x509/builder.h"
+
+namespace tangled::rootstore {
+namespace {
+
+using crypto::sim_sig_scheme;
+
+x509::Certificate make_root_cert(Xoshiro256& rng, const std::string& cn) {
+  auto key = crypto::generate_sim_keypair(rng);
+  auto node = pki::make_root(sim_sig_scheme(), key, pki::ca_name(cn, cn + " Root"),
+                             {asn1::make_time(2005, 1, 1), asn1::make_time(2030, 1, 1)},
+                             1);
+  EXPECT_TRUE(node.ok());
+  return node.value().cert;
+}
+
+/// A re-issue of `node`'s certificate with the same key and subject but a
+/// different validity (equivalent-but-not-identical).
+x509::Certificate reissue(const pki::CaNode& node) {
+  crypto::KeyPair same_key;
+  same_key.pub = node.key.pub;
+  auto cert = pki::make_root(sim_sig_scheme(), same_key, node.cert.subject(),
+                             {asn1::make_time(2010, 1, 1), asn1::make_time(2040, 1, 1)},
+                             99);
+  EXPECT_TRUE(cert.ok());
+  return cert.value().cert;
+}
+
+pki::CaNode make_node(Xoshiro256& rng, const std::string& cn) {
+  auto key = crypto::generate_sim_keypair(rng);
+  auto node = pki::make_root(sim_sig_scheme(), key, pki::ca_name(cn, cn + " Root"),
+                             {asn1::make_time(2005, 1, 1), asn1::make_time(2030, 1, 1)},
+                             1);
+  EXPECT_TRUE(node.ok());
+  return std::move(node).value();
+}
+
+TEST(RootStore, AddAndSize) {
+  Xoshiro256 rng(1);
+  RootStore store("test");
+  EXPECT_TRUE(store.empty());
+  EXPECT_TRUE(store.add(make_root_cert(rng, "Alpha")));
+  EXPECT_TRUE(store.add(make_root_cert(rng, "Beta")));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.name(), "test");
+}
+
+TEST(RootStore, DuplicateIdentityRejected) {
+  Xoshiro256 rng(2);
+  RootStore store("test");
+  const auto cert = make_root_cert(rng, "Alpha");
+  EXPECT_TRUE(store.add(cert));
+  EXPECT_FALSE(store.add(cert));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(RootStore, ContainsByIdentity) {
+  Xoshiro256 rng(3);
+  RootStore store("test");
+  const auto cert = make_root_cert(rng, "Alpha");
+  const auto other = make_root_cert(rng, "Beta");
+  store.add(cert);
+  EXPECT_TRUE(store.contains(cert));
+  EXPECT_FALSE(store.contains(other));
+  EXPECT_TRUE(store.contains_identity(cert.identity_key()));
+  EXPECT_NE(store.find_identity(cert.identity_key()), nullptr);
+  EXPECT_EQ(store.find_identity(other.identity_key()), nullptr);
+}
+
+TEST(RootStore, EquivalenceAcrossReissues) {
+  Xoshiro256 rng(4);
+  const auto node = make_node(rng, "Gamma");
+  const auto reissued = reissue(node);
+
+  RootStore store("test");
+  store.add(node.cert);
+  // Different identity (validity changed) but equivalent (subject+modulus).
+  EXPECT_FALSE(store.contains(reissued));
+  EXPECT_TRUE(store.contains_equivalent(reissued));
+  const auto* found = store.find_equivalent(reissued);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(*found, node.cert);
+}
+
+TEST(RootStore, RemoveByIdentity) {
+  Xoshiro256 rng(5);
+  RootStore store("test");
+  const auto a = make_root_cert(rng, "Alpha");
+  const auto b = make_root_cert(rng, "Beta");
+  store.add(a);
+  store.add(b);
+  EXPECT_TRUE(store.remove(a.identity_key()));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_FALSE(store.contains(a));
+  EXPECT_TRUE(store.contains(b));
+  // Second removal is a no-op.
+  EXPECT_FALSE(store.remove(a.identity_key()));
+  // Index is rebuilt correctly after removal.
+  EXPECT_NE(store.find_identity(b.identity_key()), nullptr);
+}
+
+TEST(StoreDiffTest, DisjointStores) {
+  Xoshiro256 rng(6);
+  RootStore a("a");
+  RootStore b("b");
+  a.add(make_root_cert(rng, "OnlyA"));
+  b.add(make_root_cert(rng, "OnlyB1"));
+  b.add(make_root_cert(rng, "OnlyB2"));
+  const StoreDiff d = diff(a, b);
+  EXPECT_EQ(d.additions(), 1u);
+  EXPECT_EQ(d.missing(), 2u);
+  EXPECT_EQ(d.identical, 0u);
+  EXPECT_EQ(d.equivalent_not_identical, 0u);
+}
+
+TEST(StoreDiffTest, IdenticalOverlapCounted) {
+  Xoshiro256 rng(7);
+  const auto shared1 = make_root_cert(rng, "Shared1");
+  const auto shared2 = make_root_cert(rng, "Shared2");
+  RootStore a("a");
+  RootStore b("b");
+  a.add(shared1);
+  a.add(shared2);
+  a.add(make_root_cert(rng, "Extra"));
+  b.add(shared1);
+  b.add(shared2);
+  const StoreDiff d = diff(a, b);
+  EXPECT_EQ(d.identical, 2u);
+  EXPECT_EQ(d.additions(), 1u);
+  EXPECT_EQ(d.missing(), 0u);
+}
+
+TEST(StoreDiffTest, EquivalentNotIdenticalCounted) {
+  Xoshiro256 rng(8);
+  const auto node = make_node(rng, "Delta");
+  RootStore device("device");
+  RootStore aosp("aosp");
+  device.add(reissue(node));
+  aosp.add(node.cert);
+  const StoreDiff d = diff(device, aosp);
+  EXPECT_EQ(d.identical, 0u);
+  EXPECT_EQ(d.equivalent_not_identical, 1u);
+  EXPECT_EQ(d.additions(), 0u);
+  EXPECT_EQ(d.missing(), 0u);  // equivalent present -> not "missing"
+}
+
+TEST(StoreDiffTest, DeviceMirrorsPaperSemantics) {
+  // A device store = AOSP + vendor additions - one removed cert, as in
+  // Figure 1's "5 handsets were missing some certificates".
+  Xoshiro256 rng(9);
+  std::vector<x509::Certificate> aosp_certs;
+  RootStore aosp("AOSP");
+  for (int i = 0; i < 10; ++i) {
+    aosp_certs.push_back(make_root_cert(rng, "AOSP" + std::to_string(i)));
+    aosp.add(aosp_certs.back());
+  }
+  RootStore device("device");
+  for (int i = 0; i < 9; ++i) device.add(aosp_certs[i]);  // one missing
+  device.add(make_root_cert(rng, "VendorExtra1"));
+  device.add(make_root_cert(rng, "VendorExtra2"));
+
+  const StoreDiff d = diff(device, aosp);
+  EXPECT_EQ(d.identical, 9u);
+  EXPECT_EQ(d.additions(), 2u);
+  EXPECT_EQ(d.missing(), 1u);
+}
+
+}  // namespace
+}  // namespace tangled::rootstore

@@ -1,0 +1,181 @@
+#include "synth/notary_corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "notary/census.h"
+
+namespace tangled::synth {
+namespace {
+
+const rootstore::StoreUniverse& universe() {
+  static const rootstore::StoreUniverse u = rootstore::StoreUniverse::build(1402);
+  return u;
+}
+
+struct CorpusFixture {
+  notary::NotaryDb db;
+  notary::ValidationCensus census;
+  NotaryCorpusGenerator generator;
+
+  explicit CorpusFixture(std::size_t n_certs)
+      : db(),
+        census(anchors()),
+        generator(universe(), make_config(n_certs)) {
+    generator.generate([this](const notary::Observation& obs) {
+      db.observe(obs);
+      census.ingest(obs);
+    });
+  }
+
+  static NotaryCorpusConfig make_config(std::size_t n_certs) {
+    NotaryCorpusConfig config;
+    config.n_certs = n_certs;
+    return config;
+  }
+
+  static const pki::TrustAnchors& anchors() {
+    static const pki::TrustAnchors a = [] {
+      pki::TrustAnchors anchors;
+      for (const auto& ca : universe().aosp_cas()) anchors.add(ca.cert);
+      for (const auto& ca : universe().mozilla_only_cas()) anchors.add(ca.cert);
+      for (const auto& ca : universe().ios7_only_cas()) anchors.add(ca.cert);
+      for (const auto& ca : universe().nonaosp_cas()) anchors.add(ca.cert);
+      return anchors;
+    }();
+    return a;
+  }
+};
+
+const CorpusFixture& fixture() {
+  static const CorpusFixture f(20000);
+  return f;
+}
+
+TEST(NotaryCorpusTest, DeadCountsMatchCalibration) {
+  // 20 dead in [0..130), 15 dead in [130..150) => 35 dead AOSP roots (23%).
+  EXPECT_EQ(fixture().generator.dead_aosp_count(), 35u);
+  // The expired Firmaprofesional root is always dead.
+  EXPECT_FALSE(fixture().generator.alive_aosp(universe().expired_aosp_index()));
+  // The 4.2 addition is dead (Table 3: AOSP 4.2 == 4.1).
+  EXPECT_FALSE(fixture().generator.alive_aosp(139));
+}
+
+TEST(NotaryCorpusTest, ExpiredFractionNearTarget) {
+  const auto& f = fixture();
+  const double expired_fraction =
+      1.0 - static_cast<double>(f.db.unexpired_unique_cert_count()) /
+                static_cast<double>(f.db.unique_cert_count());
+  // CA certs (all unexpired) dilute the leaf-level 47% slightly.
+  EXPECT_NEAR(expired_fraction, 0.47, 0.05);
+}
+
+TEST(NotaryCorpusTest, StoreValidationOrderingMatchesTable3) {
+  const auto& c = fixture().census;
+  const auto mozilla = c.validated_by_store(universe().mozilla());
+  const auto aosp41 = c.validated_by_store(universe().aosp(rootstore::AndroidVersion::k41));
+  const auto aosp42 = c.validated_by_store(universe().aosp(rootstore::AndroidVersion::k42));
+  const auto aosp43 = c.validated_by_store(universe().aosp(rootstore::AndroidVersion::k43));
+  const auto aosp44 = c.validated_by_store(universe().aosp(rootstore::AndroidVersion::k44));
+  const auto ios7 = c.validated_by_store(universe().ios7());
+
+  // Table 3 ordering: Mozilla <= AOSP 4.1 = 4.2 <= 4.3 <= 4.4 < iOS7.
+  EXPECT_LE(mozilla, aosp44 + 50);  // they differ by ~0.03%: allow noise
+  EXPECT_EQ(aosp41, aosp42);
+  EXPECT_LE(aosp42, aosp43);
+  EXPECT_LE(aosp43, aosp44);
+  EXPECT_GT(ios7, aosp44);
+
+  // All stores validate ~74.4% of unexpired leaves.
+  const double total = static_cast<double>(c.total_unexpired());
+  EXPECT_NEAR(mozilla / total, 0.744, 0.02);
+  EXPECT_NEAR(ios7 / total, 0.746, 0.02);
+}
+
+TEST(NotaryCorpusTest, Table4ZeroFractions) {
+  const auto& c = fixture().census;
+  const auto& u = universe();
+
+  // AOSP 4.4: 23% of 150 roots validate nothing.
+  EXPECT_NEAR(c.zero_fraction(u.aosp(rootstore::AndroidVersion::k44).certificates()),
+              0.23, 0.04);
+  // Mozilla: 22%.
+  EXPECT_NEAR(c.zero_fraction(u.mozilla().certificates()), 0.22, 0.04);
+  // iOS7: 41%.
+  EXPECT_NEAR(c.zero_fraction(u.ios7().certificates()), 0.41, 0.04);
+
+  // Non-AOSP, non-Mozilla: 72% (85 certs).
+  std::vector<x509::Certificate> nonaosp_nonmoz;
+  std::vector<x509::Certificate> nonaosp_moz;
+  const auto catalog = rootstore::nonaosp_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (catalog[i].census_excluded) continue;
+    (catalog[i].in_mozilla ? nonaosp_moz : nonaosp_nonmoz)
+        .push_back(u.nonaosp_cas()[i].cert);
+  }
+  ASSERT_EQ(nonaosp_nonmoz.size(), 85u);
+  ASSERT_EQ(nonaosp_moz.size(), 16u);
+  EXPECT_NEAR(c.zero_fraction(nonaosp_nonmoz), 0.72, 0.05);
+  EXPECT_NEAR(c.zero_fraction(nonaosp_moz), 0.38, 0.07);
+}
+
+TEST(NotaryCorpusTest, RecordedClassesMatchCatalog) {
+  const auto& f = fixture();
+  const auto catalog = rootstore::nonaosp_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (catalog[i].census_excluded) continue;
+    const bool recorded = f.db.recorded(universe().nonaosp_cas()[i].cert);
+    const bool should_be_recorded =
+        catalog[i].notary_class != rootstore::NotaryClass::kNotRecorded;
+    EXPECT_EQ(recorded, should_be_recorded) << catalog[i].display_name;
+  }
+}
+
+TEST(NotaryCorpusTest, MozillaEquivalentReissuesValidate) {
+  // Roots [117..130) anchor chains as AOSP certs; Mozilla holds only the
+  // re-issue, yet validated_by_store must credit them via equivalence.
+  const auto& c = fixture().census;
+  std::uint64_t equivalent_band = 0;
+  for (std::size_t i = 117; i < 130; ++i) {
+    equivalent_band += c.validated_by(universe().aosp_cas()[i].cert);
+  }
+  EXPECT_GT(equivalent_band, 0u);
+  // Mozilla's total includes that band (checked indirectly: removing the
+  // band from Mozilla's count would break the Table 3 ordering above).
+  const auto mozilla = c.validated_by_store(universe().mozilla());
+  EXPECT_GE(mozilla, equivalent_band);
+}
+
+TEST(NotaryCorpusTest, PortMixIsMostly443) {
+  const auto& by_port = fixture().db.sessions_by_port();
+  ASSERT_TRUE(by_port.contains(443));
+  const double total = static_cast<double>(fixture().db.session_count());
+  EXPECT_NEAR(by_port.at(443) / total, 0.85, 0.03);
+  EXPECT_GT(by_port.size(), 3u);  // the Notary watches many ports (§4.2)
+}
+
+TEST(NotaryCorpusTest, DeterministicAcrossRuns) {
+  NotaryCorpusConfig config;
+  config.n_certs = 200;
+  NotaryCorpusGenerator g1(universe(), config);
+  NotaryCorpusGenerator g2(universe(), config);
+  std::vector<std::string> f1, f2;
+  g1.generate([&f1](const notary::Observation& o) {
+    f1.push_back(to_hex(o.chain.front().fingerprint_sha256()));
+  });
+  g2.generate([&f2](const notary::Observation& o) {
+    f2.push_back(to_hex(o.chain.front().fingerprint_sha256()));
+  });
+  EXPECT_EQ(f1, f2);
+}
+
+TEST(NotaryCorpusTest, UnknownCaLeavesDoNotValidate) {
+  // ~25% of unexpired leaves chain to private CAs outside every store.
+  const auto& c = fixture().census;
+  const double validated_fraction =
+      static_cast<double>(c.total_validated()) /
+      static_cast<double>(c.total_unexpired());
+  EXPECT_NEAR(validated_fraction, 0.747, 0.02);  // shared+extras+androidonly
+}
+
+}  // namespace
+}  // namespace tangled::synth

@@ -1,0 +1,186 @@
+#include "synth/population.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace tangled::synth {
+namespace {
+
+const rootstore::StoreUniverse& universe() {
+  static const rootstore::StoreUniverse u = rootstore::StoreUniverse::build(1402);
+  return u;
+}
+
+// One shared population for the whole suite (generation is the slow part).
+const Population& population() {
+  static const Population pop = [] {
+    PopulationGenerator generator(universe());
+    return generator.generate();
+  }();
+  return pop;
+}
+
+TEST(PopulationTest, SizesMatchSection41) {
+  const auto& pop = population();
+  EXPECT_EQ(pop.sessions.size(), 15970u);
+  EXPECT_EQ(pop.handsets.size(), 3835u);
+}
+
+TEST(PopulationTest, RootedRateNear24Percent) {
+  std::uint64_t rooted = 0;
+  for (const auto& s : population().sessions) {
+    if (population().handset_of(s).device.rooted) ++rooted;
+  }
+  const double rate = static_cast<double>(rooted) / population().sessions.size();
+  EXPECT_NEAR(rate, 0.24, 0.03);
+}
+
+TEST(PopulationTest, ExtendedFractionNear39Percent) {
+  std::uint64_t extended = 0;
+  for (const auto& s : population().sessions) {
+    if (population().handset_of(s).extended()) ++extended;
+  }
+  const double rate =
+      static_cast<double>(extended) / population().sessions.size();
+  EXPECT_NEAR(rate, 0.39, 0.06);
+}
+
+TEST(PopulationTest, ExactlyFiveMissingCertHandsets) {
+  std::size_t missing = 0;
+  for (const auto& h : population().handsets) {
+    if (h.missing_aosp > 0) ++missing;
+  }
+  EXPECT_EQ(missing, 5u);
+}
+
+TEST(PopulationTest, Table5RootedCertCounts) {
+  std::map<std::size_t, std::set<std::uint32_t>> devices;
+  for (const auto& h : population().handsets) {
+    for (const std::size_t idx : h.rooted_cert_indices) {
+      devices[idx].insert(h.device.handset_id);
+      // Rooted-only certs appear only on rooted handsets.
+      EXPECT_TRUE(h.device.rooted);
+    }
+  }
+  ASSERT_TRUE(devices.contains(0));
+  EXPECT_EQ(devices[0].size(), 70u);  // CRAZY HOUSE
+  for (std::size_t i = 1; i < 5; ++i) {
+    ASSERT_TRUE(devices.contains(i)) << i;
+    EXPECT_EQ(devices[i].size(), 1u);
+  }
+}
+
+TEST(PopulationTest, SamsungDominatesSessions) {
+  std::map<device::Manufacturer, std::uint64_t> by_mfr;
+  for (const auto& s : population().sessions) {
+    ++by_mfr[population().handset_of(s).device.manufacturer];
+  }
+  const double total = static_cast<double>(population().sessions.size());
+  // Table 2 shares: Samsung .48, LG .18, ASUS .12.
+  EXPECT_NEAR(by_mfr[device::Manufacturer::kSamsung] / total, 0.48, 0.05);
+  EXPECT_NEAR(by_mfr[device::Manufacturer::kLg] / total, 0.18, 0.04);
+  EXPECT_NEAR(by_mfr[device::Manufacturer::kAsus] / total, 0.12, 0.04);
+  EXPECT_GT(by_mfr[device::Manufacturer::kSamsung],
+            by_mfr[device::Manufacturer::kLg]);
+}
+
+TEST(PopulationTest, TopModelIsGalaxySIV) {
+  std::map<std::string, std::uint64_t> by_model;
+  for (const auto& s : population().sessions) {
+    ++by_model[population().handset_of(s).device.model];
+  }
+  std::string best;
+  std::uint64_t best_count = 0;
+  for (const auto& [model, count] : by_model) {
+    if (count > best_count) {
+      best = model;
+      best_count = count;
+    }
+  }
+  EXPECT_EQ(best, "Samsung Galaxy SIV");
+  EXPECT_NEAR(static_cast<double>(best_count) / population().sessions.size(),
+              0.173, 0.03);
+}
+
+TEST(PopulationTest, ModelCountMatchesConfig) {
+  std::set<std::string> models;
+  for (const auto& h : population().handsets) models.insert(h.device.model);
+  // Every configured model has at least one handset, but sessions sample
+  // handsets, so a few single-handset models can go unobserved; the paper's
+  // 435 should be nearly reached.
+  EXPECT_GE(models.size(), 420u);
+  EXPECT_LE(models.size(), 435u);
+}
+
+TEST(PopulationTest, NexusModelsAreStock) {
+  for (const auto& h : population().handsets) {
+    if (h.device.model.find("Nexus") != std::string::npos) {
+      EXPECT_FALSE(h.flags.vendor_pack) << h.device.model;
+      EXPECT_FALSE(h.flags.operator_pack) << h.device.model;
+      // Stock devices may still be rooted or carry user/rooted certs, but
+      // never vendor additions.
+      EXPECT_TRUE(h.nonaosp_indices.empty()) << h.device.model;
+    }
+  }
+}
+
+TEST(PopulationTest, DeterministicAcrossRuns) {
+  PopulationGenerator g1(universe());
+  PopulationGenerator g2(universe());
+  const Population p1 = g1.generate();
+  const Population p2 = g2.generate();
+  ASSERT_EQ(p1.handsets.size(), p2.handsets.size());
+  for (std::size_t i = 0; i < p1.handsets.size(); ++i) {
+    EXPECT_EQ(p1.handsets[i].device.model, p2.handsets[i].device.model);
+    EXPECT_EQ(p1.handsets[i].nonaosp_indices, p2.handsets[i].nonaosp_indices);
+  }
+}
+
+TEST(PopulationTest, MaterializeStoreMatchesSummary) {
+  // Re-assembling a handset's store must reproduce the recorded summary.
+  const auto& pop = population();
+  for (std::size_t i = 0; i < 25; ++i) {
+    const auto& handset = pop.handsets[i * 131 % pop.handsets.size()];
+    const auto assembled = materialize_store(universe(), handset);
+    EXPECT_EQ(assembled.nonaosp_indices, handset.nonaosp_indices);
+    EXPECT_EQ(assembled.missing_aosp, handset.missing_aosp);
+    EXPECT_EQ(assembled.user_added, handset.user_added);
+    EXPECT_EQ(assembled.store.size(),
+              handset.aosp_present + handset.additions());
+  }
+}
+
+TEST(PopulationTest, Large4142ExpansionsExist) {
+  // §5: >10% of 4.1/4.2 sessions gain more than 40 certificates.
+  std::uint64_t v4142 = 0;
+  std::uint64_t large = 0;
+  for (const auto& s : population().sessions) {
+    const auto& h = population().handset_of(s);
+    if (h.device.version == rootstore::AndroidVersion::k41 ||
+        h.device.version == rootstore::AndroidVersion::k42) {
+      ++v4142;
+      if (h.additions() > 40) ++large;
+    }
+  }
+  ASSERT_GT(v4142, 0u);
+  EXPECT_GT(static_cast<double>(large) / v4142, 0.05);
+}
+
+TEST(PopulationTest, ConfigurableScale) {
+  PopulationConfig config;
+  config.n_sessions = 500;
+  config.n_handsets = 120;
+  config.n_models = 30;
+  config.crazy_house_handsets = 3;  // scale Table 5 down too
+  config.rooted_handset_rate = 0.3;
+  PopulationGenerator generator(universe(), config);
+  // Table 5 needs 3+4=7 rooted handsets; 120*0.3 = 36, fine.
+  const Population pop = generator.generate();
+  EXPECT_EQ(pop.sessions.size(), 500u);
+  EXPECT_EQ(pop.handsets.size(), 120u);
+}
+
+}  // namespace
+}  // namespace tangled::synth

@@ -1,0 +1,294 @@
+#include "tlswire/extractor.h"
+#include "tlswire/handshake.h"
+#include "tlswire/record.h"
+
+#include <gtest/gtest.h>
+
+#include "pki/hierarchy.h"
+
+namespace tangled::tlswire {
+namespace {
+
+class TlsWireTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Xoshiro256 rng(1453);
+    auto h = pki::CaHierarchy::build(rng, "WireCA", 1, /*sim_keys=*/true);
+    ASSERT_TRUE(h.ok());
+    auto leaf = h.value().issue(rng, "wire.example.com", 0);
+    ASSERT_TRUE(leaf.ok());
+    chain_ = h.value().presented_chain(leaf.value(), 0);
+  }
+
+  std::vector<x509::Certificate> chain_;
+};
+
+// --- Record layer ----------------------------------------------------------
+
+TEST_F(TlsWireTest, RecordRoundTrip) {
+  Record record;
+  record.fragment = to_bytes("handshake bytes");
+  auto encoded = encode_record(record);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded.value()[0], 22);    // handshake
+  EXPECT_EQ(encoded.value()[1], 0x03);  // TLS 1.2
+  EXPECT_EQ(encoded.value()[2], 0x03);
+
+  RecordReader reader;
+  reader.feed(encoded.value());
+  auto records = reader.drain();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 1u);
+  EXPECT_EQ(records.value()[0].fragment, record.fragment);
+  EXPECT_EQ(reader.pending(), 0u);
+}
+
+TEST_F(TlsWireTest, RecordRejectsOversizedFragment) {
+  Record record;
+  record.fragment.assign(kMaxFragment + 1, 0xaa);
+  EXPECT_FALSE(encode_record(record).ok());
+}
+
+TEST_F(TlsWireTest, EncodeRecordsSplitsLargePayloads) {
+  const Bytes payload(kMaxFragment + 100, 0x42);
+  auto encoded = encode_records(ContentType::kHandshake, payload);
+  ASSERT_TRUE(encoded.ok());
+  RecordReader reader;
+  reader.feed(encoded.value());
+  auto records = reader.drain();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_EQ(records.value()[0].fragment.size(), kMaxFragment);
+  EXPECT_EQ(records.value()[1].fragment.size(), 100u);
+}
+
+TEST_F(TlsWireTest, RecordReaderHandlesArbitrarySplits) {
+  Record record;
+  record.fragment = to_bytes("split across many feeds");
+  auto encoded = encode_record(record);
+  ASSERT_TRUE(encoded.ok());
+  RecordReader reader;
+  for (const std::uint8_t byte : encoded.value()) {
+    reader.feed(ByteView(&byte, 1));
+  }
+  auto records = reader.drain();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 1u);
+  EXPECT_EQ(records.value()[0].fragment, record.fragment);
+}
+
+TEST_F(TlsWireTest, RecordReaderRejectsGarbageFraming) {
+  RecordReader reader;
+  reader.feed(to_bytes("GET / HTTP/1.1\r\n"));  // not TLS
+  EXPECT_FALSE(reader.drain().ok());
+}
+
+TEST_F(TlsWireTest, RecordReaderRejectsBadVersion) {
+  Bytes bad{22, 0x07, 0x00, 0x00, 0x01, 0x00};
+  RecordReader reader;
+  reader.feed(bad);
+  EXPECT_FALSE(reader.drain().ok());
+}
+
+// --- Alerts ------------------------------------------------------------------
+
+TEST_F(TlsWireTest, AlertRoundTrip) {
+  Alert alert;
+  alert.level = AlertLevel::kFatal;
+  alert.description = AlertDescription::kBadCertificate;
+  auto encoded = encode_alert(alert);
+  ASSERT_TRUE(encoded.ok());
+  RecordReader reader;
+  reader.feed(encoded.value());
+  auto records = reader.drain();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 1u);
+  ASSERT_EQ(records.value()[0].type, ContentType::kAlert);
+  auto parsed = parse_alert(records.value()[0].fragment);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().level, AlertLevel::kFatal);
+  EXPECT_EQ(parsed.value().description, AlertDescription::kBadCertificate);
+}
+
+TEST_F(TlsWireTest, ParseAlertRejectsMalformed) {
+  EXPECT_FALSE(parse_alert(Bytes{0x02}).ok());
+  EXPECT_FALSE(parse_alert(Bytes{0x09, 0x2a}).ok());  // bad level
+  EXPECT_FALSE(parse_alert(Bytes{0x02, 0x2a, 0x00}).ok());
+}
+
+TEST_F(TlsWireTest, ExtractorCollectsAlerts) {
+  // Server flight followed by a client fatal bad_certificate alert — the
+  // wire signature of a pinning app refusing an intercepted chain.
+  auto flight = encode_server_flight(ServerHello{}, chain_);
+  ASSERT_TRUE(flight.ok());
+  Alert refusal;
+  refusal.level = AlertLevel::kFatal;
+  refusal.description = AlertDescription::kBadCertificate;
+  auto alert_bytes = encode_alert(refusal);
+  ASSERT_TRUE(alert_bytes.ok());
+
+  CertificateExtractor extractor;
+  ASSERT_TRUE(extractor.feed(flight.value()).ok());
+  ASSERT_TRUE(extractor.feed(alert_bytes.value()).ok());
+  EXPECT_TRUE(extractor.has_chain());
+  ASSERT_EQ(extractor.session().alerts.size(), 1u);
+  EXPECT_EQ(extractor.session().alerts[0].description,
+            AlertDescription::kBadCertificate);
+}
+
+// --- ClientHello -----------------------------------------------------------
+
+TEST_F(TlsWireTest, ClientHelloSniRoundTrip) {
+  ClientHello hello;
+  hello.sni = "www.bankofamerica.com";
+  hello.random[0] = 0xde;
+  hello.random[31] = 0xad;
+  auto parsed = ClientHello::parse_body(hello.encode_body());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().sni, "www.bankofamerica.com");
+  EXPECT_EQ(parsed.value().version, kTls12);
+  EXPECT_EQ(parsed.value().random, hello.random);
+  EXPECT_EQ(parsed.value().cipher_suites, hello.cipher_suites);
+}
+
+TEST_F(TlsWireTest, ClientHelloWithoutSni) {
+  ClientHello hello;  // sni empty
+  auto parsed = ClientHello::parse_body(hello.encode_body());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().sni.empty());
+}
+
+TEST_F(TlsWireTest, ClientHelloTruncationNeverMisparsed) {
+  ClientHello hello;
+  hello.sni = "truncate.example.com";
+  const Bytes body = hello.encode_body();
+  for (std::size_t len = 0; len < body.size(); ++len) {
+    auto parsed = ClientHello::parse_body(ByteView(body.data(), len));
+    if (parsed.ok()) {
+      // The only parseable truncation is the legal extensions-less form —
+      // it must not carry a half-read SNI.
+      EXPECT_TRUE(parsed.value().sni.empty()) << len;
+    }
+  }
+}
+
+// --- ServerHello -------------------------------------------------------------
+
+TEST_F(TlsWireTest, ServerHelloRoundTrip) {
+  ServerHello hello;
+  hello.cipher_suite = 0xc013;
+  auto parsed = ServerHello::parse_body(hello.encode_body());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().cipher_suite, 0xc013);
+}
+
+// --- Certificate message -------------------------------------------------------
+
+TEST_F(TlsWireTest, CertificateBodyRoundTrip) {
+  const Bytes body = encode_certificate_body(chain_);
+  auto parsed = parse_certificate_body(body);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), chain_.size());
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    EXPECT_EQ(parsed.value()[i], chain_[i]);
+  }
+}
+
+TEST_F(TlsWireTest, CertificateBodyRejectsCorruptDer) {
+  Bytes body = encode_certificate_body(chain_);
+  body[body.size() / 2] ^= 0xff;
+  auto parsed = parse_certificate_body(body);
+  // Either a DER parse error or a TLS length error, never acceptance of a
+  // chain with different bytes verifying as intact.
+  if (parsed.ok()) {
+    bool all_equal = parsed.value().size() == chain_.size();
+    if (all_equal) {
+      for (std::size_t i = 0; i < chain_.size(); ++i) {
+        all_equal &= parsed.value()[i] == chain_[i];
+      }
+    }
+    EXPECT_FALSE(all_equal);
+  }
+}
+
+TEST_F(TlsWireTest, CertificateBodyRejectsZeroLengthCert) {
+  // certificate_list claiming one zero-length cert.
+  const Bytes body{0x00, 0x00, 0x03, 0x00, 0x00, 0x00};
+  EXPECT_FALSE(parse_certificate_body(body).ok());
+}
+
+// --- End-to-end extraction -----------------------------------------------------
+
+TEST_F(TlsWireTest, ExtractorReadsFullSession) {
+  // Client flight.
+  ClientHello client;
+  client.sni = "wire.example.com";
+  auto client_flight = encode_records(
+      ContentType::kHandshake,
+      encode_handshake({HandshakeType::kClientHello, client.encode_body()}));
+  ASSERT_TRUE(client_flight.ok());
+  // Server flight.
+  auto server_flight = encode_server_flight(ServerHello{}, chain_);
+  ASSERT_TRUE(server_flight.ok());
+
+  CertificateExtractor extractor;
+  ASSERT_TRUE(extractor.feed(client_flight.value()).ok());
+  EXPECT_TRUE(extractor.session().saw_client_hello);
+  EXPECT_FALSE(extractor.has_chain());
+  ASSERT_TRUE(extractor.feed(server_flight.value()).ok());
+  EXPECT_TRUE(extractor.session().saw_server_hello);
+  ASSERT_TRUE(extractor.has_chain());
+  ASSERT_TRUE(extractor.session().sni.has_value());
+  EXPECT_EQ(*extractor.session().sni, "wire.example.com");
+  ASSERT_EQ(extractor.session().chain.size(), chain_.size());
+  EXPECT_EQ(extractor.session().chain[0], chain_[0]);
+}
+
+TEST_F(TlsWireTest, ExtractorHandlesBytewiseDelivery) {
+  auto server_flight = encode_server_flight(ServerHello{}, chain_);
+  ASSERT_TRUE(server_flight.ok());
+  CertificateExtractor extractor;
+  for (const std::uint8_t byte : server_flight.value()) {
+    ASSERT_TRUE(extractor.feed(ByteView(&byte, 1)).ok());
+  }
+  EXPECT_TRUE(extractor.has_chain());
+}
+
+TEST_F(TlsWireTest, ExtractorIgnoresNonHandshakeRecords) {
+  Record app;
+  app.type = ContentType::kApplicationData;
+  app.fragment = to_bytes("encrypted goo");
+  auto encoded = encode_record(app);
+  ASSERT_TRUE(encoded.ok());
+  CertificateExtractor extractor;
+  ASSERT_TRUE(extractor.feed(encoded.value()).ok());
+  EXPECT_FALSE(extractor.has_chain());
+
+  auto server_flight = encode_server_flight(ServerHello{}, chain_);
+  ASSERT_TRUE(extractor.feed(server_flight.value()).ok());
+  EXPECT_TRUE(extractor.has_chain());
+}
+
+TEST_F(TlsWireTest, HandshakeSpanningMultipleRecords) {
+  // A chain big enough to exceed one record forces multi-record handshake.
+  Xoshiro256 rng(1454);
+  std::vector<x509::Certificate> big_chain = chain_;
+  auto h = pki::CaHierarchy::build(rng, "BigWireCA", 1, true);
+  ASSERT_TRUE(h.ok());
+  for (int i = 0; i < 30; ++i) {
+    auto leaf = h.value().issue(rng, "pad" + std::to_string(i) + ".example", 0);
+    ASSERT_TRUE(leaf.ok());
+    big_chain.push_back(std::move(leaf).value());
+  }
+  auto flight = encode_server_flight(ServerHello{}, big_chain);
+  ASSERT_TRUE(flight.ok());
+  ASSERT_GT(flight.value().size(), kMaxFragment);  // really spans records
+
+  CertificateExtractor extractor;
+  ASSERT_TRUE(extractor.feed(flight.value()).ok());
+  ASSERT_TRUE(extractor.has_chain());
+  EXPECT_EQ(extractor.session().chain.size(), big_chain.size());
+}
+
+}  // namespace
+}  // namespace tangled::tlswire

@@ -1,0 +1,109 @@
+// Cross-module integration: the whole store universe survives a disk
+// round-trip in Android's cacerts layout, and certificates from every
+// store family survive a TLS wire round-trip — so all serialization paths
+// compose.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "rootstore/cacerts.h"
+#include "rootstore/catalog.h"
+#include "tlswire/handshake.h"
+
+namespace tangled {
+namespace {
+
+namespace fs = std::filesystem;
+
+const rootstore::StoreUniverse& universe() {
+  static const rootstore::StoreUniverse u = rootstore::StoreUniverse::build(1402);
+  return u;
+}
+
+class UniverseRoundTrip : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("tangled-universe-" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_F(UniverseRoundTrip, EveryStoreSurvivesCacertsRoundTrip) {
+  struct Entry {
+    const char* name;
+    const rootstore::RootStore& store;
+  };
+  const Entry entries[] = {
+      {"aosp-4.1", universe().aosp(rootstore::AndroidVersion::k41)},
+      {"aosp-4.4", universe().aosp(rootstore::AndroidVersion::k44)},
+      {"mozilla", universe().mozilla()},
+      {"ios7", universe().ios7()},
+  };
+  for (const Entry& entry : entries) {
+    const fs::path store_dir = dir_ / entry.name;
+    ASSERT_TRUE(rootstore::save_cacerts(entry.store, store_dir).ok())
+        << entry.name;
+    auto loaded = rootstore::load_cacerts(entry.name, store_dir);
+    ASSERT_TRUE(loaded.ok()) << entry.name;
+    EXPECT_TRUE(loaded.value().skipped_files.empty()) << entry.name;
+    EXPECT_EQ(loaded.value().store.size(), entry.store.size()) << entry.name;
+    const auto d = rootstore::diff(loaded.value().store, entry.store);
+    EXPECT_EQ(d.identical, entry.store.size()) << entry.name;
+    EXPECT_EQ(d.additions(), 0u) << entry.name;
+    EXPECT_EQ(d.missing(), 0u) << entry.name;
+  }
+}
+
+TEST_F(UniverseRoundTrip, ReloadedStoreReproducesTable1Overlaps) {
+  const fs::path aosp_dir = dir_ / "aosp44";
+  const fs::path mozilla_dir = dir_ / "mozilla";
+  ASSERT_TRUE(rootstore::save_cacerts(
+                  universe().aosp(rootstore::AndroidVersion::k44), aosp_dir)
+                  .ok());
+  ASSERT_TRUE(rootstore::save_cacerts(universe().mozilla(), mozilla_dir).ok());
+  auto aosp = rootstore::load_cacerts("aosp", aosp_dir);
+  auto mozilla = rootstore::load_cacerts("mozilla", mozilla_dir);
+  ASSERT_TRUE(aosp.ok());
+  ASSERT_TRUE(mozilla.ok());
+  std::size_t identical = 0;
+  std::size_t equivalent = 0;
+  for (const auto& cert : aosp.value().store.certificates()) {
+    if (mozilla.value().store.contains(cert)) ++identical;
+    else if (mozilla.value().store.contains_equivalent(cert)) ++equivalent;
+  }
+  EXPECT_EQ(identical, 117u);
+  EXPECT_EQ(identical + equivalent, 130u);
+}
+
+TEST_F(UniverseRoundTrip, MixedVersionChainsSurviveWireTransit) {
+  // A chain mixing a v3 leaf-style cert with a v1 legacy catalog root and
+  // a Mozilla re-issue must survive the TLS Certificate message encoding.
+  std::vector<x509::Certificate> mixed;
+  mixed.push_back(universe().aosp_cas()[5].cert);           // v3 root
+  // A v1 VeriSign-family catalog cert.
+  const auto catalog = rootstore::nonaosp_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (universe().nonaosp_cas()[i].cert.version() == 1) {
+      mixed.push_back(universe().nonaosp_cas()[i].cert);
+      break;
+    }
+  }
+  ASSERT_EQ(mixed.size(), 2u);
+  mixed.push_back(universe().mozilla_reissues()[0].cert);
+
+  const Bytes body = tlswire::encode_certificate_body(mixed);
+  auto parsed = tlswire::parse_certificate_body(body);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 3u);
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    EXPECT_EQ(parsed.value()[i], mixed[i]);
+    EXPECT_EQ(parsed.value()[i].identity_key(), mixed[i].identity_key());
+  }
+  EXPECT_EQ(parsed.value()[1].version(), 1);
+}
+
+}  // namespace
+}  // namespace tangled

@@ -1,0 +1,88 @@
+#include "util/base64.h"
+
+#include <gtest/gtest.h>
+
+namespace tangled {
+namespace {
+
+TEST(Base64, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(to_bytes("")), "");
+  EXPECT_EQ(base64_encode(to_bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(to_bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(to_bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(to_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(to_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeVectors) {
+  EXPECT_EQ(to_string(*base64_decode("Zm9vYmFy")), "foobar");
+  EXPECT_EQ(to_string(*base64_decode("Zg==")), "f");
+  EXPECT_EQ(to_string(*base64_decode("")), "");
+}
+
+TEST(Base64, DecodeSkipsWhitespace) {
+  const auto decoded = base64_decode("Zm9v\nYmFy\r\n  ");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(to_string(*decoded), "foobar");
+}
+
+TEST(Base64, RejectsIllegalCharacters) {
+  EXPECT_FALSE(base64_decode("Zm9v!").has_value());
+  EXPECT_FALSE(base64_decode("Zm$v").has_value());
+}
+
+TEST(Base64, RejectsDataAfterPadding) {
+  EXPECT_FALSE(base64_decode("Zg==Zg").has_value());
+}
+
+TEST(Base64, RejectsExcessPadding) {
+  EXPECT_FALSE(base64_decode("Zg===").has_value());
+}
+
+TEST(Base64, RejectsDanglingSextet) {
+  // A single base64 character encodes only 6 bits — not a whole byte.
+  EXPECT_FALSE(base64_decode("Z").has_value());
+}
+
+TEST(Base64, WrappedEncodingSplitsLines) {
+  const Bytes data(100, 0xaa);
+  const std::string wrapped = base64_encode_wrapped(data, 64);
+  std::size_t first_line = wrapped.find('\n');
+  EXPECT_EQ(first_line, 64u);
+  // Every line must be <= 64 chars.
+  std::size_t start = 0;
+  while (start < wrapped.size()) {
+    const std::size_t nl = wrapped.find('\n', start);
+    ASSERT_NE(nl, std::string::npos);
+    EXPECT_LE(nl - start, 64u);
+    start = nl + 1;
+  }
+}
+
+TEST(Base64, RoundTripAllByteValues) {
+  Bytes data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  const auto decoded = base64_decode(base64_encode(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+class Base64RoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Base64RoundTrip, LengthsAroundBlockBoundaries) {
+  Bytes data(GetParam());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  const auto decoded = base64_decode(base64_encode(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, Base64RoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 62, 63, 64, 65,
+                                           127, 128, 129, 1000));
+
+}  // namespace
+}  // namespace tangled

@@ -1,0 +1,83 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace tangled {
+namespace {
+
+TEST(Hex, EncodesLowercasePairs) {
+  const Bytes data{0x00, 0x0f, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "000fabff");
+}
+
+TEST(Hex, EmptyInputGivesEmptyString) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+}
+
+TEST(Hex, DecodesUpperAndLowerCase) {
+  const auto lower = from_hex("deadbeef");
+  const auto upper = from_hex("DEADBEEF");
+  ASSERT_TRUE(lower.has_value());
+  ASSERT_TRUE(upper.has_value());
+  EXPECT_EQ(*lower, *upper);
+  EXPECT_EQ((*lower)[0], 0xde);
+}
+
+TEST(Hex, RejectsOddLength) {
+  EXPECT_FALSE(from_hex("abc").has_value());
+}
+
+TEST(Hex, RejectsNonHexCharacters) {
+  EXPECT_FALSE(from_hex("zz").has_value());
+  EXPECT_FALSE(from_hex("0g").has_value());
+  EXPECT_FALSE(from_hex("0 ").has_value());
+}
+
+TEST(Hex, RoundTripsArbitraryBytes) {
+  Bytes data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  const auto decoded = from_hex(to_hex(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(BytesStrings, RoundTrip) {
+  const std::string s = "hello\0world";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(BytesCompare, LexicographicLess) {
+  const Bytes a{0x01, 0x02};
+  const Bytes b{0x01, 0x03};
+  const Bytes c{0x01, 0x02, 0x00};
+  EXPECT_TRUE(bytes_less(a, b));
+  EXPECT_FALSE(bytes_less(b, a));
+  EXPECT_TRUE(bytes_less(a, c));  // prefix is smaller
+  EXPECT_FALSE(bytes_less(a, a));
+}
+
+TEST(BytesCompare, Equality) {
+  const Bytes a{1, 2, 3};
+  const Bytes b{1, 2, 3};
+  const Bytes c{1, 2};
+  EXPECT_TRUE(bytes_equal(a, b));
+  EXPECT_FALSE(bytes_equal(a, c));
+  EXPECT_TRUE(bytes_equal(Bytes{}, Bytes{}));
+}
+
+TEST(BytesAppend, AppendsInOrder) {
+  Bytes dst{1, 2};
+  const Bytes src{3, 4};
+  append(dst, src);
+  EXPECT_EQ(dst, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(Fnv1a, KnownVector) {
+  // FNV-1a("") is the offset basis.
+  EXPECT_EQ(fnv1a64(Bytes{}), 0xcbf29ce484222325ull);
+  // Differs for different inputs.
+  EXPECT_NE(fnv1a64(to_bytes("a")), fnv1a64(to_bytes("b")));
+}
+
+}  // namespace
+}  // namespace tangled

@@ -1,0 +1,81 @@
+#include "util/result.h"
+
+#include <gtest/gtest.h>
+
+namespace tangled {
+namespace {
+
+Result<int> parse_positive(int v) {
+  if (v <= 0) return parse_error("not positive");
+  return v;
+}
+
+Result<void> check_even(int v) {
+  if (v % 2 != 0) return range_error("odd");
+  return {};
+}
+
+TEST(Result, ValueCase) {
+  const Result<int> r = parse_positive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_EQ(r.value_or(-1), 5);
+}
+
+TEST(Result, ErrorCase) {
+  const Result<int> r = parse_positive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_EQ(r.error().code, Errc::kParse);
+  EXPECT_EQ(r.error().message, "not positive");
+  EXPECT_EQ(r.value_or(-7), -7);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  const std::string taken = std::move(r).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(Result, MutableValueAccess) {
+  Result<std::string> r = std::string("a");
+  r.value() += "b";
+  EXPECT_EQ(r.value(), "ab");
+}
+
+TEST(ResultVoid, OkAndError) {
+  const Result<void> ok = check_even(4);
+  EXPECT_TRUE(ok.ok());
+  const Result<void> err = check_even(3);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.error().code, Errc::kRange);
+}
+
+TEST(ErrorFactories, CodesAndRendering) {
+  EXPECT_EQ(parse_error("x").code, Errc::kParse);
+  EXPECT_EQ(range_error("x").code, Errc::kRange);
+  EXPECT_EQ(unsupported_error("x").code, Errc::kUnsupported);
+  EXPECT_EQ(not_found_error("x").code, Errc::kNotFound);
+  EXPECT_EQ(verify_error("x").code, Errc::kVerifyFailed);
+  EXPECT_EQ(expired_error("x").code, Errc::kExpired);
+  EXPECT_EQ(state_error("x").code, Errc::kInvalidState);
+
+  EXPECT_EQ(to_string(parse_error("truncated length")),
+            "parse: truncated length");
+  EXPECT_EQ(to_string(Errc::kVerifyFailed), "verify-failed");
+  EXPECT_EQ(to_string(Errc::kNotFound), "not-found");
+}
+
+TEST(ErrorFactories, AllCodesHaveNames) {
+  for (const Errc code :
+       {Errc::kParse, Errc::kRange, Errc::kUnsupported, Errc::kNotFound,
+        Errc::kVerifyFailed, Errc::kExpired, Errc::kInvalidState}) {
+    EXPECT_FALSE(to_string(code).empty());
+    EXPECT_NE(to_string(code), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace tangled

@@ -1,0 +1,163 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+namespace tangled {
+namespace {
+
+TEST(SplitMix, DeterministicForSameSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix, DiffersAcrossSeeds) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, DeterministicForSameSeed) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, BelowStaysInRange) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Xoshiro, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, BetweenCoversInclusiveBounds) {
+  Xoshiro256 rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro, UnitInHalfOpenInterval) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, ChanceExtremes) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Xoshiro, ChanceRoughlyMatchesProbability) {
+  Xoshiro256 rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Xoshiro, BytesLengthAndDeterminism) {
+  Xoshiro256 a(21);
+  Xoshiro256 b(21);
+  EXPECT_EQ(a.bytes(0).size(), 0u);
+  EXPECT_EQ(a.bytes(7).size(), 7u);
+  // Re-sync engines.
+  Xoshiro256 c(33);
+  Xoshiro256 d(33);
+  EXPECT_EQ(c.bytes(100), d.bytes(100));
+  (void)b;
+}
+
+TEST(Xoshiro, ForkProducesIndependentStream) {
+  Xoshiro256 a(55);
+  Xoshiro256 child = a.fork();
+  // Parent and child should diverge.
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) differs |= (a.next() != child.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(WeightedSampler, HonorsWeights) {
+  const std::array<double, 3> weights{0.0, 1.0, 3.0};
+  WeightedSampler sampler(weights);
+  Xoshiro256 rng(101);
+  std::array<int, 3> counts{};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[sampler.sample(rng)]++;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(ZipfSampler, RankOneDominates) {
+  ZipfSampler zipf(100, 1.0);
+  Xoshiro256 rng(201);
+  std::array<int, 100> counts{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) counts[zipf.sample(rng)]++;
+  // Rank 0 should beat rank 9 by roughly 10x under s=1.
+  EXPECT_GT(counts[0], counts[9] * 5);
+  // Monotone-ish decay between far-apart ranks.
+  EXPECT_GT(counts[0], counts[50]);
+}
+
+TEST(SampleWithoutReplacement, ProducesDistinctIndices) {
+  Xoshiro256 rng(301);
+  const auto picked = sample_without_replacement(rng, 50, 20);
+  EXPECT_EQ(picked.size(), 20u);
+  const std::set<std::size_t> uniq(picked.begin(), picked.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (const auto idx : picked) EXPECT_LT(idx, 50u);
+}
+
+TEST(SampleWithoutReplacement, FullDrawIsPermutation) {
+  Xoshiro256 rng(302);
+  auto picked = sample_without_replacement(rng, 10, 10);
+  std::sort(picked.begin(), picked.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(picked[i], i);
+}
+
+class ZipfSkewSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewSweep, HeadMassGrowsWithSkew) {
+  const double s = GetParam();
+  ZipfSampler zipf(1000, s);
+  Xoshiro256 rng(401);
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.sample(rng) < 10) ++head;
+  }
+  // With any positive skew the top-10 ranks out of 1000 must be
+  // over-represented vs the uniform baseline of 1%.
+  EXPECT_GT(static_cast<double>(head) / n, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewSweep,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2, 1.5));
+
+}  // namespace
+}  // namespace tangled

@@ -1,0 +1,67 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace tangled {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(Split, NoSeparatorYieldsWholeString) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Join, InverseOfSplit) {
+  const std::vector<std::string> pieces{"x", "y", "z"};
+  EXPECT_EQ(join(pieces, "-"), "x-y-z");
+  EXPECT_EQ(join({}, "-"), "");
+  EXPECT_EQ(join({"solo"}, "-"), "solo");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("\t\nabc\r "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("AbC123"), "abc123");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("foobar", "bar"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("foobar", "foo"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+  EXPECT_FALSE(starts_with("", "x"));
+}
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("Samsung", "SAMSUNG"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_FALSE(iequals("abc", "ab"));
+}
+
+}  // namespace
+}  // namespace tangled

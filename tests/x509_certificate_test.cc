@@ -1,0 +1,346 @@
+#include "x509/certificate.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/hash.h"
+#include "pki/hierarchy.h"
+#include "x509/builder.h"
+#include "x509/pem.h"
+
+namespace tangled::x509 {
+namespace {
+
+using crypto::generate_sim_keypair;
+using crypto::sim_sig_scheme;
+
+class CertificateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Xoshiro256 rng(2024);
+    ca_key_ = generate_sim_keypair(rng);
+    leaf_key_ = generate_sim_keypair(rng);
+
+    Name ca;
+    ca.add_country("US").add_organization("Tangled Test").add_common_name(
+        "Tangled Test Root CA");
+    ca_name_ = ca;
+
+    auto root = CertificateBuilder()
+                    .serial(1)
+                    .subject(ca)
+                    .issuer(ca)
+                    .not_before(asn1::make_time(2012, 6, 1))
+                    .not_after(asn1::make_time(2032, 6, 1))
+                    .public_key(ca_key_.pub)
+                    .ca(true)
+                    .key_ids(ca_key_.pub, ca_key_.pub)
+                    .sign(sim_sig_scheme(), ca_key_);
+    ASSERT_TRUE(root.ok()) << to_string(root.error());
+    root_ = std::move(root).value();
+
+    Name subject;
+    subject.add_common_name("www.example.com");
+    auto leaf = CertificateBuilder()
+                    .serial(7)
+                    .subject(subject)
+                    .issuer(ca)
+                    .not_before(asn1::make_time(2013, 11, 1))
+                    .not_after(asn1::make_time(2014, 11, 1))
+                    .public_key(leaf_key_.pub)
+                    .dns_names({"www.example.com"})
+                    .key_ids(leaf_key_.pub, ca_key_.pub)
+                    .sign(sim_sig_scheme(), ca_key_);
+    ASSERT_TRUE(leaf.ok()) << to_string(leaf.error());
+    leaf_ = std::move(leaf).value();
+  }
+
+  crypto::KeyPair ca_key_;
+  crypto::KeyPair leaf_key_;
+  Name ca_name_;
+  Certificate root_;
+  Certificate leaf_;
+};
+
+TEST_F(CertificateTest, ParsedFieldsMatchBuilderInputs) {
+  EXPECT_EQ(root_.version(), 3);
+  EXPECT_EQ(root_.serial(), Bytes{0x01});
+  EXPECT_EQ(root_.subject(), ca_name_);
+  EXPECT_EQ(root_.issuer(), ca_name_);
+  EXPECT_TRUE(root_.is_self_issued());
+  EXPECT_TRUE(root_.is_ca());
+  EXPECT_EQ(root_.signature_algorithm(), asn1::oids::sim_sig());
+  EXPECT_EQ(root_.public_key().n, ca_key_.pub.n);
+  EXPECT_EQ(root_.validity().not_before, asn1::make_time(2012, 6, 1));
+  EXPECT_EQ(root_.validity().not_after, asn1::make_time(2032, 6, 1));
+}
+
+TEST_F(CertificateTest, LeafIsNotCa) {
+  EXPECT_FALSE(leaf_.is_ca());
+  EXPECT_FALSE(leaf_.is_self_issued());
+  const auto san = leaf_.extensions().subject_alt_name();
+  ASSERT_TRUE(san.has_value());
+  EXPECT_EQ(san->dns_names, std::vector<std::string>{"www.example.com"});
+}
+
+TEST_F(CertificateTest, DerRoundTripIsExact) {
+  auto reparsed = Certificate::from_der(root_.der());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value(), root_);
+  EXPECT_EQ(reparsed.value().der(), root_.der());
+  EXPECT_EQ(reparsed.value().tbs_der(), root_.tbs_der());
+}
+
+TEST_F(CertificateTest, SignatureVerifiesWithIssuerKey) {
+  EXPECT_TRUE(root_.check_signature_from(ca_key_.pub).ok());
+  EXPECT_TRUE(leaf_.check_signature_from(ca_key_.pub).ok());
+}
+
+TEST_F(CertificateTest, SignatureRejectsWrongKey) {
+  EXPECT_FALSE(leaf_.check_signature_from(leaf_key_.pub).ok());
+}
+
+TEST_F(CertificateTest, TamperedDerFailsParseOrVerify) {
+  Bytes tampered = leaf_.der();
+  // Flip a byte inside the TBS (serial area) — parse may still succeed but
+  // the signature must no longer verify.
+  tampered[8] ^= 0x01;
+  auto reparsed = Certificate::from_der(tampered);
+  if (reparsed.ok()) {
+    EXPECT_FALSE(reparsed.value().check_signature_from(ca_key_.pub).ok());
+  }
+}
+
+TEST_F(CertificateTest, ValidityHelpers) {
+  EXPECT_TRUE(leaf_.validity().contains(asn1::make_time(2014, 4, 1)));
+  EXPECT_FALSE(leaf_.validity().contains(asn1::make_time(2015, 1, 1)));
+  EXPECT_TRUE(leaf_.expired_at(asn1::make_time(2015, 1, 1)));
+  EXPECT_FALSE(leaf_.expired_at(asn1::make_time(2014, 4, 1)));
+  // Not-yet-valid is not "expired".
+  EXPECT_FALSE(leaf_.expired_at(asn1::make_time(2013, 1, 1)));
+  EXPECT_FALSE(leaf_.validity().contains(asn1::make_time(2013, 1, 1)));
+}
+
+TEST_F(CertificateTest, IdentityKeyDependsOnModulusAndSignature) {
+  EXPECT_NE(root_.identity_key(), leaf_.identity_key());
+  // Re-issuing the same TBS with the same key gives the same identity
+  // (SimSig is deterministic).
+  auto again = CertificateBuilder()
+                   .serial(1)
+                   .subject(root_.subject())
+                   .issuer(root_.issuer())
+                   .not_before(root_.validity().not_before)
+                   .not_after(root_.validity().not_after)
+                   .public_key(ca_key_.pub)
+                   .ca(true)
+                   .key_ids(ca_key_.pub, ca_key_.pub)
+                   .sign(sim_sig_scheme(), ca_key_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().identity_key(), root_.identity_key());
+}
+
+TEST_F(CertificateTest, EquivalenceKeySurvivesReissueWithNewDates) {
+  // The paper: roots differing only in expiration date are "equivalent"
+  // (same subject + modulus) though not identical.
+  auto reissued = CertificateBuilder()
+                      .serial(2)
+                      .subject(root_.subject())
+                      .issuer(root_.issuer())
+                      .not_before(asn1::make_time(2014, 1, 1))
+                      .not_after(asn1::make_time(2040, 1, 1))
+                      .public_key(ca_key_.pub)
+                      .ca(true)
+                      .key_ids(ca_key_.pub, ca_key_.pub)
+                      .sign(sim_sig_scheme(), ca_key_);
+  ASSERT_TRUE(reissued.ok());
+  EXPECT_EQ(reissued.value().equivalence_key(), root_.equivalence_key());
+  EXPECT_NE(reissued.value().identity_key(), root_.identity_key());
+  EXPECT_NE(reissued.value().fingerprint_sha256(), root_.fingerprint_sha256());
+}
+
+TEST_F(CertificateTest, SubjectTagIsEightHexDigits) {
+  const std::string tag = root_.subject_tag();
+  EXPECT_EQ(tag.size(), 8u);
+  for (char c : tag) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << tag;
+  }
+  // Tags key on the subject: same subject -> same tag, different -> different.
+  EXPECT_NE(root_.subject_tag(), leaf_.subject_tag());
+}
+
+TEST_F(CertificateTest, FingerprintIsSha256OfDer) {
+  EXPECT_EQ(root_.fingerprint_sha256().size(), 32u);
+  EXPECT_EQ(root_.fingerprint_sha256(), crypto::Sha256::hash(root_.der()));
+}
+
+TEST_F(CertificateTest, PemRoundTrip) {
+  const std::string pem = to_pem(leaf_);
+  EXPECT_NE(pem.find("-----BEGIN CERTIFICATE-----"), std::string::npos);
+  auto parsed = certificate_from_pem(pem);
+  ASSERT_TRUE(parsed.ok()) << to_string(parsed.error());
+  EXPECT_EQ(parsed.value(), leaf_);
+}
+
+TEST_F(CertificateTest, MultiBlockPemBundle) {
+  const std::string bundle = to_pem(root_) + to_pem(leaf_);
+  auto certs = certificates_from_pem(bundle);
+  ASSERT_TRUE(certs.ok());
+  ASSERT_EQ(certs.value().size(), 2u);
+  EXPECT_EQ(certs.value()[0], root_);
+  EXPECT_EQ(certs.value()[1], leaf_);
+}
+
+TEST_F(CertificateTest, PemRejectsTruncatedBlock) {
+  std::string pem = to_pem(leaf_);
+  pem.resize(pem.size() / 2);  // cut off the END marker
+  EXPECT_FALSE(certificate_from_pem(pem).ok());
+}
+
+TEST_F(CertificateTest, PemRejectsCorruptBase64) {
+  std::string pem = to_pem(leaf_);
+  const auto pos = pem.find('\n') + 5;
+  pem[pos] = '!';
+  EXPECT_FALSE(certificate_from_pem(pem).ok());
+}
+
+TEST(CertificateParse, RejectsGarbage) {
+  EXPECT_FALSE(Certificate::from_der(Bytes{}).ok());
+  EXPECT_FALSE(Certificate::from_der(Bytes{0x30, 0x00}).ok());
+  EXPECT_FALSE(Certificate::from_der(to_bytes("not a certificate")).ok());
+}
+
+TEST(CertificateParse, RejectsTrailingBytes) {
+  Xoshiro256 rng(99);
+  auto kp = generate_sim_keypair(rng);
+  Name n;
+  n.add_common_name("X");
+  auto cert = CertificateBuilder()
+                  .subject(n)
+                  .issuer(n)
+                  .public_key(kp.pub)
+                  .sign(sim_sig_scheme(), kp);
+  ASSERT_TRUE(cert.ok());
+  Bytes der = cert.value().der();
+  der.push_back(0x00);
+  EXPECT_FALSE(Certificate::from_der(der).ok());
+}
+
+TEST(CertificateParse, RealRsaCertificateRoundTrip) {
+  Xoshiro256 rng(123);
+  auto kp = crypto::generate_rsa_keypair(rng, 512);
+  Name n;
+  n.add_organization("RSA Org").add_common_name("RSA Root");
+  auto cert = CertificateBuilder()
+                  .serial(42)
+                  .subject(n)
+                  .issuer(n)
+                  .public_key(kp.pub)
+                  .ca(true)
+                  .sign(crypto::rsa_sha256_scheme(), kp);
+  ASSERT_TRUE(cert.ok()) << to_string(cert.error());
+  EXPECT_EQ(cert.value().signature_algorithm(), asn1::oids::sha256_with_rsa());
+  EXPECT_TRUE(cert.value().check_signature_from(kp.pub).ok());
+  auto reparsed = Certificate::from_der(cert.value().der());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed.value().check_signature_from(kp.pub).ok());
+}
+
+TEST(CertificateBuilderErrors, MissingFieldsFail) {
+  Xoshiro256 rng(7);
+  auto kp = generate_sim_keypair(rng);
+  Name n;
+  n.add_common_name("X");
+  // No subject/issuer.
+  EXPECT_FALSE(
+      CertificateBuilder().public_key(kp.pub).sign(sim_sig_scheme(), kp).ok());
+  // No public key.
+  EXPECT_FALSE(
+      CertificateBuilder().subject(n).issuer(n).sign(sim_sig_scheme(), kp).ok());
+}
+
+TEST(CertificateBuilderV1, LegacyRootRoundTrip) {
+  Xoshiro256 rng(9);
+  auto kp = generate_sim_keypair(rng);
+  Name n;
+  n.add_organization("RSA Data Security, Inc.")
+      .add_common_name("Secure Server Certification Authority");
+  auto cert = CertificateBuilder()
+                  .serial(101)
+                  .subject(n)
+                  .issuer(n)
+                  .public_key(kp.pub)
+                  .legacy_v1()
+                  .sign(sim_sig_scheme(), kp);
+  ASSERT_TRUE(cert.ok()) << to_string(cert.error());
+  EXPECT_EQ(cert.value().version(), 1);
+  EXPECT_TRUE(cert.value().extensions().empty());
+  // Legacy rule: v1 + self-issued counts as a CA (Android trusts whatever
+  // sits in cacerts).
+  EXPECT_TRUE(cert.value().is_ca());
+  EXPECT_TRUE(cert.value().check_signature_from(kp.pub).ok());
+  auto reparsed = Certificate::from_der(cert.value().der());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().version(), 1);
+}
+
+TEST(CertificateBuilderV1, V1DiscardsExtensionsAndDropsVersionField) {
+  Xoshiro256 rng(10);
+  auto kp = generate_sim_keypair(rng);
+  Name n;
+  n.add_common_name("V1 With Exts");
+  auto cert = CertificateBuilder()
+                  .subject(n)
+                  .issuer(n)
+                  .public_key(kp.pub)
+                  .ca(true)  // silently dropped in v1 mode
+                  .legacy_v1()
+                  .sign(sim_sig_scheme(), kp);
+  ASSERT_TRUE(cert.ok());
+  EXPECT_TRUE(cert.value().extensions().empty());
+  // No [0] EXPLICIT version wrapper in the TBS: first TBS element is the
+  // serial INTEGER.
+  const Bytes& tbs = cert.value().tbs_der();
+  asn1::DerReader r(tbs);
+  auto seq = r.expect(asn1::Tag::kSequence);
+  ASSERT_TRUE(seq.ok());
+  asn1::DerReader body(seq.value().body);
+  auto first = body.peek_tag();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), static_cast<std::uint8_t>(asn1::Tag::kInteger));
+}
+
+TEST(CertificateBuilderV1, V1NonSelfIssuedIsNotCa) {
+  Xoshiro256 rng(11);
+  auto ca_kp = generate_sim_keypair(rng);
+  auto leaf_kp = generate_sim_keypair(rng);
+  Name ca;
+  ca.add_common_name("V1 CA");
+  Name subject;
+  subject.add_common_name("v1-leaf.example.com");
+  auto cert = CertificateBuilder()
+                  .subject(subject)
+                  .issuer(ca)
+                  .public_key(leaf_kp.pub)
+                  .legacy_v1()
+                  .sign(sim_sig_scheme(), ca_kp);
+  ASSERT_TRUE(cert.ok());
+  EXPECT_FALSE(cert.value().is_ca());
+}
+
+TEST(CertificateBuilder, GeneralizedTimeBeyond2050) {
+  Xoshiro256 rng(8);
+  auto kp = generate_sim_keypair(rng);
+  Name n;
+  n.add_common_name("Long Lived");
+  auto cert = CertificateBuilder()
+                  .subject(n)
+                  .issuer(n)
+                  .not_before(asn1::make_time(2014, 1, 1))
+                  .not_after(asn1::make_time(2060, 1, 1))
+                  .public_key(kp.pub)
+                  .sign(sim_sig_scheme(), kp);
+  ASSERT_TRUE(cert.ok()) << to_string(cert.error());
+  EXPECT_EQ(cert.value().validity().not_after, asn1::make_time(2060, 1, 1));
+}
+
+}  // namespace
+}  // namespace tangled::x509

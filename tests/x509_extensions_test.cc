@@ -1,0 +1,157 @@
+#include "x509/extensions.h"
+
+#include <gtest/gtest.h>
+
+#include "asn1/der.h"
+
+namespace tangled::x509 {
+namespace {
+
+TEST(BasicConstraintsExt, CaRoundTrip) {
+  BasicConstraints bc;
+  bc.is_ca = true;
+  bc.path_len = 3;
+  auto parsed = BasicConstraints::from_der(bc.to_der());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), bc);
+}
+
+TEST(BasicConstraintsExt, DefaultFalseOmittedInDer) {
+  BasicConstraints bc;  // is_ca = false
+  const Bytes der = bc.to_der();
+  EXPECT_EQ(der, (Bytes{0x30, 0x00}));  // empty SEQUENCE
+  auto parsed = BasicConstraints::from_der(der);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.value().is_ca);
+  EXPECT_FALSE(parsed.value().path_len.has_value());
+}
+
+TEST(BasicConstraintsExt, CaWithoutPathLen) {
+  BasicConstraints bc;
+  bc.is_ca = true;
+  auto parsed = BasicConstraints::from_der(bc.to_der());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().is_ca);
+  EXPECT_FALSE(parsed.value().path_len.has_value());
+}
+
+TEST(BasicConstraintsExt, RejectsNegativePathLen) {
+  asn1::DerWriter w;
+  w.begin(asn1::Tag::kSequence);
+  w.write_boolean(true);
+  w.write_integer(-1);
+  w.end();
+  EXPECT_FALSE(BasicConstraints::from_der(w.take()).ok());
+}
+
+TEST(BasicConstraintsExt, RejectsTrailingBytes) {
+  Bytes der = BasicConstraints{}.to_der();
+  der.push_back(0xff);
+  EXPECT_FALSE(BasicConstraints::from_der(der).ok());
+}
+
+TEST(KeyUsageExt, RoundTripAllCombinations) {
+  for (int mask = 0; mask < 16; ++mask) {
+    KeyUsage ku;
+    ku.digital_signature = mask & 1;
+    ku.key_encipherment = mask & 2;
+    ku.key_cert_sign = mask & 4;
+    ku.crl_sign = mask & 8;
+    auto parsed = KeyUsage::from_der(ku.to_der());
+    ASSERT_TRUE(parsed.ok()) << "mask=" << mask;
+    EXPECT_EQ(parsed.value(), ku) << "mask=" << mask;
+  }
+}
+
+TEST(ExtendedKeyUsageExt, RoundTripAndAllows) {
+  ExtendedKeyUsage eku;
+  eku.purposes.push_back(asn1::oids::eku_server_auth());
+  eku.purposes.push_back(asn1::oids::eku_code_signing());
+  auto parsed = ExtendedKeyUsage::from_der(eku.to_der());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), eku);
+  EXPECT_TRUE(parsed.value().allows(asn1::oids::eku_server_auth()));
+  EXPECT_TRUE(parsed.value().allows(asn1::oids::eku_code_signing()));
+  EXPECT_FALSE(parsed.value().allows(asn1::oids::eku_client_auth()));
+}
+
+TEST(ExtendedKeyUsageExt, RejectsEmptyList) {
+  const Bytes der{0x30, 0x00};
+  EXPECT_FALSE(ExtendedKeyUsage::from_der(der).ok());
+}
+
+TEST(SubjectAltNameExt, RoundTrip) {
+  SubjectAltName san;
+  san.dns_names = {"www.bankofamerica.com", "bankofamerica.com"};
+  auto parsed = SubjectAltName::from_der(san.to_der());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), san);
+}
+
+TEST(SubjectAltNameExt, SkipsNonDnsEntries) {
+  // SEQUENCE { [1] IA5String "x@y" (rfc822), [2] IA5String "a.com" }
+  asn1::DerWriter w;
+  w.begin(asn1::Tag::kSequence);
+  w.primitive(asn1::context_tag(1, false), to_bytes("x@y"));
+  w.primitive(asn1::context_tag(2, false), to_bytes("a.com"));
+  w.end();
+  auto parsed = SubjectAltName::from_der(w.take());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().dns_names.size(), 1u);
+  EXPECT_EQ(parsed.value().dns_names[0], "a.com");
+}
+
+TEST(KeyIdExt, SubjectKeyIdRoundTrip) {
+  const Bytes id{1, 2, 3, 4, 5, 6, 7, 8};
+  const Bytes der = encode_key_id_extension(id, /*authority=*/false);
+  auto parsed = decode_subject_key_id(der);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), id);
+}
+
+TEST(KeyIdExt, AuthorityKeyIdRoundTrip) {
+  const Bytes id{9, 8, 7, 6};
+  const Bytes der = encode_key_id_extension(id, /*authority=*/true);
+  auto parsed = decode_authority_key_id(der);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), id);
+}
+
+TEST(KeyIdExt, AuthorityKeyIdWithoutKeyIdFieldFails) {
+  const Bytes der{0x30, 0x00};  // empty AKI SEQUENCE
+  EXPECT_FALSE(decode_authority_key_id(der).ok());
+}
+
+TEST(ExtensionSet, FindAndTypedAccessors) {
+  ExtensionSet set;
+  BasicConstraints bc;
+  bc.is_ca = true;
+  set.add(Extension{asn1::oids::basic_constraints(), true, bc.to_der()});
+  KeyUsage ku;
+  ku.key_cert_sign = true;
+  set.add(Extension{asn1::oids::key_usage(), true, ku.to_der()});
+
+  EXPECT_NE(set.find(asn1::oids::basic_constraints()), nullptr);
+  EXPECT_EQ(set.find(asn1::oids::subject_alt_name()), nullptr);
+
+  const auto parsed_bc = set.basic_constraints();
+  ASSERT_TRUE(parsed_bc.has_value());
+  EXPECT_TRUE(parsed_bc->is_ca);
+
+  const auto parsed_ku = set.key_usage();
+  ASSERT_TRUE(parsed_ku.has_value());
+  EXPECT_TRUE(parsed_ku->key_cert_sign);
+  EXPECT_FALSE(parsed_ku->digital_signature);
+
+  EXPECT_FALSE(set.extended_key_usage().has_value());
+  EXPECT_FALSE(set.subject_key_id().has_value());
+}
+
+TEST(ExtensionSet, MalformedValueYieldsNullopt) {
+  ExtensionSet set;
+  set.add(Extension{asn1::oids::basic_constraints(), true, Bytes{0xff, 0x00}});
+  EXPECT_FALSE(set.basic_constraints().has_value());
+}
+
+}  // namespace
+}  // namespace tangled::x509

@@ -1,0 +1,80 @@
+#include "x509/hostname.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/signature.h"
+#include "x509/builder.h"
+
+namespace tangled::x509 {
+namespace {
+
+TEST(HostnamePattern, ExactMatchesCaseInsensitive) {
+  EXPECT_TRUE(hostname_matches_pattern("www.example.com", "www.example.com"));
+  EXPECT_TRUE(hostname_matches_pattern("WWW.Example.COM", "www.example.com"));
+  EXPECT_FALSE(hostname_matches_pattern("www.example.com", "example.com"));
+  EXPECT_FALSE(hostname_matches_pattern("example.com", "www.example.com"));
+}
+
+TEST(HostnamePattern, TrailingDotNormalized) {
+  EXPECT_TRUE(hostname_matches_pattern("www.example.com.", "www.example.com"));
+  EXPECT_TRUE(hostname_matches_pattern("www.example.com", "www.example.com."));
+}
+
+TEST(HostnamePattern, WildcardMatchesOneLabel) {
+  EXPECT_TRUE(hostname_matches_pattern("www.example.com", "*.example.com"));
+  EXPECT_TRUE(hostname_matches_pattern("mail.example.com", "*.example.com"));
+  EXPECT_FALSE(hostname_matches_pattern("example.com", "*.example.com"));
+  EXPECT_FALSE(hostname_matches_pattern("a.b.example.com", "*.example.com"));
+}
+
+TEST(HostnamePattern, OverBroadWildcardsRejected) {
+  EXPECT_FALSE(hostname_matches_pattern("example.com", "*.com"));
+  EXPECT_FALSE(hostname_matches_pattern("anything", "*"));
+  EXPECT_FALSE(hostname_matches_pattern("a.example.com", "*.*.com"));
+  // Wildcard only in the left-most position.
+  EXPECT_FALSE(hostname_matches_pattern("www.example.com", "www.*.com"));
+}
+
+TEST(HostnamePattern, EmptyInputsRejected) {
+  EXPECT_FALSE(hostname_matches_pattern("", "example.com"));
+  EXPECT_FALSE(hostname_matches_pattern("example.com", ""));
+}
+
+class CertHostnameTest : public ::testing::Test {
+ protected:
+  Certificate make(const std::string& cn, std::vector<std::string> sans) {
+    Xoshiro256 rng(fnv1a64(to_bytes(cn)));
+    auto kp = crypto::generate_sim_keypair(rng);
+    Name subject;
+    subject.add_common_name(cn);
+    CertificateBuilder builder;
+    builder.subject(subject).issuer(subject).public_key(kp.pub);
+    if (!sans.empty()) builder.dns_names(std::move(sans));
+    auto cert = builder.sign(crypto::sim_sig_scheme(), kp);
+    EXPECT_TRUE(cert.ok());
+    return cert.value();
+  }
+};
+
+TEST_F(CertHostnameTest, SanTakesPrecedenceOverCn) {
+  const auto cert = make("cn.example.com", {"san.example.com"});
+  EXPECT_TRUE(certificate_matches_hostname(cert, "san.example.com"));
+  // CN is NOT consulted when a SAN dNSName list exists.
+  EXPECT_FALSE(certificate_matches_hostname(cert, "cn.example.com"));
+}
+
+TEST_F(CertHostnameTest, CnFallbackWithoutSan) {
+  const auto cert = make("legacy.example.com", {});
+  EXPECT_TRUE(certificate_matches_hostname(cert, "legacy.example.com"));
+  EXPECT_FALSE(certificate_matches_hostname(cert, "other.example.com"));
+}
+
+TEST_F(CertHostnameTest, MultipleSans) {
+  const auto cert = make("x", {"a.example.com", "*.b.example.com"});
+  EXPECT_TRUE(certificate_matches_hostname(cert, "a.example.com"));
+  EXPECT_TRUE(certificate_matches_hostname(cert, "www.b.example.com"));
+  EXPECT_FALSE(certificate_matches_hostname(cert, "b.example.com"));
+}
+
+}  // namespace
+}  // namespace tangled::x509

@@ -1,0 +1,156 @@
+#include "x509/name.h"
+
+#include <gtest/gtest.h>
+
+namespace tangled::x509 {
+namespace {
+
+Name dod_name() {
+  // The paper's footnote 4: CN=DoD CLASS 3 Root CA,OU=PKI,OU=DoD,
+  // O=U.S. Government,C=US — wire order is country first.
+  Name n;
+  n.add_country("US")
+      .add_organization("U.S. Government")
+      .add_organizational_unit("DoD")
+      .add_organizational_unit("PKI")
+      .add_common_name("DoD CLASS 3 Root CA");
+  return n;
+}
+
+TEST(Name, RendersRfc4514MostSpecificFirst) {
+  EXPECT_EQ(dod_name().to_string(),
+            "CN=DoD CLASS 3 Root CA,OU=PKI,OU=DoD,O=U.S. Government,C=US");
+}
+
+TEST(Name, FindReturnsFirstMatch) {
+  const Name n = dod_name();
+  EXPECT_EQ(n.common_name(), "DoD CLASS 3 Root CA");
+  EXPECT_EQ(n.organization(), "U.S. Government");
+  EXPECT_EQ(n.country(), "US");
+  EXPECT_EQ(n.find(asn1::oids::organizational_unit()), "DoD");
+  EXPECT_EQ(n.find(asn1::oids::locality()), "");
+}
+
+TEST(Name, DerRoundTrip) {
+  const Name original = dod_name();
+  auto parsed = Name::from_der(original.to_der());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), original);
+  EXPECT_EQ(parsed.value().to_string(), original.to_string());
+}
+
+TEST(Name, EmptyNameEncodesAsEmptySequence) {
+  const Name empty;
+  EXPECT_TRUE(empty.empty());
+  const Bytes der = empty.to_der();
+  EXPECT_EQ(der, (Bytes{0x30, 0x00}));
+  auto parsed = Name::from_der(der);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().empty());
+}
+
+TEST(Name, NonPrintableValuesUseUtf8String) {
+  Name n;
+  n.add_common_name("Türktrust");  // non-ASCII => UTF8String
+  const Bytes der = n.to_der();
+  auto parsed = Name::from_der(der);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().common_name(), "Türktrust");
+  // The encoding must contain a UTF8String tag (0x0c).
+  bool has_utf8 = false;
+  for (std::size_t i = 0; i + 1 < der.size(); ++i) {
+    if (der[i] == 0x0c) has_utf8 = true;
+  }
+  EXPECT_TRUE(has_utf8);
+}
+
+TEST(Name, EmailUsesIa5String) {
+  Name n;
+  n.add_email("ca@example.sn");
+  const Bytes der = n.to_der();
+  auto parsed = Name::from_der(der);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().find(asn1::oids::email_address()), "ca@example.sn");
+}
+
+TEST(Name, EscapesSpecialCharactersInDisplay) {
+  Name n;
+  n.add_common_name("Acme, Inc. + Co");
+  const std::string s = n.to_string();
+  EXPECT_EQ(s, "CN=Acme\\, Inc. \\+ Co");
+}
+
+TEST(Name, EscapesLeadingAndTrailingSpace) {
+  Name n;
+  n.add_common_name(" padded ");
+  EXPECT_EQ(n.to_string(), "CN=\\ padded\\ ");
+}
+
+TEST(Name, UnknownOidRendersDotted) {
+  Name n;
+  n.add(asn1::Oid({2, 5, 4, 97}), "PSDBE-NBB-1234");
+  EXPECT_EQ(n.to_string(), "2.5.4.97=PSDBE-NBB-1234");
+}
+
+TEST(Name, FromDerRejectsEmptyRdnSet) {
+  // SEQUENCE { SET {} } — an RDN must contain at least one attribute.
+  const Bytes der{0x30, 0x02, 0x31, 0x00};
+  EXPECT_FALSE(Name::from_der(der).ok());
+}
+
+TEST(Name, FromDerRejectsTrailingGarbage) {
+  Bytes der = dod_name().to_der();
+  der.push_back(0x00);
+  EXPECT_FALSE(Name::from_der(der).ok());
+}
+
+TEST(Name, FromDerRejectsNonStringValue) {
+  // SEQUENCE { SET { SEQUENCE { OID cn, INTEGER 5 } } }
+  const Bytes der{0x30, 0x0c, 0x31, 0x0a, 0x30, 0x08, 0x06,
+                  0x03, 0x55, 0x04, 0x03, 0x02, 0x01, 0x05};
+  EXPECT_FALSE(Name::from_der(der).ok());
+}
+
+TEST(Name, EqualityIsStructural) {
+  EXPECT_EQ(dod_name(), dod_name());
+  Name other = dod_name();
+  other.add_locality("Arlington");
+  EXPECT_NE(other, dod_name());
+}
+
+TEST(Name, OrderMatters) {
+  Name a;
+  a.add_country("US").add_common_name("X");
+  Name b;
+  b.add_common_name("X").add_country("US");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.to_der(), b.to_der());
+}
+
+TEST(Name, MultiAttributeRdnRoundTrip) {
+  // Hand-encode SET with two attributes in one RDN; must survive re-parse.
+  Name single;
+  single.add_common_name("A");
+  // Build DER manually: SEQUENCE { SET { SEQ(cn,"A"), SEQ(o,"B") } }.
+  asn1::DerWriter w;
+  w.begin(asn1::Tag::kSequence);
+  w.begin(asn1::Tag::kSet);
+  w.begin(asn1::Tag::kSequence);
+  w.write_oid(asn1::oids::common_name());
+  w.write_printable_string("A");
+  w.end();
+  w.begin(asn1::Tag::kSequence);
+  w.write_oid(asn1::oids::organization());
+  w.write_printable_string("B");
+  w.end();
+  w.end();
+  w.end();
+  auto parsed = Name::from_der(w.take());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().rdns().size(), 1u);
+  ASSERT_EQ(parsed.value().rdns()[0].attributes.size(), 2u);
+  EXPECT_EQ(parsed.value().to_string(), "CN=A+O=B");
+}
+
+}  // namespace
+}  // namespace tangled::x509

@@ -1,0 +1,101 @@
+#include "x509/text.h"
+
+#include <gtest/gtest.h>
+
+#include "pki/hierarchy.h"
+
+namespace tangled::x509 {
+namespace {
+
+class TextTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Xoshiro256 rng(606);
+    auto h = pki::CaHierarchy::build(rng, "TextCA", 1, /*sim_keys=*/true);
+    ASSERT_TRUE(h.ok());
+    root_ = h.value().root().cert;
+    auto leaf = h.value().issue(rng, "text.example.com", 0);
+    ASSERT_TRUE(leaf.ok());
+    leaf_ = std::move(leaf).value();
+  }
+
+  Certificate root_;
+  Certificate leaf_;
+};
+
+TEST_F(TextTest, DescribeContainsAllCoreFields) {
+  const std::string text = describe(leaf_);
+  EXPECT_NE(text.find("version: v3"), std::string::npos);
+  EXPECT_NE(text.find("subject: CN=text.example.com"), std::string::npos);
+  EXPECT_NE(text.find("issuer: CN=TextCA Intermediate CA 1"), std::string::npos);
+  EXPECT_NE(text.find("not before: 2013-01-01T00:00:00Z"), std::string::npos);
+  EXPECT_NE(text.find("simSig (simulation scheme)"), std::string::npos);
+  EXPECT_NE(text.find("RSA 2048 bit"), std::string::npos);
+  EXPECT_NE(text.find("sha256 fingerprint: "), std::string::npos);
+  EXPECT_NE(text.find("identity key"), std::string::npos);
+  EXPECT_NE(text.find("equivalence key"), std::string::npos);
+  EXPECT_NE(text.find("subject tag (paper Fig.2): " + leaf_.subject_tag()),
+            std::string::npos);
+}
+
+TEST_F(TextTest, DescribeRendersExtensions) {
+  const std::string leaf_text = describe(leaf_);
+  EXPECT_NE(leaf_text.find("keyUsage: digitalSignature, keyEncipherment"),
+            std::string::npos);
+  EXPECT_NE(leaf_text.find("extendedKeyUsage: serverAuth"), std::string::npos);
+  EXPECT_NE(leaf_text.find("subjectAltName: DNS:text.example.com"),
+            std::string::npos);
+  EXPECT_NE(leaf_text.find("subjectKeyIdentifier"), std::string::npos);
+
+  const std::string root_text = describe(root_);
+  EXPECT_NE(root_text.find("basicConstraints: CA:TRUE"), std::string::npos);
+  EXPECT_NE(root_text.find("keyCertSign, cRLSign"), std::string::npos);
+}
+
+TEST_F(TextTest, SummarizeLeaf) {
+  const std::string s = summarize(leaf_);
+  EXPECT_NE(s.find("CN=text.example.com <- "), std::string::npos);
+  EXPECT_NE(s.find("serial"), std::string::npos);
+}
+
+TEST_F(TextTest, SummarizeSelfSigned) {
+  const std::string s = summarize(root_);
+  EXPECT_NE(s.find("(self-signed)"), std::string::npos);
+  EXPECT_EQ(s.find(" <- "), std::string::npos);
+}
+
+TEST_F(TextTest, DescribeV1LegacyCert) {
+  Xoshiro256 rng(608);
+  auto kp = crypto::generate_sim_keypair(rng);
+  Name n;
+  n.add_common_name("Legacy V1");
+  auto cert = CertificateBuilder()
+                  .subject(n)
+                  .issuer(n)
+                  .public_key(kp.pub)
+                  .legacy_v1()
+                  .sign(crypto::sim_sig_scheme(), kp);
+  ASSERT_TRUE(cert.ok());
+  const std::string text = describe(cert.value());
+  EXPECT_NE(text.find("version: v1"), std::string::npos);
+  // No extensions section for v1.
+  EXPECT_EQ(text.find("extensions:"), std::string::npos);
+}
+
+TEST_F(TextTest, RsaAlgorithmNamed) {
+  Xoshiro256 rng(607);
+  auto kp = crypto::generate_rsa_keypair(rng, 512);
+  Name n;
+  n.add_common_name("RSA Text");
+  auto cert = CertificateBuilder()
+                  .subject(n)
+                  .issuer(n)
+                  .public_key(kp.pub)
+                  .sign(crypto::rsa_sha256_scheme(), kp);
+  ASSERT_TRUE(cert.ok());
+  EXPECT_NE(describe(cert.value()).find("sha256WithRSAEncryption"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tangled::x509
