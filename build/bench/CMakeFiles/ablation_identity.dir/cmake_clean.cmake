@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_identity.dir/ablation_identity.cc.o"
+  "CMakeFiles/ablation_identity.dir/ablation_identity.cc.o.d"
+  "ablation_identity"
+  "ablation_identity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_identity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

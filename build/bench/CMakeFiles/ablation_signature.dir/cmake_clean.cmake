@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_signature.dir/ablation_signature.cc.o"
+  "CMakeFiles/ablation_signature.dir/ablation_signature.cc.o.d"
+  "ablation_signature"
+  "ablation_signature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_signature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

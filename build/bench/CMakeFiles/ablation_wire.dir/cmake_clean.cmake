@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wire.dir/ablation_wire.cc.o"
+  "CMakeFiles/ablation_wire.dir/ablation_wire.cc.o.d"
+  "ablation_wire"
+  "ablation_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

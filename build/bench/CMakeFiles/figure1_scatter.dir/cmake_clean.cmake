@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_scatter.dir/figure1_scatter.cc.o"
+  "CMakeFiles/figure1_scatter.dir/figure1_scatter.cc.o.d"
+  "figure1_scatter"
+  "figure1_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

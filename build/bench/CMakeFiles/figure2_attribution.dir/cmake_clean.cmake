@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_attribution.dir/figure2_attribution.cc.o"
+  "CMakeFiles/figure2_attribution.dir/figure2_attribution.cc.o.d"
+  "figure2_attribution"
+  "figure2_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_ecdf.dir/figure3_ecdf.cc.o"
+  "CMakeFiles/figure3_ecdf.dir/figure3_ecdf.cc.o.d"
+  "figure3_ecdf"
+  "figure3_ecdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_ecdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommendation_minimize.dir/recommendation_minimize.cc.o"
+  "CMakeFiles/recommendation_minimize.dir/recommendation_minimize.cc.o.d"
+  "recommendation_minimize"
+  "recommendation_minimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommendation_minimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_calibration.dir/sweep_calibration.cc.o"
+  "CMakeFiles/sweep_calibration.dir/sweep_calibration.cc.o.d"
+  "sweep_calibration"
+  "sweep_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_population.dir/table2_population.cc.o"
+  "CMakeFiles/table2_population.dir/table2_population.cc.o.d"
+  "table2_population"
+  "table2_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_categories.dir/table4_categories.cc.o"
+  "CMakeFiles/table4_categories.dir/table4_categories.cc.o.d"
+  "table4_categories"
+  "table4_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

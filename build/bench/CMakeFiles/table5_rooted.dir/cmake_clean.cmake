@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_rooted.dir/table5_rooted.cc.o"
+  "CMakeFiles/table5_rooted.dir/table5_rooted.cc.o.d"
+  "table5_rooted"
+  "table5_rooted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_rooted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_interception.dir/table6_interception.cc.o"
+  "CMakeFiles/table6_interception.dir/table6_interception.cc.o.d"
+  "table6_interception"
+  "table6_interception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_interception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

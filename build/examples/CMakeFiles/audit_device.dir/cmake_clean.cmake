@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_device.dir/audit_device.cpp.o"
+  "CMakeFiles/audit_device.dir/audit_device.cpp.o.d"
+  "audit_device"
+  "audit_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_interception.dir/detect_interception.cpp.o"
+  "CMakeFiles/detect_interception.dir/detect_interception.cpp.o.d"
+  "detect_interception"
+  "detect_interception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_interception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimize_store.dir/minimize_store.cpp.o"
+  "CMakeFiles/minimize_store.dir/minimize_store.cpp.o.d"
+  "minimize_store"
+  "minimize_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimize_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

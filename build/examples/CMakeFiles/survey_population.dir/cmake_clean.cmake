@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_population.dir/survey_population.cpp.o"
+  "CMakeFiles/survey_population.dir/survey_population.cpp.o.d"
+  "survey_population"
+  "survey_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

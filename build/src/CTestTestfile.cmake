@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("asn1")
+subdirs("crypto")
+subdirs("x509")
+subdirs("pki")
+subdirs("rootstore")
+subdirs("device")
+subdirs("notary")
+subdirs("synth")
+subdirs("netalyzr")
+subdirs("intercept")
+subdirs("analysis")
+subdirs("tlswire")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangled_analysis.dir/analysis.cc.o"
+  "CMakeFiles/tangled_analysis.dir/analysis.cc.o.d"
+  "CMakeFiles/tangled_analysis.dir/attribution.cc.o"
+  "CMakeFiles/tangled_analysis.dir/attribution.cc.o.d"
+  "CMakeFiles/tangled_analysis.dir/minimize.cc.o"
+  "CMakeFiles/tangled_analysis.dir/minimize.cc.o.d"
+  "CMakeFiles/tangled_analysis.dir/report.cc.o"
+  "CMakeFiles/tangled_analysis.dir/report.cc.o.d"
+  "libtangled_analysis.a"
+  "libtangled_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangled_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangled_asn1.dir/der.cc.o"
+  "CMakeFiles/tangled_asn1.dir/der.cc.o.d"
+  "CMakeFiles/tangled_asn1.dir/oid.cc.o"
+  "CMakeFiles/tangled_asn1.dir/oid.cc.o.d"
+  "CMakeFiles/tangled_asn1.dir/time.cc.o"
+  "CMakeFiles/tangled_asn1.dir/time.cc.o.d"
+  "libtangled_asn1.a"
+  "libtangled_asn1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangled_asn1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

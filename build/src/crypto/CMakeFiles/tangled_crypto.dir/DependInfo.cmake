@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bignum.cc" "src/crypto/CMakeFiles/tangled_crypto.dir/bignum.cc.o" "gcc" "src/crypto/CMakeFiles/tangled_crypto.dir/bignum.cc.o.d"
+  "/root/repo/src/crypto/hash.cc" "src/crypto/CMakeFiles/tangled_crypto.dir/hash.cc.o" "gcc" "src/crypto/CMakeFiles/tangled_crypto.dir/hash.cc.o.d"
+  "/root/repo/src/crypto/key_io.cc" "src/crypto/CMakeFiles/tangled_crypto.dir/key_io.cc.o" "gcc" "src/crypto/CMakeFiles/tangled_crypto.dir/key_io.cc.o.d"
+  "/root/repo/src/crypto/rsa.cc" "src/crypto/CMakeFiles/tangled_crypto.dir/rsa.cc.o" "gcc" "src/crypto/CMakeFiles/tangled_crypto.dir/rsa.cc.o.d"
+  "/root/repo/src/crypto/signature.cc" "src/crypto/CMakeFiles/tangled_crypto.dir/signature.cc.o" "gcc" "src/crypto/CMakeFiles/tangled_crypto.dir/signature.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tangled_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/tangled_asn1.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

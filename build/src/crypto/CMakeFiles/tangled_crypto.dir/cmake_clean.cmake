@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangled_crypto.dir/bignum.cc.o"
+  "CMakeFiles/tangled_crypto.dir/bignum.cc.o.d"
+  "CMakeFiles/tangled_crypto.dir/hash.cc.o"
+  "CMakeFiles/tangled_crypto.dir/hash.cc.o.d"
+  "CMakeFiles/tangled_crypto.dir/key_io.cc.o"
+  "CMakeFiles/tangled_crypto.dir/key_io.cc.o.d"
+  "CMakeFiles/tangled_crypto.dir/rsa.cc.o"
+  "CMakeFiles/tangled_crypto.dir/rsa.cc.o.d"
+  "CMakeFiles/tangled_crypto.dir/signature.cc.o"
+  "CMakeFiles/tangled_crypto.dir/signature.cc.o.d"
+  "libtangled_crypto.a"
+  "libtangled_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangled_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

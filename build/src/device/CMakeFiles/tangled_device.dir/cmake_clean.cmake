@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangled_device.dir/assembler.cc.o"
+  "CMakeFiles/tangled_device.dir/assembler.cc.o.d"
+  "CMakeFiles/tangled_device.dir/device.cc.o"
+  "CMakeFiles/tangled_device.dir/device.cc.o.d"
+  "libtangled_device.a"
+  "libtangled_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangled_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

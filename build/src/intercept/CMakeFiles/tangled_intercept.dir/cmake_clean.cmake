@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangled_intercept.dir/detector.cc.o"
+  "CMakeFiles/tangled_intercept.dir/detector.cc.o.d"
+  "CMakeFiles/tangled_intercept.dir/network.cc.o"
+  "CMakeFiles/tangled_intercept.dir/network.cc.o.d"
+  "CMakeFiles/tangled_intercept.dir/proxy.cc.o"
+  "CMakeFiles/tangled_intercept.dir/proxy.cc.o.d"
+  "CMakeFiles/tangled_intercept.dir/wire_network.cc.o"
+  "CMakeFiles/tangled_intercept.dir/wire_network.cc.o.d"
+  "libtangled_intercept.a"
+  "libtangled_intercept.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangled_intercept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

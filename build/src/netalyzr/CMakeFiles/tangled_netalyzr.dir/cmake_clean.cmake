@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangled_netalyzr.dir/domain_probe.cc.o"
+  "CMakeFiles/tangled_netalyzr.dir/domain_probe.cc.o.d"
+  "CMakeFiles/tangled_netalyzr.dir/interception_survey.cc.o"
+  "CMakeFiles/tangled_netalyzr.dir/interception_survey.cc.o.d"
+  "CMakeFiles/tangled_netalyzr.dir/netalyzr.cc.o"
+  "CMakeFiles/tangled_netalyzr.dir/netalyzr.cc.o.d"
+  "libtangled_netalyzr.a"
+  "libtangled_netalyzr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangled_netalyzr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tangled_netalyzr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for tangled_netalyzr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangled_notary.dir/census.cc.o"
+  "CMakeFiles/tangled_notary.dir/census.cc.o.d"
+  "CMakeFiles/tangled_notary.dir/notary.cc.o"
+  "CMakeFiles/tangled_notary.dir/notary.cc.o.d"
+  "CMakeFiles/tangled_notary.dir/wire_ingest.cc.o"
+  "CMakeFiles/tangled_notary.dir/wire_ingest.cc.o.d"
+  "libtangled_notary.a"
+  "libtangled_notary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangled_notary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangled_pki.dir/hierarchy.cc.o"
+  "CMakeFiles/tangled_pki.dir/hierarchy.cc.o.d"
+  "CMakeFiles/tangled_pki.dir/verify.cc.o"
+  "CMakeFiles/tangled_pki.dir/verify.cc.o.d"
+  "libtangled_pki.a"
+  "libtangled_pki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangled_pki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangled_rootstore.dir/cacerts.cc.o"
+  "CMakeFiles/tangled_rootstore.dir/cacerts.cc.o.d"
+  "CMakeFiles/tangled_rootstore.dir/catalog.cc.o"
+  "CMakeFiles/tangled_rootstore.dir/catalog.cc.o.d"
+  "CMakeFiles/tangled_rootstore.dir/nonaosp_catalog.cc.o"
+  "CMakeFiles/tangled_rootstore.dir/nonaosp_catalog.cc.o.d"
+  "CMakeFiles/tangled_rootstore.dir/rootstore.cc.o"
+  "CMakeFiles/tangled_rootstore.dir/rootstore.cc.o.d"
+  "libtangled_rootstore.a"
+  "libtangled_rootstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangled_rootstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

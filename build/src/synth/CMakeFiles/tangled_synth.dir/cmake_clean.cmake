@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangled_synth.dir/notary_corpus.cc.o"
+  "CMakeFiles/tangled_synth.dir/notary_corpus.cc.o.d"
+  "CMakeFiles/tangled_synth.dir/population.cc.o"
+  "CMakeFiles/tangled_synth.dir/population.cc.o.d"
+  "libtangled_synth.a"
+  "libtangled_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangled_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangled_tlswire.dir/extractor.cc.o"
+  "CMakeFiles/tangled_tlswire.dir/extractor.cc.o.d"
+  "CMakeFiles/tangled_tlswire.dir/handshake.cc.o"
+  "CMakeFiles/tangled_tlswire.dir/handshake.cc.o.d"
+  "CMakeFiles/tangled_tlswire.dir/record.cc.o"
+  "CMakeFiles/tangled_tlswire.dir/record.cc.o.d"
+  "CMakeFiles/tangled_tlswire.dir/rewrite.cc.o"
+  "CMakeFiles/tangled_tlswire.dir/rewrite.cc.o.d"
+  "libtangled_tlswire.a"
+  "libtangled_tlswire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangled_tlswire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangled_util.dir/base64.cc.o"
+  "CMakeFiles/tangled_util.dir/base64.cc.o.d"
+  "CMakeFiles/tangled_util.dir/bytes.cc.o"
+  "CMakeFiles/tangled_util.dir/bytes.cc.o.d"
+  "CMakeFiles/tangled_util.dir/result.cc.o"
+  "CMakeFiles/tangled_util.dir/result.cc.o.d"
+  "CMakeFiles/tangled_util.dir/rng.cc.o"
+  "CMakeFiles/tangled_util.dir/rng.cc.o.d"
+  "CMakeFiles/tangled_util.dir/strings.cc.o"
+  "CMakeFiles/tangled_util.dir/strings.cc.o.d"
+  "libtangled_util.a"
+  "libtangled_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangled_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x509/builder.cc" "src/x509/CMakeFiles/tangled_x509.dir/builder.cc.o" "gcc" "src/x509/CMakeFiles/tangled_x509.dir/builder.cc.o.d"
+  "/root/repo/src/x509/certificate.cc" "src/x509/CMakeFiles/tangled_x509.dir/certificate.cc.o" "gcc" "src/x509/CMakeFiles/tangled_x509.dir/certificate.cc.o.d"
+  "/root/repo/src/x509/extensions.cc" "src/x509/CMakeFiles/tangled_x509.dir/extensions.cc.o" "gcc" "src/x509/CMakeFiles/tangled_x509.dir/extensions.cc.o.d"
+  "/root/repo/src/x509/hostname.cc" "src/x509/CMakeFiles/tangled_x509.dir/hostname.cc.o" "gcc" "src/x509/CMakeFiles/tangled_x509.dir/hostname.cc.o.d"
+  "/root/repo/src/x509/name.cc" "src/x509/CMakeFiles/tangled_x509.dir/name.cc.o" "gcc" "src/x509/CMakeFiles/tangled_x509.dir/name.cc.o.d"
+  "/root/repo/src/x509/pem.cc" "src/x509/CMakeFiles/tangled_x509.dir/pem.cc.o" "gcc" "src/x509/CMakeFiles/tangled_x509.dir/pem.cc.o.d"
+  "/root/repo/src/x509/text.cc" "src/x509/CMakeFiles/tangled_x509.dir/text.cc.o" "gcc" "src/x509/CMakeFiles/tangled_x509.dir/text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asn1/CMakeFiles/tangled_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tangled_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tangled_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangled_x509.dir/builder.cc.o"
+  "CMakeFiles/tangled_x509.dir/builder.cc.o.d"
+  "CMakeFiles/tangled_x509.dir/certificate.cc.o"
+  "CMakeFiles/tangled_x509.dir/certificate.cc.o.d"
+  "CMakeFiles/tangled_x509.dir/extensions.cc.o"
+  "CMakeFiles/tangled_x509.dir/extensions.cc.o.d"
+  "CMakeFiles/tangled_x509.dir/hostname.cc.o"
+  "CMakeFiles/tangled_x509.dir/hostname.cc.o.d"
+  "CMakeFiles/tangled_x509.dir/name.cc.o"
+  "CMakeFiles/tangled_x509.dir/name.cc.o.d"
+  "CMakeFiles/tangled_x509.dir/pem.cc.o"
+  "CMakeFiles/tangled_x509.dir/pem.cc.o.d"
+  "CMakeFiles/tangled_x509.dir/text.cc.o"
+  "CMakeFiles/tangled_x509.dir/text.cc.o.d"
+  "libtangled_x509.a"
+  "libtangled_x509.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangled_x509.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

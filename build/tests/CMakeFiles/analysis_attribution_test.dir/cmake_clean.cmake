@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_attribution_test.dir/analysis_attribution_test.cc.o"
+  "CMakeFiles/analysis_attribution_test.dir/analysis_attribution_test.cc.o.d"
+  "analysis_attribution_test"
+  "analysis_attribution_test.pdb"
+  "analysis_attribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_attribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_minimize_test.dir/analysis_minimize_test.cc.o"
+  "CMakeFiles/analysis_minimize_test.dir/analysis_minimize_test.cc.o.d"
+  "analysis_minimize_test"
+  "analysis_minimize_test.pdb"
+  "analysis_minimize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_minimize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

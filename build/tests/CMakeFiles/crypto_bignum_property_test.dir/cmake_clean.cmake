@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_bignum_property_test.dir/crypto_bignum_property_test.cc.o"
+  "CMakeFiles/crypto_bignum_property_test.dir/crypto_bignum_property_test.cc.o.d"
+  "crypto_bignum_property_test"
+  "crypto_bignum_property_test.pdb"
+  "crypto_bignum_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_bignum_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_key_io_test.dir/crypto_key_io_test.cc.o"
+  "CMakeFiles/crypto_key_io_test.dir/crypto_key_io_test.cc.o.d"
+  "crypto_key_io_test"
+  "crypto_key_io_test.pdb"
+  "crypto_key_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_key_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intercept_wire_test.dir/intercept_wire_test.cc.o"
+  "CMakeFiles/intercept_wire_test.dir/intercept_wire_test.cc.o.d"
+  "intercept_wire_test"
+  "intercept_wire_test.pdb"
+  "intercept_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intercept_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netalyzr_domain_probe_test.dir/netalyzr_domain_probe_test.cc.o"
+  "CMakeFiles/netalyzr_domain_probe_test.dir/netalyzr_domain_probe_test.cc.o.d"
+  "netalyzr_domain_probe_test"
+  "netalyzr_domain_probe_test.pdb"
+  "netalyzr_domain_probe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netalyzr_domain_probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

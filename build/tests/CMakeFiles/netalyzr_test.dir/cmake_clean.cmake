@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netalyzr_test.dir/netalyzr_test.cc.o"
+  "CMakeFiles/netalyzr_test.dir/netalyzr_test.cc.o.d"
+  "netalyzr_test"
+  "netalyzr_test.pdb"
+  "netalyzr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netalyzr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/notary_test.dir/notary_test.cc.o"
+  "CMakeFiles/notary_test.dir/notary_test.cc.o.d"
+  "notary_test"
+  "notary_test.pdb"
+  "notary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

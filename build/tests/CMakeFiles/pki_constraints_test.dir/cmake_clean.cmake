@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pki_constraints_test.dir/pki_constraints_test.cc.o"
+  "CMakeFiles/pki_constraints_test.dir/pki_constraints_test.cc.o.d"
+  "pki_constraints_test"
+  "pki_constraints_test.pdb"
+  "pki_constraints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pki_constraints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

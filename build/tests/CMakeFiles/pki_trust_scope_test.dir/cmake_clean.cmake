@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pki_trust_scope_test.dir/pki_trust_scope_test.cc.o"
+  "CMakeFiles/pki_trust_scope_test.dir/pki_trust_scope_test.cc.o.d"
+  "pki_trust_scope_test"
+  "pki_trust_scope_test.pdb"
+  "pki_trust_scope_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pki_trust_scope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

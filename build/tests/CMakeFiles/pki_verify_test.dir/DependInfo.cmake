@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pki_verify_test.cc" "tests/CMakeFiles/pki_verify_test.dir/pki_verify_test.cc.o" "gcc" "tests/CMakeFiles/pki_verify_test.dir/pki_verify_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pki/CMakeFiles/tangled_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/tangled_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tangled_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/tangled_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tangled_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pki_verify_test.dir/pki_verify_test.cc.o"
+  "CMakeFiles/pki_verify_test.dir/pki_verify_test.cc.o.d"
+  "pki_verify_test"
+  "pki_verify_test.pdb"
+  "pki_verify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pki_verify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

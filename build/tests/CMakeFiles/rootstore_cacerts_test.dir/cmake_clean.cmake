@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootstore_cacerts_test.dir/rootstore_cacerts_test.cc.o"
+  "CMakeFiles/rootstore_cacerts_test.dir/rootstore_cacerts_test.cc.o.d"
+  "rootstore_cacerts_test"
+  "rootstore_cacerts_test.pdb"
+  "rootstore_cacerts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootstore_cacerts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

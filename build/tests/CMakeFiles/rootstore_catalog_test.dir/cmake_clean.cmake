@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootstore_catalog_test.dir/rootstore_catalog_test.cc.o"
+  "CMakeFiles/rootstore_catalog_test.dir/rootstore_catalog_test.cc.o.d"
+  "rootstore_catalog_test"
+  "rootstore_catalog_test.pdb"
+  "rootstore_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootstore_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootstore_property_test.dir/rootstore_property_test.cc.o"
+  "CMakeFiles/rootstore_property_test.dir/rootstore_property_test.cc.o.d"
+  "rootstore_property_test"
+  "rootstore_property_test.pdb"
+  "rootstore_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootstore_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootstore_test.dir/rootstore_test.cc.o"
+  "CMakeFiles/rootstore_test.dir/rootstore_test.cc.o.d"
+  "rootstore_test"
+  "rootstore_test.pdb"
+  "rootstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

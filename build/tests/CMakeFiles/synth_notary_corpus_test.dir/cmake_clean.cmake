@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_notary_corpus_test.dir/synth_notary_corpus_test.cc.o"
+  "CMakeFiles/synth_notary_corpus_test.dir/synth_notary_corpus_test.cc.o.d"
+  "synth_notary_corpus_test"
+  "synth_notary_corpus_test.pdb"
+  "synth_notary_corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_notary_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlswire_integration_test.dir/tlswire_integration_test.cc.o"
+  "CMakeFiles/tlswire_integration_test.dir/tlswire_integration_test.cc.o.d"
+  "tlswire_integration_test"
+  "tlswire_integration_test.pdb"
+  "tlswire_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlswire_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlswire_test.dir/tlswire_test.cc.o"
+  "CMakeFiles/tlswire_test.dir/tlswire_test.cc.o.d"
+  "tlswire_test"
+  "tlswire_test.pdb"
+  "tlswire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlswire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universe_roundtrip_test.dir/universe_roundtrip_test.cc.o"
+  "CMakeFiles/universe_roundtrip_test.dir/universe_roundtrip_test.cc.o.d"
+  "universe_roundtrip_test"
+  "universe_roundtrip_test.pdb"
+  "universe_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universe_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
