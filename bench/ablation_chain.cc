@@ -144,4 +144,8 @@ BENCHMARK(BM_CoverageNaive)->Arg(150)->Arg(1000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "ablation_common.h"
+
+int main(int argc, char** argv) {
+  return tangled::bench::ablation_main("ablation_chain", argc, argv);
+}

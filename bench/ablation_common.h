@@ -1,0 +1,52 @@
+// Shared main() for the google-benchmark ablations: runs the registered
+// benchmarks through a reporter that mirrors every successful run into a
+// BenchReport, so ablations emit BENCH_<name>.json with the same schema as
+// the table/figure binaries (per-benchmark adjusted real time, measured-only
+// rows — ablations have no paper counterpart values).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_report.h"
+
+namespace tangled::bench {
+
+namespace detail {
+
+class ReportingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingReporter(BenchReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      report_.add_measured(
+          run.benchmark_name() + "/real_time_" +
+              benchmark::GetTimeUnitString(run.time_unit),
+          run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReport& report_;
+};
+
+}  // namespace detail
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body.
+inline int ablation_main(const std::string& name, int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  BenchReport report(name, "DESIGN.md ablations");
+  report.note("rows are per-iteration adjusted real time from google-benchmark");
+  detail::ReportingReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return report.write() ? 0 : 1;
+}
+
+}  // namespace tangled::bench

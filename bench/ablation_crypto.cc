@@ -107,4 +107,8 @@ BENCHMARK(BM_BigNumDivMod)->Arg(512)->Arg(2048);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "ablation_common.h"
+
+int main(int argc, char** argv) {
+  return tangled::bench::ablation_main("ablation_crypto", argc, argv);
+}

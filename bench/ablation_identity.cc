@@ -97,4 +97,8 @@ BENCHMARK(BM_StoreDiffFull)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "ablation_common.h"
+
+int main(int argc, char** argv) {
+  return tangled::bench::ablation_main("ablation_identity", argc, argv);
+}

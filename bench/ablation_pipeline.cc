@@ -90,4 +90,8 @@ BENCHMARK(BM_Figure2Analysis)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "ablation_common.h"
+
+int main(int argc, char** argv) {
+  return tangled::bench::ablation_main("ablation_pipeline", argc, argv);
+}

@@ -89,4 +89,8 @@ BENCHMARK(BM_IssueLeafSim);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "ablation_common.h"
+
+int main(int argc, char** argv) {
+  return tangled::bench::ablation_main("ablation_signature", argc, argv);
+}

@@ -91,4 +91,8 @@ BENCHMARK(BM_ExtractChunked)->Arg(64)->Arg(512)->Arg(1460);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "ablation_common.h"
+
+int main(int argc, char** argv) {
+  return tangled::bench::ablation_main("ablation_wire", argc, argv);
+}

@@ -1,36 +1,66 @@
 // Shared setup for the table/figure reproduction binaries: builds the store
 // universe, the Netalyzr population, and the Notary corpus + census at a
 // scale controlled by TANGLED_BENCH_CERTS (default 30000 unique certs;
-// the paper's Notary held 1.9 M).
+// the paper's Notary held 1.9 M). Each expensive stage runs under an obs
+// span so BENCH_*.json reports where the time went.
 #pragma once
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "analysis/report.h"
+#include "bench_report.h"
 #include "notary/census.h"
 #include "notary/notary.h"
+#include "obs/obs.h"
 #include "rootstore/catalog.h"
 #include "synth/notary_corpus.h"
 #include "synth/population.h"
 
 namespace tangled::bench {
 
+/// Parses TANGLED_BENCH_CERTS strictly: the whole string must be a decimal
+/// integer >= 1000 (smaller corpora distort the Table 3/4 floors). Anything
+/// else is a hard error — a typo silently running a 30000-cert default
+/// would masquerade as a real measurement.
 inline std::size_t corpus_scale() {
-  if (const char* env = std::getenv("TANGLED_BENCH_CERTS")) {
-    const long v = std::atol(env);
-    if (v > 1000) return static_cast<std::size_t>(v);
+  const char* env = std::getenv("TANGLED_BENCH_CERTS");
+  if (env == nullptr || env[0] == '\0') return 30000;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  if (errno != 0 || end == env || *end != '\0') {
+    std::fprintf(stderr,
+                 "bench: TANGLED_BENCH_CERTS=\"%s\" is not an integer\n", env);
+    std::exit(2);
   }
-  return 30000;
+  if (v < 1000) {
+    std::fprintf(stderr,
+                 "bench: TANGLED_BENCH_CERTS=%lld out of range "
+                 "(need >= 1000 unique certs)\n",
+                 v);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(v);
 }
 
+// Validate at startup so every bench binary rejects a bad value immediately,
+// including the universe-only ones that never build a corpus.
+inline const std::size_t kCorpusScaleChecked = corpus_scale();
+
 inline const rootstore::StoreUniverse& universe() {
-  static const rootstore::StoreUniverse u = rootstore::StoreUniverse::build(1402);
+  static const rootstore::StoreUniverse u = [] {
+    obs::Span span(obs::tracer(), "bench.build_universe");
+    return rootstore::StoreUniverse::build(1402);
+  }();
   return u;
 }
 
 inline const synth::Population& population() {
   static const synth::Population pop = [] {
+    obs::Span span(obs::tracer(), "bench.generate_population");
     synth::PopulationGenerator generator(universe());
     return generator.generate();
   }();
@@ -40,6 +70,7 @@ inline const synth::Population& population() {
 /// TrustAnchors over every known root (used by the census).
 inline const pki::TrustAnchors& all_anchors() {
   static const pki::TrustAnchors anchors = [] {
+    obs::Span span(obs::tracer(), "bench.build_anchors");
     pki::TrustAnchors a;
     for (const auto& ca : universe().aosp_cas()) a.add(ca.cert);
     for (const auto& ca : universe().mozilla_only_cas()) a.add(ca.cert);
@@ -55,6 +86,7 @@ struct NotaryRun {
   notary::ValidationCensus census;
 
   NotaryRun() : db(), census(all_anchors()) {
+    obs::Span span(obs::tracer(), "bench.notary_run");
     synth::NotaryCorpusConfig config;
     config.n_certs = corpus_scale();
     synth::NotaryCorpusGenerator generator(universe(), config);

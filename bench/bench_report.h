@@ -1,0 +1,146 @@
+// Structured bench telemetry: every table/figure/ablation binary builds a
+// BenchReport and, alongside its human-readable stdout, writes
+// BENCH_<name>.json containing the measured values, the paper's values,
+// relative errors, the stage span tree, and a dump of the obs registry.
+//
+// Output directory: $TANGLED_BENCH_OUT when set, else the current working
+// directory. Schema (version 1):
+//
+//   {
+//     "name": "table3_validation",
+//     "paper_ref": "Table 3",
+//     "schema_version": 1,
+//     "rows": [{"metric": "...", "measured": x, "paper": y, "rel_err": e}],
+//     "notes": ["..."],
+//     "stages": [{"name": "...", "depth": d, "start_ms": s, "duration_ms": t}],
+//     "metrics": { "counters": {...}, "gauges": {...}, "histograms": {...} }
+//   }
+//
+// `paper` and `rel_err` are null for measured-only rows (add_measured).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace tangled::bench {
+
+class BenchReport {
+ public:
+  BenchReport(std::string name, std::string paper_ref)
+      : name_(std::move(name)), paper_ref_(std::move(paper_ref)) {}
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  /// A destructor-time write keeps `return report.write()` optional.
+  ~BenchReport() {
+    if (!written_) write();
+  }
+
+  /// Adds a measured-vs-paper row; rel_err is |m-p|/|p| (absolute
+  /// difference when the paper value is 0).
+  void add(std::string metric, double measured, double paper) {
+    rows_.push_back({std::move(metric), measured, paper, true});
+  }
+
+  /// Adds a measured-only row (no paper counterpart; rel_err is null).
+  void add_measured(std::string metric, double measured) {
+    rows_.push_back({std::move(metric), measured, 0.0, false});
+  }
+
+  void note(std::string text) { notes_.push_back(std::move(text)); }
+
+  /// Largest relative error across comparable rows.
+  double max_rel_err() const {
+    double worst = 0.0;
+    for (const Row& row : rows_) {
+      if (row.has_paper) worst = std::max(worst, rel_err(row));
+    }
+    return worst;
+  }
+
+  /// Writes BENCH_<name>.json; returns false (and complains on stderr) if
+  /// the file cannot be written.
+  bool write() {
+    written_ = true;
+    const std::string path = output_path();
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string json = to_json();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), out) == json.size();
+    std::fclose(out);
+    if (ok) std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+    return ok;
+  }
+
+  std::string output_path() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("TANGLED_BENCH_OUT")) {
+      if (env[0] != '\0') dir = env;
+    }
+    return dir + "/BENCH_" + name_ + ".json";
+  }
+
+  std::string to_json() const {
+    using obs::json_escape;
+    using obs::json_number;
+    std::string out;
+    out += "{\n  \"name\": \"" + json_escape(name_) + "\",\n";
+    out += "  \"paper_ref\": \"" + json_escape(paper_ref_) + "\",\n";
+    out += "  \"schema_version\": 1,\n";
+    out += "  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {\"metric\": \"" + json_escape(row.metric) + "\", ";
+      out += "\"measured\": " + json_number(row.measured) + ", ";
+      out += "\"paper\": " +
+             (row.has_paper ? json_number(row.paper) : std::string("null")) +
+             ", ";
+      out += "\"rel_err\": " +
+             (row.has_paper ? json_number(rel_err(row)) : std::string("null")) +
+             "}";
+    }
+    out += rows_.empty() ? "],\n" : "\n  ],\n";
+    out += "  \"notes\": [";
+    for (std::size_t i = 0; i < notes_.size(); ++i) {
+      out += i == 0 ? "\"" : ", \"";
+      out += json_escape(notes_[i]);
+      out += '"';
+    }
+    out += "],\n";
+    out += "  \"stages\": " + obs::to_json(obs::tracer()) + ",\n";
+    out += "  \"metrics\": " + obs::to_json(obs::metrics()) + "\n";
+    out += "}\n";
+    return out;
+  }
+
+ private:
+  struct Row {
+    std::string metric;
+    double measured = 0.0;
+    double paper = 0.0;
+    bool has_paper = false;
+  };
+
+  static double rel_err(const Row& row) {
+    const double diff = std::fabs(row.measured - row.paper);
+    return row.paper == 0.0 ? diff : diff / std::fabs(row.paper);
+  }
+
+  std::string name_;
+  std::string paper_ref_;
+  std::vector<Row> rows_;
+  std::vector<std::string> notes_;
+  bool written_ = false;
+};
+
+}  // namespace tangled::bench

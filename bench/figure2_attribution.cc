@@ -29,6 +29,7 @@ int main() {
 
   bench::print_header("Figure 2 — non-AOSP certificate attribution",
                       "CoNEXT'14 §5.1, Figure 2");
+  bench::BenchReport report("figure2_attribution", "CoNEXT'14 §5.1, Figure 2");
 
   const auto result = analysis::figure2(bench::population());
   const auto& db = bench::notary_run().db;
@@ -48,6 +49,12 @@ int main() {
               analysis::percent(mix.android_only / n).c_str());
   std::printf("  not recorded     : %s (paper: 40.0%%)\n\n",
               analysis::percent(mix.not_recorded / n).c_str());
+  report.add("class mix: Mozilla and iOS7", mix.mozilla_and_ios7 / n, 0.067);
+  report.add("class mix: iOS7 exclusively", mix.ios7_only / n, 0.162);
+  report.add("class mix: Android-specific", mix.android_only / n, 0.371);
+  report.add("class mix: not recorded", mix.not_recorded / n, 0.400);
+  report.add_measured("observed certificates",
+                      static_cast<double>(mix.total()));
 
   // The strongest markers per row — the readable form of the grid.
   std::printf("top certificates per row (freq = share of modified sessions):\n");
@@ -93,6 +100,12 @@ int main() {
               freq("bae1df7c", rootstore::PlacementRow::kMotorola41));
   std::printf("  MSFT Secure Server on AT&T    : %.2f (paper: AT&T-specific)\n",
               freq("ea9f5f91", rootstore::PlacementRow::kAttUs));
+  report.add_measured("freq: CertiSign on MOTOROLA 4.1",
+                      freq("b0c095eb", rootstore::PlacementRow::kMotorola41));
+  report.add_measured("freq: AddTrust C1 on SAMSUNG 4.3",
+                      freq("9696d421", rootstore::PlacementRow::kSamsung43));
+  report.add_measured("freq: Motorola FOTA on MOTOROLA 4.1",
+                      freq("bae1df7c", rootstore::PlacementRow::kMotorola41));
 
   // §5.1/§5.2 origin attribution across all additions in the population.
   const auto attribution = analysis::attribute_additions(bench::population());

@@ -10,7 +10,8 @@ namespace {
 using namespace tangled;
 using rootstore::AndroidVersion;
 
-void print_series(const char* name, const notary::ValidationCensus& census,
+void print_series(bench::BenchReport& report, const char* name,
+                  const notary::ValidationCensus& census,
                   const std::vector<x509::Certificate>& roots,
                   double paper_offset) {
   const auto counts = census.ecdf_counts(roots);
@@ -22,6 +23,13 @@ void print_series(const char* name, const notary::ValidationCensus& census,
   std::printf("  %-36s n=%3zu  y-offset=%s (paper: %s)\n", name, counts.size(),
               analysis::percent(census.zero_fraction(roots)).c_str(),
               paper.c_str());
+  if (paper_offset < 0.0) {
+    report.add_measured(std::string("ecdf y-offset: ") + name,
+                        census.zero_fraction(roots));
+  } else {
+    report.add(std::string("ecdf y-offset: ") + name,
+               census.zero_fraction(roots), paper_offset);
+  }
   std::printf("      ecdf quartiles (certs validated): ");
   for (double q : {0.25, 0.5, 0.75, 0.9, 1.0}) {
     const auto idx = std::min(counts.size() - 1,
@@ -45,6 +53,7 @@ void print_series(const char* name, const notary::ValidationCensus& census,
 int main() {
   bench::print_header("Figure 3 — per-root validation ECDF by category",
                       "CoNEXT'14 §5.3, Figure 3");
+  bench::BenchReport report("figure3_ecdf", "CoNEXT'14 §5.3, Figure 3");
 
   const auto& census = bench::notary_run().census;
   const auto& u = bench::universe();
@@ -72,14 +81,14 @@ int main() {
     if (u.mozilla().contains_equivalent(cert)) aosp44_moz.push_back(cert);
   }
 
-  print_series("AOSP 4.1", census, u.aosp(AndroidVersion::k41).certificates(), 0.22);
-  print_series("AOSP 4.4", census, u.aosp(AndroidVersion::k44).certificates(), 0.23);
-  print_series("AOSP 4.4 and Mozilla root certs", census, aosp44_moz, 0.15);
-  print_series("Mozilla", census, u.mozilla().certificates(), 0.22);
-  print_series("iOS7", census, u.ios7().certificates(), 0.41);
-  print_series("Aggregated Android root certs", census, aggregated, 0.40);
-  print_series("Non AOSP Android certs", census, nonaosp, -1.0);
-  print_series("Non AOSP and non Mozilla Android certs", census,
+  print_series(report, "AOSP 4.1", census, u.aosp(AndroidVersion::k41).certificates(), 0.22);
+  print_series(report, "AOSP 4.4", census, u.aosp(AndroidVersion::k44).certificates(), 0.23);
+  print_series(report, "AOSP 4.4 and Mozilla root certs", census, aosp44_moz, 0.15);
+  print_series(report, "Mozilla", census, u.mozilla().certificates(), 0.22);
+  print_series(report, "iOS7", census, u.ios7().certificates(), 0.41);
+  print_series(report, "Aggregated Android root certs", census, aggregated, 0.40);
+  print_series(report, "Non AOSP Android certs", census, nonaosp, -1.0);
+  print_series(report, "Non AOSP and non Mozilla Android certs", census,
                nonaosp_nonmoz, 0.72);
 
   std::printf(

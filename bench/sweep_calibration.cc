@@ -35,6 +35,7 @@ double extended_fraction_with(double samsung_rate, double operator_rate) {
 
 int main() {
   bench::print_header("Calibration sweeps", "workload sensitivity");
+  bench::BenchReport report("sweep_calibration", "workload sensitivity");
 
   std::printf("1) extended-store fraction vs customization rates "
               "(paper target: 39%%)\n\n");
@@ -43,7 +44,16 @@ int main() {
   for (const double samsung : {0.35, 0.47, 0.70}) {
     std::vector<std::string> row{std::to_string(samsung).substr(0, 4)};
     for (const double op : {0.10, 0.25, 0.40}) {
-      row.push_back(analysis::percent(extended_fraction_with(samsung, op)));
+      const double extended = extended_fraction_with(samsung, op);
+      if (samsung == 0.47 && op == 0.25) {
+        report.add("extended fraction at shipped defaults", extended, 0.39);
+      } else {
+        char metric[64];
+        std::snprintf(metric, sizeof metric,
+                      "extended fraction (samsung=%.2f, op=%.2f)", samsung, op);
+        report.add_measured(metric, extended);
+      }
+      row.push_back(analysis::percent(extended));
     }
     grid.add_row(std::move(row));
   }
@@ -67,6 +77,16 @@ int main() {
     generator.generate(
         [&census](const notary::Observation& o) { census.ingest(o); });
     const double total = static_cast<double>(census.total_unexpired());
+    {
+      char metric[64];
+      std::snprintf(metric, sizeof metric,
+                    "AOSP 4.4 validated fraction at %zu certs", n);
+      report.add(metric,
+                 census.validated_by_store(bench::universe().aosp(
+                     rootstore::AndroidVersion::k44)) /
+                     total,
+                 0.744);
+    }
     conv.add_row(
         {analysis::with_commas(n),
          analysis::percent(census.validated_by_store(bench::universe().aosp(

@@ -12,6 +12,7 @@ int main() {
 
   bench::print_header("Table 3 — certificates validated per store",
                       "CoNEXT'14 §5.3, Table 3");
+  bench::BenchReport report("table3_validation", "CoNEXT'14 §5.3, Table 3");
 
   const auto& run = bench::notary_run();
   std::printf("corpus: %s unique certs, %s unexpired (scale with TANGLED_BENCH_CERTS)\n\n",
@@ -43,6 +44,8 @@ int main() {
                    analysis::with_commas(static_cast<std::uint64_t>(scaled)),
                    analysis::with_commas(raw),
                    analysis::relative_error(scaled, row.paper_per_million)});
+    report.add(std::string("validated per 1M unexpired: ") + row.name, scaled,
+               row.paper_per_million);
   }
   std::fputs(table.to_string().c_str(), stdout);
 
@@ -59,5 +62,12 @@ int main() {
               "see rows",
               100.0 * static_cast<double>(ios - std::min(moz, a41)) /
                   static_cast<double>(run.census.total_unexpired()));
+
+  report.add_measured("corpus unique certs",
+                      static_cast<double>(run.db.unique_cert_count()));
+  report.add_measured("corpus unexpired certs",
+                      static_cast<double>(run.census.total_unexpired()));
+  report.add_measured("shape: AOSP4.1 == AOSP4.2", a41 == a42 ? 1 : 0);
+  report.add_measured("shape: iOS7 largest", (ios > a44 && ios > moz) ? 1 : 0);
   return 0;
 }

@@ -10,6 +10,7 @@ int main() {
 
   bench::print_header("Table 5 — rooted-device certificates",
                       "CoNEXT'14 §6, Table 5");
+  bench::BenchReport report("table5_rooted", "CoNEXT'14 §6, Table 5");
 
   const auto result = analysis::rooted_analysis(bench::population());
 
@@ -36,6 +37,9 @@ int main() {
     }
     table.add_row({target.issuer, std::to_string(target.paper),
                    std::to_string(measured), exclusive ? "yes" : "NO"});
+    report.add(std::string("devices: ") + target.issuer,
+               static_cast<double>(measured),
+               static_cast<double>(target.paper));
   }
   std::fputs(table.to_string().c_str(), stdout);
 
@@ -51,5 +55,9 @@ int main() {
               analysis::percent(result.rooted_fraction()).c_str());
   std::printf("  rooted-exclusive certs in  : %s of rooted sessions (paper: ~6%%)\n",
               analysis::percent(result.exclusive_fraction_of_rooted()).c_str());
+
+  report.add("rooted session fraction", result.rooted_fraction(), 0.24);
+  report.add("rooted-exclusive fraction of rooted",
+             result.exclusive_fraction_of_rooted(), 0.06);
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "analysis/report.h"
 #include "netalyzr/netalyzr.h"
 #include "notary/census.h"
+#include "obs/obs.h"
 #include "synth/notary_corpus.h"
 
 int main(int argc, char** argv) {
@@ -104,6 +105,12 @@ int main(int argc, char** argv) {
               rooted.findings.empty() ? "-" : rooted.findings[0].issuer.c_str(),
               static_cast<unsigned long long>(
                   rooted.findings.empty() ? 0 : rooted.findings[0].devices));
+
+  // --- Pipeline telemetry ---------------------------------------------------
+  // Everything above was instrumented by tangled::obs as a side effect;
+  // dump the registry so the survey doubles as a pipeline health check.
+  std::printf("\npipeline metrics (tangled::obs):\n%s",
+              obs::to_text(obs::metrics()).c_str());
 
   std::printf("\ndone. See bench/ for the full per-table reproductions.\n");
   return 0;

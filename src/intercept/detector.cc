@@ -1,6 +1,28 @@
 #include "intercept/detector.h"
 
+#include "obs/obs.h"
+
 namespace tangled::intercept {
+
+namespace {
+
+void count_verdict([[maybe_unused]] EndpointVerdict verdict) {
+#if TANGLED_OBS_ENABLED
+  switch (verdict) {
+    case EndpointVerdict::kUntouched:
+      TANGLED_OBS_INC("intercept.verdict.untouched");
+      break;
+    case EndpointVerdict::kIntercepted:
+      TANGLED_OBS_INC("intercept.verdict.intercepted");
+      break;
+    case EndpointVerdict::kUnreachable:
+      TANGLED_OBS_INC("intercept.verdict.unreachable");
+      break;
+  }
+#endif
+}
+
+}  // namespace
 
 InterceptionDetector::InterceptionDetector(
     const rootstore::RootStore& device_store, const OriginNetwork& reference,
@@ -13,40 +35,46 @@ InterceptionDetector::InterceptionDetector(
 
 DetectionResult InterceptionDetector::probe(const ChainSource& network,
                                             const Endpoint& endpoint) const {
-  DetectionResult result;
-  result.endpoint = endpoint;
+  TANGLED_OBS_INC("intercept.probes");
+  DetectionResult result = [&] {
+    DetectionResult result;
+    result.endpoint = endpoint;
 
-  auto presented = network.fetch(endpoint);
-  if (!presented.ok() || presented.value().chain.empty()) {
-    result.verdict = EndpointVerdict::kUnreachable;
+    auto presented = network.fetch(endpoint);
+    if (!presented.ok() || presented.value().chain.empty()) {
+      result.verdict = EndpointVerdict::kUnreachable;
+      return result;
+    }
+    const auto& chain = presented.value().chain;
+    result.observed_issuer = chain.front().issuer().to_string();
+
+    // Does the device's own store validate it? (Only when the interceptor's
+    // root was installed on the handset.)
+    pki::ChainVerifier device_verifier(device_anchors_, options_);
+    result.validates_on_device = device_verifier.verify_presented(chain).ok();
+
+    // Compare against the publicly known anchor for this endpoint.
+    const x509::Certificate* expected = reference_.expected_anchor(endpoint);
+    if (expected == nullptr) {
+      // No reference knowledge: all we can say is whether the chain anchors
+      // on-device; an unvalidatable chain is suspicious.
+      result.verdict = result.validates_on_device
+                           ? EndpointVerdict::kUntouched
+                           : EndpointVerdict::kIntercepted;
+      return result;
+    }
+
+    // Walk the presented chain: if the expected anchor's key signed its tail,
+    // the path is the genuine one.
+    const x509::Certificate& tail = chain.back();
+    const bool genuine_tail =
+        bytes_equal(tail.equivalence_key(), expected->equivalence_key()) ||
+        tail.check_signature_from(expected->public_key()).ok();
+    result.verdict = genuine_tail ? EndpointVerdict::kUntouched
+                                  : EndpointVerdict::kIntercepted;
     return result;
-  }
-  const auto& chain = presented.value().chain;
-  result.observed_issuer = chain.front().issuer().to_string();
-
-  // Does the device's own store validate it? (Only when the interceptor's
-  // root was installed on the handset.)
-  pki::ChainVerifier device_verifier(device_anchors_, options_);
-  result.validates_on_device = device_verifier.verify_presented(chain).ok();
-
-  // Compare against the publicly known anchor for this endpoint.
-  const x509::Certificate* expected = reference_.expected_anchor(endpoint);
-  if (expected == nullptr) {
-    // No reference knowledge: all we can say is whether the chain anchors
-    // on-device; an unvalidatable chain is suspicious.
-    result.verdict = result.validates_on_device ? EndpointVerdict::kUntouched
-                                                : EndpointVerdict::kIntercepted;
-    return result;
-  }
-
-  // Walk the presented chain: if the expected anchor's key signed its tail,
-  // the path is the genuine one.
-  const x509::Certificate& tail = chain.back();
-  const bool genuine_tail =
-      bytes_equal(tail.equivalence_key(), expected->equivalence_key()) ||
-      tail.check_signature_from(expected->public_key()).ok();
-  result.verdict =
-      genuine_tail ? EndpointVerdict::kUntouched : EndpointVerdict::kIntercepted;
+  }();
+  count_verdict(result.verdict);
   return result;
 }
 
@@ -62,18 +90,23 @@ std::vector<DetectionResult> InterceptionDetector::probe_all(
 
 bool PinningClient::connect(const ChainSource& network,
                             std::uint16_t port) const {
-  auto presented = network.fetch(Endpoint{domain_, port});
-  if (!presented.ok() || presented.value().chain.empty()) return false;
-  const auto& chain = presented.value().chain;
-  // The pin holds when some certificate in the chain is the pinned anchor
-  // (by key) or was signed by it.
-  for (const auto& cert : chain) {
-    if (bytes_equal(cert.equivalence_key(), pinned_.equivalence_key())) {
-      return true;
+  TANGLED_OBS_INC("intercept.pin_checks");
+  const bool ok = [&] {
+    auto presented = network.fetch(Endpoint{domain_, port});
+    if (!presented.ok() || presented.value().chain.empty()) return false;
+    const auto& chain = presented.value().chain;
+    // The pin holds when some certificate in the chain is the pinned anchor
+    // (by key) or was signed by it.
+    for (const auto& cert : chain) {
+      if (bytes_equal(cert.equivalence_key(), pinned_.equivalence_key())) {
+        return true;
+      }
+      if (cert.check_signature_from(pinned_.public_key()).ok()) return true;
     }
-    if (cert.check_signature_from(pinned_.public_key()).ok()) return true;
-  }
-  return false;
+    return false;
+  }();
+  if (ok) TANGLED_OBS_INC("intercept.pin_ok");
+  return ok;
 }
 
 }  // namespace tangled::intercept

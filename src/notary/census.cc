@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "obs/obs.h"
+
 namespace tangled::notary {
 
 ValidationCensus::ValidationCensus(const pki::TrustAnchors& anchors,
@@ -10,17 +12,31 @@ ValidationCensus::ValidationCensus(const pki::TrustAnchors& anchors,
     : anchors_(anchors), verifier_(anchors, options), now_(options.at) {}
 
 void ValidationCensus::ingest(const Observation& observation) {
-  if (observation.chain.empty()) return;
+  TANGLED_OBS_INC("notary.census.ingested");
+  if (observation.chain.empty()) {
+    TANGLED_OBS_INC("notary.census.empty_chains");
+    return;
+  }
   const x509::Certificate& leaf = observation.chain.front();
-  if (leaf.expired_at(now_)) return;  // census covers unexpired certs only
+  if (leaf.expired_at(now_)) {  // census covers unexpired certs only
+    TANGLED_OBS_INC("notary.census.expired_skipped");
+    return;
+  }
   const std::string fp = to_hex(leaf.fingerprint_sha256());
-  if (!seen_leaves_.insert(fp).second) return;  // already counted
+  if (!seen_leaves_.insert(fp).second) {  // already counted
+    TANGLED_OBS_INC("notary.census.dedup_skipped");
+    return;
+  }
   ++total_unexpired_;
 
   const std::vector<x509::Certificate> intermediates(
       observation.chain.begin() + 1, observation.chain.end());
   auto chain = verifier_.verify(leaf, intermediates);
-  if (!chain.ok()) return;
+  if (!chain.ok()) {
+    TANGLED_OBS_INC("notary.census.unvalidated");
+    return;
+  }
+  TANGLED_OBS_INC("notary.census.validated");
   ++total_validated_;
   const std::string anchor_key =
       to_hex(chain.value().anchor().equivalence_key());

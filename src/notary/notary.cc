@@ -1,14 +1,25 @@
 #include "notary/notary.h"
 
+#include "obs/obs.h"
+
 namespace tangled::notary {
 
 void NotaryDb::observe(const Observation& observation) {
+  TANGLED_OBS_INC("notary.db.observations");
+  TANGLED_OBS_ADD("notary.db.chain_certs_seen", observation.chain.size());
   ++sessions_;
   ++by_port_[observation.port];
   for (const x509::Certificate& cert : observation.chain) {
     const std::string fp = to_hex(cert.fingerprint_sha256());
     if (unique_certs_.insert(fp).second) {
-      if (!cert.expired_at(now_)) ++unexpired_;
+      TANGLED_OBS_INC("notary.db.unique_certs");
+      if (!cert.expired_at(now_)) {
+        ++unexpired_;
+      } else {
+        TANGLED_OBS_INC("notary.db.expired_unique_certs");
+      }
+    } else {
+      TANGLED_OBS_INC("notary.db.dedup_hits");
     }
     identities_.insert(to_hex(cert.identity_key()));
   }

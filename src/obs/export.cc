@@ -1,0 +1,190 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tangled::obs {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, auto... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  out += buf;
+}
+
+double ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          appendf(out, "\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no Inf/NaN
+  std::string out;
+  if (value == std::floor(value) && std::fabs(value) < 9e15) {
+    appendf(out, "%lld", static_cast<long long>(value));
+  } else {
+    appendf(out, "%.9g", value);
+  }
+  return out;
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Registry exporters
+// ---------------------------------------------------------------------------
+
+std::string to_text(const MetricsRegistry& registry) {
+  std::string out;
+  for (const Counter* c : registry.counters()) {
+    appendf(out, "counter  %-44s %llu\n", c->name().c_str(),
+            static_cast<unsigned long long>(c->value()));
+  }
+  for (const Gauge* g : registry.gauges()) {
+    appendf(out, "gauge    %-44s %lld\n", g->name().c_str(),
+            static_cast<long long>(g->value()));
+  }
+  for (const Histogram* h : registry.histograms()) {
+    appendf(out, "hist     %-44s count=%llu mean=%s p50=%s p99=%s\n",
+            h->name().c_str(), static_cast<unsigned long long>(h->count()),
+            json_number(h->mean()).c_str(), json_number(h->quantile(0.5)).c_str(),
+            json_number(h->quantile(0.99)).c_str());
+  }
+  return out;
+}
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const Counter* c : registry.counters()) {
+    const std::string name = prometheus_name(c->name());
+    appendf(out, "# TYPE %s counter\n%s %llu\n", name.c_str(), name.c_str(),
+            static_cast<unsigned long long>(c->value()));
+  }
+  for (const Gauge* g : registry.gauges()) {
+    const std::string name = prometheus_name(g->name());
+    appendf(out, "# TYPE %s gauge\n%s %lld\n", name.c_str(), name.c_str(),
+            static_cast<long long>(g->value()));
+  }
+  for (const Histogram* h : registry.histograms()) {
+    const std::string name = prometheus_name(h->name());
+    appendf(out, "# TYPE %s histogram\n", name.c_str());
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      cumulative += h->bucket_count(i);
+      appendf(out, "%s_bucket{le=\"%s\"} %llu\n", name.c_str(),
+              json_number(h->bounds()[i]).c_str(),
+              static_cast<unsigned long long>(cumulative));
+    }
+    cumulative += h->bucket_count(h->bounds().size());
+    appendf(out, "%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+            static_cast<unsigned long long>(cumulative));
+    appendf(out, "%s_sum %s\n", name.c_str(), json_number(h->sum()).c_str());
+    appendf(out, "%s_count %llu\n", name.c_str(),
+            static_cast<unsigned long long>(h->count()));
+  }
+  return out;
+}
+
+std::string to_json(const MetricsRegistry& registry) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const Counter* c : registry.counters()) {
+    appendf(out, "%s\"%s\":%llu", first ? "" : ",",
+            json_escape(c->name()).c_str(),
+            static_cast<unsigned long long>(c->value()));
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const Gauge* g : registry.gauges()) {
+    appendf(out, "%s\"%s\":%lld", first ? "" : ",",
+            json_escape(g->name()).c_str(), static_cast<long long>(g->value()));
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const Histogram* h : registry.histograms()) {
+    appendf(out, "%s\"%s\":{\"count\":%llu,\"sum\":%s,\"mean\":%s,"
+                 "\"p50\":%s,\"p90\":%s,\"p99\":%s,\"buckets\":[",
+            first ? "" : ",", json_escape(h->name()).c_str(),
+            static_cast<unsigned long long>(h->count()),
+            json_number(h->sum()).c_str(), json_number(h->mean()).c_str(),
+            json_number(h->quantile(0.5)).c_str(),
+            json_number(h->quantile(0.9)).c_str(),
+            json_number(h->quantile(0.99)).c_str());
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+      const std::string le = i < h->bounds().size()
+                                 ? json_number(h->bounds()[i])
+                                 : std::string("\"+Inf\"");
+      appendf(out, "%s{\"le\":%s,\"count\":%llu}", i == 0 ? "" : ",",
+              le.c_str(), static_cast<unsigned long long>(h->bucket_count(i)));
+    }
+    out += "]}";
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tracer exporters
+// ---------------------------------------------------------------------------
+
+std::string to_text(const Tracer& tracer) {
+  std::string out;
+  for (const SpanRecord& span : tracer.spans()) {
+    appendf(out, "%*s%-*s %10.3f ms\n", static_cast<int>(span.depth * 2), "",
+            static_cast<int>(40 - span.depth * 2), span.name.c_str(),
+            ms(span.duration_ns));
+  }
+  return out;
+}
+
+std::string to_json(const Tracer& tracer) {
+  std::string out = "[";
+  bool first = true;
+  for (const SpanRecord& span : tracer.spans()) {
+    appendf(out,
+            "%s{\"name\":\"%s\",\"depth\":%u,\"start_ms\":%s,"
+            "\"duration_ms\":%s}",
+            first ? "" : ",", json_escape(span.name).c_str(), span.depth,
+            json_number(ms(span.start_ns)).c_str(),
+            json_number(ms(span.duration_ns)).c_str());
+    first = false;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace tangled::obs

@@ -1,0 +1,36 @@
+// Exporters for the metrics registry and the tracer.
+//
+// Three formats, all deterministic (metrics name-sorted, spans start-sorted)
+// so goldens are stable:
+//  * text       — human-readable dump for terminals and logs;
+//  * prometheus — Prometheus text exposition (counters, gauges, cumulative
+//                 histogram buckets with le labels);
+//  * json       — machine-readable, embedded verbatim in BENCH_*.json.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tangled::obs {
+
+std::string to_text(const MetricsRegistry& registry);
+std::string to_prometheus(const MetricsRegistry& registry);
+std::string to_json(const MetricsRegistry& registry);
+
+/// Indented span tree with millisecond durations.
+std::string to_text(const Tracer& tracer);
+/// Array of {name, depth, start_ms, duration_ms}.
+std::string to_json(const Tracer& tracer);
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(std::string_view s);
+/// Shortest-round-trip-ish number rendering used by all JSON output
+/// ("%.17g" trimmed); integers print without a decimal point.
+std::string json_number(double value);
+/// "metric.name" -> "metric_name": Prometheus metric-name sanitization.
+std::string prometheus_name(std::string_view name);
+
+}  // namespace tangled::obs

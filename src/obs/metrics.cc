@@ -1,0 +1,163 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace tangled::obs {
+
+const std::vector<double>& default_latency_buckets_us() {
+  static const std::vector<double> buckets = {
+      1,    2,    5,     10,    25,    50,     100,    250,    500,
+      1e3,  2.5e3, 5e3,  1e4,   2.5e4, 5e4,    1e5,    2.5e5,  5e5,
+      1e6};
+  return buckets;
+}
+
+const std::vector<double>& default_count_buckets() {
+  static const std::vector<double> buckets = {0,  1,  2,   3,   4,   5,  8,
+                                              12, 16, 25,  50,  100, 250,
+                                              500, 1000};
+  return buckets;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::string name, std::vector<double> bounds,
+                     const std::atomic<bool>* enabled)
+    : name_(std::move(name)), bounds_(std::move(bounds)), enabled_(enabled) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void Histogram::observe(double value) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // CAS loop instead of atomic<double>::fetch_add for toolchain portability.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const std::uint64_t in_bucket = bucket_count(i);
+    if (static_cast<double>(cumulative + in_bucket) < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i == bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    const double hi = bounds_[i];
+    if (in_bucket == 0) return hi;
+    const double within = target - static_cast<double>(cumulative);
+    return lo + (hi - lo) * within / static_cast<double>(in_bucket);
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+template <typename T>
+T& MetricsRegistry::find_or_create(
+    std::string_view name, std::unordered_map<std::string, std::unique_ptr<T>>& map,
+    auto&& make) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map.find(std::string(name));
+  if (it != map.end()) return *it->second;
+  auto [inserted, ok] = map.emplace(std::string(name), make());
+  assert(ok);
+  return *inserted->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return find_or_create(name, counters_, [&] {
+    return std::unique_ptr<Counter>(new Counter(std::string(name), &enabled_));
+  });
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return find_or_create(name, gauges_, [&] {
+    return std::unique_ptr<Gauge>(new Gauge(std::string(name), &enabled_));
+  });
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const std::vector<double>& bounds) {
+  return find_or_create(name, histograms_, [&] {
+    return std::unique_ptr<Histogram>(
+        new Histogram(std::string(name), bounds, &enabled_));
+  });
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, g] : gauges_) g->reset();
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+namespace {
+
+template <typename T>
+std::vector<const T*> sorted_view(
+    const std::unordered_map<std::string, std::unique_ptr<T>>& map) {
+  std::vector<const T*> out;
+  out.reserve(map.size());
+  for (const auto& [_, value] : map) out.push_back(value.get());
+  std::sort(out.begin(), out.end(),
+            [](const T* a, const T* b) { return a->name() < b->name(); });
+  return out;
+}
+
+}  // namespace
+
+std::vector<const Counter*> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sorted_view(counters_);
+}
+
+std::vector<const Gauge*> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sorted_view(gauges_);
+}
+
+std::vector<const Histogram*> MetricsRegistry::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sorted_view(histograms_);
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry = [] {
+    const char* env = std::getenv("TANGLED_OBS_DISABLE");
+    const bool disabled = env != nullptr && env[0] == '1' && env[1] == '\0';
+    return MetricsRegistry(!disabled);
+  }();
+  return registry;
+}
+
+}  // namespace tangled::obs

@@ -1,0 +1,166 @@
+// tangled::obs — lock-light metrics for the measurement pipeline.
+//
+// A MetricsRegistry hands out stable references to named Counters, Gauges,
+// and fixed-bucket Histograms. Registration takes a mutex once; every
+// subsequent operation is a relaxed atomic, so instrumentation can sit on
+// the census/verifier hot paths without perturbing what it measures.
+//
+// Two off-switches keep the instrumentation honest for ablations:
+//  * compile time — build with -DTANGLED_OBS=OFF (CMake) and the
+//    TANGLED_OBS_* macros in obs.h expand to nothing;
+//  * runtime — MetricsRegistry::set_enabled(false) turns every update into
+//    a single relaxed load-and-branch (the "no-op registry").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace tangled::obs {
+
+class MetricsRegistry;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, const std::atomic<bool>* enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::string name_;
+  const std::atomic<bool>* enabled_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written signed value (queue depths, corpus scale, config knobs).
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.store(v, std::memory_order_relaxed);
+    }
+  }
+  void add(std::int64_t delta) {
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(std::string name, const std::atomic<bool>* enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::string name_;
+  const std::atomic<bool>* enabled_;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed upper-bound buckets suited to microsecond latencies (1us..1s).
+const std::vector<double>& default_latency_buckets_us();
+/// Fixed buckets for small counts per operation (0..1000): chain depths,
+/// anchors tried per leaf, candidates per lookup.
+const std::vector<double>& default_count_buckets();
+
+/// Fixed-bucket histogram: cumulative-style export, relaxed-atomic updates.
+/// Bucket i counts observations <= bounds[i]; one overflow bucket catches
+/// the rest (+Inf).
+class Histogram {
+ public:
+  void observe(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  double mean() const {
+    const auto n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  /// Quantile estimate by linear interpolation inside the hit bucket.
+  double quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) count; index bounds().size() is +Inf.
+  std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds,
+            const std::atomic<bool>* enabled);
+  void reset();
+
+  std::string name_;
+  std::vector<double> bounds_;  // sorted ascending upper bounds
+  const std::atomic<bool>* enabled_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // bounds+1 slots
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Owns metrics; name -> instance, stable addresses for the program's life.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` applies only on first registration of `name`.
+  Histogram& histogram(std::string_view name,
+                       const std::vector<double>& bounds =
+                           default_latency_buckets_us());
+
+  /// The runtime kill switch: metrics keep their identity but every update
+  /// becomes a no-op.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Zeroes every value (benches reset between stages); names survive.
+  void reset();
+
+  /// Name-sorted snapshots for the exporters.
+  std::vector<const Counter*> counters() const;
+  std::vector<const Gauge*> gauges() const;
+  std::vector<const Histogram*> histograms() const;
+
+ private:
+  template <typename T>
+  T& find_or_create(std::string_view name,
+                    std::unordered_map<std::string, std::unique_ptr<T>>& map,
+                    auto&& make);
+
+  std::atomic<bool> enabled_;
+  mutable std::mutex mu_;  // guards the maps, never the values
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry the TANGLED_OBS_* macros write to. Starts
+/// disabled when the environment sets TANGLED_OBS_DISABLE=1.
+MetricsRegistry& metrics();
+
+}  // namespace tangled::obs

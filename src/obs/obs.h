@@ -1,0 +1,76 @@
+// Umbrella header + instrumentation macros for tangled::obs.
+//
+// Library code instruments through the TANGLED_OBS_* macros, never by
+// calling the registry directly, so the whole subsystem compiles away when
+// the build sets -DTANGLED_OBS=OFF (CMake option -> TANGLED_OBS_ENABLED=0).
+// Each macro caches its metric reference in a function-local static, so the
+// steady-state cost with instrumentation ON is one relaxed load + one
+// relaxed RMW.
+#pragma once
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#if !defined(TANGLED_OBS_ENABLED)
+#define TANGLED_OBS_ENABLED 1
+#endif
+
+#define TANGLED_OBS_CAT_(a, b) a##b
+#define TANGLED_OBS_CAT(a, b) TANGLED_OBS_CAT_(a, b)
+
+#if TANGLED_OBS_ENABLED
+
+/// Bump a named counter by 1 / by `n`.
+#define TANGLED_OBS_INC(name) TANGLED_OBS_ADD(name, 1)
+#define TANGLED_OBS_ADD(name, n)                                        \
+  do {                                                                  \
+    static ::tangled::obs::Counter& tangled_obs_counter_ =              \
+        ::tangled::obs::metrics().counter(name);                        \
+    tangled_obs_counter_.inc(static_cast<std::uint64_t>(n));            \
+  } while (0)
+
+/// Set a named gauge to `v`.
+#define TANGLED_OBS_GAUGE_SET(name, v)                                  \
+  do {                                                                  \
+    static ::tangled::obs::Gauge& tangled_obs_gauge_ =                  \
+        ::tangled::obs::metrics().gauge(name);                          \
+    tangled_obs_gauge_.set(static_cast<std::int64_t>(v));               \
+  } while (0)
+
+/// Record `v` into a named histogram (default latency buckets, µs).
+#define TANGLED_OBS_OBSERVE(name, v)                                    \
+  do {                                                                  \
+    static ::tangled::obs::Histogram& tangled_obs_hist_ =               \
+        ::tangled::obs::metrics().histogram(name);                      \
+    tangled_obs_hist_.observe(static_cast<double>(v));                  \
+  } while (0)
+
+/// Record a small per-operation count (chain depth, candidates tried).
+#define TANGLED_OBS_OBSERVE_COUNT(name, v)                              \
+  do {                                                                  \
+    static ::tangled::obs::Histogram& tangled_obs_hist_ =               \
+        ::tangled::obs::metrics().histogram(                            \
+            name, ::tangled::obs::default_count_buckets());             \
+    tangled_obs_hist_.observe(static_cast<double>(v));                  \
+  } while (0)
+
+/// RAII: time the enclosing scope into a named latency histogram (µs).
+#define TANGLED_OBS_SCOPED_TIMER(name)                                  \
+  static ::tangled::obs::Histogram& TANGLED_OBS_CAT(                    \
+      tangled_obs_timer_hist_, __LINE__) =                              \
+      ::tangled::obs::metrics().histogram(name);                        \
+  ::tangled::obs::ScopedTimer TANGLED_OBS_CAT(tangled_obs_timer_,       \
+                                              __LINE__)(                \
+      TANGLED_OBS_CAT(tangled_obs_timer_hist_, __LINE__))
+
+#else  // !TANGLED_OBS_ENABLED — everything vanishes.
+
+#define TANGLED_OBS_INC(name) do {} while (0)
+#define TANGLED_OBS_ADD(name, n) do {} while (0)
+#define TANGLED_OBS_GAUGE_SET(name, v) do {} while (0)
+#define TANGLED_OBS_OBSERVE(name, v) do {} while (0)
+#define TANGLED_OBS_OBSERVE_COUNT(name, v) do {} while (0)
+#define TANGLED_OBS_SCOPED_TIMER(name) do {} while (0)
+
+#endif  // TANGLED_OBS_ENABLED

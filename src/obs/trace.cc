@@ -1,0 +1,49 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace tangled::obs {
+
+std::vector<SpanRecord> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out = spans_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                                     : a.depth < b.depth;
+                   });
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+void Tracer::close_span(SpanRecord record) {
+  --depth_;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(record));
+}
+
+Span::Span(Tracer& tracer, std::string name)
+    : tracer_(&tracer), name_(std::move(name)) {
+  if (!tracer_->enabled()) return;
+  depth_ = tracer_->open_span();
+  start_ns_ = tracer_->now_ns();
+  open_ = true;
+}
+
+void Span::end() {
+  if (!open_) return;
+  open_ = false;
+  tracer_->close_span(
+      {std::move(name_), depth_, start_ns_, tracer_->now_ns() - start_ns_});
+}
+
+Tracer& tracer() {
+  static Tracer t;
+  return t;
+}
+
+}  // namespace tangled::obs

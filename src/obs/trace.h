@@ -1,0 +1,108 @@
+// Hierarchical trace spans and RAII latency timers.
+//
+// A Tracer collects SpanRecords; Span is the RAII handle that opens a span
+// on construction and records it (with steady-clock duration and nesting
+// depth) on destruction, so a bench binary reads as
+//
+//   obs::Span all(obs::tracer(), "table3");
+//   { obs::Span s(obs::tracer(), "build_corpus"); ... }
+//   { obs::Span s(obs::tracer(), "census"); ... }
+//
+// and the exporters render the tree. ScopedTimer is the histogram-feeding
+// sibling for per-operation latencies on hot paths.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tangled::obs {
+
+/// One finished span. `depth` reconstructs the hierarchy: a span is the
+/// child of the nearest earlier-starting span with depth-1.
+struct SpanRecord {
+  std::string name;
+  std::uint32_t depth = 0;
+  std::uint64_t start_ns = 0;     // since the tracer's epoch
+  std::uint64_t duration_ns = 0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(bool enabled = true) : enabled_(enabled) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  /// Finished spans sorted by start time (parents before children).
+  std::vector<SpanRecord> spans() const;
+  void clear();
+
+  std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+ private:
+  friend class Span;
+  std::uint32_t open_span() { return depth_++; }
+  void close_span(SpanRecord record);
+
+  const std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  bool enabled_;
+  std::uint32_t depth_ = 0;  // current nesting depth (spans nest lexically)
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// RAII span handle. Not thread-hopping: open and close on one thread.
+class Span {
+ public:
+  Span(Tracer& tracer, std::string name);
+  ~Span() { end(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Close early (idempotent); the destructor becomes a no-op.
+  void end();
+
+ private:
+  Tracer* tracer_;
+  std::string name_;
+  std::uint32_t depth_ = 0;
+  std::uint64_t start_ns_ = 0;
+  bool open_ = false;
+};
+
+/// Feeds the elapsed time (microseconds) into a latency histogram when the
+/// scope exits.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram)
+      : histogram_(&histogram), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->observe(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The process-wide tracer the bench harness records stages into.
+Tracer& tracer();
+
+}  // namespace tangled::obs

@@ -1,6 +1,26 @@
 #include "pki/hierarchy.h"
 
+#include "obs/obs.h"
+
 namespace tangled::pki {
+
+namespace {
+
+/// The RSA-vs-SimSig issuance split the ablation bench reasons about.
+void count_issue([[maybe_unused]] const crypto::SignatureScheme& scheme) {
+  TANGLED_OBS_INC("pki.issue.total");
+#if TANGLED_OBS_ENABLED
+  if (&scheme == &crypto::sim_sig_scheme()) {
+    TANGLED_OBS_INC("pki.issue.simsig");
+  } else if (&scheme == &crypto::rsa_sha256_scheme()) {
+    TANGLED_OBS_INC("pki.issue.rsa_sha256");
+  } else {
+    TANGLED_OBS_INC("pki.issue.other");
+  }
+#endif
+}
+
+}  // namespace
 
 x509::Name ca_name(const std::string& organization,
                    const std::string& common_name) {
@@ -20,6 +40,7 @@ Result<CaNode> make_root(const crypto::SignatureScheme& scheme,
                          crypto::KeyPair key, const x509::Name& subject,
                          const x509::Validity& validity, std::uint64_t serial,
                          bool legacy_v1) {
+  count_issue(scheme);
   x509::CertificateBuilder builder;
   builder.serial(serial)
       .subject(subject)
@@ -46,6 +67,7 @@ Result<CaNode> make_intermediate(const crypto::SignatureScheme& scheme,
                                  const x509::Validity& validity,
                                  std::uint64_t serial,
                                  std::optional<int> path_len) {
+  count_issue(scheme);
   x509::KeyUsage usage;
   usage.key_cert_sign = true;
   usage.crl_sign = true;
@@ -69,6 +91,7 @@ Result<x509::Certificate> make_leaf(const crypto::SignatureScheme& scheme,
                                     const std::string& dns_name,
                                     const x509::Validity& validity,
                                     std::uint64_t serial) {
+  count_issue(scheme);
   x509::KeyUsage usage;
   usage.digital_signature = true;
   usage.key_encipherment = true;

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "obs/obs.h"
 #include "x509/pem.h"
 
 namespace tangled::pki {
@@ -100,6 +101,11 @@ struct SearchContext {
   const VerifyOptions& options;
   std::unordered_multimap<std::uint64_t, const x509::Certificate*> inter_index;
 
+  // Search statistics, observed into the obs registry after the search.
+  mutable std::size_t anchors_tried = 0;
+  mutable std::size_t intermediates_tried = 0;
+  mutable std::size_t signature_checks = 0;
+
   std::vector<const x509::Certificate*> intermediates_for(
       const x509::Name& issuer_name) const {
     std::vector<const x509::Certificate*> out;
@@ -113,8 +119,9 @@ struct SearchContext {
 
 Result<void> check_link(const x509::Certificate& child,
                         const x509::Certificate& issuer,
-                        const VerifyOptions& options) {
-  if (options.check_signatures) {
+                        const SearchContext& ctx) {
+  if (ctx.options.check_signatures) {
+    ++ctx.signature_checks;
     if (auto sig = child.check_signature_from(issuer.public_key()); !sig.ok()) {
       return sig;
     }
@@ -149,13 +156,14 @@ bool extend(const x509::Certificate& tip, std::vector<x509::Certificate>& path,
 
   // Anchors first: prefer terminating the chain over growing it.
   for (const x509::Certificate* anchor : ctx.anchors.by_subject(tip.issuer())) {
+    ++ctx.anchors_tried;
     if (anchor->der() == tip.der()) continue;
     if (!purpose_ok(*anchor)) continue;
     if (auto ok = check_cert(*anchor, /*must_be_ca=*/true, ctx.options); !ok.ok()) {
       last_error = ok.error();
       continue;
     }
-    if (auto ok = check_link(tip, *anchor, ctx.options); !ok.ok()) {
+    if (auto ok = check_link(tip, *anchor, ctx); !ok.ok()) {
       last_error = ok.error();
       continue;
     }
@@ -164,6 +172,7 @@ bool extend(const x509::Certificate& tip, std::vector<x509::Certificate>& path,
   }
 
   for (const x509::Certificate* inter : ctx.intermediates_for(tip.issuer())) {
+    ++ctx.intermediates_tried;
     const std::uint64_t id = fnv1a64(inter->der());
     if (on_path.contains(id)) continue;  // loop guard
     if (inter->der() == tip.der()) continue;
@@ -171,7 +180,7 @@ bool extend(const x509::Certificate& tip, std::vector<x509::Certificate>& path,
       last_error = ok.error();
       continue;
     }
-    if (auto ok = check_link(tip, *inter, ctx.options); !ok.ok()) {
+    if (auto ok = check_link(tip, *inter, ctx); !ok.ok()) {
       last_error = ok.error();
       continue;
     }
@@ -216,39 +225,70 @@ Result<void> check_path_lengths(const std::vector<x509::Certificate>& path) {
   return {};
 }
 
+/// One counter per broad failure family, so the census can report "why
+/// chains fail" without string-matching messages.
+void count_verify_failure(const Error& error) {
+  switch (error.code) {
+    case Errc::kExpired: TANGLED_OBS_INC("pki.verify.fail.expired"); break;
+    case Errc::kNotFound: TANGLED_OBS_INC("pki.verify.fail.no_path"); break;
+    case Errc::kVerifyFailed:
+      TANGLED_OBS_INC("pki.verify.fail.verify");
+      break;
+    case Errc::kParse: TANGLED_OBS_INC("pki.verify.fail.parse"); break;
+    default: TANGLED_OBS_INC("pki.verify.fail.other"); break;
+  }
+}
+
 }  // namespace
 
 Result<Chain> ChainVerifier::verify(
     const x509::Certificate& leaf,
     const std::vector<x509::Certificate>& intermediates) const {
-  if (auto ok = check_cert(leaf, /*must_be_ca=*/false, options_); !ok.ok()) {
-    return ok.error();
-  }
-  // A leaf restricted by EKU must allow the requested purpose.
-  if (options_.purpose.has_value()) {
-    const auto eku = leaf.extensions().extended_key_usage();
-    if (eku.has_value() && !eku->allows(eku_oid_for(*options_.purpose))) {
-      return verify_error("leaf ExtendedKeyUsage forbids requested purpose");
+  TANGLED_OBS_INC("pki.verify.calls");
+  TANGLED_OBS_SCOPED_TIMER("pki.verify.latency_us");
+  auto result = [&]() -> Result<Chain> {
+    if (auto ok = check_cert(leaf, /*must_be_ca=*/false, options_); !ok.ok()) {
+      return ok.error();
     }
-  }
-
-  SearchContext ctx{anchors_, options_, {}};
-  for (const auto& inter : intermediates) {
-    ctx.inter_index.emplace(name_hash(inter.subject()), &inter);
-  }
-
-  std::vector<x509::Certificate> path{leaf};
-  std::unordered_set<std::uint64_t> on_path{fnv1a64(leaf.der())};
-  Error last_error =
-      not_found_error("no path to a trust anchor for issuer " +
-                      leaf.issuer().to_string());
-  if (extend(leaf, path, on_path, ctx, last_error)) {
-    if (options_.check_path_length) {
-      if (auto ok = check_path_lengths(path); !ok.ok()) return ok.error();
+    // A leaf restricted by EKU must allow the requested purpose.
+    if (options_.purpose.has_value()) {
+      const auto eku = leaf.extensions().extended_key_usage();
+      if (eku.has_value() && !eku->allows(eku_oid_for(*options_.purpose))) {
+        return verify_error("leaf ExtendedKeyUsage forbids requested purpose");
+      }
     }
-    return Chain{std::move(path)};
+
+    SearchContext ctx{anchors_, options_, {}};
+    for (const auto& inter : intermediates) {
+      ctx.inter_index.emplace(name_hash(inter.subject()), &inter);
+    }
+
+    std::vector<x509::Certificate> path{leaf};
+    std::unordered_set<std::uint64_t> on_path{fnv1a64(leaf.der())};
+    Error last_error =
+        not_found_error("no path to a trust anchor for issuer " +
+                        leaf.issuer().to_string());
+    const bool found = extend(leaf, path, on_path, ctx, last_error);
+    TANGLED_OBS_OBSERVE_COUNT("pki.verify.anchors_tried", ctx.anchors_tried);
+    TANGLED_OBS_OBSERVE_COUNT("pki.verify.intermediates_tried",
+                              ctx.intermediates_tried);
+    TANGLED_OBS_ADD("pki.verify.signature_checks", ctx.signature_checks);
+    if (found) {
+      if (options_.check_path_length) {
+        if (auto ok = check_path_lengths(path); !ok.ok()) return ok.error();
+      }
+      return Chain{std::move(path)};
+    }
+    return last_error;
+  }();
+  if (result.ok()) {
+    TANGLED_OBS_INC("pki.verify.ok");
+    TANGLED_OBS_OBSERVE_COUNT("pki.verify.chain_length",
+                              result.value().length());
+  } else {
+    count_verify_failure(result.error());
   }
-  return last_error;
+  return result;
 }
 
 Result<Chain> ChainVerifier::verify_presented(

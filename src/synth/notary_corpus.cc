@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "crypto/signature.h"
+#include "obs/obs.h"
 
 namespace tangled::synth {
 
@@ -269,6 +270,13 @@ void NotaryCorpusGenerator::generate(
       obs.chain.push_back(slot.root->cert);
     }
     obs.port = kPorts[port_sampler.sample(rng_)];
+    TANGLED_OBS_INC("synth.corpus.chains_emitted");
+    TANGLED_OBS_ADD("synth.corpus.chain_certs", obs.chain.size());
+    if (expired) {
+      TANGLED_OBS_INC("synth.corpus.expired_leaves");
+    } else {
+      TANGLED_OBS_INC("synth.corpus.unexpired_leaves");
+    }
     sink(obs);
   };
 

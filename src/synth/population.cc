@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.h"
+
 namespace tangled::synth {
 
 namespace {
@@ -89,6 +91,7 @@ device::AssembledStore materialize_store(
 }
 
 Population PopulationGenerator::generate() const {
+  TANGLED_OBS_SCOPED_TIMER("synth.population.generate_us");
   Population pop;
   Xoshiro256 rng(config_.seed);
   device::DeviceStoreAssembler assembler(universe_);
@@ -204,6 +207,7 @@ Population PopulationGenerator::generate() const {
     rec.assembly_seed = rng.next();
     pop.handsets.push_back(std::move(rec));
   }
+  TANGLED_OBS_ADD("synth.population.handsets", pop.handsets.size());
 
   // Exactly `missing_cert_handsets` handsets with removed AOSP certs.
   {
@@ -262,6 +266,8 @@ Population PopulationGenerator::generate() const {
 
   // --- Assemble stores and summarize -------------------------------------
   for (HandsetRecord& rec : pop.handsets) {
+    TANGLED_OBS_SCOPED_TIMER("synth.population.assemble_us");
+    TANGLED_OBS_INC("synth.population.stores_assembled");
     Xoshiro256 assembly_rng(rec.assembly_seed);
     device::AssembledStore assembled =
         assembler.assemble(rec.device, rec.flags, assembly_rng);
@@ -306,6 +312,7 @@ Population PopulationGenerator::generate() const {
     }
     pop.sessions.push_back(session);
   }
+  TANGLED_OBS_ADD("synth.population.sessions", pop.sessions.size());
 
   return pop;
 }

@@ -1,49 +1,60 @@
 #include "tlswire/extractor.h"
 
+#include "obs/obs.h"
+
 namespace tangled::tlswire {
 
 Result<void> CertificateExtractor::feed(ByteView capture) {
-  records_.feed(capture);
-  auto records = records_.drain();
-  if (!records.ok()) return records.error();
+  TANGLED_OBS_ADD("tlswire.extract.bytes_fed", capture.size());
+  auto result = [&]() -> Result<void> {
+    records_.feed(capture);
+    auto records = records_.drain();
+    if (!records.ok()) return records.error();
+    TANGLED_OBS_ADD("tlswire.extract.records", records.value().size());
 
-  for (const Record& record : records.value()) {
-    if (record.type == ContentType::kAlert) {
-      auto alert = parse_alert(record.fragment);
-      if (!alert.ok()) return alert.error();
-      session_.alerts.push_back(alert.value());
-      continue;
+    for (const Record& record : records.value()) {
+      if (record.type == ContentType::kAlert) {
+        auto alert = parse_alert(record.fragment);
+        if (!alert.ok()) return alert.error();
+        TANGLED_OBS_INC("tlswire.extract.alerts");
+        session_.alerts.push_back(alert.value());
+        continue;
+      }
+      if (record.type != ContentType::kHandshake) continue;  // observer skips
+      handshakes_.feed(record.fragment);
     }
-    if (record.type != ContentType::kHandshake) continue;  // observer skips
-    handshakes_.feed(record.fragment);
-  }
-  auto messages = handshakes_.drain();
-  if (!messages.ok()) return messages.error();
+    auto messages = handshakes_.drain();
+    if (!messages.ok()) return messages.error();
+    TANGLED_OBS_ADD("tlswire.extract.handshake_msgs", messages.value().size());
 
-  for (const HandshakeMessage& message : messages.value()) {
-    switch (message.type) {
-      case HandshakeType::kClientHello: {
-        auto hello = ClientHello::parse_body(message.body);
-        if (!hello.ok()) return hello.error();
-        session_.saw_client_hello = true;
-        if (!hello.value().sni.empty()) session_.sni = hello.value().sni;
-        break;
-      }
-      case HandshakeType::kServerHello: {
-        auto hello = ServerHello::parse_body(message.body);
-        if (!hello.ok()) return hello.error();
-        session_.saw_server_hello = true;
-        break;
-      }
-      case HandshakeType::kCertificate: {
-        auto chain = parse_certificate_body(message.body);
-        if (!chain.ok()) return chain.error();
-        session_.chain = std::move(chain).value();
-        break;
+    for (const HandshakeMessage& message : messages.value()) {
+      switch (message.type) {
+        case HandshakeType::kClientHello: {
+          auto hello = ClientHello::parse_body(message.body);
+          if (!hello.ok()) return hello.error();
+          session_.saw_client_hello = true;
+          if (!hello.value().sni.empty()) session_.sni = hello.value().sni;
+          break;
+        }
+        case HandshakeType::kServerHello: {
+          auto hello = ServerHello::parse_body(message.body);
+          if (!hello.ok()) return hello.error();
+          session_.saw_server_hello = true;
+          break;
+        }
+        case HandshakeType::kCertificate: {
+          auto chain = parse_certificate_body(message.body);
+          if (!chain.ok()) return chain.error();
+          TANGLED_OBS_INC("tlswire.extract.chains");
+          session_.chain = std::move(chain).value();
+          break;
+        }
       }
     }
-  }
-  return {};
+    return {};
+  }();
+  if (!result.ok()) TANGLED_OBS_INC("tlswire.extract.errors");
+  return result;
 }
 
 }  // namespace tangled::tlswire

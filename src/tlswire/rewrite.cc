@@ -1,44 +1,56 @@
 #include "tlswire/rewrite.h"
 
+#include "obs/obs.h"
 #include "tlswire/record.h"
 
 namespace tangled::tlswire {
 
 Result<Bytes> substitute_chain(ByteView server_flight,
                                const std::vector<x509::Certificate>& new_chain) {
-  RecordReader records;
-  records.feed(server_flight);
-  auto parsed_records = records.drain();
-  if (!parsed_records.ok()) return parsed_records.error();
-  if (records.pending() != 0) {
-    return parse_error("trailing partial record in captured flight");
-  }
-
-  HandshakeReassembler reassembler;
-  for (const Record& record : parsed_records.value()) {
-    if (record.type != ContentType::kHandshake) {
-      return unsupported_error("non-handshake record in server flight");
+  TANGLED_OBS_INC("tlswire.rewrite.calls");
+  TANGLED_OBS_ADD("tlswire.rewrite.bytes_in", server_flight.size());
+  auto result = [&]() -> Result<Bytes> {
+    RecordReader records;
+    records.feed(server_flight);
+    auto parsed_records = records.drain();
+    if (!parsed_records.ok()) return parsed_records.error();
+    if (records.pending() != 0) {
+      return parse_error("trailing partial record in captured flight");
     }
-    reassembler.feed(record.fragment);
-  }
-  auto messages = reassembler.drain();
-  if (!messages.ok()) return messages.error();
 
-  Bytes rebuilt;
-  bool substituted = false;
-  for (const HandshakeMessage& message : messages.value()) {
-    if (message.type == HandshakeType::kCertificate) {
-      append(rebuilt, encode_handshake({HandshakeType::kCertificate,
-                                        encode_certificate_body(new_chain)}));
-      substituted = true;
-    } else {
-      append(rebuilt, encode_handshake(message));
+    HandshakeReassembler reassembler;
+    for (const Record& record : parsed_records.value()) {
+      if (record.type != ContentType::kHandshake) {
+        return unsupported_error("non-handshake record in server flight");
+      }
+      reassembler.feed(record.fragment);
     }
+    auto messages = reassembler.drain();
+    if (!messages.ok()) return messages.error();
+
+    Bytes rebuilt;
+    bool substituted = false;
+    for (const HandshakeMessage& message : messages.value()) {
+      if (message.type == HandshakeType::kCertificate) {
+        append(rebuilt, encode_handshake({HandshakeType::kCertificate,
+                                          encode_certificate_body(new_chain)}));
+        substituted = true;
+      } else {
+        append(rebuilt, encode_handshake(message));
+      }
+    }
+    if (!substituted) {
+      return not_found_error("no Certificate message in captured flight");
+    }
+    return encode_records(ContentType::kHandshake, rebuilt);
+  }();
+  if (result.ok()) {
+    TANGLED_OBS_INC("tlswire.rewrite.substituted");
+    TANGLED_OBS_ADD("tlswire.rewrite.bytes_out", result.value().size());
+  } else {
+    TANGLED_OBS_INC("tlswire.rewrite.errors");
   }
-  if (!substituted) {
-    return not_found_error("no Certificate message in captured flight");
-  }
-  return encode_records(ContentType::kHandshake, rebuilt);
+  return result;
 }
 
 }  // namespace tangled::tlswire

@@ -1,0 +1,206 @@
+// Integration test for the bench telemetry contract: runs a real bench
+// binary (table1_store_sizes — universe-only, so it is fast) with
+// TANGLED_BENCH_OUT pointing at a scratch directory, then checks that the
+// emitted BENCH_*.json is well-formed JSON with the required schema keys.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef TANGLED_TABLE1_BIN
+#error "TANGLED_TABLE1_BIN must point at the table1_store_sizes binary"
+#endif
+
+namespace {
+
+/// Minimal JSON syntax checker: validates the full grammar (objects,
+/// arrays, strings, numbers, literals) without building a DOM. Good enough
+/// to catch unbalanced braces, trailing commas, and bad escapes.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start && std::isdigit(static_cast<unsigned char>(s_[pos_ - 1]));
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::string scratch_dir() {
+  std::string dir = ::testing::TempDir();
+  while (!dir.empty() && dir.back() == '/') dir.pop_back();
+  return dir;
+}
+
+std::string run_and_read() {
+  const std::string dir = scratch_dir();
+  const std::string path = dir + "/BENCH_table1_store_sizes.json";
+  std::remove(path.c_str());
+  const std::string cmd = "TANGLED_BENCH_OUT=" + dir + " " TANGLED_TABLE1_BIN
+                          " > /dev/null 2>&1";
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "bench binary did not write " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(BenchJson, EmittedFileIsValidJsonWithRequiredKeys) {
+  const std::string json = run_and_read();
+  ASSERT_FALSE(json.empty());
+
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json.substr(0, 400);
+
+  // Top-level schema keys.
+  for (const char* key :
+       {"\"name\"", "\"paper_ref\"", "\"schema_version\"", "\"rows\"",
+        "\"notes\"", "\"stages\"", "\"metrics\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  EXPECT_NE(json.find("\"name\": \"table1_store_sizes\""), std::string::npos);
+
+  // Row schema: every row carries metric/measured/paper/rel_err.
+  for (const char* key :
+       {"\"metric\"", "\"measured\"", "\"paper\"", "\"rel_err\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing row key " << key;
+  }
+
+  // Table 1 is exact by construction, so the known-good row must be there.
+  EXPECT_NE(json.find("\"metric\": \"AOSP 4.4\", \"measured\": 150, "
+                      "\"paper\": 150, \"rel_err\": 0"),
+            std::string::npos);
+
+  // The stage spans from bench_common's universe() build.
+  EXPECT_NE(json.find("bench.build_universe"), std::string::npos);
+
+  // The registry dump: issuance counters from building 1402 roots.
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(BenchJson, RespectsOutputDirectory) {
+  const std::string dir = scratch_dir();
+  const std::string path = dir + "/BENCH_table1_store_sizes.json";
+  run_and_read();
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+
+namespace tangled::obs {
+namespace {
+
+/// A registry with one of everything, values chosen for stable output.
+MetricsRegistry& fixture() {
+  static MetricsRegistry registry;
+  static const bool initialized = [] {
+    registry.counter("pki.verify.calls").inc(3);
+    registry.counter("notary.db.observations").inc(10);
+    registry.gauge("bench.scale").set(-5);
+    Histogram& h = registry.histogram("verify.latency_us", {1.0, 10.0, 100.0});
+    h.observe(0.5);
+    h.observe(5.0);
+    h.observe(5.0);
+    h.observe(50.0);
+    return true;
+  }();
+  (void)initialized;
+  return registry;
+}
+
+TEST(TextExport, Golden) {
+  // Names are left-justified into a 44-char column.
+  auto pad = [](std::string name) {
+    return name + std::string(44 - name.size(), ' ');
+  };
+  const std::string expected =
+      "counter  " + pad("notary.db.observations") + " 10\n" +
+      "counter  " + pad("pki.verify.calls") + " 3\n" +
+      "gauge    " + pad("bench.scale") + " -5\n" +
+      "hist     " + pad("verify.latency_us") +
+      " count=4 mean=15.125 p50=5.5 p99=96.4\n";
+  EXPECT_EQ(to_text(fixture()), expected);
+}
+
+TEST(PrometheusExport, Golden) {
+  const std::string expected =
+      "# TYPE notary_db_observations counter\n"
+      "notary_db_observations 10\n"
+      "# TYPE pki_verify_calls counter\n"
+      "pki_verify_calls 3\n"
+      "# TYPE bench_scale gauge\n"
+      "bench_scale -5\n"
+      "# TYPE verify_latency_us histogram\n"
+      "verify_latency_us_bucket{le=\"1\"} 1\n"
+      "verify_latency_us_bucket{le=\"10\"} 3\n"
+      "verify_latency_us_bucket{le=\"100\"} 4\n"
+      "verify_latency_us_bucket{le=\"+Inf\"} 4\n"
+      "verify_latency_us_sum 60.5\n"
+      "verify_latency_us_count 4\n";
+  EXPECT_EQ(to_prometheus(fixture()), expected);
+}
+
+TEST(JsonExport, Golden) {
+  const std::string expected =
+      "{\"counters\":{\"notary.db.observations\":10,\"pki.verify.calls\":3},"
+      "\"gauges\":{\"bench.scale\":-5},"
+      "\"histograms\":{\"verify.latency_us\":{\"count\":4,\"sum\":60.5,"
+      "\"mean\":15.125,\"p50\":5.5,\"p90\":64,\"p99\":96.4,"
+      "\"buckets\":[{\"le\":1,\"count\":1},{\"le\":10,\"count\":2},"
+      "{\"le\":100,\"count\":1},{\"le\":\"+Inf\",\"count\":0}]}}}";
+  EXPECT_EQ(to_json(fixture()), expected);
+}
+
+TEST(JsonExport, EmptyRegistry) {
+  MetricsRegistry registry;
+  EXPECT_EQ(to_json(registry),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(JsonEscape, ControlAndQuote) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_escape(std::string_view("x\x01y", 3)), "x\\u0001y");
+}
+
+TEST(JsonNumber, IntegersAndReals) {
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(-3.0), "-3");
+  EXPECT_EQ(json_number(0.25), "0.25");
+  EXPECT_EQ(json_number(1.0 / 0.0), "null");
+}
+
+TEST(PrometheusName, Sanitizes) {
+  EXPECT_EQ(prometheus_name("pki.verify.calls"), "pki_verify_calls");
+  EXPECT_EQ(prometheus_name("9lives"), "_9lives");
+  EXPECT_EQ(prometheus_name("a-b c"), "a_b_c");
+}
+
+TEST(TracerExport, JsonShape) {
+  Tracer tracer;
+  {
+    Span outer(tracer, "outer");
+    { Span inner(tracer, "inner"); }
+  }
+  const std::string json = to_json(tracer);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":1"), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+}
+
+TEST(TracerExport, TextIndentsByDepth) {
+  Tracer tracer;
+  {
+    Span outer(tracer, "outer");
+    { Span inner(tracer, "inner"); }
+  }
+  const std::string text = to_text(tracer);
+  EXPECT_NE(text.find("outer"), std::string::npos);
+  EXPECT_NE(text.find("  inner"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tangled::obs

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace tangled::obs {
+namespace {
+
+TEST(Counter, IncrementsAndAccumulates) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("events");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, SameNameSameInstance) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("depth");
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST(Registry, DisabledUpdatesAreNoOps) {
+  MetricsRegistry registry(/*enabled=*/false);
+  Counter& c = registry.counter("dropped");
+  Gauge& g = registry.gauge("dropped_gauge");
+  Histogram& h = registry.histogram("dropped_hist");
+  c.inc(100);
+  g.set(5);
+  h.observe(1.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+
+  // Re-enabling makes the same instances live again.
+  registry.set_enabled(true);
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(Registry, ResetZeroesValuesButKeepsNames) {
+  MetricsRegistry registry;
+  registry.counter("a").inc(3);
+  registry.gauge("b").set(4);
+  registry.histogram("c").observe(10.0);
+  registry.reset();
+  EXPECT_EQ(registry.counter("a").value(), 0u);
+  EXPECT_EQ(registry.gauge("b").value(), 0);
+  EXPECT_EQ(registry.histogram("c").count(), 0u);
+  EXPECT_EQ(registry.counters().size(), 1u);
+}
+
+TEST(Registry, SnapshotsAreNameSorted) {
+  MetricsRegistry registry;
+  registry.counter("zebra");
+  registry.counter("apple");
+  registry.counter("mango");
+  const auto counters = registry.counters();
+  ASSERT_EQ(counters.size(), 3u);
+  EXPECT_EQ(counters[0]->name(), "apple");
+  EXPECT_EQ(counters[1]->name(), "mango");
+  EXPECT_EQ(counters[2]->name(), "zebra");
+}
+
+TEST(Histogram, BucketAssignment) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1    -> bucket 0
+  h.observe(1.0);    // <= 1    -> bucket 0 (bounds are inclusive)
+  h.observe(5.0);    // <= 10   -> bucket 1
+  h.observe(100.0);  // <= 100  -> bucket 2
+  h.observe(1e9);    // overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(Histogram, SumAndMean) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("sum", {10.0, 20.0});
+  h.observe(4.0);
+  h.observe(6.0);
+  h.observe(14.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 24.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 8.0);
+}
+
+TEST(Histogram, QuantileInterpolation) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("q", {10.0, 20.0, 30.0});
+  // 10 observations uniformly in (0, 10]: p50 should land mid-bucket.
+  for (int i = 0; i < 10; ++i) h.observe(5.0);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
+  EXPECT_LE(h.quantile(1.0), 10.0);
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST(Histogram, QuantileEmptyIsZero) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("empty", {1.0});
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, DefaultBucketsAreSorted) {
+  const auto& lat = default_latency_buckets_us();
+  const auto& cnt = default_count_buckets();
+  EXPECT_TRUE(std::is_sorted(lat.begin(), lat.end()));
+  EXPECT_TRUE(std::is_sorted(cnt.begin(), cnt.end()));
+  EXPECT_FALSE(lat.empty());
+  EXPECT_FALSE(cnt.empty());
+}
+
+TEST(GlobalRegistry, IsSingleton) {
+  EXPECT_EQ(&metrics(), &metrics());
+}
+
+}  // namespace
+}  // namespace tangled::obs

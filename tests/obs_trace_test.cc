@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tangled::obs {
+namespace {
+
+TEST(Span, RecordsOnDestruction) {
+  Tracer tracer;
+  {
+    Span span(tracer, "outer");
+  }
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].depth, 0u);
+}
+
+TEST(Span, NestingDepths) {
+  Tracer tracer;
+  {
+    Span outer(tracer, "outer");
+    {
+      Span mid(tracer, "mid");
+      { Span inner(tracer, "inner"); }
+    }
+    { Span sibling(tracer, "sibling"); }
+  }
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Sorted by start time: outer, mid, inner, sibling.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[1].name, "mid");
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].name, "inner");
+  EXPECT_EQ(spans[2].depth, 2u);
+  EXPECT_EQ(spans[3].name, "sibling");
+  EXPECT_EQ(spans[3].depth, 1u);
+}
+
+TEST(Span, ParentDurationCoversChild) {
+  Tracer tracer;
+  {
+    Span outer(tracer, "outer");
+    { Span inner(tracer, "inner"); }
+  }
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_LE(spans[0].start_ns, spans[1].start_ns);
+  EXPECT_GE(spans[0].start_ns + spans[0].duration_ns,
+            spans[1].start_ns + spans[1].duration_ns);
+}
+
+TEST(Span, EndIsIdempotent) {
+  Tracer tracer;
+  {
+    Span span(tracer, "once");
+    span.end();
+    span.end();  // destructor will also run: still only one record
+  }
+  EXPECT_EQ(tracer.spans().size(), 1u);
+}
+
+TEST(Span, EndRestoresDepth) {
+  Tracer tracer;
+  {
+    Span a(tracer, "a");
+    a.end();
+    Span b(tracer, "b");  // a closed, so b is a root span again
+  }
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[1].depth, 0u);
+}
+
+TEST(Tracer, ClearDropsSpans) {
+  Tracer tracer;
+  { Span span(tracer, "gone"); }
+  tracer.clear();
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer tracer(/*enabled=*/false);
+  { Span span(tracer, "dropped"); }
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(ScopedTimer, FeedsHistogram) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("scope_us");
+  {
+    ScopedTimer timer(h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+}
+
+TEST(GlobalTracer, IsSingleton) {
+  EXPECT_EQ(&tracer(), &tracer());
+}
+
+}  // namespace
+}  // namespace tangled::obs
