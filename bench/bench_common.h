@@ -6,9 +6,13 @@
 #pragma once
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+
+#include <span>
+#include <vector>
 
 #include "analysis/report.h"
 #include "bench_report.h"
@@ -18,6 +22,7 @@
 #include "rootstore/catalog.h"
 #include "synth/notary_corpus.h"
 #include "synth/population.h"
+#include "util/thread_pool.h"
 
 namespace tangled::bench {
 
@@ -47,8 +52,10 @@ inline std::size_t corpus_scale() {
 }
 
 // Validate at startup so every bench binary rejects a bad value immediately,
-// including the universe-only ones that never build a corpus.
+// including the universe-only ones that never build a corpus (and, for
+// TANGLED_THREADS, the ones that never build the shared pool).
 inline const std::size_t kCorpusScaleChecked = corpus_scale();
+inline const std::size_t kThreadCountChecked = util::configured_thread_count();
 
 inline const rootstore::StoreUniverse& universe() {
   static const rootstore::StoreUniverse u = [] {
@@ -84,16 +91,48 @@ inline const pki::TrustAnchors& all_anchors() {
 struct NotaryRun {
   notary::NotaryDb db;
   notary::ValidationCensus census;
+  std::size_t threads = 0;      // shared-pool workers (0 = serial path)
+  double wall_seconds = 0.0;    // generation + ingest wall time
 
+  /// Generation and census ingest both run on the shared pool, sized by
+  /// TANGLED_THREADS (0 = the historical serial path). Results are
+  /// bit-identical either way; only wall time differs.
   NotaryRun() : db(), census(all_anchors()) {
     obs::Span span(obs::tracer(), "bench.notary_run");
+    const auto started = std::chrono::steady_clock::now();
+    util::ThreadPool& pool = util::shared_pool();
+    threads = pool.size();
+    TANGLED_OBS_GAUGE_SET("notary.census.parallel.threads", pool.size());
     synth::NotaryCorpusConfig config;
     config.n_certs = corpus_scale();
     synth::NotaryCorpusGenerator generator(universe(), config);
-    generator.generate([this](const notary::Observation& obs) {
-      db.observe(obs);
-      census.ingest(obs);
-    });
+    if (pool.size() <= 1) {
+      generator.generate([this](const notary::Observation& obs) {
+        db.observe(obs);
+        census.ingest(obs);
+      });
+    } else {
+      // NotaryDb stays serial (cheap bookkeeping); census observations are
+      // buffered and ingested shard-parallel per batch.
+      std::vector<notary::Observation> batch;
+      constexpr std::size_t kBatch = 1024;
+      batch.reserve(kBatch);
+      auto drain = [this, &batch, &pool] {
+        census.ingest_batch(std::span<const notary::Observation>(batch), pool);
+        batch.clear();
+      };
+      generator.generate(
+          [this, &batch, &drain](const notary::Observation& obs) {
+            db.observe(obs);
+            batch.push_back(obs);
+            if (batch.size() >= kBatch) drain();
+          },
+          &pool);
+      if (!batch.empty()) drain();
+    }
+    wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - started)
+                       .count();
   }
 };
 

@@ -61,6 +61,8 @@ int main() {
 
   std::printf("corpus: %s unexpired certs; all counts scale with corpus size\n\n",
               analysis::with_commas(census.total_unexpired()).c_str());
+  report.add_measured("census threads",
+                      static_cast<double>(bench::notary_run().threads));
 
   // Category root sets (mirrors Figure 3's legend).
   std::vector<x509::Certificate> nonaosp;

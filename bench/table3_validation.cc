@@ -15,9 +15,14 @@ int main() {
   bench::BenchReport report("table3_validation", "CoNEXT'14 §5.3, Table 3");
 
   const auto& run = bench::notary_run();
-  std::printf("corpus: %s unique certs, %s unexpired (scale with TANGLED_BENCH_CERTS)\n\n",
+  std::printf("corpus: %s unique certs, %s unexpired (scale with TANGLED_BENCH_CERTS)\n",
               analysis::with_commas(run.db.unique_cert_count()).c_str(),
               analysis::with_commas(run.census.total_unexpired()).c_str());
+  std::printf("census: %zu worker thread%s (TANGLED_THREADS; 0 = serial), "
+              "%.2fs generation+ingest, %llu multi-anchor leaves\n\n",
+              run.threads, run.threads == 1 ? "" : "s", run.wall_seconds,
+              static_cast<unsigned long long>(
+                  obs::metrics().counter("notary.census.multi_anchor").value()));
 
   struct Row {
     const char* name;
@@ -69,5 +74,11 @@ int main() {
                       static_cast<double>(run.census.total_unexpired()));
   report.add_measured("shape: AOSP4.1 == AOSP4.2", a41 == a42 ? 1 : 0);
   report.add_measured("shape: iOS7 largest", (ios > a44 && ios > moz) ? 1 : 0);
+  report.add_measured("census threads", static_cast<double>(run.threads));
+  report.add_measured("notary run wall seconds", run.wall_seconds);
+  report.add_measured(
+      "multi-anchor leaves",
+      static_cast<double>(
+          obs::metrics().counter("notary.census.multi_anchor").value()));
   return 0;
 }

@@ -89,6 +89,8 @@ int main() {
     report.add(std::string("zero-validator fraction: ") + row.name,
                census.zero_fraction(row.roots), row.paper_zero_fraction);
   }
+  report.add_measured("census threads",
+                      static_cast<double>(bench::notary_run().threads));
   report.note(
       "AOSP 4.1 zero-validator fraction intentionally differs; see "
       "EXPERIMENTS.md");

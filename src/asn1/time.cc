@@ -43,6 +43,9 @@ void civil_from_days(std::int64_t z, int& y, int& m, int& d) {
 }
 
 Result<int> parse_digits(std::string_view s, std::size_t pos, std::size_t n) {
+  if (pos > s.size() || n > s.size() - pos) {
+    return parse_error("truncated ASN.1 time");
+  }
   int value = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const char c = s[pos + i];

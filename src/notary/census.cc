@@ -1,7 +1,7 @@
 #include "notary/census.h"
 
 #include <algorithm>
-#include <functional>
+#include <array>
 
 #include "obs/obs.h"
 
@@ -9,55 +9,154 @@ namespace tangled::notary {
 
 ValidationCensus::ValidationCensus(const pki::TrustAnchors& anchors,
                                    pki::VerifyOptions options)
-    : anchors_(anchors), verifier_(anchors, options), now_(options.at) {}
+    : anchors_(anchors),
+      verifier_(anchors, options),
+      now_(options.at),
+      shards_(kShards) {}
+
+std::size_t ValidationCensus::shard_of(const x509::Certificate& leaf) const {
+  return static_cast<std::size_t>(fnv1a64(leaf.der())) % kShards;
+}
 
 void ValidationCensus::ingest(const Observation& observation) {
-  TANGLED_OBS_INC("notary.census.ingested");
+  merged_.reset();
   if (observation.chain.empty()) {
+    TANGLED_OBS_INC("notary.census.ingested");
     TANGLED_OBS_INC("notary.census.empty_chains");
     return;
   }
+  ingest_into(shards_[shard_of(observation.chain.front())], observation);
+}
+
+void ValidationCensus::ingest_batch(std::span<const Observation> batch,
+                                    util::ThreadPool& pool) {
+  merged_.reset();
+  TANGLED_OBS_INC("notary.census.parallel.batches");
+  TANGLED_OBS_OBSERVE_COUNT("notary.census.parallel.batch_items", batch.size());
+  TANGLED_OBS_SCOPED_TIMER("notary.census.parallel.ingest_us");
+
+  // Route serially so each shard's list preserves arrival order; an
+  // empty-chain observation belongs to no shard.
+  std::array<std::vector<std::size_t>, kShards> routed;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].chain.empty()) {
+      TANGLED_OBS_INC("notary.census.ingested");
+      TANGLED_OBS_INC("notary.census.empty_chains");
+      continue;
+    }
+    routed[shard_of(batch[i].chain.front())].push_back(i);
+  }
+
+  util::parallel_for(pool, kShards, [&](std::size_t s) {
+    for (const std::size_t i : routed[s]) ingest_into(shards_[s], batch[i]);
+  });
+}
+
+void ValidationCensus::ingest_into(Shard& shard,
+                                   const Observation& observation) {
+  TANGLED_OBS_INC("notary.census.ingested");
   const x509::Certificate& leaf = observation.chain.front();
   if (leaf.expired_at(now_)) {  // census covers unexpired certs only
     TANGLED_OBS_INC("notary.census.expired_skipped");
     return;
   }
   const std::string fp = to_hex(leaf.fingerprint_sha256());
-  if (!seen_leaves_.insert(fp).second) {  // already counted
+  if (!shard.seen_leaves.insert(fp).second) {  // already counted
     TANGLED_OBS_INC("notary.census.dedup_skipped");
     return;
   }
-  ++total_unexpired_;
+  ++shard.total_unexpired;
 
   const std::vector<x509::Certificate> intermediates(
       observation.chain.begin() + 1, observation.chain.end());
-  auto chain = verifier_.verify(leaf, intermediates);
-  if (!chain.ok()) {
+  auto survey = verifier_.verify_all_anchors(leaf, intermediates);
+  if (!survey.ok()) {
     TANGLED_OBS_INC("notary.census.unvalidated");
     return;
   }
   TANGLED_OBS_INC("notary.census.validated");
-  ++total_validated_;
-  const std::string anchor_key =
-      to_hex(chain.value().anchor().equivalence_key());
-  ++by_root_[anchor_key];
+  ++shard.total_validated;
+
+  // Distinct equivalence keys across all valid anchors: a cross-signed
+  // hierarchy reaches several; re-issues of the same root collapse to one.
+  std::vector<std::string> keys;
+  keys.reserve(survey.value().anchors.size());
+  for (const x509::Certificate* anchor : survey.value().anchors) {
+    keys.push_back(to_hex(anchor->equivalence_key()));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  if (keys.size() > 1) TANGLED_OBS_INC("notary.census.multi_anchor");
+
+  std::string joined;
+  for (const std::string& key : keys) {
+    ++shard.by_root[key];
+    joined += key;
+    joined += '|';
+  }
+  const auto [it, inserted] =
+      shard.anchor_set_index.try_emplace(joined, shard.anchor_sets.size());
+  if (inserted) shard.anchor_sets.push_back({std::move(keys), 1});
+  else ++shard.anchor_sets[it->second].count;
+}
+
+const ValidationCensus::Merged& ValidationCensus::merged() const {
+  if (merged_.has_value()) return *merged_;
+  TANGLED_OBS_SCOPED_TIMER("notary.census.parallel.merge_us");
+  Merged m;
+  std::unordered_map<std::string, std::size_t> set_index;  // joined keys
+  for (const Shard& shard : shards_) {  // shard order, for determinism
+    m.total_validated += shard.total_validated;
+    m.total_unexpired += shard.total_unexpired;
+    for (const auto& [key, count] : shard.by_root) m.by_root[key] += count;
+    for (const AnchorSetEntry& entry : shard.anchor_sets) {
+      std::string joined;
+      for (const std::string& key : entry.keys) {
+        joined += key;
+        joined += '|';
+      }
+      const auto [it, inserted] =
+          set_index.try_emplace(std::move(joined), m.anchor_sets.size());
+      if (inserted) m.anchor_sets.push_back(entry);
+      else m.anchor_sets[it->second].count += entry.count;
+    }
+  }
+  merged_ = std::move(m);
+  return *merged_;
+}
+
+std::uint64_t ValidationCensus::total_validated() const {
+  return merged().total_validated;
+}
+
+std::uint64_t ValidationCensus::total_unexpired() const {
+  return merged().total_unexpired;
 }
 
 std::uint64_t ValidationCensus::validated_by(
     const x509::Certificate& root) const {
-  const auto it = by_root_.find(to_hex(root.equivalence_key()));
-  return it == by_root_.end() ? 0 : it->second;
+  const auto& by_root = merged().by_root;
+  const auto it = by_root.find(to_hex(root.equivalence_key()));
+  return it == by_root.end() ? 0 : it->second;
 }
 
 std::uint64_t ValidationCensus::validated_by_store(
     const rootstore::RootStore& store) const {
-  std::uint64_t total = 0;
-  std::unordered_set<std::string> counted;  // guard against equivalent pairs
+  // The store's equivalence keys: equivalent re-issues collapse, so a store
+  // holding both an original and a re-issued root cannot double-credit.
+  std::unordered_set<std::string> store_keys;
   for (const auto& cert : store.certificates()) {
-    const std::string key = to_hex(cert.equivalence_key());
-    if (!counted.insert(key).second) continue;
-    const auto it = by_root_.find(key);
-    if (it != by_root_.end()) total += it->second;
+    store_keys.insert(to_hex(cert.equivalence_key()));
+  }
+  // Each leaf counts once per store if *any* of its anchors is present.
+  std::uint64_t total = 0;
+  for (const AnchorSetEntry& entry : merged().anchor_sets) {
+    for (const std::string& key : entry.keys) {
+      if (store_keys.contains(key)) {
+        total += entry.count;
+        break;
+      }
+    }
   }
   return total;
 }
@@ -89,14 +188,55 @@ std::vector<std::uint64_t> ValidationCensus::ecdf_counts(
 
 std::vector<std::uint64_t> ValidationCensus::cumulative_coverage(
     const std::vector<x509::Certificate>& roots) const {
-  std::vector<std::uint64_t> counts = per_root_counts(roots);
-  std::sort(counts.begin(), counts.end(), std::greater<>());
-  std::uint64_t running = 0;
-  for (auto& c : counts) {
-    running += c;
-    c = running;
+  const Merged& m = merged();
+
+  // Which anchor-set entries each candidate root key appears in.
+  std::unordered_map<std::string, std::vector<std::size_t>> entries_by_key;
+  for (std::size_t e = 0; e < m.anchor_sets.size(); ++e) {
+    for (const std::string& key : m.anchor_sets[e].keys) {
+      entries_by_key[key].push_back(e);
+    }
   }
-  return counts;
+
+  std::vector<std::string> root_keys;
+  root_keys.reserve(roots.size());
+  for (const auto& root : roots) {
+    root_keys.push_back(to_hex(root.equivalence_key()));
+  }
+
+  std::vector<char> covered(m.anchor_sets.size(), 0);
+  std::vector<char> used(roots.size(), 0);
+  std::vector<std::uint64_t> out;
+  out.reserve(roots.size());
+  std::uint64_t running = 0;
+  for (std::size_t step = 0; step < roots.size(); ++step) {
+    // Marginal gain of each unused root; strict `>` keeps the earliest
+    // root on ties, so the curve is deterministic for a fixed input order.
+    std::size_t best = roots.size();
+    std::uint64_t best_gain = 0;
+    for (std::size_t r = 0; r < roots.size(); ++r) {
+      if (used[r]) continue;
+      std::uint64_t gain = 0;
+      if (const auto it = entries_by_key.find(root_keys[r]);
+          it != entries_by_key.end()) {
+        for (const std::size_t e : it->second) {
+          if (!covered[e]) gain += m.anchor_sets[e].count;
+        }
+      }
+      if (best == roots.size() || gain > best_gain) {
+        best = r;
+        best_gain = gain;
+      }
+    }
+    used[best] = 1;
+    if (const auto it = entries_by_key.find(root_keys[best]);
+        it != entries_by_key.end()) {
+      for (const std::size_t e : it->second) covered[e] = 1;
+    }
+    running += best_gain;
+    out.push_back(running);
+  }
+  return out;
 }
 
 }  // namespace tangled::notary

@@ -1,6 +1,7 @@
 // The §5.3 validation census: for every observed unexpired leaf certificate,
 // build and verify its chain against the universe of known roots; record
-// which root anchors it. From the per-root counts the census answers:
+// *every* root that anchors some valid path. From the per-root counts the
+// census answers:
 //
 //  * Table 3 — how many Notary certificates each root *store* validates
 //    (store membership by equivalence, so a Mozilla re-issue of an AOSP
@@ -8,21 +9,41 @@
 //  * Table 4 — per category, how many roots validate nothing;
 //  * Figure 3 — the ECDF of per-root validated counts, plus the greedy
 //    cumulative-coverage curve.
+//
+// Multi-anchor credit: a cross-signed hierarchy lets one leaf chain to
+// several distinct anchors. The census records the full anchor *set* per
+// leaf, so validated_by_store credits any store containing any of the
+// leaf's valid anchors — but counts each leaf at most once per store.
+//
+// Parallel ingest: observations are routed to one of kShards shards by a
+// hash of the leaf's DER, so a given leaf always lands in the same shard
+// regardless of thread count. Each shard keeps its own dedup set and
+// counts; results merge in shard order, making parallel ingest
+// bit-identical to serial ingest over the same observations.
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "notary/notary.h"
 #include "pki/verify.h"
 #include "rootstore/rootstore.h"
+#include "util/thread_pool.h"
 
 namespace tangled::notary {
 
 class ValidationCensus {
  public:
+  /// Shard count for parallel ingest. Fixed (not thread-count-derived) so
+  /// shard assignment — and therefore every count — is identical for any
+  /// TANGLED_THREADS value.
+  static constexpr std::size_t kShards = 64;
+
   /// `anchors` must contain every root that could legitimately anchor a
   /// chain (AOSP + Mozilla-only + iOS7-only + non-AOSP catalog roots).
   explicit ValidationCensus(const pki::TrustAnchors& anchors,
@@ -32,18 +53,29 @@ class ValidationCensus {
   /// not counted toward validation (Table 3 counts unexpired certs only).
   void ingest(const Observation& observation);
 
+  /// Ingests a batch, sharded across `pool`. Equivalent to calling
+  /// ingest() on each element in order: a leaf's shard depends only on its
+  /// bytes, and each shard processes its observations in arrival order, so
+  /// every query result is bit-identical to the serial path. With a
+  /// zero-worker pool the batch is simply processed inline.
+  void ingest_batch(std::span<const Observation> batch,
+                    util::ThreadPool& pool);
+
   // --- Per-root results ---------------------------------------------------
   /// Number of distinct unexpired leaves this root validates (by the root's
-  /// identity key, hex).
+  /// equivalence key). A cross-signed leaf counts for each root that can
+  /// anchor it.
   std::uint64_t validated_by(const x509::Certificate& root) const;
 
   /// Total distinct unexpired leaves that some anchor validated.
-  std::uint64_t total_validated() const { return total_validated_; }
+  std::uint64_t total_validated() const;
   /// Distinct unexpired leaves seen (validated or not).
-  std::uint64_t total_unexpired() const { return total_unexpired_; }
+  std::uint64_t total_unexpired() const;
 
   // --- Per-store / per-category results -----------------------------------
-  /// Table 3: leaves whose anchor is in `store` (by equivalence).
+  /// Table 3: leaves with at least one valid anchor in `store` (by
+  /// equivalence). Each leaf counts once per store even when the store
+  /// holds several of its anchors.
   std::uint64_t validated_by_store(const rootstore::RootStore& store) const;
 
   /// Per-root counts for an explicit set of roots (a Table 4 / Figure 3
@@ -59,20 +91,50 @@ class ValidationCensus {
   std::vector<std::uint64_t> ecdf_counts(
       const std::vector<x509::Certificate>& roots) const;
 
-  /// Greedy cumulative coverage: roots sorted by validated count
-  /// descending; entry i = total leaves validated by the first i+1 roots.
-  /// With single-anchor chains this is the running sum of sorted counts.
+  /// Greedy cumulative coverage: entry i = distinct leaves validated by
+  /// the best i+1 roots, chosen greedily by marginal gain (ties broken by
+  /// position in `roots`). Set-union semantics: a leaf two chosen roots
+  /// both validate is counted once, so the curve is the true "how much of
+  /// the corpus do the top-k roots cover" of Figure 3.
   std::vector<std::uint64_t> cumulative_coverage(
       const std::vector<x509::Certificate>& roots) const;
 
  private:
+  /// One leaf's distinct valid-anchor equivalence keys (sorted hex) and
+  /// how many leaves share exactly this set.
+  struct AnchorSetEntry {
+    std::vector<std::string> keys;
+    std::uint64_t count = 0;
+  };
+
+  /// Per-shard census state. Shards never share mutable state, so
+  /// ingest_batch can fill all of them concurrently.
+  struct Shard {
+    std::unordered_set<std::string> seen_leaves;  // leaf fingerprint hex
+    std::unordered_map<std::string, std::uint64_t> by_root;  // equivalence hex
+    std::vector<AnchorSetEntry> anchor_sets;      // arrival order
+    std::unordered_map<std::string, std::size_t> anchor_set_index;  // joined keys
+    std::uint64_t total_validated = 0;
+    std::uint64_t total_unexpired = 0;
+  };
+
+  /// Shard states merged in shard order; rebuilt lazily after ingest.
+  struct Merged {
+    std::unordered_map<std::string, std::uint64_t> by_root;
+    std::vector<AnchorSetEntry> anchor_sets;
+    std::uint64_t total_validated = 0;
+    std::uint64_t total_unexpired = 0;
+  };
+
+  std::size_t shard_of(const x509::Certificate& leaf) const;
+  void ingest_into(Shard& shard, const Observation& observation);
+  const Merged& merged() const;
+
   const pki::TrustAnchors& anchors_;
   pki::ChainVerifier verifier_;
   asn1::Time now_;
-  std::unordered_set<std::string> seen_leaves_;          // fingerprint hex
-  std::unordered_map<std::string, std::uint64_t> by_root_;  // anchor equivalence-key hex
-  std::uint64_t total_validated_ = 0;
-  std::uint64_t total_unexpired_ = 0;
+  std::vector<Shard> shards_;
+  mutable std::optional<Merged> merged_;  // query-side cache
 };
 
 }  // namespace tangled::notary

@@ -96,15 +96,22 @@ Result<void> check_cert(const x509::Certificate& cert, bool must_be_ca,
   return {};
 }
 
+/// Per-call statistics accumulator. Lives on the verify call's stack (via
+/// SearchContext), never in the verifier, so concurrent const verifies
+/// from different threads never share mutable state.
+struct SearchStats {
+  std::size_t anchors_tried = 0;
+  std::size_t intermediates_tried = 0;
+  std::size_t signature_checks = 0;
+};
+
 struct SearchContext {
   const TrustAnchors& anchors;
   const VerifyOptions& options;
   std::unordered_multimap<std::uint64_t, const x509::Certificate*> inter_index;
 
   // Search statistics, observed into the obs registry after the search.
-  mutable std::size_t anchors_tried = 0;
-  mutable std::size_t intermediates_tried = 0;
-  mutable std::size_t signature_checks = 0;
+  mutable SearchStats stats;
 
   std::vector<const x509::Certificate*> intermediates_for(
       const x509::Name& issuer_name) const {
@@ -121,7 +128,7 @@ Result<void> check_link(const x509::Certificate& child,
                         const x509::Certificate& issuer,
                         const SearchContext& ctx) {
   if (ctx.options.check_signatures) {
-    ++ctx.signature_checks;
+    ++ctx.stats.signature_checks;
     if (auto sig = child.check_signature_from(issuer.public_key()); !sig.ok()) {
       return sig;
     }
@@ -156,7 +163,7 @@ bool extend(const x509::Certificate& tip, std::vector<x509::Certificate>& path,
 
   // Anchors first: prefer terminating the chain over growing it.
   for (const x509::Certificate* anchor : ctx.anchors.by_subject(tip.issuer())) {
-    ++ctx.anchors_tried;
+    ++ctx.stats.anchors_tried;
     if (anchor->der() == tip.der()) continue;
     if (!purpose_ok(*anchor)) continue;
     if (auto ok = check_cert(*anchor, /*must_be_ca=*/true, ctx.options); !ok.ok()) {
@@ -172,7 +179,7 @@ bool extend(const x509::Certificate& tip, std::vector<x509::Certificate>& path,
   }
 
   for (const x509::Certificate* inter : ctx.intermediates_for(tip.issuer())) {
-    ++ctx.intermediates_tried;
+    ++ctx.stats.intermediates_tried;
     const std::uint64_t id = fnv1a64(inter->der());
     if (on_path.contains(id)) continue;  // loop guard
     if (inter->der() == tip.der()) continue;
@@ -225,6 +232,111 @@ Result<void> check_path_lengths(const std::vector<x509::Certificate>& path) {
   return {};
 }
 
+/// Leaf-level checks shared by verify() and verify_all_anchors(): validity
+/// window, and EKU admissibility when a trust purpose is requested.
+Result<void> leaf_precheck(const x509::Certificate& leaf,
+                           const VerifyOptions& options) {
+  if (auto ok = check_cert(leaf, /*must_be_ca=*/false, options); !ok.ok()) {
+    return ok;
+  }
+  if (options.purpose.has_value()) {
+    const auto eku = leaf.extensions().extended_key_usage();
+    if (eku.has_value() && !eku->allows(eku_oid_for(*options.purpose))) {
+      return verify_error("leaf ExtendedKeyUsage forbids requested purpose");
+    }
+  }
+  return {};
+}
+
+/// Exhaustive depth-first search: where `extend` stops at the first
+/// terminating anchor, this visits every extension and records every
+/// distinct anchor whose full path passes the policy checks. An invalid
+/// path never disqualifies its anchor — another path may still reach it.
+void collect_anchors(const x509::Certificate& tip,
+                     std::vector<x509::Certificate>& path,
+                     std::unordered_set<std::uint64_t>& on_path,
+                     const SearchContext& ctx, AnchorSurvey& survey,
+                     std::unordered_set<std::uint64_t>& found_anchors,
+                     Error& last_error) {
+  if (path.size() >= ctx.options.max_depth) {
+    last_error = verify_error("maximum chain depth exceeded");
+    return;
+  }
+
+  auto purpose_ok = [&ctx, &last_error](const x509::Certificate& anchor) {
+    if (!ctx.options.purpose.has_value()) return true;
+    if (ctx.anchors.trusted_for(anchor, *ctx.options.purpose)) return true;
+    last_error = verify_error("anchor not trusted for requested purpose: " +
+                              anchor.subject().to_string());
+    return false;
+  };
+
+  // `path` must currently end with `anchor`'s bytes; credits the anchor if
+  // the whole path passes the pathLenConstraint policy.
+  auto record = [&](const x509::Certificate& anchor) {
+    if (ctx.options.check_path_length) {
+      if (auto ok = check_path_lengths(path); !ok.ok()) {
+        last_error = ok.error();
+        return;
+      }
+    }
+    if (found_anchors.insert(fnv1a64(anchor.der())).second) {
+      survey.anchors.push_back(&anchor);
+    }
+    if (survey.chain.certificates.empty()) survey.chain = Chain{path};
+  };
+
+  // A self-signed tip that is byte-identical to an anchor terminates here;
+  // record the *member* certificate so the pointer outlives the call.
+  if (tip.is_self_issued()) {
+    for (const x509::Certificate* member :
+         ctx.anchors.by_subject(tip.subject())) {
+      if (member->der() == tip.der() && purpose_ok(*member)) {
+        record(*member);
+        break;
+      }
+    }
+  }
+
+  for (const x509::Certificate* anchor : ctx.anchors.by_subject(tip.issuer())) {
+    ++ctx.stats.anchors_tried;
+    if (anchor->der() == tip.der()) continue;
+    if (!purpose_ok(*anchor)) continue;
+    if (auto ok = check_cert(*anchor, /*must_be_ca=*/true, ctx.options); !ok.ok()) {
+      last_error = ok.error();
+      continue;
+    }
+    if (auto ok = check_link(tip, *anchor, ctx); !ok.ok()) {
+      last_error = ok.error();
+      continue;
+    }
+    path.push_back(*anchor);
+    record(*anchor);
+    path.pop_back();
+  }
+
+  for (const x509::Certificate* inter : ctx.intermediates_for(tip.issuer())) {
+    ++ctx.stats.intermediates_tried;
+    const std::uint64_t id = fnv1a64(inter->der());
+    if (on_path.contains(id)) continue;  // loop guard
+    if (inter->der() == tip.der()) continue;
+    if (auto ok = check_cert(*inter, /*must_be_ca=*/true, ctx.options); !ok.ok()) {
+      last_error = ok.error();
+      continue;
+    }
+    if (auto ok = check_link(tip, *inter, ctx); !ok.ok()) {
+      last_error = ok.error();
+      continue;
+    }
+    path.push_back(*inter);
+    on_path.insert(id);
+    collect_anchors(*inter, path, on_path, ctx, survey, found_anchors,
+                    last_error);
+    on_path.erase(id);
+    path.pop_back();
+  }
+}
+
 /// One counter per broad failure family, so the census can report "why
 /// chains fail" without string-matching messages.
 void count_verify_failure(const Error& error) {
@@ -247,18 +359,9 @@ Result<Chain> ChainVerifier::verify(
   TANGLED_OBS_INC("pki.verify.calls");
   TANGLED_OBS_SCOPED_TIMER("pki.verify.latency_us");
   auto result = [&]() -> Result<Chain> {
-    if (auto ok = check_cert(leaf, /*must_be_ca=*/false, options_); !ok.ok()) {
-      return ok.error();
-    }
-    // A leaf restricted by EKU must allow the requested purpose.
-    if (options_.purpose.has_value()) {
-      const auto eku = leaf.extensions().extended_key_usage();
-      if (eku.has_value() && !eku->allows(eku_oid_for(*options_.purpose))) {
-        return verify_error("leaf ExtendedKeyUsage forbids requested purpose");
-      }
-    }
+    if (auto ok = leaf_precheck(leaf, options_); !ok.ok()) return ok.error();
 
-    SearchContext ctx{anchors_, options_, {}};
+    SearchContext ctx{anchors_, options_, {}, {}};
     for (const auto& inter : intermediates) {
       ctx.inter_index.emplace(name_hash(inter.subject()), &inter);
     }
@@ -269,10 +372,10 @@ Result<Chain> ChainVerifier::verify(
         not_found_error("no path to a trust anchor for issuer " +
                         leaf.issuer().to_string());
     const bool found = extend(leaf, path, on_path, ctx, last_error);
-    TANGLED_OBS_OBSERVE_COUNT("pki.verify.anchors_tried", ctx.anchors_tried);
+    TANGLED_OBS_OBSERVE_COUNT("pki.verify.anchors_tried", ctx.stats.anchors_tried);
     TANGLED_OBS_OBSERVE_COUNT("pki.verify.intermediates_tried",
-                              ctx.intermediates_tried);
-    TANGLED_OBS_ADD("pki.verify.signature_checks", ctx.signature_checks);
+                              ctx.stats.intermediates_tried);
+    TANGLED_OBS_ADD("pki.verify.signature_checks", ctx.stats.signature_checks);
     if (found) {
       if (options_.check_path_length) {
         if (auto ok = check_path_lengths(path); !ok.ok()) return ok.error();
@@ -285,6 +388,45 @@ Result<Chain> ChainVerifier::verify(
     TANGLED_OBS_INC("pki.verify.ok");
     TANGLED_OBS_OBSERVE_COUNT("pki.verify.chain_length",
                               result.value().length());
+  } else {
+    count_verify_failure(result.error());
+  }
+  return result;
+}
+
+Result<AnchorSurvey> ChainVerifier::verify_all_anchors(
+    const x509::Certificate& leaf,
+    const std::vector<x509::Certificate>& intermediates) const {
+  TANGLED_OBS_INC("pki.verify.all_anchors.calls");
+  TANGLED_OBS_SCOPED_TIMER("pki.verify.all_anchors.latency_us");
+  auto result = [&]() -> Result<AnchorSurvey> {
+    if (auto ok = leaf_precheck(leaf, options_); !ok.ok()) return ok.error();
+
+    SearchContext ctx{anchors_, options_, {}, {}};
+    for (const auto& inter : intermediates) {
+      ctx.inter_index.emplace(name_hash(inter.subject()), &inter);
+    }
+
+    AnchorSurvey survey;
+    std::vector<x509::Certificate> path{leaf};
+    std::unordered_set<std::uint64_t> on_path{fnv1a64(leaf.der())};
+    std::unordered_set<std::uint64_t> found_anchors;
+    Error last_error =
+        not_found_error("no path to a trust anchor for issuer " +
+                        leaf.issuer().to_string());
+    collect_anchors(leaf, path, on_path, ctx, survey, found_anchors,
+                    last_error);
+    TANGLED_OBS_OBSERVE_COUNT("pki.verify.anchors_tried", ctx.stats.anchors_tried);
+    TANGLED_OBS_OBSERVE_COUNT("pki.verify.intermediates_tried",
+                              ctx.stats.intermediates_tried);
+    TANGLED_OBS_ADD("pki.verify.signature_checks", ctx.stats.signature_checks);
+    if (survey.anchors.empty()) return last_error;
+    return survey;
+  }();
+  if (result.ok()) {
+    TANGLED_OBS_INC("pki.verify.all_anchors.ok");
+    TANGLED_OBS_OBSERVE_COUNT("pki.verify.anchors_per_leaf",
+                              result.value().anchors.size());
   } else {
     count_verify_failure(result.error());
   }

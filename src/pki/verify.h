@@ -100,6 +100,25 @@ struct Chain {
   std::string to_pem_bundle() const;
 };
 
+/// Every trust anchor that can terminate some valid path for one leaf —
+/// the multi-anchor result the §5.3 census needs: with cross-signing, a
+/// leaf is validated by *each* store holding *any* of these anchors, not
+/// just by the store holding the first anchor a path search happens upon.
+struct AnchorSurvey {
+  /// The first valid chain found (same shortest-first search order as
+  /// `verify`), kept for callers that also want one concrete path.
+  Chain chain;
+  /// Every distinct anchor (by DER) terminating some valid path, in the
+  /// order the search found them. Pointers into the TrustAnchors' storage;
+  /// valid for the anchors' lifetime.
+  std::vector<const x509::Certificate*> anchors;
+};
+
+/// Thread-safety: ChainVerifier and TrustAnchors are immutable after
+/// construction; every `verify*` call keeps its search state (candidate
+/// indexes, path, statistics accumulators) on the stack, so concurrent
+/// const calls from multiple threads are safe. The obs counters they bump
+/// are atomic.
 class ChainVerifier {
  public:
   explicit ChainVerifier(const TrustAnchors& anchors, VerifyOptions options = {})
@@ -110,6 +129,15 @@ class ChainVerifier {
   /// (shortest-first search).
   Result<Chain> verify(const x509::Certificate& leaf,
                        const std::vector<x509::Certificate>& intermediates) const;
+
+  /// Exhaustive variant: enumerates every trust anchor that terminates a
+  /// valid path for `leaf` (cross-signed hierarchies reach several). A path
+  /// that fails a policy check (expiry, signature, pathLenConstraint) is
+  /// skipped without disqualifying its anchor — the anchor survives if any
+  /// of its paths is valid. Errors only when no valid path exists at all.
+  Result<AnchorSurvey> verify_all_anchors(
+      const x509::Certificate& leaf,
+      const std::vector<x509::Certificate>& intermediates) const;
 
   /// Convenience for pre-ordered chains as presented in a TLS handshake:
   /// presented[0] is the leaf, the rest are its intermediates.

@@ -236,6 +236,12 @@ void NotaryCorpusGenerator::build_slots() {
 
 void NotaryCorpusGenerator::generate(
     const std::function<void(const notary::Observation&)>& sink) {
+  generate(sink, nullptr);
+}
+
+void NotaryCorpusGenerator::generate(
+    const std::function<void(const notary::Observation&)>& sink,
+    util::ThreadPool* pool) {
   std::vector<double> w_unexpired;
   std::vector<double> w_expired;
   for (const auto& slot : slots_) {
@@ -254,30 +260,73 @@ void NotaryCorpusGenerator::generate(
   constexpr double kPortWeights[] = {0.85, 0.05, 0.03, 0.03, 0.02, 0.02};
   WeightedSampler port_sampler(kPortWeights);
 
+  const bool parallel = pool != nullptr && pool->size() > 1;
+  // Leaf construction dominates generation cost but needs no RNG, so it
+  // parallelizes. Everything random is decided here, in a strictly serial
+  // planning step whose draw order matches the historical serial loop:
+  // [expired? slot?] for sampled emissions, then keypair, then port.
+  struct LeafPlan {
+    const IssuerSlot* slot;
+    bool expired;
+    crypto::KeyPair key;
+    std::uint64_t serial;
+    std::size_t host;
+    std::uint16_t port;
+  };
   std::uint64_t serial = 1;
   std::size_t host = 0;
-  auto emit = [&](const IssuerSlot& slot, bool expired) {
-    auto key = crypto::generate_sim_keypair(rng_);
-    auto leaf = pki::make_leaf(sim_sig_scheme(), slot.intermediate,
-                               std::move(key),
-                               "host" + std::to_string(host++) + ".example.com",
-                               expired ? stale : current, serial++);
+  auto plan_one = [&](const IssuerSlot& slot, bool expired) {
+    LeafPlan plan{&slot, expired, crypto::generate_sim_keypair(rng_),
+                  serial++, host++, 0};
+    plan.port = kPorts[port_sampler.sample(rng_)];
+    return plan;
+  };
+
+  auto build_obs = [&](LeafPlan& plan) {
+    auto leaf = pki::make_leaf(
+        sim_sig_scheme(), plan.slot->intermediate, std::move(plan.key),
+        "host" + std::to_string(plan.host) + ".example.com",
+        plan.expired ? stale : current, plan.serial);
     assert(leaf.ok());
     notary::Observation obs;
     obs.chain.push_back(std::move(leaf).value());
-    obs.chain.push_back(slot.intermediate.cert);
-    if (slot.present_root && slot.root != nullptr) {
-      obs.chain.push_back(slot.root->cert);
+    obs.chain.push_back(plan.slot->intermediate.cert);
+    if (plan.slot->present_root && plan.slot->root != nullptr) {
+      obs.chain.push_back(plan.slot->root->cert);
     }
-    obs.port = kPorts[port_sampler.sample(rng_)];
-    TANGLED_OBS_INC("synth.corpus.chains_emitted");
-    TANGLED_OBS_ADD("synth.corpus.chain_certs", obs.chain.size());
-    if (expired) {
-      TANGLED_OBS_INC("synth.corpus.expired_leaves");
+    obs.port = plan.port;
+    return obs;
+  };
+
+  // Build a batch of planned leaves (parallel when possible) and hand the
+  // observations to `sink` in plan order.
+  std::vector<LeafPlan> plans;
+  const std::size_t batch_size = parallel ? 512 : 1;
+  auto flush = [&] {
+    std::vector<notary::Observation> batch(plans.size());
+    if (parallel && plans.size() > 1) {
+      util::parallel_for(*pool, plans.size(),
+                         [&](std::size_t i) { batch[i] = build_obs(plans[i]); });
     } else {
-      TANGLED_OBS_INC("synth.corpus.unexpired_leaves");
+      for (std::size_t i = 0; i < plans.size(); ++i) {
+        batch[i] = build_obs(plans[i]);
+      }
     }
-    sink(obs);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      TANGLED_OBS_INC("synth.corpus.chains_emitted");
+      TANGLED_OBS_ADD("synth.corpus.chain_certs", batch[i].chain.size());
+      if (plans[i].expired) {
+        TANGLED_OBS_INC("synth.corpus.expired_leaves");
+      } else {
+        TANGLED_OBS_INC("synth.corpus.unexpired_leaves");
+      }
+      sink(batch[i]);
+    }
+    plans.clear();
+  };
+  auto emit = [&](const IssuerSlot& slot, bool expired) {
+    plans.push_back(plan_one(slot, expired));
+    if (plans.size() >= batch_size) flush();
   };
 
   // Deterministic floor so scale does not distort Table 4: every alive root
@@ -305,6 +354,7 @@ void NotaryCorpusGenerator::generate(
                        : unexpired_sampler.sample(rng_)];
     emit(slot, expired);
   }
+  flush();
 }
 
 }  // namespace tangled::synth

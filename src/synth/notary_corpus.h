@@ -23,6 +23,7 @@
 #include "pki/hierarchy.h"
 #include "rootstore/catalog.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace tangled::synth {
 
@@ -65,6 +66,14 @@ class NotaryCorpusGenerator {
   /// Streams observations into `sink` (typically NotaryDb::observe +
   /// ValidationCensus::ingest). Deterministic in the seed.
   void generate(const std::function<void(const notary::Observation&)>& sink);
+
+  /// Same stream, with leaf construction spread over `pool`. All RNG draws
+  /// happen in a serial planning pass in the exact order of the serial
+  /// path, and observations reach `sink` in plan order, so the emitted
+  /// corpus is bit-identical for any thread count (pool == nullptr or a
+  /// zero-worker pool degrades to the serial path).
+  void generate(const std::function<void(const notary::Observation&)>& sink,
+                util::ThreadPool* pool);
 
   /// Whether a given root was assigned leaf mass (exposed so tests can
   /// check the dead-fraction calibration independently of the census).

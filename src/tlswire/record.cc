@@ -1,5 +1,7 @@
 #include "tlswire/record.h"
 
+#include "obs/obs.h"
+
 namespace tangled::tlswire {
 
 namespace {
@@ -86,8 +88,19 @@ Result<std::vector<Record>> RecordReader::drain() {
     }
     const std::size_t length =
         static_cast<std::size_t>((buffer_[pos + 3] << 8) | buffer_[pos + 4]);
-    if (length == 0 || length > kMaxFragment) {
+    if (length > kMaxFragment) {
       return parse_error("TLS record length out of range");
+    }
+    if (length == 0) {
+      // RFC 5246 §6.2.1: zero-length fragments are legal for application
+      // data (traffic-analysis countermeasure); skip them. Handshake and
+      // alert records must carry content.
+      if (static_cast<ContentType>(type) == ContentType::kApplicationData) {
+        TANGLED_OBS_INC("tlswire.record.empty_appdata_skipped");
+        pos += 5;
+        continue;
+      }
+      return parse_error("zero-length TLS record (non-application-data)");
     }
     if (buffer_.size() - pos - 5 < length) break;  // need more bytes
     Record record;

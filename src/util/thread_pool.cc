@@ -1,0 +1,117 @@
+#include "util/thread_pool.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tangled::util {
+
+std::optional<std::size_t> parse_thread_count(std::string_view text) {
+  if (text.empty() || text.size() > 3) return std::nullopt;
+  std::size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  if (value > kMaxThreads) return std::nullopt;
+  return value;
+}
+
+std::size_t configured_thread_count() {
+  const char* env = std::getenv("TANGLED_THREADS");
+  if (env == nullptr || env[0] == '\0') {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  }
+  const auto parsed = parse_thread_count(env);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr,
+                 "tangled: TANGLED_THREADS=\"%s\" is not an integer in "
+                 "[0, %zu]\n",
+                 env, kMaxThreads);
+    std::exit(2);
+  }
+  return *parsed;
+}
+
+ThreadPool::ThreadPool(std::size_t n_workers) {
+  workers_.reserve(n_workers);
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (pool.size() <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Contiguous chunks, a few per worker so uneven bodies still balance.
+  const std::size_t n_chunks = std::min(n, pool.size() * 4);
+  const std::size_t base = n / n_chunks;
+  const std::size_t extra = n % n_chunks;  // first `extra` chunks get +1
+
+  struct Completion {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining;
+  } done{{}, {}, n_chunks};
+
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    const std::size_t end = begin + len;
+    pool.submit([&body, &done, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+      std::lock_guard lock(done.mu);
+      if (--done.remaining == 0) done.cv.notify_one();
+    });
+    begin = end;
+  }
+
+  std::unique_lock lock(done.mu);
+  done.cv.wait(lock, [&done] { return done.remaining == 0; });
+}
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool(configured_thread_count());
+  return pool;
+}
+
+}  // namespace tangled::util

@@ -1,0 +1,82 @@
+// A small shared worker pool for the data-parallel stages of the pipeline
+// (census ingest sharding, bulk leaf issuance). Design constraints:
+//
+//  * Determinism first: parallel callers must partition work so that the
+//    merged result is bit-identical to a serial run — the pool provides
+//    scheduling, never ordering. `parallel_for` runs disjoint index ranges
+//    and blocks until every index completed.
+//  * One pool per process (`shared_pool()`), sized by the TANGLED_THREADS
+//    environment knob: unset = hardware concurrency, 0 = serial (every
+//    parallel_for degrades to an inline loop), N = N workers. The value is
+//    validated as strictly as TANGLED_BENCH_CERTS — a typo must fail loudly,
+//    not silently change the measurement configuration.
+//  * No exceptions: tasks must not throw (library contract; programming
+//    errors assert).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace tangled::util {
+
+/// Parses a TANGLED_THREADS-style value. Accepts a decimal integer in
+/// [0, kMaxThreads]; anything else (empty, trailing junk, negative,
+/// out of range) is nullopt.
+std::optional<std::size_t> parse_thread_count(std::string_view text);
+
+inline constexpr std::size_t kMaxThreads = 256;
+
+/// Worker count from the TANGLED_THREADS environment variable: unset/empty =
+/// hardware concurrency (at least 1), "0" = serial, "N" = N workers.
+/// Invalid values print a diagnostic and exit(2) — the same hard-failure
+/// contract as TANGLED_BENCH_CERTS, for the same reason: a typo silently
+/// falling back to a default would masquerade as a real configuration.
+std::size_t configured_thread_count();
+
+class ThreadPool {
+ public:
+  /// `n_workers == 0` builds a pool with no threads: `submit` runs the task
+  /// inline and `parallel_for` degrades to a serial loop.
+  explicit ThreadPool(std::size_t n_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. With zero workers the task runs inline before this
+  /// returns. Tasks must not throw and must not call parallel_for on the
+  /// same pool (workers blocking on workers would deadlock).
+  void submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `body(i)` for every i in [0, n), distributing contiguous index
+/// chunks over the pool, and returns only when all n calls completed. Bodies
+/// for different indices must write disjoint state; the iteration order
+/// within the pool is unspecified (chunks are contiguous, so a body that
+/// only touches state keyed by its index is always deterministic).
+/// With an empty pool (or n <= 1) this is exactly `for (i...) body(i)`.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+/// The process-wide pool, sized by configured_thread_count() on first use.
+ThreadPool& shared_pool();
+
+}  // namespace tangled::util

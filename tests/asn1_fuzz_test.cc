@@ -124,6 +124,26 @@ TEST(OidFuzz, RandomBodiesNeverCrash) {
   }
 }
 
+TEST(TimeFuzz, TruncatedInputsRejectedCleanly) {
+  // Every proper prefix of valid encodings must be a clean parse error, not
+  // an out-of-bounds read: parse_digits bounds-checks before indexing.
+  const std::string utc = "140401123456Z";
+  const std::string gen = "20140401123456Z";
+  for (std::size_t len = 0; len < utc.size(); ++len) {
+    EXPECT_FALSE(asn1::Time::parse_utc(utc.substr(0, len)).ok()) << len;
+  }
+  for (std::size_t len = 0; len < gen.size(); ++len) {
+    EXPECT_FALSE(asn1::Time::parse_generalized(gen.substr(0, len)).ok()) << len;
+  }
+  // Correct length, but the terminal 'Z' moved forward so digit fields run
+  // into it — rejected as non-digit, never read past the buffer.
+  EXPECT_FALSE(asn1::Time::parse_utc("1404011234ZZZ").ok());
+  EXPECT_FALSE(asn1::Time::parse_generalized("201404011234ZZZ").ok());
+  // Sanity: the untruncated forms parse.
+  EXPECT_TRUE(asn1::Time::parse_utc(utc).ok());
+  EXPECT_TRUE(asn1::Time::parse_generalized(gen).ok());
+}
+
 TEST(TimeFuzz, RandomStringsNeverCrash) {
   Xoshiro256 rng(666);
   const char charset[] = "0123456789Zz+-. ";

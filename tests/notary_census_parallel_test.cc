@@ -1,0 +1,130 @@
+// Determinism contract of the parallel census: ingest_batch over a thread
+// pool must produce bit-identical results to serial ingest() over the same
+// observations — every Table 3 store count, every Figure 3 per-root count,
+// ECDF, coverage curve, and total. Also checks that the parallel corpus
+// generator emits the identical observation stream.
+#include "notary/census.h"
+
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "rootstore/catalog.h"
+#include "synth/notary_corpus.h"
+#include "util/thread_pool.h"
+
+namespace tangled::notary {
+namespace {
+
+constexpr std::size_t kCorpusCerts = 3000;
+
+const rootstore::StoreUniverse& universe() {
+  static const rootstore::StoreUniverse u = rootstore::StoreUniverse::build(1402);
+  return u;
+}
+
+pki::TrustAnchors build_anchors() {
+  pki::TrustAnchors anchors;
+  for (const auto& ca : universe().aosp_cas()) anchors.add(ca.cert);
+  for (const auto& ca : universe().mozilla_only_cas()) anchors.add(ca.cert);
+  for (const auto& ca : universe().ios7_only_cas()) anchors.add(ca.cert);
+  for (const auto& ca : universe().nonaosp_cas()) anchors.add(ca.cert);
+  return anchors;
+}
+
+std::vector<Observation> generate_corpus(util::ThreadPool* pool) {
+  synth::NotaryCorpusConfig config;
+  config.n_certs = kCorpusCerts;
+  synth::NotaryCorpusGenerator generator(universe(), config);
+  std::vector<Observation> out;
+  generator.generate([&out](const Observation& obs) { out.push_back(obs); },
+                     pool);
+  return out;
+}
+
+std::vector<x509::Certificate> all_anchor_certs() {
+  std::vector<x509::Certificate> certs;
+  for (const auto& ca : universe().aosp_cas()) certs.push_back(ca.cert);
+  for (const auto& ca : universe().nonaosp_cas()) certs.push_back(ca.cert);
+  return certs;
+}
+
+void expect_identical(const ValidationCensus& serial,
+                      const ValidationCensus& parallel) {
+  EXPECT_EQ(serial.total_unexpired(), parallel.total_unexpired());
+  EXPECT_EQ(serial.total_validated(), parallel.total_validated());
+
+  const rootstore::RootStore* stores[] = {
+      &universe().mozilla(),
+      &universe().ios7(),
+      &universe().aosp(rootstore::AndroidVersion::k41),
+      &universe().aosp(rootstore::AndroidVersion::k42),
+      &universe().aosp(rootstore::AndroidVersion::k43),
+      &universe().aosp(rootstore::AndroidVersion::k44),
+  };
+  for (const rootstore::RootStore* store : stores) {
+    EXPECT_EQ(serial.validated_by_store(*store),
+              parallel.validated_by_store(*store))
+        << "store " << store->name();
+  }
+
+  const auto roots = all_anchor_certs();
+  EXPECT_EQ(serial.per_root_counts(roots), parallel.per_root_counts(roots));
+  EXPECT_EQ(serial.ecdf_counts(roots), parallel.ecdf_counts(roots));
+  EXPECT_EQ(serial.cumulative_coverage(roots),
+            parallel.cumulative_coverage(roots));
+  EXPECT_DOUBLE_EQ(serial.zero_fraction(roots), parallel.zero_fraction(roots));
+}
+
+TEST(ParallelCorpus, GeneratorEmitsIdenticalStream) {
+  const auto serial = generate_corpus(nullptr);
+  util::ThreadPool pool(4);
+  const auto parallel = generate_corpus(&pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].port, parallel[i].port) << "observation " << i;
+    ASSERT_EQ(serial[i].chain.size(), parallel[i].chain.size())
+        << "observation " << i;
+    for (std::size_t c = 0; c < serial[i].chain.size(); ++c) {
+      ASSERT_EQ(serial[i].chain[c].der(), parallel[i].chain[c].der())
+          << "observation " << i << " cert " << c;
+    }
+  }
+}
+
+TEST(ParallelCensus, BatchIngestMatchesSerial) {
+  const auto corpus = generate_corpus(nullptr);
+  const pki::TrustAnchors anchors = build_anchors();
+
+  ValidationCensus serial(anchors);
+  for (const Observation& obs : corpus) serial.ingest(obs);
+
+  util::ThreadPool pool(4);
+  ValidationCensus parallel(anchors);
+  // Odd batch size on purpose: batch boundaries must not matter.
+  constexpr std::size_t kBatch = 257;
+  for (std::size_t off = 0; off < corpus.size(); off += kBatch) {
+    const std::size_t len = std::min(kBatch, corpus.size() - off);
+    parallel.ingest_batch(
+        std::span<const Observation>(corpus.data() + off, len), pool);
+  }
+
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelCensus, ZeroWorkerPoolMatchesSerial) {
+  const auto corpus = generate_corpus(nullptr);
+  const pki::TrustAnchors anchors = build_anchors();
+
+  ValidationCensus serial(anchors);
+  for (const Observation& obs : corpus) serial.ingest(obs);
+
+  util::ThreadPool inline_pool(0);
+  ValidationCensus batched(anchors);
+  batched.ingest_batch(std::span<const Observation>(corpus), inline_pool);
+
+  expect_identical(serial, batched);
+}
+
+}  // namespace
+}  // namespace tangled::notary

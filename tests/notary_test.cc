@@ -180,5 +180,147 @@ TEST_F(CensusTest, EmptyObservationIgnored) {
   EXPECT_EQ(census.total_unexpired(), 0u);
 }
 
+TEST_F(CensusTest, LeafValidAtExactlyNotAfterIsCounted) {
+  // RFC 5280 validity is inclusive at both ends: a leaf whose notAfter is
+  // exactly the census instant is unexpired and must verify. One instant
+  // later it is expired and skipped — the ingest filter and
+  // Validity::contains agree at the boundary.
+  const pki::VerifyOptions options;  // census instant 2014-04-01 00:00:00
+  auto leaf = pki::make_leaf(crypto::sim_sig_scheme(), hierarchy_->root(),
+                             crypto::generate_sim_keypair(*rng_),
+                             "boundary.example.com",
+                             {asn1::make_time(2013, 1, 1), options.at}, 7);
+  ASSERT_TRUE(leaf.ok());
+  Observation obs;
+  obs.chain.push_back(leaf.value());
+
+  ValidationCensus at_boundary(anchors_, options);
+  at_boundary.ingest(obs);
+  EXPECT_EQ(at_boundary.total_unexpired(), 1u);
+  EXPECT_EQ(at_boundary.total_validated(), 1u);
+
+  pki::VerifyOptions after;
+  after.at = asn1::make_time(2014, 4, 1, 0, 0, 1);  // one second past
+  ValidationCensus past_boundary(anchors_, after);
+  past_boundary.ingest(obs);
+  EXPECT_EQ(past_boundary.total_unexpired(), 0u);
+  EXPECT_EQ(past_boundary.total_validated(), 0u);
+}
+
+// Cross-signing fixture: one intermediate subject+key signed by two
+// independent roots, one leaf below it.
+class CrossSignedCensusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    using crypto::sim_sig_scheme;
+    const x509::Validity ca_v{asn1::make_time(2008, 1, 1),
+                              asn1::make_time(2030, 1, 1)};
+    const x509::Validity leaf_v{asn1::make_time(2013, 6, 1),
+                                asn1::make_time(2015, 6, 1)};
+    Xoshiro256 rng(31337);
+    auto r1 = pki::make_root(sim_sig_scheme(), crypto::generate_sim_keypair(rng),
+                             pki::ca_name("One", "Root One"), ca_v, 1);
+    auto r2 = pki::make_root(sim_sig_scheme(), crypto::generate_sim_keypair(rng),
+                             pki::ca_name("Two", "Root Two"), ca_v, 2);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    r1_ = std::move(r1).value();
+    r2_ = std::move(r2).value();
+    const auto cross_key = crypto::generate_sim_keypair(rng);
+    auto x1 = pki::make_intermediate(sim_sig_scheme(), r1_, cross_key,
+                                     pki::ca_name("Cross", "Cross CA"), ca_v, 10);
+    auto x2 = pki::make_intermediate(sim_sig_scheme(), r2_, cross_key,
+                                     pki::ca_name("Cross", "Cross CA"), ca_v, 11);
+    ASSERT_TRUE(x1.ok());
+    ASSERT_TRUE(x2.ok());
+    auto leaf = pki::make_leaf(sim_sig_scheme(), x1.value(),
+                               crypto::generate_sim_keypair(rng),
+                               "cross.example.com", leaf_v, 100);
+    ASSERT_TRUE(leaf.ok());
+    obs_.chain = {leaf.value(), x1.value().cert, x2.value().cert};
+    anchors_.add(r1_.cert);
+    anchors_.add(r2_.cert);
+  }
+
+  pki::CaNode r1_, r2_;
+  Observation obs_;
+  pki::TrustAnchors anchors_;
+};
+
+TEST_F(CrossSignedCensusTest, EveryStoreWithAnyValidAnchorGetsCredit) {
+  ValidationCensus census(anchors_);
+  census.ingest(obs_);
+  EXPECT_EQ(census.total_validated(), 1u);
+
+  // The regression the multi-anchor census fixes: the old single-anchor
+  // logic credited only the first root the path search happened upon, so
+  // one of these two stores measured zero.
+  rootstore::RootStore only_r1("only-r1");
+  only_r1.add(r1_.cert);
+  rootstore::RootStore only_r2("only-r2");
+  only_r2.add(r2_.cert);
+  EXPECT_EQ(census.validated_by_store(only_r1), 1u);
+  EXPECT_EQ(census.validated_by_store(only_r2), 1u);
+  EXPECT_EQ(census.validated_by(r1_.cert), 1u);
+  EXPECT_EQ(census.validated_by(r2_.cert), 1u);
+}
+
+TEST_F(CrossSignedCensusTest, StoreHoldingBothAnchorsCountsLeafOnce) {
+  ValidationCensus census(anchors_);
+  census.ingest(obs_);
+  rootstore::RootStore both("both");
+  both.add(r1_.cert);
+  both.add(r2_.cert);
+  EXPECT_EQ(census.validated_by_store(both), 1u);
+}
+
+TEST_F(CrossSignedCensusTest, EquivalentReissuesInOneStoreCountOnce) {
+  ValidationCensus census(anchors_);
+  census.ingest(obs_);
+
+  // Equivalent-but-not-identical re-issues (same subject + modulus, new
+  // serial/validity) of BOTH anchors in one store: equivalence collapses
+  // each pair, multi-anchor credit must still count the leaf once.
+  crypto::KeyPair k1;
+  k1.pub = r1_.key.pub;
+  auto r1_reissue = pki::make_root(crypto::sim_sig_scheme(), k1,
+                                   r1_.cert.subject(),
+                                   {asn1::make_time(2012, 1, 1),
+                                    asn1::make_time(2040, 1, 1)},
+                                   501);
+  crypto::KeyPair k2;
+  k2.pub = r2_.key.pub;
+  auto r2_reissue = pki::make_root(crypto::sim_sig_scheme(), k2,
+                                   r2_.cert.subject(),
+                                   {asn1::make_time(2012, 1, 1),
+                                    asn1::make_time(2040, 1, 1)},
+                                   502);
+  ASSERT_TRUE(r1_reissue.ok());
+  ASSERT_TRUE(r2_reissue.ok());
+
+  rootstore::RootStore tangle("tangle");
+  tangle.add(r1_.cert);
+  tangle.add(r1_reissue.value().cert);  // equivalent pair
+  tangle.add(r2_reissue.value().cert);  // equivalent to the other anchor
+  EXPECT_EQ(census.validated_by_store(tangle), 1u);
+
+  // A store with only a re-issue (no byte-identical anchor) still counts.
+  rootstore::RootStore reissue_only("reissue-only");
+  reissue_only.add(r2_reissue.value().cert);
+  EXPECT_EQ(census.validated_by_store(reissue_only), 1u);
+}
+
+TEST_F(CrossSignedCensusTest, CoverageUsesSetUnion) {
+  ValidationCensus census(anchors_);
+  census.ingest(obs_);
+  // Both roots validate the same single leaf: greedy union coverage is
+  // {1, 1}, not the {1, 2} a per-root running sum would claim.
+  const std::vector<x509::Certificate> roots{r1_.cert, r2_.cert};
+  const auto coverage = census.cumulative_coverage(roots);
+  ASSERT_EQ(coverage.size(), 2u);
+  EXPECT_EQ(coverage[0], 1u);
+  EXPECT_EQ(coverage[1], 1u);
+}
+
 }  // namespace
 }  // namespace tangled::notary

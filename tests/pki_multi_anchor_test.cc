@@ -1,0 +1,171 @@
+// verify_all_anchors: a cross-signed hierarchy (one intermediate
+// subject+key signed by several roots) must credit every root that can
+// terminate a valid path, while plain verify() still returns one chain.
+#include "pki/verify.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pki/hierarchy.h"
+
+namespace tangled::pki {
+namespace {
+
+using crypto::sim_sig_scheme;
+
+const x509::Validity kCaValidity{asn1::make_time(2008, 1, 1),
+                                 asn1::make_time(2030, 1, 1)};
+const x509::Validity kLeafValidity{asn1::make_time(2013, 6, 1),
+                                   asn1::make_time(2015, 6, 1)};
+
+class MultiAnchorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Xoshiro256 rng(4242);
+    auto r1 = make_root(sim_sig_scheme(), crypto::generate_sim_keypair(rng),
+                        ca_name("Org One", "Root One"), kCaValidity, 1);
+    auto r2 = make_root(sim_sig_scheme(), crypto::generate_sim_keypair(rng),
+                        ca_name("Org Two", "Root Two"), kCaValidity, 2);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    r1_ = std::move(r1).value();
+    r2_ = std::move(r2).value();
+
+    // The same intermediate identity (subject + key), cross-signed by both
+    // roots: two distinct certificates, one logical CA.
+    cross_key_ = crypto::generate_sim_keypair(rng);
+    const x509::Name cross_subject = ca_name("Cross Org", "Cross CA");
+    auto x1 = make_intermediate(sim_sig_scheme(), r1_, cross_key_,
+                                cross_subject, kCaValidity, 10);
+    auto x2 = make_intermediate(sim_sig_scheme(), r2_, cross_key_,
+                                cross_subject, kCaValidity, 11);
+    ASSERT_TRUE(x1.ok());
+    ASSERT_TRUE(x2.ok());
+    x1_ = std::move(x1).value();
+    x2_ = std::move(x2).value();
+
+    auto leaf = make_leaf(sim_sig_scheme(), x1_, crypto::generate_sim_keypair(rng),
+                          "cross.example.com", kLeafValidity, 100);
+    ASSERT_TRUE(leaf.ok());
+    leaf_ = std::move(leaf).value();
+  }
+
+  bool survey_has(const AnchorSurvey& survey, const x509::Certificate& root) {
+    return std::any_of(survey.anchors.begin(), survey.anchors.end(),
+                       [&root](const x509::Certificate* a) {
+                         return a->der() == root.der();
+                       });
+  }
+
+  CaNode r1_, r2_, x1_, x2_;
+  crypto::KeyPair cross_key_;
+  std::optional<x509::Certificate> leaf_;
+};
+
+TEST_F(MultiAnchorTest, FindsEveryCrossSignRoot) {
+  TrustAnchors anchors;
+  anchors.add(r1_.cert);
+  anchors.add(r2_.cert);
+  ChainVerifier verifier(anchors);
+
+  const std::vector<x509::Certificate> inters{x1_.cert, x2_.cert};
+
+  // The single-chain API still terminates at exactly one root...
+  auto chain = verifier.verify(*leaf_, inters);
+  ASSERT_TRUE(chain.ok());
+  const bool anchored_r1 = chain.value().anchor().der() == r1_.cert.der();
+  const bool anchored_r2 = chain.value().anchor().der() == r2_.cert.der();
+  EXPECT_TRUE(anchored_r1 || anchored_r2);
+
+  // ...while the survey credits both, deduplicated by DER.
+  auto survey = verifier.verify_all_anchors(*leaf_, inters);
+  ASSERT_TRUE(survey.ok());
+  EXPECT_EQ(survey.value().anchors.size(), 2u);
+  EXPECT_TRUE(survey_has(survey.value(), r1_.cert));
+  EXPECT_TRUE(survey_has(survey.value(), r2_.cert));
+  // The survey's example chain is a valid path ending at one of them.
+  ASSERT_GE(survey.value().chain.length(), 2u);
+  EXPECT_EQ(survey.value().chain.leaf().der(), leaf_->der());
+  EXPECT_TRUE(survey_has(survey.value(), survey.value().chain.anchor()));
+}
+
+TEST_F(MultiAnchorTest, SingleRootYieldsSingleAnchor) {
+  TrustAnchors anchors;
+  anchors.add(r1_.cert);
+  ChainVerifier verifier(anchors);
+  auto survey = verifier.verify_all_anchors(*leaf_, {x1_.cert, x2_.cert});
+  ASSERT_TRUE(survey.ok());
+  ASSERT_EQ(survey.value().anchors.size(), 1u);
+  EXPECT_EQ(survey.value().anchors[0]->der(), r1_.cert.der());
+}
+
+TEST_F(MultiAnchorTest, DuplicatePathsToOneRootCountOnce) {
+  // A second R1-signed copy of the cross CA gives two distinct paths to the
+  // same anchor; the survey must still list R1 once.
+  auto x1b = make_intermediate(sim_sig_scheme(), r1_, cross_key_,
+                               ca_name("Cross Org", "Cross CA"), kCaValidity,
+                               12);
+  ASSERT_TRUE(x1b.ok());
+
+  TrustAnchors anchors;
+  anchors.add(r1_.cert);
+  ChainVerifier verifier(anchors);
+  auto survey =
+      verifier.verify_all_anchors(*leaf_, {x1_.cert, x1b.value().cert});
+  ASSERT_TRUE(survey.ok());
+  ASSERT_EQ(survey.value().anchors.size(), 1u);
+  EXPECT_EQ(survey.value().anchors[0]->der(), r1_.cert.der());
+}
+
+TEST_F(MultiAnchorTest, InvalidPathDoesNotDisqualifyOtherAnchors) {
+  // Reach R2 only through a pathLenConstraint-violating route: R2 signs a
+  // mid CA with pathLen=0, which signs the cross CA. The R2 path is
+  // invalid, the R1 path is fine — the survey must return exactly R1.
+  Xoshiro256 rng(777);
+  auto mid = make_intermediate(sim_sig_scheme(), r2_,
+                               crypto::generate_sim_keypair(rng),
+                               ca_name("Org Two", "Constrained Mid"),
+                               kCaValidity, 20, /*path_len=*/0);
+  ASSERT_TRUE(mid.ok());
+  auto x2_deep = make_intermediate(sim_sig_scheme(), mid.value(), cross_key_,
+                                   ca_name("Cross Org", "Cross CA"),
+                                   kCaValidity, 21);
+  ASSERT_TRUE(x2_deep.ok());
+
+  TrustAnchors anchors;
+  anchors.add(r1_.cert);
+  anchors.add(r2_.cert);
+  ChainVerifier verifier(anchors);
+  auto survey = verifier.verify_all_anchors(
+      *leaf_, {x1_.cert, x2_deep.value().cert, mid.value().cert});
+  ASSERT_TRUE(survey.ok());
+  ASSERT_EQ(survey.value().anchors.size(), 1u);
+  EXPECT_EQ(survey.value().anchors[0]->der(), r1_.cert.der());
+}
+
+TEST_F(MultiAnchorTest, SelfPresentedRootIsItsOwnAnchor) {
+  TrustAnchors anchors;
+  anchors.add(r1_.cert);
+  ChainVerifier verifier(anchors);
+  auto survey = verifier.verify_all_anchors(r1_.cert, {});
+  ASSERT_TRUE(survey.ok());
+  ASSERT_EQ(survey.value().anchors.size(), 1u);
+  EXPECT_EQ(survey.value().anchors[0]->der(), r1_.cert.der());
+}
+
+TEST_F(MultiAnchorTest, NoPathStillErrors) {
+  Xoshiro256 rng(888);
+  auto stranger = make_root(sim_sig_scheme(), crypto::generate_sim_keypair(rng),
+                            ca_name("Nobody", "Unrelated Root"), kCaValidity,
+                            99);
+  ASSERT_TRUE(stranger.ok());
+  TrustAnchors anchors;
+  anchors.add(stranger.value().cert);
+  ChainVerifier verifier(anchors);
+  auto survey = verifier.verify_all_anchors(*leaf_, {x1_.cert, x2_.cert});
+  EXPECT_FALSE(survey.ok());
+}
+
+}  // namespace
+}  // namespace tangled::pki

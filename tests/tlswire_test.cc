@@ -90,6 +90,42 @@ TEST_F(TlsWireTest, RecordReaderRejectsBadVersion) {
   EXPECT_FALSE(reader.drain().ok());
 }
 
+TEST_F(TlsWireTest, RecordReaderSkipsEmptyApplicationData) {
+  // RFC 5246 §6.2.1 permits zero-length application-data fragments (a
+  // traffic-analysis countermeasure); real servers emit them. The reader
+  // must skip them and keep parsing the records around them.
+  Record handshake;
+  handshake.fragment = to_bytes("hello");
+  auto first = encode_record(handshake);
+  ASSERT_TRUE(first.ok());
+  Record second_record;
+  second_record.fragment = to_bytes("world");
+  auto second = encode_record(second_record);
+  ASSERT_TRUE(second.ok());
+
+  const Bytes empty_appdata{23, 0x03, 0x03, 0x00, 0x00};  // length == 0
+  RecordReader reader;
+  reader.feed(first.value());
+  reader.feed(empty_appdata);
+  reader.feed(second.value());
+
+  auto records = reader.drain();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_EQ(records.value()[0].fragment, handshake.fragment);
+  EXPECT_EQ(records.value()[1].fragment, second_record.fragment);
+  EXPECT_EQ(reader.pending(), 0u);
+}
+
+TEST_F(TlsWireTest, RecordReaderRejectsEmptyNonApplicationData) {
+  for (const std::uint8_t type : {20, 21, 22}) {  // CCS, alert, handshake
+    const Bytes empty{type, 0x03, 0x03, 0x00, 0x00};
+    RecordReader reader;
+    reader.feed(empty);
+    EXPECT_FALSE(reader.drain().ok()) << "content type " << int(type);
+  }
+}
+
 // --- Alerts ------------------------------------------------------------------
 
 TEST_F(TlsWireTest, AlertRoundTrip) {

@@ -1,0 +1,116 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+namespace tangled::util {
+namespace {
+
+TEST(ParseThreadCount, AcceptsPlainIntegers) {
+  EXPECT_EQ(parse_thread_count("0"), 0u);
+  EXPECT_EQ(parse_thread_count("1"), 1u);
+  EXPECT_EQ(parse_thread_count("8"), 8u);
+  EXPECT_EQ(parse_thread_count("256"), 256u);
+}
+
+TEST(ParseThreadCount, RejectsGarbage) {
+  EXPECT_FALSE(parse_thread_count("").has_value());
+  EXPECT_FALSE(parse_thread_count("-1").has_value());
+  EXPECT_FALSE(parse_thread_count("eight").has_value());
+  EXPECT_FALSE(parse_thread_count("8 ").has_value());
+  EXPECT_FALSE(parse_thread_count("0x8").has_value());
+  EXPECT_FALSE(parse_thread_count("257").has_value());  // > kMaxThreads
+  EXPECT_FALSE(parse_thread_count("1000").has_value());
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  int ran = 0;
+  pool.submit([&ran] { ++ran; });
+  // Inline execution: visible immediately, no synchronization needed.
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> ran{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  constexpr int kTasks = 100;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&] {
+      if (ran.fetch_add(1) + 1 == kTasks) cv.notify_one();
+    });
+  }
+  std::unique_lock lock(mu);
+  cv.wait(lock, [&] { return ran.load() == kTasks; });
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // join
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t workers : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{3}, std::size_t{8}}) {
+    ThreadPool pool(workers);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    parallel_for(pool, kN, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " workers " << workers;
+    }
+  }
+}
+
+TEST(ParallelFor, HandlesSmallAndEmptyRanges) {
+  ThreadPool pool(4);
+  int zero_hits = 0;
+  parallel_for(pool, 0, [&zero_hits](std::size_t) { ++zero_hits; });
+  EXPECT_EQ(zero_hits, 0);
+
+  std::atomic<int> one_hit{0};
+  parallel_for(pool, 1, [&one_hit](std::size_t) { one_hit.fetch_add(1); });
+  EXPECT_EQ(one_hit.load(), 1);
+
+  // Fewer items than workers*4 chunks.
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(pool, 3, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ResultMatchesSerialSum) {
+  ThreadPool pool(6);
+  constexpr std::size_t kN = 4096;
+  std::vector<std::uint64_t> out(kN, 0);
+  parallel_for(pool, kN, [&out](std::size_t i) {
+    out[i] = static_cast<std::uint64_t>(i) * 3 + 1;
+  });
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < kN; ++i) expected += i * 3 + 1;
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::uint64_t{0}),
+            expected);
+}
+
+TEST(SharedPool, ReturnsSameInstance) {
+  ThreadPool& a = shared_pool();
+  ThreadPool& b = shared_pool();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace tangled::util

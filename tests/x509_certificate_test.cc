@@ -120,6 +120,35 @@ TEST_F(CertificateTest, ValidityHelpers) {
   EXPECT_FALSE(leaf_.validity().contains(asn1::make_time(2013, 1, 1)));
 }
 
+TEST(ValidityBoundary, InclusiveAtBothEndsAndAgreesWithExpiredAt) {
+  // RFC 5280 §4.1.2.5: validity runs from notBefore THROUGH notAfter,
+  // inclusive at both instants. `contains` and `expired_at` must agree at
+  // every boundary, or the census expiry filter and the chain verifier
+  // would classify the same certificate differently.
+  const Validity v{asn1::make_time(2013, 1, 1, 0, 0, 0),
+                   asn1::make_time(2014, 4, 1, 0, 0, 0)};
+
+  const auto not_before = v.not_before;
+  const auto not_after = v.not_after;
+  const auto just_before_start = asn1::make_time(2012, 12, 31, 23, 59, 59);
+  const auto just_after_end = asn1::make_time(2014, 4, 1, 0, 0, 1);
+
+  EXPECT_TRUE(v.contains(not_before));
+  EXPECT_TRUE(v.contains(not_after));  // the boundary instant is valid...
+  EXPECT_FALSE(v.expired_at(not_after));  // ...and therefore not expired
+  EXPECT_FALSE(v.contains(just_before_start));
+  EXPECT_FALSE(v.contains(just_after_end));
+  EXPECT_TRUE(v.expired_at(just_after_end));
+  EXPECT_FALSE(v.expired_at(just_before_start));  // early, not expired
+
+  // The invariant the census relies on: for any instant at or after
+  // notBefore, !contains(t) == expired_at(t).
+  for (const auto& t : {not_before, not_after, just_after_end,
+                        asn1::make_time(2013, 7, 15, 12, 30, 30)}) {
+    EXPECT_EQ(!v.contains(t), v.expired_at(t)) << t.to_iso8601();
+  }
+}
+
 TEST_F(CertificateTest, IdentityKeyDependsOnModulusAndSignature) {
   EXPECT_NE(root_.identity_key(), leaf_.identity_key());
   // Re-issuing the same TBS with the same key gives the same identity
