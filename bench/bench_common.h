@@ -5,10 +5,12 @@
 // span so BENCH_*.json reports where the time went.
 #pragma once
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 
 #include <span>
@@ -16,6 +18,7 @@
 
 #include "analysis/report.h"
 #include "bench_report.h"
+#include "util/bytes.h"
 #include "notary/census.h"
 #include "notary/notary.h"
 #include "obs/obs.h"
@@ -88,51 +91,192 @@ inline const pki::TrustAnchors& all_anchors() {
   return anchors;
 }
 
+/// Forced cache-off VerifyOptions for the baseline census.
+inline pki::VerifyOptions uncached_options() {
+  pki::VerifyOptions options;
+  options.use_verify_cache = false;
+  return options;
+}
+
 struct NotaryRun {
   notary::NotaryDb db;
-  notary::ValidationCensus census;
+  notary::ValidationCensus census;           // cache per TANGLED_VERIFY_CACHE
+  notary::ValidationCensus census_uncached;  // forced cache-off baseline
   std::size_t threads = 0;      // shared-pool workers (0 = serial path)
-  double wall_seconds = 0.0;    // generation + ingest wall time
+  double wall_seconds = 0.0;    // generation + cached-census ingest
+  double ingest_seconds = 0.0;           // cached census ingest only
+  double uncached_ingest_seconds = 0.0;  // baseline census ingest only
+  double cache_hit_rate = 0.0;  // 0 when the cache is disabled
+  double cache_speedup = 0.0;   // uncached_ingest_seconds / ingest_seconds
+  bool results_identical = false;  // cached vs. uncached census agreement
 
   /// Generation and census ingest both run on the shared pool, sized by
-  /// TANGLED_THREADS (0 = the historical serial path). Results are
-  /// bit-identical either way; only wall time differs.
-  NotaryRun() : db(), census(all_anchors()) {
+  /// TANGLED_THREADS (0 = the historical serial path). One generation pass
+  /// feeds two censuses — the default (cached) one every table/figure reads,
+  /// and a cache-off baseline — with each census's ingest time accumulated
+  /// separately so the cache-speedup ratio excludes generation cost.
+  /// Results are bit-identical across thread counts and cache settings;
+  /// only wall time differs.
+  NotaryRun()
+      : db(), census(all_anchors()), census_uncached(all_anchors(),
+                                                     uncached_options()) {
     obs::Span span(obs::tracer(), "bench.notary_run");
-    const auto started = std::chrono::steady_clock::now();
+    using clock = std::chrono::steady_clock;
+    const auto started = clock::now();
     util::ThreadPool& pool = util::shared_pool();
     threads = pool.size();
     TANGLED_OBS_GAUGE_SET("notary.census.parallel.threads", pool.size());
     synth::NotaryCorpusConfig config;
     config.n_certs = corpus_scale();
     synth::NotaryCorpusGenerator generator(universe(), config);
-    if (pool.size() <= 1) {
-      generator.generate([this](const notary::Observation& obs) {
-        db.observe(obs);
-        census.ingest(obs);
-      });
-    } else {
-      // NotaryDb stays serial (cheap bookkeeping); census observations are
-      // buffered and ingested shard-parallel per batch.
-      std::vector<notary::Observation> batch;
-      constexpr std::size_t kBatch = 1024;
-      batch.reserve(kBatch);
-      auto drain = [this, &batch, &pool] {
-        census.ingest_batch(std::span<const notary::Observation>(batch), pool);
-        batch.clear();
+    auto timed = [](double& acc, auto&& fn) {
+      const auto t0 = clock::now();
+      fn();
+      acc += std::chrono::duration<double>(clock::now() - t0).count();
+    };
+    // NotaryDb stays serial (cheap bookkeeping); census observations are
+    // buffered and ingested per batch — serially or shard-parallel — with
+    // each census timed on its own. Up to kBufferedLimit certs (the default
+    // scale included) the whole corpus is buffered and drained once, so each
+    // census runs back-to-back over pre-materialized observations and no
+    // generator code interleaves with the timed passes. Past that limit,
+    // memory stays bounded by draining every kBatch observations, with the
+    // two censuses alternating which one drains first so neither
+    // systematically inherits the CPU caches the other just warmed
+    // (per-observation interleaving handed the second census ~10% of its
+    // wall time for free).
+    constexpr std::size_t kBufferedLimit = 100000;
+    constexpr std::size_t kBatch = 8192;
+    const bool buffer_all = corpus_scale() <= kBufferedLimit;
+    const std::size_t drain_threshold =
+        buffer_all ? std::numeric_limits<std::size_t>::max() : kBatch;
+    std::vector<notary::Observation> batch;
+    batch.reserve(buffer_all ? corpus_scale() : kBatch);
+    bool cached_first = true;
+    auto drain = [&, this] {
+      const std::span<const notary::Observation> view(batch);
+      // Touch every certificate's bytes once, outside both timers: the
+      // first reader of a freshly generated observation pays its cold
+      // cache misses, which is corpus-materialization cost, not ingest
+      // compute. Paying it here keeps the cached/uncached ratio about
+      // verification work alone (matching a pre-buffered measurement).
+      // Publishing the checksum as a gauge keeps the pass from being
+      // optimized away.
+      std::uint64_t touched = 0;
+      for (const auto& obs : view) {
+        for (const auto& cert : obs.chain) {
+          touched ^= fnv1a64(cert.der()) ^ fnv1a64(cert.tbs_der()) ^
+                     cert.der_hash();
+        }
+      }
+      TANGLED_OBS_GAUGE_SET("bench.corpus.touch_checksum",
+                            static_cast<std::int64_t>(touched));
+      auto run_cached = [&] {
+        timed(ingest_seconds, [&] {
+          if (pool.size() <= 1) {
+            for (const auto& obs : view) census.ingest(obs);
+          } else {
+            census.ingest_batch(view, pool);
+          }
+        });
       };
-      generator.generate(
-          [this, &batch, &drain](const notary::Observation& obs) {
-            db.observe(obs);
-            batch.push_back(obs);
-            if (batch.size() >= kBatch) drain();
-          },
-          &pool);
+      auto run_uncached = [&] {
+        timed(uncached_ingest_seconds, [&] {
+          if (pool.size() <= 1) {
+            for (const auto& obs : view) census_uncached.ingest(obs);
+          } else {
+            census_uncached.ingest_batch(view, pool);
+          }
+        });
+      };
+      if (cached_first) {
+        run_cached();
+        run_uncached();
+      } else {
+        run_uncached();
+        run_cached();
+      }
+      cached_first = !cached_first;
+      batch.clear();
+    };
+    generator.generate(
+        [this, &batch, &drain, drain_threshold](const notary::Observation& obs) {
+          db.observe(obs);
+          batch.push_back(obs);
+          if (batch.size() >= drain_threshold) drain();
+        },
+        pool.size() <= 1 ? nullptr : &pool);
+    double excluded_seconds = 0.0;  // timed work outside the headline wall
+    if (buffer_all) {
+      // Whole corpus buffered: sample each census's ingest five times —
+      // the member census first, then four throwaway instances — and report
+      // the fastest pass of each. A ratio of two ~100 ms measurements is
+      // otherwise dominated by scheduler and frequency noise; min-of-N is
+      // the standard noise-rejecting estimator.
+      const std::span<const notary::Observation> view(batch);
+      auto pass_seconds = [&](notary::ValidationCensus& c) {
+        const auto t0 = clock::now();
+        if (pool.size() <= 1) {
+          for (const auto& obs : view) c.ingest(obs);
+        } else {
+          c.ingest_batch(view, pool);
+        }
+        return std::chrono::duration<double>(clock::now() - t0).count();
+      };
+      ingest_seconds = pass_seconds(census);
+      uncached_ingest_seconds = pass_seconds(census_uncached);
+      double all_passes = ingest_seconds + uncached_ingest_seconds;
+      for (int rep = 0; rep < 4; ++rep) {
+        notary::ValidationCensus extra(all_anchors());
+        const double c = pass_seconds(extra);
+        notary::ValidationCensus extra_uncached(all_anchors(),
+                                                uncached_options());
+        const double u = pass_seconds(extra_uncached);
+        ingest_seconds = std::min(ingest_seconds, c);
+        uncached_ingest_seconds = std::min(uncached_ingest_seconds, u);
+        all_passes += c + u;
+      }
+      excluded_seconds = all_passes - ingest_seconds;
+    } else {
       if (!batch.empty()) drain();
+      excluded_seconds = uncached_ingest_seconds;
     }
-    wall_seconds = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - started)
-                       .count();
+    // The headline wall time is generation plus one cached-census ingest,
+    // so it stays comparable with runs that predate the dual census and
+    // the repeated timing passes.
+    wall_seconds = std::chrono::duration<double>(clock::now() - started)
+                       .count() -
+                   excluded_seconds;
+    if (const pki::VerifyCache* cache = census.verify_cache();
+        cache != nullptr) {
+      cache_hit_rate = cache->hit_rate();
+      TANGLED_OBS_GAUGE_SET(
+          "notary.census.verify_cache.entries",
+          static_cast<std::int64_t>(cache->stats().entries));
+    }
+    cache_speedup = ingest_seconds > 0.0
+                        ? uncached_ingest_seconds / ingest_seconds
+                        : 0.0;
+    results_identical =
+        census.total_unexpired() == census_uncached.total_unexpired() &&
+        census.total_validated() == census_uncached.total_validated();
+    if (results_identical) {
+      const rootstore::RootStore* stores[] = {
+          &universe().mozilla(),
+          &universe().ios7(),
+          &universe().aosp(rootstore::AndroidVersion::k41),
+          &universe().aosp(rootstore::AndroidVersion::k42),
+          &universe().aosp(rootstore::AndroidVersion::k43),
+          &universe().aosp(rootstore::AndroidVersion::k44),
+      };
+      for (const rootstore::RootStore* store : stores) {
+        if (census.validated_by_store(*store) !=
+            census_uncached.validated_by_store(*store)) {
+          results_identical = false;
+          break;
+        }
+      }
+    }
   }
 };
 

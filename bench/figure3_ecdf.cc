@@ -59,10 +59,18 @@ int main() {
   const auto& u = bench::universe();
   const auto catalog = rootstore::nonaosp_catalog();
 
-  std::printf("corpus: %s unexpired certs; all counts scale with corpus size\n\n",
+  const auto& run = bench::notary_run();
+  std::printf("corpus: %s unexpired certs; all counts scale with corpus size\n",
               analysis::with_commas(census.total_unexpired()).c_str());
-  report.add_measured("census threads",
-                      static_cast<double>(bench::notary_run().threads));
+  std::printf("verify cache: hit rate %.1f%%, ingest speedup %.2fx, "
+              "results identical: %s\n\n",
+              100.0 * run.cache_hit_rate, run.cache_speedup,
+              run.results_identical ? "yes" : "NO");
+  report.add_measured("census threads", static_cast<double>(run.threads));
+  report.add_measured("verify cache hit rate", run.cache_hit_rate);
+  report.add_measured("verify cache ingest speedup", run.cache_speedup);
+  report.add_measured("cache-on/off results identical",
+                      run.results_identical ? 1 : 0);
 
   // Category root sets (mirrors Figure 3's legend).
   std::vector<x509::Certificate> nonaosp;

@@ -19,10 +19,16 @@ int main() {
               analysis::with_commas(run.db.unique_cert_count()).c_str(),
               analysis::with_commas(run.census.total_unexpired()).c_str());
   std::printf("census: %zu worker thread%s (TANGLED_THREADS; 0 = serial), "
-              "%.2fs generation+ingest, %llu multi-anchor leaves\n\n",
+              "%.2fs generation+ingest, %llu multi-anchor leaves\n",
               run.threads, run.threads == 1 ? "" : "s", run.wall_seconds,
               static_cast<unsigned long long>(
                   obs::metrics().counter("notary.census.multi_anchor").value()));
+  std::printf("verify cache: hit rate %.1f%%, ingest %.2fs cached vs %.2fs "
+              "uncached (%.2fx), results identical: %s "
+              "(TANGLED_VERIFY_CACHE=0 disables)\n\n",
+              100.0 * run.cache_hit_rate, run.ingest_seconds,
+              run.uncached_ingest_seconds, run.cache_speedup,
+              run.results_identical ? "yes" : "NO");
 
   struct Row {
     const char* name;
@@ -76,6 +82,13 @@ int main() {
   report.add_measured("shape: iOS7 largest", (ios > a44 && ios > moz) ? 1 : 0);
   report.add_measured("census threads", static_cast<double>(run.threads));
   report.add_measured("notary run wall seconds", run.wall_seconds);
+  report.add_measured("verify cache hit rate", run.cache_hit_rate);
+  report.add_measured("census ingest seconds (cached)", run.ingest_seconds);
+  report.add_measured("census ingest seconds (uncached)",
+                      run.uncached_ingest_seconds);
+  report.add_measured("verify cache ingest speedup", run.cache_speedup);
+  report.add_measured("cache-on/off results identical",
+                      run.results_identical ? 1 : 0);
   report.add_measured(
       "multi-anchor leaves",
       static_cast<double>(

@@ -2,20 +2,39 @@
 
 #include <algorithm>
 #include <array>
+#include <string_view>
+#include <unordered_set>
 
 #include "obs/obs.h"
 
 namespace tangled::notary {
 
+namespace {
+
+/// The census only consumes anchor sets, so it never pays for a per-leaf
+/// copy of the winning chain.
+pki::VerifyOptions census_options(pki::VerifyOptions options) {
+  options.collect_chain = false;
+  return options;
+}
+
+}  // namespace
+
 ValidationCensus::ValidationCensus(const pki::TrustAnchors& anchors,
                                    pki::VerifyOptions options)
     : anchors_(anchors),
-      verifier_(anchors, options),
+      verifier_(anchors, census_options(options)),
       now_(options.at),
-      shards_(kShards) {}
+      now_unix_(options.at.to_unix()),
+      shards_(kShards) {
+  if (options.use_verify_cache && pki::verify_cache_env_enabled()) {
+    cache_ = std::make_unique<pki::VerifyCache>();
+    verifier_.set_verify_cache(cache_.get());
+  }
+}
 
 std::size_t ValidationCensus::shard_of(const x509::Certificate& leaf) const {
-  return static_cast<std::size_t>(fnv1a64(leaf.der())) % kShards;
+  return static_cast<std::size_t>(leaf.der_hash()) % kShards;
 }
 
 void ValidationCensus::ingest(const Observation& observation) {
@@ -56,48 +75,67 @@ void ValidationCensus::ingest_into(Shard& shard,
                                    const Observation& observation) {
   TANGLED_OBS_INC("notary.census.ingested");
   const x509::Certificate& leaf = observation.chain.front();
-  if (leaf.expired_at(now_)) {  // census covers unexpired certs only
+  if (leaf.expired_at_unix(now_unix_)) {  // census covers unexpired certs only
     TANGLED_OBS_INC("notary.census.expired_skipped");
     return;
   }
-  const std::string fp = to_hex(leaf.fingerprint_sha256());
-  if (!shard.seen_leaves.insert(fp).second) {  // already counted
+  // Upgrade-aware dedup: a validated leaf is final; an unvalidated one is
+  // retried with this observation's intermediates — a later chain may carry
+  // the cross-signing certificate the first one lacked.
+  const auto [state, first_seen] =
+      shard.leaf_state.try_emplace(leaf.fingerprint_hex(), false);
+  if (!first_seen && state->second) {
     TANGLED_OBS_INC("notary.census.dedup_skipped");
     return;
   }
-  ++shard.total_unexpired;
+  if (first_seen) ++shard.total_unexpired;
+  else TANGLED_OBS_INC("notary.census.revalidation_attempts");
 
-  const std::vector<x509::Certificate> intermediates(
-      observation.chain.begin() + 1, observation.chain.end());
-  auto survey = verifier_.verify_all_anchors(leaf, intermediates);
+  auto survey = verifier_.verify_all_anchors(
+      leaf, std::span<const x509::Certificate>(observation.chain).subspan(1));
   if (!survey.ok()) {
-    TANGLED_OBS_INC("notary.census.unvalidated");
+    if (first_seen) TANGLED_OBS_INC("notary.census.unvalidated");
     return;
   }
+  state->second = true;
+  if (!first_seen) TANGLED_OBS_INC("notary.census.upgraded");
   TANGLED_OBS_INC("notary.census.validated");
   ++shard.total_validated;
 
   // Distinct equivalence keys across all valid anchors: a cross-signed
   // hierarchy reaches several; re-issues of the same root collapse to one.
-  std::vector<std::string> keys;
+  // Views into the anchors' interned hex — owning copies are made only the
+  // first time a particular anchor set is seen.
+  std::vector<std::string_view>& keys = shard.scratch_keys;
+  keys.clear();
   keys.reserve(survey.value().anchors.size());
   for (const x509::Certificate* anchor : survey.value().anchors) {
-    keys.push_back(to_hex(anchor->equivalence_key()));
+    keys.push_back(anchor->equivalence_hex());
   }
   std::sort(keys.begin(), keys.end());
   keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
   if (keys.size() > 1) TANGLED_OBS_INC("notary.census.multi_anchor");
 
-  std::string joined;
-  for (const std::string& key : keys) {
-    ++shard.by_root[key];
+  std::string& joined = shard.scratch_joined;
+  joined.clear();
+  joined.reserve(keys.size() * 65);
+  for (const std::string_view key : keys) {
+    auto it = shard.by_root.find(key);
+    if (it == shard.by_root.end()) {
+      it = shard.by_root.emplace(std::string(key), 0).first;
+    }
+    ++it->second;
     joined += key;
     joined += '|';
   }
-  const auto [it, inserted] =
-      shard.anchor_set_index.try_emplace(joined, shard.anchor_sets.size());
-  if (inserted) shard.anchor_sets.push_back({std::move(keys), 1});
-  else ++shard.anchor_sets[it->second].count;
+  const auto it = shard.anchor_set_index.find(joined);
+  if (it == shard.anchor_set_index.end()) {
+    shard.anchor_set_index.emplace(std::move(joined), shard.anchor_sets.size());
+    shard.anchor_sets.push_back(
+        {std::vector<std::string>(keys.begin(), keys.end()), 1});
+  } else {
+    ++shard.anchor_sets[it->second].count;
+  }
 }
 
 const ValidationCensus::Merged& ValidationCensus::merged() const {
@@ -136,7 +174,7 @@ std::uint64_t ValidationCensus::total_unexpired() const {
 std::uint64_t ValidationCensus::validated_by(
     const x509::Certificate& root) const {
   const auto& by_root = merged().by_root;
-  const auto it = by_root.find(to_hex(root.equivalence_key()));
+  const auto it = by_root.find(root.equivalence_hex());
   return it == by_root.end() ? 0 : it->second;
 }
 
@@ -146,7 +184,7 @@ std::uint64_t ValidationCensus::validated_by_store(
   // holding both an original and a re-issued root cannot double-credit.
   std::unordered_set<std::string> store_keys;
   for (const auto& cert : store.certificates()) {
-    store_keys.insert(to_hex(cert.equivalence_key()));
+    store_keys.insert(cert.equivalence_hex());
   }
   // Each leaf counts once per store if *any* of its anchors is present.
   std::uint64_t total = 0;
@@ -201,7 +239,7 @@ std::vector<std::uint64_t> ValidationCensus::cumulative_coverage(
   std::vector<std::string> root_keys;
   root_keys.reserve(roots.size());
   for (const auto& root : roots) {
-    root_keys.push_back(to_hex(root.equivalence_key()));
+    root_keys.push_back(root.equivalence_hex());
   }
 
   std::vector<char> covered(m.anchor_sets.size(), 0);

@@ -17,21 +17,36 @@
 //
 // Parallel ingest: observations are routed to one of kShards shards by a
 // hash of the leaf's DER, so a given leaf always lands in the same shard
-// regardless of thread count. Each shard keeps its own dedup set and
+// regardless of thread count. Each shard keeps its own dedup state and
 // counts; results merge in shard order, making parallel ingest
 // bit-identical to serial ingest over the same observations.
+//
+// Dedup is upgrade-aware: a leaf first observed with an incomplete chain
+// (unvalidated) is re-tried when a later observation arrives with better
+// intermediates, and credited once it validates. A validated leaf is never
+// re-tried and never downgraded, so the census converges to the same
+// counts whichever observation happened to arrive first with the missing
+// intermediate.
+//
+// The census owns a pki::VerifyCache shared by every shard: the same
+// intermediate→issuer signature links recur under thousands of leaves, and
+// memoizing them roughly halves ingest wall time without changing a single
+// count (see DESIGN.md "Verification cache"). Disable with
+// VerifyOptions::use_verify_cache = false or TANGLED_VERIFY_CACHE=0.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "notary/notary.h"
 #include "pki/verify.h"
+#include "pki/verify_cache.h"
 #include "rootstore/rootstore.h"
 #include "util/thread_pool.h"
 
@@ -51,6 +66,8 @@ class ValidationCensus {
 
   /// Ingests one observation. Expired leaves are deduplicated/recorded but
   /// not counted toward validation (Table 3 counts unexpired certs only).
+  /// A leaf seen before but not yet validated is re-tried with this
+  /// observation's intermediates (upgrade-aware dedup).
   void ingest(const Observation& observation);
 
   /// Ingests a batch, sharded across `pool`. Equivalent to calling
@@ -60,6 +77,10 @@ class ValidationCensus {
   /// zero-worker pool the batch is simply processed inline.
   void ingest_batch(std::span<const Observation> batch,
                     util::ThreadPool& pool);
+
+  /// The census's shared link-signature cache, for hit-rate telemetry;
+  /// nullptr when caching is disabled.
+  const pki::VerifyCache* verify_cache() const { return cache_.get(); }
 
   // --- Per-root results ---------------------------------------------------
   /// Number of distinct unexpired leaves this root validates (by the root's
@@ -107,20 +128,40 @@ class ValidationCensus {
     std::uint64_t count = 0;
   };
 
-  /// Per-shard census state. Shards never share mutable state, so
-  /// ingest_batch can fill all of them concurrently.
+  /// Transparent hashing so the ingest hot path can probe string-keyed maps
+  /// with string_views into the certificates' interned hex — no per-anchor
+  /// key copies; an owning std::string is built only on first insert.
+  struct TransparentStringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using KeyCountMap = std::unordered_map<std::string, std::uint64_t,
+                                         TransparentStringHash,
+                                         std::equal_to<>>;
+
+  /// Per-shard census state. Shards never share mutable state (the
+  /// verify cache they share is internally synchronized), so ingest_batch
+  /// can fill all of them concurrently.
   struct Shard {
-    std::unordered_set<std::string> seen_leaves;  // leaf fingerprint hex
-    std::unordered_map<std::string, std::uint64_t> by_root;  // equivalence hex
+    /// Leaf fingerprint hex → validated yet? False entries are retried on
+    /// the leaf's next observation; true entries are final.
+    std::unordered_map<std::string, bool> leaf_state;
+    KeyCountMap by_root;  // equivalence hex
     std::vector<AnchorSetEntry> anchor_sets;      // arrival order
     std::unordered_map<std::string, std::size_t> anchor_set_index;  // joined keys
     std::uint64_t total_validated = 0;
     std::uint64_t total_unexpired = 0;
+    // Per-ingest scratch (each shard is ingested by one thread at a time);
+    // capacity is reused across observations instead of reallocated.
+    std::vector<std::string_view> scratch_keys;
+    std::string scratch_joined;
   };
 
   /// Shard states merged in shard order; rebuilt lazily after ingest.
   struct Merged {
-    std::unordered_map<std::string, std::uint64_t> by_root;
+    KeyCountMap by_root;
     std::vector<AnchorSetEntry> anchor_sets;
     std::uint64_t total_validated = 0;
     std::uint64_t total_unexpired = 0;
@@ -131,8 +172,13 @@ class ValidationCensus {
   const Merged& merged() const;
 
   const pki::TrustAnchors& anchors_;
+  /// Shared link-signature memo, created unless VerifyOptions or the
+  /// TANGLED_VERIFY_CACHE env knob turns it off. Declared before the
+  /// verifier that borrows it.
+  std::unique_ptr<pki::VerifyCache> cache_;
   pki::ChainVerifier verifier_;
   asn1::Time now_;
+  std::int64_t now_unix_ = 0;  // now_ converted once, for the expiry gate
   std::vector<Shard> shards_;
   mutable std::optional<Merged> merged_;  // query-side cache
 };

@@ -10,7 +10,7 @@ void NotaryDb::observe(const Observation& observation) {
   ++sessions_;
   ++by_port_[observation.port];
   for (const x509::Certificate& cert : observation.chain) {
-    const std::string fp = to_hex(cert.fingerprint_sha256());
+    const std::string fp = cert.fingerprint_hex();
     if (unique_certs_.insert(fp).second) {
       TANGLED_OBS_INC("notary.db.unique_certs");
       if (!cert.expired_at(now_)) {
@@ -21,12 +21,12 @@ void NotaryDb::observe(const Observation& observation) {
     } else {
       TANGLED_OBS_INC("notary.db.dedup_hits");
     }
-    identities_.insert(to_hex(cert.identity_key()));
+    identities_.insert(cert.identity_hex());
   }
 }
 
 bool NotaryDb::recorded(const x509::Certificate& cert) const {
-  return identities_.contains(to_hex(cert.identity_key()));
+  return identities_.contains(cert.identity_hex());
 }
 
 bool NotaryDb::recorded_identity(ByteView identity_key) const {

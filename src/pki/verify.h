@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -19,6 +21,8 @@
 #include "x509/certificate.h"
 
 namespace tangled::pki {
+
+class VerifyCache;
 
 /// Trust purposes, modeled on Mozilla's trust bits. §8 faults Android for
 /// lacking exactly this: an AOSP root "can be used for any operation from
@@ -58,6 +62,27 @@ class TrustAnchors {
 
   /// Anchors whose subject matches `issuer_name` (hash-indexed).
   std::vector<const x509::Certificate*> by_subject(const x509::Name& issuer_name) const;
+  /// Same, with the caller supplying fnv1a64(issuer_name.to_der()) — the
+  /// verifier passes a certificate's interned hash to avoid re-encoding the
+  /// DN on every lookup.
+  std::vector<const x509::Certificate*> by_subject(
+      const x509::Name& issuer_name, std::uint64_t issuer_name_hash) const;
+  /// Allocation-free variant for the verifier's hot path: calls `fn` on
+  /// each subject match, in index order; `fn` returns false to stop early.
+  /// Matching is by canonical subject-Name DER (hash prefilter, then byte
+  /// equality) — identical to Name equality for DER-parsed certificates,
+  /// without the deep RDN comparison.
+  template <typename Fn>
+  void for_each_by_subject(ByteView subject_der,
+                           std::uint64_t subject_name_hash, Fn&& fn) const {
+    const auto [begin, end] = subject_index_.equal_range(subject_name_hash);
+    for (auto it = begin; it != end; ++it) {
+      const x509::Certificate& cand = anchors_[it->second];
+      if (bytes_equal(cand.subject_name_der(), subject_der) && !fn(cand)) {
+        return;
+      }
+    }
+  }
   /// Anchors whose subject key id matches (when present).
   std::vector<const x509::Certificate*> by_key_id(ByteView key_id) const;
 
@@ -83,8 +108,18 @@ struct VerifyOptions {
   /// a leaf carrying an ExtendedKeyUsage extension must allow the matching
   /// purpose OID.
   std::optional<TrustPurpose> purpose;
-  /// Enforce BasicConstraints pathLenConstraint (RFC 5280 §6.1.4).
+  /// Enforce BasicConstraints pathLenConstraint (RFC 5280 §6.1.4). A path
+  /// violating it is rejected during the search and the search backtracks —
+  /// another path (a re-issued anchor without the constraint, a different
+  /// cross-signing intermediate) can still succeed.
   bool check_path_length = true;
+  /// Consult the attached VerifyCache (no-op when none is attached).
+  /// Results are bit-identical either way; only wall time differs.
+  bool use_verify_cache = true;
+  /// Fill AnchorSurvey::chain with the first valid path. The census only
+  /// needs the anchor set, so it turns this off to skip a per-leaf copy of
+  /// the whole chain.
+  bool collect_chain = true;
 };
 
 /// A validated path, leaf first, anchor last.
@@ -118,17 +153,30 @@ struct AnchorSurvey {
 /// construction; every `verify*` call keeps its search state (candidate
 /// indexes, path, statistics accumulators) on the stack, so concurrent
 /// const calls from multiple threads are safe. The obs counters they bump
-/// are atomic.
+/// are atomic, and the optional attached VerifyCache is internally
+/// synchronized (attach it before the first verify call).
 class ChainVerifier {
  public:
   explicit ChainVerifier(const TrustAnchors& anchors, VerifyOptions options = {})
       : anchors_(anchors), options_(options) {}
 
+  /// Attaches a shared link-signature cache (non-owning; must outlive the
+  /// verifier). nullptr detaches. Verification results are bit-identical
+  /// with or without a cache.
+  void set_verify_cache(VerifyCache* cache) { cache_ = cache; }
+  VerifyCache* verify_cache() const { return cache_; }
+
   /// Builds and validates a path for `leaf` given untrusted `intermediates`
   /// (any order, duplicates tolerated). Returns the first valid chain found
   /// (shortest-first search).
   Result<Chain> verify(const x509::Certificate& leaf,
-                       const std::vector<x509::Certificate>& intermediates) const;
+                       std::span<const x509::Certificate> intermediates) const;
+  Result<Chain> verify(
+      const x509::Certificate& leaf,
+      std::initializer_list<x509::Certificate> intermediates) const {
+    return verify(leaf, std::span<const x509::Certificate>(
+                            intermediates.begin(), intermediates.size()));
+  }
 
   /// Exhaustive variant: enumerates every trust anchor that terminates a
   /// valid path for `leaf` (cross-signed hierarchies reach several). A path
@@ -137,7 +185,14 @@ class ChainVerifier {
   /// of its paths is valid. Errors only when no valid path exists at all.
   Result<AnchorSurvey> verify_all_anchors(
       const x509::Certificate& leaf,
-      const std::vector<x509::Certificate>& intermediates) const;
+      std::span<const x509::Certificate> intermediates) const;
+  Result<AnchorSurvey> verify_all_anchors(
+      const x509::Certificate& leaf,
+      std::initializer_list<x509::Certificate> intermediates) const {
+    return verify_all_anchors(leaf,
+                              std::span<const x509::Certificate>(
+                                  intermediates.begin(), intermediates.size()));
+  }
 
   /// Convenience for pre-ordered chains as presented in a TLS handshake:
   /// presented[0] is the leaf, the rest are its intermediates.
@@ -148,6 +203,7 @@ class ChainVerifier {
  private:
   const TrustAnchors& anchors_;
   VerifyOptions options_;
+  VerifyCache* cache_ = nullptr;
 };
 
 /// Hash of a DN's DER used by the lookup indexes.

@@ -1,0 +1,88 @@
+#include "pki/verify_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "obs/obs.h"
+
+namespace tangled::pki {
+
+namespace {
+
+/// First 16 bytes of a SHA-256 digest as two little-endian words.
+void truncate_digest(const Bytes& digest, std::uint64_t& lo,
+                     std::uint64_t& hi) {
+  std::memcpy(&lo, digest.data(), sizeof(lo));
+  std::memcpy(&hi, digest.data() + sizeof(lo), sizeof(hi));
+}
+
+LinkKey make_key(const x509::Certificate& child,
+                 const x509::Certificate& issuer) {
+  LinkKey key;
+  truncate_digest(child.fingerprint_sha256(), key.child_lo, key.child_hi);
+  truncate_digest(issuer.spki_sha256(), key.issuer_lo, key.issuer_hi);
+  return key;
+}
+
+}  // namespace
+
+VerifyCache::VerifyCache(std::size_t max_entries) : cache_(max_entries) {}
+
+Result<void> VerifyCache::check_link_signature(const x509::Certificate& child,
+                                               const x509::Certificate& issuer) {
+  const LinkKey key = make_key(child, issuer);
+  if (const auto hit = cache_.find(key); hit.has_value()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    TANGLED_OBS_INC("pki.verify_cache.hit");
+    if (hit->ok) return {};
+    return Error{hit->code, hit->message};
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  TANGLED_OBS_INC("pki.verify_cache.miss");
+
+  auto result = child.check_signature_from(issuer.public_key());
+  Outcome outcome;
+  outcome.ok = result.ok();
+  if (!result.ok()) {
+    outcome.code = result.error().code;
+    outcome.message = result.error().message;
+  }
+  if (const std::size_t evicted = cache_.insert(key, std::move(outcome));
+      evicted > 0) {
+    TANGLED_OBS_ADD("pki.verify_cache.evicted", evicted);
+  }
+  return result;
+}
+
+VerifyCache::Stats VerifyCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = cache_.evictions();
+  s.entries = cache_.size();
+  return s;
+}
+
+double VerifyCache::hit_rate() const {
+  const auto h = hits_.load(std::memory_order_relaxed);
+  const auto m = misses_.load(std::memory_order_relaxed);
+  return h + m == 0 ? 0.0
+                    : static_cast<double>(h) / static_cast<double>(h + m);
+}
+
+bool verify_cache_env_enabled() {
+  const char* env = std::getenv("TANGLED_VERIFY_CACHE");
+  if (env == nullptr || env[0] == '\0') return true;
+  const std::string_view v(env);
+  if (v == "1" || v == "on" || v == "true") return true;
+  if (v == "0" || v == "off" || v == "false") return false;
+  std::fprintf(stderr,
+               "TANGLED_VERIFY_CACHE=\"%s\" is not a boolean "
+               "(use 0/off/false or 1/on/true)\n",
+               env);
+  std::exit(2);
+}
+
+}  // namespace tangled::pki

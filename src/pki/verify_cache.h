@@ -1,0 +1,93 @@
+// Link-signature memoization for the chain verifier.
+//
+// The §5.3 census validates ~1M leaves against every root store; the same
+// (intermediate, issuer) signature links recur under thousands of leaves,
+// so their RSA/SimSig outcomes are memoized here and shared across all
+// leaves, shards, and worker threads. The cache is invalidation-free by
+// construction: an entry is keyed by cryptographic digests of the exact
+// child bytes and issuer key, the outcome of check_signature_from is a pure
+// function of those inputs, and certificates are immutable after parse —
+// so an entry can never go stale, only be evicted for capacity.
+//
+// Determinism: a hit returns a stored copy of the exact Result the first
+// computation produced (same code, same message), so verification results
+// are bit-identical with the cache present, absent, or racing across
+// threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/result.h"
+#include "util/striped_cache.h"
+#include "x509/certificate.h"
+
+namespace tangled::pki {
+
+/// Cache key: the child certificate's SHA-256 fingerprint and the issuer
+/// key's SHA-256 SPKI digest, each truncated to 128 bits. Unlike the bare
+/// fnv1a64 handles, a collision here requires a 128-bit birthday on
+/// SHA-256 halves (~2^-64 at a billion entries), so no byte-compare on hit
+/// is needed.
+struct LinkKey {
+  std::uint64_t child_lo = 0, child_hi = 0;
+  std::uint64_t issuer_lo = 0, issuer_hi = 0;
+
+  friend bool operator==(const LinkKey&, const LinkKey&) = default;
+};
+
+struct LinkKeyHash {
+  std::size_t operator()(const LinkKey& k) const {
+    // The components are already uniform SHA-256 words; fold them.
+    std::uint64_t h = k.child_lo ^ (k.child_hi * 0x9e3779b97f4a7c15ULL);
+    h ^= k.issuer_lo * 0xc2b2ae3d27d4eb4fULL;
+    h ^= k.issuer_hi;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Thread-safe, sharded memo of check_signature_from outcomes. One instance
+/// is shared by every ChainVerifier a census run creates; all methods are
+/// safe to call concurrently.
+class VerifyCache {
+ public:
+  static constexpr std::size_t kDefaultMaxEntries = 1 << 22;  // ~4M links
+
+  explicit VerifyCache(std::size_t max_entries = kDefaultMaxEntries);
+
+  /// The cached or freshly computed outcome of
+  /// child.check_signature_from(issuer.public_key()).
+  Result<void> check_link_signature(const x509::Certificate& child,
+                                    const x509::Certificate& issuer);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+  /// hits / (hits + misses); 0 when never consulted.
+  double hit_rate() const;
+
+ private:
+  /// A stored Result<void>: success, or the error's code + message.
+  struct Outcome {
+    bool ok = false;
+    Errc code = Errc::kVerifyFailed;
+    std::string message;
+  };
+
+  util::StripedCache<LinkKey, Outcome, LinkKeyHash> cache_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+/// Runtime kill switch: TANGLED_VERIFY_CACHE unset/"1"/"on"/"true" enables
+/// the cache, "0"/"off"/"false" disables it (the census then verifies every
+/// link from scratch — the cache-equivalence baseline). Anything else is a
+/// hard error, matching the strict TANGLED_THREADS / TANGLED_BENCH_CERTS
+/// parsing contract.
+bool verify_cache_env_enabled();
+
+}  // namespace tangled::pki

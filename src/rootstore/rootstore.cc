@@ -5,11 +5,11 @@ namespace tangled::rootstore {
 namespace {
 
 std::string identity_hex(const x509::Certificate& cert) {
-  return to_hex(cert.identity_key());
+  return cert.identity_hex();
 }
 
 std::string equivalence_hex(const x509::Certificate& cert) {
-  return to_hex(cert.equivalence_key());
+  return cert.equivalence_hex();
 }
 
 }  // namespace

@@ -1,0 +1,102 @@
+// A striped-lock concurrent hash map used as a memoization cache.
+//
+// The map is split into a fixed number of stripes, each its own mutex +
+// unordered_map, so concurrent readers/writers only contend when their keys
+// hash to the same stripe. Designed for caches of *deterministic* pure
+// computations: a racing find/insert pair may recompute a value, never
+// return a wrong one, so callers need no external synchronization.
+//
+// Capacity is bounded per stripe. When an insert would push a stripe past
+// its cap the whole stripe is dropped (bulk eviction). That is crude but
+// cheap, needs no LRU bookkeeping on the hit path, and — because entries
+// are memoized pure functions — eviction can only cost time, never change
+// a result.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace tangled::util {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class StripedCache {
+ public:
+  static constexpr std::size_t kStripes = 64;
+
+  /// `max_entries` caps the whole cache; each stripe gets an equal share
+  /// (at least one entry).
+  explicit StripedCache(std::size_t max_entries)
+      : per_stripe_cap_(max_entries / kStripes > 0 ? max_entries / kStripes
+                                                   : 1),
+        stripes_(kStripes) {}
+
+  /// Returns a copy of the cached value, or nullopt on miss.
+  std::optional<Value> find(const Key& key) const {
+    const Stripe& stripe = stripe_for(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    const auto it = stripe.map.find(key);
+    if (it == stripe.map.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Inserts `value` for `key` (first writer wins; a present key is left
+  /// untouched). Returns the number of entries bulk-evicted to make room.
+  std::size_t insert(const Key& key, Value value) {
+    Stripe& stripe = stripe_for(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    std::size_t evicted = 0;
+    if (stripe.map.size() >= per_stripe_cap_ && !stripe.map.contains(key)) {
+      evicted = stripe.map.size();
+      stripe.map.clear();
+      evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    }
+    stripe.map.try_emplace(key, std::move(value));
+    return evicted;
+  }
+
+  /// Current entry count (sums stripe sizes; approximate under concurrency).
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      total += stripe.map.size();
+    }
+    return total;
+  }
+
+  /// Total entries ever dropped by bulk eviction.
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  void clear() {
+    for (Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      stripe.map.clear();
+    }
+  }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Value, Hash> map;
+  };
+
+  const Stripe& stripe_for(const Key& key) const {
+    return stripes_[Hash{}(key) % kStripes];
+  }
+  Stripe& stripe_for(const Key& key) {
+    return stripes_[Hash{}(key) % kStripes];
+  }
+
+  std::size_t per_stripe_cap_;
+  std::vector<Stripe> stripes_;  // never resized; mutexes stay put
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace tangled::util

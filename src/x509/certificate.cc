@@ -214,39 +214,68 @@ Result<Certificate> Certificate::from_der(ByteView der) {
   }
   if (auto end = t.expect_end(); !end.ok()) return end.error();
 
+  // Intern the identity material before the certificate escapes the parser,
+  // so every copy shares one immutable instance and concurrent readers
+  // never trigger the lazy fallback.
+  cert.identity_ = cert.compute_identity();
   return cert;
 }
 
-bool Certificate::is_ca() const {
+std::shared_ptr<const CertificateIdentity> Certificate::compute_identity()
+    const {
+  auto id = std::make_shared<CertificateIdentity>();
+  id->subject_der = subject_.to_der();
+  id->issuer_der = issuer_.to_der();
+  const Bytes& subject_der = id->subject_der;
+  const Bytes n = public_key_.n.to_bytes();
+
+  id->der_hash = fnv1a64(der_);
+  id->subject_name_hash = fnv1a64(subject_der);
+  id->issuer_name_hash = fnv1a64(id->issuer_der);
+
   const auto bc = extensions_.basic_constraints();
-  // v1 self-issued certs (old roots) carry no BasicConstraints; treat
-  // self-issued as CA in that legacy case, matching Android's behaviour of
-  // trusting whatever sits in /system/etc/security/cacerts.
-  if (!bc.has_value()) return version_ == 1 && is_self_issued();
-  return bc->is_ca;
-}
+  if (bc.has_value()) {
+    id->is_ca = bc->is_ca;
+    id->path_len = bc->path_len;
+  } else {
+    // v1 self-issued certs (old roots) carry no BasicConstraints; treat
+    // self-issued as CA in that legacy case, matching Android's behaviour
+    // of trusting whatever sits in /system/etc/security/cacerts.
+    id->is_ca = version_ == 1 &&
+                id->subject_name_hash == id->issuer_name_hash &&
+                bytes_equal(subject_der, id->issuer_der);
+  }
+  id->not_before_unix = validity_.not_before.to_unix();
+  id->not_after_unix = validity_.not_after.to_unix();
 
-Bytes Certificate::fingerprint_sha256() const {
-  return crypto::Sha256::hash(der_);
-}
+  id->fingerprint = crypto::Sha256::hash(der_);
+  id->fingerprint_hex = to_hex(id->fingerprint);
 
-Bytes Certificate::identity_key() const {
-  crypto::Sha256 h;
-  const Bytes n = public_key_.n.to_bytes();
-  h.update(n);
-  h.update(signature_);
-  const auto d = h.digest();
-  return Bytes(d.begin(), d.end());
-}
-
-Bytes Certificate::equivalence_key() const {
-  crypto::Sha256 h;
-  const Bytes subject_der = subject_.to_der();
-  h.update(subject_der);
-  const Bytes n = public_key_.n.to_bytes();
-  h.update(n);
-  const auto d = h.digest();
-  return Bytes(d.begin(), d.end());
+  {
+    crypto::Sha256 h;
+    h.update(n);
+    h.update(signature_);
+    const auto d = h.digest();
+    id->identity = Bytes(d.begin(), d.end());
+    id->identity_hex = to_hex(id->identity);
+  }
+  {
+    crypto::Sha256 h;
+    h.update(subject_der);
+    h.update(n);
+    const auto d = h.digest();
+    id->equivalence = Bytes(d.begin(), d.end());
+    id->equivalence_hex = to_hex(id->equivalence);
+  }
+  {
+    crypto::Sha256 h;
+    h.update(n);
+    const Bytes e = public_key_.e.to_bytes();
+    h.update(e);
+    const auto d = h.digest();
+    id->spki_sha256 = Bytes(d.begin(), d.end());
+  }
+  return id;
 }
 
 std::string Certificate::subject_tag() const {

@@ -12,6 +12,8 @@
 // printed as 8 hex digits (Figure 2's bracketed values, e.g. "b530fe64").
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 
 #include "asn1/der.h"
@@ -35,6 +37,30 @@ struct Validity {
   bool expired_at(const asn1::Time& at) const { return at > not_after; }
 
   friend bool operator==(const Validity&, const Validity&) = default;
+};
+
+/// Compute-once identity material for one parsed certificate. Interned by
+/// the parser: every copy of a Certificate shares the same immutable
+/// instance, so the digests and hex renderings below are computed exactly
+/// once per distinct parse no matter how often the certificate is copied,
+/// hashed, or printed (the §5.3 census queries them per ingested leaf).
+struct CertificateIdentity {
+  std::uint64_t der_hash = 0;           // fnv1a64(full DER)
+  std::uint64_t subject_name_hash = 0;  // fnv1a64(subject DER)
+  std::uint64_t issuer_name_hash = 0;   // fnv1a64(issuer DER)
+  Bytes subject_der;                    // canonical subject Name encoding
+  Bytes issuer_der;                     // canonical issuer Name encoding
+  bool is_ca = false;                   // resolved CA-bit (incl. v1 legacy)
+  std::optional<int> path_len;          // pathLenConstraint, when present
+  std::int64_t not_before_unix = 0;     // validity window as unix seconds
+  std::int64_t not_after_unix = 0;
+  Bytes fingerprint;                    // SHA-256(full DER)
+  std::string fingerprint_hex;
+  Bytes identity;                       // SHA-256(modulus || signature), §4.1
+  std::string identity_hex;
+  Bytes equivalence;                    // SHA-256(subject DER || modulus), §4.2
+  std::string equivalence_hex;
+  Bytes spki_sha256;                    // SHA-256(modulus || exponent)
 };
 
 class Certificate {
@@ -62,17 +88,66 @@ class Certificate {
   const Bytes& der() const { return der_; }
 
   // --- Derived properties ----------------------------------------------
-  bool is_self_issued() const { return subject_ == issuer_; }
-  bool is_ca() const;
+  bool is_self_issued() const {
+    const CertificateIdentity& id = interned();
+    return id.subject_name_hash == id.issuer_name_hash &&
+           bytes_equal(id.subject_der, id.issuer_der);
+  }
+  bool is_ca() const { return interned().is_ca; }
+  /// BasicConstraints pathLenConstraint, parsed once at intern time; the
+  /// verifier's path checks read this instead of re-parsing the extension.
+  std::optional<int> path_len_constraint() const { return interned().path_len; }
   bool expired_at(const asn1::Time& at) const { return validity_.expired_at(at); }
+  /// Validity checks against a pre-converted unix timestamp — the verifier
+  /// and census convert their reference time once, not per candidate.
+  bool valid_at_unix(std::int64_t at) const {
+    const CertificateIdentity& id = interned();
+    return id.not_before_unix <= at && at <= id.not_after_unix;
+  }
+  bool expired_at_unix(std::int64_t at) const {
+    return at > interned().not_after_unix;
+  }
+
+  // All identity material is interned (see CertificateIdentity): computed
+  // once when the certificate is parsed, shared by every copy, returned by
+  // reference. Thread-safe for any certificate produced by from_der or the
+  // builder; only a default-constructed placeholder computes lazily.
 
   /// SHA-256 over the full DER (the usual fingerprint).
-  Bytes fingerprint_sha256() const;
+  const Bytes& fingerprint_sha256() const { return interned().fingerprint; }
+  /// fingerprint_sha256 as lowercase hex (dedup keys, display).
+  const std::string& fingerprint_hex() const {
+    return interned().fingerprint_hex;
+  }
 
   /// Paper identity: SHA-256 over (modulus bytes || signature bytes).
-  Bytes identity_key() const;
+  const Bytes& identity_key() const { return interned().identity; }
+  const std::string& identity_hex() const { return interned().identity_hex; }
   /// Paper equivalence: SHA-256 over (subject DER || modulus bytes).
-  Bytes equivalence_key() const;
+  const Bytes& equivalence_key() const { return interned().equivalence; }
+  const std::string& equivalence_hex() const {
+    return interned().equivalence_hex;
+  }
+
+  /// fnv1a64 of the full DER — the cheap non-cryptographic handle the
+  /// lookup indexes use (collision-prone: compare DER or fingerprints on a
+  /// hit before trusting it).
+  std::uint64_t der_hash() const { return interned().der_hash; }
+  /// fnv1a64 of the subject / issuer Name DER; equal to
+  /// pki::name_hash(subject()) / pki::name_hash(issuer()) but computed once.
+  std::uint64_t subject_name_hash() const {
+    return interned().subject_name_hash;
+  }
+  std::uint64_t issuer_name_hash() const { return interned().issuer_name_hash; }
+  /// Canonical DER of the subject / issuer Name. For DER-parsed
+  /// certificates byte equality here is exactly Name equality, so the
+  /// verifier's candidate loops compare these (hash first, then bytes)
+  /// instead of deep-comparing parsed RDN structures.
+  const Bytes& subject_name_der() const { return interned().subject_der; }
+  const Bytes& issuer_name_der() const { return interned().issuer_der; }
+  /// SHA-256 over the subject public key (modulus || exponent) — the issuer
+  /// half of the verify-cache link key.
+  const Bytes& spki_sha256() const { return interned().spki_sha256; }
 
   /// First 32 bits of SHA-1(subject DER) as 8 lowercase hex digits — the
   /// bracketed tag format used in the paper's Figure 2.
@@ -89,6 +164,16 @@ class Certificate {
  private:
   friend class CertificateBuilder;
 
+  /// The interned identity block. from_der computes it eagerly, before the
+  /// certificate is ever shared, so concurrent readers only ever see a
+  /// fully-built instance. The lazy branch exists solely for
+  /// default-constructed placeholders (never shared across threads).
+  const CertificateIdentity& interned() const {
+    if (identity_ == nullptr) identity_ = compute_identity();
+    return *identity_;
+  }
+  std::shared_ptr<const CertificateIdentity> compute_identity() const;
+
   int version_ = 3;
   Bytes serial_;
   asn1::Oid sig_alg_;
@@ -100,6 +185,7 @@ class Certificate {
   Bytes signature_;
   Bytes tbs_der_;
   Bytes der_;
+  mutable std::shared_ptr<const CertificateIdentity> identity_;
 };
 
 /// Encodes an AlgorithmIdentifier ::= SEQUENCE { algorithm OID, NULL }.

@@ -112,6 +112,34 @@ TEST(ParallelCensus, BatchIngestMatchesSerial) {
   expect_identical(serial, parallel);
 }
 
+TEST(ParallelCensus, VerifyCacheEquivalence) {
+  // The verify cache must be invisible in census results: cache-on serial,
+  // cache-off serial, and cache-on parallel ingest of the same corpus agree
+  // on every count, curve, and store total.
+  const auto corpus = generate_corpus(nullptr);
+  const pki::TrustAnchors anchors = build_anchors();
+
+  ValidationCensus cached(anchors);  // cache on (default options)
+  for (const Observation& obs : corpus) cached.ingest(obs);
+
+  pki::VerifyOptions off;
+  off.use_verify_cache = false;
+  ValidationCensus uncached(anchors, off);
+  for (const Observation& obs : corpus) uncached.ingest(obs);
+
+  util::ThreadPool pool(4);
+  ValidationCensus cached_parallel(anchors);
+  constexpr std::size_t kBatch = 257;
+  for (std::size_t off_i = 0; off_i < corpus.size(); off_i += kBatch) {
+    const std::size_t len = std::min(kBatch, corpus.size() - off_i);
+    cached_parallel.ingest_batch(
+        std::span<const Observation>(corpus.data() + off_i, len), pool);
+  }
+
+  expect_identical(uncached, cached);
+  expect_identical(uncached, cached_parallel);
+}
+
 TEST(ParallelCensus, ZeroWorkerPoolMatchesSerial) {
   const auto corpus = generate_corpus(nullptr);
   const pki::TrustAnchors anchors = build_anchors();

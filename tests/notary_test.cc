@@ -100,6 +100,61 @@ TEST_F(CensusTest, DeduplicatesRepeatedLeaves) {
   EXPECT_EQ(census.validated_by(hierarchy_->root().cert), 1u);
 }
 
+TEST_F(CensusTest, DedupUpgradesUnvalidatedLeafOnLaterChain) {
+  // First observation presents the bare leaf (no intermediate → no path);
+  // a later observation of the same leaf carries the intermediate. The
+  // census must retry and upgrade the leaf to validated, counting it once.
+  ValidationCensus census(anchors_);
+  auto full = make_observation("upgrade.example.com");
+  Observation bare;
+  bare.chain.push_back(full.chain.front());
+
+  census.ingest(bare);
+  EXPECT_EQ(census.total_unexpired(), 1u);
+  EXPECT_EQ(census.total_validated(), 0u);
+
+  census.ingest(full);
+  EXPECT_EQ(census.total_unexpired(), 1u);
+  EXPECT_EQ(census.total_validated(), 1u);
+  EXPECT_EQ(census.validated_by(hierarchy_->root().cert), 1u);
+}
+
+TEST_F(CensusTest, DedupNeverDowngradesValidatedLeaf) {
+  // Reverse order: validated first, then a pathless observation of the
+  // same leaf. The validated verdict is final — no downgrade, no recount.
+  ValidationCensus census(anchors_);
+  auto full = make_observation("downgrade.example.com");
+  Observation bare;
+  bare.chain.push_back(full.chain.front());
+
+  census.ingest(full);
+  EXPECT_EQ(census.total_validated(), 1u);
+
+  census.ingest(bare);
+  census.ingest(bare);
+  EXPECT_EQ(census.total_unexpired(), 1u);
+  EXPECT_EQ(census.total_validated(), 1u);
+  EXPECT_EQ(census.validated_by(hierarchy_->root().cert), 1u);
+}
+
+TEST_F(CensusTest, RepeatedFailuresThenUpgradeCountOnce) {
+  ValidationCensus census(anchors_);
+  auto full = make_observation("retry.example.com");
+  Observation bare;
+  bare.chain.push_back(full.chain.front());
+
+  census.ingest(bare);
+  census.ingest(bare);  // second failed attempt must not double-register
+  EXPECT_EQ(census.total_unexpired(), 1u);
+  EXPECT_EQ(census.total_validated(), 0u);
+
+  census.ingest(full);
+  census.ingest(full);  // and neither must a post-upgrade duplicate
+  EXPECT_EQ(census.total_unexpired(), 1u);
+  EXPECT_EQ(census.total_validated(), 1u);
+  EXPECT_EQ(census.validated_by(hierarchy_->root().cert), 1u);
+}
+
 TEST_F(CensusTest, SkipsExpiredLeaves) {
   pki::VerifyOptions options;
   options.at = asn1::make_time(2020, 1, 1);  // leaves (exp 2016) are stale

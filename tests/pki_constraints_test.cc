@@ -109,6 +109,141 @@ TEST(PathLength, EnforcementCanBeDisabled) {
       verifier.verify(chain.leaf, chain.presented_intermediates()).ok());
 }
 
+/// A self-signed root carrying an explicit pathLenConstraint — make_root
+/// does not stamp one, so build it directly.
+CaNode make_constrained_root(const crypto::KeyPair& key,
+                             const x509::Name& subject,
+                             std::optional<int> path_len,
+                             std::uint64_t serial) {
+  auto cert = x509::CertificateBuilder()
+                  .serial(serial)
+                  .subject(subject)
+                  .issuer(subject)
+                  .not_before(kValidity.not_before)
+                  .not_after(kValidity.not_after)
+                  .public_key(key.pub)
+                  .ca(true, path_len)
+                  .sign(sim_sig_scheme(), key);
+  return CaNode{cert.value(), key};
+}
+
+/// Regression for the verify/verify_all_anchors divergence: a pathLen
+/// violation found mid-search must make verify() backtrack to another
+/// route, not abort the whole search. Two re-issues of one root (same
+/// subject + key, distinct DER): one with pathLen=0 — too strict for the
+/// two-intermediate chain — and one unbounded. Whichever order the anchors
+/// are tried in, verify() must land on the permissive re-issue, exactly as
+/// verify_all_anchors() always concluded.
+class PathLenBacktracking : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Xoshiro256 rng(4100);
+    key_ = crypto::generate_sim_keypair(rng);
+    const x509::Name subject = ca_name("Reissue", "Reissued Root");
+    strict_ = make_constrained_root(key_, subject, 0, 1);
+    open_ = make_constrained_root(key_, subject, std::nullopt, 2);
+    ASSERT_NE(strict_.cert.der(), open_.cert.der());
+
+    // Two intermediates below the root: pathLen=0 on the root forbids the
+    // second one, the unbounded re-issue allows it.
+    auto i1 = make_intermediate(sim_sig_scheme(), strict_,
+                                crypto::generate_sim_keypair(rng),
+                                ca_name("Reissue", "Inter A"), kValidity, 10);
+    ASSERT_TRUE(i1.ok());
+    i1_ = std::move(i1).value();
+    auto i2 = make_intermediate(sim_sig_scheme(), i1_,
+                                crypto::generate_sim_keypair(rng),
+                                ca_name("Reissue", "Inter B"), kValidity, 11);
+    ASSERT_TRUE(i2.ok());
+    i2_ = std::move(i2).value();
+    auto leaf = make_leaf(sim_sig_scheme(), i2_,
+                          crypto::generate_sim_keypair(rng),
+                          "reissue.example.com",
+                          {asn1::make_time(2013, 6, 1),
+                           asn1::make_time(2015, 6, 1)},
+                          99);
+    ASSERT_TRUE(leaf.ok());
+    leaf_ = std::move(leaf).value();
+  }
+
+  std::vector<x509::Certificate> inters() const { return {i1_.cert, i2_.cert}; }
+
+  crypto::KeyPair key_;
+  CaNode strict_, open_;
+  CaNode i1_, i2_;
+  std::optional<x509::Certificate> leaf_;
+};
+
+TEST_F(PathLenBacktracking, StrictAnchorFirstStillVerifies) {
+  TrustAnchors anchors;
+  anchors.add(strict_.cert);
+  anchors.add(open_.cert);
+  ChainVerifier verifier(anchors);
+  const auto chain = verifier.verify(*leaf_, inters());
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain.value().anchor().der(), open_.cert.der());
+}
+
+TEST_F(PathLenBacktracking, OpenAnchorFirstStillVerifies) {
+  TrustAnchors anchors;
+  anchors.add(open_.cert);
+  anchors.add(strict_.cert);
+  ChainVerifier verifier(anchors);
+  const auto chain = verifier.verify(*leaf_, inters());
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain.value().anchor().der(), open_.cert.der());
+}
+
+TEST_F(PathLenBacktracking, VerifyAgreesWithSurveyForBothOrders) {
+  for (const bool strict_first : {true, false}) {
+    TrustAnchors anchors;
+    if (strict_first) {
+      anchors.add(strict_.cert);
+      anchors.add(open_.cert);
+    } else {
+      anchors.add(open_.cert);
+      anchors.add(strict_.cert);
+    }
+    ChainVerifier verifier(anchors);
+    const auto chain = verifier.verify(*leaf_, inters());
+    const auto survey = verifier.verify_all_anchors(*leaf_, inters());
+    ASSERT_TRUE(chain.ok());
+    ASSERT_TRUE(survey.ok());
+    ASSERT_EQ(survey.value().anchors.size(), 1u);
+    EXPECT_EQ(survey.value().anchors[0]->der(), open_.cert.der());
+    EXPECT_EQ(chain.value().anchor().der(), open_.cert.der());
+  }
+}
+
+TEST_F(PathLenBacktracking, OnlyStrictAnchorStillFails) {
+  TrustAnchors anchors;
+  anchors.add(strict_.cert);
+  ChainVerifier verifier(anchors);
+  const auto chain = verifier.verify(*leaf_, inters());
+  ASSERT_FALSE(chain.ok());
+  EXPECT_EQ(chain.error().code, Errc::kVerifyFailed);
+  EXPECT_NE(chain.error().message.find("pathLenConstraint"), std::string::npos);
+  EXPECT_FALSE(verifier.verify_all_anchors(*leaf_, inters()).ok());
+}
+
+TEST_F(PathLenBacktracking, DirectLeafSatisfiesStrictAnchor) {
+  // pathLen=0 allows no intermediates at all; a leaf the strict root issued
+  // directly still verifies, confirming the constraint itself — not the
+  // anchor — is what the deeper chain trips over.
+  Xoshiro256 rng(4101);
+  auto leaf_direct = make_leaf(sim_sig_scheme(), strict_,
+                               crypto::generate_sim_keypair(rng),
+                               "shallow.example.com",
+                               {asn1::make_time(2013, 6, 1),
+                                asn1::make_time(2015, 6, 1)},
+                               98);
+  ASSERT_TRUE(leaf_direct.ok());
+  TrustAnchors anchors;
+  anchors.add(strict_.cert);
+  ChainVerifier verifier(anchors);
+  EXPECT_TRUE(verifier.verify(leaf_direct.value(), {}).ok());
+}
+
 TEST(LeafEku, ServerAuthLeafPassesServerAuthPurpose) {
   const auto chain = build_chain(6, 1, std::nullopt);
   TrustAnchors anchors;

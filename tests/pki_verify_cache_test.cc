@@ -1,0 +1,214 @@
+// VerifyCache: link-signature memoization must be invisible in results —
+// positive and negative outcomes, error messages included — while the
+// hit/miss statistics show it actually short-circuits repeated links.
+#include "pki/verify_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "pki/hierarchy.h"
+#include "pki/verify.h"
+
+namespace tangled::pki {
+namespace {
+
+using crypto::sim_sig_scheme;
+
+const x509::Validity kCaValidity{asn1::make_time(2008, 1, 1),
+                                 asn1::make_time(2030, 1, 1)};
+const x509::Validity kLeafValidity{asn1::make_time(2013, 6, 1),
+                                   asn1::make_time(2015, 6, 1)};
+
+struct Fixture {
+  CaNode root;
+  CaNode inter;
+  std::vector<x509::Certificate> leaves;
+
+  explicit Fixture(std::uint64_t seed, std::size_t n_leaves) {
+    Xoshiro256 rng(seed);
+    root = make_root(sim_sig_scheme(), crypto::generate_sim_keypair(rng),
+                     ca_name("Cache Org", "Cache Root"), kCaValidity, 1)
+               .value();
+    inter = make_intermediate(sim_sig_scheme(), root,
+                              crypto::generate_sim_keypair(rng),
+                              ca_name("Cache Org", "Cache Inter"), kCaValidity,
+                              2)
+                .value();
+    for (std::size_t i = 0; i < n_leaves; ++i) {
+      leaves.push_back(make_leaf(sim_sig_scheme(), inter,
+                                 crypto::generate_sim_keypair(rng),
+                                 "leaf" + std::to_string(i) + ".example.com",
+                                 kLeafValidity, 100 + i)
+                           .value());
+    }
+  }
+};
+
+TEST(VerifyCache, RepeatedLinksHitAfterFirstMiss) {
+  Fixture f(11, 8);
+  TrustAnchors anchors;
+  anchors.add(f.root.cert);
+  ChainVerifier verifier(anchors);
+  VerifyCache cache;
+  verifier.set_verify_cache(&cache);
+
+  for (const auto& leaf : f.leaves) {
+    EXPECT_TRUE(verifier.verify(leaf, {f.inter.cert}).ok());
+  }
+  const auto stats = cache.stats();
+  // Every leaf shares the single inter→root link; only the first walk
+  // computes it (leaf→inter links bypass the cache by design).
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, f.leaves.size() - 1);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(cache.hit_rate(), 0.8);
+}
+
+TEST(VerifyCache, CachedAndUncachedResultsIdentical) {
+  Fixture f(12, 4);
+  TrustAnchors anchors;
+  anchors.add(f.root.cert);
+
+  VerifyOptions cached_options;
+  ChainVerifier cached(anchors, cached_options);
+  VerifyCache cache;
+  cached.set_verify_cache(&cache);
+
+  VerifyOptions uncached_options;
+  uncached_options.use_verify_cache = false;
+  ChainVerifier uncached(anchors, uncached_options);
+  uncached.set_verify_cache(&cache);  // attached but ignored per options
+
+  for (const auto& leaf : f.leaves) {
+    const auto a = cached.verify(leaf, {f.inter.cert});
+    const auto b = uncached.verify(leaf, {f.inter.cert});
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a.value().length(), b.value().length());
+    for (std::size_t i = 0; i < a.value().length(); ++i) {
+      EXPECT_EQ(a.value().certificates[i].der(), b.value().certificates[i].der());
+    }
+  }
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, f.leaves.size());
+}
+
+TEST(VerifyCache, NegativeOutcomesCachedVerbatim) {
+  // An intermediate whose signature does not verify (issued by a stranger
+  // key but presented under the root's name): the failure must carry the
+  // same code and message on the computing walk, on a cache hit, and on an
+  // uncached verifier.
+  Xoshiro256 rng(13);
+  auto root = make_root(sim_sig_scheme(), crypto::generate_sim_keypair(rng),
+                        ca_name("Neg Org", "Neg Root"), kCaValidity, 1)
+                  .value();
+  // Forge: an intermediate claiming the root as issuer but signed by a
+  // different keypair, so the inter→root link check fails.
+  CaNode wrong_parent{root.cert, crypto::generate_sim_keypair(rng)};
+  auto forged = make_intermediate(sim_sig_scheme(), wrong_parent,
+                                  crypto::generate_sim_keypair(rng),
+                                  ca_name("Neg Org", "Forged Inter"),
+                                  kCaValidity, 2)
+                    .value();
+  auto leaf = make_leaf(sim_sig_scheme(), forged,
+                        crypto::generate_sim_keypair(rng), "neg.example.com",
+                        kLeafValidity, 3)
+                  .value();
+
+  TrustAnchors anchors;
+  anchors.add(root.cert);
+  ChainVerifier cached(anchors);
+  VerifyCache cache;
+  cached.set_verify_cache(&cache);
+  VerifyOptions off;
+  off.use_verify_cache = false;
+  ChainVerifier uncached(anchors, off);
+
+  const auto first = cached.verify(leaf, {forged.cert});
+  const auto second = cached.verify(leaf, {forged.cert});  // link is a hit now
+  const auto baseline = uncached.verify(leaf, {forged.cert});
+  ASSERT_FALSE(first.ok());
+  ASSERT_FALSE(second.ok());
+  ASSERT_FALSE(baseline.ok());
+  EXPECT_EQ(first.error().code, baseline.error().code);
+  EXPECT_EQ(first.error().message, baseline.error().message);
+  EXPECT_EQ(second.error().code, first.error().code);
+  EXPECT_EQ(second.error().message, first.error().message);
+  EXPECT_GE(cache.stats().hits, 1u);
+}
+
+TEST(VerifyCache, ReissuedAnchorsStayDistinctUnderSharedLinkKey) {
+  // Two re-issues of one root (same subject + key, different serials →
+  // distinct DER). Their inter→root link checks share one cache entry (the
+  // outcome depends only on child bytes and issuer key), yet the survey
+  // must credit both anchors distinctly — full-fingerprint dedup, not the
+  // link key, decides anchor identity.
+  Xoshiro256 rng(14);
+  auto key = crypto::generate_sim_keypair(rng);
+  const x509::Name subject = ca_name("Twin Org", "Twin Root");
+  auto r1 = make_root(sim_sig_scheme(), key, subject, kCaValidity, 1).value();
+  auto r2 = make_root(sim_sig_scheme(), key, subject, kCaValidity, 2).value();
+  ASSERT_NE(r1.cert.der(), r2.cert.der());
+  ASSERT_EQ(r1.cert.spki_sha256(), r2.cert.spki_sha256());
+
+  auto inter = make_intermediate(sim_sig_scheme(), r1,
+                                 crypto::generate_sim_keypair(rng),
+                                 ca_name("Twin Org", "Twin Inter"), kCaValidity,
+                                 3)
+                   .value();
+  auto leaf = make_leaf(sim_sig_scheme(), inter,
+                        crypto::generate_sim_keypair(rng), "twin.example.com",
+                        kLeafValidity, 4)
+                  .value();
+
+  TrustAnchors anchors;
+  anchors.add(r1.cert);
+  anchors.add(r2.cert);
+  ChainVerifier verifier(anchors);
+  VerifyCache cache;
+  verifier.set_verify_cache(&cache);
+
+  const auto survey = verifier.verify_all_anchors(leaf, {inter.cert});
+  ASSERT_TRUE(survey.ok());
+  EXPECT_EQ(survey.value().anchors.size(), 2u);
+  // One computed link, one shared hit: same child fingerprint, same SPKI.
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(VerifyCacheConcurrency, SharedCacheAcrossThreads) {
+  Fixture f(15, 32);
+  TrustAnchors anchors;
+  anchors.add(f.root.cert);
+  ChainVerifier verifier(anchors);
+  VerifyCache cache;
+  verifier.set_verify_cache(&cache);
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRounds = 16;
+  std::vector<std::thread> workers;
+  std::vector<std::size_t> failures(kThreads, 0);
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        for (const auto& leaf : f.leaves) {
+          if (!verifier.verify(leaf, {f.inter.cert}).ok()) ++failures[t];
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const std::size_t n : failures) EXPECT_EQ(n, 0u);
+  const auto stats = cache.stats();
+  // Every walk consults the cache for the single inter→root link; at most a
+  // few racing threads compute it before the first store lands.
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kRounds * f.leaves.size());
+  EXPECT_GE(stats.misses, 1u);
+  EXPECT_LE(stats.misses, kThreads);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+}  // namespace
+}  // namespace tangled::pki
