@@ -125,11 +125,15 @@ Result<Time> Time::parse_generalized(std::string_view body) {
   return parse_time_fields(body, yyyy.value(), 4);
 }
 
-std::string Time::encode_utc() const {
+Result<std::string> Time::encode_utc() const {
+  if (year < 1950 || year > 2049) {
+    return range_error("UTCTime cannot represent year " + std::to_string(year) +
+                       " (two-digit window is 1950-2049; use GeneralizedTime)");
+  }
   char buf[16];
   std::snprintf(buf, sizeof buf, "%02d%02d%02d%02d%02d%02dZ", year % 100, month,
                 day, hour, minute, second);
-  return buf;
+  return std::string(buf);
 }
 
 std::string Time::encode_generalized() const {

@@ -30,11 +30,14 @@ struct Time {
   static Result<Time> parse_utc(std::string_view body);
   static Result<Time> parse_generalized(std::string_view body);
 
-  /// Encodes per the RFC 5280 rule (UTCTime before 2050, else Generalized).
-  /// Returns the contents string; the caller wraps it in the right tag.
-  std::string encode_utc() const;          // "YYMMDDHHMMSSZ"
+  /// Encodes per the RFC 5280 rule (UTCTime for [1950, 2049], else
+  /// Generalized). Returns the contents string; the caller wraps it in the
+  /// right tag. encode_utc refuses years UTCTime cannot represent — the
+  /// two-digit year window is 1950-2049, so 2150 would silently round-trip
+  /// as 1950 and pre-1900 years would print a negative field.
+  Result<std::string> encode_utc() const;  // "YYMMDDHHMMSSZ"
   std::string encode_generalized() const;  // "YYYYMMDDHHMMSSZ"
-  bool needs_generalized() const { return year >= 2050; }
+  bool needs_generalized() const { return year < 1950 || year >= 2050; }
 
   /// ISO 8601 rendering for reports: "2014-12-02T00:00:00Z".
   std::string to_iso8601() const;

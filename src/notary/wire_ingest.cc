@@ -1,14 +1,24 @@
 #include "notary/wire_ingest.h"
 
+#include "obs/obs.h"
+
 namespace tangled::notary {
 
 Result<WireIngestResult> ingest_capture(NotaryDb& db, ValidationCensus* census,
                                         ByteView capture, std::uint16_t port) {
   tlswire::CertificateExtractor extractor;
-  if (auto fed = extractor.feed(capture); !fed.ok()) return fed.error();
+  const auto fed = extractor.feed(capture);
 
   WireIngestResult result;
   result.sni = extractor.session().sni;
+  if (!fed.ok()) {
+    // A fully-extracted chain survives trailing garbage: a passive observer
+    // keeps what the handshake already delivered and downgrades the fault
+    // to a per-flow diagnostic.
+    if (!extractor.has_chain()) return fed.error();
+    TANGLED_OBS_INC("notary.wire_ingest.salvaged_chains");
+    result.flow_fault = fed.error();
+  }
   if (!extractor.has_chain()) return result;
 
   Observation observation;

@@ -12,10 +12,17 @@ namespace tangled::notary {
 struct WireIngestResult {
   bool chain_observed = false;
   std::optional<std::string> sni;
+  /// Set when the capture went bad *after* a complete chain had been
+  /// extracted (trailing garbage, a corrupt close, mid-stream junk): the
+  /// chain is salvaged and recorded, and the fault is reported here as
+  /// non-fatal instead of failing the whole capture.
+  std::optional<Error> flow_fault;
 };
 
 /// Parses `capture` (one connection's plaintext handshake bytes) and, on
 /// success, feeds the presented chain into `db` and optionally `census`.
+/// A capture that breaks before any chain surfaced returns an error; one
+/// that breaks after still observes the chain (see WireIngestResult).
 Result<WireIngestResult> ingest_capture(NotaryDb& db, ValidationCensus* census,
                                         ByteView capture, std::uint16_t port);
 

@@ -1,0 +1,140 @@
+#include "stream/demux.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+
+namespace tangled::stream {
+
+void FlowDemux::feed(FlowId flow, ByteView chunk) {
+  stats_.bytes_fed += chunk.size();
+  TANGLED_OBS_ADD("stream.demux.bytes_fed", chunk.size());
+  if (terminal_.contains(flow)) {
+    stats_.bytes_dropped += chunk.size();
+    TANGLED_OBS_ADD("stream.demux.bytes_dropped", chunk.size());
+    return;
+  }
+  const auto [it, inserted] = flows_.try_emplace(flow);
+  if (inserted) {
+    ++stats_.flows_seen;
+    TANGLED_OBS_INC("stream.demux.flows");
+  }
+  Flow& state = it->second;
+
+  const auto fed = state.extractor.feed(chunk);
+  if (state.extractor.has_chain()) {
+    // The chain is what the Notary wants; the rest of the flow is
+    // encrypted anyway. A fault after the chain surfaced is non-fatal.
+    complete(flow, state,
+             fed.ok() ? std::nullopt : std::optional<Error>(fed.error()));
+    return;
+  }
+  if (!fed.ok()) {
+    fault(flow, classify_fault(fed.error()), fed.error());
+    return;
+  }
+  const std::size_t now_buffered = state.extractor.buffered_bytes();
+  buffered_ += now_buffered - state.buffered;
+  state.buffered = now_buffered;
+  evict_until_bounded();
+  note_high_water();
+}
+
+void FlowDemux::end_flow(FlowId flow) {
+  const auto it = flows_.find(flow);
+  if (it == flows_.end()) return;  // never seen, or already terminal
+  Flow& state = it->second;
+  if (state.extractor.record_pending() > 0) {
+    fault(flow, FaultKind::kTruncated,
+          parse_error("flow ended mid-record (truncated capture)"));
+    return;
+  }
+  if (state.extractor.handshake_pending() > 0) {
+    fault(flow, FaultKind::kMidHandshakeEof,
+          parse_error("flow ended mid-handshake message"));
+    return;
+  }
+  // Clean EOF with no certificate: a resumed session, a non-TLS-server
+  // flow, or a hello-only probe. Not a fault.
+  ++stats_.flows_empty;
+  TANGLED_OBS_INC("stream.demux.empty_flows");
+  terminal_.insert(flow);
+  flows_.erase(it);
+}
+
+void FlowDemux::end_all() {
+  std::vector<FlowId> open;
+  open.reserve(flows_.size());
+  for (const auto& [id, state] : flows_) open.push_back(id);
+  std::sort(open.begin(), open.end());  // deterministic finalization order
+  for (const FlowId id : open) end_flow(id);
+}
+
+std::vector<CompletedFlow> FlowDemux::take_completed() {
+  return std::exchange(completed_, {});
+}
+
+std::vector<FaultedFlow> FlowDemux::take_faulted() {
+  return std::exchange(faulted_, {});
+}
+
+void FlowDemux::complete(FlowId id, Flow& flow,
+                         std::optional<Error> non_fatal_fault) {
+  ++stats_.flows_completed;
+  TANGLED_OBS_INC("stream.demux.completed_flows");
+  if (non_fatal_fault.has_value()) {
+    ++stats_.flows_salvaged;
+    TANGLED_OBS_INC("stream.demux.salvaged_flows");
+  }
+  tlswire::ExtractedSession session = flow.extractor.take_session();
+  CompletedFlow done;
+  done.id = id;
+  done.chain = std::move(session.chain);
+  done.sni = std::move(session.sni);
+  done.non_fatal_fault = std::move(non_fatal_fault);
+  completed_.push_back(std::move(done));
+  buffered_ -= flow.buffered;
+  terminal_.insert(id);
+  flows_.erase(id);
+}
+
+void FlowDemux::fault(FlowId id, FaultKind kind, Error error) {
+  ++stats_.flows_faulted;
+  ++stats_.fault_counts[static_cast<std::size_t>(kind)];
+  TANGLED_OBS_INC("stream.demux.faulted_flows");
+  const auto it = flows_.find(id);
+  if (it != flows_.end()) {
+    buffered_ -= it->second.buffered;
+    flows_.erase(it);
+  }
+  terminal_.insert(id);
+  faulted_.push_back({id, kind, std::move(error)});
+}
+
+void FlowDemux::evict_until_bounded() {
+  while (buffered_ > config_.max_buffered_bytes && !flows_.empty()) {
+    // The largest stalled flow: most buffered bytes, ties broken by lowest
+    // id so eviction order is deterministic across runs.
+    auto victim = flows_.begin();
+    for (auto it = std::next(flows_.begin()); it != flows_.end(); ++it) {
+      if (it->second.buffered > victim->second.buffered ||
+          (it->second.buffered == victim->second.buffered &&
+           it->first < victim->first)) {
+        victim = it;
+      }
+    }
+    ++stats_.flows_evicted;
+    TANGLED_OBS_INC("stream.demux.evicted_flows");
+    fault(victim->first, FaultKind::kEvicted,
+          state_error("evicted: largest stalled flow under memory pressure"));
+  }
+}
+
+void FlowDemux::note_high_water() {
+  if (buffered_ > stats_.buffered_high_water) {
+    stats_.buffered_high_water = buffered_;
+  }
+  TANGLED_OBS_GAUGE_SET("stream.demux.buffered_bytes", buffered_);
+}
+
+}  // namespace tangled::stream

@@ -1,0 +1,117 @@
+// FlowDemux: bounded-memory, session-demultiplexed capture ingest. Routes
+// interleaved chunks from many concurrent TLS flows to per-flow
+// CertificateExtractor state, with a configurable cap on total buffered
+// bytes — when a feed pushes the total past the cap, the largest stalled
+// flow is evicted until it fits again.
+//
+// The contract a passive observer needs: faults are contained per flow. A
+// garbage record, a truncated handshake, an oversized length header — each
+// kills only the flow that carried it (recorded in the FaultKind taxonomy),
+// never the capture. A flow whose stream breaks *after* its certificate
+// chain surfaced is salvaged: the chain completes and the fault is kept as
+// a non-fatal diagnostic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "stream/fault.h"
+#include "tlswire/extractor.h"
+
+namespace tangled::stream {
+
+struct DemuxConfig {
+  /// Cap on bytes held across all flows' reassembly buffers. 0 means
+  /// "evict on any buffering" and is almost never what you want; the
+  /// default comfortably holds thousands of mid-handshake flows.
+  std::size_t max_buffered_bytes = 8u << 20;
+};
+
+/// A flow whose certificate chain was fully extracted.
+struct CompletedFlow {
+  FlowId id = 0;
+  std::vector<x509::Certificate> chain;  // leaf first, as presented
+  std::optional<std::string> sni;
+  /// Fault hit after the chain had already surfaced (salvaged flow).
+  std::optional<Error> non_fatal_fault;
+};
+
+/// A flow the stream killed before a chain surfaced. Only this flow is
+/// lost; every other flow in the capture is unaffected.
+struct FaultedFlow {
+  FlowId id = 0;
+  FaultKind kind = FaultKind::kOther;
+  Error error{Errc::kParse, ""};
+};
+
+struct DemuxStats {
+  std::uint64_t flows_seen = 0;
+  std::uint64_t flows_completed = 0;  // chain extracted (incl. salvaged)
+  std::uint64_t flows_salvaged = 0;   // completed despite a late fault
+  std::uint64_t flows_faulted = 0;    // killed before a chain surfaced
+  std::uint64_t flows_evicted = 0;    // backpressure victims (subset of faulted)
+  std::uint64_t flows_empty = 0;      // clean EOF without a certificate
+  std::uint64_t bytes_fed = 0;
+  std::uint64_t bytes_dropped = 0;    // chunks for already-terminal flows
+  /// Peak of buffered_bytes() observed at feed boundaries; never exceeds
+  /// max_buffered_bytes because eviction runs before the feed returns.
+  std::size_t buffered_high_water = 0;
+  /// Faulted-flow count per FaultKind (index by static_cast<size_t>).
+  std::array<std::uint64_t, kFaultKindCount> fault_counts{};
+};
+
+class FlowDemux {
+ public:
+  explicit FlowDemux(DemuxConfig config = {}) : config_(config) {}
+
+  /// Routes one chunk to its flow. Never fails: malformed bytes fault only
+  /// the flow that carried them. Chunks for a flow that already completed,
+  /// faulted, or was evicted are counted and dropped.
+  void feed(FlowId flow, ByteView chunk);
+
+  /// Signals EOF for one flow. A flow cut mid-record faults as kTruncated,
+  /// one cut between records mid-message as kMidHandshakeEof; a flow that
+  /// saw a clean stream but no certificate is counted as empty.
+  void end_flow(FlowId flow);
+
+  /// EOF for every still-open flow (end of the whole capture).
+  void end_all();
+
+  /// Hands over flows completed since the last call, in completion order
+  /// (the order drives deterministic downstream ingest).
+  std::vector<CompletedFlow> take_completed();
+
+  /// Hands over flows faulted since the last call — the per-flow error
+  /// taxonomy record.
+  std::vector<FaultedFlow> take_faulted();
+
+  std::size_t buffered_bytes() const { return buffered_; }
+  std::size_t open_flows() const { return flows_.size(); }
+  const DemuxStats& stats() const { return stats_; }
+
+ private:
+  struct Flow {
+    tlswire::CertificateExtractor extractor;
+    std::size_t buffered = 0;  // extractor.buffered_bytes() after last feed
+  };
+
+  void complete(FlowId id, Flow& flow, std::optional<Error> non_fatal_fault);
+  void fault(FlowId id, FaultKind kind, Error error);
+  void evict_until_bounded();
+  void note_high_water();
+
+  DemuxConfig config_;
+  std::unordered_map<FlowId, Flow> flows_;  // open flows only
+  std::unordered_set<FlowId> terminal_;     // completed / faulted / evicted
+  std::vector<CompletedFlow> completed_;
+  std::vector<FaultedFlow> faulted_;
+  std::size_t buffered_ = 0;
+  DemuxStats stats_;
+};
+
+}  // namespace tangled::stream

@@ -1,0 +1,243 @@
+#include "stream/fault.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "tlswire/record.h"
+
+namespace tangled::stream {
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kUnknownContentType: return "unknown_content_type";
+    case FaultKind::kCorruptLength: return "corrupt_length";
+    case FaultKind::kZeroLengthRecord: return "zero_length_record";
+    case FaultKind::kTruncated: return "truncated";
+    case FaultKind::kMidHandshakeEof: return "mid_handshake_eof";
+    case FaultKind::kBadHandshake: return "bad_handshake";
+    case FaultKind::kBadCertificate: return "bad_certificate";
+    case FaultKind::kEvicted: return "evicted";
+    case FaultKind::kOther: return "other";
+  }
+  return "other";
+}
+
+std::string_view to_string(Injection injection) {
+  switch (injection) {
+    case Injection::kNone: return "none";
+    case Injection::kTruncateTail: return "truncate_tail";
+    case Injection::kTruncateAtRecord: return "truncate_at_record";
+    case Injection::kCorruptLength: return "corrupt_length";
+    case Injection::kCorruptContentType: return "corrupt_content_type";
+    case Injection::kZeroLengthRecord: return "zero_length_record";
+    case Injection::kReorderChunks: return "reorder_chunks";
+  }
+  return "none";
+}
+
+FaultKind classify_fault(const Error& error) {
+  const std::string_view m = error.message;
+  const auto contains = [&m](std::string_view needle) {
+    return m.find(needle) != std::string_view::npos;
+  };
+  if (contains("unknown TLS content type")) return FaultKind::kUnknownContentType;
+  if (contains("implausible TLS record version") ||
+      contains("TLS record length out of range")) {
+    return FaultKind::kCorruptLength;
+  }
+  if (contains("zero-length TLS record")) return FaultKind::kZeroLengthRecord;
+  if (contains("flow ended mid-record")) return FaultKind::kTruncated;
+  if (contains("flow ended mid-handshake")) return FaultKind::kMidHandshakeEof;
+  if (contains("certificate message:")) return FaultKind::kBadCertificate;
+  if (contains("handshake") || contains("alert") || contains("Hello")) {
+    return FaultKind::kBadHandshake;
+  }
+  return FaultKind::kOther;
+}
+
+namespace {
+
+/// Start offsets of every complete, plausible record header in `bytes`.
+/// Stops at the first implausible header or incomplete record — callers
+/// mutate pristine captures, so in practice this walks the whole stream.
+std::vector<std::size_t> record_boundaries(ByteView bytes) {
+  std::vector<std::size_t> starts;
+  std::size_t pos = 0;
+  while (bytes.size() >= pos + 5) {
+    const std::size_t length =
+        static_cast<std::size_t>((bytes[pos + 3] << 8) | bytes[pos + 4]);
+    starts.push_back(pos);
+    if (length == 0 || length > tlswire::kMaxFragment) break;
+    if (bytes.size() - pos - 5 < length) break;
+    pos += 5 + length;
+  }
+  return starts;
+}
+
+void truncate_mid_record(Bytes& bytes, Xoshiro256& rng) {
+  if (bytes.size() < 7) return;
+  const auto starts = record_boundaries(bytes);
+  // Cut strictly inside the final record so a partial record is pending at
+  // EOF (header-only and mid-fragment cuts both qualify).
+  const std::size_t last = starts.empty() ? 0 : starts.back();
+  const std::size_t cut = last + 1 + rng.below(bytes.size() - last - 1);
+  bytes.resize(cut);
+}
+
+void apply_byte_injection(Bytes& bytes, Injection injection, Xoshiro256& rng) {
+  const auto starts = record_boundaries(bytes);
+  if (starts.empty()) return;
+  switch (injection) {
+    case Injection::kTruncateTail:
+      truncate_mid_record(bytes, rng);
+      break;
+    case Injection::kTruncateAtRecord:
+      if (starts.size() < 2) {
+        truncate_mid_record(bytes, rng);  // single record: no inner boundary
+      } else {
+        // Cut at an inner record boundary: every record drains cleanly but
+        // the handshake message spanning it is left incomplete.
+        bytes.resize(starts[1 + rng.below(starts.size() - 1)]);
+      }
+      break;
+    case Injection::kCorruptLength: {
+      const std::size_t at = starts[rng.below(starts.size())];
+      bytes[at + 3] = 0xff;  // 0xffff > 2^14
+      bytes[at + 4] = 0xff;
+      break;
+    }
+    case Injection::kCorruptContentType:
+      bytes[starts[rng.below(starts.size())]] = 0x63;  // outside 20..23
+      break;
+    case Injection::kZeroLengthRecord: {
+      // A zero-length handshake record is illegal (RFC 5246 §6.2.1 only
+      // allows empty application data).
+      static constexpr std::uint8_t kEmpty[5] = {22, 0x03, 0x03, 0x00, 0x00};
+      const std::size_t at = starts[rng.below(starts.size())];
+      bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(at), kEmpty,
+                   kEmpty + 5);
+      break;
+    }
+    case Injection::kNone:
+    case Injection::kReorderChunks:  // applied after chunking
+      break;
+  }
+}
+
+std::vector<Bytes> chunk_flow(ByteView bytes, Xoshiro256& rng,
+                              const InjectionConfig& config) {
+  std::vector<Bytes> chunks;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const std::size_t want = static_cast<std::size_t>(
+        rng.between(static_cast<std::int64_t>(config.min_chunk),
+                    static_cast<std::int64_t>(config.max_chunk)));
+    const std::size_t take = std::min(want, bytes.size() - pos);
+    chunks.emplace_back(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                        bytes.begin() + static_cast<std::ptrdiff_t>(pos + take));
+    pos += take;
+  }
+  return chunks;
+}
+
+}  // namespace
+
+InterleavePlan make_interleaved_plan(std::span<const Bytes> captures,
+                                     Xoshiro256& rng,
+                                     const InjectionConfig& config) {
+  InterleavePlan plan;
+  plan.flows.resize(captures.size());
+  std::vector<std::deque<Bytes>> queues(captures.size());
+
+  for (std::size_t i = 0; i < captures.size(); ++i) {
+    FlowScript& flow = plan.flows[i];
+    flow.id = static_cast<FlowId>(i);
+    flow.bytes = captures[i];
+    if (rng.chance(config.fault_rate)) {
+      flow.injection =
+          static_cast<Injection>(1 + rng.below(kInjectionCount - 1));
+    }
+    apply_byte_injection(flow.bytes, flow.injection, rng);
+
+    std::vector<Bytes> chunks = chunk_flow(flow.bytes, rng, config);
+    if (flow.injection == Injection::kReorderChunks) {
+      if (chunks.size() >= 3) {
+        // Swap two adjacent mid-flow chunks: the record stream re-parses
+        // misaligned, so only this flow's framing (or its certificate DER)
+        // breaks while neighbours interleave on undisturbed.
+        const std::size_t j = chunks.size() / 2;
+        std::swap(chunks[j - 1], chunks[j]);
+      } else {
+        flow.injection = Injection::kTruncateTail;  // too short to reorder
+        truncate_mid_record(flow.bytes, rng);
+        chunks = chunk_flow(flow.bytes, rng, config);
+      }
+    }
+    if (flow.injection != Injection::kNone) ++plan.injected_flows;
+    queues[i].assign(chunks.begin(), chunks.end());
+  }
+
+  // Random interleave: each step delivers the next chunk of a uniformly
+  // chosen still-active flow. A flow with no bytes at all still gets one
+  // empty end-of-flow event so the demux sees its EOF.
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < queues.size(); ++i) {
+    if (queues[i].empty()) {
+      plan.events.push_back({static_cast<FlowId>(i), Bytes{}, true});
+    } else {
+      active.push_back(i);
+    }
+  }
+  while (!active.empty()) {
+    const std::size_t pick = rng.below(active.size());
+    const std::size_t i = active[pick];
+    ChunkEvent event;
+    event.flow = static_cast<FlowId>(i);
+    event.chunk = std::move(queues[i].front());
+    queues[i].pop_front();
+    if (queues[i].empty()) {
+      event.end_of_flow = true;
+      active[pick] = active.back();
+      active.pop_back();
+    }
+    plan.events.push_back(std::move(event));
+  }
+  return plan;
+}
+
+Result<Bytes> fragment_flight(ByteView flight, std::size_t fragment_len) {
+  if (fragment_len == 0 || fragment_len > tlswire::kMaxFragment) {
+    return range_error("fragment_len must be in [1, 2^14]");
+  }
+  tlswire::RecordReader reader;
+  reader.feed(flight);
+  auto records = reader.drain();
+  if (!records.ok()) return records.error();
+  if (reader.pending() != 0) {
+    return parse_error("trailing partial record in flight");
+  }
+  Bytes payload;
+  for (const tlswire::Record& record : records.value()) {
+    if (record.type != tlswire::ContentType::kHandshake) {
+      return unsupported_error("fragment_flight expects a handshake-only flight");
+    }
+    append(payload, record.fragment);
+  }
+  Bytes out;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    const std::size_t take = std::min(fragment_len, payload.size() - pos);
+    tlswire::Record record;
+    record.fragment.assign(
+        payload.begin() + static_cast<std::ptrdiff_t>(pos),
+        payload.begin() + static_cast<std::ptrdiff_t>(pos + take));
+    auto encoded = tlswire::encode_record(record);
+    if (!encoded.ok()) return encoded.error();
+    append(out, encoded.value());
+    pos += take;
+  }
+  return out;
+}
+
+}  // namespace tangled::stream

@@ -1,0 +1,112 @@
+// Per-flow fault taxonomy + deterministic fault-injection harness for the
+// streaming capture ingest path (§5.3's passive observer hardened for the
+// traffic MITM-measurement studies show real networks exhibit).
+//
+// The taxonomy names every way a single TLS flow can go bad without taking
+// the capture down with it: garbage framing, corrupt lengths, truncation at
+// any granularity, handshake damage, and backpressure eviction. The
+// injection harness turns a set of pristine per-flow captures into one
+// deterministic interleaved chunk schedule with a seeded fraction of flows
+// mutated — the same plan drives both the test matrix and
+// bench/stream_ingest.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace tangled::stream {
+
+/// Identifies one TLS flow within a multi-flow capture (e.g. a 4-tuple
+/// hash; the demux only needs it to be stable per flow).
+using FlowId = std::uint64_t;
+
+/// Why a flow died (or nearly died). One entry per way the wire can lie.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kUnknownContentType,  // record type byte outside 20..23
+  kCorruptLength,       // record length > 2^14, or implausible version stamp
+  kZeroLengthRecord,    // zero-length non-application-data record
+  kTruncated,           // flow ended mid-record
+  kMidHandshakeEof,     // flow ended with a partial handshake message
+  kBadHandshake,        // handshake-layer parse failure (type or body)
+  kBadCertificate,      // certificate_list / certificate DER did not parse
+  kEvicted,             // backpressure victim (largest stalled flow)
+  kOther,
+};
+
+inline constexpr std::size_t kFaultKindCount = 10;
+
+std::string_view to_string(FaultKind kind);
+
+/// Maps a wire-layer Error (RecordReader / HandshakeReassembler /
+/// CertificateExtractor) onto the taxonomy. Unrecognized errors land in
+/// kOther rather than being dropped.
+FaultKind classify_fault(const Error& error);
+
+// --- Fault injection -------------------------------------------------------
+
+/// The mutations the harness can apply to one pristine flow.
+enum class Injection : std::uint8_t {
+  kNone = 0,
+  kTruncateTail,        // cut mid-record (classified kTruncated)
+  kTruncateAtRecord,    // cut at a record boundary mid-message (kMidHandshakeEof)
+  kCorruptLength,       // overwrite a record length with 0xffff (kCorruptLength)
+  kCorruptContentType,  // overwrite a record type byte (kUnknownContentType)
+  kZeroLengthRecord,    // splice in a zero-length handshake record
+  kReorderChunks,       // swap two adjacent chunks (interleaved corruption)
+};
+
+inline constexpr std::size_t kInjectionCount = 7;
+
+std::string_view to_string(Injection injection);
+
+/// One scheduled delivery: `chunk` bytes for `flow`; `end_of_flow` marks
+/// the flow's final chunk (EOF follows immediately after it).
+struct ChunkEvent {
+  FlowId flow = 0;
+  Bytes chunk;
+  bool end_of_flow = false;
+};
+
+struct InjectionConfig {
+  /// Fraction of flows that receive a (uniformly chosen) injection.
+  double fault_rate = 0.05;
+  /// Chunk sizes are drawn uniformly from [min_chunk, max_chunk].
+  std::size_t min_chunk = 48;
+  std::size_t max_chunk = 700;
+};
+
+/// What the harness did to one flow — the test oracle.
+struct FlowScript {
+  FlowId id = 0;
+  Injection injection = Injection::kNone;
+  Bytes bytes;  // post-mutation wire bytes, pre-chunking
+};
+
+struct InterleavePlan {
+  std::vector<FlowScript> flows;   // index == flow id
+  std::vector<ChunkEvent> events;  // interleaved delivery order
+  std::size_t injected_flows = 0;  // flows with injection != kNone
+};
+
+/// Builds a deterministic schedule: capture i becomes flow i, a seeded
+/// fraction of flows is mutated, every flow is split into random chunks,
+/// and chunks from all flows are interleaved in random order. The same
+/// seed always yields the same plan (byte-for-byte).
+InterleavePlan make_interleaved_plan(std::span<const Bytes> captures,
+                                     Xoshiro256& rng,
+                                     const InjectionConfig& config = {});
+
+/// Re-frames a server flight (ServerHello + Certificate) into records of at
+/// most `fragment_len` bytes each, so a flow spans many records and the
+/// truncation / backpressure paths have boundaries to hit. Byte content of
+/// the handshake layer is unchanged.
+Result<Bytes> fragment_flight(ByteView flight, std::size_t fragment_len);
+
+}  // namespace tangled::stream

@@ -1,0 +1,66 @@
+#include "stream/ingest.h"
+
+#include "obs/obs.h"
+
+namespace tangled::stream {
+
+StreamIngestor::StreamIngestor(notary::NotaryDb& db,
+                               notary::ValidationCensus* census,
+                               util::ThreadPool& pool,
+                               StreamIngestConfig config)
+    : db_(db),
+      census_(census),
+      pool_(pool),
+      config_(config),
+      demux_(config.demux) {
+  batch_.reserve(config_.batch_size);
+}
+
+void StreamIngestor::feed(FlowId flow, ByteView chunk) {
+  demux_.feed(flow, chunk);
+  drain(/*flush=*/false);
+}
+
+void StreamIngestor::end_flow(FlowId flow) {
+  demux_.end_flow(flow);
+  drain(/*flush=*/false);
+}
+
+void StreamIngestor::run(std::span<const ChunkEvent> events) {
+  for (const ChunkEvent& event : events) {
+    feed(event.flow, event.chunk);
+    if (event.end_of_flow) end_flow(event.flow);
+  }
+}
+
+StreamIngestReport StreamIngestor::finish() {
+  demux_.end_all();
+  drain(/*flush=*/true);
+  report_.demux = demux_.stats();
+  return std::move(report_);
+}
+
+void StreamIngestor::drain(bool flush) {
+  for (CompletedFlow& done : demux_.take_completed()) {
+    notary::Observation observation;
+    observation.chain = std::move(done.chain);
+    observation.port = config_.port;
+    // NotaryDb is observed serially in completion order; the census batch
+    // below shards by leaf bytes, so both are deterministic.
+    db_.observe(observation);
+    ++report_.chains_ingested;
+    if (census_ != nullptr) batch_.push_back(std::move(observation));
+  }
+  for (FaultedFlow& dead : demux_.take_faulted()) {
+    report_.faults.push_back(std::move(dead));
+  }
+  if (census_ == nullptr) return;
+  if (batch_.size() >= config_.batch_size || (flush && !batch_.empty())) {
+    TANGLED_OBS_OBSERVE_COUNT("stream.ingest.batch_chains", batch_.size());
+    census_->ingest_batch(batch_, pool_);
+    ++report_.batches;
+    batch_.clear();
+  }
+}
+
+}  // namespace tangled::stream

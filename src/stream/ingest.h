@@ -1,0 +1,70 @@
+// StreamIngestor: the full streaming pipeline — FlowDemux in front, the
+// Notary behind. Completed chains drain in batches into NotaryDb and
+// ValidationCensus over a util::ThreadPool, in flow-completion order, so a
+// streamed multi-flow capture produces bit-identical census results to
+// feeding each flow's capture through notary::ingest_capture serially
+// (ValidationCensus::ingest_batch is itself order-shard-deterministic).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "notary/census.h"
+#include "notary/notary.h"
+#include "stream/demux.h"
+#include "util/thread_pool.h"
+
+namespace tangled::stream {
+
+struct StreamIngestConfig {
+  DemuxConfig demux;
+  /// Completed chains accumulated before a census ingest_batch is issued.
+  std::size_t batch_size = 64;
+  /// Port recorded on every streamed observation.
+  std::uint16_t port = 443;
+};
+
+struct StreamIngestReport {
+  DemuxStats demux;                // final demux counters
+  std::uint64_t chains_ingested = 0;
+  std::uint64_t batches = 0;
+  /// Every per-flow fault, in the order the stream killed them — the
+  /// capture-level error taxonomy record.
+  std::vector<FaultedFlow> faults;
+};
+
+class StreamIngestor {
+ public:
+  /// `census` may be null (Notary-only ingest). `pool` is used for census
+  /// batch ingest; a zero-worker pool makes every batch inline/serial.
+  StreamIngestor(notary::NotaryDb& db, notary::ValidationCensus* census,
+                 util::ThreadPool& pool, StreamIngestConfig config = {});
+
+  /// Routes one chunk; drains any flows it completed.
+  void feed(FlowId flow, ByteView chunk);
+  /// EOF for one flow.
+  void end_flow(FlowId flow);
+
+  /// Replays a pre-built interleave schedule (the fault harness output).
+  void run(std::span<const ChunkEvent> events);
+
+  /// Ends every still-open flow, flushes the final partial batch, and
+  /// returns the capture-level report. Call exactly once.
+  StreamIngestReport finish();
+
+  const FlowDemux& demux() const { return demux_; }
+
+ private:
+  void drain(bool flush);
+
+  notary::NotaryDb& db_;
+  notary::ValidationCensus* census_;
+  util::ThreadPool& pool_;
+  StreamIngestConfig config_;
+  FlowDemux demux_;
+  std::vector<notary::Observation> batch_;
+  StreamIngestReport report_;
+};
+
+}  // namespace tangled::stream

@@ -6,55 +6,79 @@ namespace tangled::tlswire {
 
 Result<void> CertificateExtractor::feed(ByteView capture) {
   TANGLED_OBS_ADD("tlswire.extract.bytes_fed", capture.size());
-  auto result = [&]() -> Result<void> {
-    records_.feed(capture);
-    auto records = records_.drain();
-    if (!records.ok()) return records.error();
-    TANGLED_OBS_ADD("tlswire.extract.records", records.value().size());
+  // First fault wins, but processing continues past it: the records and
+  // messages that parsed before the bad bytes still update the session.
+  std::optional<Error> fault;
+  auto note = [&fault](Error error) {
+    if (!fault.has_value()) fault = std::move(error);
+  };
 
-    for (const Record& record : records.value()) {
-      if (record.type == ContentType::kAlert) {
-        auto alert = parse_alert(record.fragment);
-        if (!alert.ok()) return alert.error();
-        TANGLED_OBS_INC("tlswire.extract.alerts");
-        session_.alerts.push_back(alert.value());
+  records_.feed(capture);
+  auto records = records_.drain();
+  TANGLED_OBS_ADD("tlswire.extract.records", records.value().size());
+
+  for (const Record& record : records.value()) {
+    if (record.type == ContentType::kAlert) {
+      auto alert = parse_alert(record.fragment);
+      if (!alert.ok()) {
+        note(alert.error());
         continue;
       }
-      if (record.type != ContentType::kHandshake) continue;  // observer skips
-      handshakes_.feed(record.fragment);
+      TANGLED_OBS_INC("tlswire.extract.alerts");
+      session_.alerts.push_back(alert.value());
+      continue;
     }
-    auto messages = handshakes_.drain();
-    if (!messages.ok()) return messages.error();
-    TANGLED_OBS_ADD("tlswire.extract.handshake_msgs", messages.value().size());
+    if (record.type != ContentType::kHandshake) continue;  // observer skips
+    handshakes_.feed(record.fragment);
+  }
+  auto messages = handshakes_.drain();
+  TANGLED_OBS_ADD("tlswire.extract.handshake_msgs", messages.value().size());
 
-    for (const HandshakeMessage& message : messages.value()) {
-      switch (message.type) {
-        case HandshakeType::kClientHello: {
-          auto hello = ClientHello::parse_body(message.body);
-          if (!hello.ok()) return hello.error();
-          session_.saw_client_hello = true;
-          if (!hello.value().sni.empty()) session_.sni = hello.value().sni;
+  for (const HandshakeMessage& message : messages.value()) {
+    switch (message.type) {
+      case HandshakeType::kClientHello: {
+        auto hello = ClientHello::parse_body(message.body);
+        if (!hello.ok()) {
+          note(hello.error());
           break;
         }
-        case HandshakeType::kServerHello: {
-          auto hello = ServerHello::parse_body(message.body);
-          if (!hello.ok()) return hello.error();
-          session_.saw_server_hello = true;
+        session_.saw_client_hello = true;
+        if (!hello.value().sni.empty()) session_.sni = hello.value().sni;
+        break;
+      }
+      case HandshakeType::kServerHello: {
+        auto hello = ServerHello::parse_body(message.body);
+        if (!hello.ok()) {
+          note(hello.error());
           break;
         }
-        case HandshakeType::kCertificate: {
-          auto chain = parse_certificate_body(message.body);
-          if (!chain.ok()) return chain.error();
-          TANGLED_OBS_INC("tlswire.extract.chains");
-          session_.chain = std::move(chain).value();
+        session_.saw_server_hello = true;
+        break;
+      }
+      case HandshakeType::kCertificate: {
+        auto chain = parse_certificate_body(message.body);
+        if (!chain.ok()) {
+          // Tagged so downstream fault taxonomies can tell a broken
+          // certificate_list from generic handshake damage.
+          note(Error{chain.error().code,
+                     "certificate message: " + chain.error().message});
           break;
         }
+        TANGLED_OBS_INC("tlswire.extract.chains");
+        session_.chain = std::move(chain).value();
+        break;
       }
     }
-    return {};
-  }();
-  if (!result.ok()) TANGLED_OBS_INC("tlswire.extract.errors");
-  return result;
+  }
+  // Layer faults come positionally after the messages salvaged above.
+  if (!messages.ok()) note(messages.error());
+  if (!records.ok()) note(records.error());
+
+  if (fault.has_value()) {
+    TANGLED_OBS_INC("tlswire.extract.errors");
+    return *fault;
+  }
+  return {};
 }
 
 }  // namespace tangled::tlswire

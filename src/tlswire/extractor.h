@@ -25,14 +25,38 @@ struct ExtractedSession {
 class CertificateExtractor {
  public:
   /// Feeds captured bytes (either direction; the caller may interleave).
-  /// Malformed data poisons the session with an error state.
+  /// Malformed data returns the first fault hit, but everything parsed
+  /// before the bad bytes — records, handshake messages, even a complete
+  /// certificate chain — is retained in session(): a passive observer
+  /// salvages what it saw before the stream went bad. After a fault the
+  /// underlying readers are poisoned, so further feeds keep returning the
+  /// same fault without buffering or re-parsing.
   Result<void> feed(ByteView capture);
 
   /// The session as understood so far.
   const ExtractedSession& session() const { return session_; }
 
+  /// Moves the session out (for callers about to discard the extractor —
+  /// a streaming demux retiring a finished flow). Leaves session() empty.
+  ExtractedSession take_session() { return std::move(session_); }
+
   /// True once a complete Certificate message has been seen.
   bool has_chain() const { return !session_.chain.empty(); }
+
+  /// Bytes held across the record and handshake reassembly buffers —
+  /// what a streaming demux charges this flow for.
+  std::size_t buffered_bytes() const {
+    return records_.pending() + handshakes_.pending();
+  }
+  /// Bytes of an incomplete TLS record awaiting more data.
+  std::size_t record_pending() const { return records_.pending(); }
+  /// Bytes of an incomplete handshake message awaiting more records.
+  std::size_t handshake_pending() const { return handshakes_.pending(); }
+
+  /// True once a fault has permanently broken this session's stream.
+  bool poisoned() const {
+    return records_.poisoned() || handshakes_.poisoned();
+  }
 
  private:
   RecordReader records_;

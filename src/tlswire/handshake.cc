@@ -252,16 +252,21 @@ Result<std::vector<x509::Certificate>> parse_certificate_body(ByteView body) {
 // ---------------------------------------------------------------------------
 
 void HandshakeReassembler::feed(ByteView fragment) {
+  if (fault_.has_value()) return;  // alignment lost; see RecordReader::feed
   append(buffer_, fragment);
 }
 
-Result<std::vector<HandshakeMessage>> HandshakeReassembler::drain() {
+Partial<HandshakeMessage> HandshakeReassembler::drain() {
   std::vector<HandshakeMessage> messages;
+  if (fault_.has_value()) return {std::move(messages), *fault_};
   std::size_t pos = 0;
   while (buffer_.size() - pos >= 4) {
     const std::uint8_t type = buffer_[pos];
     if (type != 1 && type != 2 && type != 11) {
-      return unsupported_error("unhandled handshake type " + std::to_string(type));
+      fault_ =
+          unsupported_error("unhandled handshake type " + std::to_string(type));
+      buffer_.clear();
+      return {std::move(messages), *fault_};
     }
     const std::size_t length = (static_cast<std::size_t>(buffer_[pos + 1]) << 16) |
                                (static_cast<std::size_t>(buffer_[pos + 2]) << 8) |

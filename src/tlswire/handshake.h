@@ -72,13 +72,23 @@ Result<std::vector<x509::Certificate>> parse_certificate_body(ByteView body);
 
 /// Feed handshake-record fragments, pull whole handshake messages
 /// (messages may span multiple records; multiple messages may share one).
+/// Same fault contract as RecordReader: a malformed message surfaces the
+/// messages reassembled before it, poisons the stream, and repeated drains
+/// return the stored fault without re-parsing.
 class HandshakeReassembler {
  public:
   void feed(ByteView fragment);
-  Result<std::vector<HandshakeMessage>> drain();
+  Partial<HandshakeMessage> drain();
+
+  /// Bytes buffered but not yet reassembled into a whole message.
+  std::size_t pending() const { return buffer_.size(); }
+
+  bool poisoned() const { return fault_.has_value(); }
+  const std::optional<Error>& fault() const { return fault_; }
 
  private:
   Bytes buffer_;
+  std::optional<Error> fault_;
 };
 
 /// Convenience: serialize a full server flight (ServerHello + Certificate)

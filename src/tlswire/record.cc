@@ -68,28 +68,46 @@ Result<Alert> parse_alert(ByteView fragment) {
 }
 
 void RecordReader::feed(ByteView data) {
+  if (fault_.has_value()) {
+    // Alignment is gone; buffering more of the broken stream would only
+    // grow memory for bytes drain() will never parse.
+    TANGLED_OBS_ADD("tlswire.record.poisoned_bytes_dropped", data.size());
+    return;
+  }
   append(buffer_, data);
 }
 
-Result<std::vector<Record>> RecordReader::drain() {
+Partial<Record> RecordReader::drain() {
   std::vector<Record> records;
+  if (fault_.has_value()) return {std::move(records), *fault_};
   std::size_t pos = 0;
+  // On a framing fault, `poison` records it, consumes everything (the good
+  // records up to `pos` plus the unparseable rest), and returns the records
+  // salvaged before the fault. Later drains return the same fault with no
+  // records instead of re-failing on the same bytes.
+  auto poison = [&](Error error) -> Partial<Record> {
+    TANGLED_OBS_INC("tlswire.record.framing_faults");
+    fault_ = std::move(error);
+    buffer_.clear();
+    return {std::move(records), *fault_};
+  };
   while (buffer_.size() - pos >= 5) {
     const std::uint8_t type = buffer_[pos];
     if (!known_content_type(type)) {
-      return parse_error("unknown TLS content type " + std::to_string(type));
+      return poison(
+          parse_error("unknown TLS content type " + std::to_string(type)));
     }
     const std::uint16_t version =
         static_cast<std::uint16_t>((buffer_[pos + 1] << 8) | buffer_[pos + 2]);
     // Accept SSL3.0 .. TLS1.2 version stamps (0x0300-0x0303), as a passive
     // observer must.
     if ((version >> 8) != 0x03 || (version & 0xff) > 0x03) {
-      return parse_error("implausible TLS record version");
+      return poison(parse_error("implausible TLS record version"));
     }
     const std::size_t length =
         static_cast<std::size_t>((buffer_[pos + 3] << 8) | buffer_[pos + 4]);
     if (length > kMaxFragment) {
-      return parse_error("TLS record length out of range");
+      return poison(parse_error("TLS record length out of range"));
     }
     if (length == 0) {
       // RFC 5246 §6.2.1: zero-length fragments are legal for application
@@ -100,7 +118,7 @@ Result<std::vector<Record>> RecordReader::drain() {
         pos += 5;
         continue;
       }
-      return parse_error("zero-length TLS record (non-application-data)");
+      return poison(parse_error("zero-length TLS record (non-application-data)"));
     }
     if (buffer_.size() - pos - 5 < length) break;  // need more bytes
     Record record;

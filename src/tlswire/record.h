@@ -12,13 +12,46 @@
 // before encryption starts.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "util/bytes.h"
 #include "util/result.h"
 
 namespace tangled::tlswire {
+
+/// What an incremental parser hands back: every item parsed before the
+/// first framing fault, plus the fault itself when one was hit. A passive
+/// observer must not lose the three good records in front of one bad byte,
+/// so — unlike Result — value() is populated even when ok() is false.
+template <typename T>
+class [[nodiscard]] Partial {
+ public:
+  Partial() = default;
+  Partial(std::vector<T> items) : items_(std::move(items)) {}  // NOLINT(google-explicit-constructor)
+  Partial(std::vector<T> items, Error fault)
+      : items_(std::move(items)), fault_(std::move(fault)) {}
+
+  /// False when a framing fault was hit; value() still holds the items
+  /// parsed before it.
+  bool ok() const { return !fault_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const std::vector<T>& value() const& { return items_; }
+  std::vector<T>& value() & { return items_; }
+
+  const Error& error() const {
+    assert(!ok());
+    return *fault_;
+  }
+
+ private:
+  std::vector<T> items_;
+  std::optional<Error> fault_;
+};
 
 enum class ContentType : std::uint8_t {
   kChangeCipherSpec = 20,
@@ -69,18 +102,27 @@ Result<Alert> parse_alert(ByteView fragment);
 /// records. Tolerates fragments split at any boundary (TCP semantics).
 class RecordReader {
  public:
-  /// Appends raw bytes from the stream.
+  /// Appends raw bytes from the stream. Bytes fed after a framing fault are
+  /// discarded — record alignment is unrecoverable once the stream breaks.
   void feed(ByteView data);
 
-  /// Extracts the next complete record; std::nullopt when more bytes are
-  /// needed. Malformed framing yields an error and poisons the stream.
-  Result<std::vector<Record>> drain();
+  /// Extracts every complete record buffered so far (an incomplete trailing
+  /// record waits for more bytes). Malformed framing poisons the stream:
+  /// the fault comes back *alongside* the records parsed before it, the
+  /// consumed bytes are compacted away, and every later drain() returns the
+  /// same fault with no records — never a re-parse of the same bad bytes.
+  Partial<Record> drain();
 
   /// Bytes buffered but not yet consumed.
   std::size_t pending() const { return buffer_.size(); }
 
+  /// The framing fault that broke the stream, if any.
+  bool poisoned() const { return fault_.has_value(); }
+  const std::optional<Error>& fault() const { return fault_; }
+
  private:
   Bytes buffer_;
+  std::optional<Error> fault_;
 };
 
 }  // namespace tangled::tlswire

@@ -115,9 +115,12 @@ Bytes CertificateBuilder::build_tbs(const asn1::Oid& sig_alg) const {
   w.begin(asn1::Tag::kSequence);
   auto write_time = [&w](const asn1::Time& t) {
     if (t.needs_generalized()) {
+      // Covers both ends of the UTCTime window: 2050+ per RFC 5280, and
+      // pre-1950 (where the two-digit year would alias into 1950-2049).
       w.primitive(asn1::Tag::kGeneralizedTime, to_bytes(t.encode_generalized()));
     } else {
-      w.primitive(asn1::Tag::kUtcTime, to_bytes(t.encode_utc()));
+      // Inside [1950, 2049] encode_utc cannot fail.
+      w.primitive(asn1::Tag::kUtcTime, to_bytes(t.encode_utc().value()));
     }
   };
   write_time(validity_.not_before);

@@ -4,6 +4,38 @@
 
 namespace tangled::x509 {
 
+namespace {
+
+bool is_ipv4_literal(std::string_view host) {
+  int octets = 0;
+  std::size_t i = 0;
+  while (i < host.size()) {
+    const std::size_t start = i;
+    int value = 0;
+    while (i < host.size() && host[i] >= '0' && host[i] <= '9') {
+      value = value * 10 + (host[i] - '0');
+      if (value > 255) return false;
+      ++i;
+    }
+    if (i == start || i - start > 3) return false;
+    ++octets;
+    if (i == host.size()) break;
+    if (host[i] != '.' || ++i == host.size()) return false;
+  }
+  return octets == 4;
+}
+
+}  // namespace
+
+bool is_ip_literal(std::string_view host) {
+  if (host.empty()) return false;
+  if (host.back() == '.') host.remove_suffix(1);
+  // A colon never appears in a DNS name; treat any as an IPv6 literal
+  // (including bracketed "[::1]" reference forms).
+  if (host.find(':') != std::string_view::npos) return true;
+  return is_ipv4_literal(host);
+}
+
 bool hostname_matches_pattern(std::string_view host, std::string_view pattern) {
   if (host.empty() || pattern.empty()) return false;
   // Trailing-dot normalization (absolute names).
@@ -11,6 +43,11 @@ bool hostname_matches_pattern(std::string_view host, std::string_view pattern) {
   if (pattern.back() == '.') pattern.remove_suffix(1);
 
   if (!starts_with(pattern, "*.")) return iequals(host, pattern);
+
+  // RFC 6125 §6.4.3: a wildcard never matches an IP-address host —
+  // "192.168.0.1" must not satisfy "*.168.0.1". Addresses only match the
+  // exact-equality branch above.
+  if (is_ip_literal(host)) return false;
 
   // Wildcard: "*.rest" matches "<one-label>.rest" only.
   const std::string_view rest = pattern.substr(2);

@@ -11,6 +11,12 @@
 
 namespace tangled::x509 {
 
+/// True when `host` is an IPv4 dotted-quad or IPv6 literal rather than a
+/// DNS name. RFC 6125 §6.4.3: wildcard patterns never match IP addresses
+/// ("*.168.0.1" must not cover "192.168.0.1"); an address is only matched
+/// by an exact SAN entry.
+bool is_ip_literal(std::string_view host);
+
 /// Case-insensitive single-pattern match with left-most-label wildcard.
 bool hostname_matches_pattern(std::string_view host, std::string_view pattern);
 

@@ -80,8 +80,24 @@ TEST(Time, GeneralizedTimeRejectsMalformed) {
 }
 
 TEST(Time, EncodeUtc) {
-  EXPECT_EQ(make_time(2014, 12, 2, 9, 30, 45).encode_utc(), "141202093045Z");
-  EXPECT_EQ(make_time(1999, 1, 2, 3, 4, 5).encode_utc(), "990102030405Z");
+  EXPECT_EQ(make_time(2014, 12, 2, 9, 30, 45).encode_utc().value(),
+            "141202093045Z");
+  EXPECT_EQ(make_time(1999, 1, 2, 3, 4, 5).encode_utc().value(),
+            "990102030405Z");
+}
+
+TEST(Time, EncodeUtcRejectsYearsOutsideTwoDigitWindow) {
+  // Pre-fix, 2150 silently encoded as year % 100 = 50 → "1950", and
+  // pre-1900 years printed a negative field. Both must error now.
+  EXPECT_FALSE(make_time(2150, 1, 1).encode_utc().ok());
+  EXPECT_FALSE(make_time(2050, 1, 1).encode_utc().ok());
+  EXPECT_FALSE(make_time(1949, 12, 31, 23, 59, 59).encode_utc().ok());
+  EXPECT_FALSE(make_time(1899, 6, 1).encode_utc().ok());
+  EXPECT_FALSE(make_time(-1, 1, 1).encode_utc().ok());
+  // The window edges themselves are fine.
+  EXPECT_EQ(make_time(1950, 1, 1).encode_utc().value(), "500101000000Z");
+  EXPECT_EQ(make_time(2049, 12, 31, 23, 59, 59).encode_utc().value(),
+            "491231235959Z");
 }
 
 TEST(Time, EncodeGeneralized) {
@@ -92,6 +108,13 @@ TEST(Time, EncodeGeneralized) {
 TEST(Time, NeedsGeneralizedSwitchesAt2050) {
   EXPECT_FALSE(make_time(2049, 12, 31, 23, 59, 59).needs_generalized());
   EXPECT_TRUE(make_time(2050, 1, 1).needs_generalized());
+}
+
+TEST(Time, NeedsGeneralizedBefore1950) {
+  // RFC 5280's UTCTime pivot covers 1950-2049 only; earlier dates must use
+  // GeneralizedTime too.
+  EXPECT_TRUE(make_time(1949, 12, 31, 23, 59, 59).needs_generalized());
+  EXPECT_FALSE(make_time(1950, 1, 1).needs_generalized());
 }
 
 TEST(Time, Iso8601Rendering) {
@@ -126,9 +149,27 @@ INSTANTIATE_TEST_SUITE_P(Timestamps, TimeRoundTrip,
 
 TEST(TimeRoundTrip, UtcStringRoundTrip) {
   const Time t = make_time(2014, 6, 15, 12, 0, 1);
-  auto parsed = Time::parse_utc(t.encode_utc());
+  auto parsed = Time::parse_utc(t.encode_utc().value());
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(parsed.value(), t);
+}
+
+TEST(TimeRoundTrip, WindowBoundaryYearsRoundTripThroughSomeEncoding) {
+  // Each boundary year must round-trip through whichever encoding
+  // needs_generalized() selects — the builder's exact policy.
+  for (int year : {1949, 1950, 2049, 2050, 2150}) {
+    const Time t = make_time(year, 7, 4, 1, 2, 3);
+    if (t.needs_generalized()) {
+      EXPECT_FALSE(t.encode_utc().ok()) << year;
+      auto parsed = Time::parse_generalized(t.encode_generalized());
+      ASSERT_TRUE(parsed.ok()) << year;
+      EXPECT_EQ(parsed.value(), t) << year;
+    } else {
+      auto parsed = Time::parse_utc(t.encode_utc().value());
+      ASSERT_TRUE(parsed.ok()) << year;
+      EXPECT_EQ(parsed.value(), t) << year;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,533 @@
+// The streaming ingest contract, end to end:
+//
+//  * every FaultKind taxonomy entry is reachable and correctly classified
+//    (truncation, corrupt lengths, garbage framing, zero-length records,
+//    mid-handshake EOF, handshake/certificate damage, eviction);
+//  * faults are contained per flow — a corrupt flow never damages its
+//    interleaved neighbours;
+//  * buffered bytes stay under the configured cap (backpressure evicts the
+//    largest stalled flow, deterministically);
+//  * a seeded 1,000-flow interleaved capture at 5% fault rate ingested
+//    streaming-parallel produces census counts identical to feeding each
+//    flow's delivered bytes through notary::ingest_capture serially.
+#include "stream/ingest.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "notary/wire_ingest.h"
+#include "pki/hierarchy.h"
+#include "tlswire/handshake.h"
+#include "util/thread_pool.h"
+
+namespace tangled::stream {
+namespace {
+
+constexpr std::size_t kFragment = 256;  // record size for multi-record flows
+
+/// One hierarchy, one leaf, one wire capture (optionally with ClientHello),
+/// re-framed into kFragment-byte records so truncation injections have
+/// record boundaries to hit.
+struct WireFixture {
+  pki::CaHierarchy hierarchy;
+  std::vector<x509::Certificate> chain;
+  Bytes capture;
+};
+
+WireFixture make_fixture(std::uint64_t seed, const std::string& host,
+                         bool with_client_hello) {
+  Xoshiro256 rng(seed);
+  auto h = pki::CaHierarchy::build(rng, "Stream-" + host, 1, /*sim_keys=*/true);
+  EXPECT_TRUE(h.ok());
+  auto leaf = h.value().issue(rng, host, 0);
+  EXPECT_TRUE(leaf.ok());
+  WireFixture fx{std::move(h).value(), {}, {}};
+  fx.chain = fx.hierarchy.presented_chain(leaf.value(), 0);
+
+  Bytes flat;
+  if (with_client_hello) {
+    tlswire::ClientHello client;
+    client.sni = host;
+    auto client_flight = tlswire::encode_records(
+        tlswire::ContentType::kHandshake,
+        tlswire::encode_handshake(
+            {tlswire::HandshakeType::kClientHello, client.encode_body()}));
+    EXPECT_TRUE(client_flight.ok());
+    flat = std::move(client_flight).value();
+  }
+  auto server_flight =
+      tlswire::encode_server_flight(tlswire::ServerHello{}, fx.chain);
+  EXPECT_TRUE(server_flight.ok());
+  append(flat, server_flight.value());
+
+  auto fragmented = fragment_flight(flat, kFragment);
+  EXPECT_TRUE(fragmented.ok());
+  fx.capture = std::move(fragmented).value();
+  return fx;
+}
+
+FaultKind sole_fault_kind(FlowDemux& demux) {
+  auto faulted = demux.take_faulted();
+  if (faulted.size() != 1) {
+    ADD_FAILURE() << "expected exactly one faulted flow, got "
+                  << faulted.size();
+    return FaultKind::kNone;
+  }
+  return faulted[0].kind;
+}
+
+// --- Fault taxonomy ---------------------------------------------------------
+// Every FaultKind entry (except kNone) reached through the demux, from real
+// wire damage, and classified correctly.
+
+class StreamFaultTaxonomy : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fixture_ = make_fixture(9001, "taxonomy.example.com", false);
+  }
+  WireFixture fixture_;
+};
+
+TEST_F(StreamFaultTaxonomy, UnknownContentType) {
+  Bytes bytes = fixture_.capture;
+  bytes[0] = 0x63;  // outside 20..23
+  FlowDemux demux;
+  demux.feed(7, bytes);
+  EXPECT_EQ(sole_fault_kind(demux), FaultKind::kUnknownContentType);
+  EXPECT_EQ(demux.stats().fault_counts[static_cast<std::size_t>(
+                FaultKind::kUnknownContentType)],
+            1u);
+}
+
+TEST_F(StreamFaultTaxonomy, CorruptLength) {
+  Bytes bytes = fixture_.capture;
+  bytes[3] = 0xff;  // 0xffff > 2^14
+  bytes[4] = 0xff;
+  FlowDemux demux;
+  demux.feed(7, bytes);
+  EXPECT_EQ(sole_fault_kind(demux), FaultKind::kCorruptLength);
+}
+
+TEST_F(StreamFaultTaxonomy, ZeroLengthRecord) {
+  // Splice an empty handshake record in front (RFC 5246 §6.2.1 only allows
+  // empty application data).
+  Bytes bytes{22, 0x03, 0x03, 0x00, 0x00};
+  append(bytes, fixture_.capture);
+  FlowDemux demux;
+  demux.feed(7, bytes);
+  EXPECT_EQ(sole_fault_kind(demux), FaultKind::kZeroLengthRecord);
+}
+
+TEST_F(StreamFaultTaxonomy, TruncatedMidRecord) {
+  const std::size_t record_span = 5 + kFragment;
+  ASSERT_GT(fixture_.capture.size(), 2 * record_span + 100);
+  const ByteView cut(fixture_.capture.data(), 2 * record_span + 100);
+  FlowDemux demux;
+  demux.feed(7, cut);
+  EXPECT_TRUE(demux.take_faulted().empty());  // still waiting for bytes
+  demux.end_flow(7);
+  EXPECT_EQ(sole_fault_kind(demux), FaultKind::kTruncated);
+}
+
+TEST_F(StreamFaultTaxonomy, MidHandshakeEof) {
+  // Cut at a record boundary: records drain cleanly but the Certificate
+  // message spanning them is incomplete at EOF.
+  const std::size_t record_span = 5 + kFragment;
+  ASSERT_GT(fixture_.capture.size(), 3 * record_span);
+  const ByteView cut(fixture_.capture.data(), 2 * record_span);
+  FlowDemux demux;
+  demux.feed(7, cut);
+  demux.end_flow(7);
+  EXPECT_EQ(sole_fault_kind(demux), FaultKind::kMidHandshakeEof);
+}
+
+TEST_F(StreamFaultTaxonomy, BadHandshake) {
+  auto bytes = tlswire::encode_records(
+      tlswire::ContentType::kHandshake,
+      tlswire::encode_handshake(
+          {static_cast<tlswire::HandshakeType>(0x7f), Bytes{0x00}}));
+  ASSERT_TRUE(bytes.ok());
+  FlowDemux demux;
+  demux.feed(7, bytes.value());
+  EXPECT_EQ(sole_fault_kind(demux), FaultKind::kBadHandshake);
+}
+
+TEST_F(StreamFaultTaxonomy, BadCertificate) {
+  // Valid framing, valid handshake header, garbage certificate_list (one
+  // zero-length ASN.1Cert).
+  auto bytes = tlswire::encode_records(
+      tlswire::ContentType::kHandshake,
+      tlswire::encode_handshake({tlswire::HandshakeType::kCertificate,
+                                 Bytes{0x00, 0x00, 0x03, 0x00, 0x00, 0x00}}));
+  ASSERT_TRUE(bytes.ok());
+  FlowDemux demux;
+  demux.feed(7, bytes.value());
+  EXPECT_EQ(sole_fault_kind(demux), FaultKind::kBadCertificate);
+}
+
+TEST_F(StreamFaultTaxonomy, Evicted) {
+  // Two flows stall mid-record; their buffered bytes exceed the cap and the
+  // larger one is evicted. High-water is recorded post-eviction, so it can
+  // never exceed the cap.
+  DemuxConfig config;
+  config.max_buffered_bytes = 4000;
+  FlowDemux demux(config);
+
+  const Bytes header{22, 0x03, 0x03, 0x0f, 0x00};  // claims 3840-byte body
+  Bytes big = header;
+  big.resize(3000, 0xaa);
+  Bytes small = header;
+  small.resize(1500, 0xbb);
+
+  demux.feed(1, big);
+  EXPECT_EQ(demux.buffered_bytes(), 3000u);
+  demux.feed(2, small);
+  // 3000 + 1500 > 4000: flow 1 (largest) evicted, flow 2 survives.
+  EXPECT_EQ(demux.buffered_bytes(), 1500u);
+  EXPECT_EQ(demux.open_flows(), 1u);
+  auto faulted = demux.take_faulted();
+  ASSERT_EQ(faulted.size(), 1u);
+  EXPECT_EQ(faulted[0].id, 1u);
+  EXPECT_EQ(faulted[0].kind, FaultKind::kEvicted);
+  EXPECT_EQ(demux.stats().flows_evicted, 1u);
+  EXPECT_LE(demux.stats().buffered_high_water, config.max_buffered_bytes);
+}
+
+TEST_F(StreamFaultTaxonomy, UnrecognizedErrorsClassifyAsOther) {
+  EXPECT_EQ(classify_fault(parse_error("some novel failure mode")),
+            FaultKind::kOther);
+}
+
+// --- Per-flow containment ---------------------------------------------------
+
+class StreamDemuxTest : public ::testing::Test {};
+
+TEST_F(StreamDemuxTest, FaultsContainedPerFlow) {
+  // Three interleaved flows; the middle one is corrupted. The neighbours
+  // complete with their exact chains.
+  WireFixture a = make_fixture(9100, "a.example.com", true);
+  WireFixture b = make_fixture(9101, "b.example.com", false);
+  WireFixture c = make_fixture(9102, "c.example.com", true);
+  Bytes poisoned = b.capture;
+  // b.capture is fragmented at kFragment, so the second record's header
+  // (content-type byte) sits at offset 5 + kFragment.
+  ASSERT_GT(poisoned.size(), 5 + kFragment);
+  poisoned[5 + kFragment] = 0x63;
+
+  FlowDemux demux;
+  const std::size_t step = 200;
+  std::size_t pos = 0;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (const auto& [id, bytes] :
+         {std::pair<FlowId, const Bytes*>{0, &a.capture},
+          {1, &poisoned},
+          {2, &c.capture}}) {
+      if (pos >= bytes->size()) continue;
+      const std::size_t take = std::min(step, bytes->size() - pos);
+      demux.feed(id, ByteView(bytes->data() + pos, take));
+      progressed = true;
+    }
+    pos += step;
+  }
+  demux.end_all();
+
+  auto completed = demux.take_completed();
+  ASSERT_EQ(completed.size(), 2u);
+  std::map<FlowId, const CompletedFlow*> by_id;
+  for (const auto& flow : completed) by_id[flow.id] = &flow;
+  ASSERT_TRUE(by_id.contains(0));
+  ASSERT_TRUE(by_id.contains(2));
+  EXPECT_EQ(by_id[0]->chain, a.chain);
+  EXPECT_EQ(by_id[2]->chain, c.chain);
+  ASSERT_TRUE(by_id[0]->sni.has_value());
+  EXPECT_EQ(*by_id[0]->sni, "a.example.com");
+
+  auto faulted = demux.take_faulted();
+  ASSERT_EQ(faulted.size(), 1u);
+  EXPECT_EQ(faulted[0].id, 1u);
+  EXPECT_EQ(demux.stats().flows_seen, 3u);
+  EXPECT_EQ(demux.stats().flows_completed, 2u);
+  EXPECT_EQ(demux.stats().flows_faulted, 1u);
+}
+
+TEST_F(StreamDemuxTest, LateFaultAfterChainIsSalvaged) {
+  // Garbage arrives in the same chunk that completes the chain: the chain
+  // is kept, the fault is non-fatal, the flow counts as salvaged.
+  WireFixture fx = make_fixture(9103, "salvage.example.com", false);
+  Bytes bytes = fx.capture;
+  append(bytes, to_bytes("\x63junk after the flight"));
+
+  FlowDemux demux;
+  demux.feed(5, bytes);
+  auto completed = demux.take_completed();
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_EQ(completed[0].chain, fx.chain);
+  EXPECT_TRUE(completed[0].non_fatal_fault.has_value());
+  EXPECT_TRUE(demux.take_faulted().empty());
+  EXPECT_EQ(demux.stats().flows_salvaged, 1u);
+  EXPECT_EQ(demux.stats().flows_completed, 1u);
+}
+
+TEST_F(StreamDemuxTest, ChunksAfterCompletionAreDropped) {
+  WireFixture fx = make_fixture(9104, "done.example.com", false);
+  FlowDemux demux;
+  demux.feed(5, fx.capture);
+  ASSERT_EQ(demux.stats().flows_completed, 1u);
+  demux.feed(5, to_bytes("application data we no longer care about"));
+  EXPECT_GT(demux.stats().bytes_dropped, 0u);
+  EXPECT_EQ(demux.stats().flows_completed, 1u);
+  EXPECT_EQ(demux.open_flows(), 0u);
+}
+
+TEST_F(StreamDemuxTest, CleanEofWithoutCertificateIsEmptyNotFaulted) {
+  tlswire::ClientHello client;
+  client.sni = "probe.example.com";
+  auto hello_only = tlswire::encode_records(
+      tlswire::ContentType::kHandshake,
+      tlswire::encode_handshake(
+          {tlswire::HandshakeType::kClientHello, client.encode_body()}));
+  ASSERT_TRUE(hello_only.ok());
+  FlowDemux demux;
+  demux.feed(5, hello_only.value());
+  demux.end_flow(5);
+  EXPECT_TRUE(demux.take_faulted().empty());
+  EXPECT_TRUE(demux.take_completed().empty());
+  EXPECT_EQ(demux.stats().flows_empty, 1u);
+}
+
+// --- Injection harness determinism ------------------------------------------
+
+TEST(StreamHarness, SameSeedSamePlan) {
+  WireFixture fx = make_fixture(9105, "seeded.example.com", false);
+  std::vector<Bytes> captures(20, fx.capture);
+  Xoshiro256 rng_a(42);
+  Xoshiro256 rng_b(42);
+  InjectionConfig config;
+  config.fault_rate = 0.3;
+  const InterleavePlan plan_a = make_interleaved_plan(captures, rng_a, config);
+  const InterleavePlan plan_b = make_interleaved_plan(captures, rng_b, config);
+  ASSERT_EQ(plan_a.events.size(), plan_b.events.size());
+  EXPECT_EQ(plan_a.injected_flows, plan_b.injected_flows);
+  for (std::size_t i = 0; i < plan_a.events.size(); ++i) {
+    EXPECT_EQ(plan_a.events[i].flow, plan_b.events[i].flow) << i;
+    EXPECT_EQ(plan_a.events[i].chunk, plan_b.events[i].chunk) << i;
+    EXPECT_EQ(plan_a.events[i].end_of_flow, plan_b.events[i].end_of_flow) << i;
+  }
+  for (std::size_t i = 0; i < plan_a.flows.size(); ++i) {
+    EXPECT_EQ(plan_a.flows[i].injection, plan_b.flows[i].injection) << i;
+    EXPECT_EQ(plan_a.flows[i].bytes, plan_b.flows[i].bytes) << i;
+  }
+}
+
+// --- Streaming-parallel vs serial equivalence -------------------------------
+
+/// Rebuilds each flow's delivered byte stream (chunks concatenated in event
+/// order) — for reordered flows this differs from FlowScript::bytes, and it
+/// is exactly what a serial per-flow reader would have seen.
+std::vector<Bytes> delivered_streams(const InterleavePlan& plan) {
+  std::vector<Bytes> streams(plan.flows.size());
+  for (const ChunkEvent& event : plan.events) {
+    append(streams[event.flow], event.chunk);
+  }
+  return streams;
+}
+
+struct CensusPair {
+  notary::NotaryDb db;
+  notary::ValidationCensus census;
+  explicit CensusPair(const pki::TrustAnchors& anchors) : census(anchors) {}
+};
+
+void expect_equal_results(const CensusPair& streaming, const CensusPair& serial,
+                          const std::vector<x509::Certificate>& roots) {
+  EXPECT_EQ(streaming.db.session_count(), serial.db.session_count());
+  EXPECT_EQ(streaming.db.unique_cert_count(), serial.db.unique_cert_count());
+  EXPECT_EQ(streaming.census.total_validated(), serial.census.total_validated());
+  EXPECT_EQ(streaming.census.total_unexpired(), serial.census.total_unexpired());
+  for (const auto& root : roots) {
+    EXPECT_EQ(streaming.census.validated_by(root),
+              serial.census.validated_by(root));
+  }
+}
+
+TEST(ParallelStream, SerialEquivalence) {
+  // The acceptance gate: a seeded 1,000-flow interleaved capture at 5%
+  // fault rate ingests with bounded memory; only injected flows are lost;
+  // the streaming-parallel census matches a serial per-flow ingest of the
+  // same delivered bytes, count for count.
+  constexpr std::size_t kFlowsPerOrg = 250;
+  constexpr std::size_t kOrgs = 4;
+
+  Xoshiro256 rng(20140402);
+  std::vector<pki::CaHierarchy> hierarchies;
+  pki::TrustAnchors anchors;
+  std::vector<x509::Certificate> roots;
+  for (std::size_t org = 0; org < kOrgs; ++org) {
+    auto h = pki::CaHierarchy::build(rng, "StreamOrg" + std::to_string(org), 1,
+                                     /*sim_keys=*/true);
+    ASSERT_TRUE(h.ok());
+    hierarchies.push_back(std::move(h).value());
+    anchors.add(hierarchies.back().root().cert);
+    roots.push_back(hierarchies.back().root().cert);
+  }
+
+  std::vector<Bytes> captures;
+  captures.reserve(kOrgs * kFlowsPerOrg);
+  for (std::size_t org = 0; org < kOrgs; ++org) {
+    for (std::size_t i = 0; i < kFlowsPerOrg; ++i) {
+      auto leaf = hierarchies[org].issue(
+          rng, "f" + std::to_string(captures.size()) + ".example.com", 0);
+      ASSERT_TRUE(leaf.ok());
+      Bytes flat;
+      if (captures.size() % 3 == 0) {
+        tlswire::ClientHello client;
+        client.sni = "f" + std::to_string(captures.size()) + ".example.com";
+        auto client_flight = tlswire::encode_records(
+            tlswire::ContentType::kHandshake,
+            tlswire::encode_handshake(
+                {tlswire::HandshakeType::kClientHello, client.encode_body()}));
+        ASSERT_TRUE(client_flight.ok());
+        flat = std::move(client_flight).value();
+      }
+      auto flight = tlswire::encode_server_flight(
+          tlswire::ServerHello{},
+          hierarchies[org].presented_chain(leaf.value(), 0));
+      ASSERT_TRUE(flight.ok());
+      append(flat, flight.value());
+      auto fragmented = fragment_flight(flat, kFragment);
+      ASSERT_TRUE(fragmented.ok());
+      captures.push_back(std::move(fragmented).value());
+    }
+  }
+
+  Xoshiro256 plan_rng(5150);
+  InjectionConfig inject;
+  inject.fault_rate = 0.05;
+  const InterleavePlan plan = make_interleaved_plan(captures, plan_rng, inject);
+  ASSERT_EQ(plan.flows.size(), 1000u);
+  ASSERT_GT(plan.injected_flows, 0u);
+
+  // Streaming-parallel path.
+  StreamIngestConfig config;
+  util::ThreadPool pool(4);
+  CensusPair streaming(anchors);
+  StreamIngestor ingestor(streaming.db, &streaming.census, pool, config);
+  ingestor.run(plan.events);
+  const StreamIngestReport report = ingestor.finish();
+
+  // Bounded memory: the high-water mark never exceeded the cap.
+  EXPECT_LE(report.demux.buffered_high_water,
+            config.demux.max_buffered_bytes);
+  EXPECT_EQ(report.demux.flows_seen, 1000u);
+  EXPECT_EQ(report.demux.flows_completed + report.demux.flows_faulted +
+                report.demux.flows_empty,
+            1000u);
+  EXPECT_EQ(report.chains_ingested, report.demux.flows_completed);
+
+  // Only injected flows are lost; every pristine flow produced its chain.
+  for (const FaultedFlow& dead : report.faults) {
+    EXPECT_NE(plan.flows[dead.id].injection, Injection::kNone)
+        << "pristine flow " << dead.id << " faulted: " << dead.error.message;
+  }
+  EXPECT_GE(report.demux.flows_completed, 1000u - plan.injected_flows);
+  std::uint64_t taxonomy_total = 0;
+  for (const std::uint64_t count : report.demux.fault_counts) {
+    taxonomy_total += count;
+  }
+  EXPECT_EQ(taxonomy_total, report.demux.flows_faulted);
+
+  // Serial reference: each flow's delivered bytes through ingest_capture.
+  CensusPair serial(anchors);
+  for (const Bytes& bytes : delivered_streams(plan)) {
+    // Faulted flows error out or observe nothing — exactly the flows the
+    // demux killed.
+    (void)notary::ingest_capture(serial.db, &serial.census, bytes, 443);
+  }
+  expect_equal_results(streaming, serial, roots);
+}
+
+TEST(ParallelStream, ZeroWorkerPoolMatchesParallel) {
+  // TANGLED_THREADS=0 degrades every batch to inline ingest; results must
+  // not move.
+  Xoshiro256 rng(777);
+  auto h = pki::CaHierarchy::build(rng, "InlineOrg", 1, /*sim_keys=*/true);
+  ASSERT_TRUE(h.ok());
+  pki::TrustAnchors anchors;
+  anchors.add(h.value().root().cert);
+
+  std::vector<Bytes> captures;
+  for (std::size_t i = 0; i < 50; ++i) {
+    auto leaf = h.value().issue(rng, "z" + std::to_string(i) + ".example", 0);
+    ASSERT_TRUE(leaf.ok());
+    auto flight = tlswire::encode_server_flight(
+        tlswire::ServerHello{}, h.value().presented_chain(leaf.value(), 0));
+    ASSERT_TRUE(flight.ok());
+    captures.push_back(std::move(flight).value());
+  }
+  Xoshiro256 plan_rng(778);
+  InjectionConfig clean;
+  clean.fault_rate = 0.0;
+  const InterleavePlan plan = make_interleaved_plan(captures, plan_rng, clean);
+
+  util::ThreadPool inline_pool(0);
+  CensusPair inline_run(anchors);
+  StreamIngestor inline_ingestor(inline_run.db, &inline_run.census,
+                                 inline_pool);
+  inline_ingestor.run(plan.events);
+  (void)inline_ingestor.finish();
+
+  util::ThreadPool pool(4);
+  CensusPair parallel_run(anchors);
+  StreamIngestor parallel_ingestor(parallel_run.db, &parallel_run.census,
+                                   pool);
+  parallel_ingestor.run(plan.events);
+  (void)parallel_ingestor.finish();
+
+  expect_equal_results(inline_run, parallel_run,
+                       {h.value().root().cert});
+}
+
+// --- TSan lane: demux + batched census ingest under real threads ------------
+
+TEST(StreamConcurrency, BatchedCensusIngestUnderThreads) {
+  Xoshiro256 rng(31337);
+  auto h = pki::CaHierarchy::build(rng, "TsanOrg", 1, /*sim_keys=*/true);
+  ASSERT_TRUE(h.ok());
+  pki::TrustAnchors anchors;
+  anchors.add(h.value().root().cert);
+
+  std::vector<Bytes> captures;
+  for (std::size_t i = 0; i < 200; ++i) {
+    auto leaf = h.value().issue(rng, "t" + std::to_string(i) + ".example", 0);
+    ASSERT_TRUE(leaf.ok());
+    auto flight = tlswire::encode_server_flight(
+        tlswire::ServerHello{}, h.value().presented_chain(leaf.value(), 0));
+    ASSERT_TRUE(flight.ok());
+    captures.push_back(std::move(flight).value());
+  }
+  Xoshiro256 plan_rng(31338);
+  InjectionConfig inject;
+  inject.fault_rate = 0.1;
+  const InterleavePlan plan = make_interleaved_plan(captures, plan_rng, inject);
+
+  util::ThreadPool pool(4);
+  notary::NotaryDb db;
+  notary::ValidationCensus census(anchors);
+  StreamIngestConfig config;
+  config.batch_size = 32;  // several racing batches across the run
+  StreamIngestor ingestor(db, &census, pool, config);
+  ingestor.run(plan.events);
+  const StreamIngestReport report = ingestor.finish();
+
+  EXPECT_EQ(report.demux.flows_seen, 200u);
+  EXPECT_EQ(report.chains_ingested, census.total_validated());
+  EXPECT_EQ(report.demux.flows_completed + report.demux.flows_faulted +
+                report.demux.flows_empty,
+            200u);
+}
+
+}  // namespace
+}  // namespace tangled::stream

@@ -86,6 +86,34 @@ TEST_F(WireIntegrationTest, TruncatedCaptureObservesNothing) {
   }
 }
 
+TEST_F(WireIntegrationTest, TrailingGarbageAfterChainIsSalvaged) {
+  // Pre-fix, a feed error *after* the full flight had been consumed threw
+  // away the extracted chain. The chain must be recorded, chain_observed
+  // set, and the fault reported as non-fatal.
+  Bytes capture = flight_;
+  append(capture, to_bytes("\x63trailing garbage, not TLS"));
+
+  notary::NotaryDb db;
+  pki::TrustAnchors anchors;
+  anchors.add(hierarchy_->root().cert);
+  notary::ValidationCensus census(anchors);
+
+  auto result = notary::ingest_capture(db, &census, capture, 443);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().chain_observed);
+  ASSERT_TRUE(result.value().flow_fault.has_value());
+  EXPECT_EQ(db.session_count(), 1u);
+  EXPECT_TRUE(db.recorded(chain_[0]));
+  EXPECT_EQ(census.total_validated(), 1u);
+}
+
+TEST_F(WireIntegrationTest, CleanCaptureReportsNoFlowFault) {
+  notary::NotaryDb db;
+  auto result = notary::ingest_capture(db, nullptr, flight_, 443);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().flow_fault.has_value());
+}
+
 TEST_F(WireIntegrationTest, MitmRewriteSubstitutesChainOnTheWire) {
   // The proxy's CA mints a forged chain for the same domain.
   Xoshiro256 rng(3141);

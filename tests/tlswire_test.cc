@@ -126,6 +126,75 @@ TEST_F(TlsWireTest, RecordReaderRejectsEmptyNonApplicationData) {
   }
 }
 
+TEST_F(TlsWireTest, RecordDrainSalvagesRecordsBeforeFault) {
+  // Two good records followed by garbage framing: drain must surface both
+  // parsed records alongside the error instead of discarding them.
+  Record first;
+  first.fragment = to_bytes("good one");
+  Record second;
+  second.fragment = to_bytes("good two");
+  auto a = encode_record(first);
+  auto b = encode_record(second);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  RecordReader reader;
+  reader.feed(a.value());
+  reader.feed(b.value());
+  reader.feed(to_bytes("\x63garbage-not-tls"));
+  auto partial = reader.drain();
+  EXPECT_FALSE(partial.ok());
+  ASSERT_EQ(partial.value().size(), 2u);
+  EXPECT_EQ(partial.value()[0].fragment, first.fragment);
+  EXPECT_EQ(partial.value()[1].fragment, second.fragment);
+  EXPECT_TRUE(reader.poisoned());
+}
+
+TEST_F(TlsWireTest, RecordDrainIdempotentAfterFault) {
+  RecordReader reader;
+  reader.feed(to_bytes("GET / HTTP/1.1\r\n"));
+  auto first = reader.drain();
+  ASSERT_FALSE(first.ok());
+  const Errc code = first.error().code;
+  // Repeated drains return the same fault, no records, and never re-parse.
+  for (int i = 0; i < 3; ++i) {
+    auto again = reader.drain();
+    EXPECT_FALSE(again.ok());
+    EXPECT_TRUE(again.value().empty());
+    EXPECT_EQ(again.error().code, code);
+  }
+  // Feeds after poisoning are dropped, not buffered.
+  Record record;
+  record.fragment = to_bytes("late arrival");
+  auto encoded = encode_record(record);
+  ASSERT_TRUE(encoded.ok());
+  reader.feed(encoded.value());
+  EXPECT_EQ(reader.pending(), 0u);
+  EXPECT_TRUE(reader.drain().value().empty());
+}
+
+TEST_F(TlsWireTest, HandshakeDrainSalvagesMessagesBeforeFault) {
+  // A good ServerHello followed by an unknown handshake type: the reassembler
+  // must return the ServerHello alongside the fault.
+  ServerHello hello;
+  Bytes payload =
+      encode_handshake({HandshakeType::kServerHello, hello.encode_body()});
+  Bytes bogus = encode_handshake({static_cast<HandshakeType>(0x7f), {0x00}});
+  payload.insert(payload.end(), bogus.begin(), bogus.end());
+
+  HandshakeReassembler reassembler;
+  reassembler.feed(payload);
+  auto partial = reassembler.drain();
+  EXPECT_FALSE(partial.ok());
+  ASSERT_EQ(partial.value().size(), 1u);
+  EXPECT_EQ(partial.value()[0].type, HandshakeType::kServerHello);
+  EXPECT_TRUE(reassembler.poisoned());
+  // Idempotent: the fault persists, salvage is not replayed.
+  auto again = reassembler.drain();
+  EXPECT_FALSE(again.ok());
+  EXPECT_TRUE(again.value().empty());
+}
+
 // --- Alerts ------------------------------------------------------------------
 
 TEST_F(TlsWireTest, AlertRoundTrip) {

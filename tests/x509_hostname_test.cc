@@ -35,6 +35,30 @@ TEST(HostnamePattern, OverBroadWildcardsRejected) {
   EXPECT_FALSE(hostname_matches_pattern("www.example.com", "www.*.com"));
 }
 
+TEST(HostnamePattern, WildcardsNeverMatchIpLiterals) {
+  // RFC 6125 §6.4.3: wildcards apply to DNS domain names only. Pre-fix,
+  // "*.0.2.1" matched the IPv4 literal 10.0.2.1 label-wise.
+  EXPECT_FALSE(hostname_matches_pattern("10.0.2.1", "*.0.2.1"));
+  EXPECT_FALSE(hostname_matches_pattern("192.168.1.50", "*.168.1.50"));
+  EXPECT_FALSE(hostname_matches_pattern("10.0.2.1.", "*.0.2.1"));  // abs form
+  EXPECT_FALSE(hostname_matches_pattern("2001:db8::1", "*.db8::1"));
+  // Exact-match IP identities are unaffected (CN-carried IPs in old certs).
+  EXPECT_TRUE(hostname_matches_pattern("10.0.2.1", "10.0.2.1"));
+}
+
+TEST(HostnamePattern, IpLiteralDetection) {
+  EXPECT_TRUE(is_ip_literal("10.0.2.1"));
+  EXPECT_TRUE(is_ip_literal("255.255.255.255"));
+  EXPECT_TRUE(is_ip_literal("2001:db8::1"));
+  EXPECT_TRUE(is_ip_literal("::1"));
+  EXPECT_FALSE(is_ip_literal("example.com"));
+  EXPECT_FALSE(is_ip_literal("1.2.3.4.5"));     // five octets
+  EXPECT_FALSE(is_ip_literal("256.1.1.1"));     // octet out of range
+  EXPECT_FALSE(is_ip_literal("10.0.2"));        // three octets
+  EXPECT_FALSE(is_ip_literal("1e100.net"));     // looks numeric, is DNS
+  EXPECT_FALSE(is_ip_literal(""));
+}
+
 TEST(HostnamePattern, EmptyInputsRejected) {
   EXPECT_FALSE(hostname_matches_pattern("", "example.com"));
   EXPECT_FALSE(hostname_matches_pattern("example.com", ""));
