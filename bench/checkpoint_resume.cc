@@ -1,0 +1,208 @@
+// Checkpoint/resume microbench: what does crash safety cost, and what does
+// a warm resume save? Runs the census over the standard synthetic corpus
+// three ways — no checkpoints, periodic checkpoints, and a crash at ~60%
+// followed by a resume — and verifies all three produce bit-identical
+// census results before reporting wall times. Emits
+// BENCH_checkpoint_resume.json.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "recover/checkpoint.h"
+
+int main() {
+  using namespace tangled;
+  using clock = std::chrono::steady_clock;
+
+  bench::print_header("Checkpoint / resume — crash-safe census",
+                      "tangled::recover (DESIGN.md §7)");
+  bench::BenchReport report("checkpoint_resume",
+                            "tangled::recover checkpoint/resume");
+
+  // Materialize the corpus once so every variant ingests identical
+  // observations and the timings compare ingest work only.
+  std::vector<notary::Observation> corpus;
+  {
+    obs::Span span(obs::tracer(), "bench.generate_corpus");
+    synth::NotaryCorpusConfig config;
+    config.n_certs = bench::corpus_scale();
+    synth::NotaryCorpusGenerator generator(bench::universe(), config);
+    util::ThreadPool& pool = util::shared_pool();
+    generator.generate(
+        [&corpus](const notary::Observation& obs) { corpus.push_back(obs); },
+        pool.size() <= 1 ? nullptr : &pool);
+  }
+  util::ThreadPool& pool = util::shared_pool();
+  constexpr std::size_t kBatch = 4096;
+  const std::uint64_t interval = corpus.size() / 10 + 1;
+
+  std::string out_dir = ".";
+  if (const char* env = std::getenv("TANGLED_BENCH_OUT")) {
+    if (env[0] != '\0') out_dir = env;
+  }
+  const std::string snapshot_path = out_dir + "/checkpoint_resume.tngl";
+
+  struct RunResult {
+    double seconds = 0.0;
+    std::uint64_t validated = 0;
+    std::uint64_t unexpired = 0;
+  };
+  auto ingest_range = [&](recover::CheckpointingCensus& ckpt,
+                          std::size_t from, std::size_t to) {
+    for (std::size_t i = from; i < to; i += kBatch) {
+      const std::size_t n = std::min(kBatch, to - i);
+      auto ok = ckpt.ingest_batch(std::span(corpus.data() + i, n), pool);
+      if (!ok.ok()) {
+        std::fprintf(stderr, "checkpoint write failed: %s\n",
+                     to_string(ok.error()).c_str());
+        std::exit(1);
+      }
+    }
+  };
+
+  // Variant 1: plain run, no checkpoints — the baseline wall time.
+  RunResult plain;
+  {
+    obs::Span span(obs::tracer(), "bench.run_plain");
+    notary::NotaryDb db;
+    notary::ValidationCensus census(bench::all_anchors());
+    recover::CheckpointConfig config;
+    config.path = snapshot_path;
+    config.interval = 0;  // never
+    recover::CheckpointingCensus ckpt(db, census, config);
+    const auto t0 = clock::now();
+    ingest_range(ckpt, 0, corpus.size());
+    plain.seconds = std::chrono::duration<double>(clock::now() - t0).count();
+    plain.validated = census.total_validated();
+    plain.unexpired = census.total_unexpired();
+  }
+
+  // Variant 2: periodic checkpoints — measures the crash-safety overhead.
+  RunResult checkpointed;
+  std::uint64_t checkpoints_written = 0;
+  {
+    obs::Span span(obs::tracer(), "bench.run_checkpointed");
+    std::remove(snapshot_path.c_str());
+    notary::NotaryDb db;
+    notary::ValidationCensus census(bench::all_anchors());
+    recover::CheckpointConfig config;
+    config.path = snapshot_path;
+    config.interval = interval;
+    recover::CheckpointingCensus ckpt(db, census, config);
+    const auto before =
+        obs::metrics().counter("recover.checkpoints").value();
+    const auto t0 = clock::now();
+    ingest_range(ckpt, 0, corpus.size());
+    checkpointed.seconds =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    checkpoints_written =
+        obs::metrics().counter("recover.checkpoints").value() - before;
+    checkpointed.validated = census.total_validated();
+    checkpointed.unexpired = census.total_unexpired();
+  }
+
+  // Variant 3: crash at ~60%, then resume and finish. The resume wall time
+  // is restore + the un-checkpointed tail — the number an operator cares
+  // about after a kill: "how long until the census is caught up again?"
+  RunResult resumed;
+  std::uint64_t resume_cursor = 0;
+  double restore_seconds = 0.0;
+  {
+    obs::Span span(obs::tracer(), "bench.run_crash_resume");
+    std::remove(snapshot_path.c_str());
+    const std::size_t crash_point = corpus.size() * 3 / 5;
+    {
+      notary::NotaryDb db;
+      notary::ValidationCensus census(bench::all_anchors());
+      recover::CheckpointConfig config;
+      config.path = snapshot_path;
+      config.interval = interval;
+      recover::CheckpointingCensus ckpt(db, census, config);
+      ingest_range(ckpt, 0, crash_point);
+      // Process "dies" here: state past the last checkpoint is lost.
+    }
+    notary::NotaryDb db;
+    notary::ValidationCensus census(bench::all_anchors());
+    recover::CheckpointConfig config;
+    config.path = snapshot_path;
+    config.interval = interval;
+    recover::CheckpointingCensus ckpt(db, census, config);
+    const auto t0 = clock::now();
+    auto info = ckpt.resume();
+    restore_seconds = std::chrono::duration<double>(clock::now() - t0).count();
+    if (!info.ok()) {
+      std::fprintf(stderr, "resume failed: %s\n",
+                   to_string(info.error()).c_str());
+      std::exit(1);
+    }
+    resume_cursor = info.value().observations_ingested;
+    ingest_range(ckpt, static_cast<std::size_t>(resume_cursor),
+                 corpus.size());
+    resumed.seconds =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    resumed.validated = census.total_validated();
+    resumed.unexpired = census.total_unexpired();
+  }
+  std::remove(snapshot_path.c_str());
+
+  const bool identical = plain.validated == checkpointed.validated &&
+                         plain.validated == resumed.validated &&
+                         plain.unexpired == checkpointed.unexpired &&
+                         plain.unexpired == resumed.unexpired;
+  const double overhead =
+      plain.seconds > 0.0 ? checkpointed.seconds / plain.seconds - 1.0 : 0.0;
+  const double resume_saving =
+      plain.seconds > 0.0 ? 1.0 - resumed.seconds / plain.seconds : 0.0;
+  // The operator-facing number: a crash-safe deployment keeps
+  // checkpointing, so the alternative to resuming is a full *checkpointed*
+  // re-run, not a bare one.
+  const double resume_vs_rerun =
+      checkpointed.seconds > 0.0 ? 1.0 - resumed.seconds / checkpointed.seconds
+                                 : 0.0;
+  const auto budget_exhausted =
+      obs::metrics().counter("pki.verify.budget_exhausted").value();
+
+  std::printf("corpus: %zu observations, %zu unique certs "
+              "(TANGLED_BENCH_CERTS), %zu threads\n\n",
+              corpus.size(), bench::corpus_scale(),
+              util::shared_pool().size());
+  std::printf("cold run (no checkpoints):   %8.3f s\n", plain.seconds);
+  std::printf("checkpointed run (%2llu snaps): %8.3f s  (overhead %+.1f%%)\n",
+              static_cast<unsigned long long>(checkpoints_written),
+              checkpointed.seconds, 100.0 * overhead);
+  std::printf("crash at 60%% + resume:       %8.3f s  (restore %.3f s, "
+              "cursor %llu/%zu, %.1f%% of cold wall saved)\n",
+              resumed.seconds, restore_seconds,
+              static_cast<unsigned long long>(resume_cursor), corpus.size(),
+              100.0 * resume_saving);
+  std::printf("resume vs checkpointed re-run:        saves %.1f%%\n",
+              100.0 * resume_vs_rerun);
+  std::printf("results identical across all three: %s\n",
+              identical ? "yes" : "NO");
+  std::printf("verify budget exhaustions observed: %llu "
+              "(an honest corpus must spend none)\n",
+              static_cast<unsigned long long>(budget_exhausted));
+
+  report.add_measured("cold ingest seconds", plain.seconds);
+  report.add_measured("checkpointed ingest seconds", checkpointed.seconds);
+  report.add_measured("checkpoints written",
+                      static_cast<double>(checkpoints_written));
+  report.add_measured("checkpoint overhead fraction", overhead);
+  report.add_measured("resume restore seconds", restore_seconds);
+  report.add_measured("resume total seconds (restore + tail)",
+                      resumed.seconds);
+  report.add_measured("resume cursor observations",
+                      static_cast<double>(resume_cursor));
+  report.add_measured("resume saving vs cold fraction", resume_saving);
+  report.add_measured("resume saving vs checkpointed rerun fraction",
+                      resume_vs_rerun);
+  report.add_measured("results identical across variants", identical ? 1 : 0);
+  report.add_measured("verify budget exhaustions",
+                      static_cast<double>(budget_exhausted));
+  report.note("resume wall = snapshot restore + replay of the "
+              "un-checkpointed tail; results are bit-identical to the cold "
+              "run by the kill-matrix contract");
+  return identical ? 0 : 1;
+}

@@ -176,6 +176,14 @@ Result<Tlv> DerReader::read_tlv(ByteView* tlv_der) {
     for (std::size_t i = 0; i < n; ++i) {
       len = (len << 8) | data_[pos_++];
     }
+    // Bound the declared length against the window immediately, before any
+    // further interpretation: a hostile multi-octet length (up to 2^64-1)
+    // must never reach code that would size a buffer from it. Bodies are
+    // returned as views into the validated window, so no read path
+    // allocates from `len` — this check keeps that invariant explicit.
+    if (len > remaining()) {
+      return parse_error("declared DER length exceeds remaining input");
+    }
     // DER: shortest possible length form, no leading zero octets.
     if (len < 0x80 || (n > 1 && data_[start + 2] == 0x00)) {
       return parse_error("non-minimal DER length");

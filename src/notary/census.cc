@@ -4,8 +4,11 @@
 #include <array>
 #include <string_view>
 #include <unordered_set>
+#include <utility>
 
+#include "crypto/hash.h"
 #include "obs/obs.h"
+#include "util/binio.h"
 
 namespace tangled::notary {
 
@@ -94,8 +97,17 @@ void ValidationCensus::ingest_into(Shard& shard,
   auto survey = verifier_.verify_all_anchors(
       leaf, std::span<const x509::Certificate>(observation.chain).subspan(1));
   if (!survey.ok()) {
+    // A budget-exhausted leaf stays unvalidated — like a missing
+    // intermediate, it is retried on its next observation, so the census
+    // degrades deterministically instead of stalling on a hostile mesh.
+    if (survey.error().code == Errc::kBudgetExhausted) {
+      TANGLED_OBS_INC("notary.census.budget_exhausted");
+    }
     if (first_seen) TANGLED_OBS_INC("notary.census.unvalidated");
     return;
+  }
+  if (survey.value().budget_exhausted) {
+    TANGLED_OBS_INC("notary.census.budget_exhausted");
   }
   state->second = true;
   if (!first_seen) TANGLED_OBS_INC("notary.census.upgraded");
@@ -136,6 +148,152 @@ void ValidationCensus::ingest_into(Shard& shard,
   } else {
     ++shard.anchor_sets[it->second].count;
   }
+}
+
+Bytes ValidationCensus::encode_state() const {
+  Bytes out;
+  util::put_u32(out, static_cast<std::uint32_t>(kShards));
+  std::vector<std::pair<std::string_view, std::uint64_t>> sorted;
+  for (const Shard& shard : shards_) {
+    // leaf_state, sorted by fingerprint for deterministic bytes. The bool
+    // is widened into the count field of the scratch pair.
+    sorted.clear();
+    sorted.reserve(shard.leaf_state.size());
+    for (const auto& [fp, validated] : shard.leaf_state) {
+      sorted.emplace_back(fp, validated ? 1 : 0);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    util::put_u64(out, sorted.size());
+    for (const auto& [fp, validated] : sorted) {
+      util::put_string(out, fp);
+      util::put_u8(out, static_cast<std::uint8_t>(validated));
+    }
+    // by_root, sorted by equivalence key.
+    sorted.clear();
+    sorted.reserve(shard.by_root.size());
+    for (const auto& [key, count] : shard.by_root) {
+      sorted.emplace_back(key, count);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    util::put_u64(out, sorted.size());
+    for (const auto& [key, count] : sorted) {
+      util::put_string(out, key);
+      util::put_u64(out, count);
+    }
+    // anchor_sets in arrival order — the order is part of the state (the
+    // merged view and coverage queries walk entries by index).
+    util::put_u64(out, shard.anchor_sets.size());
+    for (const AnchorSetEntry& entry : shard.anchor_sets) {
+      util::put_u64(out, entry.keys.size());
+      for (const std::string& key : entry.keys) util::put_string(out, key);
+      util::put_u64(out, entry.count);
+    }
+    util::put_u64(out, shard.total_validated);
+    util::put_u64(out, shard.total_unexpired);
+  }
+  return out;
+}
+
+Result<void> ValidationCensus::decode_state(ByteView data) {
+  util::BinReader in(data);
+  auto shard_count = in.u32();
+  if (!shard_count.ok()) return shard_count.error();
+  if (shard_count.value() != kShards) {
+    return state_error("census snapshot has " +
+                       std::to_string(shard_count.value()) +
+                       " shards, this build uses " + std::to_string(kShards));
+  }
+  std::vector<Shard> shards(kShards);
+  for (Shard& shard : shards) {
+    auto leaves = in.count(/*min_bytes_per_element=*/9);  // len prefix + flag
+    if (!leaves.ok()) return leaves.error();
+    shard.leaf_state.reserve(leaves.value());
+    for (std::size_t i = 0; i < leaves.value(); ++i) {
+      auto fp = in.string();
+      if (!fp.ok()) return fp.error();
+      auto validated = in.u8();
+      if (!validated.ok()) return validated.error();
+      if (validated.value() > 1) {
+        return parse_error("census snapshot: bad leaf-state flag");
+      }
+      shard.leaf_state.emplace(std::move(fp.value()), validated.value() == 1);
+    }
+    auto roots = in.count(/*min_bytes_per_element=*/16);  // len prefix + u64
+    if (!roots.ok()) return roots.error();
+    shard.by_root.reserve(roots.value());
+    for (std::size_t i = 0; i < roots.value(); ++i) {
+      auto key = in.string();
+      if (!key.ok()) return key.error();
+      auto count = in.u64();
+      if (!count.ok()) return count.error();
+      shard.by_root.emplace(std::move(key.value()), count.value());
+    }
+    auto sets = in.count(/*min_bytes_per_element=*/16);  // nkeys + count
+    if (!sets.ok()) return sets.error();
+    shard.anchor_sets.reserve(sets.value());
+    for (std::size_t i = 0; i < sets.value(); ++i) {
+      AnchorSetEntry entry;
+      auto nkeys = in.count(/*min_bytes_per_element=*/8);
+      if (!nkeys.ok()) return nkeys.error();
+      entry.keys.reserve(nkeys.value());
+      for (std::size_t k = 0; k < nkeys.value(); ++k) {
+        auto key = in.string();
+        if (!key.ok()) return key.error();
+        entry.keys.push_back(std::move(key.value()));
+      }
+      auto count = in.u64();
+      if (!count.ok()) return count.error();
+      entry.count = count.value();
+      // The joined-key index is derived state; rebuild it as sets arrive.
+      std::string joined;
+      for (const std::string& key : entry.keys) {
+        joined += key;
+        joined += '|';
+      }
+      shard.anchor_set_index.emplace(std::move(joined),
+                                     shard.anchor_sets.size());
+      shard.anchor_sets.push_back(std::move(entry));
+    }
+    auto validated = in.u64();
+    if (!validated.ok()) return validated.error();
+    auto unexpired = in.u64();
+    if (!unexpired.ok()) return unexpired.error();
+    shard.total_validated = validated.value();
+    shard.total_unexpired = unexpired.value();
+  }
+  if (auto ok = in.expect_end(); !ok.ok()) return ok;
+  shards_ = std::move(shards);
+  merged_.reset();
+  return {};
+}
+
+std::string ValidationCensus::context_fingerprint() const {
+  // Everything that changes census *results* goes into the hash: the anchor
+  // universe (in order — TrustAnchors lookups are order-sensitive on ties)
+  // and the policy knobs the verifier applies. Cache and chain-collection
+  // toggles are excluded because they are contractually result-neutral.
+  Bytes buf;
+  const auto& options = verifier_.options();
+  util::put_i64(buf, options.at.to_unix());
+  util::put_u8(buf, options.check_validity ? 1 : 0);
+  util::put_u8(buf, options.check_signatures ? 1 : 0);
+  util::put_u8(buf, options.require_ca_bit ? 1 : 0);
+  util::put_u64(buf, options.max_depth);
+  util::put_u8(buf, options.purpose.has_value() ? 1 : 0);
+  util::put_u8(buf, options.purpose.has_value()
+                        ? static_cast<std::uint8_t>(*options.purpose)
+                        : 0);
+  util::put_u8(buf, options.check_path_length ? 1 : 0);
+  util::put_u64(buf, options.budget.max_search_steps);
+  util::put_u64(buf, options.budget.max_depth);
+  util::put_u64(buf, anchors_.all().size());
+  crypto::Sha256 hasher;
+  hasher.update(buf);
+  for (const x509::Certificate& anchor : anchors_.all()) {
+    hasher.update(to_bytes(anchor.fingerprint_hex()));
+  }
+  const auto digest = hasher.digest();
+  return to_hex(ByteView(digest.data(), digest.size()));
 }
 
 const ValidationCensus::Merged& ValidationCensus::merged() const {

@@ -81,6 +81,26 @@ class ValidationCensus {
   /// The census's shared link-signature cache, for hit-rate telemetry;
   /// nullptr when caching is disabled.
   const pki::VerifyCache* verify_cache() const { return cache_.get(); }
+  /// Mutable access for the recover snapshot's warm-cache restore.
+  pki::VerifyCache* verify_cache_mutable() { return cache_.get(); }
+
+  // --- Snapshot codec (recover::snapshot) ---------------------------------
+  /// Serializes every shard's accumulators (dedup state, per-root counts,
+  /// anchor sets in arrival order, totals). Unordered-map keys are sorted
+  /// first so equal census states always encode to equal bytes.
+  Bytes encode_state() const;
+  /// All-or-nothing restore: decodes into temporary shards and swaps them
+  /// in only when the whole buffer parses, so a corrupt payload leaves the
+  /// census untouched. The anchor-set index is rebuilt, merged() re-derives.
+  Result<void> decode_state(ByteView data);
+  /// SHA-256 (hex) over the anchor universe and the result-affecting verify
+  /// options. A snapshot is only valid against the exact configuration that
+  /// produced it — restoring counts under different anchors or policy would
+  /// silently skew every table — so recover stores this fingerprint in the
+  /// cursor section and refuses a mismatch. The wall-clock deadline is
+  /// excluded: it is explicitly nondeterministic and not part of the
+  /// result contract.
+  std::string context_fingerprint() const;
 
   // --- Per-root results ---------------------------------------------------
   /// Number of distinct unexpired leaves this root validates (by the root's

@@ -1,6 +1,10 @@
 #include "notary/notary.h"
 
+#include <algorithm>
+#include <string>
+
 #include "obs/obs.h"
+#include "util/binio.h"
 
 namespace tangled::notary {
 
@@ -31,6 +35,87 @@ bool NotaryDb::recorded(const x509::Certificate& cert) const {
 
 bool NotaryDb::recorded_identity(ByteView identity_key) const {
   return identities_.contains(to_hex(identity_key));
+}
+
+namespace {
+
+/// Sorted copy of an unordered string set, for deterministic encoding.
+std::vector<std::string> sorted_keys(
+    const std::unordered_set<std::string>& set) {
+  std::vector<std::string> keys(set.begin(), set.end());
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void put_string_set(Bytes& out, const std::unordered_set<std::string>& set) {
+  const auto keys = sorted_keys(set);
+  util::put_u64(out, keys.size());
+  for (const std::string& key : keys) util::put_string(out, key);
+}
+
+Result<void> read_string_set(util::BinReader& in,
+                             std::unordered_set<std::string>& set) {
+  auto n = in.count(/*min_bytes_per_element=*/8);  // u64 length prefix
+  if (!n.ok()) return n.error();
+  set.reserve(n.value());
+  for (std::size_t i = 0; i < n.value(); ++i) {
+    auto key = in.string();
+    if (!key.ok()) return key.error();
+    set.insert(std::move(key.value()));
+  }
+  return {};
+}
+
+}  // namespace
+
+Bytes NotaryDb::encode_state() const {
+  Bytes out;
+  util::put_i64(out, now_.to_unix());
+  util::put_u64(out, sessions_);
+  util::put_u64(out, unexpired_);
+  put_string_set(out, unique_certs_);
+  put_string_set(out, identities_);
+  util::put_u64(out, by_port_.size());
+  for (const auto& [port, count] : by_port_) {  // std::map: already sorted
+    util::put_u16(out, port);
+    util::put_u64(out, count);
+  }
+  return out;
+}
+
+Result<void> NotaryDb::decode_state(ByteView data) {
+  util::BinReader in(data);
+  auto now_unix = in.i64();
+  if (!now_unix.ok()) return now_unix.error();
+  if (now_unix.value() != now_.to_unix()) {
+    return state_error("notary snapshot taken at a different `now`");
+  }
+  auto sessions = in.u64();
+  if (!sessions.ok()) return sessions.error();
+  auto unexpired = in.u64();
+  if (!unexpired.ok()) return unexpired.error();
+  std::unordered_set<std::string> certs;
+  if (auto ok = read_string_set(in, certs); !ok.ok()) return ok;
+  std::unordered_set<std::string> identities;
+  if (auto ok = read_string_set(in, identities); !ok.ok()) return ok;
+  auto ports = in.count(/*min_bytes_per_element=*/10);  // u16 + u64
+  if (!ports.ok()) return ports.error();
+  std::map<std::uint16_t, std::uint64_t> by_port;
+  for (std::size_t i = 0; i < ports.value(); ++i) {
+    auto port = in.u16();
+    if (!port.ok()) return port.error();
+    auto count = in.u64();
+    if (!count.ok()) return count.error();
+    by_port[port.value()] = count.value();
+  }
+  if (auto ok = in.expect_end(); !ok.ok()) return ok;
+  // Everything parsed — commit.
+  sessions_ = sessions.value();
+  unexpired_ = unexpired.value();
+  unique_certs_ = std::move(certs);
+  identities_ = std::move(identities);
+  by_port_ = std::move(by_port);
+  return {};
 }
 
 }  // namespace tangled::notary

@@ -13,6 +13,7 @@
 
 #include "asn1/time.h"
 #include "util/bytes.h"
+#include "util/result.h"
 #include "x509/certificate.h"
 
 namespace tangled::notary {
@@ -46,6 +47,18 @@ class NotaryDb {
   }
 
   const asn1::Time& now() const { return now_; }
+
+  // --- Snapshot codec (recover::snapshot) ---------------------------------
+  /// Serializes the whole observation state. Set iteration order is not
+  /// deterministic, so keys are sorted first: equal states always encode to
+  /// equal bytes, which lets the checkpoint tests compare snapshots
+  /// directly.
+  Bytes encode_state() const;
+  /// All-or-nothing restore: decodes into temporaries and commits only when
+  /// the whole buffer parses, so a corrupt payload leaves `this` untouched.
+  /// Refuses (kInvalidState) a snapshot taken under a different `now` —
+  /// the expiry gate would reclassify certificates.
+  Result<void> decode_state(ByteView data);
 
  private:
   asn1::Time now_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
+#include <string>
 #include <string_view>
 
 #include "obs/obs.h"
@@ -273,8 +275,31 @@ struct SearchContext {
   /// compares integers instead of redoing calendar math.
   std::int64_t at_unix = 0;
 
+  /// ResourceBudget accounting. Mutable for the same reason as `stats`: the
+  /// context is threaded const through the recursive search, and spending is
+  /// per-call bookkeeping. Steps are spent once per candidate *before* any
+  /// check runs, so the count depends only on the candidate enumeration —
+  /// identical with and without a verify cache, and across serial/parallel
+  /// census runs.
+  mutable std::size_t budget_steps_used = 0;
+  mutable bool budget_exhausted = false;
+  std::size_t budget_step_limit = 0;  // 0 = unlimited
+  std::chrono::steady_clock::time_point budget_deadline{};  // epoch = none
+  /// min(options.max_depth, budget.max_depth when set).
+  std::size_t effective_max_depth = 0;
+
   void prepare() {
     at_unix = options.at.to_unix();
+    const ResourceBudget& budget = options.budget;
+    budget_step_limit = budget.max_search_steps;
+    effective_max_depth = options.max_depth;
+    if (budget.max_depth != 0 && budget.max_depth < effective_max_depth) {
+      effective_max_depth = budget.max_depth;
+    }
+    if (budget.deadline_us > 0) {
+      budget_deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(budget.deadline_us);
+    }
     if (intermediates.size() < kIndexThreshold) return;
     inter_index.reserve(intermediates.size());
     for (const auto& inter : intermediates) {
@@ -303,6 +328,28 @@ struct SearchContext {
         return;
       }
     }
+  }
+
+  /// Spends one search step. Returns false once the budget is gone — the
+  /// caller stops enumerating candidates, the recursion unwinds (every
+  /// deeper loop's first spend_step also fails), and the search terminates
+  /// promptly instead of stalling on a pathological cross-sign mesh. The
+  /// wall-clock deadline is only consulted every 64 steps so the common
+  /// path stays a compare-and-increment.
+  bool spend_step() const {
+    if (budget_exhausted) return false;
+    ++budget_steps_used;
+    if (budget_step_limit != 0 && budget_steps_used > budget_step_limit) {
+      budget_exhausted = true;
+      return false;
+    }
+    if (budget_deadline.time_since_epoch().count() != 0 &&
+        (budget_steps_used & 63u) == 0 &&
+        std::chrono::steady_clock::now() >= budget_deadline) {
+      budget_exhausted = true;
+      return false;
+    }
+    return true;
   }
 };
 
@@ -344,7 +391,12 @@ Chain materialize(const CertPath& path) {
 /// Depth-first path extension. `path` holds certs from leaf to current tip.
 bool extend(const x509::Certificate& tip, CertPath& path, SmallIdSet& on_path,
             const SearchContext& ctx, PendingError& last_error) {
-  if (path.size() >= ctx.options.max_depth) {
+  if (path.size() >= ctx.effective_max_depth) {
+    // A budget-imposed cap below the policy max_depth is a truncation of
+    // the search, not a policy verdict — flag it as exhaustion.
+    if (ctx.effective_max_depth < ctx.options.max_depth) {
+      ctx.budget_exhausted = true;
+    }
     last_error.set(PendingError::Kind::kDepth, nullptr);
     return false;
   }
@@ -383,6 +435,7 @@ bool extend(const x509::Certificate& tip, CertPath& path, SmallIdSet& on_path,
   ctx.anchors.for_each_by_subject(
       tip.issuer_name_der(), tip.issuer_name_hash(),
       [&](const x509::Certificate& anchor) {
+        if (!ctx.spend_step()) return false;
         ++ctx.stats.anchors_tried;
         if (anchor.der() == tip.der()) return true;
         if (!purpose_ok(anchor)) return true;
@@ -407,6 +460,7 @@ bool extend(const x509::Certificate& tip, CertPath& path, SmallIdSet& on_path,
   if (found) return true;
 
   ctx.for_each_intermediate(tip, [&](const x509::Certificate& inter) {
+    if (!ctx.spend_step()) return false;
     ++ctx.stats.intermediates_tried;
     // Loop guard keyed on the full SHA-256 fingerprint (hex, interned), not
     // a 64-bit DER hash: an fnv1a64 collision between two distinct certs on
@@ -477,7 +531,10 @@ void collect_anchors(const x509::Certificate& tip, CertPath& path,
                      SmallIdSet& on_path, const SearchContext& ctx,
                      AnchorSurvey& survey, SmallIdSet& found_anchors,
                      PendingError& last_error) {
-  if (path.size() >= ctx.options.max_depth) {
+  if (path.size() >= ctx.effective_max_depth) {
+    if (ctx.effective_max_depth < ctx.options.max_depth) {
+      ctx.budget_exhausted = true;
+    }
     last_error.set(PendingError::Kind::kDepth, nullptr);
     return;
   }
@@ -525,6 +582,7 @@ void collect_anchors(const x509::Certificate& tip, CertPath& path,
   ctx.anchors.for_each_by_subject(
       tip.issuer_name_der(), tip.issuer_name_hash(),
       [&](const x509::Certificate& anchor) {
+        if (!ctx.spend_step()) return false;
         ++ctx.stats.anchors_tried;
         if (anchor.der() == tip.der()) return true;
         if (!purpose_ok(anchor)) return true;
@@ -545,6 +603,7 @@ void collect_anchors(const x509::Certificate& tip, CertPath& path,
       });
 
   ctx.for_each_intermediate(tip, [&](const x509::Certificate& inter) {
+    if (!ctx.spend_step()) return false;
     ++ctx.stats.intermediates_tried;
     const std::string& id = inter.fingerprint_hex();
     if (on_path.contains(id)) return true;  // loop guard (full fingerprint)
@@ -579,6 +638,9 @@ void count_verify_failure(const Error& error) {
       TANGLED_OBS_INC("pki.verify.fail.verify");
       break;
     case Errc::kParse: TANGLED_OBS_INC("pki.verify.fail.parse"); break;
+    case Errc::kBudgetExhausted:
+      TANGLED_OBS_INC("pki.verify.fail.budget");
+      break;
     default: TANGLED_OBS_INC("pki.verify.fail.other"); break;
   }
 }
@@ -609,7 +671,14 @@ Result<Chain> ChainVerifier::verify(
     TANGLED_OBS_OBSERVE_COUNT("pki.verify.intermediates_tried",
                               ctx.stats.intermediates_tried);
     TANGLED_OBS_ADD("pki.verify.signature_checks", ctx.stats.signature_checks);
+    if (ctx.budget_exhausted) TANGLED_OBS_INC("pki.verify.budget_exhausted");
     if (found) return materialize(path);
+    if (ctx.budget_exhausted) {
+      // Step counts are deterministic (candidate enumeration only), so this
+      // message is stable across cache-on/off and serial/parallel runs.
+      return budget_error("path search budget exhausted after " +
+                          std::to_string(ctx.budget_steps_used) + " steps");
+    }
     return last_error.render(leaf);
   }();
   if (result.ok()) {
@@ -656,7 +725,15 @@ Result<AnchorSurvey> ChainVerifier::verify_all_anchors(
     TANGLED_OBS_ADD("pki.verify.all_anchors.intermediates_tried",
                     ctx.stats.intermediates_tried);
     TANGLED_OBS_ADD("pki.verify.signature_checks", ctx.stats.signature_checks);
-    if (survey.anchors.empty()) return last_error.render(leaf);
+    if (ctx.budget_exhausted) TANGLED_OBS_INC("pki.verify.budget_exhausted");
+    survey.budget_exhausted = ctx.budget_exhausted;
+    if (survey.anchors.empty()) {
+      if (ctx.budget_exhausted) {
+        return budget_error("anchor survey budget exhausted after " +
+                            std::to_string(ctx.budget_steps_used) + " steps");
+      }
+      return last_error.render(leaf);
+    }
     return survey;
   }();
   if (result.ok()) {

@@ -96,6 +96,30 @@ class TrustAnchors {
   std::unordered_multimap<std::uint64_t, std::size_t> key_id_index_;
 };
 
+/// Bounds on one verify call's path search. Real cross-sign graphs are
+/// tangled enough that an unbounded depth-first search is itself a
+/// robustness hazard: a dense mesh of mutually cross-signed CAs gives the
+/// search an exponential frontier, and one pathological leaf would stall a
+/// whole census shard. The budget turns that into graceful degradation —
+/// the search stops, the result is flagged `budget_exhausted`, and the obs
+/// registry counts it.
+struct ResourceBudget {
+  /// Spent once per candidate link considered (anchors + intermediates
+  /// tried). The default is orders of magnitude above anything an honest
+  /// hierarchy needs (census leaves spend a handful), so only adversarial
+  /// meshes ever hit it. 0 = unlimited.
+  std::size_t max_search_steps = 1u << 20;
+  /// When nonzero, caps the path depth below VerifyOptions::max_depth
+  /// (whichever is smaller wins).
+  std::size_t max_depth = 0;
+  /// Wall-clock deadline for one verify call, in microseconds; 0 = none.
+  /// Checked every 64 steps to keep clock reads off the per-candidate hot
+  /// path. Inherently nondeterministic — reproduction runs and the census
+  /// equivalence tests rely on max_search_steps instead; the deadline is
+  /// the belt-and-braces bound for production serving.
+  std::int64_t deadline_us = 0;
+};
+
 /// Validation policy knobs.
 struct VerifyOptions {
   asn1::Time at = asn1::make_time(2014, 4, 1);  // paper's measurement window
@@ -120,6 +144,10 @@ struct VerifyOptions {
   /// needs the anchor set, so it turns this off to skip a per-leaf copy of
   /// the whole chain.
   bool collect_chain = true;
+  /// Search-resource bounds (steps, depth, wall clock). Identical results
+  /// for any budget large enough to finish the search; a too-small budget
+  /// degrades to a partial answer marked budget_exhausted, never a stall.
+  ResourceBudget budget;
 };
 
 /// A validated path, leaf first, anchor last.
@@ -147,6 +175,10 @@ struct AnchorSurvey {
   /// order the search found them. Pointers into the TrustAnchors' storage;
   /// valid for the anchors' lifetime.
   std::vector<const x509::Certificate*> anchors;
+  /// The search stopped because the ResourceBudget ran out, so `anchors`
+  /// may be a subset of what an unbounded search would find. Anchors listed
+  /// are still genuinely valid (the budget only truncates, never corrupts).
+  bool budget_exhausted = false;
 };
 
 /// Thread-safety: ChainVerifier and TrustAnchors are immutable after

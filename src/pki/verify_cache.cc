@@ -4,8 +4,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "obs/obs.h"
+#include "util/binio.h"
 
 namespace tangled::pki {
 
@@ -63,6 +66,87 @@ VerifyCache::Stats VerifyCache::stats() const {
   s.evictions = cache_.evictions();
   s.entries = cache_.size();
   return s;
+}
+
+namespace {
+
+/// A serialized Errc byte from disk must name a real enumerator before it
+/// is cast back — the section checksum catches random corruption, but this
+/// codec must also be safe when handed arbitrary bytes directly.
+Result<Errc> decode_errc(std::uint8_t raw) {
+  switch (static_cast<Errc>(raw)) {
+    case Errc::kParse:
+    case Errc::kRange:
+    case Errc::kUnsupported:
+    case Errc::kNotFound:
+    case Errc::kVerifyFailed:
+    case Errc::kExpired:
+    case Errc::kInvalidState:
+    case Errc::kBudgetExhausted:
+      return static_cast<Errc>(raw);
+  }
+  return parse_error("verify-cache snapshot: unknown error code " +
+                     std::to_string(raw));
+}
+
+}  // namespace
+
+Bytes VerifyCache::export_state() const {
+  Bytes body;
+  std::uint64_t n = 0;
+  cache_.for_each([&body, &n](const LinkKey& key, const Outcome& outcome) {
+    util::put_u64(body, key.child_lo);
+    util::put_u64(body, key.child_hi);
+    util::put_u64(body, key.issuer_lo);
+    util::put_u64(body, key.issuer_hi);
+    util::put_u8(body, outcome.ok ? 1 : 0);
+    util::put_u8(body, static_cast<std::uint8_t>(outcome.code));
+    util::put_string(body, outcome.message);
+    ++n;
+  });
+  Bytes out;
+  util::put_u64(out, n);
+  append(out, body);
+  return out;
+}
+
+Result<void> VerifyCache::import_state(ByteView data) {
+  util::BinReader in(data);
+  // key (32) + ok (1) + code (1) + message length prefix (8)
+  auto n = in.count(/*min_bytes_per_element=*/42);
+  if (!n.ok()) return n.error();
+  std::vector<std::pair<LinkKey, Outcome>> entries;
+  entries.reserve(n.value());
+  for (std::size_t i = 0; i < n.value(); ++i) {
+    LinkKey key;
+    Outcome outcome;
+    for (std::uint64_t* word :
+         {&key.child_lo, &key.child_hi, &key.issuer_lo, &key.issuer_hi}) {
+      auto v = in.u64();
+      if (!v.ok()) return v.error();
+      *word = v.value();
+    }
+    auto ok_byte = in.u8();
+    if (!ok_byte.ok()) return ok_byte.error();
+    if (ok_byte.value() > 1) {
+      return parse_error("verify-cache snapshot: bad outcome flag");
+    }
+    outcome.ok = ok_byte.value() == 1;
+    auto code_byte = in.u8();
+    if (!code_byte.ok()) return code_byte.error();
+    auto code = decode_errc(code_byte.value());
+    if (!code.ok()) return code.error();
+    outcome.code = code.value();
+    auto message = in.string();
+    if (!message.ok()) return message.error();
+    outcome.message = std::move(message.value());
+    entries.emplace_back(key, std::move(outcome));
+  }
+  if (auto ok = in.expect_end(); !ok.ok()) return ok;
+  for (auto& [key, outcome] : entries) {
+    cache_.insert(key, std::move(outcome));
+  }
+  return {};
 }
 
 double VerifyCache::hit_rate() const {

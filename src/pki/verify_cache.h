@@ -70,6 +70,16 @@ class VerifyCache {
   /// hits / (hits + misses); 0 when never consulted.
   double hit_rate() const;
 
+  // --- Snapshot codec (recover::snapshot) ---------------------------------
+  /// Serializes every memoized link outcome for the snapshot's optional
+  /// warm-cache section. Purely an optimization payload: dropping it (or a
+  /// corrupt copy of it) costs recomputation on resume, never correctness.
+  Bytes export_state() const;
+  /// Re-inserts exported entries (first writer wins; the capacity bound
+  /// still applies). The whole buffer is validated before the first insert,
+  /// so a corrupt payload changes nothing.
+  Result<void> import_state(ByteView data);
+
  private:
   /// A stored Result<void>: success, or the error's code + message.
   struct Outcome {

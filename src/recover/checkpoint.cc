@@ -1,0 +1,249 @@
+#include "recover/checkpoint.h"
+
+#include <atomic>
+#include <csignal>
+#include <utility>
+
+#include "obs/obs.h"
+#include "util/binio.h"
+
+namespace tangled::recover {
+
+namespace {
+
+/// Set from signal context; tested at batch boundaries. Process-wide: a
+/// SIGTERM means "whoever is checkpointing, do it now".
+std::atomic<bool> g_checkpoint_requested{false};
+
+void sigterm_handler(int) {
+  g_checkpoint_requested.store(true, std::memory_order_relaxed);
+}
+
+/// Cursor section payload: progress marker + the bindings that make a
+/// snapshot resumable only against the run that wrote it.
+Bytes encode_cursor(std::uint64_t observations, std::uint64_t plan_seed,
+                    const std::string& fingerprint) {
+  Bytes out;
+  util::put_u64(out, observations);
+  util::put_u64(out, plan_seed);
+  util::put_string(out, fingerprint);
+  return out;
+}
+
+struct Cursor {
+  std::uint64_t observations = 0;
+  std::uint64_t plan_seed = 0;
+  std::string fingerprint;
+};
+
+Result<Cursor> decode_cursor(ByteView payload) {
+  util::BinReader in(payload);
+  Cursor cursor;
+  auto observations = in.u64();
+  if (!observations.ok()) return observations.error();
+  cursor.observations = observations.value();
+  auto seed = in.u64();
+  if (!seed.ok()) return seed.error();
+  cursor.plan_seed = seed.value();
+  auto fingerprint = in.string();
+  if (!fingerprint.ok()) return fingerprint.error();
+  cursor.fingerprint = std::move(fingerprint.value());
+  if (auto ok = in.expect_end(); !ok.ok()) return ok.error();
+  return cursor;
+}
+
+bool is_known_section(std::uint32_t id) {
+  switch (static_cast<SectionId>(id)) {
+    case SectionId::kNotaryDb:
+    case SectionId::kCensus:
+    case SectionId::kVerifyCache:
+    case SectionId::kCursor:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CheckpointingCensus::CheckpointingCensus(notary::NotaryDb& db,
+                                         notary::ValidationCensus& census,
+                                         CheckpointConfig config)
+    : db_(db), census_(census), config_(std::move(config)) {}
+
+void CheckpointingCensus::install_sigterm_handler() {
+  std::signal(SIGTERM, sigterm_handler);
+}
+
+void CheckpointingCensus::request_checkpoint() {
+  g_checkpoint_requested.store(true, std::memory_order_relaxed);
+}
+
+bool CheckpointingCensus::checkpoint_requested() {
+  return g_checkpoint_requested.load(std::memory_order_relaxed);
+}
+
+Result<ResumeInfo> CheckpointingCensus::resume() {
+  ResumeInfo info;
+  auto loaded = read_snapshot_file(config_.path);
+  if (!loaded.ok()) {
+    if (loaded.error().code == Errc::kNotFound) {
+      return info;  // first run: cold start, nothing to report
+    }
+    if (loaded.error().code == Errc::kParse) {
+      // Header-level corruption: detected, reported, rebuilt from scratch.
+      TANGLED_OBS_INC("recover.resume.header_corrupt");
+      info.reports.push_back("snapshot unusable (" + loaded.error().message +
+                             "); cold start");
+      return info;
+    }
+    // kUnsupported (future version) and IO errors propagate typed: they
+    // are refusals, not corruption to silently rebuild over.
+    return loaded.error();
+  }
+
+  const LoadedSnapshot& snapshot = loaded.value();
+  for (const DroppedSection& dropped : snapshot.dropped) {
+    info.reports.push_back("dropped section " +
+                           to_string(static_cast<SectionId>(dropped.id)) +
+                           ": " + dropped.reason);
+  }
+  for (const Section& section : snapshot.sections) {
+    if (!is_known_section(section.id)) {
+      TANGLED_OBS_INC("recover.resume.unknown_sections");
+      info.reports.push_back("skipping unknown section id " +
+                             std::to_string(section.id) +
+                             " (written by a newer build?)");
+    }
+  }
+
+  // The cursor and both core sections form one consistency unit: partial
+  // restore would desynchronize the progress marker from the state, so any
+  // of them missing or undecodable means cold start.
+  const Section* cursor_section = snapshot.find(SectionId::kCursor);
+  const Section* notary_section = snapshot.find(SectionId::kNotaryDb);
+  const Section* census_section = snapshot.find(SectionId::kCensus);
+  if (cursor_section == nullptr || notary_section == nullptr ||
+      census_section == nullptr) {
+    TANGLED_OBS_INC("recover.resume.cold_starts");
+    info.reports.push_back("core section missing or corrupt; cold start");
+    return info;
+  }
+  auto cursor = decode_cursor(cursor_section->payload);
+  if (!cursor.ok()) {
+    TANGLED_OBS_INC("recover.resume.cold_starts");
+    info.reports.push_back("cursor undecodable (" + cursor.error().message +
+                           "); cold start");
+    return info;
+  }
+  // Configuration mismatches are deliberate refusals, not rebuilds: the
+  // snapshot is valid state for a *different* experiment.
+  if (cursor.value().plan_seed != config_.plan_seed) {
+    return state_error("snapshot cursor bound to plan seed " +
+                       std::to_string(cursor.value().plan_seed) +
+                       ", this run uses " + std::to_string(config_.plan_seed));
+  }
+  if (cursor.value().fingerprint != census_.context_fingerprint()) {
+    return state_error(
+        "snapshot census configuration fingerprint differs from this run");
+  }
+
+  // Stage the NotaryDb restore in a scratch copy so the census commit and
+  // the notary commit happen together or not at all.
+  notary::NotaryDb staged(db_.now());
+  if (auto ok = staged.decode_state(notary_section->payload); !ok.ok()) {
+    TANGLED_OBS_INC("recover.resume.cold_starts");
+    info.reports.push_back("notary section undecodable (" +
+                           ok.error().message + "); cold start");
+    return info;
+  }
+  if (auto ok = census_.decode_state(census_section->payload); !ok.ok()) {
+    // census_ is untouched on failure (all-or-nothing decode).
+    TANGLED_OBS_INC("recover.resume.cold_starts");
+    info.reports.push_back("census section undecodable (" +
+                           ok.error().message + "); cold start");
+    return info;
+  }
+  db_ = std::move(staged);
+
+  // Warm cache: best-effort, result-neutral.
+  if (const Section* cache_section = snapshot.find(SectionId::kVerifyCache);
+      cache_section != nullptr) {
+    if (pki::VerifyCache* cache = census_.verify_cache_mutable();
+        cache != nullptr) {
+      if (auto ok = cache->import_state(cache_section->payload); ok.ok()) {
+        info.cache_restored = true;
+      } else {
+        info.reports.push_back("verify-cache section undecodable (" +
+                               ok.error().message + "); resuming cold-cache");
+      }
+    } else {
+      info.reports.push_back(
+          "verify-cache section present but caching is disabled; ignored");
+    }
+  }
+
+  ingested_ = cursor.value().observations;
+  last_checkpoint_ = ingested_;
+  info.observations_ingested = ingested_;
+  info.cold_start = false;
+  TANGLED_OBS_INC("recover.resume.warm_starts");
+  return info;
+}
+
+Result<void> CheckpointingCensus::ingest_batch(
+    std::span<const notary::Observation> batch, util::ThreadPool& pool) {
+  for (const notary::Observation& observation : batch) {
+    db_.observe(observation);
+  }
+  census_.ingest_batch(batch, pool);
+  ingested_ += batch.size();
+  return maybe_checkpoint();
+}
+
+std::function<void(std::uint64_t)> CheckpointingCensus::stream_hook() {
+  // The stream's cumulative count starts at zero even on a resumed run, so
+  // rebase it on the cursor position at hook creation.
+  const std::uint64_t base = ingested_;
+  return [this, base](std::uint64_t stream_cumulative) {
+    ingested_ = base + stream_cumulative;
+    if (auto ok = maybe_checkpoint(); !ok.ok() && last_error_.empty()) {
+      last_error_ = to_string(ok.error());
+    }
+  };
+}
+
+Result<void> CheckpointingCensus::maybe_checkpoint() {
+  const bool due = config_.interval != 0 &&
+                   ingested_ - last_checkpoint_ >= config_.interval;
+  if (!due && !g_checkpoint_requested.load(std::memory_order_relaxed)) {
+    return {};
+  }
+  g_checkpoint_requested.store(false, std::memory_order_relaxed);
+  return checkpoint();
+}
+
+Result<void> CheckpointingCensus::checkpoint() {
+  TANGLED_OBS_INC("recover.checkpoints");
+  TANGLED_OBS_SCOPED_TIMER("recover.checkpoint.write_us");
+  std::vector<Section> sections;
+  sections.push_back({static_cast<std::uint32_t>(SectionId::kNotaryDb),
+                      db_.encode_state()});
+  sections.push_back({static_cast<std::uint32_t>(SectionId::kCensus),
+                      census_.encode_state()});
+  if (config_.include_verify_cache) {
+    if (const pki::VerifyCache* cache = census_.verify_cache();
+        cache != nullptr) {
+      sections.push_back({static_cast<std::uint32_t>(SectionId::kVerifyCache),
+                          cache->export_state()});
+    }
+  }
+  sections.push_back(
+      {static_cast<std::uint32_t>(SectionId::kCursor),
+       encode_cursor(ingested_, config_.plan_seed,
+                     census_.context_fingerprint())});
+  auto written = write_snapshot_file(config_.path, sections);
+  if (written.ok()) last_checkpoint_ = ingested_;
+  return written;
+}
+
+}  // namespace tangled::recover

@@ -1,0 +1,124 @@
+// CheckpointingCensus: the crash-safe driver around the validation census.
+//
+// It wraps a NotaryDb + ValidationCensus pair, counts the observations
+// committed into them, and every `interval` observations (or on SIGTERM)
+// writes a recover snapshot: notary state, census shard accumulators, the
+// optional warm verify-cache, and a cursor recording how far the corpus
+// plan has progressed plus a fingerprint of the census configuration.
+//
+// On restart, resume() restores every intact section and returns the
+// cursor position; the caller replays only the observations after it. The
+// census's upgrade-aware dedup makes even an over-replay idempotent, but a
+// checkpoint is only ever taken at a batch boundary, so the cursor is
+// exact: an interrupted run resumed this way produces bit-identical
+// Table-3/Figure-3 results to a run that never crashed.
+//
+// Degradation ladder on resume:
+//   * no snapshot file                  → cold start (empty state);
+//   * header corrupt                    → cold start, reported;
+//   * snapshot from a future version    → typed kUnsupported error (never
+//                                         misread as corruption);
+//   * cursor/notary/census section bad  → cold start, reported — the core
+//                                         sections are one consistency
+//                                         unit, restored all-or-nothing;
+//   * verify-cache section bad/missing  → resume with a cold cache (the
+//                                         cache is result-neutral);
+//   * configuration fingerprint differs → typed kInvalidState error: the
+//                                         snapshot belongs to a different
+//                                         experiment, deleting it must be
+//                                         the operator's deliberate act.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "notary/census.h"
+#include "notary/notary.h"
+#include "recover/snapshot.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace tangled::recover {
+
+struct CheckpointConfig {
+  /// Snapshot file path. Its ".tmp" sibling is the atomic-write staging
+  /// name (util::atomic_temp_path).
+  std::string path;
+  /// Observations between automatic checkpoints; 0 = only explicit
+  /// checkpoint() calls and SIGTERM requests.
+  std::uint64_t interval = 10'000;
+  /// Write the warm verify-cache section. Purely a resume-speed knob;
+  /// results are identical either way.
+  bool include_verify_cache = true;
+  /// Seed of the corpus plan feeding this run, bound into the cursor so a
+  /// snapshot cannot be resumed against a different observation stream.
+  std::uint64_t plan_seed = 0;
+};
+
+struct ResumeInfo {
+  /// Cursor position: the caller replays observations from this index on.
+  std::uint64_t observations_ingested = 0;
+  /// True when no usable snapshot existed and the run starts empty.
+  bool cold_start = true;
+  /// True when the warm verify-cache section was restored.
+  bool cache_restored = false;
+  /// Human-readable reports: dropped sections, skipped unknown ids,
+  /// cold-cache fallbacks. Empty on a perfectly clean resume.
+  std::vector<std::string> reports;
+};
+
+class CheckpointingCensus {
+ public:
+  CheckpointingCensus(notary::NotaryDb& db, notary::ValidationCensus& census,
+                      CheckpointConfig config);
+
+  /// Restores state from config.path (see the degradation ladder above).
+  /// Call once, before any ingest.
+  Result<ResumeInfo> resume();
+
+  /// Ingests a batch into both the NotaryDb and the census, advances the
+  /// cursor, and checkpoints when the interval elapses or a SIGTERM-style
+  /// request is pending. The error (if any) is from the checkpoint write;
+  /// the ingest itself always completes.
+  Result<void> ingest_batch(std::span<const notary::Observation> batch,
+                            util::ThreadPool& pool);
+
+  /// Writes a snapshot now, unconditionally.
+  Result<void> checkpoint();
+
+  /// Adapter for StreamIngestConfig::on_batch_committed. The stream path
+  /// ingests into the census itself; this hook just advances the cursor at
+  /// each batch boundary and applies the checkpoint cadence. Checkpoint
+  /// write errors are reported through the returned flag-setter's side
+  /// channel: they are remembered and surfaced by last_error().
+  std::function<void(std::uint64_t)> stream_hook();
+
+  /// First checkpoint-write error seen by the stream hook, if any.
+  const std::string& last_error() const { return last_error_; }
+
+  std::uint64_t observations_ingested() const { return ingested_; }
+
+  // --- SIGTERM integration -------------------------------------------------
+  /// Installs a SIGTERM handler that requests a checkpoint at the next
+  /// batch boundary (the handler only sets an atomic flag — no allocation,
+  /// no IO in signal context).
+  static void install_sigterm_handler();
+  /// What the handler does; also callable directly (tests, other signals).
+  static void request_checkpoint();
+  static bool checkpoint_requested();
+
+ private:
+  Result<void> maybe_checkpoint();
+
+  notary::NotaryDb& db_;
+  notary::ValidationCensus& census_;
+  CheckpointConfig config_;
+  std::uint64_t ingested_ = 0;
+  std::uint64_t last_checkpoint_ = 0;
+  std::string last_error_;
+};
+
+}  // namespace tangled::recover

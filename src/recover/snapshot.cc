@@ -1,0 +1,142 @@
+#include "recover/snapshot.h"
+
+#include <cstring>
+
+#include "crypto/hash.h"
+#include "obs/obs.h"
+#include "util/atomic_file.h"
+#include "util/binio.h"
+
+namespace tangled::recover {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = sizeof(kSnapshotMagic) + 4 + 4;
+constexpr std::size_t kDigestSize = crypto::Sha256::kDigestSize;
+// id + len prefix + digest trailer; the minimum a section occupies.
+constexpr std::size_t kSectionOverhead = 4 + 8 + kDigestSize;
+
+/// The per-section digest covers the framing fields too, so a flipped id or
+/// length byte is caught exactly like a flipped payload byte.
+std::array<std::uint8_t, kDigestSize> section_digest(std::uint32_t id,
+                                                     ByteView payload) {
+  Bytes framing;
+  util::put_u32(framing, id);
+  util::put_u64(framing, payload.size());
+  crypto::Sha256 hasher;
+  hasher.update(framing);
+  hasher.update(payload);
+  return hasher.digest();
+}
+
+}  // namespace
+
+std::string to_string(SectionId id) {
+  switch (id) {
+    case SectionId::kNotaryDb: return "notary-db";
+    case SectionId::kCensus: return "census";
+    case SectionId::kVerifyCache: return "verify-cache";
+    case SectionId::kCursor: return "cursor";
+  }
+  return "section-" + std::to_string(static_cast<std::uint32_t>(id));
+}
+
+const Section* LoadedSnapshot::find(SectionId id) const {
+  for (const Section& section : sections) {
+    if (section.id == static_cast<std::uint32_t>(id)) return &section;
+  }
+  return nullptr;
+}
+
+Bytes encode_snapshot(const std::vector<Section>& sections) {
+  Bytes out;
+  out.reserve(kHeaderSize);
+  for (const char c : kSnapshotMagic) {
+    out.push_back(static_cast<std::uint8_t>(c));
+  }
+  util::put_u32(out, kSnapshotVersion);
+  util::put_u32(out, static_cast<std::uint32_t>(sections.size()));
+  for (const Section& section : sections) {
+    util::put_u32(out, section.id);
+    util::put_u64(out, section.payload.size());
+    append(out, section.payload);
+    const auto digest = section_digest(section.id, section.payload);
+    append(out, ByteView(digest.data(), digest.size()));
+  }
+  return out;
+}
+
+Result<LoadedSnapshot> decode_snapshot(ByteView data) {
+  if (data.size() < kHeaderSize ||
+      std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return parse_error("snapshot: bad magic or truncated header");
+  }
+  util::BinReader in(data.subspan(sizeof(kSnapshotMagic)));
+  const std::uint32_t version = in.u32().value();  // header size checked above
+  if (version != kSnapshotVersion) {
+    // Typed refusal, deliberately distinct from corruption: a future format
+    // must never be "repaired" by dropping everything it contains.
+    return unsupported_error("snapshot: version " + std::to_string(version) +
+                             " (this build reads version " +
+                             std::to_string(kSnapshotVersion) + ")");
+  }
+  const std::uint32_t declared = in.u32().value();
+
+  LoadedSnapshot loaded;
+  for (std::uint32_t i = 0; i < declared; ++i) {
+    if (in.at_end()) {
+      loaded.dropped.push_back(
+          {0, "file ends " + std::to_string(declared - i) +
+                  " section(s) early"});
+      break;
+    }
+    if (in.remaining() < kSectionOverhead) {
+      loaded.dropped.push_back({0, "truncated section framing"});
+      break;
+    }
+    const std::uint32_t id = in.u32().value();
+    const std::uint64_t len = in.u64().value();
+    if (len > in.remaining() || in.remaining() - len < kDigestSize) {
+      // Framing is broken: the declared length runs past the file, so no
+      // later section boundary can be trusted either. Drop the rest.
+      loaded.dropped.push_back(
+          {id, "declared length " + std::to_string(len) +
+                   " exceeds remaining file"});
+      break;
+    }
+    // Lengths validated above; these reads cannot fail.
+    const ByteView payload = in.take(static_cast<std::size_t>(len)).value();
+    const ByteView stored = in.take(kDigestSize).value();
+    const auto computed = section_digest(id, payload);
+    if (std::memcmp(stored.data(), computed.data(), kDigestSize) != 0) {
+      // Framing stayed consistent (both reads fit), so only this section is
+      // suspect; later sections are still checked on their own digests.
+      loaded.dropped.push_back({id, "checksum mismatch"});
+      TANGLED_OBS_INC("recover.snapshot.sections_dropped");
+      continue;
+    }
+    loaded.sections.push_back({id, Bytes(payload.begin(), payload.end())});
+  }
+  if (!in.at_end() && loaded.dropped.empty()) {
+    // Clean sections but trailing garbage: report it without discarding the
+    // sections that did verify.
+    loaded.dropped.push_back({0, "trailing bytes after last section"});
+  }
+  return loaded;
+}
+
+Result<void> write_snapshot_file(const std::string& path,
+                                 const std::vector<Section>& sections) {
+  TANGLED_OBS_INC("recover.snapshot.writes");
+  const Bytes encoded = encode_snapshot(sections);
+  TANGLED_OBS_GAUGE_SET("recover.snapshot.bytes", encoded.size());
+  return util::write_file_atomic(path, encoded);
+}
+
+Result<LoadedSnapshot> read_snapshot_file(const std::string& path) {
+  auto data = util::read_file(path);
+  if (!data.ok()) return data.error();
+  return decode_snapshot(data.value());
+}
+
+}  // namespace tangled::recover

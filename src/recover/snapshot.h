@@ -1,0 +1,97 @@
+// The tangled::recover snapshot container: a versioned, checksummed binary
+// file holding the pipeline's resumable state as independent sections.
+//
+// Layout (all integers little-endian):
+//
+//   magic    "TNGLSNP1"                                     8 bytes
+//   version  u32 (currently 1)                              4 bytes
+//   count    u32 section count                              4 bytes
+//   then per section:
+//     id       u32                                          4 bytes
+//     len      u64 payload length                           8 bytes
+//     payload  `len` bytes
+//     digest   SHA-256 over (id_le || len_le || payload)   32 bytes
+//
+// Each section carries its own integrity trailer, so corruption is
+// contained: a flipped byte invalidates exactly one section, and the loader
+// keeps every other section whose digest still verifies. That is the whole
+// recovery contract — a damaged snapshot degrades to "rebuild the damaged
+// parts", never to "silently load damaged state" and never (except for a
+// damaged header, where no section boundary can be trusted) to "throw
+// everything away".
+//
+// Atomicity is the other half (util::write_file_atomic): a crash while
+// checkpointing leaves either the previous complete snapshot or the new
+// one, and a crash between temp-write and rename leaves the previous
+// snapshot plus a stray .tmp that is simply ignored.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tangled::recover {
+
+inline constexpr char kSnapshotMagic[8] = {'T', 'N', 'G', 'L',
+                                           'S', 'N', 'P', '1'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Known section ids. Unknown ids are preserved by the container codec and
+/// skipped (with a report) by the checkpoint consumer, so a newer writer's
+/// extra sections do not break an older reader.
+enum class SectionId : std::uint32_t {
+  kNotaryDb = 1,
+  kCensus = 2,
+  kVerifyCache = 3,
+  kCursor = 4,
+};
+
+std::string to_string(SectionId id);
+
+struct Section {
+  std::uint32_t id = 0;
+  Bytes payload;
+};
+
+/// A section the loader refused, and why — surfaced to the caller so a
+/// dropped section is always reported, never silent.
+struct DroppedSection {
+  std::uint32_t id = 0;  // 0 when the id itself was unreadable
+  std::string reason;
+};
+
+struct LoadedSnapshot {
+  /// Sections whose checksums verified, in file order.
+  std::vector<Section> sections;
+  /// Sections dropped for corruption (checksum mismatch, truncation).
+  std::vector<DroppedSection> dropped;
+
+  /// First intact section with this id, or nullptr.
+  const Section* find(SectionId id) const;
+};
+
+/// Serializes sections into the container format above.
+Bytes encode_snapshot(const std::vector<Section>& sections);
+
+/// Parses a container. Error taxonomy:
+///  * kParse — header unusable (bad magic, truncated header): treat as
+///    total corruption; the caller cold-starts.
+///  * kUnsupported — magic is valid but the version is not ours: a typed
+///    refusal, so a newer format is never misread as corruption.
+///  * ok — every section that checksums clean is returned; damaged ones are
+///    listed in `dropped`. Once framing breaks (a declared length running
+///    past the end of the file), the remainder is dropped as one unit —
+///    section boundaries beyond that point cannot be trusted.
+Result<LoadedSnapshot> decode_snapshot(ByteView data);
+
+/// Atomic write of an encoded snapshot (temp + fsync + rename).
+Result<void> write_snapshot_file(const std::string& path,
+                                 const std::vector<Section>& sections);
+
+/// Reads and decodes `path`. kNotFound when the file does not exist.
+Result<LoadedSnapshot> read_snapshot_file(const std::string& path);
+
+}  // namespace tangled::recover

@@ -59,7 +59,11 @@ void StreamIngestor::drain(bool flush) {
     TANGLED_OBS_OBSERVE_COUNT("stream.ingest.batch_chains", batch_.size());
     census_->ingest_batch(batch_, pool_);
     ++report_.batches;
+    census_committed_ += batch_.size();
     batch_.clear();
+    if (config_.on_batch_committed) {
+      config_.on_batch_committed(census_committed_);
+    }
   }
 }
 

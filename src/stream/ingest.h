@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -23,6 +24,11 @@ struct StreamIngestConfig {
   std::size_t batch_size = 64;
   /// Port recorded on every streamed observation.
   std::uint16_t port = 443;
+  /// Invoked after each census batch commits, with the cumulative number of
+  /// observations handed to the census so far. This is the checkpoint
+  /// layer's hook: a batch boundary is the only point where a snapshot is
+  /// consistent (a batch is fully in the census or not at all).
+  std::function<void(std::uint64_t)> on_batch_committed;
 };
 
 struct StreamIngestReport {
@@ -64,6 +70,7 @@ class StreamIngestor {
   StreamIngestConfig config_;
   FlowDemux demux_;
   std::vector<notary::Observation> batch_;
+  std::uint64_t census_committed_ = 0;
   StreamIngestReport report_;
 };
 

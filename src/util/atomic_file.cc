@@ -1,0 +1,107 @@
+#include "util/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define TANGLED_HAVE_FSYNC 1
+#else
+#define TANGLED_HAVE_FSYNC 0
+#endif
+
+namespace tangled::util {
+
+namespace {
+
+std::string errno_message(const char* what, const std::string& path) {
+  std::string out = what;
+  out += " ";
+  out += path;
+  out += ": ";
+  out += std::strerror(errno);
+  return out;
+}
+
+/// Directory part of `path` ("." when there is no separator).
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Result<void> flush_and_sync(std::FILE* f, const std::string& path) {
+  if (std::fflush(f) != 0) return state_error(errno_message("flush", path));
+#if TANGLED_HAVE_FSYNC
+  if (fsync(fileno(f)) != 0) return state_error(errno_message("fsync", path));
+#endif
+  return {};
+}
+
+}  // namespace
+
+std::string atomic_temp_path(const std::string& path) { return path + ".tmp"; }
+
+Result<void> write_file_atomic(const std::string& path, ByteView data) {
+  const std::string tmp = atomic_temp_path(path);
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return state_error(errno_message("open", tmp));
+  bool ok = data.empty() ||
+            std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  if (ok) {
+    if (auto flushed = flush_and_sync(f, tmp); !flushed.ok()) {
+      std::fclose(f);
+      std::remove(tmp.c_str());
+      return flushed;
+    }
+  }
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return state_error(errno_message("write", tmp));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return state_error(errno_message("rename", path));
+  }
+#if TANGLED_HAVE_FSYNC
+  // Persist the rename: fsync the directory entry. Best effort — some
+  // filesystems refuse O_RDONLY directory fsync; the data itself is safe.
+  const int dir_fd = open(parent_dir(path).c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    fsync(dir_fd);
+    close(dir_fd);
+  }
+#endif
+  return {};
+}
+
+Result<Bytes> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) return not_found_error("no such file: " + path);
+    return state_error(errno_message("open", path));
+  }
+  Bytes out;
+  std::uint8_t buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.insert(out.end(), buf, buf + n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return state_error(errno_message("read", path));
+  return out;
+}
+
+bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace tangled::util

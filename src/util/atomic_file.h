@@ -1,0 +1,30 @@
+// Crash-safe file replacement: write to a temp file in the same directory,
+// flush it to stable storage, then rename over the destination. A reader
+// therefore sees either the old complete file or the new complete file,
+// never a torn mixture — the atomicity half of the snapshot protocol (the
+// integrity half is the per-section checksums in recover::snapshot).
+#pragma once
+
+#include <string>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tangled::util {
+
+/// Atomically replaces `path` with `data`: writes `path + ".tmp"`, fsyncs
+/// it, renames it over `path`, then fsyncs the containing directory so the
+/// rename itself survives a power cut. Errors leave the previous `path`
+/// contents (if any) intact.
+Result<void> write_file_atomic(const std::string& path, ByteView data);
+
+/// Reads a whole file. kNotFound when it does not exist.
+Result<Bytes> read_file(const std::string& path);
+
+bool file_exists(const std::string& path);
+
+/// The temp name write_file_atomic uses (exposed so crash-injection tests
+/// can fabricate the "crashed between temp-write and rename" state).
+std::string atomic_temp_path(const std::string& path);
+
+}  // namespace tangled::util

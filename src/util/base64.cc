@@ -1,5 +1,6 @@
 #include "util/base64.h"
 
+#include <algorithm>
 #include <array>
 #include <cctype>
 
@@ -68,7 +69,14 @@ std::string base64_encode_wrapped(ByteView data, std::size_t line_width) {
 
 std::optional<Bytes> base64_decode(std::string_view text) {
   Bytes out;
-  out.reserve(text.size() / 4 * 3);
+  // Cap the up-front reserve: the input length is attacker-controlled, and
+  // reserving 3/4 of it commits memory before a single character has been
+  // validated. Beyond the cap the vector grows geometrically, so genuine
+  // large payloads still decode in amortized O(n) while a multi-megabyte
+  // garbage blob is rejected at its first invalid character having
+  // allocated at most 64 KiB.
+  constexpr std::size_t kReserveCap = 64 * 1024;
+  out.reserve(std::min(text.size() / 4 * 3, kReserveCap));
   std::uint32_t acc = 0;
   int bits = 0;
   int pads = 0;

@@ -1,0 +1,156 @@
+// Little-endian binary encode/decode for the snapshot codec.
+//
+// Writers append fixed-width integers and length-prefixed byte strings to a
+// Bytes buffer; BinReader parses them back with Result-based errors. The
+// reader is hardened for attacker-controlled (or disk-corrupted) input: a
+// declared length is validated against the remaining window *before* any
+// allocation or copy, so a flipped length byte can never drive an
+// out-of-memory allocation — it fails with a parse error instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tangled::util {
+
+inline void put_u8(Bytes& out, std::uint8_t v) { out.push_back(v); }
+
+inline void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+inline void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void put_i64(Bytes& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+/// Length-prefixed (u64) byte string.
+inline void put_bytes(Bytes& out, ByteView data) {
+  put_u64(out, data.size());
+  append(out, data);
+}
+
+inline void put_string(Bytes& out, std::string_view s) {
+  put_bytes(out, ByteView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                          s.size()));
+}
+
+/// Sequential reader over a binary window. Every read validates bounds
+/// first; `bytes()` returns a view into the window (no copy), `string()`
+/// copies exactly the validated length.
+class BinReader {
+ public:
+  explicit BinReader(ByteView data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+  Result<std::uint8_t> u8() {
+    if (remaining() < 1) return parse_error("binio: u8 past end");
+    return data_[pos_++];
+  }
+
+  Result<std::uint16_t> u16() {
+    if (remaining() < 2) return parse_error("binio: u16 past end");
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v |= static_cast<std::uint16_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 2;
+    return v;
+  }
+
+  Result<std::uint32_t> u32() {
+    if (remaining() < 4) return parse_error("binio: u32 past end");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<std::uint64_t> u64() {
+    if (remaining() < 8) return parse_error("binio: u64 past end");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<std::int64_t> i64() {
+    auto v = u64();
+    if (!v.ok()) return v.error();
+    return static_cast<std::int64_t>(v.value());
+  }
+
+  /// Raw view of the next `n` bytes (no length prefix) — for callers whose
+  /// framing carries the length elsewhere. Bounds-checked like everything.
+  Result<ByteView> take(std::size_t n) {
+    if (n > remaining()) return parse_error("binio: take past end");
+    const ByteView view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+  /// Length-prefixed byte string. The declared length is checked against
+  /// the remaining window before anything is materialized.
+  Result<ByteView> bytes() {
+    auto len = u64();
+    if (!len.ok()) return len.error();
+    if (len.value() > remaining()) {
+      return parse_error("binio: declared length exceeds remaining input");
+    }
+    const ByteView view = data_.subspan(pos_, static_cast<std::size_t>(len.value()));
+    pos_ += static_cast<std::size_t>(len.value());
+    return view;
+  }
+
+  Result<std::string> string() {
+    auto view = bytes();
+    if (!view.ok()) return view.error();
+    return std::string(reinterpret_cast<const char*>(view.value().data()),
+                       view.value().size());
+  }
+
+  /// Validates a caller-declared element count against a minimum encoded
+  /// size per element, so a corrupted count cannot drive a huge reserve().
+  Result<std::size_t> count(std::size_t min_bytes_per_element) {
+    auto n = u64();
+    if (!n.ok()) return n.error();
+    if (min_bytes_per_element == 0) min_bytes_per_element = 1;
+    if (n.value() > remaining() / min_bytes_per_element) {
+      return parse_error("binio: declared count exceeds remaining input");
+    }
+    return static_cast<std::size_t>(n.value());
+  }
+
+  Result<void> expect_end() const {
+    if (!at_end()) return parse_error("binio: trailing bytes");
+    return {};
+  }
+
+ private:
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tangled::util

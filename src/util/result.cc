@@ -11,6 +11,7 @@ std::string_view to_string(Errc code) {
     case Errc::kVerifyFailed: return "verify-failed";
     case Errc::kExpired: return "expired";
     case Errc::kInvalidState: return "invalid-state";
+    case Errc::kBudgetExhausted: return "budget-exhausted";
   }
   return "unknown";
 }

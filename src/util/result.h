@@ -23,6 +23,7 @@ enum class Errc {
   kVerifyFailed,   // signature or chain validation failure
   kExpired,        // validity-period failure
   kInvalidState,   // API misuse detectable only at runtime
+  kBudgetExhausted,  // search/resource budget spent before an answer
 };
 
 /// What went wrong, with a human-readable message.
@@ -113,6 +114,9 @@ inline Error expired_error(std::string message) {
 }
 inline Error state_error(std::string message) {
   return Error{Errc::kInvalidState, std::move(message)};
+}
+inline Error budget_error(std::string message) {
+  return Error{Errc::kBudgetExhausted, std::move(message)};
 }
 
 }  // namespace tangled

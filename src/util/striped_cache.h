@@ -6,16 +6,19 @@
 // computations: a racing find/insert pair may recompute a value, never
 // return a wrong one, so callers need no external synchronization.
 //
-// Capacity is bounded per stripe. When an insert would push a stripe past
-// its cap the whole stripe is dropped (bulk eviction). That is crude but
-// cheap, needs no LRU bookkeeping on the hit path, and — because entries
-// are memoized pure functions — eviction can only cost time, never change
-// a result.
+// Capacity is bounded per stripe, FIFO: each stripe remembers insertion
+// order, and an insert that would push the stripe past its cap evicts the
+// oldest live entries until it fits. Eviction is strictly shard-local — an
+// overfull stripe never touches any other stripe's entries — and because
+// entries are memoized pure functions, eviction can only cost time, never
+// change a result. erase() removes a key immediately; its FIFO slot is left
+// as a tombstone that eviction skips (compacted when tombstones pile up).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -35,6 +38,8 @@ class StripedCache {
                                                    : 1),
         stripes_(kStripes) {}
 
+  std::size_t per_stripe_cap() const { return per_stripe_cap_; }
+
   /// Returns a copy of the cached value, or nullopt on miss.
   std::optional<Value> find(const Key& key) const {
     const Stripe& stripe = stripe_for(key);
@@ -45,18 +50,46 @@ class StripedCache {
   }
 
   /// Inserts `value` for `key` (first writer wins; a present key is left
-  /// untouched). Returns the number of entries bulk-evicted to make room.
+  /// untouched). Returns the number of live entries evicted to make room —
+  /// always from this key's own stripe, oldest first.
   std::size_t insert(const Key& key, Value value) {
     Stripe& stripe = stripe_for(key);
     std::lock_guard<std::mutex> lock(stripe.mu);
+    if (stripe.map.contains(key)) return 0;
     std::size_t evicted = 0;
-    if (stripe.map.size() >= per_stripe_cap_ && !stripe.map.contains(key)) {
-      evicted = stripe.map.size();
-      stripe.map.clear();
-      evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    while (stripe.map.size() >= per_stripe_cap_ && !stripe.fifo.empty()) {
+      // Pop FIFO slots until one still names a live entry; the rest are
+      // tombstones left by erase(). Every live key holds at least one slot,
+      // so the loop always reaches one.
+      const Key victim = stripe.fifo.front();
+      stripe.fifo.pop_front();
+      if (stripe.map.erase(victim) > 0) ++evicted;
     }
+    if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
     stripe.map.try_emplace(key, std::move(value));
+    stripe.fifo.push_back(key);
+    compact_locked(stripe);
     return evicted;
+  }
+
+  /// Removes `key` if present; returns whether an entry was removed. The
+  /// FIFO slot becomes a tombstone (skipped at eviction time).
+  bool erase(const Key& key) {
+    Stripe& stripe = stripe_for(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    return stripe.map.erase(key) > 0;
+  }
+
+  /// Calls `fn(key, value)` for every entry, one stripe at a time (each
+  /// stripe's lock is held only while that stripe is visited). Iteration
+  /// order is unspecified; entries inserted or erased concurrently may or
+  /// may not be seen.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      for (const auto& [key, value] : stripe.map) fn(key, value);
+    }
   }
 
   /// Current entry count (sums stripe sizes; approximate under concurrency).
@@ -69,7 +102,8 @@ class StripedCache {
     return total;
   }
 
-  /// Total entries ever dropped by bulk eviction.
+  /// Total live entries ever dropped by capacity eviction (erase() not
+  /// included).
   std::uint64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
   }
@@ -78,6 +112,7 @@ class StripedCache {
     for (Stripe& stripe : stripes_) {
       std::lock_guard<std::mutex> lock(stripe.mu);
       stripe.map.clear();
+      stripe.fifo.clear();
     }
   }
 
@@ -85,7 +120,20 @@ class StripedCache {
   struct Stripe {
     mutable std::mutex mu;
     std::unordered_map<Key, Value, Hash> map;
+    std::deque<Key> fifo;  // insertion order; may hold erase() tombstones
   };
+
+  /// Rebuilds the FIFO without tombstones once they dominate it, so an
+  /// insert/erase churn workload cannot grow the deque unboundedly.
+  /// Preserves relative order of live entries. Called with the lock held.
+  void compact_locked(Stripe& stripe) {
+    if (stripe.fifo.size() < stripe.map.size() * 2 + 16) return;
+    std::deque<Key> live;
+    for (const Key& key : stripe.fifo) {
+      if (stripe.map.contains(key)) live.push_back(key);
+    }
+    stripe.fifo = std::move(live);
+  }
 
   const Stripe& stripe_for(const Key& key) const {
     return stripes_[Hash{}(key) % kStripes];

@@ -5,6 +5,7 @@
 
 #include "asn1/der.h"
 #include "asn1/time.h"
+#include "util/base64.h"
 #include "util/rng.h"
 #include "x509/extensions.h"
 #include "x509/name.h"
@@ -142,6 +143,81 @@ TEST(TimeFuzz, TruncatedInputsRejectedCleanly) {
   // Sanity: the untruncated forms parse.
   EXPECT_TRUE(asn1::Time::parse_utc(utc).ok());
   EXPECT_TRUE(asn1::Time::parse_generalized(gen).ok());
+}
+
+TEST(DerFuzz, HostileLengthPrefixRejectedBeforeUse) {
+  // A multi-octet length is attacker-controlled and may declare up to
+  // 2^64-1 bytes over a tiny input. It must be bounded against the window
+  // the moment it is decoded — the typed rejection below is the regression
+  // anchor for that check.
+  const Bytes huge32 = {0x30, 0x84, 0xff, 0xff, 0xff, 0xff, 0x01, 0x02};
+  asn1::DerReader r32(huge32);
+  auto tlv32 = r32.read_tlv();
+  ASSERT_FALSE(tlv32.ok());
+  EXPECT_NE(tlv32.error().message.find("exceeds remaining input"),
+            std::string::npos);
+
+  // All eight length octets set: len = 2^64-1, the maximal declaration.
+  Bytes huge64 = {0x30, 0x88};
+  for (int i = 0; i < 8; ++i) huge64.push_back(0xff);
+  huge64.push_back(0x00);
+  asn1::DerReader r64(huge64);
+  auto tlv64 = r64.read_tlv();
+  ASSERT_FALSE(tlv64.ok());
+  EXPECT_NE(tlv64.error().message.find("exceeds remaining input"),
+            std::string::npos);
+
+  // Nine length octets cannot fit std::size_t at all.
+  Bytes nine = {0x30, 0x89};
+  for (int i = 0; i < 9; ++i) nine.push_back(0xff);
+  asn1::DerReader r9(nine);
+  EXPECT_FALSE(r9.read_tlv().ok());
+
+  // Sweep every multi-octet width with a length just past the window.
+  for (std::size_t n = 1; n <= 4; ++n) {
+    Bytes b = {0x30, static_cast<std::uint8_t>(0x80 | n)};
+    for (std::size_t i = 0; i + 1 < n; ++i) b.push_back(0x00);
+    b.push_back(0x90);  // declared body far larger than what follows
+    b.push_back(0xaa);
+    asn1::DerReader r(b);
+    EXPECT_FALSE(r.read_tlv().ok()) << n;
+  }
+}
+
+TEST(Base64Fuzz, MultiMegabyteInputsDecodeWithoutOverAllocation) {
+  // The decoder's up-front reserve is capped (the input length is
+  // attacker-controlled); correctness must be unaffected on either side of
+  // the cap. 4 MiB of valid alphabet decodes to exactly 3/4 the size...
+  std::string valid;
+  valid.reserve(4 * 1024 * 1024);
+  const char alphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+  Xoshiro256 rng(777);
+  while (valid.size() < 4 * 1024 * 1024) {
+    valid.push_back(alphabet[rng.below(64)]);
+  }
+  auto decoded = base64_decode(valid);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->size(), valid.size() / 4 * 3);
+
+  // ...while multi-MiB garbage is rejected outright, not partially decoded.
+  std::string garbage = valid;
+  garbage[garbage.size() / 2] = '~';
+  EXPECT_FALSE(base64_decode(garbage).has_value());
+
+  // Random byte soup of varying sizes: never crashes, never mis-decodes a
+  // length (any success must satisfy the 4:3 size relation).
+  for (int i = 0; i < 50; ++i) {
+    std::string soup;
+    const std::size_t len = rng.below(1 << 16);
+    for (std::size_t c = 0; c < len; ++c) {
+      soup.push_back(static_cast<char>(rng.below(256)));
+    }
+    auto out = base64_decode(soup);
+    if (out.has_value()) {
+      EXPECT_LE(out->size(), soup.size() / 4 * 3 + 3);
+    }
+  }
 }
 
 TEST(TimeFuzz, RandomStringsNeverCrash) {

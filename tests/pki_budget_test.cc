@@ -1,0 +1,248 @@
+// ResourceBudget: a dense cross-sign mesh (every CA identity signed by
+// every other) gives the path search an exponential frontier. The budget
+// must terminate the search deterministically, flag the truncation, and
+// never change results when it is large enough to finish — including
+// bit-identical serial/parallel census agreement under a tight budget.
+#include "pki/verify.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "notary/census.h"
+#include "obs/obs.h"
+#include "pki/hierarchy.h"
+#include "pki/verify_cache.h"
+#include "util/thread_pool.h"
+
+namespace tangled::pki {
+namespace {
+
+using crypto::sim_sig_scheme;
+
+const x509::Validity kCaValidity{asn1::make_time(2008, 1, 1),
+                                 asn1::make_time(2030, 1, 1)};
+const x509::Validity kLeafValidity{asn1::make_time(2013, 6, 1),
+                                   asn1::make_time(2015, 6, 1)};
+
+/// A hostile mesh: one honest root R, K CA identities each holding a cert
+/// issued by R (the "base" certs) plus a cert issued by every *other*
+/// identity (the cross mesh, K*(K-1) certs). Because the loop guard is
+/// per-certificate, a path may revisit the same identity through different
+/// cross certs, so the unbounded search frontier is ~ (K-1)^depth.
+struct Mesh {
+  CaNode root;
+  std::vector<CaNode> base;         // identity i issued by root
+  std::vector<x509::Certificate> intermediates;  // base + all cross certs
+  x509::Certificate leaf;           // issued by identity 0
+
+  static Mesh build(std::size_t k) {
+    Xoshiro256 rng(9001);
+    Mesh mesh;
+    auto root = make_root(sim_sig_scheme(), crypto::generate_sim_keypair(rng),
+                          ca_name("Mesh", "Honest Root"), kCaValidity, 1);
+    EXPECT_TRUE(root.ok());
+    mesh.root = std::move(root).value();
+
+    std::uint64_t serial = 100;
+    std::vector<crypto::KeyPair> keys;
+    for (std::size_t i = 0; i < k; ++i) {
+      keys.push_back(crypto::generate_sim_keypair(rng));
+      auto node = make_intermediate(
+          sim_sig_scheme(), mesh.root, keys.back(),
+          ca_name("Mesh", "CA " + std::to_string(i)), kCaValidity, serial++);
+      EXPECT_TRUE(node.ok());
+      mesh.base.push_back(std::move(node).value());
+      mesh.intermediates.push_back(mesh.base.back().cert);
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        if (i == j) continue;
+        auto cross = make_intermediate(
+            sim_sig_scheme(), mesh.base[j], keys[i],
+            ca_name("Mesh", "CA " + std::to_string(i)), kCaValidity, serial++);
+        EXPECT_TRUE(cross.ok());
+        mesh.intermediates.push_back(std::move(cross).value().cert);
+      }
+    }
+    auto leaf =
+        make_leaf(sim_sig_scheme(), mesh.base[0],
+                  crypto::generate_sim_keypair(rng), "mesh.example.com",
+                  kLeafValidity, serial++);
+    EXPECT_TRUE(leaf.ok());
+    mesh.leaf = std::move(leaf).value();
+    return mesh;
+  }
+};
+
+const Mesh& mesh() {
+  static const Mesh m = Mesh::build(6);
+  return m;
+}
+
+VerifyOptions budget_options(std::size_t max_steps) {
+  VerifyOptions options;
+  options.budget.max_search_steps = max_steps;
+  return options;
+}
+
+TEST(Budget, MeshSearchTerminatesAndReportsExhaustion) {
+  // The only anchor is a root the mesh never chains to, so the search has
+  // to enumerate the mesh's whole exponential frontier — exactly the
+  // adversarial shape the budget exists for.
+  Xoshiro256 rng(4242);
+  auto stranger =
+      make_root(sim_sig_scheme(), crypto::generate_sim_keypair(rng),
+                ca_name("Elsewhere", "Unrelated Root"), kCaValidity, 2);
+  ASSERT_TRUE(stranger.ok());
+  TrustAnchors anchors;
+  anchors.add(stranger.value().cert);
+  ChainVerifier verifier(anchors, budget_options(500));
+
+  const auto before =
+      obs::metrics().counter("pki.verify.budget_exhausted").value();
+  auto chain = verifier.verify(mesh().leaf, mesh().intermediates);
+  // 500 steps cannot cover the frontier: the call must return (not stall),
+  // typed as budget exhaustion rather than plain verification failure.
+  ASSERT_FALSE(chain.ok());
+  EXPECT_EQ(chain.error().code, Errc::kBudgetExhausted);
+  EXPECT_NE(chain.error().message.find("budget exhausted"), std::string::npos);
+  EXPECT_GT(obs::metrics().counter("pki.verify.budget_exhausted").value(),
+            before);
+}
+
+TEST(Budget, SurveyKeepsAnchorsFoundBeforeExhaustion) {
+  // base[0] is itself an anchor, so the very first anchors-first probe at
+  // the leaf terminates a path; the rest of the search then exhausts.
+  TrustAnchors anchors;
+  anchors.add(mesh().root.cert);
+  anchors.add(mesh().base[0].cert);
+  ChainVerifier verifier(anchors, budget_options(500));
+
+  auto survey = verifier.verify_all_anchors(mesh().leaf, mesh().intermediates);
+  ASSERT_TRUE(survey.ok());
+  EXPECT_TRUE(survey.value().budget_exhausted);
+  ASSERT_FALSE(survey.value().anchors.empty());
+  EXPECT_EQ(survey.value().anchors.front()->der(), mesh().base[0].cert.der());
+}
+
+TEST(Budget, GenerousBudgetMatchesUnlimited) {
+  TrustAnchors anchors;
+  anchors.add(mesh().root.cert);
+  ChainVerifier unlimited(anchors, budget_options(0));
+  ChainVerifier generous(anchors, budget_options(50'000'000));
+
+  auto a = unlimited.verify_all_anchors(mesh().leaf, mesh().intermediates);
+  auto b = generous.verify_all_anchors(mesh().leaf, mesh().intermediates);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a.value().budget_exhausted);
+  EXPECT_FALSE(b.value().budget_exhausted);
+  ASSERT_EQ(a.value().anchors.size(), b.value().anchors.size());
+  for (std::size_t i = 0; i < a.value().anchors.size(); ++i) {
+    EXPECT_EQ(a.value().anchors[i]->der(), b.value().anchors[i]->der());
+  }
+}
+
+TEST(Budget, DepthOverrideTruncatesBelowPolicyDepth) {
+  Xoshiro256 rng(77);
+  auto hierarchy = CaHierarchy::build(rng, "Depth Org", 1, /*sim_keys=*/true);
+  ASSERT_TRUE(hierarchy.ok());
+  auto leaf = hierarchy.value().issue(rng, "depth.example.com");
+  ASSERT_TRUE(leaf.ok());
+  const auto presented =
+      hierarchy.value().presented_chain(leaf.value());
+
+  TrustAnchors anchors;
+  anchors.add(hierarchy.value().root().cert);
+
+  VerifyOptions shallow;
+  shallow.budget.max_depth = 2;  // leaf + intermediate; root never reached
+  ChainVerifier verifier(anchors, shallow);
+  auto chain = verifier.verify_presented(presented);
+  ASSERT_FALSE(chain.ok());
+  EXPECT_EQ(chain.error().code, Errc::kBudgetExhausted);
+
+  // The same chain with the default (no depth override) verifies fine.
+  ChainVerifier normal(anchors);
+  EXPECT_TRUE(normal.verify_presented(presented).ok());
+}
+
+TEST(Budget, StepAccountingIsCacheIndependent) {
+  TrustAnchors anchors;
+  anchors.add(mesh().root.cert);
+  anchors.add(mesh().base[0].cert);
+
+  ChainVerifier cold(anchors, budget_options(500));
+
+  VerifyCache cache;
+  ChainVerifier warm(anchors, budget_options(500));
+  warm.set_verify_cache(&cache);
+  // Pre-warm the cache with an unbounded pass so the cached run's hit
+  // pattern differs maximally from the cold run's.
+  {
+    ChainVerifier filler(anchors, budget_options(0));
+    filler.set_verify_cache(&cache);
+    (void)filler.verify_all_anchors(mesh().leaf, mesh().intermediates);
+  }
+
+  auto a = cold.verify_all_anchors(mesh().leaf, mesh().intermediates);
+  auto b = warm.verify_all_anchors(mesh().leaf, mesh().intermediates);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().budget_exhausted, b.value().budget_exhausted);
+  ASSERT_EQ(a.value().anchors.size(), b.value().anchors.size());
+  for (std::size_t i = 0; i < a.value().anchors.size(); ++i) {
+    EXPECT_EQ(a.value().anchors[i]->der(), b.value().anchors[i]->der());
+  }
+}
+
+TEST(ParallelCensusBudget, SerialAndParallelAgreeUnderTightBudget) {
+  // Mix mesh leaves (which exhaust the budget) with honest leaves (which
+  // don't): the per-leaf exhaustion decision is deterministic, so serial
+  // ingest and sharded parallel ingest must land on identical counts.
+  Xoshiro256 rng(4321);
+  auto hierarchy = CaHierarchy::build(rng, "Honest Org", 2, /*sim_keys=*/true);
+  ASSERT_TRUE(hierarchy.ok());
+
+  std::vector<notary::Observation> corpus;
+  for (int i = 0; i < 40; ++i) {
+    notary::Observation obs;
+    if (i % 4 == 0) {
+      obs.chain.push_back(mesh().leaf);
+      for (const auto& inter : mesh().intermediates) {
+        obs.chain.push_back(inter);
+      }
+    } else {
+      auto leaf = hierarchy.value().issue(
+          rng, "host" + std::to_string(i) + ".example.com", i % 2);
+      ASSERT_TRUE(leaf.ok());
+      obs.chain = hierarchy.value().presented_chain(leaf.value(), i % 2);
+    }
+    corpus.push_back(std::move(obs));
+  }
+
+  TrustAnchors anchors;
+  anchors.add(mesh().root.cert);
+  anchors.add(hierarchy.value().root().cert);
+
+  const VerifyOptions options = budget_options(500);
+  notary::ValidationCensus serial(anchors, options);
+  for (const auto& obs : corpus) serial.ingest(obs);
+
+  util::ThreadPool pool(4);
+  notary::ValidationCensus parallel(anchors, options);
+  parallel.ingest_batch(corpus, pool);
+
+  EXPECT_EQ(serial.total_unexpired(), parallel.total_unexpired());
+  EXPECT_EQ(serial.total_validated(), parallel.total_validated());
+  const std::vector<x509::Certificate> roots{mesh().root.cert,
+                                             hierarchy.value().root().cert};
+  EXPECT_EQ(serial.per_root_counts(roots), parallel.per_root_counts(roots));
+  EXPECT_EQ(serial.cumulative_coverage(roots),
+            parallel.cumulative_coverage(roots));
+}
+
+}  // namespace
+}  // namespace tangled::pki

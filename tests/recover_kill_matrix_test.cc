@@ -1,0 +1,513 @@
+// The crash matrix: interrupt a checkpointed census run at seeded points,
+// damage the snapshot in every way a real crash can (torn write, truncated
+// file, flipped byte, stray temp file, deleted file), resume, and require
+// the final Table-3/Figure-3 numbers to be bit-identical to a run that
+// never crashed. Corruption must always be *detected* (reported or typed),
+// never silently loaded.
+#include "recover/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "notary/census.h"
+#include "notary/notary.h"
+#include "pki/hierarchy.h"
+#include "recover/snapshot.h"
+#include "stream/ingest.h"
+#include "tlswire/handshake.h"
+#include "util/atomic_file.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace tangled::recover {
+namespace {
+
+constexpr std::size_t kBatch = 97;
+constexpr std::uint64_t kInterval = 150;
+constexpr std::uint64_t kPlanSeed = 20140401;
+
+struct Fixture {
+  pki::CaHierarchy hierarchy;
+  pki::TrustAnchors anchors;
+  std::vector<x509::Certificate> roots;
+  std::vector<notary::Observation> corpus;
+};
+
+const Fixture& fixture() {
+  static const Fixture* f = [] {
+    auto* out = new Fixture{
+        [] {
+          Xoshiro256 rng(kPlanSeed);
+          auto h = pki::CaHierarchy::build(rng, "Kill Matrix Org", 3,
+                                           /*sim_keys=*/true);
+          EXPECT_TRUE(h.ok());
+          return std::move(h).value();
+        }(),
+        {},
+        {},
+        {}};
+    out->anchors.add(out->hierarchy.root().cert);
+    out->roots.push_back(out->hierarchy.root().cert);
+
+    Xoshiro256 rng(kPlanSeed + 1);
+    std::vector<notary::Observation> late_upgrades;
+    for (int i = 0; i < 600; ++i) {
+      auto leaf = out->hierarchy.issue(
+          rng, "host" + std::to_string(i) + ".example.com", i % 3);
+      EXPECT_TRUE(leaf.ok());
+      notary::Observation obs;
+      obs.port = (i % 4 == 0) ? 993 : 443;
+      if (i % 7 == 0) {
+        // Incomplete chain first; the full chain arrives much later, so a
+        // checkpoint frequently falls between the two — resume must keep
+        // the upgrade-aware dedup state exact.
+        obs.chain = {leaf.value()};
+        notary::Observation upgrade;
+        upgrade.port = obs.port;
+        upgrade.chain = out->hierarchy.presented_chain(leaf.value(), i % 3);
+        late_upgrades.push_back(std::move(upgrade));
+      } else {
+        obs.chain = out->hierarchy.presented_chain(leaf.value(), i % 3);
+      }
+      out->corpus.push_back(std::move(obs));
+    }
+    for (auto& obs : late_upgrades) out->corpus.push_back(std::move(obs));
+    return out;
+  }();
+  return *f;
+}
+
+/// Everything the paper's tables/figures read from one run, as one string,
+/// so "bit-identical results" is a single comparison.
+std::string results_signature(const notary::NotaryDb& db,
+                              const notary::ValidationCensus& census) {
+  const Fixture& f = fixture();
+  std::string sig;
+  sig += "sessions=" + std::to_string(db.session_count());
+  sig += ";unique=" + std::to_string(db.unique_cert_count());
+  sig += ";unexpired=" + std::to_string(db.unexpired_unique_cert_count());
+  for (const auto& [port, n] : db.sessions_by_port()) {
+    sig += ";port" + std::to_string(port) + "=" + std::to_string(n);
+  }
+  sig += ";validated=" + std::to_string(census.total_validated());
+  sig += ";census_unexpired=" + std::to_string(census.total_unexpired());
+  for (std::uint64_t n : census.per_root_counts(f.roots)) {
+    sig += ";root=" + std::to_string(n);
+  }
+  for (std::uint64_t n : census.ecdf_counts(f.roots)) {
+    sig += ";ecdf=" + std::to_string(n);
+  }
+  for (std::uint64_t n : census.cumulative_coverage(f.roots)) {
+    sig += ";cov=" + std::to_string(n);
+  }
+  sig += ";zero=" + std::to_string(census.zero_fraction(f.roots));
+  return sig;
+}
+
+/// Ingests `corpus[from..]` in kBatch-sized batches through `ckpt`.
+void replay_tail(CheckpointingCensus& ckpt, std::uint64_t from,
+                 util::ThreadPool& pool, std::size_t stop_after_batches = 0) {
+  const auto& corpus = fixture().corpus;
+  std::size_t batches = 0;
+  for (std::size_t i = from; i < corpus.size(); i += kBatch) {
+    const std::size_t n = std::min(kBatch, corpus.size() - i);
+    ASSERT_TRUE(
+        ckpt.ingest_batch(std::span(corpus.data() + i, n), pool).ok());
+    if (stop_after_batches != 0 && ++batches >= stop_after_batches) return;
+  }
+}
+
+const std::string& golden_signature() {
+  static const std::string sig = [] {
+    util::ThreadPool pool(4);
+    notary::NotaryDb db;
+    notary::ValidationCensus census(fixture().anchors);
+    for (const auto& obs : fixture().corpus) {
+      db.observe(obs);
+    }
+    census.ingest_batch(fixture().corpus, pool);
+    return results_signature(db, census);
+  }();
+  return sig;
+}
+
+std::string unique_path(const std::string& tag) {
+  // The path is deterministic per tag, so scrub leftovers from any earlier
+  // run of this binary — run_until_crash asserts a genuine cold start.
+  const std::string path =
+      ::testing::TempDir() + "kill_matrix_" + tag + ".tngl";
+  std::remove(path.c_str());
+  std::remove(util::atomic_temp_path(path).c_str());
+  return path;
+}
+
+CheckpointConfig config_for(const std::string& path,
+                            bool include_cache = true) {
+  CheckpointConfig config;
+  config.path = path;
+  config.interval = kInterval;
+  config.include_verify_cache = include_cache;
+  config.plan_seed = kPlanSeed;
+  return config;
+}
+
+/// Phase 1: run `crash_after_batches` batches with checkpointing, then
+/// "crash" (simply stop; nothing is flushed beyond the last checkpoint).
+void run_until_crash(const std::string& path, std::size_t crash_after_batches,
+                     bool include_cache = true) {
+  util::ThreadPool pool(4);
+  notary::NotaryDb db;
+  notary::ValidationCensus census(fixture().anchors);
+  CheckpointingCensus ckpt(db, census, config_for(path, include_cache));
+  auto info = ckpt.resume();
+  ASSERT_TRUE(info.ok());
+  ASSERT_TRUE(info.value().cold_start);
+  replay_tail(ckpt, 0, pool, crash_after_batches);
+}
+
+/// Phase 2: fresh objects, resume, replay the tail, compare to golden.
+/// Returns the ResumeInfo so callers can assert on detection reports.
+ResumeInfo resume_and_finish(const std::string& path,
+                             bool include_cache = true) {
+  util::ThreadPool pool(4);
+  notary::NotaryDb db;
+  notary::ValidationCensus census(fixture().anchors);
+  CheckpointingCensus ckpt(db, census, config_for(path, include_cache));
+  auto info = ckpt.resume();
+  EXPECT_TRUE(info.ok()) << to_string(info.error());
+  if (!info.ok()) return {};
+  replay_tail(ckpt, info.value().observations_ingested, pool);
+  EXPECT_EQ(ckpt.observations_ingested(), fixture().corpus.size());
+  EXPECT_EQ(results_signature(db, census), golden_signature());
+  return info.value();
+}
+
+TEST(KillMatrix, CleanCrashResumesFromCursorBitIdentically) {
+  // Crash after 2/3/5 batches: the checkpoint cadence (every 150
+  // observations, batches of 97) has written a snapshot by batch 2, and the
+  // later points leave un-checkpointed batches behind the crash.
+  for (const std::size_t crash_at : {2u, 3u, 5u}) {
+    const std::string path =
+        unique_path("clean_" + std::to_string(crash_at));
+    run_until_crash(path, crash_at);
+    ASSERT_TRUE(util::file_exists(path)) << crash_at;
+    const ResumeInfo info = resume_and_finish(path);
+    EXPECT_FALSE(info.cold_start) << crash_at;
+    // kBatch*crash_at observations went in; the cursor is the last
+    // checkpoint boundary at or below that.
+    EXPECT_EQ(info.observations_ingested % kBatch, 0u) << crash_at;
+    EXPECT_GT(info.observations_ingested, 0u) << crash_at;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(KillMatrix, TruncatedSnapshotIsDetectedAndStillConverges) {
+  const std::string path = unique_path("truncated");
+  run_until_crash(path, 3);
+  auto data = util::read_file(path);
+  ASSERT_TRUE(data.ok());
+  Bytes torn(data.value().begin(),
+             data.value().begin() + data.value().size() * 3 / 5);
+  ASSERT_TRUE(util::write_file_atomic(path, torn).ok());
+
+  const ResumeInfo info = resume_and_finish(path);
+  // Some section lost its tail: detection is mandatory, and the damaged
+  // core degrades to a (reported) cold start — never silent.
+  EXPECT_FALSE(info.reports.empty());
+  std::remove(path.c_str());
+}
+
+TEST(KillMatrix, FlippedByteIsDetectedAndStillConverges) {
+  Xoshiro256 rng(42);
+  for (int round = 0; round < 4; ++round) {
+    const std::string path = unique_path("flip_" + std::to_string(round));
+    run_until_crash(path, 3);
+    auto data = util::read_file(path);
+    ASSERT_TRUE(data.ok());
+    Bytes corrupt = data.value();
+    // Offsets below 16 are the header; a flip there is either the magic
+    // (kParse → reported cold start, covered below) or the version field
+    // (typed refusal, covered in RecoverResume). Body flips go here.
+    const std::size_t offset = 16 + rng.below(corrupt.size() - 16);
+    corrupt[offset] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    ASSERT_TRUE(util::write_file_atomic(path, corrupt).ok());
+
+    const ResumeInfo info = resume_and_finish(path);
+    EXPECT_FALSE(info.reports.empty()) << "offset " << offset;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(KillMatrix, CorruptHeaderColdStartsWithReport) {
+  const std::string path = unique_path("magic");
+  run_until_crash(path, 2);
+  auto data = util::read_file(path);
+  ASSERT_TRUE(data.ok());
+  Bytes corrupt = data.value();
+  corrupt[3] ^= 0xff;  // inside the magic
+  ASSERT_TRUE(util::write_file_atomic(path, corrupt).ok());
+
+  const ResumeInfo info = resume_and_finish(path);
+  EXPECT_TRUE(info.cold_start);
+  ASSERT_FALSE(info.reports.empty());
+  EXPECT_NE(info.reports[0].find("cold start"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(KillMatrix, CrashBetweenTempWriteAndRenameIgnoresTheTemp) {
+  const std::string path = unique_path("torn_tmp");
+  run_until_crash(path, 3);
+  // Fabricate the "power cut after writing the temp, before the rename"
+  // state: a garbage .tmp beside the intact previous snapshot.
+  const std::string tmp = util::atomic_temp_path(path);
+  const Bytes garbage = {0xde, 0xad, 0xbe, 0xef};
+  {
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(garbage.data(), 1, garbage.size(), f);
+    std::fclose(f);
+  }
+
+  const ResumeInfo info = resume_and_finish(path);
+  EXPECT_FALSE(info.cold_start);
+  EXPECT_TRUE(info.reports.empty());  // previous snapshot is fully intact
+  std::remove(path.c_str());
+  std::remove(tmp.c_str());
+}
+
+TEST(KillMatrix, DeletedSnapshotColdStartsAndStillConverges) {
+  const std::string path = unique_path("deleted");
+  run_until_crash(path, 3);
+  std::remove(path.c_str());
+  const ResumeInfo info = resume_and_finish(path);
+  EXPECT_TRUE(info.cold_start);
+  EXPECT_EQ(info.observations_ingested, 0u);
+}
+
+TEST(KillMatrix, ResumedCheckpointBytesMatchColdRunCheckpointBytes) {
+  // Snapshot determinism end-to-end: a run that crashed and resumed must
+  // checkpoint the exact bytes a never-crashed run checkpoints. The warm
+  // verify-cache section is excluded — it is load-order-dependent by design
+  // and result-neutral; everything the results are derived from must match.
+  const std::string crashed_path = unique_path("det_crashed");
+  run_until_crash(crashed_path, 3, /*include_cache=*/false);
+  {
+    util::ThreadPool pool(4);
+    notary::NotaryDb db;
+    notary::ValidationCensus census(fixture().anchors);
+    CheckpointingCensus ckpt(db, census,
+                             config_for(crashed_path, /*include_cache=*/false));
+    auto info = ckpt.resume();
+    ASSERT_TRUE(info.ok());
+    replay_tail(ckpt, info.value().observations_ingested, pool);
+    ASSERT_TRUE(ckpt.checkpoint().ok());
+  }
+
+  const std::string cold_path = unique_path("det_cold");
+  {
+    util::ThreadPool pool(4);
+    notary::NotaryDb db;
+    notary::ValidationCensus census(fixture().anchors);
+    CheckpointingCensus ckpt(db, census,
+                             config_for(cold_path, /*include_cache=*/false));
+    ASSERT_TRUE(ckpt.resume().ok());
+    replay_tail(ckpt, 0, pool);
+    ASSERT_TRUE(ckpt.checkpoint().ok());
+  }
+
+  auto a = util::read_file(crashed_path);
+  auto b = util::read_file(cold_path);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+  std::remove(crashed_path.c_str());
+  std::remove(cold_path.c_str());
+}
+
+TEST(KillMatrix, WarmAndColdCacheResumesAreResultIdentical) {
+  for (const bool include_cache : {true, false}) {
+    const std::string path =
+        unique_path(include_cache ? "cache_warm" : "cache_cold");
+    run_until_crash(path, 3, include_cache);
+    const ResumeInfo info = resume_and_finish(path, include_cache);
+    EXPECT_FALSE(info.cold_start);
+    if (!include_cache) {
+      EXPECT_FALSE(info.cache_restored);
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(RecoverResume, SigtermRequestCheckpointsAtTheNextBatchBoundary) {
+  const std::string path = unique_path("sigterm");
+  util::ThreadPool pool(4);
+  notary::NotaryDb db;
+  notary::ValidationCensus census(fixture().anchors);
+  CheckpointConfig config = config_for(path);
+  config.interval = 0;  // no periodic cadence: only the request can trigger
+  CheckpointingCensus ckpt(db, census, config);
+  ASSERT_TRUE(ckpt.resume().ok());
+
+  replay_tail(ckpt, 0, pool, 1);
+  EXPECT_FALSE(util::file_exists(path));  // no request, no checkpoint
+
+  CheckpointingCensus::request_checkpoint();
+  EXPECT_TRUE(CheckpointingCensus::checkpoint_requested());
+  replay_tail(ckpt, kBatch, pool, 1);
+  EXPECT_TRUE(util::file_exists(path));
+  EXPECT_FALSE(CheckpointingCensus::checkpoint_requested());  // consumed
+  std::remove(path.c_str());
+}
+
+TEST(RecoverResume, PlanSeedMismatchIsATypedRefusal) {
+  const std::string path = unique_path("seed");
+  run_until_crash(path, 3);
+  notary::NotaryDb db;
+  notary::ValidationCensus census(fixture().anchors);
+  CheckpointConfig config = config_for(path);
+  config.plan_seed = kPlanSeed + 1;
+  CheckpointingCensus ckpt(db, census, config);
+  auto info = ckpt.resume();
+  ASSERT_FALSE(info.ok());
+  EXPECT_EQ(info.error().code, Errc::kInvalidState);
+  EXPECT_NE(info.error().message.find("plan seed"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(RecoverResume, ConfigFingerprintMismatchIsATypedRefusal) {
+  const std::string path = unique_path("fingerprint");
+  run_until_crash(path, 3);
+  notary::NotaryDb db;
+  pki::VerifyOptions different;
+  different.budget.max_search_steps = 123;
+  notary::ValidationCensus census(fixture().anchors, different);
+  CheckpointingCensus ckpt(db, census, config_for(path));
+  auto info = ckpt.resume();
+  ASSERT_FALSE(info.ok());
+  EXPECT_EQ(info.error().code, Errc::kInvalidState);
+  EXPECT_NE(info.error().message.find("fingerprint"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(RecoverResume, FutureSnapshotVersionIsRefusedNotRebuilt) {
+  const std::string path = unique_path("version");
+  run_until_crash(path, 2);
+  auto data = util::read_file(path);
+  ASSERT_TRUE(data.ok());
+  Bytes bumped = data.value();
+  bumped[8] = 2;  // version u32 LE, right after the magic
+  ASSERT_TRUE(util::write_file_atomic(path, bumped).ok());
+
+  notary::NotaryDb db;
+  notary::ValidationCensus census(fixture().anchors);
+  CheckpointingCensus ckpt(db, census, config_for(path));
+  auto info = ckpt.resume();
+  ASSERT_FALSE(info.ok());
+  EXPECT_EQ(info.error().code, Errc::kUnsupported);
+  std::remove(path.c_str());
+}
+
+TEST(RecoverResume, StreamIngestCheckpointsAtBatchBoundariesAndResumes) {
+  // The streaming pipeline checkpoints through the on_batch_committed hook:
+  // crash a streamed run between batch boundaries, resume, feed the
+  // remaining flows, and require the same results as an uninterrupted
+  // stream over all flows.
+  constexpr std::size_t kFlows = 60;
+  constexpr std::size_t kStreamBatch = 8;
+  std::vector<Bytes> captures;
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    auto flight = tlswire::encode_server_flight(tlswire::ServerHello{},
+                                                fixture().corpus[i].chain);
+    ASSERT_TRUE(flight.ok());
+    captures.push_back(std::move(flight).value());
+  }
+
+  stream::StreamIngestConfig stream_config;
+  stream_config.batch_size = kStreamBatch;
+
+  const auto stream_signature =
+      [&](std::size_t from, std::size_t to, notary::NotaryDb& db,
+          notary::ValidationCensus& census,
+          CheckpointingCensus* ckpt) -> std::string {
+    util::ThreadPool pool(2);
+    stream::StreamIngestConfig config = stream_config;
+    if (ckpt != nullptr) config.on_batch_committed = ckpt->stream_hook();
+    stream::StreamIngestor ingestor(db, &census, pool, config);
+    for (std::size_t i = from; i < to; ++i) {
+      ingestor.feed(static_cast<stream::FlowId>(i), captures[i]);
+      ingestor.end_flow(static_cast<stream::FlowId>(i));
+    }
+    (void)ingestor.finish();
+    return results_signature(db, census);
+  };
+
+  // Golden: one uninterrupted stream.
+  std::string golden;
+  {
+    notary::NotaryDb db;
+    notary::ValidationCensus census(fixture().anchors);
+    golden = stream_signature(0, kFlows, db, census, nullptr);
+  }
+
+  const std::string path = unique_path("stream");
+  CheckpointConfig config = config_for(path);
+  config.interval = 2 * kStreamBatch;
+  std::uint64_t cursor = 0;
+  {
+    // Crashed run: feed half the flows, never call finish() — everything
+    // past the last checkpoint is lost with the process.
+    util::ThreadPool pool(2);
+    notary::NotaryDb db;
+    notary::ValidationCensus census(fixture().anchors);
+    CheckpointingCensus ckpt(db, census, config);
+    ASSERT_TRUE(ckpt.resume().ok());
+    stream::StreamIngestConfig crashed = stream_config;
+    crashed.on_batch_committed = ckpt.stream_hook();
+    stream::StreamIngestor ingestor(db, &census, pool, crashed);
+    for (std::size_t i = 0; i < kFlows / 2; ++i) {
+      ingestor.feed(static_cast<stream::FlowId>(i), captures[i]);
+      ingestor.end_flow(static_cast<stream::FlowId>(i));
+    }
+    EXPECT_TRUE(ckpt.last_error().empty());
+  }
+  {
+    notary::NotaryDb db;
+    notary::ValidationCensus census(fixture().anchors);
+    CheckpointingCensus ckpt(db, census, config);
+    auto info = ckpt.resume();
+    ASSERT_TRUE(info.ok());
+    EXPECT_FALSE(info.value().cold_start);
+    cursor = info.value().observations_ingested;
+    // The cursor is a stream batch boundary — a batch is in or out whole.
+    EXPECT_EQ(cursor % kStreamBatch, 0u);
+    EXPECT_GT(cursor, 0u);
+    const std::string resumed = stream_signature(
+        static_cast<std::size_t>(cursor), kFlows, db, census, &ckpt);
+    EXPECT_EQ(resumed, golden);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RecoverResume, UnknownSectionIsSkippedWithAReport) {
+  const std::string path = unique_path("unknown_section");
+  run_until_crash(path, 3);
+  auto data = util::read_file(path);
+  ASSERT_TRUE(data.ok());
+  auto loaded = decode_snapshot(data.value());
+  ASSERT_TRUE(loaded.ok());
+  std::vector<Section> sections = loaded.value().sections;
+  sections.insert(sections.begin(), {77, Bytes{1, 2, 3}});
+  ASSERT_TRUE(write_snapshot_file(path, sections).ok());
+
+  const ResumeInfo info = resume_and_finish(path);
+  EXPECT_FALSE(info.cold_start);
+  ASSERT_FALSE(info.reports.empty());
+  EXPECT_NE(info.reports[0].find("unknown section id 77"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tangled::recover

@@ -1,0 +1,158 @@
+// StripedCache bound + eviction semantics, serial and under concurrent
+// insert/erase churn. The concurrency suite is named so the CI TSan lane
+// picks it up (see .github/workflows/ci.yml).
+#include "util/striped_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tangled::util {
+namespace {
+
+/// Identity hash: key N lands in stripe N % kStripes, so tests can aim
+/// keys at a specific stripe.
+struct IdentityHash {
+  std::size_t operator()(std::uint64_t v) const noexcept { return v; }
+};
+
+using Cache = StripedCache<std::uint64_t, std::string, IdentityHash>;
+
+std::uint64_t stripe_key(std::size_t stripe, std::uint64_t i) {
+  return stripe + i * Cache::kStripes;
+}
+
+TEST(StripedCache, FifoEvictsOldestWithinStripe) {
+  Cache cache(Cache::kStripes * 4);  // cap 4 per stripe
+  ASSERT_EQ(cache.per_stripe_cap(), 4u);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    cache.insert(stripe_key(0, i), "v" + std::to_string(i));
+  }
+  // 6 inserts into a cap-4 stripe: the two oldest are gone, FIFO order.
+  EXPECT_FALSE(cache.find(stripe_key(0, 0)).has_value());
+  EXPECT_FALSE(cache.find(stripe_key(0, 1)).has_value());
+  for (std::uint64_t i = 2; i < 6; ++i) {
+    EXPECT_TRUE(cache.find(stripe_key(0, i)).has_value());
+  }
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(StripedCache, EvictionIsShardLocal) {
+  Cache cache(Cache::kStripes * 2);  // cap 2 per stripe
+  cache.insert(stripe_key(1, 0), "other-stripe");
+  // Overfill stripe 0 only.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    cache.insert(stripe_key(0, i), "x");
+  }
+  // Stripe 1's entry must be untouched by stripe 0's evictions.
+  EXPECT_TRUE(cache.find(stripe_key(1, 0)).has_value());
+  EXPECT_EQ(cache.evictions(), 8u);
+}
+
+TEST(StripedCache, EraseLeavesTombstoneEvictionSkips) {
+  Cache cache(Cache::kStripes * 3);  // cap 3 per stripe
+  cache.insert(stripe_key(0, 0), "a");
+  cache.insert(stripe_key(0, 1), "b");
+  EXPECT_TRUE(cache.erase(stripe_key(0, 0)));
+  EXPECT_FALSE(cache.erase(stripe_key(0, 0)));  // already gone
+  cache.insert(stripe_key(0, 2), "c");
+  cache.insert(stripe_key(0, 3), "d");  // stripe full again (b, c, d)
+  cache.insert(stripe_key(0, 4), "e");  // must evict b — not the tombstone
+  EXPECT_FALSE(cache.find(stripe_key(0, 1)).has_value());
+  EXPECT_TRUE(cache.find(stripe_key(0, 2)).has_value());
+  EXPECT_TRUE(cache.find(stripe_key(0, 3)).has_value());
+  EXPECT_TRUE(cache.find(stripe_key(0, 4)).has_value());
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(StripedCache, ReinsertAfterEraseIsALiveEntry) {
+  Cache cache(Cache::kStripes * 2);
+  cache.insert(stripe_key(0, 0), "first");
+  cache.erase(stripe_key(0, 0));
+  cache.insert(stripe_key(0, 0), "second");
+  auto found = cache.find(stripe_key(0, 0));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, "second");
+}
+
+TEST(StripedCache, ChurnDoesNotGrowFifoUnboundedly) {
+  // Insert/erase the same small key set many times: compaction must keep
+  // the per-stripe FIFO bounded, observable as the size bound holding and
+  // the workload finishing without pathological memory growth.
+  Cache cache(Cache::kStripes);
+  for (int round = 0; round < 10'000; ++round) {
+    const std::uint64_t key = stripe_key(0, round % 3);
+    cache.insert(key, "v");
+    cache.erase(key);
+  }
+  EXPECT_EQ(cache.size(), 0u);
+  cache.insert(stripe_key(0, 99), "still-works");
+  EXPECT_TRUE(cache.find(stripe_key(0, 99)).has_value());
+}
+
+TEST(StripedCacheConcurrency, BoundHoldsUnderInsertEraseChurn) {
+  constexpr std::size_t kCap = Cache::kStripes * 4;
+  Cache cache(kCap);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20'000;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(t) * 7919 + static_cast<std::uint64_t>(i);
+        cache.insert(key, "value");
+        if (i % 3 == 0) cache.erase(key - (i % 11));
+        if (i % 64 == 0) cache.find(key);
+      }
+    });
+  }
+  // A reader thread hammers the aggregate views while writers churn: the
+  // size bound must hold at every instant, not just at quiescence.
+  std::thread reader([&cache, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      EXPECT_LE(cache.size(), Cache::kStripes * cache.per_stripe_cap());
+      std::size_t visited = 0;
+      cache.for_each([&visited](const std::uint64_t&, const std::string&) {
+        ++visited;
+      });
+      EXPECT_LE(visited, Cache::kStripes * cache.per_stripe_cap());
+    }
+  });
+
+  for (std::thread& worker : workers) worker.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_LE(cache.size(), Cache::kStripes * cache.per_stripe_cap());
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+TEST(StripedCacheConcurrency, ConcurrentSameKeyInsertFirstWriterWins) {
+  Cache cache(Cache::kStripes * 8);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (std::uint64_t key = 0; key < 512; ++key) {
+        cache.insert(key, "from-" + std::to_string(t));
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  // Every key resolves to exactly one of the racing values and stays put.
+  for (std::uint64_t key = 0; key < 512; ++key) {
+    auto found = cache.find(key);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->rfind("from-", 0), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace tangled::util
