@@ -109,6 +109,11 @@ struct NotaryRun {
   double cache_hit_rate = 0.0;  // 0 when the cache is disabled
   double cache_speedup = 0.0;   // uncached_ingest_seconds / ingest_seconds
   bool results_identical = false;  // cached vs. uncached census agreement
+  double traced_ingest_seconds = 0.0;  // ingest with recorder + trace sampling
+  double obs_overhead_ratio = 0.0;  // traced/cached - 1 (can dip negative
+                                    // from min-of-N noise; budget is <= 2%)
+  std::size_t sampled_trace_count = 0;  // decision traces the traced pass kept
+  bool traced_results_identical = false;  // traced vs. plain census agreement
 
   /// Generation and census ingest both run on the shared pool, sized by
   /// TANGLED_THREADS (0 = the historical serial path). One generation pass
@@ -236,6 +241,38 @@ struct NotaryRun {
         uncached_ingest_seconds = std::min(uncached_ingest_seconds, u);
         all_passes += c + u;
       }
+      // Observability-cost passes: the same ingest with the flight recorder
+      // live and per-cell decision-trace sampling enabled over every Table-3
+      // store. min-of-5, matching the cached/uncached estimator, so the
+      // overhead ratio compares like against like. The acceptance budget for
+      // recorder+sampling is <= 2% of census ingest wall time.
+      const std::vector<const rootstore::RootStore*> trace_stores = {
+          &universe().mozilla(),
+          &universe().ios7(),
+          &universe().aosp(rootstore::AndroidVersion::k41),
+          &universe().aosp(rootstore::AndroidVersion::k42),
+          &universe().aosp(rootstore::AndroidVersion::k43),
+          &universe().aosp(rootstore::AndroidVersion::k44),
+      };
+      for (int rep = 0; rep < 5; ++rep) {
+        notary::ValidationCensus traced(all_anchors());
+        traced.enable_trace_sampling(trace_stores);
+        const double t = pass_seconds(traced);
+        traced_ingest_seconds = rep == 0
+                                    ? t
+                                    : std::min(traced_ingest_seconds, t);
+        all_passes += t;
+        if (rep == 0) {
+          sampled_trace_count = traced.sampled_traces().size();
+          traced_results_identical =
+              traced.total_unexpired() == census.total_unexpired() &&
+              traced.total_validated() == census.total_validated();
+        }
+      }
+      obs_overhead_ratio =
+          ingest_seconds > 0.0
+              ? traced_ingest_seconds / ingest_seconds - 1.0
+              : 0.0;
       excluded_seconds = all_passes - ingest_seconds;
     } else {
       if (!batch.empty()) drain();

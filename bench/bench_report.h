@@ -19,6 +19,8 @@
 // `paper` and `rel_err` are null for measured-only rows (add_measured).
 #pragma once
 
+#include <sys/resource.h>
+
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -28,6 +30,14 @@
 #include "obs/obs.h"
 
 namespace tangled::bench {
+
+/// Peak resident-set size of this process in bytes (0 if unavailable).
+/// ru_maxrss is kibibytes on Linux — the only platform the benches target.
+inline double peak_rss_bytes() {
+  struct rusage usage{};
+  if (::getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) * 1024.0;
+}
 
 class BenchReport {
  public:
@@ -68,6 +78,12 @@ class BenchReport {
   /// the file cannot be written.
   bool write() {
     written_ = true;
+    // Memory high-water mark, stamped at write time so it covers the whole
+    // run. Every report carries it; regressions show up as row deltas.
+    if (!rss_row_added_) {
+      rss_row_added_ = true;
+      add_measured("process.peak_rss_bytes", peak_rss_bytes());
+    }
     const std::string path = output_path();
     std::FILE* out = std::fopen(path.c_str(), "w");
     if (out == nullptr) {
@@ -141,6 +157,7 @@ class BenchReport {
   std::vector<Row> rows_;
   std::vector<std::string> notes_;
   bool written_ = false;
+  bool rss_row_added_ = false;
 };
 
 }  // namespace tangled::bench

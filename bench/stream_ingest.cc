@@ -10,6 +10,8 @@
 
 #include "bench_common.h"
 #include "notary/wire_ingest.h"
+#include "obs/export.h"
+#include "obs/telemetry.h"
 #include "pki/hierarchy.h"
 #include "stream/ingest.h"
 #include "tlswire/handshake.h"
@@ -51,7 +53,10 @@ int main() {
   captures.reserve(kFlows);
   for (std::size_t i = 0; i < kFlows; ++i) {
     auto& org = hierarchies[i % kOrgs];
-    auto leaf = org.issue(rng, "f" + std::to_string(i) + ".example.com", 0);
+    std::string host = "f";
+    host += std::to_string(i);
+    host += ".example.com";
+    auto leaf = org.issue(rng, host, 0);
     if (!leaf.ok()) return 1;
     auto flight = tlswire::encode_server_flight(
         tlswire::ServerHello{}, org.presented_chain(leaf.value(), 0));
@@ -68,6 +73,16 @@ int main() {
       stream::make_interleaved_plan(captures, plan_rng, inject);
   build_span.end();
 
+  // --- Live telemetry endpoint ---------------------------------------------
+  // The server runs for the whole ingest and is scraped over real HTTP while
+  // the process's registry is hot, proving the exposition is parseable and
+  // matches the in-process state — not just that the exporter compiles.
+  obs::TelemetryServer telemetry;
+  const bool telemetry_up = telemetry.start().ok();
+  if (!telemetry_up) {
+    std::fprintf(stderr, "stream_ingest: telemetry server failed to start\n");
+  }
+
   // --- Streaming-parallel ingest -------------------------------------------
   util::ThreadPool& pool = util::shared_pool();
   stream::StreamIngestConfig config;
@@ -83,6 +98,35 @@ int main() {
   const stream::StreamIngestReport result = ingestor.finish();
   const double stream_seconds =
       std::chrono::duration<double>(clock::now() - stream_start).count();
+
+  // --- Scrape the live endpoint --------------------------------------------
+  bool scrape_ok = false;
+  std::size_t conformance_errors = 0;
+  bool scrape_matches_registry = false;
+  if (telemetry_up) {
+    obs::Span span(obs::tracer(), "bench.stream.telemetry_scrape");
+    if (auto raw = obs::http_get("127.0.0.1", telemetry.port(), "/metrics");
+        raw.ok()) {
+      if (auto response = obs::parse_http_response(raw.value());
+          response.ok() && response.value().status == 200) {
+        scrape_ok = true;
+        conformance_errors =
+            obs::prometheus_conformance_errors(response.value().body).size();
+        // The scraped faulted-flows counter must agree with the registry the
+        // process itself holds (scraped after ingest, so the value is
+        // settled and exactly comparable).
+        const auto samples =
+            obs::parse_prometheus_samples(response.value().body);
+        const double expect = static_cast<double>(
+            obs::metrics().counter("stream.demux.faulted_flows").value());
+        for (const auto& [name, value] : samples) {
+          if (name == "stream_demux_faulted_flows" && value == expect) {
+            scrape_matches_registry = true;
+          }
+        }
+      }
+    }
+  }
 
   // --- Serial per-flow reference -------------------------------------------
   std::vector<Bytes> delivered(plan.flows.size());
@@ -169,13 +213,32 @@ int main() {
                       static_cast<double>(result.chains_ingested));
   report.add_measured("census identical streaming vs serial",
                       identical ? 1 : 0);
+  report.add_measured("telemetry server up", telemetry_up ? 1 : 0);
+  report.add_measured("telemetry /metrics scrape ok", scrape_ok ? 1 : 0);
+  report.add_measured("telemetry prometheus conformance errors",
+                      static_cast<double>(conformance_errors));
+  report.add_measured("telemetry scrape matches registry",
+                      scrape_matches_registry ? 1 : 0);
+  report.add_measured("telemetry requests served",
+                      static_cast<double>(telemetry.requests_served()));
+  report.add_measured(
+      "flight recorder events",
+      static_cast<double>(obs::flight_recorder().events_recorded()));
+  std::printf("telemetry: %s, /metrics scrape %s (%zu conformance errors), "
+              "matches registry: %s\n",
+              telemetry_up ? "up" : "DOWN", scrape_ok ? "ok" : "FAILED",
+              conformance_errors, scrape_matches_registry ? "yes" : "NO");
   report.note("fault survival: every pristine flow's chain was ingested; "
               "only injected flows are lost (fault_counts rows)");
   report.note("TANGLED_THREADS sizes the census pool; seeds fixed "
               "(20140402/5150) so the plan is reproducible byte-for-byte");
+  const bool telemetry_good =
+      !telemetry_up ||
+      (scrape_ok && conformance_errors == 0 && scrape_matches_registry);
   return identical &&
                  result.demux.buffered_high_water <=
-                     config.demux.max_buffered_bytes
+                     config.demux.max_buffered_bytes &&
+                 telemetry_good
              ? 0
              : 1;
 }

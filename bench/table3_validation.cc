@@ -25,10 +25,16 @@ int main() {
                   obs::metrics().counter("notary.census.multi_anchor").value()));
   std::printf("verify cache: hit rate %.1f%%, ingest %.2fs cached vs %.2fs "
               "uncached (%.2fx), results identical: %s "
-              "(TANGLED_VERIFY_CACHE=0 disables)\n\n",
+              "(TANGLED_VERIFY_CACHE=0 disables)\n",
               100.0 * run.cache_hit_rate, run.ingest_seconds,
               run.uncached_ingest_seconds, run.cache_speedup,
               run.results_identical ? "yes" : "NO");
+  std::printf("observability: recorder + trace sampling ingest %.2fs "
+              "(overhead %+.2f%%, budget +2%%), %zu traces sampled, "
+              "results identical: %s\n\n",
+              run.traced_ingest_seconds, 100.0 * run.obs_overhead_ratio,
+              run.sampled_trace_count,
+              run.traced_results_identical ? "yes" : "NO");
 
   struct Row {
     const char* name;
@@ -89,6 +95,16 @@ int main() {
   report.add_measured("verify cache ingest speedup", run.cache_speedup);
   report.add_measured("cache-on/off results identical",
                       run.results_identical ? 1 : 0);
+  report.add_measured("census ingest seconds (recorder+sampling)",
+                      run.traced_ingest_seconds);
+  report.add_measured("obs overhead ratio (recorder+sampling)",
+                      run.obs_overhead_ratio);
+  report.add_measured("obs overhead within 2% budget",
+                      run.obs_overhead_ratio <= 0.02 ? 1 : 0);
+  report.add_measured("decision traces sampled",
+                      static_cast<double>(run.sampled_trace_count));
+  report.add_measured("traced/untraced results identical",
+                      run.traced_results_identical ? 1 : 0);
   report.add_measured(
       "multi-anchor leaves",
       static_cast<double>(

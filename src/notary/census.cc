@@ -40,8 +40,152 @@ std::size_t ValidationCensus::shard_of(const x509::Certificate& leaf) const {
   return static_cast<std::size_t>(leaf.der_hash()) % kShards;
 }
 
+void ValidationCensus::enable_trace_sampling(
+    const std::vector<const rootstore::RootStore*>& stores,
+    TraceSampleConfig config) {
+  TraceSampling sampling;
+  sampling.config = config;
+  sampling.store_names.reserve(stores.size());
+  sampling.store_keys.reserve(stores.size());
+  for (const rootstore::RootStore* store : stores) {
+    const std::size_t s = sampling.store_names.size();
+    sampling.store_names.push_back(store->name());
+    std::unordered_set<std::string> keys;
+    for (const auto& cert : store->certificates()) {
+      keys.insert(cert.equivalence_hex());
+      if (s < 64) {
+        sampling.key_store_mask[cert.equivalence_hex()] |= std::uint64_t{1}
+                                                           << s;
+      }
+    }
+    sampling.store_keys.push_back(std::move(keys));
+  }
+  sampling.validated_global =
+      std::make_unique<std::vector<std::atomic<std::size_t>>>(
+          sampling.store_names.size());
+  sampling.failure_mutex = std::make_unique<std::mutex>();
+  sampling.failure_global =
+      std::make_unique<std::unordered_map<std::string, std::size_t>>();
+  sampling_ = std::move(sampling);
+  for (Shard& shard : shards_) {
+    shard.trace_cells.clear();
+    shard.traces.clear();
+    shard.validated_taken.assign(sampling_->store_names.size(), 0);
+    shard.open_validated_cells = sampling_->store_names.size();
+  }
+}
+
+void ValidationCensus::disable_trace_sampling() {
+  sampling_.reset();
+  for (Shard& shard : shards_) {
+    shard.trace_cells.clear();
+    shard.traces.clear();
+    shard.validated_taken.clear();
+    shard.open_validated_cells = 0;
+  }
+}
+
+void ValidationCensus::sample_failure_trace(Shard& shard,
+                                            const Observation& observation,
+                                            const Error& error) {
+  const std::string_view verdict = to_string(error.code);
+  std::string& cell = shard.scratch_cell;
+  cell.assign("|");  // failure cells carry the empty store name
+  cell += verdict;
+  std::size_t& taken = shard.trace_cells[cell];
+  if (taken >= sampling_->config.per_cell) return;
+  {
+    // Shard-local quota not yet spent: consult the shared quota. A globally
+    // full cell is closed locally too, so this lock is taken at most
+    // per_cell times per cell per shard, never in steady state.
+    const std::lock_guard<std::mutex> lock(*sampling_->failure_mutex);
+    std::size_t& global_taken = (*sampling_->failure_global)[cell];
+    if (global_taken >= sampling_->config.per_cell) {
+      taken = sampling_->config.per_cell;
+      return;
+    }
+    ++global_taken;
+  }
+  SampledTrace sample;
+  sample.store = "";
+  sample.verdict.assign(verdict);
+  // Replay with the trace attached. The search is deterministic and the
+  // replay reuses the shared VerifyCache, so this re-derives the verdict
+  // the census just counted — now with the full decision record.
+  (void)verifier_.verify_all_anchors(
+      observation.chain.front(),
+      std::span<const x509::Certificate>(observation.chain).subspan(1),
+      &sample.trace);
+  ++taken;
+  TANGLED_OBS_INC("notary.census.traces_sampled");
+  shard.traces.push_back(std::move(sample));
+}
+
+void ValidationCensus::sample_validated_trace(
+    Shard& shard, const Observation& observation,
+    std::span<const std::string_view> anchor_keys) {
+  if (shard.open_validated_cells == 0) return;
+  const TraceSampling& sampling = *sampling_;
+  if (sampling.config.per_cell == 0) return;
+  // Classify the leaf against every store in one pass: OR together the
+  // per-key store masks. No string is built and no key is copied here —
+  // this runs for every validated observation until the shard's cells fill.
+  std::uint64_t member_mask = 0;
+  for (const std::string_view key : anchor_keys) {
+    if (const auto it = sampling.key_store_mask.find(key);
+        it != sampling.key_store_mask.end()) {
+      member_mask |= it->second;
+    }
+  }
+  if (member_mask == 0 && sampling.store_names.size() <= 64) return;
+  // Which still-open (store, "validated") cells does this leaf belong to?
+  // A cell whose *global* quota is spent closes locally as well, so the
+  // replay count is bounded by per_cell × cells across the whole census,
+  // not per shard.
+  std::vector<std::size_t>& needing = shard.scratch_needing;
+  needing.clear();
+  for (std::size_t s = 0; s < sampling.store_names.size(); ++s) {
+    std::size_t& local_taken = shard.validated_taken[s];
+    if (local_taken >= sampling.config.per_cell) continue;
+    const bool member =
+        s < 64 ? ((member_mask >> s) & 1) != 0
+               : [&] {
+                   for (const std::string_view key : anchor_keys) {
+                     if (sampling.store_keys[s].contains(std::string(key))) {
+                       return true;
+                     }
+                   }
+                   return false;
+                 }();
+    if (!member) continue;
+    if ((*sampling.validated_global)[s].load(std::memory_order_relaxed) >=
+        sampling.config.per_cell) {
+      local_taken = sampling.config.per_cell;
+      --shard.open_validated_cells;
+      continue;
+    }
+    needing.push_back(s);
+  }
+  if (needing.empty()) return;
+  // One traced replay serves every cell this observation can fill.
+  pki::DecisionTrace trace;
+  (void)verifier_.verify_all_anchors(
+      observation.chain.front(),
+      std::span<const x509::Certificate>(observation.chain).subspan(1),
+      &trace);
+  for (const std::size_t s : needing) {
+    std::size_t& taken = shard.validated_taken[s];
+    ++taken;
+    if (taken == sampling.config.per_cell) --shard.open_validated_cells;
+    (*sampling.validated_global)[s].fetch_add(1, std::memory_order_relaxed);
+    TANGLED_OBS_INC("notary.census.traces_sampled");
+    shard.traces.push_back({sampling.store_names[s], "validated", trace});
+  }
+}
+
 void ValidationCensus::ingest(const Observation& observation) {
   merged_.reset();
+  ++observations_ingested_;
   if (observation.chain.empty()) {
     TANGLED_OBS_INC("notary.census.ingested");
     TANGLED_OBS_INC("notary.census.empty_chains");
@@ -72,6 +216,11 @@ void ValidationCensus::ingest_batch(std::span<const Observation> batch,
   util::parallel_for(pool, kShards, [&](std::size_t s) {
     for (const std::size_t i : routed[s]) ingest_into(shards_[s], batch[i]);
   });
+  observations_ingested_ += batch.size();
+  // Direct recorder call (not TANGLED_OBS_EVENT): one event per batch is
+  // cold, and an OBS=OFF build still wants batch progress in post-mortems.
+  obs::flight_recorder().record(obs::FlightEventKind::kCensusBatch,
+                                batch.size(), observations_ingested_);
 }
 
 void ValidationCensus::ingest_into(Shard& shard,
@@ -104,6 +253,9 @@ void ValidationCensus::ingest_into(Shard& shard,
       TANGLED_OBS_INC("notary.census.budget_exhausted");
     }
     if (first_seen) TANGLED_OBS_INC("notary.census.unvalidated");
+    if (sampling_.has_value()) {
+      sample_failure_trace(shard, observation, survey.error());
+    }
     return;
   }
   if (survey.value().budget_exhausted) {
@@ -127,6 +279,7 @@ void ValidationCensus::ingest_into(Shard& shard,
   std::sort(keys.begin(), keys.end());
   keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
   if (keys.size() > 1) TANGLED_OBS_INC("notary.census.multi_anchor");
+  if (sampling_.has_value()) sample_validated_trace(shard, observation, keys);
 
   std::string& joined = shard.scratch_joined;
   joined.clear();
@@ -294,6 +447,41 @@ std::string ValidationCensus::context_fingerprint() const {
   }
   const auto digest = hasher.digest();
   return to_hex(ByteView(digest.data(), digest.size()));
+}
+
+std::vector<const SampledTrace*> ValidationCensus::sampled_traces() const {
+  std::vector<const SampledTrace*> out;
+  if (!sampling_.has_value()) return out;
+  // Shard order, arrival order within a shard; each shard sampled up to
+  // per_cell per cell on its own, so re-cap globally here.
+  std::unordered_map<std::string, std::size_t> cell_counts;
+  std::string cell;
+  for (const Shard& shard : shards_) {
+    for (const SampledTrace& sample : shard.traces) {
+      cell = sample.store;
+      cell += '|';
+      cell += sample.verdict;
+      std::size_t& taken = cell_counts[cell];
+      if (taken >= sampling_->config.per_cell) continue;
+      ++taken;
+      out.push_back(&sample);
+    }
+  }
+  return out;
+}
+
+std::string ValidationCensus::sampled_traces_json() const {
+  std::string out = "[";
+  bool first = true;
+  for (const SampledTrace* sample : sampled_traces()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"store\":\"" + obs::json_escape(sample->store) + "\",";
+    out += "\"verdict\":\"" + obs::json_escape(sample->verdict) + "\",";
+    out += "\"trace\":" + sample->trace.to_json() + "}";
+  }
+  out += "]";
+  return out;
 }
 
 const ValidationCensus::Merged& ValidationCensus::merged() const {

@@ -35,13 +35,16 @@
 // VerifyOptions::use_verify_cache = false or TANGLED_VERIFY_CACHE=0.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "notary/notary.h"
@@ -51,6 +54,22 @@
 #include "util/thread_pool.h"
 
 namespace tangled::notary {
+
+/// Decision-trace sampling knobs (see ValidationCensus::enable_trace_sampling).
+struct TraceSampleConfig {
+  /// Keep the first `per_cell` traces for each (store, verdict) cell.
+  std::size_t per_cell = 2;
+};
+
+/// One sampled audit record: which Table-3 cell it explains (store name +
+/// verdict) and the full pki::DecisionTrace of the replayed verification.
+/// Failure cells use store == "" — a failed leaf validates for no store —
+/// and verdict == to_string of the terminal Errc.
+struct SampledTrace {
+  std::string store;
+  std::string verdict;
+  pki::DecisionTrace trace;
+};
 
 class ValidationCensus {
  public:
@@ -77,6 +96,32 @@ class ValidationCensus {
   /// zero-worker pool the batch is simply processed inline.
   void ingest_batch(std::span<const Observation> batch,
                     util::ThreadPool& pool);
+
+  // --- Decision-trace sampling -------------------------------------------
+  /// Opt into audit-trace sampling: for each (store, verdict) Table-3 cell,
+  /// the census keeps the first `config.per_cell` DecisionTraces explaining
+  /// that cell. Sampling is two-pass — the hot path verifies untraced
+  /// exactly as before, and only an observation whose cell still needs a
+  /// sample is re-verified with a trace attached (the shared VerifyCache
+  /// makes the replay cheap; the search is deterministic, so the replay's
+  /// verdict matches the counted one). Results and counts are unaffected;
+  /// no DecisionTrace is ever constructed while sampling is disabled.
+  /// Call before ingest; `stores` must outlive the census's use of them
+  /// (only names and equivalence keys are copied, so pointers may dangle
+  /// afterwards — they are not retained).
+  void enable_trace_sampling(
+      const std::vector<const rootstore::RootStore*>& stores,
+      TraceSampleConfig config = {});
+  /// Stops sampling and drops collected traces.
+  void disable_trace_sampling();
+  bool trace_sampling_enabled() const { return sampling_.has_value(); }
+
+  /// Merged view of the collected samples: shards in order, arrival order
+  /// within a shard, globally capped at per_cell traces per cell. Pointers
+  /// are valid until the next ingest/enable/disable call.
+  std::vector<const SampledTrace*> sampled_traces() const;
+  /// JSON array of {store, verdict, trace} for the sampled cells.
+  std::string sampled_traces_json() const;
 
   /// The census's shared link-signature cache, for hit-rate telemetry;
   /// nullptr when caching is disabled.
@@ -177,6 +222,23 @@ class ValidationCensus {
     // capacity is reused across observations instead of reallocated.
     std::vector<std::string_view> scratch_keys;
     std::string scratch_joined;
+    // --- Decision-trace sampling (empty unless enabled) -------------------
+    /// "|errc" → failure samples taken in this shard. Each shard samples up
+    /// to per_cell per cell independently (no cross-shard coordination on
+    /// the ingest path); sampled_traces() re-caps globally on merge.
+    std::unordered_map<std::string, std::size_t> trace_cells;
+    /// Validated samples taken per store (indexed like
+    /// TraceSampling::store_names) — a flat counter read, no string build,
+    /// no map probe on the hot path.
+    std::vector<std::size_t> validated_taken;
+    std::vector<SampledTrace> traces;  // arrival order
+    /// (store, "validated") cells in this shard still below quota. Once 0,
+    /// validated observations skip store classification entirely, so the
+    /// steady-state sampling cost on a hot shard is one integer test.
+    std::size_t open_validated_cells = 0;
+    // Sampling scratch, reused across observations like the keys above.
+    std::vector<std::size_t> scratch_needing;
+    std::string scratch_cell;
   };
 
   /// Shard states merged in shard order; rebuilt lazily after ingest.
@@ -187,8 +249,37 @@ class ValidationCensus {
     std::uint64_t total_unexpired = 0;
   };
 
+  /// Store identities sampled against: parallel name/key-set vectors copied
+  /// out of the RootStores handed to enable_trace_sampling.
+  struct TraceSampling {
+    TraceSampleConfig config;
+    std::vector<std::string> store_names;
+    std::vector<std::unordered_set<std::string>> store_keys;  // equivalence
+    /// Anchor equivalence key → bitmask of the first 64 stores containing
+    /// it. One transparent lookup classifies a validated leaf against every
+    /// store at once — the hot path never allocates a key copy. Stores past
+    /// bit 63 (unrealistic for Table 3) fall back to store_keys.
+    std::unordered_map<std::string, std::uint64_t, TransparentStringHash,
+                       std::equal_to<>>
+        key_store_mask;
+    /// Global per-cell quotas shared across shards, so the number of traced
+    /// replays is bounded by per_cell × cells, not × shards. A shard whose
+    /// cell is globally full closes it locally and never looks again.
+    /// Relaxed races under parallel ingest can briefly over-sample;
+    /// sampled_traces() re-caps on merge. unique_ptrs keep the struct
+    /// movable (atomics and mutexes are not).
+    std::unique_ptr<std::vector<std::atomic<std::size_t>>> validated_global;
+    std::unique_ptr<std::mutex> failure_mutex;
+    std::unique_ptr<std::unordered_map<std::string, std::size_t>>
+        failure_global;
+  };
+
   std::size_t shard_of(const x509::Certificate& leaf) const;
   void ingest_into(Shard& shard, const Observation& observation);
+  void sample_failure_trace(Shard& shard, const Observation& observation,
+                            const Error& error);
+  void sample_validated_trace(Shard& shard, const Observation& observation,
+                              std::span<const std::string_view> anchor_keys);
   const Merged& merged() const;
 
   const pki::TrustAnchors& anchors_;
@@ -201,6 +292,10 @@ class ValidationCensus {
   std::int64_t now_unix_ = 0;  // now_ converted once, for the expiry gate
   std::vector<Shard> shards_;
   mutable std::optional<Merged> merged_;  // query-side cache
+  std::optional<TraceSampling> sampling_;
+  /// Observations handed to ingest()/ingest_batch(), for the flight
+  /// recorder's batch-progress events. Diagnostic only — not snapshotted.
+  std::uint64_t observations_ingested_ = 0;
 };
 
 }  // namespace tangled::notary

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace tangled::obs {
 
@@ -58,6 +59,135 @@ std::string prometheus_name(std::string_view name) {
     out += ok ? c : '_';
   }
   if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+namespace {
+
+bool valid_prometheus_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+/// The metric name of a sample line ("name{labels} value" or "name value").
+std::string_view sample_name(std::string_view line) {
+  const std::size_t cut = line.find_first_of("{ ");
+  return cut == std::string_view::npos ? line : line.substr(0, cut);
+}
+
+}  // namespace
+
+std::vector<std::string> prometheus_conformance_errors(std::string_view text) {
+  std::vector<std::string> errors;
+  std::unordered_map<std::string, std::string> types;  // name -> TYPE
+  std::unordered_map<std::string, double> last_bucket;  // cumulative check
+  std::unordered_map<std::string, bool> saw_inf_bucket;
+  std::size_t line_no = 0;
+  while (!text.empty()) {
+    ++line_no;
+    const std::size_t eol = text.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? text : text.substr(0, eol);
+    text = eol == std::string_view::npos ? std::string_view{}
+                                         : text.substr(eol + 1);
+    if (line.empty()) continue;
+    auto complain = [&errors, line_no, line](const std::string& what) {
+      errors.push_back("line " + std::to_string(line_no) + ": " + what +
+                       " [" + std::string(line.substr(0, 80)) + "]");
+    };
+    if (line[0] == '#') {
+      // Only "# TYPE <name> <type>" comments are checked; others pass.
+      if (line.substr(0, 7) != "# TYPE ") continue;
+      const std::string_view rest = line.substr(7);
+      const std::size_t sp = rest.find(' ');
+      if (sp == std::string_view::npos) {
+        complain("TYPE line without a type");
+        continue;
+      }
+      const std::string name(rest.substr(0, sp));
+      const std::string type(rest.substr(sp + 1));
+      if (!valid_prometheus_name(name)) {
+        complain("invalid metric name in TYPE");
+      }
+      if (type != "counter" && type != "gauge" && type != "histogram" &&
+          type != "summary" && type != "untyped") {
+        complain("unknown TYPE \"" + type + "\"");
+      }
+      if (const auto [it, inserted] = types.emplace(name, type); !inserted) {
+        complain("duplicate TYPE for metric \"" + name + "\"");
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    const std::string name(sample_name(line));
+    if (!valid_prometheus_name(name)) {
+      complain("invalid metric name");
+      continue;
+    }
+    const std::size_t value_at = line.rfind(' ');
+    if (value_at == std::string_view::npos) {
+      complain("sample without a value");
+      continue;
+    }
+    const std::string value_str(line.substr(value_at + 1));
+    char* end = nullptr;
+    const double value = std::strtod(value_str.c_str(), &end);
+    const bool inf_ok = value_str == "+Inf" || value_str == "-Inf" ||
+                        value_str == "NaN";
+    if (!inf_ok && (end == value_str.c_str() || *end != '\0')) {
+      complain("unparseable sample value \"" + value_str + "\"");
+      continue;
+    }
+    // Cumulative-bucket monotonicity and +Inf presence per histogram.
+    if (name.size() > 7 && name.substr(name.size() - 7) == "_bucket") {
+      const std::string base = name.substr(0, name.size() - 7);
+      const auto le_at = line.find("le=\"");
+      if (le_at == std::string_view::npos) {
+        complain("bucket sample without an le label");
+        continue;
+      }
+      if (const auto it = last_bucket.find(base);
+          it != last_bucket.end() && value < it->second) {
+        complain("histogram \"" + base + "\" buckets are not cumulative");
+      }
+      last_bucket[base] = value;
+      if (line.substr(le_at + 4, 4) == "+Inf") saw_inf_bucket[base] = true;
+    }
+  }
+  for (const auto& [base, ignored] : last_bucket) {
+    if (!saw_inf_bucket.contains(base)) {
+      errors.push_back("histogram \"" + base + "\" missing its +Inf bucket");
+    }
+  }
+  return errors;
+}
+
+std::unordered_map<std::string, double> parse_prometheus_samples(
+    std::string_view text) {
+  std::unordered_map<std::string, double> out;
+  while (!text.empty()) {
+    const std::size_t eol = text.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? text : text.substr(0, eol);
+    text = eol == std::string_view::npos ? std::string_view{}
+                                         : text.substr(eol + 1);
+    if (line.empty() || line[0] == '#') continue;
+    if (line.find('{') != std::string_view::npos) continue;  // labeled
+    const std::size_t sp = line.find(' ');
+    if (sp == std::string_view::npos) continue;
+    const std::string value_str(line.substr(sp + 1));
+    char* end = nullptr;
+    const double value = std::strtod(value_str.c_str(), &end);
+    if (end == value_str.c_str()) continue;
+    out.emplace(std::string(line.substr(0, sp)), value);
+  }
   return out;
 }
 

@@ -10,6 +10,8 @@
 
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -32,5 +34,19 @@ std::string json_escape(std::string_view s);
 std::string json_number(double value);
 /// "metric.name" -> "metric_name": Prometheus metric-name sanitization.
 std::string prometheus_name(std::string_view name);
+
+/// Format-conformance check over a Prometheus text exposition. Returns one
+/// message per violation (empty = conformant): invalid metric-name charset,
+/// unknown TYPE, duplicate TYPE for one metric, unparseable sample values,
+/// non-monotonic cumulative histogram buckets, or a histogram without its
+/// "+Inf" bucket. This is what the exporter's own tests — and the live
+/// /metrics scrape check in bench/stream_ingest — run against the output.
+std::vector<std::string> prometheus_conformance_errors(std::string_view text);
+
+/// Plain (label-free) samples of an exposition: name -> value. Histogram
+/// bucket lines carry labels and are skipped; _sum/_count lines are plain
+/// and included. Lets a scraper compare a live response to the registry.
+std::unordered_map<std::string, double> parse_prometheus_samples(
+    std::string_view text);
 
 }  // namespace tangled::obs

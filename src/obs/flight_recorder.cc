@@ -1,0 +1,236 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "obs/export.h"
+#include "util/binio.h"
+
+namespace tangled::obs {
+
+namespace {
+
+/// Unique per-recorder id so a thread-local cache entry from a destroyed
+/// recorder can never match a new recorder reusing the same address.
+std::atomic<std::uint64_t> g_instance_counter{0};
+
+struct ThreadRingCache {
+  std::uint64_t instance_id = 0;
+  void* ring = nullptr;
+};
+
+thread_local ThreadRingCache t_ring_cache;
+
+Result<FlightEventKind> decode_kind(std::uint8_t raw) {
+  switch (static_cast<FlightEventKind>(raw)) {
+    case FlightEventKind::kVerifyOk:
+    case FlightEventKind::kVerifyFail:
+    case FlightEventKind::kBudgetExhausted:
+    case FlightEventKind::kStreamFault:
+    case FlightEventKind::kCheckpointWrite:
+    case FlightEventKind::kCheckpointResume:
+    case FlightEventKind::kCensusBatch:
+    case FlightEventKind::kTelemetryRequest:
+    case FlightEventKind::kCustom:
+      return static_cast<FlightEventKind>(raw);
+  }
+  return parse_error("flight-recorder: unknown event kind " +
+                     std::to_string(raw));
+}
+
+constexpr std::uint8_t kCodecVersion = 1;
+
+}  // namespace
+
+std::string_view to_string(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kVerifyOk: return "verify-ok";
+    case FlightEventKind::kVerifyFail: return "verify-fail";
+    case FlightEventKind::kBudgetExhausted: return "budget-exhausted";
+    case FlightEventKind::kStreamFault: return "stream-fault";
+    case FlightEventKind::kCheckpointWrite: return "checkpoint-write";
+    case FlightEventKind::kCheckpointResume: return "checkpoint-resume";
+    case FlightEventKind::kCensusBatch: return "census-batch";
+    case FlightEventKind::kTelemetryRequest: return "telemetry-request";
+    case FlightEventKind::kCustom: return "custom";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      instance_id_(g_instance_counter.fetch_add(1,
+                                                std::memory_order_relaxed) +
+                   1),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+FlightRecorder::~FlightRecorder() = default;
+
+FlightRecorder::Ring& FlightRecorder::ring_for_this_thread() {
+  if (t_ring_cache.instance_id == instance_id_) {
+    return *static_cast<Ring*>(t_ring_cache.ring);
+  }
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const auto id = std::this_thread::get_id();
+  auto it = ring_by_thread_.find(id);
+  if (it == ring_by_thread_.end()) {
+    auto ring = std::make_unique<Ring>();
+    ring->slots.resize(ring_capacity_);
+    it = ring_by_thread_.emplace(id, ring.get()).first;
+    rings_.push_back(std::move(ring));
+  }
+  t_ring_cache = {instance_id_, it->second};
+  return *it->second;
+}
+
+void FlightRecorder::record(FlightEventKind kind, std::uint64_t a,
+                            std::uint64_t b, std::string_view detail) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  Ring& ring = ring_for_this_thread();
+  FlightEvent event;
+  event.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  event.t_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  event.kind = kind;
+  event.a = a;
+  event.b = b;
+  const std::size_t n =
+      std::min(detail.size(), FlightEvent::kDetailCapacity - 1);
+  if (n > 0) std::memcpy(event.detail_buf, detail.data(), n);
+  event.detail_buf[n] = '\0';
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.slots[ring.next % ring_capacity_] = event;
+  ++ring.next;
+}
+
+std::vector<FlightEvent> FlightRecorder::drain() const {
+  std::vector<FlightEvent> out;
+  {
+    std::lock_guard<std::mutex> registry_lock(registry_mu_);
+    for (const auto& ring : rings_) {
+      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      const std::uint64_t live = std::min<std::uint64_t>(
+          ring->next, static_cast<std::uint64_t>(ring_capacity_));
+      for (std::uint64_t i = ring->next - live; i < ring->next; ++i) {
+        out.push_back(ring->slots[i % ring_capacity_]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& x, const FlightEvent& y) {
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> registry_lock(registry_mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->next = 0;
+  }
+}
+
+std::size_t FlightRecorder::ring_count() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return rings_.size();
+}
+
+Bytes FlightRecorder::encode_events() const {
+  const std::vector<FlightEvent> events = drain();
+  Bytes out;
+  util::put_u8(out, kCodecVersion);
+  util::put_u64(out, events.size());
+  for (const FlightEvent& event : events) {
+    util::put_u64(out, event.seq);
+    util::put_u64(out, event.t_ns);
+    util::put_u8(out, static_cast<std::uint8_t>(event.kind));
+    util::put_u64(out, event.a);
+    util::put_u64(out, event.b);
+    util::put_string(out, event.detail());
+  }
+  return out;
+}
+
+Result<std::vector<FlightEvent>> FlightRecorder::decode_events(ByteView data) {
+  util::BinReader in(data);
+  auto version = in.u8();
+  if (!version.ok()) return version.error();
+  if (version.value() != kCodecVersion) {
+    return unsupported_error("flight-recorder: codec version " +
+                             std::to_string(version.value()) +
+                             " is not ours");
+  }
+  // seq + t_ns + kind + a + b + detail length prefix.
+  auto n = in.count(/*min_bytes_per_element=*/41);
+  if (!n.ok()) return n.error();
+  std::vector<FlightEvent> events;
+  events.reserve(n.value());
+  for (std::size_t i = 0; i < n.value(); ++i) {
+    FlightEvent event;
+    auto seq = in.u64();
+    if (!seq.ok()) return seq.error();
+    event.seq = seq.value();
+    auto t_ns = in.u64();
+    if (!t_ns.ok()) return t_ns.error();
+    event.t_ns = t_ns.value();
+    auto kind_byte = in.u8();
+    if (!kind_byte.ok()) return kind_byte.error();
+    auto kind = decode_kind(kind_byte.value());
+    if (!kind.ok()) return kind.error();
+    event.kind = kind.value();
+    auto a = in.u64();
+    if (!a.ok()) return a.error();
+    event.a = a.value();
+    auto b = in.u64();
+    if (!b.ok()) return b.error();
+    event.b = b.value();
+    auto detail = in.string();
+    if (!detail.ok()) return detail.error();
+    const std::size_t len =
+        std::min(detail.value().size(), FlightEvent::kDetailCapacity - 1);
+    if (len > 0) std::memcpy(event.detail_buf, detail.value().data(), len);
+    event.detail_buf[len] = '\0';
+    events.push_back(event);
+  }
+  if (auto ok = in.expect_end(); !ok.ok()) return ok.error();
+  return events;
+}
+
+std::string to_json(std::span<const FlightEvent> events) {
+  std::string out = "[";
+  bool first = true;
+  for (const FlightEvent& event : events) {
+    out += first ? "" : ",";
+    out += "{\"seq\":" + std::to_string(event.seq);
+    out += ",\"t_ns\":" + std::to_string(event.t_ns);
+    out += ",\"kind\":\"" + std::string(to_string(event.kind)) + "\"";
+    out += ",\"a\":" + std::to_string(event.a);
+    out += ",\"b\":" + std::to_string(event.b);
+    out += ",\"detail\":\"" + json_escape(event.detail()) + "\"}";
+    first = false;
+  }
+  out += "]";
+  return out;
+}
+
+std::string FlightRecorder::to_json() const {
+  const std::vector<FlightEvent> events = drain();
+  return obs::to_json(std::span<const FlightEvent>(events));
+}
+
+FlightRecorder& flight_recorder() {
+  static FlightRecorder* recorder = [] {
+    auto* r = new FlightRecorder();
+    const char* env = std::getenv("TANGLED_OBS_DISABLE");
+    if (env != nullptr && env[0] == '1' && env[1] == '\0') {
+      r->set_enabled(false);
+    }
+    return r;
+  }();
+  return *recorder;
+}
+
+}  // namespace tangled::obs

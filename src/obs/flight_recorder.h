@@ -1,0 +1,145 @@
+// obs::FlightRecorder — a crash flight recorder for the pipeline.
+//
+// Lock-light per-thread ring buffers of recent structured events (verify
+// outcomes, budget exhaustion, stream fault classifications, checkpoint
+// lifecycle). Each thread records into its own fixed-capacity ring, so the
+// hot path never contends: the per-ring mutex is only ever shared with a
+// drain, which is rare and cold. Events are fixed-size (the detail string
+// is truncated into an inline char array), so recording allocates nothing
+// after a thread's ring exists.
+//
+// Drains merge every ring by the global sequence number, reconstructing a
+// total order of the last ~capacity events per thread. The recorder feeds
+// three consumers:
+//  * the TelemetryServer's /flightrecorder endpoint (JSON drain);
+//  * the SIGTERM checkpoint path, which persists the drain as a checksummed
+//    recover-snapshot section (SectionId::kFlightRecorder) so a killed run
+//    leaves a post-mortem record;
+//  * tests, via drain() directly.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tangled::obs {
+
+/// Event taxonomy. Values are part of the snapshot codec — append only.
+enum class FlightEventKind : std::uint8_t {
+  kVerifyOk = 1,         // a = anchors found, b = budget steps spent
+  kVerifyFail = 2,       // a = Errc of the terminal error, b = budget steps
+  kBudgetExhausted = 3,  // a = budget steps spent when the search stopped
+  kStreamFault = 4,      // a = stream::FaultKind, b = flow id
+  kCheckpointWrite = 5,  // a = observations ingested, b = snapshot bytes
+  kCheckpointResume = 6, // a = observations restored, b = 1 when cold start
+  kCensusBatch = 7,      // a = batch size, b = cumulative observations
+  kTelemetryRequest = 8, // a = HTTP status served
+  kCustom = 9,           // free-form; meaning carried by `detail`
+};
+
+std::string_view to_string(FlightEventKind kind);
+
+/// One recorded event. Fixed size: `detail` is truncated into the inline
+/// array so ring slots never own heap memory.
+struct FlightEvent {
+  static constexpr std::size_t kDetailCapacity = 48;
+
+  std::uint64_t seq = 0;   // global order across all threads (1-based)
+  std::uint64_t t_ns = 0;  // nanoseconds since the recorder's construction
+  FlightEventKind kind = FlightEventKind::kCustom;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  char detail_buf[kDetailCapacity] = {};
+
+  std::string_view detail() const {
+    return std::string_view(detail_buf,
+                            ::strnlen(detail_buf, kDetailCapacity));
+  }
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 1024;
+
+  explicit FlightRecorder(std::size_t ring_capacity = kDefaultRingCapacity);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+  ~FlightRecorder();
+
+  /// Records one event into the calling thread's ring. `detail` beyond
+  /// FlightEvent::kDetailCapacity bytes is truncated. Safe from any thread;
+  /// a disabled recorder turns this into one relaxed load.
+  void record(FlightEventKind kind, std::uint64_t a = 0, std::uint64_t b = 0,
+              std::string_view detail = {});
+
+  /// Snapshot of every thread's surviving events merged by global sequence
+  /// (ascending). Non-destructive: rings keep their contents.
+  std::vector<FlightEvent> drain() const;
+
+  /// Empties every ring (the global sequence keeps counting).
+  void clear();
+
+  /// Runtime kill switch, mirroring MetricsRegistry::set_enabled.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Total events ever recorded, including ones the rings overwrote.
+  std::uint64_t events_recorded() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
+  std::size_t ring_capacity() const { return ring_capacity_; }
+  /// Number of per-thread rings registered so far.
+  std::size_t ring_count() const;
+
+  /// Snapshot-section payload: the current drain, binary-encoded.
+  Bytes encode_events() const;
+  /// Decodes a payload produced by encode_events (any build that knows the
+  /// section). Rejects unknown event kinds and malformed framing.
+  static Result<std::vector<FlightEvent>> decode_events(ByteView data);
+
+  /// JSON drain for the /flightrecorder endpoint.
+  std::string to_json() const;
+
+ private:
+  struct Ring {
+    mutable std::mutex mu;
+    std::vector<FlightEvent> slots;
+    std::uint64_t next = 0;  // total writes; slot index = next % capacity
+  };
+
+  Ring& ring_for_this_thread();
+
+  const std::size_t ring_capacity_;
+  const std::uint64_t instance_id_;  // invalidates stale thread-local caches
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> seq_{0};
+  mutable std::mutex registry_mu_;  // guards rings_, never the slots
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::unordered_map<std::thread::id, Ring*> ring_by_thread_;
+};
+
+/// JSON array rendering shared by to_json() and snapshot consumers that
+/// already hold decoded events.
+std::string to_json(std::span<const FlightEvent> events);
+
+/// The process-wide recorder the TANGLED_OBS_EVENT macro writes to. Starts
+/// disabled when the environment sets TANGLED_OBS_DISABLE=1 (same knob as
+/// the metrics registry).
+FlightRecorder& flight_recorder();
+
+}  // namespace tangled::obs

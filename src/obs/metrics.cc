@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdlib>
 
 namespace tangled::obs {
@@ -48,10 +49,25 @@ void Histogram::observe(double value) {
 
 double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
 
+namespace {
+
+/// Largest finite upper bound, scanning from the top; 0.0 when none exists.
+/// This is the quantile clamp for estimates that would otherwise land on a
+/// non-finite bound — the overflow bucket, or a caller-supplied +Inf.
+double largest_finite_bound(const std::vector<double>& bounds) {
+  for (auto it = bounds.rbegin(); it != bounds.rend(); ++it) {
+    if (std::isfinite(*it)) return *it;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
 double Histogram::quantile(double q) const {
   const std::uint64_t n = count();
   if (n == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
+  const double cap = largest_finite_bound(bounds_);
   const double target = q * static_cast<double>(n);
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i <= bounds_.size(); ++i) {
@@ -60,14 +76,15 @@ double Histogram::quantile(double q) const {
       cumulative += in_bucket;
       continue;
     }
-    if (i == bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
-    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    if (i == bounds_.size()) return cap;
     const double hi = bounds_[i];
+    if (!std::isfinite(hi)) return cap;
     if (in_bucket == 0) return hi;
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
     const double within = target - static_cast<double>(cumulative);
     return lo + (hi - lo) * within / static_cast<double>(in_bucket);
   }
-  return bounds_.empty() ? 0.0 : bounds_.back();
+  return cap;
 }
 
 void Histogram::reset() {
@@ -108,10 +125,35 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       const std::vector<double>& bounds) {
-  return find_or_create(name, histograms_, [&] {
-    return std::unique_ptr<Histogram>(
-        new Histogram(std::string(name), bounds, &enabled_));
-  });
+  bool mismatch = false;
+  Histogram* out = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = histograms_.find(std::string(name));
+    if (it != histograms_.end()) {
+      if (it->second->bounds() != bounds &&
+          std::find(bounds_mismatches_.begin(), bounds_mismatches_.end(),
+                    it->first) == bounds_mismatches_.end()) {
+        bounds_mismatches_.push_back(it->first);
+        mismatch = true;
+      }
+      out = it->second.get();
+    } else {
+      auto [inserted, ok] = histograms_.emplace(
+          std::string(name), std::unique_ptr<Histogram>(new Histogram(
+                                 std::string(name), bounds, &enabled_)));
+      assert(ok);
+      out = inserted->second.get();
+    }
+  }
+  // Bump outside the lock: counter() re-takes mu_.
+  if (mismatch) counter("obs.registry.histogram_bounds_mismatch").inc();
+  return *out;
+}
+
+std::vector<std::string> MetricsRegistry::histogram_bounds_mismatches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bounds_mismatches_;
 }
 
 void MetricsRegistry::reset() {

@@ -93,7 +93,11 @@ class Histogram {
     const auto n = count();
     return n == 0 ? 0.0 : sum() / static_cast<double>(n);
   }
-  /// Quantile estimate by linear interpolation inside the hit bucket.
+  /// Quantile estimate by linear interpolation inside the hit bucket. An
+  /// estimate landing in the +Inf overflow bucket — or in a caller-supplied
+  /// non-finite bound — clamps to the largest finite bound instead of
+  /// interpolating into infinity, so quantiles are always finite and JSON-
+  /// representable.
   double quantile(double q) const;
 
   const std::vector<double>& bounds() const { return bounds_; }
@@ -126,10 +130,20 @@ class MetricsRegistry {
 
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
-  /// `bounds` applies only on first registration of `name`.
+  /// `bounds` applies only on first registration of `name`. A later call
+  /// with *different* bounds still returns the existing histogram, but the
+  /// conflict is surfaced instead of silently ignored: the name lands in
+  /// histogram_bounds_mismatches() and the
+  /// "obs.registry.histogram_bounds_mismatch" counter is bumped — two call
+  /// sites disagreeing about a histogram's buckets is an instrumentation
+  /// bug, and one of them is recording into buckets it did not ask for.
   Histogram& histogram(std::string_view name,
                        const std::vector<double>& bounds =
                            default_latency_buckets_us());
+
+  /// Names whose re-registration requested different bounds (deduplicated,
+  /// registration order).
+  std::vector<std::string> histogram_bounds_mismatches() const;
 
   /// The runtime kill switch: metrics keep their identity but every update
   /// becomes a no-op.
@@ -157,6 +171,7 @@ class MetricsRegistry {
   std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
   std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::vector<std::string> bounds_mismatches_;  // guarded by mu_
 };
 
 /// The process-wide registry the TANGLED_OBS_* macros write to. Starts

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -55,6 +56,16 @@
     tangled_obs_hist_.observe(static_cast<double>(v));                  \
   } while (0)
 
+/// Record a structured event into the process-wide flight recorder. For
+/// hot-path call sites (per-verify outcomes): compiles away under
+/// -DTANGLED_OBS=OFF. Cold-path lifecycle events (checkpoint write/resume,
+/// stream faults) call flight_recorder().record() directly instead, so
+/// post-mortem dumps stay useful even in OBS=OFF builds.
+#define TANGLED_OBS_EVENT(kind, a, b, detail)                           \
+  ::tangled::obs::flight_recorder().record(                             \
+      (kind), static_cast<std::uint64_t>(a),                            \
+      static_cast<std::uint64_t>(b), (detail))
+
 /// RAII: time the enclosing scope into a named latency histogram (µs).
 #define TANGLED_OBS_SCOPED_TIMER(name)                                  \
   static ::tangled::obs::Histogram& TANGLED_OBS_CAT(                    \
@@ -71,6 +82,7 @@
 #define TANGLED_OBS_GAUGE_SET(name, v) do {} while (0)
 #define TANGLED_OBS_OBSERVE(name, v) do {} while (0)
 #define TANGLED_OBS_OBSERVE_COUNT(name, v) do {} while (0)
+#define TANGLED_OBS_EVENT(kind, a, b, detail) do {} while (0)
 #define TANGLED_OBS_SCOPED_TIMER(name) do {} while (0)
 
 #endif  // TANGLED_OBS_ENABLED

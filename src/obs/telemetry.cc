@@ -1,0 +1,262 @@
+#include "obs/telemetry.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/export.h"
+
+namespace tangled::obs {
+
+namespace {
+
+Error socket_error(const std::string& what) {
+  return state_error(what + ": " + std::strerror(errno));
+}
+
+/// Parses "GET /path HTTP/1.x" out of a raw request; empty on anything else.
+std::string request_path(std::string_view request, bool& is_get) {
+  is_get = false;
+  const std::size_t line_end = request.find("\r\n");
+  const std::string_view line =
+      line_end == std::string_view::npos ? request : request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return {};
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return {};
+  is_get = line.substr(0, sp1) == "GET";
+  return std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+}
+
+std::string http_response(int status, std::string_view reason,
+                          std::string_view content_type,
+                          std::string_view body) {
+  std::string out = "HTTP/1.0 " + std::to_string(status) + " " +
+                    std::string(reason) + "\r\n";
+  out += "Content-Type: " + std::string(content_type) + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// Blocking send of the whole buffer (the responses are small; the peer is
+/// local). EPIPE just abandons the response — the client went away.
+void send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+constexpr int kPollTimeoutMs = 50;
+constexpr std::size_t kMaxRequestBytes = 4096;
+
+}  // namespace
+
+TelemetryServer::TelemetryServer(TelemetryConfig config)
+    : config_(std::move(config)) {
+  if (config_.registry == nullptr) config_.registry = &metrics();
+  if (config_.recorder == nullptr) config_.recorder = &flight_recorder();
+  if (!config_.health) {
+    config_.health = [] { return std::string("ok\n"); };
+  }
+}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+Result<void> TelemetryServer::start() {
+  if (running_.load(std::memory_order_relaxed)) {
+    return state_error("telemetry server already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return socket_error("telemetry: socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return state_error("telemetry: bad bind address \"" +
+                       config_.bind_address + "\"");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Error err = socket_error("telemetry: bind " + config_.bind_address +
+                                   ":" + std::to_string(config_.port));
+    ::close(fd);
+    return err;
+  }
+  if (::listen(fd, 16) != 0) {
+    const Error err = socket_error("telemetry: listen");
+    ::close(fd);
+    return err;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    const Error err = socket_error("telemetry: getsockname");
+    ::close(fd);
+    return err;
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  stop_requested_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve_loop(); });
+  return {};
+}
+
+void TelemetryServer::stop() {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  stop_requested_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void TelemetryServer::serve_loop() {
+  pollfd pfd{};
+  pfd.fd = listen_fd_;
+  pfd.events = POLLIN;
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    const int ready = ::poll(&pfd, 1, kPollTimeoutMs);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_client(client);
+    ::close(client);
+  }
+}
+
+void TelemetryServer::handle_client(int client_fd) {
+  // Read until the blank line ending the headers, a cap, or a short timeout.
+  std::string request;
+  pollfd pfd{};
+  pfd.fd = client_fd;
+  pfd.events = POLLIN;
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    if (::poll(&pfd, 1, 500) <= 0) break;
+    char buf[1024];
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  bool is_get = false;
+  const std::string path = request_path(request, is_get);
+  int status = 200;
+  std::string response;
+  if (path.empty()) {
+    status = 400;
+    response = http_response(400, "Bad Request", "text/plain",
+                             "malformed request\n");
+  } else if (!is_get) {
+    status = 405;
+    response = http_response(405, "Method Not Allowed", "text/plain",
+                             "only GET is served\n");
+  } else if (path == "/metrics") {
+    response = http_response(200, "OK",
+                             "text/plain; version=0.0.4; charset=utf-8",
+                             to_prometheus(*config_.registry));
+  } else if (path == "/metrics.json") {
+    response = http_response(200, "OK", "application/json",
+                             to_json(*config_.registry));
+  } else if (path == "/healthz") {
+    response = http_response(200, "OK", "text/plain", config_.health());
+  } else if (path == "/flightrecorder") {
+    response = http_response(200, "OK", "application/json",
+                             config_.recorder->to_json());
+  } else {
+    status = 404;
+    response = http_response(404, "Not Found", "text/plain",
+                             "unknown path: " + path + "\n");
+  }
+  send_all(client_fd, response);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  config_.recorder->record(FlightEventKind::kTelemetryRequest,
+                           static_cast<std::uint64_t>(status), 0,
+                           path.empty() ? std::string_view("<malformed>")
+                                        : std::string_view(path));
+}
+
+Result<std::string> http_get(const std::string& host, std::uint16_t port,
+                             const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return socket_error("http_get: socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return state_error("http_get: bad host \"" + host + "\"");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Error err = socket_error("http_get: connect " + host + ":" +
+                                   std::to_string(port));
+    ::close(fd);
+    return err;
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  send_all(fd, request);
+  std::string response;
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  for (;;) {
+    if (::poll(&pfd, 1, 2000) <= 0) break;
+    char buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // 0 = server closed (Connection: close)
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (response.empty()) {
+    return state_error("http_get: empty response from " + host + ":" +
+                       std::to_string(port) + path);
+  }
+  return response;
+}
+
+Result<HttpResponse> parse_http_response(std::string_view raw) {
+  if (raw.substr(0, 5) != "HTTP/") {
+    return parse_error("http response: missing status line");
+  }
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string_view::npos || sp + 4 > raw.size()) {
+    return parse_error("http response: malformed status line");
+  }
+  int status = 0;
+  for (std::size_t i = sp + 1; i < sp + 4 && i < raw.size(); ++i) {
+    const char c = raw[i];
+    if (c < '0' || c > '9') {
+      return parse_error("http response: non-numeric status");
+    }
+    status = status * 10 + (c - '0');
+  }
+  const std::size_t body_at = raw.find("\r\n\r\n");
+  if (body_at == std::string_view::npos) {
+    return parse_error("http response: headers never end");
+  }
+  HttpResponse out;
+  out.status = status;
+  out.body = std::string(raw.substr(body_at + 4));
+  return out;
+}
+
+}  // namespace tangled::obs

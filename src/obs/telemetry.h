@@ -1,0 +1,93 @@
+// obs::TelemetryServer — a minimal poll-based HTTP/1.0 endpoint exposing
+// the process's observability state while a long census/ingest run is live.
+// This is the first listening socket in the codebase and the seed of the
+// ROADMAP's notary-as-a-service ingest server.
+//
+// Routes:
+//   GET /metrics         Prometheus text exposition (to_prometheus)
+//   GET /metrics.json    JSON registry dump (to_json)
+//   GET /healthz         plain-text liveness body (configurable)
+//   GET /flightrecorder  JSON drain of the flight recorder
+//
+// Design constraints, deliberately boring: one background thread, blocking
+// accept guarded by poll() with a short timeout so stop() is prompt,
+// one request per connection ("Connection: close"), 4 KiB request cap,
+// 127.0.0.1 by default. Every exporter it calls is already thread-safe, so
+// serving concurrently with ingest needs no extra locking. It is a
+// diagnostics port, not an internet-facing server.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "util/result.h"
+
+namespace tangled::obs {
+
+struct TelemetryConfig {
+  /// Interface to bind; loopback by default — telemetry is host-local.
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is readable via TelemetryServer::port().
+  std::uint16_t port = 0;
+  /// Registry served at /metrics; nullptr = the process-wide metrics().
+  MetricsRegistry* registry = nullptr;
+  /// Recorder served at /flightrecorder; nullptr = flight_recorder().
+  FlightRecorder* recorder = nullptr;
+  /// Body of /healthz; default "ok\n". Runs on the server thread, so it
+  /// must be thread-safe against the instrumented workload.
+  std::function<std::string()> health;
+};
+
+class TelemetryServer {
+ public:
+  explicit TelemetryServer(TelemetryConfig config = {});
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+  ~TelemetryServer();
+
+  /// Binds, listens, and starts the serving thread. kInvalidState when
+  /// already running; socket errors surface with errno text.
+  Result<void> start();
+
+  /// Stops the serving thread and closes the socket. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+  /// The bound port (resolves an ephemeral request); 0 before start().
+  std::uint16_t port() const { return port_; }
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_client(int client_fd);
+
+  TelemetryConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+/// Minimal blocking HTTP/1.0 GET against a local endpoint — exactly enough
+/// client for the tests and benches to scrape their own server. Returns the
+/// raw response (status line + headers + body).
+Result<std::string> http_get(const std::string& host, std::uint16_t port,
+                             const std::string& path);
+
+/// Splits a raw HTTP response into status code and body.
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+Result<HttpResponse> parse_http_response(std::string_view raw);
+
+}  // namespace tangled::obs

@@ -1,0 +1,79 @@
+#include "pki/decision_trace.h"
+
+#include "obs/export.h"
+
+namespace tangled::pki {
+
+std::string_view to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kAnchorAttempt: return "anchor_attempt";
+    case TraceEventKind::kAnchorAccepted: return "anchor_accepted";
+    case TraceEventKind::kIntermediateAttempt: return "intermediate_attempt";
+    case TraceEventKind::kIntermediateDescend: return "intermediate_descend";
+    case TraceEventKind::kRejectExpired: return "reject_expired";
+    case TraceEventKind::kRejectNotCa: return "reject_not_ca";
+    case TraceEventKind::kRejectBadSignature: return "reject_bad_signature";
+    case TraceEventKind::kRejectPurpose: return "reject_purpose";
+    case TraceEventKind::kPathLenBacktrack: return "pathlen_backtrack";
+    case TraceEventKind::kDepthLimit: return "depth_limit";
+    case TraceEventKind::kLoopGuard: return "loop_guard";
+    case TraceEventKind::kCacheHit: return "cache_hit";
+    case TraceEventKind::kCacheMiss: return "cache_miss";
+    case TraceEventKind::kBudgetExhausted: return "budget_exhausted";
+  }
+  return "unknown";
+}
+
+std::atomic<std::uint64_t>& detail::TraceInstanceCounter::count() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+
+void DecisionTrace::add_event(TraceEventKind kind, std::size_t depth,
+                              std::string_view subject) {
+  if (events.size() >= kMaxEvents) {
+    truncated = true;
+    return;
+  }
+  TraceEvent event;
+  event.kind = kind;
+  event.depth = static_cast<std::uint16_t>(
+      depth > 0xffff ? 0xffff : depth);
+  event.subject.assign(subject);
+  events.push_back(std::move(event));
+}
+
+std::string DecisionTrace::to_json() const {
+  using obs::json_escape;
+  std::string out = "{";
+  out += "\"leaf\":\"" + json_escape(leaf_fingerprint) + "\",";
+  out += "\"verdict\":\"" + json_escape(verdict) + "\",";
+  out += "\"anchors_tried\":" + std::to_string(anchors_tried) + ",";
+  out += "\"intermediates_tried\":" + std::to_string(intermediates_tried) +
+         ",";
+  out += "\"signature_checks\":" + std::to_string(signature_checks) + ",";
+  out += "\"cache_hits\":" + std::to_string(cache_hits) + ",";
+  out += "\"cache_misses\":" + std::to_string(cache_misses) + ",";
+  out += "\"pathlen_backtracks\":" + std::to_string(pathlen_backtracks) + ",";
+  out += "\"budget_steps_used\":" + std::to_string(budget_steps_used) + ",";
+  out += std::string("\"budget_exhausted\":") +
+         (budget_exhausted ? "true" : "false") + ",";
+  out += std::string("\"truncated\":") + (truncated ? "true" : "false") + ",";
+  out += "\"anchors_found\":[";
+  for (std::size_t i = 0; i < anchors_found.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + json_escape(anchors_found[i]) + "\"";
+  }
+  out += "],\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out += ",";
+    out += "{\"kind\":\"" + std::string(to_string(e.kind)) + "\",";
+    out += "\"depth\":" + std::to_string(e.depth) + ",";
+    out += "\"subject\":\"" + json_escape(e.subject) + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace tangled::pki

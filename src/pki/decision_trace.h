@@ -1,0 +1,117 @@
+// pki::DecisionTrace — an opt-in structured audit record of one chain
+// verification.
+//
+// The paper's census answers *which* anchors validate each leaf; a trace
+// answers *why*: which anchors the search attempted in what order, which
+// candidate links were rejected and for which policy reason, where a
+// pathLenConstraint forced a backtrack, whether each non-leaf link's
+// signature came from the VerifyCache or was computed, and how many budget
+// steps the search spent before its terminal verdict.
+//
+// Tracing is strictly opt-in: the nullptr-trace overloads of
+// ChainVerifier::verify / verify_all_anchors are the hot path and never
+// construct a DecisionTrace (the static instances_created() counter lets
+// tests assert exactly that). When a trace is attached, the search's
+// *result* is unchanged — events are observations, never policy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tangled::pki {
+
+/// What one trace event records. Terminal rejection reasons mirror the
+/// verifier's PendingError taxonomy so a trace explains exactly the error
+/// the caller would have seen.
+enum class TraceEventKind : std::uint8_t {
+  kAnchorAttempt = 1,        // candidate anchor considered for the tip
+  kAnchorAccepted = 2,       // a full path to this anchor passed every check
+  kIntermediateAttempt = 3,  // candidate intermediate considered for the tip
+  kIntermediateDescend = 4,  // link ok; the search recursed below it
+  kRejectExpired = 5,        // candidate outside the validity window
+  kRejectNotCa = 6,          // candidate lacks the CA bit
+  kRejectBadSignature = 7,   // link signature check failed
+  kRejectPurpose = 8,        // anchor not trusted for the requested purpose
+  kPathLenBacktrack = 9,     // pathLenConstraint violated; search backtracked
+  kDepthLimit = 10,          // effective max depth reached at this tip
+  kLoopGuard = 11,           // candidate already on the current path
+  kCacheHit = 12,            // link signature served from the VerifyCache
+  kCacheMiss = 13,           // link signature computed and memoized
+  kBudgetExhausted = 14,     // the ResourceBudget stopped the search
+};
+
+std::string_view to_string(TraceEventKind kind);
+
+/// One search event: what happened, how deep the path was when it happened
+/// (leaf = depth 1), and which certificate it happened to.
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kAnchorAttempt;
+  std::uint16_t depth = 0;
+  std::string subject;  // candidate subject DN; empty for path-level events
+};
+
+namespace detail {
+
+/// Counts every DecisionTrace construction (default, copy, move) so tests
+/// can assert the census hot path builds none when sampling is off.
+struct TraceInstanceCounter {
+  TraceInstanceCounter() { bump(); }
+  TraceInstanceCounter(const TraceInstanceCounter&) { bump(); }
+  TraceInstanceCounter& operator=(const TraceInstanceCounter&) = default;
+
+  static std::atomic<std::uint64_t>& count();
+
+ private:
+  static void bump() { count().fetch_add(1, std::memory_order_relaxed); }
+};
+
+}  // namespace detail
+
+/// The audit record. Plain data: the verifier fills events + summary, the
+/// caller (census sampler, tests) stamps the verdict and keeps or exports
+/// the record.
+struct DecisionTrace : private detail::TraceInstanceCounter {
+  /// Event cap per trace; a pathological cross-sign mesh truncates the
+  /// event list (summary counters keep exact totals) rather than letting a
+  /// diagnostic record grow without bound.
+  static constexpr std::size_t kMaxEvents = 512;
+
+  std::string leaf_fingerprint;  // SHA-256 hex of the traced leaf
+  /// "validated", or to_string(Errc) of the terminal error — stamped by the
+  /// verify overload that owns the call, so trace verdict and returned
+  /// Result can be compared bit-for-bit.
+  std::string verdict;
+
+  std::vector<TraceEvent> events;
+  bool truncated = false;  // kMaxEvents hit; counters below stay exact
+
+  // Search summary (exact even when `events` truncates).
+  std::uint64_t anchors_tried = 0;
+  std::uint64_t intermediates_tried = 0;
+  std::uint64_t signature_checks = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t pathlen_backtracks = 0;
+  std::uint64_t budget_steps_used = 0;
+  bool budget_exhausted = false;
+
+  /// Fingerprints (SHA-256 hex) of every accepted anchor, discovery order.
+  std::vector<std::string> anchors_found;
+
+  void add_event(TraceEventKind kind, std::size_t depth,
+                 std::string_view subject);
+
+  /// One self-contained JSON object (events, summary, verdict).
+  std::string to_json() const;
+
+  /// Total DecisionTrace objects ever constructed in this process.
+  static std::uint64_t instances_created() {
+    return detail::TraceInstanceCounter::count().load(
+        std::memory_order_relaxed);
+  }
+};
+
+}  // namespace tangled::pki

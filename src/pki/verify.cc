@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "obs/obs.h"
+#include "pki/decision_trace.h"
 #include "pki/verify_cache.h"
 #include "x509/pem.h"
 
@@ -271,6 +272,12 @@ struct SearchContext {
   // Search statistics, observed into the obs registry after the search.
   mutable SearchStats stats;
 
+  /// Opt-in audit record. nullptr (the default, and the only mode the
+  /// census hot path uses) records nothing and costs one pointer test per
+  /// emission site; non-null appends structured events as the search runs.
+  /// Observation only — the search's decisions never consult it.
+  DecisionTrace* trace = nullptr;
+
   /// options.at converted once per call; every candidate validity check
   /// compares integers instead of redoing calendar math.
   std::int64_t at_unix = 0;
@@ -359,9 +366,30 @@ Result<void> check_link(const x509::Certificate& child,
   if (!ctx.options.check_signatures) return {};
   ++ctx.stats.signature_checks;
   if (ctx.cache != nullptr && &child != ctx.leaf) {
-    return ctx.cache->check_link_signature(child, issuer);
+    if (ctx.trace == nullptr) {
+      return ctx.cache->check_link_signature(child, issuer);
+    }
+    bool cache_hit = false;
+    auto result = ctx.cache->check_link_signature(child, issuer, &cache_hit);
+    if (cache_hit) {
+      ++ctx.trace->cache_hits;
+      ctx.trace->add_event(TraceEventKind::kCacheHit, 0,
+                           issuer.subject().to_string());
+    } else {
+      ++ctx.trace->cache_misses;
+      ctx.trace->add_event(TraceEventKind::kCacheMiss, 0,
+                           issuer.subject().to_string());
+    }
+    return result;
   }
   return child.check_signature_from(issuer.public_key());
+}
+
+/// Trace kind for a check_cert_kind rejection (validity window / CA bit).
+TraceEventKind trace_reject_kind(PendingError::Kind kind) {
+  return kind == PendingError::Kind::kOutsideValidity
+             ? TraceEventKind::kRejectExpired
+             : TraceEventKind::kRejectNotCa;
 }
 
 /// RFC 5280 §6.1.4: a CA's pathLenConstraint bounds how many non-leaf
@@ -398,15 +426,22 @@ bool extend(const x509::Certificate& tip, CertPath& path, SmallIdSet& on_path,
       ctx.budget_exhausted = true;
     }
     last_error.set(PendingError::Kind::kDepth, nullptr);
+    if (ctx.trace != nullptr) {
+      ctx.trace->add_event(TraceEventKind::kDepthLimit, path.size(), {});
+    }
     return false;
   }
 
   // Scoped trust (§8 recommendation): an anchor terminates the chain only
   // when it is trusted for the requested purpose.
-  auto purpose_ok = [&ctx, &last_error](const x509::Certificate& anchor) {
+  auto purpose_ok = [&ctx, &path, &last_error](const x509::Certificate& anchor) {
     if (!ctx.options.purpose.has_value()) return true;
     if (ctx.anchors.trusted_for(anchor, *ctx.options.purpose)) return true;
     last_error.set(PendingError::Kind::kPurpose, &anchor);
+    if (ctx.trace != nullptr) {
+      ctx.trace->add_event(TraceEventKind::kRejectPurpose, path.size(),
+                           anchor.subject().to_string());
+    }
     return false;
   };
 
@@ -418,6 +453,11 @@ bool extend(const x509::Certificate& tip, CertPath& path, SmallIdSet& on_path,
     if (!ctx.options.check_path_length) return true;
     if (const x509::Certificate* bad = path_len_violation(path)) {
       last_error.set(PendingError::Kind::kPathLen, bad);
+      if (ctx.trace != nullptr) {
+        ++ctx.trace->pathlen_backtracks;
+        ctx.trace->add_event(TraceEventKind::kPathLenBacktrack, path.size(),
+                             bad->subject().to_string());
+      }
       return false;
     }
     return true;
@@ -427,6 +467,11 @@ bool extend(const x509::Certificate& tip, CertPath& path, SmallIdSet& on_path,
   // (a root presented as its own chain).
   if (tip.is_self_issued() && ctx.anchors.contains(tip) && purpose_ok(tip) &&
       path_ok()) {
+    if (ctx.trace != nullptr) {
+      ctx.trace->add_event(TraceEventKind::kAnchorAccepted, path.size(),
+                           tip.subject().to_string());
+      ctx.trace->anchors_found.push_back(tip.fingerprint_hex());
+    }
     return true;
   }
 
@@ -438,19 +483,36 @@ bool extend(const x509::Certificate& tip, CertPath& path, SmallIdSet& on_path,
         if (!ctx.spend_step()) return false;
         ++ctx.stats.anchors_tried;
         if (anchor.der() == tip.der()) return true;
+        if (ctx.trace != nullptr) {
+          ctx.trace->add_event(TraceEventKind::kAnchorAttempt, path.size(),
+                               anchor.subject().to_string());
+        }
         if (!purpose_ok(anchor)) return true;
         if (const auto kind =
                 check_cert_kind(anchor, /*must_be_ca=*/true, ctx.options, ctx.at_unix);
             kind != PendingError::Kind::kNone) {
           last_error.set(kind, &anchor);
+          if (ctx.trace != nullptr) {
+            ctx.trace->add_event(trace_reject_kind(kind), path.size(),
+                                 anchor.subject().to_string());
+          }
           return true;
         }
         if (auto ok = check_link(tip, anchor, ctx); !ok.ok()) {
           last_error.set(ok.error());
+          if (ctx.trace != nullptr) {
+            ctx.trace->add_event(TraceEventKind::kRejectBadSignature,
+                                 path.size(), anchor.subject().to_string());
+          }
           return true;
         }
         path.push_back(&anchor);
         if (path_ok()) {
+          if (ctx.trace != nullptr) {
+            ctx.trace->add_event(TraceEventKind::kAnchorAccepted, path.size(),
+                                 anchor.subject().to_string());
+            ctx.trace->anchors_found.push_back(anchor.fingerprint_hex());
+          }
           found = true;
           return false;
         }
@@ -462,24 +524,46 @@ bool extend(const x509::Certificate& tip, CertPath& path, SmallIdSet& on_path,
   ctx.for_each_intermediate(tip, [&](const x509::Certificate& inter) {
     if (!ctx.spend_step()) return false;
     ++ctx.stats.intermediates_tried;
+    if (ctx.trace != nullptr) {
+      ctx.trace->add_event(TraceEventKind::kIntermediateAttempt, path.size(),
+                           inter.subject().to_string());
+    }
     // Loop guard keyed on the full SHA-256 fingerprint (hex, interned), not
     // a 64-bit DER hash: an fnv1a64 collision between two distinct certs on
     // the same path would silently prune a valid route.
     const std::string& id = inter.fingerprint_hex();
-    if (on_path.contains(id)) return true;  // loop guard
+    if (on_path.contains(id)) {
+      if (ctx.trace != nullptr) {
+        ctx.trace->add_event(TraceEventKind::kLoopGuard, path.size(),
+                             inter.subject().to_string());
+      }
+      return true;  // loop guard
+    }
     if (inter.der() == tip.der()) return true;
     if (const auto kind =
             check_cert_kind(inter, /*must_be_ca=*/true, ctx.options, ctx.at_unix);
         kind != PendingError::Kind::kNone) {
       last_error.set(kind, &inter);
+      if (ctx.trace != nullptr) {
+        ctx.trace->add_event(trace_reject_kind(kind), path.size(),
+                             inter.subject().to_string());
+      }
       return true;
     }
     if (auto ok = check_link(tip, inter, ctx); !ok.ok()) {
       last_error.set(ok.error());
+      if (ctx.trace != nullptr) {
+        ctx.trace->add_event(TraceEventKind::kRejectBadSignature, path.size(),
+                             inter.subject().to_string());
+      }
       return true;
     }
     path.push_back(&inter);
     on_path.insert(id);
+    if (ctx.trace != nullptr) {
+      ctx.trace->add_event(TraceEventKind::kIntermediateDescend, path.size(),
+                           inter.subject().to_string());
+    }
     if (extend(inter, path, on_path, ctx, last_error)) {
       found = true;
       return false;
@@ -536,13 +620,20 @@ void collect_anchors(const x509::Certificate& tip, CertPath& path,
       ctx.budget_exhausted = true;
     }
     last_error.set(PendingError::Kind::kDepth, nullptr);
+    if (ctx.trace != nullptr) {
+      ctx.trace->add_event(TraceEventKind::kDepthLimit, path.size(), {});
+    }
     return;
   }
 
-  auto purpose_ok = [&ctx, &last_error](const x509::Certificate& anchor) {
+  auto purpose_ok = [&ctx, &path, &last_error](const x509::Certificate& anchor) {
     if (!ctx.options.purpose.has_value()) return true;
     if (ctx.anchors.trusted_for(anchor, *ctx.options.purpose)) return true;
     last_error.set(PendingError::Kind::kPurpose, &anchor);
+    if (ctx.trace != nullptr) {
+      ctx.trace->add_event(TraceEventKind::kRejectPurpose, path.size(),
+                           anchor.subject().to_string());
+    }
     return false;
   };
 
@@ -554,11 +645,21 @@ void collect_anchors(const x509::Certificate& tip, CertPath& path,
     if (ctx.options.check_path_length) {
       if (const x509::Certificate* bad = path_len_violation(path)) {
         last_error.set(PendingError::Kind::kPathLen, bad);
+        if (ctx.trace != nullptr) {
+          ++ctx.trace->pathlen_backtracks;
+          ctx.trace->add_event(TraceEventKind::kPathLenBacktrack, path.size(),
+                               bad->subject().to_string());
+        }
         return;
       }
     }
     if (found_anchors.insert(anchor.fingerprint_hex())) {
       survey.anchors.push_back(&anchor);
+      if (ctx.trace != nullptr) {
+        ctx.trace->add_event(TraceEventKind::kAnchorAccepted, path.size(),
+                             anchor.subject().to_string());
+        ctx.trace->anchors_found.push_back(anchor.fingerprint_hex());
+      }
     }
     if (ctx.options.collect_chain && survey.chain.certificates.empty()) {
       survey.chain = materialize(path);
@@ -585,15 +686,27 @@ void collect_anchors(const x509::Certificate& tip, CertPath& path,
         if (!ctx.spend_step()) return false;
         ++ctx.stats.anchors_tried;
         if (anchor.der() == tip.der()) return true;
+        if (ctx.trace != nullptr) {
+          ctx.trace->add_event(TraceEventKind::kAnchorAttempt, path.size(),
+                               anchor.subject().to_string());
+        }
         if (!purpose_ok(anchor)) return true;
         if (const auto kind =
                 check_cert_kind(anchor, /*must_be_ca=*/true, ctx.options, ctx.at_unix);
             kind != PendingError::Kind::kNone) {
           last_error.set(kind, &anchor);
+          if (ctx.trace != nullptr) {
+            ctx.trace->add_event(trace_reject_kind(kind), path.size(),
+                                 anchor.subject().to_string());
+          }
           return true;
         }
         if (auto ok = check_link(tip, anchor, ctx); !ok.ok()) {
           last_error.set(ok.error());
+          if (ctx.trace != nullptr) {
+            ctx.trace->add_event(TraceEventKind::kRejectBadSignature,
+                                 path.size(), anchor.subject().to_string());
+          }
           return true;
         }
         path.push_back(&anchor);
@@ -605,21 +718,43 @@ void collect_anchors(const x509::Certificate& tip, CertPath& path,
   ctx.for_each_intermediate(tip, [&](const x509::Certificate& inter) {
     if (!ctx.spend_step()) return false;
     ++ctx.stats.intermediates_tried;
+    if (ctx.trace != nullptr) {
+      ctx.trace->add_event(TraceEventKind::kIntermediateAttempt, path.size(),
+                           inter.subject().to_string());
+    }
     const std::string& id = inter.fingerprint_hex();
-    if (on_path.contains(id)) return true;  // loop guard (full fingerprint)
+    if (on_path.contains(id)) {
+      if (ctx.trace != nullptr) {
+        ctx.trace->add_event(TraceEventKind::kLoopGuard, path.size(),
+                             inter.subject().to_string());
+      }
+      return true;  // loop guard (full fingerprint)
+    }
     if (inter.der() == tip.der()) return true;
     if (const auto kind =
             check_cert_kind(inter, /*must_be_ca=*/true, ctx.options, ctx.at_unix);
         kind != PendingError::Kind::kNone) {
       last_error.set(kind, &inter);
+      if (ctx.trace != nullptr) {
+        ctx.trace->add_event(trace_reject_kind(kind), path.size(),
+                             inter.subject().to_string());
+      }
       return true;
     }
     if (auto ok = check_link(tip, inter, ctx); !ok.ok()) {
       last_error.set(ok.error());
+      if (ctx.trace != nullptr) {
+        ctx.trace->add_event(TraceEventKind::kRejectBadSignature, path.size(),
+                             inter.subject().to_string());
+      }
       return true;
     }
     path.push_back(&inter);
     on_path.insert(id);
+    if (ctx.trace != nullptr) {
+      ctx.trace->add_event(TraceEventKind::kIntermediateDescend, path.size(),
+                           inter.subject().to_string());
+    }
     collect_anchors(inter, path, on_path, ctx, survey, found_anchors,
                     last_error);
     on_path.pop();
@@ -629,7 +764,10 @@ void collect_anchors(const x509::Certificate& tip, CertPath& path,
 }
 
 /// One counter per broad failure family, so the census can report "why
-/// chains fail" without string-matching messages.
+/// chains fail" without string-matching messages. Also drops a flight-
+/// recorder event: failures are the interesting minority, so the recorder
+/// keeps the terminal error taxonomy without paying a per-success record on
+/// the census hot path.
 void count_verify_failure(const Error& error) {
   switch (error.code) {
     case Errc::kExpired: TANGLED_OBS_INC("pki.verify.fail.expired"); break;
@@ -643,15 +781,45 @@ void count_verify_failure(const Error& error) {
       break;
     default: TANGLED_OBS_INC("pki.verify.fail.other"); break;
   }
+  TANGLED_OBS_EVENT(::tangled::obs::FlightEventKind::kVerifyFail,
+                    static_cast<std::uint64_t>(error.code), 0,
+                    to_string(error.code));
+}
+
+/// Copies the per-call search accounting into an attached trace and stamps
+/// its identity + verdict so trace and returned Result can be compared
+/// bit-for-bit. cache_hits/misses were already counted live by check_link.
+template <typename T>
+void finish_trace(DecisionTrace* trace, const x509::Certificate& leaf,
+                  const SearchStats& stats, std::size_t budget_steps_used,
+                  bool budget_exhausted, const Result<T>& result) {
+  if (trace == nullptr) return;
+  trace->leaf_fingerprint = leaf.fingerprint_hex();
+  trace->anchors_tried = stats.anchors_tried;
+  trace->intermediates_tried = stats.intermediates_tried;
+  trace->signature_checks = stats.signature_checks;
+  trace->budget_steps_used = budget_steps_used;
+  trace->budget_exhausted = budget_exhausted;
+  if (budget_exhausted) {
+    trace->add_event(TraceEventKind::kBudgetExhausted, 0, {});
+  }
+  trace->verdict = result.ok() ? std::string("validated")
+                               : std::string(to_string(result.error().code));
 }
 
 }  // namespace
 
 Result<Chain> ChainVerifier::verify(
     const x509::Certificate& leaf,
-    std::span<const x509::Certificate> intermediates) const {
+    std::span<const x509::Certificate> intermediates,
+    DecisionTrace* trace) const {
   TANGLED_OBS_INC("pki.verify.calls");
   TANGLED_OBS_SCOPED_TIMER("pki.verify.latency_us");
+  // Search accounting hoisted out of the lambda so finish_trace (and the
+  // success-path flight event) can see it after the context is gone.
+  SearchStats search_stats;
+  std::size_t budget_steps = 0;
+  bool budget_exhausted = false;
   auto result = [&]() -> Result<Chain> {
     if (auto ok = leaf_precheck(leaf, options_); !ok.ok()) return ok.error();
 
@@ -659,6 +827,7 @@ Result<Chain> ChainVerifier::verify(
                       options_.use_verify_cache ? cache_ : nullptr,
                       &leaf,         intermediates,
                       {},            {}};
+    ctx.trace = trace;
     ctx.prepare();
 
     CertPath path;
@@ -671,7 +840,14 @@ Result<Chain> ChainVerifier::verify(
     TANGLED_OBS_OBSERVE_COUNT("pki.verify.intermediates_tried",
                               ctx.stats.intermediates_tried);
     TANGLED_OBS_ADD("pki.verify.signature_checks", ctx.stats.signature_checks);
-    if (ctx.budget_exhausted) TANGLED_OBS_INC("pki.verify.budget_exhausted");
+    search_stats = ctx.stats;
+    budget_steps = ctx.budget_steps_used;
+    budget_exhausted = ctx.budget_exhausted;
+    if (ctx.budget_exhausted) {
+      TANGLED_OBS_INC("pki.verify.budget_exhausted");
+      TANGLED_OBS_EVENT(::tangled::obs::FlightEventKind::kBudgetExhausted,
+                        ctx.budget_steps_used, 0, "");
+    }
     if (found) return materialize(path);
     if (ctx.budget_exhausted) {
       // Step counts are deterministic (candidate enumeration only), so this
@@ -681,10 +857,14 @@ Result<Chain> ChainVerifier::verify(
     }
     return last_error.render(leaf);
   }();
+  finish_trace(trace, leaf, search_stats, budget_steps, budget_exhausted,
+               result);
   if (result.ok()) {
     TANGLED_OBS_INC("pki.verify.ok");
     TANGLED_OBS_OBSERVE_COUNT("pki.verify.chain_length",
                               result.value().length());
+    TANGLED_OBS_EVENT(::tangled::obs::FlightEventKind::kVerifyOk, 1,
+                      budget_steps, "");
   } else {
     count_verify_failure(result.error());
   }
@@ -693,12 +873,19 @@ Result<Chain> ChainVerifier::verify(
 
 Result<AnchorSurvey> ChainVerifier::verify_all_anchors(
     const x509::Certificate& leaf,
-    std::span<const x509::Certificate> intermediates) const {
+    std::span<const x509::Certificate> intermediates,
+    DecisionTrace* trace) const {
   // Unlike verify(), no scoped latency timer here: this is the census's
   // per-leaf hot path, and the two steady_clock reads per call are
   // measurable against a ~7 µs cached verification. Aggregate cost is
-  // recoverable from the census ingest timings and the calls counter.
+  // recoverable from the census ingest timings and the calls counter. The
+  // same reasoning keeps the success path free of flight-recorder events —
+  // failures and budget exhaustion are recorded, per-leaf successes are
+  // summarized by the census's kCensusBatch events instead.
   TANGLED_OBS_INC("pki.verify.all_anchors.calls");
+  SearchStats search_stats;
+  std::size_t budget_steps = 0;
+  bool budget_exhausted = false;
   auto result = [&]() -> Result<AnchorSurvey> {
     if (auto ok = leaf_precheck(leaf, options_); !ok.ok()) return ok.error();
 
@@ -706,6 +893,7 @@ Result<AnchorSurvey> ChainVerifier::verify_all_anchors(
                       options_.use_verify_cache ? cache_ : nullptr,
                       &leaf,         intermediates,
                       {},            {}};
+    ctx.trace = trace;
     ctx.prepare();
 
     AnchorSurvey survey;
@@ -725,7 +913,14 @@ Result<AnchorSurvey> ChainVerifier::verify_all_anchors(
     TANGLED_OBS_ADD("pki.verify.all_anchors.intermediates_tried",
                     ctx.stats.intermediates_tried);
     TANGLED_OBS_ADD("pki.verify.signature_checks", ctx.stats.signature_checks);
-    if (ctx.budget_exhausted) TANGLED_OBS_INC("pki.verify.budget_exhausted");
+    search_stats = ctx.stats;
+    budget_steps = ctx.budget_steps_used;
+    budget_exhausted = ctx.budget_exhausted;
+    if (ctx.budget_exhausted) {
+      TANGLED_OBS_INC("pki.verify.budget_exhausted");
+      TANGLED_OBS_EVENT(::tangled::obs::FlightEventKind::kBudgetExhausted,
+                        ctx.budget_steps_used, 0, "");
+    }
     survey.budget_exhausted = ctx.budget_exhausted;
     if (survey.anchors.empty()) {
       if (ctx.budget_exhausted) {
@@ -736,6 +931,8 @@ Result<AnchorSurvey> ChainVerifier::verify_all_anchors(
     }
     return survey;
   }();
+  finish_trace(trace, leaf, search_stats, budget_steps, budget_exhausted,
+               result);
   if (result.ok()) {
     TANGLED_OBS_INC("pki.verify.all_anchors.ok");
     TANGLED_OBS_OBSERVE_COUNT("pki.verify.anchors_per_leaf",

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "asn1/time.h"
+#include "pki/decision_trace.h"
 #include "util/bytes.h"
 #include "util/result.h"
 #include "x509/certificate.h"
@@ -202,7 +203,16 @@ class ChainVerifier {
   /// (any order, duplicates tolerated). Returns the first valid chain found
   /// (shortest-first search).
   Result<Chain> verify(const x509::Certificate& leaf,
-                       std::span<const x509::Certificate> intermediates) const;
+                       std::span<const x509::Certificate> intermediates) const {
+    return verify(leaf, intermediates, nullptr);
+  }
+  /// Tracing variant: when `trace` is non-null, every search decision is
+  /// recorded into it (attempts, rejections, backtracks, cache hits) and
+  /// `trace->verdict` is stamped to match the returned Result exactly.
+  /// The result is bit-identical to the untraced call.
+  Result<Chain> verify(const x509::Certificate& leaf,
+                       std::span<const x509::Certificate> intermediates,
+                       DecisionTrace* trace) const;
   Result<Chain> verify(
       const x509::Certificate& leaf,
       std::initializer_list<x509::Certificate> intermediates) const {
@@ -217,7 +227,15 @@ class ChainVerifier {
   /// of its paths is valid. Errors only when no valid path exists at all.
   Result<AnchorSurvey> verify_all_anchors(
       const x509::Certificate& leaf,
-      std::span<const x509::Certificate> intermediates) const;
+      std::span<const x509::Certificate> intermediates) const {
+    return verify_all_anchors(leaf, intermediates, nullptr);
+  }
+  /// Tracing variant (see the traced verify overload): identical result,
+  /// with the exhaustive search's decisions recorded into `trace`.
+  Result<AnchorSurvey> verify_all_anchors(
+      const x509::Certificate& leaf,
+      std::span<const x509::Certificate> intermediates,
+      DecisionTrace* trace) const;
   Result<AnchorSurvey> verify_all_anchors(
       const x509::Certificate& leaf,
       std::initializer_list<x509::Certificate> intermediates) const {

@@ -34,16 +34,19 @@ LinkKey make_key(const x509::Certificate& child,
 VerifyCache::VerifyCache(std::size_t max_entries) : cache_(max_entries) {}
 
 Result<void> VerifyCache::check_link_signature(const x509::Certificate& child,
-                                               const x509::Certificate& issuer) {
+                                               const x509::Certificate& issuer,
+                                               bool* cache_hit) {
   const LinkKey key = make_key(child, issuer);
   if (const auto hit = cache_.find(key); hit.has_value()) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     TANGLED_OBS_INC("pki.verify_cache.hit");
+    if (cache_hit != nullptr) *cache_hit = true;
     if (hit->ok) return {};
     return Error{hit->code, hit->message};
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   TANGLED_OBS_INC("pki.verify_cache.miss");
+  if (cache_hit != nullptr) *cache_hit = false;
 
   auto result = child.check_signature_from(issuer.public_key());
   Outcome outcome;

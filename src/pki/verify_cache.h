@@ -58,7 +58,15 @@ class VerifyCache {
   /// The cached or freshly computed outcome of
   /// child.check_signature_from(issuer.public_key()).
   Result<void> check_link_signature(const x509::Certificate& child,
-                                    const x509::Certificate& issuer);
+                                    const x509::Certificate& issuer) {
+    return check_link_signature(child, issuer, nullptr);
+  }
+  /// Same, reporting whether the outcome was served from memory. The flag
+  /// feeds per-link cache-hit events in pki::DecisionTrace audit records;
+  /// it changes nothing about the result.
+  Result<void> check_link_signature(const x509::Certificate& child,
+                                    const x509::Certificate& issuer,
+                                    bool* cache_hit);
 
   struct Stats {
     std::uint64_t hits = 0;

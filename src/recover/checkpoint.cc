@@ -58,6 +58,7 @@ bool is_known_section(std::uint32_t id) {
     case SectionId::kCensus:
     case SectionId::kVerifyCache:
     case SectionId::kCursor:
+    case SectionId::kFlightRecorder:
       return true;
   }
   return false;
@@ -83,6 +84,25 @@ bool CheckpointingCensus::checkpoint_requested() {
 }
 
 Result<ResumeInfo> CheckpointingCensus::resume() {
+  auto info = resume_impl();
+  if (info.ok()) {
+    // Direct recorder call (not TANGLED_OBS_EVENT): resume is a cold-path
+    // lifecycle event, and OBS=OFF post-mortems should still show it.
+    obs::flight_recorder().record(obs::FlightEventKind::kCheckpointResume,
+                                  info.value().observations_ingested,
+                                  info.value().cold_start ? 1 : 0);
+    if (config_.serve_telemetry) {
+      if (auto started = start_telemetry(); !started.ok()) {
+        info.value().reports.push_back("telemetry server failed to start (" +
+                                       started.error().message +
+                                       "); continuing without it");
+      }
+    }
+  }
+  return info;
+}
+
+Result<ResumeInfo> CheckpointingCensus::resume_impl() {
   ResumeInfo info;
   auto loaded = read_snapshot_file(config_.path);
   if (!loaded.ok()) {
@@ -113,6 +133,22 @@ Result<ResumeInfo> CheckpointingCensus::resume() {
       info.reports.push_back("skipping unknown section id " +
                              std::to_string(section.id) +
                              " (written by a newer build?)");
+    }
+  }
+
+  // Flight-recorder section: decoded before the core-section gate so a run
+  // forced cold by core corruption still surfaces the previous process's
+  // post-mortem record. Diagnostic only — an undecodable copy is a report.
+  if (const Section* flight_section = snapshot.find(SectionId::kFlightRecorder);
+      flight_section != nullptr) {
+    if (auto events = obs::FlightRecorder::decode_events(
+            flight_section->payload);
+        events.ok()) {
+      info.prior_flight_events = std::move(events.value());
+    } else {
+      info.reports.push_back("flight-recorder section undecodable (" +
+                             events.error().message +
+                             "); prior post-mortem lost");
     }
   }
 
@@ -182,9 +218,10 @@ Result<ResumeInfo> CheckpointingCensus::resume() {
     }
   }
 
-  ingested_ = cursor.value().observations;
-  last_checkpoint_ = ingested_;
-  info.observations_ingested = ingested_;
+  ingested_.store(cursor.value().observations, std::memory_order_relaxed);
+  last_checkpoint_.store(cursor.value().observations,
+                         std::memory_order_relaxed);
+  info.observations_ingested = cursor.value().observations;
   info.cold_start = false;
   TANGLED_OBS_INC("recover.resume.warm_starts");
   return info;
@@ -241,9 +278,48 @@ Result<void> CheckpointingCensus::checkpoint() {
       {static_cast<std::uint32_t>(SectionId::kCursor),
        encode_cursor(ingested_, config_.plan_seed,
                      census_.context_fingerprint())});
+  if (config_.include_flight_recorder) {
+    // Snapshot the recorder *without* draining it: the live rings keep
+    // accumulating, and every checkpoint carries the freshest recent-events
+    // window. The section is what a post-crash resume reads back.
+    sections.push_back({static_cast<std::uint32_t>(SectionId::kFlightRecorder),
+                        obs::flight_recorder().encode_events()});
+  }
+  std::size_t snapshot_bytes = 0;
+  for (const Section& section : sections) {
+    snapshot_bytes += section.payload.size();
+  }
   auto written = write_snapshot_file(config_.path, sections);
-  if (written.ok()) last_checkpoint_ = ingested_;
+  if (written.ok()) {
+    last_checkpoint_ = ingested_.load(std::memory_order_relaxed);
+    obs::flight_recorder().record(obs::FlightEventKind::kCheckpointWrite,
+                                  ingested_.load(std::memory_order_relaxed),
+                                  snapshot_bytes);
+  }
   return written;
+}
+
+Result<void> CheckpointingCensus::start_telemetry() {
+  if (telemetry_ != nullptr && telemetry_->running()) return {};
+  obs::TelemetryConfig tconfig;
+  tconfig.port = config_.telemetry_port;
+  tconfig.health = [this] {
+    return "ok ingested=" +
+           std::to_string(ingested_.load(std::memory_order_relaxed)) +
+           " last_checkpoint=" +
+           std::to_string(last_checkpoint_.load(std::memory_order_relaxed));
+  };
+  auto server = std::make_unique<obs::TelemetryServer>(std::move(tconfig));
+  if (auto started = server->start(); !started.ok()) return started.error();
+  telemetry_ = std::move(server);
+  return {};
+}
+
+void CheckpointingCensus::stop_telemetry() {
+  if (telemetry_ != nullptr) {
+    telemetry_->stop();
+    telemetry_.reset();
+  }
 }
 
 }  // namespace tangled::recover

@@ -29,14 +29,18 @@
 //                                         the operator's deliberate act.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "notary/census.h"
 #include "notary/notary.h"
+#include "obs/flight_recorder.h"
+#include "obs/telemetry.h"
 #include "recover/snapshot.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
@@ -56,6 +60,16 @@ struct CheckpointConfig {
   /// Seed of the corpus plan feeding this run, bound into the cursor so a
   /// snapshot cannot be resumed against a different observation stream.
   std::uint64_t plan_seed = 0;
+  /// Persist the flight-recorder drain as its own snapshot section. Like
+  /// the warm cache it is best-effort: a corrupt copy is reported and
+  /// skipped, never a resume failure.
+  bool include_flight_recorder = true;
+  /// Serve live telemetry (/metrics, /healthz, /flightrecorder) for the
+  /// duration of the run. resume() starts the server; a bind failure is a
+  /// report, not an error — telemetry never blocks the census.
+  bool serve_telemetry = false;
+  /// 0 = ephemeral; read the bound port from telemetry()->port().
+  std::uint16_t telemetry_port = 0;
 };
 
 struct ResumeInfo {
@@ -65,6 +79,10 @@ struct ResumeInfo {
   bool cold_start = true;
   /// True when the warm verify-cache section was restored.
   bool cache_restored = false;
+  /// The previous run's flight-recorder drain, when the snapshot carried an
+  /// intact kFlightRecorder section — the post-mortem record of whatever
+  /// the process was doing before it died. Empty otherwise.
+  std::vector<obs::FlightEvent> prior_flight_events;
   /// Human-readable reports: dropped sections, skipped unknown ids,
   /// cold-cache fallbacks. Empty on a perfectly clean resume.
   std::vector<std::string> reports;
@@ -99,7 +117,17 @@ class CheckpointingCensus {
   /// First checkpoint-write error seen by the stream hook, if any.
   const std::string& last_error() const { return last_error_; }
 
-  std::uint64_t observations_ingested() const { return ingested_; }
+  std::uint64_t observations_ingested() const {
+    return ingested_.load(std::memory_order_relaxed);
+  }
+
+  /// Starts the telemetry endpoint (idempotent). resume() calls this when
+  /// config.serve_telemetry is set; tests and benches may call it directly.
+  /// The /healthz body reports ingest and checkpoint progress.
+  Result<void> start_telemetry();
+  void stop_telemetry();
+  /// The running server, or nullptr before start_telemetry() succeeds.
+  const obs::TelemetryServer* telemetry() const { return telemetry_.get(); }
 
   // --- SIGTERM integration -------------------------------------------------
   /// Installs a SIGTERM handler that requests a checkpoint at the next
@@ -112,13 +140,17 @@ class CheckpointingCensus {
 
  private:
   Result<void> maybe_checkpoint();
+  Result<ResumeInfo> resume_impl();
 
   notary::NotaryDb& db_;
   notary::ValidationCensus& census_;
   CheckpointConfig config_;
-  std::uint64_t ingested_ = 0;
-  std::uint64_t last_checkpoint_ = 0;
+  /// Atomic because the telemetry server's /healthz callback reads them
+  /// from its own thread while ingest advances them.
+  std::atomic<std::uint64_t> ingested_{0};
+  std::atomic<std::uint64_t> last_checkpoint_{0};
   std::string last_error_;
+  std::unique_ptr<obs::TelemetryServer> telemetry_;
 };
 
 }  // namespace tangled::recover

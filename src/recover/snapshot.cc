@@ -37,6 +37,7 @@ std::string to_string(SectionId id) {
     case SectionId::kCensus: return "census";
     case SectionId::kVerifyCache: return "verify-cache";
     case SectionId::kCursor: return "cursor";
+    case SectionId::kFlightRecorder: return "flight-recorder";
   }
   return "section-" + std::to_string(static_cast<std::uint32_t>(id));
 }

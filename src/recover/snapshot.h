@@ -47,6 +47,11 @@ enum class SectionId : std::uint32_t {
   kCensus = 2,
   kVerifyCache = 3,
   kCursor = 4,
+  /// obs::FlightRecorder drain (encode_events payload). Diagnostic, never
+  /// resumable state: a corrupt or missing copy costs the post-mortem
+  /// record, not correctness. Old readers skip it by the unknown-section
+  /// rule; old snapshots simply lack it.
+  kFlightRecorder = 5,
 };
 
 std::string to_string(SectionId id);

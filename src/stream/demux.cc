@@ -102,6 +102,11 @@ void FlowDemux::fault(FlowId id, FaultKind kind, Error error) {
   ++stats_.flows_faulted;
   ++stats_.fault_counts[static_cast<std::size_t>(kind)];
   TANGLED_OBS_INC("stream.demux.faulted_flows");
+  // Direct recorder call: faults are rare by design (per-flow isolation),
+  // and the post-mortem record must show them even in OBS=OFF builds.
+  obs::flight_recorder().record(obs::FlightEventKind::kStreamFault,
+                                static_cast<std::uint64_t>(kind), id,
+                                to_string(kind));
   const auto it = flows_.find(id);
   if (it != flows_.end()) {
     buffered_ -= it->second.buffered;

@@ -1,0 +1,191 @@
+// Census decision-trace sampling: the audit record must be free —
+// zero DecisionTrace constructions on the hot path while sampling is off,
+// bit-identical census results with it on — and faithful: every sampled
+// trace's replayed verdict must equal the verdict the census counted for
+// its (store, verdict) cell, for every Table-3 store.
+#include "notary/census.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pki/decision_trace.h"
+#include "rootstore/catalog.h"
+#include "synth/notary_corpus.h"
+#include "util/thread_pool.h"
+
+namespace tangled::notary {
+namespace {
+
+constexpr std::size_t kCorpusCerts = 2000;
+
+const rootstore::StoreUniverse& universe() {
+  static const rootstore::StoreUniverse u =
+      rootstore::StoreUniverse::build(1402);
+  return u;
+}
+
+// The census keeps a reference to its TrustAnchors, so they must outlive
+// every census in the test.
+const pki::TrustAnchors& build_anchors() {
+  static const pki::TrustAnchors anchors = [] {
+    pki::TrustAnchors a;
+    for (const auto& ca : universe().aosp_cas()) a.add(ca.cert);
+    for (const auto& ca : universe().mozilla_only_cas()) a.add(ca.cert);
+    for (const auto& ca : universe().ios7_only_cas()) a.add(ca.cert);
+    for (const auto& ca : universe().nonaosp_cas()) a.add(ca.cert);
+    return a;
+  }();
+  return anchors;
+}
+
+const std::vector<Observation>& corpus() {
+  static const std::vector<Observation> c = [] {
+    synth::NotaryCorpusConfig config;
+    config.n_certs = kCorpusCerts;
+    synth::NotaryCorpusGenerator generator(universe(), config);
+    std::vector<Observation> out;
+    generator.generate([&out](const Observation& obs) { out.push_back(obs); },
+                       nullptr);
+    return out;
+  }();
+  return c;
+}
+
+std::vector<const rootstore::RootStore*> table3_stores() {
+  using rootstore::AndroidVersion;
+  return {&universe().mozilla(),
+          &universe().ios7(),
+          &universe().aosp(AndroidVersion::k41),
+          &universe().aosp(AndroidVersion::k42),
+          &universe().aosp(AndroidVersion::k43),
+          &universe().aosp(AndroidVersion::k44)};
+}
+
+TEST(TraceSampling, HotPathConstructsZeroTracesWhenDisabled) {
+  const auto& observations = corpus();  // generated before the baseline read
+  ValidationCensus census(build_anchors());
+  const std::uint64_t before = pki::DecisionTrace::instances_created();
+  for (const Observation& obs : observations) census.ingest(obs);
+  EXPECT_EQ(pki::DecisionTrace::instances_created(), before);
+  EXPECT_FALSE(census.trace_sampling_enabled());
+  EXPECT_TRUE(census.sampled_traces().empty());
+}
+
+TEST(TraceSampling, ResultsAreBitIdenticalWithSamplingEnabled) {
+  ValidationCensus plain(build_anchors());
+  ValidationCensus traced(build_anchors());
+  traced.enable_trace_sampling(table3_stores());
+  for (const Observation& obs : corpus()) {
+    plain.ingest(obs);
+    traced.ingest(obs);
+  }
+  EXPECT_EQ(plain.total_unexpired(), traced.total_unexpired());
+  EXPECT_EQ(plain.total_validated(), traced.total_validated());
+  for (const rootstore::RootStore* store : table3_stores()) {
+    EXPECT_EQ(plain.validated_by_store(*store),
+              traced.validated_by_store(*store))
+        << store->name();
+  }
+}
+
+TEST(TraceSampling, EveryTable3CellGetsSamplesAndReplaysToTheSameVerdict) {
+  ValidationCensus census(build_anchors());
+  census.enable_trace_sampling(table3_stores());
+  for (const Observation& obs : corpus()) census.ingest(obs);
+
+  const auto samples = census.sampled_traces();
+  ASSERT_FALSE(samples.empty());
+
+  // The core acceptance property: the replayed trace's verdict is
+  // bit-identical to the verdict the census counted for that cell.
+  // Validated cells carry the store name; failure cells carry the Errc.
+  std::map<std::pair<std::string, std::string>, std::size_t> per_cell;
+  std::set<std::string> stores_sampled;
+  for (const SampledTrace* sample : samples) {
+    if (sample->store.empty()) {
+      EXPECT_NE(sample->verdict, "validated");
+    } else {
+      stores_sampled.insert(sample->store);
+      EXPECT_EQ(sample->verdict, "validated");
+    }
+    EXPECT_EQ(sample->trace.verdict, sample->verdict)
+        << sample->store << " leaf " << sample->trace.leaf_fingerprint;
+    EXPECT_FALSE(sample->trace.leaf_fingerprint.empty());
+    ++per_cell[{sample->store, sample->verdict}];
+  }
+
+  // Every store that validated anything has its cell explained.
+  const TraceSampleConfig default_config;
+  for (const rootstore::RootStore* store : table3_stores()) {
+    if (census.validated_by_store(*store) > 0) {
+      EXPECT_TRUE(stores_sampled.contains(std::string(store->name())))
+          << store->name();
+    }
+  }
+  for (const auto& [cell, count] : per_cell) {
+    EXPECT_LE(count, default_config.per_cell)
+        << cell.first << "|" << cell.second;
+  }
+}
+
+TEST(TraceSampling, ParallelIngestSamplesTheSameCells) {
+  util::ThreadPool pool(4);
+  ValidationCensus serial(build_anchors());
+  serial.enable_trace_sampling(table3_stores());
+  for (const Observation& obs : corpus()) serial.ingest(obs);
+
+  ValidationCensus parallel(build_anchors());
+  parallel.enable_trace_sampling(table3_stores());
+  parallel.ingest_batch(corpus(), pool);
+
+  // Shard-local quotas make the exact sampled leaves differ between serial
+  // and parallel ingest, but every sample must still satisfy the verdict
+  // contract, and the counted results must match exactly.
+  EXPECT_EQ(serial.total_validated(), parallel.total_validated());
+  for (const SampledTrace* sample : parallel.sampled_traces()) {
+    EXPECT_EQ(sample->trace.verdict, sample->verdict);
+  }
+  EXPECT_FALSE(parallel.sampled_traces().empty());
+}
+
+TEST(TraceSampling, DisableDropsTracesAndStopsSampling) {
+  ValidationCensus census(build_anchors());
+  census.enable_trace_sampling(table3_stores());
+  for (std::size_t i = 0; i < 50 && i < corpus().size(); ++i) {
+    census.ingest(corpus()[i]);
+  }
+  ASSERT_FALSE(census.sampled_traces().empty());
+  census.disable_trace_sampling();
+  EXPECT_FALSE(census.trace_sampling_enabled());
+  EXPECT_TRUE(census.sampled_traces().empty());
+
+  const std::uint64_t before = pki::DecisionTrace::instances_created();
+  for (std::size_t i = 50; i < 100 && i < corpus().size(); ++i) {
+    census.ingest(corpus()[i]);
+  }
+  EXPECT_EQ(pki::DecisionTrace::instances_created(), before);
+}
+
+TEST(TraceSampling, JsonExportCarriesStoreVerdictAndTrace) {
+  ValidationCensus census(build_anchors());
+  TraceSampleConfig config;
+  config.per_cell = 1;
+  census.enable_trace_sampling(table3_stores(), config);
+  for (const Observation& obs : corpus()) census.ingest(obs);
+
+  const std::string json = census.sampled_traces_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"store\""), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\""), std::string::npos);
+  EXPECT_NE(json.find("validated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tangled::notary

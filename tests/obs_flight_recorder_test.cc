@@ -1,0 +1,174 @@
+// FlightRecorder: per-thread rings must merge into one seq-ordered drain,
+// ring overflow must keep the *newest* events, the codec must round-trip
+// and refuse damage, and a disabled recorder must record nothing.
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tangled::obs {
+namespace {
+
+TEST(FlightRecorder, DrainIsSeqOrderedAndComplete) {
+  FlightRecorder recorder;
+  recorder.record(FlightEventKind::kVerifyOk, 1, 10, "first");
+  recorder.record(FlightEventKind::kVerifyFail, 2, 20, "second");
+  recorder.record(FlightEventKind::kCensusBatch, 3, 30);
+
+  const auto events = recorder.drain();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_LT(events[1].seq, events[2].seq);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kVerifyOk);
+  EXPECT_EQ(events[0].a, 1u);
+  EXPECT_EQ(events[0].b, 10u);
+  EXPECT_EQ(events[0].detail(), "first");
+  EXPECT_EQ(events[2].detail(), "");
+  EXPECT_EQ(recorder.events_recorded(), 3u);
+  // Non-destructive drain.
+  EXPECT_EQ(recorder.drain().size(), 3u);
+}
+
+TEST(FlightRecorder, OverflowKeepsTheNewestEvents) {
+  FlightRecorder recorder(/*ring_capacity=*/8);
+  for (int i = 0; i < 20; ++i) {
+    recorder.record(FlightEventKind::kCustom, static_cast<std::uint64_t>(i));
+  }
+  const auto events = recorder.drain();
+  ASSERT_EQ(events.size(), 8u);
+  // The survivors are exactly the last 8 records, in order.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, 12 + i);
+  }
+  EXPECT_EQ(recorder.events_recorded(), 20u);
+}
+
+TEST(FlightRecorder, DetailLongerThanCapacityIsTruncatedNotCorrupted) {
+  FlightRecorder recorder;
+  const std::string longer(200, 'x');
+  recorder.record(FlightEventKind::kCustom, 0, 0, longer);
+  const auto events = recorder.drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_LE(events[0].detail().size(), FlightEvent::kDetailCapacity);
+  EXPECT_EQ(events[0].detail(),
+            longer.substr(0, events[0].detail().size()));
+}
+
+TEST(FlightRecorder, EachThreadGetsItsOwnRingAndTheDrainMergesThem) {
+  FlightRecorder recorder;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.record(FlightEventKind::kCustom,
+                        static_cast<std::uint64_t>(t),
+                        static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(recorder.ring_count(), static_cast<std::size_t>(kThreads));
+  const auto events = recorder.drain();
+  ASSERT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+  // Per-thread order survives the merge: each thread's b values ascend.
+  std::vector<std::uint64_t> next_b(kThreads, 0);
+  for (const FlightEvent& event : events) {
+    EXPECT_EQ(event.b, next_b[event.a]++);
+  }
+}
+
+TEST(FlightRecorder, ClearEmptiesRingsButKeepsCounting) {
+  FlightRecorder recorder;
+  recorder.record(FlightEventKind::kCustom);
+  recorder.clear();
+  EXPECT_TRUE(recorder.drain().empty());
+  recorder.record(FlightEventKind::kCustom);
+  const auto events = recorder.drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].seq, 2u);  // the sequence never rewinds
+  EXPECT_EQ(recorder.events_recorded(), 2u);
+}
+
+TEST(FlightRecorder, DisabledRecorderRecordsNothing) {
+  FlightRecorder recorder;
+  recorder.set_enabled(false);
+  recorder.record(FlightEventKind::kVerifyFail, 1, 2, "ignored");
+  EXPECT_TRUE(recorder.drain().empty());
+  EXPECT_EQ(recorder.events_recorded(), 0u);
+  recorder.set_enabled(true);
+  recorder.record(FlightEventKind::kVerifyOk);
+  EXPECT_EQ(recorder.drain().size(), 1u);
+}
+
+TEST(FlightRecorderCodec, RoundTripPreservesEveryField) {
+  FlightRecorder recorder;
+  recorder.record(FlightEventKind::kStreamFault, 3, 77, "truncated");
+  recorder.record(FlightEventKind::kCheckpointWrite, 10000, 123456);
+  const Bytes encoded = recorder.encode_events();
+
+  auto decoded = FlightRecorder::decode_events(encoded);
+  ASSERT_TRUE(decoded.ok());
+  const auto original = recorder.drain();
+  ASSERT_EQ(decoded.value().size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(decoded.value()[i].seq, original[i].seq);
+    EXPECT_EQ(decoded.value()[i].t_ns, original[i].t_ns);
+    EXPECT_EQ(decoded.value()[i].kind, original[i].kind);
+    EXPECT_EQ(decoded.value()[i].a, original[i].a);
+    EXPECT_EQ(decoded.value()[i].b, original[i].b);
+    EXPECT_EQ(decoded.value()[i].detail(), original[i].detail());
+  }
+}
+
+TEST(FlightRecorderCodec, TruncatedPayloadIsRejected) {
+  FlightRecorder recorder;
+  recorder.record(FlightEventKind::kVerifyOk, 1, 2, "abc");
+  Bytes encoded = recorder.encode_events();
+  encoded.resize(encoded.size() - 3);
+  EXPECT_FALSE(FlightRecorder::decode_events(encoded).ok());
+}
+
+TEST(FlightRecorderCodec, UnknownEventKindIsRejected) {
+  FlightRecorder recorder;
+  recorder.record(FlightEventKind::kVerifyOk);
+  Bytes encoded = recorder.encode_events();
+  // Layout: version u8, count u64, then seq u64 + t_ns u64 + kind u8.
+  encoded[1 + 8 + 8 + 8] = 0xfe;
+  EXPECT_FALSE(FlightRecorder::decode_events(encoded).ok());
+}
+
+TEST(FlightRecorderCodec, ForeignCodecVersionIsATypedRefusal) {
+  FlightRecorder recorder;
+  Bytes encoded = recorder.encode_events();
+  encoded[0] = 0x7f;
+  auto decoded = FlightRecorder::decode_events(encoded);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, Errc::kUnsupported);
+}
+
+TEST(FlightRecorderJson, DrainRendersAsAnArrayWithKindNames) {
+  FlightRecorder recorder;
+  recorder.record(FlightEventKind::kBudgetExhausted, 512, 0, "leaf042");
+  const std::string json = recorder.to_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("budget-exhausted"), std::string::npos);
+  EXPECT_NE(json.find("leaf042"), std::string::npos);
+}
+
+TEST(GlobalFlightRecorder, IsASingleton) {
+  EXPECT_EQ(&flight_recorder(), &flight_recorder());
+}
+
+}  // namespace
+}  // namespace tangled::obs

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
 #include "obs/metrics.h"
 
 namespace tangled::obs {
@@ -126,6 +131,51 @@ TEST(Histogram, DefaultBucketsAreSorted) {
 
 TEST(GlobalRegistry, IsSingleton) {
   EXPECT_EQ(&metrics(), &metrics());
+}
+
+
+TEST(Histogram, OverflowQuantileClampsToLargestFiniteBound) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("clamp", {1.0, 10.0, 100.0});
+  // Every observation lands in the overflow bucket: any quantile there
+  // must report the largest finite bound, never +Inf (Prometheus-style
+  // "le=+Inf" buckets have no upper edge to interpolate toward).
+  for (int i = 0; i < 5; ++i) h.observe(1e9);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 100.0);
+  EXPECT_TRUE(std::isfinite(h.quantile(1.0)));
+}
+
+TEST(Histogram, CallerSuppliedInfinityBoundAlsoClamps) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram(
+      "infbound", {1.0, std::numeric_limits<double>::infinity()});
+  h.observe(50.0);  // lands in the caller's +Inf bucket
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_TRUE(std::isfinite(h.quantile(0.999)));
+}
+
+TEST(Registry, HistogramBoundsMismatchIsSurfacedNotSilent) {
+  MetricsRegistry registry;
+  Histogram& first = registry.histogram("conflict", {1.0, 2.0});
+  first.observe(1.5);
+  // Same name, different bounds: the caller gets the existing histogram
+  // (never a second instance under one name), and the mismatch is recorded
+  // where an operator can see it.
+  Histogram& second = registry.histogram("conflict", {5.0, 50.0});
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(second.bounds(), (std::vector<double>{1.0, 2.0}));
+  const auto mismatches = registry.histogram_bounds_mismatches();
+  ASSERT_EQ(mismatches.size(), 1u);
+  EXPECT_EQ(mismatches[0], "conflict");
+  EXPECT_EQ(registry.counter("obs.registry.histogram_bounds_mismatch").value(),
+            1u);
+  // Repeats of the same conflict do not spam the list...
+  registry.histogram("conflict", {5.0, 50.0});
+  EXPECT_EQ(registry.histogram_bounds_mismatches().size(), 1u);
+  // ...and matching bounds are not a mismatch.
+  registry.histogram("conflict", {1.0, 2.0});
+  EXPECT_EQ(registry.histogram_bounds_mismatches().size(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,93 @@
+// Prometheus exposition conformance: the exporter's own output must pass
+// the format checker with zero findings, and the checker must actually
+// catch each class of violation it claims to (otherwise a conformant
+// verdict means nothing).
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace tangled::obs {
+namespace {
+
+void populate(MetricsRegistry& registry) {
+  registry.counter("pki.verify.total").inc(120);
+  registry.counter("stream.demux.faulted_flows").inc(3);
+  registry.gauge("notary.census.parallel.threads").set(8);
+  registry.histogram("pki.verify.steps", {1.0, 10.0, 100.0}).observe(7.0);
+  registry.histogram("pki.verify.steps", {1.0, 10.0, 100.0}).observe(250.0);
+}
+
+TEST(PrometheusConformance, ExporterOutputHasZeroViolations) {
+  MetricsRegistry registry;
+  populate(registry);
+  const std::string text = to_prometheus(registry);
+  const auto errors = prometheus_conformance_errors(text);
+  EXPECT_TRUE(errors.empty()) << errors.front();
+}
+
+TEST(PrometheusConformance, EmptyRegistryExportIsAlsoConformant) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(prometheus_conformance_errors(to_prometheus(registry)).empty());
+}
+
+TEST(PrometheusConformance, CatchesInvalidMetricNameCharset) {
+  const auto errors = prometheus_conformance_errors("bad.name 1\n");
+  ASSERT_FALSE(errors.empty());
+}
+
+TEST(PrometheusConformance, CatchesUnknownTypeAndUnparseableValue) {
+  EXPECT_FALSE(prometheus_conformance_errors(
+                   "# TYPE thing widget\nthing 1\n")
+                   .empty());
+  EXPECT_FALSE(prometheus_conformance_errors("thing banana\n").empty());
+}
+
+TEST(PrometheusConformance, CatchesNonMonotonicHistogramBuckets) {
+  const std::string text =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\n"
+      "h_bucket{le=\"10\"} 3\n"
+      "h_bucket{le=\"+Inf\"} 5\n"
+      "h_sum 10\n"
+      "h_count 5\n";
+  EXPECT_FALSE(prometheus_conformance_errors(text).empty());
+}
+
+TEST(PrometheusConformance, CatchesMissingInfBucket) {
+  const std::string text =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\n"
+      "h_sum 10\n"
+      "h_count 5\n";
+  EXPECT_FALSE(prometheus_conformance_errors(text).empty());
+}
+
+TEST(PrometheusConformance, AcceptsSpecialValues) {
+  EXPECT_TRUE(prometheus_conformance_errors("g +Inf\n").empty());
+  EXPECT_TRUE(prometheus_conformance_errors("g -Inf\n").empty());
+  EXPECT_TRUE(prometheus_conformance_errors("g NaN\n").empty());
+}
+
+TEST(PrometheusSamples, ParsesPlainSamplesAndSkipsBucketLines) {
+  MetricsRegistry registry;
+  populate(registry);
+  const auto samples = parse_prometheus_samples(to_prometheus(registry));
+  ASSERT_TRUE(samples.contains("pki_verify_total"));
+  EXPECT_EQ(samples.at("pki_verify_total"), 120.0);
+  ASSERT_TRUE(samples.contains("notary_census_parallel_threads"));
+  EXPECT_EQ(samples.at("notary_census_parallel_threads"), 8.0);
+  // Histograms contribute their plain _sum/_count, not the labeled buckets.
+  EXPECT_TRUE(samples.contains("pki_verify_steps_count"));
+  EXPECT_EQ(samples.at("pki_verify_steps_count"), 2.0);
+  for (const auto& [name, value] : samples) {
+    EXPECT_EQ(name.find('{'), std::string::npos) << name;
+    (void)value;
+  }
+}
+
+}  // namespace
+}  // namespace tangled::obs

@@ -1,0 +1,111 @@
+// TelemetryServer: a real socket, a real scrape. /metrics must be
+// Prometheus-conformant and agree with the registry it serves, /healthz
+// must run the caller's callback, /flightrecorder must expose the drain,
+// and unknown routes must 404 without wedging the serving loop.
+#include "obs/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace tangled::obs {
+namespace {
+
+struct ServerFixture {
+  MetricsRegistry registry;
+  FlightRecorder recorder;
+  TelemetryServer server;
+
+  ServerFixture()
+      : server([this] {
+          TelemetryConfig config;
+          config.registry = &registry;
+          config.recorder = &recorder;
+          config.health = [] { return std::string("healthy as an ox\n"); };
+          return config;
+        }()) {
+    registry.counter("test.requests").inc(41);
+    registry.gauge("test.depth").set(7);
+    registry.histogram("test.latency", {1.0, 10.0}).observe(3.5);
+    recorder.record(FlightEventKind::kCustom, 1, 2, "from-the-test");
+  }
+};
+
+HttpResponse get(const TelemetryServer& server, const std::string& path) {
+  auto raw = http_get("127.0.0.1", server.port(), path);
+  EXPECT_TRUE(raw.ok()) << (raw.ok() ? "" : raw.error().message);
+  if (!raw.ok()) return {};
+  auto response = parse_http_response(raw.value());
+  EXPECT_TRUE(response.ok());
+  return response.ok() ? response.value() : HttpResponse{};
+}
+
+TEST(TelemetryServer, StartBindsAnEphemeralPortAndStopIsIdempotent) {
+  ServerFixture f;
+  ASSERT_TRUE(f.server.start().ok());
+  EXPECT_TRUE(f.server.running());
+  EXPECT_NE(f.server.port(), 0);
+  // Starting twice is a typed refusal, not a second socket.
+  EXPECT_FALSE(f.server.start().ok());
+  f.server.stop();
+  EXPECT_FALSE(f.server.running());
+  f.server.stop();  // idempotent
+}
+
+TEST(TelemetryServer, MetricsScrapeIsConformantAndMatchesTheRegistry) {
+  ServerFixture f;
+  ASSERT_TRUE(f.server.start().ok());
+  const HttpResponse response = get(f.server, "/metrics");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_TRUE(prometheus_conformance_errors(response.body).empty());
+  // The scrape and a direct export of the same registry must be the same
+  // bytes — the endpoint adds transport, not interpretation.
+  EXPECT_EQ(response.body, to_prometheus(f.registry));
+  const auto samples = parse_prometheus_samples(response.body);
+  ASSERT_TRUE(samples.contains("test_requests"));
+  EXPECT_EQ(samples.at("test_requests"), 41.0);
+}
+
+TEST(TelemetryServer, JsonMetricsAndHealthzAndFlightRecorderRoutes) {
+  ServerFixture f;
+  ASSERT_TRUE(f.server.start().ok());
+
+  const HttpResponse json = get(f.server, "/metrics.json");
+  ASSERT_EQ(json.status, 200);
+  EXPECT_NE(json.body.find("test.requests"), std::string::npos);
+
+  const HttpResponse health = get(f.server, "/healthz");
+  ASSERT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "healthy as an ox\n");
+
+  const HttpResponse flight = get(f.server, "/flightrecorder");
+  ASSERT_EQ(flight.status, 200);
+  EXPECT_NE(flight.body.find("from-the-test"), std::string::npos);
+}
+
+TEST(TelemetryServer, UnknownRouteIs404AndTheLoopSurvives) {
+  ServerFixture f;
+  ASSERT_TRUE(f.server.start().ok());
+  EXPECT_EQ(get(f.server, "/nope").status, 404);
+  // The server still answers after an error response.
+  EXPECT_EQ(get(f.server, "/healthz").status, 200);
+  EXPECT_GE(f.server.requests_served(), 2u);
+}
+
+TEST(TelemetryServer, ServesTheProcessGlobalsWhenUnconfigured) {
+  TelemetryServer server;  // default config: metrics() + flight_recorder()
+  ASSERT_TRUE(server.start().ok());
+  auto raw = http_get("127.0.0.1", server.port(), "/metrics");
+  ASSERT_TRUE(raw.ok());
+  auto response = parse_http_response(raw.value());
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, 200);
+  EXPECT_TRUE(prometheus_conformance_errors(response.value().body).empty());
+}
+
+}  // namespace
+}  // namespace tangled::obs

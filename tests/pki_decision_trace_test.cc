@@ -1,0 +1,210 @@
+// DecisionTrace: attaching a trace must never change a verification result
+// (events are observations, not policy), the stamped verdict must match the
+// returned Result exactly, and the summary counters must reflect what the
+// search actually did — cache hits, pathLen backtracks, budget spend.
+#include "pki/decision_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pki/hierarchy.h"
+#include "pki/verify.h"
+#include "pki/verify_cache.h"
+
+namespace tangled::pki {
+namespace {
+
+using crypto::sim_sig_scheme;
+
+const x509::Validity kCaValidity{asn1::make_time(2008, 1, 1),
+                                 asn1::make_time(2030, 1, 1)};
+const x509::Validity kLeafValidity{asn1::make_time(2013, 6, 1),
+                                   asn1::make_time(2015, 6, 1)};
+
+struct Fixture {
+  CaNode root;
+  CaNode inter;
+  x509::Certificate leaf;
+
+  explicit Fixture(std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    root = make_root(sim_sig_scheme(), crypto::generate_sim_keypair(rng),
+                     ca_name("Trace Org", "Trace Root"), kCaValidity, 1)
+               .value();
+    inter = make_intermediate(sim_sig_scheme(), root,
+                              crypto::generate_sim_keypair(rng),
+                              ca_name("Trace Org", "Trace Inter"), kCaValidity,
+                              2)
+                .value();
+    leaf = make_leaf(sim_sig_scheme(), inter, crypto::generate_sim_keypair(rng),
+                     "traced.example.com", kLeafValidity, 100)
+               .value();
+  }
+};
+
+bool has_event(const DecisionTrace& trace, TraceEventKind kind) {
+  for (const TraceEvent& event : trace.events) {
+    if (event.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(DecisionTrace, SuccessfulVerifyStampsValidatedAndRecordsTheAnchor) {
+  Fixture f(1);
+  TrustAnchors anchors;
+  anchors.add(f.root.cert);
+  ChainVerifier verifier(anchors);
+
+  const std::vector<x509::Certificate> inters{f.inter.cert};
+  DecisionTrace trace;
+  auto traced = verifier.verify(f.leaf, inters, &trace);
+  auto untraced = verifier.verify(f.leaf, inters);
+  ASSERT_TRUE(traced.ok());
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_EQ(traced.value().length(), untraced.value().length());
+
+  EXPECT_EQ(trace.verdict, "validated");
+  EXPECT_EQ(trace.leaf_fingerprint, f.leaf.fingerprint_hex());
+  EXPECT_TRUE(has_event(trace, TraceEventKind::kAnchorAccepted));
+  EXPECT_TRUE(has_event(trace, TraceEventKind::kIntermediateDescend));
+  ASSERT_EQ(trace.anchors_found.size(), 1u);
+  EXPECT_EQ(trace.anchors_found[0], f.root.cert.fingerprint_hex());
+  EXPECT_GE(trace.anchors_tried, 1u);
+  EXPECT_GE(trace.signature_checks, 2u);  // leaf->inter, inter->root
+  EXPECT_GT(trace.budget_steps_used, 0u);
+  EXPECT_FALSE(trace.budget_exhausted);
+  EXPECT_FALSE(trace.truncated);
+}
+
+TEST(DecisionTrace, FailureVerdictMatchesTheReturnedErrorCode) {
+  Fixture f(2);
+  TrustAnchors anchors;
+  anchors.add(f.root.cert);
+  ChainVerifier verifier(anchors);
+
+  DecisionTrace trace;
+  // No intermediates supplied: the leaf cannot reach the root.
+  auto result = verifier.verify(f.leaf, std::span<const x509::Certificate>{},
+                                &trace);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(trace.verdict, std::string(to_string(result.error().code)));
+  EXPECT_NE(trace.verdict, "validated");
+}
+
+TEST(DecisionTrace, SurveyVerdictAlsoMatchesItsResult) {
+  Fixture f(3);
+  TrustAnchors anchors;
+  anchors.add(f.root.cert);
+  ChainVerifier verifier(anchors);
+
+  const std::vector<x509::Certificate> inters{f.inter.cert};
+  DecisionTrace ok_trace;
+  auto survey = verifier.verify_all_anchors(f.leaf, inters, &ok_trace);
+  ASSERT_TRUE(survey.ok());
+  EXPECT_EQ(ok_trace.verdict, "validated");
+  EXPECT_EQ(ok_trace.anchors_found.size(), survey.value().anchors.size());
+
+  DecisionTrace fail_trace;
+  auto failed = verifier.verify_all_anchors(
+      f.leaf, std::span<const x509::Certificate>{}, &fail_trace);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(fail_trace.verdict, std::string(to_string(failed.error().code)));
+}
+
+TEST(DecisionTrace, CacheHitsAndMissesAreAttributed) {
+  Fixture f(4);
+  TrustAnchors anchors;
+  anchors.add(f.root.cert);
+  ChainVerifier verifier(anchors);
+  VerifyCache cache;
+  verifier.set_verify_cache(&cache);
+
+  const std::vector<x509::Certificate> inters{f.inter.cert};
+  DecisionTrace cold;
+  ASSERT_TRUE(verifier.verify(f.leaf, inters, &cold).ok());
+  EXPECT_GT(cold.cache_misses, 0u);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_TRUE(has_event(cold, TraceEventKind::kCacheMiss));
+
+  DecisionTrace warm;
+  ASSERT_TRUE(verifier.verify(f.leaf, inters, &warm).ok());
+  EXPECT_GT(warm.cache_hits, 0u);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  EXPECT_TRUE(has_event(warm, TraceEventKind::kCacheHit));
+  // Same search either way: identical step accounting.
+  EXPECT_EQ(cold.budget_steps_used, warm.budget_steps_used);
+}
+
+TEST(DecisionTrace, PathLenViolationRecordsABacktrack) {
+  // Root -> inter(pathLen=0) -> inter2 -> leaf: the only route violates the
+  // first intermediate's constraint, so the search must record a backtrack
+  // and fail with the same error as the untraced call.
+  Xoshiro256 rng(5);
+  auto root = make_root(sim_sig_scheme(), crypto::generate_sim_keypair(rng),
+                        ca_name("Deep", "Deep Root"), kCaValidity, 1)
+                  .value();
+  auto inter = make_intermediate(sim_sig_scheme(), root,
+                                 crypto::generate_sim_keypair(rng),
+                                 ca_name("Deep", "Strict Inter"), kCaValidity,
+                                 2, 0)
+                   .value();
+  auto inter2 = make_intermediate(sim_sig_scheme(), inter,
+                                  crypto::generate_sim_keypair(rng),
+                                  ca_name("Deep", "Sub Inter"), kCaValidity, 3)
+                    .value();
+  auto leaf = make_leaf(sim_sig_scheme(), inter2,
+                        crypto::generate_sim_keypair(rng), "deep.example.com",
+                        kLeafValidity, 99)
+                  .value();
+  TrustAnchors anchors;
+  anchors.add(root.cert);
+  ChainVerifier verifier(anchors);
+
+  const std::vector<x509::Certificate> inters{inter.cert, inter2.cert};
+  DecisionTrace trace;
+  auto traced = verifier.verify(leaf, inters, &trace);
+  auto untraced = verifier.verify(leaf, inters);
+  ASSERT_FALSE(traced.ok());
+  ASSERT_FALSE(untraced.ok());
+  EXPECT_EQ(traced.error().code, untraced.error().code);
+  EXPECT_EQ(traced.error().message, untraced.error().message);
+  EXPECT_GT(trace.pathlen_backtracks, 0u);
+  EXPECT_TRUE(has_event(trace, TraceEventKind::kPathLenBacktrack));
+}
+
+TEST(DecisionTrace, EventListTruncatesButCountersStayExact) {
+  DecisionTrace trace;
+  for (std::size_t i = 0; i < DecisionTrace::kMaxEvents + 100; ++i) {
+    trace.add_event(TraceEventKind::kAnchorAttempt, i, "s");
+  }
+  EXPECT_TRUE(trace.truncated);
+  EXPECT_EQ(trace.events.size(), DecisionTrace::kMaxEvents);
+}
+
+TEST(DecisionTrace, ToJsonCarriesVerdictAndEvents) {
+  Fixture f(6);
+  TrustAnchors anchors;
+  anchors.add(f.root.cert);
+  ChainVerifier verifier(anchors);
+  const std::vector<x509::Certificate> inters{f.inter.cert};
+  DecisionTrace trace;
+  ASSERT_TRUE(verifier.verify(f.leaf, inters, &trace).ok());
+  const std::string json = trace.to_json();
+  EXPECT_NE(json.find("\"verdict\":\"validated\""), std::string::npos);
+  EXPECT_NE(json.find("anchor_accepted"), std::string::npos);
+  EXPECT_NE(json.find(trace.leaf_fingerprint), std::string::npos);
+}
+
+TEST(DecisionTrace, InstanceCounterSeesEveryConstruction) {
+  const std::uint64_t before = DecisionTrace::instances_created();
+  DecisionTrace a;
+  DecisionTrace b(a);          // copy
+  DecisionTrace c(std::move(b));  // move (counts as a construction too)
+  (void)c;
+  EXPECT_EQ(DecisionTrace::instances_created(), before + 3);
+}
+
+}  // namespace
+}  // namespace tangled::pki

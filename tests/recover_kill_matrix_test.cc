@@ -10,10 +10,12 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "notary/census.h"
 #include "notary/notary.h"
+#include "obs/flight_recorder.h"
 #include "pki/hierarchy.h"
 #include "recover/snapshot.h"
 #include "stream/ingest.h"
@@ -292,6 +294,9 @@ TEST(KillMatrix, ResumedCheckpointBytesMatchColdRunCheckpointBytes) {
   // checkpoint the exact bytes a never-crashed run checkpoints. The warm
   // verify-cache section is excluded — it is load-order-dependent by design
   // and result-neutral; everything the results are derived from must match.
+  // The flight-recorder section is likewise excluded from the comparison:
+  // it records *history* (timestamps, the crash itself), which legitimately
+  // differs between the two runs and feeds no result.
   const std::string crashed_path = unique_path("det_crashed");
   run_until_crash(crashed_path, 3, /*include_cache=*/false);
   {
@@ -322,7 +327,20 @@ TEST(KillMatrix, ResumedCheckpointBytesMatchColdRunCheckpointBytes) {
   auto b = util::read_file(cold_path);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  EXPECT_EQ(a.value(), b.value());
+  const auto result_sections = [](const Bytes& data) {
+    auto loaded = decode_snapshot(data);
+    EXPECT_TRUE(loaded.ok());
+    std::vector<std::pair<std::uint32_t, Bytes>> out;
+    if (!loaded.ok()) return out;
+    for (const Section& section : loaded.value().sections) {
+      if (section.id !=
+          static_cast<std::uint32_t>(SectionId::kFlightRecorder)) {
+        out.emplace_back(section.id, section.payload);
+      }
+    }
+    return out;
+  };
+  EXPECT_EQ(result_sections(a.value()), result_sections(b.value()));
   std::remove(crashed_path.c_str());
   std::remove(cold_path.c_str());
 }
@@ -506,6 +524,136 @@ TEST(RecoverResume, UnknownSectionIsSkippedWithAReport) {
   EXPECT_FALSE(info.cold_start);
   ASSERT_FALSE(info.reports.empty());
   EXPECT_NE(info.reports[0].find("unknown section id 77"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderResume, CrashLeavesANonEmptyPostMortem) {
+  const std::string path = unique_path("flight_postmortem");
+  obs::flight_recorder().clear();
+  // Five batches fire the checkpoint cadence twice; the snapshot encodes the
+  // rings *before* stamping its own write event, so only the second snapshot
+  // carries the first checkpoint's write in its post-mortem.
+  run_until_crash(path, 5);
+  // A real crash loses the process, so the snapshot is the only carrier of
+  // the flight events; clearing the live recorder simulates the restart.
+  obs::flight_recorder().clear();
+
+  const ResumeInfo info = resume_and_finish(path);
+  ASSERT_FALSE(info.prior_flight_events.empty());
+  bool saw_checkpoint_write = false;
+  for (const obs::FlightEvent& event : info.prior_flight_events) {
+    if (event.kind == obs::FlightEventKind::kCheckpointWrite) {
+      saw_checkpoint_write = true;
+    }
+  }
+  EXPECT_TRUE(saw_checkpoint_write);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderResume, OldSnapshotWithoutTheSectionStillResumes) {
+  // Backward direction of the compat rule: a snapshot from a build that
+  // predates the flight-recorder section resumes cleanly, with an empty
+  // post-mortem and no complaints.
+  const std::string path = unique_path("flight_old_snapshot");
+  run_until_crash(path, 3);
+  auto data = util::read_file(path);
+  ASSERT_TRUE(data.ok());
+  auto loaded = decode_snapshot(data.value());
+  ASSERT_TRUE(loaded.ok());
+  std::vector<Section> sections;
+  for (const Section& section : loaded.value().sections) {
+    if (section.id != static_cast<std::uint32_t>(SectionId::kFlightRecorder)) {
+      sections.push_back(section);
+    }
+  }
+  ASSERT_LT(sections.size(), loaded.value().sections.size());
+  ASSERT_TRUE(write_snapshot_file(path, sections).ok());
+
+  const ResumeInfo info = resume_and_finish(path);
+  EXPECT_FALSE(info.cold_start);
+  EXPECT_TRUE(info.prior_flight_events.empty());
+  EXPECT_TRUE(info.reports.empty());
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderResume, OldReaderSkipsTheSectionViaTheUnknownIdRule) {
+  // Forward direction: an old reader sees the flight section as an unknown
+  // id and must skip it with a report while loading everything else. We
+  // simulate the old reader by renumbering the section to an id no build
+  // knows, which exercises the identical code path.
+  const std::string path = unique_path("flight_old_reader");
+  run_until_crash(path, 3);
+  auto data = util::read_file(path);
+  ASSERT_TRUE(data.ok());
+  auto loaded = decode_snapshot(data.value());
+  ASSERT_TRUE(loaded.ok());
+  std::vector<Section> sections = loaded.value().sections;
+  bool renumbered = false;
+  for (Section& section : sections) {
+    if (section.id == static_cast<std::uint32_t>(SectionId::kFlightRecorder)) {
+      section.id = 88;
+      renumbered = true;
+    }
+  }
+  ASSERT_TRUE(renumbered);
+  ASSERT_TRUE(write_snapshot_file(path, sections).ok());
+
+  const ResumeInfo info = resume_and_finish(path);
+  EXPECT_FALSE(info.cold_start);
+  EXPECT_TRUE(info.prior_flight_events.empty());
+  ASSERT_FALSE(info.reports.empty());
+  EXPECT_NE(info.reports[0].find("unknown section id 88"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderResume, UndecodableSectionIsReportedNotFatal) {
+  // Damage inside the flight payload (re-framed so the container digest is
+  // valid) loses the post-mortem but must never block the resume — the
+  // recorder is an observer, not a dependency.
+  const std::string path = unique_path("flight_undecodable");
+  run_until_crash(path, 3);
+  auto data = util::read_file(path);
+  ASSERT_TRUE(data.ok());
+  auto loaded = decode_snapshot(data.value());
+  ASSERT_TRUE(loaded.ok());
+  std::vector<Section> sections = loaded.value().sections;
+  bool corrupted = false;
+  for (Section& section : sections) {
+    if (section.id == static_cast<std::uint32_t>(SectionId::kFlightRecorder)) {
+      section.payload = Bytes{0xba, 0xad, 0xf0, 0x0d};
+      corrupted = true;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  ASSERT_TRUE(write_snapshot_file(path, sections).ok());
+
+  const ResumeInfo info = resume_and_finish(path);
+  EXPECT_FALSE(info.cold_start);
+  EXPECT_TRUE(info.prior_flight_events.empty());
+  ASSERT_FALSE(info.reports.empty());
+  EXPECT_NE(info.reports[0].find("flight-recorder section undecodable"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderResume, SectionCanBeDisabledPerConfig) {
+  const std::string path = unique_path("flight_disabled");
+  {
+    util::ThreadPool pool(4);
+    notary::NotaryDb db;
+    notary::ValidationCensus census(fixture().anchors);
+    CheckpointConfig config = config_for(path);
+    config.include_flight_recorder = false;
+    CheckpointingCensus ckpt(db, census, config);
+    auto info = ckpt.resume();
+    ASSERT_TRUE(info.ok());
+    replay_tail(ckpt, 0, pool, 3);
+  }
+  auto data = util::read_file(path);
+  ASSERT_TRUE(data.ok());
+  auto loaded = decode_snapshot(data.value());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().find(SectionId::kFlightRecorder), nullptr);
   std::remove(path.c_str());
 }
 

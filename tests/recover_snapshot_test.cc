@@ -11,6 +11,7 @@
 
 #include "notary/census.h"
 #include "notary/notary.h"
+#include "obs/flight_recorder.h"
 #include "pki/hierarchy.h"
 #include "pki/verify_cache.h"
 #include "util/atomic_file.h"
@@ -32,6 +33,25 @@ std::vector<Section> sample_sections() {
       {99, payload_of("from-a-newer-build")},  // unknown id: must survive
       {static_cast<std::uint32_t>(SectionId::kCursor), payload_of("gamma")},
   };
+}
+
+TEST(SnapshotContainer, FlightRecorderSectionRoundTripsRealRecorderBytes) {
+  obs::FlightRecorder recorder;
+  recorder.record(obs::FlightEventKind::kCheckpointWrite, 291, 4096);
+  recorder.record(obs::FlightEventKind::kStreamFault, 2, 17, "truncated");
+  std::vector<Section> sections = sample_sections();
+  sections.push_back({static_cast<std::uint32_t>(SectionId::kFlightRecorder),
+                      recorder.encode_events()});
+
+  auto loaded = decode_snapshot(encode_snapshot(sections));
+  ASSERT_TRUE(loaded.ok());
+  const Section* flight = loaded.value().find(SectionId::kFlightRecorder);
+  ASSERT_NE(flight, nullptr);
+  auto events = obs::FlightRecorder::decode_events(flight->payload);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events.value().size(), 2u);
+  EXPECT_EQ(events.value()[0].kind, obs::FlightEventKind::kCheckpointWrite);
+  EXPECT_EQ(events.value()[1].detail(), "truncated");
 }
 
 TEST(SnapshotContainer, RoundTripPreservesAllSectionsIncludingUnknown) {
