@@ -1,0 +1,255 @@
+// Serve ingest bench: a seeded multi-device submission storm against the
+// tangled::serve poll-loop server. Eight device threads replay 600 capture
+// uploads (5% deliberately oversized, so admission control must shed them)
+// plus per-device root-store observations, over real loopback sockets.
+// Reports submissions/sec, p50/p99 round-trip latency, the shed-vs-served
+// split, and whether the census behind the socket is identical to feeding
+// the same pristine captures through the offline streaming pipeline — the
+// server must add availability, never change results. Finishes with a
+// graceful drain and verifies the checkpoint was written.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "pki/hierarchy.h"
+#include "recover/checkpoint.h"
+#include "serve/client.h"
+#include "util/atomic_file.h"
+#include "serve/server.h"
+#include "stream/ingest.h"
+#include "tlswire/handshake.h"
+
+namespace {
+
+constexpr std::size_t kDevices = 8;
+constexpr std::size_t kUploads = 600;
+constexpr std::size_t kOversizeEvery = 20;  // 5% of uploads oversized → shed
+constexpr std::size_t kOrgs = 4;
+constexpr std::uint64_t kSeed = 20140403;
+
+}  // namespace
+
+int main() {
+  using namespace tangled;
+  using clock = std::chrono::steady_clock;
+
+  bench::print_header("Serve ingest: multi-device submission storm",
+                      "notary-as-a-service front-end (measured only)");
+  bench::BenchReport report("serve_ingest",
+                            "notary-as-a-service front-end (measured only)");
+
+  // --- Build the device corpus ---------------------------------------------
+  obs::Span build_span(obs::tracer(), "bench.serve.build_corpus");
+  Xoshiro256 rng(kSeed);
+  std::vector<pki::CaHierarchy> hierarchies;
+  pki::TrustAnchors anchors;
+  for (std::size_t org = 0; org < kOrgs; ++org) {
+    auto h = pki::CaHierarchy::build(rng, "ServeOrg" + std::to_string(org), 1,
+                                     /*sim_keys=*/true);
+    if (!h.ok()) {
+      std::fprintf(stderr, "hierarchy build failed: %s\n",
+                   h.error().message.c_str());
+      return 1;
+    }
+    hierarchies.push_back(std::move(h).value());
+    anchors.add(hierarchies.back().root().cert);
+  }
+  std::vector<Bytes> captures;
+  captures.reserve(kUploads);
+  for (std::size_t i = 0; i < kUploads; ++i) {
+    auto& org = hierarchies[i % kOrgs];
+    auto leaf = org.issue(rng, "d" + std::to_string(i) + ".example.com", 0);
+    if (!leaf.ok()) return 1;
+    auto flight = tlswire::encode_server_flight(
+        tlswire::ServerHello{}, org.presented_chain(leaf.value(), 0));
+    if (!flight.ok()) return 1;
+    captures.push_back(std::move(flight).value());
+  }
+  build_span.end();
+
+  // --- Server with checkpointing behind it ---------------------------------
+  const std::string snapshot_path = "serve_ingest_bench.tngl";
+  std::remove(snapshot_path.c_str());
+  util::ThreadPool& pool = util::shared_pool();
+  notary::NotaryDb db;
+  notary::ValidationCensus census(anchors);
+  recover::CheckpointConfig checkpoint_config;
+  checkpoint_config.path = snapshot_path;
+  checkpoint_config.interval = 200;
+  checkpoint_config.plan_seed = kSeed;
+  recover::CheckpointingCensus checkpoint(db, census, checkpoint_config);
+  if (!checkpoint.resume().ok()) return 1;
+
+  serve::ServeConfig serve_config;
+  serve_config.max_payload_bytes = 64 * 1024;  // oversized uploads get shed
+  serve_config.stream.batch_size = 64;
+  serve::IngestServer server(db, &census, pool, serve_config, &checkpoint);
+  if (auto started = server.start(); !started.ok()) {
+    std::fprintf(stderr, "serve start failed: %s\n",
+                 started.error().message.c_str());
+    return 1;
+  }
+  const std::uint16_t port = server.port();
+
+  // --- The storm -----------------------------------------------------------
+  // Each device submits its slice of uploads; every kOversizeEvery-th
+  // submission is padded past max_payload_bytes, so the server must shed it
+  // and stay standing. Latency is the full client round trip.
+  std::vector<std::vector<double>> latencies_us(kDevices);
+  std::vector<std::uint64_t> served(kDevices, 0), shed(kDevices, 0),
+      failed(kDevices, 0);
+  const auto storm_start = clock::now();
+  {
+    obs::Span span(obs::tracer(), "bench.serve.storm");
+    std::vector<std::thread> devices;
+    for (std::size_t d = 0; d < kDevices; ++d) {
+      devices.emplace_back([&, d] {
+        // One root-store observation per device, like a real enrolment.
+        serve::RootStoreObservation store;
+        store.device_id = d;
+        store.store_label = "bench-device/cacerts";
+        store.roots_der.push_back(hierarchies[d % kOrgs].root().cert.der());
+        (void)serve::submit_rootstore("127.0.0.1", port, store);
+
+        for (std::size_t i = d; i < kUploads; i += kDevices) {
+          serve::CaptureUpload upload;
+          upload.device_id = d;
+          upload.capture = captures[i];
+          if (i % kOversizeEvery == 0) {
+            upload.capture.resize(serve_config.max_payload_bytes + 4096,
+                                  0x41);
+          }
+          const auto t0 = clock::now();
+          auto response = serve::submit_capture("127.0.0.1", port, upload);
+          const double us =
+              std::chrono::duration<double, std::micro>(clock::now() - t0)
+                  .count();
+          latencies_us[d].push_back(us);
+          if (!response.ok()) {
+            ++failed[d];
+          } else if (response.value().status ==
+                     serve::SubmitStatus::kAccepted) {
+            ++served[d];
+          } else if (response.value().status == serve::SubmitStatus::kShed) {
+            ++shed[d];
+          } else {
+            ++failed[d];
+          }
+        }
+      });
+    }
+    for (auto& device : devices) device.join();
+  }
+  const double storm_seconds =
+      std::chrono::duration<double>(clock::now() - storm_start).count();
+
+  // --- Drain and checkpoint ------------------------------------------------
+  auto drain = server.drain();
+  if (!drain.ok()) {
+    std::fprintf(stderr, "drain failed: %s\n", drain.error().message.c_str());
+    return 1;
+  }
+
+  // --- Offline reference: same pristine captures, no sockets ---------------
+  notary::NotaryDb offline_db;
+  notary::ValidationCensus offline_census(anchors);
+  {
+    obs::Span span(obs::tracer(), "bench.serve.offline_reference");
+    stream::StreamIngestConfig config;
+    config.batch_size = 64;
+    stream::StreamIngestor ingestor(offline_db, &offline_census, pool,
+                                    config);
+    for (std::size_t i = 0; i < kUploads; ++i) {
+      if (i % kOversizeEvery == 0) continue;  // the shed ones never landed
+      ingestor.feed(static_cast<stream::FlowId>(i), captures[i]);
+      ingestor.end_flow(static_cast<stream::FlowId>(i));
+    }
+    (void)ingestor.finish();
+  }
+  bool identical =
+      db.session_count() == offline_db.session_count() &&
+      db.unique_cert_count() == offline_db.unique_cert_count() &&
+      census.total_validated() == offline_census.total_validated() &&
+      census.total_unexpired() == offline_census.total_unexpired();
+  for (const auto& h : hierarchies) {
+    identical = identical && census.validated_by(h.root().cert) ==
+                                 offline_census.validated_by(h.root().cert);
+  }
+
+  // --- Aggregate -----------------------------------------------------------
+  std::vector<double> all_latencies;
+  std::uint64_t total_served = 0, total_shed = 0, total_failed = 0;
+  for (std::size_t d = 0; d < kDevices; ++d) {
+    all_latencies.insert(all_latencies.end(), latencies_us[d].begin(),
+                         latencies_us[d].end());
+    total_served += served[d];
+    total_shed += shed[d];
+    total_failed += failed[d];
+  }
+  std::sort(all_latencies.begin(), all_latencies.end());
+  const auto percentile = [&](double p) {
+    if (all_latencies.empty()) return 0.0;
+    const std::size_t at = std::min(
+        all_latencies.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(all_latencies.size())));
+    return all_latencies[at];
+  };
+  const double p50_us = percentile(0.50);
+  const double p99_us = percentile(0.99);
+  const double submissions_per_sec =
+      storm_seconds > 0 ? static_cast<double>(kUploads) / storm_seconds : 0;
+
+  const serve::ServeStats stats = server.stats();
+  const std::uint64_t expected_shed = kUploads / kOversizeEvery;
+
+  std::printf("devices: %zu, uploads: %zu (%llu oversized), storm: %.3fs "
+              "(%.0f submissions/sec)\n",
+              kDevices, kUploads,
+              static_cast<unsigned long long>(expected_shed), storm_seconds,
+              submissions_per_sec);
+  std::printf("served %llu, shed %llu, failed %llu; latency p50 %.0fus, "
+              "p99 %.0fus\n",
+              static_cast<unsigned long long>(total_served),
+              static_cast<unsigned long long>(total_shed),
+              static_cast<unsigned long long>(total_failed), p50_us, p99_us);
+  std::printf("drain: committed %llu observations, checkpoint %s; census "
+              "identical to offline pipeline: %s\n\n",
+              static_cast<unsigned long long>(
+                  drain.value().observations_committed),
+              drain.value().checkpointed ? "written" : "MISSING",
+              identical ? "yes" : "NO");
+
+  report.add_measured("devices", static_cast<double>(kDevices));
+  report.add_measured("capture uploads", static_cast<double>(kUploads));
+  report.add_measured("submissions per second", submissions_per_sec);
+  report.add_measured("latency p50 us", p50_us);
+  report.add_measured("latency p99 us", p99_us);
+  report.add_measured("served", static_cast<double>(total_served));
+  report.add_measured("shed", static_cast<double>(total_shed));
+  report.add_measured("failed", static_cast<double>(total_failed));
+  report.add_measured("expected shed", static_cast<double>(expected_shed));
+  report.add_measured("payload bytes discarded",
+                      static_cast<double>(stats.payload_bytes_discarded));
+  report.add_measured("rootstore observations",
+                      static_cast<double>(stats.rootstore_observations));
+  report.add_measured("observations committed",
+                      static_cast<double>(
+                          drain.value().observations_committed));
+  report.add_measured("drain checkpoint written",
+                      drain.value().checkpointed ? 1 : 0);
+  report.add_measured("census identical server vs offline", identical ? 1 : 0);
+  report.note("5% of uploads are padded past max_payload_bytes: admission "
+              "control must shed exactly those and serve the rest");
+  report.note("latency is the full client round trip over loopback, "
+              "connect included; seeds fixed (20140403) for reproducibility");
+  std::remove(snapshot_path.c_str());
+  std::remove(util::atomic_temp_path(snapshot_path).c_str());
+
+  const bool storm_clean = total_served == kUploads - expected_shed &&
+                           total_shed == expected_shed && total_failed == 0;
+  return storm_clean && identical && drain.value().checkpointed ? 0 : 1;
+}

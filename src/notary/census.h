@@ -123,6 +123,10 @@ class ValidationCensus {
   /// JSON array of {store, verdict, trace} for the sampled cells.
   std::string sampled_traces_json() const;
 
+  /// The verify policy this census validates under. The serve layer reads
+  /// it to refuse running without a per-submission pki::ResourceBudget.
+  const pki::VerifyOptions& options() const { return verifier_.options(); }
+
   /// The census's shared link-signature cache, for hit-rate telemetry;
   /// nullptr when caching is disabled.
   const pki::VerifyCache* verify_cache() const { return cache_.get(); }

@@ -6,7 +6,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "obs/export.h"
@@ -20,6 +22,9 @@ Error socket_error(const std::string& what) {
 }
 
 /// Parses "GET /path HTTP/1.x" out of a raw request; empty on anything else.
+/// The query string is routing-irrelevant here and is stripped: Prometheus
+/// and curl both legitimately append one (GET /metrics?ts=...), and keeping
+/// it in the path used to 404 every such scrape.
 std::string request_path(std::string_view request, bool& is_get) {
   is_get = false;
   const std::size_t line_end = request.find("\r\n");
@@ -30,7 +35,11 @@ std::string request_path(std::string_view request, bool& is_get) {
   const std::size_t sp2 = line.find(' ', sp1 + 1);
   if (sp2 == std::string_view::npos) return {};
   is_get = line.substr(0, sp1) == "GET";
-  return std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (const std::size_t q = target.find('?'); q != std::string_view::npos) {
+    target = target.substr(0, q);
+  }
+  return std::string(target);
 }
 
 std::string http_response(int status, std::string_view reason,
@@ -45,22 +54,22 @@ std::string http_response(int status, std::string_view reason,
   return out;
 }
 
-/// Blocking send of the whole buffer (the responses are small; the peer is
-/// local). EPIPE just abandons the response — the client went away.
-void send_all(int fd, std::string_view data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return;
-    sent += static_cast<std::size_t>(n);
-  }
-}
-
 constexpr int kPollTimeoutMs = 50;
 constexpr std::size_t kMaxRequestBytes = 4096;
 
 }  // namespace
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = retry_eintr([&] {
+      return ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    });
+    if (n <= 0) return false;  // peer gone: abandon the response
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
 
 TelemetryServer::TelemetryServer(TelemetryConfig config)
     : config_(std::move(config)) {
@@ -142,16 +151,42 @@ void TelemetryServer::serve_loop() {
 }
 
 void TelemetryServer::handle_client(int client_fd) {
-  // Read until the blank line ending the headers, a cap, or a short timeout.
+  // Read until the blank line ending the headers, a cap, a short idle
+  // timeout, or — the slow-loris guard — an overall wall-clock deadline.
+  // The per-chunk poll alone is not enough: a client dripping one byte per
+  // poll window keeps every poll "ready" and would hold this
+  // single-threaded loop for up to kMaxRequestBytes polls.
+  using clock = std::chrono::steady_clock;
+  const auto deadline =
+      clock::now() + std::chrono::milliseconds(config_.request_deadline_ms);
+  bool timed_out = false;
   std::string request;
   pollfd pfd{};
   pfd.fd = client_fd;
   pfd.events = POLLIN;
   while (request.size() < kMaxRequestBytes &&
          request.find("\r\n\r\n") == std::string::npos) {
-    if (::poll(&pfd, 1, 500) <= 0) break;
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - clock::now());
+    if (remaining.count() <= 0) {
+      timed_out = true;
+      break;
+    }
+    const int timeout =
+        static_cast<int>(std::min<std::int64_t>(500, remaining.count()));
+    const int ready = retry_eintr([&] { return ::poll(&pfd, 1, timeout); });
+    if (ready < 0) break;
+    if (ready == 0) {
+      // A 500 ms silent gap keeps its pre-deadline meaning: give up on the
+      // client. A shorter gap only means the wall deadline is closer than
+      // 500 ms — loop once more so it is the deadline that fires, not the
+      // idle break.
+      if (timeout == 500) break;
+      continue;
+    }
     char buf[1024];
-    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    const ssize_t n =
+        retry_eintr([&] { return ::recv(client_fd, buf, sizeof(buf), 0); });
     if (n <= 0) break;
     request.append(buf, static_cast<std::size_t>(n));
   }
@@ -160,7 +195,12 @@ void TelemetryServer::handle_client(int client_fd) {
   const std::string path = request_path(request, is_get);
   int status = 200;
   std::string response;
-  if (path.empty()) {
+  if (timed_out) {
+    status = 408;
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    response = http_response(408, "Request Timeout", "text/plain",
+                             "request deadline expired\n");
+  } else if (path.empty()) {
     status = 400;
     response = http_response(400, "Bad Request", "text/plain",
                              "malformed request\n");
@@ -219,9 +259,10 @@ Result<std::string> http_get(const std::string& host, std::uint16_t port,
   pfd.fd = fd;
   pfd.events = POLLIN;
   for (;;) {
-    if (::poll(&pfd, 1, 2000) <= 0) break;
+    if (retry_eintr([&] { return ::poll(&pfd, 1, 2000); }) <= 0) break;
     char buf[4096];
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    const ssize_t n =
+        retry_eintr([&] { return ::recv(fd, buf, sizeof(buf), 0); });
     if (n <= 0) break;  // 0 = server closed (Connection: close)
     response.append(buf, static_cast<std::size_t>(n));
   }

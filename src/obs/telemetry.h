@@ -18,9 +18,11 @@
 #pragma once
 
 #include <atomic>
+#include <cerrno>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "obs/flight_recorder.h"
@@ -28,6 +30,25 @@
 #include "util/result.h"
 
 namespace tangled::obs {
+
+/// Calls `op` again while it fails with EINTR — the POSIX convention where a
+/// negative return means "check errno". A signal landing mid-recv/send/poll
+/// (SIGTERM requesting a checkpoint, a profiler's SIGPROF) must not be
+/// mistaken for a dead peer: before this helper, an interrupted send_all
+/// silently abandoned the response and an interrupted http_get truncated the
+/// read loop. Any other outcome (success or a real error) is returned as-is.
+template <typename Op>
+auto retry_eintr(Op&& op) -> decltype(op()) {
+  for (;;) {
+    const auto result = op();
+    if (result >= 0 || errno != EINTR) return result;
+  }
+}
+
+/// Blocking send of the whole buffer, EINTR-retrying; returns false when the
+/// peer is gone (EPIPE/reset) and the response was abandoned. Exposed for the
+/// serve subsystem's blocking client and for direct unit testing.
+bool send_all(int fd, std::string_view data);
 
 struct TelemetryConfig {
   /// Interface to bind; loopback by default — telemetry is host-local.
@@ -41,6 +62,12 @@ struct TelemetryConfig {
   /// Body of /healthz; default "ok\n". Runs on the server thread, so it
   /// must be thread-safe against the instrumented workload.
   std::function<std::string()> health;
+  /// Wall-clock budget for reading one request, in milliseconds. The server
+  /// is single-threaded, so without this a client dripping one byte per
+  /// 499 ms would hold the serve loop (and /healthz) hostage until the 4 KiB
+  /// request cap — over half an hour. On expiry the request is answered
+  /// 408 and the connection closed.
+  int request_deadline_ms = 2000;
 };
 
 class TelemetryServer {
@@ -63,6 +90,10 @@ class TelemetryServer {
   std::uint64_t requests_served() const {
     return requests_.load(std::memory_order_relaxed);
   }
+  /// Requests cut off by the per-request wall-clock deadline (answered 408).
+  std::uint64_t requests_timed_out() const {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
 
  private:
   void serve_loop();
@@ -74,6 +105,7 @@ class TelemetryServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
   std::thread thread_;
 };
 

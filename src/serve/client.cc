@@ -1,0 +1,118 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "obs/telemetry.h"
+
+namespace tangled::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+struct FdCloser {
+  int fd = -1;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+Result<SubmitResponse> submit_frame(const std::string& host,
+                                    std::uint16_t port, const Bytes& frame,
+                                    ClientConfig config) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(config.timeout_ms);
+
+  FdCloser sock{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (sock.fd < 0) return state_error("serve client: socket() failed");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return state_error("serve client: bad host " + host);
+  }
+  const int connected = obs::retry_eintr([&] {
+    return ::connect(sock.fd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr));
+  });
+  if (connected != 0) {
+    return state_error("serve client: connect failed: " +
+                       std::string(std::strerror(errno)));
+  }
+  if (!obs::send_all(sock.fd,
+                     std::string_view(
+                         reinterpret_cast<const char*>(frame.data()),
+                         frame.size()))) {
+    return state_error("serve client: send failed");
+  }
+
+  // Read header + body with the round-trip deadline; the response frame is
+  // small, but a server mid-overload may take a moment to answer.
+  Bytes response;
+  std::size_t need = kFrameHeaderBytes;
+  while (response.size() < need) {
+    const int left = remaining_ms(deadline);
+    if (left == 0) return state_error("serve client: response timed out");
+    pollfd pfd{sock.fd, POLLIN, 0};
+    const int ready = obs::retry_eintr([&] { return ::poll(&pfd, 1, left); });
+    if (ready <= 0) return state_error("serve client: response timed out");
+    std::uint8_t buf[4096];
+    const ssize_t got =
+        obs::retry_eintr([&] { return ::recv(sock.fd, buf, sizeof(buf), 0); });
+    if (got == 0) {
+      return state_error("serve client: connection closed mid-response");
+    }
+    if (got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return state_error("serve client: recv failed");
+    }
+    response.insert(response.end(), buf, buf + got);
+    if (need == kFrameHeaderBytes && response.size() >= kFrameHeaderBytes) {
+      const std::uint32_t body_len =
+          static_cast<std::uint32_t>(response[8]) |
+          static_cast<std::uint32_t>(response[9]) << 8 |
+          static_cast<std::uint32_t>(response[10]) << 16 |
+          static_cast<std::uint32_t>(response[11]) << 24;
+      if (body_len > (1u << 20)) {
+        return parse_error("serve client: implausible response body length");
+      }
+      need = kFrameHeaderBytes + body_len;
+    }
+  }
+  return decode_response(ByteView(response.data(), response.size()));
+}
+
+Result<SubmitResponse> submit_rootstore(const std::string& host,
+                                        std::uint16_t port,
+                                        const RootStoreObservation& observation,
+                                        ClientConfig config) {
+  return submit_frame(host, port, encode_rootstore_observation(observation),
+                      config);
+}
+
+Result<SubmitResponse> submit_capture(const std::string& host,
+                                      std::uint16_t port,
+                                      const CaptureUpload& upload,
+                                      ClientConfig config) {
+  return submit_frame(host, port, encode_capture_upload(upload), config);
+}
+
+}  // namespace tangled::serve

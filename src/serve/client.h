@@ -1,0 +1,37 @@
+// Blocking device-side client for the serve wire protocol: open a
+// connection, send one frame, read the one response. The bench's device
+// simulator and the tests speak through this — and so would a real
+// measurement app's uploader.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.h"
+#include "util/result.h"
+
+namespace tangled::serve {
+
+struct ClientConfig {
+  /// Wall-clock cap on the whole round trip (connect + send + response).
+  int timeout_ms = 5000;
+};
+
+/// Sends one already-encoded request frame and decodes the response frame.
+/// kInvalidState on connect/socket trouble, kParse on a garbled response,
+/// kUnsupported on a response from a different protocol version.
+Result<SubmitResponse> submit_frame(const std::string& host,
+                                    std::uint16_t port, const Bytes& frame,
+                                    ClientConfig config = {});
+
+Result<SubmitResponse> submit_rootstore(const std::string& host,
+                                        std::uint16_t port,
+                                        const RootStoreObservation& observation,
+                                        ClientConfig config = {});
+
+Result<SubmitResponse> submit_capture(const std::string& host,
+                                      std::uint16_t port,
+                                      const CaptureUpload& upload,
+                                      ClientConfig config = {});
+
+}  // namespace tangled::serve

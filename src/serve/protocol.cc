@@ -1,0 +1,173 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+#include "util/binio.h"
+
+namespace tangled::serve {
+
+namespace {
+
+void put_frame_header(Bytes& out, const char magic[4], std::uint8_t type_or_status,
+                      std::uint32_t payload_bytes) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(magic[i]));
+  }
+  util::put_u8(out, kProtocolVersion);
+  util::put_u8(out, type_or_status);
+  util::put_u16(out, 0);  // reserved
+  util::put_u32(out, payload_bytes);
+}
+
+Bytes frame(const char magic[4], std::uint8_t type_or_status,
+            const Bytes& payload) {
+  Bytes out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  put_frame_header(out, magic, type_or_status,
+                   static_cast<std::uint32_t>(payload.size()));
+  append(out, payload);
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kAccepted: return "accepted";
+    case SubmitStatus::kFlowFaulted: return "flow-faulted";
+    case SubmitStatus::kShed: return "shed";
+    case SubmitStatus::kDeadlineExpired: return "deadline-expired";
+    case SubmitStatus::kMalformed: return "malformed";
+    case SubmitStatus::kDraining: return "draining";
+    case SubmitStatus::kUnsupported: return "unsupported";
+  }
+  return "unknown";
+}
+
+Bytes encode_rootstore_observation(const RootStoreObservation& observation) {
+  Bytes payload;
+  util::put_u64(payload, observation.device_id);
+  util::put_string(payload, observation.store_label);
+  util::put_u64(payload, observation.roots_der.size());
+  for (const Bytes& der : observation.roots_der) util::put_bytes(payload, der);
+  return frame(kRequestMagic,
+               static_cast<std::uint8_t>(MessageType::kRootStoreObservation),
+               payload);
+}
+
+Bytes encode_capture_upload(const CaptureUpload& upload) {
+  Bytes payload;
+  util::put_u64(payload, upload.device_id);
+  util::put_u16(payload, upload.port);
+  util::put_bytes(payload, upload.capture);
+  return frame(kRequestMagic,
+               static_cast<std::uint8_t>(MessageType::kCaptureUpload), payload);
+}
+
+Bytes encode_response(const SubmitResponse& response) {
+  Bytes body;
+  util::put_u64(body, response.cursor);
+  util::put_string(body, response.detail);
+  return frame(kResponseMagic, static_cast<std::uint8_t>(response.status),
+               body);
+}
+
+Result<FrameHeader> decode_frame_header(ByteView header) {
+  if (header.size() < kFrameHeaderBytes) {
+    return parse_error("serve frame: short header");
+  }
+  if (std::memcmp(header.data(), kRequestMagic, 4) != 0) {
+    return parse_error("serve frame: bad magic");
+  }
+  FrameHeader out;
+  out.version = header[4];
+  out.type = static_cast<MessageType>(header[5]);
+  // header[6..7] reserved, ignored for forward compatibility.
+  out.payload_bytes = static_cast<std::uint32_t>(header[8]) |
+                      static_cast<std::uint32_t>(header[9]) << 8 |
+                      static_cast<std::uint32_t>(header[10]) << 16 |
+                      static_cast<std::uint32_t>(header[11]) << 24;
+  return out;
+}
+
+Result<RootStoreObservation> decode_rootstore_observation(ByteView payload) {
+  util::BinReader reader(payload);
+  RootStoreObservation out;
+  auto device = reader.u64();
+  if (!device.ok()) return device.error();
+  out.device_id = device.value();
+  auto label = reader.string();
+  if (!label.ok()) return label.error();
+  out.store_label = std::move(label).value();
+  auto count = reader.count(/*min_bytes_per_element=*/8);
+  if (!count.ok()) return count.error();
+  if (count.value() > kMaxRootsPerObservation) {
+    return parse_error("rootstore observation: too many roots (" +
+                       std::to_string(count.value()) + ")");
+  }
+  out.roots_der.reserve(count.value());
+  for (std::size_t i = 0; i < count.value(); ++i) {
+    auto der = reader.bytes();
+    if (!der.ok()) return der.error();
+    if (der.value().size() > kMaxRootDerBytes) {
+      return parse_error("rootstore observation: oversized root DER");
+    }
+    out.roots_der.emplace_back(der.value().begin(), der.value().end());
+  }
+  if (!reader.at_end()) {
+    return parse_error("rootstore observation: trailing bytes");
+  }
+  return out;
+}
+
+Result<CaptureUpload> decode_capture_upload(ByteView payload) {
+  util::BinReader reader(payload);
+  CaptureUpload out;
+  auto device = reader.u64();
+  if (!device.ok()) return device.error();
+  out.device_id = device.value();
+  auto port = reader.u16();
+  if (!port.ok()) return port.error();
+  out.port = port.value();
+  auto capture = reader.bytes();
+  if (!capture.ok()) return capture.error();
+  out.capture.assign(capture.value().begin(), capture.value().end());
+  if (!reader.at_end()) return parse_error("capture upload: trailing bytes");
+  return out;
+}
+
+Result<SubmitResponse> decode_response(ByteView frame_bytes) {
+  if (frame_bytes.size() < kFrameHeaderBytes) {
+    return parse_error("serve response: short frame");
+  }
+  if (std::memcmp(frame_bytes.data(), kResponseMagic, 4) != 0) {
+    return parse_error("serve response: bad magic");
+  }
+  if (frame_bytes[4] != kProtocolVersion) {
+    return Error{Errc::kUnsupported,
+                 "serve response: version " + std::to_string(frame_bytes[4])};
+  }
+  const std::uint8_t status = frame_bytes[5];
+  if (status > static_cast<std::uint8_t>(SubmitStatus::kUnsupported)) {
+    return parse_error("serve response: unknown status byte");
+  }
+  const std::uint32_t body_len = static_cast<std::uint32_t>(frame_bytes[8]) |
+                                 static_cast<std::uint32_t>(frame_bytes[9]) << 8 |
+                                 static_cast<std::uint32_t>(frame_bytes[10]) << 16 |
+                                 static_cast<std::uint32_t>(frame_bytes[11]) << 24;
+  if (frame_bytes.size() - kFrameHeaderBytes < body_len) {
+    return parse_error("serve response: truncated body");
+  }
+  util::BinReader reader(frame_bytes.subspan(kFrameHeaderBytes, body_len));
+  SubmitResponse out;
+  out.status = static_cast<SubmitStatus>(status);
+  auto cursor = reader.u64();
+  if (!cursor.ok()) return cursor.error();
+  out.cursor = cursor.value();
+  auto detail = reader.string();
+  if (!detail.ok()) return detail.error();
+  out.detail = std::move(detail).value();
+  return out;
+}
+
+}  // namespace tangled::serve

@@ -1,0 +1,112 @@
+// tangled::serve wire protocol — the Netalyzr-shaped device submission
+// framing for the notary-as-a-service ingest server.
+//
+// A device opens a TCP connection, sends exactly one length-prefixed frame,
+// and reads exactly one response frame ("Connection: close" semantics, like
+// the telemetry port — connection reuse is a later optimization, shedding
+// correctness comes first). Two submission kinds cover the paper's inputs:
+//
+//   kRootStoreObservation  the device reports its root store: a label
+//                          (e.g. "android-4.4/cacerts") and the DER of
+//                          every trust anchor it holds (§4.1's population);
+//   kCaptureUpload         one TLS connection's captured handshake bytes,
+//                          fed through the FlowDemux/StreamIngestor path
+//                          into the validation census (§4.2's live traffic).
+//
+// Frame layout (all integers little-endian):
+//   request:  "TGSV" | u8 version | u8 type | u16 reserved=0 | u32 payload
+//             length | payload
+//   response: "TGSR" | u8 version | u8 status | u16 reserved=0 | u32 body
+//             length | u64 cursor | u64-length-prefixed detail string
+//
+// The u32 payload length is validated against the server's configured cap
+// *before* any buffering, so a hostile length can never drive an
+// allocation — the same discipline util::BinReader applies inside the
+// payload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tangled::serve {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+inline constexpr char kRequestMagic[4] = {'T', 'G', 'S', 'V'};
+inline constexpr char kResponseMagic[4] = {'T', 'G', 'S', 'R'};
+
+enum class MessageType : std::uint8_t {
+  kRootStoreObservation = 1,
+  kCaptureUpload = 2,
+};
+
+/// Per-submission outcome, on the wire as the response status byte.
+enum class SubmitStatus : std::uint8_t {
+  kAccepted = 0,         // chain observed / store recorded
+  kFlowFaulted = 1,      // capture parsed to no chain (fault or empty)
+  kShed = 2,             // admission control refused the payload
+  kDeadlineExpired = 3,  // the per-request wall clock ran out
+  kMalformed = 4,        // bad magic / framing / payload parse
+  kDraining = 5,         // server is draining; retry against the successor
+  kUnsupported = 6,      // unknown protocol version or message type
+};
+
+std::string_view to_string(SubmitStatus status);
+
+/// Parsed request-frame header (the fixed 12 bytes before the payload).
+struct FrameHeader {
+  std::uint8_t version = 0;
+  MessageType type = MessageType::kRootStoreObservation;
+  std::uint32_t payload_bytes = 0;
+};
+
+/// One device's root-store report.
+struct RootStoreObservation {
+  std::uint64_t device_id = 0;
+  std::string store_label;        // e.g. "android-4.4/cacerts"
+  std::vector<Bytes> roots_der;   // the store's anchors, raw DER
+};
+
+/// One device's captured TLS connection.
+struct CaptureUpload {
+  std::uint64_t device_id = 0;
+  std::uint16_t port = 443;  // server port the capture was taken from
+  Bytes capture;             // raw handshake bytes as the wire carried them
+};
+
+/// What the server answered.
+struct SubmitResponse {
+  SubmitStatus status = SubmitStatus::kMalformed;
+  /// Census observations committed at the last batch boundary — a device
+  /// (or the resume driver) can read its storm's progress from any response.
+  std::uint64_t cursor = 0;
+  std::string detail;
+};
+
+// --- Encoders (device side) ------------------------------------------------
+Bytes encode_rootstore_observation(const RootStoreObservation& observation);
+Bytes encode_capture_upload(const CaptureUpload& upload);
+Bytes encode_response(const SubmitResponse& response);
+
+// --- Decoders (hardened: attacker-controlled input) ------------------------
+/// Parses the fixed request header. kParse on bad magic; the version/type
+/// are range-checked by the caller (they select the kUnsupported response,
+/// not a parse failure).
+Result<FrameHeader> decode_frame_header(ByteView header);
+
+Result<RootStoreObservation> decode_rootstore_observation(ByteView payload);
+Result<CaptureUpload> decode_capture_upload(ByteView payload);
+/// Parses a full response frame (header + body), as the client reads it.
+Result<SubmitResponse> decode_response(ByteView frame);
+
+/// Bounds a root-store observation before any DER parsing: number of roots
+/// and per-root size. Deliberately generous — real stores hold ~150 roots
+/// of ~1-2 KiB — while keeping one submission from smuggling a megacert.
+inline constexpr std::size_t kMaxRootsPerObservation = 1024;
+inline constexpr std::size_t kMaxRootDerBytes = 64 * 1024;
+
+}  // namespace tangled::serve

@@ -1,0 +1,618 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/obs.h"
+#include "obs/telemetry.h"
+#include "stream/fault.h"
+#include "x509/certificate.h"
+
+namespace tangled::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+/// One connection's read state machine. A connection carries exactly one
+/// frame: header → payload → response → close.
+struct IngestServer::Conn {
+  enum class State { kReadHeader, kReadPayload, kWriteResponse };
+
+  int fd = -1;
+  State state = State::kReadHeader;
+  Clock::time_point deadline;
+
+  std::uint8_t header[kFrameHeaderBytes];
+  std::size_t header_read = 0;
+
+  FrameHeader frame;
+  Bytes payload;               // buffered payload (empty while discarding)
+  std::size_t payload_read = 0;  // payload bytes consumed off the socket
+  bool charged = false;          // frame.payload_bytes counted in inflight_
+
+  /// Set when the frame's fate was decided before its bytes finished
+  /// arriving (shed / evicted / draining / unsupported): the remaining
+  /// payload is read and dropped, then `verdict` is answered.
+  bool discarding = false;
+  SubmitStatus verdict = SubmitStatus::kMalformed;
+  std::string verdict_detail;
+
+  Bytes out;
+  std::size_t out_written = 0;
+
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+IngestServer::IngestServer(notary::NotaryDb& db,
+                           notary::ValidationCensus* census,
+                           util::ThreadPool& pool, ServeConfig config,
+                           recover::CheckpointingCensus* checkpoint)
+    : db_(db),
+      census_(census),
+      pool_(pool),
+      config_(std::move(config)),
+      checkpoint_(checkpoint) {}
+
+IngestServer::~IngestServer() { stop(); }
+
+Result<void> IngestServer::start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return state_error("serve: already running");
+  }
+  if (config_.require_budget && census_ != nullptr) {
+    const pki::ResourceBudget& budget = census_->options().budget;
+    if (budget.max_search_steps == 0 && budget.max_depth == 0 &&
+        budget.deadline_us == 0) {
+      return state_error(
+          "serve: census VerifyOptions carry no ResourceBudget; an "
+          "unbudgeted verifier lets one hostile submission starve the "
+          "server (set budget.max_search_steps, or require_budget=false)");
+    }
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return state_error("serve: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return state_error("serve: bad bind address " + config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return state_error("serve: bind failed: " +
+                       std::string(std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 64) != 0 || !set_nonblocking(listen_fd_)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return state_error("serve: listen failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  stream::StreamIngestConfig stream_config = config_.stream;
+  if (checkpoint_ != nullptr) {
+    stream_config.on_batch_committed = checkpoint_->stream_hook();
+  }
+  ingestor_ = std::make_unique<stream::StreamIngestor>(db_, census_, pool_,
+                                                       stream_config);
+
+  stop_requested_.store(false, std::memory_order_release);
+  drain_requested_.store(false, std::memory_order_release);
+  drained_ = false;
+  drain_report_ = DrainReport{};
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  TANGLED_OBS_INC("serve.started");
+  return {};
+}
+
+void IngestServer::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+Result<DrainReport> IngestServer::drain() {
+  if (!running_.load(std::memory_order_acquire) && !drained_) {
+    return state_error("serve: drain() before start()");
+  }
+  drain_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+  if (!drained_) {
+    // The loop exited via stop() before the drain flag was seen.
+    return state_error("serve: stopped before the drain completed");
+  }
+  return drain_report_;
+}
+
+ServeStats IngestServer::stats() const {
+  ServeStats out;
+  out.connections_accepted = stats_.connections_accepted.load();
+  out.accepted = stats_.accepted.load();
+  out.flow_faulted = stats_.flow_faulted.load();
+  out.shed = stats_.shed.load();
+  out.evicted = stats_.evicted.load();
+  out.deadline_expired = stats_.deadline_expired.load();
+  out.malformed = stats_.malformed.load();
+  out.unsupported = stats_.unsupported.load();
+  out.draining_refused = stats_.draining_refused.load();
+  out.rootstore_observations = stats_.rootstore_observations.load();
+  out.capture_uploads = stats_.capture_uploads.load();
+  out.payload_bytes_received = stats_.payload_bytes_received.load();
+  out.payload_bytes_discarded = stats_.payload_bytes_discarded.load();
+  return out;
+}
+
+RootStoreTallySnapshot IngestServer::rootstore_tally() const {
+  std::lock_guard<std::mutex> lock(tally_mutex_);
+  return tally_;
+}
+
+std::uint64_t IngestServer::cursor() const {
+  if (checkpoint_ != nullptr) return checkpoint_->observations_ingested();
+  return ingestor_ != nullptr ? ingestor_->census_committed() : 0;
+}
+
+void IngestServer::serve_loop() {
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+
+  std::vector<pollfd> fds;
+  for (;;) {
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+    if (!draining && drain_requested_.load(std::memory_order_acquire)) {
+      draining = true;
+      drain_deadline =
+          Clock::now() + std::chrono::milliseconds(config_.drain_deadline_ms);
+    }
+    if (draining &&
+        (conns_.empty() || Clock::now() >= drain_deadline)) {
+      // Expire whatever is still mid-frame; the storm is over. One
+      // best-effort non-blocking flush each, then the Conn destructors
+      // close the sockets.
+      for (auto& conn : conns_) {
+        if (conn->state != Conn::State::kWriteResponse) {
+          respond(*conn, SubmitStatus::kDeadlineExpired, "server drained");
+        }
+        (void)obs::retry_eintr([&] {
+          return ::send(conn->fd, conn->out.data() + conn->out_written,
+                        conn->out.size() - conn->out_written,
+                        MSG_NOSIGNAL | MSG_DONTWAIT);
+        });
+      }
+      conns_.clear();
+      break;
+    }
+
+    fds.clear();
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const auto& conn : conns_) {
+      const short events =
+          conn->state == Conn::State::kWriteResponse ? POLLOUT : POLLIN;
+      fds.push_back(pollfd{conn->fd, events, 0});
+    }
+
+    const int ready = obs::retry_eintr(
+        [&] { return ::poll(fds.data(), fds.size(), /*timeout_ms=*/10); });
+    if (ready < 0) break;  // unrecoverable poll failure
+
+    if (fds[0].revents & POLLIN) accept_ready();
+
+    // Walk a snapshot of the connection list: processing may close (erase)
+    // entries, so match by fd and re-find the live Conn each time.
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      const int fd = fds[i].fd;
+      auto it = std::find_if(
+          conns_.begin(), conns_.end(),
+          [fd](const std::unique_ptr<Conn>& c) { return c->fd == fd; });
+      if (it == conns_.end()) continue;
+      Conn& conn = **it;
+      if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        close_conn(static_cast<std::size_t>(it - conns_.begin()));
+        continue;
+      }
+      if (conn.state == Conn::State::kWriteResponse) {
+        write_ready(conn);
+      } else {
+        read_ready(conn);
+      }
+      // read_ready/process may have finished the frame; flush eagerly so a
+      // one-round-trip submission needs one poll cycle, not two.
+      auto again = std::find_if(
+          conns_.begin(), conns_.end(),
+          [fd](const std::unique_ptr<Conn>& c) { return c->fd == fd; });
+      if (again != conns_.end() &&
+          (*again)->state == Conn::State::kWriteResponse) {
+        write_ready(**again);
+      }
+    }
+
+    expire_overdue(Clock::now());
+  }
+
+  if (drain_requested_.load(std::memory_order_acquire) &&
+      !stop_requested_.load(std::memory_order_acquire)) {
+    // Graceful path: flush the final partial batch at a batch boundary
+    // (firing the checkpoint hook), then snapshot explicitly so the resume
+    // cursor covers everything this server accepted.
+    drain_report_.stream = ingestor_->finish();
+    drain_report_.observations_committed = cursor();
+    if (checkpoint_ != nullptr) {
+      auto written = checkpoint_->checkpoint();
+      drain_report_.checkpointed = written.ok();
+      if (!written.ok()) drain_report_.checkpoint_error = written.error().message;
+    }
+    drained_ = true;
+    TANGLED_OBS_INC("serve.drained");
+  }
+  // stop() path: no flush, no checkpoint — crash semantics by design.
+  conns_.clear();
+  inflight_bytes_ = 0;
+}
+
+void IngestServer::accept_ready() {
+  for (;;) {
+    const int fd =
+        obs::retry_eintr([&] { return ::accept(listen_fd_, nullptr, nullptr); });
+    if (fd < 0) return;  // EAGAIN or transient accept failure: next poll
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->deadline = Clock::now() +
+                     std::chrono::milliseconds(config_.request_deadline_ms);
+    if (conns_.size() >= config_.max_connections) {
+      // Connection-count admission: refuse before reading a byte.
+      respond(*conn, SubmitStatus::kShed, "connection limit reached");
+    } else if (drain_requested_.load(std::memory_order_acquire)) {
+      respond(*conn, SubmitStatus::kDraining, "server is draining");
+    }
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void IngestServer::read_ready(Conn& conn) {
+  if (conn.state == Conn::State::kReadHeader) {
+    const ssize_t got = obs::retry_eintr([&] {
+      return ::recv(conn.fd, conn.header + conn.header_read,
+                    kFrameHeaderBytes - conn.header_read, 0);
+    });
+    if (got == 0 || (got < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+      close_conn_by_fd(conn.fd);
+      return;
+    }
+    if (got < 0) return;
+    conn.header_read += static_cast<std::size_t>(got);
+    if (conn.header_read < kFrameHeaderBytes) return;
+
+    auto header = decode_frame_header(
+        ByteView(conn.header, kFrameHeaderBytes));
+    if (!header.ok()) {
+      // Bad magic: the declared length is untrustworthy, answer and close
+      // without reading another byte.
+      respond(conn, SubmitStatus::kMalformed, header.error().message);
+      return;
+    }
+    conn.frame = header.value();
+    conn.state = Conn::State::kReadPayload;
+
+    const bool known_type =
+        conn.frame.type == MessageType::kRootStoreObservation ||
+        conn.frame.type == MessageType::kCaptureUpload;
+    if (conn.frame.version != kProtocolVersion || !known_type) {
+      conn.discarding = true;
+      conn.verdict = SubmitStatus::kUnsupported;
+      conn.verdict_detail =
+          conn.frame.version != kProtocolVersion
+              ? "unsupported protocol version"
+              : "unsupported message type";
+    } else if (drain_requested_.load(std::memory_order_acquire)) {
+      conn.discarding = true;
+      conn.verdict = SubmitStatus::kDraining;
+      conn.verdict_detail = "server is draining";
+    } else if (conn.frame.payload_bytes > config_.max_payload_bytes) {
+      conn.discarding = true;
+      conn.verdict = SubmitStatus::kShed;
+      conn.verdict_detail = "payload exceeds per-request cap";
+    } else if (!admit(conn)) {
+      conn.discarding = true;
+      conn.verdict = SubmitStatus::kShed;
+      conn.verdict_detail = "in-flight byte budget exhausted";
+    } else {
+      // Admitted: the declared length is now safe to allocate against (it
+      // is bounded by max_payload_bytes and charged to the budget).
+      conn.payload.resize(conn.frame.payload_bytes);
+    }
+    if (conn.frame.payload_bytes == 0) finish_frame(conn);
+    return;
+  }
+
+  if (conn.state != Conn::State::kReadPayload) return;
+  const std::size_t remaining = conn.frame.payload_bytes - conn.payload_read;
+  if (conn.discarding) {
+    std::uint8_t sink[4096];
+    const ssize_t got = obs::retry_eintr([&] {
+      return ::recv(conn.fd, sink, std::min(remaining, sizeof(sink)), 0);
+    });
+    if (got == 0 || (got < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+      close_conn_by_fd(conn.fd);
+      return;
+    }
+    if (got < 0) return;
+    conn.payload_read += static_cast<std::size_t>(got);
+    stats_.payload_bytes_discarded.fetch_add(static_cast<std::uint64_t>(got),
+                                             std::memory_order_relaxed);
+  } else {
+    const ssize_t got = obs::retry_eintr([&] {
+      return ::recv(conn.fd, conn.payload.data() + conn.payload_read,
+                    remaining, 0);
+    });
+    if (got == 0 || (got < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+      close_conn_by_fd(conn.fd);
+      return;
+    }
+    if (got < 0) return;
+    conn.payload_read += static_cast<std::size_t>(got);
+    stats_.payload_bytes_received.fetch_add(static_cast<std::uint64_t>(got),
+                                            std::memory_order_relaxed);
+  }
+  if (conn.payload_read >= conn.frame.payload_bytes) finish_frame(conn);
+}
+
+bool IngestServer::admit(Conn& conn) {
+  const std::size_t want = conn.frame.payload_bytes;
+  // Evict the largest frame still buffering, FlowDemux-style, while the
+  // newcomer is smaller than it — shedding the request that already hogs
+  // the budget beats shedding the one that fits.
+  while (inflight_bytes_ + want > config_.max_inflight_bytes) {
+    Conn* largest = nullptr;
+    for (const auto& other : conns_) {
+      if (other.get() == &conn || !other->charged || other->discarding) {
+        continue;
+      }
+      if (other->state != Conn::State::kReadPayload) continue;
+      if (largest == nullptr ||
+          other->frame.payload_bytes > largest->frame.payload_bytes) {
+        largest = other.get();
+      }
+    }
+    if (largest == nullptr || largest->frame.payload_bytes <= want) break;
+    inflight_bytes_ -= largest->frame.payload_bytes;
+    largest->charged = false;
+    largest->discarding = true;
+    largest->verdict = SubmitStatus::kShed;
+    largest->verdict_detail = "evicted: in-flight byte budget exhausted";
+    Bytes().swap(largest->payload);  // release the buffer now, not at close
+    stats_.evicted.fetch_add(1, std::memory_order_relaxed);
+    TANGLED_OBS_INC("serve.evicted");
+  }
+  if (inflight_bytes_ + want > config_.max_inflight_bytes) return false;
+  inflight_bytes_ += want;
+  conn.charged = true;
+  return true;
+}
+
+void IngestServer::finish_frame(Conn& conn) {
+  if (conn.charged) {
+    inflight_bytes_ -= conn.frame.payload_bytes;
+    conn.charged = false;
+  }
+  if (conn.discarding) {
+    respond(conn, conn.verdict, std::move(conn.verdict_detail));
+    return;
+  }
+  process_frame(conn);
+}
+
+void IngestServer::process_frame(Conn& conn) {
+  const ByteView payload(conn.payload.data(), conn.payload.size());
+  if (conn.frame.type == MessageType::kRootStoreObservation) {
+    process_rootstore(conn, payload);
+  } else {
+    process_capture(conn, payload);
+  }
+}
+
+void IngestServer::process_rootstore(Conn& conn, ByteView payload) {
+  auto parsed = decode_rootstore_observation(payload);
+  if (!parsed.ok()) {
+    respond(conn, SubmitStatus::kMalformed, parsed.error().message);
+    return;
+  }
+  const RootStoreObservation& observation = parsed.value();
+  std::uint64_t parsed_roots = 0;
+  std::uint64_t bad_roots = 0;
+  {
+    std::lock_guard<std::mutex> lock(tally_mutex_);
+    tally_.submissions_by_label[observation.store_label] += 1;
+    for (const Bytes& der : observation.roots_der) {
+      auto cert = x509::Certificate::from_der(der);
+      if (!cert.ok()) {
+        ++bad_roots;
+        continue;
+      }
+      tally_.root_counts[cert.value().fingerprint_hex()] += 1;
+      ++parsed_roots;
+    }
+    tally_.roots_reported += parsed_roots;
+    tally_.roots_unparseable += bad_roots;
+  }
+  stats_.rootstore_observations.fetch_add(1, std::memory_order_relaxed);
+  TANGLED_OBS_INC("serve.rootstore_observations");
+  respond(conn, SubmitStatus::kAccepted,
+          "store recorded: " + std::to_string(parsed_roots) + " roots (" +
+              std::to_string(bad_roots) + " unparseable)");
+}
+
+void IngestServer::process_capture(Conn& conn, ByteView payload) {
+  auto parsed = decode_capture_upload(payload);
+  if (!parsed.ok()) {
+    respond(conn, SubmitStatus::kMalformed, parsed.error().message);
+    return;
+  }
+  const CaptureUpload& upload = parsed.value();
+  stats_.capture_uploads.fetch_add(1, std::memory_order_relaxed);
+  TANGLED_OBS_INC("serve.capture_uploads");
+
+  const stream::DemuxStats before = ingestor_->demux().stats();
+  const stream::FlowId flow = next_flow_++;
+  ingestor_->feed(flow, ByteView(upload.capture.data(), upload.capture.size()));
+  ingestor_->end_flow(flow);
+  const stream::DemuxStats& after = ingestor_->demux().stats();
+
+  if (after.flows_completed > before.flows_completed) {
+    respond(conn, SubmitStatus::kAccepted, "chain observed");
+    return;
+  }
+  std::string detail = "no certificate chain in capture";
+  if (after.flows_faulted > before.flows_faulted) {
+    for (std::size_t kind = 0; kind < after.fault_counts.size(); ++kind) {
+      if (after.fault_counts[kind] > before.fault_counts[kind]) {
+        detail = std::string(
+            stream::to_string(static_cast<stream::FaultKind>(kind)));
+        break;
+      }
+    }
+  }
+  respond(conn, SubmitStatus::kFlowFaulted, std::move(detail));
+}
+
+void IngestServer::respond(Conn& conn, SubmitStatus status,
+                           std::string detail) {
+  switch (status) {
+    case SubmitStatus::kAccepted:
+      stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SubmitStatus::kFlowFaulted:
+      stats_.flow_faulted.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SubmitStatus::kShed:
+      stats_.shed.fetch_add(1, std::memory_order_relaxed);
+      TANGLED_OBS_INC("serve.shed");
+      break;
+    case SubmitStatus::kDeadlineExpired:
+      stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+      TANGLED_OBS_INC("serve.deadline_expired");
+      break;
+    case SubmitStatus::kMalformed:
+      stats_.malformed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SubmitStatus::kDraining:
+      stats_.draining_refused.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SubmitStatus::kUnsupported:
+      stats_.unsupported.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  SubmitResponse response;
+  response.status = status;
+  response.cursor = cursor();
+  response.detail = std::move(detail);
+  conn.out = encode_response(response);
+  conn.out_written = 0;
+  conn.state = Conn::State::kWriteResponse;
+  Bytes().swap(conn.payload);
+}
+
+void IngestServer::write_ready(Conn& conn) {
+  while (conn.out_written < conn.out.size()) {
+    const ssize_t sent = obs::retry_eintr([&] {
+      return ::send(conn.fd, conn.out.data() + conn.out_written,
+                    conn.out.size() - conn.out_written, MSG_NOSIGNAL);
+    });
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (sent <= 0) break;  // peer gone: close below
+    conn.out_written += static_cast<std::size_t>(sent);
+  }
+  close_conn_by_fd(conn.fd);
+}
+
+void IngestServer::expire_overdue(Clock::time_point now) {
+  // Collect first: respond() + close mutates conns_.
+  std::vector<int> overdue;
+  for (const auto& conn : conns_) {
+    if (conn->state != Conn::State::kWriteResponse && now >= conn->deadline) {
+      overdue.push_back(conn->fd);
+    }
+  }
+  for (int fd : overdue) {
+    auto it = std::find_if(
+        conns_.begin(), conns_.end(),
+        [fd](const std::unique_ptr<Conn>& c) { return c->fd == fd; });
+    if (it == conns_.end()) continue;
+    Conn& conn = **it;
+    if (conn.charged) {
+      inflight_bytes_ -= conn.frame.payload_bytes;
+      conn.charged = false;
+    }
+    respond(conn, SubmitStatus::kDeadlineExpired, "request deadline expired");
+    write_ready(conn);        // flush; closes on success or hard error
+    close_conn_by_fd(fd);     // EAGAIN leftover: the deadline is up, go
+  }
+}
+
+void IngestServer::close_conn(std::size_t index) {
+  Conn& conn = *conns_[index];
+  if (conn.charged) {
+    inflight_bytes_ -= conn.frame.payload_bytes;
+    conn.charged = false;
+  }
+  conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+void IngestServer::close_conn_by_fd(int fd) {
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    if (conns_[i]->fd == fd) {
+      close_conn(i);
+      return;
+    }
+  }
+}
+
+}  // namespace tangled::serve

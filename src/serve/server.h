@@ -1,0 +1,214 @@
+// serve::IngestServer — the notary-as-a-service front-end: a poll-based
+// event loop accepting device submissions (root-store observations + TLS
+// capture uploads) and feeding them through the existing
+// StreamIngestor/FlowDemux path into a (optionally checkpointing) validation
+// census. The ROADMAP's "long-running server in front of the census".
+//
+// Non-blocking end to end, by construction:
+//
+//  * every socket is O_NONBLOCK; one thread polls the listener and every
+//    connection, so no client can park the loop in a blocking read — the
+//    slow-loris class of stall the TelemetryServer fix closes is structural
+//    here;
+//  * each connection runs a read state machine (header → payload →
+//    response) with a per-request wall-clock deadline; expiry answers
+//    kDeadlineExpired and closes;
+//  * admission control bounds in-flight request bytes across all
+//    connections (FlowDemux::max_buffered_bytes-style): a frame that would
+//    push the total past the cap either sheds itself or — when it is
+//    smaller than the largest frame currently buffering — evicts that
+//    largest frame instead, exactly the demux's "largest stalled flow"
+//    policy lifted to the socket layer. Shed connections drain their
+//    remaining bytes unbuffered and get an honest kShed response;
+//  * per submission, pki::ResourceBudget bounds the verification work a
+//    hostile chain can demand: start() refuses (kInvalidState) to serve a
+//    census whose VerifyOptions carry no budget at all;
+//  * graceful drain reuses the checkpoint + SIGTERM path: drain() stops
+//    accepting, lets in-flight requests finish inside a grace window,
+//    flushes the final census batch at a batch boundary, and writes a
+//    checkpoint — a SIGTERM'd storm resumes bit-identical (the
+//    serve_drain/kill-matrix tests assert it).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "notary/census.h"
+#include "notary/notary.h"
+#include "recover/checkpoint.h"
+#include "serve/protocol.h"
+#include "stream/ingest.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace tangled::serve {
+
+struct ServeConfig {
+  /// Interface to bind; loopback by default, like the telemetry port.
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port from IngestServer::port().
+  std::uint16_t port = 0;
+  /// Concurrent connections the loop will hold; beyond it, accepts are
+  /// answered kShed immediately.
+  std::size_t max_connections = 64;
+  /// Largest single request payload admitted at all.
+  std::size_t max_payload_bytes = 1u << 20;
+  /// Cap on declared payload bytes buffering across every connection — the
+  /// admission-control budget (see header comment for the eviction policy).
+  std::size_t max_inflight_bytes = 4u << 20;
+  /// Wall-clock budget per request, header-to-response.
+  int request_deadline_ms = 5000;
+  /// Grace window drain() gives in-flight requests before expiring them.
+  int drain_deadline_ms = 2000;
+  /// Refuse to start when the census's VerifyOptions carry no
+  /// pki::ResourceBudget (no step cap, no depth cap, no deadline): an
+  /// unbudgeted census lets one hostile cross-sign mesh starve every other
+  /// device's submissions.
+  bool require_budget = true;
+  /// Streaming pipeline knobs (census batch size, demux buffering caps,
+  /// fault-record bound). on_batch_committed is overwritten when a
+  /// CheckpointingCensus is attached.
+  stream::StreamIngestConfig stream;
+};
+
+/// Point-in-time counters, readable from any thread while the storm runs.
+struct ServeStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t accepted = 0;           // submissions answering kAccepted
+  std::uint64_t flow_faulted = 0;       // captures that yielded no chain
+  std::uint64_t shed = 0;               // admission-control refusals
+  std::uint64_t evicted = 0;            // sheds of an already-buffering frame
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t unsupported = 0;
+  std::uint64_t draining_refused = 0;
+  std::uint64_t rootstore_observations = 0;
+  std::uint64_t capture_uploads = 0;
+  std::uint64_t payload_bytes_received = 0;
+  std::uint64_t payload_bytes_discarded = 0;  // read unbuffered after a shed
+};
+
+/// Aggregate of every root store the devices reported. The paper's §4.1
+/// population input: who runs which store, and which anchors exist in the
+/// wild.
+struct RootStoreTallySnapshot {
+  /// store label → submissions carrying that label.
+  std::unordered_map<std::string, std::uint64_t> submissions_by_label;
+  /// root SHA-256 fingerprint (hex) → observations across all devices.
+  std::unordered_map<std::string, std::uint64_t> root_counts;
+  std::uint64_t roots_reported = 0;
+  std::uint64_t roots_unparseable = 0;
+};
+
+/// What a graceful drain() left behind.
+struct DrainReport {
+  stream::StreamIngestReport stream;
+  /// Census observations committed (== the resume cursor written).
+  std::uint64_t observations_committed = 0;
+  bool checkpointed = false;
+  std::string checkpoint_error;  // empty when the write succeeded / skipped
+};
+
+class IngestServer {
+ public:
+  /// `census` may be null (NotaryDb-only ingest; the budget requirement is
+  /// then moot). `checkpoint`, when given, wires the stream batch hook so
+  /// every census batch boundary is a potential snapshot, and drain()
+  /// finishes with an explicit checkpoint.
+  IngestServer(notary::NotaryDb& db, notary::ValidationCensus* census,
+               util::ThreadPool& pool, ServeConfig config = {},
+               recover::CheckpointingCensus* checkpoint = nullptr);
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+  ~IngestServer();
+
+  /// Binds, listens, and starts the serve loop. kInvalidState when already
+  /// running or when require_budget finds an unbudgeted census.
+  Result<void> start();
+
+  /// Hard stop: the loop exits without flushing the partial census batch —
+  /// crash semantics, everything past the last checkpoint is lost. The
+  /// kill-matrix drain test relies on exactly this to simulate SIGKILL.
+  void stop();
+
+  /// Graceful drain: stop accepting, give in-flight requests the grace
+  /// window, flush the final batch at a batch boundary, checkpoint (when a
+  /// CheckpointingCensus is attached), and stop. Idempotent with stop().
+  Result<DrainReport> drain();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  std::uint16_t port() const { return port_; }
+  ServeStats stats() const;
+  RootStoreTallySnapshot rootstore_tally() const;
+
+ private:
+  struct Conn;
+
+  void serve_loop();
+  void accept_ready();
+  void read_ready(Conn& conn);
+  bool admit(Conn& conn);
+  void finish_frame(Conn& conn);
+  void process_frame(Conn& conn);
+  void process_rootstore(Conn& conn, ByteView payload);
+  void process_capture(Conn& conn, ByteView payload);
+  void respond(Conn& conn, SubmitStatus status, std::string detail);
+  void write_ready(Conn& conn);
+  void expire_overdue(std::chrono::steady_clock::time_point now);
+  void close_conn(std::size_t index);
+  void close_conn_by_fd(int fd);
+  std::uint64_t cursor() const;
+
+  notary::NotaryDb& db_;
+  notary::ValidationCensus* census_;
+  util::ThreadPool& pool_;
+  ServeConfig config_;
+  recover::CheckpointingCensus* checkpoint_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> drain_requested_{false};
+  std::thread thread_;
+
+  /// Owned by the serve thread between start() and join; the ingest
+  /// pipeline is single-threaded by design (the census batch fan-out
+  /// happens inside ingest_batch over the shared pool).
+  std::unique_ptr<stream::StreamIngestor> ingestor_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::size_t inflight_bytes_ = 0;
+  stream::FlowId next_flow_ = 0;
+
+  DrainReport drain_report_;
+  bool drained_ = false;
+
+  mutable std::mutex tally_mutex_;
+  RootStoreTallySnapshot tally_;
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> flow_faulted{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> evicted{0};
+    std::atomic<std::uint64_t> deadline_expired{0};
+    std::atomic<std::uint64_t> malformed{0};
+    std::atomic<std::uint64_t> unsupported{0};
+    std::atomic<std::uint64_t> draining_refused{0};
+    std::atomic<std::uint64_t> rootstore_observations{0};
+    std::atomic<std::uint64_t> capture_uploads{0};
+    std::atomic<std::uint64_t> payload_bytes_received{0};
+    std::atomic<std::uint64_t> payload_bytes_discarded{0};
+  };
+  AtomicStats stats_;
+};
+
+}  // namespace tangled::serve

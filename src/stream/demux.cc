@@ -58,7 +58,7 @@ void FlowDemux::end_flow(FlowId flow) {
   // flow, or a hello-only probe. Not a fault.
   ++stats_.flows_empty;
   TANGLED_OBS_INC("stream.demux.empty_flows");
-  terminal_.insert(flow);
+  retire(flow);
   flows_.erase(it);
 }
 
@@ -94,7 +94,7 @@ void FlowDemux::complete(FlowId id, Flow& flow,
   done.non_fatal_fault = std::move(non_fatal_fault);
   completed_.push_back(std::move(done));
   buffered_ -= flow.buffered;
-  terminal_.insert(id);
+  retire(id);
   flows_.erase(id);
 }
 
@@ -112,8 +112,20 @@ void FlowDemux::fault(FlowId id, FaultKind kind, Error error) {
     buffered_ -= it->second.buffered;
     flows_.erase(it);
   }
-  terminal_.insert(id);
+  retire(id);
   faulted_.push_back({id, kind, std::move(error)});
+}
+
+void FlowDemux::retire(FlowId id) {
+  if (!terminal_.insert(id).second) return;  // already remembered
+  terminal_fifo_.push_back(id);
+  const std::size_t cap = std::max<std::size_t>(1, config_.max_terminal_flows);
+  while (terminal_.size() > cap) {
+    terminal_.erase(terminal_fifo_.front());
+    terminal_fifo_.pop_front();
+    ++stats_.terminals_retired;
+    TANGLED_OBS_INC("stream.demux.terminals_retired");
+  }
 }
 
 void FlowDemux::evict_until_bounded() {

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -30,6 +31,15 @@ struct DemuxConfig {
   /// "evict on any buffering" and is almost never what you want; the
   /// default comfortably holds thousands of mid-handshake flows.
   std::size_t max_buffered_bytes = 8u << 20;
+  /// Cap on remembered *terminal* flow ids (completed / faulted / empty /
+  /// evicted), retired FIFO. The set exists only to drop late bytes for a
+  /// flow that already ended; remembering every flow id ever seen is an
+  /// O(total-flows) leak fatal to a long-running server. Within the window
+  /// the drop semantics are unchanged; bytes arriving for an id older than
+  /// the newest max_terminal_flows terminals are treated as a new flow —
+  /// for monotone ids (the serve path mints them) that never happens in
+  /// practice. Must be nonzero.
+  std::size_t max_terminal_flows = 1u << 16;
 };
 
 /// A flow whose certificate chain was fully extracted.
@@ -58,6 +68,7 @@ struct DemuxStats {
   std::uint64_t flows_empty = 0;      // clean EOF without a certificate
   std::uint64_t bytes_fed = 0;
   std::uint64_t bytes_dropped = 0;    // chunks for already-terminal flows
+  std::uint64_t terminals_retired = 0;  // ids aged out of the terminal window
   /// Peak of buffered_bytes() observed at feed boundaries; never exceeds
   /// max_buffered_bytes because eviction runs before the feed returns.
   std::size_t buffered_high_water = 0;
@@ -92,6 +103,8 @@ class FlowDemux {
 
   std::size_t buffered_bytes() const { return buffered_; }
   std::size_t open_flows() const { return flows_.size(); }
+  /// Terminal ids currently remembered; never exceeds max_terminal_flows.
+  std::size_t terminal_flows() const { return terminal_.size(); }
   const DemuxStats& stats() const { return stats_; }
 
  private:
@@ -104,10 +117,15 @@ class FlowDemux {
   void fault(FlowId id, FaultKind kind, Error error);
   void evict_until_bounded();
   void note_high_water();
+  /// Remembers a terminal id, aging out the oldest past max_terminal_flows.
+  void retire(FlowId id);
 
   DemuxConfig config_;
   std::unordered_map<FlowId, Flow> flows_;  // open flows only
-  std::unordered_set<FlowId> terminal_;     // completed / faulted / evicted
+  /// Bounded memory of ended flows: the set answers "is this id terminal?",
+  /// the FIFO fixes which id to forget first once the window is full.
+  std::unordered_set<FlowId> terminal_;
+  std::deque<FlowId> terminal_fifo_;
   std::vector<CompletedFlow> completed_;
   std::vector<FaultedFlow> faulted_;
   std::size_t buffered_ = 0;

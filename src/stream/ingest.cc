@@ -40,6 +40,8 @@ StreamIngestReport StreamIngestor::finish() {
   return std::move(report_);
 }
 
+void StreamIngestor::flush() { drain(/*flush=*/true); }
+
 void StreamIngestor::drain(bool flush) {
   for (CompletedFlow& done : demux_.take_completed()) {
     notary::Observation observation;
@@ -52,7 +54,9 @@ void StreamIngestor::drain(bool flush) {
     if (census_ != nullptr) batch_.push_back(std::move(observation));
   }
   for (FaultedFlow& dead : demux_.take_faulted()) {
-    report_.faults.push_back(std::move(dead));
+    if (report_.faults.size() < config_.max_fault_records) {
+      report_.faults.push_back(std::move(dead));
+    }
   }
   if (census_ == nullptr) return;
   if (batch_.size() >= config_.batch_size || (flush && !batch_.empty())) {

@@ -29,6 +29,11 @@ struct StreamIngestConfig {
   /// layer's hook: a batch boundary is the only point where a snapshot is
   /// consistent (a batch is fully in the census or not at all).
   std::function<void(std::uint64_t)> on_batch_committed;
+  /// Cap on per-flow fault records kept in StreamIngestReport::faults.
+  /// The demux fault *counters* are always exact; only the per-flow error
+  /// list is truncated (first max_fault_records kept) so a long-running
+  /// server's report does not grow with every hostile submission.
+  std::size_t max_fault_records = 1u << 20;
 };
 
 struct StreamIngestReport {
@@ -59,7 +64,16 @@ class StreamIngestor {
   /// returns the capture-level report. Call exactly once.
   StreamIngestReport finish();
 
+  /// Flushes the current partial census batch (firing on_batch_committed)
+  /// without ending open flows — the serve layer's checkpoint boundary.
+  void flush();
+
   const FlowDemux& demux() const { return demux_; }
+  /// Chains observed into the NotaryDb so far (batched census commits may
+  /// trail this between flushes).
+  std::uint64_t chains_ingested() const { return report_.chains_ingested; }
+  /// Observations committed into the census at the last batch boundary.
+  std::uint64_t census_committed() const { return census_committed_; }
 
  private:
   void drain(bool flush);

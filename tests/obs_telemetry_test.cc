@@ -4,9 +4,16 @@
 // and unknown routes must 404 without wedging the serving loop.
 #include "obs/telemetry.h"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
 #include <string>
+#include <thread>
 
 #include "obs/export.h"
 #include "obs/flight_recorder.h"
@@ -94,6 +101,112 @@ TEST(TelemetryServer, UnknownRouteIs404AndTheLoopSurvives) {
   // The server still answers after an error response.
   EXPECT_EQ(get(f.server, "/healthz").status, 200);
   EXPECT_GE(f.server.requests_served(), 2u);
+}
+
+TEST(TelemetryServer, QueryStringIsStrippedFromTheRoutePath) {
+  // Prometheus and curl both append query strings (GET /metrics?ts=1);
+  // routing on the raw target used to 404 every such scrape.
+  ServerFixture f;
+  ASSERT_TRUE(f.server.start().ok());
+  const HttpResponse response = get(f.server, "/metrics?ts=1&debug=true");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, to_prometheus(f.registry));
+  EXPECT_EQ(get(f.server, "/healthz?verbose=1").status, 200);
+  // A query on an unknown path still 404s on the path alone.
+  EXPECT_EQ(get(f.server, "/nope?x=1").status, 404);
+}
+
+TEST(RetryEintr, RetriesOnlyOnEintr) {
+  int calls = 0;
+  const long ok = retry_eintr([&]() -> long {
+    ++calls;
+    if (calls < 3) {
+      errno = EINTR;
+      return -1;
+    }
+    return 5;
+  });
+  EXPECT_EQ(ok, 5);
+  EXPECT_EQ(calls, 3);
+
+  calls = 0;
+  const long failed = retry_eintr([&]() -> long {
+    ++calls;
+    errno = ECONNRESET;
+    return -1;
+  });
+  EXPECT_EQ(failed, -1);
+  EXPECT_EQ(errno, ECONNRESET);
+  EXPECT_EQ(calls, 1);  // a real error must not loop
+}
+
+namespace {
+
+/// Connects a raw blocking socket to the server under test.
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  return fd;
+}
+
+}  // namespace
+
+TEST(TelemetryServer, SlowLorisClientIsCutOffAtTheRequestDeadline) {
+  // Regression for the slow-loris stall: a client dripping one byte per
+  // ~30 ms always has data ready inside the per-chunk poll window, so the
+  // pre-fix server (no overall deadline) sat in handle_client until the
+  // 4 KiB request cap — minutes of /healthz outage. With the wall-clock
+  // deadline the drip is answered 408 within the configured budget.
+  ServerFixture f;
+  TelemetryConfig config;
+  config.registry = &f.registry;
+  config.recorder = &f.recorder;
+  config.request_deadline_ms = 300;
+  TelemetryServer server(std::move(config));
+  ASSERT_TRUE(server.start().ok());
+
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  const int fd = raw_connect(server.port());
+  ASSERT_GE(fd, 0);
+  // Drip bytes that never finish the request line. Stop as soon as the
+  // server responds or hangs up; cap the drip so a regressed (deadline-less)
+  // server fails the elapsed assertion instead of dripping forever.
+  std::string response;
+  for (int i = 0; i < 400; ++i) {
+    if (::send(fd, "x", 1, MSG_NOSIGNAL) <= 0) break;
+    char buf[256];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      response.append(buf, static_cast<std::size_t>(n));
+      break;
+    }
+    if (n == 0) break;  // server hung up after responding
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  // Pick up whatever is still in flight after the server cut us off.
+  for (;;) {
+    char buf[256];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      clock::now() - start);
+
+  EXPECT_NE(response.find("408"), std::string::npos) << response;
+  EXPECT_LT(elapsed.count(), 3000) << "slow client held the serve loop";
+  EXPECT_GE(server.requests_timed_out(), 1u);
+  // The loop survived the attack: a well-behaved request is served promptly.
+  EXPECT_EQ(get(server, "/healthz").status, 200);
 }
 
 TEST(TelemetryServer, ServesTheProcessGlobalsWhenUnconfigured) {

@@ -1,0 +1,159 @@
+// Wire codec for the serve protocol: round trips, and the hardened-decoder
+// contract — a hostile frame can make the parser say kParse, never allocate
+// from an unvalidated length or read out of bounds.
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tangled::serve {
+namespace {
+
+ByteView view(const Bytes& bytes) {
+  return ByteView(bytes.data(), bytes.size());
+}
+
+TEST(ServeProtocol, RootStoreObservationRoundTrips) {
+  RootStoreObservation in;
+  in.device_id = 0x1122334455667788ull;
+  in.store_label = "android-4.4/cacerts";
+  in.roots_der = {Bytes{0x30, 0x03, 0x02, 0x01, 0x01}, Bytes{0x30, 0x00}};
+
+  const Bytes frame = encode_rootstore_observation(in);
+  auto header = decode_frame_header(view(frame));
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value().version, kProtocolVersion);
+  EXPECT_EQ(header.value().type, MessageType::kRootStoreObservation);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + header.value().payload_bytes);
+
+  auto out = decode_rootstore_observation(
+      ByteView(frame.data() + kFrameHeaderBytes,
+               frame.size() - kFrameHeaderBytes));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().device_id, in.device_id);
+  EXPECT_EQ(out.value().store_label, in.store_label);
+  EXPECT_EQ(out.value().roots_der, in.roots_der);
+}
+
+TEST(ServeProtocol, CaptureUploadRoundTrips) {
+  CaptureUpload in;
+  in.device_id = 7;
+  in.port = 993;
+  in.capture = Bytes{0x16, 0x03, 0x01, 0x00, 0x04, 1, 2, 3, 4};
+
+  const Bytes frame = encode_capture_upload(in);
+  auto header = decode_frame_header(view(frame));
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value().type, MessageType::kCaptureUpload);
+
+  auto out = decode_capture_upload(
+      ByteView(frame.data() + kFrameHeaderBytes,
+               frame.size() - kFrameHeaderBytes));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().device_id, in.device_id);
+  EXPECT_EQ(out.value().port, in.port);
+  EXPECT_EQ(out.value().capture, in.capture);
+}
+
+TEST(ServeProtocol, ResponseRoundTripsEveryStatus) {
+  for (std::uint8_t s = 0;
+       s <= static_cast<std::uint8_t>(SubmitStatus::kUnsupported); ++s) {
+    SubmitResponse in;
+    in.status = static_cast<SubmitStatus>(s);
+    in.cursor = 42 + s;
+    in.detail = "detail for " + std::string(to_string(in.status));
+    const Bytes frame = encode_response(in);
+    auto out = decode_response(view(frame));
+    ASSERT_TRUE(out.ok()) << static_cast<int>(s);
+    EXPECT_EQ(out.value().status, in.status);
+    EXPECT_EQ(out.value().cursor, in.cursor);
+    EXPECT_EQ(out.value().detail, in.detail);
+  }
+}
+
+TEST(ServeProtocol, BadMagicIsAParseError) {
+  Bytes frame = encode_capture_upload(CaptureUpload{});
+  frame[0] ^= 0xff;
+  EXPECT_FALSE(decode_frame_header(view(frame)).ok());
+
+  Bytes response = encode_response(SubmitResponse{});
+  response[1] ^= 0xff;
+  EXPECT_FALSE(decode_response(view(response)).ok());
+}
+
+TEST(ServeProtocol, ShortHeaderIsAParseErrorNotARead) {
+  const Bytes frame = encode_capture_upload(CaptureUpload{});
+  for (std::size_t len = 0; len < kFrameHeaderBytes; ++len) {
+    EXPECT_FALSE(decode_frame_header(ByteView(frame.data(), len)).ok()) << len;
+  }
+}
+
+TEST(ServeProtocol, FutureResponseVersionIsTypedUnsupported) {
+  Bytes frame = encode_response(SubmitResponse{});
+  frame[4] = kProtocolVersion + 1;
+  auto out = decode_response(view(frame));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, Errc::kUnsupported);
+}
+
+TEST(ServeProtocol, HostileRootCountCannotDriveAllocation) {
+  // A payload claiming 2^60 roots but carrying 8 bytes: the count()
+  // validator bounds the claim against the remaining bytes before any
+  // reserve, and the explicit cap rejects even plausible-but-huge counts.
+  RootStoreObservation in;
+  in.device_id = 1;
+  in.store_label = "evil";
+  Bytes frame = encode_rootstore_observation(in);
+  // The roots count is the last u64 of the payload (zero roots encoded).
+  for (std::size_t i = frame.size() - 8; i < frame.size(); ++i) {
+    frame[i] = 0xff;
+  }
+  auto out = decode_rootstore_observation(
+      ByteView(frame.data() + kFrameHeaderBytes,
+               frame.size() - kFrameHeaderBytes));
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(ServeProtocol, TooManyRootsIsRejectedByTheCap) {
+  RootStoreObservation in;
+  in.store_label = "store";
+  in.roots_der.assign(kMaxRootsPerObservation + 1, Bytes{0x30, 0x00});
+  const Bytes frame = encode_rootstore_observation(in);
+  auto out = decode_rootstore_observation(
+      ByteView(frame.data() + kFrameHeaderBytes,
+               frame.size() - kFrameHeaderBytes));
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.error().message.find("too many roots"), std::string::npos);
+}
+
+TEST(ServeProtocol, TrailingBytesAreRejected) {
+  CaptureUpload in;
+  in.capture = Bytes{1, 2, 3};
+  Bytes frame = encode_capture_upload(in);
+  frame.push_back(0x00);  // stray byte past the encoded payload
+  // Re-stamp the declared length so the frame itself is consistent.
+  const std::uint32_t payload =
+      static_cast<std::uint32_t>(frame.size() - kFrameHeaderBytes);
+  frame[8] = static_cast<std::uint8_t>(payload & 0xff);
+  frame[9] = static_cast<std::uint8_t>((payload >> 8) & 0xff);
+  frame[10] = static_cast<std::uint8_t>((payload >> 16) & 0xff);
+  frame[11] = static_cast<std::uint8_t>((payload >> 24) & 0xff);
+  auto out = decode_capture_upload(
+      ByteView(frame.data() + kFrameHeaderBytes,
+               frame.size() - kFrameHeaderBytes));
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.error().message.find("trailing"), std::string::npos);
+}
+
+TEST(ServeProtocol, TruncatedResponseBodyIsAParseError) {
+  SubmitResponse in;
+  in.detail = "some detail text";
+  const Bytes frame = encode_response(in);
+  for (std::size_t len = kFrameHeaderBytes; len < frame.size(); ++len) {
+    EXPECT_FALSE(decode_response(ByteView(frame.data(), len)).ok()) << len;
+  }
+}
+
+}  // namespace
+}  // namespace tangled::serve

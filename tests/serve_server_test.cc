@@ -1,0 +1,356 @@
+// End-to-end tests for the serve ingest server: real sockets on loopback,
+// the blocking client on one side, the poll loop on the other. Covers the
+// accept path (captures and root-store observations land in the
+// NotaryDb/census/tally), the refusal taxonomy (malformed, unsupported,
+// shed, evicted, draining), the unbudgeted-census start refusal, and the
+// slow-client deadline.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pki/hierarchy.h"
+#include "serve/client.h"
+#include "tlswire/handshake.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace tangled::serve {
+namespace {
+
+struct Fixture {
+  pki::CaHierarchy hierarchy;
+  pki::TrustAnchors anchors;
+  std::vector<Bytes> captures;  // pristine server flights, unique hosts
+};
+
+const Fixture& fixture() {
+  static const Fixture* f = [] {
+    Xoshiro256 rng(20140408);
+    auto h = pki::CaHierarchy::build(rng, "Serve Test Org", 3,
+                                     /*sim_keys=*/true);
+    EXPECT_TRUE(h.ok());
+    auto* out = new Fixture{std::move(h).value(), {}, {}};
+    out->anchors.add(out->hierarchy.root().cert);
+    for (int i = 0; i < 40; ++i) {
+      auto leaf = out->hierarchy.issue(
+          rng, "serve" + std::to_string(i) + ".example.com", i % 3);
+      EXPECT_TRUE(leaf.ok());
+      auto flight = tlswire::encode_server_flight(
+          tlswire::ServerHello{},
+          out->hierarchy.presented_chain(leaf.value(), i % 3));
+      EXPECT_TRUE(flight.ok());
+      out->captures.push_back(std::move(flight).value());
+    }
+    return out;
+  }();
+  return *f;
+}
+
+CaptureUpload capture_upload(std::size_t index) {
+  CaptureUpload upload;
+  upload.device_id = index;
+  upload.capture = fixture().captures[index];
+  return upload;
+}
+
+/// Raw blocking TCP connect to the server, for byte-level protocol abuse
+/// the well-behaved client cannot express.
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+/// Reads until EOF (the server closes after its one response) and decodes.
+Result<SubmitResponse> read_response(int fd) {
+  timeval tv{/*tv_sec=*/5, /*tv_usec=*/0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  Bytes response;
+  std::uint8_t buf[4096];
+  for (;;) {
+    const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got <= 0) break;
+    response.insert(response.end(), buf, buf + got);
+  }
+  return decode_response(ByteView(response.data(), response.size()));
+}
+
+TEST(ServeServer, RefusesToStartOnAnUnbudgetedCensus) {
+  util::ThreadPool pool(2);
+  notary::NotaryDb db;
+  pki::VerifyOptions unbudgeted;
+  unbudgeted.budget = pki::ResourceBudget{0, 0, 0};  // fully unlimited
+  notary::ValidationCensus census(fixture().anchors, unbudgeted);
+
+  {
+    IngestServer server(db, &census, pool);
+    auto started = server.start();
+    ASSERT_FALSE(started.ok());
+    EXPECT_EQ(started.error().code, Errc::kInvalidState);
+    EXPECT_NE(started.error().message.find("Budget"), std::string::npos);
+  }
+  {
+    ServeConfig config;
+    config.require_budget = false;  // the explicit opt-out still works
+    IngestServer server(db, &census, pool, config);
+    EXPECT_TRUE(server.start().ok());
+    server.stop();
+  }
+}
+
+TEST(ServeServer, CaptureAndRootStoreSubmissionsLandInTheCensus) {
+  util::ThreadPool pool(2);
+  notary::NotaryDb db;
+  notary::ValidationCensus census(fixture().anchors);
+  IngestServer server(db, &census, pool);
+  ASSERT_TRUE(server.start().ok());
+  const std::uint16_t port = server.port();
+  ASSERT_NE(port, 0);
+
+  constexpr std::size_t kUploads = 20;
+  for (std::size_t i = 0; i < kUploads; ++i) {
+    auto response = submit_capture("127.0.0.1", port, capture_upload(i));
+    ASSERT_TRUE(response.ok()) << to_string(response.error());
+    EXPECT_EQ(response.value().status, SubmitStatus::kAccepted) << i;
+    EXPECT_EQ(response.value().detail, "chain observed");
+  }
+
+  RootStoreObservation store;
+  store.device_id = 99;
+  store.store_label = "android-4.4/cacerts";
+  store.roots_der = {fixture().hierarchy.root().cert.der(),
+                     Bytes{0xde, 0xad}};  // one real anchor, one garbage
+  auto response = submit_rootstore("127.0.0.1", port, store);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, SubmitStatus::kAccepted);
+  EXPECT_NE(response.value().detail.find("1 roots"), std::string::npos);
+  EXPECT_NE(response.value().detail.find("1 unparseable"), std::string::npos);
+
+  auto report = server.drain();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().observations_committed, kUploads);
+  EXPECT_EQ(report.value().stream.chains_ingested, kUploads);
+
+  // The pipeline behind the socket is the same one the offline census uses.
+  EXPECT_EQ(db.session_count(), kUploads);
+  EXPECT_EQ(census.total_validated(), kUploads);
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.capture_uploads, kUploads);
+  EXPECT_EQ(stats.rootstore_observations, 1u);
+  EXPECT_EQ(stats.accepted, kUploads + 1);
+
+  const RootStoreTallySnapshot tally = server.rootstore_tally();
+  EXPECT_EQ(tally.submissions_by_label.at("android-4.4/cacerts"), 1u);
+  EXPECT_EQ(tally.root_counts.at(
+                fixture().hierarchy.root().cert.fingerprint_hex()),
+            1u);
+  EXPECT_EQ(tally.roots_reported, 1u);
+  EXPECT_EQ(tally.roots_unparseable, 1u);
+}
+
+TEST(ServeServer, PoisonCaptureFaultsItsFlowOnly) {
+  util::ThreadPool pool(2);
+  notary::NotaryDb db;
+  notary::ValidationCensus census(fixture().anchors);
+  IngestServer server(db, &census, pool);
+  ASSERT_TRUE(server.start().ok());
+
+  CaptureUpload poison;
+  poison.capture = Bytes{0x00, 0x03, 0x01, 0x00, 0x01};  // bad content type
+  auto faulted = submit_capture("127.0.0.1", server.port(), poison);
+  ASSERT_TRUE(faulted.ok());
+  EXPECT_EQ(faulted.value().status, SubmitStatus::kFlowFaulted);
+  EXPECT_EQ(faulted.value().detail, "unknown_content_type");
+
+  // The fault is contained: the next device's pristine capture is fine.
+  auto clean = submit_capture("127.0.0.1", server.port(), capture_upload(0));
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean.value().status, SubmitStatus::kAccepted);
+
+  CaptureUpload empty;  // clean EOF, no certificate: faulted, distinct detail
+  auto no_chain = submit_capture("127.0.0.1", server.port(), empty);
+  ASSERT_TRUE(no_chain.ok());
+  EXPECT_EQ(no_chain.value().status, SubmitStatus::kFlowFaulted);
+  EXPECT_EQ(no_chain.value().detail, "no certificate chain in capture");
+
+  server.stop();
+  EXPECT_EQ(server.stats().flow_faulted, 2u);
+}
+
+TEST(ServeServer, BadMagicIsAnsweredMalformedWithoutReadingThePayload) {
+  util::ThreadPool pool(2);
+  notary::NotaryDb db;
+  IngestServer server(db, nullptr, pool);
+  ASSERT_TRUE(server.start().ok());
+
+  // A valid-looking header with garbage magic and an enormous declared
+  // length: the server must answer off the 12 header bytes alone.
+  Bytes frame = {'X', 'X', 'X', 'X', 1, 2, 0, 0, 0xff, 0xff, 0xff, 0x7f};
+  auto response = submit_frame("127.0.0.1", server.port(), frame);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, SubmitStatus::kMalformed);
+  server.stop();
+  EXPECT_EQ(server.stats().malformed, 1u);
+}
+
+TEST(ServeServer, UnknownVersionOrTypeIsUnsupportedNotMalformed) {
+  util::ThreadPool pool(2);
+  notary::NotaryDb db;
+  IngestServer server(db, nullptr, pool);
+  ASSERT_TRUE(server.start().ok());
+
+  Bytes future_version = encode_capture_upload(capture_upload(0));
+  future_version[4] = kProtocolVersion + 1;
+  auto response = submit_frame("127.0.0.1", server.port(), future_version);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, SubmitStatus::kUnsupported);
+  EXPECT_NE(response.value().detail.find("version"), std::string::npos);
+
+  Bytes unknown_type = encode_capture_upload(capture_upload(0));
+  unknown_type[5] = 0x7e;
+  response = submit_frame("127.0.0.1", server.port(), unknown_type);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, SubmitStatus::kUnsupported);
+  EXPECT_NE(response.value().detail.find("type"), std::string::npos);
+  server.stop();
+  EXPECT_EQ(server.stats().unsupported, 2u);
+}
+
+TEST(ServeServer, OversizedPayloadIsShedBeforeBuffering) {
+  util::ThreadPool pool(2);
+  notary::NotaryDb db;
+  ServeConfig config;
+  config.max_payload_bytes = 64;
+  IngestServer server(db, nullptr, pool, config);
+  ASSERT_TRUE(server.start().ok());
+
+  CaptureUpload big;
+  big.capture.assign(4096, 0x41);
+  auto response = submit_capture("127.0.0.1", server.port(), big);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, SubmitStatus::kShed);
+  EXPECT_NE(response.value().detail.find("per-request cap"),
+            std::string::npos);
+  server.stop();
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  // The oversized payload was read off the wire unbuffered, not stored.
+  EXPECT_GT(stats.payload_bytes_discarded, 4096u);
+  EXPECT_EQ(stats.payload_bytes_received, 0u);
+}
+
+TEST(ServeServer, BudgetPressureEvictsTheLargestBufferingFrame) {
+  util::ThreadPool pool(2);
+  notary::NotaryDb db;
+  ServeConfig config;
+  config.max_payload_bytes = 4096;
+  config.max_inflight_bytes = 512;
+  IngestServer server(db, nullptr, pool, config);
+  ASSERT_TRUE(server.start().ok());
+
+  // Hog: declares 500 bytes, sends only the header, stalls mid-payload.
+  const int hog = raw_connect(server.port());
+  Bytes hog_header = {'T', 'G', 'S', 'V', kProtocolVersion, 2, 0, 0,
+                      0xf4, 0x01, 0, 0};  // payload_bytes = 500
+  ASSERT_EQ(::send(hog, hog_header.data(), hog_header.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(hog_header.size()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Newcomer: a tiny frame (a poison capture of a few bytes) that cannot
+  // fit beside the hog. It is smaller than the hog, so the hog is evicted
+  // to admit it — the demux's "shed the largest stalled flow" policy.
+  CaptureUpload tiny;
+  tiny.capture = Bytes{0x00, 0x03, 0x01, 0x00, 0x01};
+  auto newcomer = submit_capture("127.0.0.1", server.port(), tiny);
+  ASSERT_TRUE(newcomer.ok());
+  EXPECT_EQ(newcomer.value().status, SubmitStatus::kFlowFaulted);
+
+  // The hog finishes its upload into the discard path and learns its fate.
+  Bytes filler(500, 0x00);
+  ASSERT_EQ(::send(hog, filler.data(), filler.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(filler.size()));
+  auto hog_response = read_response(hog);
+  ::close(hog);
+  ASSERT_TRUE(hog_response.ok());
+  EXPECT_EQ(hog_response.value().status, SubmitStatus::kShed);
+  EXPECT_NE(hog_response.value().detail.find("evicted"), std::string::npos);
+
+  server.stop();
+  EXPECT_EQ(server.stats().evicted, 1u);
+}
+
+TEST(ServeServer, SlowClientIsCutOffAtTheRequestDeadline) {
+  util::ThreadPool pool(2);
+  notary::NotaryDb db;
+  ServeConfig config;
+  config.request_deadline_ms = 200;
+  IngestServer server(db, nullptr, pool, config);
+  ASSERT_TRUE(server.start().ok());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const int fd = raw_connect(server.port());
+  // Four header bytes, then silence: a slow-loris against the frame reader.
+  ASSERT_EQ(::send(fd, "TGSV", 4, MSG_NOSIGNAL), 4);
+  auto response = read_response(fd);
+  ::close(fd);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, SubmitStatus::kDeadlineExpired);
+  EXPECT_LT(elapsed, 3000);  // cut off by the deadline, not a socket timeout
+
+  // The loop thread is free: a prompt request completes immediately.
+  auto clean = submit_capture("127.0.0.1", server.port(), capture_upload(1));
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean.value().status, SubmitStatus::kAccepted);
+  server.stop();
+  EXPECT_GE(server.stats().deadline_expired, 1u);
+}
+
+TEST(ServeServer, DrainingServerRefusesNewFramesWhileFinishingOldOnes) {
+  util::ThreadPool pool(2);
+  notary::NotaryDb db;
+  ServeConfig config;
+  config.drain_deadline_ms = 1500;
+  IngestServer server(db, nullptr, pool, config);
+  ASSERT_TRUE(server.start().ok());
+  const std::uint16_t port = server.port();
+
+  // An idle open connection keeps the loop in its drain grace window.
+  const int idle = raw_connect(port);
+
+  Result<DrainReport> report = state_error("not drained yet");
+  std::thread drainer([&] { report = server.drain(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // New arrivals during the grace window get the honest kDraining answer.
+  auto refused = submit_capture("127.0.0.1", port, capture_upload(2));
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused.value().status, SubmitStatus::kDraining);
+
+  ::close(idle);  // the last in-flight connection leaves; drain completes
+  drainer.join();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(server.stats().draining_refused, 1u);
+}
+
+}  // namespace
+}  // namespace tangled::serve

@@ -1,0 +1,89 @@
+// Regression for the unbounded terminal-flow leak: FlowDemux used to
+// remember every flow id it had ever finished, an O(total-flows) set that
+// is fatal to a long-running ingest server. The set is now a FIFO-retired
+// window (DemuxConfig::max_terminal_flows) whose size — and therefore the
+// demux's idle memory — is fixed no matter how many flows pass through,
+// while the late-bytes-after-terminal drop semantics hold inside the
+// window.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "stream/demux.h"
+
+namespace tangled::stream {
+namespace {
+
+/// A record header with an impossible content type: the extractor faults the
+/// flow the moment these five bytes arrive, making per-flow work O(1) — the
+/// cheapest way to push millions of flows through the demux.
+constexpr std::uint8_t kPoisonHeader[5] = {0x00, 0x03, 0x01, 0x00, 0x01};
+
+ByteView poison() { return ByteView(kPoisonHeader, sizeof(kPoisonHeader)); }
+
+TEST(StreamDemuxBound, MillionsOfShortFlowsHoldMemoryBounded) {
+  DemuxConfig config;
+  config.max_terminal_flows = 4096;  // the fixed memory budget under test
+  FlowDemux demux(config);
+
+  constexpr std::uint64_t kFlows = 2'000'000;
+  for (std::uint64_t flow = 0; flow < kFlows; ++flow) {
+    demux.feed(flow, poison());
+    // The terminal window must never exceed its cap, at any point mid-run.
+    ASSERT_LE(demux.terminal_flows(), config.max_terminal_flows);
+    ASSERT_EQ(demux.open_flows(), 0u);
+    // Keep the per-iteration cost flat: drain the completed/faulted queues
+    // periodically the way a real ingest loop does.
+    if ((flow & 0xfff) == 0) {
+      (void)demux.take_completed();
+      (void)demux.take_faulted();
+    }
+  }
+  (void)demux.take_faulted();
+
+  const DemuxStats& stats = demux.stats();
+  EXPECT_EQ(stats.flows_seen, kFlows);
+  EXPECT_EQ(stats.flows_faulted, kFlows);
+  EXPECT_EQ(demux.terminal_flows(), config.max_terminal_flows);
+  // Everything past the window was retired, oldest first.
+  EXPECT_EQ(stats.terminals_retired, kFlows - config.max_terminal_flows);
+  EXPECT_EQ(demux.buffered_bytes(), 0u);
+}
+
+TEST(StreamDemuxBound, LateBytesInsideTheWindowAreStillDropped) {
+  DemuxConfig config;
+  config.max_terminal_flows = 8;
+  FlowDemux demux(config);
+
+  demux.feed(1, poison());  // flow 1 faults and becomes terminal
+  const DemuxStats before = demux.stats();
+  demux.feed(1, poison());  // late bytes for a remembered terminal flow
+  const DemuxStats& after = demux.stats();
+  EXPECT_EQ(after.bytes_dropped, before.bytes_dropped + sizeof(kPoisonHeader));
+  EXPECT_EQ(after.flows_seen, before.flows_seen);  // not a new flow
+  EXPECT_EQ(demux.open_flows(), 0u);
+}
+
+TEST(StreamDemuxBound, AnIdAgedOutOfTheWindowIsANewFlowByContract) {
+  // The documented tradeoff of bounding the set: once an id is older than
+  // the newest max_terminal_flows terminals, bytes for it open a fresh
+  // flow. With the serve path's monotone ids this never fires; the test
+  // pins the behavior so a future change is deliberate.
+  DemuxConfig config;
+  config.max_terminal_flows = 4;
+  FlowDemux demux(config);
+
+  for (std::uint64_t flow = 0; flow < 6; ++flow) demux.feed(flow, poison());
+  // Flows 0 and 1 have been retired (window holds 2..5).
+  EXPECT_EQ(demux.terminal_flows(), 4u);
+
+  const std::uint64_t seen_before = demux.stats().flows_seen;
+  demux.feed(0, poison());  // re-used retired id: treated as a new flow
+  EXPECT_EQ(demux.stats().flows_seen, seen_before + 1);
+
+  demux.feed(5, poison());  // id still inside the window: dropped
+  EXPECT_EQ(demux.stats().flows_seen, seen_before + 1);
+}
+
+}  // namespace
+}  // namespace tangled::stream
