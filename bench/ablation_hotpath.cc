@@ -1,0 +1,290 @@
+// Ablation: the four TANGLED_* hot-path features, each measured in
+// isolation at the layer where it actually bites:
+//
+//  * TANGLED_BATCH_HASH — SHA-256 single-message hardware speedup, the
+//    4-lane batch API, the batched certificate-identity block inside
+//    from_der, and the SimSig midstate verify vs a full prefix rebuild.
+//  * TANGLED_MONTGOMERY — modexp and RSA verify, schoolbook vs Montgomery.
+//  * TANGLED_ARENA_CERTS — certificate-message parse, owning per-cert
+//    copies vs zero-copy arena views.
+//
+// (TANGLED_DENSE_IDS is a data-structure change inside the census/verifier;
+// its isolated win is the census-level ablation row in table3_validation.)
+//
+// Every off/on pair runs the same inputs; the feature toggles flip the
+// implementation only — results are asserted identical where cheap to do.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "crypto/hash.h"
+#include "crypto/rsa.h"
+#include "crypto/signature.h"
+#include "rootstore/catalog.h"
+#include "tlswire/handshake.h"
+#include "util/arena.h"
+#include "util/features.h"
+#include "x509/parsed_cert.h"
+
+namespace {
+
+using namespace tangled;
+using util::FeatureOverride;
+
+const rootstore::StoreUniverse& universe() {
+  static const rootstore::StoreUniverse u =
+      rootstore::StoreUniverse::build(1402);
+  return u;
+}
+
+// --- TANGLED_BATCH_HASH ----------------------------------------------------
+
+void BM_Sha256_1K_Scalar(benchmark::State& state) {
+  FeatureOverride off(util::batch_hash_enabled, util::set_batch_hash_enabled,
+                      false);
+  Xoshiro256 rng(11);
+  const Bytes data = rng.bytes(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1K_Scalar);
+
+void BM_Sha256_1K_Hw(benchmark::State& state) {
+  if (!crypto::sha256_hw_available()) {
+    state.SkipWithError("no SHA-NI on this CPU");
+    return;
+  }
+  FeatureOverride on(util::batch_hash_enabled, util::set_batch_hash_enabled,
+                     true);
+  Xoshiro256 rng(11);
+  const Bytes data = rng.bytes(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1K_Hw);
+
+/// Four independent 1 KiB messages per iteration, hashed as one batch of
+/// interleaved lanes (on) vs. four sequential passes (off). Compare
+/// per-batch times directly: same work, different schedule.
+void run_batch4(benchmark::State& state, bool enabled) {
+  FeatureOverride toggle(util::batch_hash_enabled,
+                         util::set_batch_hash_enabled, enabled);
+  Xoshiro256 rng(12);
+  Bytes messages[4];
+  ByteView parts[4];
+  std::uint8_t digests[4][crypto::Sha256::kDigestSize];
+  crypto::Sha256Lane lanes[4];
+  for (int i = 0; i < 4; ++i) {
+    messages[i] = rng.bytes(1024);
+    parts[i] = messages[i];
+    lanes[i] = {std::span<const ByteView>(&parts[i], 1), digests[i]};
+  }
+  for (auto _ : state) {
+    crypto::sha256_batch(lanes);
+    benchmark::DoNotOptimize(digests);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+void BM_Sha256Batch4_Sequential(benchmark::State& state) {
+  run_batch4(state, false);
+}
+BENCHMARK(BM_Sha256Batch4_Sequential);
+void BM_Sha256Batch4_Lanes(benchmark::State& state) {
+  if (!crypto::sha256_hw_available()) {
+    state.SkipWithError("no SHA-NI on this CPU");
+    return;
+  }
+  run_batch4(state, true);
+}
+BENCHMARK(BM_Sha256Batch4_Lanes);
+
+/// Full certificate parse including the identity block (fingerprint,
+/// identity, equivalence, SPKI digests) — the four digests hash as one
+/// batch when the feature is on.
+void run_parse_identity(benchmark::State& state, bool enabled) {
+  FeatureOverride toggle(util::batch_hash_enabled,
+                         util::set_batch_hash_enabled, enabled);
+  const Bytes der = universe().aosp_cas()[5].cert.der();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x509::Certificate::from_der(der));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(der.size()));
+}
+void BM_ParseWithIdentity_Scalar(benchmark::State& state) {
+  run_parse_identity(state, false);
+}
+BENCHMARK(BM_ParseWithIdentity_Scalar);
+void BM_ParseWithIdentity_Batched(benchmark::State& state) {
+  run_parse_identity(state, true);
+}
+BENCHMARK(BM_ParseWithIdentity_Batched);
+
+/// SimSig verification, the census's leaf-link workload: rebuilding the
+/// (modulus || TBS) hash from scratch vs. copying a precomputed modulus
+/// midstate and finishing with the TBS bytes.
+struct SimSigFixture {
+  crypto::KeyPair issuer;
+  Bytes tbs;
+  Bytes signature;
+  crypto::Sha256 prefix;
+
+  SimSigFixture() {
+    Xoshiro256 rng(13);
+    issuer = crypto::generate_sim_keypair(rng, 2048);
+    tbs = universe().aosp_cas()[5].cert.tbs_der();
+    auto sig = crypto::sim_sig_scheme().sign(issuer, tbs);
+    if (!sig.ok()) std::abort();
+    signature = std::move(sig).value();
+    prefix = crypto::sim_sig_prefix(issuer.pub);
+  }
+};
+const SimSigFixture& sim_fixture() {
+  static const SimSigFixture f;
+  return f;
+}
+
+void BM_SimSigVerify_Rebuild(benchmark::State& state) {
+  const SimSigFixture& f = sim_fixture();
+  for (auto _ : state) {
+    auto ok = crypto::sim_sig_scheme().verify(f.issuer.pub, f.tbs, f.signature);
+    if (!ok.ok()) std::abort();
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_SimSigVerify_Rebuild);
+
+void BM_SimSigVerify_Midstate(benchmark::State& state) {
+  const SimSigFixture& f = sim_fixture();
+  for (auto _ : state) {
+    auto ok = crypto::sim_sig_verify_prefixed(f.prefix, f.tbs, f.signature);
+    if (!ok.ok()) std::abort();
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_SimSigVerify_Midstate);
+
+// --- TANGLED_MONTGOMERY ----------------------------------------------------
+
+/// e = 65537 modexp against an odd 2048-bit modulus — the RSA verify core.
+void run_modexp(benchmark::State& state, bool enabled) {
+  FeatureOverride toggle(util::montgomery_enabled,
+                         util::set_montgomery_enabled, enabled);
+  Xoshiro256 rng(14);
+  Bytes n_bytes = rng.bytes(256);
+  n_bytes.front() |= 0x80;  // full 2048 bits
+  n_bytes.back() |= 0x01;   // odd, so the Montgomery path dispatches
+  const crypto::BigNum modulus = crypto::BigNum::from_bytes(n_bytes);
+  const crypto::BigNum base =
+      crypto::BigNum::from_bytes(rng.bytes(255));  // < n
+  const crypto::BigNum e(65537);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.modexp(e, modulus));
+  }
+}
+void BM_ModExp2048_Schoolbook(benchmark::State& state) {
+  run_modexp(state, false);
+}
+BENCHMARK(BM_ModExp2048_Schoolbook)->Unit(benchmark::kMicrosecond);
+void BM_ModExp2048_Montgomery(benchmark::State& state) {
+  run_modexp(state, true);
+}
+BENCHMARK(BM_ModExp2048_Montgomery)->Unit(benchmark::kMicrosecond);
+
+/// Whole PKCS#1 v1.5 verify with a real 1024-bit key (generation is done
+/// once, outside the timed region).
+struct RsaFixture {
+  crypto::RsaPrivateKey key;
+  Bytes message;
+  Bytes signature;
+
+  RsaFixture() : key([] {
+    Xoshiro256 rng(15);
+    return crypto::rsa_generate(rng, 1024);
+  }()) {
+    Xoshiro256 rng(16);
+    message = rng.bytes(1024);
+    auto sig = crypto::rsa_sign(key, crypto::DigestAlg::kSha256, message);
+    if (!sig.ok()) std::abort();
+    signature = std::move(sig).value();
+  }
+};
+const RsaFixture& rsa_fixture() {
+  static const RsaFixture f;
+  return f;
+}
+
+void run_rsa_verify(benchmark::State& state, bool enabled) {
+  FeatureOverride toggle(util::montgomery_enabled,
+                         util::set_montgomery_enabled, enabled);
+  const RsaFixture& f = rsa_fixture();
+  for (auto _ : state) {
+    auto ok = crypto::rsa_verify(f.key.pub, crypto::DigestAlg::kSha256,
+                                 f.message, f.signature);
+    if (!ok.ok()) std::abort();
+    benchmark::DoNotOptimize(ok);
+  }
+}
+void BM_RsaVerify1024_Schoolbook(benchmark::State& state) {
+  run_rsa_verify(state, false);
+}
+BENCHMARK(BM_RsaVerify1024_Schoolbook)->Unit(benchmark::kMicrosecond);
+void BM_RsaVerify1024_Montgomery(benchmark::State& state) {
+  run_rsa_verify(state, true);
+}
+BENCHMARK(BM_RsaVerify1024_Montgomery)->Unit(benchmark::kMicrosecond);
+
+// --- TANGLED_ARENA_CERTS ---------------------------------------------------
+
+/// TLS Certificate-message parse of a 3-cert chain: owning Certificates
+/// (per-cert buffer copies + Name/BigNum/identity decoding) vs. zero-copy
+/// arena views (structure + the fields the capture path actually reads).
+Bytes chain_body() {
+  static const Bytes body = [] {
+    std::vector<x509::Certificate> chain = {
+        universe().aosp_cas()[5].cert,
+        universe().aosp_cas()[6].cert,
+        universe().aosp_cas()[7].cert,
+    };
+    return tlswire::encode_certificate_body(chain);
+  }();
+  return body;
+}
+
+void BM_ParseChain_Owning(benchmark::State& state) {
+  const Bytes body = chain_body();
+  for (auto _ : state) {
+    auto chain = tlswire::parse_certificate_body(body);
+    if (!chain.ok()) std::abort();
+    benchmark::DoNotOptimize(chain);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(body.size()));
+}
+BENCHMARK(BM_ParseChain_Owning);
+
+void BM_ParseChain_ArenaViews(benchmark::State& state) {
+  const Bytes body = chain_body();
+  util::Arena arena;
+  for (auto _ : state) {
+    arena.reset();
+    auto views = tlswire::parse_certificate_views(body, arena);
+    if (!views.ok()) std::abort();
+    benchmark::DoNotOptimize(views);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(body.size()));
+}
+BENCHMARK(BM_ParseChain_ArenaViews);
+
+}  // namespace
+
+#include "ablation_common.h"
+
+int main(int argc, char** argv) {
+  return tangled::bench::ablation_main("ablation_hotpath", argc, argv);
+}

@@ -31,10 +31,22 @@ int main() {
               run.results_identical ? "yes" : "NO");
   std::printf("observability: recorder + trace sampling ingest %.2fs "
               "(overhead %+.2f%%, budget +2%%), %zu traces sampled, "
-              "results identical: %s\n\n",
+              "results identical: %s\n",
               run.traced_ingest_seconds, 100.0 * run.obs_overhead_ratio,
               run.sampled_trace_count,
               run.traced_results_identical ? "yes" : "NO");
+  std::printf("hot path: %.3fs ingest vs %.3fs features-off uncached serial "
+              "baseline (%.2fx, target >= 5x), results identical: %s\n",
+              run.ingest_seconds, run.baseline_ingest_seconds,
+              run.ingest_speedup_vs_baseline,
+              run.baseline_results_identical ? "yes" : "NO");
+  for (const auto& ab : run.feature_ablations) {
+    std::printf("  ablation %-20s off: %.3fs (%.2fx of full), "
+                "results identical: %s\n",
+                ab.name, ab.seconds, ab.speedup,
+                ab.results_identical ? "yes" : "NO");
+  }
+  std::printf("\n");
 
   struct Row {
     const char* name;
@@ -109,5 +121,22 @@ int main() {
       "multi-anchor leaves",
       static_cast<double>(
           obs::metrics().counter("notary.census.multi_anchor").value()));
+  report.add_measured("census ingest seconds (features-off uncached serial)",
+                      run.baseline_ingest_seconds);
+  report.add_measured("census ingest speedup vs baseline",
+                      run.ingest_speedup_vs_baseline);
+  report.add_measured("ingest speedup >= 5x target",
+                      run.ingest_speedup_vs_baseline >= 5.0 ? 1 : 0);
+  report.add_measured("baseline results identical",
+                      run.baseline_results_identical ? 1 : 0);
+  for (const auto& ab : run.feature_ablations) {
+    report.add_measured(std::string("ablation seconds: ") + ab.name + " off",
+                        ab.seconds);
+    report.add_measured(std::string("ablation speedup: ") + ab.name,
+                        ab.speedup);
+    report.add_measured(
+        std::string("ablation results identical: ") + ab.name,
+        ab.results_identical ? 1 : 0);
+  }
   return 0;
 }

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 
+#include "util/features.h"
+
 namespace tangled::crypto {
 
 namespace {
@@ -16,6 +18,71 @@ constexpr std::uint32_t kSmallPrimes[] = {
     47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
     109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
     191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+// n0' = -n[0]^{-1} mod 2^32 for odd n[0], via Hensel lifting: starting from
+// inv = n0 (correct mod 8), each Newton step inv *= 2 - n0*inv doubles the
+// number of correct low bits.
+std::uint32_t mont_n0_prime(std::uint32_t n0) {
+  std::uint32_t inv = n0;
+  for (int i = 0; i < 4; ++i) inv *= 2u - n0 * inv;
+  return ~inv + 1u;
+}
+
+// Coarsely Integrated Operand Scanning Montgomery multiplication (Koç et
+// al.): out = a * b * R^{-1} mod n with R = 2^(32s), for a, b < n, n odd,
+// all s limbs. `t` is caller-provided scratch of s+2 limbs. `out` may alias
+// `a` or `b` — it is only written after both are fully consumed.
+void mont_mul(const std::uint32_t* a, const std::uint32_t* b,
+              const std::uint32_t* n, std::uint32_t n0p, std::size_t s,
+              std::uint32_t* t, std::uint32_t* out) {
+  std::fill(t, t + s + 2, 0u);
+  for (std::size_t i = 0; i < s; ++i) {
+    const std::uint64_t bi = b[i];
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < s; ++j) {
+      const std::uint64_t cur =
+          t[j] + static_cast<std::uint64_t>(a[j]) * bi + carry;
+      t[j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::uint64_t cur = t[s] + carry;
+    t[s] = static_cast<std::uint32_t>(cur);
+    t[s + 1] = static_cast<std::uint32_t>(cur >> 32);
+
+    const std::uint64_t m = static_cast<std::uint32_t>(t[0] * n0p);
+    carry = (t[0] + m * n[0]) >> 32;  // low word becomes 0, dropped below
+    for (std::size_t j = 1; j < s; ++j) {
+      const std::uint64_t cur2 = t[j] + m * n[j] + carry;
+      t[j - 1] = static_cast<std::uint32_t>(cur2);
+      carry = cur2 >> 32;
+    }
+    const std::uint64_t cs = static_cast<std::uint64_t>(t[s]) + carry;
+    t[s - 1] = static_cast<std::uint32_t>(cs);
+    t[s] = t[s + 1] + static_cast<std::uint32_t>(cs >> 32);
+  }
+  // t in [0, 2n): subtract n once if needed.
+  bool ge = t[s] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = s; i > 0; --i) {
+      if (t[i - 1] != n[i - 1]) {
+        ge = t[i - 1] > n[i - 1];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < s; ++i) {
+      const std::int64_t d = static_cast<std::int64_t>(t[i]) -
+                             static_cast<std::int64_t>(n[i]) - borrow;
+      out[i] = static_cast<std::uint32_t>(d & 0xffffffff);
+      borrow = d < 0 ? 1 : 0;
+    }
+  } else {
+    std::copy(t, t + s, out);
+  }
+}
 
 }  // namespace
 
@@ -298,6 +365,18 @@ BigNum::DivMod BigNum::divmod(const BigNum& divisor) const {
 
 BigNum BigNum::modexp(const BigNum& exponent, const BigNum& modulus) const {
   assert(modulus > BigNum(1));
+  // Single-limb moduli already reduce through the fast divmod path; the
+  // Montgomery transform only pays for itself on multi-limb odd moduli.
+  if (util::montgomery_enabled() && modulus.is_odd() &&
+      modulus.limbs_.size() > 1) {
+    return modexp_montgomery(exponent, modulus);
+  }
+  return modexp_schoolbook(exponent, modulus);
+}
+
+BigNum BigNum::modexp_schoolbook(const BigNum& exponent,
+                                 const BigNum& modulus) const {
+  assert(modulus > BigNum(1));
   BigNum base = *this % modulus;
   BigNum result(1);
   const std::size_t bits = exponent.bit_length();
@@ -306,6 +385,51 @@ BigNum BigNum::modexp(const BigNum& exponent, const BigNum& modulus) const {
     base = (base * base) % modulus;
   }
   return result;
+}
+
+BigNum BigNum::modexp_montgomery(const BigNum& exponent,
+                                 const BigNum& modulus) const {
+  assert(modulus > BigNum(1));
+  assert(modulus.is_odd() && "Montgomery form requires an odd modulus");
+  const std::size_t s = modulus.limbs_.size();
+  const std::uint32_t n0p = mont_n0_prime(modulus.limbs_[0]);
+  const std::uint32_t* n = modulus.limbs_.data();
+
+  // R^2 mod n, computed once per call with the generic machinery; the
+  // exponentiation loop itself never divides.
+  const BigNum r2 = (BigNum(1) << (64 * s)) % modulus;
+  auto padded = [s](const BigNum& x) {
+    std::vector<std::uint32_t> v = x.limbs_;
+    v.resize(s, 0u);
+    return v;
+  };
+  const std::vector<std::uint32_t> r2v = padded(r2);
+  std::vector<std::uint32_t> base_m = padded(*this % modulus);
+  std::vector<std::uint32_t> one(s, 0u);
+  one[0] = 1u;
+
+  std::vector<std::uint32_t> t(s + 2);
+  std::vector<std::uint32_t> result_m(s);
+  // Enter Montgomery form: x_m = x * R mod n = mont_mul(x, R^2).
+  mont_mul(base_m.data(), r2v.data(), n, n0p, s, t.data(), base_m.data());
+  mont_mul(one.data(), r2v.data(), n, n0p, s, t.data(), result_m.data());
+
+  const std::size_t bits = exponent.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exponent.bit(i)) {
+      mont_mul(result_m.data(), base_m.data(), n, n0p, s, t.data(),
+               result_m.data());
+    }
+    mont_mul(base_m.data(), base_m.data(), n, n0p, s, t.data(),
+             base_m.data());
+  }
+  // Leave Montgomery form: x = mont_mul(x_m, 1).
+  mont_mul(result_m.data(), one.data(), n, n0p, s, t.data(), result_m.data());
+
+  BigNum out;
+  out.limbs_ = std::move(result_m);
+  out.trim();
+  return out;
 }
 
 BigNum BigNum::gcd(BigNum a, BigNum b) {

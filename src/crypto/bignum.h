@@ -56,8 +56,19 @@ class BigNum {
   BigNum operator/(const BigNum& other) const;
   BigNum operator%(const BigNum& other) const;
 
-  /// (this ^ exponent) mod modulus; modulus must be > 1.
+  /// (this ^ exponent) mod modulus; modulus must be > 1. Dispatches to the
+  /// Montgomery path for odd multi-limb moduli when TANGLED_MONTGOMERY is
+  /// on, the schoolbook path otherwise; both produce identical results.
   BigNum modexp(const BigNum& exponent, const BigNum& modulus) const;
+
+  /// Square-and-multiply with divmod reduction — the original path, kept
+  /// callable as the differential-test reference and the feature-off arm.
+  BigNum modexp_schoolbook(const BigNum& exponent,
+                           const BigNum& modulus) const;
+
+  /// Montgomery-form (CIOS) exponentiation; modulus must be odd and > 1.
+  BigNum modexp_montgomery(const BigNum& exponent,
+                           const BigNum& modulus) const;
 
   /// Greatest common divisor (binary-free, Euclid with divmod).
   static BigNum gcd(BigNum a, BigNum b);

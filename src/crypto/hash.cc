@@ -1,6 +1,15 @@
 #include "crypto/hash.h"
 
+#include <algorithm>
 #include <cstring>
+
+#include "util/features.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define TANGLED_SHA_NI_POSSIBLE 1
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
 
 namespace tangled::crypto {
 
@@ -50,17 +59,7 @@ constexpr std::uint32_t kSha256K[64] = {
     0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
 
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// SHA-256
-// ---------------------------------------------------------------------------
-
-Sha256::Sha256()
-    : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
-
-void Sha256::compress(const std::uint8_t* block) {
+void sha256_compress_scalar(std::uint32_t* state, const std::uint8_t* block) {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
   for (int i = 16; i < 64; ++i) {
@@ -70,8 +69,8 @@ void Sha256::compress(const std::uint8_t* block) {
         rotr32(w[i - 2], 17) ^ rotr32(w[i - 2], 19) ^ (w[i - 2] >> 10);
     w[i] = w[i - 16] + s0 + w[i - 7] + s1;
   }
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
   for (int i = 0; i < 64; ++i) {
     const std::uint32_t s1 = rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25);
     const std::uint32_t ch = (e & f) ^ (~e & g);
@@ -82,8 +81,294 @@ void Sha256::compress(const std::uint8_t* block) {
     h = g; g = f; f = e; e = d + t1;
     d = c; c = b; b = a; a = t1 + t2;
   }
-  state_[0] += a; state_[1] += b; state_[2] += c; state_[3] += d;
-  state_[4] += e; state_[5] += f; state_[6] += g; state_[7] += h;
+  state[0] += a; state[1] += b; state[2] += c; state[3] += d;
+  state[4] += e; state[5] += f; state[6] += g; state[7] += h;
+}
+
+#if defined(TANGLED_SHA_NI_POSSIBLE)
+
+bool cpu_has_sha_ni() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return false;
+  const bool ssse3 = (ecx & (1u << 9)) != 0;
+  const bool sse41 = (ecx & (1u << 19)) != 0;
+  if (!ssse3 || !sse41) return false;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (ebx & (1u << 29)) != 0;  // SHA extensions
+}
+
+// Packs the FIPS a..h state into the ABEF/CDGH register layout the
+// sha256rnds2 instruction expects (the canonical Intel arrangement).
+__attribute__((target("sha,sse4.1,ssse3")))
+inline void shani_pack(const std::uint32_t* state, __m128i* abef,
+                       __m128i* cdgh) {
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  __m128i st1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 4));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  st1 = _mm_shuffle_epi32(st1, 0x1B);        // EFGH
+  *abef = _mm_alignr_epi8(tmp, st1, 8);      // ABEF
+  *cdgh = _mm_blend_epi16(st1, tmp, 0xF0);   // CDGH
+}
+
+__attribute__((target("sha,sse4.1,ssse3")))
+inline void shani_unpack(__m128i abef, __m128i cdgh, std::uint32_t* state) {
+  const __m128i tmp = _mm_shuffle_epi32(abef, 0x1B);   // FEBA
+  const __m128i st1 = _mm_shuffle_epi32(cdgh, 0xB1);   // DCHG
+  const __m128i abcd = _mm_blend_epi16(tmp, st1, 0xF0);
+  const __m128i efgh = _mm_alignr_epi8(st1, tmp, 8);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), abcd);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state + 4), efgh);
+}
+
+// One 64-round SHA-256 compression over up to four independent states, one
+// block each, with the lanes' instructions interleaved so the rnds2 latency
+// chains overlap. `m` holds the message schedule as a four-group ring:
+// group g consumes m[g&3] and, through round 12, rewrites that slot with
+// group g+4 via msg1/msg2 (W[t+16] = σ1(W[t+14]) + W[t+9] + σ0(W[t+1]) + W[t]).
+__attribute__((target("sha,sse4.1,ssse3")))
+void sha256_compress_shani_lanes(std::uint32_t* const* states,
+                                 const std::uint8_t* const* blocks,
+                                 int lanes) {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+  __m128i s0[4], s1[4], save0[4], save1[4], m[4][4];
+  for (int l = 0; l < lanes; ++l) {
+    shani_pack(states[l], &s0[l], &s1[l]);
+    save0[l] = s0[l];
+    save1[l] = s1[l];
+    for (int g = 0; g < 4; ++g) {
+      m[l][g] = _mm_shuffle_epi8(
+          _mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(blocks[l] + 16 * g)),
+          kShuffle);
+    }
+  }
+  for (int g = 0; g < 16; ++g) {
+    const __m128i k =
+        _mm_set_epi32(static_cast<int>(kSha256K[4 * g + 3]),
+                      static_cast<int>(kSha256K[4 * g + 2]),
+                      static_cast<int>(kSha256K[4 * g + 1]),
+                      static_cast<int>(kSha256K[4 * g + 0]));
+    for (int l = 0; l < lanes; ++l) {
+      const __m128i w0 = m[l][g & 3];
+      __m128i msg = _mm_add_epi32(w0, k);
+      s1[l] = _mm_sha256rnds2_epu32(s1[l], s0[l], msg);
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      s0[l] = _mm_sha256rnds2_epu32(s0[l], s1[l], msg);
+      if (g < 12) {
+        const __m128i w1 = m[l][(g + 1) & 3];
+        const __m128i w2 = m[l][(g + 2) & 3];
+        const __m128i w3 = m[l][(g + 3) & 3];
+        __m128i t = _mm_sha256msg1_epu32(w0, w1);
+        t = _mm_add_epi32(t, _mm_alignr_epi8(w3, w2, 4));
+        m[l][g & 3] = _mm_sha256msg2_epu32(t, w3);
+      }
+    }
+  }
+  for (int l = 0; l < lanes; ++l) {
+    s0[l] = _mm_add_epi32(s0[l], save0[l]);
+    s1[l] = _mm_add_epi32(s1[l], save1[l]);
+    shani_unpack(s0[l], s1[l], states[l]);
+  }
+}
+
+// Single-stream multi-block variant: the state stays packed in registers
+// across the whole run, so long inputs (DER fingerprints) pay the
+// pack/unpack shuffles once instead of per block.
+__attribute__((target("sha,sse4.1,ssse3")))
+void sha256_compress_shani_stream(std::uint32_t* state,
+                                  const std::uint8_t* data,
+                                  std::size_t blocks) {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+  __m128i s0, s1;
+  shani_pack(state, &s0, &s1);
+  for (std::size_t b = 0; b < blocks; ++b, data += 64) {
+    const __m128i save0 = s0;
+    const __m128i save1 = s1;
+    __m128i m[4];
+    for (int g = 0; g < 4; ++g) {
+      m[g] = _mm_shuffle_epi8(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16 * g)),
+          kShuffle);
+    }
+    for (int g = 0; g < 16; ++g) {
+      const __m128i k =
+          _mm_set_epi32(static_cast<int>(kSha256K[4 * g + 3]),
+                        static_cast<int>(kSha256K[4 * g + 2]),
+                        static_cast<int>(kSha256K[4 * g + 1]),
+                        static_cast<int>(kSha256K[4 * g + 0]));
+      const __m128i w0 = m[g & 3];
+      __m128i msg = _mm_add_epi32(w0, k);
+      s1 = _mm_sha256rnds2_epu32(s1, s0, msg);
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      s0 = _mm_sha256rnds2_epu32(s0, s1, msg);
+      if (g < 12) {
+        const __m128i w1 = m[(g + 1) & 3];
+        const __m128i w2 = m[(g + 2) & 3];
+        const __m128i w3 = m[(g + 3) & 3];
+        __m128i t = _mm_sha256msg1_epu32(w0, w1);
+        t = _mm_add_epi32(t, _mm_alignr_epi8(w3, w2, 4));
+        m[g & 3] = _mm_sha256msg2_epu32(t, w3);
+      }
+    }
+    s0 = _mm_add_epi32(s0, save0);
+    s1 = _mm_add_epi32(s1, save1);
+  }
+  shani_unpack(s0, s1, state);
+}
+
+#else  // !TANGLED_SHA_NI_POSSIBLE
+
+bool cpu_has_sha_ni() { return false; }
+
+#endif
+
+/// Whether the hardware engine should be used right now: the CPU check is
+/// latched once, the feature toggle is re-read so ablation passes can flip
+/// it mid-process.
+bool sha256_hw_active() {
+  static const bool available = cpu_has_sha_ni();
+  return available && util::batch_hash_enabled();
+}
+
+void sha256_compress_blocks(std::uint32_t* state, const std::uint8_t* data,
+                            std::size_t blocks) {
+#if defined(TANGLED_SHA_NI_POSSIBLE)
+  if (sha256_hw_active()) {
+    sha256_compress_shani_stream(state, data, blocks);
+    return;
+  }
+#endif
+  for (std::size_t b = 0; b < blocks; ++b, data += 64) {
+    sha256_compress_scalar(state, data);
+  }
+}
+
+/// Streams one batch lane's padded message, block by block. The padded
+/// stream is the concatenation of `parts` followed by 0x80, zeros, and the
+/// big-endian 64-bit bit length, rounded up to whole 64-byte blocks —
+/// exactly what Sha256::update + digest would feed the compressor.
+struct BatchLaneCursor {
+  std::span<const ByteView> parts;
+  std::size_t part_idx = 0;
+  std::size_t part_off = 0;
+  std::uint64_t total = 0;         // message bytes
+  std::uint64_t blocks_total = 0;  // padded stream, in blocks
+  std::uint64_t blocks_done = 0;
+  std::uint32_t state[8];
+  std::uint8_t scratch[64];
+
+  void init(std::span<const ByteView> p) {
+    static constexpr std::uint32_t kIv[8] = {
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+        0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+    parts = p;
+    total = 0;
+    for (const ByteView part : parts) total += part.size();
+    blocks_total = (total + 8) / 64 + 1;
+    std::memcpy(state, kIv, sizeof(state));
+  }
+
+  bool done() const { return blocks_done == blocks_total; }
+
+  const std::uint8_t* next_block() {
+    const std::uint64_t pos = blocks_done * 64;
+    ++blocks_done;
+    if (part_idx < parts.size()) {
+      const ByteView p = parts[part_idx];
+      if (part_off < p.size() && part_off + 64 <= p.size()) {
+        const std::uint8_t* ptr = p.data() + part_off;
+        part_off += 64;
+        if (part_off == p.size()) {
+          ++part_idx;
+          part_off = 0;
+        }
+        return ptr;
+      }
+    }
+    std::size_t filled = 0;
+    while (filled < 64 && part_idx < parts.size()) {
+      const ByteView p = parts[part_idx];
+      const std::size_t take =
+          std::min<std::size_t>(64 - filled, p.size() - part_off);
+      std::memcpy(scratch + filled, p.data() + part_off, take);
+      filled += take;
+      part_off += take;
+      if (part_off == p.size()) {
+        ++part_idx;
+        part_off = 0;
+      }
+    }
+    const std::uint64_t padded_len = blocks_total * 64;
+    const std::uint64_t bit_len = total * 8;
+    for (; filled < 64; ++filled) {
+      const std::uint64_t off = pos + filled;
+      if (off == total) {
+        scratch[filled] = 0x80;
+      } else if (off < padded_len - 8) {
+        scratch[filled] = 0;
+      } else {
+        scratch[filled] =
+            static_cast<std::uint8_t>(bit_len >> (8 * (padded_len - 1 - off)));
+      }
+    }
+    return scratch;
+  }
+};
+
+}  // namespace
+
+bool sha256_hw_available() { return cpu_has_sha_ni(); }
+
+void sha256_batch(std::span<const Sha256Lane> lanes) {
+#if defined(TANGLED_SHA_NI_POSSIBLE)
+  if (sha256_hw_active()) {
+    for (std::size_t base = 0; base < lanes.size(); base += 4) {
+      const int group = static_cast<int>(std::min<std::size_t>(
+          4, lanes.size() - base));
+      BatchLaneCursor cursors[4];
+      for (int i = 0; i < group; ++i) cursors[i].init(lanes[base + i].parts);
+      for (;;) {
+        std::uint32_t* states[4];
+        const std::uint8_t* blocks[4];
+        int active = 0;
+        for (int i = 0; i < group; ++i) {
+          if (cursors[i].done()) continue;
+          states[active] = cursors[i].state;
+          blocks[active] = cursors[i].next_block();
+          ++active;
+        }
+        if (active == 0) break;
+        sha256_compress_shani_lanes(states, blocks, active);
+      }
+      for (int i = 0; i < group; ++i) {
+        for (int w = 0; w < 8; ++w) {
+          store_be32(lanes[base + i].out + 4 * w, cursors[i].state[w]);
+        }
+      }
+    }
+    return;
+  }
+#endif
+  for (const Sha256Lane& lane : lanes) {
+    Sha256 h;
+    for (const ByteView part : lane.parts) h.update(part);
+    const auto d = h.digest();
+    std::memcpy(lane.out, d.data(), d.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SHA-256
+// ---------------------------------------------------------------------------
+
+Sha256::Sha256()
+    : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
+
+void Sha256::compress(const std::uint8_t* block) {
+  sha256_compress_blocks(state_.data(), block, 1);
 }
 
 void Sha256::update(ByteView data) {
@@ -99,9 +384,10 @@ void Sha256::update(ByteView data) {
       buffered_ = 0;
     }
   }
-  while (off + kBlockSize <= data.size()) {
-    compress(data.data() + off);
-    off += kBlockSize;
+  const std::size_t whole_blocks = (data.size() - off) / kBlockSize;
+  if (whole_blocks > 0) {
+    sha256_compress_blocks(state_.data(), data.data() + off, whole_blocks);
+    off += whole_blocks * kBlockSize;
   }
   if (off < data.size()) {
     std::memcpy(buffer_.data(), data.data() + off, data.size() - off);

@@ -4,11 +4,22 @@
 //
 // All hashers share the streaming interface: update() any number of times,
 // then digest() (which finalizes a copy, so the hasher stays reusable for
-// further updates if desired — matching common digest APIs).
+// further updates if desired — matching common digest APIs). Hashers are
+// plain copyable values, so a partially-fed Sha256 doubles as a reusable
+// mid-state: hash a common prefix once, then copy + finish per message
+// (the SimSig issuer-modulus prefix relies on this).
+//
+// SHA-256 has two engines behind the same interface: the portable scalar
+// compression and an x86 SHA-NI path selected at runtime (CPUID) when
+// TANGLED_BATCH_HASH is on. sha256_batch() additionally runs several
+// independent messages through interleaved hardware lanes so per-cert
+// digest bundles are hashed per batch rather than one DER at a time.
+// Both engines produce identical digests; the toggle exists for ablation.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "util/bytes.h"
 
@@ -36,6 +47,23 @@ class Sha256 {
   std::array<std::uint8_t, kBlockSize> buffer_{};
   std::size_t buffered_ = 0;
 };
+
+/// True when this CPU exposes the x86 SHA extensions (independent of the
+/// TANGLED_BATCH_HASH toggle, which decides whether they are used).
+bool sha256_hw_available();
+
+/// One message of a multi-buffer batch: the message is the concatenation
+/// of `parts`, and the 32-byte digest is written to `out`.
+struct Sha256Lane {
+  std::span<const ByteView> parts;
+  std::uint8_t* out;
+};
+
+/// Hashes every lane independently (digest identical to feeding the lane's
+/// parts through one Sha256). With the hardware engine active, up to four
+/// lanes run through interleaved SHA-NI states per round; otherwise lanes
+/// fall back to sequential scalar hashing.
+void sha256_batch(std::span<const Sha256Lane> lanes);
 
 class Sha1 {
  public:

@@ -120,4 +120,22 @@ Result<void> verify_signature(const asn1::Oid& oid, const RsaPublicKey& issuer,
   return scheme->verify(issuer, tbs, signature);
 }
 
+Sha256 sim_sig_prefix(const RsaPublicKey& issuer) {
+  Sha256 h;
+  const Bytes n = issuer.n.to_bytes();
+  h.update(n);
+  return h;
+}
+
+Result<void> sim_sig_verify_prefixed(const Sha256& prefix, ByteView tbs,
+                                     ByteView signature) {
+  Sha256 h = prefix;
+  h.update(tbs);
+  const auto expected = h.digest();
+  if (!bytes_equal(expected, signature)) {
+    return verify_error("SimSig mismatch");
+  }
+  return {};
+}
+
 }  // namespace tangled::crypto

@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "asn1/oid.h"
+#include "crypto/hash.h"
 #include "crypto/rsa.h"
 #include "util/bytes.h"
 #include "util/result.h"
@@ -65,5 +66,17 @@ const SignatureScheme* scheme_for_oid(const asn1::Oid& oid);
 /// Verifies `signature` over `tbs` under whichever scheme `oid` names.
 Result<void> verify_signature(const asn1::Oid& oid, const RsaPublicKey& issuer,
                               ByteView tbs, ByteView signature);
+
+/// SHA-256 mid-state pre-seeded with the SimSig prefix (the issuer's
+/// modulus bytes). A verifier hashing many certificates under one issuer
+/// computes this once, then each verification copies the mid-state and
+/// finishes with the TBS bytes — no modulus re-serialization, no re-hash
+/// of the shared prefix. Equivalent to sim_sig_scheme().verify by
+/// construction: both feed the same byte stream through SHA-256.
+Sha256 sim_sig_prefix(const RsaPublicKey& issuer);
+
+/// Verifies a SimSig signature using a precomputed prefix mid-state.
+Result<void> sim_sig_verify_prefixed(const Sha256& prefix, ByteView tbs,
+                                     ByteView signature);
 
 }  // namespace tangled::crypto

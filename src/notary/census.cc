@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <array>
 #include <string_view>
+#include <tuple>
 #include <unordered_set>
 #include <utility>
 
 #include "crypto/hash.h"
 #include "obs/obs.h"
 #include "util/binio.h"
+#include "util/features.h"
 
 namespace tangled::notary {
 
@@ -26,6 +28,7 @@ pki::VerifyOptions census_options(pki::VerifyOptions options) {
 ValidationCensus::ValidationCensus(const pki::TrustAnchors& anchors,
                                    pki::VerifyOptions options)
     : anchors_(anchors),
+      dense_(util::dense_ids_enabled()),
       verifier_(anchors, census_options(options)),
       now_(options.at),
       now_unix_(options.at.to_unix()),
@@ -233,12 +236,33 @@ void ValidationCensus::ingest_into(Shard& shard,
   }
   // Upgrade-aware dedup: a validated leaf is final; an unvalidated one is
   // retried with this observation's intermediates — a later chain may carry
-  // the cross-signing certificate the first one lacked.
-  const auto [state, first_seen] =
-      shard.leaf_state.try_emplace(leaf.fingerprint_hex(), false);
-  if (!first_seen && state->second) {
-    TANGLED_OBS_INC("notary.census.dedup_skipped");
-    return;
+  // the cross-signing certificate the first one lacked. Dense mode tracks
+  // the same three states in a flat array indexed by the leaf's interned
+  // id instead of probing the hex-keyed map.
+  std::uint8_t* dense_state = nullptr;
+  std::unordered_map<std::string, bool>::iterator wide_state;
+  bool first_seen = false;
+  if (dense_) {
+    const std::uint32_t id = leaf.dense_id();
+    if (id >= shard.leaf_state_dense.size()) {
+      shard.leaf_state_dense.resize(id + 1, 0);
+    }
+    dense_state = &shard.leaf_state_dense[id];
+    if (*dense_state == 2) {
+      TANGLED_OBS_INC("notary.census.dedup_skipped");
+      return;
+    }
+    first_seen = *dense_state == 0;
+    if (first_seen) *dense_state = 1;
+  } else {
+    bool inserted = false;
+    std::tie(wide_state, inserted) =
+        shard.leaf_state.try_emplace(leaf.fingerprint_hex(), false);
+    if (!inserted && wide_state->second) {
+      TANGLED_OBS_INC("notary.census.dedup_skipped");
+      return;
+    }
+    first_seen = inserted;
   }
   if (first_seen) ++shard.total_unexpired;
   else TANGLED_OBS_INC("notary.census.revalidation_attempts");
@@ -261,10 +285,63 @@ void ValidationCensus::ingest_into(Shard& shard,
   if (survey.value().budget_exhausted) {
     TANGLED_OBS_INC("notary.census.budget_exhausted");
   }
-  state->second = true;
+  if (dense_) *dense_state = 2;
+  else wide_state->second = true;
   if (!first_seen) TANGLED_OBS_INC("notary.census.upgraded");
   TANGLED_OBS_INC("notary.census.validated");
   ++shard.total_validated;
+
+  if (dense_) {
+    // Distinct equivalence *ids* across all valid anchors — the same
+    // dedup the hex path does below, one integer sort instead of a
+    // string-view sort.
+    std::vector<std::uint32_t>& ids = shard.scratch_ids;
+    ids.clear();
+    ids.reserve(survey.value().anchors.size());
+    for (const x509::Certificate* anchor : survey.value().anchors) {
+      ids.push_back(anchor->equivalence_id());
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    if (ids.size() > 1) TANGLED_OBS_INC("notary.census.multi_anchor");
+    if (sampling_.has_value()) {
+      // The sampler classifies by hex key; materialize the same deduped
+      // view list the string path builds (cold: sampling is
+      // diagnostic-rate and per-cell bounded).
+      std::vector<std::string_view>& keys = shard.scratch_keys;
+      keys.clear();
+      keys.reserve(survey.value().anchors.size());
+      for (const x509::Certificate* anchor : survey.value().anchors) {
+        keys.push_back(anchor->equivalence_hex());
+      }
+      std::sort(keys.begin(), keys.end());
+      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+      sample_validated_trace(shard, observation, keys);
+    }
+    for (const std::uint32_t id : ids) {
+      if (id >= shard.by_root_dense.size()) {
+        shard.by_root_dense.resize(id + 1, 0);
+      }
+      ++shard.by_root_dense[id];
+    }
+    const auto it = shard.anchor_set_index_dense.find(ids);
+    if (it == shard.anchor_set_index_dense.end()) {
+      // First sighting of this set: store the canonical sorted-hex keys,
+      // byte-identical to what the string path stores, so merge/encode
+      // need no per-mode branches downstream.
+      std::vector<std::string> hex_keys;
+      hex_keys.reserve(ids.size());
+      for (const std::uint32_t id : ids) {
+        hex_keys.push_back(x509::cert_equivalence_ids().hex_of(id));
+      }
+      std::sort(hex_keys.begin(), hex_keys.end());
+      shard.anchor_set_index_dense.emplace(ids, shard.anchor_sets.size());
+      shard.anchor_sets.push_back({std::move(hex_keys), 1});
+    } else {
+      ++shard.anchor_sets[it->second].count;
+    }
+    return;
+  }
 
   // Distinct equivalence keys across all valid anchors: a cross-signed
   // hierarchy reaches several; re-issues of the same root collapse to one.
@@ -306,14 +383,36 @@ void ValidationCensus::ingest_into(Shard& shard,
 Bytes ValidationCensus::encode_state() const {
   Bytes out;
   util::put_u32(out, static_cast<std::uint32_t>(kShards));
+  // Scratch rows for the two sorted sections. Dense shards materialize
+  // their keys' hex through the interner reverse tables (`owned` keeps the
+  // strings alive behind the views), so the encoded bytes are identical in
+  // either mode.
   std::vector<std::pair<std::string_view, std::uint64_t>> sorted;
+  std::vector<std::string> owned;
+  const auto own_hex = [&owned](std::string hex) -> std::string_view {
+    owned.push_back(std::move(hex));
+    return owned.back();
+  };
   for (const Shard& shard : shards_) {
     // leaf_state, sorted by fingerprint for deterministic bytes. The bool
     // is widened into the count field of the scratch pair.
     sorted.clear();
-    sorted.reserve(shard.leaf_state.size());
-    for (const auto& [fp, validated] : shard.leaf_state) {
-      sorted.emplace_back(fp, validated ? 1 : 0);
+    owned.clear();
+    if (dense_) {
+      std::size_t n = 0;
+      for (const std::uint8_t st : shard.leaf_state_dense) n += st != 0;
+      owned.reserve(n);  // views must survive later push_backs
+      for (std::uint32_t id = 0; id < shard.leaf_state_dense.size(); ++id) {
+        const std::uint8_t st = shard.leaf_state_dense[id];
+        if (st == 0) continue;
+        sorted.emplace_back(own_hex(x509::cert_fingerprint_ids().hex_of(id)),
+                            st == 2 ? 1 : 0);
+      }
+    } else {
+      sorted.reserve(shard.leaf_state.size());
+      for (const auto& [fp, validated] : shard.leaf_state) {
+        sorted.emplace_back(fp, validated ? 1 : 0);
+      }
     }
     std::sort(sorted.begin(), sorted.end());
     util::put_u64(out, sorted.size());
@@ -323,9 +422,21 @@ Bytes ValidationCensus::encode_state() const {
     }
     // by_root, sorted by equivalence key.
     sorted.clear();
-    sorted.reserve(shard.by_root.size());
-    for (const auto& [key, count] : shard.by_root) {
-      sorted.emplace_back(key, count);
+    owned.clear();
+    if (dense_) {
+      std::size_t n = 0;
+      for (const std::uint64_t count : shard.by_root_dense) n += count != 0;
+      owned.reserve(n);
+      for (std::uint32_t id = 0; id < shard.by_root_dense.size(); ++id) {
+        if (shard.by_root_dense[id] == 0) continue;
+        sorted.emplace_back(own_hex(x509::cert_equivalence_ids().hex_of(id)),
+                            shard.by_root_dense[id]);
+      }
+    } else {
+      sorted.reserve(shard.by_root.size());
+      for (const auto& [key, count] : shard.by_root) {
+        sorted.emplace_back(key, count);
+      }
     }
     std::sort(sorted.begin(), sorted.end());
     util::put_u64(out, sorted.size());
@@ -415,6 +526,51 @@ Result<void> ValidationCensus::decode_state(ByteView data) {
     shard.total_unexpired = unexpired.value();
   }
   if (auto ok = in.expect_end(); !ok.ok()) return ok;
+  if (dense_) {
+    // Re-key the decoded string state onto interned ids (the decode-side
+    // inverse of encode_state's normalization). Still before the commit:
+    // a malformed hex key leaves the census untouched.
+    for (Shard& shard : shards) {
+      for (const auto& [fp, validated] : shard.leaf_state) {
+        const auto digest = from_hex(fp);
+        if (!digest.has_value()) {
+          return parse_error("census snapshot: non-hex leaf fingerprint");
+        }
+        const std::uint32_t id = x509::cert_fingerprint_ids().intern(*digest);
+        if (id >= shard.leaf_state_dense.size()) {
+          shard.leaf_state_dense.resize(id + 1, 0);
+        }
+        shard.leaf_state_dense[id] = validated ? 2 : 1;
+      }
+      shard.leaf_state.clear();
+      for (const auto& [key, count] : shard.by_root) {
+        const auto digest = from_hex(key);
+        if (!digest.has_value()) {
+          return parse_error("census snapshot: non-hex equivalence key");
+        }
+        const std::uint32_t id = x509::cert_equivalence_ids().intern(*digest);
+        if (id >= shard.by_root_dense.size()) {
+          shard.by_root_dense.resize(id + 1, 0);
+        }
+        shard.by_root_dense[id] = count;
+      }
+      shard.by_root.clear();
+      shard.anchor_set_index.clear();
+      for (std::size_t e = 0; e < shard.anchor_sets.size(); ++e) {
+        std::vector<std::uint32_t> ids;
+        ids.reserve(shard.anchor_sets[e].keys.size());
+        for (const std::string& key : shard.anchor_sets[e].keys) {
+          const auto digest = from_hex(key);
+          if (!digest.has_value()) {
+            return parse_error("census snapshot: non-hex anchor-set key");
+          }
+          ids.push_back(x509::cert_equivalence_ids().intern(*digest));
+        }
+        std::sort(ids.begin(), ids.end());
+        shard.anchor_set_index_dense.emplace(std::move(ids), e);
+      }
+    }
+  }
   shards_ = std::move(shards);
   merged_.reset();
   return {};
@@ -492,7 +648,16 @@ const ValidationCensus::Merged& ValidationCensus::merged() const {
   for (const Shard& shard : shards_) {  // shard order, for determinism
     m.total_validated += shard.total_validated;
     m.total_unexpired += shard.total_unexpired;
-    for (const auto& [key, count] : shard.by_root) m.by_root[key] += count;
+    if (dense_) {
+      for (std::uint32_t id = 0; id < shard.by_root_dense.size(); ++id) {
+        if (shard.by_root_dense[id] != 0) {
+          m.by_root[x509::cert_equivalence_ids().hex_of(id)] +=
+              shard.by_root_dense[id];
+        }
+      }
+    } else {
+      for (const auto& [key, count] : shard.by_root) m.by_root[key] += count;
+    }
     for (const AnchorSetEntry& entry : shard.anchor_sets) {
       std::string joined;
       for (const std::string& key : entry.keys) {

@@ -210,6 +210,18 @@ class ValidationCensus {
                                          TransparentStringHash,
                                          std::equal_to<>>;
 
+  /// fnv1a over a sorted dense-id vector (the dense-mode anchor-set key).
+  struct IdSetHash {
+    std::size_t operator()(const std::vector<std::uint32_t>& ids) const noexcept {
+      std::uint64_t h = 1469598103934665603ULL;
+      for (const std::uint32_t id : ids) {
+        h ^= id;
+        h *= 1099511628211ULL;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
   /// Per-shard census state. Shards never share mutable state (the
   /// verify cache they share is internally synchronized), so ingest_batch
   /// can fill all of them concurrently.
@@ -220,11 +232,23 @@ class ValidationCensus {
     KeyCountMap by_root;  // equivalence hex
     std::vector<AnchorSetEntry> anchor_sets;      // arrival order
     std::unordered_map<std::string, std::size_t> anchor_set_index;  // joined keys
+    // --- Dense-id accumulators (TANGLED_DENSE_IDS) ------------------------
+    // Used instead of the string-keyed maps above when the census latched
+    // dense mode: ingest indexes flat arrays by interned id (leaf state by
+    // dense_id, per-root counts by equivalence_id) and keys the anchor-set
+    // memo on the sorted id vector. encode_state and merged() normalize
+    // back to the sorted-hex canonical form through the interners' reverse
+    // tables, so snapshots and every query are byte-identical across modes.
+    std::vector<std::uint8_t> leaf_state_dense;  // 0 unseen / 1 seen / 2 valid
+    std::vector<std::uint64_t> by_root_dense;    // count by equivalence_id
+    std::unordered_map<std::vector<std::uint32_t>, std::size_t, IdSetHash>
+        anchor_set_index_dense;  // sorted equivalence ids
     std::uint64_t total_validated = 0;
     std::uint64_t total_unexpired = 0;
     // Per-ingest scratch (each shard is ingested by one thread at a time);
     // capacity is reused across observations instead of reallocated.
     std::vector<std::string_view> scratch_keys;
+    std::vector<std::uint32_t> scratch_ids;
     std::string scratch_joined;
     // --- Decision-trace sampling (empty unless enabled) -------------------
     /// "|errc" → failure samples taken in this shard. Each shard samples up
@@ -287,6 +311,11 @@ class ValidationCensus {
   const Merged& merged() const;
 
   const pki::TrustAnchors& anchors_;
+  /// Latched at construction from TANGLED_DENSE_IDS: routes ingest through
+  /// the Shard dense-id accumulators. When trace sampling is also enabled
+  /// the dense path additionally materializes the hex key list the sampler
+  /// consumes (sampling is diagnostic-rate, so the extra copies are cold).
+  const bool dense_;
   /// Shared link-signature memo, created unless VerifyOptions or the
   /// TANGLED_VERIFY_CACHE env knob turns it off. Declared before the
   /// verifier that borrows it.

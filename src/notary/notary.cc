@@ -5,8 +5,26 @@
 
 #include "obs/obs.h"
 #include "util/binio.h"
+#include "util/features.h"
 
 namespace tangled::notary {
+
+namespace {
+
+/// Marks `id` in a flat membership array, growing it on demand. Returns
+/// true when the id was not yet a member (the dense analogue of
+/// set::insert(...).second).
+bool dense_insert(std::vector<std::uint8_t>& set, std::uint32_t id) {
+  if (id >= set.size()) set.resize(id + 1, 0);
+  if (set[id] != 0) return false;
+  set[id] = 1;
+  return true;
+}
+
+}  // namespace
+
+NotaryDb::NotaryDb(asn1::Time now)
+    : now_(now), dense_(util::dense_ids_enabled()) {}
 
 void NotaryDb::observe(const Observation& observation) {
   TANGLED_OBS_INC("notary.db.observations");
@@ -14,8 +32,11 @@ void NotaryDb::observe(const Observation& observation) {
   ++sessions_;
   ++by_port_[observation.port];
   for (const x509::Certificate& cert : observation.chain) {
-    const std::string fp = cert.fingerprint_hex();
-    if (unique_certs_.insert(fp).second) {
+    const bool first_seen =
+        dense_ ? dense_insert(unique_certs_dense_, cert.dense_id())
+               : unique_certs_.insert(cert.fingerprint_hex()).second;
+    if (first_seen) {
+      if (dense_) ++unique_count_;
       TANGLED_OBS_INC("notary.db.unique_certs");
       if (!cert.expired_at(now_)) {
         ++unexpired_;
@@ -25,15 +46,30 @@ void NotaryDb::observe(const Observation& observation) {
     } else {
       TANGLED_OBS_INC("notary.db.dedup_hits");
     }
-    identities_.insert(cert.identity_hex());
+    if (dense_) {
+      if (dense_insert(identities_dense_, cert.identity_id())) {
+        ++identity_count_;
+      }
+    } else {
+      identities_.insert(cert.identity_hex());
+    }
   }
 }
 
 bool NotaryDb::recorded(const x509::Certificate& cert) const {
+  if (dense_) {
+    const std::uint32_t id = cert.identity_id();
+    return id < identities_dense_.size() && identities_dense_[id] != 0;
+  }
   return identities_.contains(cert.identity_hex());
 }
 
 bool NotaryDb::recorded_identity(ByteView identity_key) const {
+  if (dense_) {
+    const auto id = x509::cert_identity_ids().find(identity_key);
+    return id.has_value() && *id < identities_dense_.size() &&
+           identities_dense_[*id] != 0;
+  }
   return identities_.contains(to_hex(identity_key));
 }
 
@@ -51,6 +87,36 @@ void put_string_set(Bytes& out, const std::unordered_set<std::string>& set) {
   const auto keys = sorted_keys(set);
   util::put_u64(out, keys.size());
   for (const std::string& key : keys) util::put_string(out, key);
+}
+
+/// Dense-mode twin of put_string_set: recovers each member id's hex form
+/// through the interner's reverse table and writes the same sorted-hex
+/// encoding, so a dense-mode snapshot is byte-identical to a string-mode
+/// one over the same observations.
+void put_dense_set(Bytes& out, const std::vector<std::uint8_t>& set,
+                   const util::DigestInterner& ids) {
+  std::vector<std::string> keys;
+  for (std::uint32_t id = 0; id < set.size(); ++id) {
+    if (set[id] != 0) keys.push_back(ids.hex_of(id));
+  }
+  std::sort(keys.begin(), keys.end());
+  util::put_u64(out, keys.size());
+  for (const std::string& key : keys) util::put_string(out, key);
+}
+
+/// Interns every hex key of a decoded string set into a dense membership
+/// array (the decode-side inverse of put_dense_set).
+Result<void> densify_set(const std::unordered_set<std::string>& keys,
+                         util::DigestInterner& ids,
+                         std::vector<std::uint8_t>& set) {
+  for (const std::string& key : keys) {
+    const auto digest = from_hex(key);
+    if (!digest.has_value()) {
+      return parse_error("notary snapshot: non-hex set key");
+    }
+    dense_insert(set, ids.intern(*digest));
+  }
+  return {};
 }
 
 Result<void> read_string_set(util::BinReader& in,
@@ -73,8 +139,13 @@ Bytes NotaryDb::encode_state() const {
   util::put_i64(out, now_.to_unix());
   util::put_u64(out, sessions_);
   util::put_u64(out, unexpired_);
-  put_string_set(out, unique_certs_);
-  put_string_set(out, identities_);
+  if (dense_) {
+    put_dense_set(out, unique_certs_dense_, x509::cert_fingerprint_ids());
+    put_dense_set(out, identities_dense_, x509::cert_identity_ids());
+  } else {
+    put_string_set(out, unique_certs_);
+    put_string_set(out, identities_);
+  }
   util::put_u64(out, by_port_.size());
   for (const auto& [port, count] : by_port_) {  // std::map: already sorted
     util::put_u16(out, port);
@@ -109,6 +180,29 @@ Result<void> NotaryDb::decode_state(ByteView data) {
     by_port[port.value()] = count.value();
   }
   if (auto ok = in.expect_end(); !ok.ok()) return ok;
+  if (dense_) {
+    // Convert to the dense arrays before committing anything, so a bad hex
+    // key still leaves `this` untouched.
+    std::vector<std::uint8_t> certs_dense;
+    std::vector<std::uint8_t> identities_dense;
+    if (auto ok = densify_set(certs, x509::cert_fingerprint_ids(), certs_dense);
+        !ok.ok()) {
+      return ok;
+    }
+    if (auto ok = densify_set(identities, x509::cert_identity_ids(),
+                              identities_dense);
+        !ok.ok()) {
+      return ok;
+    }
+    sessions_ = sessions.value();
+    unexpired_ = unexpired.value();
+    unique_certs_dense_ = std::move(certs_dense);
+    identities_dense_ = std::move(identities_dense);
+    unique_count_ = certs.size();
+    identity_count_ = identities.size();
+    by_port_ = std::move(by_port);
+    return {};
+  }
   // Everything parsed — commit.
   sessions_ = sessions.value();
   unexpired_ = unexpired.value();

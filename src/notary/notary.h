@@ -26,14 +26,16 @@ struct Observation {
 
 class NotaryDb {
  public:
-  explicit NotaryDb(asn1::Time now = asn1::make_time(2014, 4, 1)) : now_(now) {}
+  explicit NotaryDb(asn1::Time now = asn1::make_time(2014, 4, 1));
 
   /// Ingests one observed session's chain.
   void observe(const Observation& observation);
 
   // --- Aggregates --------------------------------------------------------
   std::uint64_t session_count() const { return sessions_; }
-  std::size_t unique_cert_count() const { return unique_certs_.size(); }
+  std::size_t unique_cert_count() const {
+    return dense_ ? unique_count_ : unique_certs_.size();
+  }
   std::size_t unexpired_unique_cert_count() const { return unexpired_; }
 
   /// Whether a certificate with this identity key was ever observed —
@@ -64,8 +66,19 @@ class NotaryDb {
   asn1::Time now_;
   std::uint64_t sessions_ = 0;
   std::size_t unexpired_ = 0;
+  /// Latched at construction from TANGLED_DENSE_IDS (non-const only so
+  /// move assignment — checkpoint resume swaps in a staged db — stays
+  /// available; nothing mutates it after construction). Dense mode replaces
+  /// the hex-string dedup sets with flat byte arrays indexed by interned
+  /// certificate ids; encode_state normalizes back to the sorted-hex form,
+  /// so snapshots and every aggregate are byte-identical across modes.
+  bool dense_;
   std::unordered_set<std::string> unique_certs_;  // fingerprint hex
   std::unordered_set<std::string> identities_;    // identity-key hex
+  std::vector<std::uint8_t> unique_certs_dense_;  // by dense_id
+  std::vector<std::uint8_t> identities_dense_;    // by identity_id
+  std::size_t unique_count_ = 0;                  // dense-mode set sizes
+  std::size_t identity_count_ = 0;
   std::map<std::uint16_t, std::uint64_t> by_port_;
 };
 

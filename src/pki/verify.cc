@@ -9,9 +9,23 @@
 #include "obs/obs.h"
 #include "pki/decision_trace.h"
 #include "pki/verify_cache.h"
+#include "util/features.h"
 #include "x509/pem.h"
 
 namespace tangled::pki {
+
+namespace {
+
+/// Byte-identity of two parsed certificates. dense_id() is an interned
+/// bijection of the SHA-256 fingerprint (itself a digest of the full DER),
+/// so one 32-bit compare replaces the DER byte compare when
+/// TANGLED_DENSE_IDS is on; the answer is identical in either mode.
+bool same_cert(const x509::Certificate& a, const x509::Certificate& b) {
+  if (util::dense_ids_enabled()) return a.dense_id() == b.dense_id();
+  return a.der() == b.der();
+}
+
+}  // namespace
 
 std::string Chain::to_pem_bundle() const {
   std::string out;
@@ -46,7 +60,7 @@ bool TrustAnchors::trusted_for(const x509::Certificate& anchor,
   const auto [begin, end] =
       subject_index_.equal_range(anchor.subject_name_hash());
   for (auto it = begin; it != end; ++it) {
-    if (anchors_[it->second].der() == anchor.der()) {
+    if (same_cert(anchors_[it->second], anchor)) {
       return (flags_[it->second] & trust_flag(purpose)) != 0;
     }
   }
@@ -86,7 +100,7 @@ bool TrustAnchors::contains(const x509::Certificate& cert) const {
   const auto [begin, end] =
       subject_index_.equal_range(cert.subject_name_hash());
   for (auto it = begin; it != end; ++it) {
-    if (anchors_[it->second].der() == cert.der()) return true;
+    if (same_cert(anchors_[it->second], cert)) return true;
   }
   return false;
 }
@@ -217,39 +231,66 @@ class CertPath {
   std::size_t size_ = 0;
 };
 
-/// A stack-disciplined set of certificate fingerprints with linear lookup.
+/// A stack-disciplined set of certificate identities with linear lookup.
 /// The search path is at most max_depth (8) deep and anchor sets per leaf
 /// are tiny, so inline scanned storage beats an unordered_set's per-call
-/// allocations on the census hot path. Keys are views into interned
-/// fingerprint_hex strings, stable for the certificates' lifetime.
+/// allocations on the census hot path. Keys are interned dense ids when
+/// TANGLED_DENSE_IDS is on (one 32-bit compare per probe), otherwise views
+/// into interned fingerprint_hex strings, stable for the certificates'
+/// lifetime. Both key kinds are bijections of the full fingerprint, so
+/// membership answers are identical in either mode.
 class SmallIdSet {
  public:
-  bool contains(std::string_view id) const {
+  SmallIdSet() : dense_(util::dense_ids_enabled()) {}
+
+  bool contains(const x509::Certificate& cert) const {
+    if (dense_) {
+      const std::uint32_t id = cert.dense_id();
+      for (std::size_t i = 0; i < size_; ++i) {
+        if (id_at(i) == id) return true;
+      }
+      return false;
+    }
+    const std::string_view id = cert.fingerprint_hex();
     for (std::size_t i = 0; i < size_; ++i) {
-      if (at(i) == id) return true;
+      if (hex_at(i) == id) return true;
     }
     return false;
   }
   /// Returns false if already present.
-  bool insert(std::string_view id) {
-    if (contains(id)) return false;
-    if (size_ < kInline) inline_[size_] = id;
-    else overflow_.push_back(id);
+  bool insert(const x509::Certificate& cert) {
+    if (contains(cert)) return false;
+    if (dense_) {
+      if (size_ < kInline) inline_ids_[size_] = cert.dense_id();
+      else overflow_ids_.push_back(cert.dense_id());
+    } else {
+      if (size_ < kInline) inline_hex_[size_] = cert.fingerprint_hex();
+      else overflow_hex_.push_back(cert.fingerprint_hex());
+    }
     ++size_;
     return true;
   }
   void pop() {
-    if (size_ > kInline) overflow_.pop_back();
+    if (size_ > kInline) {
+      if (dense_) overflow_ids_.pop_back();
+      else overflow_hex_.pop_back();
+    }
     --size_;
   }
 
  private:
-  std::string_view at(std::size_t i) const {
-    return i < kInline ? inline_[i] : overflow_[i - kInline];
+  std::uint32_t id_at(std::size_t i) const {
+    return i < kInline ? inline_ids_[i] : overflow_ids_[i - kInline];
+  }
+  std::string_view hex_at(std::size_t i) const {
+    return i < kInline ? inline_hex_[i] : overflow_hex_[i - kInline];
   }
   static constexpr std::size_t kInline = 8;
-  std::array<std::string_view, kInline> inline_;
-  std::vector<std::string_view> overflow_;
+  const bool dense_;
+  std::array<std::uint32_t, kInline> inline_ids_{};
+  std::array<std::string_view, kInline> inline_hex_;
+  std::vector<std::uint32_t> overflow_ids_;
+  std::vector<std::string_view> overflow_hex_;
   std::size_t size_ = 0;
 };
 
@@ -382,7 +423,10 @@ Result<void> check_link(const x509::Certificate& child,
     }
     return result;
   }
-  return child.check_signature_from(issuer.public_key());
+  // The certificate overload reuses the issuer's interned SimSig hash
+  // prefix (when TANGLED_BATCH_HASH is on), so leaf links and cache-off
+  // runs skip the per-check modulus re-serialization too.
+  return child.check_signature_from(issuer);
 }
 
 /// Trace kind for a check_cert_kind rejection (validity window / CA bit).
@@ -482,7 +526,7 @@ bool extend(const x509::Certificate& tip, CertPath& path, SmallIdSet& on_path,
       [&](const x509::Certificate& anchor) {
         if (!ctx.spend_step()) return false;
         ++ctx.stats.anchors_tried;
-        if (anchor.der() == tip.der()) return true;
+        if (same_cert(anchor, tip)) return true;
         if (ctx.trace != nullptr) {
           ctx.trace->add_event(TraceEventKind::kAnchorAttempt, path.size(),
                                anchor.subject().to_string());
@@ -528,18 +572,18 @@ bool extend(const x509::Certificate& tip, CertPath& path, SmallIdSet& on_path,
       ctx.trace->add_event(TraceEventKind::kIntermediateAttempt, path.size(),
                            inter.subject().to_string());
     }
-    // Loop guard keyed on the full SHA-256 fingerprint (hex, interned), not
-    // a 64-bit DER hash: an fnv1a64 collision between two distinct certs on
-    // the same path would silently prune a valid route.
-    const std::string& id = inter.fingerprint_hex();
-    if (on_path.contains(id)) {
+    // Loop guard keyed on the full SHA-256 fingerprint (via SmallIdSet's
+    // interned key), not a 64-bit DER hash: an fnv1a64 collision between
+    // two distinct certs on the same path would silently prune a valid
+    // route.
+    if (on_path.contains(inter)) {
       if (ctx.trace != nullptr) {
         ctx.trace->add_event(TraceEventKind::kLoopGuard, path.size(),
                              inter.subject().to_string());
       }
       return true;  // loop guard
     }
-    if (inter.der() == tip.der()) return true;
+    if (same_cert(inter, tip)) return true;
     if (const auto kind =
             check_cert_kind(inter, /*must_be_ca=*/true, ctx.options, ctx.at_unix);
         kind != PendingError::Kind::kNone) {
@@ -559,7 +603,7 @@ bool extend(const x509::Certificate& tip, CertPath& path, SmallIdSet& on_path,
       return true;
     }
     path.push_back(&inter);
-    on_path.insert(id);
+    on_path.insert(inter);
     if (ctx.trace != nullptr) {
       ctx.trace->add_event(TraceEventKind::kIntermediateDescend, path.size(),
                            inter.subject().to_string());
@@ -653,7 +697,7 @@ void collect_anchors(const x509::Certificate& tip, CertPath& path,
         return;
       }
     }
-    if (found_anchors.insert(anchor.fingerprint_hex())) {
+    if (found_anchors.insert(anchor)) {
       survey.anchors.push_back(&anchor);
       if (ctx.trace != nullptr) {
         ctx.trace->add_event(TraceEventKind::kAnchorAccepted, path.size(),
@@ -672,7 +716,7 @@ void collect_anchors(const x509::Certificate& tip, CertPath& path,
     ctx.anchors.for_each_by_subject(
         tip.subject_name_der(), tip.subject_name_hash(),
         [&](const x509::Certificate& member) {
-          if (member.der() == tip.der() && purpose_ok(member)) {
+          if (same_cert(member, tip) && purpose_ok(member)) {
             record(member);
             return false;
           }
@@ -685,7 +729,7 @@ void collect_anchors(const x509::Certificate& tip, CertPath& path,
       [&](const x509::Certificate& anchor) {
         if (!ctx.spend_step()) return false;
         ++ctx.stats.anchors_tried;
-        if (anchor.der() == tip.der()) return true;
+        if (same_cert(anchor, tip)) return true;
         if (ctx.trace != nullptr) {
           ctx.trace->add_event(TraceEventKind::kAnchorAttempt, path.size(),
                                anchor.subject().to_string());
@@ -722,15 +766,14 @@ void collect_anchors(const x509::Certificate& tip, CertPath& path,
       ctx.trace->add_event(TraceEventKind::kIntermediateAttempt, path.size(),
                            inter.subject().to_string());
     }
-    const std::string& id = inter.fingerprint_hex();
-    if (on_path.contains(id)) {
+    if (on_path.contains(inter)) {
       if (ctx.trace != nullptr) {
         ctx.trace->add_event(TraceEventKind::kLoopGuard, path.size(),
                              inter.subject().to_string());
       }
       return true;  // loop guard (full fingerprint)
     }
-    if (inter.der() == tip.der()) return true;
+    if (same_cert(inter, tip)) return true;
     if (const auto kind =
             check_cert_kind(inter, /*must_be_ca=*/true, ctx.options, ctx.at_unix);
         kind != PendingError::Kind::kNone) {
@@ -750,7 +793,7 @@ void collect_anchors(const x509::Certificate& tip, CertPath& path,
       return true;
     }
     path.push_back(&inter);
-    on_path.insert(id);
+    on_path.insert(inter);
     if (ctx.trace != nullptr) {
       ctx.trace->add_event(TraceEventKind::kIntermediateDescend, path.size(),
                            inter.subject().to_string());
@@ -833,7 +876,7 @@ Result<Chain> ChainVerifier::verify(
     CertPath path;
     path.push_back(&leaf);
     SmallIdSet on_path;
-    on_path.insert(leaf.fingerprint_hex());
+    on_path.insert(leaf);
     PendingError last_error;
     const bool found = extend(leaf, path, on_path, ctx, last_error);
     TANGLED_OBS_OBSERVE_COUNT("pki.verify.anchors_tried", ctx.stats.anchors_tried);
@@ -900,7 +943,7 @@ Result<AnchorSurvey> ChainVerifier::verify_all_anchors(
     CertPath path;
     path.push_back(&leaf);
     SmallIdSet on_path;
-    on_path.insert(leaf.fingerprint_hex());
+    on_path.insert(leaf);
     SmallIdSet found_anchors;
     PendingError last_error;
     collect_anchors(leaf, path, on_path, ctx, survey, found_anchors,

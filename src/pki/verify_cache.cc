@@ -10,64 +10,133 @@
 #include "obs/obs.h"
 #include "util/binio.h"
 
+#include "util/features.h"
+
 namespace tangled::pki {
 
 namespace {
 
-/// First 16 bytes of a SHA-256 digest as two little-endian words.
-void truncate_digest(const Bytes& digest, std::uint64_t& lo,
-                     std::uint64_t& hi) {
-  std::memcpy(&lo, digest.data(), sizeof(lo));
-  std::memcpy(&hi, digest.data() + sizeof(lo), sizeof(hi));
+/// A full SHA-256 digest as four little-endian words.
+std::array<std::uint64_t, 4> digest_words(const Bytes& digest) {
+  std::array<std::uint64_t, 4> words{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t w = 0;
+    for (int b = 7; b >= 0; --b) {
+      w = (w << 8) | digest[8 * i + static_cast<std::size_t>(b)];
+    }
+    words[i] = w;
+  }
+  return words;
+}
+
+Bytes words_digest(const std::array<std::uint64_t, 4>& words) {
+  Bytes out;
+  out.reserve(32);
+  for (const std::uint64_t w : words) {
+    for (int b = 0; b < 8; ++b) {
+      out.push_back(static_cast<std::uint8_t>(w >> (8 * b)));
+    }
+  }
+  return out;
 }
 
 LinkKey make_key(const x509::Certificate& child,
                  const x509::Certificate& issuer) {
   LinkKey key;
-  truncate_digest(child.fingerprint_sha256(), key.child_lo, key.child_hi);
-  truncate_digest(issuer.spki_sha256(), key.issuer_lo, key.issuer_hi);
+  key.child = digest_words(child.fingerprint_sha256());
+  key.issuer = digest_words(issuer.spki_sha256());
   return key;
+}
+
+std::uint64_t make_dense_key(const x509::Certificate& child,
+                             const x509::Certificate& issuer) {
+  return (static_cast<std::uint64_t>(child.dense_id()) << 32) |
+         issuer.spki_id();
 }
 
 }  // namespace
 
-VerifyCache::VerifyCache(std::size_t max_entries) : cache_(max_entries) {}
+VerifyCache::VerifyCache(std::size_t max_entries)
+    : dense_(util::dense_ids_enabled()),
+      cache_(max_entries),
+      dense_cache_(max_entries) {}
 
 Result<void> VerifyCache::check_link_signature(const x509::Certificate& child,
                                                const x509::Certificate& issuer,
                                                bool* cache_hit) {
-  const LinkKey key = make_key(child, issuer);
-  if (const auto hit = cache_.find(key); hit.has_value()) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+  return dense_ ? probe_dense(child, issuer, cache_hit)
+                : probe_wide(child, issuer, cache_hit);
+}
+
+namespace {
+
+/// Shared probe-or-compute skeleton for both key modes; `cache` memoizes a
+/// pure function of (child bytes, issuer key), so first-writer-wins races
+/// are benign.
+template <typename Cache, typename Key>
+Result<void> probe_impl(Cache& cache, const Key& key,
+                        const x509::Certificate& child,
+                        const x509::Certificate& issuer, bool* cache_hit,
+                        std::atomic<std::uint64_t>& hits,
+                        std::atomic<std::uint64_t>& misses,
+                        auto make_outcome) {
+  if (const auto hit = cache.find(key); hit.has_value()) {
+    hits.fetch_add(1, std::memory_order_relaxed);
     TANGLED_OBS_INC("pki.verify_cache.hit");
     if (cache_hit != nullptr) *cache_hit = true;
     if (hit->ok) return {};
     return Error{hit->code, hit->message};
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses.fetch_add(1, std::memory_order_relaxed);
   TANGLED_OBS_INC("pki.verify_cache.miss");
   if (cache_hit != nullptr) *cache_hit = false;
 
-  auto result = child.check_signature_from(issuer.public_key());
-  Outcome outcome;
-  outcome.ok = result.ok();
-  if (!result.ok()) {
-    outcome.code = result.error().code;
-    outcome.message = result.error().message;
-  }
-  if (const std::size_t evicted = cache_.insert(key, std::move(outcome));
+  auto result = child.check_signature_from(issuer);
+  if (const std::size_t evicted = cache.insert(key, make_outcome(result));
       evicted > 0) {
     TANGLED_OBS_ADD("pki.verify_cache.evicted", evicted);
   }
   return result;
 }
 
+}  // namespace
+
+Result<void> VerifyCache::probe_dense(const x509::Certificate& child,
+                                      const x509::Certificate& issuer,
+                                      bool* cache_hit) {
+  return probe_impl(dense_cache_, make_dense_key(child, issuer), child, issuer,
+                    cache_hit, hits_, misses_, [](const Result<void>& r) {
+                      Outcome o;
+                      o.ok = r.ok();
+                      if (!r.ok()) {
+                        o.code = r.error().code;
+                        o.message = r.error().message;
+                      }
+                      return o;
+                    });
+}
+
+Result<void> VerifyCache::probe_wide(const x509::Certificate& child,
+                                     const x509::Certificate& issuer,
+                                     bool* cache_hit) {
+  return probe_impl(cache_, make_key(child, issuer), child, issuer, cache_hit,
+                    hits_, misses_, [](const Result<void>& r) {
+                      Outcome o;
+                      o.ok = r.ok();
+                      if (!r.ok()) {
+                        o.code = r.error().code;
+                        o.message = r.error().message;
+                      }
+                      return o;
+                    });
+}
+
 VerifyCache::Stats VerifyCache::stats() const {
   Stats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
-  s.evictions = cache_.evictions();
-  s.entries = cache_.size();
+  s.evictions = cache_.evictions() + dense_cache_.evictions();
+  s.entries = cache_.size() + dense_cache_.size();
   return s;
 }
 
@@ -95,18 +164,34 @@ Result<Errc> decode_errc(std::uint8_t raw) {
 }  // namespace
 
 Bytes VerifyCache::export_state() const {
+  // The on-disk form always carries the full digests (mode-independent):
+  // a snapshot written by a dense-id process imports cleanly into a
+  // wide-key process and vice versa. Dense entries recover their digests
+  // through the interners' reverse tables.
   Bytes body;
   std::uint64_t n = 0;
-  cache_.for_each([&body, &n](const LinkKey& key, const Outcome& outcome) {
-    util::put_u64(body, key.child_lo);
-    util::put_u64(body, key.child_hi);
-    util::put_u64(body, key.issuer_lo);
-    util::put_u64(body, key.issuer_hi);
+  const auto put_entry = [&body, &n](const std::array<std::uint64_t, 4>& child,
+                                     const std::array<std::uint64_t, 4>& issuer,
+                                     const Outcome& outcome) {
+    for (const std::uint64_t w : child) util::put_u64(body, w);
+    for (const std::uint64_t w : issuer) util::put_u64(body, w);
     util::put_u8(body, outcome.ok ? 1 : 0);
     util::put_u8(body, static_cast<std::uint8_t>(outcome.code));
     util::put_string(body, outcome.message);
     ++n;
+  };
+  cache_.for_each([&put_entry](const LinkKey& key, const Outcome& outcome) {
+    put_entry(key.child, key.issuer, outcome);
   });
+  dense_cache_.for_each(
+      [&put_entry](const std::uint64_t key, const Outcome& outcome) {
+        const auto child_digest = x509::cert_fingerprint_ids().digest_of(
+            static_cast<std::uint32_t>(key >> 32));
+        const auto issuer_digest = x509::cert_spki_ids().digest_of(
+            static_cast<std::uint32_t>(key & 0xffffffff));
+        put_entry(digest_words(child_digest), digest_words(issuer_digest),
+                  outcome);
+      });
   Bytes out;
   util::put_u64(out, n);
   append(out, body);
@@ -115,19 +200,20 @@ Bytes VerifyCache::export_state() const {
 
 Result<void> VerifyCache::import_state(ByteView data) {
   util::BinReader in(data);
-  // key (32) + ok (1) + code (1) + message length prefix (8)
-  auto n = in.count(/*min_bytes_per_element=*/42);
+  // key (64) + ok (1) + code (1) + message length prefix (8)
+  auto n = in.count(/*min_bytes_per_element=*/74);
   if (!n.ok()) return n.error();
   std::vector<std::pair<LinkKey, Outcome>> entries;
   entries.reserve(n.value());
   for (std::size_t i = 0; i < n.value(); ++i) {
     LinkKey key;
     Outcome outcome;
-    for (std::uint64_t* word :
-         {&key.child_lo, &key.child_hi, &key.issuer_lo, &key.issuer_hi}) {
-      auto v = in.u64();
-      if (!v.ok()) return v.error();
-      *word = v.value();
+    for (std::array<std::uint64_t, 4>* half : {&key.child, &key.issuer}) {
+      for (std::uint64_t& word : *half) {
+        auto v = in.u64();
+        if (!v.ok()) return v.error();
+        word = v.value();
+      }
     }
     auto ok_byte = in.u8();
     if (!ok_byte.ok()) return ok_byte.error();
@@ -147,7 +233,18 @@ Result<void> VerifyCache::import_state(ByteView data) {
   }
   if (auto ok = in.expect_end(); !ok.ok()) return ok;
   for (auto& [key, outcome] : entries) {
-    cache_.insert(key, std::move(outcome));
+    if (dense_) {
+      // Intern the digests so warm entries are reachable from live
+      // certificates' ids (same bijection the parser uses).
+      const std::uint64_t dense_key =
+          (static_cast<std::uint64_t>(x509::cert_fingerprint_ids().intern(
+               words_digest(key.child)))
+           << 32) |
+          x509::cert_spki_ids().intern(words_digest(key.issuer));
+      dense_cache_.insert(dense_key, std::move(outcome));
+    } else {
+      cache_.insert(key, std::move(outcome));
+    }
   }
   return {};
 }

@@ -15,6 +15,7 @@
 // threads.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 
@@ -25,13 +26,13 @@
 namespace tangled::pki {
 
 /// Cache key: the child certificate's SHA-256 fingerprint and the issuer
-/// key's SHA-256 SPKI digest, each truncated to 128 bits. Unlike the bare
-/// fnv1a64 handles, a collision here requires a 128-bit birthday on
-/// SHA-256 halves (~2^-64 at a billion entries), so no byte-compare on hit
-/// is needed.
+/// key's SHA-256 SPKI digest, stored in full. Earlier revisions truncated
+/// each digest to 128 bits; an engineered half-digest collision could then
+/// serve one link's verdict for a different link, so the stored key now
+/// carries all 512 bits — a false hit requires a full SHA-256 collision.
 struct LinkKey {
-  std::uint64_t child_lo = 0, child_hi = 0;
-  std::uint64_t issuer_lo = 0, issuer_hi = 0;
+  std::array<std::uint64_t, 4> child{};   // full fingerprint, LE words
+  std::array<std::uint64_t, 4> issuer{};  // full SPKI digest, LE words
 
   friend bool operator==(const LinkKey&, const LinkKey&) = default;
 };
@@ -39,10 +40,29 @@ struct LinkKey {
 struct LinkKeyHash {
   std::size_t operator()(const LinkKey& k) const {
     // The components are already uniform SHA-256 words; fold them.
-    std::uint64_t h = k.child_lo ^ (k.child_hi * 0x9e3779b97f4a7c15ULL);
-    h ^= k.issuer_lo * 0xc2b2ae3d27d4eb4fULL;
-    h ^= k.issuer_hi;
+    std::uint64_t h = k.child[0] ^ (k.child[1] * 0x9e3779b97f4a7c15ULL);
+    h ^= k.child[2] * 0xc2b2ae3d27d4eb4fULL;
+    h ^= k.child[3];
+    h ^= k.issuer[0] * 0xff51afd7ed558ccdULL;
+    h ^= k.issuer[1] ^ (k.issuer[2] * 0x9e3779b97f4a7c15ULL);
+    h ^= k.issuer[3];
     return static_cast<std::size_t>(h);
+  }
+};
+
+/// Key of the dense-id fast path: (child fingerprint id << 32) | issuer
+/// SPKI id. Both ids are interned bijections of the full digests, so this
+/// 64-bit key is exactly as collision-free as the wide key — the interner
+/// already did the byte comparison once at parse time.
+struct DenseLinkKeyHash {
+  std::size_t operator()(std::uint64_t k) const {
+    // splitmix64 finalizer: the raw key is two small counters.
+    k ^= k >> 30;
+    k *= 0xbf58476d1ce4e5b9ULL;
+    k ^= k >> 27;
+    k *= 0x94d049bb133111ebULL;
+    k ^= k >> 31;
+    return static_cast<std::size_t>(k);
   }
 };
 
@@ -96,7 +116,19 @@ class VerifyCache {
     std::string message;
   };
 
+  Result<void> probe_dense(const x509::Certificate& child,
+                           const x509::Certificate& issuer, bool* cache_hit);
+  Result<void> probe_wide(const x509::Certificate& child,
+                          const x509::Certificate& issuer, bool* cache_hit);
+
+  /// Latched at construction from TANGLED_DENSE_IDS: true routes probes
+  /// through the 64-bit id-pair cache, false through the wide digest key.
+  /// The two modes memoize the same pure function under bijective keys, so
+  /// results are identical either way; only probe cost differs. The export
+  /// codec always writes full digests, so snapshots are mode-independent.
+  const bool dense_;
   util::StripedCache<LinkKey, Outcome, LinkKeyHash> cache_;
+  util::StripedCache<std::uint64_t, Outcome, DenseLinkKeyHash> dense_cache_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
 };

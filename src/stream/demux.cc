@@ -92,6 +92,8 @@ void FlowDemux::complete(FlowId id, Flow& flow,
   done.chain = std::move(session.chain);
   done.sni = std::move(session.sni);
   done.non_fatal_fault = std::move(non_fatal_fault);
+  done.view_chain = std::move(session.view_chain);
+  done.arena = std::move(session.arena);
   completed_.push_back(std::move(done));
   buffered_ -= flow.buffered;
   retire(id);

@@ -49,6 +49,13 @@ struct CompletedFlow {
   std::optional<std::string> sni;
   /// Fault hit after the chain had already surfaced (salvaged flow).
   std::optional<Error> non_fatal_fault;
+  /// Arena mode (TANGLED_ARENA_CERTS): zero-copy views of `chain` plus
+  /// shared ownership of their backing arena. The arena travels with the
+  /// completed flow, so retiring or evicting the flow inside the demux can
+  /// never invalidate views a consumer still holds — the last owner frees
+  /// the bytes. Empty / null when the feature is off.
+  std::vector<x509::ParsedCert> view_chain;
+  std::shared_ptr<util::Arena> arena;
 };
 
 /// A flow the stream killed before a chain surfaced. Only this flow is

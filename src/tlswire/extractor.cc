@@ -1,6 +1,7 @@
 #include "tlswire/extractor.h"
 
 #include "obs/obs.h"
+#include "util/features.h"
 
 namespace tangled::tlswire {
 
@@ -56,6 +57,43 @@ Result<void> CertificateExtractor::feed(ByteView capture) {
         break;
       }
       case HandshakeType::kCertificate: {
+        if (util::arena_certs_enabled()) {
+          // Arena path: one copy of the message into the session's arena,
+          // views parsed into it (structure validated without per-cert
+          // buffers), then the owning chain materialized from the same
+          // bytes. For a chain with several distinct malformations the
+          // first fault reported may differ from the legacy path (views
+          // surface structural faults across the whole list before
+          // materialize surfaces semantic ones), but any given fault is
+          // reported by both, and well-formed chains parse identically.
+          if (!session_.arena) {
+            session_.arena = std::make_shared<util::Arena>();
+          }
+          auto views = parse_certificate_views(message.body, *session_.arena);
+          if (!views.ok()) {
+            note(Error{views.error().code,
+                       "certificate message: " + views.error().message});
+            break;
+          }
+          std::vector<x509::Certificate> chain;
+          chain.reserve(views.value().size());
+          bool failed = false;
+          for (const x509::ParsedCert& view : views.value()) {
+            auto cert = view.materialize();
+            if (!cert.ok()) {
+              note(Error{cert.error().code,
+                         "certificate message: " + cert.error().message});
+              failed = true;
+              break;
+            }
+            chain.push_back(std::move(cert).value());
+          }
+          if (failed) break;
+          TANGLED_OBS_INC("tlswire.extract.chains");
+          session_.chain = std::move(chain);
+          session_.view_chain = std::move(views).value();
+          break;
+        }
         auto chain = parse_certificate_body(message.body);
         if (!chain.ok()) {
           // Tagged so downstream fault taxonomies can tell a broken

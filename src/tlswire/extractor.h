@@ -5,6 +5,7 @@
 // stores per session.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -20,6 +21,14 @@ struct ExtractedSession {
   /// Alerts observed on the wire (a burst of fatal bad_certificate alerts
   /// right after Certificate is the pinning-failure signature §7 leans on).
   std::vector<Alert> alerts;
+  /// Arena mode (TANGLED_ARENA_CERTS): zero-copy views of the same chain,
+  /// backed by `arena`. The views are valid exactly as long as `arena` is
+  /// owned somewhere — the session carries shared ownership, and anything
+  /// the session is moved into (a demux CompletedFlow, say) inherits it, so
+  /// retiring the extractor or the flow cannot dangle the views. Empty /
+  /// null when the feature is off.
+  std::vector<x509::ParsedCert> view_chain;
+  std::shared_ptr<util::Arena> arena;
 };
 
 class CertificateExtractor {

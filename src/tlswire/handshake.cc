@@ -247,6 +247,32 @@ Result<std::vector<x509::Certificate>> parse_certificate_body(ByteView body) {
   return chain;
 }
 
+Result<std::vector<x509::ParsedCert>> parse_certificate_views(
+    ByteView body, util::Arena& arena) {
+  // One copy for the whole message; every cert view points into it.
+  const ByteView stable = arena.copy(body);
+  Cursor c(stable);
+  auto list_len = c.u24();
+  if (!list_len.ok()) return list_len.error();
+  auto list_bytes = c.take(list_len.value());
+  if (!list_bytes.ok()) return list_bytes.error();
+  if (!c.at_end()) return parse_error("trailing bytes after certificate_list");
+
+  std::vector<x509::ParsedCert> chain;
+  Cursor l(list_bytes.value());
+  while (!l.at_end()) {
+    auto cert_len = l.u24();
+    if (!cert_len.ok()) return cert_len.error();
+    if (cert_len.value() == 0) return parse_error("zero-length ASN.1Cert");
+    auto der = l.take(cert_len.value());
+    if (!der.ok()) return der.error();
+    auto cert = x509::ParsedCert::from_der_view(der.value());
+    if (!cert.ok()) return cert.error();
+    chain.push_back(cert.value());
+  }
+  return chain;
+}
+
 // ---------------------------------------------------------------------------
 // Reassembly and flights
 // ---------------------------------------------------------------------------

@@ -15,9 +15,11 @@
 #include <vector>
 
 #include "tlswire/record.h"
+#include "util/arena.h"
 #include "util/bytes.h"
 #include "util/result.h"
 #include "x509/certificate.h"
+#include "x509/parsed_cert.h"
 
 namespace tangled::tlswire {
 
@@ -67,6 +69,13 @@ Bytes encode_certificate_body(const std::vector<x509::Certificate>& chain);
 /// Parses the body back into parsed certificates. Individual certs that
 /// fail to parse abort with an error (the Notary logs such streams).
 Result<std::vector<x509::Certificate>> parse_certificate_body(ByteView body);
+
+/// Zero-copy twin of parse_certificate_body: copies `body` into `arena`
+/// once, then parses each certificate as views into that stable copy — no
+/// per-cert buffer copies, no Name/BigNum decoding. Accepts/rejects the
+/// same message structure; returned views live as long as the arena.
+Result<std::vector<x509::ParsedCert>> parse_certificate_views(
+    ByteView body, util::Arena& arena);
 
 // --- Reassembly ----------------------------------------------------------------
 

@@ -1,0 +1,95 @@
+#include "util/arena.h"
+
+#include <cstring>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define TANGLED_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TANGLED_ASAN 1
+#endif
+#endif
+
+#ifdef TANGLED_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace tangled::util {
+
+namespace {
+
+void poison(const std::uint8_t* ptr, std::size_t size) {
+#ifdef TANGLED_ASAN
+  if (size != 0) __asan_poison_memory_region(ptr, size);
+#else
+  (void)ptr;
+  (void)size;
+#endif
+}
+
+void unpoison(const std::uint8_t* ptr, std::size_t size) {
+#ifdef TANGLED_ASAN
+  if (size != 0) __asan_unpoison_memory_region(ptr, size);
+#else
+  (void)ptr;
+  (void)size;
+#endif
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t chunk_size) : chunk_size_(chunk_size) {
+  assert(chunk_size_ != 0);
+}
+
+Arena::~Arena() {
+  assert(pins_ == 0 && "arena destroyed while views into it are pinned");
+  // ASan requires poisoned regions to be unpoisoned before the allocator
+  // reclaims them.
+  for (Chunk& chunk : chunks_) unpoison(chunk.data.get(), chunk.size);
+}
+
+Arena::Chunk Arena::make_chunk(std::size_t size) {
+  Chunk chunk;
+  chunk.data = std::make_unique<std::uint8_t[]>(size);
+  chunk.size = size;
+  reserved_ += size;
+  poison(chunk.data.get(), size);
+  return chunk;
+}
+
+std::uint8_t* Arena::allocate(std::size_t size) {
+  if (size == 0) size = 1;  // distinct non-null pointers for empty requests
+  if (chunks_.empty() || chunks_.back().used + size > chunks_.back().size) {
+    chunks_.push_back(make_chunk(size > chunk_size_ ? size : chunk_size_));
+  }
+  Chunk& chunk = chunks_.back();
+  std::uint8_t* ptr = chunk.data.get() + chunk.used;
+  chunk.used += size;
+  allocated_ += size;
+  unpoison(ptr, size);
+  return ptr;
+}
+
+ByteView Arena::copy(ByteView bytes) {
+  std::uint8_t* dst = allocate(bytes.size());
+  if (!bytes.empty()) std::memcpy(dst, bytes.data(), bytes.size());
+  return ByteView(dst, bytes.size());
+}
+
+void Arena::reset() {
+  assert(pins_ == 0 && "arena reset while views into it are pinned");
+  if (chunks_.empty()) return;
+  // Keep the first (base-size) chunk warm, drop the rest.
+  while (chunks_.size() > 1) {
+    reserved_ -= chunks_.back().size;
+    unpoison(chunks_.back().data.get(), chunks_.back().size);
+    chunks_.pop_back();
+  }
+  Chunk& chunk = chunks_.front();
+  chunk.used = 0;
+  poison(chunk.data.get(), chunk.size);
+  allocated_ = 0;
+}
+
+}  // namespace tangled::util

@@ -1,0 +1,96 @@
+// Chunked bump allocator for zero-copy parse views.
+//
+// The capture→parse hot path used to copy every certificate's bytes into
+// per-cert std::vector<uint8_t> buffers before looking at them. An Arena
+// instead holds one copy of the backing bytes and hands out stable interior
+// pointers: a parse result is a set of views into the arena, alive exactly
+// as long as the arena is.
+//
+// Lifetime discipline:
+//  * Allocations are never freed individually; reset() recycles everything
+//    at once. Pointers returned by allocate()/copy() are stable until then
+//    (chunks never reallocate — a full chunk is retired, not grown).
+//  * A Pin is an RAII token meaning "views into this arena are live".
+//    reset() on a pinned arena is a contract violation, caught by a debug
+//    assert — the FlowDemux integration makes it impossible by construction
+//    by sharing ownership (shared_ptr<Arena>) with every view holder.
+//  * Under AddressSanitizer the unused tail of every chunk and all recycled
+//    memory are poisoned, so a stale view into a reset arena faults in the
+//    ASan lane instead of silently reading recycled bytes.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace tangled::util {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkSize = 64 * 1024;
+
+  explicit Arena(std::size_t chunk_size = kDefaultChunkSize);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `size` bytes (unaligned — byte buffers only). A request
+  /// larger than the chunk size gets a dedicated chunk.
+  std::uint8_t* allocate(std::size_t size);
+
+  /// Copies `bytes` into the arena, returning a view of the stable copy.
+  ByteView copy(ByteView bytes);
+
+  /// Recycles every allocation. Must not be called while any Pin is live —
+  /// a view handed out before reset() would dangle. Keeps the first chunk
+  /// for reuse; retired chunks are released.
+  void reset();
+
+  std::size_t bytes_allocated() const { return allocated_; }
+  std::size_t bytes_reserved() const { return reserved_; }
+  std::size_t pin_count() const { return pins_; }
+
+  /// RAII lifetime witness: while any Pin exists, the arena's memory must
+  /// stay valid, and reset() asserts. Copyable — each copy is one more
+  /// witness.
+  class Pin {
+   public:
+    explicit Pin(Arena& arena) : arena_(&arena) { ++arena_->pins_; }
+    Pin(const Pin& other) : arena_(other.arena_) { ++arena_->pins_; }
+    Pin& operator=(const Pin& other) {
+      if (this != &other) {
+        --arena_->pins_;
+        arena_ = other.arena_;
+        ++arena_->pins_;
+      }
+      return *this;
+    }
+    ~Pin() { --arena_->pins_; }
+
+   private:
+    Arena* arena_;
+  };
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  Chunk make_chunk(std::size_t size);
+  void poison_tail(Chunk& chunk);
+
+  std::size_t chunk_size_;
+  std::vector<Chunk> chunks_;
+  std::size_t allocated_ = 0;
+  std::size_t reserved_ = 0;
+  std::size_t pins_ = 0;
+};
+
+}  // namespace tangled::util

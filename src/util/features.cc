@@ -1,0 +1,86 @@
+#include "util/features.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace tangled::util {
+
+namespace {
+
+/// Strict boolean parse shared by every feature knob (the
+/// TANGLED_VERIFY_CACHE contract): a typo must not silently run the wrong
+/// configuration and masquerade as a measurement.
+bool env_enabled(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return true;
+  const std::string_view v(env);
+  if (v == "1" || v == "on" || v == "true") return true;
+  if (v == "0" || v == "off" || v == "false") return false;
+  std::fprintf(stderr,
+               "%s=\"%s\" is not a boolean (use 0/off/false or 1/on/true)\n",
+               name, env);
+  std::exit(2);
+}
+
+/// One lazily-initialized, overridable flag. 0/1 = resolved value, 2 =
+/// unresolved (read the environment on first use).
+class Flag {
+ public:
+  explicit Flag(const char* env_name) : env_name_(env_name) {}
+
+  bool get() {
+    int v = state_.load(std::memory_order_relaxed);
+    if (v == 2) {
+      const bool enabled = env_enabled(env_name_);
+      int expected = 2;
+      // First resolver wins; a concurrent set_() override also wins.
+      state_.compare_exchange_strong(expected, enabled ? 1 : 0,
+                                     std::memory_order_relaxed);
+      v = state_.load(std::memory_order_relaxed);
+    }
+    return v == 1;
+  }
+
+  void set(bool enabled) {
+    state_.store(enabled ? 1 : 0, std::memory_order_relaxed);
+  }
+
+ private:
+  const char* env_name_;
+  std::atomic<int> state_{2};
+};
+
+Flag& batch_hash_flag() {
+  static Flag flag("TANGLED_BATCH_HASH");
+  return flag;
+}
+Flag& montgomery_flag() {
+  static Flag flag("TANGLED_MONTGOMERY");
+  return flag;
+}
+Flag& dense_ids_flag() {
+  static Flag flag("TANGLED_DENSE_IDS");
+  return flag;
+}
+Flag& arena_certs_flag() {
+  static Flag flag("TANGLED_ARENA_CERTS");
+  return flag;
+}
+
+}  // namespace
+
+bool batch_hash_enabled() { return batch_hash_flag().get(); }
+void set_batch_hash_enabled(bool enabled) { batch_hash_flag().set(enabled); }
+
+bool montgomery_enabled() { return montgomery_flag().get(); }
+void set_montgomery_enabled(bool enabled) { montgomery_flag().set(enabled); }
+
+bool dense_ids_enabled() { return dense_ids_flag().get(); }
+void set_dense_ids_enabled(bool enabled) { dense_ids_flag().set(enabled); }
+
+bool arena_certs_enabled() { return arena_certs_flag().get(); }
+void set_arena_certs_enabled(bool enabled) { arena_certs_flag().set(enabled); }
+
+}  // namespace tangled::util

@@ -1,0 +1,57 @@
+// Runtime kill switches for the hot-path optimizations, in the style of
+// TANGLED_VERIFY_CACHE: each feature computes bit-identical results on and
+// off — the toggles exist so the ablation benches and the equivalence tests
+// can isolate one optimization at a time, and so a suspect machine can be
+// diagnosed in production without a rebuild.
+//
+//  * TANGLED_BATCH_HASH — multi-buffer / hardware SHA-256 lanes and the
+//    interned SimSig hash prefix. Off = the original scalar streaming path.
+//  * TANGLED_MONTGOMERY — Montgomery-form modular exponentiation for odd
+//    moduli. Off = the schoolbook divmod-per-multiply path.
+//  * TANGLED_DENSE_IDS  — interned dense certificate ids as array-index
+//    keys on the verify/census hot paths. Off = interned hex-string and
+//    byte-compare keys (the PR 3 behaviour).
+//  * TANGLED_ARENA_CERTS — arena-backed zero-copy certificate views in the
+//    capture parse path. Off = per-cert owning byte vectors.
+//
+// Parsing contract matches TANGLED_VERIFY_CACHE: unset/"1"/"on"/"true"
+// enables, "0"/"off"/"false" disables, anything else is a hard error. The
+// set_* overrides exist for in-process A/B passes (benches, equivalence
+// tests); they win over the environment.
+#pragma once
+
+namespace tangled::util {
+
+bool batch_hash_enabled();
+void set_batch_hash_enabled(bool enabled);
+
+bool montgomery_enabled();
+void set_montgomery_enabled(bool enabled);
+
+bool dense_ids_enabled();
+void set_dense_ids_enabled(bool enabled);
+
+bool arena_certs_enabled();
+void set_arena_certs_enabled(bool enabled);
+
+/// RAII override for one feature, restoring the previous value on scope
+/// exit — the ablation passes flip features around a census construction
+/// and must not leak the flip into the next pass.
+class FeatureOverride {
+ public:
+  using Getter = bool (*)();
+  using Setter = void (*)(bool);
+  FeatureOverride(Getter get, Setter set, bool value)
+      : set_(set), previous_(get()) {
+    set_(value);
+  }
+  ~FeatureOverride() { set_(previous_); }
+  FeatureOverride(const FeatureOverride&) = delete;
+  FeatureOverride& operator=(const FeatureOverride&) = delete;
+
+ private:
+  Setter set_;
+  bool previous_;
+};
+
+}  // namespace tangled::util

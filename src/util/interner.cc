@@ -1,0 +1,48 @@
+#include "util/interner.h"
+
+#include <cassert>
+
+namespace tangled::util {
+
+std::uint32_t DigestInterner::intern(ByteView digest) {
+  std::string key(reinterpret_cast<const char*>(digest.data()), digest.size());
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] =
+      index_.try_emplace(std::move(key),
+                         static_cast<std::uint32_t>(digests_.size()));
+  // Node-based map: the key's address is stable across rehashes, so the
+  // reverse table can point straight at it.
+  if (inserted) digests_.push_back(&it->first);
+  return it->second;
+}
+
+std::optional<std::uint32_t> DigestInterner::find(ByteView digest) const {
+  const std::string key(reinterpret_cast<const char*>(digest.data()),
+                        digest.size());
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Bytes DigestInterner::digest_of(std::uint32_t id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  assert(id < digests_.size() && "unallocated dense id");
+  const std::string& d = *digests_[id];
+  return Bytes(d.begin(), d.end());
+}
+
+std::string DigestInterner::hex_of(std::uint32_t id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  assert(id < digests_.size() && "unallocated dense id");
+  const std::string& d = *digests_[id];
+  return to_hex(ByteView(reinterpret_cast<const std::uint8_t*>(d.data()),
+                         d.size()));
+}
+
+std::uint32_t DigestInterner::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::uint32_t>(digests_.size());
+}
+
+}  // namespace tangled::util

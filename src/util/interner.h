@@ -1,0 +1,49 @@
+// Thread-safe digest → dense-id interner with reverse lookup.
+//
+// The verify/census hot paths key work on SHA-256 digests (certificate
+// fingerprints, SPKI hashes, equivalence classes). Interning each digest
+// once at parse time yields a small dense integer that the hot paths can
+// compare and hash as a single word instead of re-hashing 32-byte keys or
+// 64-char hex strings per probe. Ids are process-local (allocation order
+// depends on parse order) and must never be serialized; the reverse table
+// maps an id back to its digest whenever a canonical on-disk or on-wire
+// form is needed.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace tangled::util {
+
+class DigestInterner {
+ public:
+  /// Returns the dense id for `digest`, allocating the next id on first
+  /// sight. Ids start at 0 and are contiguous.
+  std::uint32_t intern(ByteView digest);
+
+  /// The id `digest` was interned under, or nullopt if it never was.
+  /// Never allocates an id — membership probes with arbitrary digests
+  /// (e.g. NotaryDb::recorded_identity) must not grow the table.
+  std::optional<std::uint32_t> find(ByteView digest) const;
+
+  /// The digest that was interned as `id`. Asserts `id` is allocated.
+  Bytes digest_of(std::uint32_t id) const;
+
+  /// Lowercase-hex form of digest_of(id).
+  std::string hex_of(std::uint32_t id) const;
+
+  std::uint32_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::uint32_t> index_;
+  std::vector<const std::string*> digests_;  // id → key in index_
+};
+
+}  // namespace tangled::util

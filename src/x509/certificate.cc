@@ -2,8 +2,26 @@
 
 #include "crypto/hash.h"
 #include "crypto/signature.h"
+#include "util/features.h"
 
 namespace tangled::x509 {
+
+util::DigestInterner& cert_fingerprint_ids() {
+  static util::DigestInterner interner;
+  return interner;
+}
+util::DigestInterner& cert_equivalence_ids() {
+  static util::DigestInterner interner;
+  return interner;
+}
+util::DigestInterner& cert_spki_ids() {
+  static util::DigestInterner interner;
+  return interner;
+}
+util::DigestInterner& cert_identity_ids() {
+  static util::DigestInterner interner;
+  return interner;
+}
 
 namespace {
 
@@ -248,33 +266,37 @@ std::shared_ptr<const CertificateIdentity> Certificate::compute_identity()
   id->not_before_unix = validity_.not_before.to_unix();
   id->not_after_unix = validity_.not_after.to_unix();
 
-  id->fingerprint = crypto::Sha256::hash(der_);
+  // The four identity digests hash as one multi-buffer batch: fingerprint,
+  // paper identity, paper equivalence, and SPKI run through interleaved
+  // SHA-256 lanes (hardware-assisted when available) instead of four
+  // sequential passes. sha256_batch degrades to the sequential scalar path
+  // when TANGLED_BATCH_HASH is off, with identical digests.
+  const Bytes e = public_key_.e.to_bytes();
+  id->fingerprint.resize(crypto::Sha256::kDigestSize);
+  id->identity.resize(crypto::Sha256::kDigestSize);
+  id->equivalence.resize(crypto::Sha256::kDigestSize);
+  id->spki_sha256.resize(crypto::Sha256::kDigestSize);
+  const ByteView fp_parts[] = {der_};
+  const ByteView identity_parts[] = {n, signature_};
+  const ByteView equivalence_parts[] = {subject_der, n};
+  const ByteView spki_parts[] = {n, e};
+  const crypto::Sha256Lane lanes[] = {
+      {fp_parts, id->fingerprint.data()},
+      {identity_parts, id->identity.data()},
+      {equivalence_parts, id->equivalence.data()},
+      {spki_parts, id->spki_sha256.data()},
+  };
+  crypto::sha256_batch(lanes);
   id->fingerprint_hex = to_hex(id->fingerprint);
+  id->identity_hex = to_hex(id->identity);
+  id->equivalence_hex = to_hex(id->equivalence);
 
-  {
-    crypto::Sha256 h;
-    h.update(n);
-    h.update(signature_);
-    const auto d = h.digest();
-    id->identity = Bytes(d.begin(), d.end());
-    id->identity_hex = to_hex(id->identity);
-  }
-  {
-    crypto::Sha256 h;
-    h.update(subject_der);
-    h.update(n);
-    const auto d = h.digest();
-    id->equivalence = Bytes(d.begin(), d.end());
-    id->equivalence_hex = to_hex(id->equivalence);
-  }
-  {
-    crypto::Sha256 h;
-    h.update(n);
-    const Bytes e = public_key_.e.to_bytes();
-    h.update(e);
-    const auto d = h.digest();
-    id->spki_sha256 = Bytes(d.begin(), d.end());
-  }
+  id->dense_id = cert_fingerprint_ids().intern(id->fingerprint);
+  id->equivalence_id = cert_equivalence_ids().intern(id->equivalence);
+  id->spki_id = cert_spki_ids().intern(id->spki_sha256);
+  id->identity_id = cert_identity_ids().intern(id->identity);
+
+  id->sim_prefix.update(n);
   return id;
 }
 
@@ -286,6 +308,14 @@ std::string Certificate::subject_tag() const {
 Result<void> Certificate::check_signature_from(
     const crypto::RsaPublicKey& issuer_key) const {
   return crypto::verify_signature(sig_alg_, issuer_key, tbs_der_, signature_);
+}
+
+Result<void> Certificate::check_signature_from(const Certificate& issuer) const {
+  if (util::batch_hash_enabled() && sig_alg_ == asn1::oids::sim_sig()) {
+    return crypto::sim_sig_verify_prefixed(issuer.interned().sim_prefix,
+                                           tbs_der_, signature_);
+  }
+  return check_signature_from(issuer.public_key());
 }
 
 }  // namespace tangled::x509

@@ -19,13 +19,27 @@
 #include "asn1/der.h"
 #include "asn1/oid.h"
 #include "asn1/time.h"
+#include "crypto/hash.h"
 #include "crypto/rsa.h"
 #include "util/bytes.h"
+#include "util/interner.h"
 #include "util/result.h"
 #include "x509/extensions.h"
 #include "x509/name.h"
 
 namespace tangled::x509 {
+
+/// Process-global interners mapping certificate digests to dense ids.
+/// Every parsed certificate registers its fingerprint, equivalence key,
+/// and SPKI hash once at intern time; the verify/census hot paths then key
+/// loop guards, dedup sets, cache keys, and accounting maps on the small
+/// ids instead of 32-byte digests or hex strings. Ids are process-local
+/// and never serialized — the interners' reverse lookup recovers the
+/// digest whenever canonical bytes are needed (snapshots, exports).
+util::DigestInterner& cert_fingerprint_ids();
+util::DigestInterner& cert_equivalence_ids();
+util::DigestInterner& cert_spki_ids();
+util::DigestInterner& cert_identity_ids();
 
 struct Validity {
   asn1::Time not_before;
@@ -61,6 +75,11 @@ struct CertificateIdentity {
   Bytes equivalence;                    // SHA-256(subject DER || modulus), §4.2
   std::string equivalence_hex;
   Bytes spki_sha256;                    // SHA-256(modulus || exponent)
+  std::uint32_t dense_id = 0;           // cert_fingerprint_ids() id
+  std::uint32_t equivalence_id = 0;     // cert_equivalence_ids() id
+  std::uint32_t spki_id = 0;            // cert_spki_ids() id
+  std::uint32_t identity_id = 0;        // cert_identity_ids() id
+  crypto::Sha256 sim_prefix;            // SHA-256 mid-state over modulus bytes
 };
 
 class Certificate {
@@ -149,6 +168,22 @@ class Certificate {
   /// half of the verify-cache link key.
   const Bytes& spki_sha256() const { return interned().spki_sha256; }
 
+  /// Dense process-local ids (see the interner accessors above). Two
+  /// certificates share dense_id() iff their DER is byte-identical, share
+  /// equivalence_id() iff their equivalence keys match, and share
+  /// spki_id() iff they carry the same public key — so the hot paths
+  /// compare one 32-bit word where they used to compare digests or DER.
+  std::uint32_t dense_id() const { return interned().dense_id; }
+  std::uint32_t equivalence_id() const { return interned().equivalence_id; }
+  std::uint32_t spki_id() const { return interned().spki_id; }
+  std::uint32_t identity_id() const { return interned().identity_id; }
+
+  /// Interned SimSig hash prefix for certificates *issued by* this one:
+  /// SHA-256 mid-state already fed this certificate's modulus bytes.
+  const crypto::Sha256& sim_sig_prefix_state() const {
+    return interned().sim_prefix;
+  }
+
   /// First 32 bits of SHA-1(subject DER) as 8 lowercase hex digits — the
   /// bracketed tag format used in the paper's Figure 2.
   std::string subject_tag() const;
@@ -156,6 +191,12 @@ class Certificate {
   /// Verifies `signature()` over `tbs_der()` with the issuer's key,
   /// dispatching on signature_algorithm().
   Result<void> check_signature_from(const crypto::RsaPublicKey& issuer_key) const;
+
+  /// Same verification, but given the issuer *certificate*: SimSig
+  /// signatures reuse the issuer's interned hash prefix (no modulus
+  /// re-serialization, no prefix re-hash) when TANGLED_BATCH_HASH is on.
+  /// Result identical to the key overload by construction.
+  Result<void> check_signature_from(const Certificate& issuer) const;
 
   friend bool operator==(const Certificate& a, const Certificate& b) {
     return a.der_ == b.der_;

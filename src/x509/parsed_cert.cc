@@ -1,0 +1,179 @@
+#include "x509/parsed_cert.h"
+
+#include "asn1/time.h"
+#include "util/arena.h"
+#include "x509/certificate.h"
+
+namespace tangled::x509 {
+
+namespace {
+
+/// View twin of DerReader::read_integer_unsigned: same rejections, but the
+/// magnitude stays a window into the input.
+Result<ByteView> read_integer_view(asn1::DerReader& r) {
+  auto tlv = r.expect(asn1::Tag::kInteger);
+  if (!tlv.ok()) return tlv.error();
+  ByteView body = tlv.value().body;
+  if (body.empty()) return parse_error("empty INTEGER");
+  if (body[0] & 0x80) {
+    return parse_error("negative INTEGER where unsigned expected");
+  }
+  if (body.size() >= 2 && body[0] == 0x00 && !(body[1] & 0x80)) {
+    return parse_error("non-minimal INTEGER encoding");
+  }
+  if (body.size() > 1 && body[0] == 0x00) body = body.subspan(1);
+  return body;
+}
+
+/// View twin of DerReader::read_bit_string.
+Result<ByteView> read_bit_string_view(asn1::DerReader& r) {
+  auto tlv = r.expect(asn1::Tag::kBitString);
+  if (!tlv.ok()) return tlv.error();
+  const ByteView body = tlv.value().body;
+  if (body.empty()) return parse_error("empty BIT STRING");
+  if (body[0] != 0) return unsupported_error("BIT STRING with unused bits");
+  return body.subspan(1);
+}
+
+Result<asn1::Time> read_time(asn1::DerReader& r) {
+  auto tlv = r.read_tlv();
+  if (!tlv.ok()) return tlv.error();
+  const std::string body = to_string(tlv.value().body);
+  if (tlv.value().is(asn1::Tag::kUtcTime)) return asn1::Time::parse_utc(body);
+  if (tlv.value().is(asn1::Tag::kGeneralizedTime)) {
+    return asn1::Time::parse_generalized(body);
+  }
+  return parse_error("expected UTCTime or GeneralizedTime");
+}
+
+}  // namespace
+
+Result<ParsedCert> ParsedCert::from_der_view(ByteView der) {
+  ParsedCert cert;
+  cert.der_ = der;
+
+  asn1::DerReader top(der);
+  auto outer = top.expect(asn1::Tag::kSequence);
+  if (!outer.ok()) return outer.error();
+  if (auto end = top.expect_end(); !end.ok()) return end.error();
+
+  asn1::DerReader fields(outer.value().body);
+  ByteView tbs_window;
+  auto tbs = fields.expect(asn1::Tag::kSequence, &tbs_window);
+  if (!tbs.ok()) return tbs.error();
+  cert.tbs_ = tbs_window;
+
+  auto outer_alg = read_algorithm_identifier(fields);
+  if (!outer_alg.ok()) return outer_alg.error();
+  auto signature = read_bit_string_view(fields);
+  if (!signature.ok()) return signature.error();
+  cert.signature_ = signature.value();
+  if (auto end = fields.expect_end(); !end.ok()) return end.error();
+
+  // --- TBSCertificate ----------------------------------------------------
+  asn1::DerReader t(tbs.value().body);
+
+  cert.version_ = 1;
+  {
+    auto tag = t.peek_tag();
+    if (tag.ok() && tag.value() == asn1::context_tag(0, true)) {
+      auto wrapper = t.read_tlv();
+      if (!wrapper.ok()) return wrapper.error();
+      asn1::DerReader version_reader(wrapper.value().body);
+      auto version = version_reader.read_small_integer();
+      if (!version.ok()) return version.error();
+      if (auto end = version_reader.expect_end(); !end.ok()) return end.error();
+      if (version.value() < 0 || version.value() > 2) {
+        return parse_error("certificate version out of range");
+      }
+      cert.version_ = static_cast<int>(version.value()) + 1;
+    }
+  }
+
+  {
+    auto tlv = t.expect(asn1::Tag::kInteger);
+    if (!tlv.ok()) return tlv.error();
+    if (tlv.value().body.empty()) return parse_error("empty INTEGER");
+    cert.serial_ = tlv.value().body;
+  }
+
+  auto inner_alg = read_algorithm_identifier(t);
+  if (!inner_alg.ok()) return inner_alg.error();
+  cert.sig_alg_ = inner_alg.value();
+  if (!(outer_alg.value() == inner_alg.value())) {
+    return parse_error("TBS and outer signature algorithms disagree");
+  }
+
+  auto issuer_seq = t.expect(asn1::Tag::kSequence, &cert.issuer_);
+  if (!issuer_seq.ok()) return issuer_seq.error();
+
+  auto validity_seq = t.expect(asn1::Tag::kSequence);
+  if (!validity_seq.ok()) return validity_seq.error();
+  {
+    asn1::DerReader v(validity_seq.value().body);
+    auto not_before = read_time(v);
+    if (!not_before.ok()) return not_before.error();
+    auto not_after = read_time(v);
+    if (!not_after.ok()) return not_after.error();
+    if (auto end = v.expect_end(); !end.ok()) return end.error();
+    cert.not_before_unix_ = not_before.value().to_unix();
+    cert.not_after_unix_ = not_after.value().to_unix();
+  }
+
+  auto subject_seq = t.expect(asn1::Tag::kSequence, &cert.subject_);
+  if (!subject_seq.ok()) return subject_seq.error();
+
+  // SubjectPublicKeyInfo, down to the RSA integer magnitudes.
+  auto spki_seq = t.expect(asn1::Tag::kSequence);
+  if (!spki_seq.ok()) return spki_seq.error();
+  {
+    asn1::DerReader spki(spki_seq.value().body);
+    auto alg = read_algorithm_identifier(spki);
+    if (!alg.ok()) return alg.error();
+    if (!(alg.value() == asn1::oids::rsa_encryption())) {
+      return unsupported_error("only RSA subject keys are supported");
+    }
+    auto key_bits = read_bit_string_view(spki);
+    if (!key_bits.ok()) return key_bits.error();
+    if (auto end = spki.expect_end(); !end.ok()) return end.error();
+    asn1::DerReader key_reader(key_bits.value());
+    auto key_seq = key_reader.expect(asn1::Tag::kSequence);
+    if (!key_seq.ok()) return key_seq.error();
+    if (auto end = key_reader.expect_end(); !end.ok()) return end.error();
+    asn1::DerReader key_fields(key_seq.value().body);
+    auto modulus = read_integer_view(key_fields);
+    if (!modulus.ok()) return modulus.error();
+    cert.modulus_ = modulus.value();
+    auto exponent = read_integer_view(key_fields);
+    if (!exponent.ok()) return exponent.error();
+    cert.exponent_ = exponent.value();
+    if (auto end = key_fields.expect_end(); !end.ok()) return end.error();
+  }
+
+  // Optional [3] EXPLICIT extensions — structural skip only; materialize()
+  // decodes them.
+  if (!t.at_end()) {
+    auto tag = t.peek_tag();
+    if (tag.ok() && tag.value() == asn1::context_tag(3, true)) {
+      if (cert.version_ != 3) {
+        return parse_error("extensions present in a pre-v3 certificate");
+      }
+      auto wrapper = t.read_tlv();
+      if (!wrapper.ok()) return wrapper.error();
+    }
+  }
+  if (auto end = t.expect_end(); !end.ok()) return end.error();
+
+  return cert;
+}
+
+Result<ParsedCert> ParsedCert::from_der_arena(ByteView der,
+                                              util::Arena& arena) {
+  return from_der_view(arena.copy(der));
+}
+
+Result<Certificate> ParsedCert::materialize() const {
+  return Certificate::from_der(der_);
+}
+
+}  // namespace tangled::x509

@@ -1,0 +1,102 @@
+// Zero-copy certificate views (the arena-backed fast parse path).
+//
+// Certificate::from_der deep-copies every field it touches — the DER, the
+// TBS window, both names, the serial, the SPKI integers — because a
+// Certificate outlives whatever buffer it was parsed from. On the capture
+// hot path that cost is paid per observed cert even when the caller only
+// needs to validate structure, dedup, or route the chain.
+//
+// ParsedCert is the shallow alternative: every field is a ByteView into the
+// backing buffer (in practice a util::Arena copy of the wire bytes made once
+// per chain). Parsing allocates nothing and copies nothing; the only owned
+// members are the handful of decoded scalars (version, validity instants,
+// signature algorithm). The trade is a lifetime contract: a ParsedCert is
+// valid only while its backing buffer is — holders must keep the arena alive
+// (see ExtractedSession::arena / util::Arena::Pin), and the ASan lane
+// enforces it.
+//
+// The structural walk here mirrors Certificate::from_der exactly, so a DER
+// blob is accepted by one iff the structure is accepted by the other
+// (from_der additionally rejects semantic problems inside names/SPKI that a
+// view parse never decodes; materialize() re-checks those).
+#pragma once
+
+#include <cstdint>
+
+#include "asn1/der.h"
+#include "asn1/oid.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tangled::util {
+class Arena;
+}  // namespace tangled::util
+
+namespace tangled::x509 {
+
+class Certificate;
+
+class ParsedCert {
+ public:
+  /// Parses certificate structure without copying: all views point into
+  /// `der`, which must outlive the result. Rejects the same structural
+  /// malformations Certificate::from_der rejects.
+  static Result<ParsedCert> from_der_view(ByteView der);
+
+  /// Convenience: copies `der` into `arena` once and parses views into the
+  /// stable copy, so the result's lifetime is the arena's.
+  static Result<ParsedCert> from_der_arena(ByteView der, util::Arena& arena);
+
+  // --- Views into the backing buffer --------------------------------------
+  ByteView der() const { return der_; }
+  ByteView tbs_der() const { return tbs_; }
+  /// Signature bits (BIT STRING body with the unused-bits octet stripped).
+  ByteView signature() const { return signature_; }
+  /// Raw INTEGER body of the serial (sign octet included if present).
+  ByteView serial() const { return serial_; }
+  /// Full TLV windows of the subject / issuer Name SEQUENCEs — directly
+  /// comparable to Name::to_der() output.
+  ByteView subject_der() const { return subject_; }
+  ByteView issuer_der() const { return issuer_; }
+  /// RSA modulus / exponent magnitudes (INTEGER bodies, sign octet
+  /// stripped) — hashable without constructing a BigNum.
+  ByteView modulus() const { return modulus_; }
+  ByteView exponent() const { return exponent_; }
+
+  // --- Owned scalars -------------------------------------------------------
+  int version() const { return version_; }
+  const asn1::Oid& signature_algorithm() const { return sig_alg_; }
+  std::int64_t not_before_unix() const { return not_before_unix_; }
+  std::int64_t not_after_unix() const { return not_after_unix_; }
+
+  bool is_self_issued() const { return bytes_equal(subject_, issuer_); }
+  /// Past the notAfter boundary — same semantics as
+  /// Certificate::expired_at_unix (a not-yet-valid certificate is NOT
+  /// expired; use valid_at_unix for the full window check).
+  bool expired_at_unix(std::int64_t now) const {
+    return now > not_after_unix_;
+  }
+  bool valid_at_unix(std::int64_t now) const {
+    return not_before_unix_ <= now && now <= not_after_unix_;
+  }
+
+  /// Deep-parses into an owning Certificate (one Certificate::from_der over
+  /// the viewed bytes). This is where name/SPKI semantic checks run.
+  Result<Certificate> materialize() const;
+
+ private:
+  ByteView der_;
+  ByteView tbs_;
+  ByteView signature_;
+  ByteView serial_;
+  ByteView subject_;
+  ByteView issuer_;
+  ByteView modulus_;
+  ByteView exponent_;
+  asn1::Oid sig_alg_;
+  int version_ = 1;
+  std::int64_t not_before_unix_ = 0;
+  std::int64_t not_after_unix_ = 0;
+};
+
+}  // namespace tangled::x509

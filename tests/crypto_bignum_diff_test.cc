@@ -1,0 +1,367 @@
+// Differential fuzz of crypto::BigNum against an independent in-test
+// reference implementation (base-2^16 digit vectors with deliberately
+// naive schoolbook algorithms — slow, but sharing no code and no
+// representation with the 32-bit-limb production class). Random operands
+// plus the boundary shapes where limb arithmetic breaks: zero, single
+// limb, equal operands, long borrow/carry chains, divisors with the top
+// bit of their leading limb set. Failures from earlier fuzz sessions are
+// pinned as named regression cases.
+#include "crypto/bignum.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tangled::crypto {
+namespace {
+
+/// Reference big integer: base-2^16 digits, little-endian, no leading
+/// zeros. Every operation is the textbook algorithm over 32-bit scratch —
+/// small enough digits that intermediate products can't overflow even
+/// when implemented carelessly.
+struct RefInt {
+  std::vector<std::uint32_t> d;  // each < 0x10000
+
+  void trim() {
+    while (!d.empty() && d.back() == 0) d.pop_back();
+  }
+  bool is_zero() const { return d.empty(); }
+
+  static RefInt from_bytes(ByteView be) {
+    RefInt r;
+    // Big-endian bytes -> little-endian 16-bit digits.
+    for (std::size_t i = 0; i < be.size(); i += 2) {
+      const std::size_t lo = be.size() - 1 - i;
+      std::uint32_t digit = be[lo];
+      if (i + 1 < be.size()) digit |= std::uint32_t(be[lo - 1]) << 8;
+      r.d.push_back(digit);
+    }
+    r.trim();
+    return r;
+  }
+
+  Bytes to_bytes() const {
+    // Canonical form matches BigNum::to_bytes: minimal big-endian, but
+    // always at least one byte (zero is {0x00}).
+    Bytes be;
+    for (std::size_t i = d.size(); i-- > 0;) {
+      be.push_back(static_cast<std::uint8_t>(d[i] >> 8));
+      be.push_back(static_cast<std::uint8_t>(d[i] & 0xff));
+    }
+    std::size_t lead = 0;
+    while (lead + 1 < be.size() && be[lead] == 0) ++lead;
+    if (be.empty()) return Bytes{0x00};
+    return Bytes(be.begin() + static_cast<std::ptrdiff_t>(lead), be.end());
+  }
+
+  int compare(const RefInt& o) const {
+    if (d.size() != o.d.size()) return d.size() < o.d.size() ? -1 : 1;
+    for (std::size_t i = d.size(); i-- > 0;) {
+      if (d[i] != o.d[i]) return d[i] < o.d[i] ? -1 : 1;
+    }
+    return 0;
+  }
+
+  RefInt add(const RefInt& o) const {
+    RefInt r;
+    std::uint32_t carry = 0;
+    for (std::size_t i = 0; i < d.size() || i < o.d.size() || carry; ++i) {
+      std::uint32_t sum = carry;
+      if (i < d.size()) sum += d[i];
+      if (i < o.d.size()) sum += o.d[i];
+      r.d.push_back(sum & 0xffff);
+      carry = sum >> 16;
+    }
+    return r;
+  }
+
+  /// Requires *this >= o (mirrors BigNum's unsigned contract).
+  RefInt sub(const RefInt& o) const {
+    RefInt r;
+    std::int32_t borrow = 0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      std::int32_t diff = static_cast<std::int32_t>(d[i]) - borrow -
+                          (i < o.d.size() ? static_cast<std::int32_t>(o.d[i])
+                                          : 0);
+      borrow = diff < 0 ? 1 : 0;
+      if (diff < 0) diff += 0x10000;
+      r.d.push_back(static_cast<std::uint32_t>(diff));
+    }
+    r.trim();
+    return r;
+  }
+
+  RefInt mul(const RefInt& o) const {
+    if (is_zero() || o.is_zero()) return {};
+    std::vector<std::uint64_t> acc(d.size() + o.d.size(), 0);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      for (std::size_t j = 0; j < o.d.size(); ++j) {
+        acc[i + j] += std::uint64_t(d[i]) * o.d[j];
+      }
+    }
+    RefInt r;
+    std::uint64_t carry = 0;
+    for (std::uint64_t v : acc) {
+      v += carry;
+      r.d.push_back(static_cast<std::uint32_t>(v & 0xffff));
+      carry = v >> 16;
+    }
+    while (carry) {
+      r.d.push_back(static_cast<std::uint32_t>(carry & 0xffff));
+      carry >>= 16;
+    }
+    r.trim();
+    return r;
+  }
+
+  RefInt shl1() const {
+    RefInt r;
+    std::uint32_t carry = 0;
+    for (const std::uint32_t digit : d) {
+      const std::uint32_t v = (digit << 1) | carry;
+      r.d.push_back(v & 0xffff);
+      carry = v >> 16;
+    }
+    if (carry) r.d.push_back(carry);
+    return r;
+  }
+
+  std::size_t bit_length() const {
+    if (d.empty()) return 0;
+    std::size_t bits = (d.size() - 1) * 16;
+    std::uint32_t top = d.back();
+    while (top) {
+      ++bits;
+      top >>= 1;
+    }
+    return bits;
+  }
+
+  bool bit(std::size_t i) const {
+    const std::size_t digit = i / 16;
+    return digit < d.size() && ((d[digit] >> (i % 16)) & 1);
+  }
+
+  /// Binary long division — O(bits^2), independent of Knuth's Algorithm D
+  /// (which is what production divmod implements).
+  static void divmod(const RefInt& num, const RefInt& den, RefInt& q,
+                     RefInt& r) {
+    q = {};
+    r = {};
+    for (std::size_t i = num.bit_length(); i-- > 0;) {
+      r = r.shl1();
+      if (num.bit(i)) {
+        if (r.d.empty()) r.d.push_back(1);
+        else {
+          RefInt one;
+          one.d.push_back(1);
+          r = r.add(one);
+        }
+      }
+      // q <<= 1; if r >= den { r -= den; q |= 1; }
+      q = q.shl1();
+      if (r.compare(den) >= 0) {
+        r = r.sub(den);
+        if (q.d.empty()) q.d.push_back(1);
+        else q.d[0] |= 1;
+      }
+    }
+    q.trim();
+    r.trim();
+  }
+
+  RefInt modexp(const RefInt& e, const RefInt& m) const {
+    RefInt result;
+    result.d.push_back(1);
+    RefInt q, base;
+    divmod(*this, m, q, base);
+    for (std::size_t i = e.bit_length(); i-- > 0;) {
+      RefInt sq = result.mul(result);
+      divmod(sq, m, q, result);
+      if (e.bit(i)) {
+        RefInt prod = result.mul(base);
+        divmod(prod, m, q, result);
+      }
+    }
+    return result;
+  }
+};
+
+Bytes big_to_bytes(const BigNum& n) { return n.to_bytes(); }
+
+void expect_same(const BigNum& got, const RefInt& want,
+                 const std::string& what) {
+  EXPECT_EQ(to_hex(big_to_bytes(got)), to_hex(want.to_bytes())) << what;
+}
+
+/// Operand shapes the fuzz draws from — each stresses a different failure
+/// mode of limb arithmetic.
+Bytes draw_operand(Xoshiro256& rng, int shape, std::size_t max_bytes) {
+  switch (shape) {
+    case 0:  // zero
+      return {};
+    case 1: {  // single limb (1-4 bytes)
+      return rng.bytes(1 + rng.next() % 4);
+    }
+    case 2: {  // all-0xff: maximal carry/borrow chains
+      return Bytes(1 + rng.next() % max_bytes, 0xff);
+    }
+    case 3: {  // 1 followed by zeros: borrow ripples the whole width
+      Bytes b(1 + rng.next() % max_bytes, 0x00);
+      b.front() = 0x01;
+      return b;
+    }
+    case 4: {  // high-bit-set leading limb (Knuth D normalization edge)
+      Bytes b = rng.bytes(4 + rng.next() % max_bytes);
+      b.front() |= 0x80;
+      return b;
+    }
+    default:
+      return rng.bytes(1 + rng.next() % max_bytes);
+  }
+}
+
+TEST(BigNumDiff, AddSubMulFuzz) {
+  Xoshiro256 rng(201);
+  for (int iter = 0; iter < 400; ++iter) {
+    const int shape_a = static_cast<int>(rng.next() % 6);
+    // Bias toward equal operands every 8th draw (cancellation to zero).
+    Bytes a_bytes = draw_operand(rng, shape_a, 96);
+    Bytes b_bytes = iter % 8 == 0
+                        ? a_bytes
+                        : draw_operand(rng, static_cast<int>(rng.next() % 6),
+                                       96);
+    const BigNum a = BigNum::from_bytes(a_bytes);
+    const BigNum b = BigNum::from_bytes(b_bytes);
+    const RefInt ra = RefInt::from_bytes(a_bytes);
+    const RefInt rb = RefInt::from_bytes(b_bytes);
+    const std::string tag = " iter=" + std::to_string(iter) +
+                            " a=" + to_hex(a_bytes) + " b=" + to_hex(b_bytes);
+
+    expect_same(a + b, ra.add(rb), "add" + tag);
+    expect_same(a * b, ra.mul(rb), "mul" + tag);
+    if (a >= b) {
+      expect_same(a - b, ra.sub(rb), "sub" + tag);
+    } else {
+      expect_same(b - a, rb.sub(ra), "sub(swapped)" + tag);
+    }
+  }
+}
+
+TEST(BigNumDiff, DivModFuzz) {
+  Xoshiro256 rng(202);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Bytes a_bytes =
+        draw_operand(rng, static_cast<int>(rng.next() % 6), 96);
+    Bytes b_bytes;
+    // Every 4th divisor gets a high-bit-set leading limb (shape 4), the
+    // Algorithm-D normalization edge; never zero.
+    do {
+      b_bytes = draw_operand(rng, iter % 4 == 0 ? 4
+                                                : static_cast<int>(
+                                                      rng.next() % 6),
+                             48);
+    } while (BigNum::from_bytes(b_bytes).is_zero());
+    const BigNum a = BigNum::from_bytes(a_bytes);
+    const BigNum b = BigNum::from_bytes(b_bytes);
+    const RefInt ra = RefInt::from_bytes(a_bytes);
+    const RefInt rb = RefInt::from_bytes(b_bytes);
+    RefInt rq, rr;
+    RefInt::divmod(ra, rb, rq, rr);
+    const auto got = a.divmod(b);
+    const std::string tag = " iter=" + std::to_string(iter) +
+                            " a=" + to_hex(a_bytes) + " b=" + to_hex(b_bytes);
+    expect_same(got.quotient, rq, "quotient" + tag);
+    expect_same(got.remainder, rr, "remainder" + tag);
+  }
+}
+
+TEST(BigNumDiff, ModExpFuzz) {
+  // Small operands keep the quadratic reference fast; both modexp arms of
+  // the production dispatch (schoolbook + Montgomery) run against it.
+  Xoshiro256 rng(203);
+  for (int iter = 0; iter < 24; ++iter) {
+    const Bytes base_bytes = rng.bytes(1 + rng.next() % 24);
+    const Bytes exp_bytes = rng.bytes(1 + rng.next() % 3);
+    Bytes mod_bytes;
+    do {
+      mod_bytes = rng.bytes(2 + rng.next() % 24);
+      if (iter % 2 == 0) mod_bytes.back() |= 1;  // odd: Montgomery-eligible
+    } while (BigNum::from_bytes(mod_bytes) <= BigNum(1));
+    const BigNum base = BigNum::from_bytes(base_bytes);
+    const BigNum exp = BigNum::from_bytes(exp_bytes);
+    const BigNum mod = BigNum::from_bytes(mod_bytes);
+    const RefInt want = RefInt::from_bytes(base_bytes)
+                            .modexp(RefInt::from_bytes(exp_bytes),
+                                    RefInt::from_bytes(mod_bytes));
+    const std::string tag = " iter=" + std::to_string(iter) +
+                            " base=" + to_hex(base_bytes) +
+                            " exp=" + to_hex(exp_bytes) +
+                            " mod=" + to_hex(mod_bytes);
+    expect_same(base.modexp_schoolbook(exp, mod), want, "schoolbook" + tag);
+    if (mod.is_odd()) {
+      expect_same(base.modexp_montgomery(exp, mod), want, "montgomery" + tag);
+    }
+    expect_same(base.modexp(exp, mod), want, "dispatch" + tag);
+  }
+}
+
+// --- Pinned regressions ------------------------------------------------
+// Boundary cases worth naming whether or not a fuzz draw would hit them
+// this seed: each one encodes a shape that historically breaks limb code.
+
+TEST(BigNumDiffRegression, BorrowAcrossEveryLimb) {
+  // 2^128 - (2^128 - 1) = 1: the borrow ripples through four 32-bit limbs.
+  Bytes a(17, 0x00);
+  a.front() = 0x01;
+  const Bytes b(16, 0xff);
+  const BigNum got = BigNum::from_bytes(a) - BigNum::from_bytes(b);
+  EXPECT_EQ(got, BigNum(1));
+}
+
+TEST(BigNumDiffRegression, CarryOutOfTopLimb) {
+  // (2^96 - 1) + 1 = 2^96: carry out of the leading limb grows the vector.
+  const Bytes a(12, 0xff);
+  const BigNum got = BigNum::from_bytes(a) + BigNum(1);
+  Bytes want(13, 0x00);
+  want.front() = 0x01;
+  EXPECT_EQ(got, BigNum::from_bytes(want));
+}
+
+TEST(BigNumDiffRegression, QuotientDigitOverestimate) {
+  // Knuth D's qhat overestimate trigger: dividend with repeating high
+  // words against a divisor whose leading limb is 0x80000000-like.
+  const BigNum a = BigNum::from_hex("fffffffe00000000fffffffe00000001");
+  const BigNum b = BigNum::from_hex("ffffffff00000001");
+  const auto got = a.divmod(b);
+  RefInt rq, rr;
+  RefInt::divmod(RefInt::from_bytes(a.to_bytes()),
+                 RefInt::from_bytes(b.to_bytes()), rq, rr);
+  expect_same(got.quotient, rq, "quotient");
+  expect_same(got.remainder, rr, "remainder");
+  EXPECT_EQ(got.quotient * b + got.remainder, a);
+}
+
+TEST(BigNumDiffRegression, EqualOperands) {
+  const BigNum a = BigNum::from_hex("deadbeefcafebabe1234567890abcdef");
+  EXPECT_TRUE((a - a).is_zero());
+  EXPECT_EQ(a.divmod(a).quotient, BigNum(1));
+  EXPECT_TRUE(a.divmod(a).remainder.is_zero());
+}
+
+TEST(BigNumDiffRegression, ZeroOperands) {
+  const BigNum zero;
+  const BigNum a = BigNum::from_hex("0123456789abcdef");
+  EXPECT_EQ(zero + a, a);
+  EXPECT_EQ(a - zero, a);
+  EXPECT_TRUE((zero * a).is_zero());
+  EXPECT_TRUE(zero.divmod(a).quotient.is_zero());
+  EXPECT_TRUE(zero.divmod(a).remainder.is_zero());
+}
+
+}  // namespace
+}  // namespace tangled::crypto

@@ -1,0 +1,208 @@
+// Feature-toggle equivalence at the census level: every hot-path
+// optimization (TANGLED_BATCH_HASH, TANGLED_MONTGOMERY, TANGLED_DENSE_IDS,
+// TANGLED_ARENA_CERTS) must be invisible in census results — the toggles
+// change probe cost, never a count. Also pins the NotaryDb dense/wide mode
+// equivalence down to the serialized state bytes, and the ParsedCert view
+// parser's structural agreement with the owning parser over a real corpus.
+#include "notary/census.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "rootstore/catalog.h"
+#include "synth/notary_corpus.h"
+#include "util/features.h"
+#include "x509/parsed_cert.h"
+
+namespace tangled::notary {
+namespace {
+
+constexpr std::size_t kCorpusCerts = 1200;
+
+const rootstore::StoreUniverse& universe() {
+  static const rootstore::StoreUniverse u =
+      rootstore::StoreUniverse::build(1408);
+  return u;
+}
+
+/// Anchor storage outlives every census (ValidationCensus keeps a
+/// reference to its anchors).
+const pki::TrustAnchors& anchors() {
+  static const pki::TrustAnchors a = [] {
+    pki::TrustAnchors anchors;
+    for (const auto& ca : universe().aosp_cas()) anchors.add(ca.cert);
+    for (const auto& ca : universe().mozilla_only_cas()) anchors.add(ca.cert);
+    for (const auto& ca : universe().ios7_only_cas()) anchors.add(ca.cert);
+    for (const auto& ca : universe().nonaosp_cas()) anchors.add(ca.cert);
+    return anchors;
+  }();
+  return a;
+}
+
+const std::vector<Observation>& corpus() {
+  static const std::vector<Observation> observations = [] {
+    synth::NotaryCorpusConfig config;
+    config.n_certs = kCorpusCerts;
+    synth::NotaryCorpusGenerator generator(universe(), config);
+    std::vector<Observation> out;
+    generator.generate([&out](const Observation& obs) { out.push_back(obs); },
+                       nullptr);
+    return out;
+  }();
+  return observations;
+}
+
+std::vector<x509::Certificate> all_anchor_certs() {
+  std::vector<x509::Certificate> certs;
+  for (const auto& ca : universe().aosp_cas()) certs.push_back(ca.cert);
+  for (const auto& ca : universe().nonaosp_cas()) certs.push_back(ca.cert);
+  return certs;
+}
+
+void expect_identical(const ValidationCensus& a, const ValidationCensus& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.total_unexpired(), b.total_unexpired()) << label;
+  EXPECT_EQ(a.total_validated(), b.total_validated()) << label;
+  const rootstore::RootStore* stores[] = {
+      &universe().mozilla(),
+      &universe().ios7(),
+      &universe().aosp(rootstore::AndroidVersion::k41),
+      &universe().aosp(rootstore::AndroidVersion::k44),
+  };
+  for (const rootstore::RootStore* store : stores) {
+    EXPECT_EQ(a.validated_by_store(*store), b.validated_by_store(*store))
+        << label << " store " << store->name();
+  }
+  const auto roots = all_anchor_certs();
+  EXPECT_EQ(a.per_root_counts(roots), b.per_root_counts(roots)) << label;
+  EXPECT_EQ(a.ecdf_counts(roots), b.ecdf_counts(roots)) << label;
+  EXPECT_EQ(a.cumulative_coverage(roots), b.cumulative_coverage(roots))
+      << label;
+}
+
+struct Toggle {
+  const char* name;
+  util::FeatureOverride::Getter get;
+  util::FeatureOverride::Setter set;
+};
+
+constexpr Toggle kToggles[] = {
+    {"TANGLED_BATCH_HASH", util::batch_hash_enabled,
+     util::set_batch_hash_enabled},
+    {"TANGLED_MONTGOMERY", util::montgomery_enabled,
+     util::set_montgomery_enabled},
+    {"TANGLED_DENSE_IDS", util::dense_ids_enabled,
+     util::set_dense_ids_enabled},
+    {"TANGLED_ARENA_CERTS", util::arena_certs_enabled,
+     util::set_arena_certs_enabled},
+};
+
+std::unique_ptr<ValidationCensus> run_census() {
+  auto census = std::make_unique<ValidationCensus>(anchors());
+  for (const Observation& obs : corpus()) census->ingest(obs);
+  return census;
+}
+
+TEST(CensusFeatureEquivalence, EachFeatureOffMatchesAllOn) {
+  const auto baseline = run_census();  // all features on
+
+  for (const Toggle& toggle : kToggles) {
+    util::FeatureOverride off(toggle.get, toggle.set, false);
+    const auto ablated = run_census();
+    expect_identical(*baseline, *ablated, toggle.name);
+  }
+}
+
+TEST(CensusFeatureEquivalence, AllFeaturesOffMatchesAllOn) {
+  const auto baseline = run_census();
+  {
+    util::FeatureOverride a(kToggles[0].get, kToggles[0].set, false);
+    util::FeatureOverride b(kToggles[1].get, kToggles[1].set, false);
+    util::FeatureOverride c(kToggles[2].get, kToggles[2].set, false);
+    util::FeatureOverride d(kToggles[3].get, kToggles[3].set, false);
+    const auto ablated = run_census();
+    expect_identical(*baseline, *ablated, "all-off");
+  }
+}
+
+std::unique_ptr<NotaryDb> run_notary(bool dense) {
+  util::FeatureOverride mode(util::dense_ids_enabled,
+                             util::set_dense_ids_enabled, dense);
+  auto db = std::make_unique<NotaryDb>();
+  for (const Observation& obs : corpus()) db->observe(obs);
+  return db;
+}
+
+TEST(NotaryDbFeatureEquivalence, DenseAndWideModesSerializeIdentically) {
+  const auto dense = run_notary(true);
+  const auto wide = run_notary(false);
+
+  EXPECT_EQ(dense->session_count(), wide->session_count());
+  EXPECT_EQ(dense->unique_cert_count(), wide->unique_cert_count());
+  EXPECT_EQ(dense->unexpired_unique_cert_count(),
+            wide->unexpired_unique_cert_count());
+  // encode_state normalizes dense ids back to the canonical sorted form,
+  // so the snapshot bytes are mode-independent.
+  EXPECT_EQ(dense->encode_state(), wide->encode_state());
+}
+
+TEST(NotaryDbFeatureEquivalence, SnapshotsPortAcrossModes) {
+  const Bytes dense_state = run_notary(true)->encode_state();
+
+  util::FeatureOverride wide_mode(util::dense_ids_enabled,
+                                  util::set_dense_ids_enabled, false);
+  NotaryDb restored;
+  ASSERT_TRUE(restored.decode_state(dense_state).ok());
+  EXPECT_EQ(restored.encode_state(), dense_state);
+  EXPECT_EQ(restored.session_count(), run_notary(false)->session_count());
+}
+
+TEST(ParsedCertAgreement, ViewParserAcceptsEveryCorpusCert) {
+  std::size_t checked = 0;
+  for (const Observation& obs : corpus()) {
+    for (const x509::Certificate& cert : obs.chain) {
+      auto view = x509::ParsedCert::from_der_view(cert.der());
+      ASSERT_TRUE(view.ok()) << "view parser rejected a cert the owning "
+                                "parser accepted: "
+                             << view.error().message;
+      EXPECT_TRUE(bytes_equal(view.value().der(), cert.der()));
+      ++checked;
+    }
+    if (checked > 2000) break;  // bounded; the corpus repeats hierarchies
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(ParsedCertAgreement, BothParsersRejectEveryTruncation) {
+  const x509::Certificate& cert = corpus().front().chain.front();
+  const Bytes& der = cert.der();
+  for (std::size_t len = 0; len < der.size(); len += 7) {
+    const ByteView prefix(der.data(), len);
+    EXPECT_FALSE(x509::Certificate::from_der(prefix).ok()) << "len " << len;
+    EXPECT_FALSE(x509::ParsedCert::from_der_view(prefix).ok()) << "len " << len;
+  }
+}
+
+TEST(ParsedCertAgreement, ViewParserNoStricterThanOwningParser) {
+  // Single-byte corruption sweep: wherever the zero-copy structural walk
+  // rejects, the owning parser must reject too — otherwise arena mode
+  // would drop chains the legacy path kept.
+  const x509::Certificate& cert = corpus().front().chain.front();
+  Bytes der = cert.der();
+  for (std::size_t i = 0; i < der.size(); i += 3) {
+    const std::uint8_t original = der[i];
+    der[i] = static_cast<std::uint8_t>(original ^ 0x41);
+    const bool view_ok = x509::ParsedCert::from_der_view(der).ok();
+    const bool owning_ok = x509::Certificate::from_der(der).ok();
+    if (!view_ok) {
+      EXPECT_FALSE(owning_ok) << "offset " << i;
+    }
+    der[i] = original;
+  }
+}
+
+}  // namespace
+}  // namespace tangled::notary

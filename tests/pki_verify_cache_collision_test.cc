@@ -1,0 +1,185 @@
+// Verify-cache key width: the cache once keyed links on a truncated
+// 128-bit slice of each SHA-256 digest, so an engineered half-digest
+// collision could serve one link's verdict for a different link. The key
+// now stores the full 512 bits (or, in dense mode, interned ids that are
+// bijections of the full digests). These tests plant a cache entry whose
+// key collides with a real failing link in the truncated 128-bit prefix —
+// ok flag set to "valid" — and assert the honest failure still comes back.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "pki/hierarchy.h"
+#include "pki/verify.h"
+#include "pki/verify_cache.h"
+#include "util/binio.h"
+#include "util/features.h"
+
+namespace tangled::pki {
+namespace {
+
+using crypto::sim_sig_scheme;
+
+const x509::Validity kCaValidity{asn1::make_time(2008, 1, 1),
+                                 asn1::make_time(2030, 1, 1)};
+
+/// A real, honestly *failing* link: an intermediate that names the root as
+/// issuer but was signed by a stranger key. check_signature_from(root) on
+/// it must fail, and no planted cache entry may say otherwise.
+struct ForgedLink {
+  x509::Certificate root;
+  x509::Certificate forged;
+
+  explicit ForgedLink(std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    auto r = make_root(sim_sig_scheme(), crypto::generate_sim_keypair(rng),
+                       ca_name("Collide Org", "Collide Root"), kCaValidity, 1)
+                 .value();
+    CaNode wrong_parent{r.cert, crypto::generate_sim_keypair(rng)};
+    auto f = make_intermediate(sim_sig_scheme(), wrong_parent,
+                               crypto::generate_sim_keypair(rng),
+                               ca_name("Collide Org", "Forged Inter"),
+                               kCaValidity, 2)
+                 .value();
+    root = r.cert;
+    forged = f.cert;
+  }
+};
+
+/// Serializes one import_state entry. The codec stores each digest as four
+/// little-endian u64 words decoded from little-endian bytes, so the wire
+/// bytes are the digest bytes verbatim — we can write them directly.
+Bytes plant_entry(const Bytes& child_digest, const Bytes& issuer_digest,
+                  bool ok) {
+  Bytes out;
+  util::put_u64(out, 1);  // entry count
+  append(out, child_digest);
+  append(out, issuer_digest);
+  util::put_u8(out, ok ? 1 : 0);
+  util::put_u8(out, static_cast<std::uint8_t>(Errc::kVerifyFailed));
+  util::put_string(out, "");
+  return out;
+}
+
+/// The attack shape: agree with `digest` in the first 16 bytes (everything
+/// the old truncated key kept) and differ in the tail.
+Bytes truncated_collision(const Bytes& digest) {
+  Bytes out = digest;
+  for (std::size_t i = 16; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(out[i] ^ 0xFF);
+  }
+  return out;
+}
+
+class VerifyCacheCollision : public ::testing::TestWithParam<bool> {};
+
+TEST_P(VerifyCacheCollision, TruncatedCollisionCannotFlipVerdict) {
+  util::FeatureOverride dense(util::dense_ids_enabled,
+                              util::set_dense_ids_enabled, GetParam());
+  ForgedLink link(41);
+
+  // Honest baseline, no cache involved.
+  const auto honest = link.forged.check_signature_from(link.root);
+  ASSERT_FALSE(honest.ok());
+
+  // Plant an entry claiming "valid" whose key matches the real link's
+  // (child fingerprint, issuer SPKI) in the first 128 bits of each digest
+  // but not beyond. The old truncated key scheme would have served it.
+  VerifyCache cache;
+  const Bytes planted = plant_entry(
+      truncated_collision(link.forged.fingerprint_sha256()),
+      truncated_collision(link.root.spki_sha256()), /*ok=*/true);
+  ASSERT_TRUE(cache.import_state(planted).ok());
+  ASSERT_EQ(cache.stats().entries, 1u);
+
+  bool hit = true;
+  const auto probed = cache.check_link_signature(link.forged, link.root, &hit);
+  EXPECT_FALSE(hit) << "planted half-digest collision must not be a hit";
+  ASSERT_FALSE(probed.ok()) << "collision served a forged 'valid' verdict";
+  EXPECT_EQ(probed.error().code, honest.error().code);
+  EXPECT_EQ(probed.error().message, honest.error().message);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST_P(VerifyCacheCollision, ExactKeyPlantIsReachableControl) {
+  // Control for the test mechanics: the same planted entry under the
+  // *exact* full-digest key is served on probe. This proves the collision
+  // test above missed because the key is wide, not because import dropped
+  // the entry. (Snapshot payloads are trusted-by-construction inputs —
+  // they ride inside checksummed sections of our own snapshots.)
+  util::FeatureOverride dense(util::dense_ids_enabled,
+                              util::set_dense_ids_enabled, GetParam());
+  ForgedLink link(42);
+
+  VerifyCache cache;
+  const Bytes planted =
+      plant_entry(link.forged.fingerprint_sha256(), link.root.spki_sha256(),
+                  /*ok=*/true);
+  ASSERT_TRUE(cache.import_state(planted).ok());
+
+  bool hit = false;
+  const auto probed = cache.check_link_signature(link.forged, link.root, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_TRUE(probed.ok());
+}
+
+TEST_P(VerifyCacheCollision, ExportImportRoundTripServesStoredOutcome) {
+  util::FeatureOverride dense(util::dense_ids_enabled,
+                              util::set_dense_ids_enabled, GetParam());
+  ForgedLink link(43);
+
+  VerifyCache source;
+  bool hit = true;
+  const auto computed =
+      source.check_link_signature(link.forged, link.root, &hit);
+  ASSERT_FALSE(hit);
+  ASSERT_FALSE(computed.ok());
+
+  VerifyCache restored;
+  ASSERT_TRUE(restored.import_state(source.export_state()).ok());
+  ASSERT_EQ(restored.stats().entries, 1u);
+
+  const auto replayed =
+      restored.check_link_signature(link.forged, link.root, &hit);
+  EXPECT_TRUE(hit);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.error().code, computed.error().code);
+  EXPECT_EQ(replayed.error().message, computed.error().message);
+}
+
+TEST(VerifyCacheCollision, SnapshotsPortAcrossKeyModes) {
+  // A snapshot written under one TANGLED_DENSE_IDS mode must import into
+  // the other: the codec always carries full digests.
+  ForgedLink link(44);
+  Bytes exported;
+  Result<void> computed{};
+  {
+    util::FeatureOverride wide(util::dense_ids_enabled,
+                               util::set_dense_ids_enabled, false);
+    VerifyCache source;
+    computed = source.check_link_signature(link.forged, link.root);
+    exported = source.export_state();
+  }
+  {
+    util::FeatureOverride dense(util::dense_ids_enabled,
+                                util::set_dense_ids_enabled, true);
+    VerifyCache restored;
+    ASSERT_TRUE(restored.import_state(exported).ok());
+    bool hit = false;
+    const auto replayed =
+        restored.check_link_signature(link.forged, link.root, &hit);
+    EXPECT_TRUE(hit);
+    ASSERT_FALSE(replayed.ok());
+    ASSERT_FALSE(computed.ok());
+    EXPECT_EQ(replayed.error().message, computed.error().message);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KeyModes, VerifyCacheCollision,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "DenseIds" : "WideKey";
+                         });
+
+}  // namespace
+}  // namespace tangled::pki

@@ -1,0 +1,161 @@
+// Arena-certs lifetime discipline at the stream layer: in arena mode
+// (TANGLED_ARENA_CERTS) a completed flow hands out zero-copy ParsedCert
+// views together with shared ownership of their backing arena, so there is
+// no sequence of demux operations — retiring flows, evicting flows,
+// destroying the demux itself — that can invalidate views a consumer still
+// holds. Use-after-free is impossible by construction: the views' memory
+// lives exactly as long as the last CompletedFlow (or copied arena handle)
+// that references it.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "pki/hierarchy.h"
+#include "stream/demux.h"
+#include "tlswire/handshake.h"
+#include "util/features.h"
+
+namespace tangled::stream {
+namespace {
+
+struct Flight {
+  std::vector<x509::Certificate> chain;
+  Bytes bytes;
+};
+
+Flight make_flight(std::uint64_t seed, const std::string& host) {
+  Xoshiro256 rng(seed);
+  auto hierarchy = pki::CaHierarchy::build(rng, "ArenaLife", 1,
+                                           /*sim_keys=*/true)
+                       .value();
+  auto leaf = hierarchy.issue(rng, host, 0).value();
+  Flight flight;
+  flight.chain = hierarchy.presented_chain(leaf, 0);
+  flight.bytes =
+      tlswire::encode_server_flight(tlswire::ServerHello{}, flight.chain)
+          .value();
+  return flight;
+}
+
+util::FeatureOverride arena_mode(bool on) {
+  return util::FeatureOverride(util::arena_certs_enabled,
+                               util::set_arena_certs_enabled, on);
+}
+
+TEST(StreamArenaLifetime, ViewsOutliveTheDemuxThatProducedThem) {
+  auto mode = arena_mode(true);
+  const Flight flight = make_flight(71, "life.example.com");
+
+  std::vector<CompletedFlow> completed;
+  {
+    FlowDemux demux;
+    demux.feed(1, flight.bytes);
+    demux.end_flow(1);
+    completed = demux.take_completed();
+    // The demux dies here with the flow long retired; the completed flow
+    // carries its arena out, so nothing dangles.
+  }
+  ASSERT_EQ(completed.size(), 1u);
+  CompletedFlow& flow = completed.front();
+  ASSERT_NE(flow.arena, nullptr);
+  ASSERT_EQ(flow.view_chain.size(), flight.chain.size());
+  // Sole owner now: demux-side state held no reference back.
+  EXPECT_EQ(flow.arena.use_count(), 1);
+  for (std::size_t i = 0; i < flight.chain.size(); ++i) {
+    EXPECT_TRUE(bytes_equal(flow.view_chain[i].der(), flight.chain[i].der()));
+    EXPECT_TRUE(
+        bytes_equal(flow.view_chain[i].tbs_der(), flight.chain[i].tbs_der()));
+  }
+}
+
+TEST(StreamArenaLifetime, ViewsSurviveDroppingTheOwningChain) {
+  // The views depend only on the arena, not on the materialized
+  // Certificate objects that ride in the same CompletedFlow.
+  auto mode = arena_mode(true);
+  const Flight flight = make_flight(72, "drop.example.com");
+
+  FlowDemux demux;
+  demux.feed(7, flight.bytes);
+  demux.end_flow(7);
+  auto completed = demux.take_completed();
+  ASSERT_EQ(completed.size(), 1u);
+
+  std::vector<x509::ParsedCert> views = std::move(completed[0].view_chain);
+  std::shared_ptr<util::Arena> arena = std::move(completed[0].arena);
+  completed.clear();  // owning Certificates gone
+
+  ASSERT_EQ(views.size(), flight.chain.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    EXPECT_TRUE(bytes_equal(views[i].der(), flight.chain[i].der()));
+  }
+  // And each view still materializes into a full Certificate on demand.
+  auto materialized = views[0].materialize();
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_EQ(materialized.value().der(), flight.chain[0].der());
+}
+
+TEST(StreamArenaLifetime, EvictedAndFaultedFlowsHandOutNoViews) {
+  // Flows that never complete never export views, so eviction/faulting
+  // frees their buffers with no external references possible — the only
+  // escape hatch for arena memory is a CompletedFlow.
+  auto mode = arena_mode(true);
+  const Flight flight = make_flight(73, "evict.example.com");
+
+  DemuxConfig config;
+  config.max_buffered_bytes = 64;  // force eviction of any stalled flow
+  FlowDemux demux(config);
+  // Feed a prefix only: the flow stalls mid-handshake, exceeds the cap,
+  // and is evicted.
+  const std::size_t half = flight.bytes.size() / 2;
+  demux.feed(1, ByteView(flight.bytes.data(), half));
+  demux.end_all();
+
+  auto completed = demux.take_completed();
+  auto faulted = demux.take_faulted();
+  EXPECT_TRUE(completed.empty());
+  ASSERT_FALSE(faulted.empty());
+}
+
+TEST(StreamArenaLifetime, FeatureOffProducesNoViewsAndNoArena) {
+  auto mode = arena_mode(false);
+  const Flight flight = make_flight(74, "legacy.example.com");
+
+  FlowDemux demux;
+  demux.feed(1, flight.bytes);
+  demux.end_flow(1);
+  auto completed = demux.take_completed();
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_TRUE(completed[0].view_chain.empty());
+  EXPECT_EQ(completed[0].arena, nullptr);
+  // The owning chain is unaffected by the toggle.
+  ASSERT_EQ(completed[0].chain.size(), flight.chain.size());
+  EXPECT_EQ(completed[0].chain[0].der(), flight.chain[0].der());
+}
+
+TEST(StreamArenaLifetime, ArenaAndLegacyModesExtractIdenticalChains) {
+  const Flight flight = make_flight(75, "equal.example.com");
+
+  auto run = [&flight](bool arena_on) {
+    auto mode = arena_mode(arena_on);
+    FlowDemux demux;
+    demux.feed(1, flight.bytes);
+    demux.end_flow(1);
+    auto completed = demux.take_completed();
+    EXPECT_EQ(completed.size(), 1u);
+    return completed;
+  };
+
+  auto with_arena = run(true);
+  auto without = run(false);
+  ASSERT_EQ(with_arena.size(), 1u);
+  ASSERT_EQ(without.size(), 1u);
+  ASSERT_EQ(with_arena[0].chain.size(), without[0].chain.size());
+  for (std::size_t i = 0; i < without[0].chain.size(); ++i) {
+    EXPECT_EQ(with_arena[0].chain[i].der(), without[0].chain[i].der());
+  }
+}
+
+}  // namespace
+}  // namespace tangled::stream

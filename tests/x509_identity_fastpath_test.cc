@@ -1,0 +1,189 @@
+// Identity fast paths must be invisible in results: the batched-hash
+// identity block, the interned dense ids, and the SimSig prefix shortcut in
+// check_signature_from(const Certificate&) all have to agree byte-for-byte
+// with the scalar / key-overload paths they replace.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "pki/hierarchy.h"
+#include "util/features.h"
+#include "x509/parsed_cert.h"
+
+namespace tangled::x509 {
+namespace {
+
+using crypto::sim_sig_scheme;
+
+const Validity kValidity{asn1::make_time(2010, 1, 1),
+                         asn1::make_time(2030, 1, 1)};
+
+util::FeatureOverride batch_mode(bool on) {
+  return util::FeatureOverride(util::batch_hash_enabled,
+                               util::set_batch_hash_enabled, on);
+}
+
+Certificate make_sim_root(std::uint64_t seed, const std::string& cn,
+                          std::uint64_t serial = 1) {
+  Xoshiro256 rng(seed);
+  return pki::make_root(sim_sig_scheme(), crypto::generate_sim_keypair(rng),
+                        pki::ca_name("Fastpath Org", cn), kValidity, serial)
+      .value()
+      .cert;
+}
+
+TEST(IdentityFastpath, BatchedAndScalarIdentityBlocksAgree) {
+  const Certificate built = make_sim_root(21, "Digest Root");
+  const Bytes der = built.der();
+
+  auto parse_with = [&der](bool batch_on) {
+    auto mode = batch_mode(batch_on);
+    return Certificate::from_der(der).value();
+  };
+  const Certificate batched = parse_with(true);
+  const Certificate scalar = parse_with(false);
+
+  EXPECT_EQ(batched.fingerprint_sha256(), scalar.fingerprint_sha256());
+  EXPECT_EQ(batched.fingerprint_hex(), scalar.fingerprint_hex());
+  EXPECT_EQ(batched.identity_key(), scalar.identity_key());
+  EXPECT_EQ(batched.identity_hex(), scalar.identity_hex());
+  EXPECT_EQ(batched.equivalence_key(), scalar.equivalence_key());
+  EXPECT_EQ(batched.equivalence_hex(), scalar.equivalence_hex());
+  EXPECT_EQ(batched.spki_sha256(), scalar.spki_sha256());
+  EXPECT_EQ(batched.der_hash(), scalar.der_hash());
+  EXPECT_EQ(batched.subject_name_hash(), scalar.subject_name_hash());
+  EXPECT_EQ(batched.issuer_name_hash(), scalar.issuer_name_hash());
+  // Interned ids key on the digests, so they agree too.
+  EXPECT_EQ(batched.dense_id(), scalar.dense_id());
+  EXPECT_EQ(batched.equivalence_id(), scalar.equivalence_id());
+  EXPECT_EQ(batched.spki_id(), scalar.spki_id());
+  EXPECT_EQ(batched.identity_id(), scalar.identity_id());
+}
+
+TEST(IdentityFastpath, DenseIdsAreBijectionsOfTheirDigests) {
+  const Certificate a = make_sim_root(22, "Id Root A");
+  const Certificate b = make_sim_root(23, "Id Root B");
+  const Certificate a_again = Certificate::from_der(a.der()).value();
+
+  // Same DER → same ids everywhere.
+  EXPECT_EQ(a.dense_id(), a_again.dense_id());
+  EXPECT_EQ(a.spki_id(), a_again.spki_id());
+  EXPECT_EQ(a.equivalence_id(), a_again.equivalence_id());
+  EXPECT_EQ(a.identity_id(), a_again.identity_id());
+  // Different certs → different fingerprint ids.
+  EXPECT_NE(a.dense_id(), b.dense_id());
+  EXPECT_NE(a.spki_id(), b.spki_id());
+}
+
+TEST(IdentityFastpath, ReissuedCertSharesSpkiAndEquivalenceIdsOnly) {
+  // Two re-issues of one root: same subject + key, different serial. The
+  // key-derived ids collapse, the per-DER ids stay distinct — exactly the
+  // distinctions the verify/census hot paths rely on.
+  Xoshiro256 rng(24);
+  const auto key = crypto::generate_sim_keypair(rng);
+  const Name subject = pki::ca_name("Fastpath Org", "Twin Root");
+  const Certificate r1 =
+      pki::make_root(sim_sig_scheme(), key, subject, kValidity, 1).value().cert;
+  const Certificate r2 =
+      pki::make_root(sim_sig_scheme(), key, subject, kValidity, 2).value().cert;
+  ASSERT_NE(r1.der(), r2.der());
+
+  EXPECT_EQ(r1.spki_id(), r2.spki_id());
+  EXPECT_EQ(r1.equivalence_id(), r2.equivalence_id());
+  EXPECT_NE(r1.dense_id(), r2.dense_id());
+  EXPECT_NE(r1.identity_id(), r2.identity_id());
+}
+
+TEST(IdentityFastpath, SimSigCertOverloadMatchesKeyOverload) {
+  Xoshiro256 rng(25);
+  const auto root = pki::make_root(sim_sig_scheme(),
+                                   crypto::generate_sim_keypair(rng),
+                                   pki::ca_name("Fastpath Org", "Sig Root"),
+                                   kValidity, 1)
+                        .value();
+  const Certificate leaf =
+      pki::make_leaf(sim_sig_scheme(), root, crypto::generate_sim_keypair(rng),
+                     "fast.example.com", kValidity, 2)
+          .value();
+
+  for (const bool batch_on : {true, false}) {
+    auto mode = batch_mode(batch_on);
+    const auto via_cert = leaf.check_signature_from(root.cert);
+    const auto via_key = leaf.check_signature_from(root.cert.public_key());
+    EXPECT_TRUE(via_cert.ok()) << "batch=" << batch_on;
+    EXPECT_TRUE(via_key.ok()) << "batch=" << batch_on;
+  }
+
+  // Negative case: a stranger issuer must fail identically on both
+  // overloads, in both toggle states — code and message.
+  const auto stranger =
+      pki::make_root(sim_sig_scheme(), crypto::generate_sim_keypair(rng),
+                     pki::ca_name("Fastpath Org", "Stranger"), kValidity, 3)
+          .value();
+  for (const bool batch_on : {true, false}) {
+    auto mode = batch_mode(batch_on);
+    const auto via_cert = leaf.check_signature_from(stranger.cert);
+    const auto via_key =
+        leaf.check_signature_from(stranger.cert.public_key());
+    ASSERT_FALSE(via_cert.ok()) << "batch=" << batch_on;
+    ASSERT_FALSE(via_key.ok()) << "batch=" << batch_on;
+    EXPECT_EQ(via_cert.error().code, via_key.error().code);
+    EXPECT_EQ(via_cert.error().message, via_key.error().message);
+  }
+}
+
+TEST(IdentityFastpath, RsaCertOverloadDelegatesToKeyOverload) {
+  Xoshiro256 rng(26);
+  auto hierarchy = pki::CaHierarchy::build(rng, "FastpathRsa", 1,
+                                           /*sim_keys=*/false)
+                       .value();
+  const Certificate leaf =
+      hierarchy.issue(rng, "rsa.example.com", 0).value();
+  const pki::CaNode& inter = hierarchy.intermediates()[0];
+
+  for (const bool batch_on : {true, false}) {
+    auto mode = batch_mode(batch_on);
+    EXPECT_TRUE(leaf.check_signature_from(inter.cert).ok());
+    EXPECT_TRUE(leaf.check_signature_from(inter.cert.public_key()).ok());
+    const auto wrong = leaf.check_signature_from(hierarchy.root().cert);
+    const auto wrong_key =
+        leaf.check_signature_from(hierarchy.root().cert.public_key());
+    ASSERT_FALSE(wrong.ok());
+    ASSERT_FALSE(wrong_key.ok());
+    EXPECT_EQ(wrong.error().message, wrong_key.error().message);
+  }
+}
+
+TEST(IdentityFastpath, ParsedCertFieldsAgreeWithOwningParse) {
+  Xoshiro256 rng(27);
+  auto hierarchy =
+      pki::CaHierarchy::build(rng, "FastpathView", 1, /*sim_keys=*/true)
+          .value();
+  const Certificate leaf = hierarchy.issue(rng, "view.example.com", 0).value();
+
+  for (const Certificate* cert :
+       {&leaf, &hierarchy.intermediates()[0].cert, &hierarchy.root().cert}) {
+    auto parsed = ParsedCert::from_der_view(cert->der());
+    ASSERT_TRUE(parsed.ok());
+    const ParsedCert& view = parsed.value();
+    EXPECT_TRUE(bytes_equal(view.der(), cert->der()));
+    EXPECT_TRUE(bytes_equal(view.tbs_der(), cert->tbs_der()));
+    EXPECT_TRUE(bytes_equal(view.signature(), cert->signature()));
+    EXPECT_TRUE(bytes_equal(view.subject_der(), cert->subject_name_der()));
+    EXPECT_TRUE(bytes_equal(view.issuer_der(), cert->issuer_name_der()));
+    EXPECT_TRUE(bytes_equal(view.modulus(), cert->public_key().n.to_bytes()));
+    EXPECT_TRUE(bytes_equal(view.exponent(), cert->public_key().e.to_bytes()));
+    EXPECT_EQ(view.version(), cert->version());
+    EXPECT_EQ(view.signature_algorithm(), cert->signature_algorithm());
+    EXPECT_EQ(view.is_self_issued(), cert->is_self_issued());
+    EXPECT_EQ(view.expired_at_unix(0), cert->expired_at_unix(0));
+    // The unix validity window matches the owning parse's boundaries.
+    EXPECT_TRUE(cert->valid_at_unix(view.not_before_unix()));
+    EXPECT_TRUE(cert->valid_at_unix(view.not_after_unix()));
+    EXPECT_FALSE(cert->valid_at_unix(view.not_before_unix() - 1));
+    EXPECT_FALSE(cert->valid_at_unix(view.not_after_unix() + 1));
+  }
+}
+
+}  // namespace
+}  // namespace tangled::x509
