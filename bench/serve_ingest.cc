@@ -247,7 +247,7 @@ int main() {
   report.note("latency is the full client round trip over loopback, "
               "connect included; seeds fixed (20140403) for reproducibility");
   std::remove(snapshot_path.c_str());
-  std::remove(util::atomic_temp_path(snapshot_path).c_str());
+  util::sweep_stale_temps(snapshot_path);
 
   const bool storm_clean = total_served == kUploads - expected_shed &&
                            total_shed == expected_shed && total_failed == 0;

@@ -1,0 +1,464 @@
+// Store ingest bench: does the disk-backed store let the census outgrow
+// RAM without changing its answers? Phase A runs the standard corpus twice
+// — once fully in memory, once spilled to tangled::store — and requires a
+// bit-identical census signature plus a checkpoint that shrank from "the
+// corpus" to "a cursor" (< 1/4 of the full snapshot at equal scale).
+// Phase B then streams a 10x corpus through the spilled path without ever
+// materializing it, sampling VmRSS at every batch: peak growth must stay
+// under half the bytes the store appended to disk (and under
+// TANGLED_STORE_RSS_MB when set — the CI gate), the 10x cursor snapshot
+// must stay sublinear (< 2x the 1x *full* snapshot), and a pinned
+// read-back sample must hash every DER view back to its fingerprint.
+// Emits BENCH_store_ingest.json; any failed gate is a nonzero exit.
+#include <dirent.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "crypto/hash.h"
+#include "recover/checkpoint.h"
+#include "store/cert_store.h"
+
+namespace {
+
+using namespace tangled;
+
+/// Current resident set in bytes, from /proc/self/status. Sampled per
+/// batch during phase B so the peak is attributable to the 10x ingest
+/// rather than being a process-lifetime high-water mark.
+std::uint64_t vm_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  unsigned long long kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %llu kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return static_cast<std::uint64_t>(kb) * 1024;
+}
+
+void remove_dir_files(const std::string& dir) {
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return;
+  std::vector<std::string> names;
+  while (const dirent* entry = readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  closedir(d);
+  for (const std::string& name : names) {
+    std::remove((dir + "/" + name).c_str());
+  }
+}
+
+std::uint64_t file_size(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return size < 0 ? 0 : static_cast<std::uint64_t>(size);
+}
+
+/// The bit-identity probe: every census- and notary-level number a table
+/// binary could read. Signatures must match across storage modes exactly.
+std::string results_signature(const notary::NotaryDb& db,
+                              const notary::ValidationCensus& census) {
+  std::string sig;
+  sig += "sessions=" + std::to_string(db.session_count());
+  sig += ";unique=" + std::to_string(db.unique_cert_count());
+  sig += ";unexpired=" + std::to_string(db.unexpired_unique_cert_count());
+  for (const auto& [port, n] : db.sessions_by_port()) {
+    sig += ";port" + std::to_string(port) + "=" + std::to_string(n);
+  }
+  sig += ";validated=" + std::to_string(census.total_validated());
+  sig += ";census_unexpired=" + std::to_string(census.total_unexpired());
+  const rootstore::RootStore* stores[] = {
+      &bench::universe().mozilla(),
+      &bench::universe().ios7(),
+      &bench::universe().aosp(rootstore::AndroidVersion::k41),
+      &bench::universe().aosp(rootstore::AndroidVersion::k42),
+      &bench::universe().aosp(rootstore::AndroidVersion::k43),
+      &bench::universe().aosp(rootstore::AndroidVersion::k44),
+  };
+  for (const rootstore::RootStore* store : stores) {
+    sig += ";store=" + std::to_string(census.validated_by_store(*store));
+  }
+  return sig;
+}
+
+std::uint64_t rss_cap_mb() {
+  const char* env = std::getenv("TANGLED_STORE_RSS_MB");
+  if (env == nullptr || env[0] == '\0') return 0;  // relative gate only
+  return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
+}
+
+}  // namespace
+
+int main() {
+  using clock = std::chrono::steady_clock;
+
+  bench::print_header("Store ingest: beyond-RAM census via tangled::store",
+                      "disk-backed spill mode (measured only)");
+  bench::BenchReport report("store_ingest",
+                            "tangled::store spill-mode ingest");
+
+  std::string out_dir = ".";
+  if (const char* env = std::getenv("TANGLED_BENCH_OUT")) {
+    if (env[0] != '\0') out_dir = env;
+  }
+  const std::string full_path = out_dir + "/store_ingest_full.tngl";
+  const std::string cursor_path = out_dir + "/store_ingest_cursor.tngl";
+  const std::string cursor10_path = out_dir + "/store_ingest_cursor10.tngl";
+  const std::string store1x_dir = out_dir + "/store_ingest_1x.store";
+  const std::string store10x_dir = out_dir + "/store_ingest_10x.store";
+  std::remove(full_path.c_str());
+  std::remove(cursor_path.c_str());
+  std::remove(cursor10_path.c_str());
+  remove_dir_files(store1x_dir);
+  remove_dir_files(store10x_dir);
+
+  util::ThreadPool& pool = util::shared_pool();
+  constexpr std::size_t kBatch = 4096;
+  constexpr std::uint64_t kPlanSeed = 20140406;
+
+  // --- Phase A: common scale, in-memory vs spilled -------------------------
+  std::vector<notary::Observation> corpus;
+  {
+    obs::Span span(obs::tracer(), "bench.store.generate_corpus");
+    synth::NotaryCorpusConfig config;
+    config.n_certs = bench::corpus_scale();
+    synth::NotaryCorpusGenerator generator(bench::universe(), config);
+    generator.generate(
+        [&corpus](const notary::Observation& obs) { corpus.push_back(obs); },
+        pool.size() <= 1 ? nullptr : &pool);
+  }
+
+  recover::CheckpointConfig checkpoint_config;
+  checkpoint_config.interval = 0;  // explicit checkpoints in phase A
+  checkpoint_config.include_verify_cache = false;
+  checkpoint_config.plan_seed = kPlanSeed;
+
+  auto ingest_all = [&](recover::CheckpointingCensus& ckpt) {
+    for (std::size_t i = 0; i < corpus.size(); i += kBatch) {
+      const std::size_t n = std::min(kBatch, corpus.size() - i);
+      auto ok = ckpt.ingest_batch(std::span(corpus.data() + i, n), pool);
+      if (!ok.ok()) {
+        std::fprintf(stderr, "ingest failed: %s\n",
+                     to_string(ok.error()).c_str());
+        std::exit(1);
+      }
+    }
+  };
+
+  std::string memory_signature;
+  double memory_seconds = 0.0;
+  {
+    obs::Span span(obs::tracer(), "bench.store.in_memory_run");
+    notary::NotaryDb db;
+    notary::ValidationCensus census(bench::all_anchors());
+    checkpoint_config.path = full_path;
+    recover::CheckpointingCensus ckpt(db, census, checkpoint_config);
+    if (!ckpt.resume().ok()) return 1;
+    const auto t0 = clock::now();
+    ingest_all(ckpt);
+    memory_seconds = std::chrono::duration<double>(clock::now() - t0).count();
+    if (auto ok = ckpt.checkpoint(); !ok.ok()) {
+      std::fprintf(stderr, "full checkpoint failed: %s\n",
+                   to_string(ok.error()).c_str());
+      return 1;
+    }
+    memory_signature = results_signature(db, census);
+  }
+
+  std::string spilled_signature;
+  double spilled_seconds = 0.0;
+  {
+    obs::Span span(obs::tracer(), "bench.store.spilled_run");
+    store::StoreConfig store_config;
+    store_config.dir = store1x_dir;
+    auto store = store::CertStore::open(store_config);
+    if (!store.ok()) {
+      std::fprintf(stderr, "store open failed: %s\n",
+                   store.error().message.c_str());
+      return 1;
+    }
+    notary::NotaryDb db;
+    db.attach_store(store.value().get());
+    notary::ValidationCensus census(bench::all_anchors());
+    census.attach_store(store.value().get());
+    checkpoint_config.path = cursor_path;
+    recover::CheckpointingCensus ckpt(db, census, checkpoint_config);
+    if (!ckpt.resume().ok()) return 1;
+    const auto t0 = clock::now();
+    ingest_all(ckpt);
+    spilled_seconds = std::chrono::duration<double>(clock::now() - t0).count();
+    if (auto ok = ckpt.checkpoint(); !ok.ok()) {
+      std::fprintf(stderr, "cursor checkpoint failed: %s\n",
+                   to_string(ok.error()).c_str());
+      return 1;
+    }
+    spilled_signature = results_signature(db, census);
+  }
+  const bool signatures_identical = spilled_signature == memory_signature;
+  const std::uint64_t full_bytes = file_size(full_path);
+  const std::uint64_t cursor_bytes = file_size(cursor_path);
+  // The cursor snapshot's floor is the per-(shard, root) census counters —
+  // bounded by the universe, not the corpus — so the same-scale ratio gate
+  // is 1/2 here (store_spill_equivalence_test pins 1/4 at its fixed
+  // scale); the decisive sublinearity gate is cross-scale, in phase B.
+  const bool cursor_sublinear =
+      full_bytes > 0 && cursor_bytes > 0 && cursor_bytes < full_bytes / 2;
+
+  // Warm resume from cursor + store: a fresh process must land on the same
+  // signature with zero observations replayed.
+  bool warm_resume_ok = false;
+  {
+    store::StoreConfig store_config;
+    store_config.dir = store1x_dir;
+    auto store = store::CertStore::open(store_config);
+    if (store.ok()) {
+      notary::NotaryDb db;
+      db.attach_store(store.value().get());
+      notary::ValidationCensus census(bench::all_anchors());
+      census.attach_store(store.value().get());
+      checkpoint_config.path = cursor_path;
+      recover::CheckpointingCensus ckpt(db, census, checkpoint_config);
+      auto info = ckpt.resume();
+      warm_resume_ok = info.ok() && !info.value().cold_start &&
+                       results_signature(db, census) == spilled_signature;
+    }
+  }
+
+  const std::size_t common_observations = corpus.size();
+  const double spill_overhead =
+      memory_seconds > 0.0 ? spilled_seconds / memory_seconds - 1.0 : 0.0;
+
+  std::printf("phase A (%zu certs, %zu observations):\n",
+              bench::corpus_scale(), common_observations);
+  std::printf("  in-memory ingest %.3f s, spilled ingest %.3f s "
+              "(overhead %+.1f%%)\n",
+              memory_seconds, spilled_seconds, 100.0 * spill_overhead);
+  std::printf("  census signature identical: %s\n",
+              signatures_identical ? "yes" : "NO");
+  std::printf("  checkpoint: full %llu B -> cursor %llu B (%s)\n",
+              static_cast<unsigned long long>(full_bytes),
+              static_cast<unsigned long long>(cursor_bytes),
+              cursor_sublinear ? "sublinear" : "NOT SUBLINEAR");
+  std::printf("  warm resume from cursor + store: %s\n\n",
+              warm_resume_ok ? "ok" : "FAILED");
+
+  // --- Phase B: 10x corpus, streamed, RSS-capped ---------------------------
+  // The corpus is regenerated observation by observation and never
+  // materialized: batches drain into the spilled census and are freed, so
+  // the only per-cert state that can accumulate in RAM is the store's
+  // index entry — DER bytes land on disk.
+  corpus.clear();
+  corpus.shrink_to_fit();
+  const std::size_t scale10 = bench::corpus_scale() * 10;
+  const std::uint64_t baseline_rss = vm_rss_bytes();
+  std::uint64_t peak_rss = baseline_rss;
+
+  std::size_t streamed_observations = 0;
+  double stream_seconds = 0.0;
+  std::uint64_t appended_bytes = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::size_t pinned_sampled = 0;
+  std::size_t pinned_verified = 0;
+  std::uint64_t store_live_records = 0;
+  {
+    obs::Span span(obs::tracer(), "bench.store.ten_x_run");
+    store::StoreConfig store_config;
+    store_config.dir = store10x_dir;
+    auto store = store::CertStore::open(store_config);
+    if (!store.ok()) {
+      std::fprintf(stderr, "10x store open failed: %s\n",
+                   store.error().message.c_str());
+      return 1;
+    }
+    notary::NotaryDb db;
+    db.attach_store(store.value().get());
+    notary::ValidationCensus census(bench::all_anchors());
+    census.attach_store(store.value().get());
+    checkpoint_config.path = cursor10_path;
+    checkpoint_config.interval = common_observations;  // ~10 checkpoints
+    recover::CheckpointingCensus ckpt(db, census, checkpoint_config);
+    if (!ckpt.resume().ok()) return 1;
+
+    const auto before_ckpts =
+        obs::metrics().counter("recover.checkpoints").value();
+    synth::NotaryCorpusConfig config;
+    config.n_certs = scale10;
+    synth::NotaryCorpusGenerator generator(bench::universe(), config);
+    std::vector<notary::Observation> batch;
+    batch.reserve(kBatch);
+    const auto t0 = clock::now();
+    auto drain = [&] {
+      auto ok = ckpt.ingest_batch(std::span<const notary::Observation>(batch),
+                                  pool);
+      if (!ok.ok()) {
+        std::fprintf(stderr, "10x ingest failed: %s\n",
+                     to_string(ok.error()).c_str());
+        std::exit(1);
+      }
+      streamed_observations += batch.size();
+      batch.clear();
+      peak_rss = std::max(peak_rss, vm_rss_bytes());
+    };
+    generator.generate(
+        [&](const notary::Observation& obs) {
+          batch.push_back(obs);
+          if (batch.size() >= kBatch) drain();
+        },
+        pool.size() <= 1 ? nullptr : &pool);
+    if (!batch.empty()) drain();
+    if (auto ok = ckpt.checkpoint(); !ok.ok()) {
+      std::fprintf(stderr, "10x checkpoint failed: %s\n",
+                   to_string(ok.error()).c_str());
+      return 1;
+    }
+    stream_seconds = std::chrono::duration<double>(clock::now() - t0).count();
+    checkpoints_written =
+        obs::metrics().counter("recover.checkpoints").value() - before_ckpts;
+
+    // Pinned read-back sample: every DER view handed back by the store must
+    // hash to the fingerprint it was indexed under.
+    const store::StoreStats stats = store.value()->stats();
+    appended_bytes = stats.appended_bytes;
+    store_live_records = stats.live_records;
+    std::vector<Bytes> sample;
+    const std::size_t stride =
+        std::max<std::size_t>(1, stats.live_records / 64);
+    std::size_t at = 0;
+    store.value()->for_each_live(
+        [&](ByteView fingerprint, ByteView, ByteView, std::uint64_t,
+            std::int64_t) {
+          if (at++ % stride == 0) {
+            sample.emplace_back(fingerprint.begin(), fingerprint.end());
+          }
+        });
+    for (const Bytes& fingerprint : sample) {
+      auto pinned = store.value()->get(fingerprint);
+      ++pinned_sampled;
+      if (pinned.ok() &&
+          bytes_equal(crypto::Sha256::hash(pinned.value().der()),
+                      fingerprint)) {
+        ++pinned_verified;
+      }
+    }
+  }
+  const std::uint64_t cursor10_bytes = file_size(cursor10_path);
+  const std::uint64_t peak_delta = peak_rss - baseline_rss;
+  const std::uint64_t cap_mb = rss_cap_mb();
+
+  // The gates. Relative: RSS growth during the 10x ingest must stay under
+  // half the corpus bytes the store wrote to disk, plus a fixed 64 MiB
+  // allowance for corpus-independent overheads (census counters, dense-id
+  // interners, batch buffers) that dominate at reduced CI scales — holding
+  // the corpus DER in RAM would blow straight past that. Absolute: the CI
+  // lane pins TANGLED_STORE_RSS_MB so a regression cannot hide behind a
+  // bigger machine. Checkpoints: the 10x cursor must undercut 2x the 1x
+  // *full* snapshot, which a corpus-carrying snapshot at 10x cannot do.
+  constexpr std::uint64_t kRssFixedAllowance = 64ull << 20;
+  const bool rss_relative_ok =
+      appended_bytes > 0 &&
+      peak_delta < appended_bytes / 2 + kRssFixedAllowance;
+  const bool rss_absolute_ok =
+      cap_mb == 0 || peak_rss <= cap_mb * 1024 * 1024;
+  const bool rss_within_cap = rss_relative_ok && rss_absolute_ok;
+  const bool cursor10_sublinear =
+      cursor10_bytes > 0 && full_bytes > 0 && cursor10_bytes < full_bytes * 2;
+  const bool pinned_ok = pinned_sampled > 0 && pinned_verified == pinned_sampled;
+  const double obs_per_sec =
+      stream_seconds > 0.0
+          ? static_cast<double>(streamed_observations) / stream_seconds
+          : 0.0;
+
+  std::printf("phase B (%zu certs streamed, 10x):\n", scale10);
+  std::printf("  %zu observations in %.3f s (%.0f obs/sec), "
+              "%llu checkpoints\n",
+              streamed_observations, stream_seconds, obs_per_sec,
+              static_cast<unsigned long long>(checkpoints_written));
+  std::printf("  store: %llu live records, %.1f MiB appended to disk\n",
+              static_cast<unsigned long long>(store_live_records),
+              static_cast<double>(appended_bytes) / (1024.0 * 1024.0));
+  std::printf("  rss: baseline %.1f MiB, peak %.1f MiB (delta %.1f MiB); "
+              "cap %s: %s\n",
+              static_cast<double>(baseline_rss) / (1024.0 * 1024.0),
+              static_cast<double>(peak_rss) / (1024.0 * 1024.0),
+              static_cast<double>(peak_delta) / (1024.0 * 1024.0),
+              cap_mb == 0 ? "(relative only)"
+                          : (std::to_string(cap_mb) + " MB").c_str(),
+              rss_within_cap ? "within" : "EXCEEDED");
+  std::printf("  10x cursor checkpoint %llu B vs 1x full %llu B: %s\n",
+              static_cast<unsigned long long>(cursor10_bytes),
+              static_cast<unsigned long long>(full_bytes),
+              cursor10_sublinear ? "sublinear" : "NOT SUBLINEAR");
+  std::printf("  pinned read-back: %zu/%zu samples hash to their "
+              "fingerprint\n",
+              pinned_verified, pinned_sampled);
+
+  report.add_measured("corpus certs (1x)",
+                      static_cast<double>(bench::corpus_scale()));
+  report.add_measured("observations (1x)",
+                      static_cast<double>(common_observations));
+  report.add_measured("in-memory ingest seconds", memory_seconds);
+  report.add_measured("spilled ingest seconds", spilled_seconds);
+  report.add_measured("spill overhead fraction", spill_overhead);
+  report.add_measured("census signature identical",
+                      signatures_identical ? 1 : 0);
+  report.add_measured("full snapshot bytes (1x)",
+                      static_cast<double>(full_bytes));
+  report.add_measured("cursor snapshot bytes (1x)",
+                      static_cast<double>(cursor_bytes));
+  report.add_measured("cursor snapshot sublinear", cursor_sublinear ? 1 : 0);
+  report.add_measured("warm resume from cursor ok", warm_resume_ok ? 1 : 0);
+  report.add_measured("corpus certs (10x)", static_cast<double>(scale10));
+  report.add_measured("observations (10x)",
+                      static_cast<double>(streamed_observations));
+  report.add_measured("streamed ingest seconds", stream_seconds);
+  report.add_measured("streamed observations per second", obs_per_sec);
+  report.add_measured("checkpoints written (10x)",
+                      static_cast<double>(checkpoints_written));
+  report.add_measured("store appended bytes (10x)",
+                      static_cast<double>(appended_bytes));
+  report.add_measured("store live records (10x)",
+                      static_cast<double>(store_live_records));
+  report.add_measured("baseline rss bytes",
+                      static_cast<double>(baseline_rss));
+  report.add_measured("peak rss bytes", static_cast<double>(peak_rss));
+  report.add_measured("peak rss delta bytes",
+                      static_cast<double>(peak_delta));
+  report.add_measured("rss cap mb", static_cast<double>(cap_mb));
+  report.add_measured("peak rss within cap", rss_within_cap ? 1 : 0);
+  report.add_measured("cursor snapshot bytes (10x)",
+                      static_cast<double>(cursor10_bytes));
+  report.add_measured("cursor snapshot sublinear at 10x",
+                      cursor10_sublinear ? 1 : 0);
+  report.add_measured("pinned samples", static_cast<double>(pinned_sampled));
+  report.add_measured("pinned samples verified",
+                      static_cast<double>(pinned_verified));
+  report.note("phase B never materializes the 10x corpus: batches stream "
+              "through the spilled census and are freed, so RSS growth is "
+              "index entries, not DER bytes");
+  report.note("TANGLED_STORE_RSS_MB pins an absolute peak-RSS gate (CI); "
+              "unset, the relative gate still requires peak growth < half "
+              "the bytes appended to disk");
+
+  std::remove(full_path.c_str());
+  std::remove(cursor_path.c_str());
+  std::remove(cursor10_path.c_str());
+  remove_dir_files(store1x_dir);
+  remove_dir_files(store10x_dir);
+
+  const bool ok = signatures_identical && cursor_sublinear &&
+                  warm_resume_ok && rss_within_cap && cursor10_sublinear &&
+                  pinned_ok;
+  return ok ? 0 : 1;
+}

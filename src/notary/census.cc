@@ -267,6 +267,21 @@ void ValidationCensus::ingest_into(Shard& shard,
   if (first_seen) ++shard.total_unexpired;
   else TANGLED_OBS_INC("notary.census.revalidation_attempts");
 
+  // Spill mode: journal the transition so a resume can replay this
+  // shard's dedup state from the store instead of a snapshotted leaf
+  // list. The store serializes appends internally, so concurrent shard
+  // ingest threads can all journal.
+  const auto journal = [&](std::uint8_t flags) {
+    if (store_ == nullptr) return;
+    const auto shard_index =
+        static_cast<std::uint8_t>(&shard - shards_.data());
+    if (!store_->journal_flag(leaf.fingerprint_sha256(), shard_index, flags)
+             .ok()) {
+      TANGLED_OBS_INC("notary.census.flag_journal_errors");
+    }
+  };
+  if (first_seen) journal(1);
+
   auto survey = verifier_.verify_all_anchors(
       leaf, std::span<const x509::Certificate>(observation.chain).subspan(1));
   if (!survey.ok()) {
@@ -287,6 +302,7 @@ void ValidationCensus::ingest_into(Shard& shard,
   }
   if (dense_) *dense_state = 2;
   else wide_state->second = true;
+  journal(2);
   if (!first_seen) TANGLED_OBS_INC("notary.census.upgraded");
   TANGLED_OBS_INC("notary.census.validated");
   ++shard.total_validated;
@@ -380,9 +396,17 @@ void ValidationCensus::ingest_into(Shard& shard,
   }
 }
 
+/// High bit of the shard-count word marks a store-backed (spill) census
+/// section: the per-leaf lists are omitted and a store sequence cursor
+/// follows, for decode_state to replay the kFlag journal against.
+constexpr std::uint32_t kCensusSpillMarker = 0x80000000u;
+
 Bytes ValidationCensus::encode_state() const {
   Bytes out;
-  util::put_u32(out, static_cast<std::uint32_t>(kShards));
+  const bool spill = store_ != nullptr;
+  util::put_u32(out, static_cast<std::uint32_t>(kShards) |
+                         (spill ? kCensusSpillMarker : 0));
+  if (spill) util::put_u64(out, store_->last_seq());
   // Scratch rows for the two sorted sections. Dense shards materialize
   // their keys' hex through the interner reverse tables (`owned` keeps the
   // strings alive behind the views), so the encoded bytes are identical in
@@ -395,30 +419,33 @@ Bytes ValidationCensus::encode_state() const {
   };
   for (const Shard& shard : shards_) {
     // leaf_state, sorted by fingerprint for deterministic bytes. The bool
-    // is widened into the count field of the scratch pair.
-    sorted.clear();
-    owned.clear();
-    if (dense_) {
-      std::size_t n = 0;
-      for (const std::uint8_t st : shard.leaf_state_dense) n += st != 0;
-      owned.reserve(n);  // views must survive later push_backs
-      for (std::uint32_t id = 0; id < shard.leaf_state_dense.size(); ++id) {
-        const std::uint8_t st = shard.leaf_state_dense[id];
-        if (st == 0) continue;
-        sorted.emplace_back(own_hex(x509::cert_fingerprint_ids().hex_of(id)),
-                            st == 2 ? 1 : 0);
+    // is widened into the count field of the scratch pair. Spill sections
+    // omit the list entirely — the store's kFlag journal holds it.
+    if (!spill) {
+      sorted.clear();
+      owned.clear();
+      if (dense_) {
+        std::size_t n = 0;
+        for (const std::uint8_t st : shard.leaf_state_dense) n += st != 0;
+        owned.reserve(n);  // views must survive later push_backs
+        for (std::uint32_t id = 0; id < shard.leaf_state_dense.size(); ++id) {
+          const std::uint8_t st = shard.leaf_state_dense[id];
+          if (st == 0) continue;
+          sorted.emplace_back(own_hex(x509::cert_fingerprint_ids().hex_of(id)),
+                              st == 2 ? 1 : 0);
+        }
+      } else {
+        sorted.reserve(shard.leaf_state.size());
+        for (const auto& [fp, validated] : shard.leaf_state) {
+          sorted.emplace_back(fp, validated ? 1 : 0);
+        }
       }
-    } else {
-      sorted.reserve(shard.leaf_state.size());
-      for (const auto& [fp, validated] : shard.leaf_state) {
-        sorted.emplace_back(fp, validated ? 1 : 0);
+      std::sort(sorted.begin(), sorted.end());
+      util::put_u64(out, sorted.size());
+      for (const auto& [fp, validated] : sorted) {
+        util::put_string(out, fp);
+        util::put_u8(out, static_cast<std::uint8_t>(validated));
       }
-    }
-    std::sort(sorted.begin(), sorted.end());
-    util::put_u64(out, sorted.size());
-    for (const auto& [fp, validated] : sorted) {
-      util::put_string(out, fp);
-      util::put_u8(out, static_cast<std::uint8_t>(validated));
     }
     // by_root, sorted by equivalence key.
     sorted.clear();
@@ -462,25 +489,44 @@ Result<void> ValidationCensus::decode_state(ByteView data) {
   util::BinReader in(data);
   auto shard_count = in.u32();
   if (!shard_count.ok()) return shard_count.error();
-  if (shard_count.value() != kShards) {
-    return state_error("census snapshot has " +
-                       std::to_string(shard_count.value()) +
+  const bool spill = (shard_count.value() & kCensusSpillMarker) != 0;
+  const std::uint32_t declared = shard_count.value() & ~kCensusSpillMarker;
+  if (declared != kShards) {
+    return state_error("census snapshot has " + std::to_string(declared) +
                        " shards, this build uses " + std::to_string(kShards));
+  }
+  if (spill && store_ == nullptr) {
+    return state_error(
+        "census snapshot is store-backed but no store is attached");
+  }
+  if (!spill && store_ != nullptr) {
+    return state_error(
+        "census snapshot: full-state section offered to a store-backed "
+        "census");
+  }
+  std::uint64_t cursor = 0;
+  if (spill) {
+    auto seq = in.u64();
+    if (!seq.ok()) return seq.error();
+    cursor = seq.value();
   }
   std::vector<Shard> shards(kShards);
   for (Shard& shard : shards) {
-    auto leaves = in.count(/*min_bytes_per_element=*/9);  // len prefix + flag
-    if (!leaves.ok()) return leaves.error();
-    shard.leaf_state.reserve(leaves.value());
-    for (std::size_t i = 0; i < leaves.value(); ++i) {
-      auto fp = in.string();
-      if (!fp.ok()) return fp.error();
-      auto validated = in.u8();
-      if (!validated.ok()) return validated.error();
-      if (validated.value() > 1) {
-        return parse_error("census snapshot: bad leaf-state flag");
+    if (!spill) {
+      auto leaves = in.count(/*min_bytes_per_element=*/9);  // len prefix + flag
+      if (!leaves.ok()) return leaves.error();
+      shard.leaf_state.reserve(leaves.value());
+      for (std::size_t i = 0; i < leaves.value(); ++i) {
+        auto fp = in.string();
+        if (!fp.ok()) return fp.error();
+        auto validated = in.u8();
+        if (!validated.ok()) return validated.error();
+        if (validated.value() > 1) {
+          return parse_error("census snapshot: bad leaf-state flag");
+        }
+        shard.leaf_state.emplace(std::move(fp.value()),
+                                 validated.value() == 1);
       }
-      shard.leaf_state.emplace(std::move(fp.value()), validated.value() == 1);
     }
     auto roots = in.count(/*min_bytes_per_element=*/16);  // len prefix + u64
     if (!roots.ok()) return roots.error();
@@ -568,6 +614,66 @@ Result<void> ValidationCensus::decode_state(ByteView data) {
         }
         std::sort(ids.begin(), ids.end());
         shard.anchor_set_index_dense.emplace(std::move(ids), e);
+      }
+    }
+  }
+  if (spill) {
+    // Rebuild the per-leaf dedup state by replaying the store's kFlag
+    // journal up to the checkpointed cursor. Transitions are monotone, so
+    // max-wins application is order-insensitive and idempotent across the
+    // duplicate records a crash-replay overlap can leave.
+    bool bad_shard = false;
+    auto replayed = store_->replay(cursor, [&](const store::RecordView& record) {
+      if (record.kind_raw !=
+          static_cast<std::uint32_t>(store::RecordKind::kFlag)) {
+        return;
+      }
+      if (record.census_shard >= kShards || record.flags == 0 ||
+          record.flags > 2) {
+        bad_shard = true;
+        return;
+      }
+      Shard& shard = shards[record.census_shard];
+      if (dense_) {
+        const std::uint32_t id =
+            x509::cert_fingerprint_ids().intern(record.fingerprint);
+        if (id >= shard.leaf_state_dense.size()) {
+          shard.leaf_state_dense.resize(id + 1, 0);
+        }
+        if (record.flags > shard.leaf_state_dense[id]) {
+          shard.leaf_state_dense[id] = record.flags;
+        }
+      } else {
+        auto [it, inserted] =
+            shard.leaf_state.try_emplace(to_hex(record.fingerprint),
+                                         record.flags == 2);
+        if (!inserted && record.flags == 2) it->second = true;
+      }
+    });
+    if (!replayed.ok()) return replayed;
+    if (bad_shard) {
+      return state_error("census store replay: flag record out of range");
+    }
+    // The replayed dedup state must reproduce the checkpointed totals —
+    // anything else means the journal and the aggregates diverged.
+    for (const Shard& shard : shards) {
+      std::uint64_t seen = 0;
+      std::uint64_t validated = 0;
+      if (dense_) {
+        for (const std::uint8_t st : shard.leaf_state_dense) {
+          seen += st != 0;
+          validated += st == 2;
+        }
+      } else {
+        for (const auto& [fp, is_validated] : shard.leaf_state) {
+          ++seen;
+          validated += is_validated ? 1 : 0;
+        }
+      }
+      if (seen != shard.total_unexpired ||
+          validated != shard.total_validated) {
+        return state_error(
+            "census store replay does not reproduce shard totals");
       }
     }
   }

@@ -83,6 +83,17 @@ class ValidationCensus {
   explicit ValidationCensus(const pki::TrustAnchors& anchors,
                             pki::VerifyOptions options = {});
 
+  /// Spill mode: journal every leaf-state transition (seen, validated) as
+  /// a kFlag record in the store, and checkpoint only a store cursor plus
+  /// the per-root aggregates instead of the full per-leaf list — snapshot
+  /// bytes stop growing with the corpus. The in-memory dedup arrays stay
+  /// authoritative on the hot path; the journal exists so decode_state can
+  /// rebuild them by replay. Non-owning; attach before the first ingest.
+  /// Transitions are monotone (0 → seen → validated, at most two records
+  /// per leaf ever), so replay is order-insensitive max-wins.
+  void attach_store(store::CertStore* store) { store_ = store; }
+  store::CertStore* attached_store() const { return store_; }
+
   /// Ingests one observation. Expired leaves are deduplicated/recorded but
   /// not counted toward validation (Table 3 counts unexpired certs only).
   /// A leaf seen before but not yet validated is re-tried with this
@@ -326,6 +337,7 @@ class ValidationCensus {
   std::vector<Shard> shards_;
   mutable std::optional<Merged> merged_;  // query-side cache
   std::optional<TraceSampling> sampling_;
+  store::CertStore* store_ = nullptr;  // spill mode when non-null
   /// Observations handed to ingest()/ingest_batch(), for the flight
   /// recorder's batch-progress events. Diagnostic only — not snapshotted.
   std::uint64_t observations_ingested_ = 0;

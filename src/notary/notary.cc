@@ -31,6 +31,32 @@ void NotaryDb::observe(const Observation& observation) {
   TANGLED_OBS_ADD("notary.db.chain_certs_seen", observation.chain.size());
   ++sessions_;
   ++by_port_[observation.port];
+  if (store_ != nullptr) {
+    // Spill mode: the store's fingerprint index is the dedup set and its
+    // log is the corpus; nothing per-certificate stays in this object.
+    for (const x509::Certificate& cert : observation.chain) {
+      store::CertRecord record;
+      record.fingerprint = cert.fingerprint_sha256();
+      record.identity = cert.identity_key();
+      record.spki = cert.spki_sha256();
+      record.not_after_unix = cert.not_after_unix();
+      record.der = cert.der();
+      auto appended = store_->put(record);
+      if (!appended.ok()) {
+        TANGLED_OBS_INC("notary.db.store_put_errors");
+        continue;
+      }
+      if (appended.value()) {
+        TANGLED_OBS_INC("notary.db.unique_certs");
+        if (cert.expired_at(now_)) {
+          TANGLED_OBS_INC("notary.db.expired_unique_certs");
+        }
+      } else {
+        TANGLED_OBS_INC("notary.db.dedup_hits");
+      }
+    }
+    return;
+  }
   for (const x509::Certificate& cert : observation.chain) {
     const bool first_seen =
         dense_ ? dense_insert(unique_certs_dense_, cert.dense_id())
@@ -57,6 +83,7 @@ void NotaryDb::observe(const Observation& observation) {
 }
 
 bool NotaryDb::recorded(const x509::Certificate& cert) const {
+  if (store_ != nullptr) return store_->contains_identity(cert.identity_key());
   if (dense_) {
     const std::uint32_t id = cert.identity_id();
     return id < identities_dense_.size() && identities_dense_[id] != 0;
@@ -65,6 +92,7 @@ bool NotaryDb::recorded(const x509::Certificate& cert) const {
 }
 
 bool NotaryDb::recorded_identity(ByteView identity_key) const {
+  if (store_ != nullptr) return store_->contains_identity(identity_key);
   if (dense_) {
     const auto id = x509::cert_identity_ids().find(identity_key);
     return id.has_value() && *id < identities_dense_.size() &&
@@ -138,7 +166,38 @@ Bytes NotaryDb::encode_state() const {
   Bytes out;
   util::put_i64(out, now_.to_unix());
   util::put_u64(out, sessions_);
-  util::put_u64(out, unexpired_);
+  util::put_u64(out, unexpired_unique_cert_count());
+  if (store_ != nullptr) {
+    // Spill mode still emits the exact full-format bytes: the store
+    // iterates live records in fingerprint order, which is also sorted
+    // lowercase-hex order, so snapshots stay byte-identical to both
+    // in-memory modes over the same observations.
+    std::vector<std::string> cert_keys;
+    std::vector<std::string> identity_keys;
+    store_->for_each_live([&](ByteView fp, ByteView identity, ByteView spki,
+                              std::uint64_t membership,
+                              std::int64_t not_after) {
+      (void)spki;
+      (void)membership;
+      (void)not_after;
+      cert_keys.push_back(to_hex(fp));
+      identity_keys.push_back(to_hex(identity));
+    });
+    std::sort(identity_keys.begin(), identity_keys.end());
+    identity_keys.erase(
+        std::unique(identity_keys.begin(), identity_keys.end()),
+        identity_keys.end());
+    util::put_u64(out, cert_keys.size());
+    for (const std::string& key : cert_keys) util::put_string(out, key);
+    util::put_u64(out, identity_keys.size());
+    for (const std::string& key : identity_keys) util::put_string(out, key);
+    util::put_u64(out, by_port_.size());
+    for (const auto& [port, count] : by_port_) {
+      util::put_u16(out, port);
+      util::put_u64(out, count);
+    }
+    return out;
+  }
   if (dense_) {
     put_dense_set(out, unique_certs_dense_, x509::cert_fingerprint_ids());
     put_dense_set(out, identities_dense_, x509::cert_identity_ids());
@@ -155,6 +214,13 @@ Bytes NotaryDb::encode_state() const {
 }
 
 Result<void> NotaryDb::decode_state(ByteView data) {
+  if (store_ != nullptr) {
+    // A full-state snapshot into a spilled db would shadow the store's
+    // index with nothing; the caller picked the wrong section for this
+    // configuration.
+    return state_error(
+        "notary snapshot: full-state section offered to a store-backed db");
+  }
   util::BinReader in(data);
   auto now_unix = in.i64();
   if (!now_unix.ok()) return now_unix.error();
@@ -210,6 +276,46 @@ Result<void> NotaryDb::decode_state(ByteView data) {
   identities_ = std::move(identities);
   by_port_ = std::move(by_port);
   return {};
+}
+
+Bytes NotaryDb::encode_store_cursor() const {
+  Bytes out;
+  util::put_i64(out, now_.to_unix());
+  util::put_u64(out, sessions_);
+  util::put_u64(out, store_ != nullptr ? store_->last_seq() : 0);
+  util::put_u64(out, by_port_.size());
+  for (const auto& [port, count] : by_port_) {  // std::map: already sorted
+    util::put_u16(out, port);
+    util::put_u64(out, count);
+  }
+  return out;
+}
+
+Result<std::uint64_t> NotaryDb::decode_store_cursor(ByteView data) {
+  util::BinReader in(data);
+  auto now_unix = in.i64();
+  if (!now_unix.ok()) return now_unix.error();
+  if (now_unix.value() != now_.to_unix()) {
+    return state_error("notary store cursor taken at a different `now`");
+  }
+  auto sessions = in.u64();
+  if (!sessions.ok()) return sessions.error();
+  auto last_seq = in.u64();
+  if (!last_seq.ok()) return last_seq.error();
+  auto ports = in.count(/*min_bytes_per_element=*/10);  // u16 + u64
+  if (!ports.ok()) return ports.error();
+  std::map<std::uint16_t, std::uint64_t> by_port;
+  for (std::size_t i = 0; i < ports.value(); ++i) {
+    auto port = in.u16();
+    if (!port.ok()) return port.error();
+    auto count = in.u64();
+    if (!count.ok()) return count.error();
+    by_port[port.value()] = count.value();
+  }
+  if (auto ok = in.expect_end(); !ok.ok()) return ok.error();
+  sessions_ = sessions.value();
+  by_port_ = std::move(by_port);
+  return last_seq.value();
 }
 
 }  // namespace tangled::notary

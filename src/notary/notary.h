@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "asn1/time.h"
+#include "store/cert_store.h"
 #include "util/bytes.h"
 #include "util/result.h"
 #include "x509/certificate.h"
@@ -28,15 +29,30 @@ class NotaryDb {
  public:
   explicit NotaryDb(asn1::Time now = asn1::make_time(2014, 4, 1));
 
+  /// Spill mode: route certificate state through a disk-backed store
+  /// instead of in-memory dedup sets. The store's index answers "seen
+  /// before?", its log holds the DER, and this object keeps only the tiny
+  /// session/port tallies — so the corpus no longer has to fit in RAM.
+  /// Non-owning; the store must outlive the db. Attach before the first
+  /// observe (the modes do not mix within one db's lifetime).
+  void attach_store(store::CertStore* store) { store_ = store; }
+  store::CertStore* attached_store() const { return store_; }
+
   /// Ingests one observed session's chain.
   void observe(const Observation& observation);
 
   // --- Aggregates --------------------------------------------------------
   std::uint64_t session_count() const { return sessions_; }
   std::size_t unique_cert_count() const {
+    if (store_ != nullptr) return store_->live_count();
     return dense_ ? unique_count_ : unique_certs_.size();
   }
-  std::size_t unexpired_unique_cert_count() const { return unexpired_; }
+  std::size_t unexpired_unique_cert_count() const {
+    if (store_ != nullptr) {
+      return store_->live_unexpired_count(now_.to_unix());
+    }
+    return unexpired_;
+  }
 
   /// Whether a certificate with this identity key was ever observed —
   /// the paper's "recorded by the ICSI Notary" notion (Figure 2 legend).
@@ -62,6 +78,18 @@ class NotaryDb {
   /// the expiry gate would reclassify certificates.
   Result<void> decode_state(ByteView data);
 
+  // --- Spill-mode checkpoint cursor ---------------------------------------
+  /// Spill-mode replacement for encode_state's full serialization: the
+  /// store already holds every certificate durably, so the checkpoint
+  /// records only {now, sessions, store cursor, ports} — bytes stay flat
+  /// as the corpus grows. The cursor is the store sequence the caller
+  /// flushed before checkpointing.
+  Bytes encode_store_cursor() const;
+  /// Restores the session/port tallies and returns the recorded store
+  /// cursor for the caller to validate against the store's clean prefix.
+  /// Same refusals as decode_state (different `now` is kInvalidState).
+  Result<std::uint64_t> decode_store_cursor(ByteView data);
+
  private:
   asn1::Time now_;
   std::uint64_t sessions_ = 0;
@@ -80,6 +108,7 @@ class NotaryDb {
   std::size_t unique_count_ = 0;                  // dense-mode set sizes
   std::size_t identity_count_ = 0;
   std::map<std::uint16_t, std::uint64_t> by_port_;
+  store::CertStore* store_ = nullptr;  // spill mode when non-null
 };
 
 }  // namespace tangled::notary

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "obs/obs.h"
+#include "store/cert_store.h"
+#include "util/atomic_file.h"
 #include "util/binio.h"
 
 namespace tangled::recover {
@@ -59,6 +61,7 @@ bool is_known_section(std::uint32_t id) {
     case SectionId::kVerifyCache:
     case SectionId::kCursor:
     case SectionId::kFlightRecorder:
+    case SectionId::kNotaryStoreCursor:
       return true;
   }
   return false;
@@ -104,16 +107,52 @@ Result<ResumeInfo> CheckpointingCensus::resume() {
 
 Result<ResumeInfo> CheckpointingCensus::resume_impl() {
   ResumeInfo info;
+  // Writers that crashed between fopen(tmp) and rename leave orphan temps
+  // beside the snapshot; sweep them before anything reads the directory so
+  // they can never be mistaken for state. (The store sweeps its own
+  // directory the same way in CertStore::open.)
+  if (const std::size_t swept = util::sweep_stale_temps(config_.path);
+      swept != 0) {
+    TANGLED_OBS_INC("recover.resume.swept_temps");
+    info.reports.push_back("swept " + std::to_string(swept) +
+                           " stale snapshot temp file(s)");
+  }
+
+  store::CertStore* store = db_.attached_store();
+  const bool spill = store != nullptr;
+  // Every cold start must leave the attached store empty too: its records
+  // are only meaningful relative to a cursor, and a cold start says no
+  // usable cursor exists. A reset failure is a real IO error — propagated,
+  // because resuming over a store we could not clear would be silent
+  // divergence.
+  auto reset_store_for_cold = [&]() -> Result<void> {
+    if (store == nullptr || store->last_seq() == 0) return {};
+    if (auto ok = store->reset(); !ok.ok()) return ok.error();
+    info.reports.push_back("attached store reset to match cold start");
+    return {};
+  };
+  auto cold = [&](std::string reason) -> Result<ResumeInfo> {
+    TANGLED_OBS_INC("recover.resume.cold_starts");
+    info.reports.push_back(std::move(reason));
+    if (auto ok = reset_store_for_cold(); !ok.ok()) return ok.error();
+    return info;
+  };
+
   auto loaded = read_snapshot_file(config_.path);
   if (!loaded.ok()) {
     if (loaded.error().code == Errc::kNotFound) {
-      return info;  // first run: cold start, nothing to report
+      // First run: cold start, nothing to report — but a non-empty store
+      // with no snapshot means the previous run died before its first
+      // checkpoint, and those records sit above cursor 0.
+      if (auto ok = reset_store_for_cold(); !ok.ok()) return ok.error();
+      return info;
     }
     if (loaded.error().code == Errc::kParse) {
       // Header-level corruption: detected, reported, rebuilt from scratch.
       TANGLED_OBS_INC("recover.resume.header_corrupt");
       info.reports.push_back("snapshot unusable (" + loaded.error().message +
                              "); cold start");
+      if (auto ok = reset_store_for_cold(); !ok.ok()) return ok.error();
       return info;
     }
     // kUnsupported (future version) and IO errors propagate typed: they
@@ -152,24 +191,35 @@ Result<ResumeInfo> CheckpointingCensus::resume_impl() {
     }
   }
 
+  // A snapshot's notary section type records which mode wrote it; a run in
+  // the other mode cannot use it. Reported as its own cold-start cause so
+  // the mismatch is never mistaken for corruption.
+  if (spill && snapshot.find(SectionId::kNotaryDb) != nullptr) {
+    return cold(
+        "snapshot carries full notary state but this run spills to a "
+        "store; cold start");
+  }
+  if (!spill && snapshot.find(SectionId::kNotaryStoreCursor) != nullptr) {
+    return cold(
+        "snapshot is store-backed but this run has no store attached; "
+        "cold start");
+  }
+
   // The cursor and both core sections form one consistency unit: partial
   // restore would desynchronize the progress marker from the state, so any
   // of them missing or undecodable means cold start.
   const Section* cursor_section = snapshot.find(SectionId::kCursor);
-  const Section* notary_section = snapshot.find(SectionId::kNotaryDb);
+  const Section* notary_section = snapshot.find(
+      spill ? SectionId::kNotaryStoreCursor : SectionId::kNotaryDb);
   const Section* census_section = snapshot.find(SectionId::kCensus);
   if (cursor_section == nullptr || notary_section == nullptr ||
       census_section == nullptr) {
-    TANGLED_OBS_INC("recover.resume.cold_starts");
-    info.reports.push_back("core section missing or corrupt; cold start");
-    return info;
+    return cold("core section missing or corrupt; cold start");
   }
   auto cursor = decode_cursor(cursor_section->payload);
   if (!cursor.ok()) {
-    TANGLED_OBS_INC("recover.resume.cold_starts");
-    info.reports.push_back("cursor undecodable (" + cursor.error().message +
-                           "); cold start");
-    return info;
+    return cold("cursor undecodable (" + cursor.error().message +
+                "); cold start");
   }
   // Configuration mismatches are deliberate refusals, not rebuilds: the
   // snapshot is valid state for a *different* experiment.
@@ -186,20 +236,48 @@ Result<ResumeInfo> CheckpointingCensus::resume_impl() {
   // Stage the NotaryDb restore in a scratch copy so the census commit and
   // the notary commit happen together or not at all.
   notary::NotaryDb staged(db_.now());
-  if (auto ok = staged.decode_state(notary_section->payload); !ok.ok()) {
-    TANGLED_OBS_INC("recover.resume.cold_starts");
-    info.reports.push_back("notary section undecodable (" +
-                           ok.error().message + "); cold start");
-    return info;
+  std::uint64_t store_cursor_seq = 0;
+  if (spill) {
+    staged.attach_store(store);
+    auto seq = staged.decode_store_cursor(notary_section->payload);
+    if (!seq.ok()) {
+      if (seq.error().code == Errc::kInvalidState) {
+        // A cursor taken at a different reference time is a configuration
+        // mismatch, not corruption — the same typed refusal as a foreign
+        // plan seed.
+        return seq.error();
+      }
+      return cold("notary store-cursor section undecodable (" +
+                  seq.error().message + "); cold start");
+    }
+    store_cursor_seq = seq.value();
+    // The cursor promises every record at or below it survives in the log.
+    // Damage repaired below that point, or a log that simply ends before
+    // it, breaks the promise: replay would silently miss records.
+    if (store->min_stop_seq() < store_cursor_seq) {
+      return cold("store damaged below checkpoint cursor (clean through seq " +
+                  std::to_string(store->min_stop_seq()) + ", cursor at " +
+                  std::to_string(store_cursor_seq) + "); cold start");
+    }
+    if (store->last_seq() < store_cursor_seq) {
+      return cold("store ends at seq " + std::to_string(store->last_seq()) +
+                  ", before checkpoint cursor " +
+                  std::to_string(store_cursor_seq) + "; cold start");
+    }
+  } else {
+    if (auto ok = staged.decode_state(notary_section->payload); !ok.ok()) {
+      return cold("notary section undecodable (" + ok.error().message +
+                  "); cold start");
+    }
   }
   if (auto ok = census_.decode_state(census_section->payload); !ok.ok()) {
     // census_ is untouched on failure (all-or-nothing decode).
-    TANGLED_OBS_INC("recover.resume.cold_starts");
-    info.reports.push_back("census section undecodable (" +
-                           ok.error().message + "); cold start");
-    return info;
+    return cold("census section undecodable (" + ok.error().message +
+                "); cold start");
   }
   db_ = std::move(staged);
+  last_checkpoint_store_seq_.store(store_cursor_seq,
+                                   std::memory_order_relaxed);
 
   // Warm cache: best-effort, result-neutral.
   if (const Section* cache_section = snapshot.find(SectionId::kVerifyCache);
@@ -262,9 +340,23 @@ Result<void> CheckpointingCensus::maybe_checkpoint() {
 Result<void> CheckpointingCensus::checkpoint() {
   TANGLED_OBS_INC("recover.checkpoints");
   TANGLED_OBS_SCOPED_TIMER("recover.checkpoint.write_us");
+  store::CertStore* store = db_.attached_store();
+  std::uint64_t store_seq = 0;
   std::vector<Section> sections;
-  sections.push_back({static_cast<std::uint32_t>(SectionId::kNotaryDb),
-                      db_.encode_state()});
+  if (store != nullptr) {
+    // Durability ordering: the store must reach disk *before* the snapshot
+    // that points into it, or a crash between the two writes would leave a
+    // cursor covering records that never made it. A flush failure aborts
+    // the checkpoint — the previous snapshot stays valid.
+    if (auto flushed = store->flush(); !flushed.ok()) return flushed.error();
+    store_seq = store->last_seq();
+    sections.push_back(
+        {static_cast<std::uint32_t>(SectionId::kNotaryStoreCursor),
+         db_.encode_store_cursor()});
+  } else {
+    sections.push_back({static_cast<std::uint32_t>(SectionId::kNotaryDb),
+                        db_.encode_state()});
+  }
   sections.push_back({static_cast<std::uint32_t>(SectionId::kCensus),
                       census_.encode_state()});
   if (config_.include_verify_cache) {
@@ -292,6 +384,7 @@ Result<void> CheckpointingCensus::checkpoint() {
   auto written = write_snapshot_file(config_.path, sections);
   if (written.ok()) {
     last_checkpoint_ = ingested_.load(std::memory_order_relaxed);
+    last_checkpoint_store_seq_.store(store_seq, std::memory_order_relaxed);
     obs::flight_recorder().record(obs::FlightEventKind::kCheckpointWrite,
                                   ingested_.load(std::memory_order_relaxed),
                                   snapshot_bytes);

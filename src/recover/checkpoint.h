@@ -27,6 +27,18 @@
 //                                         snapshot belongs to a different
 //                                         experiment, deleting it must be
 //                                         the operator's deliberate act.
+//
+// Spill mode: when the NotaryDb has a store::CertStore attached, the
+// certificate corpus lives in that disk-backed log and the snapshot shrinks
+// to a cursor over its sequence numbers (kNotaryStoreCursor replaces
+// kNotaryDb; the census section keeps aggregates but drops leaf lists).
+// checkpoint() flushes the store *before* writing the snapshot, so every
+// record at or below the recorded cursor is durable. resume() then refuses
+// a cursor the store cannot honor (damage below the cursor, or a store that
+// ends before it) by cold-starting — and every cold start with a non-empty
+// attached store also resets the store, keeping snapshot and log in
+// lockstep. A snapshot written in one mode never resumes in the other:
+// that mismatch is a reported cold start, not a misread.
 #pragma once
 
 #include <atomic>
@@ -48,8 +60,9 @@
 namespace tangled::recover {
 
 struct CheckpointConfig {
-  /// Snapshot file path. Its ".tmp" sibling is the atomic-write staging
-  /// name (util::atomic_temp_path).
+  /// Snapshot file path. Atomic writes stage through unique
+  /// ".tmp.<pid>.<n>" siblings (util::atomic_temp_path); resume() sweeps
+  /// any such orphans a crashed writer left behind.
   std::string path;
   /// Observations between automatic checkpoints; 0 = only explicit
   /// checkpoint() calls and SIGTERM requests.
@@ -121,6 +134,14 @@ class CheckpointingCensus {
     return ingested_.load(std::memory_order_relaxed);
   }
 
+  /// Store sequence number covered by the last successful checkpoint (0
+  /// before one, or when the NotaryDb has no store attached). Records at or
+  /// below it are replayable from a snapshot, so this is the `stable_seq`
+  /// bound a caller may pass to store::CertStore::compact.
+  std::uint64_t last_checkpoint_store_seq() const {
+    return last_checkpoint_store_seq_.load(std::memory_order_relaxed);
+  }
+
   /// Starts the telemetry endpoint (idempotent). resume() calls this when
   /// config.serve_telemetry is set; tests and benches may call it directly.
   /// The /healthz body reports ingest and checkpoint progress.
@@ -149,6 +170,7 @@ class CheckpointingCensus {
   /// from its own thread while ingest advances them.
   std::atomic<std::uint64_t> ingested_{0};
   std::atomic<std::uint64_t> last_checkpoint_{0};
+  std::atomic<std::uint64_t> last_checkpoint_store_seq_{0};
   std::string last_error_;
   std::unique_ptr<obs::TelemetryServer> telemetry_;
 };

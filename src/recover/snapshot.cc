@@ -6,6 +6,7 @@
 #include "obs/obs.h"
 #include "util/atomic_file.h"
 #include "util/binio.h"
+#include "util/mmap_file.h"
 
 namespace tangled::recover {
 
@@ -38,6 +39,7 @@ std::string to_string(SectionId id) {
     case SectionId::kVerifyCache: return "verify-cache";
     case SectionId::kCursor: return "cursor";
     case SectionId::kFlightRecorder: return "flight-recorder";
+    case SectionId::kNotaryStoreCursor: return "notary-store-cursor";
   }
   return "section-" + std::to_string(static_cast<std::uint32_t>(id));
 }
@@ -135,9 +137,11 @@ Result<void> write_snapshot_file(const std::string& path,
 }
 
 Result<LoadedSnapshot> read_snapshot_file(const std::string& path) {
-  auto data = util::read_file(path);
-  if (!data.ok()) return data.error();
-  return decode_snapshot(data.value());
+  // Mapped rather than slurped: snapshots scale with the corpus, and
+  // decode_snapshot copies only the sections that checksum clean.
+  auto map = util::MmapFile::open(path);
+  if (!map.ok()) return map.error();
+  return decode_snapshot(map.value().view());
 }
 
 }  // namespace tangled::recover

@@ -23,7 +23,8 @@
 // Atomicity is the other half (util::write_file_atomic): a crash while
 // checkpointing leaves either the previous complete snapshot or the new
 // one, and a crash between temp-write and rename leaves the previous
-// snapshot plus a stray .tmp that is simply ignored.
+// snapshot plus a stray temp that startup sweeps (util::sweep_stale_temps)
+// and never parses as state.
 #pragma once
 
 #include <cstdint>
@@ -52,6 +53,12 @@ enum class SectionId : std::uint32_t {
   /// record, not correctness. Old readers skip it by the unknown-section
   /// rule; old snapshots simply lack it.
   kFlightRecorder = 5,
+  /// Spill-mode replacement for kNotaryDb: the certificate corpus lives in
+  /// the disk-backed store (tangled::store), and the checkpoint carries
+  /// only {now, sessions, store sequence cursor, ports}. A snapshot holds
+  /// exactly one of kNotaryDb / kNotaryStoreCursor, matching whether the
+  /// run had a store attached.
+  kNotaryStoreCursor = 6,
 };
 
 std::string to_string(SectionId id);

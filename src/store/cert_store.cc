@@ -1,0 +1,1266 @@
+#include "store/cert_store.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <unordered_set>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+#define TANGLED_STORE_POSIX 1
+#else
+#define TANGLED_STORE_POSIX 0
+#endif
+
+#include "obs/obs.h"
+#include "recover/snapshot.h"
+#include "util/atomic_file.h"
+#include "util/binio.h"
+
+namespace tangled::store {
+
+namespace {
+
+/// The store's index file reuses the TNGLSNP1 container with this private
+/// section id — outside the recover::SectionId namespace on purpose; the
+/// index is a different file with a different consumer.
+constexpr std::uint32_t kIndexSection = 100;
+constexpr std::uint32_t kIndexVersion = 1;
+constexpr std::size_t kDigestBytes = 32;
+
+std::string errno_message(const char* what, const std::string& path) {
+  std::string out = what;
+  out += " ";
+  out += path;
+  out += ": ";
+  out += std::strerror(errno);
+  return out;
+}
+
+/// Fixed-width segment file name so lexicographic directory order matches
+/// (shard, id) order: shard-SSS-seg-NNNNNNNN.tseg
+std::string segment_file_name(std::uint32_t shard, std::uint64_t id) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "shard-%03u-seg-%08" PRIu64 ".tseg", shard,
+                id);
+  return buf;
+}
+
+bool parse_segment_file_name(const std::string& name, std::uint32_t& shard,
+                             std::uint64_t& id) {
+  unsigned s = 0;
+  unsigned long long n = 0;
+  char tail[8] = {0};
+  if (std::sscanf(name.c_str(), "shard-%u-seg-%llu.tse%1s", &s, &n, tail) != 3 ||
+      tail[0] != 'g' || name.size() < 6 ||
+      name.compare(name.size() - 5, 5, ".tseg") != 0) {
+    return false;
+  }
+  shard = s;
+  id = n;
+  return true;
+}
+
+Result<std::uint64_t> file_size_of(const std::string& path) {
+#if TANGLED_STORE_POSIX
+  struct stat st{};
+  if (stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return not_found_error("no such file: " + path);
+    return state_error(errno_message("stat", path));
+  }
+  return static_cast<std::uint64_t>(st.st_size);
+#else
+  auto data = util::read_file(path, static_cast<std::size_t>(-1));
+  if (!data.ok()) return data.error();
+  return static_cast<std::uint64_t>(data.value().size());
+#endif
+}
+
+Result<void> truncate_file(const std::string& path, std::uint64_t size) {
+#if TANGLED_STORE_POSIX
+  if (truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return state_error(errno_message("truncate", path));
+  }
+  return {};
+#else
+  auto data = util::read_file(path, static_cast<std::size_t>(-1));
+  if (!data.ok()) return data.error();
+  Bytes head(data.value().begin(),
+             data.value().begin() + static_cast<std::ptrdiff_t>(size));
+  return util::write_file_atomic(path, head);
+#endif
+}
+
+}  // namespace
+
+CertStore::CertStore(StoreConfig config) : config_(std::move(config)) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.shards > 256) config_.shards = 256;
+  if (config_.max_mapped_segments == 0) config_.max_mapped_segments = 1;
+  shards_.resize(config_.shards);
+}
+
+CertStore::~CertStore() {
+  std::lock_guard<std::mutex> lock(mu_);
+  close_writers();
+  // A clean close leaves a matching index so the next open skips the
+  // segment scan entirely; a crash (no dtor) just costs that open a scan.
+  std::vector<recover::Section> sections;
+  sections.push_back({kIndexSection, encode_index()});
+  (void)recover::write_snapshot_file(index_path(), sections);
+}
+
+std::uint32_t CertStore::shard_of(ByteView fingerprint) const {
+  return fingerprint.empty() ? 0 : fingerprint[0] % config_.shards;
+}
+
+std::string CertStore::segment_path(std::uint32_t shard,
+                                    std::uint64_t id) const {
+  return config_.dir + "/" + segment_file_name(shard, id);
+}
+
+std::string CertStore::index_path() const {
+  return config_.dir + "/index.tnglidx";
+}
+
+Result<std::unique_ptr<CertStore>> CertStore::open(StoreConfig config) {
+  if (config.dir.empty()) return state_error("store: empty directory");
+#if TANGLED_STORE_POSIX
+  if (mkdir(config.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return state_error(errno_message("mkdir", config.dir));
+  }
+#endif
+  std::unique_ptr<CertStore> store(new CertStore(std::move(config)));
+  // Sweep stale atomic-write temps *before* scanning, so an orphan left by
+  // a crash between temp-write and rename is removed and never parsed as
+  // a segment or index.
+  store->report_.swept_temps =
+      util::sweep_stale_temps_in_dir(store->config_.dir);
+  if (store->report_.swept_temps != 0) {
+    store->report_.notes.push_back(
+        "swept " + std::to_string(store->report_.swept_temps) +
+        " stale atomic-write temp(s)");
+  }
+  if (auto ok = store->recover_from_disk(); !ok.ok()) return ok.error();
+  TANGLED_OBS_INC("store.opens");
+  return store;
+}
+
+// --- Recovery --------------------------------------------------------------
+
+Result<void> CertStore::recover_from_disk() {
+  using SegKey = std::pair<std::uint32_t, std::uint64_t>;
+
+  const auto discover = [this]() {
+    std::map<SegKey, std::uint64_t> discovered;
+#if TANGLED_STORE_POSIX
+    DIR* d = opendir(config_.dir.c_str());
+    if (d == nullptr) return discovered;
+    while (const dirent* entry = readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name.size() < 5 || name.compare(name.size() - 5, 5, ".tseg") != 0) {
+        continue;
+      }
+      std::uint32_t shard = 0;
+      std::uint64_t id = 0;
+      if (!parse_segment_file_name(name, shard, id) ||
+          shard >= config_.shards) {
+        report_.notes.push_back("ignoring unrecognized segment file " + name);
+        continue;
+      }
+      auto size = file_size_of(config_.dir + "/" + name);
+      if (!size.ok()) continue;
+      discovered[{shard, id}] = size.value();
+    }
+    closedir(d);
+#endif
+    return discovered;
+  };
+
+  std::map<SegKey, std::uint64_t> discovered = discover();
+
+  // Try the index file first: a pure accelerator, validated against the
+  // discovered segments and abandoned for a full rescan on any mismatch.
+  std::map<SegKey, std::uint64_t> listed;
+  bool index_ok = false;
+  if (util::file_exists(index_path())) {
+    auto loaded = recover::read_snapshot_file(index_path());
+    if (loaded.ok()) {
+      if (const recover::Section* section = loaded.value().find(
+              static_cast<recover::SectionId>(kIndexSection));
+          section != nullptr) {
+        if (auto ok = load_index(section->payload, listed); ok.ok()) {
+          index_ok = true;
+          // Validate: every listed segment must still exist, at least as
+          // long as the index knew it (logs only append in place).
+          for (const auto& [key, size] : listed) {
+            auto it = discovered.find(key);
+            if (it == discovered.end() || it->second < size) {
+              index_ok = false;
+              break;
+            }
+          }
+          // An undiscovered→listed mismatch above covers removals; a
+          // discovered file the index predates must be newer than every
+          // listed segment of its shard, or the directory diverged.
+          if (index_ok) {
+            std::vector<std::uint64_t> max_listed(config_.shards, 0);
+            std::vector<bool> any_listed(config_.shards, false);
+            for (const auto& [key, size] : listed) {
+              max_listed[key.first] =
+                  std::max(max_listed[key.first], key.second);
+              any_listed[key.first] = true;
+            }
+            for (const auto& [key, size] : discovered) {
+              if (listed.contains(key)) continue;
+              if (any_listed[key.first] &&
+                  key.second <= max_listed[key.first]) {
+                index_ok = false;
+                break;
+              }
+            }
+          }
+        }
+      }
+    } else if (loaded.error().code == Errc::kUnsupported) {
+      return loaded.error();
+    }
+    if (!index_ok) {
+      report_.notes.push_back("index file missing, stale, or corrupt; "
+                              "rebuilding from segment scan");
+      // Drop whatever a half-loaded index left behind.
+      entries_.clear();
+      seq_ = 0;
+      listed.clear();
+      for (ShardLog& log : shards_) log = ShardLog{};
+    }
+  }
+  report_.index_loaded = index_ok;
+  report_.full_rescan = !index_ok && !discovered.empty();
+
+  // Scan per shard in id order: listed segments from their recorded size
+  // (the clean prefix the index already covers), new segments in full.
+  // Returns false when any shard hit damage (the scan already repaired
+  // the files: damaged suffixes truncated, unusable segments removed).
+  const auto scan_pass = [this, &listed,
+                          &discovered]() -> Result<bool> {
+    bool clean = true;
+    for (std::uint32_t shard = 0; shard < config_.shards; ++shard) {
+      std::vector<std::uint64_t> ids;
+      for (const auto& [key, size] : discovered) {
+        if (key.first == shard) ids.push_back(key.second);
+      }
+      std::sort(ids.begin(), ids.end());
+      bool shard_damaged = false;
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        const std::uint64_t id = ids[i];
+        const bool newest = i + 1 == ids.size();
+        if (shard_damaged) {
+          // Everything past a damage point in this shard is dropped:
+          // records here may depend on lost predecessors, and
+          // min_stop_seq_ already tells resume how far the clean prefix
+          // reaches.
+          std::remove(segment_path(shard, id).c_str());
+          shards_[shard].segment_sizes.erase(id);
+          report_.notes.push_back("dropped segment " +
+                                  segment_file_name(shard, id) +
+                                  " past a damaged predecessor");
+          continue;
+        }
+        std::uint64_t from = kSegmentHeaderSize;
+        if (auto it = listed.find({shard, id}); it != listed.end()) {
+          from = std::max<std::uint64_t>(from, it->second);
+        }
+        auto scanned = scan_segment(shard, id, from, newest);
+        if (!scanned.ok()) {
+          if (scanned.error().code == Errc::kUnsupported) {
+            return scanned.error();
+          }
+          // Damage below the clean prefix of this shard. scan_segment
+          // already truncated or removed the damaged file.
+          clean = false;
+          shard_damaged = true;
+          min_stop_seq_ =
+              std::min(min_stop_seq_, shards_[shard].last_clean_seq);
+          report_.notes.push_back(scanned.error().message);
+          TANGLED_OBS_INC("store.recover.damaged_shards");
+        }
+      }
+    }
+    return clean;
+  };
+
+  auto clean = scan_pass();
+  if (!clean.ok()) return clean.error();
+  if (!clean.value() && index_ok) {
+    // Damage while trusting the index: loaded entries may point into
+    // segments the repair just truncated or removed, so rebuild from the
+    // (now clean) segment files alone. min_stop_seq_ keeps the damage
+    // verdict from the first pass.
+    report_.notes.push_back(
+        "index-accelerated recovery hit damage; rescanning segments");
+    report_.index_loaded = false;
+    report_.full_rescan = true;
+    entries_.clear();
+    seq_ = 0;
+    listed.clear();
+    for (ShardLog& log : shards_) log = ShardLog{};
+    discovered = discover();
+    clean = scan_pass();
+    if (!clean.ok()) return clean.error();
+  }
+  rebuild_derived();
+
+  // Open (or create) each shard's active segment writer.
+  for (std::uint32_t shard = 0; shard < config_.shards; ++shard) {
+    ShardLog& log = shards_[shard];
+    if (log.segment_sizes.empty()) {
+      log.next_id = 0;
+      if (auto ok = open_writer(shard, /*fresh=*/true); !ok.ok()) {
+        return ok;
+      }
+    } else {
+      const auto newest = std::prev(log.segment_sizes.end());
+      log.active_id = newest->first;
+      log.active_size = newest->second;
+      log.next_id = newest->first + 1;
+      if (auto ok = open_writer(shard, /*fresh=*/false); !ok.ok()) {
+        return ok;
+      }
+    }
+  }
+  return {};
+}
+
+Result<void> CertStore::scan_segment(std::uint32_t shard, std::uint64_t id,
+                                     std::uint64_t from_offset,
+                                     bool newest_in_shard) {
+  const std::string path = segment_path(shard, id);
+  auto size = file_size_of(path);
+  if (!size.ok()) return size.error();
+  ShardLog& log = shards_[shard];
+
+  if (size.value() < kSegmentHeaderSize) {
+    if (newest_in_shard) {
+      // A crash during segment creation: nothing in it can predate the
+      // last flush. Drop it.
+      std::remove(path.c_str());
+      report_.truncated_bytes += size.value();
+      report_.notes.push_back("dropped torn segment creation " +
+                              segment_file_name(shard, id));
+      return {};
+    }
+    std::remove(path.c_str());
+    return state_error("segment " + segment_file_name(shard, id) +
+                       ": truncated header in sealed position");
+  }
+
+  auto map = util::MmapFile::open(path);
+  if (!map.ok()) return map.error();
+  const ByteView file = map.value().view();
+
+  auto header = parse_segment_header(file);
+  if (!header.ok()) {
+    if (header.error().code == Errc::kUnsupported) return header.error();
+    // Headers are fsynced at creation, so an unreadable one is damage, not
+    // a torn append; nothing in the file can be trusted.
+    map.value().reset();
+    std::remove(path.c_str());
+    return state_error("segment " + segment_file_name(shard, id) + ": " +
+                       header.error().message);
+  }
+  if (header.value().shard != shard || header.value().segment_id != id) {
+    map.value().reset();
+    std::remove(path.c_str());
+    return state_error("segment " + segment_file_name(shard, id) +
+                       ": header names shard " +
+                       std::to_string(header.value().shard) + " segment " +
+                       std::to_string(header.value().segment_id));
+  }
+
+  SegmentScanner scanner(file);
+  // Fast-forward across the prefix the index already covers, still
+  // checksum-verifying nothing (the index vouched for it); records are
+  // framed, so re-deriving boundaries requires a walk — scan from the
+  // header unless the index prefix is trusted wholesale.
+  while (scanner.stop_offset() < from_offset) {
+    const auto record = scanner.next();
+    if (!record.has_value()) break;
+    // Prefix records are already in the loaded index; skip.
+  }
+  while (true) {
+    const auto record = scanner.next();
+    if (!record.has_value()) break;
+    apply_scanned_record(shard, id, *record);
+  }
+  log.segment_sizes[id] = scanner.stop_offset();
+
+  switch (scanner.stop()) {
+    case ScanStop::kCleanEof:
+      return {};
+    case ScanStop::kTruncatedTail: {
+      if (!newest_in_shard) {
+        // A sealed segment ending mid-record is damage, not a torn
+        // append; keep the clean prefix on disk but report the loss.
+        map.value().reset();
+        (void)truncate_file(path, scanner.stop_offset());
+        return state_error("segment " + segment_file_name(shard, id) +
+                           ": truncated inside sealed position (" +
+                           scanner.stop_detail() + ")");
+      }
+      // Torn tail on the shard's newest segment: the classic crash-mid-
+      // append shape. Records here postdate the last flush (and therefore
+      // any checkpoint cursor), so truncating them is loss-free.
+      const std::uint64_t lost = size.value() - scanner.stop_offset();
+      map.value().reset();  // release the mapping before truncating
+      if (auto ok = truncate_file(path, scanner.stop_offset()); !ok.ok()) {
+        return ok;
+      }
+      report_.truncated_bytes += lost;
+      report_.notes.push_back("truncated torn tail of " +
+                              segment_file_name(shard, id) + " (" +
+                              std::to_string(lost) + " bytes)");
+      TANGLED_OBS_INC("store.recover.torn_tails");
+      return {};
+    }
+    case ScanStop::kDamage:
+      // Keep the clean prefix, drop the damaged suffix from disk so the
+      // file and the applied records agree from here on.
+      map.value().reset();
+      (void)truncate_file(path, scanner.stop_offset());
+      return state_error("segment " + segment_file_name(shard, id) + ": " +
+                         scanner.stop_detail());
+  }
+  return {};
+}
+
+void CertStore::apply_scanned_record(std::uint32_t shard, std::uint64_t id,
+                                     const RecordView& record) {
+  seq_ = std::max(seq_, record.seq);
+  shards_[shard].last_clean_seq =
+      std::max(shards_[shard].last_clean_seq, record.seq);
+  switch (record.kind_raw == 0 ? RecordKind::kCert
+                               : static_cast<RecordKind>(record.kind_raw)) {
+    case RecordKind::kCert: {
+      if (record.kind_raw != static_cast<std::uint32_t>(RecordKind::kCert)) {
+        break;  // unknown kind: framing only
+      }
+      const std::uint32_t fp_id = fp_ids_.intern(record.fingerprint);
+      if (fp_id >= entries_.size()) entries_.resize(fp_id + 1);
+      Entry& entry = entries_[fp_id];
+      // Newest cert record wins (a revive after a tombstone); compaction
+      // can replay duplicates of the same seq — idempotent by comparison.
+      if (record.seq >= entry.seq) {
+        entry.identity_id = identity_ids_.intern(record.identity);
+        entry.spki_id = spki_ids_.intern(record.spki);
+        entry.membership |= record.membership;
+        entry.not_after_unix = record.not_after_unix;
+        entry.seq = record.seq;
+        entry.shard = shard;
+        entry.segment_id = id;
+        entry.offset = record.offset;
+        entry.length = record.length;
+      }
+      break;
+    }
+    case RecordKind::kTombstone: {
+      const std::uint32_t fp_id = fp_ids_.intern(record.fingerprint);
+      if (fp_id >= entries_.size()) entries_.resize(fp_id + 1);
+      entries_[fp_id].tombstone_seq =
+          std::max(entries_[fp_id].tombstone_seq, record.seq);
+      break;
+    }
+    case RecordKind::kMember: {
+      const std::uint32_t fp_id = fp_ids_.intern(record.fingerprint);
+      scan_members_[fp_id].emplace_back(record.seq, record.membership);
+      break;
+    }
+    case RecordKind::kFlag:
+      break;  // census journal: replayed by the census, not the index
+  }
+}
+
+void CertStore::rebuild_derived() {
+  // Liveness and membership resolve only once every record is in: scan
+  // order is (shard, id), which is not sequence order across a
+  // compaction, so per-record application must stay order-independent.
+  identity_live_.clear();
+  by_spki_.clear();
+  dead_records_ = 0;
+  for (std::uint32_t fp_id = 0; fp_id < entries_.size(); ++fp_id) {
+    Entry& entry = entries_[fp_id];
+    if (entry.seq == 0) continue;  // interned via flags only, no cert
+    entry.live = entry.seq > entry.tombstone_seq;
+    if (auto it = scan_members_.find(fp_id); it != scan_members_.end()) {
+      for (const auto& [seq, bits] : it->second) {
+        // A membership merge survives only if it postdates the latest
+        // tombstone — bits merged before a removal die with the record.
+        if (seq > entry.tombstone_seq) entry.membership |= bits;
+      }
+    }
+    if (!entry.live) {
+      ++dead_records_;
+      continue;
+    }
+    if (entry.identity_id >= identity_live_.size()) {
+      identity_live_.resize(entry.identity_id + 1, 0);
+    }
+    ++identity_live_[entry.identity_id];
+    if (entry.spki_id >= by_spki_.size()) by_spki_.resize(entry.spki_id + 1);
+    by_spki_[entry.spki_id].push_back(fp_id);
+  }
+  scan_members_.clear();
+}
+
+// --- Index codec ------------------------------------------------------------
+
+Bytes CertStore::encode_index() const {
+  Bytes out;
+  util::put_u32(out, kIndexVersion);
+  util::put_u32(out, config_.shards);
+  util::put_u64(out, seq_);
+  std::uint64_t segment_count = 0;
+  for (const ShardLog& log : shards_) segment_count += log.segment_sizes.size();
+  util::put_u64(out, segment_count);
+  for (std::uint32_t shard = 0; shard < config_.shards; ++shard) {
+    for (const auto& [id, size] : shards_[shard].segment_sizes) {
+      util::put_u32(out, shard);
+      util::put_u64(out, id);
+      util::put_u64(out,
+                    id == shards_[shard].active_id &&
+                            shards_[shard].writer != nullptr
+                        ? shards_[shard].active_size
+                        : size);
+    }
+  }
+  // Entries sorted by fingerprint digest for deterministic bytes.
+  std::vector<std::uint32_t> order;
+  order.reserve(entries_.size());
+  for (std::uint32_t fp_id = 0; fp_id < entries_.size(); ++fp_id) {
+    if (entries_[fp_id].seq != 0) order.push_back(fp_id);
+  }
+  std::sort(order.begin(), order.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return bytes_less(fp_ids_.digest_of(a), fp_ids_.digest_of(b));
+            });
+  util::put_u64(out, order.size());
+  for (const std::uint32_t fp_id : order) {
+    const Entry& entry = entries_[fp_id];
+    const Bytes fp = fp_ids_.digest_of(fp_id);
+    const Bytes identity = identity_ids_.digest_of(entry.identity_id);
+    const Bytes spki = spki_ids_.digest_of(entry.spki_id);
+    append(out, fp);
+    append(out, identity);
+    append(out, spki);
+    util::put_u64(out, entry.membership);
+    util::put_i64(out, entry.not_after_unix);
+    util::put_u64(out, entry.seq);
+    util::put_u64(out, entry.tombstone_seq);
+    util::put_u8(out, entry.live ? 1 : 0);
+    util::put_u32(out, entry.shard);
+    util::put_u64(out, entry.segment_id);
+    util::put_u64(out, entry.offset);
+    util::put_u64(out, entry.length);
+  }
+  return out;
+}
+
+Result<void> CertStore::load_index(
+    ByteView payload,
+    std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t>& listed) {
+  util::BinReader in(payload);
+  auto version = in.u32();
+  if (!version.ok()) return version.error();
+  if (version.value() != kIndexVersion) {
+    return parse_error("store index: unknown version");
+  }
+  auto shard_count = in.u32();
+  if (!shard_count.ok()) return shard_count.error();
+  if (shard_count.value() != config_.shards) {
+    return state_error("store index: shard count mismatch");
+  }
+  auto seq = in.u64();
+  if (!seq.ok()) return seq.error();
+  auto segments = in.count(/*min_bytes_per_element=*/20);
+  if (!segments.ok()) return segments.error();
+  for (std::size_t i = 0; i < segments.value(); ++i) {
+    auto shard = in.u32();
+    auto id = in.u64();
+    auto size = in.u64();
+    if (!shard.ok() || !id.ok() || !size.ok()) {
+      return parse_error("store index: truncated segment table");
+    }
+    if (shard.value() >= config_.shards) {
+      return parse_error("store index: shard out of range");
+    }
+    listed[{shard.value(), id.value()}] = size.value();
+  }
+  auto count = in.count(/*min_bytes_per_element=*/3 * kDigestBytes + 50);
+  if (!count.ok()) return count.error();
+  for (std::size_t i = 0; i < count.value(); ++i) {
+    auto fp = in.take(kDigestBytes);
+    auto identity = in.take(kDigestBytes);
+    auto spki = in.take(kDigestBytes);
+    auto membership = in.u64();
+    auto not_after = in.i64();
+    auto cert_seq = in.u64();
+    auto tombstone_seq = in.u64();
+    auto live = in.u8();
+    auto shard = in.u32();
+    auto segment_id = in.u64();
+    auto offset = in.u64();
+    auto length = in.u64();
+    if (!fp.ok() || !identity.ok() || !spki.ok() || !membership.ok() ||
+        !not_after.ok() || !cert_seq.ok() || !tombstone_seq.ok() ||
+        !live.ok() || !shard.ok() || !segment_id.ok() || !offset.ok() ||
+        !length.ok()) {
+      return parse_error("store index: truncated entry table");
+    }
+    if (shard.value() >= config_.shards) {
+      return parse_error("store index: entry shard out of range");
+    }
+    const std::uint32_t fp_id = fp_ids_.intern(fp.value());
+    if (fp_id >= entries_.size()) entries_.resize(fp_id + 1);
+    Entry& entry = entries_[fp_id];
+    entry.identity_id = identity_ids_.intern(identity.value());
+    entry.spki_id = spki_ids_.intern(spki.value());
+    entry.membership = membership.value();
+    entry.not_after_unix = not_after.value();
+    entry.seq = cert_seq.value();
+    entry.tombstone_seq = tombstone_seq.value();
+    entry.live = live.value() != 0;
+    entry.shard = shard.value();
+    entry.segment_id = segment_id.value();
+    entry.offset = offset.value();
+    entry.length = length.value();
+  }
+  if (auto ok = in.expect_end(); !ok.ok()) return ok;
+  seq_ = seq.value();
+  for (const auto& [key, size] : listed) {
+    shards_[key.first].segment_sizes[key.second] = size;
+    shards_[key.first].last_clean_seq = seq_;
+  }
+  return {};
+}
+
+Result<void> CertStore::write_index() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<recover::Section> sections;
+  sections.push_back({kIndexSection, encode_index()});
+  return recover::write_snapshot_file(index_path(), sections);
+}
+
+// --- Writes ----------------------------------------------------------------
+
+Result<void> CertStore::open_writer(std::uint32_t shard, bool fresh) {
+  ShardLog& log = shards_[shard];
+  if (fresh) {
+    log.active_id = log.next_id++;
+    const std::string path = segment_path(shard, log.active_id);
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return state_error(errno_message("open", path));
+    const Bytes header = encode_segment_header(shard, log.active_id);
+    if (std::fwrite(header.data(), 1, header.size(), f) != header.size()) {
+      std::fclose(f);
+      return state_error(errno_message("write header", path));
+    }
+    // Make the header durable immediately: a later torn-tail scan then
+    // always finds a parseable header in front of the clean prefix.
+    std::fflush(f);
+#if TANGLED_STORE_POSIX
+    fsync(fileno(f));
+#endif
+    log.writer = f;
+    log.active_size = header.size();
+    log.segment_sizes[log.active_id] = header.size();
+    return {};
+  }
+  const std::string path = segment_path(shard, log.active_id);
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return state_error(errno_message("open", path));
+  log.writer = f;
+  return {};
+}
+
+Result<void> CertStore::append_to_shard(std::uint32_t shard, ByteView framed) {
+  ShardLog& log = shards_[shard];
+  if (log.writer == nullptr) {
+    if (auto ok = open_writer(shard, /*fresh=*/false); !ok.ok()) return ok;
+  }
+  if (std::fwrite(framed.data(), 1, framed.size(), log.writer) !=
+      framed.size()) {
+    // A short write leaves garbage after the clean prefix; roll the file
+    // back so the log stays a clean prefix of valid records.
+    const std::string path = segment_path(shard, log.active_id);
+    std::fclose(log.writer);
+    log.writer = nullptr;
+    (void)truncate_file(path, log.active_size);
+    return state_error(errno_message("append", path));
+  }
+  log.active_size += framed.size();
+  log.segment_sizes[log.active_id] = log.active_size;
+  appended_bytes_ += framed.size();
+  return {};
+}
+
+Result<void> CertStore::maybe_rotate(std::uint32_t shard) {
+  ShardLog& log = shards_[shard];
+  if (log.active_size < config_.max_segment_bytes) return {};
+  if (log.writer != nullptr) {
+    std::fflush(log.writer);
+#if TANGLED_STORE_POSIX
+    fsync(fileno(log.writer));
+#endif
+    std::fclose(log.writer);
+    log.writer = nullptr;
+  }
+  TANGLED_OBS_INC("store.segment_rotations");
+  return open_writer(shard, /*fresh=*/true);
+}
+
+Result<bool> CertStore::put(const CertRecord& record) {
+  if (record.fingerprint.size() != kDigestBytes ||
+      record.identity.size() != kDigestBytes ||
+      record.spki.size() != kDigestBytes) {
+    return state_error("store: digests must be 32 bytes");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint32_t fp_id = fp_ids_.intern(record.fingerprint);
+  if (fp_id < entries_.size() && entries_[fp_id].live) {
+    TANGLED_OBS_INC("store.put_dedup_hits");
+    return false;
+  }
+  const std::uint32_t shard = shard_of(record.fingerprint);
+  const std::uint64_t seq = seq_ + 1;
+  Bytes framed;
+  append_record(framed, RecordKind::kCert, encode_cert_payload(seq, record));
+  const std::uint64_t offset = shards_[shard].active_size;
+  if (auto ok = append_to_shard(shard, framed); !ok.ok()) return ok.error();
+  seq_ = seq;
+
+  if (fp_id >= entries_.size()) entries_.resize(fp_id + 1);
+  Entry& entry = entries_[fp_id];
+  const bool revive = entry.seq != 0;
+  entry.identity_id = identity_ids_.intern(record.identity);
+  entry.spki_id = spki_ids_.intern(record.spki);
+  entry.membership = record.membership;
+  entry.not_after_unix = record.not_after_unix;
+  entry.seq = seq;
+  entry.live = true;
+  entry.shard = shard;
+  entry.segment_id = shards_[shard].active_id;
+  entry.offset = offset;
+  entry.length = framed.size();
+  if (revive && dead_records_ > 0) --dead_records_;
+
+  if (entry.identity_id >= identity_live_.size()) {
+    identity_live_.resize(entry.identity_id + 1, 0);
+  }
+  ++identity_live_[entry.identity_id];
+  if (entry.spki_id >= by_spki_.size()) by_spki_.resize(entry.spki_id + 1);
+  auto& spki_list = by_spki_[entry.spki_id];
+  if (std::find(spki_list.begin(), spki_list.end(), fp_id) ==
+      spki_list.end()) {
+    spki_list.push_back(fp_id);
+  }
+  TANGLED_OBS_INC("store.puts");
+  (void)maybe_rotate(shard);  // rotation failure surfaces on the next append
+  return true;
+}
+
+Result<void> CertStore::journal_flag(ByteView fingerprint,
+                                     std::uint8_t census_shard,
+                                     std::uint8_t flags) {
+  if (fingerprint.size() != kDigestBytes) {
+    return state_error("store: fingerprint must be 32 bytes");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint32_t shard = shard_of(fingerprint);
+  const std::uint64_t seq = seq_ + 1;
+  Bytes framed;
+  append_record(framed, RecordKind::kFlag,
+                encode_flag_payload(seq, fingerprint, census_shard, flags));
+  if (auto ok = append_to_shard(shard, framed); !ok.ok()) return ok;
+  seq_ = seq;
+  TANGLED_OBS_INC("store.flag_journal_records");
+  (void)maybe_rotate(shard);
+  return {};
+}
+
+Result<void> CertStore::merge_membership(ByteView fingerprint,
+                                         std::uint64_t bits) {
+  if (fingerprint.size() != kDigestBytes) {
+    return state_error("store: fingerprint must be 32 bytes");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto fp_id = fp_ids_.find(fingerprint);
+  if (!fp_id.has_value() || *fp_id >= entries_.size() ||
+      !entries_[*fp_id].live) {
+    return not_found_error("store: no live record for fingerprint");
+  }
+  const std::uint32_t shard = shard_of(fingerprint);
+  const std::uint64_t seq = seq_ + 1;
+  Bytes framed;
+  append_record(framed, RecordKind::kMember,
+                encode_member_payload(seq, fingerprint, bits));
+  if (auto ok = append_to_shard(shard, framed); !ok.ok()) return ok;
+  seq_ = seq;
+  entries_[*fp_id].membership |= bits;
+  (void)maybe_rotate(shard);
+  return {};
+}
+
+Result<bool> CertStore::remove(ByteView fingerprint) {
+  if (fingerprint.size() != kDigestBytes) {
+    return state_error("store: fingerprint must be 32 bytes");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto fp_id = fp_ids_.find(fingerprint);
+  if (!fp_id.has_value() || *fp_id >= entries_.size() ||
+      !entries_[*fp_id].live) {
+    return false;
+  }
+  const std::uint32_t shard = shard_of(fingerprint);
+  const std::uint64_t seq = seq_ + 1;
+  Bytes framed;
+  append_record(framed, RecordKind::kTombstone,
+                encode_tombstone_payload(seq, fingerprint));
+  if (auto ok = append_to_shard(shard, framed); !ok.ok()) return ok.error();
+  seq_ = seq;
+  Entry& entry = entries_[*fp_id];
+  entry.live = false;
+  entry.tombstone_seq = seq;
+  ++dead_records_;
+  if (entry.identity_id < identity_live_.size() &&
+      identity_live_[entry.identity_id] > 0) {
+    --identity_live_[entry.identity_id];
+  }
+  (void)maybe_rotate(shard);
+  return true;
+}
+
+// --- Index queries ----------------------------------------------------------
+
+bool CertStore::contains(ByteView fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto fp_id = fp_ids_.find(fingerprint);
+  return fp_id.has_value() && *fp_id < entries_.size() &&
+         entries_[*fp_id].live;
+}
+
+bool CertStore::contains_identity(ByteView identity) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto id = identity_ids_.find(identity);
+  return id.has_value() && *id < identity_live_.size() &&
+         identity_live_[*id] > 0;
+}
+
+std::uint64_t CertStore::membership_of(ByteView fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto fp_id = fp_ids_.find(fingerprint);
+  if (!fp_id.has_value() || *fp_id >= entries_.size() ||
+      !entries_[*fp_id].live) {
+    return 0;
+  }
+  return entries_[*fp_id].membership;
+}
+
+std::uint64_t CertStore::membership_by_spki(ByteView spki) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto id = spki_ids_.find(spki);
+  if (!id.has_value() || *id >= by_spki_.size()) return 0;
+  std::uint64_t mask = 0;
+  for (const std::uint32_t fp_id : by_spki_[*id]) {
+    if (entries_[fp_id].live) mask |= entries_[fp_id].membership;
+  }
+  return mask;
+}
+
+std::vector<Bytes> CertStore::fingerprints_by_spki(ByteView spki) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Bytes> out;
+  const auto id = spki_ids_.find(spki);
+  if (!id.has_value() || *id >= by_spki_.size()) return out;
+  for (const std::uint32_t fp_id : by_spki_[*id]) {
+    if (entries_[fp_id].live) out.push_back(fp_ids_.digest_of(fp_id));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Bytes& a, const Bytes& b) { return bytes_less(a, b); });
+  return out;
+}
+
+std::size_t CertStore::live_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const Entry& entry : entries_) n += entry.live;
+  return n;
+}
+
+std::size_t CertStore::live_identity_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const std::uint32_t count : identity_live_) n += count > 0;
+  return n;
+}
+
+std::size_t CertStore::live_unexpired_count(std::int64_t now_unix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const Entry& entry : entries_) {
+    n += entry.live && now_unix <= entry.not_after_unix;
+  }
+  return n;
+}
+
+std::uint64_t CertStore::last_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+void CertStore::for_each_live(
+    const std::function<void(ByteView, ByteView, ByteView, std::uint64_t,
+                             std::int64_t)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::uint32_t> order;
+  for (std::uint32_t fp_id = 0; fp_id < entries_.size(); ++fp_id) {
+    if (entries_[fp_id].live) order.push_back(fp_id);
+  }
+  std::sort(order.begin(), order.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return bytes_less(fp_ids_.digest_of(a), fp_ids_.digest_of(b));
+            });
+  for (const std::uint32_t fp_id : order) {
+    const Entry& entry = entries_[fp_id];
+    const Bytes fp = fp_ids_.digest_of(fp_id);
+    const Bytes identity = identity_ids_.digest_of(entry.identity_id);
+    const Bytes spki = spki_ids_.digest_of(entry.spki_id);
+    fn(fp, identity, spki, entry.membership, entry.not_after_unix);
+  }
+}
+
+// --- Pinned reads -----------------------------------------------------------
+
+Result<std::shared_ptr<const Segment>> CertStore::mapped_segment(
+    std::uint32_t shard, std::uint64_t id, std::uint64_t min_size) {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  const auto key = std::make_pair(shard, id);
+  auto it = mapped_.find(key);
+  if (it != mapped_.end() && it->second->view().size() >= min_size) {
+    auto lru_it = std::find(lru_.begin(), lru_.end(), key);
+    if (lru_it != lru_.end()) lru_.erase(lru_it);
+    lru_.push_back(key);
+    return std::shared_ptr<const Segment>(it->second);
+  }
+  auto map = util::MmapFile::open(segment_path(shard, id));
+  if (!map.ok()) return map.error();
+  if (map.value().size() < min_size) {
+    return state_error("store: segment " + segment_file_name(shard, id) +
+                       " shorter than the index expects");
+  }
+  auto segment = std::make_shared<Segment>(segment_path(shard, id), shard, id,
+                                           std::move(map).value());
+  ++reopens_;
+  if (it != mapped_.end()) {
+    // Replace the stale (shorter) mapping with the fresh one. Pinned
+    // readers of the old object keep it alive; nothing is remapped in
+    // place, so their views stay valid.
+    it->second = segment;
+  } else {
+    mapped_[key] = segment;
+    lru_.push_back(key);
+  }
+  evict_cold_locked();
+  return std::shared_ptr<const Segment>(segment);
+}
+
+void CertStore::evict_cold_locked() {
+  while (mapped_.size() > config_.max_mapped_segments) {
+    bool evicted = false;
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      auto found = mapped_.find(*it);
+      if (found == mapped_.end()) {
+        it = lru_.erase(it);
+        evicted = true;
+        break;
+      }
+      if (found->second->pins() != 0) continue;  // never evict pinned
+      mapped_.erase(found);
+      lru_.erase(it);
+      ++evictions_;
+      TANGLED_OBS_INC("store.segment_evictions");
+      evicted = true;
+      break;
+    }
+    if (!evicted) break;  // everything cold is pinned
+  }
+}
+
+Result<PinnedRecord> CertStore::get(ByteView fingerprint) {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    std::uint32_t shard = 0;
+    std::uint64_t segment_id = 0, offset = 0, length = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto fp_id = fp_ids_.find(fingerprint);
+      if (!fp_id.has_value() || *fp_id >= entries_.size() ||
+          !entries_[*fp_id].live) {
+        return not_found_error("store: fingerprint not present");
+      }
+      const Entry& entry = entries_[*fp_id];
+      shard = entry.shard;
+      segment_id = entry.segment_id;
+      offset = entry.offset;
+      length = entry.length;
+      if (segment_id == shards_[shard].active_id &&
+          shards_[shard].writer != nullptr) {
+        // The record may still sit in the stdio buffer; push it to the
+        // file so a fresh mapping can see it.
+        std::fflush(shards_[shard].writer);
+      }
+    }
+    auto segment = mapped_segment(shard, segment_id, offset + length);
+    if (!segment.ok()) {
+      // Compaction may have swapped the segment between the two locks;
+      // re-read the entry and try again.
+      continue;
+    }
+    const ByteView view = segment.value()->view();
+    if (view.size() < offset + length ||
+        length < kCertDerOffset + kSegmentDigestSize) {
+      continue;
+    }
+    const std::size_t der_len =
+        static_cast<std::size_t>(length) - kCertDerOffset - kSegmentDigestSize;
+    TANGLED_OBS_INC("store.gets");
+    return PinnedRecord(std::move(segment).value(),
+                        view.subspan(offset + kCertDerOffset, der_len));
+  }
+  return state_error("store: record moved during concurrent compaction");
+}
+
+// --- Replay ----------------------------------------------------------------
+
+Result<void> CertStore::replay(
+    std::uint64_t max_seq,
+    const std::function<void(const RecordView&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const ShardLog& log : shards_) {
+    if (log.writer != nullptr) std::fflush(log.writer);
+  }
+  std::vector<util::MmapFile> maps;
+  std::vector<RecordView> records;
+  for (std::uint32_t shard = 0; shard < config_.shards; ++shard) {
+    for (const auto& [id, size] : shards_[shard].segment_sizes) {
+      auto map = util::MmapFile::open(segment_path(shard, id));
+      if (!map.ok()) {
+        if (map.error().code == Errc::kNotFound) continue;
+        return map.error();
+      }
+      maps.push_back(std::move(map).value());
+      SegmentScanner scanner(maps.back().view());
+      while (true) {
+        const auto record = scanner.next();
+        if (!record.has_value()) break;
+        if (record->seq <= max_seq) records.push_back(*record);
+      }
+      // Torn tails past the last flush are expected mid-run; damage in the
+      // sealed region was already handled (or refused) at open.
+    }
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const RecordView& a, const RecordView& b) {
+                     return a.seq < b.seq;
+                   });
+  for (const RecordView& record : records) fn(record);
+  return {};
+}
+
+// --- Maintenance ------------------------------------------------------------
+
+Result<void> CertStore::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::uint32_t shard = 0; shard < config_.shards; ++shard) {
+    ShardLog& log = shards_[shard];
+    if (log.writer == nullptr) continue;
+    if (std::fflush(log.writer) != 0) {
+      return state_error(
+          errno_message("flush", segment_path(shard, log.active_id)));
+    }
+#if TANGLED_STORE_POSIX
+    if (fsync(fileno(log.writer)) != 0) {
+      return state_error(
+          errno_message("fsync", segment_path(shard, log.active_id)));
+    }
+#endif
+  }
+  TANGLED_OBS_INC("store.flushes");
+  return {};
+}
+
+void CertStore::close_writers() {
+  for (ShardLog& log : shards_) {
+    if (log.writer != nullptr) {
+      std::fflush(log.writer);
+      std::fclose(log.writer);
+      log.writer = nullptr;
+    }
+  }
+}
+
+Result<void> CertStore::compact(std::uint64_t stable_seq) {
+  std::scoped_lock lock(mu_, map_mu_);
+  // Which fingerprints disappear entirely: tombstoned at or before the
+  // oldest cursor any resume could still use. Records above stable_seq
+  // are copied verbatim so every later replay stays exact.
+  std::unordered_set<std::uint32_t> drop;
+  for (std::uint32_t fp_id = 0; fp_id < entries_.size(); ++fp_id) {
+    const Entry& entry = entries_[fp_id];
+    if (entry.seq != 0 && !entry.live && entry.tombstone_seq != 0 &&
+        entry.tombstone_seq <= stable_seq) {
+      drop.insert(fp_id);
+    }
+  }
+
+  for (std::uint32_t shard = 0; shard < config_.shards; ++shard) {
+    ShardLog& log = shards_[shard];
+    if (log.writer != nullptr) {
+      std::fflush(log.writer);
+      std::fclose(log.writer);
+      log.writer = nullptr;
+    }
+    const std::uint64_t new_id = log.next_id++;
+    Bytes out = encode_segment_header(shard, new_id);
+    // Relocations recorded as (fp_id, new_offset) and applied only after
+    // the new segment file is durably in place.
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> relocated;
+
+    std::vector<std::uint64_t> old_ids;
+    for (const auto& [id, size] : log.segment_sizes) old_ids.push_back(id);
+    for (const std::uint64_t id : old_ids) {
+      auto map = util::MmapFile::open(segment_path(shard, id));
+      if (!map.ok()) return map.error();
+      SegmentScanner scanner(map.value().view());
+      while (true) {
+        const auto record = scanner.next();
+        if (!record.has_value()) break;
+        std::uint32_t fp_id = 0;
+        bool have_fp = false;
+        if (record->fingerprint.size() == kDigestBytes) {
+          if (const auto found = fp_ids_.find(record->fingerprint);
+              found.has_value()) {
+            fp_id = *found;
+            have_fp = true;
+          }
+        }
+        if (have_fp && drop.contains(fp_id)) continue;
+        const std::uint64_t new_offset = out.size();
+        const ByteView raw = map.value().view().subspan(
+            static_cast<std::size_t>(record->offset),
+            static_cast<std::size_t>(record->length));
+        append(out, raw);
+        if (record->kind_raw ==
+                static_cast<std::uint32_t>(RecordKind::kCert) &&
+            have_fp && fp_id < entries_.size() &&
+            entries_[fp_id].seq == record->seq &&
+            entries_[fp_id].shard == shard) {
+          relocated.emplace_back(fp_id, new_offset);
+        }
+      }
+      if (scanner.stop() == ScanStop::kDamage) {
+        return state_error("store: damage found while compacting " +
+                           segment_file_name(shard, id) + ": " +
+                           scanner.stop_detail());
+      }
+    }
+
+    if (auto written =
+            util::write_file_atomic(segment_path(shard, new_id), out);
+        !written.ok()) {
+      // The old segments are untouched; reopen the previous active writer
+      // and report. The half-written temp was cleaned by write_file_atomic.
+      (void)open_writer(shard, /*fresh=*/false);
+      return written;
+    }
+    for (const auto& [fp_id, new_offset] : relocated) {
+      entries_[fp_id].segment_id = new_id;
+      entries_[fp_id].offset = new_offset;
+    }
+    for (const std::uint64_t id : old_ids) {
+      std::remove(segment_path(shard, id).c_str());
+      const auto key = std::make_pair(shard, id);
+      mapped_.erase(key);  // pinned readers keep their shared_ptr alive
+      auto lru_it = std::find(lru_.begin(), lru_.end(), key);
+      if (lru_it != lru_.end()) lru_.erase(lru_it);
+    }
+    log.segment_sizes.clear();
+    log.segment_sizes[new_id] = out.size();
+    log.active_id = new_id;
+    log.active_size = out.size();
+    if (auto ok = open_writer(shard, /*fresh=*/false); !ok.ok()) return ok;
+  }
+
+  for (const std::uint32_t fp_id : drop) {
+    entries_[fp_id] = Entry{};
+    if (dead_records_ > 0) --dead_records_;
+  }
+  ++compactions_;
+  TANGLED_OBS_INC("store.compactions");
+  // Refresh the index so the next open trusts the rewritten layout; a
+  // failure here only costs the next open a rescan.
+  std::vector<recover::Section> sections;
+  sections.push_back({kIndexSection, encode_index()});
+  (void)recover::write_snapshot_file(index_path(), sections);
+  return {};
+}
+
+Result<void> CertStore::reset() {
+  std::scoped_lock lock(mu_, map_mu_);
+  close_writers();
+  for (std::uint32_t shard = 0; shard < config_.shards; ++shard) {
+    for (const auto& [id, size] : shards_[shard].segment_sizes) {
+      std::remove(segment_path(shard, id).c_str());
+    }
+    shards_[shard] = ShardLog{};
+  }
+  std::remove(index_path().c_str());
+  entries_.clear();
+  identity_live_.clear();
+  by_spki_.clear();
+  scan_members_.clear();
+  mapped_.clear();
+  lru_.clear();
+  seq_ = 0;
+  min_stop_seq_ = ~std::uint64_t{0};
+  dead_records_ = 0;
+  report_ = StoreReport{};
+  for (std::uint32_t shard = 0; shard < config_.shards; ++shard) {
+    if (auto ok = open_writer(shard, /*fresh=*/true); !ok.ok()) return ok;
+  }
+  TANGLED_OBS_INC("store.resets");
+  return {};
+}
+
+StoreStats CertStore::stats() const {
+  std::scoped_lock lock(mu_, map_mu_);
+  StoreStats stats;
+  for (const Entry& entry : entries_) stats.live_records += entry.live;
+  stats.dead_records = dead_records_;
+  for (const ShardLog& log : shards_) {
+    stats.segments += log.segment_sizes.size();
+  }
+  stats.mapped_segments = mapped_.size();
+  stats.appended_bytes = appended_bytes_;
+  stats.evictions = evictions_;
+  stats.reopens = reopens_;
+  stats.compactions = compactions_;
+  stats.last_seq = seq_;
+  return stats;
+}
+
+}  // namespace tangled::store

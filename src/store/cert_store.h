@@ -1,0 +1,329 @@
+// CertStore: a log-structured, memory-mapped, sharded certificate store.
+//
+// The paper's Notary corpus held 1.9M unique certificates; the roadmap
+// target is 10–100× that, which no longer fits the in-memory NotaryDb /
+// census accumulators. The store turns the observation state into a
+// durable append-only log:
+//
+//  * Certificates are appended as kCert records (DER plus the interned
+//    digest triple) into per-shard segment files, routed by the first
+//    fingerprint byte so appends from parallel shards rarely contend.
+//  * The census's leaf dedup state is journaled as tiny kFlag records
+//    (seen / validated transitions — at most two per leaf, ever).
+//  * Every record carries a global monotonically-increasing sequence
+//    number. A recover checkpoint stores only the sequence cursor; resume
+//    replays records with seq <= cursor to rebuild in-memory state, so
+//    checkpoint bytes stop growing with the corpus.
+//
+// The in-memory index (fingerprint → segment/offset, membership bitmask,
+// SPKI → certificates; all keyed through util::DigestInterner dense ids)
+// is rebuilt on recovery: from the checksummed index file when it matches
+// the segment files on disk, by scanning the segments otherwise. The index
+// file is a pure accelerator — deleting it loses nothing.
+//
+// Reads pin: get() returns a PinnedRecord whose DER view is backed by a
+// shared mapping that compaction and eviction leave untouched while pins
+// exist (the Arena::Pin witness idea, here with shared ownership so a
+// recycled segment is unreachable by construction). Compaction rewrites
+// live records into a fresh segment and unlinks the old files; pinned
+// readers keep the old mapping alive through POSIX unlink semantics.
+// Eviction unmaps cold, unpinned, sealed segments beyond
+// StoreConfig::max_mapped_segments.
+//
+// Crash taxonomy at open() mirrors the snapshot container: stale atomic-
+// write temps are swept (never parsed as segments), a torn tail on the
+// newest segment of a shard is truncated away (those records postdate the
+// last flush, so no checkpoint cursor can cover them), and damage below
+// the clean prefix is surfaced through min_stop_seq() so resume can
+// refuse to trust an incomplete replay.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "store/segment.h"
+#include "util/bytes.h"
+#include "util/interner.h"
+#include "util/mmap_file.h"
+#include "util/result.h"
+
+namespace tangled::store {
+
+struct StoreConfig {
+  /// Directory holding segment files and the index. Created if absent.
+  std::string dir;
+  /// Log shards (by first fingerprint byte). More shards = less append
+  /// contention and smaller compaction granules.
+  std::uint32_t shards = 8;
+  /// Active segments seal and rotate past this size.
+  std::uint64_t max_segment_bytes = 64ull << 20;
+  /// Sealed segments beyond this many stay unmapped; the least recently
+  /// used cold mapping is evicted first. Pinned segments never evict.
+  std::uint32_t max_mapped_segments = 8;
+};
+
+/// What open() found on disk.
+struct StoreReport {
+  bool index_loaded = false;  // index file matched the segments
+  bool full_rescan = false;   // index missing/stale; segments rescanned
+  std::size_t swept_temps = 0;
+  std::uint64_t truncated_bytes = 0;  // torn tails dropped
+  std::vector<std::string> notes;
+};
+
+struct StoreStats {
+  std::uint64_t live_records = 0;
+  std::uint64_t dead_records = 0;
+  std::uint64_t segments = 0;
+  std::uint64_t mapped_segments = 0;
+  std::uint64_t appended_bytes = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t reopens = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t last_seq = 0;
+};
+
+/// One segment's runtime identity: the mapping is established at
+/// construction and never changes, so a view handed out against it stays
+/// valid for the Segment's lifetime. Extending an active segment swaps in
+/// a *new* Segment object; pinned readers keep the old one alive.
+class Segment {
+ public:
+  Segment(std::string path, std::uint32_t shard, std::uint64_t id,
+          util::MmapFile map)
+      : path_(std::move(path)), shard_(shard), id_(id), map_(std::move(map)) {}
+
+  ByteView view() const { return map_.view(); }
+  std::uint32_t shard() const { return shard_; }
+  std::uint64_t id() const { return id_; }
+  const std::string& path() const { return path_; }
+
+  std::uint64_t pins() const {
+    return pins_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class PinnedRecord;
+  std::string path_;
+  std::uint32_t shard_ = 0;
+  std::uint64_t id_ = 0;
+  util::MmapFile map_;
+  mutable std::atomic<std::uint64_t> pins_{0};
+};
+
+/// RAII witness over a record read: holds the backing segment mapped (and
+/// un-evictable) for as long as the view is alive. Move-only, like
+/// Arena::Pin.
+class PinnedRecord {
+ public:
+  PinnedRecord() = default;
+  ~PinnedRecord() { release(); }
+  PinnedRecord(PinnedRecord&& other) noexcept { *this = std::move(other); }
+  PinnedRecord& operator=(PinnedRecord&& other) noexcept {
+    if (this != &other) {
+      release();
+      segment_ = std::move(other.segment_);
+      der_ = other.der_;
+      other.der_ = {};
+    }
+    return *this;
+  }
+  PinnedRecord(const PinnedRecord&) = delete;
+  PinnedRecord& operator=(const PinnedRecord&) = delete;
+
+  ByteView der() const { return der_; }
+  bool valid() const { return segment_ != nullptr; }
+
+ private:
+  friend class CertStore;
+  PinnedRecord(std::shared_ptr<const Segment> segment, ByteView der)
+      : segment_(std::move(segment)), der_(der) {
+    segment_->pins_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void release() {
+    if (segment_ != nullptr) {
+      segment_->pins_.fetch_sub(1, std::memory_order_acq_rel);
+      segment_.reset();
+    }
+  }
+  std::shared_ptr<const Segment> segment_;
+  ByteView der_;
+};
+
+class CertStore {
+ public:
+  /// Opens (or creates) the store at config.dir: sweeps stale atomic-write
+  /// temps, loads or rebuilds the index, truncates torn tails. The report
+  /// says what happened. kUnsupported on a future-format segment.
+  static Result<std::unique_ptr<CertStore>> open(StoreConfig config);
+  ~CertStore();
+
+  const StoreReport& report() const { return report_; }
+  const StoreConfig& config() const { return config_; }
+
+  // --- Writes -------------------------------------------------------------
+  /// Appends a kCert record unless a live record with this fingerprint
+  /// already exists. Returns true when the record was appended.
+  Result<bool> put(const CertRecord& record);
+  /// Appends a census leaf-state journal record (no index effect).
+  Result<void> journal_flag(ByteView fingerprint, std::uint8_t census_shard,
+                            std::uint8_t flags);
+  /// ORs store-membership bits into an existing record. kNotFound when no
+  /// live record has this fingerprint.
+  Result<void> merge_membership(ByteView fingerprint, std::uint64_t bits);
+  /// Appends a tombstone. Returns true when a live record was removed.
+  Result<bool> remove(ByteView fingerprint);
+
+  // --- Index queries ------------------------------------------------------
+  bool contains(ByteView fingerprint) const;
+  bool contains_identity(ByteView identity) const;
+  std::uint64_t membership_of(ByteView fingerprint) const;
+  /// OR of membership over live certificates carrying this SPKI — the
+  /// Chromium-root-store-JSON question "which stores trust this key",
+  /// answered across re-issues of the same key.
+  std::uint64_t membership_by_spki(ByteView spki) const;
+  std::vector<Bytes> fingerprints_by_spki(ByteView spki) const;
+
+  std::size_t live_count() const;
+  std::size_t live_identity_count() const;
+  std::size_t live_unexpired_count(std::int64_t now_unix) const;
+  std::uint64_t last_seq() const;
+
+  /// Minimum clean sequence number among shards whose log lost records at
+  /// open (damage, or a torn tail that had to be dropped). UINT64_MAX when
+  /// every shard scanned clean. A resume whose checkpoint cursor exceeds
+  /// this cannot trust replay and must cold-start.
+  std::uint64_t min_stop_seq() const { return min_stop_seq_; }
+
+  /// Pinned read of a certificate's DER.
+  Result<PinnedRecord> get(ByteView fingerprint);
+
+  /// Live entries in fingerprint order (deterministic across runs/modes).
+  void for_each_live(
+      const std::function<void(ByteView fingerprint, ByteView identity,
+                               ByteView spki, std::uint64_t membership,
+                               std::int64_t not_after_unix)>& fn) const;
+
+  /// Replays records with seq <= max_seq in sequence order. The resume
+  /// path rebuilds in-memory dedup state from this.
+  Result<void> replay(
+      std::uint64_t max_seq,
+      const std::function<void(const RecordView&)>& fn) const;
+
+  // --- Maintenance --------------------------------------------------------
+  /// fsyncs every active segment. Checkpoints call this before writing the
+  /// snapshot so every record at or below the cursor is durable.
+  Result<void> flush();
+  /// Writes the checksummed index file (atomic replace).
+  Result<void> write_index();
+  /// Rewrites each shard's live records into a fresh segment, dropping
+  /// records of certificates tombstoned at or before `stable_seq` (the
+  /// oldest checkpoint cursor that could still be resumed from — records
+  /// above it are preserved verbatim so any later resume still replays
+  /// exactly). Concurrent pinned readers keep their old segment mappings.
+  Result<void> compact(std::uint64_t stable_seq);
+  /// Deletes every record, segment, and index entry — the cold-start
+  /// companion: snapshot state gone means the log must restart too.
+  Result<void> reset();
+
+  StoreStats stats() const;
+
+ private:
+  struct Entry {
+    std::uint32_t identity_id = 0;
+    std::uint32_t spki_id = 0;
+    std::uint64_t membership = 0;
+    std::int64_t not_after_unix = 0;
+    std::uint64_t seq = 0;            // newest kCert seq
+    std::uint64_t tombstone_seq = 0;  // newest kTombstone seq, 0 = none
+    bool live = false;
+    std::uint32_t shard = 0;
+    std::uint64_t segment_id = 0;
+    std::uint64_t offset = 0;  // framed record start
+    std::uint64_t length = 0;  // framed record length
+  };
+
+  /// One shard's log state: the active segment's stdio writer plus every
+  /// segment's location on disk.
+  struct ShardLog {
+    std::FILE* writer = nullptr;
+    std::uint64_t active_id = 0;
+    std::uint64_t active_size = 0;
+    std::uint64_t next_id = 0;
+    /// Clean-scan high-water at open; used to diagnose damage severity.
+    std::uint64_t last_clean_seq = 0;
+    /// id → file size (as known to the index; active grows past it).
+    std::map<std::uint64_t, std::uint64_t> segment_sizes;
+  };
+
+  CertStore(StoreConfig config);
+
+  std::uint32_t shard_of(ByteView fingerprint) const;
+  std::string segment_path(std::uint32_t shard, std::uint64_t id) const;
+  std::string index_path() const;
+
+  Result<void> recover_from_disk();
+  Result<void> load_index(ByteView payload,
+                          std::map<std::pair<std::uint32_t, std::uint64_t>,
+                                   std::uint64_t>& listed);
+  Bytes encode_index() const;
+  Result<void> scan_segment(std::uint32_t shard, std::uint64_t id,
+                            std::uint64_t from_offset, bool newest_in_shard);
+  void apply_scanned_record(std::uint32_t shard, std::uint64_t id,
+                            const RecordView& record);
+  void rebuild_derived();
+  Result<void> open_writer(std::uint32_t shard, bool fresh);
+  Result<void> append_to_shard(std::uint32_t shard, ByteView framed);
+  Result<void> maybe_rotate(std::uint32_t shard);
+  void close_writers();
+
+  /// Returns the (possibly freshly mapped) segment, updating the LRU and
+  /// evicting cold mappings. `min_size` forces a remap when an existing
+  /// mapping predates appended records the caller needs.
+  Result<std::shared_ptr<const Segment>> mapped_segment(
+      std::uint32_t shard, std::uint64_t id, std::uint64_t min_size);
+  void evict_cold_locked();
+
+  StoreConfig config_;
+  StoreReport report_;
+
+  /// Guards the index, sequence counter, and shard writers. Lock order:
+  /// mu_ before map_mu_.
+  mutable std::mutex mu_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t min_stop_seq_ = ~std::uint64_t{0};
+  util::DigestInterner fp_ids_;
+  util::DigestInterner identity_ids_;
+  util::DigestInterner spki_ids_;
+  std::vector<Entry> entries_;  // by fingerprint dense id
+  std::vector<std::uint32_t> identity_live_;      // live certs per identity id
+  std::vector<std::vector<std::uint32_t>> by_spki_;  // spki id → fp ids
+  /// kMember records seen during scan, resolved against tombstones once
+  /// the whole scan is done (fp id → (seq, bits)).
+  std::unordered_map<std::uint32_t,
+                     std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      scan_members_;
+  std::vector<ShardLog> shards_;
+
+  /// Guards the mapping table and LRU.
+  mutable std::mutex map_mu_;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::shared_ptr<Segment>>
+      mapped_;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> lru_;
+
+  std::uint64_t dead_records_ = 0;
+  std::uint64_t appended_bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t reopens_ = 0;
+  std::uint64_t compactions_ = 0;
+};
+
+}  // namespace tangled::store

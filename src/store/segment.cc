@@ -1,0 +1,228 @@
+#include "store/segment.h"
+
+#include <cstring>
+
+#include "crypto/hash.h"
+#include "util/binio.h"
+
+namespace tangled::store {
+
+namespace {
+
+/// The per-record digest covers the framing fields too, exactly like the
+/// snapshot container's per-section digest.
+std::array<std::uint8_t, kSegmentDigestSize> record_digest(std::uint32_t kind,
+                                                           ByteView payload) {
+  Bytes framing;
+  util::put_u32(framing, kind);
+  util::put_u64(framing, payload.size());
+  crypto::Sha256 hasher;
+  hasher.update(framing);
+  hasher.update(payload);
+  return hasher.digest();
+}
+
+constexpr std::size_t kDigestBytes = 32;
+
+}  // namespace
+
+Bytes encode_segment_header(std::uint32_t shard, std::uint64_t segment_id) {
+  Bytes out;
+  out.reserve(kSegmentHeaderSize);
+  for (const char c : kSegmentMagic) {
+    out.push_back(static_cast<std::uint8_t>(c));
+  }
+  util::put_u32(out, kSegmentVersion);
+  util::put_u32(out, shard);
+  util::put_u64(out, segment_id);
+  return out;
+}
+
+void append_record(Bytes& out, RecordKind kind, ByteView payload) {
+  const std::uint32_t kind_raw = static_cast<std::uint32_t>(kind);
+  util::put_u32(out, kind_raw);
+  util::put_u64(out, payload.size());
+  append(out, payload);
+  const auto digest = record_digest(kind_raw, payload);
+  append(out, ByteView(digest.data(), digest.size()));
+}
+
+Bytes encode_cert_payload(std::uint64_t seq, const CertRecord& record) {
+  Bytes out;
+  out.reserve(8 + 3 * kDigestBytes + 8 + 8 + 8 + record.der.size());
+  util::put_u64(out, seq);
+  append(out, record.fingerprint);
+  append(out, record.identity);
+  append(out, record.spki);
+  util::put_u64(out, record.membership);
+  util::put_i64(out, record.not_after_unix);
+  util::put_bytes(out, record.der);
+  return out;
+}
+
+Bytes encode_flag_payload(std::uint64_t seq, ByteView fingerprint,
+                          std::uint8_t census_shard, std::uint8_t flags) {
+  Bytes out;
+  out.reserve(8 + kDigestBytes + 2);
+  util::put_u64(out, seq);
+  append(out, fingerprint);
+  util::put_u8(out, census_shard);
+  util::put_u8(out, flags);
+  return out;
+}
+
+Bytes encode_member_payload(std::uint64_t seq, ByteView fingerprint,
+                            std::uint64_t membership) {
+  Bytes out;
+  out.reserve(8 + kDigestBytes + 8);
+  util::put_u64(out, seq);
+  append(out, fingerprint);
+  util::put_u64(out, membership);
+  return out;
+}
+
+Bytes encode_tombstone_payload(std::uint64_t seq, ByteView fingerprint) {
+  Bytes out;
+  out.reserve(8 + kDigestBytes);
+  util::put_u64(out, seq);
+  append(out, fingerprint);
+  return out;
+}
+
+Result<SegmentHeaderInfo> parse_segment_header(ByteView file) {
+  if (file.size() < kSegmentHeaderSize ||
+      std::memcmp(file.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    return parse_error("segment: bad magic or truncated header");
+  }
+  util::BinReader in(file.subspan(sizeof(kSegmentMagic)));
+  const std::uint32_t version = in.u32().value();  // size checked above
+  if (version != kSegmentVersion) {
+    return unsupported_error("segment: version " + std::to_string(version) +
+                             " (this build reads version " +
+                             std::to_string(kSegmentVersion) + ")");
+  }
+  SegmentHeaderInfo info;
+  info.shard = in.u32().value();
+  info.segment_id = in.u64().value();
+  return info;
+}
+
+std::optional<RecordView> SegmentScanner::next() {
+  if (stop_ != ScanStop::kCleanEof) return std::nullopt;
+  if (pos_ == file_.size()) return std::nullopt;
+  const std::size_t remaining = file_.size() - pos_;
+  if (remaining < kRecordOverhead) {
+    stop_ = ScanStop::kTruncatedTail;
+    detail_ = "truncated record framing at end of file";
+    return std::nullopt;
+  }
+  util::BinReader in(file_.subspan(pos_));
+  const std::uint32_t kind_raw = in.u32().value();
+  const std::uint64_t len = in.u64().value();
+  if (len > remaining - kRecordOverhead) {
+    stop_ = ScanStop::kTruncatedTail;
+    detail_ = "record payload runs past end of file";
+    return std::nullopt;
+  }
+  const ByteView payload = in.take(static_cast<std::size_t>(len)).value();
+  const ByteView stored = in.take(kSegmentDigestSize).value();
+  const auto computed = record_digest(kind_raw, payload);
+  if (std::memcmp(stored.data(), computed.data(), kSegmentDigestSize) != 0) {
+    stop_ = ScanStop::kDamage;
+    detail_ = "record checksum mismatch at offset " + std::to_string(pos_);
+    return std::nullopt;
+  }
+
+  RecordView view;
+  view.kind_raw = kind_raw;
+  view.offset = pos_;
+  view.length = kRecordOverhead + len;
+
+  util::BinReader body(payload);
+  switch (static_cast<RecordKind>(kind_raw)) {
+    case RecordKind::kCert: {
+      view.kind = RecordKind::kCert;
+      auto seq = body.u64();
+      auto fp = body.take(kDigestBytes);
+      auto identity = body.take(kDigestBytes);
+      auto spki = body.take(kDigestBytes);
+      auto membership = body.u64();
+      auto not_after = body.i64();
+      auto der = body.bytes();
+      if (!seq.ok() || !fp.ok() || !identity.ok() || !spki.ok() ||
+          !membership.ok() || !not_after.ok() || !der.ok() ||
+          !body.at_end()) {
+        stop_ = ScanStop::kDamage;
+        detail_ = "malformed cert record at offset " + std::to_string(pos_);
+        return std::nullopt;
+      }
+      view.seq = seq.value();
+      view.fingerprint = fp.value();
+      view.identity = identity.value();
+      view.spki = spki.value();
+      view.membership = membership.value();
+      view.not_after_unix = not_after.value();
+      view.der = der.value();
+      break;
+    }
+    case RecordKind::kFlag: {
+      view.kind = RecordKind::kFlag;
+      auto seq = body.u64();
+      auto fp = body.take(kDigestBytes);
+      auto shard = body.u8();
+      auto flags = body.u8();
+      if (!seq.ok() || !fp.ok() || !shard.ok() || !flags.ok() ||
+          !body.at_end()) {
+        stop_ = ScanStop::kDamage;
+        detail_ = "malformed flag record at offset " + std::to_string(pos_);
+        return std::nullopt;
+      }
+      view.seq = seq.value();
+      view.fingerprint = fp.value();
+      view.census_shard = shard.value();
+      view.flags = flags.value();
+      break;
+    }
+    case RecordKind::kMember: {
+      view.kind = RecordKind::kMember;
+      auto seq = body.u64();
+      auto fp = body.take(kDigestBytes);
+      auto membership = body.u64();
+      if (!seq.ok() || !fp.ok() || !membership.ok() || !body.at_end()) {
+        stop_ = ScanStop::kDamage;
+        detail_ = "malformed member record at offset " + std::to_string(pos_);
+        return std::nullopt;
+      }
+      view.seq = seq.value();
+      view.fingerprint = fp.value();
+      view.membership = membership.value();
+      break;
+    }
+    case RecordKind::kTombstone: {
+      view.kind = RecordKind::kTombstone;
+      auto seq = body.u64();
+      auto fp = body.take(kDigestBytes);
+      if (!seq.ok() || !fp.ok() || !body.at_end()) {
+        stop_ = ScanStop::kDamage;
+        detail_ =
+            "malformed tombstone record at offset " + std::to_string(pos_);
+        return std::nullopt;
+      }
+      view.seq = seq.value();
+      view.fingerprint = fp.value();
+      break;
+    }
+    default:
+      // Unknown kind with an intact checksum: a newer writer's record.
+      // Every kind leads with the sequence number, so recover it when
+      // present; otherwise surface framing only. The caller skips what it
+      // does not understand (and compaction copies unknown records
+      // verbatim, so a downgrade does not destroy a newer build's data).
+      if (auto seq = body.u64(); seq.ok()) view.seq = seq.value();
+      break;
+  }
+  pos_ += static_cast<std::size_t>(view.length);
+  return view;
+}
+
+}  // namespace tangled::store

@@ -1,0 +1,157 @@
+// Append-only segment files for the disk-backed certificate store.
+//
+// A segment is a log of framed records, using the same framing discipline
+// as the TNGLSNP1 snapshot container (recover/snapshot.h): every record
+// carries a SHA-256 trailer over its framing fields and payload, so a
+// flipped byte invalidates exactly one record and the scanner can say
+// precisely where the clean prefix ends.
+//
+// Layout (all integers little-endian):
+//
+//   magic    "TNGLSEG1"                                     8 bytes
+//   version  u32 (currently 1)                              4 bytes
+//   shard    u32 (which store shard owns this log)          4 bytes
+//   id       u64 segment id (monotonic per shard)           8 bytes
+//   then per record:
+//     kind     u32                                          4 bytes
+//     len      u64 payload length                           8 bytes
+//     payload  `len` bytes
+//     digest   SHA-256 over (kind_le || len_le || payload) 32 bytes
+//
+// Record kinds (every payload starts with the global sequence number):
+//   kCert      seq u64, fingerprint[32], identity[32], spki[32],
+//              membership u64, not_after i64, der (length-prefixed)
+//   kFlag      seq u64, fingerprint[32], census_shard u8, flags u8
+//              — the census's leaf-state journal (1 = seen, 2 = validated)
+//   kMember    seq u64, fingerprint[32], membership u64 (OR'ed in)
+//   kTombstone seq u64, fingerprint[32]
+//
+// Corruption taxonomy mirrors the snapshot container: a bad header is
+// kParse (the whole file is untrusted), a future version is a typed
+// kUnsupported refusal, and a scan stops at the first framing or checksum
+// failure — the scanner reports whether the stop is a truncated record at
+// end-of-file (the benign torn-tail shape a crash mid-append leaves) or
+// damage inside the sealed region.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tangled::store {
+
+inline constexpr char kSegmentMagic[8] = {'T', 'N', 'G', 'L',
+                                          'S', 'E', 'G', '1'};
+inline constexpr std::uint32_t kSegmentVersion = 1;
+inline constexpr std::size_t kSegmentDigestSize = 32;
+/// magic + version + shard + id.
+inline constexpr std::size_t kSegmentHeaderSize = 8 + 4 + 4 + 8;
+/// kind + len prefix + digest trailer.
+inline constexpr std::size_t kRecordOverhead = 4 + 8 + kSegmentDigestSize;
+/// Byte offset of the DER bytes inside a framed kCert record: framing
+/// (kind + len), then seq, three digests, membership, not_after, and the
+/// DER length prefix. get() turns an index entry into a view with this.
+inline constexpr std::size_t kCertDerOffset =
+    4 + 8 + 8 + 3 * 32 + 8 + 8 + 8;
+
+enum class RecordKind : std::uint32_t {
+  kCert = 1,
+  kFlag = 2,
+  kMember = 3,
+  kTombstone = 4,
+};
+
+/// The fields a caller hands to CertStore::put. Views must stay valid for
+/// the duration of the call only — the record is copied into the log.
+struct CertRecord {
+  ByteView fingerprint;  // SHA-256, 32 bytes
+  ByteView identity;     // identity-key digest, 32 bytes
+  ByteView spki;         // SPKI digest, 32 bytes
+  std::uint64_t membership = 0;
+  std::int64_t not_after_unix = 0;
+  ByteView der;
+};
+
+/// One decoded record; views point into the scanned segment buffer.
+struct RecordView {
+  std::uint32_t kind_raw = 0;  // as stored; may be unknown to this build
+  RecordKind kind = RecordKind::kCert;
+  std::uint64_t seq = 0;
+  ByteView fingerprint;
+  // kCert only:
+  ByteView identity;
+  ByteView spki;
+  ByteView der;
+  std::uint64_t membership = 0;
+  std::int64_t not_after_unix = 0;
+  // kFlag only:
+  std::uint8_t census_shard = 0;
+  std::uint8_t flags = 0;
+  // Framing, for compaction's verbatim record copies:
+  std::uint64_t offset = 0;  // record start within the segment file
+  std::uint64_t length = 0;  // framed length including the digest trailer
+};
+
+Bytes encode_segment_header(std::uint32_t shard, std::uint64_t segment_id);
+
+/// Appends one framed record (framing + payload + digest trailer).
+void append_record(Bytes& out, RecordKind kind, ByteView payload);
+
+Bytes encode_cert_payload(std::uint64_t seq, const CertRecord& record);
+Bytes encode_flag_payload(std::uint64_t seq, ByteView fingerprint,
+                          std::uint8_t census_shard, std::uint8_t flags);
+Bytes encode_member_payload(std::uint64_t seq, ByteView fingerprint,
+                            std::uint64_t membership);
+Bytes encode_tombstone_payload(std::uint64_t seq, ByteView fingerprint);
+
+struct SegmentHeaderInfo {
+  std::uint32_t shard = 0;
+  std::uint64_t segment_id = 0;
+};
+
+/// kParse on bad magic / truncated header, kUnsupported on a future
+/// version — the same typed refusal the snapshot container makes.
+Result<SegmentHeaderInfo> parse_segment_header(ByteView file);
+
+/// Why a scan stopped short of a clean end-of-file.
+enum class ScanStop : std::uint8_t {
+  kCleanEof = 0,
+  /// Record framing or payload runs past end-of-file: the shape a crash
+  /// mid-append leaves. Benign for the newest segment of a shard — the
+  /// torn suffix postdates the last flush — and truncated away on open.
+  kTruncatedTail = 1,
+  /// Checksum mismatch or unparseable payload inside the file: damage in
+  /// the sealed region, never silently dropped.
+  kDamage = 2,
+};
+
+/// Walks a mapped segment's records. Call parse_segment_header first;
+/// the scanner assumes the header was validated.
+class SegmentScanner {
+ public:
+  explicit SegmentScanner(ByteView file)
+      : file_(file), pos_(kSegmentHeaderSize) {}
+
+  /// Next record, or nullopt when the scan cannot continue — check
+  /// stop() to distinguish a clean end from a torn tail or damage.
+  /// Records of unknown kind are returned with only framing and kind_raw
+  /// populated; callers skip what they do not understand (the snapshot
+  /// container's unknown-section rule).
+  std::optional<RecordView> next();
+
+  ScanStop stop() const { return stop_; }
+  /// Offset of the first byte not covered by cleanly scanned records —
+  /// the truncation point for a torn tail.
+  std::uint64_t stop_offset() const { return pos_; }
+  std::string stop_detail() const { return detail_; }
+
+ private:
+  ByteView file_;
+  std::size_t pos_;
+  ScanStop stop_ = ScanStop::kCleanEof;
+  std::string detail_;
+};
+
+}  // namespace tangled::store

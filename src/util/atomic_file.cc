@@ -1,10 +1,14 @@
 #include "util/atomic_file.h"
 
+#include <atomic>
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <dirent.h>
 #include <fcntl.h>
 #include <unistd.h>
 #define TANGLED_HAVE_FSYNC 1
@@ -33,6 +37,13 @@ std::string parent_dir(const std::string& path) {
   return path.substr(0, slash);
 }
 
+/// Final component of `path`.
+std::string base_name(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return path;
+  return path.substr(slash + 1);
+}
+
 Result<void> flush_and_sync(std::FILE* f, const std::string& path) {
   if (std::fflush(f) != 0) return state_error(errno_message("flush", path));
 #if TANGLED_HAVE_FSYNC
@@ -41,9 +52,73 @@ Result<void> flush_and_sync(std::FILE* f, const std::string& path) {
   return {};
 }
 
+std::uint64_t writer_pid() {
+#if TANGLED_HAVE_FSYNC
+  return static_cast<std::uint64_t>(getpid());
+#else
+  return 0;
+#endif
+}
+
+/// Removes every entry in `dir` for which `matches(name)` is true.
+template <typename Pred>
+std::size_t sweep_dir(const std::string& dir, Pred matches) {
+  std::size_t removed = 0;
+#if TANGLED_HAVE_FSYNC
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  std::vector<std::string> victims;
+  while (const dirent* entry = readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    if (matches(name)) victims.push_back(name);
+  }
+  closedir(d);
+  for (const std::string& name : victims) {
+    const std::string full = dir + "/" + name;
+    if (std::remove(full.c_str()) == 0) ++removed;
+  }
+#else
+  (void)dir;
+  (void)matches;
+#endif
+  return removed;
+}
+
 }  // namespace
 
-std::string atomic_temp_path(const std::string& path) { return path + ".tmp"; }
+std::string atomic_temp_path(const std::string& path) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  return path + ".tmp." + std::to_string(writer_pid()) + "." +
+         std::to_string(n);
+}
+
+bool is_atomic_temp_name(const std::string& base, const std::string& name) {
+  const std::string prefix = base + ".tmp";
+  if (name.size() < prefix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  // Exactly ".tmp" (the legacy fixed name) or ".tmp.<suffix>".
+  return name.size() == prefix.size() || name[prefix.size()] == '.';
+}
+
+std::size_t sweep_stale_temps(const std::string& path) {
+  const std::string base = base_name(path);
+  return sweep_dir(parent_dir(path), [&base](const std::string& name) {
+    return is_atomic_temp_name(base, name);
+  });
+}
+
+std::size_t sweep_stale_temps_in_dir(const std::string& dir) {
+  return sweep_dir(dir, [](const std::string& name) {
+    // `<anything>.tmp` or `<anything>.tmp.<suffix>` is an atomic-write
+    // temp for some destination in this directory.
+    const std::size_t pos = name.rfind(".tmp");
+    if (pos == std::string::npos || pos == 0) return false;
+    const std::string tail = name.substr(pos + 4);
+    return tail.empty() || tail[0] == '.';
+  });
+}
 
 Result<void> write_file_atomic(const std::string& path, ByteView data) {
   const std::string tmp = atomic_temp_path(path);
@@ -79,7 +154,7 @@ Result<void> write_file_atomic(const std::string& path, ByteView data) {
   return {};
 }
 
-Result<Bytes> read_file(const std::string& path) {
+Result<Bytes> read_file(const std::string& path, std::size_t max_bytes) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     if (errno == ENOENT) return not_found_error("no such file: " + path);
@@ -89,6 +164,12 @@ Result<Bytes> read_file(const std::string& path) {
   std::uint8_t buf[1 << 16];
   std::size_t n = 0;
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    if (out.size() + n > max_bytes) {
+      std::fclose(f);
+      return unsupported_error("file exceeds the whole-file read cap (" +
+                               std::to_string(max_bytes) +
+                               " bytes); map it with util::MmapFile: " + path);
+    }
     out.insert(out.end(), buf, buf + n);
   }
   const bool failed = std::ferror(f) != 0;

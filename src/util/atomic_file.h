@@ -5,6 +5,7 @@
 // integrity half is the per-section checksums in recover::snapshot).
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "util/bytes.h"
@@ -12,19 +13,52 @@
 
 namespace tangled::util {
 
-/// Atomically replaces `path` with `data`: writes `path + ".tmp"`, fsyncs
-/// it, renames it over `path`, then fsyncs the containing directory so the
-/// rename itself survives a power cut. Errors leave the previous `path`
-/// contents (if any) intact.
+/// Atomically replaces `path` with `data`: writes a unique temp sibling,
+/// fsyncs it, renames it over `path`, then fsyncs the containing directory
+/// so the rename itself survives a power cut. Errors leave the previous
+/// `path` contents (if any) intact. Concurrent writers to the same `path`
+/// each use their own temp name; the last rename wins and both renames
+/// deliver a complete file.
 Result<void> write_file_atomic(const std::string& path, ByteView data);
 
-/// Reads a whole file. kNotFound when it does not exist.
-Result<Bytes> read_file(const std::string& path);
+/// Whole-file reads above this refuse with kUnsupported: the stdio slurp
+/// loop would materialize the entire file in one contiguous allocation.
+/// Multi-GiB segment files go through util::MmapFile instead.
+inline constexpr std::size_t kReadFileCap = std::size_t{1} << 29;  // 512 MiB
+
+/// Reads a whole file into memory. kNotFound when it does not exist,
+/// kInvalidState on other open/read errors (permissions, I/O), and
+/// kUnsupported when the file exceeds `max_bytes`.
+Result<Bytes> read_file(const std::string& path,
+                        std::size_t max_bytes = kReadFileCap);
 
 bool file_exists(const std::string& path);
 
-/// The temp name write_file_atomic uses (exposed so crash-injection tests
-/// can fabricate the "crashed between temp-write and rename" state).
+/// A fresh temp name for one atomic write of `path`:
+/// `path + ".tmp.<pid>.<counter>"`. Unique per call, so two concurrent
+/// writers targeting the same destination never share a temp file (the old
+/// fixed `path + ".tmp"` name let one writer truncate the other's
+/// half-written temp and rename a torn mixture). Exposed so
+/// crash-injection tests can fabricate the "crashed between temp-write and
+/// rename" state.
 std::string atomic_temp_path(const std::string& path);
+
+/// True when `name` (a bare directory entry, no path) is a temp file that
+/// write_file_atomic could have left behind for destination `base` (also a
+/// bare name): `base + ".tmp"` exactly (the legacy fixed name) or
+/// `base + ".tmp."` followed by a writer suffix.
+bool is_atomic_temp_name(const std::string& base, const std::string& name);
+
+/// Removes stale temps left for `path` by writers that crashed between
+/// fopen(tmp) and rename. Returns how many were removed. Safe to call
+/// while another writer is mid-write only at startup/recovery time (a live
+/// writer's temp would be swept too).
+std::size_t sweep_stale_temps(const std::string& path);
+
+/// Removes every atomic-write temp (any destination) in `dir`. Used by
+/// store recovery, where compaction temps target segment names that are
+/// not known until the directory is scanned. Returns how many were
+/// removed.
+std::size_t sweep_stale_temps_in_dir(const std::string& dir);
 
 }  // namespace tangled::util

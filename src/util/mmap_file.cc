@@ -1,0 +1,93 @@
+#include "util/mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define TANGLED_HAVE_MMAP 1
+#else
+#define TANGLED_HAVE_MMAP 0
+#endif
+
+#include "util/atomic_file.h"
+
+namespace tangled::util {
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    map_addr_ = other.map_addr_;
+    map_len_ = other.map_len_;
+    fallback_ = std::move(other.fallback_);
+    if (!fallback_.empty()) data_ = fallback_.data();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.map_addr_ = nullptr;
+    other.map_len_ = 0;
+    other.fallback_.clear();
+  }
+  return *this;
+}
+
+void MmapFile::reset() {
+#if TANGLED_HAVE_MMAP
+  if (map_addr_ != nullptr) munmap(map_addr_, map_len_);
+#endif
+  map_addr_ = nullptr;
+  map_len_ = 0;
+  data_ = nullptr;
+  size_ = 0;
+  fallback_.clear();
+  fallback_.shrink_to_fit();
+}
+
+bool MmapFile::uses_mmap() { return TANGLED_HAVE_MMAP != 0; }
+
+Result<MmapFile> MmapFile::open(const std::string& path) {
+#if TANGLED_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return not_found_error("no such file: " + path);
+    return state_error("open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (fstat(fd, &st) != 0) {
+    const int err = errno;
+    close(fd);
+    return state_error("stat " + path + ": " + std::strerror(err));
+  }
+  MmapFile out;
+  out.size_ = static_cast<std::size_t>(st.st_size);
+  if (out.size_ == 0) {
+    close(fd);
+    return out;
+  }
+  void* addr = mmap(nullptr, out.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int err = errno;
+  close(fd);
+  if (addr == MAP_FAILED) {
+    return state_error("mmap " + path + ": " + std::strerror(err));
+  }
+  out.map_addr_ = addr;
+  out.map_len_ = out.size_;
+  out.data_ = static_cast<const std::uint8_t*>(addr);
+  return out;
+#else
+  auto data = read_file(path, static_cast<std::size_t>(-1));
+  if (!data.ok()) return data.error();
+  MmapFile out;
+  out.fallback_ = std::move(data).value();
+  out.data_ = out.fallback_.data();
+  out.size_ = out.fallback_.size();
+  return out;
+#endif
+}
+
+}  // namespace tangled::util

@@ -1,0 +1,52 @@
+// Read-only memory-mapped file views. Segment files in the disk-backed
+// cert store can outgrow what util::read_file is willing to slurp into one
+// contiguous allocation; mapping lets the kernel page data in on demand
+// and lets eviction drop cold segments' pages without losing the file.
+//
+// On platforms without mmap the class falls back to an owned in-memory
+// copy, so callers get the same ByteView either way.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tangled::util {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile() { reset(); }
+
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only. kNotFound when it does not exist, kInvalidState
+  /// on other open/map errors (permissions, I/O). An empty file maps to an
+  /// empty view.
+  static Result<MmapFile> open(const std::string& path);
+
+  /// The whole file. Valid until reset()/destruction.
+  ByteView view() const { return ByteView(data_, size_); }
+  std::size_t size() const { return size_; }
+  bool mapped() const { return data_ != nullptr || size_ == 0; }
+
+  /// Drops the mapping (or the fallback copy). Idempotent.
+  void reset();
+
+  /// Whether this build uses real mmap (false: slurp fallback).
+  static bool uses_mmap();
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* map_addr_ = nullptr;  // non-null only for a real mapping
+  std::size_t map_len_ = 0;
+  Bytes fallback_;
+};
+
+}  // namespace tangled::util

@@ -126,6 +126,9 @@ class Certificate {
   bool expired_at_unix(std::int64_t at) const {
     return at > interned().not_after_unix;
   }
+  /// Validity end as unix seconds — the store journals it so expiry counts
+  /// can be derived without re-parsing the DER.
+  std::int64_t not_after_unix() const { return interned().not_after_unix; }
 
   // All identity material is interned (see CertificateIdentity): computed
   // once when the certificate is parsed, shared by every copy, returned by

@@ -142,7 +142,7 @@ std::string unique_path(const std::string& tag) {
   const std::string path =
       ::testing::TempDir() + "kill_matrix_" + tag + ".tngl";
   std::remove(path.c_str());
-  std::remove(util::atomic_temp_path(path).c_str());
+  util::sweep_stale_temps(path);  // temp names are unique per writer now
   return path;
 }
 
@@ -259,11 +259,11 @@ TEST(KillMatrix, CorruptHeaderColdStartsWithReport) {
   std::remove(path.c_str());
 }
 
-TEST(KillMatrix, CrashBetweenTempWriteAndRenameIgnoresTheTemp) {
+TEST(KillMatrix, CrashBetweenTempWriteAndRenameSweepsTheTemp) {
   const std::string path = unique_path("torn_tmp");
   run_until_crash(path, 3);
   // Fabricate the "power cut after writing the temp, before the rename"
-  // state: a garbage .tmp beside the intact previous snapshot.
+  // state: a garbage temp beside the intact previous snapshot.
   const std::string tmp = util::atomic_temp_path(path);
   const Bytes garbage = {0xde, 0xad, 0xbe, 0xef};
   {
@@ -274,10 +274,13 @@ TEST(KillMatrix, CrashBetweenTempWriteAndRenameIgnoresTheTemp) {
   }
 
   const ResumeInfo info = resume_and_finish(path);
-  EXPECT_FALSE(info.cold_start);
-  EXPECT_TRUE(info.reports.empty());  // previous snapshot is fully intact
+  EXPECT_FALSE(info.cold_start);  // previous snapshot is fully intact
+  // Resume removed the orphan (it would otherwise accumulate forever) and
+  // said so; that is the only report on an otherwise clean resume.
+  EXPECT_FALSE(util::file_exists(tmp));
+  ASSERT_EQ(info.reports.size(), 1u);
+  EXPECT_NE(info.reports[0].find("swept"), std::string::npos);
   std::remove(path.c_str());
-  std::remove(tmp.c_str());
 }
 
 TEST(KillMatrix, DeletedSnapshotColdStartsAndStillConverges) {

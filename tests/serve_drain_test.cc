@@ -113,7 +113,7 @@ std::string unique_path(const std::string& tag) {
   const std::string path =
       ::testing::TempDir() + "serve_drain_" + tag + ".tngl";
   std::remove(path.c_str());
-  std::remove(util::atomic_temp_path(path).c_str());
+  util::sweep_stale_temps(path);  // temp names are unique per writer now
   return path;
 }
 

@@ -1,0 +1,313 @@
+// CertStore behavior at the API level: dedup and revival, SPKI-keyed
+// lookups, membership merging, segment rotation + LRU eviction with pinned
+// readers, index-accelerated reopen, replay ordering, and reset.
+#include "store/cert_store.h"
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace tangled::store {
+namespace {
+
+/// Deterministic per-test directory, emptied of any earlier run's files.
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "cert_store_" + tag;
+  if (DIR* d = opendir(dir.c_str())) {
+    std::vector<std::string> names;
+    while (const dirent* entry = readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") names.push_back(name);
+    }
+    closedir(d);
+    for (const std::string& name : names) {
+      std::remove((dir + "/" + name).c_str());
+    }
+  }
+  return dir;
+}
+
+Bytes digest32(std::uint8_t first, std::uint8_t fill = 0x55) {
+  Bytes d(32, fill);
+  d[0] = first;
+  return d;
+}
+
+/// A record whose fingerprint starts with `n` (so n also picks the shard)
+/// and whose DER is a recognizable n-dependent pattern.
+struct Made {
+  Bytes fp, identity, spki, der;
+  CertRecord record;
+};
+
+Made make_record(std::uint8_t n, std::uint64_t membership = 1,
+                 std::int64_t not_after = 2'000'000'000) {
+  Made m;
+  m.fp = digest32(n, 0x10);
+  m.identity = digest32(n, 0x20);
+  m.spki = digest32(n, 0x30);
+  m.der.assign(100 + n % 7, n);
+  m.record = {m.fp, m.identity, m.spki, membership, not_after, m.der};
+  return m;
+}
+
+StoreConfig small_config(const std::string& dir) {
+  StoreConfig config;
+  config.dir = dir;
+  config.shards = 4;
+  return config;
+}
+
+TEST(CertStore, PutDedupsTombstonesAndRevives) {
+  auto store = CertStore::open(small_config(fresh_dir("dedup")));
+  ASSERT_TRUE(store.ok());
+  CertStore& s = *store.value();
+
+  const Made a = make_record(1);
+  auto put = s.put(a.record);
+  ASSERT_TRUE(put.ok());
+  EXPECT_TRUE(put.value());
+  EXPECT_TRUE(s.contains(a.fp));
+  EXPECT_TRUE(s.contains_identity(a.identity));
+  EXPECT_EQ(s.live_count(), 1u);
+
+  // Duplicate put is the dedup hit, not an append.
+  put = s.put(a.record);
+  ASSERT_TRUE(put.ok());
+  EXPECT_FALSE(put.value());
+  EXPECT_EQ(s.live_count(), 1u);
+
+  auto removed = s.remove(a.fp);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_TRUE(removed.value());
+  EXPECT_FALSE(s.contains(a.fp));
+  EXPECT_FALSE(s.contains_identity(a.identity));
+  EXPECT_EQ(s.live_count(), 0u);
+  EXPECT_FALSE(s.remove(a.fp).value());  // already gone
+
+  // Revival: a fresh put after a tombstone is live again.
+  ASSERT_TRUE(s.put(a.record).value());
+  EXPECT_TRUE(s.contains(a.fp));
+  EXPECT_EQ(s.live_count(), 1u);
+
+  // Pinned read returns the exact DER bytes.
+  auto pinned = s.get(a.fp);
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_TRUE(bytes_equal(pinned.value().der(), a.der));
+}
+
+TEST(CertStore, ExpiryCountsDeriveFromJournaledNotAfter) {
+  auto store = CertStore::open(small_config(fresh_dir("expiry")));
+  ASSERT_TRUE(store.ok());
+  CertStore& s = *store.value();
+  ASSERT_TRUE(s.put(make_record(1, 1, /*not_after=*/100).record).ok());
+  ASSERT_TRUE(s.put(make_record(2, 1, /*not_after=*/300).record).ok());
+  EXPECT_EQ(s.live_unexpired_count(50), 2u);
+  EXPECT_EQ(s.live_unexpired_count(200), 1u);
+  // Unexpired means now <= not_after, matching Certificate::expired_at_unix:
+  // a certificate is still counted at the exact end of its validity window.
+  EXPECT_EQ(s.live_unexpired_count(100), 2u);
+  EXPECT_EQ(s.live_unexpired_count(300), 1u);
+  EXPECT_EQ(s.live_unexpired_count(301), 0u);
+}
+
+TEST(CertStore, SpkiLookupsSpanReissuesOfTheSameKey) {
+  auto store = CertStore::open(small_config(fresh_dir("spki")));
+  ASSERT_TRUE(store.ok());
+  CertStore& s = *store.value();
+
+  // Two distinct certificates carrying the same SPKI (a re-issue), with
+  // different store memberships.
+  Made a = make_record(1, /*membership=*/0b0001);
+  Made b = make_record(2, /*membership=*/0b0100);
+  b.spki = a.spki;
+  b.record.spki = b.spki;
+  ASSERT_TRUE(s.put(a.record).ok());
+  ASSERT_TRUE(s.put(b.record).ok());
+
+  EXPECT_EQ(s.membership_of(a.fp), 0b0001u);
+  EXPECT_EQ(s.membership_by_spki(a.spki), 0b0101u);  // OR across both certs
+  auto fps = s.fingerprints_by_spki(a.spki);
+  ASSERT_EQ(fps.size(), 2u);
+  EXPECT_TRUE(bytes_less(fps[0], fps[1]));  // deterministic order
+
+  // merge_membership ORs bits in; a tombstoned cert drops out of the OR.
+  ASSERT_TRUE(s.merge_membership(a.fp, 0b1000).ok());
+  EXPECT_EQ(s.membership_of(a.fp), 0b1001u);
+  EXPECT_EQ(s.membership_by_spki(a.spki), 0b1101u);
+  ASSERT_TRUE(s.remove(b.fp).ok());
+  EXPECT_EQ(s.membership_by_spki(a.spki), 0b1001u);
+  EXPECT_EQ(s.merge_membership(b.fp, 1).error().code, Errc::kNotFound);
+}
+
+TEST(CertStore, ForEachLiveIsFingerprintOrdered) {
+  auto store = CertStore::open(small_config(fresh_dir("order")));
+  ASSERT_TRUE(store.ok());
+  CertStore& s = *store.value();
+  // Insert out of fingerprint order.
+  for (const std::uint8_t n : {9, 2, 7, 4}) {
+    ASSERT_TRUE(s.put(make_record(n).record).ok());
+  }
+  std::vector<Bytes> seen;
+  s.for_each_live([&](ByteView fp, ByteView, ByteView, std::uint64_t,
+                      std::int64_t) { seen.emplace_back(fp.begin(), fp.end()); });
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end(),
+                             [](const Bytes& x, const Bytes& y) {
+                               return bytes_less(x, y);
+                             }));
+}
+
+TEST(CertStore, RotationEvictionAndPinsHoldMappingsAlive) {
+  StoreConfig config = small_config(fresh_dir("evict"));
+  config.shards = 1;               // everything in one shard
+  config.max_segment_bytes = 512;  // rotate every few records
+  config.max_mapped_segments = 1;  // evict aggressively
+  auto store = CertStore::open(config);
+  ASSERT_TRUE(store.ok());
+  CertStore& s = *store.value();
+
+  std::vector<Made> made;
+  for (int n = 1; n <= 12; ++n) {
+    made.push_back(make_record(static_cast<std::uint8_t>(n)));
+    ASSERT_TRUE(s.put(made.back().record).value());
+  }
+  ASSERT_GT(s.stats().segments, 2u) << "rotation did not happen";
+
+  // Hold a pin on an early (sealed, cold) segment while reading every
+  // other record: the pinned mapping must survive the eviction pressure
+  // and keep serving the exact original bytes.
+  auto pinned = s.get(made[0].fp);
+  ASSERT_TRUE(pinned.ok());
+  for (const Made& m : made) {
+    auto got = s.get(m.fp);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(bytes_equal(got.value().der(), m.der));
+  }
+  EXPECT_GT(s.stats().evictions, 0u) << "eviction never ran";
+  EXPECT_LE(s.stats().mapped_segments, 2u);  // cap + the pinned one
+  EXPECT_TRUE(bytes_equal(pinned.value().der(), made[0].der));
+}
+
+TEST(CertStore, CleanCloseReopensThroughTheIndexWithoutRescan) {
+  const std::string dir = fresh_dir("reopen");
+  std::vector<Made> made;
+  for (int n = 1; n <= 8; ++n) {
+    made.push_back(make_record(static_cast<std::uint8_t>(n),
+                               /*membership=*/n, 1'000'000 + n));
+  }
+  {
+    auto store = CertStore::open(small_config(dir));
+    ASSERT_TRUE(store.ok());
+    for (const Made& m : made) {
+      ASSERT_TRUE(store.value()->put(m.record).value());
+    }
+    ASSERT_TRUE(store.value()->remove(made[3].fp).value());
+    ASSERT_TRUE(store.value()->merge_membership(made[0].fp, 0x100).ok());
+    // Destructor writes the index.
+  }
+  auto reopened = CertStore::open(small_config(dir));
+  ASSERT_TRUE(reopened.ok());
+  CertStore& s = *reopened.value();
+  EXPECT_TRUE(s.report().index_loaded);
+  EXPECT_FALSE(s.report().full_rescan);
+  EXPECT_EQ(s.live_count(), made.size() - 1);
+  EXPECT_FALSE(s.contains(made[3].fp));
+  EXPECT_EQ(s.membership_of(made[0].fp), 1u | 0x100u);
+  EXPECT_EQ(s.min_stop_seq(), ~std::uint64_t{0});
+  for (std::size_t i = 0; i < made.size(); ++i) {
+    if (i == 3) continue;
+    auto got = s.get(made[i].fp);
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_TRUE(bytes_equal(got.value().der(), made[i].der)) << i;
+  }
+}
+
+TEST(CertStore, ReplayDeliversRecordsInSequenceOrderUpToTheCursor) {
+  auto store = CertStore::open(small_config(fresh_dir("replay")));
+  ASSERT_TRUE(store.ok());
+  CertStore& s = *store.value();
+  const Made a = make_record(1);
+  ASSERT_TRUE(s.put(a.record).ok());                       // seq 1
+  ASSERT_TRUE(s.journal_flag(a.fp, 7, 1).ok());            // seq 2
+  ASSERT_TRUE(s.put(make_record(2).record).ok());          // seq 3
+  ASSERT_TRUE(s.journal_flag(a.fp, 7, 2).ok());            // seq 4
+  ASSERT_TRUE(s.remove(a.fp).ok());                        // seq 5
+
+  std::vector<std::uint64_t> seqs;
+  std::vector<RecordKind> kinds;
+  ASSERT_TRUE(s.replay(4, [&](const RecordView& r) {
+                  seqs.push_back(r.seq);
+                  kinds.push_back(r.kind);
+                }).ok());
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{1, 2, 3, 4}));  // 5 is past
+  EXPECT_EQ(kinds[1], RecordKind::kFlag);
+  EXPECT_EQ(kinds[3], RecordKind::kFlag);
+}
+
+TEST(CertStore, CompactionDropsStableTombstonesAndKeepsReplayExact) {
+  StoreConfig config = small_config(fresh_dir("compact"));
+  config.shards = 2;
+  auto store = CertStore::open(config);
+  ASSERT_TRUE(store.ok());
+  CertStore& s = *store.value();
+
+  std::vector<Made> made;
+  for (int n = 1; n <= 10; ++n) {
+    made.push_back(make_record(static_cast<std::uint8_t>(n)));
+    ASSERT_TRUE(s.put(made.back().record).ok());
+  }
+  ASSERT_TRUE(s.remove(made[1].fp).value());  // old tombstone
+  const std::uint64_t stable = s.last_seq();
+  ASSERT_TRUE(s.remove(made[2].fp).value());  // tombstone *after* stable
+
+  const std::uint64_t dead_before = s.stats().dead_records;
+  ASSERT_GT(dead_before, 0u);
+  ASSERT_TRUE(s.compact(stable).ok());
+
+  // made[1] (tombstoned at <= stable) is physically gone; made[2]'s
+  // record + tombstone survive so a resume from `stable` replays exactly.
+  EXPECT_FALSE(s.contains(made[1].fp));
+  EXPECT_FALSE(s.contains(made[2].fp));
+  std::size_t cert_records = 0;
+  bool saw_dropped = false;
+  ASSERT_TRUE(s.replay(~std::uint64_t{0}, [&](const RecordView& r) {
+                  if (r.kind != RecordKind::kCert) return;
+                  ++cert_records;
+                  if (bytes_equal(r.fingerprint, made[1].fp)) saw_dropped = true;
+                }).ok());
+  EXPECT_EQ(cert_records, made.size() - 1);
+  EXPECT_FALSE(saw_dropped);
+
+  // Reads still serve every live certificate after relocation.
+  for (std::size_t i = 0; i < made.size(); ++i) {
+    if (i == 1 || i == 2) continue;
+    auto got = s.get(made[i].fp);
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_TRUE(bytes_equal(got.value().der(), made[i].der)) << i;
+  }
+}
+
+TEST(CertStore, ResetLeavesAnEmptyStoreThatAcceptsNewWrites) {
+  const std::string dir = fresh_dir("reset");
+  auto store = CertStore::open(small_config(dir));
+  ASSERT_TRUE(store.ok());
+  CertStore& s = *store.value();
+  ASSERT_TRUE(s.put(make_record(1).record).ok());
+  ASSERT_TRUE(s.reset().ok());
+  EXPECT_EQ(s.live_count(), 0u);
+  EXPECT_EQ(s.last_seq(), 0u);
+  ASSERT_TRUE(s.put(make_record(2).record).value());
+  EXPECT_EQ(s.live_count(), 1u);
+}
+
+}  // namespace
+}  // namespace tangled::store

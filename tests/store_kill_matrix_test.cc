@@ -1,0 +1,398 @@
+// The crash matrix extended to the disk-backed segment store: interrupt a
+// spill-mode checkpointed run, damage the store directory in every way a
+// real crash can (torn segment tail, flipped byte in the sealed region,
+// deleted segment, orphaned atomic-write temp — the state a crash inside
+// compaction's write_file_atomic leaves), resume, and require the final
+// census numbers to be bit-identical to a run that never crashed. Damage
+// must always be *detected* (warm resume only when replay is provably
+// exact; cold start with a store reset otherwise), never silently loaded.
+#include "recover/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "notary/census.h"
+#include "notary/notary.h"
+#include "pki/hierarchy.h"
+#include "store/cert_store.h"
+#include "store/segment.h"
+#include "util/atomic_file.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace tangled::recover {
+namespace {
+
+constexpr std::size_t kBatch = 41;
+constexpr std::uint64_t kInterval = 60;
+constexpr std::uint64_t kPlanSeed = 20140404;
+
+struct Fixture {
+  pki::CaHierarchy hierarchy;
+  pki::TrustAnchors anchors;
+  std::vector<x509::Certificate> roots;
+  std::vector<notary::Observation> corpus;
+};
+
+const Fixture& fixture() {
+  static const Fixture* f = [] {
+    Xoshiro256 rng(kPlanSeed);
+    auto h = pki::CaHierarchy::build(rng, "Store Kill Matrix Org", 3,
+                                     /*sim_keys=*/true);
+    EXPECT_TRUE(h.ok());
+    auto* out = new Fixture{std::move(h).value(), {}, {}, {}};
+    out->anchors.add(out->hierarchy.root().cert);
+    out->roots.push_back(out->hierarchy.root().cert);
+    Xoshiro256 corpus_rng(kPlanSeed + 1);
+    for (int i = 0; i < 250; ++i) {
+      auto leaf = out->hierarchy.issue(
+          corpus_rng, "store" + std::to_string(i) + ".example.com", i % 3);
+      EXPECT_TRUE(leaf.ok());
+      notary::Observation obs;
+      obs.port = (i % 4 == 0) ? 993 : 443;
+      obs.chain = out->hierarchy.presented_chain(leaf.value(), i % 3);
+      out->corpus.push_back(std::move(obs));
+    }
+    return out;
+  }();
+  return *f;
+}
+
+std::string results_signature(const notary::NotaryDb& db,
+                              const notary::ValidationCensus& census) {
+  const Fixture& f = fixture();
+  std::string sig;
+  sig += "sessions=" + std::to_string(db.session_count());
+  sig += ";unique=" + std::to_string(db.unique_cert_count());
+  sig += ";unexpired=" + std::to_string(db.unexpired_unique_cert_count());
+  for (const auto& [port, n] : db.sessions_by_port()) {
+    sig += ";port" + std::to_string(port) + "=" + std::to_string(n);
+  }
+  sig += ";validated=" + std::to_string(census.total_validated());
+  sig += ";census_unexpired=" + std::to_string(census.total_unexpired());
+  for (std::uint64_t n : census.per_root_counts(f.roots)) {
+    sig += ";root=" + std::to_string(n);
+  }
+  return sig;
+}
+
+/// Golden numbers from a plain in-memory run — the spilled runs below must
+/// converge to these exact values, crashes or not.
+const std::string& golden_signature() {
+  static const std::string sig = [] {
+    util::ThreadPool pool(4);
+    notary::NotaryDb db;
+    notary::ValidationCensus census(fixture().anchors);
+    for (const auto& obs : fixture().corpus) db.observe(obs);
+    census.ingest_batch(fixture().corpus, pool);
+    return results_signature(db, census);
+  }();
+  return sig;
+}
+
+struct Paths {
+  std::string snapshot;
+  std::string store_dir;
+};
+
+Paths unique_paths(const std::string& tag) {
+  Paths p;
+  p.snapshot = ::testing::TempDir() + "store_kill_" + tag + ".tngl";
+  p.store_dir = ::testing::TempDir() + "store_kill_" + tag + ".store";
+  std::remove(p.snapshot.c_str());
+  util::sweep_stale_temps(p.snapshot);
+  if (DIR* d = opendir(p.store_dir.c_str())) {
+    std::vector<std::string> names;
+    while (const dirent* entry = readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") names.push_back(name);
+    }
+    closedir(d);
+    for (const std::string& name : names) {
+      std::remove((p.store_dir + "/" + name).c_str());
+    }
+  }
+  return p;
+}
+
+/// One shard keeps the whole log in a single segment chain, so "the newest
+/// segment" is unambiguous when the matrix goes to damage it.
+store::StoreConfig store_config(const std::string& dir) {
+  store::StoreConfig config;
+  config.dir = dir;
+  config.shards = 1;
+  return config;
+}
+
+CheckpointConfig checkpoint_config(const std::string& path) {
+  CheckpointConfig config;
+  config.path = path;
+  config.interval = kInterval;
+  config.include_verify_cache = false;
+  config.plan_seed = kPlanSeed;
+  return config;
+}
+
+/// Segment files in the store directory, name-sorted (= id order for one
+/// shard, since ids are zero-padded in the name).
+std::vector<std::string> segment_files(const std::string& dir) {
+  std::vector<std::string> out;
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (const dirent* entry = readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() > 5 && name.substr(name.size() - 5) == ".tseg") {
+      out.push_back(dir + "/" + name);
+    }
+  }
+  closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t file_size(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0
+             ? static_cast<std::uint64_t>(st.st_size)
+             : 0;
+}
+
+/// Phase 1: ingest `crash_after_batches` batches with spill-mode
+/// checkpointing, then "crash" (stop; the store's clean close writes its
+/// index, but nothing past the last checkpoint reaches the snapshot).
+void run_until_crash(const Paths& paths, std::size_t crash_after_batches) {
+  util::ThreadPool pool(4);
+  auto store = store::CertStore::open(store_config(paths.store_dir));
+  ASSERT_TRUE(store.ok());
+  notary::NotaryDb db;
+  db.attach_store(store.value().get());
+  notary::ValidationCensus census(fixture().anchors);
+  census.attach_store(store.value().get());
+  CheckpointingCensus ckpt(db, census, checkpoint_config(paths.snapshot));
+  auto info = ckpt.resume();
+  ASSERT_TRUE(info.ok());
+  ASSERT_TRUE(info.value().cold_start);
+  const auto& corpus = fixture().corpus;
+  std::size_t batches = 0;
+  for (std::size_t i = 0; i < corpus.size(); i += kBatch) {
+    const std::size_t n = std::min(kBatch, corpus.size() - i);
+    ASSERT_TRUE(
+        ckpt.ingest_batch(std::span(corpus.data() + i, n), pool).ok());
+    if (++batches >= crash_after_batches) return;
+  }
+}
+
+/// Phase 2: fresh objects over the (possibly damaged) files, resume,
+/// replay the tail, compare to golden. Returns the ResumeInfo so callers
+/// can assert on detection reports.
+ResumeInfo resume_and_finish(const Paths& paths,
+                             bool* expect_cold = nullptr) {
+  util::ThreadPool pool(4);
+  auto store = store::CertStore::open(store_config(paths.store_dir));
+  EXPECT_TRUE(store.ok());
+  if (!store.ok()) return {};
+  notary::NotaryDb db;
+  db.attach_store(store.value().get());
+  notary::ValidationCensus census(fixture().anchors);
+  census.attach_store(store.value().get());
+  CheckpointingCensus ckpt(db, census, checkpoint_config(paths.snapshot));
+  auto info = ckpt.resume();
+  EXPECT_TRUE(info.ok()) << to_string(info.error());
+  if (!info.ok()) return {};
+  if (expect_cold != nullptr) {
+    EXPECT_EQ(info.value().cold_start, *expect_cold);
+  }
+  const auto& corpus = fixture().corpus;
+  for (std::size_t i = info.value().observations_ingested; i < corpus.size();
+       i += kBatch) {
+    const std::size_t n = std::min(kBatch, corpus.size() - i);
+    EXPECT_TRUE(
+        ckpt.ingest_batch(std::span(corpus.data() + i, n), pool).ok());
+  }
+  EXPECT_EQ(ckpt.observations_ingested(), corpus.size());
+  EXPECT_EQ(results_signature(db, census), golden_signature());
+  return info.value();
+}
+
+TEST(StoreKillMatrix, CleanCrashResumesWarmFromTheStoreCursor) {
+  for (const std::size_t crash_at : {2u, 4u}) {
+    const Paths paths = unique_paths("clean_" + std::to_string(crash_at));
+    run_until_crash(paths, crash_at);
+    bool cold = false;
+    const ResumeInfo info = resume_and_finish(paths, &cold);
+    EXPECT_GT(info.observations_ingested, 0u) << crash_at;
+  }
+}
+
+TEST(StoreKillMatrix, TornTailPastTheCursorIsTruncatedAndResumesWarm) {
+  const Paths paths = unique_paths("torn_tail");
+  run_until_crash(paths, 3);  // batches 1-3; last checkpoint at obs 123
+  auto segments = segment_files(paths.store_dir);
+  ASSERT_FALSE(segments.empty());
+  // Chop into the last record of the newest segment: the shape a power cut
+  // mid-append leaves. Those bytes postdate the last flush, so the store
+  // truncates them away and the checkpoint cursor is untouched.
+  const std::string& newest = segments.back();
+  const std::uint64_t size = file_size(newest);
+  ASSERT_GT(size, store::kSegmentHeaderSize + 10);
+  ASSERT_EQ(::truncate(newest.c_str(), static_cast<off_t>(size - 9)), 0);
+
+  bool cold = false;
+  const ResumeInfo info = resume_and_finish(paths, &cold);
+  EXPECT_GT(info.observations_ingested, 0u);
+}
+
+TEST(StoreKillMatrix, BitFlipBelowTheCursorColdStartsWithAStoreReset) {
+  const Paths paths = unique_paths("bit_flip");
+  run_until_crash(paths, 3);
+  auto segments = segment_files(paths.store_dir);
+  ASSERT_FALSE(segments.empty());
+  // Flip a byte in the first record region of the oldest segment: damage
+  // in the sealed region, below any cursor the snapshot can hold. Replay
+  // can no longer honor the cursor, so resume must refuse the warm path.
+  const std::string& oldest = segments.front();
+  std::FILE* f = std::fopen(oldest.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, store::kSegmentHeaderSize + 20, SEEK_SET), 0);
+  const int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, store::kSegmentHeaderSize + 20, SEEK_SET), 0);
+  std::fputc(byte ^ 0xff, f);
+  std::fclose(f);
+
+  bool cold = true;
+  const ResumeInfo info = resume_and_finish(paths, &cold);
+  ASSERT_FALSE(info.reports.empty());
+  bool mentions_store = false;
+  for (const std::string& report : info.reports) {
+    if (report.find("store") != std::string::npos) mentions_store = true;
+  }
+  EXPECT_TRUE(mentions_store);
+}
+
+TEST(StoreKillMatrix, DeletedSegmentColdStartsWithAStoreReset) {
+  const Paths paths = unique_paths("deleted_seg");
+  run_until_crash(paths, 3);
+  auto segments = segment_files(paths.store_dir);
+  ASSERT_FALSE(segments.empty());
+  ASSERT_EQ(std::remove(segments.front().c_str()), 0);
+
+  bool cold = true;
+  const ResumeInfo info = resume_and_finish(paths, &cold);
+  ASSERT_FALSE(info.reports.empty());
+}
+
+TEST(StoreKillMatrix, CompactionCrashTempIsSweptAndNeverParsedAsASegment) {
+  const Paths paths = unique_paths("compaction_temp");
+  run_until_crash(paths, 3);
+  // Compaction replaces a segment via write_file_atomic; a crash inside it
+  // leaves the old segments intact plus a staged temp (rename is atomic,
+  // and old files are only unlinked after the rename lands). Fabricate
+  // exactly that: a temp targeting a future segment name, holding a valid
+  // header and a half-written record.
+  Bytes staged = store::encode_segment_header(/*shard=*/0, /*id=*/99);
+  store::append_record(staged, store::RecordKind::kTombstone,
+                       store::encode_tombstone_payload(1, Bytes(32, 0xAB)));
+  staged.resize(staged.size() - 7);  // torn mid-record
+  const std::string temp = util::atomic_temp_path(
+      paths.store_dir + "/shard-000-seg-00000099.tseg");
+  {
+    std::FILE* f = std::fopen(temp.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(staged.data(), 1, staged.size(), f), staged.size());
+    std::fclose(f);
+  }
+
+  bool cold = false;
+  const ResumeInfo info = resume_and_finish(paths, &cold);
+  EXPECT_GT(info.observations_ingested, 0u);
+  EXPECT_FALSE(util::file_exists(temp));
+
+  // The store's own report confirms the sweep, and no segment with the
+  // staged id ever materialized.
+  auto reopened = store::CertStore::open(store_config(paths.store_dir));
+  ASSERT_TRUE(reopened.ok());
+  for (const std::string& path : segment_files(paths.store_dir)) {
+    EXPECT_EQ(path.find("seg-00000099"), std::string::npos) << path;
+  }
+}
+
+TEST(StoreKillMatrix, StoreAheadOfADeletedSnapshotResetsAndConverges) {
+  const Paths paths = unique_paths("lost_snapshot");
+  run_until_crash(paths, 3);
+  // The snapshot vanishes (operator mistake, disk swap); the store still
+  // holds records. Cursor 0 covers none of them, so resume must reset the
+  // store rather than let unreachable state leak into the fresh run.
+  std::remove(paths.snapshot.c_str());
+
+  bool cold = true;
+  const ResumeInfo info = resume_and_finish(paths, &cold);
+  EXPECT_EQ(info.observations_ingested, 0u);
+  ASSERT_FALSE(info.reports.empty());
+  EXPECT_NE(info.reports[0].find("store reset"), std::string::npos);
+}
+
+TEST(StoreKillMatrix, ReadersPinnedAcrossCompactionSeeTheOldBytes) {
+  // The ASan lane's use-after-free probe: a reader pins a record, then
+  // compaction rewrites and unlinks the record's segment. The pin must
+  // keep serving the original mapping — recycled-segment reads are
+  // unreachable by construction, not just unlikely.
+  const Paths paths = unique_paths("pin_compact");
+  auto store = store::CertStore::open(store_config(paths.store_dir));
+  ASSERT_TRUE(store.ok());
+  store::CertStore& s = *store.value();
+
+  std::vector<Bytes> fps;
+  std::vector<Bytes> ders;
+  for (int n = 1; n <= 20; ++n) {
+    Bytes fp(32, static_cast<std::uint8_t>(n));
+    Bytes identity(32, static_cast<std::uint8_t>(n + 100));
+    Bytes spki(32, static_cast<std::uint8_t>(n + 200));
+    Bytes der(300, static_cast<std::uint8_t>(n));
+    store::CertRecord record{fp, identity, spki, 1, 2'000'000'000, der};
+    ASSERT_TRUE(s.put(record).value());
+    fps.push_back(std::move(fp));
+    ders.push_back(std::move(der));
+  }
+  for (int n = 10; n < 20; ++n) {
+    ASSERT_TRUE(s.remove(fps[n]).value());
+  }
+
+  auto pinned = s.get(fps[0]);
+  ASSERT_TRUE(pinned.ok());
+  const ByteView before = pinned.value().der();
+
+  // Tombstones are all stable: compaction drops them and rewrites every
+  // surviving record into a fresh segment, unlinking the one `pinned`
+  // points into.
+  ASSERT_TRUE(s.compact(s.last_seq()).ok());
+  ASSERT_GT(s.stats().compactions, 0u);
+
+  // The pinned view still reads the original bytes from the old mapping.
+  EXPECT_TRUE(bytes_equal(before, ders[0]));
+  EXPECT_TRUE(bytes_equal(pinned.value().der(), ders[0]));
+
+  // And fresh reads resolve through the relocated records.
+  for (int n = 0; n < 10; ++n) {
+    auto got = s.get(fps[n]);
+    ASSERT_TRUE(got.ok()) << n;
+    EXPECT_TRUE(bytes_equal(got.value().der(), ders[n])) << n;
+  }
+  for (int n = 10; n < 20; ++n) {
+    EXPECT_FALSE(s.contains(fps[n])) << n;
+  }
+}
+
+}  // namespace
+}  // namespace tangled::recover

@@ -1,0 +1,169 @@
+// Segment file codec: framing round trips, the corruption taxonomy (bad
+// header = kParse, future version = kUnsupported, torn tail vs sealed
+// damage), and the unknown-kind skip rule.
+#include "store/segment.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/binio.h"
+#include "util/bytes.h"
+
+namespace tangled::store {
+namespace {
+
+Bytes digest32(std::uint8_t fill) { return Bytes(32, fill); }
+
+CertRecord sample_cert(const Bytes& fp, const Bytes& identity,
+                       const Bytes& spki, const Bytes& der) {
+  CertRecord record;
+  record.fingerprint = fp;
+  record.identity = identity;
+  record.spki = spki;
+  record.membership = 0b1011;
+  record.not_after_unix = 1'400'000'000;
+  record.der = der;
+  return record;
+}
+
+/// A small two-record segment used by most cases below.
+Bytes sample_segment(std::uint32_t shard = 3, std::uint64_t id = 7) {
+  Bytes file = encode_segment_header(shard, id);
+  const Bytes fp = digest32(0xA1);
+  const Bytes der = {0x30, 0x03, 0x02, 0x01, 0x05};
+  append_record(file, RecordKind::kCert,
+                encode_cert_payload(
+                    10, sample_cert(fp, digest32(0xB2), digest32(0xC3), der)));
+  append_record(file, RecordKind::kFlag,
+                encode_flag_payload(11, fp, /*census_shard=*/5, /*flags=*/2));
+  return file;
+}
+
+TEST(SegmentHeader, RoundTripsAndRefusesTypedly) {
+  const Bytes file = sample_segment(9, 42);
+  auto header = parse_segment_header(file);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value().shard, 9u);
+  EXPECT_EQ(header.value().segment_id, 42u);
+
+  Bytes bad_magic = file;
+  bad_magic[0] ^= 0xff;
+  EXPECT_EQ(parse_segment_header(bad_magic).error().code, Errc::kParse);
+
+  Bytes truncated(file.begin(), file.begin() + 5);
+  EXPECT_EQ(parse_segment_header(truncated).error().code, Errc::kParse);
+
+  // A future version is a refusal, never treated as corruption.
+  Bytes future = file;
+  future[8] = 0x7f;  // version word
+  EXPECT_EQ(parse_segment_header(future).error().code, Errc::kUnsupported);
+}
+
+TEST(SegmentScanner, RoundTripsEveryRecordKind) {
+  Bytes file = encode_segment_header(0, 1);
+  const Bytes fp = digest32(0x01);
+  const Bytes der = {0x30, 0x00};
+  append_record(file, RecordKind::kCert,
+                encode_cert_payload(
+                    1, sample_cert(fp, digest32(0x02), digest32(0x03), der)));
+  append_record(file, RecordKind::kFlag, encode_flag_payload(2, fp, 63, 1));
+  append_record(file, RecordKind::kMember,
+                encode_member_payload(3, fp, 0xF0F0));
+  append_record(file, RecordKind::kTombstone, encode_tombstone_payload(4, fp));
+
+  SegmentScanner scanner(file);
+  auto cert = scanner.next();
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_EQ(cert->kind, RecordKind::kCert);
+  EXPECT_EQ(cert->seq, 1u);
+  EXPECT_TRUE(bytes_equal(cert->fingerprint, fp));
+  EXPECT_TRUE(bytes_equal(cert->identity, digest32(0x02)));
+  EXPECT_TRUE(bytes_equal(cert->spki, digest32(0x03)));
+  EXPECT_TRUE(bytes_equal(cert->der, der));
+  EXPECT_EQ(cert->membership, 0b1011u);
+  EXPECT_EQ(cert->not_after_unix, 1'400'000'000);
+  // The DER view must sit exactly kCertDerOffset into the framed record —
+  // CertStore::get() reconstructs it from (offset, length) alone.
+  EXPECT_EQ(cert->der.data(), file.data() + cert->offset + kCertDerOffset);
+
+  auto flag = scanner.next();
+  ASSERT_TRUE(flag.has_value());
+  EXPECT_EQ(flag->kind, RecordKind::kFlag);
+  EXPECT_EQ(flag->census_shard, 63);
+  EXPECT_EQ(flag->flags, 1);
+
+  auto member = scanner.next();
+  ASSERT_TRUE(member.has_value());
+  EXPECT_EQ(member->kind, RecordKind::kMember);
+  EXPECT_EQ(member->membership, 0xF0F0u);
+
+  auto tomb = scanner.next();
+  ASSERT_TRUE(tomb.has_value());
+  EXPECT_EQ(tomb->kind, RecordKind::kTombstone);
+  EXPECT_EQ(tomb->seq, 4u);
+
+  EXPECT_FALSE(scanner.next().has_value());
+  EXPECT_EQ(scanner.stop(), ScanStop::kCleanEof);
+  EXPECT_EQ(scanner.stop_offset(), file.size());
+}
+
+TEST(SegmentScanner, TornTailStopsAtTheLastCleanRecord) {
+  const Bytes file = sample_segment();
+  SegmentScanner probe(file);
+  ASSERT_TRUE(probe.next().has_value());
+  const std::uint64_t first_end = probe.stop_offset();
+
+  // Cut mid-way through the second record: the shape a crash mid-append
+  // leaves. The scan yields the clean prefix and classifies the stop as a
+  // truncated tail with the exact truncation point.
+  Bytes torn(file.begin(), file.begin() + first_end + 7);
+  SegmentScanner scanner(torn);
+  ASSERT_TRUE(scanner.next().has_value());
+  EXPECT_FALSE(scanner.next().has_value());
+  EXPECT_EQ(scanner.stop(), ScanStop::kTruncatedTail);
+  EXPECT_EQ(scanner.stop_offset(), first_end);
+}
+
+TEST(SegmentScanner, FlippedByteInSealedRegionIsDamageNotTail) {
+  Bytes file = sample_segment();
+  SegmentScanner probe(file);
+  ASSERT_TRUE(probe.next().has_value());
+  const std::uint64_t first_end = probe.stop_offset();
+
+  // Flip one payload byte of the *first* record: both records still fit,
+  // so the failure is a checksum mismatch inside the sealed region.
+  file[kSegmentHeaderSize + 13] ^= 0xff;
+  SegmentScanner scanner(file);
+  EXPECT_FALSE(scanner.next().has_value());
+  EXPECT_EQ(scanner.stop(), ScanStop::kDamage);
+  EXPECT_EQ(scanner.stop_offset(), kSegmentHeaderSize);
+  EXPECT_FALSE(scanner.stop_detail().empty());
+  (void)first_end;
+}
+
+TEST(SegmentScanner, UnknownKindIsSkippableWithSeqIntact) {
+  Bytes file = encode_segment_header(0, 1);
+  // A record kind from a future build: seq-prefixed payload, valid digest.
+  Bytes payload;
+  util::put_u64(payload, 77);  // seq
+  payload.push_back(0xEE);     // opaque future data
+  append_record(file, static_cast<RecordKind>(9000), payload);
+  append_record(file, RecordKind::kTombstone,
+                encode_tombstone_payload(78, digest32(0x05)));
+
+  SegmentScanner scanner(file);
+  auto unknown = scanner.next();
+  ASSERT_TRUE(unknown.has_value());
+  EXPECT_EQ(unknown->kind_raw, 9000u);
+  EXPECT_EQ(unknown->seq, 77u);  // generic seq recovery for cursor math
+  auto tomb = scanner.next();
+  ASSERT_TRUE(tomb.has_value());  // the scan continued past the unknown
+  EXPECT_EQ(tomb->seq, 78u);
+  EXPECT_FALSE(scanner.next().has_value());
+  EXPECT_EQ(scanner.stop(), ScanStop::kCleanEof);
+}
+
+}  // namespace
+}  // namespace tangled::store

@@ -1,0 +1,394 @@
+// Spill-mode equivalence: a NotaryDb + ValidationCensus whose certificate
+// corpus lives in the disk-backed store must produce results — census
+// signature, snapshot bytes, serve/stream behavior — identical to the
+// in-memory path. The checkpoint meanwhile shrinks from "the corpus" to "a
+// cursor": its size must not grow with the number of certificates.
+#include "store/cert_store.h"
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "notary/census.h"
+#include "notary/notary.h"
+#include "pki/hierarchy.h"
+#include "recover/checkpoint.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "stream/ingest.h"
+#include "tlswire/handshake.h"
+#include "util/atomic_file.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace tangled::store {
+namespace {
+
+constexpr std::uint64_t kPlanSeed = 20140405;
+constexpr std::size_t kBatch = 37;
+
+struct Fixture {
+  pki::CaHierarchy hierarchy;
+  pki::TrustAnchors anchors;
+  std::vector<x509::Certificate> roots;
+  std::vector<notary::Observation> corpus;
+  std::vector<Bytes> captures;  // the same chains as wire flights
+};
+
+const Fixture& fixture() {
+  static const Fixture* f = [] {
+    Xoshiro256 rng(kPlanSeed);
+    auto h = pki::CaHierarchy::build(rng, "Spill Equivalence Org", 3,
+                                     /*sim_keys=*/true);
+    EXPECT_TRUE(h.ok());
+    auto* out = new Fixture{std::move(h).value(), {}, {}, {}, {}};
+    out->anchors.add(out->hierarchy.root().cert);
+    out->roots.push_back(out->hierarchy.root().cert);
+    Xoshiro256 corpus_rng(kPlanSeed + 1);
+    for (int i = 0; i < 180; ++i) {
+      auto leaf = out->hierarchy.issue(
+          corpus_rng, "spill" + std::to_string(i) + ".example.com", i % 3);
+      EXPECT_TRUE(leaf.ok());
+      notary::Observation obs;
+      obs.port = (i % 5 == 0) ? 8443 : 443;
+      obs.chain = out->hierarchy.presented_chain(leaf.value(), i % 3);
+      auto flight =
+          tlswire::encode_server_flight(tlswire::ServerHello{}, obs.chain);
+      EXPECT_TRUE(flight.ok());
+      out->captures.push_back(std::move(flight).value());
+      out->corpus.push_back(std::move(obs));
+    }
+    return out;
+  }();
+  return *f;
+}
+
+std::string results_signature(const notary::NotaryDb& db,
+                              const notary::ValidationCensus& census) {
+  const Fixture& f = fixture();
+  std::string sig;
+  sig += "sessions=" + std::to_string(db.session_count());
+  sig += ";unique=" + std::to_string(db.unique_cert_count());
+  sig += ";unexpired=" + std::to_string(db.unexpired_unique_cert_count());
+  for (const auto& [port, n] : db.sessions_by_port()) {
+    sig += ";port" + std::to_string(port) + "=" + std::to_string(n);
+  }
+  sig += ";validated=" + std::to_string(census.total_validated());
+  sig += ";census_unexpired=" + std::to_string(census.total_unexpired());
+  for (std::uint64_t n : census.per_root_counts(f.roots)) {
+    sig += ";root=" + std::to_string(n);
+  }
+  for (std::uint64_t n : census.ecdf_counts(f.roots)) {
+    sig += ";ecdf=" + std::to_string(n);
+  }
+  return sig;
+}
+
+std::string fresh_store_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "spill_eq_" + tag + ".store";
+  if (DIR* d = opendir(dir.c_str())) {
+    std::vector<std::string> names;
+    while (const dirent* entry = readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") names.push_back(name);
+    }
+    closedir(d);
+    for (const std::string& name : names) {
+      std::remove((dir + "/" + name).c_str());
+    }
+  }
+  return dir;
+}
+
+std::unique_ptr<CertStore> open_store(const std::string& tag) {
+  StoreConfig config;
+  config.dir = fresh_store_dir(tag);
+  config.shards = 4;
+  auto store = CertStore::open(config);
+  EXPECT_TRUE(store.ok());
+  return std::move(store).value();
+}
+
+std::uint64_t file_size(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return size < 0 ? 0 : static_cast<std::uint64_t>(size);
+}
+
+TEST(SpillEquivalence, BatchIngestMatchesInMemoryBitForBit) {
+  util::ThreadPool pool(4);
+  const Fixture& f = fixture();
+
+  notary::NotaryDb mem_db;
+  notary::ValidationCensus mem_census(f.anchors);
+  for (const auto& obs : f.corpus) mem_db.observe(obs);
+  mem_census.ingest_batch(f.corpus, pool);
+
+  auto store = open_store("batch");
+  notary::NotaryDb spill_db;
+  spill_db.attach_store(store.get());
+  notary::ValidationCensus spill_census(f.anchors);
+  spill_census.attach_store(store.get());
+  for (const auto& obs : f.corpus) spill_db.observe(obs);
+  spill_census.ingest_batch(f.corpus, pool);
+
+  // Same numbers, and the *full-state* notary encoding (used by exports
+  // and the non-spill snapshot) is byte-identical: the store's
+  // fingerprint-ordered walk reproduces the in-memory section exactly.
+  EXPECT_EQ(results_signature(spill_db, spill_census),
+            results_signature(mem_db, mem_census));
+  EXPECT_EQ(spill_db.encode_state(), mem_db.encode_state());
+
+  // Dedup queries answer identically through the store index.
+  EXPECT_TRUE(spill_db.recorded(f.corpus[0].chain[0]));
+  EXPECT_FALSE(spill_db.recorded(f.hierarchy.root().cert));
+}
+
+TEST(SpillEquivalence, CheckpointShrinksToACursorAndResumesWarm) {
+  util::ThreadPool pool(4);
+  const Fixture& f = fixture();
+  const std::string full_path =
+      ::testing::TempDir() + "spill_eq_full.tngl";
+  const std::string cursor_path =
+      ::testing::TempDir() + "spill_eq_cursor.tngl";
+  std::remove(full_path.c_str());
+  std::remove(cursor_path.c_str());
+
+  recover::CheckpointConfig config;
+  config.interval = 0;  // explicit checkpoints only
+  config.include_verify_cache = false;
+  config.plan_seed = kPlanSeed;
+
+  // In-memory run: the snapshot carries the whole corpus.
+  notary::NotaryDb mem_db;
+  notary::ValidationCensus mem_census(f.anchors);
+  config.path = full_path;
+  recover::CheckpointingCensus mem_ckpt(mem_db, mem_census, config);
+  ASSERT_TRUE(mem_ckpt.resume().ok());
+  ASSERT_TRUE(mem_ckpt.ingest_batch(f.corpus, pool).ok());
+  ASSERT_TRUE(mem_ckpt.checkpoint().ok());
+
+  // Spilled run: the snapshot carries a cursor.
+  const std::string store_tag = "cursor_ckpt";
+  std::string spilled_signature;
+  std::uint64_t spilled_last_seq = 0;
+  {
+    auto store = open_store(store_tag);
+    notary::NotaryDb db;
+    db.attach_store(store.get());
+    notary::ValidationCensus census(f.anchors);
+    census.attach_store(store.get());
+    config.path = cursor_path;
+    recover::CheckpointingCensus ckpt(db, census, config);
+    ASSERT_TRUE(ckpt.resume().ok());
+    ASSERT_TRUE(ckpt.ingest_batch(f.corpus, pool).ok());
+    ASSERT_TRUE(ckpt.checkpoint().ok());
+    EXPECT_EQ(ckpt.last_checkpoint_store_seq(), store->last_seq());
+    spilled_last_seq = store->last_seq();
+    spilled_signature = results_signature(db, census);
+    EXPECT_EQ(spilled_signature, results_signature(mem_db, mem_census));
+  }
+
+  // Sublinear checkpoint bytes: the cursor snapshot must be a small
+  // fraction of the full one at the same scale (the bench proves the
+  // 10x-scale version of this claim).
+  const std::uint64_t full_bytes = file_size(full_path);
+  const std::uint64_t cursor_bytes = file_size(cursor_path);
+  ASSERT_GT(full_bytes, 0u);
+  ASSERT_GT(cursor_bytes, 0u);
+  EXPECT_LT(cursor_bytes, full_bytes / 4)
+      << "spill checkpoint is not sublinear: " << cursor_bytes << " vs "
+      << full_bytes;
+
+  // Warm resume from cursor + store reproduces the exact state: identical
+  // signature with zero observations replayed, and the store untouched.
+  {
+    StoreConfig sconfig;
+    sconfig.dir = ::testing::TempDir() + "spill_eq_" + store_tag + ".store";
+    sconfig.shards = 4;
+    auto store = CertStore::open(sconfig);
+    ASSERT_TRUE(store.ok());
+    notary::NotaryDb db;
+    db.attach_store(store.value().get());
+    notary::ValidationCensus census(f.anchors);
+    census.attach_store(store.value().get());
+    config.path = cursor_path;
+    recover::CheckpointingCensus ckpt(db, census, config);
+    auto info = ckpt.resume();
+    ASSERT_TRUE(info.ok()) << tangled::to_string(info.error());
+    EXPECT_FALSE(info.value().cold_start);
+    EXPECT_EQ(info.value().observations_ingested, f.corpus.size());
+    EXPECT_EQ(store.value()->last_seq(), spilled_last_seq);
+    EXPECT_EQ(results_signature(db, census), spilled_signature);
+  }
+  std::remove(full_path.c_str());
+  std::remove(cursor_path.c_str());
+}
+
+TEST(SpillEquivalence, ModeMismatchedSnapshotsColdStartWithAReport) {
+  util::ThreadPool pool(4);
+  const Fixture& f = fixture();
+  const std::string path = ::testing::TempDir() + "spill_eq_mismatch.tngl";
+  std::remove(path.c_str());
+
+  recover::CheckpointConfig config;
+  config.path = path;
+  config.interval = 0;
+  config.include_verify_cache = false;
+  config.plan_seed = kPlanSeed;
+
+  // Write an in-memory (full) snapshot...
+  {
+    notary::NotaryDb db;
+    notary::ValidationCensus census(f.anchors);
+    recover::CheckpointingCensus ckpt(db, census, config);
+    ASSERT_TRUE(ckpt.resume().ok());
+    ASSERT_TRUE(
+        ckpt.ingest_batch(std::span(f.corpus.data(), kBatch), pool).ok());
+    ASSERT_TRUE(ckpt.checkpoint().ok());
+  }
+  // ...then try to resume it with a store attached: a reported cold start,
+  // never a misread.
+  {
+    auto store = open_store("mismatch");
+    notary::NotaryDb db;
+    db.attach_store(store.get());
+    notary::ValidationCensus census(f.anchors);
+    census.attach_store(store.get());
+    recover::CheckpointingCensus ckpt(db, census, config);
+    auto info = ckpt.resume();
+    ASSERT_TRUE(info.ok());
+    EXPECT_TRUE(info.value().cold_start);
+    ASSERT_FALSE(info.value().reports.empty());
+    EXPECT_NE(info.value().reports[0].find("spills to a store"),
+              std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SpillEquivalence, StreamIngestorThreadsThroughTheStore) {
+  util::ThreadPool pool(4);
+  const Fixture& f = fixture();
+
+  // In-memory streaming reference.
+  notary::NotaryDb mem_db;
+  notary::ValidationCensus mem_census(f.anchors);
+  {
+    stream::StreamIngestor ingestor(mem_db, &mem_census, pool, {});
+    for (std::size_t i = 0; i < f.captures.size(); ++i) {
+      ingestor.feed(static_cast<stream::FlowId>(i), f.captures[i]);
+      ingestor.end_flow(static_cast<stream::FlowId>(i));
+    }
+    ingestor.finish();
+  }
+
+  // Spilled streaming run, with the checkpoint hook exercising the
+  // batch-boundary flush path.
+  auto store = open_store("stream");
+  notary::NotaryDb db;
+  db.attach_store(store.get());
+  notary::ValidationCensus census(f.anchors);
+  census.attach_store(store.get());
+  const std::string path = ::testing::TempDir() + "spill_eq_stream.tngl";
+  std::remove(path.c_str());
+  recover::CheckpointConfig config;
+  config.path = path;
+  config.interval = 50;
+  config.include_verify_cache = false;
+  config.plan_seed = kPlanSeed;
+  recover::CheckpointingCensus ckpt(db, census, config);
+  ASSERT_TRUE(ckpt.resume().ok());
+  {
+    stream::StreamIngestConfig sconfig;
+    sconfig.on_batch_committed = ckpt.stream_hook();
+    stream::StreamIngestor ingestor(db, &census, pool, sconfig);
+    for (std::size_t i = 0; i < f.captures.size(); ++i) {
+      ingestor.feed(static_cast<stream::FlowId>(i), f.captures[i]);
+      ingestor.end_flow(static_cast<stream::FlowId>(i));
+    }
+    const auto report = ingestor.finish();
+    EXPECT_EQ(report.chains_ingested, f.captures.size());
+  }
+  EXPECT_TRUE(ckpt.last_error().empty()) << ckpt.last_error();
+  EXPECT_EQ(results_signature(db, census),
+            results_signature(mem_db, mem_census));
+  std::remove(path.c_str());
+}
+
+TEST(SpillEquivalence, ServeIngestThreadsThroughTheStore) {
+  util::ThreadPool pool(4);
+  const Fixture& f = fixture();
+  constexpr std::size_t kUploads = 48;
+
+  auto store = open_store("serve");
+  notary::NotaryDb db;
+  db.attach_store(store.get());
+  notary::ValidationCensus census(f.anchors);
+  census.attach_store(store.get());
+  const std::string path = ::testing::TempDir() + "spill_eq_serve.tngl";
+  std::remove(path.c_str());
+  recover::CheckpointConfig config;
+  config.path = path;
+  config.interval = 16;
+  config.include_verify_cache = false;
+  config.plan_seed = kPlanSeed;
+  recover::CheckpointingCensus ckpt(db, census, config);
+  ASSERT_TRUE(ckpt.resume().ok());
+
+  serve::ServeConfig sconfig;
+  sconfig.require_budget = false;
+  sconfig.stream.batch_size = 8;
+  serve::IngestServer server(db, &census, pool, sconfig, &ckpt);
+  ASSERT_TRUE(server.start().ok());
+  for (std::size_t i = 0; i < kUploads; ++i) {
+    serve::CaptureUpload upload;
+    upload.device_id = i;
+    upload.capture = f.captures[i % f.captures.size()];
+    auto response = serve::submit_capture("127.0.0.1", server.port(), upload);
+    ASSERT_TRUE(response.ok()) << i;
+    EXPECT_EQ(response.value().status, serve::SubmitStatus::kAccepted) << i;
+  }
+  auto drained = server.drain();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_TRUE(drained.value().checkpointed);
+  EXPECT_EQ(drained.value().observations_committed, kUploads);
+
+  const std::string final_signature = results_signature(db, census);
+  const std::uint64_t final_seq = store->last_seq();
+
+  // A fresh process resumes warm from the cursor + store and sees the
+  // exact same state the drained server checkpointed.
+  {
+    StoreConfig fresh_config;
+    fresh_config.dir = ::testing::TempDir() + "spill_eq_serve.store";
+    fresh_config.shards = 4;
+    auto reopened = CertStore::open(fresh_config);
+    ASSERT_TRUE(reopened.ok());
+    notary::NotaryDb db2;
+    db2.attach_store(reopened.value().get());
+    notary::ValidationCensus census2(f.anchors);
+    census2.attach_store(reopened.value().get());
+    recover::CheckpointingCensus ckpt2(db2, census2, config);
+    auto info = ckpt2.resume();
+    ASSERT_TRUE(info.ok()) << tangled::to_string(info.error());
+    EXPECT_FALSE(info.value().cold_start);
+    EXPECT_EQ(info.value().observations_ingested, kUploads);
+    EXPECT_EQ(reopened.value()->last_seq(), final_seq);
+    EXPECT_EQ(results_signature(db2, census2), final_signature);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tangled::store

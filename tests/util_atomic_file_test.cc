@@ -1,0 +1,211 @@
+// Regression suite for the atomic-write durability sweep:
+//
+//  * write_file_atomic used a fixed `path + ".tmp"` temp name, so two
+//    concurrent writers truncated each other's half-written temps and one
+//    of them could rename a torn mixture into place. Temp names are now
+//    unique per writer; the stress test here fails on the old scheme.
+//  * A crash between fopen(tmp) and rename leaked the temp forever. The
+//    sweepers remove such orphans at startup/recovery time.
+//  * read_file slurped without bound; it now refuses past a cap (pointing
+//    at util::MmapFile) and keeps ENOENT distinct from other errno.
+#include "util/atomic_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/stat.h>
+#include <unistd.h>
+#define TANGLED_TEST_HAVE_CHMOD 1
+#else
+#define TANGLED_TEST_HAVE_CHMOD 0
+#endif
+
+#include "util/mmap_file.h"
+#include "util/result.h"
+
+namespace tangled::util {
+namespace {
+
+std::string unique_path(const std::string& tag) {
+  const std::string path = ::testing::TempDir() + "atomic_file_" + tag;
+  std::remove(path.c_str());
+  sweep_stale_temps(path);
+  return path;
+}
+
+Bytes pattern_bytes(std::uint8_t fill, std::size_t n) {
+  return Bytes(n, fill);
+}
+
+TEST(AtomicTempNames, UniquePerCallAndRecognizedBySweeper) {
+  const std::string a = atomic_temp_path("/x/dest");
+  const std::string b = atomic_temp_path("/x/dest");
+  EXPECT_NE(a, b);  // the old fixed name made these collide
+  EXPECT_EQ(a.rfind("/x/dest.tmp.", 0), 0u);
+
+  // Sweeper recognition: the legacy fixed name, any writer-suffixed name,
+  // and nothing else.
+  EXPECT_TRUE(is_atomic_temp_name("dest", "dest.tmp"));
+  EXPECT_TRUE(is_atomic_temp_name("dest", "dest.tmp.123.7"));
+  EXPECT_FALSE(is_atomic_temp_name("dest", "dest.tmpX"));
+  EXPECT_FALSE(is_atomic_temp_name("dest", "dest"));
+  EXPECT_FALSE(is_atomic_temp_name("dest", "other.tmp"));
+}
+
+TEST(AtomicWrite, TwoConcurrentWritersBothProduceIntactFiles) {
+  // The regression this PR fixes: with a shared temp name, writer A's
+  // fopen("wb") truncated writer B's half-written temp, and whichever
+  // renamed last could publish a torn mixture. With unique temps, every
+  // rename publishes one writer's complete data — the final file must be
+  // all-0xAA or all-0xBB, never interleaved, on every iteration.
+  const std::string path = unique_path("two_writers");
+  constexpr std::size_t kSize = 1 << 16;
+  constexpr int kRounds = 64;
+  const Bytes a = pattern_bytes(0xAA, kSize);
+  const Bytes b = pattern_bytes(0xBB, kSize);
+
+  for (int round = 0; round < kRounds; ++round) {
+    std::thread ta([&] { ASSERT_TRUE(write_file_atomic(path, a).ok()); });
+    std::thread tb([&] { ASSERT_TRUE(write_file_atomic(path, b).ok()); });
+    ta.join();
+    tb.join();
+
+    auto got = read_file(path);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got.value().size(), kSize) << "torn write in round " << round;
+    const std::uint8_t first = got.value()[0];
+    ASSERT_TRUE(first == 0xAA || first == 0xBB);
+    for (std::size_t i = 1; i < got.value().size(); ++i) {
+      ASSERT_EQ(got.value()[i], first)
+          << "interleaved writers at byte " << i << " in round " << round;
+    }
+  }
+  // Clean writers leave no temps behind.
+  EXPECT_EQ(sweep_stale_temps(path), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, SweepRemovesOrphanTempsButNotTheDestination) {
+  const std::string path = unique_path("orphans");
+  ASSERT_TRUE(write_file_atomic(path, pattern_bytes(0x11, 32)).ok());
+
+  // Fabricate the crash-between-fopen-and-rename state: one legacy fixed
+  // temp and one modern unique temp, both stale.
+  for (const std::string& tmp :
+       {path + ".tmp", atomic_temp_path(path)}) {
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputc('x', f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(sweep_stale_temps(path), 2u);
+  EXPECT_EQ(sweep_stale_temps(path), 0u);  // idempotent
+
+  // The destination survived and still reads back intact.
+  auto got = read_file(path);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), pattern_bytes(0x11, 32));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, DirectorySweepRemovesTempsForAnyDestination) {
+  const std::string dir = ::testing::TempDir() + "atomic_file_sweep_dir";
+#if TANGLED_TEST_HAVE_CHMOD
+  mkdir(dir.c_str(), 0755);
+#endif
+  const std::string keep = dir + "/shard-000-seg-00000001.tseg";
+  ASSERT_TRUE(write_file_atomic(keep, pattern_bytes(0x22, 8)).ok());
+  const std::string orphan = atomic_temp_path(dir + "/shard-000-seg-00000002.tseg");
+  {
+    std::FILE* f = std::fopen(orphan.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+  }
+  EXPECT_EQ(sweep_stale_temps_in_dir(dir), 1u);
+  EXPECT_TRUE(file_exists(keep));
+  EXPECT_FALSE(file_exists(orphan));
+  std::remove(keep.c_str());
+}
+
+TEST(ReadFile, MissingFileIsNotFoundNotGenericError) {
+  auto got = read_file(unique_path("missing"));
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.error().code, Errc::kNotFound);
+}
+
+#if TANGLED_TEST_HAVE_CHMOD
+TEST(ReadFile, PermissionErrorIsInvalidStateNotNotFound) {
+  // The pre-fix slurp reported every open failure the same way, so a
+  // permission problem looked like "no snapshot yet" and silently
+  // cold-started. EACCES must stay typed apart from ENOENT.
+  if (geteuid() == 0) {
+    GTEST_SKIP() << "running as root: chmod 0 does not block reads";
+  }
+  const std::string path = unique_path("noperm");
+  ASSERT_TRUE(write_file_atomic(path, pattern_bytes(0x33, 4)).ok());
+  ASSERT_EQ(chmod(path.c_str(), 0), 0);
+  auto got = read_file(path);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.error().code, Errc::kInvalidState);
+  chmod(path.c_str(), 0644);
+  std::remove(path.c_str());
+}
+#endif
+
+TEST(ReadFile, RefusesPastTheCapAndNamesTheAlternative) {
+  const std::string path = unique_path("capped");
+  ASSERT_TRUE(write_file_atomic(path, pattern_bytes(0x44, 4096)).ok());
+  auto got = read_file(path, /*max_bytes=*/1024);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.error().code, Errc::kUnsupported);
+  EXPECT_NE(got.error().message.find("MmapFile"), std::string::npos);
+  // At or under the cap the read succeeds.
+  auto ok = read_file(path, /*max_bytes=*/4096);
+  EXPECT_TRUE(ok.ok());
+  std::remove(path.c_str());
+}
+
+TEST(MmapFile, MapsViewsAndSurvivesMoves) {
+  const std::string path = unique_path("mapped");
+  Bytes data;
+  for (int i = 0; i < 1000; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  ASSERT_TRUE(write_file_atomic(path, data).ok());
+
+  auto map = MmapFile::open(path);
+  ASSERT_TRUE(map.ok());
+  EXPECT_TRUE(map.value().mapped());
+  ASSERT_EQ(map.value().size(), data.size());
+  EXPECT_TRUE(bytes_equal(map.value().view(), data));
+
+  MmapFile moved = std::move(map.value());
+  EXPECT_TRUE(bytes_equal(moved.view(), data));
+
+  // POSIX semantics the store's pinned reads rely on: an unlinked file's
+  // mapping stays readable until the last reference drops.
+  std::remove(path.c_str());
+  EXPECT_TRUE(bytes_equal(moved.view(), data));
+  moved.reset();
+  EXPECT_EQ(moved.size(), 0u);
+}
+
+TEST(MmapFile, MissingFileIsNotFoundAndEmptyFileIsEmptyView) {
+  auto missing = MmapFile::open(unique_path("mmap_missing"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, Errc::kNotFound);
+
+  const std::string path = unique_path("mmap_empty");
+  ASSERT_TRUE(write_file_atomic(path, {}).ok());
+  auto empty = MmapFile::open(path);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().size(), 0u);
+  EXPECT_TRUE(empty.value().mapped());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tangled::util
