@@ -402,11 +402,15 @@ void ValidationCensus::ingest_into(Shard& shard,
 constexpr std::uint32_t kCensusSpillMarker = 0x80000000u;
 
 Bytes ValidationCensus::encode_state() const {
+  return encode_state(store_ != nullptr ? store_->last_seq() : 0);
+}
+
+Bytes ValidationCensus::encode_state(std::uint64_t spill_cursor_seq) const {
   Bytes out;
   const bool spill = store_ != nullptr;
   util::put_u32(out, static_cast<std::uint32_t>(kShards) |
                          (spill ? kCensusSpillMarker : 0));
-  if (spill) util::put_u64(out, store_->last_seq());
+  if (spill) util::put_u64(out, spill_cursor_seq);
   // Scratch rows for the two sorted sections. Dense shards materialize
   // their keys' hex through the interner reverse tables (`owned` keeps the
   // strings alive behind the views), so the encoded bytes are identical in

@@ -147,8 +147,16 @@ class ValidationCensus {
   // --- Snapshot codec (recover::snapshot) ---------------------------------
   /// Serializes every shard's accumulators (dedup state, per-root counts,
   /// anchor sets in arrival order, totals). Unordered-map keys are sorted
-  /// first so equal census states always encode to equal bytes.
+  /// first so equal census states always encode to equal bytes. In spill
+  /// mode this samples the attached store's current sequence as the
+  /// journal-replay cursor.
   Bytes encode_state() const;
+  /// Spill-mode variant taking the replay cursor explicitly: checkpoints
+  /// pass the sequence they sampled right after flushing the store, so the
+  /// census section and the notary cursor of one snapshot reference the
+  /// same durable prefix even under concurrent ingest. Encodes identically
+  /// to encode_state() when `spill_cursor_seq` equals the store's seq.
+  Bytes encode_state(std::uint64_t spill_cursor_seq) const;
   /// All-or-nothing restore: decodes into temporary shards and swaps them
   /// in only when the whole buffer parses, so a corrupt payload leaves the
   /// census untouched. The anchor-set index is rebuilt, merged() re-derives.

@@ -278,11 +278,11 @@ Result<void> NotaryDb::decode_state(ByteView data) {
   return {};
 }
 
-Bytes NotaryDb::encode_store_cursor() const {
+Bytes NotaryDb::encode_store_cursor(std::uint64_t store_seq) const {
   Bytes out;
   util::put_i64(out, now_.to_unix());
   util::put_u64(out, sessions_);
-  util::put_u64(out, store_ != nullptr ? store_->last_seq() : 0);
+  util::put_u64(out, store_seq);
   util::put_u64(out, by_port_.size());
   for (const auto& [port, count] : by_port_) {  // std::map: already sorted
     util::put_u16(out, port);

@@ -82,9 +82,11 @@ class NotaryDb {
   /// Spill-mode replacement for encode_state's full serialization: the
   /// store already holds every certificate durably, so the checkpoint
   /// records only {now, sessions, store cursor, ports} — bytes stay flat
-  /// as the corpus grows. The cursor is the store sequence the caller
-  /// flushed before checkpointing.
-  Bytes encode_store_cursor() const;
+  /// as the corpus grows. `store_seq` is the store sequence the caller
+  /// sampled right after flushing — passed in (rather than re-sampled
+  /// here) so every section of one snapshot references the same durable
+  /// prefix even when ingest keeps appending concurrently.
+  Bytes encode_store_cursor(std::uint64_t store_seq) const;
   /// Restores the session/port tallies and returns the recorded store
   /// cursor for the caller to validate against the store's clean prefix.
   /// Same refusals as decode_state (different `now` is kInvalidState).

@@ -348,17 +348,24 @@ Result<void> CheckpointingCensus::checkpoint() {
     // that points into it, or a crash between the two writes would leave a
     // cursor covering records that never made it. A flush failure aborts
     // the checkpoint — the previous snapshot stays valid.
-    if (auto flushed = store->flush(); !flushed.ok()) return flushed.error();
+    // The cursor is sampled exactly once, *before* the flush, and handed to
+    // every cursor-bearing section below: the flush then guarantees every
+    // record at or below it is durable even while concurrent ingest keeps
+    // appending. A cursor re-sampled later (or per section) could point
+    // past the flushed prefix and make an otherwise-valid snapshot fail its
+    // replay check after a crash.
     store_seq = store->last_seq();
+    if (auto flushed = store->flush(); !flushed.ok()) return flushed.error();
     sections.push_back(
         {static_cast<std::uint32_t>(SectionId::kNotaryStoreCursor),
-         db_.encode_store_cursor()});
+         db_.encode_store_cursor(store_seq)});
   } else {
     sections.push_back({static_cast<std::uint32_t>(SectionId::kNotaryDb),
                         db_.encode_state()});
   }
   sections.push_back({static_cast<std::uint32_t>(SectionId::kCensus),
-                      census_.encode_state()});
+                      store != nullptr ? census_.encode_state(store_seq)
+                                       : census_.encode_state()});
   if (config_.include_verify_cache) {
     if (const pki::VerifyCache* cache = census_.verify_cache();
         cache != nullptr) {

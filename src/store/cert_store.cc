@@ -5,6 +5,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <unordered_set>
 #include <utility>
 
@@ -109,6 +110,10 @@ CertStore::CertStore(StoreConfig config) : config_(std::move(config)) {
 CertStore::~CertStore() {
   std::lock_guard<std::mutex> lock(mu_);
   close_writers();
+  // A refused open (configuration mismatch, damaged directory) tears down
+  // a store that never held the data; writing its empty index here would
+  // clobber the valid one the refusal was protecting.
+  if (!opened_) return;
   // A clean close leaves a matching index so the next open skips the
   // segment scan entirely; a crash (no dtor) just costs that open a scan.
   std::vector<recover::Section> sections;
@@ -148,6 +153,7 @@ Result<std::unique_ptr<CertStore>> CertStore::open(StoreConfig config) {
         " stale atomic-write temp(s)");
   }
   if (auto ok = store->recover_from_disk(); !ok.ok()) return ok.error();
+  store->opened_ = true;
   TANGLED_OBS_INC("store.opens");
   return store;
 }
@@ -157,7 +163,7 @@ Result<std::unique_ptr<CertStore>> CertStore::open(StoreConfig config) {
 Result<void> CertStore::recover_from_disk() {
   using SegKey = std::pair<std::uint32_t, std::uint64_t>;
 
-  const auto discover = [this]() {
+  const auto discover = [this]() -> Result<std::map<SegKey, std::uint64_t>> {
     std::map<SegKey, std::uint64_t> discovered;
 #if TANGLED_STORE_POSIX
     DIR* d = opendir(config_.dir.c_str());
@@ -169,10 +175,22 @@ Result<void> CertStore::recover_from_disk() {
       }
       std::uint32_t shard = 0;
       std::uint64_t id = 0;
-      if (!parse_segment_file_name(name, shard, id) ||
-          shard >= config_.shards) {
+      if (!parse_segment_file_name(name, shard, id)) {
         report_.notes.push_back("ignoring unrecognized segment file " + name);
         continue;
+      }
+      if (shard >= config_.shards) {
+        // A valid segment of a shard this configuration does not have:
+        // the store was written with more shards. Opening anyway would
+        // silently lose every certificate in the dropped shards, so this
+        // is the same typed configuration refusal the snapshot layer
+        // gives for shard-count mismatches — not a rebuild.
+        closedir(d);
+        return state_error(
+            "store: segment file " + name + " belongs to shard " +
+            std::to_string(shard) + " but this store is configured with " +
+            std::to_string(config_.shards) +
+            " shard(s); refusing to open under a mismatched shard count");
       }
       auto size = file_size_of(config_.dir + "/" + name);
       if (!size.ok()) continue;
@@ -183,7 +201,9 @@ Result<void> CertStore::recover_from_disk() {
     return discovered;
   };
 
-  std::map<SegKey, std::uint64_t> discovered = discover();
+  auto discovery = discover();
+  if (!discovery.ok()) return discovery.error();
+  std::map<SegKey, std::uint64_t> discovered = std::move(discovery).value();
 
   // Try the index file first: a pure accelerator, validated against the
   // discovered segments and abandoned for a full rescan on any mismatch.
@@ -195,7 +215,16 @@ Result<void> CertStore::recover_from_disk() {
       if (const recover::Section* section = loaded.value().find(
               static_cast<recover::SectionId>(kIndexSection));
           section != nullptr) {
-        if (auto ok = load_index(section->payload, listed); ok.ok()) {
+        auto loaded_index = load_index(section->payload, listed);
+        if (!loaded_index.ok() &&
+            loaded_index.error().code == Errc::kInvalidState) {
+          // The index decoded far enough to say it was written under a
+          // different shard count. Rescanning the surviving shards would
+          // quietly produce a store missing the rest, so refuse, exactly
+          // like the census/checkpoint layer refuses mismatched configs.
+          return loaded_index.error();
+        }
+        if (loaded_index.ok()) {
           index_ok = true;
           // Validate: every listed segment must still exist, at least as
           // long as the index knew it (logs only append in place).
@@ -311,7 +340,9 @@ Result<void> CertStore::recover_from_disk() {
     seq_ = 0;
     listed.clear();
     for (ShardLog& log : shards_) log = ShardLog{};
-    discovered = discover();
+    discovery = discover();
+    if (!discovery.ok()) return discovery.error();
+    discovered = std::move(discovery).value();
     clean = scan_pass();
     if (!clean.ok()) return clean.error();
   }
@@ -385,14 +416,16 @@ Result<void> CertStore::scan_segment(std::uint32_t shard, std::uint64_t id,
   }
 
   SegmentScanner scanner(file);
-  // Fast-forward across the prefix the index already covers, still
-  // checksum-verifying nothing (the index vouched for it); records are
-  // framed, so re-deriving boundaries requires a walk — scan from the
-  // header unless the index prefix is trusted wholesale.
+  // Fast-forward across the prefix the index already covers: records are
+  // framed, so re-deriving boundaries requires a walk, and next() checksums
+  // each record on the way. The entries are already in the loaded index
+  // (skip), but the verification is what last_clean_seq may trust — if
+  // damage turns up deeper in this shard, min_stop_seq_ must name the last
+  // seq actually proven intact, not the index's global high-water.
   while (scanner.stop_offset() < from_offset) {
     const auto record = scanner.next();
     if (!record.has_value()) break;
-    // Prefix records are already in the loaded index; skip.
+    log.last_clean_seq = std::max(log.last_clean_seq, record->seq);
   }
   while (true) {
     const auto record = scanner.next();
@@ -456,10 +489,13 @@ void CertStore::apply_scanned_record(std::uint32_t shard, std::uint64_t id,
       Entry& entry = entries_[fp_id];
       // Newest cert record wins (a revive after a tombstone); compaction
       // can replay duplicates of the same seq — idempotent by comparison.
+      // Membership is *assigned*, matching put() on a tombstone→revive:
+      // bits merged before a removal die with the record (kMember records
+      // that postdate the tombstone are re-applied in rebuild_derived).
       if (record.seq >= entry.seq) {
         entry.identity_id = identity_ids_.intern(record.identity);
         entry.spki_id = spki_ids_.intern(record.spki);
-        entry.membership |= record.membership;
+        entry.membership = record.membership;
         entry.not_after_unix = record.not_after_unix;
         entry.seq = record.seq;
         entry.shard = shard;
@@ -642,9 +678,11 @@ Result<void> CertStore::load_index(
   }
   if (auto ok = in.expect_end(); !ok.ok()) return ok;
   seq_ = seq.value();
+  // last_clean_seq deliberately stays at 0 here: it is a *verification*
+  // high-water, advanced only as the scan checksums records, never by the
+  // index's claim of how far the log reached.
   for (const auto& [key, size] : listed) {
     shards_[key.first].segment_sizes[key.second] = size;
-    shards_[key.first].last_clean_seq = seq_;
   }
   return {};
 }
@@ -960,8 +998,12 @@ Result<std::shared_ptr<const Segment>> CertStore::mapped_segment(
   auto map = util::MmapFile::open(segment_path(shard, id));
   if (!map.ok()) return map.error();
   if (map.value().size() < min_size) {
-    return state_error("store: segment " + segment_file_name(shard, id) +
-                       " shorter than the index expects");
+    // kNotFound: the bytes the caller wants are not in this file (any
+    // more) — the shape a concurrent compaction swap produces, which
+    // get() retries against a re-read entry. Persistent truncation
+    // surfaces this same message once the retries give up.
+    return not_found_error("store: segment " + segment_file_name(shard, id) +
+                           " shorter than the index expects");
   }
   auto segment = std::make_shared<Segment>(segment_path(shard, id), shard, id,
                                            std::move(map).value());
@@ -1002,6 +1044,7 @@ void CertStore::evict_cold_locked() {
 }
 
 Result<PinnedRecord> CertStore::get(ByteView fingerprint) {
+  std::optional<Error> last_miss;
   for (int attempt = 0; attempt < 4; ++attempt) {
     std::uint32_t shard = 0;
     std::uint64_t segment_id = 0, offset = 0, length = 0;
@@ -1026,13 +1069,23 @@ Result<PinnedRecord> CertStore::get(ByteView fingerprint) {
     }
     auto segment = mapped_segment(shard, segment_id, offset + length);
     if (!segment.ok()) {
-      // Compaction may have swapped the segment between the two locks;
-      // re-read the entry and try again.
+      if (segment.error().code != Errc::kNotFound) {
+        // EACCES, mmap failure, ...: persistent real errors, not the
+        // compaction race — propagate immediately with their message.
+        return segment.error();
+      }
+      // Compaction may have unlinked or swapped the segment between the
+      // two locks (the file is gone or too short); re-read the entry and
+      // try again.
+      last_miss = segment.error();
       continue;
     }
     const ByteView view = segment.value()->view();
     if (view.size() < offset + length ||
         length < kCertDerOffset + kSegmentDigestSize) {
+      last_miss = not_found_error(
+          "store: mapped segment " + segment_file_name(shard, segment_id) +
+          " does not cover the indexed record");
       continue;
     }
     const std::size_t der_len =
@@ -1040,6 +1093,12 @@ Result<PinnedRecord> CertStore::get(ByteView fingerprint) {
     TANGLED_OBS_INC("store.gets");
     return PinnedRecord(std::move(segment).value(),
                         view.subspan(offset + kCertDerOffset, der_len));
+  }
+  // Every attempt came back race-shaped yet the entry kept pointing at the
+  // same hole: report the underlying miss, not a guess about compaction.
+  if (last_miss.has_value()) {
+    return state_error(last_miss->message +
+                       " (after retrying the compaction race)");
   }
   return state_error("store: record moved during concurrent compaction");
 }

@@ -162,7 +162,10 @@ class CertStore {
  public:
   /// Opens (or creates) the store at config.dir: sweeps stale atomic-write
   /// temps, loads or rebuilds the index, truncates torn tails. The report
-  /// says what happened. kUnsupported on a future-format segment.
+  /// says what happened. kUnsupported on a future-format segment;
+  /// kInvalidState when the directory was written under a different shard
+  /// count (a configuration mismatch refuses rather than silently dropping
+  /// the missing shards' certificates).
   static Result<std::unique_ptr<CertStore>> open(StoreConfig config);
   ~CertStore();
 
@@ -258,7 +261,10 @@ class CertStore {
     std::uint64_t active_id = 0;
     std::uint64_t active_size = 0;
     std::uint64_t next_id = 0;
-    /// Clean-scan high-water at open; used to diagnose damage severity.
+    /// Highest checksum-verified seq in this shard during the open scan
+    /// (index-trusted prefixes are re-verified record by record on the
+    /// fast-forward walk). min_stop_seq_ derives from this when damage is
+    /// found, so it must never exceed what was actually proven intact.
     std::uint64_t last_clean_seq = 0;
     /// id → file size (as known to the index; active grows past it).
     std::map<std::uint64_t, std::uint64_t> segment_sizes;
@@ -294,6 +300,10 @@ class CertStore {
 
   StoreConfig config_;
   StoreReport report_;
+  /// Set only after recovery succeeds. A store whose open was refused
+  /// (e.g. shard-count mismatch) must not write its empty in-memory index
+  /// over the valid one on destruction.
+  bool opened_ = false;
 
   /// Guards the index, sequence counter, and shard writers. Lock order:
   /// mu_ before map_mu_.

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <dirent.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -294,6 +295,148 @@ TEST(CertStore, CompactionDropsStableTombstonesAndKeepsReplayExact) {
     ASSERT_TRUE(got.ok()) << i;
     EXPECT_TRUE(bytes_equal(got.value().der(), made[i].der)) << i;
   }
+}
+
+TEST(CertStore, DamageBelowTheIndexedPrefixBoundsMinStopSeqToVerifiedRecords) {
+  const std::string dir = fresh_dir("index_damage");
+  StoreConfig config = small_config(dir);
+  config.shards = 1;
+  constexpr std::uint64_t kDamagedSeq = 5;
+  std::vector<Made> made;
+  std::uint64_t damage_offset = 0;
+  {
+    auto store = CertStore::open(config);
+    ASSERT_TRUE(store.ok());
+    for (int n = 1; n <= 8; ++n) {
+      made.push_back(make_record(static_cast<std::uint8_t>(n)));
+      ASSERT_TRUE(store.value()->put(made.back().record).value());
+    }
+    ASSERT_TRUE(store.value()
+                    ->replay(~std::uint64_t{0},
+                             [&](const RecordView& r) {
+                               if (r.seq == kDamagedSeq) {
+                                 damage_offset = r.offset;
+                               }
+                             })
+                    .ok());
+    ASSERT_GT(damage_offset, 0u);
+    // Destructor writes the index; the reopen below trusts it and
+    // fast-forwards across the whole log as the "already indexed" prefix.
+  }
+  // Flip a payload byte of the seq-5 record: sealed-region damage *below*
+  // the index-covered prefix, while the index file itself stays intact.
+  const std::string segment = dir + "/shard-000-seg-00000000.tseg";
+  std::FILE* f = std::fopen(segment.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  const long at = static_cast<long>(damage_offset) + 13;  // inside the payload
+  ASSERT_EQ(std::fseek(f, at, SEEK_SET), 0);
+  const int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, at, SEEK_SET), 0);
+  std::fputc(byte ^ 0xff, f);
+  std::fclose(f);
+
+  auto reopened = CertStore::open(config);
+  ASSERT_TRUE(reopened.ok());
+  CertStore& s = *reopened.value();
+  // The clean prefix provably ends at seq 4. min_stop_seq must name the
+  // last seq the scan actually verified — not the index's global seq (8),
+  // which would let a checkpoint cursor at 5..8 resume over a replay that
+  // silently misses records.
+  EXPECT_EQ(s.min_stop_seq(), kDamagedSeq - 1);
+  EXPECT_EQ(s.live_count(), static_cast<std::size_t>(kDamagedSeq - 1));
+  for (std::uint64_t i = 0; i + 1 < kDamagedSeq; ++i) {
+    EXPECT_TRUE(s.contains(made[i].fp)) << i;
+  }
+  EXPECT_FALSE(s.contains(made[kDamagedSeq - 1].fp));
+}
+
+TEST(CertStore, ReopenUnderADifferentShardCountRefuses) {
+  const std::string dir = fresh_dir("shard_mismatch");
+  {
+    auto store = CertStore::open(small_config(dir));  // written with 4 shards
+    ASSERT_TRUE(store.ok());
+    for (int n = 1; n <= 8; ++n) {
+      ASSERT_TRUE(
+          store.value()->put(make_record(static_cast<std::uint8_t>(n)).record)
+              .value());
+    }
+  }
+  // Fewer shards than the directory holds: the foreign shards' segments
+  // would be silently dropped by a rescan, so open refuses — the same
+  // typed policy the checkpoint layer applies to configuration mismatches.
+  StoreConfig narrow = small_config(dir);
+  narrow.shards = 2;
+  auto refused = CertStore::open(narrow);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error().code, Errc::kInvalidState);
+
+  // The matching configuration still opens with everything intact.
+  {
+    auto reopened = CertStore::open(small_config(dir));
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ(reopened.value()->live_count(), 8u);
+  }
+  // Even with the foreign shards' files gone, the index still names four
+  // shards: the same refusal now comes from the index codec instead of the
+  // directory scan.
+  for (const char* name :
+       {"shard-002-seg-00000000.tseg", "shard-003-seg-00000000.tseg"}) {
+    std::remove((dir + "/" + name).c_str());
+  }
+  refused = CertStore::open(narrow);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error().code, Errc::kInvalidState);
+}
+
+TEST(CertStore, RescanMatchesRuntimeMembershipAcrossTombstoneRevive) {
+  const std::string dir = fresh_dir("revive_membership");
+  const Made a = make_record(1, /*membership=*/0b0011);
+  {
+    auto store = CertStore::open(small_config(dir));
+    ASSERT_TRUE(store.ok());
+    CertStore& s = *store.value();
+    ASSERT_TRUE(s.put(a.record).value());
+    ASSERT_TRUE(s.merge_membership(a.fp, 0b1000).ok());
+    ASSERT_TRUE(s.remove(a.fp).value());
+    const Made revived = make_record(1, /*membership=*/0b0100);
+    ASSERT_TRUE(s.put(revived.record).value());
+    // Runtime semantics: a revive *assigns* membership; bits merged before
+    // the tombstone died with the removed record.
+    EXPECT_EQ(s.membership_of(a.fp), 0b0100u);
+  }
+  // Crash shape: no usable index, full rescan. The rebuilt answers must
+  // match what the live run said, bit for bit.
+  std::remove((dir + "/index.tnglidx").c_str());
+  auto reopened = CertStore::open(small_config(dir));
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(reopened.value()->report().full_rescan);
+  EXPECT_EQ(reopened.value()->membership_of(a.fp), 0b0100u);
+  EXPECT_EQ(reopened.value()->membership_by_spki(a.spki), 0b0100u);
+}
+
+TEST(CertStore, GetReportsPersistentTruncationInsteadOfACompactionGuess) {
+  const std::string dir = fresh_dir("get_truncated");
+  StoreConfig config = small_config(dir);
+  config.shards = 1;
+  auto store = CertStore::open(config);
+  ASSERT_TRUE(store.ok());
+  CertStore& s = *store.value();
+  const Made a = make_record(1);
+  ASSERT_TRUE(s.put(a.record).value());
+  ASSERT_TRUE(s.flush().ok());
+  // Truncate the segment mid-record behind the store's back: a persistent
+  // real failure. The compaction-race retry must give up and surface the
+  // actual mismatch, not blame a compaction that never ran.
+  ASSERT_EQ(::truncate((dir + "/shard-000-seg-00000000.tseg").c_str(),
+                       static_cast<off_t>(kSegmentHeaderSize + 10)),
+            0);
+  auto got = s.get(a.fp);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.error().code, Errc::kInvalidState);
+  EXPECT_NE(got.error().message.find("shorter than the index expects"),
+            std::string::npos)
+      << got.error().message;
 }
 
 TEST(CertStore, ResetLeavesAnEmptyStoreThatAcceptsNewWrites) {

@@ -236,6 +236,54 @@ TEST(SpillEquivalence, CheckpointShrinksToACursorAndResumesWarm) {
   std::remove(cursor_path.c_str());
 }
 
+TEST(SpillEquivalence, ExplicitCheckpointCursorPinsTheFlushedPrefix) {
+  util::ThreadPool pool(4);
+  const Fixture& f = fixture();
+  auto store = open_store("cursor_pin");
+  notary::NotaryDb db;
+  db.attach_store(store.get());
+  notary::ValidationCensus census(f.anchors);
+  census.attach_store(store.get());
+  for (const auto& obs : f.corpus) db.observe(obs);
+  census.ingest_batch(f.corpus, pool);
+
+  // The checkpoint samples the store sequence once, before flushing, and
+  // hands that same value to every cursor-bearing section. A record landing
+  // after the sample (concurrent ingest) must not advance any section's
+  // cursor past the durable prefix.
+  const std::uint64_t flushed_seq = store->last_seq();
+  ASSERT_TRUE(store->flush().ok());
+  const Bytes pinned_census = census.encode_state(flushed_seq);
+  const Bytes pinned_notary = db.encode_store_cursor(flushed_seq);
+  const Bytes late_fp(32, 0xEE);
+  const Bytes late_identity(32, 0xDD);
+  const Bytes late_spki(32, 0xCC);
+  const Bytes late_der(64, 0x42);
+  CertRecord late{late_fp, late_identity, late_spki, 1, 2'000'000'000,
+                  late_der};
+  ASSERT_TRUE(store->put(late).value());
+  ASSERT_GT(store->last_seq(), flushed_seq);
+
+  // Both sections decode against the pinned cursor: the notary cursor
+  // comes back as exactly the flushed seq, and the census replay up to it
+  // reproduces the checkpointed totals even though the store moved on.
+  notary::NotaryDb db2(db.now());
+  db2.attach_store(store.get());
+  auto cursor = db2.decode_store_cursor(pinned_notary);
+  ASSERT_TRUE(cursor.ok()) << tangled::to_string(cursor.error());
+  EXPECT_EQ(cursor.value(), flushed_seq);
+  notary::ValidationCensus census2(f.anchors);
+  census2.attach_store(store.get());
+  ASSERT_TRUE(census2.decode_state(pinned_census).ok());
+  EXPECT_EQ(census2.total_validated(), census.total_validated());
+  EXPECT_EQ(census2.total_unexpired(), census.total_unexpired());
+
+  // The convenience overload samples the live seq: identical bytes when
+  // nothing intervened, a different cursor once the store moved on.
+  EXPECT_EQ(census.encode_state(), census.encode_state(store->last_seq()));
+  EXPECT_NE(census.encode_state(), pinned_census);
+}
+
 TEST(SpillEquivalence, ModeMismatchedSnapshotsColdStartWithAReport) {
   util::ThreadPool pool(4);
   const Fixture& f = fixture();
