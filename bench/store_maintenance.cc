@@ -1,0 +1,459 @@
+// Store maintenance bench: can the store maintain itself without getting
+// in the ingest path's way? Phase A runs an identical churn workload
+// (puts + tombstones, small segments) twice — once with the background
+// Maintainer compacting behind the writer, once with compaction off — and
+// gates on three things: the maintained run's per-op p99 stall stays under
+// an absolute bound (TANGLED_MAINT_P99_MS, default 25 ms — compaction
+// rewrites outside the lock, so appends only ever wait out a seal/swap),
+// at least one compaction actually ran during ingest, and the maintained
+// store ends smaller on disk than the baseline (space genuinely
+// reclaimed). The live sets must be identical — maintenance may never
+// change an answer. Phase B checkpoints a spill-mode census mid-run,
+// takes a live backup while ingest continues, and requires
+// restore(backup) + resume(mid-run snapshot) + tail replay to land on the
+// exact census signature of the uninterrupted run.
+// Emits BENCH_store_maintenance.json; any failed gate is a nonzero exit.
+#include <dirent.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "crypto/hash.h"
+#include "recover/checkpoint.h"
+#include "store/cert_store.h"
+#include "store/maintainer.h"
+#include "util/atomic_file.h"
+
+namespace {
+
+using namespace tangled;
+
+void remove_dir_files(const std::string& dir) {
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return;
+  std::vector<std::string> names;
+  while (const dirent* entry = readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  closedir(d);
+  for (const std::string& name : names) {
+    std::remove((dir + "/" + name).c_str());
+  }
+}
+
+double p99_stall_bound_ms() {
+  const char* env = std::getenv("TANGLED_MAINT_P99_MS");
+  if (env == nullptr || env[0] == '\0') return 25.0;
+  return std::strtod(env, nullptr);
+}
+
+/// Deterministic churn record `i`: fingerprint/identity/spki derived by
+/// hashing the index, DER a recognizable pattern. Same i → same record, so
+/// the maintained and baseline runs see byte-identical workloads.
+struct ChurnRecord {
+  Bytes fp, identity, spki, der;
+};
+
+ChurnRecord churn_record(std::uint64_t i) {
+  ChurnRecord r;
+  Bytes seed(8);
+  for (int b = 0; b < 8; ++b) {
+    seed[b] = static_cast<std::uint8_t>(i >> (8 * b));
+  }
+  r.fp = crypto::Sha256::hash(seed);
+  seed[0] ^= 0xA5;
+  r.identity = crypto::Sha256::hash(seed);
+  seed[1] ^= 0xA5;
+  r.spki = crypto::Sha256::hash(seed);
+  r.der.assign(600, static_cast<std::uint8_t>(i * 131 + 7));
+  return r;
+}
+
+struct ChurnResult {
+  std::vector<double> op_ms;      // per-op wall latency, puts and removes
+  std::uint64_t disk_bytes = 0;   // at workload end (after final pass)
+  std::uint64_t live_bytes = 0;
+  std::string live_digest;        // order-independent? no — fp-ordered walk
+  std::uint64_t compactions = 0;  // store-side counter
+};
+
+/// The shared workload: put n records; every third record is tombstoned a
+/// little later, creating a steadily growing dead fraction for the
+/// maintainer to reclaim. `maintainer` may be null (the baseline).
+ChurnResult run_churn(store::CertStore& s, store::Maintainer* maintainer,
+                      std::size_t n) {
+  using clock = std::chrono::steady_clock;
+  ChurnResult result;
+  result.op_ms.reserve(n + n / 3 + 1);
+  auto timed = [&](auto&& op) {
+    const auto t0 = clock::now();
+    op();
+    result.op_ms.push_back(
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count());
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const ChurnRecord r = churn_record(i);
+    timed([&] {
+      store::CertRecord record{r.fp,        r.identity, r.spki, 1,
+                               2'000'000'000, r.der};
+      if (!s.put(record).ok()) std::exit(1);
+    });
+    // Tombstone record i-16 when (i-16) % 3 == 0: dead records trail the
+    // write head, the shape a dedup/expiry pipeline produces.
+    if (i >= 16 && (i - 16) % 3 == 0) {
+      const ChurnRecord dead = churn_record(i - 16);
+      timed([&] {
+        if (!s.remove(dead.fp).ok()) std::exit(1);
+      });
+    }
+  }
+  if (maintainer != nullptr) {
+    // One forced pass at the end so the final disk size reflects a caught-
+    // up maintainer rather than scheduler timing luck.
+    (void)maintainer->run_pass(/*force=*/true);
+  }
+  const store::StoreStats stats = s.stats();
+  result.disk_bytes = stats.disk_bytes;
+  result.live_bytes = stats.live_bytes;
+  result.compactions = stats.compactions;
+  std::string walk;
+  s.for_each_live([&](ByteView fp, ByteView, ByteView, std::uint64_t m,
+                      std::int64_t) {
+    walk.append(reinterpret_cast<const char*>(fp.data()), fp.size());
+    walk += std::to_string(m);
+  });
+  const Bytes digest = crypto::Sha256::hash(
+      ByteView(reinterpret_cast<const std::uint8_t*>(walk.data()),
+               walk.size()));
+  for (std::uint8_t b : digest) {
+    char hex[3];
+    std::snprintf(hex, sizeof hex, "%02x", b);
+    result.live_digest += hex;
+  }
+  return result;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t at = std::min(
+      values.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(values.size())));
+  return values[at];
+}
+
+std::string census_signature(const notary::NotaryDb& db,
+                             const notary::ValidationCensus& census) {
+  std::string sig;
+  sig += "sessions=" + std::to_string(db.session_count());
+  sig += ";unique=" + std::to_string(db.unique_cert_count());
+  sig += ";unexpired=" + std::to_string(db.unexpired_unique_cert_count());
+  sig += ";validated=" + std::to_string(census.total_validated());
+  sig += ";census_unexpired=" + std::to_string(census.total_unexpired());
+  const rootstore::RootStore* stores[] = {
+      &bench::universe().mozilla(),
+      &bench::universe().aosp(rootstore::AndroidVersion::k44),
+  };
+  for (const rootstore::RootStore* store : stores) {
+    sig += ";store=" + std::to_string(census.validated_by_store(*store));
+  }
+  return sig;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Store maintenance: background compaction + live backup",
+      "self-maintaining store (measured only)");
+  bench::BenchReport report("store_maintenance",
+                            "background compaction pacing + live backup");
+
+  std::string out_dir = ".";
+  if (const char* env = std::getenv("TANGLED_BENCH_OUT")) {
+    if (env[0] != '\0') out_dir = env;
+  }
+  const std::string maintained_dir = out_dir + "/store_maint_on.store";
+  const std::string baseline_dir = out_dir + "/store_maint_off.store";
+  const std::string census_dir = out_dir + "/store_maint_census.store";
+  const std::string restored_dir = out_dir + "/store_maint_restored.store";
+  const std::string backup_dir = out_dir + "/store_maint_backup.bak";
+  const std::string snapshot_path = out_dir + "/store_maint.tngl";
+  const std::string snapshot_mid_path = out_dir + "/store_maint_mid.tngl";
+  for (const std::string& dir :
+       {maintained_dir, baseline_dir, census_dir, restored_dir, backup_dir}) {
+    remove_dir_files(dir);
+  }
+  std::remove(snapshot_path.c_str());
+  std::remove(snapshot_mid_path.c_str());
+
+  // --- Phase A: churn with and without the maintainer ----------------------
+  // Small segments so seals (and therefore compactable sealed sets) happen
+  // hundreds of times even at reduced CI scale.
+  const std::size_t n_records = bench::corpus_scale();
+  auto store_config = [&](const std::string& dir) {
+    store::StoreConfig config;
+    config.dir = dir;
+    config.shards = 4;
+    config.max_segment_bytes = 256 * 1024;
+    return config;
+  };
+
+  ChurnResult maintained;
+  std::uint64_t compactions_during_ingest = 0;
+  std::uint64_t reclaimed_bytes = 0;
+  {
+    obs::Span span(obs::tracer(), "bench.maintenance.maintained_run");
+    auto store = store::CertStore::open(store_config(maintained_dir));
+    if (!store.ok()) return 1;
+    store::MaintainerConfig config;
+    config.poll_interval_ms = 2;
+    config.min_disk_bytes = 64 * 1024;
+    config.dead_ratio_trigger = 0.10;
+    config.amplification_trigger = 1.3;
+    // Every tombstone in this workload is immediately stable: the bench
+    // has no checkpoint cursor to respect in phase A.
+    config.stable_seq = [s = store.value().get()] { return s->last_seq(); };
+    store::Maintainer maintainer(*store.value(), config);
+    if (!maintainer.start().ok()) return 1;
+    maintained = run_churn(*store.value(), &maintainer, n_records);
+    maintainer.stop();
+    const store::MaintainerStats stats = maintainer.stats();
+    compactions_during_ingest = stats.shard_compactions;
+    reclaimed_bytes = stats.reclaimed_bytes;
+    if (stats.failures > 0) {
+      std::fprintf(stderr, "maintenance failures: %llu (%s)\n",
+                   static_cast<unsigned long long>(stats.failures),
+                   stats.last_error.c_str());
+    }
+  }
+
+  ChurnResult baseline;
+  {
+    obs::Span span(obs::tracer(), "bench.maintenance.baseline_run");
+    auto store = store::CertStore::open(store_config(baseline_dir));
+    if (!store.ok()) return 1;
+    baseline = run_churn(*store.value(), nullptr, n_records);
+  }
+
+  const double p99_on = percentile(maintained.op_ms, 0.99);
+  const double p99_off = percentile(baseline.op_ms, 0.99);
+  const double max_on =
+      maintained.op_ms.empty()
+          ? 0.0
+          : *std::max_element(maintained.op_ms.begin(), maintained.op_ms.end());
+  const double p99_bound = p99_stall_bound_ms();
+
+  const bool stall_bounded = p99_on <= p99_bound;
+  const bool compacted_live = compactions_during_ingest > 0;
+  const bool space_reclaimed =
+      baseline.disk_bytes > 0 && maintained.disk_bytes < baseline.disk_bytes;
+  const bool live_identical = maintained.live_digest == baseline.live_digest;
+  const double disk_ratio =
+      baseline.disk_bytes > 0 ? static_cast<double>(maintained.disk_bytes) /
+                                    static_cast<double>(baseline.disk_bytes)
+                              : 1.0;
+
+  std::printf("phase A (%zu records, 1/3 churned):\n", n_records);
+  std::printf("  ingest p99: maintainer on %.3f ms (max %.3f), off %.3f ms; "
+              "bound %.1f ms: %s\n",
+              p99_on, max_on, p99_off, p99_bound,
+              stall_bounded ? "within" : "EXCEEDED");
+  std::printf("  compactions during ingest: %llu (%s)\n",
+              static_cast<unsigned long long>(compactions_during_ingest),
+              compacted_live ? "live" : "NONE RAN");
+  std::printf("  disk: maintained %.1f MiB vs baseline %.1f MiB "
+              "(ratio %.2f, %.1f MiB reclaimed): %s\n",
+              static_cast<double>(maintained.disk_bytes) / (1024.0 * 1024.0),
+              static_cast<double>(baseline.disk_bytes) / (1024.0 * 1024.0),
+              disk_ratio,
+              static_cast<double>(reclaimed_bytes) / (1024.0 * 1024.0),
+              space_reclaimed ? "reclaimed" : "NOT RECLAIMED");
+  std::printf("  live sets identical: %s\n\n",
+              live_identical ? "yes" : "NO");
+
+  // --- Phase B: live backup of a spill-mode census run ---------------------
+  util::ThreadPool& pool = util::shared_pool();
+  // Small enough that the mid-run backup really is mid-run even at the CI
+  // lane's floor scale (TANGLED_BENCH_CERTS=1000).
+  constexpr std::size_t kBatch = 256;
+  constexpr std::uint64_t kPlanSeed = 20140408;
+
+  std::vector<notary::Observation> corpus;
+  {
+    obs::Span span(obs::tracer(), "bench.maintenance.generate_corpus");
+    synth::NotaryCorpusConfig config;
+    config.n_certs = bench::corpus_scale();
+    synth::NotaryCorpusGenerator generator(bench::universe(), config);
+    generator.generate(
+        [&corpus](const notary::Observation& obs) { corpus.push_back(obs); },
+        pool.size() <= 1 ? nullptr : &pool);
+  }
+
+  recover::CheckpointConfig checkpoint_config;
+  checkpoint_config.path = snapshot_path;
+  checkpoint_config.interval = 0;  // explicit checkpoints only
+  checkpoint_config.include_verify_cache = false;
+  checkpoint_config.plan_seed = kPlanSeed;
+
+  std::string final_signature;
+  std::uint64_t mid_cursor = 0;
+  bool backup_ok = false;
+  double backup_seconds = 0.0;
+  std::uint64_t backup_bytes = 0;
+  {
+    obs::Span span(obs::tracer(), "bench.maintenance.census_run");
+    auto store = store::CertStore::open(store_config(census_dir));
+    if (!store.ok()) return 1;
+    notary::NotaryDb db;
+    db.attach_store(store.value().get());
+    notary::ValidationCensus census(bench::all_anchors());
+    census.attach_store(store.value().get());
+    recover::CheckpointingCensus ckpt(db, census, checkpoint_config);
+    if (!ckpt.resume().ok()) return 1;
+
+    store::MaintainerConfig mconfig;
+    mconfig.poll_interval_ms = 2;
+    mconfig.min_disk_bytes = 64 * 1024;
+    mconfig.amplification_trigger = 1.3;
+    mconfig.stable_seq = ckpt.stable_seq_provider();
+    store::Maintainer maintainer(*store.value(), mconfig);
+    if (!maintainer.start().ok()) return 1;
+
+    std::thread backup_thread;
+    for (std::size_t i = 0; i < corpus.size(); i += kBatch) {
+      const std::size_t n = std::min(kBatch, corpus.size() - i);
+      if (!ckpt.ingest_batch(std::span(corpus.data() + i, n), pool).ok()) {
+        return 1;
+      }
+      if (!backup_thread.joinable() && i + n >= corpus.size() / 2) {
+        // Mid-run: checkpoint, squirrel the snapshot away, and start the
+        // live backup on its own thread while ingest keeps going.
+        if (!ckpt.checkpoint().ok()) return 1;
+        mid_cursor = ckpt.observations_ingested();
+        auto snap = util::read_file(snapshot_path);
+        if (!snap.ok() ||
+            !util::write_file_atomic(snapshot_mid_path, snap.value()).ok()) {
+          return 1;
+        }
+        backup_thread = std::thread([&] {
+          using clock = std::chrono::steady_clock;
+          const auto t0 = clock::now();
+          auto backup = maintainer.backup(backup_dir);
+          backup_seconds =
+              std::chrono::duration<double>(clock::now() - t0).count();
+          backup_ok = backup.ok();
+          if (backup.ok()) backup_bytes = backup.value().bytes;
+        });
+      }
+    }
+    if (backup_thread.joinable()) backup_thread.join();
+    maintainer.quiesce();
+    if (!ckpt.checkpoint().ok()) return 1;
+    maintainer.stop();
+    final_signature = census_signature(db, census);
+  }
+
+  // Restore the live backup, resume from the mid-run snapshot, replay the
+  // tail: the paper numbers must come out bit-identical.
+  bool restore_ok = false;
+  bool restored_identical = false;
+  bool restored_warm = false;
+  {
+    obs::Span span(obs::tracer(), "bench.maintenance.restore_run");
+    restore_ok =
+        store::CertStore::restore_backup(backup_dir, restored_dir).ok();
+    if (restore_ok) {
+      auto store = store::CertStore::open(store_config(restored_dir));
+      if (store.ok()) {
+        notary::NotaryDb db;
+        db.attach_store(store.value().get());
+        notary::ValidationCensus census(bench::all_anchors());
+        census.attach_store(store.value().get());
+        checkpoint_config.path = snapshot_mid_path;
+        recover::CheckpointingCensus ckpt(db, census, checkpoint_config);
+        auto info = ckpt.resume();
+        if (info.ok()) {
+          restored_warm =
+              !info.value().cold_start &&
+              info.value().observations_ingested == mid_cursor;
+          for (std::size_t i = info.value().observations_ingested;
+               i < corpus.size(); i += kBatch) {
+            const std::size_t n = std::min(kBatch, corpus.size() - i);
+            if (!ckpt.ingest_batch(std::span(corpus.data() + i, n), pool)
+                     .ok()) {
+              return 1;
+            }
+          }
+          restored_identical =
+              census_signature(db, census) == final_signature;
+        }
+      }
+    }
+  }
+
+  std::printf("phase B (%zu observations, backup at %llu):\n", corpus.size(),
+              static_cast<unsigned long long>(mid_cursor));
+  std::printf("  live backup: %s, %.1f MiB in %.3f s (concurrent with "
+              "ingest + maintenance)\n",
+              backup_ok ? "ok" : "FAILED",
+              static_cast<double>(backup_bytes) / (1024.0 * 1024.0),
+              backup_seconds);
+  std::printf("  restore + mid-snapshot resume: %s, warm=%s\n",
+              restore_ok ? "ok" : "FAILED", restored_warm ? "yes" : "no");
+  std::printf("  census signature after tail replay identical: %s\n",
+              restored_identical ? "yes" : "NO");
+
+  report.add_measured("churn records", static_cast<double>(n_records));
+  report.add_measured("ingest p99 ms (maintainer on)", p99_on);
+  report.add_measured("ingest p99 ms (compaction off)", p99_off);
+  report.add_measured("ingest max ms (maintainer on)", max_on);
+  report.add_measured("p99 stall bound ms", p99_bound);
+  report.add_measured("p99 stall within bound", stall_bounded ? 1 : 0);
+  report.add_measured("compactions during ingest",
+                      static_cast<double>(compactions_during_ingest));
+  report.add_measured("disk bytes (maintained)",
+                      static_cast<double>(maintained.disk_bytes));
+  report.add_measured("disk bytes (baseline)",
+                      static_cast<double>(baseline.disk_bytes));
+  report.add_measured("disk ratio maintained/baseline", disk_ratio);
+  report.add_measured("maintenance reclaimed bytes",
+                      static_cast<double>(reclaimed_bytes));
+  report.add_measured("space reclaimed", space_reclaimed ? 1 : 0);
+  report.add_measured("live sets identical", live_identical ? 1 : 0);
+  report.add_measured("backup ok", backup_ok ? 1 : 0);
+  report.add_measured("backup bytes", static_cast<double>(backup_bytes));
+  report.add_measured("backup seconds", backup_seconds);
+  report.add_measured("restore ok", restore_ok ? 1 : 0);
+  report.add_measured("restored resume warm", restored_warm ? 1 : 0);
+  report.add_measured("restored census identical",
+                      restored_identical ? 1 : 0);
+  report.note("TANGLED_MAINT_P99_MS overrides the absolute p99 stall bound "
+              "(default 25 ms); compaction rewrites outside the lock, so "
+              "appends only wait out seal/swap critical sections");
+  report.note("phase B's backup runs concurrent with both the ingest "
+              "writer and the maintenance scheduler; restore + mid-run "
+              "snapshot + tail replay must reproduce the uninterrupted "
+              "census signature exactly");
+
+  for (const std::string& dir :
+       {maintained_dir, baseline_dir, census_dir, restored_dir, backup_dir}) {
+    remove_dir_files(dir);
+  }
+  std::remove(snapshot_path.c_str());
+  std::remove(snapshot_mid_path.c_str());
+
+  const bool ok = stall_bounded && compacted_live && space_reclaimed &&
+                  live_identical && backup_ok && restore_ok &&
+                  restored_warm && restored_identical;
+  return ok ? 0 : 1;
+}

@@ -404,10 +404,18 @@ Result<void> CheckpointingCensus::start_telemetry() {
   obs::TelemetryConfig tconfig;
   tconfig.port = config_.telemetry_port;
   tconfig.health = [this] {
-    return "ok ingested=" +
-           std::to_string(ingested_.load(std::memory_order_relaxed)) +
-           " last_checkpoint=" +
-           std::to_string(last_checkpoint_.load(std::memory_order_relaxed));
+    // The maintenance supplier decides the leading token: a degraded
+    // store-maintenance layer flips "ok" to "degraded" so a probe keyed
+    // on the first word catches it, while ingest keeps running.
+    MaintenanceHealth maintenance;
+    if (maintenance_health_) maintenance = maintenance_health_();
+    std::string body = maintenance.degraded ? "degraded" : "ok";
+    body += " ingested=" +
+            std::to_string(ingested_.load(std::memory_order_relaxed)) +
+            " last_checkpoint=" +
+            std::to_string(last_checkpoint_.load(std::memory_order_relaxed));
+    if (!maintenance.detail.empty()) body += " " + maintenance.detail;
+    return body;
   };
   auto server = std::make_unique<obs::TelemetryServer>(std::move(tconfig));
   if (auto started = server->start(); !started.ok()) return started.error();

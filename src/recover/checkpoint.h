@@ -142,6 +142,27 @@ class CheckpointingCensus {
     return last_checkpoint_store_seq_.load(std::memory_order_relaxed);
   }
 
+  /// Extra /healthz detail from the store-maintenance layer (or any other
+  /// subsystem with a health verdict). The fragment is appended to the
+  /// health body each probe; when `degraded` comes back true the body's
+  /// leading token flips from "ok" to "degraded" so load balancers keyed
+  /// on the first word see the condition. Set before start_telemetry();
+  /// the supplier runs on the telemetry thread and must be thread-safe.
+  struct MaintenanceHealth {
+    bool degraded = false;
+    std::string detail;
+  };
+  void set_maintenance_health(std::function<MaintenanceHealth()> fn) {
+    maintenance_health_ = std::move(fn);
+  }
+
+  /// Convenience closure over last_checkpoint_store_seq() — the
+  /// `stable_seq` bound a store::Maintainer should compact against (the
+  /// handoff from checkpoint cursors to the maintenance scheduler).
+  std::function<std::uint64_t()> stable_seq_provider() {
+    return [this] { return last_checkpoint_store_seq(); };
+  }
+
   /// Starts the telemetry endpoint (idempotent). resume() calls this when
   /// config.serve_telemetry is set; tests and benches may call it directly.
   /// The /healthz body reports ingest and checkpoint progress.
@@ -172,6 +193,7 @@ class CheckpointingCensus {
   std::atomic<std::uint64_t> last_checkpoint_{0};
   std::atomic<std::uint64_t> last_checkpoint_store_seq_{0};
   std::string last_error_;
+  std::function<MaintenanceHealth()> maintenance_health_;
   std::unique_ptr<obs::TelemetryServer> telemetry_;
 };
 

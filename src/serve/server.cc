@@ -280,6 +280,12 @@ void IngestServer::serve_loop() {
     // cursor covers everything this server accepted.
     drain_report_.stream = ingestor_->finish();
     drain_report_.observations_committed = cursor();
+    // In-flight store maintenance must settle before the final
+    // checkpoint: a compaction pass swapping segments after the cursor is
+    // written would be harmless for correctness (compaction preserves
+    // every record above stable_seq) but leaves the index accelerator
+    // stale for the very open that resume performs next.
+    if (config_.quiesce_maintenance) config_.quiesce_maintenance();
     if (checkpoint_ != nullptr) {
       auto written = checkpoint_->checkpoint();
       drain_report_.checkpointed = written.ok();

@@ -33,6 +33,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -76,6 +77,13 @@ struct ServeConfig {
   /// fault-record bound). on_batch_committed is overwritten when a
   /// CheckpointingCensus is attached.
   stream::StreamIngestConfig stream;
+  /// Called once on the graceful-drain path, after the final batch is
+  /// flushed and before the drain checkpoint: the owner quiesces
+  /// background store maintenance (store::Maintainer::quiesce) here so
+  /// the checkpoint cursor lands on a settled log, with no compaction
+  /// pass in flight. Runs on the serve thread; must return (a quiesce
+  /// waits out at most one in-flight shard pass, which is bounded).
+  std::function<void()> quiesce_maintenance;
 };
 
 /// Point-in-time counters, readable from any thread while the storm runs.

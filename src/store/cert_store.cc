@@ -19,6 +19,7 @@
 #define TANGLED_STORE_POSIX 0
 #endif
 
+#include "crypto/hash.h"
 #include "obs/obs.h"
 #include "recover/snapshot.h"
 #include "util/atomic_file.h"
@@ -109,11 +110,20 @@ CertStore::CertStore(StoreConfig config) : config_(std::move(config)) {
 
 CertStore::~CertStore() {
   std::lock_guard<std::mutex> lock(mu_);
-  close_writers();
+  const bool closed_clean = close_writers();
   // A refused open (configuration mismatch, damaged directory) tears down
   // a store that never held the data; writing its empty index here would
   // clobber the valid one the refusal was protecting.
   if (!opened_) return;
+  // A close that lost bytes (flush or fclose failed) must not leave a
+  // trusted index either: the index would claim segment sizes the files
+  // never reached, and the next open would fast-forward past records that
+  // do not exist. Skipping the index forces that open into a full rescan,
+  // which finds whatever actually hit the disk.
+  if (!closed_clean) {
+    std::remove(index_path().c_str());
+    return;
+  }
   // A clean close leaves a matching index so the next open skips the
   // segment scan entirely; a crash (no dtor) just costs that open a scan.
   std::vector<recover::Section> sections;
@@ -339,6 +349,7 @@ Result<void> CertStore::recover_from_disk() {
     entries_.clear();
     seq_ = 0;
     listed.clear();
+    scan_seq_ranges_.clear();
     for (ShardLog& log : shards_) log = ShardLog{};
     discovery = discover();
     if (!discovery.ok()) return discovery.error();
@@ -346,6 +357,35 @@ Result<void> CertStore::recover_from_disk() {
     clean = scan_pass();
     if (!clean.ok()) return clean.error();
   }
+  // A compaction that published its output segment but crashed before
+  // unlinking the inputs leaves both on disk, every input's seq range
+  // contained in the output's. Drop the superseded inputs and rescan the
+  // survivors from scratch: a fast-forwarded (index-trusted) first pass
+  // skips records the duplicates would otherwise have to reconcile
+  // against, so only a clean full scan of the deduplicated files is
+  // trustworthy.
+  if (const std::size_t superseded = reconcile_superseded_segments();
+      superseded != 0) {
+    report_.superseded_segments = superseded;
+    report_.index_loaded = false;
+    report_.full_rescan = true;
+    report_.notes.push_back(
+        "reconciled " + std::to_string(superseded) +
+        " segment(s) superseded by a published compaction; rescanning");
+    TANGLED_OBS_ADD("store.recover.superseded_segments", superseded);
+    entries_.clear();
+    scan_members_.clear();
+    seq_ = 0;
+    listed.clear();
+    scan_seq_ranges_.clear();
+    for (ShardLog& log : shards_) log = ShardLog{};
+    discovery = discover();
+    if (!discovery.ok()) return discovery.error();
+    discovered = std::move(discovery).value();
+    clean = scan_pass();
+    if (!clean.ok()) return clean.error();
+  }
+  scan_seq_ranges_.clear();
   rebuild_derived();
 
   // Open (or create) each shard's active segment writer.
@@ -422,15 +462,29 @@ Result<void> CertStore::scan_segment(std::uint32_t shard, std::uint64_t id,
   // (skip), but the verification is what last_clean_seq may trust — if
   // damage turns up deeper in this shard, min_stop_seq_ must name the last
   // seq actually proven intact, not the index's global high-water.
+  // Track this segment's [min, max] seq range (fast-forwarded records
+  // included): the superseded-segment reconcile compares ranges to detect
+  // a compaction that published its output but crashed before unlinking
+  // the inputs.
+  const auto note_seq = [this, shard, id](std::uint64_t seq) {
+    auto [it, inserted] = scan_seq_ranges_.try_emplace(
+        std::make_pair(shard, id), std::make_pair(seq, seq));
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, seq);
+      it->second.second = std::max(it->second.second, seq);
+    }
+  };
   while (scanner.stop_offset() < from_offset) {
     const auto record = scanner.next();
     if (!record.has_value()) break;
     log.last_clean_seq = std::max(log.last_clean_seq, record->seq);
+    note_seq(record->seq);
   }
   while (true) {
     const auto record = scanner.next();
     if (!record.has_value()) break;
     apply_scanned_record(shard, id, *record);
+    note_seq(record->seq);
   }
   log.segment_sizes[id] = scanner.stop_offset();
 
@@ -552,6 +606,43 @@ void CertStore::rebuild_derived() {
     by_spki_[entry.spki_id].push_back(fp_id);
   }
   scan_members_.clear();
+}
+
+std::size_t CertStore::reconcile_superseded_segments() {
+  // In normal operation a shard's segments carry strictly increasing,
+  // disjoint seq ranges (appends only ever extend the newest segment, and
+  // a compacted segment's id sits below the fresh active that replaced
+  // it). The only way an older segment's range can be *contained* in a
+  // newer one's is a compaction that published its merged output and
+  // crashed before unlinking the inputs — so containment is the
+  // detection, and dropping the input loses nothing: every one of its
+  // records exists byte-identically in the container.
+  std::size_t removed = 0;
+  for (std::uint32_t shard = 0; shard < config_.shards; ++shard) {
+    std::vector<std::pair<std::uint64_t, std::pair<std::uint64_t,
+                                                   std::uint64_t>>>
+        ranges;
+    for (const auto& [key, range] : scan_seq_ranges_) {
+      if (key.first == shard) ranges.emplace_back(key.second, range);
+    }
+    for (const auto& [id, range] : ranges) {
+      bool superseded = false;
+      for (const auto& [other_id, other] : ranges) {
+        if (other_id > id && other.first <= range.first &&
+            range.second <= other.second) {
+          superseded = true;
+          break;
+        }
+      }
+      if (!superseded) continue;
+      std::remove(segment_path(shard, id).c_str());
+      shards_[shard].segment_sizes.erase(id);
+      report_.notes.push_back("dropped superseded segment " +
+                              segment_file_name(shard, id));
+      ++removed;
+    }
+  }
+  return removed;
 }
 
 // --- Index codec ------------------------------------------------------------
@@ -1136,7 +1227,18 @@ Result<void> CertStore::replay(
                    [](const RecordView& a, const RecordView& b) {
                      return a.seq < b.seq;
                    });
-  for (const RecordView& record : records) fn(record);
+  // Equal sequence numbers are byte-identical copies of one record — the
+  // shape a compaction's publish-before-unlink crash window leaves until
+  // open() reconciles it. Deliver each seq once so the census never
+  // replays a journal record twice.
+  std::uint64_t prev_seq = 0;
+  bool first = true;
+  for (const RecordView& record : records) {
+    if (!first && record.seq == prev_seq) continue;
+    first = false;
+    prev_seq = record.seq;
+    fn(record);
+  }
   return {};
 }
 
@@ -1162,125 +1264,523 @@ Result<void> CertStore::flush() {
   return {};
 }
 
-void CertStore::close_writers() {
+bool CertStore::close_writers() {
+  bool clean = true;
   for (ShardLog& log : shards_) {
     if (log.writer != nullptr) {
-      std::fflush(log.writer);
-      std::fclose(log.writer);
+      // fclose() flushes too, but its error conflates flush and close
+      // failures; flushing first pins the blame (and errno) on the write
+      // path where the bytes were actually lost.
+      if (std::fflush(log.writer) != 0) clean = false;
+      if (std::fclose(log.writer) != 0) clean = false;
       log.writer = nullptr;
     }
   }
+  if (!clean) TANGLED_OBS_INC("store.close_write_failures");
+  return clean;
 }
 
 Result<void> CertStore::compact(std::uint64_t stable_seq) {
-  std::scoped_lock lock(mu_, map_mu_);
-  // Which fingerprints disappear entirely: tombstoned at or before the
-  // oldest cursor any resume could still use. Records above stable_seq
-  // are copied verbatim so every later replay stays exact.
-  std::unordered_set<std::uint32_t> drop;
-  for (std::uint32_t fp_id = 0; fp_id < entries_.size(); ++fp_id) {
-    const Entry& entry = entries_[fp_id];
-    if (entry.seq != 0 && !entry.live && entry.tombstone_seq != 0 &&
-        entry.tombstone_seq <= stable_seq) {
-      drop.insert(fp_id);
+  for (std::uint32_t shard = 0; shard < config_.shards; ++shard) {
+    auto pass = compact_shard(shard, stable_seq);
+    if (!pass.ok()) return pass.error();
+  }
+  // Refresh the index so the next open trusts the rewritten layout; a
+  // failure here only costs the next open a rescan.
+  (void)write_index();
+  return {};
+}
+
+Result<ShardCompaction> CertStore::compact_shard(std::uint32_t shard,
+                                                 std::uint64_t stable_seq) {
+  if (shard >= config_.shards) {
+    return state_error("store: compact_shard shard out of range");
+  }
+  // One maintenance operation at a time: two passes racing over the same
+  // shard's sealed set would rewrite and unlink each other's inputs.
+  // Appends, reads, and backup() do not take this lock.
+  std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+  ShardCompaction pass;
+
+  // Phase 1 (short critical section): decide, seal, reserve. The sealed
+  // snapshot lists immutable files; the compacted segment's id is reserved
+  // *before* the fresh active so the active segment keeps the shard's
+  // highest id — a reopened store appends to the newest segment, and the
+  // superseded-range reconcile relies on compacted segments never growing.
+  std::unordered_set<std::string> drop_fps;  // stable-dead fingerprints
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sealed;  // id, size
+  std::uint64_t new_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ShardLog& log = shards_[shard];
+    for (std::uint32_t fp_id = 0; fp_id < entries_.size(); ++fp_id) {
+      const Entry& entry = entries_[fp_id];
+      if (entry.seq != 0 && !entry.live && entry.tombstone_seq != 0 &&
+          entry.tombstone_seq <= stable_seq && entry.shard == shard) {
+        const Bytes fp = fp_ids_.digest_of(fp_id);
+        drop_fps.emplace(reinterpret_cast<const char*>(fp.data()), fp.size());
+      }
+    }
+    std::size_t sealed_count = 0;
+    for (const auto& [id, size] : log.segment_sizes) {
+      sealed_count += id != log.active_id || log.writer == nullptr;
+    }
+    if (drop_fps.empty() && sealed_count <= 1) {
+      // Nothing to reclaim and at most one sealed file to merge: a rewrite
+      // here would churn bytes forever without converging.
+      pass.skipped = true;
+      return pass;
+    }
+    new_id = log.next_id++;
+    if (log.writer != nullptr) {
+      // Seal the active segment so the rewrite input is immutable. Flush
+      // errors mean the file may be short of active_size — surface them;
+      // the maintenance scheduler counts the failure and backs off while
+      // appends keep going through a reopened writer.
+      const std::uint64_t prev_active = log.active_id;
+      bool seal_clean = std::fflush(log.writer) == 0;
+#if TANGLED_STORE_POSIX
+      seal_clean = seal_clean && fsync(fileno(log.writer)) == 0;
+#endif
+      seal_clean = std::fclose(log.writer) == 0 && seal_clean;
+      log.writer = nullptr;
+      if (!seal_clean) {
+        (void)open_writer(shard, /*fresh=*/false);
+        return state_error(errno_message("seal for compaction",
+                                         segment_path(shard, prev_active)));
+      }
+      const std::uint64_t prev_size = log.active_size;
+      if (auto fresh = open_writer(shard, /*fresh=*/true); !fresh.ok()) {
+        // Could not rotate to a fresh active segment. Fall back to
+        // appending into the one just sealed — open_writer(fresh) bumped
+        // active_id to a file that was never created, and leaving it there
+        // would make the next append fabricate a headerless segment.
+        TANGLED_OBS_INC("store.maintenance.writer_reopen_failures");
+        log.active_id = prev_active;
+        log.active_size = prev_size;
+        (void)open_writer(shard, /*fresh=*/false);
+        return fresh.error();
+      }
+      for (const auto& [id, size] : log.segment_sizes) {
+        if (id != log.active_id && id != new_id) sealed.emplace_back(id, size);
+      }
+    } else {
+      for (const auto& [id, size] : log.segment_sizes) {
+        if (id != new_id) sealed.emplace_back(id, size);
+      }
     }
   }
+  if (sealed.empty()) {
+    pass.skipped = true;
+    return pass;
+  }
 
-  for (std::uint32_t shard = 0; shard < config_.shards; ++shard) {
+  // Phase 2 (no locks held): rewrite the sealed segments. They are
+  // immutable, so this can overlap freely with appends to the fresh active
+  // segment; the only shared state touched is the drop set captured above,
+  // by digest — never the interner or the entry table.
+  Bytes out = encode_segment_header(shard, new_id);
+  struct Reloc {
+    Bytes fingerprint;
+    std::uint64_t seq = 0;
+    std::uint64_t new_offset = 0;
+  };
+  std::vector<Reloc> relocated;
+  for (const auto& [id, size] : sealed) {
+    pass.bytes_before += size;
+    auto map = util::MmapFile::open(segment_path(shard, id));
+    if (!map.ok()) return map.error();
+    SegmentScanner scanner(map.value().view());
+    while (true) {
+      const auto record = scanner.next();
+      if (!record.has_value()) break;
+      if (record->fingerprint.size() == kDigestBytes &&
+          drop_fps.contains(std::string(
+              reinterpret_cast<const char*>(record->fingerprint.data()),
+              record->fingerprint.size()))) {
+        ++pass.records_dropped;
+        continue;
+      }
+      const std::uint64_t new_offset = out.size();
+      append(out, map.value().view().subspan(
+                      static_cast<std::size_t>(record->offset),
+                      static_cast<std::size_t>(record->length)));
+      if (record->kind_raw == static_cast<std::uint32_t>(RecordKind::kCert)) {
+        relocated.push_back({Bytes(record->fingerprint.begin(),
+                                   record->fingerprint.end()),
+                             record->seq, new_offset});
+      }
+    }
+    if (scanner.stop() == ScanStop::kDamage) {
+      return state_error("store: damage found while compacting " +
+                         segment_file_name(shard, id) + ": " +
+                         scanner.stop_detail());
+    }
+    ++pass.segments_rewritten;
+  }
+  pass.bytes_after = out.size();
+
+  // Phase 3: publish the compacted segment durably. A crash after this
+  // rename but before the unlinks below leaves duplicate seq ranges on
+  // disk — the reconcile at open() detects exactly that containment shape
+  // and drops the superseded originals.
+  if (auto written = util::write_file_atomic(segment_path(shard, new_id), out);
+      !written.ok()) {
+    // The sealed originals are untouched and the active writer was never
+    // disturbed; the half-written temp was cleaned by write_file_atomic.
+    return written.error();
+  }
+
+  // Phase 4 (short critical section): swap the bookkeeping. Every
+  // relocation and drop is re-validated against the current entry — a
+  // record revived or re-tombstoned while the rewrite ran keeps its
+  // newer state; only entries still pointing into the rewritten set move.
+  {
+    std::scoped_lock lock(mu_, map_mu_);
     ShardLog& log = shards_[shard];
-    if (log.writer != nullptr) {
-      std::fflush(log.writer);
-      std::fclose(log.writer);
-      log.writer = nullptr;
-    }
-    const std::uint64_t new_id = log.next_id++;
-    Bytes out = encode_segment_header(shard, new_id);
-    // Relocations recorded as (fp_id, new_offset) and applied only after
-    // the new segment file is durably in place.
-    std::vector<std::pair<std::uint32_t, std::uint64_t>> relocated;
-
-    std::vector<std::uint64_t> old_ids;
-    for (const auto& [id, size] : log.segment_sizes) old_ids.push_back(id);
-    for (const std::uint64_t id : old_ids) {
-      auto map = util::MmapFile::open(segment_path(shard, id));
-      if (!map.ok()) return map.error();
-      SegmentScanner scanner(map.value().view());
-      while (true) {
-        const auto record = scanner.next();
-        if (!record.has_value()) break;
-        std::uint32_t fp_id = 0;
-        bool have_fp = false;
-        if (record->fingerprint.size() == kDigestBytes) {
-          if (const auto found = fp_ids_.find(record->fingerprint);
-              found.has_value()) {
-            fp_id = *found;
-            have_fp = true;
-          }
-        }
-        if (have_fp && drop.contains(fp_id)) continue;
-        const std::uint64_t new_offset = out.size();
-        const ByteView raw = map.value().view().subspan(
-            static_cast<std::size_t>(record->offset),
-            static_cast<std::size_t>(record->length));
-        append(out, raw);
-        if (record->kind_raw ==
-                static_cast<std::uint32_t>(RecordKind::kCert) &&
-            have_fp && fp_id < entries_.size() &&
-            entries_[fp_id].seq == record->seq &&
-            entries_[fp_id].shard == shard) {
-          relocated.emplace_back(fp_id, new_offset);
-        }
-      }
-      if (scanner.stop() == ScanStop::kDamage) {
-        return state_error("store: damage found while compacting " +
-                           segment_file_name(shard, id) + ": " +
-                           scanner.stop_detail());
+    std::unordered_set<std::uint64_t> rewritten_ids;
+    for (const auto& [id, size] : sealed) rewritten_ids.insert(id);
+    for (const Reloc& reloc : relocated) {
+      const auto fp_id = fp_ids_.find(reloc.fingerprint);
+      if (!fp_id.has_value() || *fp_id >= entries_.size()) continue;
+      Entry& entry = entries_[*fp_id];
+      if (entry.seq == reloc.seq && entry.shard == shard &&
+          rewritten_ids.contains(entry.segment_id)) {
+        entry.segment_id = new_id;
+        entry.offset = reloc.new_offset;
       }
     }
-
-    if (auto written =
-            util::write_file_atomic(segment_path(shard, new_id), out);
-        !written.ok()) {
-      // The old segments are untouched; reopen the previous active writer
-      // and report. The half-written temp was cleaned by write_file_atomic.
-      (void)open_writer(shard, /*fresh=*/false);
-      return written;
+    for (const std::string& fp : drop_fps) {
+      const auto fp_id = fp_ids_.find(ByteView(
+          reinterpret_cast<const std::uint8_t*>(fp.data()), fp.size()));
+      if (!fp_id.has_value() || *fp_id >= entries_.size()) continue;
+      Entry& entry = entries_[*fp_id];
+      if (entry.seq != 0 && !entry.live && entry.tombstone_seq != 0 &&
+          entry.tombstone_seq <= stable_seq) {
+        entry = Entry{};
+        if (dead_records_ > 0) --dead_records_;
+      }
     }
-    for (const auto& [fp_id, new_offset] : relocated) {
-      entries_[fp_id].segment_id = new_id;
-      entries_[fp_id].offset = new_offset;
-    }
-    for (const std::uint64_t id : old_ids) {
+    for (const auto& [id, size] : sealed) {
+      log.segment_sizes.erase(id);
       std::remove(segment_path(shard, id).c_str());
       const auto key = std::make_pair(shard, id);
       mapped_.erase(key);  // pinned readers keep their shared_ptr alive
       auto lru_it = std::find(lru_.begin(), lru_.end(), key);
       if (lru_it != lru_.end()) lru_.erase(lru_it);
     }
-    log.segment_sizes.clear();
     log.segment_sizes[new_id] = out.size();
-    log.active_id = new_id;
-    log.active_size = out.size();
-    if (auto ok = open_writer(shard, /*fresh=*/false); !ok.ok()) return ok;
+    if (log.writer == nullptr && rewritten_ids.contains(log.active_id)) {
+      // The shard had no open writer (an earlier append failure), so the
+      // nominal active segment was rewritten too. Point the active cursor
+      // at the compacted segment — it is now the shard's only (and
+      // highest-id) segment — so a recovering append reopens a real file
+      // instead of fabricating a headerless one.
+      log.active_id = new_id;
+      log.active_size = out.size();
+    }
+    ++compactions_;
   }
-
-  for (const std::uint32_t fp_id : drop) {
-    entries_[fp_id] = Entry{};
-    if (dead_records_ > 0) --dead_records_;
-  }
-  ++compactions_;
   TANGLED_OBS_INC("store.compactions");
-  // Refresh the index so the next open trusts the rewritten layout; a
-  // failure here only costs the next open a rescan.
-  std::vector<recover::Section> sections;
-  sections.push_back({kIndexSection, encode_index()});
-  (void)recover::write_snapshot_file(index_path(), sections);
+  return pass;
+}
+
+// --- Backup / restore -------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kBackupSection = 101;
+constexpr std::uint32_t kBackupVersion = 1;
+constexpr const char* kBackupManifestName = "backup.tnglbak";
+constexpr const char* kRestoreStagingSuffix = ".restoretmp";
+
+struct BackupEntry {
+  std::uint32_t shard = 0;
+  std::uint64_t id = 0;
+  std::uint64_t size = 0;
+  Bytes sha256;
+};
+
+Bytes encode_backup_manifest(std::uint32_t shards, std::uint64_t seq,
+                             const std::vector<BackupEntry>& files) {
+  Bytes out;
+  util::put_u32(out, kBackupVersion);
+  util::put_u32(out, shards);
+  util::put_u64(out, seq);
+  util::put_u64(out, files.size());
+  for (const BackupEntry& file : files) {
+    util::put_u32(out, file.shard);
+    util::put_u64(out, file.id);
+    util::put_u64(out, file.size);
+    append(out, file.sha256);
+  }
+  return out;
+}
+
+Result<std::pair<std::uint32_t, std::vector<BackupEntry>>>
+decode_backup_manifest(ByteView payload) {
+  util::BinReader in(payload);
+  auto version = in.u32();
+  if (!version.ok()) return version.error();
+  if (version.value() != kBackupVersion) {
+    return unsupported_error("store backup: unknown manifest version " +
+                             std::to_string(version.value()));
+  }
+  auto shards = in.u32();
+  auto seq = in.u64();
+  if (!shards.ok() || !seq.ok()) {
+    return parse_error("store backup: truncated manifest header");
+  }
+  auto count = in.count(/*min_bytes_per_element=*/20 + kDigestBytes);
+  if (!count.ok()) return count.error();
+  std::vector<BackupEntry> files;
+  files.reserve(count.value());
+  for (std::size_t i = 0; i < count.value(); ++i) {
+    auto shard = in.u32();
+    auto id = in.u64();
+    auto size = in.u64();
+    auto digest = in.take(kDigestBytes);
+    if (!shard.ok() || !id.ok() || !size.ok() || !digest.ok()) {
+      return parse_error("store backup: truncated manifest file table");
+    }
+    files.push_back({shard.value(), id.value(), size.value(),
+                     Bytes(digest.value().begin(), digest.value().end())});
+  }
+  if (auto ok = in.expect_end(); !ok.ok()) return ok.error();
+  return std::make_pair(shards.value(), std::move(files));
+}
+
+Result<void> make_dir(const std::string& dir) {
+#if TANGLED_STORE_POSIX
+  if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return state_error(errno_message("mkdir", dir));
+  }
+#endif
   return {};
 }
 
+void remove_dir_recursive(const std::string& dir) {
+#if TANGLED_STORE_POSIX
+  DIR* d = opendir(dir.c_str());
+  if (d != nullptr) {
+    while (const dirent* entry = readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      std::remove((dir + "/" + name).c_str());
+    }
+    closedir(d);
+  }
+  rmdir(dir.c_str());
+#endif
+}
+
+bool dir_holds_store(const std::string& dir) {
+#if TANGLED_STORE_POSIX
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return false;
+  bool found = false;
+  while (const dirent* entry = readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() >= 5 && name.compare(name.size() - 5, 5, ".tseg") == 0) {
+      found = true;
+      break;
+    }
+    if (name == "index.tnglidx") {
+      found = true;
+      break;
+    }
+  }
+  closedir(d);
+  return found;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+Result<BackupReport> CertStore::backup(const std::string& dir) {
+  if (dir.empty()) return state_error("store backup: empty directory");
+  if (auto made = make_dir(dir); !made.ok()) return made.error();
+  if (util::file_exists(dir + "/" + kBackupManifestName)) {
+    return state_error("store backup: " + dir +
+                       " already holds a backup manifest");
+  }
+  // A crashed earlier backup may have left atomic-write temps behind;
+  // they are never part of a manifest, so sweeping them is always safe.
+  util::sweep_stale_temps_in_dir(dir);
+
+  // Snapshot phase (short critical section): flush every writer so the
+  // covered prefix is readable from the files, fix the covered sequence
+  // number, and pin a mapping of every segment. The pins make the backup
+  // immune to concurrent compaction: even if a sealed segment is unlinked
+  // before it is copied, its bytes stay reachable through the mapping.
+  struct Item {
+    std::uint32_t shard = 0;
+    std::uint64_t id = 0;
+    std::uint64_t size = 0;
+    bool active = false;
+    std::shared_ptr<const Segment> segment;
+  };
+  std::vector<Item> items;
+  BackupReport report;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::uint32_t shard = 0; shard < config_.shards; ++shard) {
+      ShardLog& log = shards_[shard];
+      if (log.writer != nullptr) {
+        if (std::fflush(log.writer) != 0) {
+          return state_error(errno_message(
+              "backup flush", segment_path(shard, log.active_id)));
+        }
+#if TANGLED_STORE_POSIX
+        if (fsync(fileno(log.writer)) != 0) {
+          return state_error(errno_message(
+              "backup fsync", segment_path(shard, log.active_id)));
+        }
+#endif
+      }
+      for (const auto& [id, size] : log.segment_sizes) {
+        Item item;
+        item.shard = shard;
+        item.id = id;
+        item.active = id == log.active_id && log.writer != nullptr;
+        item.size = item.active ? log.active_size : size;
+        auto segment = mapped_segment(shard, id, item.size);
+        if (!segment.ok()) return segment.error();
+        item.segment = std::move(segment).value();
+        items.push_back(std::move(item));
+      }
+    }
+    report.seq = seq_;
+  }
+
+  // Copy phase (no locks): sealed segments hardlink when the filesystem
+  // allows — the source is immutable, so sharing the inode is exact and
+  // free. Active segments are copied by prefix instead: a hardlink would
+  // keep growing with the live writer. Any link failure (cross-device,
+  // already unlinked by a concurrent compaction) falls back to writing the
+  // pinned mapped bytes.
+  std::vector<BackupEntry> manifest;
+  for (const Item& item : items) {
+    const ByteView covered = item.segment->view().subspan(
+        0, static_cast<std::size_t>(item.size));
+    const std::string dest =
+        dir + "/" + segment_file_name(item.shard, item.id);
+    bool linked = false;
+#if TANGLED_STORE_POSIX
+    if (!item.active) {
+      linked = link(item.segment->path().c_str(), dest.c_str()) == 0;
+    }
+#endif
+    if (!linked) {
+      if (auto written = util::write_file_atomic(dest, covered);
+          !written.ok()) {
+        return written.error();
+      }
+      ++report.copied;
+    } else {
+      ++report.hardlinked;
+    }
+    manifest.push_back({item.shard, item.id, item.size,
+                        crypto::Sha256::hash(covered)});
+    ++report.files;
+    report.bytes += item.size;
+  }
+
+  // Manifest last: a backup directory without one is, by construction, an
+  // incomplete backup — restore_backup refuses it rather than guessing.
+  std::vector<recover::Section> sections;
+  sections.push_back({kBackupSection, encode_backup_manifest(
+                                          config_.shards, report.seq,
+                                          manifest)});
+  if (auto written = recover::write_snapshot_file(
+          dir + "/" + kBackupManifestName, sections);
+      !written.ok()) {
+    return written.error();
+  }
+  TANGLED_OBS_INC("store.backups");
+  return report;
+}
+
+Result<RestoreReport> CertStore::restore_backup(const std::string& backup_dir,
+                                                const std::string& dest_dir) {
+  if (backup_dir.empty() || dest_dir.empty()) {
+    return state_error("store restore: empty directory");
+  }
+  const std::string manifest_path = backup_dir + "/" + kBackupManifestName;
+  if (!util::file_exists(manifest_path)) {
+    return state_error("store restore: " + backup_dir +
+                       " has no backup manifest (incomplete backup?)");
+  }
+  auto loaded = recover::read_snapshot_file(manifest_path);
+  if (!loaded.ok()) return loaded.error();
+  const recover::Section* section =
+      loaded.value().find(static_cast<recover::SectionId>(kBackupSection));
+  if (section == nullptr) {
+    return parse_error("store restore: manifest carries no backup section");
+  }
+  auto decoded = decode_backup_manifest(section->payload);
+  if (!decoded.ok()) return decoded.error();
+  const std::vector<BackupEntry>& files = decoded.value().second;
+
+  if (dir_holds_store(dest_dir)) {
+    return state_error("store restore: " + dest_dir +
+                       " already holds a store; refusing to overwrite");
+  }
+
+  // Stage into a sibling directory and rename it into place at the end:
+  // a crash mid-restore leaves only the staging directory (swept on the
+  // next attempt), never a partial store that open() would mistake for a
+  // damaged-but-real one.
+  const std::string staging = dest_dir + kRestoreStagingSuffix;
+  remove_dir_recursive(staging);
+  if (auto made = make_dir(staging); !made.ok()) return made.error();
+
+  RestoreReport report;
+  for (const BackupEntry& file : files) {
+    const std::string name = segment_file_name(file.shard, file.id);
+    auto map = util::MmapFile::open(backup_dir + "/" + name);
+    if (!map.ok()) {
+      return state_error("store restore: backup file " + name +
+                         " missing or unreadable: " + map.error().message);
+    }
+    if (map.value().size() < file.size) {
+      return state_error("store restore: backup file " + name +
+                         " shorter than the manifest covers");
+    }
+    const ByteView covered =
+        map.value().view().subspan(0, static_cast<std::size_t>(file.size));
+    const Bytes digest = crypto::Sha256::hash(covered);
+    if (!bytes_equal(digest, file.sha256)) {
+      return state_error("store restore: backup file " + name +
+                         " does not match its manifest SHA-256");
+    }
+    if (auto written =
+            util::write_file_atomic(staging + "/" + name, covered);
+        !written.ok()) {
+      return written.error();
+    }
+    ++report.files;
+    report.bytes += file.size;
+  }
+
+#if TANGLED_STORE_POSIX
+  rmdir(dest_dir.c_str());  // an existing *empty* target is replaceable
+  if (rename(staging.c_str(), dest_dir.c_str()) != 0) {
+    return state_error(errno_message("restore rename", dest_dir));
+  }
+#endif
+  TANGLED_OBS_INC("store.restores");
+  return report;
+}
+
 Result<void> CertStore::reset() {
+  // Maintenance lock first: a compaction pass caught mid-rewrite must not
+  // publish a zombie segment into the emptied directory.
+  std::lock_guard<std::mutex> maintenance(maintenance_mu_);
   std::scoped_lock lock(mu_, map_mu_);
-  close_writers();
+  (void)close_writers();  // the files are about to be deleted anyway
   for (std::uint32_t shard = 0; shard < config_.shards; ++shard) {
     for (const auto& [id, size] : shards_[shard].segment_sizes) {
       std::remove(segment_path(shard, id).c_str());
@@ -1308,10 +1808,18 @@ Result<void> CertStore::reset() {
 StoreStats CertStore::stats() const {
   std::scoped_lock lock(mu_, map_mu_);
   StoreStats stats;
-  for (const Entry& entry : entries_) stats.live_records += entry.live;
+  for (const Entry& entry : entries_) {
+    stats.live_records += entry.live;
+    if (entry.live) stats.live_bytes += entry.length;
+  }
   stats.dead_records = dead_records_;
   for (const ShardLog& log : shards_) {
     stats.segments += log.segment_sizes.size();
+    for (const auto& [id, size] : log.segment_sizes) {
+      stats.disk_bytes +=
+          id == log.active_id && log.writer != nullptr ? log.active_size
+                                                       : size;
+    }
   }
   stats.mapped_segments = mapped_.size();
   stats.appended_bytes = appended_bytes_;

@@ -76,6 +76,10 @@ struct StoreReport {
   bool full_rescan = false;   // index missing/stale; segments rescanned
   std::size_t swept_temps = 0;
   std::uint64_t truncated_bytes = 0;  // torn tails dropped
+  /// Old segments found fully contained (by seq range) in a later
+  /// compacted segment of the same shard — the publish-before-unlink
+  /// crash window. They were unlinked and the survivors rescanned.
+  std::size_t superseded_segments = 0;
   std::vector<std::string> notes;
 };
 
@@ -89,6 +93,37 @@ struct StoreStats {
   std::uint64_t reopens = 0;
   std::uint64_t compactions = 0;
   std::uint64_t last_seq = 0;
+  /// Bytes currently occupying the directory's segment files versus bytes
+  /// referenced by live records — the amplification the maintenance
+  /// scheduler triggers on.
+  std::uint64_t disk_bytes = 0;
+  std::uint64_t live_bytes = 0;
+};
+
+/// What one incremental per-shard compaction pass did.
+struct ShardCompaction {
+  bool skipped = false;  // nothing worth rewriting in this shard
+  std::uint64_t segments_rewritten = 0;
+  std::uint64_t records_dropped = 0;
+  std::uint64_t bytes_before = 0;
+  std::uint64_t bytes_after = 0;
+};
+
+/// What a live backup captured.
+struct BackupReport {
+  std::uint64_t files = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t hardlinked = 0;  // sealed segments shared by link(2)
+  std::uint64_t copied = 0;      // active prefixes and link fallbacks
+  /// Highest sequence number the backup covers: every record at or below
+  /// it is in the backup, nothing above it is guaranteed.
+  std::uint64_t seq = 0;
+};
+
+/// What restore_backup() materialized.
+struct RestoreReport {
+  std::uint64_t files = 0;
+  std::uint64_t bytes = 0;
 };
 
 /// One segment's runtime identity: the mapping is established at
@@ -232,7 +267,35 @@ class CertStore {
   /// oldest checkpoint cursor that could still be resumed from — records
   /// above it are preserved verbatim so any later resume still replays
   /// exactly). Concurrent pinned readers keep their old segment mappings.
+  /// Implemented as one compact_shard() pass per shard.
   Result<void> compact(std::uint64_t stable_seq);
+  /// One incremental compaction pass over a single shard, safe to run
+  /// while appends continue: the critical sections only seal the active
+  /// segment and swap bookkeeping; the rewrite itself reads immutable
+  /// sealed segments with no lock held. Skips (rather than churns) when
+  /// the shard has no stable-dead records and at most one sealed segment.
+  /// The compacted segment takes an id *below* the fresh active segment,
+  /// keeping the shard's active segment at the highest id — the invariant
+  /// the duplicate-range reconcile at open() depends on.
+  Result<ShardCompaction> compact_shard(std::uint32_t shard,
+                                        std::uint64_t stable_seq);
+  /// Live backup into `dir` (created if absent; refused if it already
+  /// holds a manifest): hardlinks sealed segments where the filesystem
+  /// allows, copies the flushed prefix of active segments, and writes a
+  /// manifest with a per-file SHA-256 over exactly the covered prefix.
+  /// Safe concurrent with appends and compaction — segment mappings are
+  /// pinned under the lock first, so a segment unlinked mid-backup still
+  /// backs up from its mapping. The manifest is written last: a backup
+  /// directory without one is an incomplete backup and restore refuses it.
+  Result<BackupReport> backup(const std::string& dir);
+  /// Verifies a backup (manifest present, every per-file SHA-256 intact)
+  /// and materializes it into `dest_dir` (which must not already hold a
+  /// store). Staged through a sibling directory and renamed into place, so
+  /// a crash mid-restore never leaves a partial store for open() to trust.
+  /// The restored directory carries no index file: the next open() takes
+  /// the full-rescan recovery path by construction.
+  static Result<RestoreReport> restore_backup(const std::string& backup_dir,
+                                              const std::string& dest_dir);
   /// Deletes every record, segment, and index entry — the cold-start
   /// companion: snapshot state gone means the log must restart too.
   Result<void> reset();
@@ -286,10 +349,18 @@ class CertStore {
   void apply_scanned_record(std::uint32_t shard, std::uint64_t id,
                             const RecordView& record);
   void rebuild_derived();
+  /// Unlinks segments whose scanned seq range is fully contained in a
+  /// later segment of the same shard (the compaction publish-before-unlink
+  /// crash window). Returns how many were removed; a nonzero return means
+  /// the in-memory state must be rebuilt by a clean rescan.
+  std::size_t reconcile_superseded_segments();
   Result<void> open_writer(std::uint32_t shard, bool fresh);
   Result<void> append_to_shard(std::uint32_t shard, ByteView framed);
   Result<void> maybe_rotate(std::uint32_t shard);
-  void close_writers();
+  /// Flushes and closes every shard writer. Returns false when any flush
+  /// or close reported an error — bytes may not have reached the files, so
+  /// the caller must not publish a trusted index over them.
+  bool close_writers();
 
   /// Returns the (possibly freshly mapped) segment, updating the LRU and
   /// evicting cold mappings. `min_size` forces a remap when an existing
@@ -305,6 +376,13 @@ class CertStore {
   /// over the valid one on destruction.
   bool opened_ = false;
 
+  /// Serializes whole maintenance operations (compact_shard, reset) so
+  /// two rewrites never race over the same shard's sealed set. Held for
+  /// the full pass, *around* the short mu_/map_mu_ critical sections.
+  /// Lock order: maintenance_mu_ before mu_ before map_mu_. Appends and
+  /// reads never take it; backup() deliberately does not either, so a
+  /// live backup can run concurrently with a compaction pass.
+  std::mutex maintenance_mu_;
   /// Guards the index, sequence counter, and shard writers. Lock order:
   /// mu_ before map_mu_.
   mutable std::mutex mu_;
@@ -321,6 +399,12 @@ class CertStore {
   std::unordered_map<std::uint32_t,
                      std::vector<std::pair<std::uint64_t, std::uint64_t>>>
       scan_members_;
+  /// (shard, id) → [min seq, max seq] over every record the open scan
+  /// walked (fast-forwarded prefixes included). Only meaningful during
+  /// recover_from_disk(); reconcile_superseded_segments() consumes it.
+  std::map<std::pair<std::uint32_t, std::uint64_t>,
+           std::pair<std::uint64_t, std::uint64_t>>
+      scan_seq_ranges_;
   std::vector<ShardLog> shards_;
 
   /// Guards the mapping table and LRU.

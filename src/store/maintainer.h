@@ -1,0 +1,142 @@
+// store::Maintainer: background maintenance for a live CertStore.
+//
+// A notary that ingests continuously cannot stop the world to compact:
+// the scheduler thread here watches the store's dead-record ratio and
+// disk/live-bytes amplification and, past configurable thresholds, runs
+// CertStore::compact_shard() one shard at a time — each pass seals and
+// swaps under short critical sections and rewrites outside them, so
+// appends are paced against, never blocked for, the rewrite.
+//
+// The stable_seq functor ties maintenance to the checkpoint layer without
+// a dependency cycle: the store must not know about recover::, so the
+// owner hands in a closure over
+// recover::CheckpointingCensus::last_checkpoint_store_seq() (or any other
+// oldest-resumable-cursor bound). Compaction never drops a record a
+// resume from that cursor could still need.
+//
+// Failure is survivable by design: a failed compaction or backup never
+// fails ingest. Failures back off exponentially (bounded), and after
+// `degrade_after_failures` consecutive ones the maintainer enters
+// *degraded* mode — the store keeps appending, automatic compaction drops
+// to a slow retry cadence, and the condition is surfaced through
+// health()/stats() gauges so /healthz can report it. A later successful
+// pass clears the degradation.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "store/cert_store.h"
+#include "util/result.h"
+
+namespace tangled::store {
+
+struct MaintainerConfig {
+  /// Compact when dead records exceed this fraction of all records.
+  double dead_ratio_trigger = 0.25;
+  /// ... or when on-disk bytes exceed live bytes by this factor.
+  double amplification_trigger = 2.5;
+  /// Below this much on-disk data neither trigger fires — churning a tiny
+  /// store reclaims nothing worth the rewrite.
+  std::uint64_t min_disk_bytes = 1u << 20;
+  /// Scheduler poll cadence.
+  std::uint32_t poll_interval_ms = 50;
+  /// Pause between per-shard passes, pacing the rewrite against ingest.
+  std::uint32_t shard_pacing_ms = 0;
+  /// First retry delay after a failed pass; doubles per consecutive
+  /// failure up to max_backoff_ms.
+  std::uint32_t retry_backoff_ms = 100;
+  std::uint32_t max_backoff_ms = 5000;
+  /// Consecutive failures before entering degraded (append-only) mode.
+  /// While degraded, retries continue at max_backoff_ms cadence only.
+  std::uint32_t degrade_after_failures = 3;
+  /// Oldest checkpoint cursor any resume could still use — records
+  /// tombstoned at or below it may be dropped. Unset means 0: compaction
+  /// merges segments but drops nothing.
+  std::function<std::uint64_t()> stable_seq;
+  /// Test seam: replaces CertStore::compact_shard when set. Production
+  /// code leaves it empty.
+  std::function<Result<ShardCompaction>(std::uint32_t, std::uint64_t)>
+      compact_hook;
+};
+
+struct MaintainerStats {
+  std::uint64_t passes = 0;             // completed scheduler passes
+  std::uint64_t shard_compactions = 0;  // non-skipped shard rewrites
+  std::uint64_t skipped_shards = 0;
+  std::uint64_t reclaimed_bytes = 0;  // bytes_before - bytes_after, summed
+  std::uint64_t dropped_records = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t consecutive_failures = 0;
+  std::uint64_t backups = 0;
+  std::uint64_t backup_failures = 0;
+  bool degraded = false;
+  std::string last_error;
+};
+
+class Maintainer {
+ public:
+  Maintainer(CertStore& store, MaintainerConfig config);
+  ~Maintainer();  // stops the scheduler thread
+
+  Maintainer(const Maintainer&) = delete;
+  Maintainer& operator=(const Maintainer&) = delete;
+
+  /// Starts the scheduler thread. Idempotent; kInvalidState after stop().
+  Result<void> start();
+  /// Stops the scheduler, waiting out any in-flight pass.
+  void stop();
+
+  /// Blocks until no pass is in flight, then holds the scheduler paused —
+  /// serve-layer drains call this before the final checkpoint so the
+  /// cursor lands on a settled log. resume_scheduling() re-arms it.
+  void quiesce();
+  void resume_scheduling();
+
+  /// One full compaction pass over every shard, on the caller's thread.
+  /// `force` bypasses the thresholds. Shares the failure/degradation
+  /// bookkeeping with scheduled passes.
+  Result<void> run_pass(bool force);
+
+  /// Live backup via CertStore::backup, with maintainer bookkeeping: a
+  /// failure is counted and surfaced but degrades nothing and never
+  /// touches the ingest path.
+  Result<BackupReport> backup(const std::string& dir);
+
+  bool degraded() const;
+  MaintainerStats stats() const;
+  /// One-line health fragment for /healthz, e.g.
+  /// "maintenance ok passes=3 reclaimed=1048576" or
+  /// "maintenance degraded failures=5 last_error=...".
+  std::string health() const;
+
+ private:
+  bool should_compact(const StoreStats& stats) const;
+  void publish_gauges(const StoreStats& stats) const;
+  Result<ShardCompaction> compact_one(std::uint32_t shard,
+                                      std::uint64_t stable);
+  void note_failure(const std::string& message);
+  void loop();
+
+  CertStore& store_;
+  MaintainerConfig config_;
+  std::thread thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool started_ = false;
+  bool stopped_ = false;
+  bool stop_requested_ = false;
+  bool paused_ = false;
+  bool pass_in_flight_ = false;
+  /// Scheduler sleeps until this deadline after failures (backoff).
+  std::chrono::steady_clock::time_point backoff_until_{};
+  MaintainerStats stats_;
+};
+
+}  // namespace tangled::store

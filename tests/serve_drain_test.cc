@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -19,6 +22,8 @@
 #include "pki/hierarchy.h"
 #include "recover/checkpoint.h"
 #include "serve/client.h"
+#include "store/cert_store.h"
+#include "store/maintainer.h"
 #include "stream/ingest.h"
 #include "tlswire/handshake.h"
 #include "util/atomic_file.h"
@@ -324,6 +329,72 @@ TEST(ServeDrain, ConcurrentStormDrainedMidFlightConvergesAfterReplay) {
     EXPECT_EQ(report.value().observations_committed, kCaptures);
     EXPECT_EQ(results_signature(db, census), golden_signature());
   }
+  std::remove(path.c_str());
+}
+
+TEST(ServeDrain, DrainQuiescesMaintenanceBeforeTheFinalCheckpoint) {
+  const std::string path = unique_path("quiesce");
+  const std::string store_dir =
+      ::testing::TempDir() + "serve_drain_quiesce.store";
+  if (DIR* d = opendir(store_dir.c_str())) {
+    std::vector<std::string> names;
+    while (const dirent* entry = readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") names.push_back(name);
+    }
+    closedir(d);
+    for (const std::string& name : names) {
+      std::remove((store_dir + "/" + name).c_str());
+    }
+  }
+
+  util::ThreadPool pool(2);
+  store::StoreConfig store_cfg;
+  store_cfg.dir = store_dir;
+  store_cfg.shards = 1;
+  store_cfg.max_segment_bytes = 8 * 1024;  // seal often: real merges to race
+  auto store = store::CertStore::open(store_cfg);
+  ASSERT_TRUE(store.ok());
+  notary::NotaryDb db;
+  db.attach_store(store.value().get());
+  notary::ValidationCensus census(fixture().anchors);
+  census.attach_store(store.value().get());
+  recover::CheckpointingCensus ckpt(db, census, checkpoint_config(path));
+  ASSERT_TRUE(ckpt.resume().ok());
+
+  store::MaintainerConfig maint_cfg;
+  maint_cfg.poll_interval_ms = 1;
+  maint_cfg.min_disk_bytes = 0;
+  maint_cfg.amplification_trigger = 1.0;  // merge as often as possible
+  maint_cfg.stable_seq = ckpt.stable_seq_provider();
+  store::Maintainer maintainer(*store.value(), maint_cfg);
+  ASSERT_TRUE(maintainer.start().ok());
+
+  std::atomic<bool> quiesced{false};
+  ServeConfig config = serve_config();
+  config.quiesce_maintenance = [&] {
+    maintainer.quiesce();
+    quiesced.store(true);
+  };
+  IngestServer server(db, &census, pool, config, &ckpt);
+  ASSERT_TRUE(server.start().ok());
+  for (std::size_t i = 0; i < kCaptures / 2; ++i) {
+    auto response = submit_capture("127.0.0.1", server.port(),
+                                   upload_for(i));
+    ASSERT_TRUE(response.ok()) << i;
+    ASSERT_EQ(response.value().status, SubmitStatus::kAccepted) << i;
+  }
+
+  auto report = server.drain();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(quiesced.load());
+  EXPECT_TRUE(report.value().checkpointed)
+      << report.value().checkpoint_error;
+  // The drain checkpoint landed on the settled log: its store cursor is
+  // the store's last sequence number, which it could only capture with
+  // the scheduler paused and no compaction pass in flight.
+  EXPECT_EQ(ckpt.last_checkpoint_store_seq(), store.value()->last_seq());
+  maintainer.stop();
   std::remove(path.c_str());
 }
 

@@ -15,10 +15,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -26,6 +28,7 @@
 #include "notary/notary.h"
 #include "pki/hierarchy.h"
 #include "store/cert_store.h"
+#include "store/maintainer.h"
 #include "store/segment.h"
 #include "util/atomic_file.h"
 #include "util/rng.h"
@@ -392,6 +395,308 @@ TEST(StoreKillMatrix, ReadersPinnedAcrossCompactionSeeTheOldBytes) {
   for (int n = 10; n < 20; ++n) {
     EXPECT_FALSE(s.contains(fps[n])) << n;
   }
+}
+
+/// Removes every plain file inside `dir` (backup/restore tests reuse
+/// stable TempDir paths across runs, and both backup() and
+/// restore_backup() deliberately refuse directories that already hold a
+/// backup or a store).
+void sweep_dir(const std::string& dir) {
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return;
+  std::vector<std::string> names;
+  while (const dirent* entry = readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  closedir(d);
+  for (const std::string& name : names) {
+    std::remove((dir + "/" + name).c_str());
+  }
+}
+
+/// Fabricates the publish-before-unlink compaction crash window: a
+/// "compacted" segment with id `new_id` holding a verbatim copy of every
+/// record in the (single) shard, written alongside the originals — the
+/// exact on-disk state a crash between write_file_atomic's rename and the
+/// old-segment unlinks leaves. Every sequence number now exists twice.
+void fabricate_published_duplicate(const std::string& dir,
+                                   std::uint64_t new_id) {
+  Bytes out = store::encode_segment_header(/*shard=*/0, new_id);
+  for (const std::string& path : segment_files(dir)) {
+    auto data = util::read_file(path);
+    ASSERT_TRUE(data.ok()) << path;
+    const ByteView file(data.value());
+    store::SegmentScanner scanner(file);
+    while (auto record = scanner.next()) {
+      const ByteView raw = file.subspan(
+          static_cast<std::size_t>(record->offset),
+          static_cast<std::size_t>(record->length));
+      out.insert(out.end(), raw.begin(), raw.end());
+    }
+    ASSERT_EQ(scanner.stop(), store::ScanStop::kCleanEof) << path;
+  }
+  char name[64];
+  std::snprintf(name, sizeof(name), "shard-000-seg-%08llu.tseg",
+                static_cast<unsigned long long>(new_id));
+  ASSERT_TRUE(util::write_file_atomic(dir + "/" + name, out).ok());
+}
+
+TEST(StoreKillMatrix, PublishedButUnlinkedSegmentsReconcileOnCursorResume) {
+  const Paths paths = unique_paths("publish_preunlink_warm");
+  run_until_crash(paths, 3);
+  const auto originals = segment_files(paths.store_dir);
+  ASSERT_FALSE(originals.empty());
+  fabricate_published_duplicate(paths.store_dir, 50);
+
+  // The index from the clean close lists only the originals; resume must
+  // spot that the new segment's seq range supersedes theirs, drop them,
+  // and still land on the exact same census numbers — a duplicated record
+  // is the same record, not new data.
+  bool cold = false;
+  const ResumeInfo info = resume_and_finish(paths, &cold);
+  EXPECT_GT(info.observations_ingested, 0u);
+  for (const std::string& path : originals) {
+    EXPECT_FALSE(util::file_exists(path)) << path;
+  }
+}
+
+TEST(StoreKillMatrix, PublishedButUnlinkedSegmentsReconcileOnFullRescan) {
+  const Paths paths = unique_paths("publish_preunlink_rescan");
+  run_until_crash(paths, 3);
+  const auto originals = segment_files(paths.store_dir);
+  ASSERT_FALSE(originals.empty());
+  fabricate_published_duplicate(paths.store_dir, 50);
+  // No index at all: the crash-recovery full rescan must reach the same
+  // reconciliation on raw segment evidence alone.
+  ASSERT_EQ(std::remove((paths.store_dir + "/index.tnglidx").c_str()), 0);
+
+  {
+    auto reopened = store::CertStore::open(store_config(paths.store_dir));
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_FALSE(reopened.value()->report().index_loaded);
+    EXPECT_EQ(reopened.value()->report().superseded_segments,
+              originals.size());
+  }
+  for (const std::string& path : originals) {
+    EXPECT_FALSE(util::file_exists(path)) << path;
+  }
+
+  bool cold = false;
+  const ResumeInfo info = resume_and_finish(paths, &cold);
+  EXPECT_GT(info.observations_ingested, 0u);
+}
+
+TEST(StoreKillMatrix, CompactionCrashAfterACompleteTempWriteIsStillSwept) {
+  const Paths paths = unique_paths("complete_temp");
+  run_until_crash(paths, 3);
+  // The sibling of CompactionCrashTempIsSwept...: the crash lands after
+  // the temp's contents are fully written but before the rename. The temp
+  // is internally a perfectly valid segment — it must still be swept, not
+  // adopted, because only the rename publishes a compaction result.
+  Bytes staged = store::encode_segment_header(/*shard=*/0, /*id=*/77);
+  store::append_record(staged, store::RecordKind::kTombstone,
+                       store::encode_tombstone_payload(1, Bytes(32, 0xCD)));
+  const std::string temp = util::atomic_temp_path(
+      paths.store_dir + "/shard-000-seg-00000077.tseg");
+  {
+    std::FILE* f = std::fopen(temp.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(staged.data(), 1, staged.size(), f), staged.size());
+    std::fclose(f);
+  }
+
+  bool cold = false;
+  const ResumeInfo info = resume_and_finish(paths, &cold);
+  EXPECT_GT(info.observations_ingested, 0u);
+  EXPECT_FALSE(util::file_exists(temp));
+  for (const std::string& path : segment_files(paths.store_dir)) {
+    EXPECT_EQ(path.find("seg-00000077"), std::string::npos) << path;
+  }
+}
+
+TEST(StoreKillMatrix, BackupCrashBeforeTheManifestRefusesRestoreUntilRetried) {
+  const Paths paths = unique_paths("backup_crash");
+  run_until_crash(paths, 3);
+  const std::string bdir = ::testing::TempDir() + "store_kill_backup.bak";
+  const std::string dest = ::testing::TempDir() + "store_kill_backup.restored";
+  sweep_dir(bdir);
+  sweep_dir(dest);
+
+  {
+    auto store = store::CertStore::open(store_config(paths.store_dir));
+    ASSERT_TRUE(store.ok());
+    auto first = store.value()->backup(bdir);
+    ASSERT_TRUE(first.ok());
+    EXPECT_GT(first.value().files, 0u);
+
+    // Crash between the segment copies and the manifest write: the
+    // manifest is written last precisely so this state is recognizably
+    // incomplete. Restore must refuse it rather than guess.
+    ASSERT_EQ(std::remove((bdir + "/backup.tnglbak").c_str()), 0);
+    auto refused = store::CertStore::restore_backup(bdir, dest);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_NE(to_string(refused.error()).find("manifest"), std::string::npos);
+
+    // A retried backup into the same directory completes it (existing
+    // copies are replaced atomically), and restore then succeeds.
+    auto second = store.value()->backup(bdir);
+    ASSERT_TRUE(second.ok());
+    auto restored = store::CertStore::restore_backup(bdir, dest);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored.value().files, second.value().files);
+  }
+
+  // None of it touched the source store: the original resumes warm.
+  bool cold = false;
+  const ResumeInfo info = resume_and_finish(paths, &cold);
+  EXPECT_GT(info.observations_ingested, 0u);
+}
+
+TEST(StoreKillMatrix, RestoreCrashLeavesStagingOnlyAndARetryConverges) {
+  const Paths paths = unique_paths("restore_crash");
+  run_until_crash(paths, 3);
+  const std::string bdir = ::testing::TempDir() + "store_kill_restore.bak";
+  const std::string dest = ::testing::TempDir() + "store_kill_restore.dst";
+  const std::string staging = dest + ".restoretmp";
+  sweep_dir(bdir);
+  sweep_dir(dest);
+  sweep_dir(staging);
+
+  {
+    auto store = store::CertStore::open(store_config(paths.store_dir));
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->backup(bdir).ok());
+  }
+
+  // Fabricate the mid-restore crash: a stale staging directory holding a
+  // torn partial copy. Restore stages into `dest + ".restoretmp"` and only
+  // renames once every file verified, so this is exactly what a crash
+  // mid-copy leaves behind.
+  ::mkdir(staging.c_str(), 0755);
+  {
+    std::FILE* f = std::fopen((staging + "/torn.tseg").c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("torn partial copy", f);
+    std::fclose(f);
+  }
+
+  auto restored = store::CertStore::restore_backup(bdir, dest);
+  ASSERT_TRUE(restored.ok()) << to_string(restored.error());
+  EXPECT_GT(restored.value().files, 0u);
+  // The stale staging content never leaks into the restored store.
+  EXPECT_FALSE(util::file_exists(staging + "/torn.tseg"));
+  EXPECT_FALSE(util::file_exists(dest + "/torn.tseg"));
+
+  // The restored copy feeds the normal recovery taxonomy: resuming the
+  // snapshot against it replays the tail and converges to golden.
+  const Paths restored_paths{paths.snapshot, dest};
+  bool cold = false;
+  const ResumeInfo info = resume_and_finish(restored_paths, &cold);
+  EXPECT_GT(info.observations_ingested, 0u);
+}
+
+TEST(StoreKillMatrix, SigtermCheckpointDuringScheduledCompactionConverges) {
+  const Paths paths = unique_paths("sigterm_maint");
+  {
+    util::ThreadPool pool(4);
+    store::StoreConfig cfg = store_config(paths.store_dir);
+    cfg.max_segment_bytes = 8 * 1024;  // many sealed segments → real merges
+    auto store = store::CertStore::open(cfg);
+    ASSERT_TRUE(store.ok());
+    notary::NotaryDb db;
+    db.attach_store(store.value().get());
+    notary::ValidationCensus census(fixture().anchors);
+    census.attach_store(store.value().get());
+    CheckpointingCensus ckpt(db, census, checkpoint_config(paths.snapshot));
+    ASSERT_TRUE(ckpt.resume().ok());
+
+    store::MaintainerConfig mcfg;
+    mcfg.poll_interval_ms = 1;
+    mcfg.min_disk_bytes = 0;
+    mcfg.amplification_trigger = 1.0;  // always eligible; anti-churn bounds it
+    mcfg.stable_seq = ckpt.stable_seq_provider();
+    store::Maintainer maintainer(*store.value(), mcfg);
+    ASSERT_TRUE(maintainer.start().ok());
+
+    const auto& corpus = fixture().corpus;
+    std::size_t batches = 0;
+    for (std::size_t i = 0; i < corpus.size() && batches < 3; i += kBatch) {
+      // The SIGTERM path: a checkpoint request lands while the scheduler
+      // is live and compaction passes interleave with ingest.
+      if (batches == 1) CheckpointingCensus::request_checkpoint();
+      const std::size_t n = std::min(kBatch, corpus.size() - i);
+      ASSERT_TRUE(
+          ckpt.ingest_batch(std::span(corpus.data() + i, n), pool).ok());
+      ++batches;
+    }
+    // Guarantee at least one real merge happened under the live log.
+    ASSERT_TRUE(maintainer.run_pass(/*force=*/true).ok());
+    EXPECT_GT(maintainer.stats().passes, 0u);
+    EXPECT_GT(store.value()->stats().compactions, 0u);
+    maintainer.stop();
+    // Crash: scope exit, no drain, no final checkpoint.
+  }
+
+  bool cold = false;
+  const ResumeInfo info = resume_and_finish(paths, &cold);
+  EXPECT_GT(info.observations_ingested, 0u);
+}
+
+TEST(StoreKillMatrix, DegradedMaintenanceKeepsIngestAliveAndConverges) {
+  const Paths paths = unique_paths("degraded_maint");
+  {
+    util::ThreadPool pool(4);
+    auto store = store::CertStore::open(store_config(paths.store_dir));
+    ASSERT_TRUE(store.ok());
+    notary::NotaryDb db;
+    db.attach_store(store.value().get());
+    notary::ValidationCensus census(fixture().anchors);
+    census.attach_store(store.value().get());
+    CheckpointingCensus ckpt(db, census, checkpoint_config(paths.snapshot));
+    ASSERT_TRUE(ckpt.resume().ok());
+
+    store::MaintainerConfig mcfg;
+    mcfg.poll_interval_ms = 1;
+    mcfg.retry_backoff_ms = 1;
+    mcfg.max_backoff_ms = 2;
+    mcfg.degrade_after_failures = 2;
+    mcfg.min_disk_bytes = 0;
+    mcfg.amplification_trigger = 1.0;
+    mcfg.compact_hook = [](std::uint32_t,
+                           std::uint64_t) -> Result<store::ShardCompaction> {
+      return state_error("injected maintenance fault");
+    };
+    store::Maintainer maintainer(*store.value(), mcfg);
+    ASSERT_TRUE(maintainer.start().ok());
+
+    const auto& corpus = fixture().corpus;
+    for (std::size_t i = 0, batches = 0; batches < 2; i += kBatch, ++batches) {
+      const std::size_t n = std::min(kBatch, corpus.size() - i);
+      ASSERT_TRUE(
+          ckpt.ingest_batch(std::span(corpus.data() + i, n), pool).ok());
+    }
+    for (int i = 0; i < 5000 && !maintainer.degraded(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(maintainer.degraded());
+    EXPECT_GE(maintainer.stats().failures, 2u);
+    EXPECT_NE(maintainer.health().find("degraded"), std::string::npos);
+
+    // Degraded maintenance never fails ingest: the third batch commits
+    // while the scheduler is stuck retrying at its slow cadence.
+    ASSERT_TRUE(ckpt.ingest_batch(std::span(corpus.data() + 2 * kBatch,
+                                            std::min(kBatch, corpus.size() -
+                                                                 2 * kBatch)),
+                                  pool)
+                    .ok());
+    maintainer.stop();
+    // Crash: scope exit, no drain.
+  }
+
+  bool cold = false;
+  const ResumeInfo info = resume_and_finish(paths, &cold);
+  EXPECT_GT(info.observations_ingested, 0u);
 }
 
 }  // namespace

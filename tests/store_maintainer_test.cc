@@ -1,0 +1,316 @@
+// store::Maintainer behavior: threshold triggers, scheduled passes racing
+// live appends without losing a record, quiesce/resume semantics, the
+// failure → backoff → degraded (append-only) ladder with recovery, and
+// the maintainer-side backup bookkeeping. Crash interactions live in the
+// kill-matrix suite; this file pins down the scheduler contract itself.
+#include "store/maintainer.h"
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "store/cert_store.h"
+#include "util/bytes.h"
+
+namespace tangled::store {
+namespace {
+
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "maintainer_" + tag;
+  if (DIR* d = opendir(dir.c_str())) {
+    std::vector<std::string> names;
+    while (const dirent* entry = readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") names.push_back(name);
+    }
+    closedir(d);
+    for (const std::string& name : names) {
+      std::remove((dir + "/" + name).c_str());
+    }
+  }
+  return dir;
+}
+
+Bytes digest32(std::uint8_t first, std::uint8_t fill) {
+  Bytes d(32, fill);
+  d[0] = first;
+  return d;
+}
+
+struct Made {
+  Bytes fp, identity, spki, der;
+  CertRecord record;
+};
+
+Made make_record(std::uint8_t n) {
+  Made m;
+  m.fp = digest32(n, 0x10);
+  m.identity = digest32(n, 0x20);
+  m.spki = digest32(n, 0x30);
+  m.der.assign(400, n);
+  m.record = {m.fp, m.identity, m.spki, 1, 2'000'000'000, m.der};
+  return m;
+}
+
+StoreConfig small_segments(const std::string& dir) {
+  StoreConfig config;
+  config.dir = dir;
+  config.shards = 1;
+  config.max_segment_bytes = 4 * 1024;  // force frequent seals
+  return config;
+}
+
+/// Waits (bounded) until `pred` holds; returns whether it ever did.
+template <typename Pred>
+bool eventually(Pred pred, int limit_ms = 5000) {
+  for (int i = 0; i < limit_ms; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+TEST(Maintainer, SchedulerCompactsPastTheDeadRatioThreshold) {
+  auto store = CertStore::open(small_segments(fresh_dir("dead_ratio")));
+  ASSERT_TRUE(store.ok());
+  CertStore& s = *store.value();
+
+  std::vector<Made> made;
+  for (int n = 1; n <= 40; ++n) made.push_back(make_record(n));
+  for (const Made& m : made) ASSERT_TRUE(s.put(m.record).ok());
+  for (int n = 0; n < 20; ++n) ASSERT_TRUE(s.remove(made[n].fp).ok());
+  const std::uint64_t stable = s.last_seq();
+  const std::uint64_t disk_before = s.stats().disk_bytes;
+
+  MaintainerConfig config;
+  config.poll_interval_ms = 1;
+  config.min_disk_bytes = 0;
+  config.dead_ratio_trigger = 0.25;     // 20/60 records dead: over it
+  config.amplification_trigger = 1e9;   // isolate the dead-ratio trigger
+  config.stable_seq = [stable] { return stable; };
+  Maintainer maintainer(s, config);
+  ASSERT_TRUE(maintainer.start().ok());
+  ASSERT_TRUE(eventually(
+      [&] { return maintainer.stats().shard_compactions > 0; }));
+  maintainer.stop();
+
+  const MaintainerStats stats = maintainer.stats();
+  EXPECT_GT(stats.passes, 0u);
+  EXPECT_GT(stats.dropped_records, 0u);
+  EXPECT_GT(stats.reclaimed_bytes, 0u);
+  EXPECT_LT(s.stats().disk_bytes, disk_before);
+
+  // Every survivor still reads; every stable-dead record is gone.
+  for (int n = 20; n < 40; ++n) {
+    auto got = s.get(made[n].fp);
+    ASSERT_TRUE(got.ok()) << n;
+    EXPECT_TRUE(bytes_equal(got.value().der(), made[n].der)) << n;
+  }
+  for (int n = 0; n < 20; ++n) EXPECT_FALSE(s.contains(made[n].fp)) << n;
+}
+
+TEST(Maintainer, ThresholdsHoldTheSchedulerBackOnAHealthyStore) {
+  auto store = CertStore::open(small_segments(fresh_dir("no_trigger")));
+  ASSERT_TRUE(store.ok());
+  CertStore& s = *store.value();
+  for (int n = 1; n <= 10; ++n) {
+    ASSERT_TRUE(s.put(make_record(n).record).ok());
+  }
+
+  MaintainerConfig config;
+  config.poll_interval_ms = 1;
+  // Default min_disk_bytes (1 MiB) alone should keep this tiny store
+  // untouched no matter how often the scheduler polls.
+  Maintainer maintainer(s, config);
+  ASSERT_TRUE(maintainer.start().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  maintainer.stop();
+  EXPECT_EQ(maintainer.stats().shard_compactions, 0u);
+  EXPECT_EQ(s.stats().compactions, 0u);
+}
+
+TEST(Maintainer, LiveAppendsRaceTheSchedulerWithoutLosingARecord) {
+  auto store = CertStore::open(small_segments(fresh_dir("race")));
+  ASSERT_TRUE(store.ok());
+  CertStore& s = *store.value();
+
+  MaintainerConfig config;
+  config.poll_interval_ms = 1;
+  config.min_disk_bytes = 0;
+  config.amplification_trigger = 1.0;  // compact as aggressively as possible
+  config.stable_seq = [&s] { return s.last_seq(); };
+  Maintainer maintainer(s, config);
+  ASSERT_TRUE(maintainer.start().ok());
+
+  // 200 puts with interleaved tombstones, all while the scheduler merges
+  // and drops behind our back. The final live set must be exact.
+  std::vector<Made> made;
+  for (int n = 0; n < 200; ++n) {
+    Made m = make_record(static_cast<std::uint8_t>(n % 251));
+    m.fp[1] = static_cast<std::uint8_t>(n / 251);
+    m.fp[2] = static_cast<std::uint8_t>(n);
+    m.record.fingerprint = m.fp;
+    ASSERT_TRUE(s.put(m.record).ok()) << n;
+    made.push_back(std::move(m));
+    if (n % 3 == 0) ASSERT_TRUE(s.remove(made[n].fp).ok()) << n;
+  }
+  ASSERT_TRUE(eventually(
+      [&] { return maintainer.stats().shard_compactions > 0; }));
+  maintainer.stop();
+
+  for (int n = 0; n < 200; ++n) {
+    if (n % 3 == 0) {
+      EXPECT_FALSE(s.contains(made[n].fp)) << n;
+    } else {
+      auto got = s.get(made[n].fp);
+      ASSERT_TRUE(got.ok()) << n;
+      EXPECT_TRUE(bytes_equal(got.value().der(), made[n].der)) << n;
+    }
+  }
+
+  // And the on-disk truth agrees after a fresh rescan.
+  store.value().reset();
+  std::remove((::testing::TempDir() + "maintainer_race/index.tnglidx").c_str());
+  auto reopened = CertStore::open(small_segments(
+      ::testing::TempDir() + "maintainer_race"));
+  ASSERT_TRUE(reopened.ok());
+  for (int n = 0; n < 200; ++n) {
+    EXPECT_EQ(reopened.value()->contains(made[n].fp), n % 3 != 0) << n;
+  }
+}
+
+TEST(Maintainer, QuiesceWaitsOutTheInFlightPassAndPausesScheduling) {
+  auto store = CertStore::open(small_segments(fresh_dir("quiesce")));
+  ASSERT_TRUE(store.ok());
+  CertStore& s = *store.value();
+  for (int n = 1; n <= 10; ++n) ASSERT_TRUE(s.put(make_record(n).record).ok());
+
+  std::atomic<int> in_hook{0};
+  std::atomic<int> hook_calls{0};
+  MaintainerConfig config;
+  config.poll_interval_ms = 1;
+  config.min_disk_bytes = 0;
+  config.amplification_trigger = 1.0;
+  config.compact_hook = [&](std::uint32_t,
+                            std::uint64_t) -> Result<ShardCompaction> {
+    ++in_hook;
+    ++hook_calls;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    --in_hook;
+    return ShardCompaction{};
+  };
+  Maintainer maintainer(s, config);
+  ASSERT_TRUE(maintainer.start().ok());
+  ASSERT_TRUE(eventually([&] { return hook_calls.load() > 0; }));
+
+  maintainer.quiesce();
+  // No pass may be mid-flight once quiesce returns, and none may start
+  // while paused.
+  EXPECT_EQ(in_hook.load(), 0);
+  const int settled = hook_calls.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(hook_calls.load(), settled);
+
+  maintainer.resume_scheduling();
+  EXPECT_TRUE(eventually([&] { return hook_calls.load() > settled; }));
+  maintainer.stop();
+}
+
+TEST(Maintainer, ConsecutiveFailuresDegradeAndASuccessRecovers) {
+  auto store = CertStore::open(small_segments(fresh_dir("degrade")));
+  ASSERT_TRUE(store.ok());
+  CertStore& s = *store.value();
+  ASSERT_TRUE(s.put(make_record(1).record).ok());
+
+  std::atomic<bool> fail{true};
+  MaintainerConfig config;
+  config.poll_interval_ms = 1;
+  config.retry_backoff_ms = 1;
+  config.max_backoff_ms = 2;
+  config.degrade_after_failures = 3;
+  config.min_disk_bytes = 0;
+  config.amplification_trigger = 1.0;
+  config.compact_hook = [&](std::uint32_t,
+                            std::uint64_t) -> Result<ShardCompaction> {
+    if (fail.load()) return state_error("injected maintenance fault");
+    return ShardCompaction{};
+  };
+  Maintainer maintainer(s, config);
+  ASSERT_TRUE(maintainer.start().ok());
+
+  ASSERT_TRUE(eventually([&] { return maintainer.degraded(); }));
+  EXPECT_GE(maintainer.stats().consecutive_failures, 3u);
+  EXPECT_NE(maintainer.health().find("degraded"), std::string::npos);
+  EXPECT_NE(maintainer.stats().last_error.find("injected"),
+            std::string::npos);
+  // Appends keep landing while degraded: maintenance never gates ingest.
+  ASSERT_TRUE(s.put(make_record(2).record).ok());
+
+  // Degraded mode keeps retrying at the slow cadence; the first success
+  // clears the condition.
+  fail.store(false);
+  ASSERT_TRUE(eventually([&] { return !maintainer.degraded(); }));
+  EXPECT_EQ(maintainer.stats().consecutive_failures, 0u);
+  EXPECT_NE(maintainer.health().find("maintenance ok"), std::string::npos);
+  maintainer.stop();
+}
+
+TEST(Maintainer, BackupBookkeepingCountsSuccessesAndFailures) {
+  const std::string dir = fresh_dir("backup_books");
+  auto store = CertStore::open(small_segments(dir));
+  ASSERT_TRUE(store.ok());
+  CertStore& s = *store.value();
+  for (int n = 1; n <= 5; ++n) ASSERT_TRUE(s.put(make_record(n).record).ok());
+
+  Maintainer maintainer(s, MaintainerConfig{});
+  // A failed backup is counted and surfaced but never degrades anything.
+  EXPECT_FALSE(maintainer.backup("").ok());
+  EXPECT_EQ(maintainer.stats().backup_failures, 1u);
+  EXPECT_FALSE(maintainer.degraded());
+
+  const std::string bdir = fresh_dir("backup_books_dst");
+  auto report = maintainer.backup(bdir);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().files, 0u);
+  EXPECT_EQ(maintainer.stats().backups, 1u);
+
+  // The store keeps accepting writes across both outcomes.
+  ASSERT_TRUE(s.put(make_record(6).record).ok());
+}
+
+TEST(Maintainer, ForcedPassConvergesInsteadOfChurning) {
+  auto store = CertStore::open(small_segments(fresh_dir("converge")));
+  ASSERT_TRUE(store.ok());
+  CertStore& s = *store.value();
+  for (int n = 1; n <= 30; ++n) ASSERT_TRUE(s.put(make_record(n).record).ok());
+  for (int n = 1; n <= 10; ++n) {
+    ASSERT_TRUE(s.remove(digest32(static_cast<std::uint8_t>(n), 0x10)).ok());
+  }
+
+  MaintainerConfig config;
+  config.min_disk_bytes = 0;
+  config.stable_seq = [&s] { return s.last_seq(); };
+  Maintainer maintainer(s, config);
+  ASSERT_TRUE(maintainer.run_pass(/*force=*/true).ok());
+  const std::uint64_t after_first = s.stats().compactions;
+  EXPECT_GT(after_first, 0u);
+
+  // A second forced pass over the now-clean store must skip every shard:
+  // nothing dead, one sealed segment per shard — rewriting would churn.
+  ASSERT_TRUE(maintainer.run_pass(/*force=*/true).ok());
+  EXPECT_EQ(s.stats().compactions, after_first);
+  EXPECT_GT(maintainer.stats().skipped_shards, 0u);
+}
+
+}  // namespace
+}  // namespace tangled::store
